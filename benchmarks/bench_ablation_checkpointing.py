@@ -1,0 +1,92 @@
+"""Ablation — checkpoint cadence under failures at leadership scale.
+
+Frontier-scale jobs (the paper's testbed has 9,402 nodes) experience
+routine node failures; the checkpoint interval is a design knob that
+provenance-recorded runs let teams tune.  This bench sweeps the interval
+for a long simulated job under an exponential failure model and asserts the
+classical results the simulator's fault substrate implements:
+
+* expected overhead is U-shaped in the interval, minimized near
+  Young/Daly's ``sqrt(2·C·MTBF)``;
+* Daly's interval is within a few percent of the sweep's best;
+* overhead grows with node count at fixed interval policy;
+* energy inflation tracks the walltime inflation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator.faults import FailureModel, apply_failures
+from repro.simulator.training import job_from_zoo, simulate_training
+
+MODEL = FailureModel(node_mtbf_hours=5_000.0, checkpoint_write_s=120.0,
+                     restart_s=600.0)
+N_NODES = 16  # 128 GPUs
+WORK_S = 24 * 3600.0
+
+
+def test_overhead_u_shaped(benchmark, capsys):
+    """Sweep τ across 3 decades: cost falls then rises, min near Daly."""
+    daly = MODEL.daly_interval_s(N_NODES)
+    intervals = np.geomspace(daly / 30, daly * 30, 13)
+
+    def sweep():
+        return [MODEL.overhead_factor(WORK_S, N_NODES, float(tau))
+                for tau in intervals]
+
+    factors = benchmark(sweep)
+    best_idx = int(np.argmin(factors))
+    with capsys.disabled():
+        print(f"\n[ablation:checkpoint] daly tau = {daly:.0f}s; sweep minimum "
+              f"at {intervals[best_idx]:.0f}s "
+              f"(overhead {factors[best_idx]:.3f}x)")
+    # U-shape: endpoints strictly worse than the interior minimum
+    assert factors[0] > factors[best_idx]
+    assert factors[-1] > factors[best_idx]
+    # the minimum lands within a factor ~3 of Daly's prescription
+    assert daly / 3 <= intervals[best_idx] <= daly * 3
+
+
+def test_daly_near_optimal(benchmark):
+    """Daly's closed form within 2% of a fine numeric sweep."""
+    def compare():
+        daly_cost = MODEL.overhead_factor(WORK_S, N_NODES)
+        taus = np.geomspace(MODEL.daly_interval_s(N_NODES) / 10,
+                            MODEL.daly_interval_s(N_NODES) * 10, 400)
+        best = min(MODEL.overhead_factor(WORK_S, N_NODES, float(t)) for t in taus)
+        return daly_cost, best
+
+    daly_cost, best = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert daly_cost <= best * 1.02
+
+
+@pytest.mark.parametrize("n_nodes", [4, 64, 1024])
+def test_overhead_vs_scale(benchmark, n_nodes):
+    """Bigger allocations fail more often -> more overhead (at each scale
+    using that scale's own optimal interval)."""
+    factor = benchmark(MODEL.overhead_factor, WORK_S, n_nodes)
+    assert factor >= 1.0
+    if n_nodes == 1024:
+        smaller = MODEL.overhead_factor(WORK_S, 4)
+        assert factor > smaller
+
+
+def test_training_result_inflation(benchmark, capsys):
+    """End-to-end: a simulated Figure-3 job under failures costs more time
+    and energy but reaches the same loss."""
+    result = simulate_training(job_from_zoo("mae", "600M", 128, epochs=10))
+
+    def inflate():
+        return apply_failures(result, MODEL)
+
+    failed = benchmark.pedantic(inflate, rounds=1, iterations=1)
+    time_factor = failed.wall_time_s / result.wall_time_s
+    energy_factor = failed.energy.total_joules / result.energy.total_joules
+    with capsys.disabled():
+        print(f"\n[ablation:checkpoint] 600M/128GPU job: walltime x{time_factor:.3f}, "
+              f"energy x{energy_factor:.3f} under failures")
+    assert time_factor > 1.0
+    assert 1.0 < energy_factor < time_factor + 0.01  # ckpt time at lower power
+    assert failed.final_loss == result.final_loss

@@ -1,0 +1,77 @@
+"""Ablation — Zarr-like store chunk size.
+
+The chunked layout is the zarr-like store's central design choice; this
+bench sweeps chunk sizes over a realistic metric payload and measures write
+time, read time and on-disk size.  Premises asserted:
+
+* tiny chunks (256) pay noticeable per-file overhead in size;
+* the default (16384) is within 25% of the best size in the sweep;
+* reads round-trip exactly at every chunk size.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.storage import SeriesData, ZarrLikeStore
+
+N = 300_000
+RNG = np.random.default_rng(7)
+SERIES = SeriesData(
+    {
+        "values": 0.3 + 2.0 / np.sqrt(np.arange(1, N + 1)) * (1 + RNG.normal(0, 0.01, N)),
+        "steps": np.arange(N, dtype=np.int64),
+        "times": np.cumsum(RNG.uniform(0.08, 0.12, N)),
+    },
+    attrs={"metric": "loss"},
+)
+
+CHUNK_SIZES = [256, 4096, 16384, 65536]
+
+
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+def test_write_time_by_chunk(benchmark, tmp_path, chunk_size):
+    counter = [0]
+
+    def write():
+        counter[0] += 1
+        store = ZarrLikeStore(tmp_path / f"s{counter[0]}", chunk_size=chunk_size)
+        store.write_series("loss", SERIES)
+        return store
+
+    store = benchmark.pedantic(write, rounds=3, iterations=1)
+    assert store.read_series("loss").equals(SERIES)
+
+
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+def test_read_time_by_chunk(benchmark, tmp_path, chunk_size):
+    store = ZarrLikeStore(tmp_path / "s", chunk_size=chunk_size)
+    store.write_series("loss", SERIES)
+    out = benchmark(store.read_series, "loss")
+    assert out.equals(SERIES)
+
+
+def test_size_by_chunk(benchmark, tmp_path, capsys):
+    """On-disk footprint across the sweep; tiny chunks pay overhead."""
+    def sizes():
+        out = {}
+        for chunk_size in CHUNK_SIZES:
+            target = tmp_path / f"size_{chunk_size}"
+            if target.exists():
+                shutil.rmtree(target)
+            store = ZarrLikeStore(target, chunk_size=chunk_size)
+            store.write_series("loss", SERIES)
+            out[chunk_size] = store.size_bytes()
+        return out
+
+    result = benchmark.pedantic(sizes, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[ablation:chunking] on-disk bytes by chunk size")
+        for chunk_size, size in result.items():
+            print(f"  chunk={chunk_size:>6}: {size / 1e6:6.2f} MB")
+    assert result[256] > result[16384]
+    best = min(result.values())
+    assert result[16384] <= best * 1.25  # the default is near-optimal

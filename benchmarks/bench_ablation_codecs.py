@@ -1,0 +1,117 @@
+"""Ablation — codec choices for metric offloading.
+
+DESIGN.md calls out the per-column codec choice: monotone columns (steps,
+timestamps) get ``delta-zlib``, value columns get plain ``zlib``, and a
+lossy ``scale-offset`` packing exists for users who accept bounded error.
+This bench measures encode/decode throughput and compression ratios on
+realistic metric columns, asserting the design's premises:
+
+* delta-zlib crushes monotone columns (>>10x better than plain zlib);
+* delta-zlib does not catastrophically lose on non-monotone values;
+* scale-offset beats every lossless codec on noisy floats, at bounded error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.storage.codecs import DeltaZlibCodec, RawCodec, ScaleOffsetCodec, ZlibCodec
+
+N = 200_000
+RNG = np.random.default_rng(42)
+
+#: realistic metric columns
+COLUMNS = {
+    "steps": np.arange(N, dtype=np.int64),
+    # fixed-step timestamps, the pattern the simulator actually offloads
+    # (base + step_index * step_s)
+    "times": 1.7e9 + np.arange(N, dtype=np.float64) * 0.1034,
+    "loss": (0.3 + 2.0 / np.sqrt(np.arange(1, N + 1))
+             * (1 + RNG.normal(0, 0.01, N))),
+    "power_w": np.full(N, 3871.0) + RNG.choice([0.0, 1.0, -1.0], N),
+}
+
+CODECS = {
+    "raw": RawCodec(),
+    "zlib": ZlibCodec(),
+    "delta-zlib": DeltaZlibCodec(),
+}
+
+
+@pytest.mark.parametrize("codec_name", list(CODECS))
+@pytest.mark.parametrize("column", list(COLUMNS))
+def test_encode_throughput(benchmark, codec_name, column):
+    """Encode throughput per (codec, column)."""
+    codec = CODECS[codec_name]
+    arr = COLUMNS[column]
+    payload = benchmark(codec.encode, arr)
+    assert len(payload) > 0
+
+
+@pytest.mark.parametrize("codec_name", ["zlib", "delta-zlib"])
+def test_decode_throughput(benchmark, codec_name):
+    codec = CODECS[codec_name]
+    arr = COLUMNS["times"]
+    payload = codec.encode(arr)
+    out = benchmark(codec.decode, payload, arr.dtype, arr.shape[0])
+    assert np.array_equal(out, arr)
+
+
+def test_delta_wins_on_monotone_columns(benchmark, capsys):
+    """The design premise: delta-zlib >> zlib on steps/times columns."""
+    def ratios():
+        out = {}
+        for column in ("steps", "times"):
+            arr = COLUMNS[column]
+            out[column] = {
+                name: arr.nbytes / len(codec.encode(arr))
+                for name, codec in CODECS.items()
+            }
+        return out
+
+    result = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[ablation:codecs] compression ratio (higher = better)")
+        for column, by_codec in result.items():
+            cells = "  ".join(f"{k}={v:8.1f}x" for k, v in by_codec.items())
+            print(f"  {column:<8} {cells}")
+    assert result["steps"]["delta-zlib"] > 10 * result["steps"]["zlib"]
+    assert result["times"]["delta-zlib"] > 2 * result["times"]["zlib"]
+
+
+def test_delta_not_harmful_on_values(benchmark):
+    """On non-monotone value columns delta must not lose badly (< 2x)."""
+    arr = COLUMNS["loss"]
+
+    def sizes():
+        return (len(DeltaZlibCodec().encode(arr)), len(ZlibCodec().encode(arr)))
+
+    delta, plain = benchmark.pedantic(sizes, rounds=1, iterations=1)
+    assert delta < 2 * plain
+
+
+def test_lossy_packing_tradeoff(benchmark, capsys):
+    """scale-offset: ~4x the compression of zlib on noisy floats, with the
+    documented bounded error."""
+    arr = COLUMNS["loss"]
+    codec = ScaleOffsetCodec()
+
+    def measure():
+        packed = codec.encode(arr)
+        restored = codec.decode(packed, arr.dtype, arr.shape[0])
+        span = float(arr.max() - arr.min())
+        return (
+            arr.nbytes / len(packed),
+            arr.nbytes / len(ZlibCodec().encode(arr)),
+            float(np.max(np.abs(restored - arr))) / span,
+        )
+
+    lossy_ratio, lossless_ratio, rel_err = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print(f"\n[ablation:codecs] lossy {lossy_ratio:.1f}x vs "
+              f"lossless {lossless_ratio:.1f}x, max rel err {rel_err:.2e}")
+    assert lossy_ratio > 2 * lossless_ratio
+    assert rel_err < 1.0 / 60000

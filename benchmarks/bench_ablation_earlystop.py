@@ -1,0 +1,122 @@
+"""Ablation — online early stopping (§3.2's compute-hours claim).
+
+"An online provenance tracking process could give real-time guidelines in
+how to proceed during the training process, understanding when to stop.
+This would result in a more optimized use of compute hours."
+
+This bench quantifies that claim on the simulator: run long pre-training
+jobs with and without the marginal-improvement-per-kWh advisor and measure
+the energy saved vs. the loss given up, asserting:
+
+* the advisor fires on long (diminishing-returns) runs;
+* it saves a substantial fraction of the energy;
+* the loss penalty is small relative to the energy saving;
+* with a sane threshold, the loss × energy trade-off score *improves*.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.online import apply_early_stop
+from repro.analysis.tradeoff import EarlyStopAdvisor
+from repro.simulator.training import job_from_zoo, simulate_training
+
+#: a long run deep into diminishing returns
+JOB_KWARGS = dict(architecture="mae", size="100M", n_gpus=8, epochs=60,
+                  walltime_s=36_000.0, log_every_steps=50)
+
+
+@pytest.fixture(scope="module")
+def long_run():
+    return simulate_training(job_from_zoo(**JOB_KWARGS))
+
+
+@pytest.fixture(scope="module")
+def advisor():
+    # calibrated to the simulator's marginal-rate scale: the loss still buys
+    # ~0.1 loss/kWh at the very end of this run, so demand 0.3
+    return EarlyStopAdvisor(min_improvement_per_kwh=0.3, window=40)
+
+
+def test_advisor_fires_on_long_run(benchmark, long_run, advisor):
+    stopped = benchmark(apply_early_stop, long_run, advisor)
+    assert stopped is not long_run
+    assert stopped.steps_done < long_run.steps_done
+
+
+def test_energy_saved_vs_loss_penalty(benchmark, long_run, advisor, capsys):
+    stopped = benchmark.pedantic(apply_early_stop, args=(long_run, advisor),
+                                 rounds=1, iterations=1)
+    energy_saving = 1 - stopped.energy_kwh / long_run.energy_kwh
+    loss_penalty = stopped.final_loss / long_run.final_loss - 1
+    with capsys.disabled():
+        print(f"\n[ablation:earlystop] stop at step {stopped.steps_done}/"
+              f"{long_run.steps_done}: energy -{energy_saving:.1%}, "
+              f"loss +{loss_penalty:.2%}, tradeoff "
+              f"{long_run.tradeoff:.3f} -> {stopped.tradeoff:.3f}")
+    assert energy_saving > 0.10          # real compute-hours saved
+    assert loss_penalty < energy_saving  # cheap in loss relative to energy
+    assert stopped.tradeoff < long_run.tradeoff  # the §3.2 win
+
+
+def test_threshold_sweep_monotone(benchmark, long_run, capsys):
+    """Stricter thresholds stop earlier and save more energy."""
+    thresholds = [0.03, 0.1, 0.3, 1.0]
+
+    def sweep():
+        out = []
+        for threshold in thresholds:
+            advisor = EarlyStopAdvisor(min_improvement_per_kwh=threshold,
+                                       window=40)
+            stopped = apply_early_stop(long_run, advisor)
+            out.append(stopped.steps_done)
+        return out
+
+    steps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\n[ablation:earlystop] stop step by threshold: "
+              f"{dict(zip(thresholds, steps))}")
+    assert steps == sorted(steps, reverse=True)
+
+
+def test_online_advisor_matches_offline_decision(benchmark, long_run, advisor,
+                                                 tmp_path):
+    """The live OnlineAdvisor over a tracked run must reach the same stop
+    step as the offline trajectory analysis."""
+    import numpy as np
+
+    from repro.analysis.online import OnlineAdvisor
+    from repro.core.experiment import RunExecution
+    from repro.simulator.power import PowerModel
+
+    # replay the trajectory into a live run
+    state = {"t": 0.0}
+
+    def clock():
+        state["t"] += 1.0
+        return state["t"]
+
+    run = RunExecution("online_vs_offline", save_dir=tmp_path, clock=clock)
+    run.start()
+    power = PowerModel(long_run.job.resolve_cluster().allocate(
+        long_run.job.n_gpus))
+    step_energy = (
+        long_run.step_timing.compute_s * power.compute_power_w
+        + long_run.step_timing.exposed_comm_s * power.comm_power_w
+    )
+    run.log_metric_array(
+        "loss", long_run.loss_steps, long_run.loss_values,
+        long_run.loss_steps.astype(float),
+    )
+    run.log_metric_array(
+        "energy_joules", long_run.loss_steps,
+        long_run.loss_steps.astype(np.float64) * step_energy,
+        long_run.loss_steps.astype(float),
+    )
+
+    online = OnlineAdvisor(advisor)
+    live_decision = benchmark(online.check, run)
+    offline = apply_early_stop(long_run, advisor)
+    assert live_decision is not None
+    assert live_decision == offline.steps_done

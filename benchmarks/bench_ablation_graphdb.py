@@ -1,0 +1,96 @@
+"""Ablation — provenance service scalability (the Related-Work gap).
+
+"The former challenge is posed by scalability, as ML experiments can grow
+in complexity and scale very rapidly, and existing tracking systems may
+struggle with the increased volume".  This bench grows stored provenance
+(more epochs/metrics -> bigger documents; more runs -> more documents) and
+measures the service's ingestion and query latencies, asserting they stay
+in interactive range and that indexed lookup beats scanning.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import Context
+from repro.core.experiment import RunExecution
+from repro.core.provgen import build_prov_document
+from repro.prov.provjson import to_provjson
+from repro.yprov.service import ProvenanceService
+
+
+def make_run_document(n_epochs: int, n_metrics: int, tmp_path) -> str:
+    state = {"t": 0.0}
+
+    def clock():
+        state["t"] += 1.0
+        return state["t"]
+
+    run = RunExecution(f"scale_e{n_epochs}_m{n_metrics}",
+                       save_dir=tmp_path, clock=clock)
+    run.start()
+    for epoch in range(n_epochs):
+        run.start_epoch(Context.TRAINING, epoch)
+        for metric in range(n_metrics):
+            run.log_metric(f"metric_{metric}", float(metric))
+        run.end_epoch(Context.TRAINING)
+    run.end()
+    return to_provjson(build_prov_document(run))
+
+
+@pytest.mark.parametrize("n_epochs", [10, 50, 200])
+def test_ingestion_scales_with_document_size(benchmark, tmp_path, n_epochs):
+    """put_document latency as the run's epoch count grows."""
+    text = make_run_document(n_epochs, 5, tmp_path)
+    service = ProvenanceService()
+    counter = [0]
+
+    def ingest():
+        counter[0] += 1
+        service.put_document(f"d{counter[0]}", text)
+
+    benchmark(ingest)
+    assert benchmark.stats.stats.mean < 0.5  # interactive even at 200 epochs
+
+
+@pytest.mark.parametrize("n_documents", [10, 100])
+def test_indexed_lookup_vs_document_count(benchmark, tmp_path, n_documents):
+    """find_elements uses the (label, key) index: latency must not grow
+    linearly with the number of stored documents."""
+    service = ProvenanceService()
+    text = make_run_document(5, 3, tmp_path)
+    for i in range(n_documents):
+        service.put_document(f"d{i}", text)
+
+    result = benchmark(service.find_elements, prov_type="yprov4ml:RunExecution")
+    assert len(result) == n_documents
+
+
+def test_lineage_query_latency(benchmark, tmp_path, capsys):
+    """Subgraph traversal over a large stored document."""
+    text = make_run_document(100, 10, tmp_path)
+    service = ProvenanceService()
+    service.put_document("big", text)
+    stats = service.stats("big")
+    run_qn = next(
+        e["qualified_name"] for e in service.find_elements(
+            prov_type="yprov4ml:RunExecution")
+    )
+    reachable = benchmark(service.get_subgraph, "big", run_qn, "both")
+    with capsys.disabled():
+        print(f"\n[ablation:graphdb] {stats['nodes']} nodes / "
+              f"{stats['edges']} edges; closure size {len(reachable)}")
+    assert len(reachable) >= stats["nodes"] - 1  # everything connects to the run
+
+
+def test_explorer_diff_latency(benchmark, tmp_path):
+    """Document diff — the §3.2 'compare runs' primitive — on big docs."""
+    from repro.prov.document import ProvDocument
+    from repro.yprov.explorer import Explorer
+
+    a = ProvDocument.from_json(make_run_document(60, 8, tmp_path / "a"))
+    b = ProvDocument.from_json(make_run_document(60, 8, tmp_path / "b"))
+    explorer = Explorer()
+    diff = benchmark(explorer.diff, a, b)
+    # same structure, different experiment name/ids
+    assert not diff.is_identical

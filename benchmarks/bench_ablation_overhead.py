@@ -1,0 +1,174 @@
+"""Ablation — tracking overhead ("lightweight footprint" claim).
+
+Related Work motivates lightweight tracking: "It is therefore critical to
+manage ML experiments in a lightweight manner in order to avoid performance
+bottlenecks".  This bench measures the per-step cost of yProv4ML logging
+against the cost of a (small but real) training step, and compares the
+end-of-run save cost across metric formats:
+
+* a ``log_metric`` call must cost < 5% of even a tiny NumPy training step;
+* bulk array logging must amortize to well under 1 µs per sample;
+* saving with offload (zarr/nc) must be much cheaper than inline JSON.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.context import Context
+from repro.core.experiment import RunExecution
+
+
+@pytest.fixture()
+def running_run(tmp_path):
+    state = {"t": 0.0}
+
+    def clock():
+        state["t"] += 1e-3
+        return state["t"]
+
+    run = RunExecution("overhead", save_dir=tmp_path, clock=clock)
+    run.start()
+    return run
+
+
+def _tiny_training_step(weight, x):
+    """A deliberately small real step: 256x256 matmul forward+backward."""
+    y = x @ weight
+    grad = x.T @ y
+    weight -= 1e-4 * grad
+    return float((y**2).mean())
+
+
+def test_log_metric_per_call(benchmark, running_run):
+    """Single-sample logging cost."""
+    counter = [0]
+
+    def log():
+        counter[0] += 1
+        running_run.log_metric("loss", 0.5, context=Context.TRAINING,
+                               step=counter[0])
+
+    benchmark(log)
+
+
+def test_log_metric_vs_training_step(benchmark, running_run, capsys):
+    """Per-step logging overhead relative to a small real step."""
+    import timeit
+
+    rng = np.random.default_rng(0)
+    weight = rng.normal(size=(256, 256))
+    x = rng.normal(size=(64, 256))
+
+    def step_with_logging():
+        loss = _tiny_training_step(weight, x)
+        running_run.log_metric("loss", loss, context=Context.TRAINING)
+        return loss
+
+    benchmark(step_with_logging)
+    # measure the bare step and the bare log to compute the ratio
+    bare = timeit.timeit(lambda: _tiny_training_step(weight, x), number=200) / 200
+    log_only = timeit.timeit(
+        lambda: running_run.log_metric("loss", 1.0, context=Context.TRAINING),
+        number=2000,
+    ) / 2000
+    ratio = log_only / bare
+    with capsys.disabled():
+        print(f"\n[ablation:overhead] log_metric {log_only * 1e6:.2f} µs vs "
+              f"tiny step {bare * 1e6:.1f} µs -> {ratio:.2%} overhead")
+    assert ratio < 0.05
+
+
+def test_bulk_logging_amortized(benchmark, tmp_path_factory):
+    """log_metric_array must amortize to sub-microsecond per sample."""
+    n = 100_000
+    steps = np.arange(n)
+    values = np.random.default_rng(0).normal(size=n)
+    times = np.arange(n) * 0.1
+
+    def fresh_run():
+        state = {"t": 0.0}
+
+        def clock():
+            state["t"] += 1e-3
+            return state["t"]
+
+        run = RunExecution("bulk", save_dir=tmp_path_factory.mktemp("bulk"),
+                           clock=clock)
+        run.start()
+        return (run,), {}
+
+    def bulk(run):
+        run.log_metric_array("bulk", steps, values, times)
+
+    benchmark.pedantic(bulk, setup=fresh_run, rounds=10, iterations=1)
+    per_sample = benchmark.stats.stats.mean / n
+    assert per_sample < 1e-6, f"{per_sample * 1e9:.0f} ns/sample"
+
+
+@pytest.mark.parametrize("metric_format", ["inline", "zarrlike", "netcdflike"])
+def test_save_cost_by_format(benchmark, tmp_path_factory, metric_format):
+    """End-of-run save cost per metric format (Table 1's other axis)."""
+    def build_and_save():
+        tmp = tmp_path_factory.mktemp(f"save_{metric_format}")
+        state = {"t": 0.0}
+
+        def clock():
+            state["t"] += 1e-3
+            return state["t"]
+
+        run = RunExecution("save_bench", save_dir=tmp, clock=clock)
+        run.start()
+        n = 50_000
+        run.log_metric_array(
+            "loss", np.arange(n), np.random.default_rng(0).normal(size=n),
+            np.arange(n) * 0.1,
+        )
+        run.end()
+        paths = run.save(metric_format=metric_format)
+        return paths["prov"].stat().st_size
+
+    size = benchmark.pedantic(build_and_save, rounds=3, iterations=1)
+    assert size > 0
+
+
+def test_offload_save_faster_and_smaller_than_inline(benchmark, tmp_path_factory,
+                                                     capsys):
+    """The design claim behind metric offloading: smaller *and* cheaper."""
+    import time
+
+    def measure(metric_format):
+        tmp = tmp_path_factory.mktemp(f"cmp_{metric_format}")
+        state = {"t": 0.0}
+
+        def clock():
+            state["t"] += 1e-3
+            return state["t"]
+
+        run = RunExecution("cmp", save_dir=tmp, clock=clock)
+        run.start()
+        n = 100_000
+        run.log_metric_array(
+            "loss", np.arange(n), np.random.default_rng(0).normal(size=n),
+            np.arange(n) * 0.1,
+        )
+        run.end()
+        t0 = time.perf_counter()
+        paths = run.save(metric_format=metric_format)
+        elapsed = time.perf_counter() - t0
+        total = sum(p.stat().st_size for p in tmp.rglob("*") if p.is_file())
+        return elapsed, total
+
+    def compare():
+        return {"inline": measure("inline"), "zarrlike": measure("zarrlike")}
+
+    result = benchmark.pedantic(compare, rounds=1, iterations=1)
+    inline_t, inline_b = result["inline"]
+    zarr_t, zarr_b = result["zarrlike"]
+    with capsys.disabled():
+        print(f"\n[ablation:overhead] save: inline {inline_t * 1e3:.0f} ms / "
+              f"{inline_b / 1e6:.1f} MB vs zarr {zarr_t * 1e3:.0f} ms / "
+              f"{zarr_b / 1e6:.1f} MB")
+    assert zarr_b < inline_b / 3
+    assert zarr_t < inline_t

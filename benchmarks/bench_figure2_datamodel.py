@@ -1,0 +1,130 @@
+"""Figure 2 — the yProv4ML data model.
+
+Verifies that generated provenance realizes the exact hierarchy of the
+paper's data model figure: an *Experiment* containing *Run Execution*
+instances, each divided into *contexts* (training/validation/testing plus
+user-defined), with training/validation organized into *epochs* carrying
+durations.  Prints the recovered hierarchy in Figure 2's shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.context import Context
+from repro.core.experiment import Experiment
+from repro.core.provgen import build_prov_document
+
+
+def _make_experiment(tmp, n_runs=3):
+    state = {"t": 0.0}
+
+    def clock():
+        state["t"] += 1.0
+        return state["t"]
+
+    exp = Experiment("figure2_experiment", root_dir=tmp)
+    runs = []
+    for i in range(n_runs):
+        run = exp.new_run(clock=clock)
+        run.start()
+        run.log_param("lr", 10.0 ** -(i + 2))  # each run configured differently
+        for epoch in range(2):
+            run.start_epoch(Context.TRAINING)
+            run.log_metric("loss", 1.0 / (epoch + 1))
+            run.end_epoch(Context.TRAINING)
+            run.start_epoch(Context.VALIDATION)
+            run.log_metric("val_loss", 1.1 / (epoch + 1),
+                           context=Context.VALIDATION)
+            run.end_epoch(Context.VALIDATION)
+        run.log_metric("test_metric", 0.9, context=Context.TESTING)
+        run.log_metric("p50_latency", 1.0, context="user_defined_stage")
+        run.end()
+        runs.append(run)
+    return exp, runs
+
+
+@pytest.fixture(scope="module")
+def experiment(tmp_path_factory):
+    return _make_experiment(tmp_path_factory.mktemp("fig2"))
+
+
+def test_figure2_experiment_contains_runs(benchmark, experiment, tmp_path_factory):
+    """Figure 2: 'multiple runs under a single experiment, each potentially
+    configured with different parameters'."""
+    exp, runs = benchmark.pedantic(
+        _make_experiment, args=(tmp_path_factory.mktemp("fig2b"),),
+        rounds=1, iterations=1,
+    )
+    assert len(exp) == 3
+    lrs = {run.params.get("lr") for run in runs}
+    assert len(lrs) == 3  # genuinely different configurations
+
+
+def test_figure2_contexts_per_run(benchmark, experiment):
+    """Predefined + user-defined contexts, per the blue blocks of Figure 2."""
+    _, runs = experiment
+
+    def contexts_of(run):
+        return {ctx.name for ctx in run.contexts}
+
+    names = benchmark(contexts_of, runs[0])
+    assert names == {"TRAINING", "VALIDATION", "TESTING", "USER_DEFINED_STAGE"}
+
+
+def test_figure2_epoch_structure(benchmark, experiment):
+    """Training and validation are organized into epochs, 'each of which
+    captures specific details such as duration'."""
+    _, runs = experiment
+    run = runs[0]
+
+    def epoch_durations(run):
+        out = {}
+        for ctx in (Context.TRAINING, Context.VALIDATION):
+            out[ctx.name] = [
+                e.duration for e in run.contexts[ctx].epochs.values()
+            ]
+        return out
+
+    durations = benchmark(epoch_durations, run)
+    for ctx_name, values in durations.items():
+        assert len(values) == 2
+        assert all(d is not None and d > 0 for d in values)
+    # TESTING has no epoch structure
+    assert not run.contexts[Context.TESTING].epochs
+
+
+def test_figure2_hierarchy_in_provenance(benchmark, experiment, capsys):
+    """The generated PROV document realizes the full hierarchy; print it in
+    the layout of Figure 2."""
+    _, runs = experiment
+    doc = benchmark(build_prov_document, runs[0])
+
+    experiment_entities = [
+        e for e in doc.entities.values()
+        if str(e.prov_type or "").endswith("Experiment")
+    ]
+    run_activities = [
+        a for a in doc.activities.values()
+        if str(a.prov_type or "").endswith("RunExecution")
+    ]
+    context_activities = [
+        a for a in doc.activities.values()
+        if str(a.prov_type or "").endswith("Context")
+    ]
+    epoch_activities = [
+        a for a in doc.activities.values()
+        if str(a.prov_type or "").endswith("Epoch")
+    ]
+    assert len(experiment_entities) == 1
+    assert len(run_activities) == 1
+    assert len(context_activities) == 4
+    assert len(epoch_activities) == 4  # 2 TRAINING + 2 VALIDATION
+
+    with capsys.disabled():
+        print("\n[figure2] recovered data model:")
+        print(f"  Experiment: {experiment_entities[0].label}")
+        print(f"    Run Execution: {run_activities[0].label}")
+        for ctx in sorted(context_activities, key=lambda a: str(a.label)):
+            epochs = ctx.get_attribute("yprov4ml:epochs")
+            print(f"      Context {ctx.label} (epochs={epochs})")

@@ -1,0 +1,112 @@
+"""§3.3 — scaling-study performance estimation *without training*.
+
+Not a numbered figure, but a core evaluation claim: with provenance-backed
+history, "a ML-based forecasting approach could give ... a more precise
+estimate of any of the pivotal factors ... with a single inference step,
+eliminating the trial and error phase"; and analytically, "a precise
+estimate of both compute necessary and the configurations of architecture
+adoptable".
+
+This bench builds the knowledge base from a real tracked sub-grid and
+measures both estimation routes:
+
+* the **analytical estimator** must agree with the simulator exactly (it is
+  the closed form of the same physics) and answer configuration questions
+  (min GPUs within walltime) without running anything;
+* the **KB forecaster** must interpolate an unseen configuration with small
+  relative error and pass a leave-one-out accuracy check, at
+  single-inference-step latency (microseconds, vs the simulated hours of a
+  real run).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.forecasting import ProvenanceForecaster
+from repro.analysis.scaling import ScalingEstimator
+from repro.core.registry import ExperimentRegistry
+from repro.simulator import SimClock
+from repro.simulator.training import job_from_zoo, simulate_training
+
+
+@pytest.fixture(scope="module")
+def knowledge_base(tmp_path_factory):
+    """A tracked 3-size x 2-gpu sub-grid (600M/16 deliberately held out)."""
+    tmp = tmp_path_factory.mktemp("kb33")
+    clock = SimClock()
+    for size in ("100M", "200M", "600M", "1.4B"):
+        for gpus in (8, 16):
+            if size == "600M" and gpus == 16:
+                continue  # the held-out cell the forecaster must predict
+            job = job_from_zoo("mae", size, gpus, epochs=2)
+            simulate_training(job, clock=clock, provenance_dir=tmp)
+    return ExperimentRegistry(tmp)
+
+
+def test_analytic_estimator_matches_simulator(benchmark):
+    """Route 1: the closed form predicts the simulator exactly."""
+    estimator = ScalingEstimator()
+    job = job_from_zoo("mae", "600M", 16, epochs=2)
+
+    estimate = benchmark(estimator.estimate_job, job)
+    actual = simulate_training(job)
+    assert estimate.predicted_loss == pytest.approx(actual.final_loss)
+    assert estimate.predicted_energy_kwh == pytest.approx(actual.energy_kwh)
+    assert estimate.predicted_walltime_s == pytest.approx(actual.wall_time_s)
+
+
+def test_analytic_configuration_question(benchmark, capsys):
+    """'what configuration fits my walltime?' answered without training."""
+    estimator = ScalingEstimator()
+    base = job_from_zoo("mae", "1.4B", 8, epochs=30)
+    minimum = benchmark(estimator.min_gpus_within_walltime, base,
+                        [8, 16, 32, 64, 128])
+    with capsys.disabled():
+        print(f"\n[section3.3] MAE-1.4B/30 epochs fits 2h from {minimum} GPUs")
+    assert minimum == 32
+
+
+def test_forecaster_predicts_held_out_cell(benchmark, knowledge_base, capsys):
+    """Route 2: one inference step predicts the unseen 600M/16-GPU run."""
+    forecaster = ProvenanceForecaster(knowledge_base)
+    config = {"param_count": 6.0e8, "n_gpus": 16, "global_batch": 512,
+              "dataset_patches": 800_000, "epochs_target": 2}
+
+    forecast = benchmark(forecaster.predict, config, "final_loss")
+    actual = simulate_training(job_from_zoo("mae", "600M", 16, epochs=2))
+    error = abs(forecast.predicted - actual.final_loss) / actual.final_loss
+    with capsys.disabled():
+        print(f"\n[section3.3] held-out 600M/16: forecast "
+              f"{forecast.predicted:.4f} vs actual {actual.final_loss:.4f} "
+              f"({error:.1%} error, {forecast.n_history} historical runs)")
+    assert error < 0.10
+
+
+def test_forecaster_energy_target(benchmark, knowledge_base, capsys):
+    """The same pipeline forecasts energy (in log space — energy scales
+    multiplicatively with the configuration)."""
+    forecaster = ProvenanceForecaster(knowledge_base)
+    config = {"param_count": 6.0e8, "n_gpus": 16, "global_batch": 512,
+              "dataset_patches": 800_000, "epochs_target": 2}
+
+    def predict():
+        return forecaster.predict(config, "total_energy_kwh", log_target=True)
+
+    forecast = benchmark(predict)
+    actual = simulate_training(job_from_zoo("mae", "600M", 16, epochs=2))
+    error = abs(forecast.predicted - actual.energy_kwh) / actual.energy_kwh
+    with capsys.disabled():
+        print(f"\n[section3.3] energy forecast {forecast.predicted:.3f} vs "
+              f"actual {actual.energy_kwh:.3f} kWh ({error:.1%} error)")
+    assert error < 0.20
+
+
+def test_leave_one_out_accuracy(benchmark, knowledge_base, capsys):
+    """Global accuracy gauge over the KB."""
+    forecaster = ProvenanceForecaster(knowledge_base)
+    error = benchmark.pedantic(forecaster.leave_one_out_error,
+                               rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\n[section3.3] leave-one-out mean relative error: {error:.1%}")
+    assert error < 0.15

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+Every module here regenerates one table or figure of the paper (or an
+ablation of a design choice).  Benchmarks both *time* the core operation
+(pytest-benchmark) and *assert the qualitative shape* the paper reports —
+who wins, by roughly what factor, where the crossovers/empty cells fall.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator.models import model_zoo
+
+
+@pytest.fixture(scope="session")
+def zoo():
+    return model_zoo()
+
+
+@pytest.fixture(scope="session")
+def instrumented_run_factory(tmp_path_factory):
+    """Build a finished instrumented run with a configurable sample count."""
+    from repro.simulator import SimClock
+    from repro.simulator.training import job_from_zoo, simulate_training
+
+    def factory(n_log_steps: int = 2000, arch: str = "mae", size: str = "100M"):
+        tmp = tmp_path_factory.mktemp("run")
+        # log_every_steps=1 and epochs tuned so the loss series has roughly
+        # n_log_steps samples
+        job = job_from_zoo(
+            arch, size, 64, epochs=max(1, round(n_log_steps * 2048 / 800_000)),
+            log_every_steps=1,
+        )
+        result = simulate_training(job, clock=SimClock(), provenance_dir=tmp)
+        return result
+
+    return factory

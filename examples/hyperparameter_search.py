@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""§3.4 — hyperparameter tuning from the provenance knowledge base.
+
+Runs a grid of instrumented simulated training jobs varying batch size and
+MFU (standing in for throughput-affecting knobs), builds the knowledge base
+by re-reading the PROV-JSON files, and then:
+
+* ranks hyperparameters by their effect on the trade-off metric,
+* groups outcomes per value,
+* asks the analyzer to *suggest* a configuration for a new experiment, and
+* forecasts the loss of an untried configuration (§3.3's ML-based
+  estimate) with a single inference step — no extra training run.
+
+Run:  python examples/hyperparameter_search.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import replace
+
+from repro.analysis import HyperparamAnalyzer, ProvenanceForecaster
+from repro.core.registry import ExperimentRegistry
+from repro.simulator import SimClock
+from repro.simulator.training import job_from_zoo, simulate_training
+
+OUT = pathlib.Path("prov_hpsearch")
+
+
+def main() -> None:
+    clock = SimClock()
+    print("running the search grid (12 instrumented simulated runs)...")
+    for size in ("100M", "200M"):
+        for batch in (16, 32, 64):
+            for n_gpus in (8, 16):
+                job = job_from_zoo(size=size, architecture="mae",
+                                   n_gpus=n_gpus, epochs=2,
+                                   batch_per_gpu=batch)
+                result = simulate_training(job, clock=clock, provenance_dir=OUT)
+                print(f"  {size} batch={batch:<3} gpus={n_gpus:<3} "
+                      f"loss={result.final_loss:.3f} "
+                      f"tradeoff={result.tradeoff:.3f}")
+
+    registry = ExperimentRegistry(OUT)
+    print(f"\nknowledge base: {len(registry)} runs, "
+          f"experiments: {registry.experiments()}")
+
+    analyzer = HyperparamAnalyzer(registry)
+
+    print("\nknob ranking (Spearman correlation with tradeoff_loss_x_kwh):")
+    for effect in analyzer.effects(metric="tradeoff_loss_x_kwh")[:5]:
+        print(f"  {effect.param:<18} rho={effect.spearman_rho:+.2f} "
+              f"(p={effect.p_value:.3f}) -> {effect.direction} the metric")
+
+    print("\ntrade-off grouped by GPU count:")
+    for value, stats in analyzer.group_by("n_gpus",
+                                          metric="tradeoff_loss_x_kwh").items():
+        print(f"  n_gpus={value}: mean={stats['mean']:.3f} over {stats['count']} runs")
+
+    best = analyzer.best_values(metric="tradeoff_loss_x_kwh", top_k=3)
+    print(f"\nbest observed configuration: "
+          f"size={best.get('model_size')} batch={best.get('batch_per_gpu')} "
+          f"gpus={best.get('n_gpus')}")
+
+    suggestion = analyzer.suggest({"model_size": "200M"},
+                                  metric="tradeoff_loss_x_kwh")
+    print(f"suggested config for a 200M experiment: "
+          f"batch={suggestion.get('batch_per_gpu')} gpus={suggestion.get('n_gpus')}")
+
+    # §3.3: forecast an untried configuration
+    forecaster = ProvenanceForecaster(registry)
+    untried = {"param_count": 6e8, "n_gpus": 16, "global_batch": 512,
+               "dataset_patches": 800_000, "epochs_target": 2}
+    forecast = forecaster.predict(untried, target="final_loss")
+    print(f"\nforecast for an untried 600M/16-GPU run: "
+          f"loss ~= {forecast.predicted:.3f} "
+          f"({forecast.method}, {forecast.n_history} historical runs)")
+    actual = simulate_training(
+        job_from_zoo("mae", "600M", 16, epochs=2), clock=clock
+    ).final_loss
+    print(f"actual simulated loss: {actual:.3f} "
+          f"(forecast error {abs(forecast.predicted - actual) / actual:.1%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""repro — reproduction of "Provenance Tracking in Large-Scale ML Systems".
+
+The package reimplements the yProv4ML library and its surrounding yProv
+ecosystem (ICPP 2025).  The most common entry point is the MLflow-style
+session API re-exported here::
+
+    import repro as prov4ml
+
+    prov4ml.start_run(experiment_name="demo", provenance_save_dir="prov")
+    prov4ml.log_param("lr", 1e-3)
+    prov4ml.log_metric("loss", 0.42, context=prov4ml.Context.TRAINING)
+    prov4ml.end_run(create_graph=True)
+
+Subpackages:
+
+* :mod:`repro.prov` — W3C PROV data model + PROV-JSON/PROV-N.
+* :mod:`repro.core` — experiment/run tracking (the paper's contribution).
+* :mod:`repro.storage` — metric offloading backends (Table 1).
+* :mod:`repro.crate` — RO-Crate packaging (Table 2).
+* :mod:`repro.yprov` — provenance service, graph DB, handles, Explorer, CLI.
+* :mod:`repro.workflow` — minimal WFMS + workflow-level provenance.
+* :mod:`repro.simulator` — distributed-training simulator (use case, Fig. 3).
+* :mod:`repro.analysis` — scaling estimation, forecasting, trade-offs.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.context import Context
+from repro.core.experiment import Experiment, RunExecution, RunStatus
+from repro.core.session import (
+    abort_run,
+    active_run,
+    capture_output,
+    end_epoch,
+    end_run,
+    has_active_run,
+    log_artifact,
+    log_execution_command,
+    log_input,
+    log_metric,
+    log_metric_array,
+    log_metrics,
+    log_model,
+    log_output,
+    log_param,
+    log_params,
+    log_system_metrics,
+    register_collector,
+    start_epoch,
+    start_run,
+)
+
+__all__ = [
+    "__version__",
+    "Context",
+    "Experiment",
+    "RunExecution",
+    "RunStatus",
+    "start_run",
+    "end_run",
+    "abort_run",
+    "active_run",
+    "has_active_run",
+    "log_param",
+    "log_params",
+    "log_metric",
+    "log_metrics",
+    "log_metric_array",
+    "log_artifact",
+    "log_input",
+    "log_output",
+    "log_model",
+    "start_epoch",
+    "end_epoch",
+    "log_execution_command",
+    "capture_output",
+    "log_system_metrics",
+    "register_collector",
+]

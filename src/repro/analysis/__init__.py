@@ -1,0 +1,40 @@
+"""Analysis layer: the four application scenarios of paper §3.
+
+* :mod:`repro.analysis.devtrack` — §3.1 development tracking: script
+  snapshots, diffs, command logs, the "development graph";
+* :mod:`repro.analysis.tradeoff` — §3.2 + Figure 3: energy × performance
+  trade-off grids and the online early-stopping advisor;
+* :mod:`repro.analysis.scaling` — §3.3 analytical scaling-study estimation
+  without training (scaling laws + the DDP cost model);
+* :mod:`repro.analysis.forecasting` — §3.3 history-based forecasting from
+  the provenance knowledge base (single-inference-step prediction);
+* :mod:`repro.analysis.hyperparams` — §3.4 hyperparameter analysis across
+  grouped runs.
+"""
+
+from repro.analysis.tradeoff import TradeoffGrid, EarlyStopAdvisor, tradeoff_score
+from repro.analysis.scaling import ScalingEstimator, ScalingEstimate
+from repro.analysis.forecasting import ProvenanceForecaster, Forecast
+from repro.analysis.hyperparams import HyperparamAnalyzer, ParamEffect
+from repro.analysis.devtrack import DevelopmentTracker, Snapshot
+from repro.analysis.online import OnlineAdvisor, apply_early_stop
+from repro.analysis.variance import MetricSpread, SeedSweep, seed_sweep
+
+__all__ = [
+    "OnlineAdvisor",
+    "apply_early_stop",
+    "MetricSpread",
+    "SeedSweep",
+    "seed_sweep",
+    "TradeoffGrid",
+    "EarlyStopAdvisor",
+    "tradeoff_score",
+    "ScalingEstimator",
+    "ScalingEstimate",
+    "ProvenanceForecaster",
+    "Forecast",
+    "HyperparamAnalyzer",
+    "ParamEffect",
+    "DevelopmentTracker",
+    "Snapshot",
+]

@@ -1,0 +1,234 @@
+"""Development tracking (§3.1): script snapshots, diffs, command logs.
+
+The paper proposes tracking "git differences ... enabling a one-to-one
+memorization of each modification, along with the results obtained for the
+specific version of the script", so developers can "roll back to a specific
+moment in time and understand what caused the change".  No git binary is
+assumed: the tracker content-hashes script snapshots into a parent-linked
+chain (exactly the git object model in miniature), produces unified diffs
+between any two versions, pairs snapshots with run results, and emits a
+"development graph" as a W3C PROV document (snapshots as entities linked by
+``wasDerivedFrom``, runs as activities that ``used`` their snapshot).
+"""
+
+from __future__ import annotations
+
+import difflib
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import AnalysisError
+from repro.prov.document import ProvDocument
+from repro.prov.identifiers import Namespace
+
+DEVTRACK_NS = Namespace("dev", "https://github.com/HPCI-Lab/yProvML/devtrack#")
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One recorded version of a tracked script."""
+
+    id: str            # content hash (12 hex chars)
+    parent: Optional[str]
+    note: str
+    content: str
+    index: int
+
+    @property
+    def short(self) -> str:
+        return self.id[:7]
+
+
+@dataclass
+class RunLink:
+    """Pairing of a snapshot with the outcome of running it."""
+
+    snapshot_id: str
+    run_id: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+
+class DevelopmentTracker:
+    """Snapshot chain + command log for one script/project."""
+
+    def __init__(self, name: str = "script") -> None:
+        self.name = name
+        self._snapshots: Dict[str, Snapshot] = {}
+        self._order: List[str] = []
+        self._links: List[RunLink] = []
+        self.commands: List[Tuple[str, str]] = []  # (command, output)
+
+    # -- snapshots -----------------------------------------------------------
+    @staticmethod
+    def _hash(content: str, parent: Optional[str]) -> str:
+        digest = hashlib.sha256()
+        digest.update((parent or "").encode())
+        digest.update(content.encode())
+        return digest.hexdigest()[:12]
+
+    def snapshot(self, content: str, note: str = "") -> Snapshot:
+        """Record a new version; identical consecutive content is a no-op."""
+        parent = self._order[-1] if self._order else None
+        if parent is not None and self._snapshots[parent].content == content:
+            return self._snapshots[parent]
+        snap_id = self._hash(content, parent)
+        if snap_id in self._snapshots:
+            # same content + same parent: already recorded
+            return self._snapshots[snap_id]
+        snap = Snapshot(
+            id=snap_id, parent=parent, note=note,
+            content=content, index=len(self._order),
+        )
+        self._snapshots[snap_id] = snap
+        self._order.append(snap_id)
+        return snap
+
+    def snapshot_file(self, path: Union[str, Path], note: str = "") -> Snapshot:
+        return self.snapshot(Path(path).read_text(encoding="utf-8"), note=note)
+
+    def get(self, snapshot_id: str) -> Snapshot:
+        """Look up a snapshot by id or unique prefix."""
+        snap = self._snapshots.get(snapshot_id)
+        if snap is None:
+            # allow short prefixes
+            matches = [s for sid, s in self._snapshots.items() if sid.startswith(snapshot_id)]
+            if len(matches) == 1:
+                return matches[0]
+            raise AnalysisError(f"unknown snapshot: {snapshot_id!r}")
+        return snap
+
+    @property
+    def history(self) -> List[Snapshot]:
+        return [self._snapshots[sid] for sid in self._order]
+
+    @property
+    def head(self) -> Optional[Snapshot]:
+        return self._snapshots[self._order[-1]] if self._order else None
+
+    def rollback(self, snapshot_id: str) -> str:
+        """Content of an earlier version ("roll back to a specific moment")."""
+        return self.get(snapshot_id).content
+
+    def diff(self, old_id: str, new_id: str) -> str:
+        """Unified diff between two snapshots."""
+        old = self.get(old_id)
+        new = self.get(new_id)
+        lines = difflib.unified_diff(
+            old.content.splitlines(keepends=True),
+            new.content.splitlines(keepends=True),
+            fromfile=f"{self.name}@{old.short}",
+            tofile=f"{self.name}@{new.short}",
+        )
+        return "".join(lines)
+
+    # -- pairing with results (§3.1: version <-> outcome) ----------------------
+    def link_run(self, snapshot_id: str, run_id: str,
+                 metrics: Optional[Dict[str, float]] = None) -> RunLink:
+        snap = self.get(snapshot_id)
+        link = RunLink(snapshot_id=snap.id, run_id=run_id, metrics=dict(metrics or {}))
+        self._links.append(link)
+        return link
+
+    def runs_of(self, snapshot_id: str) -> List[RunLink]:
+        snap = self.get(snapshot_id)
+        return [l for l in self._links if l.snapshot_id == snap.id]
+
+    def best_snapshot(self, metric: str, lower_is_better: bool = True) -> Snapshot:
+        """"Investigate which version of the project worked better"."""
+        scored: List[Tuple[float, str]] = [
+            (link.metrics[metric], link.snapshot_id)
+            for link in self._links
+            if metric in link.metrics
+        ]
+        if not scored:
+            raise AnalysisError(f"no linked runs with metric {metric!r}")
+        scored.sort(reverse=not lower_is_better)
+        return self.get(scored[0][1])
+
+    # -- command log -----------------------------------------------------------
+    def record_command(self, command: str, output: str = "") -> None:
+        """Append to "the full list of executed console commands, along with
+        the textual output of each one"."""
+        self.commands.append((command, output))
+
+    # -- development graph -------------------------------------------------------
+    def development_graph(self) -> ProvDocument:
+        """Persist snapshots, run links and the command log as JSON."""
+        """The §3.1 "development graph" as a PROV document."""
+        doc = ProvDocument()
+        doc.add_namespace(DEVTRACK_NS)
+        agent = doc.agent(DEVTRACK_NS("developer"), {"prov:label": "developer"})
+        for snap in self.history:
+            ent = DEVTRACK_NS(f"snapshot/{snap.id}")
+            doc.entity(
+                ent,
+                {
+                    "prov:type": DEVTRACK_NS("ScriptVersion"),
+                    "prov:label": f"{self.name}@{snap.short}",
+                    "dev:note": snap.note or "(none)",
+                    "dev:index": snap.index,
+                    "dev:lines": snap.content.count("\n") + 1,
+                },
+            )
+            doc.was_attributed_to(ent, agent.identifier)
+            if snap.parent is not None:
+                doc.was_derived_from(ent, DEVTRACK_NS(f"snapshot/{snap.parent}"))
+        for i, link in enumerate(self._links):
+            act = DEVTRACK_NS(f"run/{link.run_id}")
+            doc.activity(act, attributes={
+                "prov:type": DEVTRACK_NS("TrackedRun"),
+                "prov:label": link.run_id,
+            })
+            doc.used(act, DEVTRACK_NS(f"snapshot/{link.snapshot_id}"))
+            for metric, value in sorted(link.metrics.items()):
+                ent = DEVTRACK_NS(f"result/{link.run_id}/{metric}")
+                doc.entity(ent, {
+                    "prov:type": DEVTRACK_NS("Result"),
+                    "prov:label": metric,
+                    "dev:value": float(value),
+                })
+                doc.was_generated_by(ent, act)
+        for i, (command, output) in enumerate(self.commands):
+            ent = DEVTRACK_NS(f"command/{i}")
+            doc.entity(ent, {
+                "prov:type": DEVTRACK_NS("ConsoleCommand"),
+                "prov:label": command,
+                "dev:output_chars": len(output),
+            })
+            doc.was_attributed_to(ent, agent.identifier)
+        return doc
+
+    # -- persistence ------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Rebuild a tracker persisted with :meth:`save`."""
+        doc = {
+            "name": self.name,
+            "snapshots": [
+                {"id": s.id, "parent": s.parent, "note": s.note,
+                 "content": s.content, "index": s.index}
+                for s in self.history
+            ],
+            "links": [
+                {"snapshot_id": l.snapshot_id, "run_id": l.run_id, "metrics": l.metrics}
+                for l in self._links
+            ],
+            "commands": self.commands,
+        }
+        Path(path).write_text(json.dumps(doc, indent=1), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "DevelopmentTracker":
+        """Rebuild a tracker persisted with :meth:`save`."""
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        tracker = cls(doc["name"])
+        for spec in doc["snapshots"]:
+            snap = Snapshot(**spec)
+            tracker._snapshots[snap.id] = snap
+            tracker._order.append(snap.id)
+        for spec in doc["links"]:
+            tracker._links.append(RunLink(**spec))
+        tracker.commands = [tuple(c) for c in doc["commands"]]
+        return tracker

@@ -1,0 +1,206 @@
+"""History-based forecasting from the provenance knowledge base (§3.3, #2).
+
+"Another approach ... would revolve around the use of historical data from
+previous, but similar, experiments.  A ML-based forecasting approach could
+give ... a more precise estimate ... with a single inference step."
+
+:class:`ProvenanceForecaster` fits a small model on the runs recorded in an
+:class:`~repro.core.registry.ExperimentRegistry` (i.e. recovered straight
+out of PROV-JSON files) and predicts target metrics for unseen
+configurations.  Features are log-scaled numeric parameters; the predictor
+is ridge-regularized least squares with a k-nearest-neighbour fallback when
+the design matrix is degenerate.  Deliberately simple — the paper's point
+is the *pipeline* (provenance → searchable KB → one-inference-step
+estimate), not a SOTA regressor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.provgen import RunSummary
+from repro.core.registry import ExperimentRegistry
+from repro.errors import AnalysisError, InsufficientHistoryError
+
+#: Parameters treated as numeric features when present (log1p-scaled).
+DEFAULT_FEATURES = (
+    "param_count",
+    "n_gpus",
+    "global_batch",
+    "dataset_patches",
+    "epochs_target",
+)
+
+
+@dataclass(frozen=True)
+class Forecast:
+    """Prediction for one configuration."""
+
+    target: str
+    predicted: float
+    n_history: int
+    method: str  # "ridge" or "knn"
+
+
+class ProvenanceForecaster:
+    """Fit on a run registry, predict metrics for new configurations."""
+
+    def __init__(
+        self,
+        registry: ExperimentRegistry,
+        features: Sequence[str] = DEFAULT_FEATURES,
+        min_history: int = 3,
+        ridge_lambda: float = 1e-3,
+    ) -> None:
+        self.registry = registry
+        self.features = tuple(features)
+        self.min_history = min_history
+        self.ridge_lambda = ridge_lambda
+
+    # -- feature extraction ---------------------------------------------------
+    def _feature_vector(self, params: Mapping[str, object]) -> Optional[np.ndarray]:
+        values = []
+        for name in self.features:
+            raw = params.get(name)
+            if raw is None:
+                return None
+            try:
+                values.append(np.log1p(float(raw)))
+            except (TypeError, ValueError):
+                return None
+        return np.asarray(values, dtype=np.float64)
+
+    def _training_set(
+        self,
+        target: str,
+        context: str,
+        experiment: Optional[str],
+        where: Optional[Mapping[str, object]],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        xs: List[np.ndarray] = []
+        ys: List[float] = []
+        for summary in self.registry.find(experiment=experiment, where=where):
+            y = summary.final_metric(target, context)
+            if y is None:
+                continue
+            x = self._feature_vector(summary.params)
+            if x is None:
+                continue
+            xs.append(x)
+            ys.append(float(y))
+        if len(xs) < self.min_history:
+            raise InsufficientHistoryError(
+                f"only {len(xs)} usable runs for target {target!r} "
+                f"(need >= {self.min_history})"
+            )
+        return np.stack(xs), np.asarray(ys)
+
+    # -- prediction --------------------------------------------------------------
+    def predict(
+        self,
+        params: Mapping[str, object],
+        target: str = "final_loss",
+        context: str = "TESTING",
+        experiment: Optional[str] = None,
+        where: Optional[Mapping[str, object]] = None,
+        log_target: bool = False,
+    ) -> Forecast:
+        """One-inference-step estimate of *target* for a configuration.
+
+        ``log_target=True`` fits the regression on ``log(y)`` and returns
+        the exponentiated prediction — the right space for strictly
+        positive, multiplicative quantities like energy or walltime.
+        """
+        x_new = self._feature_vector(params)
+        if x_new is None:
+            missing = [f for f in self.features if f not in params]
+            raise AnalysisError(f"configuration lacks numeric features: {missing}")
+        X, y = self._training_set(target, context, experiment, where)
+        if log_target:
+            if np.any(y <= 0):
+                raise AnalysisError("log_target requires strictly positive history")
+            y = np.log(y)
+
+        # standardize features (constant columns get unit scale)
+        mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        std = np.where(std > 1e-12, std, 1.0)
+        Xs = (X - mean) / std
+        xs_new = (x_new - mean) / std
+
+        # ridge regression with intercept
+        design = np.hstack([Xs, np.ones((Xs.shape[0], 1))])
+        k = design.shape[1]
+        gram = design.T @ design + self.ridge_lambda * np.eye(k)
+        try:
+            weights = np.linalg.solve(gram, design.T @ y)
+            predicted = float(np.append(xs_new, 1.0) @ weights)
+            method = "ridge"
+        except np.linalg.LinAlgError:
+            predicted, method = self._knn(Xs, y, xs_new), "knn"
+
+        # ridge can extrapolate wildly from tiny histories; clamp to a sane
+        # envelope around observed values and fall back to kNN when insane
+        lo, hi = y.min(), y.max()
+        span = max(hi - lo, abs(hi) * 0.5, 1e-12)
+        if not (lo - 2 * span <= predicted <= hi + 2 * span):
+            predicted, method = self._knn(Xs, y, xs_new), "knn"
+
+        if log_target:
+            predicted = float(np.exp(predicted))
+        return Forecast(target=target, predicted=predicted,
+                        n_history=y.shape[0], method=method)
+
+    def _knn(self, Xs: np.ndarray, y: np.ndarray, x: np.ndarray, k: int = 3) -> float:
+        d = np.linalg.norm(Xs - x, axis=1)
+        idx = np.argsort(d)[: min(k, d.shape[0])]
+        weights = 1.0 / (d[idx] + 1e-9)
+        return float(np.average(y[idx], weights=weights))
+
+    # -- evaluation ----------------------------------------------------------------
+    def leave_one_out_error(
+        self,
+        target: str = "final_loss",
+        context: str = "TESTING",
+        experiment: Optional[str] = None,
+    ) -> float:
+        """Mean relative LOO prediction error over the KB (quality gauge)."""
+        X, y = self._training_set(target, context, experiment, None)
+        n = y.shape[0]
+        if n < self.min_history + 1:
+            raise InsufficientHistoryError("too few runs for leave-one-out")
+        errors = []
+        for i in range(n):
+            mask = np.arange(n) != i
+            sub = _ArrayRegistry(X[mask], y[mask], self.features, target, context)
+            forecaster = ProvenanceForecaster(
+                sub, features=self.features,
+                min_history=self.min_history, ridge_lambda=self.ridge_lambda,
+            )
+            params = {f: float(np.expm1(v)) for f, v in zip(self.features, X[i])}
+            pred = forecaster.predict(params, target=target, context=context).predicted
+            denom = abs(y[i]) if abs(y[i]) > 1e-12 else 1.0
+            errors.append(abs(pred - y[i]) / denom)
+        return float(np.mean(errors))
+
+
+class _ArrayRegistry:
+    """Minimal registry view over pre-extracted arrays (internal, for LOO)."""
+
+    def __init__(self, X: np.ndarray, y: np.ndarray, features: Sequence[str],
+                 target: str, context: str) -> None:
+        self._summaries: List[RunSummary] = []
+        for i in range(y.shape[0]):
+            params = {f: float(np.expm1(v)) for f, v in zip(features, X[i])}
+            summary = RunSummary(
+                experiment="loo", run_id=f"loo_{i}", status="finished",
+                duration_s=None, params=params,
+                metrics={f"{target}@{context}": {"last": float(y[i])}},
+            )
+            self._summaries.append(summary)
+
+    def find(self, experiment=None, where=None, predicate=None, status=None):
+        return list(self._summaries)

@@ -1,0 +1,192 @@
+"""Hyperparameter analysis across grouped runs (§3.4).
+
+"A better approach could revolve around the grouping of the results of a
+high number of experiments.  This way, users will be able to identify
+targets that are similar to their own and deduce the optimal hyperparameter
+values for their particular application."
+
+:class:`HyperparamAnalyzer` works over the provenance knowledge base:
+
+* :meth:`effects` — rank numeric hyperparameters by Spearman correlation
+  with a target metric (which knobs matter);
+* :meth:`best_values` — for each hyperparameter, the value carried by the
+  best runs;
+* :meth:`suggest` — given a partial configuration, propose values for the
+  remaining knobs from the most similar historical runs;
+* :meth:`group_by` — aggregate a metric per hyperparameter value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+from repro.core.provgen import RunSummary
+from repro.core.registry import ExperimentRegistry
+from repro.errors import AnalysisError, InsufficientHistoryError
+
+
+@dataclass(frozen=True)
+class ParamEffect:
+    """Correlation of one hyperparameter with the target metric."""
+
+    param: str
+    spearman_rho: float
+    p_value: float
+    n_runs: int
+
+    @property
+    def direction(self) -> str:
+        """Whether increasing the parameter increases or decreases the target."""
+        if abs(self.spearman_rho) < 0.1:
+            return "negligible"
+        return "increases" if self.spearman_rho > 0 else "decreases"
+
+
+class HyperparamAnalyzer:
+    """Hyperparameter queries over a run registry."""
+
+    def __init__(self, registry: ExperimentRegistry, min_runs: int = 3) -> None:
+        self.registry = registry
+        self.min_runs = min_runs
+
+    def _collect(
+        self,
+        metric: str,
+        context: str,
+        experiment: Optional[str],
+        where: Optional[Mapping[str, Any]],
+    ) -> List[Tuple[RunSummary, float]]:
+        rows = []
+        for summary in self.registry.find(experiment=experiment, where=where):
+            value = summary.final_metric(metric, context)
+            if value is not None:
+                rows.append((summary, float(value)))
+        if len(rows) < self.min_runs:
+            raise InsufficientHistoryError(
+                f"only {len(rows)} runs with metric {metric!r} (need >= {self.min_runs})"
+            )
+        return rows
+
+    @staticmethod
+    def _numeric(value: Any) -> Optional[float]:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        return None
+
+    # ------------------------------------------------------------------
+    def effects(
+        self,
+        metric: str = "final_loss",
+        context: str = "TESTING",
+        experiment: Optional[str] = None,
+        where: Optional[Mapping[str, Any]] = None,
+    ) -> List[ParamEffect]:
+        """Spearman correlation of every numeric param with the metric,
+        sorted by absolute correlation (strongest knob first)."""
+        rows = self._collect(metric, context, experiment, where)
+        param_names = sorted({name for s, _ in rows for name in s.params})
+        effects: List[ParamEffect] = []
+        for name in param_names:
+            xs, ys = [], []
+            for summary, y in rows:
+                x = self._numeric(summary.params.get(name))
+                if x is not None:
+                    xs.append(x)
+                    ys.append(y)
+            if len(xs) < self.min_runs or len(set(xs)) < 2:
+                continue
+            rho, p = stats.spearmanr(xs, ys)
+            if np.isnan(rho):
+                continue
+            effects.append(ParamEffect(name, float(rho), float(p), len(xs)))
+        effects.sort(key=lambda e: abs(e.spearman_rho), reverse=True)
+        return effects
+
+    def group_by(
+        self,
+        param: str,
+        metric: str = "final_loss",
+        context: str = "TESTING",
+        experiment: Optional[str] = None,
+    ) -> Dict[Any, Dict[str, float]]:
+        """Aggregate the metric per distinct value of *param*."""
+        rows = self._collect(metric, context, experiment, None)
+        buckets: Dict[Any, List[float]] = {}
+        for summary, y in rows:
+            if param in summary.params:
+                key = summary.params[param]
+                key = tuple(key) if isinstance(key, list) else key
+                buckets.setdefault(key, []).append(y)
+        return {
+            key: {
+                "count": len(vals),
+                "mean": float(np.mean(vals)),
+                "min": float(np.min(vals)),
+                "max": float(np.max(vals)),
+            }
+            for key, vals in sorted(buckets.items(), key=lambda kv: str(kv[0]))
+        }
+
+    def best_values(
+        self,
+        metric: str = "final_loss",
+        context: str = "TESTING",
+        experiment: Optional[str] = None,
+        lower_is_better: bool = True,
+        top_k: int = 3,
+    ) -> Dict[str, Any]:
+        """Modal parameter values among the *top_k* best runs."""
+        rows = self._collect(metric, context, experiment, None)
+        rows.sort(key=lambda pair: pair[1], reverse=not lower_is_better)
+        top = rows[: min(top_k, len(rows))]
+        out: Dict[str, Any] = {}
+        names = sorted({name for s, _ in top for name in s.params})
+        for name in names:
+            values = [s.params[name] for s, _ in top if name in s.params]
+            hashable = [tuple(v) if isinstance(v, list) else v for v in values]
+            # mode, ties broken by value of the best run
+            counts: Dict[Any, int] = {}
+            for v in hashable:
+                counts[v] = counts.get(v, 0) + 1
+            best_value = max(hashable, key=lambda v: (counts[v], v == hashable[0]))
+            out[name] = list(best_value) if isinstance(best_value, tuple) else best_value
+        return out
+
+    def suggest(
+        self,
+        partial_config: Mapping[str, Any],
+        metric: str = "final_loss",
+        context: str = "TESTING",
+        experiment: Optional[str] = None,
+        lower_is_better: bool = True,
+        k_similar: int = 5,
+    ) -> Dict[str, Any]:
+        """Fill unspecified hyperparameters from the most similar good runs.
+
+        Similarity = number of matching fixed parameters; among the most
+        similar runs, the best-by-metric run donates its remaining values.
+        """
+        rows = self._collect(metric, context, experiment, None)
+
+        def similarity(summary: RunSummary) -> int:
+            return sum(
+                1 for key, value in partial_config.items()
+                if summary.params.get(key) == value
+            )
+
+        rows.sort(key=lambda pair: (-similarity(pair[0]),
+                                    pair[1] if lower_is_better else -pair[1]))
+        pool = rows[: min(k_similar, len(rows))]
+        if not pool:
+            raise InsufficientHistoryError("no similar runs found")
+        donor = pool[0][0]
+        suggestion = dict(partial_config)
+        for name, value in donor.params.items():
+            suggestion.setdefault(name, value)
+        return suggestion

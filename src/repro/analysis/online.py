@@ -1,0 +1,130 @@
+"""Online advisory tracking (§3.2).
+
+"An online provenance tracking process could give real-time guidelines in
+how to proceed during the training process, understanding when to stop.
+This would result in a more optimized use of compute hours, as the process
+could be stopped when a specific threshold of energy, compute, or
+performance is achieved, removing unnecessary iterations."
+
+Two layers:
+
+* :class:`OnlineAdvisor` — attaches an
+  :class:`~repro.analysis.tradeoff.EarlyStopAdvisor` to a *live*
+  :class:`~repro.core.experiment.RunExecution`: each :meth:`check` reads
+  the run's own metric buffers (loss + cumulative energy) and returns the
+  advised stop step, if any;
+* :func:`apply_early_stop` — the simulator integration: truncates a
+  :class:`~repro.simulator.training.TrainingResult` at the advised step,
+  recomputing walltime, energy and final loss, so benches can quantify the
+  compute-hours the advisor saves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.analysis.tradeoff import EarlyStopAdvisor
+from repro.core.context import Context
+from repro.core.experiment import RunExecution
+from repro.errors import AnalysisError
+
+
+class OnlineAdvisor:
+    """Live stop-signal over a running tracked run."""
+
+    def __init__(
+        self,
+        advisor: Optional[EarlyStopAdvisor] = None,
+        loss_metric: str = "loss",
+        energy_metric: str = "energy_joules",
+        context: Union[Context, str] = Context.TRAINING,
+    ) -> None:
+        self.advisor = advisor or EarlyStopAdvisor()
+        self.loss_metric = loss_metric
+        self.energy_metric = energy_metric
+        self.context = Context.of(context)
+        self._decision: Optional[int] = None
+
+    def check(self, run: RunExecution) -> Optional[int]:
+        """Advised stop step given the run's trajectories so far (sticky:
+        once a stop is advised it is remembered)."""
+        if self._decision is not None:
+            return self._decision
+        try:
+            loss = run.get_metric(self.loss_metric, self.context)
+            energy = run.get_metric(self.energy_metric, self.context)
+        except Exception:
+            return None  # metrics not logged yet
+        n = min(len(loss), len(energy))
+        if n == 0:
+            return None
+        decision = self.advisor.decide(
+            loss.steps[:n],
+            loss.values[:n],
+            energy.values[:n] / 3.6e6,  # joules -> kWh
+        )
+        if decision is not None:
+            self._decision = decision
+        return decision
+
+    def should_stop(self, run: RunExecution) -> bool:
+        return self.check(run) is not None
+
+    @property
+    def decision(self) -> Optional[int]:
+        return self._decision
+
+
+def apply_early_stop(result, advisor: Optional[EarlyStopAdvisor] = None):
+    """Truncate a :class:`TrainingResult` at the advisor's stop step.
+
+    Returns a new result (the original is untouched) with steps, walltime,
+    energy and the loss trajectory cut at the advised step; when the
+    advisor never fires, the original result is returned unchanged.
+    """
+    from repro.simulator.lossmodel import ScalingLawLoss
+    from repro.simulator.power import EnergyAccount, PowerModel
+
+    advisor = advisor or EarlyStopAdvisor()
+    timing = result.step_timing
+    job = result.job
+    power = PowerModel(job.resolve_cluster().allocate(job.n_gpus))
+    step_energy_j = (
+        timing.compute_s * power.compute_power_w
+        + timing.exposed_comm_s * power.comm_power_w
+    )
+    energy_kwh = result.loss_steps.astype(np.float64) * step_energy_j / 3.6e6
+    stop = advisor.decide(result.loss_steps, result.loss_values, energy_kwh)
+    if stop is None or stop >= result.steps_done:
+        return result
+
+    keep = result.loss_steps <= stop
+    steps_done = int(stop)
+    loss_model = ScalingLawLoss(
+        architecture=job.model.architecture,
+        param_count=job.model.param_count,
+        unique_tokens=job.dataset.n_patches * job.model.tokens_per_sample,
+        seed=job.seed,
+    )
+    tokens_per_step = job.batch_per_gpu * job.n_gpus * job.model.tokens_per_sample
+    energy = EnergyAccount()
+    energy.add("compute", power.compute_power_w, steps_done * timing.compute_s)
+    energy.add("communication", power.comm_power_w,
+               steps_done * timing.exposed_comm_s)
+    steps_per_epoch = max(1, result.steps_target // job.epochs)
+    return replace(
+        result,
+        completed=False,
+        steps_done=steps_done,
+        epochs_done=steps_done // steps_per_epoch,
+        wall_time_s=steps_done * timing.step_s,
+        final_loss=loss_model.final_loss(steps_done, tokens_per_step),
+        energy=energy,
+        loss_steps=result.loss_steps[keep],
+        loss_values=result.loss_values[keep],
+        run_id=None,      # the truncated result is a hypothetical, not the
+        prov_path=None,   # tracked run it was derived from
+    )

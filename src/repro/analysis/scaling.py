@@ -1,0 +1,143 @@
+"""Analytical scaling-study estimation without training (§3.3, approach 1).
+
+"The former utilizes an analytical approach to determine an estimate of the
+performance when scaling one of the three aforementioned factors
+[parameters, dataset size, compute devices]."  The estimator combines the
+scaling-law loss model with the DDP cost model, so a user can ask "what if
+I doubled the parameters / the data / the GPUs?" and receive predicted
+loss, walltime and energy with a single function call — no training run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.simulator.cluster import ClusterSpec, frontier
+from repro.simulator.data import SyntheticMODIS
+from repro.simulator.ddp import DDPEngine
+from repro.simulator.lossmodel import ScalingLawLoss
+from repro.simulator.models import MAEConfig, model_zoo
+from repro.simulator.power import PowerModel
+from repro.simulator.training import TrainingJob
+
+
+@dataclass(frozen=True)
+class ScalingEstimate:
+    """Predicted outcome of a hypothetical configuration."""
+
+    architecture: str
+    param_count: float
+    n_gpus: int
+    dataset_patches: int
+    epochs: int
+    predicted_loss: float
+    predicted_walltime_s: float
+    predicted_energy_kwh: float
+    fits_walltime: bool
+
+    @property
+    def predicted_tradeoff(self) -> float:
+        return self.predicted_loss * self.predicted_energy_kwh
+
+
+class ScalingEstimator:
+    """Predicts loss / walltime / energy for hypothetical configurations."""
+
+    def __init__(self, cluster: Optional[ClusterSpec] = None) -> None:
+        self.cluster = cluster if cluster is not None else frontier()
+
+    def estimate_job(self, job: TrainingJob) -> ScalingEstimate:
+        """Closed-form prediction of what :func:`simulate_training` would do.
+
+        (The two agree by construction — the value of the estimator is that
+        analyses built on it can sweep thousands of hypothetical
+        configurations cheaply, and that it can also be driven from a
+        RunSummary recovered out of provenance, not just from live jobs.)
+        """
+        allocation = self.cluster.allocate(job.n_gpus)
+        engine = DDPEngine(
+            model=job.model, allocation=allocation,
+            batch_per_gpu=job.batch_per_gpu, mfu=job.mfu,
+        )
+        timing = engine.step_timing()
+        steps_per_epoch = max(1, -(-job.dataset.n_patches // engine.global_batch))
+        steps_target = steps_per_epoch * job.epochs
+        walltime = steps_target * timing.step_s
+        fits = walltime <= job.walltime_s
+        steps_done = min(steps_target, int(job.walltime_s // timing.step_s))
+        steps_done = max(steps_done, 1)
+
+        loss_model = ScalingLawLoss(
+            architecture=job.model.architecture,
+            param_count=job.model.param_count,
+            unique_tokens=job.dataset.n_patches * job.model.tokens_per_sample,
+            seed=job.seed,
+        )
+        tokens_per_step = engine.global_batch * job.model.tokens_per_sample
+        loss = loss_model.final_loss(steps_done, tokens_per_step)
+
+        power = PowerModel(allocation)
+        energy_j = steps_done * (
+            timing.compute_s * power.compute_power_w
+            + timing.exposed_comm_s * power.comm_power_w
+        )
+        return ScalingEstimate(
+            architecture=job.model.architecture,
+            param_count=float(job.model.param_count),
+            n_gpus=job.n_gpus,
+            dataset_patches=job.dataset.n_patches,
+            epochs=job.epochs,
+            predicted_loss=loss,
+            predicted_walltime_s=min(walltime, steps_done * timing.step_s),
+            predicted_energy_kwh=energy_j / 3.6e6,
+            fits_walltime=fits,
+        )
+
+    # -- the three §3.3 scaling axes ---------------------------------------
+    def scale_parameters(self, base: TrainingJob, sizes: List[str]) -> List[ScalingEstimate]:
+        """Sweep model size (zoo labels) at fixed data and devices."""
+        zoo = model_zoo()
+        arch = base.model.architecture
+        if arch not in zoo:
+            raise AnalysisError(f"architecture {arch!r} not in the zoo")
+        out = []
+        for size in sizes:
+            if size not in zoo[arch]:
+                raise AnalysisError(f"size {size!r} not in the zoo")
+            out.append(self.estimate_job(replace(base, model=zoo[arch][size])))
+        return out
+
+    def scale_data(self, base: TrainingJob, fractions: List[float]) -> List[ScalingEstimate]:
+        """Sweep dataset fraction at fixed model and devices."""
+        out = []
+        for fraction in fractions:
+            out.append(
+                self.estimate_job(replace(base, dataset=base.dataset.subset(fraction)))
+            )
+        return out
+
+    def scale_devices(self, base: TrainingJob, gpu_counts: List[int]) -> List[ScalingEstimate]:
+        """Sweep GPU count at fixed model and data."""
+        return [self.estimate_job(replace(base, n_gpus=n)) for n in gpu_counts]
+
+    def min_gpus_within_walltime(
+        self, base: TrainingJob, candidates: Optional[List[int]] = None
+    ) -> Optional[int]:
+        """Smallest GPU count whose full run fits the walltime (None = none)."""
+        candidates = candidates or [8, 16, 32, 64, 128, 256, 512]
+        for n in sorted(candidates):
+            estimate = self.estimate_job(replace(base, n_gpus=n))
+            if estimate.fits_walltime:
+                return n
+        return None
+
+    def compute_optimal_params(self, architecture: str, budget_flops: float) -> float:
+        """Chinchilla-style compute-optimal parameter count for a budget."""
+        probe = ScalingLawLoss(
+            architecture=architecture, param_count=1e8, unique_tokens=1e12
+        )
+        return probe.compute_optimal_size(budget_flops)

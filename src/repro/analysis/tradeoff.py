@@ -1,0 +1,204 @@
+"""Energy × performance trade-off analysis (§3.2, Figure 3).
+
+Figure 3 plots "the loss times the total energy consumption" over a grid of
+model sizes × GPU counts, with empty cells where the job exceeded the
+2-hour walltime.  :class:`TradeoffGrid` holds such a grid, renders it in
+the paper's layout, and answers the qualitative questions the paper draws
+from it (where is the best cell, how steep is an architecture's curve).
+
+:class:`EarlyStopAdvisor` implements the §3.2 idea that "an online
+provenance tracking process could give real-time guidelines ... when to
+stop": it watches a loss trajectory with a known energy cost per step and
+signals when the marginal improvement per kWh falls under a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def tradeoff_score(loss: float, energy_kwh: float) -> float:
+    """The Figure 3 metric: loss × total energy (kWh)."""
+    if loss < 0 or energy_kwh < 0:
+        raise AnalysisError("loss and energy must be non-negative")
+    return loss * energy_kwh
+
+
+@dataclass
+class TradeoffGrid:
+    """A (model size × GPU count) grid of trade-off scores.
+
+    ``None`` cells are walltime-exceeded jobs (the paper's empty cells).
+    """
+
+    architecture: str
+    sizes: List[str]
+    gpu_counts: List[int]
+    cells: Dict[Tuple[str, int], Optional[float]] = field(default_factory=dict)
+
+    def set(self, size: str, n_gpus: int, score: Optional[float]) -> None:
+        if size not in self.sizes or n_gpus not in self.gpu_counts:
+            raise AnalysisError(f"cell ({size}, {n_gpus}) outside grid")
+        self.cells[(size, n_gpus)] = score
+
+    def get(self, size: str, n_gpus: int) -> Optional[float]:
+        return self.cells.get((size, n_gpus))
+
+    @classmethod
+    def from_results(cls, architecture: str, results: Sequence) -> "TradeoffGrid":
+        """Build from :class:`~repro.simulator.training.TrainingResult` list."""
+        sizes: List[str] = []
+        gpus: List[int] = []
+        for res in results:
+            if res.job.size_label not in sizes:
+                sizes.append(res.job.size_label)
+            if res.job.n_gpus not in gpus:
+                gpus.append(res.job.n_gpus)
+        grid = cls(architecture=architecture, sizes=sizes, gpu_counts=sorted(gpus))
+        for res in results:
+            grid.set(
+                res.job.size_label,
+                res.job.n_gpus,
+                res.tradeoff if res.completed else None,
+            )
+        return grid
+
+    # -- queries ------------------------------------------------------------
+    def best_cell(self) -> Tuple[str, int, float]:
+        """The completed cell with the lowest (best) trade-off score."""
+        best: Optional[Tuple[str, int, float]] = None
+        for (size, gpus), score in self.cells.items():
+            if score is None:
+                continue
+            if best is None or score < best[2]:
+                best = (size, gpus, score)
+        if best is None:
+            raise AnalysisError("grid has no completed cells")
+        return best
+
+    def empty_cells(self) -> List[Tuple[str, int]]:
+        """Walltime-exceeded cells, sorted."""
+        out = [cell for cell, score in self.cells.items() if score is None]
+        return sorted(out, key=lambda c: (self.sizes.index(c[0]), c[1]))
+
+    def completed_fraction(self) -> float:
+        if not self.cells:
+            return 0.0
+        done = sum(1 for s in self.cells.values() if s is not None)
+        return done / len(self.cells)
+
+    def steepness(self) -> float:
+        """Mean log-slope of the trade-off vs model size (paper: MAE is
+        "steeper" than SwinT).
+
+        For each GPU count, fit the slope of ``log(score)`` against the size
+        index over completed cells; returns the average slope.  Larger means
+        the metric degrades faster as the model grows.
+        """
+        slopes: List[float] = []
+        for gpus in self.gpu_counts:
+            xs, ys = [], []
+            for i, size in enumerate(self.sizes):
+                score = self.get(size, gpus)
+                if score is not None and score > 0:
+                    xs.append(float(i))
+                    ys.append(np.log(score))
+            if len(xs) >= 2:
+                slope = np.polyfit(np.asarray(xs), np.asarray(ys), 1)[0]
+                slopes.append(float(slope))
+        if not slopes:
+            raise AnalysisError("not enough completed cells to measure steepness")
+        return float(np.mean(slopes))
+
+    def to_csv(self) -> str:
+        """CSV rendering (size rows × GPU columns; empty cells stay empty),
+        ready for external plotting of Figure 3."""
+        lines = ["size," + ",".join(str(g) for g in self.gpu_counts)]
+        for size in self.sizes:
+            cells = []
+            for gpus in self.gpu_counts:
+                score = self.get(size, gpus)
+                cells.append("" if score is None else f"{score!r}")
+            lines.append(f"{size}," + ",".join(cells))
+        return "\n".join(lines) + "\n"
+
+    def format(self, precision: int = 3) -> str:
+        """Render the grid in Figure 3's layout (sizes × GPU counts)."""
+        width = max(10, precision + 7)
+        header = f"{self.architecture:<8}" + "".join(
+            f"{g:>{width}}" for g in self.gpu_counts
+        )
+        lines = [header, "-" * len(header)]
+        for size in self.sizes:
+            row = [f"{size:<8}"]
+            for gpus in self.gpu_counts:
+                score = self.get(size, gpus)
+                row.append(
+                    f"{'':>{width}}" if score is None else f"{score:>{width}.{precision}f}"
+                )
+            lines.append("".join(row))
+        return "\n".join(lines)
+
+
+@dataclass
+class EarlyStopAdvisor:
+    """Online stop-signal from marginal-improvement-per-energy (§3.2).
+
+    ``min_improvement_per_kwh`` — keep training only while each additional
+    kWh buys at least this much loss reduction (averaged over ``window``
+    observations).  Optional hard budgets on loss / energy / steps.
+    """
+
+    min_improvement_per_kwh: float = 1e-3
+    window: int = 20
+    loss_target: Optional[float] = None
+    energy_budget_kwh: Optional[float] = None
+    max_steps: Optional[int] = None
+
+    def decide(
+        self,
+        steps: np.ndarray,
+        losses: np.ndarray,
+        energy_kwh: np.ndarray,
+    ) -> Optional[int]:
+        """First step at which training should stop (None = keep going).
+
+        All arrays are parallel trajectories (monotone steps and energy).
+        """
+        steps = np.asarray(steps)
+        losses = np.asarray(losses, dtype=np.float64)
+        energy_kwh = np.asarray(energy_kwh, dtype=np.float64)
+        if not (steps.shape == losses.shape == energy_kwh.shape):
+            raise AnalysisError("trajectory arrays must have matching shapes")
+        if steps.size == 0:
+            return None
+
+        if self.loss_target is not None:
+            hit = np.nonzero(losses <= self.loss_target)[0]
+            if hit.size:
+                return int(steps[hit[0]])
+        if self.energy_budget_kwh is not None:
+            hit = np.nonzero(energy_kwh >= self.energy_budget_kwh)[0]
+            if hit.size:
+                return int(steps[hit[0]])
+        if self.max_steps is not None:
+            hit = np.nonzero(steps >= self.max_steps)[0]
+            if hit.size:
+                return int(steps[hit[0]])
+
+        w = self.window
+        if steps.size <= w:
+            return None
+        d_loss = losses[:-w] - losses[w:]          # improvement over the window
+        d_energy = energy_kwh[w:] - energy_kwh[:-w]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rate = np.where(d_energy > 0, d_loss / d_energy, np.inf)
+        stalled = np.nonzero(rate < self.min_improvement_per_kwh)[0]
+        if stalled.size:
+            return int(steps[stalled[0] + w])
+        return None

@@ -1,0 +1,99 @@
+"""Seed-variance studies over simulated training.
+
+Scaling studies report point estimates per grid cell; confidence in those
+numbers comes from repeating cells across seeds.  :func:`seed_sweep` runs a
+job across seeds and aggregates the outcomes, giving the error bars a
+Figure-3-style plot would carry and the noise floor the §3.3 forecaster's
+accuracy should be judged against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.simulator.simclock import SimClock
+from repro.simulator.training import TrainingJob, TrainingResult, simulate_training
+
+
+@dataclass(frozen=True)
+class MetricSpread:
+    """Mean / std / extremes of one outcome metric across seeds."""
+
+    name: str
+    mean: float
+    std: float
+    min: float
+    max: float
+    n: int
+
+    @property
+    def relative_std(self) -> float:
+        """Coefficient of variation (std / |mean|)."""
+        return self.std / abs(self.mean) if self.mean else float("inf")
+
+
+@dataclass
+class SeedSweep:
+    """Outcome of a multi-seed repetition of one job."""
+
+    job: TrainingJob
+    results: List[TrainingResult]
+    spreads: Dict[str, MetricSpread]
+
+    def spread(self, name: str) -> MetricSpread:
+        """The spread of one outcome metric (KeyError-safe accessor)."""
+        try:
+            return self.spreads[name]
+        except KeyError:
+            raise AnalysisError(
+                f"unknown outcome metric {name!r}; have {sorted(self.spreads)}"
+            ) from None
+
+
+def seed_sweep(
+    job: TrainingJob,
+    seeds: Sequence[int],
+    clock: Optional[SimClock] = None,
+) -> SeedSweep:
+    """Run *job* once per seed; aggregate final loss / energy / trade-off.
+
+    Only the seed varies; everything else (timing, energy) is deterministic
+    per configuration, so their spreads quantify exactly the stochastic part
+    (loss-curve noise).
+    """
+    if not seeds:
+        raise AnalysisError("at least one seed is required")
+    if len(set(seeds)) != len(seeds):
+        raise AnalysisError("seeds must be distinct")
+    clock = clock or SimClock()
+    results = [
+        simulate_training(replace(job, seed=int(seed)), clock=clock)
+        for seed in seeds
+    ]
+
+    def aggregate(name: str, values: np.ndarray) -> MetricSpread:
+        return MetricSpread(
+            name=name,
+            mean=float(values.mean()),
+            std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+            min=float(values.min()),
+            max=float(values.max()),
+            n=int(values.size),
+        )
+
+    # use the *measured* (noisy) end-of-trajectory loss — `final_loss` is
+    # the model's noise-free expectation and is seed-independent by design
+    measured_loss = np.array([float(r.loss_values[-1]) for r in results])
+    energy = np.array([r.energy_kwh for r in results])
+    outcomes = {
+        "final_loss": measured_loss,
+        "energy_kwh": energy,
+        "tradeoff": measured_loss * energy,
+        "wall_time_s": np.array([r.wall_time_s for r in results]),
+    }
+    spreads = {name: aggregate(name, values) for name, values in outcomes.items()}
+    return SeedSweep(job=job, results=results, spreads=spreads)

@@ -1,0 +1,70 @@
+"""yProv4ML core: the paper's primary contribution.
+
+An MLflow-style logging façade that records parameters, metrics and
+artifacts during an ML run — organized by *context* (training / validation /
+testing / user-defined) and *epoch* per Figure 2 — and emits a W3C PROV
+document in PROV-JSON at the end of the run (Figure 1), optionally
+offloading bulky metric time-series to compressed array stores (Table 1)
+and packaging the artifact directory as an RO-Crate (Table 2).
+
+Most users interact through the module-level session API re-exported at the
+package root (``repro.start_run`` / ``repro.log_metric`` / ...); the classes
+here are the underlying object model.
+"""
+
+from repro.core.context import Context
+from repro.core.metrics import MetricBuffer, MetricKey, MetricSample
+from repro.core.params import LoggedParam, ParamStore
+from repro.core.artifacts import Artifact, ArtifactRegistry
+from repro.core.experiment import Experiment, RunExecution, RunStatus
+from repro.core.provgen import build_prov_document, RunSummary, summarize_document
+from repro.core.collectors import (
+    CollectorPlugin,
+    SystemStatsCollector,
+    EnergyCollector,
+    CarbonCollector,
+    GPUStatsCollector,
+    collector_registry,
+)
+from repro.core.comparison import RunDiff, compare_runs
+from repro.core.registry import ExperimentRegistry
+from repro.core.reproduce import (
+    ExperimentReplayer,
+    ReproductionReport,
+    default_replayer,
+)
+from repro.core.multirun import (
+    build_experiment_document,
+    experiment_comparison_table,
+)
+
+__all__ = [
+    "Context",
+    "MetricBuffer",
+    "MetricKey",
+    "MetricSample",
+    "LoggedParam",
+    "ParamStore",
+    "Artifact",
+    "ArtifactRegistry",
+    "Experiment",
+    "RunExecution",
+    "RunStatus",
+    "build_prov_document",
+    "RunSummary",
+    "summarize_document",
+    "CollectorPlugin",
+    "SystemStatsCollector",
+    "EnergyCollector",
+    "CarbonCollector",
+    "GPUStatsCollector",
+    "collector_registry",
+    "RunDiff",
+    "compare_runs",
+    "ExperimentRegistry",
+    "ExperimentReplayer",
+    "ReproductionReport",
+    "default_replayer",
+    "build_experiment_document",
+    "experiment_comparison_table",
+]

@@ -1,0 +1,181 @@
+"""Artifact tracking.
+
+Artifacts are "any file or output that may be used later in the next phases
+of the workflow" (paper §4) — model checkpoints, source code, generated
+plots, input datasets.  The registry copies (or references) files into the
+run's artifact directory, content-hashes them, and records direction
+(input → ``used``, output → ``wasGeneratedBy``) plus the context and
+timestamp of logging.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import shutil
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.core.context import Context
+from repro.errors import ArtifactError
+
+PathLike = Union[str, Path]
+
+_HASH_CHUNK = 1 << 20
+
+
+def sha256_file(path: PathLike) -> str:
+    """Streaming SHA-256 of a file (constant memory)."""
+    digest = hashlib.sha256()
+    with Path(path).open("rb") as fh:
+        while True:
+            chunk = fh.read(_HASH_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One tracked artifact."""
+
+    name: str
+    path: Path
+    sha256: str
+    size_bytes: int
+    is_input: bool
+    is_model: bool
+    context: Optional[Context]
+    logged_at: float
+    step: Optional[int] = None
+
+    @property
+    def uri(self) -> str:
+        return self.path.as_uri() if self.path.is_absolute() else str(self.path)
+
+
+class ArtifactRegistry:
+    """Artifacts of one run, stored under ``<run_dir>/artifacts/``."""
+
+    def __init__(self, artifact_dir: PathLike) -> None:
+        self.artifact_dir = Path(artifact_dir)
+        self.artifact_dir.mkdir(parents=True, exist_ok=True)
+        self._artifacts: Dict[str, Artifact] = {}
+
+    def log_file(
+        self,
+        source: PathLike,
+        name: Optional[str] = None,
+        is_input: bool = False,
+        is_model: bool = False,
+        context: Optional[Context] = None,
+        logged_at: float = 0.0,
+        step: Optional[int] = None,
+        copy: bool = True,
+    ) -> Artifact:
+        """Register a file as an artifact.
+
+        With ``copy=True`` (default) the file is copied into the run's
+        artifact directory; otherwise only the original path is referenced
+        (for large inputs like datasets).
+        """
+        source = Path(source)
+        if not source.is_file():
+            raise ArtifactError(f"artifact file not found: {source}")
+        name = name or source.name
+        if name in self._artifacts:
+            raise ArtifactError(f"artifact already logged: {name!r}")
+        if copy:
+            dest = self.artifact_dir / name
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            if source.resolve() != dest.resolve():
+                shutil.copy2(source, dest)
+            path = dest
+        else:
+            path = source
+        artifact = Artifact(
+            name=name,
+            path=path,
+            sha256=sha256_file(path),
+            size_bytes=path.stat().st_size,
+            is_input=is_input,
+            is_model=is_model,
+            context=context,
+            logged_at=logged_at,
+            step=step,
+        )
+        self._artifacts[name] = artifact
+        return artifact
+
+    def log_bytes(
+        self,
+        name: str,
+        data: bytes,
+        is_input: bool = False,
+        is_model: bool = False,
+        context: Optional[Context] = None,
+        logged_at: float = 0.0,
+        step: Optional[int] = None,
+    ) -> Artifact:
+        """Write *data* into the artifact directory and register it.
+
+        Used for synthesized artifacts (serialized model states, captured
+        stdout, command logs) that never existed as user files.
+        """
+        if name in self._artifacts:
+            raise ArtifactError(f"artifact already logged: {name!r}")
+        dest = self.artifact_dir / name
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        dest.write_bytes(data)
+        artifact = Artifact(
+            name=name,
+            path=dest,
+            sha256=hashlib.sha256(data).hexdigest(),
+            size_bytes=len(data),
+            is_input=is_input,
+            is_model=is_model,
+            context=context,
+            logged_at=logged_at,
+            step=step,
+        )
+        self._artifacts[name] = artifact
+        return artifact
+
+    # -- access -----------------------------------------------------------
+    def get(self, name: str) -> Artifact:
+        try:
+            return self._artifacts[name]
+        except KeyError:
+            raise ArtifactError(f"artifact not logged: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._artifacts
+
+    def __iter__(self) -> Iterator[Artifact]:
+        return iter(self._artifacts.values())
+
+    def __len__(self) -> int:
+        return len(self._artifacts)
+
+    @property
+    def inputs(self) -> List[Artifact]:
+        return [a for a in self._artifacts.values() if a.is_input]
+
+    @property
+    def outputs(self) -> List[Artifact]:
+        return [a for a in self._artifacts.values() if not a.is_input]
+
+    @property
+    def models(self) -> List[Artifact]:
+        return [a for a in self._artifacts.values() if a.is_model]
+
+    def verify(self) -> List[str]:
+        """Re-hash all artifacts; returns names whose content changed/vanished."""
+        corrupted: List[str] = []
+        for artifact in self._artifacts.values():
+            if not artifact.path.is_file():
+                corrupted.append(artifact.name)
+            elif sha256_file(artifact.path) != artifact.sha256:
+                corrupted.append(artifact.name)
+        return corrupted

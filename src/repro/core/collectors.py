@@ -1,0 +1,198 @@
+"""Collector plugins — the paper's extensibility mechanism.
+
+yProv4ML "enables users to integrate additional data collection tools via
+plugins".  A collector is any object with a ``name`` and a
+``collect(run) -> dict[str, float]`` method; attached collectors are polled
+by :meth:`RunExecution.collect_system_metrics` and their readings logged as
+ordinary metrics.
+
+Real deployments would read hardware counters (psutil, ROCm-SMI, RAPL);
+offline we provide deterministic simulated sensors, plus a
+:class:`TelemetryCollector` adapter that surfaces readings produced by the
+distributed-training simulator's power model — so use-case provenance
+contains physically consistent energy numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional, Protocol, Type
+
+import numpy as np
+
+from repro.errors import TrackingError
+
+
+class CollectorPlugin(Protocol):
+    """Structural interface for collector plugins."""
+
+    name: str
+
+    def collect(self, run: Any) -> Dict[str, float]:
+        """Return a mapping of metric name -> current reading."""
+        ...
+
+
+class _Registry:
+    """Named registry of collector factories (plugin discovery point)."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[..., CollectorPlugin]] = {}
+
+    def register(self, name: str) -> Callable[[Type], Type]:
+        def decorator(cls: Type) -> Type:
+            if name in self._factories:
+                raise TrackingError(f"collector already registered: {name!r}")
+            self._factories[name] = cls
+            return cls
+
+        return decorator
+
+    def create(self, name: str, **kwargs: Any) -> CollectorPlugin:
+        factory = self._factories.get(name)
+        if factory is None:
+            raise TrackingError(
+                f"unknown collector {name!r}; registered: {sorted(self._factories)}"
+            )
+        return factory(**kwargs)
+
+    def names(self) -> list:
+        return sorted(self._factories)
+
+
+collector_registry = _Registry()
+
+
+@collector_registry.register("system")
+class SystemStatsCollector:
+    """Simulated host statistics (CPU %, memory %).
+
+    Readings follow a mean-reverting random walk seeded per collector, so a
+    run's system metrics are deterministic given the seed.
+    """
+
+    name = "system"
+
+    def __init__(self, seed: int = 0, cpu_mean: float = 55.0, mem_mean: float = 40.0) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._cpu = cpu_mean
+        self._mem = mem_mean
+        self._cpu_mean = cpu_mean
+        self._mem_mean = mem_mean
+
+    def collect(self, run: Any) -> Dict[str, float]:
+        self._cpu += 0.3 * (self._cpu_mean - self._cpu) + self._rng.normal(0, 4.0)
+        self._mem += 0.2 * (self._mem_mean - self._mem) + self._rng.normal(0, 1.5)
+        self._cpu = float(np.clip(self._cpu, 0.0, 100.0))
+        self._mem = float(np.clip(self._mem, 0.0, 100.0))
+        return {"cpu_percent": self._cpu, "memory_percent": self._mem}
+
+
+@collector_registry.register("gpu")
+class GPUStatsCollector:
+    """Simulated GPU statistics (utilization %, memory GB, power W)."""
+
+    name = "gpu"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        n_gpus: int = 1,
+        utilization_mean: float = 85.0,
+        memory_gb: float = 48.0,
+        power_peak_w: float = 560.0,
+        power_idle_w: float = 90.0,
+    ) -> None:
+        self._rng = np.random.default_rng(seed)
+        self.n_gpus = n_gpus
+        self._util_mean = utilization_mean
+        self._mem = memory_gb
+        self._peak = power_peak_w
+        self._idle = power_idle_w
+
+    def collect(self, run: Any) -> Dict[str, float]:
+        """Sample simulated utilization, memory and power readings."""
+        util = float(np.clip(self._rng.normal(self._util_mean, 5.0), 0.0, 100.0))
+        power = self._idle + (self._peak - self._idle) * util / 100.0
+        return {
+            "gpu_utilization_percent": util,
+            "gpu_memory_gb": self._mem * util / 100.0,
+            "gpu_power_w": power * self.n_gpus,
+        }
+
+
+@collector_registry.register("energy")
+class EnergyCollector:
+    """Accumulated energy from a power signal (trapezoidal integration).
+
+    ``power_fn`` maps the run's clock time to instantaneous watts; when
+    omitted, a constant nominal power is integrated.  Each ``collect`` call
+    advances the integral from the previous poll, so polling cadence only
+    affects resolution, not the total.
+    """
+
+    name = "energy"
+
+    def __init__(
+        self,
+        power_fn: Optional[Callable[[float], float]] = None,
+        nominal_power_w: float = 350.0,
+    ) -> None:
+        self._power_fn = power_fn or (lambda t: nominal_power_w)
+        self._last_t: Optional[float] = None
+        self._last_p: Optional[float] = None
+        self._joules = 0.0
+
+    def collect(self, run: Any) -> Dict[str, float]:
+        """Advance the trapezoidal energy integral to the current clock time."""
+        now = run.clock()
+        power = float(self._power_fn(now))
+        if self._last_t is not None and now > self._last_t:
+            self._joules += 0.5 * (power + self._last_p) * (now - self._last_t)
+        self._last_t, self._last_p = now, power
+        return {
+            "power_w": power,
+            "energy_joules": self._joules,
+            "energy_kwh": self._joules / 3.6e6,
+        }
+
+
+@collector_registry.register("carbon")
+class CarbonCollector:
+    """Carbon emissions derived from an :class:`EnergyCollector`.
+
+    ``intensity_g_per_kwh`` is the grid carbon intensity (default: a typical
+    mixed-grid 380 gCO2e/kWh).
+    """
+
+    name = "carbon"
+
+    def __init__(self, energy: EnergyCollector, intensity_g_per_kwh: float = 380.0) -> None:
+        self._energy = energy
+        self.intensity = intensity_g_per_kwh
+
+    def collect(self, run: Any) -> Dict[str, float]:
+        kwh = self._energy._joules / 3.6e6
+        return {"carbon_g_co2e": kwh * self.intensity}
+
+
+@collector_registry.register("telemetry")
+class TelemetryCollector:
+    """Adapter exposing externally produced readings (simulator bridge).
+
+    The distributed-training simulator pushes its physically modeled
+    telemetry (per-device power, utilization) into :meth:`update`; polling
+    returns the latest snapshot.
+    """
+
+    name = "telemetry"
+
+    def __init__(self, prefix: str = "") -> None:
+        self.prefix = prefix
+        self._latest: Dict[str, float] = {}
+
+    def update(self, readings: Mapping[str, float]) -> None:
+        for key, value in readings.items():
+            self._latest[self.prefix + key] = float(value)
+
+    def collect(self, run: Any) -> Dict[str, float]:
+        return dict(self._latest)

@@ -1,0 +1,99 @@
+"""Run comparison (§4: "compare the results of successive, related runs").
+
+Diffs two runs — live :class:`RunExecution` objects or
+:class:`~repro.core.provgen.RunSummary` views recovered from provenance
+files — reporting parameter changes and final-metric deltas, "allowing for a
+better understanding of the impact of hyperparameters and model
+configurations".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.core.experiment import RunExecution
+from repro.core.provgen import RunSummary
+
+
+@dataclass
+class RunDiff:
+    """Structured difference between two runs."""
+
+    left_id: str
+    right_id: str
+    params_added: Dict[str, Any] = field(default_factory=dict)
+    params_removed: Dict[str, Any] = field(default_factory=dict)
+    params_changed: Dict[str, Tuple[Any, Any]] = field(default_factory=dict)
+    metric_deltas: Dict[str, Tuple[Optional[float], Optional[float]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def is_identical_config(self) -> bool:
+        return not (self.params_added or self.params_removed or self.params_changed)
+
+    def metric_improvement(self, series: str, lower_is_better: bool = True) -> Optional[float]:
+        """Signed improvement of *right* over *left* for a metric series.
+
+        Positive means the right run improved (respecting direction).
+        """
+        pair = self.metric_deltas.get(series)
+        if pair is None or pair[0] is None or pair[1] is None:
+            return None
+        left, right = pair
+        return (left - right) if lower_is_better else (right - left)
+
+    def format(self) -> str:
+        """Human-readable rendering of the diff."""
+        lines = [f"diff {self.left_id} -> {self.right_id}"]
+        for name, value in sorted(self.params_added.items()):
+            lines.append(f"  + param {name} = {value!r}")
+        for name, value in sorted(self.params_removed.items()):
+            lines.append(f"  - param {name} = {value!r}")
+        for name, (old, new) in sorted(self.params_changed.items()):
+            lines.append(f"  ~ param {name}: {old!r} -> {new!r}")
+        for series, (old, new) in sorted(self.metric_deltas.items()):
+            lines.append(f"  metric {series}: {old} -> {new}")
+        return "\n".join(lines)
+
+
+def _as_view(run: Union[RunExecution, RunSummary]) -> Tuple[str, Dict[str, Any], Dict[str, Optional[float]]]:
+    """Normalize either run type to (id, params, final-metrics)."""
+    if isinstance(run, RunExecution):
+        params = run.params.as_dict()
+        finals: Dict[str, Optional[float]] = {}
+        for key, buffer in run.metrics.items():
+            finals[key.series_name()] = buffer.last_value if len(buffer) else None
+        return run.run_id, params, finals
+    finals = {
+        series: stats.get("last")
+        for series, stats in run.metrics.items()
+    }
+    return run.run_id, dict(run.params), finals
+
+
+def compare_runs(
+    left: Union[RunExecution, RunSummary],
+    right: Union[RunExecution, RunSummary],
+) -> RunDiff:
+    """Compute the parameter and metric diff between two runs."""
+    left_id, left_params, left_metrics = _as_view(left)
+    right_id, right_params, right_metrics = _as_view(right)
+
+    diff = RunDiff(left_id=left_id, right_id=right_id)
+    for name, value in right_params.items():
+        if name not in left_params:
+            diff.params_added[name] = value
+        elif left_params[name] != value:
+            diff.params_changed[name] = (left_params[name], value)
+    for name, value in left_params.items():
+        if name not in right_params:
+            diff.params_removed[name] = value
+
+    for series in sorted(set(left_metrics) | set(right_metrics)):
+        diff.metric_deltas[series] = (
+            left_metrics.get(series),
+            right_metrics.get(series),
+        )
+    return diff

@@ -1,0 +1,98 @@
+"""Run contexts (Figure 2: the stages of a run).
+
+The paper's data model divides a run into stages called *contexts*:
+``TRAINING``, ``VALIDATION`` and ``TESTING`` are predefined, and — unlike
+PROV-ML's fixed three-phase taxonomy, which the paper criticizes — users may
+define arbitrary additional contexts (e.g. ``preprocessing``,
+``fine_tuning``).
+
+Contexts are interned: ``Context.of("training")`` always returns the same
+object, so they are safe as dict keys and cheap to compare.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, Optional
+
+from repro.errors import UnknownContextError
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_\-]*$")
+
+
+class Context:
+    """A named stage of a run.
+
+    Use the predefined :attr:`TRAINING` / :attr:`VALIDATION` /
+    :attr:`TESTING` constants or create custom stages with
+    :meth:`Context.of`.
+    """
+
+    _interned: Dict[str, "Context"] = {}
+
+    # populated below; declared for type checkers
+    TRAINING: "Context"
+    VALIDATION: "Context"
+    TESTING: "Context"
+
+    __slots__ = ("name", "predefined")
+
+    def __init__(self, name: str, predefined: bool = False, _token: object = None) -> None:
+        if _token is not _INTERN_TOKEN:
+            raise TypeError("use Context.of(name) instead of the constructor")
+        self.name = name
+        self.predefined = predefined
+
+    @classmethod
+    def of(cls, name: object) -> "Context":
+        """Return the interned context for *name* (case-insensitive).
+
+        Accepts an existing :class:`Context` (returned unchanged) or a
+        string; custom names must be valid identifiers.
+        """
+        if isinstance(name, Context):
+            return name
+        if not isinstance(name, str):
+            raise UnknownContextError(f"context must be a string or Context: {name!r}")
+        key = name.strip().upper()
+        ctx = cls._interned.get(key)
+        if ctx is not None:
+            return ctx
+        if not _NAME_RE.match(key):
+            raise UnknownContextError(f"invalid context name: {name!r}")
+        ctx = cls(key, predefined=False, _token=_INTERN_TOKEN)
+        cls._interned[key] = ctx
+        return ctx
+
+    @classmethod
+    def predefined_contexts(cls) -> Iterator["Context"]:
+        return (c for c in cls._interned.values() if c.predefined)
+
+    @property
+    def is_epoch_structured(self) -> bool:
+        """Per Figure 2, training and validation are organized into epochs."""
+        return self.name in ("TRAINING", "VALIDATION")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Context.{self.name}" if self.predefined else f"Context.of({self.name!r})"
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Context):
+            return self.name == other.name
+        if isinstance(other, str):
+            return self.name == other.strip().upper()
+        return NotImplemented
+
+
+_INTERN_TOKEN = object()
+
+for _name in ("TRAINING", "VALIDATION", "TESTING"):
+    _ctx = Context(_name, predefined=True, _token=_INTERN_TOKEN)
+    Context._interned[_name] = _ctx
+    setattr(Context, _name, _ctx)

@@ -1,0 +1,460 @@
+"""Experiment and run-execution object model (Figure 2).
+
+An :class:`Experiment` groups :class:`RunExecution` instances ("multiple
+runs under a single experiment, each potentially configured with different
+parameters").  A run divides into :class:`~repro.core.context.Context`
+stages; training/validation contexts are organized into epochs.
+
+Time is injectable: every run takes a ``clock`` callable returning epoch
+seconds, so the distributed-training simulator can drive runs on simulated
+time and produce bit-reproducible provenance.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+import time as _time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.artifacts import Artifact, ArtifactRegistry, PathLike
+from repro.core.context import Context
+from repro.core.metrics import MetricBuffer, MetricKey
+from repro.core.params import LoggedParam, ParamStore
+from repro.errors import TrackingError
+
+
+class RunStatus(enum.Enum):
+    """Lifecycle states of a run."""
+
+    CREATED = "created"
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"
+    TRUNCATED = "truncated"  # walltime-limited (Figure 3's empty cells)
+
+
+@dataclass
+class EpochState:
+    """Recorded interval of one epoch within a context."""
+
+    index: int
+    start_time: float
+    end_time: Optional[float] = None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+
+@dataclass
+class ContextState:
+    """Bookkeeping for one context used by a run."""
+
+    context: Context
+    first_used: float
+    last_used: float
+    epochs: Dict[int, EpochState] = field(default_factory=dict)
+    current_epoch: Optional[int] = None
+
+    def touch(self, now: float) -> None:
+        self.last_used = max(self.last_used, now)
+
+
+@dataclass
+class CommandRecord:
+    """One console command captured by development tracking (§3.1)."""
+
+    time: float
+    command: str
+    output: str = ""
+    exit_code: int = 0
+
+
+def utc(ts: float) -> _dt.datetime:
+    """Epoch seconds -> aware UTC datetime (used for PROV timestamps)."""
+    return _dt.datetime.fromtimestamp(ts, tz=_dt.timezone.utc)
+
+
+class RunExecution:
+    """A single run: parameters, metrics, artifacts, contexts and epochs."""
+
+    def __init__(
+        self,
+        experiment_name: str,
+        run_id: Optional[str] = None,
+        run_index: int = 0,
+        save_dir: Optional[PathLike] = None,
+        user_namespace: str = "http://example.org/",
+        username: str = "user",
+        clock: Optional[Callable[[], float]] = None,
+        rank: Optional[int] = None,
+    ) -> None:
+        if not experiment_name:
+            raise TrackingError("experiment_name must be non-empty")
+        self.experiment_name = experiment_name
+        self.run_index = run_index
+        self.run_id = run_id or f"{experiment_name}_{run_index}_{uuid.uuid4().hex[:8]}"
+        self.user_namespace = user_namespace
+        self.username = username
+        self.clock: Callable[[], float] = clock or _time.time
+        self.rank = rank
+
+        self.save_dir = Path(save_dir) if save_dir is not None else Path("prov") / self.run_id
+        self.save_dir.mkdir(parents=True, exist_ok=True)
+
+        self.params = ParamStore()
+        self.metrics: Dict[MetricKey, MetricBuffer] = {}
+        self.artifacts = ArtifactRegistry(self.save_dir / "artifacts")
+        self.contexts: Dict[Context, ContextState] = {}
+        self.commands: List[CommandRecord] = []
+        self.captured_output: List[str] = []
+
+        self.status = RunStatus.CREATED
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        self._collectors: List[Any] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "RunExecution":
+        if self.status is not RunStatus.CREATED:
+            raise TrackingError(f"run {self.run_id} already started")
+        self.start_time = self.clock()
+        self.status = RunStatus.RUNNING
+        return self
+
+    def end(self, status: RunStatus = RunStatus.FINISHED) -> None:
+        """Close the run with a terminal *status*, sealing open epochs/contexts."""
+        if self.status is not RunStatus.RUNNING:
+            raise TrackingError(f"run {self.run_id} is not running")
+        if status in (RunStatus.CREATED, RunStatus.RUNNING):
+            raise TrackingError(f"invalid terminal status: {status}")
+        self.end_time = self.clock()
+        # close any dangling epochs/contexts at the end timestamp
+        for state in self.contexts.values():
+            if state.current_epoch is not None:
+                epoch = state.epochs[state.current_epoch]
+                if epoch.end_time is None:
+                    epoch.end_time = self.end_time
+                state.current_epoch = None
+            state.touch(self.end_time)
+        self.status = status
+
+    def _require_running(self) -> None:
+        if self.status is not RunStatus.RUNNING:
+            raise TrackingError(
+                f"run {self.run_id} is not running (status={self.status.value})"
+            )
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    # ------------------------------------------------------------------
+    # contexts & epochs
+    # ------------------------------------------------------------------
+    def _context_state(self, context: Union[Context, str]) -> ContextState:
+        ctx = Context.of(context)
+        state = self.contexts.get(ctx)
+        now = self.clock()
+        if state is None:
+            state = ContextState(context=ctx, first_used=now, last_used=now)
+            self.contexts[ctx] = state
+        else:
+            state.touch(now)
+        return state
+
+    def start_epoch(self, context: Union[Context, str], epoch: Optional[int] = None) -> int:
+        """Open an epoch in *context*; returns its index (auto-incremented)."""
+        self._require_running()
+        state = self._context_state(context)
+        if state.current_epoch is not None:
+            raise TrackingError(
+                f"epoch {state.current_epoch} still open in context {state.context}"
+            )
+        if epoch is None:
+            epoch = max(state.epochs) + 1 if state.epochs else 0
+        if epoch in state.epochs:
+            raise TrackingError(f"epoch {epoch} already recorded in {state.context}")
+        state.epochs[epoch] = EpochState(index=epoch, start_time=self.clock())
+        state.current_epoch = epoch
+        return epoch
+
+    def end_epoch(self, context: Union[Context, str]) -> EpochState:
+        """Record a one-time parameter (input by default), optionally scoped to a context."""
+        """Close the open epoch in *context*."""
+        self._require_running()
+        state = self._context_state(context)
+        if state.current_epoch is None:
+            raise TrackingError(f"no open epoch in context {state.context}")
+        epoch = state.epochs[state.current_epoch]
+        epoch.end_time = self.clock()
+        state.current_epoch = None
+        return epoch
+
+    # ------------------------------------------------------------------
+    # logging
+    # ------------------------------------------------------------------
+    def log_param(
+        self,
+        name: str,
+        value: Any,
+        is_input: bool = True,
+        context: Optional[Union[Context, str]] = None,
+    ) -> LoggedParam:
+        """Record a one-time parameter (input by default), optionally scoped to a context."""
+        self._require_running()
+        ctx = Context.of(context) if context is not None else None
+        if ctx is not None:
+            self._context_state(ctx)
+        return self.params.log(name, value, is_input=is_input, context=ctx)
+
+    def log_metric(
+        self,
+        name: str,
+        value: float,
+        context: Union[Context, str] = Context.TRAINING,
+        step: Optional[int] = None,
+        is_input: bool = False,
+    ) -> None:
+        """Record one metric sample in *context* at *step*.
+
+        The sample is stamped with the clock time and the context's open
+        epoch (if any).
+        """
+        self._require_running()
+        state = self._context_state(context)
+        key = MetricKey(name, state.context)
+        buffer = self.metrics.get(key)
+        if buffer is None:
+            buffer = MetricBuffer(key, is_input=is_input)
+            self.metrics[key] = buffer
+        if step is None:
+            step = len(buffer)
+        epoch = state.current_epoch if state.current_epoch is not None else -1
+        buffer.append(int(step), float(value), self.clock(), epoch)
+
+    def log_metrics(
+        self,
+        values: Dict[str, float],
+        context: Union[Context, str] = Context.TRAINING,
+        step: Optional[int] = None,
+    ) -> None:
+        """Log several metrics at one step."""
+        for name, value in values.items():
+            self.log_metric(name, value, context=context, step=step)
+
+    def log_metric_array(
+        self,
+        name: str,
+        steps: np.ndarray,
+        values: np.ndarray,
+        times: np.ndarray,
+        context: Union[Context, str] = Context.TRAINING,
+        epochs: Optional[np.ndarray] = None,
+        is_input: bool = False,
+    ) -> None:
+        """Bulk-append a pre-computed series (simulator fast path)."""
+        self._require_running()
+        state = self._context_state(context)
+        key = MetricKey(name, state.context)
+        buffer = self.metrics.get(key)
+        if buffer is None:
+            buffer = MetricBuffer(key, is_input=is_input)
+            self.metrics[key] = buffer
+        buffer.extend(steps, values, times, epochs)
+        # samples belong to this context, so its interval must cover them
+        if len(buffer):
+            state.touch(float(np.max(np.asarray(times, dtype=np.float64))))
+
+    def get_metric(
+        self, name: str, context: Union[Context, str] = Context.TRAINING
+    ) -> MetricBuffer:
+        """Register a file artifact (copied into the run directory by default)."""
+        key = MetricKey(name, Context.of(context))
+        try:
+            return self.metrics[key]
+        except KeyError:
+            raise TrackingError(f"metric not logged: {key.series_name()}") from None
+
+    def log_artifact(
+        self,
+        path: PathLike,
+        name: Optional[str] = None,
+        is_input: bool = False,
+        is_model: bool = False,
+        context: Optional[Union[Context, str]] = None,
+        step: Optional[int] = None,
+        copy: bool = True,
+    ) -> Artifact:
+        """Write *data* into the artifact directory and register it."""
+        self._require_running()
+        ctx = Context.of(context) if context is not None else None
+        if ctx is not None:
+            self._context_state(ctx)
+        return self.artifacts.log_file(
+            path,
+            name=name,
+            is_input=is_input,
+            is_model=is_model,
+            context=ctx,
+            logged_at=self.clock(),
+            step=step,
+            copy=copy,
+        )
+
+    def log_artifact_bytes(
+        self,
+        name: str,
+        data: bytes,
+        is_input: bool = False,
+        is_model: bool = False,
+        context: Optional[Union[Context, str]] = None,
+        step: Optional[int] = None,
+    ) -> Artifact:
+        """Write *data* into the artifact directory and register it."""
+        self._require_running()
+        ctx = Context.of(context) if context is not None else None
+        if ctx is not None:
+            self._context_state(ctx)
+        return self.artifacts.log_bytes(
+            name,
+            data,
+            is_input=is_input,
+            is_model=is_model,
+            context=ctx,
+            logged_at=self.clock(),
+            step=step,
+        )
+
+    # ------------------------------------------------------------------
+    # development tracking (§3.1)
+    # ------------------------------------------------------------------
+    def log_execution_command(
+        self, command: str, output: str = "", exit_code: int = 0
+    ) -> CommandRecord:
+        """Record a console command plus its textual output."""
+        self._require_running()
+        record = CommandRecord(self.clock(), command, output, exit_code)
+        self.commands.append(record)
+        return record
+
+    def capture_output(self, text: str) -> None:
+        """Append a fragment of the training script's stdout/stderr."""
+        self._require_running()
+        self.captured_output.append(text)
+
+    # ------------------------------------------------------------------
+    # collector plugins
+    # ------------------------------------------------------------------
+    def add_collector(self, collector: Any) -> None:
+        """Attach a collector plugin (see :mod:`repro.core.collectors`)."""
+        self._collectors.append(collector)
+
+    @property
+    def collectors(self) -> List[Any]:
+        return list(self._collectors)
+
+    def collect_system_metrics(
+        self,
+        context: Union[Context, str] = Context.TRAINING,
+        step: Optional[int] = None,
+    ) -> Dict[str, float]:
+        """Poll every attached collector and log the readings as metrics."""
+        self._require_running()
+        readings: Dict[str, float] = {}
+        for collector in self._collectors:
+            for name, value in collector.collect(self).items():
+                readings[name] = value
+                self.log_metric(name, value, context=context, step=step)
+        return readings
+
+    # ------------------------------------------------------------------
+    # persistence (delegates to provgen / storage / crate)
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        metric_format: str = "zarrlike",
+        create_graph: bool = False,
+        create_rocrate: bool = False,
+        validate: bool = True,
+    ) -> Dict[str, Path]:
+        """Write the provenance file (and metric store / crate) to disk.
+
+        ``metric_format`` is one of ``inline`` (samples embedded in the
+        PROV-JSON — the Table 1 baseline), ``zarrlike`` or ``netcdflike``.
+        Returns a dict of the paths written (keys: ``prov``, optionally
+        ``metrics``, ``graph``, ``rocrate``).
+        """
+        from repro.core.provgen import save_run
+
+        return save_run(
+            self,
+            metric_format=metric_format,
+            create_graph=create_graph,
+            create_rocrate=create_rocrate,
+            validate=validate,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RunExecution({self.run_id!r}, status={self.status.value}, "
+            f"params={len(self.params)}, metrics={len(self.metrics)})"
+        )
+
+
+class Experiment:
+    """A named group of runs sharing a save directory."""
+
+    def __init__(
+        self,
+        name: str,
+        root_dir: PathLike = "prov",
+        user_namespace: str = "http://example.org/",
+        username: str = "user",
+    ) -> None:
+        if not name:
+            raise TrackingError("experiment name must be non-empty")
+        self.name = name
+        self.root_dir = Path(root_dir)
+        self.user_namespace = user_namespace
+        self.username = username
+        self.runs: List[RunExecution] = []
+
+    def new_run(
+        self,
+        run_id: Optional[str] = None,
+        clock: Optional[Callable[[], float]] = None,
+        rank: Optional[int] = None,
+    ) -> RunExecution:
+        """Create (but do not start) the next run of this experiment."""
+        index = len(self.runs)
+        run = RunExecution(
+            experiment_name=self.name,
+            run_id=run_id,
+            run_index=index,
+            save_dir=self.root_dir / (run_id or f"{self.name}_{index}"),
+            user_namespace=self.user_namespace,
+            username=self.username,
+            clock=clock,
+            rank=rank,
+        )
+        self.runs.append(run)
+        return run
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __iter__(self):
+        return iter(self.runs)

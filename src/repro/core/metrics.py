@@ -1,0 +1,186 @@
+"""Metric time-series buffers.
+
+A metric is identified by ``(name, context)`` and accumulates samples
+``(step, value, time, epoch)``.  Buffers grow by amortized doubling over
+pre-allocated NumPy arrays — per the HPC guides, appending a sample is O(1)
+with no per-sample Python object allocation, which keeps the logging
+overhead negligible next to a training step (see
+``benchmarks/bench_ablation_overhead.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from repro.core.context import Context
+from repro.errors import TrackingError
+from repro.storage.base import SeriesData
+
+_INITIAL_CAPACITY = 256
+
+
+class MetricKey(NamedTuple):
+    """Identity of a metric series: name within a context."""
+
+    name: str
+    context: Context
+
+    def series_name(self) -> str:
+        """Flat name used by storage backends (``loss@TRAINING``)."""
+        return f"{self.name}@{self.context.name}"
+
+    @classmethod
+    def parse(cls, series_name: str) -> "MetricKey":
+        name, sep, ctx = series_name.rpartition("@")
+        if not sep:
+            raise TrackingError(f"not a metric series name: {series_name!r}")
+        return cls(name, Context.of(ctx))
+
+
+class MetricSample(NamedTuple):
+    """One logged observation."""
+
+    step: int
+    value: float
+    time: float
+    epoch: int
+
+
+@dataclass
+class MetricBuffer:
+    """Append-only columnar buffer for one metric series."""
+
+    key: MetricKey
+    is_input: bool = False
+
+    def __post_init__(self) -> None:
+        self._n = 0
+        self._steps = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._values = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._times = np.empty(_INITIAL_CAPACITY, dtype=np.float64)
+        self._epochs = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+
+    def _grow(self, needed: int) -> None:
+        cap = self._steps.shape[0]
+        if needed <= cap:
+            return
+        new_cap = max(needed, cap * 2)
+        for attr in ("_steps", "_values", "_times", "_epochs"):
+            old = getattr(self, attr)
+            fresh = np.empty(new_cap, dtype=old.dtype)
+            fresh[: self._n] = old[: self._n]
+            setattr(self, attr, fresh)
+
+    def append(self, step: int, value: float, time: float, epoch: int = -1) -> None:
+        """Record one sample.  ``epoch=-1`` means "no epoch structure"."""
+        self._grow(self._n + 1)
+        i = self._n
+        self._steps[i] = step
+        self._values[i] = value
+        self._times[i] = time
+        self._epochs[i] = epoch
+        self._n = i + 1
+
+    def extend(
+        self,
+        steps: np.ndarray,
+        values: np.ndarray,
+        times: np.ndarray,
+        epochs: Optional[np.ndarray] = None,
+    ) -> None:
+        """Bulk-append parallel arrays (vectorized path for the simulator)."""
+        steps = np.asarray(steps, dtype=np.int64)
+        values = np.asarray(values, dtype=np.float64)
+        times = np.asarray(times, dtype=np.float64)
+        if epochs is None:
+            epochs = np.full(steps.shape[0], -1, dtype=np.int64)
+        else:
+            epochs = np.asarray(epochs, dtype=np.int64)
+        if not (steps.shape == values.shape == times.shape == epochs.shape):
+            raise TrackingError("extend() arrays must have matching shapes")
+        k = steps.shape[0]
+        self._grow(self._n + k)
+        sl = slice(self._n, self._n + k)
+        self._steps[sl] = steps
+        self._values[sl] = values
+        self._times[sl] = times
+        self._epochs[sl] = epochs
+        self._n += k
+
+    # -- views ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def steps(self) -> np.ndarray:
+        return self._steps[: self._n]
+
+    @property
+    def values(self) -> np.ndarray:
+        return self._values[: self._n]
+
+    @property
+    def times(self) -> np.ndarray:
+        return self._times[: self._n]
+
+    @property
+    def epochs(self) -> np.ndarray:
+        return self._epochs[: self._n]
+
+    @property
+    def last_value(self) -> float:
+        if self._n == 0:
+            raise TrackingError(f"metric {self.key.series_name()} has no samples")
+        return float(self._values[self._n - 1])
+
+    def epoch_values(self, epoch: int) -> np.ndarray:
+        """Values logged during a specific epoch (view-free boolean mask)."""
+        mask = self.epochs == epoch
+        return self.values[mask]
+
+    def stats(self) -> Dict[str, float]:
+        """Summary statistics of the values (used in provenance attributes)."""
+        if self._n == 0:
+            return {"count": 0}
+        values = self.values
+        with np.errstate(invalid="ignore"):  # all-NaN / mixed-inf slices
+            return {
+                "count": int(self._n),
+                "min": float(np.nanmin(values)),
+                "max": float(np.nanmax(values)),
+                "mean": float(np.nanmean(values)),
+                "last": float(values[-1]),
+            }
+
+    def to_series(self) -> SeriesData:
+        """Snapshot as storage-ready column data (copies, detached)."""
+        return SeriesData(
+            {
+                "steps": self.steps.copy(),
+                "values": self.values.copy(),
+                "times": self.times.copy(),
+                "epochs": self.epochs.copy(),
+            },
+            attrs={
+                "metric": self.key.name,
+                "context": self.key.context.name,
+                "is_input": self.is_input,
+            },
+        )
+
+    @classmethod
+    def from_series(cls, series: SeriesData) -> "MetricBuffer":
+        """Inverse of :meth:`to_series` (for reloading stores)."""
+        attrs = series.attrs
+        key = MetricKey(str(attrs["metric"]), Context.of(str(attrs["context"])))
+        buf = cls(key, is_input=bool(attrs.get("is_input", False)))
+        buf.extend(
+            series.columns["steps"],
+            series.columns["values"],
+            series.columns["times"],
+            series.columns.get("epochs"),
+        )
+        return buf

@@ -1,0 +1,188 @@
+"""MLflow-compatible façade (§4: "the integration of a plugin to allow for
+integration between the two is already in the works").
+
+yProv4ML "works along side MLFlow, so to offer a standardized pipeline
+through which to log data, allowing the user to modify minimal portions of
+code".  This module provides exactly that adapter: code written against the
+``mlflow`` fluent API runs unchanged against yProv4ML provenance tracking —
+change ``import mlflow`` to ``from repro.core import mlflow_compat as
+mlflow`` and every ``log_param`` / ``log_metric`` lands in a W3C PROV
+document instead of (or conceptually, in addition to) an MLflow store.
+
+Supported surface: ``set_tracking_uri``, ``set_experiment``, ``start_run``
+(as a context manager with ``run.info``), ``active_run``, ``log_param(s)``,
+``log_metric(s)``, ``log_artifact``, ``log_text``, ``log_dict``,
+``set_tag(s)``, ``end_run``.  MLflow has no notion of contexts; metrics go
+to TRAINING unless the (extension) ``context=`` keyword is used.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.core import session as _session
+from repro.core.context import Context
+from repro.errors import NoActiveRunError
+
+_state: Dict[str, Any] = {
+    "tracking_dir": Path("mlruns_prov"),
+    "experiment": "Default",
+}
+
+
+@dataclass
+class RunInfo:
+    """Subset of mlflow.entities.RunInfo that instrumented code reads."""
+
+    run_id: str
+    experiment_id: str
+    status: str
+    artifact_uri: str
+
+
+class ActiveRun:
+    """Context-manager wrapper matching ``mlflow.ActiveRun``."""
+
+    def __init__(self, run) -> None:
+        self._run = run
+
+    @property
+    def info(self) -> RunInfo:
+        """MLflow-style RunInfo view of the wrapped run."""
+        return RunInfo(
+            run_id=self._run.run_id,
+            experiment_id=self._run.experiment_name,
+            status=self._run.status.value.upper(),
+            artifact_uri=str(self._run.artifacts.artifact_dir),
+        )
+
+    def __enter__(self) -> "ActiveRun":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            end_run()
+        else:
+            end_run(status="FAILED")
+        return False
+
+
+def set_tracking_uri(uri: Union[str, Path]) -> None:
+    """MLflow's tracking URI maps to the provenance save directory."""
+    text = str(uri)
+    if text.startswith("file://"):
+        text = text[len("file://"):]
+    _state["tracking_dir"] = Path(text)
+
+
+def get_tracking_uri() -> str:
+    """The current tracking directory (mlflow.get_tracking_uri)."""
+    return str(_state["tracking_dir"])
+
+
+def set_experiment(experiment_name: str) -> None:
+    """Select the experiment for subsequent runs (mlflow.set_experiment)."""
+    _state["experiment"] = experiment_name
+
+
+def start_run(
+    run_name: Optional[str] = None,
+    nested: bool = False,
+    tags: Optional[Dict[str, str]] = None,
+) -> ActiveRun:
+    """Open a run (mlflow semantics: one active run; nesting unsupported)."""
+    if nested:
+        raise NotImplementedError("nested runs are not part of the paper's model")
+    run = _session.start_run(
+        experiment_name=_state["experiment"],
+        provenance_save_dir=_state["tracking_dir"],
+        run_id=run_name,
+    )
+    for key, value in (tags or {}).items():
+        run.log_param(f"tag.{key}", value)
+    return ActiveRun(run)
+
+
+def active_run() -> Optional[ActiveRun]:
+    """The active run wrapper, or None (mlflow.active_run)."""
+    if not _session.has_active_run():
+        return None
+    return ActiveRun(_session.active_run())
+
+
+def end_run(status: str = "FINISHED"):
+    """Close the active run, saving provenance (zarr-offloaded metrics)."""
+    from repro.core.experiment import RunStatus
+
+    mapped = {
+        "FINISHED": RunStatus.FINISHED,
+        "FAILED": RunStatus.FAILED,
+        "KILLED": RunStatus.FAILED,
+    }.get(status.upper(), RunStatus.FINISHED)
+    return _session.end_run(status=mapped)
+
+
+# -- logging -----------------------------------------------------------------
+
+def log_param(key: str, value: Any) -> Any:
+    """Log a parameter (mlflow.log_param)."""
+    _session.log_param(key, value)
+    return value
+
+
+def log_params(params: Dict[str, Any]) -> None:
+    """Log several parameters (mlflow.log_params)."""
+    _session.log_params(params)
+
+
+def log_metric(key: str, value: float, step: Optional[int] = None,
+               context: Union[Context, str] = Context.TRAINING) -> None:
+    """Log one metric sample (mlflow.log_metric; context is an extension)."""
+    _session.log_metric(key, value, context=context, step=step)
+
+
+def log_metrics(metrics: Dict[str, float], step: Optional[int] = None,
+                context: Union[Context, str] = Context.TRAINING) -> None:
+    """Log several metrics at one step (mlflow.log_metrics)."""
+    _session.log_metrics(metrics, context=context, step=step)
+
+
+def log_artifact(local_path: Union[str, Path],
+                 artifact_path: Optional[str] = None) -> None:
+    """Copy a local file into the run artifacts (mlflow.log_artifact)."""
+    name = None
+    if artifact_path is not None:
+        name = f"{artifact_path}/{Path(local_path).name}"
+    _session.log_artifact(local_path, name=name)
+
+
+def log_text(text: str, artifact_file: str) -> None:
+    """Write a text artifact (mlflow.log_text)."""
+    _session.active_run().log_artifact_bytes(artifact_file, text.encode("utf-8"))
+
+
+def log_dict(dictionary: Dict[str, Any], artifact_file: str) -> None:
+    """Write a dict as a JSON artifact (mlflow.log_dict)."""
+    payload = json.dumps(dictionary, indent=2, sort_keys=True, default=str)
+    _session.active_run().log_artifact_bytes(artifact_file, payload.encode("utf-8"))
+
+
+def set_tag(key: str, value: Any) -> None:
+    """MLflow tags map to (string) parameters under the ``tag.`` prefix."""
+    _session.log_param(f"tag.{key}", str(value))
+
+
+def set_tags(tags: Dict[str, Any]) -> None:
+    """Set several tags (mlflow.set_tags)."""
+    for key, value in tags.items():
+        set_tag(key, value)
+
+
+def get_artifact_uri(artifact_path: Optional[str] = None) -> str:
+    """The active run's artifact location (mlflow.get_artifact_uri)."""
+    run = _session.active_run()
+    base = Path(run.artifacts.artifact_dir)
+    return str(base / artifact_path) if artifact_path else str(base)

@@ -1,0 +1,140 @@
+"""Single-file multi-run provenance (§6 future work).
+
+"Future work on this library will target ... tracking all experiment runs
+in a single provenance file, to enable easier comparison with each
+individual execution."  :func:`build_experiment_document` packs every run
+of an experiment into one PROV document: run-level records live in one
+bundle per run; the top level holds the experiment entity, a summary entity
+per run (``hadMember`` of the experiment) carrying the headline parameters
+and final metrics, and ``wasInformedBy`` links chaining successive runs —
+so cross-run comparison queries operate on the top level without opening
+the bundles.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.experiment import Experiment, RunExecution
+from repro.core.provgen import YPROV4ML, build_prov_document
+from repro.errors import TrackingError
+from repro.prov.document import ProvDocument
+from repro.prov.identifiers import Namespace
+
+
+def build_experiment_document(
+    runs: Sequence[RunExecution],
+    experiment_name: Optional[str] = None,
+    metric_format: str = "inline",
+) -> ProvDocument:
+    """One provenance document covering every run of an experiment."""
+    runs = list(runs)
+    if not runs:
+        raise TrackingError("at least one run is required")
+    names = {run.experiment_name for run in runs}
+    if experiment_name is None:
+        if len(names) > 1:
+            raise TrackingError(
+                f"runs belong to different experiments: {sorted(names)}"
+            )
+        experiment_name = runs[0].experiment_name
+
+    doc = ProvDocument()
+    ex = doc.add_namespace(Namespace("ex", runs[0].user_namespace))
+    doc.add_namespace(YPROV4ML)
+
+    experiment_id = ex(f"experiment/{experiment_name}")
+    doc.entity(
+        experiment_id,
+        {
+            "prov:type": YPROV4ML("Experiment"),
+            "prov:label": experiment_name,
+            "yprov4ml:n_runs": len(runs),
+        },
+    )
+
+    previous_summary = None
+    for run in runs:
+        run_doc = build_prov_document(run, metric_format=metric_format,
+                                      metric_store_path=f"metrics_{run.run_id}")
+        bundle_id = ex(f"bundle/{run.run_id}")
+        bundle = doc.bundle(bundle_id)
+        bundle.update(run_doc.flattened())
+
+        summary_attrs: Dict[str, Any] = {
+            "prov:type": YPROV4ML("RunSummary"),
+            "prov:label": run.run_id,
+            "yprov4ml:status": run.status.value,
+            "yprov4ml:run_index": run.run_index,
+        }
+        if run.duration is not None:
+            summary_attrs["yprov4ml:duration_s"] = float(run.duration)
+        for param in run.params:
+            value = param.value
+            if isinstance(value, (list, dict)):
+                import json
+
+                value = json.dumps(value, sort_keys=True)
+            summary_attrs[f"yprov4ml:param/{param.name}"] = value
+        for key, buffer in run.metrics.items():
+            if len(buffer):
+                summary_attrs[f"yprov4ml:final/{key.series_name()}"] = buffer.last_value
+        summary_id = ex(f"runs/{run.run_id}")
+        doc.entity(summary_id, summary_attrs)
+        doc.had_member(experiment_id, summary_id)
+        doc.specialization_of(summary_id, bundle_id)
+        doc.entity(bundle_id, {"prov:type": YPROV4ML("RunProvenance")})
+        if previous_summary is not None:
+            # successive runs: later summary derived from the earlier one
+            # (the developer iterated from run N to run N+1)
+            doc.was_derived_from(summary_id, previous_summary)
+        previous_summary = summary_id
+
+    return doc
+
+
+def experiment_comparison_table(doc: ProvDocument) -> List[Dict[str, Any]]:
+    """Cross-run comparison from a multi-run document's top level only.
+
+    Returns one row per run (sorted by run index): run id, status, every
+    ``param/*`` and ``final/*`` attribute, without touching the bundles —
+    the "easier comparison" §6 promises.
+    """
+    rows: List[Dict[str, Any]] = []
+    for ent in doc.entities.values():
+        if not str(ent.prov_type or "").endswith("RunSummary"):
+            continue
+        row: Dict[str, Any] = {
+            "run_id": str(ent.label),
+            "status": ent.get_attribute("yprov4ml:status"),
+            "run_index": ent.get_attribute("yprov4ml:run_index", 0),
+        }
+        for key, value in ent.attributes.items():
+            if key.startswith("yprov4ml:param/"):
+                row[f"param:{key.split('/', 1)[1]}"] = value
+            elif key.startswith("yprov4ml:final/"):
+                row[f"final:{key.split('/', 1)[1]}"] = value
+        rows.append(row)
+    rows.sort(key=lambda r: (r["run_index"], r["run_id"]))
+    return rows
+
+
+def format_comparison(rows: List[Dict[str, Any]]) -> str:
+    """Plain-text rendering of the comparison table."""
+    if not rows:
+        return "(no runs)"
+    columns = ["run_id", "status"]
+    extra = sorted({k for row in rows for k in row}
+                   - {"run_id", "status", "run_index"})
+    columns += extra
+    widths = {
+        col: max(len(col), *(len(str(row.get(col, ""))) for row in rows))
+        for col in columns
+    }
+    header = "  ".join(f"{col:<{widths[col]}}" for col in columns)
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append("  ".join(
+            f"{str(row.get(col, '')):<{widths[col]}}" for col in columns
+        ))
+    return "\n".join(lines)

@@ -1,0 +1,103 @@
+"""Parameter logging.
+
+Parameters are "one-time recorded values used during training" (paper §4):
+learning rate, model size, batch size, ...  Each logged parameter records a
+*direction* — the latest library version lets users mark data as **input**
+(needed to re-run the experiment, default for parameters) or **output**
+(produced by it) — which drives the ``used`` vs ``wasGeneratedBy``
+relationship in the provenance file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.core.context import Context
+from repro.errors import TrackingError
+
+_ALLOWED_TYPES = (str, int, float, bool, type(None))
+
+
+def _check_value(value: Any) -> Any:
+    """Parameters must be JSON-scalar-ish; containers of scalars are allowed."""
+    if isinstance(value, _ALLOWED_TYPES):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_check_value(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _check_value(v) for k, v in value.items()}
+    raise TrackingError(
+        f"parameter values must be scalars or containers of scalars, "
+        f"got {type(value).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class LoggedParam:
+    """One recorded parameter."""
+
+    name: str
+    value: Any
+    is_input: bool = True
+    context: Optional[Context] = None
+
+
+class ParamStore:
+    """Ordered mapping of parameter name -> :class:`LoggedParam`.
+
+    Re-logging a parameter with a *different* value raises — a run's
+    parameters are one-time by definition; re-logging the same value is a
+    harmless no-op (idempotent logging simplifies instrumentation).
+    """
+
+    def __init__(self) -> None:
+        self._params: Dict[str, LoggedParam] = {}
+
+    def log(
+        self,
+        name: str,
+        value: Any,
+        is_input: bool = True,
+        context: Optional[Context] = None,
+    ) -> LoggedParam:
+        """Record a parameter; idempotent for identical re-logs, error otherwise."""
+        if not name:
+            raise TrackingError("parameter name must be non-empty")
+        value = _check_value(value)
+        existing = self._params.get(name)
+        param = LoggedParam(name, value, is_input, context)
+        if existing is not None:
+            if existing.value != value or existing.is_input != is_input:
+                raise TrackingError(
+                    f"parameter {name!r} already logged with a different value "
+                    f"({existing.value!r} != {value!r})"
+                )
+            return existing
+        self._params[name] = param
+        return param
+
+    def get(self, name: str, default: Any = None) -> Any:
+        param = self._params.get(name)
+        return default if param is None else param.value
+
+    def __getitem__(self, name: str) -> LoggedParam:
+        try:
+            return self._params[name]
+        except KeyError:
+            raise TrackingError(f"parameter not logged: {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._params
+
+    def __iter__(self) -> Iterator[LoggedParam]:
+        return iter(self._params.values())
+
+    def __len__(self) -> int:
+        return len(self._params)
+
+    def items(self) -> Iterator[Tuple[str, Any]]:
+        return ((p.name, p.value) for p in self._params.values())
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {p.name: p.value for p in self._params.values()}

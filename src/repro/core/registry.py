@@ -1,0 +1,117 @@
+"""On-disk experiment registry — the searchable knowledge base of §3.2/§3.3.
+
+Scans a provenance root directory for run provenance files (``prov.json``),
+summarizes them, and answers the queries the paper motivates: "with a
+knowledge base of previous runs available and metadata easily searchable,
+the team could identify similar processes".
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Union
+
+from repro.core.provgen import RunSummary, load_run_summary
+from repro.errors import TrackingError
+
+
+class ExperimentRegistry:
+    """Knowledge base over a directory tree of provenance files."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self._summaries: Dict[str, RunSummary] = {}
+        self.refresh()
+
+    def refresh(self) -> int:
+        """(Re)scan the root directory; returns the number of runs found."""
+        self._summaries.clear()
+        if not self.root.exists():
+            return 0
+        for prov_path in sorted(self.root.rglob("prov.json")):
+            try:
+                summary = load_run_summary(prov_path)
+            except Exception:
+                # Corrupt or foreign files must not break the whole KB.
+                continue
+            self._summaries[summary.run_id] = summary
+        return len(self._summaries)
+
+    def add(self, summary: RunSummary) -> None:
+        """Register an in-memory summary (e.g. straight from a finished run)."""
+        self._summaries[summary.run_id] = summary
+
+    # -- access ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._summaries)
+
+    def __iter__(self) -> Iterator[RunSummary]:
+        return iter(self._summaries.values())
+
+    def get(self, run_id: str) -> RunSummary:
+        try:
+            return self._summaries[run_id]
+        except KeyError:
+            raise TrackingError(f"run not in registry: {run_id!r}") from None
+
+    def experiments(self) -> List[str]:
+        """Distinct experiment names, sorted."""
+        return sorted({s.experiment for s in self._summaries.values()})
+
+    def runs_of(self, experiment: str) -> List[RunSummary]:
+        return sorted(
+            (s for s in self._summaries.values() if s.experiment == experiment),
+            key=lambda s: s.run_id,
+        )
+
+    # -- queries -----------------------------------------------------------
+    def find(
+        self,
+        experiment: Optional[str] = None,
+        where: Optional[Mapping[str, Any]] = None,
+        predicate: Optional[Callable[[RunSummary], bool]] = None,
+        status: Optional[str] = None,
+    ) -> List[RunSummary]:
+        """Filter runs by experiment name, exact parameter values, status
+        and/or an arbitrary predicate."""
+        out: List[RunSummary] = []
+        for summary in self._summaries.values():
+            if experiment is not None and summary.experiment != experiment:
+                continue
+            if status is not None and summary.status != status:
+                continue
+            if where is not None and any(
+                summary.params.get(k) != v for k, v in where.items()
+            ):
+                continue
+            if predicate is not None and not predicate(summary):
+                continue
+            out.append(summary)
+        return sorted(out, key=lambda s: s.run_id)
+
+    def best_run(
+        self,
+        metric: str,
+        context: str = "VALIDATION",
+        experiment: Optional[str] = None,
+        lower_is_better: bool = True,
+        where: Optional[Mapping[str, Any]] = None,
+    ) -> Optional[RunSummary]:
+        """The run with the best final value of *metric* (None when absent)."""
+        candidates = []
+        for summary in self.find(experiment=experiment, where=where):
+            value = summary.final_metric(metric, context)
+            if value is not None:
+                candidates.append((value, summary))
+        if not candidates:
+            return None
+        candidates.sort(key=lambda pair: pair[0], reverse=not lower_is_better)
+        return candidates[0][1]
+
+    def param_values(self, name: str, experiment: Optional[str] = None) -> List[Any]:
+        """Distinct values a parameter took across matching runs."""
+        values = []
+        for summary in self.find(experiment=experiment):
+            if name in summary.params and summary.params[name] not in values:
+                values.append(summary.params[name])
+        return values

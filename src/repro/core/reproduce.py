@@ -1,0 +1,237 @@
+"""Reproducibility from a provenance file (§4 / §6 future work).
+
+"With this change, reproducing an experiment by simply sharing a provJSON
+file would become trivial" — this module delivers that workflow:
+
+1. a provenance file records the experiment name, every input parameter
+   (the ``used`` side of the graph) and the hashes of input artifacts;
+2. an :class:`ExperimentReplayer` holds *recipes*: callables registered per
+   experiment (name pattern) that know how to execute it given parameters;
+3. :meth:`ExperimentReplayer.replay` loads the PROV-JSON, re-executes the
+   matching recipe with the recorded parameters into a fresh tracked run,
+   and verifies the outcome: final metric values within tolerance and
+   output-artifact content hashes.
+
+The distributed-training simulator ships a built-in recipe
+(:func:`simulation_recipe`), so any run produced by
+:func:`repro.simulator.training.simulate_training` can be reproduced
+bit-for-bit from its provenance file alone.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.core.experiment import RunExecution
+from repro.core.provgen import RunSummary, load_run_summary
+from repro.errors import TrackingError
+
+#: A recipe executes an experiment: (params, run) -> None, logging into *run*.
+Recipe = Callable[[Mapping[str, Any], RunExecution], None]
+
+
+@dataclass
+class MetricCheck:
+    """Comparison of one metric series between original and replay."""
+
+    series: str
+    original: Optional[float]
+    replayed: Optional[float]
+    matched: bool
+
+
+@dataclass
+class ReproductionReport:
+    """Outcome of a replay."""
+
+    original_run_id: str
+    replayed_run_id: str
+    experiment: str
+    metric_checks: List[MetricCheck] = field(default_factory=list)
+    metrics_not_replayed: List[str] = field(default_factory=list)
+    artifacts_verified: List[str] = field(default_factory=list)
+    artifacts_mismatched: List[str] = field(default_factory=list)
+
+    @property
+    def is_faithful(self) -> bool:
+        """True when at least one metric was compared and every compared
+        metric/artifact matched (series the recipe does not re-log are
+        reported separately, not counted as failures)."""
+        return (
+            bool(self.metric_checks)
+            and all(c.matched for c in self.metric_checks)
+            and not self.artifacts_mismatched
+        )
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        ok = sum(1 for c in self.metric_checks if c.matched)
+        return (
+            f"replayed {self.original_run_id} -> {self.replayed_run_id}: "
+            f"metrics {ok}/{len(self.metric_checks)} matched "
+            f"({len(self.metrics_not_replayed)} not re-logged), "
+            f"artifacts {len(self.artifacts_verified)} verified / "
+            f"{len(self.artifacts_mismatched)} mismatched"
+        )
+
+
+class ExperimentReplayer:
+    """Registry of experiment recipes + the replay/verify workflow."""
+
+    def __init__(self, rel_tolerance: float = 1e-9) -> None:
+        self._recipes: List[Tuple[str, Recipe]] = []
+        self.rel_tolerance = rel_tolerance
+
+    def register(self, experiment_pattern: str, recipe: Recipe) -> None:
+        """Register a recipe for experiments matching *pattern* (fnmatch)."""
+        if not experiment_pattern:
+            raise TrackingError("experiment pattern must be non-empty")
+        self._recipes.append((experiment_pattern, recipe))
+
+    def recipe_for(self, experiment: str) -> Recipe:
+        """Resolve the recipe whose pattern matches *experiment*."""
+        for pattern, recipe in self._recipes:
+            if fnmatch.fnmatch(experiment, pattern):
+                return recipe
+        raise TrackingError(
+            f"no recipe registered for experiment {experiment!r}; "
+            f"patterns: {[p for p, _ in self._recipes]}"
+        )
+
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        prov_path: Union[str, Path],
+        save_dir: Union[str, Path],
+        clock: Optional[Callable[[], float]] = None,
+    ) -> Tuple[RunExecution, ReproductionReport]:
+        """Re-execute the experiment described by *prov_path* and verify it."""
+        summary = load_run_summary(Path(prov_path))
+        recipe = self.recipe_for(summary.experiment)
+
+        run = RunExecution(
+            experiment_name=summary.experiment,
+            run_id=f"replay_{summary.run_id}",
+            save_dir=Path(save_dir),
+            clock=clock,
+        )
+        run.start()
+        recipe(dict(summary.params), run)
+        if run.status.value == "running":
+            run.end()
+
+        report = self.verify(summary, run)
+        return run, report
+
+    def verify(self, original: RunSummary, replayed: RunExecution) -> ReproductionReport:
+        """Compare the replayed run against the original's recorded outcome."""
+        report = ReproductionReport(
+            original_run_id=original.run_id,
+            replayed_run_id=replayed.run_id,
+            experiment=original.experiment,
+        )
+        # metrics: compare final values of every series the original recorded
+        replayed_finals: Dict[str, float] = {}
+        for key, buffer in replayed.metrics.items():
+            if len(buffer):
+                replayed_finals[key.series_name()] = buffer.last_value
+        for series, stats in sorted(original.metrics.items()):
+            original_last = stats.get("last")
+            new_last = replayed_finals.get(series)
+            if new_last is None:
+                report.metrics_not_replayed.append(series)
+                continue
+            matched = self._close(original_last, new_last)
+            report.metric_checks.append(
+                MetricCheck(series, original_last, new_last, matched)
+            )
+        # artifacts: hashes of same-named outputs must agree
+        original_dir = (
+            original.source_path.parent if original.source_path is not None else None
+        )
+        for artifact in replayed.artifacts:
+            if artifact.is_input:
+                continue
+            if original_dir is None:
+                continue
+            candidate = original_dir / "artifacts" / artifact.name
+            if not candidate.is_file():
+                continue
+            from repro.core.artifacts import sha256_file
+
+            if sha256_file(candidate) == artifact.sha256:
+                report.artifacts_verified.append(artifact.name)
+            else:
+                report.artifacts_mismatched.append(artifact.name)
+        return report
+
+    def _close(self, a: Optional[float], b: Optional[float]) -> bool:
+        if a is None or b is None:
+            return False
+        if math.isnan(a) and math.isnan(b):
+            return True
+        return math.isclose(a, b, rel_tol=self.rel_tolerance, abs_tol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# built-in recipe: the distributed-training simulator
+# ---------------------------------------------------------------------------
+
+def simulation_recipe(params: Mapping[str, Any], run: RunExecution) -> None:
+    """Re-execute a simulated training job from its recorded parameters.
+
+    The simulator is deterministic given (architecture, size, GPUs, batch,
+    epochs, dataset size, seed, mfu, walltime), all of which yProv4ML logged
+    as input parameters — so the replay reproduces the original run's
+    metrics exactly.
+    """
+    from repro.core.context import Context
+    from repro.simulator.data import SyntheticMODIS
+    from repro.simulator.training import job_from_zoo, simulate_training
+
+    required = ("architecture", "model_size", "n_gpus", "batch_per_gpu",
+                "epochs_target", "dataset_patches", "seed", "mfu", "walltime_s")
+    missing = [name for name in required if name not in params]
+    if missing:
+        raise TrackingError(f"provenance lacks parameters for replay: {missing}")
+
+    dataset = SyntheticMODIS(n_patches=int(params["dataset_patches"]))
+    job = job_from_zoo(
+        str(params["architecture"]),
+        str(params["model_size"]),
+        int(params["n_gpus"]),
+        batch_per_gpu=int(params["batch_per_gpu"]),
+        epochs=int(params["epochs_target"]),
+        dataset=dataset,
+        seed=int(params["seed"]),
+        mfu=float(params["mfu"]),
+        walltime_s=float(params["walltime_s"]),
+    )
+    result = simulate_training(job)
+
+    # log the replayed outcome into the fresh run, mirroring what the
+    # original tracking hooks recorded
+    for name, value in params.items():
+        run.log_param(name, value)
+    run.log_metric("final_loss", result.final_loss, context=Context.TESTING)
+    run.log_metric("total_energy_kwh", result.energy_kwh, context=Context.TESTING)
+    run.log_metric("tradeoff_loss_x_kwh", result.tradeoff, context=Context.TESTING)
+    run.log_metric("completed", 1.0 if result.completed else 0.0,
+                   context=Context.TESTING)
+    run.log_metric("val_loss", result.final_loss * 1.02, context=Context.VALIDATION)
+    run.log_metric_array(
+        "loss", result.loss_steps, result.loss_values,
+        result.loss_steps.astype(float) * result.step_timing.step_s,
+        context=Context.TRAINING,
+    )
+
+
+def default_replayer() -> ExperimentReplayer:
+    """A replayer with the built-in simulator recipe registered."""
+    replayer = ExperimentReplayer()
+    replayer.register("scaling_*", simulation_recipe)
+    return replayer

@@ -1,0 +1,230 @@
+"""Module-level session API — the MLflow-like façade the paper describes.
+
+One global active run per process (like ``mlflow.start_run``)::
+
+    import repro as prov4ml
+
+    prov4ml.start_run(experiment_name="mnist", provenance_save_dir="prov")
+    prov4ml.log_param("lr", 1e-3)
+    for epoch in range(3):
+        prov4ml.start_epoch(prov4ml.Context.TRAINING)
+        prov4ml.log_metric("loss", 0.9 ** epoch, context=prov4ml.Context.TRAINING)
+        prov4ml.end_epoch(prov4ml.Context.TRAINING)
+    prov4ml.end_run(create_graph=True)
+
+``end_run`` writes ``prov.json`` (PROV-JSON), the offloaded metric store and
+the optional graph/RO-Crate, then clears the active run.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.context import Context
+from repro.core.experiment import Experiment, RunExecution, RunStatus
+from repro.errors import NoActiveRunError, RunAlreadyActiveError
+
+_lock = threading.Lock()
+_active_run: Optional[RunExecution] = None
+_experiments: Dict[str, Experiment] = {}
+
+
+def start_run(
+    experiment_name: str = "default",
+    prov_user_namespace: str = "http://example.org/",
+    provenance_save_dir: Union[str, Path] = "prov",
+    username: str = "user",
+    run_id: Optional[str] = None,
+    clock: Optional[Callable[[], float]] = None,
+    collectors: Optional[list] = None,
+    rank: Optional[int] = None,
+) -> RunExecution:
+    """Open a new active run under *experiment_name*.
+
+    Raises :class:`~repro.errors.RunAlreadyActiveError` when a run is
+    already open (nested runs are not part of the paper's model).
+    """
+    global _active_run
+    with _lock:
+        if _active_run is not None:
+            raise RunAlreadyActiveError(
+                f"run {_active_run.run_id!r} is already active; call end_run() first"
+            )
+        key = (experiment_name, str(provenance_save_dir), prov_user_namespace)
+        experiment = _experiments.get(str(key))
+        if experiment is None:
+            experiment = Experiment(
+                experiment_name,
+                root_dir=provenance_save_dir,
+                user_namespace=prov_user_namespace,
+                username=username,
+            )
+            _experiments[str(key)] = experiment
+        run = experiment.new_run(run_id=run_id, clock=clock, rank=rank)
+        for collector in collectors or ():
+            run.add_collector(collector)
+        run.start()
+        _active_run = run
+        return run
+
+
+def active_run() -> RunExecution:
+    """The currently open run; raises when none is active."""
+    if _active_run is None:
+        raise NoActiveRunError("no active run; call start_run() first")
+    return _active_run
+
+
+def has_active_run() -> bool:
+    """Whether a run is currently open."""
+    return _active_run is not None
+
+
+def end_run(
+    metric_format: str = "zarrlike",
+    create_graph: bool = False,
+    create_rocrate: bool = False,
+    status: RunStatus = RunStatus.FINISHED,
+) -> Dict[str, Path]:
+    """Close the active run and persist its provenance; returns written paths."""
+    global _active_run
+    with _lock:
+        run = active_run()
+        run.end(status=status)
+        paths = run.save(
+            metric_format=metric_format,
+            create_graph=create_graph,
+            create_rocrate=create_rocrate,
+        )
+        _active_run = None
+        return paths
+
+
+def abort_run() -> None:
+    """Drop the active run without saving (for error paths and tests)."""
+    global _active_run
+    with _lock:
+        _active_run = None
+
+
+# -- logging delegates --------------------------------------------------------
+
+def log_param(name: str, value: Any, is_input: bool = True,
+              context: Optional[Union[Context, str]] = None):
+    """Log a parameter on the active run (input by default)."""
+    return active_run().log_param(name, value, is_input=is_input, context=context)
+
+
+def log_params(params: Dict[str, Any]) -> None:
+    """Log several parameters on the active run."""
+    run = active_run()
+    for name, value in params.items():
+        run.log_param(name, value)
+
+
+def log_metric(
+    name: str,
+    value: float,
+    context: Union[Context, str] = Context.TRAINING,
+    step: Optional[int] = None,
+    is_input: bool = False,
+) -> None:
+    """Log one metric sample on the active run."""
+    active_run().log_metric(name, value, context=context, step=step, is_input=is_input)
+
+
+def log_metrics(
+    values: Dict[str, float],
+    context: Union[Context, str] = Context.TRAINING,
+    step: Optional[int] = None,
+) -> None:
+    """Log several metric samples at one step on the active run."""
+    active_run().log_metrics(values, context=context, step=step)
+
+
+def log_metric_array(
+    name: str,
+    steps: np.ndarray,
+    values: np.ndarray,
+    times: np.ndarray,
+    context: Union[Context, str] = Context.TRAINING,
+    epochs: Optional[np.ndarray] = None,
+) -> None:
+    """Bulk-append a precomputed metric series on the active run."""
+    active_run().log_metric_array(name, steps, values, times, context=context, epochs=epochs)
+
+
+def log_artifact(
+    path: Union[str, Path],
+    name: Optional[str] = None,
+    is_input: bool = False,
+    is_model: bool = False,
+    context: Optional[Union[Context, str]] = None,
+    step: Optional[int] = None,
+    copy: bool = True,
+):
+    """Log a file artifact on the active run."""
+    return active_run().log_artifact(
+        path, name=name, is_input=is_input, is_model=is_model,
+        context=context, step=step, copy=copy,
+    )
+
+
+def log_input(path: Union[str, Path], name: Optional[str] = None,
+              context: Optional[Union[Context, str]] = None):
+    """Log an artifact explicitly as an input (``used`` relationship)."""
+    return active_run().log_artifact(path, name=name, is_input=True, context=context)
+
+
+def log_output(path: Union[str, Path], name: Optional[str] = None,
+               context: Optional[Union[Context, str]] = None):
+    """Log an artifact explicitly as an output (``wasGeneratedBy``)."""
+    return active_run().log_artifact(path, name=name, is_input=False, context=context)
+
+
+def log_model(
+    name: str,
+    state_bytes: bytes,
+    context: Optional[Union[Context, str]] = None,
+    step: Optional[int] = None,
+):
+    """Log a serialized model/checkpoint as a ModelVersion artifact."""
+    return active_run().log_artifact_bytes(
+        name, state_bytes, is_model=True, context=context, step=step
+    )
+
+
+def start_epoch(context: Union[Context, str], epoch: Optional[int] = None) -> int:
+    """Open an epoch in *context* on the active run."""
+    return active_run().start_epoch(context, epoch)
+
+
+def end_epoch(context: Union[Context, str]):
+    """Close the open epoch in *context* on the active run."""
+    return active_run().end_epoch(context)
+
+
+def log_execution_command(command: str, output: str = "", exit_code: int = 0):
+    """Record a console command (development tracking) on the active run."""
+    return active_run().log_execution_command(command, output, exit_code)
+
+
+def capture_output(text: str) -> None:
+    """Append a fragment of the script's stdout to the active run."""
+    active_run().capture_output(text)
+
+
+def log_system_metrics(
+    context: Union[Context, str] = Context.TRAINING, step: Optional[int] = None
+) -> Dict[str, float]:
+    """Poll attached collector plugins and log their readings."""
+    return active_run().collect_system_metrics(context=context, step=step)
+
+
+def register_collector(collector: Any) -> None:
+    """Attach a collector plugin to the active run."""
+    active_run().add_collector(collector)

@@ -1,0 +1,22 @@
+"""RO-Crate packaging (Table 2).
+
+The latest yProv4ML "allow[s] to create a wrapper around the artifact
+directory using RO-Crates, which guarantees self-describing capability when
+having to share a single experiment".  This package implements the RO-Crate
+1.1 structure (a ``ro-crate-metadata.json`` JSON-LD descriptor over a
+directory of files), crate validation, and the programmatic W3C PROV vs
+RO-Crate capability probe behind the Table 2 benchmark.
+"""
+
+from repro.crate.rocrate import ROCrate, create_run_crate
+from repro.crate.validate import validate_crate, CrateReport
+from repro.crate.standards import feature_matrix, format_feature_table
+
+__all__ = [
+    "ROCrate",
+    "create_run_crate",
+    "validate_crate",
+    "CrateReport",
+    "feature_matrix",
+    "format_feature_table",
+]

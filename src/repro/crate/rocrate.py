@@ -1,0 +1,161 @@
+"""RO-Crate writer.
+
+An RO-Crate is a directory with a ``ro-crate-metadata.json`` JSON-LD file
+describing the directory ("root data entity") and every packaged file
+("data entities"), per the RO-Crate 1.1 specification.  The crate produced
+for a run packages the artifact directory plus the PROV-JSON provenance
+file, linking the two: the provenance file is typed ``CreativeWork`` with
+``conformsTo`` pointing at W3C PROV — the "Use of W3C PROV: optional" row
+of Table 2.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.core.artifacts import sha256_file
+from repro.errors import CrateError
+
+PathLike = Union[str, Path]
+
+METADATA_FILENAME = "ro-crate-metadata.json"
+RO_CRATE_CONTEXT = "https://w3id.org/ro/crate/1.1/context"
+PROV_CONFORMS_TO = "http://www.w3.org/ns/prov#"
+
+_MIME_BY_SUFFIX = {
+    ".json": "application/json",
+    ".txt": "text/plain",
+    ".csv": "text/csv",
+    ".bin": "application/octet-stream",
+    ".nc": "application/x-netcdf",
+    ".dot": "text/vnd.graphviz",
+}
+
+
+def _mime(path: Path) -> str:
+    return _MIME_BY_SUFFIX.get(path.suffix.lower(), "application/octet-stream")
+
+
+@dataclass
+class ROCrate:
+    """In-memory crate model; :meth:`write` materializes the metadata file."""
+
+    root_dir: Path
+    name: str = "experiment crate"
+    description: str = ""
+    license: str = "https://creativecommons.org/licenses/by/4.0/"
+    author: Optional[str] = None
+    entities: List[Dict[str, Any]] = field(default_factory=list)
+    _file_ids: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.root_dir = Path(self.root_dir)
+        if not self.root_dir.is_dir():
+            raise CrateError(f"crate root is not a directory: {self.root_dir}")
+
+    def add_file(
+        self,
+        path: PathLike,
+        description: str = "",
+        conforms_to: Optional[str] = None,
+        entity_type: str = "File",
+    ) -> Dict[str, Any]:
+        """Register a file (must live inside the crate root)."""
+        path = Path(path)
+        try:
+            rel = path.resolve().relative_to(self.root_dir.resolve())
+        except ValueError:
+            raise CrateError(
+                f"file {path} is outside the crate root {self.root_dir}"
+            ) from None
+        if not path.is_file():
+            raise CrateError(f"crate file not found: {path}")
+        entity: Dict[str, Any] = {
+            "@id": str(rel),
+            "@type": entity_type,
+            "name": rel.name,
+            "contentSize": path.stat().st_size,
+            "encodingFormat": _mime(path),
+            "sha256": sha256_file(path),
+        }
+        if description:
+            entity["description"] = description
+        if conforms_to:
+            entity["conformsTo"] = {"@id": conforms_to}
+        self.entities.append(entity)
+        self._file_ids.append(str(rel))
+        return entity
+
+    def add_directory_tree(self, subdir: Optional[PathLike] = None) -> int:
+        """Register every file under *subdir* (default: whole root); returns count."""
+        base = Path(subdir) if subdir is not None else self.root_dir
+        count = 0
+        for path in sorted(base.rglob("*")):
+            if path.is_file() and path.name != METADATA_FILENAME:
+                self.add_file(path)
+                count += 1
+        return count
+
+    def metadata(self) -> Dict[str, Any]:
+        """The JSON-LD document (deterministic ordering)."""
+        root: Dict[str, Any] = {
+            "@id": "./",
+            "@type": "Dataset",
+            "name": self.name,
+            "description": self.description,
+            "license": {"@id": self.license},
+            "hasPart": [{"@id": fid} for fid in self._file_ids],
+        }
+        if self.author:
+            root["author"] = {"@id": f"#{self.author}"}
+        descriptor = {
+            "@id": METADATA_FILENAME,
+            "@type": "CreativeWork",
+            "conformsTo": {"@id": "https://w3id.org/ro/crate/1.1"},
+            "about": {"@id": "./"},
+        }
+        graph: List[Dict[str, Any]] = [descriptor, root]
+        if self.author:
+            graph.append({"@id": f"#{self.author}", "@type": "Person", "name": self.author})
+        graph.extend(self.entities)
+        return {"@context": RO_CRATE_CONTEXT, "@graph": graph}
+
+    def write(self) -> Path:
+        """Write ``ro-crate-metadata.json`` into the root; returns its path."""
+        out = self.root_dir / METADATA_FILENAME
+        out.write_text(json.dumps(self.metadata(), indent=2), encoding="utf-8")
+        return out
+
+
+def create_run_crate(run: Any, prov_path: Path) -> Path:
+    """Package a finished run's save directory as an RO-Crate.
+
+    Wraps the artifact directory and the PROV-JSON file; the provenance
+    file entity declares conformance to W3C PROV.
+    """
+    crate = ROCrate(
+        root_dir=run.save_dir,
+        name=f"run {run.run_id}",
+        description=f"provenance crate for experiment {run.experiment_name}",
+        author=run.username,
+    )
+    prov_path = Path(prov_path)
+    crate.add_file(
+        prov_path,
+        description="W3C PROV-JSON provenance of the run",
+        conforms_to=PROV_CONFORMS_TO,
+    )
+    for artifact in run.artifacts:
+        if artifact.path.resolve().is_relative_to(run.save_dir.resolve()):
+            crate.add_file(artifact.path, description=f"artifact {artifact.name}")
+    # metric store and dev-tracking side files
+    for extra in sorted(run.save_dir.rglob("*")):
+        if not extra.is_file() or extra.name == METADATA_FILENAME:
+            continue
+        rel = str(extra.resolve().relative_to(run.save_dir.resolve()))
+        if rel not in crate._file_ids:
+            crate.add_file(extra)
+    return crate.write()

@@ -1,0 +1,112 @@
+"""W3C PROV vs RO-Crate capability probe (Table 2).
+
+Rather than hard-coding the paper's comparison table, each row is derived —
+where possible — by probing this repository's two implementations: e.g.
+"Serialization: PROV-N, PROV-JSON" is confirmed by actually serializing a
+document both ways, and "Packaging: yes/no" by attempting to package files.
+Rows that are definitional (who standardizes the format) are declared.
+
+The Table 2 benchmark asserts every probed capability and prints the
+resulting table in the paper's layout.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class FeatureRow:
+    """One Table 2 row."""
+
+    feature: str
+    w3c_prov: str
+    ro_crate: str
+    probed: bool  # True when derived by exercising the implementations
+
+
+def _probe_prov_serializations() -> List[str]:
+    """Serialize a sample document every way the PROV substrate supports."""
+    from repro.prov import ProvDocument, to_provjson, to_provn, to_provo
+
+    doc = ProvDocument()
+    doc.add_namespace("ex", "http://example.org/")
+    doc.entity("ex:thing")
+    formats = []
+    if to_provn(doc).startswith("document"):
+        formats.append("PROV-N")
+    if json.loads(to_provjson(doc)).get("entity"):
+        formats.append("PROV-JSON")
+    if "prov:Entity" in to_provo(doc):
+        formats.append("PROV-O (RDF)")
+    return formats
+
+
+def _probe_crate_packaging() -> bool:
+    """Package a file and validate the crate round-trips."""
+    from repro.crate.rocrate import ROCrate
+    from repro.crate.validate import validate_crate
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        (root / "data.txt").write_text("payload", encoding="utf-8")
+        crate = ROCrate(root, name="probe")
+        crate.add_file(root / "data.txt")
+        crate.write()
+        return validate_crate(root).is_valid
+
+
+def _probe_crate_serialization() -> str:
+    from repro.crate.rocrate import ROCrate
+
+    with tempfile.TemporaryDirectory() as tmp:
+        crate = ROCrate(Path(tmp), name="probe")
+        meta = crate.metadata()
+        return "JSON-LD" if "@context" in meta and "@graph" in meta else "unknown"
+
+
+def _probe_prov_in_crate() -> bool:
+    """The run crate links the provenance file with a PROV conformsTo."""
+    from repro.crate.rocrate import PROV_CONFORMS_TO
+
+    return PROV_CONFORMS_TO == "http://www.w3.org/ns/prov#"
+
+
+def feature_matrix() -> List[FeatureRow]:
+    """Build Table 2, probing the implementations where possible."""
+    prov_formats = _probe_prov_serializations()
+    crate_ser = _probe_crate_serialization()
+    packaging_works = _probe_crate_packaging()
+
+    return [
+        FeatureRow("Type", "Provenance data model",
+                   "Research object packaging format", probed=False),
+        FeatureRow("Standardized By", "W3C", "Community-driven", probed=False),
+        FeatureRow("Serialization", ", ".join(prov_formats), crate_ser, probed=True),
+        FeatureRow("Focus", "Provenance representation",
+                   "Sharing and describing research artifacts", probed=False),
+        FeatureRow("Packaging", "No", "Yes" if packaging_works else "No", probed=True),
+        FeatureRow("Domain-Agnostic", "Yes", "Can be", probed=False),
+        FeatureRow("Use of W3C PROV", "Native",
+                   "Optional (via PROV-O)" if _probe_prov_in_crate() else "No",
+                   probed=True),
+        FeatureRow("Use in yProv4ML", "Tracking of provenance",
+                   "Packaging of artifacts", probed=False),
+    ]
+
+
+def format_feature_table(rows: List[FeatureRow]) -> str:
+    """Render the matrix in the paper's Table 2 layout."""
+    w0 = max(len(r.feature) for r in rows) + 2
+    w1 = max(len(r.w3c_prov) for r in rows) + 2
+    lines = [
+        f"{'Feature':<{w0}} {'W3C PROV':<{w1}} RO-Crate",
+        "-" * (w0 + w1 + 30),
+    ]
+    for row in rows:
+        lines.append(f"{row.feature:<{w0}} {row.w3c_prov:<{w1}} {row.ro_crate}")
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""RO-Crate validation.
+
+Checks the structural requirements of RO-Crate 1.1 that matter for
+round-tripping shared experiments:
+
+* the metadata descriptor exists, is JSON-LD with the right ``@context``;
+* the ``@graph`` contains the descriptor and the root data entity;
+* every ``hasPart`` reference resolves to a described entity;
+* every described file exists on disk with matching size and SHA-256.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.core.artifacts import sha256_file
+from repro.crate.rocrate import METADATA_FILENAME, RO_CRATE_CONTEXT
+from repro.errors import CrateError
+
+
+@dataclass
+class CrateReport:
+    """Validation outcome."""
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    n_files: int = 0
+
+    @property
+    def is_valid(self) -> bool:
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        if self.errors:
+            raise CrateError("; ".join(self.errors))
+
+
+def validate_crate(root_dir: Union[str, Path], check_hashes: bool = True) -> CrateReport:
+    """Validate the crate at *root_dir*; see module docstring for checks."""
+    root_dir = Path(root_dir)
+    report = CrateReport()
+    meta_path = root_dir / METADATA_FILENAME
+
+    if not meta_path.is_file():
+        report.errors.append(f"missing {METADATA_FILENAME}")
+        return report
+    try:
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        report.errors.append(f"metadata is not valid JSON: {exc}")
+        return report
+
+    if meta.get("@context") != RO_CRATE_CONTEXT:
+        report.errors.append(f"unexpected @context: {meta.get('@context')!r}")
+    graph = meta.get("@graph")
+    if not isinstance(graph, list) or not graph:
+        report.errors.append("@graph missing or empty")
+        return report
+
+    by_id: Dict[str, Dict[str, Any]] = {}
+    for entity in graph:
+        if not isinstance(entity, dict) or "@id" not in entity:
+            report.errors.append(f"graph entity without @id: {entity!r}")
+            continue
+        if entity["@id"] in by_id:
+            report.errors.append(f"duplicate entity id: {entity['@id']!r}")
+        by_id[entity["@id"]] = entity
+
+    descriptor = by_id.get(METADATA_FILENAME)
+    if descriptor is None:
+        report.errors.append("metadata descriptor entity missing")
+    else:
+        about = descriptor.get("about", {})
+        if about.get("@id") != "./":
+            report.errors.append("descriptor 'about' must reference the root './'")
+
+    root = by_id.get("./")
+    if root is None:
+        report.errors.append("root data entity './' missing")
+        return report
+    if "Dataset" not in (root.get("@type") if isinstance(root.get("@type"), list) else [root.get("@type")]):
+        report.errors.append("root data entity must be a Dataset")
+
+    parts = root.get("hasPart", [])
+    for ref in parts:
+        part_id = ref.get("@id") if isinstance(ref, dict) else None
+        if part_id is None:
+            report.errors.append(f"malformed hasPart reference: {ref!r}")
+            continue
+        entity = by_id.get(part_id)
+        if entity is None:
+            report.errors.append(f"hasPart references undescribed entity: {part_id!r}")
+            continue
+        path = root_dir / part_id
+        if not path.is_file():
+            report.errors.append(f"crate file missing on disk: {part_id}")
+            continue
+        report.n_files += 1
+        size = entity.get("contentSize")
+        if size is not None and path.stat().st_size != size:
+            report.errors.append(
+                f"size mismatch for {part_id}: metadata {size}, disk {path.stat().st_size}"
+            )
+        if check_hashes:
+            declared = entity.get("sha256")
+            if declared and sha256_file(path) != declared:
+                report.errors.append(f"sha256 mismatch for {part_id}")
+
+    # files present but undeclared are only a warning (crate may be partial)
+    declared_ids = {ref.get("@id") for ref in parts if isinstance(ref, dict)}
+    for path in sorted(root_dir.rglob("*")):
+        if path.is_file() and path.name != METADATA_FILENAME:
+            rel = str(path.relative_to(root_dir))
+            if rel not in declared_ids:
+                report.warnings.append(f"file not declared in crate: {rel}")
+
+    return report

@@ -1,0 +1,131 @@
+"""Typed exception hierarchy for the :mod:`repro` package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ProvError(ReproError):
+    """Base class for errors in the W3C PROV substrate."""
+
+
+class InvalidQualifiedNameError(ProvError):
+    """A qualified name or namespace declaration is malformed."""
+
+
+class UnknownNamespaceError(ProvError):
+    """A prefix was used without a corresponding namespace declaration."""
+
+
+class SerializationError(ProvError):
+    """A PROV document could not be serialized or deserialized."""
+
+
+class ValidationError(ProvError):
+    """A PROV document violates a PROV-CONSTRAINTS check."""
+
+
+class DuplicateRecordError(ProvError):
+    """Two records with the same identifier but conflicting content."""
+
+
+class TrackingError(ReproError):
+    """Base class for errors in the core tracking library (yProv4ML layer)."""
+
+
+class NoActiveRunError(TrackingError):
+    """A logging call was made outside of an active run."""
+
+
+class RunAlreadyActiveError(TrackingError):
+    """``start_run`` was called while another run is active."""
+
+
+class UnknownContextError(TrackingError):
+    """A metric/artifact referenced a context that was never registered."""
+
+
+class ArtifactError(TrackingError):
+    """An artifact path is missing or could not be registered."""
+
+
+class StorageError(ReproError):
+    """Base class for metric-storage backend failures."""
+
+
+class CodecError(StorageError):
+    """A compression codec failed to encode or decode a payload."""
+
+
+class StoreFormatError(StorageError):
+    """A persisted store file/directory is corrupt or has a bad version."""
+
+
+class CrateError(ReproError):
+    """RO-Crate packaging or validation failure."""
+
+
+class GraphDBError(ReproError):
+    """Base class for the embedded property-graph database."""
+
+
+class NodeNotFoundError(GraphDBError):
+    """A node id was not present in the graph store."""
+
+
+class ConstraintViolationError(GraphDBError):
+    """A uniqueness or schema constraint was violated."""
+
+
+class ServiceError(ReproError):
+    """Provenance service (yProv analogue) failure."""
+
+
+class DocumentNotFoundError(ServiceError):
+    """The requested provenance document does not exist."""
+
+
+class HandleError(ServiceError):
+    """Handle-system resolution failure."""
+
+
+class WorkflowError(ReproError):
+    """Workflow DAG construction or execution failure."""
+
+
+class CycleError(WorkflowError):
+    """The task graph contains a cycle."""
+
+
+class SimulationError(ReproError):
+    """Base class for distributed-training-simulator failures."""
+
+
+class ClusterConfigError(SimulationError):
+    """Invalid cluster topology or device inventory."""
+
+
+class CommError(SimulationError):
+    """Simulated communicator misuse (rank mismatch, shape mismatch, ...)."""
+
+
+class WalltimeExceededError(SimulationError):
+    """A simulated job hit its walltime limit.
+
+    Raised only when a caller asks for strict behaviour; the training loop
+    normally records the truncation in the run result instead.
+    """
+
+
+class AnalysisError(ReproError):
+    """Analysis-layer failure (scaling estimation, forecasting, ...)."""
+
+
+class InsufficientHistoryError(AnalysisError):
+    """A knowledge-base query had too few matching runs to estimate from."""

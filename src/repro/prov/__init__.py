@@ -1,0 +1,66 @@
+"""W3C PROV substrate: data model, PROV-JSON / PROV-N serialization, graphs.
+
+This package is a from-scratch implementation of the parts of the W3C PROV
+family of standards that the yProv4ML paper relies on:
+
+* **PROV-DM** (:mod:`repro.prov.model`, :mod:`repro.prov.document`) — the
+  relational data model: entities, activities, agents and the full set of
+  qualified relations (``used``, ``wasGeneratedBy``, ``wasDerivedFrom``, ...).
+* **PROV-JSON** (:mod:`repro.prov.provjson`) — the interoperable JSON
+  serialization used for every provenance file the library writes.
+* **PROV-N** (:mod:`repro.prov.provn`) — the human-readable notation,
+  writer-only, for debugging and documentation.
+* **Graph export** (:mod:`repro.prov.graph`) — conversion to
+  :class:`networkx.MultiDiGraph` plus lineage-closure helpers used by the
+  Explorer.
+* **Validation** (:mod:`repro.prov.validation`) — a pragmatic subset of
+  PROV-CONSTRAINTS (referential integrity, event ordering, derivation
+  acyclicity).
+"""
+
+from repro.prov.identifiers import Namespace, QualifiedName
+from repro.prov.literals import Literal, XSD
+from repro.prov.model import (
+    PROV,
+    PROV_REL_ARGS,
+    ProvActivity,
+    ProvAgent,
+    ProvElement,
+    ProvEntity,
+    ProvRecord,
+    ProvRelation,
+)
+from repro.prov.document import ProvBundle, ProvDocument
+from repro.prov.provjson import from_provjson, to_provjson
+from repro.prov.provn import to_provn
+from repro.prov.provo import from_provo, to_provo
+from repro.prov.graph import to_networkx, lineage, ancestors, descendants
+from repro.prov.validation import validate_document, ValidationReport
+
+__all__ = [
+    "Namespace",
+    "QualifiedName",
+    "Literal",
+    "XSD",
+    "PROV",
+    "PROV_REL_ARGS",
+    "ProvRecord",
+    "ProvElement",
+    "ProvEntity",
+    "ProvActivity",
+    "ProvAgent",
+    "ProvRelation",
+    "ProvDocument",
+    "ProvBundle",
+    "to_provjson",
+    "from_provjson",
+    "to_provn",
+    "to_provo",
+    "from_provo",
+    "to_networkx",
+    "lineage",
+    "ancestors",
+    "descendants",
+    "validate_document",
+    "ValidationReport",
+]

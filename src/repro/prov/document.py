@@ -1,0 +1,463 @@
+"""Provenance documents and bundles.
+
+A :class:`ProvDocument` owns a namespace registry plus a flat set of records,
+and may contain named :class:`ProvBundle` sub-documents (PROV bundles are
+themselves entities whose content is a set of records — yProv uses them to
+nest run-level provenance inside workflow-level documents).
+
+The constructor helpers (:meth:`ProvDocument.entity`,
+:meth:`ProvDocument.was_generated_by`, ...) mirror the PROV-DM relation
+vocabulary and are the only API the rest of the library uses to build
+provenance.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Union
+
+from repro.errors import DuplicateRecordError, ProvError
+from repro.prov.identifiers import Namespace, NamespaceRegistry, QualifiedName
+from repro.prov.model import (
+    ELEMENT_CLASSES,
+    PROV,
+    PROV_REL_ARGS,
+    XSD_NS,
+    ProvActivity,
+    ProvAgent,
+    ProvElement,
+    ProvEntity,
+    ProvRelation,
+    relation_sort_key,
+)
+
+Identifier = Union[QualifiedName, str]
+
+
+class ProvBundle:
+    """A named set of PROV records sharing the parent document's namespaces."""
+
+    def __init__(
+        self,
+        namespaces: Optional[NamespaceRegistry] = None,
+        identifier: Optional[QualifiedName] = None,
+    ) -> None:
+        self.identifier = identifier
+        self.namespaces = namespaces if namespaces is not None else NamespaceRegistry()
+        self.namespaces.register(PROV)
+        self.namespaces.register(XSD_NS)
+        self._elements: Dict[str, Dict[QualifiedName, ProvElement]] = {
+            "entity": {},
+            "activity": {},
+            "agent": {},
+        }
+        self._relations: List[ProvRelation] = []
+
+    # ------------------------------------------------------------------
+    # namespaces & identifier coercion
+    # ------------------------------------------------------------------
+    def add_namespace(self, prefix_or_ns: Union[str, Namespace], uri: str = "") -> Namespace:
+        """Register a namespace, given either a Namespace or (prefix, uri)."""
+        ns = prefix_or_ns if isinstance(prefix_or_ns, Namespace) else Namespace(prefix_or_ns, uri)
+        return self.namespaces.register(ns)
+
+    def set_default_namespace(self, uri: str) -> Namespace:
+        return self.namespaces.set_default(uri)
+
+    def qname(self, identifier: Identifier) -> QualifiedName:
+        """Coerce ``"pfx:name"`` strings to qualified names."""
+        if isinstance(identifier, QualifiedName):
+            return identifier
+        return self.namespaces.qname(identifier)
+
+    # ------------------------------------------------------------------
+    # element constructors
+    # ------------------------------------------------------------------
+    def _add_element(self, kind: str, element: ProvElement) -> ProvElement:
+        table = self._elements[kind]
+        existing = table.get(element.identifier)
+        if existing is not None:
+            # PROV allows repeated assertions about the same element; merge
+            # attributes instead of erroring, but reject cross-kind clashes.
+            for key, value in element.attributes.items():
+                if key not in existing.attributes:
+                    existing.attributes[key] = value
+                elif existing.attributes[key] != value:
+                    existing.add_attribute(key, value)
+            if isinstance(element, ProvActivity) and isinstance(existing, ProvActivity):
+                existing.start_time = existing.start_time or element.start_time
+                existing.end_time = existing.end_time or element.end_time
+            return existing
+        for other_kind, other_table in self._elements.items():
+            if other_kind != kind and element.identifier in other_table:
+                raise DuplicateRecordError(
+                    f"{element.identifier} already declared as {other_kind}"
+                )
+        table[element.identifier] = element
+        return element
+
+    def entity(
+        self, identifier: Identifier, attributes: Optional[Mapping[str, Any]] = None
+    ) -> ProvEntity:
+        """Declare (or extend) an entity."""
+        ent = ProvEntity(self.qname(identifier), attributes)
+        return self._add_element("entity", ent)  # type: ignore[return-value]
+
+    def activity(
+        self,
+        identifier: Identifier,
+        start_time: Optional[_dt.datetime] = None,
+        end_time: Optional[_dt.datetime] = None,
+        attributes: Optional[Mapping[str, Any]] = None,
+    ) -> ProvActivity:
+        """Declare (or extend) an activity with optional start/end times."""
+        act = ProvActivity(self.qname(identifier), start_time, end_time, attributes)
+        return self._add_element("activity", act)  # type: ignore[return-value]
+
+    def agent(
+        self, identifier: Identifier, attributes: Optional[Mapping[str, Any]] = None
+    ) -> ProvAgent:
+        """Declare (or extend) an agent."""
+        ag = ProvAgent(self.qname(identifier), attributes)
+        return self._add_element("agent", ag)  # type: ignore[return-value]
+
+    def collection(
+        self, identifier: Identifier, attributes: Optional[Mapping[str, Any]] = None
+    ) -> ProvEntity:
+        """Declare an entity typed as ``prov:Collection``."""
+        attrs = dict(attributes or {})
+        attrs.setdefault("prov:type", PROV("Collection"))
+        return self.entity(identifier, attrs)
+
+    # ------------------------------------------------------------------
+    # relation constructors (PROV-DM vocabulary)
+    # ------------------------------------------------------------------
+    def _add_relation(
+        self,
+        kind: str,
+        args: Mapping[str, Any],
+        attributes: Optional[Mapping[str, Any]] = None,
+        identifier: Optional[Identifier] = None,
+    ) -> ProvRelation:
+        coerced: Dict[str, Any] = {}
+        for key, value in args.items():
+            if value is None:
+                continue
+            if key in ("prov:time", "prov:startTime", "prov:endTime"):
+                coerced[key] = value
+            else:
+                coerced[key] = self.qname(value)
+        rel = ProvRelation(
+            kind,
+            coerced,
+            identifier=self.qname(identifier) if identifier is not None else None,
+            attributes=attributes,
+        )
+        self._relations.append(rel)
+        return rel
+
+    def was_generated_by(
+        self,
+        entity: Identifier,
+        activity: Optional[Identifier] = None,
+        time: Optional[_dt.datetime] = None,
+        attributes: Optional[Mapping[str, Any]] = None,
+    ) -> ProvRelation:
+        """Assert a ``used`` relation (activity consumed entity)."""
+        """Assert a ``wasGeneratedBy`` relation (entity produced by activity)."""
+        return self._add_relation(
+            "wasGeneratedBy",
+            {"prov:entity": entity, "prov:activity": activity, "prov:time": time},
+            attributes,
+        )
+
+    def used(
+        self,
+        activity: Identifier,
+        entity: Optional[Identifier] = None,
+        time: Optional[_dt.datetime] = None,
+        attributes: Optional[Mapping[str, Any]] = None,
+    ) -> ProvRelation:
+        """Assert a ``wasInformedBy`` relation between activities."""
+        return self._add_relation(
+            "used",
+            {"prov:activity": activity, "prov:entity": entity, "prov:time": time},
+            attributes,
+        )
+
+    def was_informed_by(
+        self, informed: Identifier, informant: Identifier,
+        attributes: Optional[Mapping[str, Any]] = None,
+    ) -> ProvRelation:
+        """Assert a ``wasStartedBy`` relation (trigger entity / starter activity)."""
+        return self._add_relation(
+            "wasInformedBy",
+            {"prov:informed": informed, "prov:informant": informant},
+            attributes,
+        )
+
+    def was_started_by(
+        self,
+        activity: Identifier,
+        trigger: Optional[Identifier] = None,
+        starter: Optional[Identifier] = None,
+        time: Optional[_dt.datetime] = None,
+        attributes: Optional[Mapping[str, Any]] = None,
+    ) -> ProvRelation:
+        """Assert a ``wasEndedBy`` relation (trigger entity / ender activity)."""
+        return self._add_relation(
+            "wasStartedBy",
+            {
+                "prov:activity": activity,
+                "prov:trigger": trigger,
+                "prov:starter": starter,
+                "prov:time": time,
+            },
+            attributes,
+        )
+
+    def was_ended_by(
+        self,
+        activity: Identifier,
+        trigger: Optional[Identifier] = None,
+        ender: Optional[Identifier] = None,
+        time: Optional[_dt.datetime] = None,
+        attributes: Optional[Mapping[str, Any]] = None,
+    ) -> ProvRelation:
+        """Assert a ``wasInvalidatedBy`` relation."""
+        return self._add_relation(
+            "wasEndedBy",
+            {
+                "prov:activity": activity,
+                "prov:trigger": trigger,
+                "prov:ender": ender,
+                "prov:time": time,
+            },
+            attributes,
+        )
+
+    def was_invalidated_by(
+        self,
+        entity: Identifier,
+        activity: Optional[Identifier] = None,
+        time: Optional[_dt.datetime] = None,
+        attributes: Optional[Mapping[str, Any]] = None,
+    ) -> ProvRelation:
+        """Assert a ``wasDerivedFrom`` relation (optionally via an activity)."""
+        return self._add_relation(
+            "wasInvalidatedBy",
+            {"prov:entity": entity, "prov:activity": activity, "prov:time": time},
+            attributes,
+        )
+
+    def was_derived_from(
+        self,
+        generated: Identifier,
+        used: Identifier,
+        activity: Optional[Identifier] = None,
+        attributes: Optional[Mapping[str, Any]] = None,
+    ) -> ProvRelation:
+        """Assert a ``wasDerivedFrom`` relation (optionally via an activity)."""
+        return self._add_relation(
+            "wasDerivedFrom",
+            {
+                "prov:generatedEntity": generated,
+                "prov:usedEntity": used,
+                "prov:activity": activity,
+            },
+            attributes,
+        )
+
+    def was_attributed_to(
+        self, entity: Identifier, agent: Identifier,
+        attributes: Optional[Mapping[str, Any]] = None,
+    ) -> ProvRelation:
+        """Assert a ``wasAssociatedWith`` relation (activity to agent, optional plan)."""
+        return self._add_relation(
+            "wasAttributedTo", {"prov:entity": entity, "prov:agent": agent}, attributes
+        )
+
+    def was_associated_with(
+        self,
+        activity: Identifier,
+        agent: Identifier,
+        plan: Optional[Identifier] = None,
+        attributes: Optional[Mapping[str, Any]] = None,
+    ) -> ProvRelation:
+        """Assert an ``actedOnBehalfOf`` delegation between agents."""
+        return self._add_relation(
+            "wasAssociatedWith",
+            {"prov:activity": activity, "prov:agent": agent, "prov:plan": plan},
+            attributes,
+        )
+
+    def acted_on_behalf_of(
+        self,
+        delegate: Identifier,
+        responsible: Identifier,
+        activity: Optional[Identifier] = None,
+        attributes: Optional[Mapping[str, Any]] = None,
+    ) -> ProvRelation:
+        """Assert a generic ``wasInfluencedBy`` relation."""
+        return self._add_relation(
+            "actedOnBehalfOf",
+            {
+                "prov:delegate": delegate,
+                "prov:responsible": responsible,
+                "prov:activity": activity,
+            },
+            attributes,
+        )
+
+    def was_influenced_by(
+        self, influencee: Identifier, influencer: Identifier,
+        attributes: Optional[Mapping[str, Any]] = None,
+    ) -> ProvRelation:
+        """Assert a generic ``wasInfluencedBy`` relation."""
+        return self._add_relation(
+            "wasInfluencedBy",
+            {"prov:influencee": influencee, "prov:influencer": influencer},
+            attributes,
+        )
+
+    def specialization_of(
+        self, specific: Identifier, general: Identifier
+    ) -> ProvRelation:
+        """Assert a ``specializationOf`` relation between entities."""
+        return self._add_relation(
+            "specializationOf",
+            {"prov:specificEntity": specific, "prov:generalEntity": general},
+        )
+
+    def alternate_of(self, alt1: Identifier, alt2: Identifier) -> ProvRelation:
+        return self._add_relation(
+            "alternateOf", {"prov:alternate1": alt1, "prov:alternate2": alt2}
+        )
+
+    def had_member(self, collection: Identifier, entity: Identifier) -> ProvRelation:
+        return self._add_relation(
+            "hadMember", {"prov:collection": collection, "prov:entity": entity}
+        )
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def entities(self) -> Dict[QualifiedName, ProvEntity]:
+        return self._elements["entity"]  # type: ignore[return-value]
+
+    @property
+    def activities(self) -> Dict[QualifiedName, ProvActivity]:
+        return self._elements["activity"]  # type: ignore[return-value]
+
+    @property
+    def agents(self) -> Dict[QualifiedName, ProvAgent]:
+        return self._elements["agent"]  # type: ignore[return-value]
+
+    @property
+    def relations(self) -> List[ProvRelation]:
+        return self._relations
+
+    def get_element(self, identifier: Identifier) -> Optional[ProvElement]:
+        qn = self.qname(identifier)
+        for table in self._elements.values():
+            if qn in table:
+                return table[qn]
+        return None
+
+    def relations_of_kind(self, kind: str) -> List[ProvRelation]:
+        if kind not in PROV_REL_ARGS:
+            raise ProvError(f"unknown relation kind: {kind!r}")
+        return [r for r in self._relations if r.kind == kind]
+
+    def iter_records(self) -> Iterator[Union[ProvElement, ProvRelation]]:
+        for table in self._elements.values():
+            yield from table.values()
+        yield from self._relations
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self._elements.values()) + len(self._relations)
+
+    def sorted_relations(self) -> List[ProvRelation]:
+        """Deterministic relation order for serialization."""
+        return sorted(self._relations, key=relation_sort_key)
+
+    # ------------------------------------------------------------------
+    # set-like operations
+    # ------------------------------------------------------------------
+    def update(self, other: "ProvBundle") -> None:
+        """Merge all records of *other* into this bundle."""
+        for ns in other.namespaces:
+            self.namespaces.register(ns)
+        if other.namespaces.default is not None and self.namespaces.default is None:
+            self.namespaces.default = other.namespaces.default
+        for kind, table in other._elements.items():
+            for element in table.values():
+                clone = ELEMENT_CLASSES[kind](
+                    element.identifier, attributes=dict(element.attributes)
+                )
+                if isinstance(element, ProvActivity) and isinstance(clone, ProvActivity):
+                    clone.start_time = element.start_time
+                    clone.end_time = element.end_time
+                self._add_element(kind, clone)
+        known = {hash(r) for r in self._relations}
+        for rel in other._relations:
+            if hash(rel) not in known:
+                self._relations.append(rel)
+
+
+class ProvDocument(ProvBundle):
+    """Top-level provenance document: a bundle that can hold named bundles."""
+
+    def __init__(self, namespaces: Optional[NamespaceRegistry] = None) -> None:
+        super().__init__(namespaces)
+        self.bundles: Dict[QualifiedName, ProvBundle] = {}
+
+    def bundle(self, identifier: Identifier) -> ProvBundle:
+        """Create (or return) a named bundle sharing this document's namespaces."""
+        qn = self.qname(identifier)
+        if qn not in self.bundles:
+            self.bundles[qn] = ProvBundle(self.namespaces, identifier=qn)
+        return self.bundles[qn]
+
+    def __len__(self) -> int:
+        return super().__len__() + sum(len(b) for b in self.bundles.values())
+
+    def flattened(self) -> "ProvDocument":
+        """A new document with all bundle contents merged into the top level."""
+        out = ProvDocument(self.namespaces.copy())
+        ProvBundle.update(out, self)  # top-level records only, no bundle copy
+        for bundle in self.bundles.values():
+            out.update(bundle)
+        return out
+
+    def update(self, other: ProvBundle) -> None:
+        super().update(other)
+        if isinstance(other, ProvDocument):
+            for qn, bundle in other.bundles.items():
+                mine = self.bundle(qn)
+                mine.update(bundle)
+
+    # Convenience I/O ----------------------------------------------------
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        from repro.prov.provjson import to_provjson
+
+        return to_provjson(self, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ProvDocument":
+        from repro.prov.provjson import from_provjson
+
+        return from_provjson(text)
+
+    def save(self, path: Any, indent: Optional[int] = 2) -> None:
+        """Write PROV-JSON to *path* (str or Path)."""
+        import pathlib
+
+        pathlib.Path(path).write_text(self.to_json(indent=indent), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Any) -> "ProvDocument":
+        import pathlib
+
+        return cls.from_json(pathlib.Path(path).read_text(encoding="utf-8"))

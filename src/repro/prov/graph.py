@@ -1,0 +1,163 @@
+"""Graph views of PROV documents.
+
+Converts documents to :class:`networkx.MultiDiGraph` and provides the
+closure queries the yProv Explorer builds on: lineage (both directions),
+ancestors (what a node depends on) and descendants (what was derived from
+it).  Edge direction follows PROV's "points back in time" convention, so
+*ancestors* of a model checkpoint are the datasets/activities it came from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+import networkx as nx
+
+from repro.errors import ProvError
+from repro.prov.document import ProvDocument
+from repro.prov.identifiers import QualifiedName
+from repro.prov.model import ProvActivity
+
+
+def to_networkx(document: ProvDocument, flatten: bool = True) -> nx.MultiDiGraph:
+    """Build a MultiDiGraph whose nodes are element ids (``pfx:name`` strings).
+
+    Node attributes: ``kind`` (entity/activity/agent), ``label``,
+    ``prov_type`` and the element's attribute dict under ``attributes``.
+    Edge attributes: ``relation`` (the PROV relation kind).
+
+    With ``flatten=True`` (default), bundle contents are merged in.
+    """
+    doc = document.flattened() if flatten else document
+    graph = nx.MultiDiGraph()
+
+    for kind, table in (
+        ("entity", doc.entities),
+        ("activity", doc.activities),
+        ("agent", doc.agents),
+    ):
+        for qn, element in table.items():
+            attrs = {
+                "kind": kind,
+                "label": element.label or qn.localpart,
+                "prov_type": str(element.prov_type) if element.prov_type is not None else None,
+                "attributes": dict(element.attributes),
+            }
+            if isinstance(element, ProvActivity):
+                attrs["start_time"] = element.start_time
+                attrs["end_time"] = element.end_time
+            graph.add_node(qn.provjson(), **attrs)
+
+    for rel in doc.relations:
+        target = rel.target
+        if target is None:
+            continue
+        src = rel.source.provjson()
+        dst = target.provjson()
+        for node in (src, dst):
+            if node not in graph:
+                # Reference to an undeclared element: keep it visible rather
+                # than dropping the edge (validation flags these separately).
+                graph.add_node(node, kind="unknown", label=node, prov_type=None,
+                               attributes={})
+        graph.add_edge(src, dst, relation=rel.kind)
+
+    return graph
+
+
+def _as_node(identifier) -> str:
+    if isinstance(identifier, QualifiedName):
+        return identifier.provjson()
+    return str(identifier)
+
+
+def ancestors(
+    document: ProvDocument,
+    identifier,
+    relations: Optional[Iterable[str]] = None,
+    max_depth: Optional[int] = None,
+) -> Set[str]:
+    """All nodes reachable *from* ``identifier`` following relation edges.
+
+    Because PROV edges point back in time, these are the things the node
+    depends on (its upstream lineage).  ``relations`` restricts the edge
+    kinds followed; ``max_depth`` bounds the traversal.
+    """
+    graph = to_networkx(document)
+    return _closure(graph, _as_node(identifier), forward=True,
+                    relations=relations, max_depth=max_depth)
+
+
+def descendants(
+    document: ProvDocument,
+    identifier,
+    relations: Optional[Iterable[str]] = None,
+    max_depth: Optional[int] = None,
+) -> Set[str]:
+    """All nodes that (transitively) depend on ``identifier`` (downstream)."""
+    graph = to_networkx(document)
+    return _closure(graph, _as_node(identifier), forward=False,
+                    relations=relations, max_depth=max_depth)
+
+
+def lineage(
+    document: ProvDocument,
+    identifier,
+    relations: Optional[Iterable[str]] = None,
+) -> nx.MultiDiGraph:
+    """Subgraph induced by the node plus its full upstream & downstream closure."""
+    graph = to_networkx(document)
+    node = _as_node(identifier)
+    if node not in graph:
+        raise ProvError(f"unknown element: {node}")
+    keep = {node}
+    keep |= _closure(graph, node, forward=True, relations=relations, max_depth=None)
+    keep |= _closure(graph, node, forward=False, relations=relations, max_depth=None)
+    return graph.subgraph(keep).copy()
+
+
+def _closure(
+    graph: nx.MultiDiGraph,
+    start: str,
+    forward: bool,
+    relations: Optional[Iterable[str]],
+    max_depth: Optional[int],
+) -> Set[str]:
+    if start not in graph:
+        raise ProvError(f"unknown element: {start}")
+    allowed = set(relations) if relations is not None else None
+    seen: Set[str] = set()
+    frontier = {start}
+    depth = 0
+    while frontier and (max_depth is None or depth < max_depth):
+        nxt: Set[str] = set()
+        for node in frontier:
+            edges = graph.out_edges(node, data=True) if forward else graph.in_edges(node, data=True)
+            for u, v, data in edges:
+                if allowed is not None and data.get("relation") not in allowed:
+                    continue
+                other = v if forward else u
+                if other not in seen and other != start:
+                    nxt.add(other)
+        seen |= nxt
+        frontier = nxt
+        depth += 1
+    return seen
+
+
+def degree_stats(document: ProvDocument) -> Dict[str, float]:
+    """Simple structural statistics used by the Explorer's summary view."""
+    graph = to_networkx(document)
+    n = graph.number_of_nodes()
+    m = graph.number_of_edges()
+    kinds: Dict[str, int] = {}
+    for _, data in graph.nodes(data=True):
+        kinds[data["kind"]] = kinds.get(data["kind"], 0) + 1
+    return {
+        "nodes": n,
+        "edges": m,
+        "entities": kinds.get("entity", 0),
+        "activities": kinds.get("activity", 0),
+        "agents": kinds.get("agent", 0),
+        "mean_degree": (2.0 * m / n) if n else 0.0,
+    }

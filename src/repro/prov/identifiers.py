@@ -1,0 +1,160 @@
+"""Qualified names and namespaces for PROV records.
+
+W3C PROV identifies every record with a *qualified name*: a namespace
+(declared once per document under a short prefix) plus a local part.
+PROV-JSON writes them as ``prefix:localpart`` strings, so this module is the
+single place where prefix resolution and validation live.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, Iterator, Optional
+
+from repro.errors import InvalidQualifiedNameError, UnknownNamespaceError
+
+# Prefixes follow XML NCName rules, pragmatically restricted to the safe set.
+_PREFIX_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-]*$")
+# Local parts may contain most URI path characters; forbid whitespace and the
+# prefix separator so round-tripping through "prefix:local" stays unambiguous.
+_LOCAL_RE = re.compile(r"^[^\s]+$")
+
+
+class Namespace:
+    """A PROV namespace: a short ``prefix`` bound to a base ``uri``.
+
+    Instances are callables that mint :class:`QualifiedName` objects::
+
+        ex = Namespace("ex", "http://example.org/")
+        ex("run_1")    # -> QualifiedName ex:run_1
+    """
+
+    __slots__ = ("prefix", "uri")
+
+    def __init__(self, prefix: str, uri: str) -> None:
+        if not _PREFIX_RE.match(prefix):
+            raise InvalidQualifiedNameError(f"invalid namespace prefix: {prefix!r}")
+        if not uri:
+            raise InvalidQualifiedNameError("namespace uri must be non-empty")
+        self.prefix = prefix
+        self.uri = uri
+
+    def __call__(self, localpart: str) -> "QualifiedName":
+        return QualifiedName(self, localpart)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Namespace)
+            and self.prefix == other.prefix
+            and self.uri == other.uri
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.prefix, self.uri))
+
+    def __repr__(self) -> str:
+        return f"Namespace({self.prefix!r}, {self.uri!r})"
+
+
+class QualifiedName:
+    """An identifier of the form ``prefix:localpart`` inside a namespace."""
+
+    __slots__ = ("namespace", "localpart")
+
+    def __init__(self, namespace: Namespace, localpart: str) -> None:
+        if not isinstance(namespace, Namespace):
+            raise InvalidQualifiedNameError("namespace must be a Namespace instance")
+        if not localpart or not _LOCAL_RE.match(localpart):
+            raise InvalidQualifiedNameError(f"invalid local part: {localpart!r}")
+        self.namespace = namespace
+        self.localpart = localpart
+
+    @property
+    def uri(self) -> str:
+        """Fully expanded URI of this name."""
+        return self.namespace.uri + self.localpart
+
+    def provjson(self) -> str:
+        """The ``prefix:localpart`` string used in PROV-JSON keys/values."""
+        return f"{self.namespace.prefix}:{self.localpart}"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, QualifiedName):
+            return self.uri == other.uri
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.uri)
+
+    def __str__(self) -> str:
+        return self.provjson()
+
+    def __repr__(self) -> str:
+        return f"QualifiedName({self.provjson()!r})"
+
+
+class NamespaceRegistry:
+    """Per-document registry mapping prefixes to namespaces.
+
+    The registry enforces that a prefix is bound to at most one URI within a
+    document (re-registration with the same URI is a no-op) and parses
+    ``prefix:localpart`` strings back into :class:`QualifiedName`.
+    """
+
+    def __init__(self, namespaces: Optional[Iterable[Namespace]] = None) -> None:
+        self._by_prefix: Dict[str, Namespace] = {}
+        self.default: Optional[Namespace] = None
+        for ns in namespaces or ():
+            self.register(ns)
+
+    def register(self, namespace: Namespace) -> Namespace:
+        """Add *namespace*; returns the registered (possibly existing) one."""
+        existing = self._by_prefix.get(namespace.prefix)
+        if existing is not None:
+            if existing.uri != namespace.uri:
+                raise InvalidQualifiedNameError(
+                    f"prefix {namespace.prefix!r} already bound to {existing.uri!r}"
+                )
+            return existing
+        self._by_prefix[namespace.prefix] = namespace
+        return namespace
+
+    def set_default(self, uri: str) -> Namespace:
+        """Declare the document's default namespace (PROV-JSON ``default``)."""
+        self.default = Namespace("default", uri)
+        return self.default
+
+    def get(self, prefix: str) -> Namespace:
+        try:
+            return self._by_prefix[prefix]
+        except KeyError:
+            raise UnknownNamespaceError(f"unknown namespace prefix: {prefix!r}") from None
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._by_prefix
+
+    def __iter__(self) -> Iterator[Namespace]:
+        return iter(self._by_prefix.values())
+
+    def __len__(self) -> int:
+        return len(self._by_prefix)
+
+    def qname(self, text: str) -> QualifiedName:
+        """Parse ``prefix:localpart`` into a :class:`QualifiedName`.
+
+        A bare name (no colon) resolves against the default namespace when
+        one is declared.
+        """
+        prefix, sep, local = text.partition(":")
+        if not sep:
+            if self.default is None:
+                raise UnknownNamespaceError(
+                    f"{text!r} has no prefix and no default namespace is declared"
+                )
+            return QualifiedName(self.default, text)
+        return QualifiedName(self.get(prefix), local)
+
+    def copy(self) -> "NamespaceRegistry":
+        out = NamespaceRegistry(self._by_prefix.values())
+        out.default = self.default
+        return out

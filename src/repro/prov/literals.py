@@ -1,0 +1,169 @@
+"""Typed literal values for PROV attributes.
+
+PROV-JSON represents attribute values either as plain JSON scalars or as
+``{"$": "...", "type": "xsd:..."}`` objects.  This module provides the
+:class:`Literal` wrapper plus conversion between Python values and that
+representation, including ISO-8601 datetimes (``xsd:dateTime``).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import math
+from typing import Any, Optional, Union
+
+from repro.errors import SerializationError
+
+
+class XSD:
+    """String constants for the XML Schema datatypes PROV uses."""
+
+    STRING = "xsd:string"
+    INT = "xsd:int"
+    LONG = "xsd:long"
+    DOUBLE = "xsd:double"
+    FLOAT = "xsd:float"
+    BOOLEAN = "xsd:boolean"
+    DATETIME = "xsd:dateTime"
+    ANY_URI = "xsd:anyURI"
+    QNAME = "prov:QUALIFIED_NAME"
+
+
+class Literal:
+    """A value paired with an explicit XSD datatype (and optional language).
+
+    Plain Python scalars may be logged directly; a :class:`Literal` is only
+    needed when the datatype must be pinned (e.g. force ``xsd:anyURI``).
+    """
+
+    __slots__ = ("value", "datatype", "langtag")
+
+    def __init__(self, value: Any, datatype: str, langtag: Optional[str] = None) -> None:
+        self.value = value
+        self.datatype = datatype
+        self.langtag = langtag
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Literal):
+            return (
+                self.value == other.value
+                and self.datatype == other.datatype
+                and self.langtag == other.langtag
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((str(self.value), self.datatype, self.langtag))
+
+    def __repr__(self) -> str:
+        return f"Literal({self.value!r}, {self.datatype!r})"
+
+
+def format_datetime(value: _dt.datetime) -> str:
+    """Render a datetime as the ISO-8601 string PROV-JSON expects.
+
+    Naive datetimes are interpreted as UTC, matching how the tracking layer
+    records simulated timestamps.
+    """
+    if value.tzinfo is None:
+        value = value.replace(tzinfo=_dt.timezone.utc)
+    return value.isoformat().replace("+00:00", "Z")
+
+
+def parse_datetime(text: str) -> _dt.datetime:
+    """Parse an ISO-8601 string (accepting a trailing ``Z``)."""
+    if text.endswith("Z"):
+        text = text[:-1] + "+00:00"
+    try:
+        return _dt.datetime.fromisoformat(text)
+    except ValueError as exc:
+        raise SerializationError(f"invalid xsd:dateTime value: {text!r}") from exc
+
+
+def value_to_json(value: Any) -> Any:
+    """Convert a Python attribute value to its PROV-JSON form.
+
+    QualifiedName-like objects (anything with a ``provjson`` method) become
+    ``{"$": "pfx:name", "type": "prov:QUALIFIED_NAME"}`` so they survive a
+    round trip without being confused with plain strings.
+    """
+    from repro.prov.identifiers import QualifiedName  # local import: avoid cycle
+
+    if isinstance(value, Literal):
+        out = {"$": _scalar_to_json(value.value), "type": value.datatype}
+        if value.langtag:
+            out["lang"] = value.langtag
+        return out
+    if isinstance(value, QualifiedName):
+        return {"$": value.provjson(), "type": XSD.QNAME}
+    if isinstance(value, _dt.datetime):
+        return {"$": format_datetime(value), "type": XSD.DATETIME}
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            # JSON has no NaN/Inf; pin the type so readers can restore it.
+            return {"$": repr(value), "type": XSD.DOUBLE}
+        return value
+    if isinstance(value, (int, str)):
+        return value
+    raise SerializationError(
+        f"cannot serialize attribute value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def _scalar_to_json(value: Any) -> Union[str, int, float, bool]:
+    if isinstance(value, _dt.datetime):
+        return format_datetime(value)
+    if isinstance(value, (str, int, float, bool)):
+        return value
+    return str(value)
+
+
+def value_from_json(raw: Any, registry: Any = None) -> Any:
+    """Inverse of :func:`value_to_json`.
+
+    *registry* (a :class:`~repro.prov.identifiers.NamespaceRegistry`) is used
+    to resolve qualified-name literals; when omitted, qualified names stay as
+    :class:`Literal` with the ``prov:QUALIFIED_NAME`` datatype.
+    """
+    if not isinstance(raw, dict):
+        return raw
+    if "$" not in raw:
+        return raw
+    value = raw["$"]
+    datatype = raw.get("type", XSD.STRING)
+    lang = raw.get("lang")
+    if datatype == XSD.DATETIME:
+        return parse_datetime(str(value))
+    if datatype == XSD.QNAME and registry is not None:
+        return registry.qname(str(value))
+    if datatype == XSD.DOUBLE and isinstance(value, str):
+        lowered = value.lower()
+        if lowered == "nan":
+            return float("nan")
+        if lowered in ("inf", "infinity"):
+            return float("inf")
+        if lowered in ("-inf", "-infinity"):
+            return float("-inf")
+        return float(value)
+    if datatype in (XSD.INT, XSD.LONG) and isinstance(value, str):
+        return int(value)
+    if datatype == XSD.BOOLEAN and isinstance(value, str):
+        return value.strip().lower() == "true"
+    if datatype == XSD.STRING and lang is None and isinstance(value, str):
+        return value
+    return Literal(value, datatype, lang)
+
+
+def infer_datatype(value: Any) -> str:
+    """Best-effort XSD datatype for a Python scalar (used by PROV-N output)."""
+    if isinstance(value, bool):
+        return XSD.BOOLEAN
+    if isinstance(value, int):
+        return XSD.INT
+    if isinstance(value, float):
+        return XSD.DOUBLE
+    if isinstance(value, _dt.datetime):
+        return XSD.DATETIME
+    return XSD.STRING

@@ -1,0 +1,279 @@
+"""PROV-DM record types: elements, relations, and their PROV-JSON argument maps.
+
+The model follows the W3C PROV-DM recommendation.  Three *element* types
+(Entity, Activity, Agent) carry an identifier plus attributes; fourteen
+*relation* types link elements through named formal arguments (e.g. a
+``used`` relation has ``prov:activity``, ``prov:entity`` and ``prov:time``).
+
+Records are intentionally dumb containers — all cross-record logic (lookup,
+merging, validation) lives in :mod:`repro.prov.document` and
+:mod:`repro.prov.validation`.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import ProvError
+from repro.prov.identifiers import Namespace, QualifiedName
+
+#: The PROV namespace itself, used for reserved attributes like ``prov:type``.
+PROV = Namespace("prov", "http://www.w3.org/ns/prov#")
+
+#: The XSD namespace (datatypes).
+XSD_NS = Namespace("xsd", "http://www.w3.org/2001/XMLSchema#")
+
+# ---------------------------------------------------------------------------
+# PROV-JSON structure tables
+# ---------------------------------------------------------------------------
+
+#: element kind -> PROV-JSON top-level key
+PROV_ELEMENT_KEYS = {
+    "entity": "entity",
+    "activity": "activity",
+    "agent": "agent",
+}
+
+#: relation kind -> ordered formal argument names, per the PROV-JSON schema.
+#: The first two arguments are the required subject/object of the relation;
+#: the rest are optional.
+PROV_REL_ARGS: Dict[str, Tuple[str, ...]] = {
+    "wasGeneratedBy": ("prov:entity", "prov:activity", "prov:time"),
+    "used": ("prov:activity", "prov:entity", "prov:time"),
+    "wasInformedBy": ("prov:informed", "prov:informant"),
+    "wasStartedBy": ("prov:activity", "prov:trigger", "prov:starter", "prov:time"),
+    "wasEndedBy": ("prov:activity", "prov:trigger", "prov:ender", "prov:time"),
+    "wasInvalidatedBy": ("prov:entity", "prov:activity", "prov:time"),
+    "wasDerivedFrom": (
+        "prov:generatedEntity",
+        "prov:usedEntity",
+        "prov:activity",
+        "prov:generation",
+        "prov:usage",
+    ),
+    "wasAttributedTo": ("prov:entity", "prov:agent"),
+    "wasAssociatedWith": ("prov:activity", "prov:agent", "prov:plan"),
+    "actedOnBehalfOf": ("prov:delegate", "prov:responsible", "prov:activity"),
+    "wasInfluencedBy": ("prov:influencee", "prov:influencer"),
+    "specializationOf": ("prov:specificEntity", "prov:generalEntity"),
+    "alternateOf": ("prov:alternate1", "prov:alternate2"),
+    "hadMember": ("prov:collection", "prov:entity"),
+}
+
+#: relation kind -> (source argument, target argument) for graph export.
+#: Edges point from the *subject* of the assertion to the thing it depends on
+#: (e.g. wasGeneratedBy: entity -> activity), matching PROV's convention that
+#: relations point "back in time".
+PROV_REL_ENDPOINTS: Dict[str, Tuple[str, str]] = {
+    "wasGeneratedBy": ("prov:entity", "prov:activity"),
+    "used": ("prov:activity", "prov:entity"),
+    "wasInformedBy": ("prov:informed", "prov:informant"),
+    "wasStartedBy": ("prov:activity", "prov:trigger"),
+    "wasEndedBy": ("prov:activity", "prov:trigger"),
+    "wasInvalidatedBy": ("prov:entity", "prov:activity"),
+    "wasDerivedFrom": ("prov:generatedEntity", "prov:usedEntity"),
+    "wasAttributedTo": ("prov:entity", "prov:agent"),
+    "wasAssociatedWith": ("prov:activity", "prov:agent"),
+    "actedOnBehalfOf": ("prov:delegate", "prov:responsible"),
+    "wasInfluencedBy": ("prov:influencee", "prov:influencer"),
+    "specializationOf": ("prov:specificEntity", "prov:generalEntity"),
+    "alternateOf": ("prov:alternate1", "prov:alternate2"),
+    "hadMember": ("prov:collection", "prov:entity"),
+}
+
+#: Which formal arguments hold datetimes rather than identifiers.
+PROV_TIME_ARGS = frozenset({"prov:time", "prov:startTime", "prov:endTime"})
+
+AttributeValue = Any
+Attributes = Mapping[str, AttributeValue]
+
+
+class ProvRecord:
+    """Common base for all PROV records (elements and relations)."""
+
+    kind: str = "record"
+
+    def __init__(self, attributes: Optional[Attributes] = None) -> None:
+        # Attribute keys are "prefix:local" strings; values are scalars,
+        # Literals, QualifiedNames or datetimes.  A key may map to a list
+        # when asserted multiple times (PROV allows repeated attributes).
+        self.attributes: Dict[str, Any] = dict(attributes or {})
+
+    # -- attribute helpers -------------------------------------------------
+    def add_attribute(self, key: str, value: AttributeValue) -> None:
+        """Assert *key* = *value*; repeated assertions accumulate in a list."""
+        if key in self.attributes:
+            existing = self.attributes[key]
+            if isinstance(existing, list):
+                existing.append(value)
+            else:
+                self.attributes[key] = [existing, value]
+        else:
+            self.attributes[key] = value
+
+    def get_attribute(self, key: str, default: Any = None) -> Any:
+        return self.attributes.get(key, default)
+
+    @property
+    def prov_type(self) -> Any:
+        """The ``prov:type`` attribute, if asserted (first value when multiple)."""
+        value = self.attributes.get("prov:type")
+        if isinstance(value, list):
+            return value[0] if value else None
+        return value
+
+    @property
+    def label(self) -> Optional[str]:
+        value = self.attributes.get("prov:label")
+        if isinstance(value, list):
+            value = value[0] if value else None
+        return None if value is None else str(value)
+
+
+class ProvElement(ProvRecord):
+    """An identified element: Entity, Activity or Agent."""
+
+    def __init__(
+        self, identifier: QualifiedName, attributes: Optional[Attributes] = None
+    ) -> None:
+        if not isinstance(identifier, QualifiedName):
+            raise ProvError(f"element identifier must be a QualifiedName: {identifier!r}")
+        super().__init__(attributes)
+        self.identifier = identifier
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.identifier.provjson()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProvElement):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.identifier == other.identifier
+            and self.attributes == other.attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.identifier))
+
+
+class ProvEntity(ProvElement):
+    """A physical, digital or conceptual thing (dataset, checkpoint, metric)."""
+
+    kind = "entity"
+
+
+class ProvActivity(ProvElement):
+    """Something that occurs over a period of time (a run, an epoch, a stage)."""
+
+    kind = "activity"
+
+    def __init__(
+        self,
+        identifier: QualifiedName,
+        start_time: Optional[_dt.datetime] = None,
+        end_time: Optional[_dt.datetime] = None,
+        attributes: Optional[Attributes] = None,
+    ) -> None:
+        super().__init__(identifier, attributes)
+        self.start_time = start_time
+        self.end_time = end_time
+
+    def __eq__(self, other: object) -> bool:
+        base = super().__eq__(other)
+        if base is NotImplemented or not base:
+            return base
+        assert isinstance(other, ProvActivity)
+        return self.start_time == other.start_time and self.end_time == other.end_time
+
+    def __hash__(self) -> int:  # attributes may mutate; hash on identity fields
+        return hash((self.kind, self.identifier))
+
+
+class ProvAgent(ProvElement):
+    """Something bearing responsibility (a user, the library, a scheduler)."""
+
+    kind = "agent"
+
+
+class ProvRelation(ProvRecord):
+    """A qualified relation between elements.
+
+    ``args`` maps formal argument names (``prov:entity``, ``prov:activity``,
+    ...) to :class:`QualifiedName` values or datetimes, following
+    :data:`PROV_REL_ARGS` for the relation's ``kind``.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        args: Mapping[str, Any],
+        identifier: Optional[QualifiedName] = None,
+        attributes: Optional[Attributes] = None,
+    ) -> None:
+        if kind not in PROV_REL_ARGS:
+            raise ProvError(f"unknown relation kind: {kind!r}")
+        allowed = set(PROV_REL_ARGS[kind])
+        bad = set(args) - allowed
+        if bad:
+            raise ProvError(f"invalid arguments for {kind}: {sorted(bad)}")
+        required = PROV_REL_ARGS[kind][0]
+        if required not in args or args[required] is None:
+            raise ProvError(f"{kind} requires argument {required}")
+        super().__init__(attributes)
+        self.kind = kind
+        self.identifier = identifier
+        self.args: Dict[str, Any] = {k: v for k, v in args.items() if v is not None}
+
+    @property
+    def source(self) -> QualifiedName:
+        """The subject endpoint (for graph export)."""
+        return self.args[PROV_REL_ENDPOINTS[self.kind][0]]
+
+    @property
+    def target(self) -> Optional[QualifiedName]:
+        """The object endpoint; may be absent (e.g. generation w/o activity)."""
+        return self.args.get(PROV_REL_ENDPOINTS[self.kind][1])
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.args.items())
+        return f"ProvRelation({self.kind}: {parts})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProvRelation):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.identifier == other.identifier
+            and self.args == other.args
+            and self.attributes == other.attributes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.identifier, tuple(sorted(
+            (k, str(v)) for k, v in self.args.items()
+        ))))
+
+
+def relation_sort_key(rel: ProvRelation) -> Tuple[str, str]:
+    """Stable ordering for deterministic serialization."""
+    return (rel.kind, ";".join(f"{k}={v}" for k, v in sorted(
+        (k, str(v)) for k, v in rel.args.items()
+    )))
+
+
+def iter_identifier_args(rel: ProvRelation) -> Iterable[Tuple[str, QualifiedName]]:
+    """Yield (argname, QualifiedName) pairs, skipping time arguments."""
+    for key, value in rel.args.items():
+        if key in PROV_TIME_ARGS:
+            continue
+        if isinstance(value, QualifiedName):
+            yield key, value
+
+
+ELEMENT_CLASSES = {
+    "entity": ProvEntity,
+    "activity": ProvActivity,
+    "agent": ProvAgent,
+}

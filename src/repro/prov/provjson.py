@@ -1,0 +1,213 @@
+"""PROV-JSON serialization (W3C member submission format).
+
+The layout is::
+
+    {
+      "prefix":   {"ex": "http://example.org/", "default": "..."},
+      "entity":   {"ex:e1": { ...attributes... }, ...},
+      "activity": {"ex:a1": {"prov:startTime": "...", ...}, ...},
+      "agent":    {...},
+      "used":     {"_:u1": {"prov:activity": "ex:a1", "prov:entity": "ex:e1"}},
+      ...,
+      "bundle":   {"ex:b1": { ...same structure, minus prefix/bundle... }}
+    }
+
+Relation instances get stable generated keys (``_:<kind><n>``) unless they
+carry an explicit identifier.  Serialization is deterministic: elements are
+sorted by identifier and relations by their argument signature, so two
+structurally equal documents produce byte-identical JSON — a property the
+test suite and the Table 1 size benchmark both rely on.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+from typing import Any, Dict, Optional
+
+from repro.errors import SerializationError
+from repro.prov.document import ProvBundle, ProvDocument
+from repro.prov.identifiers import Namespace, NamespaceRegistry, QualifiedName
+from repro.prov.literals import (
+    format_datetime,
+    parse_datetime,
+    value_from_json,
+    value_to_json,
+)
+from repro.prov.model import (
+    PROV_REL_ARGS,
+    PROV_TIME_ARGS,
+    ProvActivity,
+    ProvRelation,
+)
+
+_RESERVED_KEYS = frozenset(PROV_REL_ARGS) | {"prefix", "entity", "activity", "agent", "bundle"}
+
+
+def _attributes_to_json(attributes: Dict[str, Any]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key in sorted(attributes):
+        value = attributes[key]
+        if isinstance(value, list):
+            out[key] = [value_to_json(v) for v in value]
+        else:
+            out[key] = value_to_json(value)
+    return out
+
+
+def _bundle_to_dict(bundle: ProvBundle) -> Dict[str, Any]:
+    doc: Dict[str, Any] = {}
+
+    for kind, table_name in (("entity", "entities"), ("activity", "activities"), ("agent", "agents")):
+        table = getattr(bundle, table_name)
+        if not table:
+            continue
+        section: Dict[str, Any] = {}
+        for qn in sorted(table, key=lambda q: q.provjson()):
+            element = table[qn]
+            attrs = _attributes_to_json(element.attributes)
+            if isinstance(element, ProvActivity):
+                if element.start_time is not None:
+                    attrs["prov:startTime"] = format_datetime(element.start_time)
+                if element.end_time is not None:
+                    attrs["prov:endTime"] = format_datetime(element.end_time)
+            section[qn.provjson()] = attrs
+        doc[kind] = section
+
+    counters: Dict[str, int] = {}
+    for rel in bundle.sorted_relations():
+        kind = rel.kind
+        section = doc.setdefault(kind, {})
+        if rel.identifier is not None:
+            key = rel.identifier.provjson()
+        else:
+            counters[kind] = counters.get(kind, 0) + 1
+            key = f"_:{kind}{counters[kind]}"
+        body: Dict[str, Any] = {}
+        for arg in PROV_REL_ARGS[kind]:
+            if arg not in rel.args:
+                continue
+            value = rel.args[arg]
+            if arg in PROV_TIME_ARGS:
+                body[arg] = format_datetime(value)
+            else:
+                body[arg] = value.provjson()
+        body.update(_attributes_to_json(rel.attributes))
+        section[key] = body
+
+    return doc
+
+
+def to_provjson(document: ProvDocument, indent: Optional[int] = 2) -> str:
+    """Serialize *document* (including bundles) to a PROV-JSON string."""
+    doc = _bundle_to_dict(document)
+
+    prefix: Dict[str, str] = {}
+    for ns in sorted(document.namespaces, key=lambda n: n.prefix):
+        prefix[ns.prefix] = ns.uri
+    if document.namespaces.default is not None:
+        prefix["default"] = document.namespaces.default.uri
+    out: Dict[str, Any] = {"prefix": prefix}
+    out.update(doc)
+
+    if document.bundles:
+        bundles: Dict[str, Any] = {}
+        for qn in sorted(document.bundles, key=lambda q: q.provjson()):
+            bundles[qn.provjson()] = _bundle_to_dict(document.bundles[qn])
+        out["bundle"] = bundles
+
+    return json.dumps(out, indent=indent, separators=None if indent else (",", ":"))
+
+
+def _parse_attr_value(raw: Any, registry: NamespaceRegistry) -> Any:
+    return value_from_json(raw, registry)
+
+
+def _load_bundle(body: Dict[str, Any], bundle: ProvBundle) -> None:
+    registry = bundle.namespaces
+
+    for kind, ctor in (("entity", bundle.entity), ("agent", bundle.agent)):
+        for ident, attrs in (body.get(kind) or {}).items():
+            parsed = {
+                k: (
+                    [_parse_attr_value(v, registry) for v in val]
+                    if isinstance(val, list)
+                    else _parse_attr_value(val, registry)
+                )
+                for k, val in (attrs or {}).items()
+            }
+            ctor(registry.qname(ident), parsed)
+
+    for ident, attrs in (body.get("activity") or {}).items():
+        attrs = dict(attrs or {})
+        start = attrs.pop("prov:startTime", None)
+        end = attrs.pop("prov:endTime", None)
+        parsed = {
+            k: (
+                [_parse_attr_value(v, registry) for v in val]
+                if isinstance(val, list)
+                else _parse_attr_value(val, registry)
+            )
+            for k, val in attrs.items()
+        }
+        bundle.activity(
+            registry.qname(ident),
+            start_time=parse_datetime(start) if isinstance(start, str) else start,
+            end_time=parse_datetime(end) if isinstance(end, str) else end,
+            attributes=parsed,
+        )
+
+    for kind in PROV_REL_ARGS:
+        for key, spec in (body.get(kind) or {}).items():
+            if not isinstance(spec, dict):
+                raise SerializationError(f"malformed {kind} record {key!r}")
+            args: Dict[str, Any] = {}
+            attrs: Dict[str, Any] = {}
+            for field, value in spec.items():
+                if field in PROV_REL_ARGS[kind]:
+                    if field in PROV_TIME_ARGS:
+                        args[field] = parse_datetime(str(value))
+                    else:
+                        args[field] = registry.qname(str(value))
+                else:
+                    attrs[field] = (
+                        [_parse_attr_value(v, registry) for v in value]
+                        if isinstance(value, list)
+                        else _parse_attr_value(value, registry)
+                    )
+            identifier = None if key.startswith("_:") else registry.qname(key)
+            bundle._add_relation(kind, args, attrs or None, identifier)
+
+
+def from_provjson(text: str) -> ProvDocument:
+    """Parse a PROV-JSON string into a :class:`ProvDocument`."""
+    try:
+        raw = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise SerializationError("PROV-JSON top level must be an object")
+
+    document = ProvDocument()
+    for prefix, uri in (raw.get("prefix") or {}).items():
+        if prefix == "default":
+            document.set_default_namespace(uri)
+        else:
+            document.add_namespace(Namespace(prefix, uri))
+
+    unknown = set(raw) - _RESERVED_KEYS
+    if unknown:
+        raise SerializationError(f"unknown PROV-JSON sections: {sorted(unknown)}")
+
+    _load_bundle(raw, document)
+
+    for ident, body in (raw.get("bundle") or {}).items():
+        sub = document.bundle(document.namespaces.qname(ident))
+        _load_bundle(body, sub)
+
+    return document
+
+
+def documents_equal(a: ProvDocument, b: ProvDocument) -> bool:
+    """Structural equality via canonical serialization."""
+    return to_provjson(a, indent=None) == to_provjson(b, indent=None)

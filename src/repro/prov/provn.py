@@ -1,0 +1,130 @@
+"""PROV-N writer (human-readable provenance notation).
+
+Writer-only: yProv4ML emits PROV-JSON as its interchange format and PROV-N
+purely for human inspection, so no parser is needed.  Output follows the
+PROV-N grammar closely enough for eyeballing and documentation snippets.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any, List
+
+from repro.prov.document import ProvBundle, ProvDocument
+from repro.prov.identifiers import QualifiedName
+from repro.prov.literals import Literal, format_datetime, infer_datatype
+from repro.prov.model import PROV_REL_ARGS, PROV_TIME_ARGS, ProvActivity, ProvRelation
+
+#: relation kind -> PROV-N keyword
+_PROVN_NAMES = {
+    "wasGeneratedBy": "wasGeneratedBy",
+    "used": "used",
+    "wasInformedBy": "wasInformedBy",
+    "wasStartedBy": "wasStartedBy",
+    "wasEndedBy": "wasEndedBy",
+    "wasInvalidatedBy": "wasInvalidatedBy",
+    "wasDerivedFrom": "wasDerivedFrom",
+    "wasAttributedTo": "wasAttributedTo",
+    "wasAssociatedWith": "wasAssociatedWith",
+    "actedOnBehalfOf": "actedOnBehalfOf",
+    "wasInfluencedBy": "wasInfluencedBy",
+    "specializationOf": "specializationOf",
+    "alternateOf": "alternateOf",
+    "hadMember": "hadMember",
+}
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, QualifiedName):
+        return f"'{value.provjson()}'"
+    if isinstance(value, Literal):
+        return f'"{value.value}" %% {value.datatype}'
+    if isinstance(value, _dt.datetime):
+        return f'"{format_datetime(value)}" %% xsd:dateTime'
+    if isinstance(value, bool):
+        return f'"{str(value).lower()}" %% xsd:boolean'
+    if isinstance(value, (int, float)):
+        return f'"{value}" %% {infer_datatype(value)}'
+    text = str(value).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{text}"'
+
+
+def _format_attrs(attributes: dict) -> str:
+    if not attributes:
+        return ""
+    parts: List[str] = []
+    for key in sorted(attributes):
+        value = attributes[key]
+        values = value if isinstance(value, list) else [value]
+        for v in values:
+            parts.append(f"{key}={_format_value(v)}")
+    return "[" + ", ".join(parts) + "]"
+
+
+def _bundle_lines(bundle: ProvBundle, indent: str) -> List[str]:
+    lines: List[str] = []
+
+    for qn in sorted(bundle.entities, key=lambda q: q.provjson()):
+        ent = bundle.entities[qn]
+        attrs = _format_attrs(ent.attributes)
+        lines.append(f"{indent}entity({qn.provjson()}{', ' + attrs if attrs else ''})")
+
+    for qn in sorted(bundle.activities, key=lambda q: q.provjson()):
+        act = bundle.activities[qn]
+        start = format_datetime(act.start_time) if act.start_time else "-"
+        end = format_datetime(act.end_time) if act.end_time else "-"
+        attrs = _format_attrs(act.attributes)
+        time_part = f", {start}, {end}" if (act.start_time or act.end_time) else ""
+        lines.append(
+            f"{indent}activity({qn.provjson()}{time_part}{', ' + attrs if attrs else ''})"
+        )
+
+    for qn in sorted(bundle.agents, key=lambda q: q.provjson()):
+        ag = bundle.agents[qn]
+        attrs = _format_attrs(ag.attributes)
+        lines.append(f"{indent}agent({qn.provjson()}{', ' + attrs if attrs else ''})")
+
+    for rel in bundle.sorted_relations():
+        lines.append(indent + _relation_line(rel))
+
+    return lines
+
+
+def _relation_line(rel: ProvRelation) -> str:
+    name = _PROVN_NAMES[rel.kind]
+    parts: List[str] = []
+    if rel.identifier is not None:
+        parts.append(f"{rel.identifier.provjson()};")
+    for arg in PROV_REL_ARGS[rel.kind]:
+        value = rel.args.get(arg)
+        if value is None:
+            parts.append("-")
+        elif arg in PROV_TIME_ARGS:
+            parts.append(format_datetime(value))
+        else:
+            parts.append(value.provjson())
+    # trim trailing optional "-" placeholders (the subject always stays)
+    while len(parts) > 1 and parts[-1] == "-":
+        parts.pop()
+    attrs = _format_attrs(rel.attributes)
+    if attrs:
+        parts.append(attrs)
+    inner = ", ".join(parts).replace("; ,", ";")
+    return f"{name}({inner})"
+
+
+def to_provn(document: ProvDocument) -> str:
+    """Render *document* as a PROV-N string."""
+    lines: List[str] = ["document"]
+    for ns in sorted(document.namespaces, key=lambda n: n.prefix):
+        lines.append(f"  prefix {ns.prefix} <{ns.uri}>")
+    if document.namespaces.default is not None:
+        lines.append(f"  default <{document.namespaces.default.uri}>")
+    lines.append("")
+    lines.extend(_bundle_lines(document, "  "))
+    for qn in sorted(document.bundles, key=lambda q: q.provjson()):
+        lines.append(f"  bundle {qn.provjson()}")
+        lines.extend(_bundle_lines(document.bundles[qn], "    "))
+        lines.append("  endBundle")
+    lines.append("endDocument")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,373 @@
+"""PROV-O serialization: RDF in Turtle syntax.
+
+Table 2 lists three W3C PROV serializations — PROV-N, PROV-JSON and
+"PROV-O (RDF)".  This module maps documents onto the PROV ontology and
+writes Turtle:
+
+* elements become subjects typed ``prov:Entity`` / ``prov:Activity`` /
+  ``prov:Agent``; attributes become data properties (``prov:type`` /
+  ``rdfs:label`` get their standard terms);
+* binary relations use the PROV-O object properties
+  (``prov:wasGeneratedBy``, ``prov:used``, ...);
+* relation instances carrying extra information (a time, an activity on a
+  derivation, attributes) are written as *qualified* patterns
+  (``prov:qualifiedGeneration`` with a ``prov:Generation`` blank node etc.),
+  per the PROV-O qualified-terms design.
+
+A small Turtle parser for the subset this writer emits provides round-trip
+capability for interchange tests; it is not a general RDF parser.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import SerializationError
+from repro.prov.document import ProvDocument
+from repro.prov.identifiers import Namespace, QualifiedName
+from repro.prov.literals import Literal, format_datetime, parse_datetime
+from repro.prov.model import PROV_REL_ARGS, ProvActivity, ProvRelation
+
+#: relation kind -> (direct object property, qualified property, qualified
+#: class, role property of the "other" participant in the qualified node)
+_PROVO_TERMS: Dict[str, Tuple[str, Optional[str], Optional[str], Optional[str]]] = {
+    "wasGeneratedBy": ("prov:wasGeneratedBy", "prov:qualifiedGeneration",
+                       "prov:Generation", "prov:activity"),
+    "used": ("prov:used", "prov:qualifiedUsage", "prov:Usage", "prov:entity"),
+    "wasInformedBy": ("prov:wasInformedBy", "prov:qualifiedCommunication",
+                      "prov:Communication", "prov:activity"),
+    "wasStartedBy": ("prov:wasStartedBy", "prov:qualifiedStart", "prov:Start",
+                     "prov:entity"),
+    "wasEndedBy": ("prov:wasEndedBy", "prov:qualifiedEnd", "prov:End",
+                   "prov:entity"),
+    "wasInvalidatedBy": ("prov:wasInvalidatedBy", "prov:qualifiedInvalidation",
+                         "prov:Invalidation", "prov:activity"),
+    "wasDerivedFrom": ("prov:wasDerivedFrom", "prov:qualifiedDerivation",
+                       "prov:Derivation", "prov:entity"),
+    "wasAttributedTo": ("prov:wasAttributedTo", "prov:qualifiedAttribution",
+                        "prov:Attribution", "prov:agent"),
+    "wasAssociatedWith": ("prov:wasAssociatedWith", "prov:qualifiedAssociation",
+                          "prov:Association", "prov:agent"),
+    "actedOnBehalfOf": ("prov:actedOnBehalfOf", "prov:qualifiedDelegation",
+                        "prov:Delegation", "prov:agent"),
+    "wasInfluencedBy": ("prov:wasInfluencedBy", "prov:qualifiedInfluence",
+                        "prov:Influence", "prov:influencer"),
+    "specializationOf": ("prov:specializationOf", None, None, None),
+    "alternateOf": ("prov:alternateOf", None, None, None),
+    "hadMember": ("prov:hadMember", None, None, None),
+}
+
+_ELEMENT_CLASSES = {
+    "entity": "prov:Entity",
+    "activity": "prov:Activity",
+    "agent": "prov:Agent",
+}
+
+
+def _escape(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"')
+        .replace("\n", "\\n").replace("\r", "\\r").replace("\t", "\\t")
+    )
+
+
+def _literal_ttl(value: Any) -> str:
+    if isinstance(value, QualifiedName):
+        return value.provjson()
+    if isinstance(value, Literal):
+        body = f'"{_escape(str(value.value))}"'
+        if value.langtag:
+            return f"{body}@{value.langtag}"
+        return f"{body}^^{value.datatype}"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return f'"{value!r}"^^xsd:double'
+        return f'"{value!r}"^^xsd:double'
+    if isinstance(value, _dt.datetime):
+        return f'"{format_datetime(value)}"^^xsd:dateTime'
+    return f'"{_escape(str(value))}"'
+
+
+def _attr_predicate(key: str) -> str:
+    if key == "prov:label":
+        return "rdfs:label"
+    return key
+
+
+def to_provo(document: ProvDocument) -> str:
+    """Serialize *document* (flattened) as PROV-O Turtle."""
+    doc = document.flattened()
+    lines: List[str] = []
+    lines.append("@prefix prov: <http://www.w3.org/ns/prov#> .")
+    lines.append("@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .")
+    lines.append("@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .")
+    for ns in sorted(doc.namespaces, key=lambda n: n.prefix):
+        if ns.prefix in ("prov", "xsd", "rdfs"):
+            continue
+        lines.append(f"@prefix {ns.prefix}: <{ns.uri}> .")
+    lines.append("")
+
+    for kind, table_name in (("entity", "entities"), ("activity", "activities"),
+                             ("agent", "agents")):
+        for qn in sorted(getattr(doc, table_name), key=lambda q: q.provjson()):
+            element = getattr(doc, table_name)[qn]
+            triples = [f"a {_ELEMENT_CLASSES[kind]}"]
+            if isinstance(element, ProvActivity):
+                if element.start_time is not None:
+                    triples.append(
+                        f'prov:startedAtTime "{format_datetime(element.start_time)}"'
+                        f"^^xsd:dateTime"
+                    )
+                if element.end_time is not None:
+                    triples.append(
+                        f'prov:endedAtTime "{format_datetime(element.end_time)}"'
+                        f"^^xsd:dateTime"
+                    )
+            for key in sorted(element.attributes):
+                value = element.attributes[key]
+                values = value if isinstance(value, list) else [value]
+                for v in values:
+                    triples.append(f"{_attr_predicate(key)} {_literal_ttl(v)}")
+            body = " ;\n    ".join(triples)
+            lines.append(f"{qn.provjson()} {body} .")
+            lines.append("")
+
+    blank_counter = 0
+    for rel in doc.sorted_relations():
+        terms = _PROVO_TERMS[rel.kind]
+        direct, qualified, qclass, role = terms
+        args = PROV_REL_ARGS[rel.kind]
+        subject = rel.args.get(args[0])
+        obj = rel.args.get(args[1])
+        if subject is None:
+            continue
+        needs_qualified = (
+            qualified is not None
+            and (
+                "prov:time" in rel.args
+                or rel.attributes
+                or any(a in rel.args for a in args[2:])
+            )
+        )
+        if obj is not None:
+            lines.append(f"{subject.provjson()} {direct} {obj.provjson()} .")
+        if needs_qualified:
+            blank_counter += 1
+            node = f"_:q{blank_counter}"
+            triples = [f"a {qclass}"]
+            if obj is not None and role is not None:
+                triples.append(f"{role} {obj.provjson()}")
+            time = rel.args.get("prov:time")
+            if time is not None:
+                triples.append(
+                    f'prov:atTime "{format_datetime(time)}"^^xsd:dateTime'
+                )
+            # extra formal args (e.g. derivation activity) as hadActivity
+            for extra in args[2:]:
+                value = rel.args.get(extra)
+                if value is not None and extra != "prov:time":
+                    triples.append(f"prov:hadActivity {value.provjson()}")
+            for key in sorted(rel.attributes):
+                triples.append(
+                    f"{_attr_predicate(key)} {_literal_ttl(rel.attributes[key])}"
+                )
+            body = " ;\n    ".join(triples)
+            lines.append(f"{subject.provjson()} {qualified} {node} .")
+            lines.append(f"{node} {body} .")
+        lines.append("")
+
+    return "\n".join(lines).rstrip() + "\n"
+
+
+# ---------------------------------------------------------------------------
+# minimal Turtle reader (subset emitted by the writer)
+# ---------------------------------------------------------------------------
+
+_PREFIX_RE = re.compile(r"^@prefix\s+([A-Za-z_][\w.\-]*):\s+<([^>]*)>\s*\.\s*$")
+_DIRECT_BY_PROPERTY = {
+    terms[0]: kind for kind, terms in _PROVO_TERMS.items()
+}
+_KIND_BY_CLASS = {v: k for k, v in _ELEMENT_CLASSES.items()}
+
+
+def _split_statements(text: str) -> List[str]:
+    """Split Turtle into '.'-terminated statements, respecting strings."""
+    statements: List[str] = []
+    buf: List[str] = []
+    in_string = False
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == '"' and (i == 0 or text[i - 1] != "\\"):
+            in_string = not in_string
+        if ch == "." and not in_string and (i + 1 == len(text) or text[i + 1] in " \n\r\t"):
+            statement = "".join(buf).strip()
+            if statement:
+                statements.append(statement)
+            buf = []
+        else:
+            buf.append(ch)
+        i += 1
+    tail = "".join(buf).strip()
+    if tail:
+        statements.append(tail)
+    return statements
+
+
+def _parse_object(token: str):
+    token = token.strip()
+    match = re.match(r'^"(.*)"\^\^(\S+)$', token, re.DOTALL)
+    if match:
+        raw, dtype = match.groups()
+        raw = raw.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        if dtype == "xsd:dateTime":
+            return parse_datetime(raw)
+        if dtype == "xsd:double":
+            return float(raw)
+        return Literal(raw, dtype)
+    match = re.match(r'^"(.*)"(?:@([A-Za-z\-]+))?$', token, re.DOTALL)
+    if match:
+        raw, lang = match.groups()
+        raw = raw.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        return Literal(raw, "xsd:string", lang) if lang else raw
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    if re.match(r"^-?\d+$", token):
+        return int(token)
+    if re.match(r"^-?\d*\.\d+(e-?\d+)?$", token, re.IGNORECASE):
+        return float(token)
+    return ("qname", token)
+
+
+def from_provo(text: str) -> ProvDocument:
+    """Parse Turtle emitted by :func:`to_provo` back into a document.
+
+    Supports the writer's subset: prefixed names, ``a`` typing,
+    ``;``-chained predicates, datatyped literals and blank-node qualified
+    patterns (which are folded back into relation times/attributes).
+    """
+    doc = ProvDocument()
+    subjects: Dict[str, List[Tuple[str, Any]]] = {}
+
+    for line in text.splitlines():
+        match = _PREFIX_RE.match(line.strip())
+        if match:
+            prefix, uri = match.groups()
+            if prefix not in ("prov", "xsd", "rdfs"):
+                doc.add_namespace(Namespace(prefix, uri))
+
+    body = "\n".join(
+        l for l in text.splitlines() if not l.strip().startswith("@prefix")
+    )
+    for statement in _split_statements(body):
+        tokens = statement.split(None, 1)
+        if len(tokens) != 2:
+            raise SerializationError(f"malformed turtle statement: {statement!r}")
+        subject, rest = tokens
+        predicate_objects = []
+        for chunk in _split_semicolons(rest):
+            parts = chunk.strip().split(None, 1)
+            if len(parts) != 2:
+                raise SerializationError(f"malformed predicate-object: {chunk!r}")
+            predicate_objects.append((parts[0], parts[1].strip()))
+        subjects.setdefault(subject, []).extend(predicate_objects)
+
+    # first pass: declare elements
+    for subject, pairs in subjects.items():
+        if subject.startswith("_:"):
+            continue
+        kinds = [obj for pred, obj in pairs if pred == "a" and obj in _KIND_BY_CLASS]
+        if not kinds:
+            continue
+        kind = _KIND_BY_CLASS[kinds[0]]
+        attrs: Dict[str, Any] = {}
+        start = end = None
+        for pred, obj in pairs:
+            if pred == "a":
+                if obj not in _KIND_BY_CLASS:
+                    attrs.setdefault("prov:type", []).append(_parse_object(obj))
+                continue
+            if pred == "prov:startedAtTime":
+                start = _parse_object(obj)
+                continue
+            if pred == "prov:endedAtTime":
+                end = _parse_object(obj)
+                continue
+            if pred in _DIRECT_BY_PROPERTY or pred.startswith("prov:qualified"):
+                continue
+            key = "prov:label" if pred == "rdfs:label" else pred
+            value = _parse_object(obj)
+            if isinstance(value, tuple) and value[0] == "qname":
+                value = doc.namespaces.qname(value[1])
+            if key in attrs:
+                existing = attrs[key]
+                attrs[key] = existing + [value] if isinstance(existing, list) else [existing, value]
+            else:
+                attrs[key] = value
+        for key, value in list(attrs.items()):
+            if isinstance(value, list) and len(value) == 1:
+                attrs[key] = value[0]
+        if kind == "entity":
+            doc.entity(subject, attrs)
+        elif kind == "agent":
+            doc.agent(subject, attrs)
+        else:
+            doc.activity(subject, start_time=start, end_time=end, attributes=attrs)
+
+    # second pass: qualified blank nodes (times keyed by (subject, class, object))
+    qualified_info: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    for subject, pairs in subjects.items():
+        for pred, obj in pairs:
+            if pred.startswith("prov:qualified") and obj.startswith("_:"):
+                qpairs = subjects.get(obj, [])
+                info: Dict[str, Any] = {}
+                for qpred, qobj in qpairs:
+                    if qpred == "prov:atTime":
+                        info["time"] = _parse_object(qobj)
+                    elif qpred in ("prov:entity", "prov:activity", "prov:agent",
+                                   "prov:influencer"):
+                        info["other"] = qobj
+                qualified_info[(subject, pred)] = info
+
+    # third pass: relations
+    for subject, pairs in subjects.items():
+        if subject.startswith("_:"):
+            continue
+        for pred, obj in pairs:
+            kind = _DIRECT_BY_PROPERTY.get(pred)
+            if kind is None:
+                continue
+            args = PROV_REL_ARGS[kind]
+            rel_args: Dict[str, Any] = {args[0]: subject, args[1]: obj}
+            qualified_prop = _PROVO_TERMS[kind][1]
+            info = qualified_info.get((subject, qualified_prop)) if qualified_prop else None
+            if info and "time" in info and "prov:time" in args:
+                rel_args["prov:time"] = info["time"]
+            doc._add_relation(kind, rel_args)
+
+    return doc
+
+
+def _split_semicolons(text: str) -> List[str]:
+    out: List[str] = []
+    buf: List[str] = []
+    in_string = False
+    for i, ch in enumerate(text):
+        if ch == '"' and (i == 0 or text[i - 1] != "\\"):
+            in_string = not in_string
+        if ch == ";" and not in_string:
+            out.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+    if "".join(buf).strip():
+        out.append("".join(buf))
+    return out

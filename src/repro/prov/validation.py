@@ -1,0 +1,189 @@
+"""Pragmatic PROV-CONSTRAINTS validation.
+
+Full PROV-CONSTRAINTS is a large inference system; this module implements the
+checks that matter for catching real bugs in generated provenance:
+
+* **referential integrity** — every identifier used in a relation should be
+  declared as an element (warning, since PROV technically allows dangling
+  references);
+* **typing** — relation endpoints must have the expected element kind when
+  declared (e.g. ``used`` must point activity -> entity);
+* **event ordering** — a usage/generation time must fall inside the declared
+  interval of its activity; an activity's end must not precede its start;
+* **derivation acyclicity** — ``wasDerivedFrom`` must not form a cycle;
+* **uniqueness** — at most one generation per (entity, activity) pair.
+
+Results are collected in a :class:`ValidationReport` rather than raised, so
+callers can choose strictness.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.errors import ValidationError
+from repro.prov.document import ProvDocument
+from repro.prov.identifiers import QualifiedName
+from repro.prov.model import PROV_TIME_ARGS
+
+#: relation kind -> required element kind per formal argument (when declared)
+_EXPECTED_KINDS: Dict[str, Dict[str, str]] = {
+    "wasGeneratedBy": {"prov:entity": "entity", "prov:activity": "activity"},
+    "used": {"prov:activity": "activity", "prov:entity": "entity"},
+    "wasInformedBy": {"prov:informed": "activity", "prov:informant": "activity"},
+    "wasStartedBy": {"prov:activity": "activity", "prov:trigger": "entity",
+                     "prov:starter": "activity"},
+    "wasEndedBy": {"prov:activity": "activity", "prov:trigger": "entity",
+                   "prov:ender": "activity"},
+    "wasInvalidatedBy": {"prov:entity": "entity", "prov:activity": "activity"},
+    "wasDerivedFrom": {"prov:generatedEntity": "entity", "prov:usedEntity": "entity",
+                       "prov:activity": "activity"},
+    "wasAttributedTo": {"prov:entity": "entity", "prov:agent": "agent"},
+    "wasAssociatedWith": {"prov:activity": "activity", "prov:agent": "agent",
+                          "prov:plan": "entity"},
+    "actedOnBehalfOf": {"prov:delegate": "agent", "prov:responsible": "agent",
+                        "prov:activity": "activity"},
+    "specializationOf": {"prov:specificEntity": "entity", "prov:generalEntity": "entity"},
+    "alternateOf": {"prov:alternate1": "entity", "prov:alternate2": "entity"},
+    "hadMember": {"prov:collection": "entity", "prov:entity": "entity"},
+    "wasInfluencedBy": {},
+}
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_document`."""
+
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def is_valid(self) -> bool:
+        """True when no hard errors were found (warnings allowed)."""
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`~repro.errors.ValidationError` on any hard error."""
+        if self.errors:
+            raise ValidationError("; ".join(self.errors))
+
+    def summary(self) -> str:
+        return (
+            f"valid={self.is_valid} "
+            f"errors={len(self.errors)} warnings={len(self.warnings)}"
+        )
+
+
+def _element_kinds(document: ProvDocument) -> Dict[QualifiedName, str]:
+    kinds: Dict[QualifiedName, str] = {}
+    for qn in document.entities:
+        kinds[qn] = "entity"
+    for qn in document.activities:
+        kinds[qn] = "activity"
+    for qn in document.agents:
+        kinds[qn] = "agent"
+    return kinds
+
+
+def validate_document(
+    document: ProvDocument,
+    require_declared: bool = False,
+    flatten: bool = True,
+) -> ValidationReport:
+    """Validate *document*; see module docstring for the checks performed.
+
+    With ``require_declared=True`` dangling references become hard errors
+    instead of warnings (yProv4ML's own output always declares everything,
+    so its tests run in strict mode).
+    """
+    doc = document.flattened() if flatten else document
+    report = ValidationReport()
+    kinds = _element_kinds(doc)
+
+    # --- referential integrity & typing ---------------------------------
+    for rel in doc.relations:
+        expected = _EXPECTED_KINDS.get(rel.kind, {})
+        for arg, value in rel.args.items():
+            if arg in PROV_TIME_ARGS:
+                continue
+            if not isinstance(value, QualifiedName):
+                report.errors.append(
+                    f"{rel.kind}: argument {arg} is not an identifier: {value!r}"
+                )
+                continue
+            declared = kinds.get(value)
+            if declared is None:
+                msg = f"{rel.kind}: {arg} references undeclared element {value}"
+                (report.errors if require_declared else report.warnings).append(msg)
+            else:
+                want = expected.get(arg)
+                if want is not None and declared != want:
+                    report.errors.append(
+                        f"{rel.kind}: {arg} must be a {want}, "
+                        f"but {value} is declared as a {declared}"
+                    )
+
+    # --- activity interval sanity ----------------------------------------
+    for qn, act in doc.activities.items():
+        if act.start_time and act.end_time and act.end_time < act.start_time:
+            report.errors.append(
+                f"activity {qn}: endTime {act.end_time.isoformat()} precedes "
+                f"startTime {act.start_time.isoformat()}"
+            )
+
+    # --- event ordering: usage/generation inside activity interval -------
+    for rel in doc.relations:
+        if rel.kind not in ("used", "wasGeneratedBy", "wasInvalidatedBy"):
+            continue
+        time = rel.args.get("prov:time")
+        activity_id = rel.args.get("prov:activity")
+        if time is None or activity_id is None:
+            continue
+        act = doc.activities.get(activity_id)
+        if act is None:
+            continue
+        if act.start_time and time < act.start_time:
+            report.errors.append(
+                f"{rel.kind} at {time.isoformat()} precedes start of activity {activity_id}"
+            )
+        if act.end_time and time > act.end_time:
+            report.errors.append(
+                f"{rel.kind} at {time.isoformat()} follows end of activity {activity_id}"
+            )
+
+    # --- derivation acyclicity -------------------------------------------
+    deriv = nx.DiGraph()
+    for rel in doc.relations_of_kind("wasDerivedFrom"):
+        gen = rel.args.get("prov:generatedEntity")
+        use = rel.args.get("prov:usedEntity")
+        if gen is not None and use is not None and gen != use:
+            deriv.add_edge(gen.provjson(), use.provjson())
+        elif gen is not None and gen == use:
+            report.errors.append(f"wasDerivedFrom: {gen} derived from itself")
+    try:
+        cycle = nx.find_cycle(deriv)
+    except nx.NetworkXNoCycle:
+        cycle = None
+    if cycle:
+        path = " -> ".join(edge[0] for edge in cycle)
+        report.errors.append(f"derivation cycle detected: {path}")
+
+    # --- generation uniqueness --------------------------------------------
+    seen: Set[Tuple[str, str]] = set()
+    for rel in doc.relations_of_kind("wasGeneratedBy"):
+        ent = rel.args.get("prov:entity")
+        act = rel.args.get("prov:activity")
+        if ent is None or act is None:
+            continue
+        key = (ent.provjson(), act.provjson())
+        if key in seen:
+            report.warnings.append(
+                f"duplicate generation of {key[0]} by {key[1]}"
+            )
+        seen.add(key)
+
+    return report

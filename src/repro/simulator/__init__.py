@@ -1,0 +1,89 @@
+"""Distributed-training simulator (the paper's use-case substrate).
+
+The paper's evaluation (§5, Figure 3) trains MAE-ViT and SwinT-V2
+foundation-model baselines on Frontier with Distributed Data Parallel over
+{8, 16, 32, 64, 128} GPUs and {100 M, 200 M, 600 M, 1.4 B} parameters,
+under a 2-hour walltime, and reports the energy × performance trade-off
+collected through yProv4ML.  No supercomputer is available offline, so this
+package implements an *analytical simulator* of that system:
+
+* :mod:`repro.simulator.simclock` — explicit simulated time;
+* :mod:`repro.simulator.cluster` — cluster topology & device inventory
+  (a Frontier-like preset: 8 MI250X GCDs per node, EPYC host, Slingshot
+  interconnect);
+* :mod:`repro.simulator.power` — device power and energy accounting;
+* :mod:`repro.simulator.models` — transformer model zoo with analytic
+  parameter/FLOP counting (ViT, MAE, SwinT-V2);
+* :mod:`repro.simulator.data` — the synthetic MODIS dataset descriptor
+  (800 k patches of 128×128×6);
+* :mod:`repro.simulator.comm` — communication: a functional in-process
+  SPMD communicator (mpi4py-style) and an analytic ring-allreduce cost
+  model;
+* :mod:`repro.simulator.lossmodel` — scaling-law loss curves
+  (Kaplan/Chinchilla-style, with data-constrained repetition decay);
+* :mod:`repro.simulator.ddp` — per-step timing of DDP training
+  (compute + gradient allreduce overlap);
+* :mod:`repro.simulator.training` — the training-loop simulator with
+  walltime caps, integrated with yProv4ML provenance collection.
+
+Everything is deterministic given the seeds; wall-clock time never enters
+the simulation.
+"""
+
+from repro.simulator.simclock import SimClock
+from repro.simulator.cluster import ClusterSpec, DeviceSpec, NodeSpec, Allocation, frontier
+from repro.simulator.power import PowerModel, EnergyAccount
+from repro.simulator.models import (
+    TransformerConfig,
+    MAEConfig,
+    SwinConfig,
+    model_zoo,
+    MODEL_SIZES,
+)
+from repro.simulator.data import SyntheticMODIS
+from repro.simulator.comm import ThreadComm, RingAllreduceModel
+from repro.simulator.lossmodel import ScalingLawLoss
+from repro.simulator.ddp import DDPEngine, StepTiming
+from repro.simulator.training import (
+    TrainingJob,
+    TrainingResult,
+    simulate_training,
+)
+from repro.simulator.finetune import (
+    FinetuneJob,
+    FinetuneResult,
+    finetune_from_pretraining,
+    simulate_finetuning,
+)
+from repro.simulator.faults import FailureModel, apply_failures
+
+__all__ = [
+    "SimClock",
+    "ClusterSpec",
+    "DeviceSpec",
+    "NodeSpec",
+    "Allocation",
+    "frontier",
+    "PowerModel",
+    "EnergyAccount",
+    "TransformerConfig",
+    "MAEConfig",
+    "SwinConfig",
+    "model_zoo",
+    "MODEL_SIZES",
+    "SyntheticMODIS",
+    "ThreadComm",
+    "RingAllreduceModel",
+    "ScalingLawLoss",
+    "DDPEngine",
+    "StepTiming",
+    "TrainingJob",
+    "TrainingResult",
+    "simulate_training",
+    "FinetuneJob",
+    "FinetuneResult",
+    "simulate_finetuning",
+    "finetune_from_pretraining",
+    "FailureModel",
+    "apply_failures",
+]

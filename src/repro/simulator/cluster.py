@@ -1,0 +1,180 @@
+"""Cluster topology and device inventory.
+
+Models the pieces of a leadership-class machine that matter for DDP timing
+and energy: per-device compute peaks and power envelopes, GPUs per node,
+and the two-tier interconnect (fast intra-node fabric, slower inter-node
+network).  :func:`frontier` builds the Frontier-like preset the paper's use
+case ran on: "9,402 compute nodes, each equipped with a 64-core AMD EPYC
+CPU and 8 AMD Instinct MI250X Graphics Compute Dies (GCDs), effectively
+functioning as a single GPU".
+
+Numbers are public datasheet values; see DESIGN.md for the substitution
+rationale — only ratios and orders of magnitude drive the Figure 3 shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ClusterConfigError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One accelerator device (a GCD, i.e. half an MI250X module)."""
+
+    name: str
+    peak_flops_bf16: float  # FLOP/s at bf16
+    memory_gb: float
+    idle_power_w: float
+    peak_power_w: float
+
+    def power_at(self, utilization: float) -> float:
+        """Instantaneous power at a [0, 1] utilization (linear model)."""
+        utilization = min(max(utilization, 0.0), 1.0)
+        return self.idle_power_w + (self.peak_power_w - self.idle_power_w) * utilization
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node."""
+
+    name: str
+    gpu: DeviceSpec
+    gpus_per_node: int
+    cpu_cores: int
+    cpu_idle_power_w: float
+    cpu_peak_power_w: float
+    # effective per-GPU bandwidth for collectives within a node (bytes/s)
+    intra_node_bw: float
+    # effective per-node injection bandwidth to the network (bytes/s)
+    inter_node_bw: float
+    # one-way network latency between nodes (seconds)
+    network_latency_s: float
+
+    def cpu_power_at(self, utilization: float) -> float:
+        utilization = min(max(utilization, 0.0), 1.0)
+        return self.cpu_idle_power_w + (
+            self.cpu_peak_power_w - self.cpu_idle_power_w
+        ) * utilization
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of nodes."""
+
+    name: str
+    node: NodeSpec
+    n_nodes: int
+
+    @property
+    def total_gpus(self) -> int:
+        return self.n_nodes * self.node.gpus_per_node
+
+    def allocate(self, n_gpus: int) -> "Allocation":
+        """Allocate *n_gpus* devices, packing nodes densely.
+
+        Whole nodes are charged for power (as real facilities do) even when
+        partially used — this matters for the energy numbers at 8 GPUs
+        (exactly one Frontier node) vs e.g. 12.
+        """
+        if n_gpus <= 0:
+            raise ClusterConfigError(f"n_gpus must be positive, got {n_gpus}")
+        if n_gpus > self.total_gpus:
+            raise ClusterConfigError(
+                f"cluster {self.name} has {self.total_gpus} GPUs, requested {n_gpus}"
+            )
+        per_node = self.node.gpus_per_node
+        n_full = n_gpus // per_node
+        remainder = n_gpus % per_node
+        n_nodes = n_full + (1 if remainder else 0)
+        return Allocation(cluster=self, n_gpus=n_gpus, n_nodes=n_nodes)
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A placed job: *n_gpus* devices across *n_nodes* nodes."""
+
+    cluster: ClusterSpec
+    n_gpus: int
+    n_nodes: int
+
+    @property
+    def node(self) -> NodeSpec:
+        return self.cluster.node
+
+    @property
+    def gpu(self) -> DeviceSpec:
+        return self.cluster.node.gpu
+
+    @property
+    def spans_nodes(self) -> bool:
+        return self.n_nodes > 1
+
+    @property
+    def gpus_on_last_node(self) -> int:
+        rem = self.n_gpus % self.node.gpus_per_node
+        return rem if rem else self.node.gpus_per_node
+
+    def describe(self) -> str:
+        return (
+            f"{self.n_gpus} x {self.gpu.name} on {self.n_nodes} "
+            f"{self.node.name} node(s) of {self.cluster.name}"
+        )
+
+
+def frontier(n_nodes: int = 9402) -> ClusterSpec:
+    """The Frontier-like preset used by the paper's use case.
+
+    Per-GCD numbers (an MI250X module is two GCDs):
+
+    * 191.5 TFLOP/s bf16 peak, 64 GB HBM2e;
+    * 280 W peak / 75 W idle (half of the 560 W module envelope);
+    * intra-node Infinity Fabric: ~50 GB/s effective per GCD for
+      collectives;
+    * inter-node Slingshot-11: 4×25 GB/s NICs → 100 GB/s injection per
+      node, ~2 µs latency.
+    """
+    gcd = DeviceSpec(
+        name="MI250X-GCD",
+        peak_flops_bf16=191.5e12,
+        memory_gb=64.0,
+        idle_power_w=75.0,
+        peak_power_w=280.0,
+    )
+    node = NodeSpec(
+        name="frontier-node",
+        gpu=gcd,
+        gpus_per_node=8,
+        cpu_cores=64,
+        cpu_idle_power_w=90.0,
+        cpu_peak_power_w=280.0,
+        intra_node_bw=50e9,
+        inter_node_bw=100e9,
+        network_latency_s=2e-6,
+    )
+    return ClusterSpec(name="frontier", node=node, n_nodes=n_nodes)
+
+
+def small_cluster(n_nodes: int = 4, gpus_per_node: int = 4) -> ClusterSpec:
+    """A modest A100-like cluster preset for examples and tests."""
+    gpu = DeviceSpec(
+        name="A100-40GB",
+        peak_flops_bf16=312e12,
+        memory_gb=40.0,
+        idle_power_w=60.0,
+        peak_power_w=400.0,
+    )
+    node = NodeSpec(
+        name="dgx-node",
+        gpu=gpu,
+        gpus_per_node=gpus_per_node,
+        cpu_cores=128,
+        cpu_idle_power_w=100.0,
+        cpu_peak_power_w=300.0,
+        intra_node_bw=150e9,
+        inter_node_bw=25e9,
+        network_latency_s=5e-6,
+    )
+    return ClusterSpec(name="small-cluster", node=node, n_nodes=n_nodes)

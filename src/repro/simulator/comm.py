@@ -1,0 +1,236 @@
+"""Simulated communication: a functional SPMD communicator and a cost model.
+
+Two complementary pieces:
+
+* :class:`ThreadComm` — a *functional* in-process communicator with the
+  mpi4py lowercase-API shape (``bcast``/``scatter``/``gather``/
+  ``allreduce``/``barrier``/``send``/``recv``).  Each rank runs in its own
+  thread; collectives synchronize on barriers.  It moves real NumPy data,
+  so DDP gradient averaging can be tested for *correctness* at small rank
+  counts.
+* :class:`RingAllreduceModel` — the *analytic* timing model used for the
+  scaling study, where 128-rank data movement would be pointless to
+  execute.  It implements the standard ring-allreduce cost
+  ``2·(n−1)/n · bytes / bw + 2·(n−1)·latency`` hierarchically: a reduce
+  within each node over the intra-node fabric, a ring across nodes over
+  the injection bandwidth, then an intra-node broadcast.  A naive
+  all-to-all model is included for the ablation bench.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CommError
+from repro.simulator.cluster import Allocation
+
+
+class _SharedState:
+    """Collective scratchpad shared by all ranks of a ThreadComm."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        self.slots: List[Any] = [None] * size
+        self.p2p: Dict[Tuple[int, int, int], "queue.Queue[Any]"] = {}
+        self.p2p_lock = threading.Lock()
+
+    def channel(self, src: int, dst: int, tag: int) -> "queue.Queue[Any]":
+        key = (src, dst, tag)
+        with self.p2p_lock:
+            q = self.p2p.get(key)
+            if q is None:
+                q = queue.Queue()
+                self.p2p[key] = q
+            return q
+
+
+class RankComm:
+    """Per-rank handle into a :class:`ThreadComm` (mpi4py-style API)."""
+
+    def __init__(self, rank: int, state: _SharedState) -> None:
+        self.rank = rank
+        self.size = state.size
+        self._state = state
+
+    # -- collectives ------------------------------------------------------
+    def barrier(self) -> None:
+        self._state.barrier.wait()
+
+    def _exchange(self, value: Any) -> List[Any]:
+        """All ranks deposit a value; returns the full slot list (copy)."""
+        self._state.slots[self.rank] = value
+        self._state.barrier.wait()
+        snapshot = list(self._state.slots)
+        self._state.barrier.wait()  # everyone has read before slots are reused
+        return snapshot
+
+    def bcast(self, value: Any, root: int = 0) -> Any:
+        self._check_root(root)
+        snapshot = self._exchange(value if self.rank == root else None)
+        return snapshot[root]
+
+    def gather(self, value: Any, root: int = 0) -> Optional[List[Any]]:
+        self._check_root(root)
+        snapshot = self._exchange(value)
+        return snapshot if self.rank == root else None
+
+    def allgather(self, value: Any) -> List[Any]:
+        return self._exchange(value)
+
+    def scatter(self, values: Optional[Sequence[Any]], root: int = 0) -> Any:
+        """Distribute one value per rank from *root* (mpi4py-style scatter)."""
+        self._check_root(root)
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise CommError(
+                    f"scatter at root needs a sequence of length {self.size}"
+                )
+        snapshot = self._exchange(list(values) if self.rank == root else None)
+        return snapshot[root][self.rank]
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        """Reduce numeric scalars or same-shape NumPy arrays across ranks."""
+        snapshot = self._exchange(value)
+        arrays = [np.asarray(v) for v in snapshot]
+        first_shape = arrays[0].shape
+        if any(a.shape != first_shape for a in arrays):
+            raise CommError("allreduce requires identical shapes on all ranks")
+        stacked = np.stack(arrays)
+        if op == "sum":
+            result = stacked.sum(axis=0)
+        elif op == "mean":
+            result = stacked.mean(axis=0)
+        elif op == "max":
+            result = stacked.max(axis=0)
+        elif op == "min":
+            result = stacked.min(axis=0)
+        else:
+            raise CommError(f"unsupported allreduce op: {op!r}")
+        if np.isscalar(value) or np.asarray(value).shape == ():
+            return result.item()
+        return result
+
+    # -- point to point ------------------------------------------------------
+    def send(self, value: Any, dest: int, tag: int = 0) -> None:
+        """Blocking point-to-point receive (raises CommError on timeout)."""
+        if not 0 <= dest < self.size:
+            raise CommError(f"invalid destination rank: {dest}")
+        self._state.channel(self.rank, dest, tag).put(value)
+
+    def recv(self, source: int, tag: int = 0, timeout: float = 30.0) -> Any:
+        """Blocking point-to-point receive (raises CommError on timeout)."""
+        if not 0 <= source < self.size:
+            raise CommError(f"invalid source rank: {source}")
+        try:
+            return self._state.channel(source, self.rank, tag).get(timeout=timeout)
+        except queue.Empty:
+            raise CommError(
+                f"recv timed out: rank {self.rank} <- {source} (tag {tag})"
+            ) from None
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.size:
+            raise CommError(f"invalid root rank: {root}")
+
+
+class ThreadComm:
+    """Launch an SPMD function across *size* thread-ranks."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise CommError(f"communicator size must be positive, got {size}")
+        self.size = size
+
+    def run(self, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
+        """Run ``fn(comm, *args)`` on every rank; returns per-rank results.
+
+        Any rank raising propagates the first exception after all threads
+        finish or abort (barriers are broken so peers do not deadlock).
+        """
+        state = _SharedState(self.size)
+        results: List[Any] = [None] * self.size
+        errors: List[Optional[BaseException]] = [None] * self.size
+
+        def worker(rank: int) -> None:
+            comm = RankComm(rank, state)
+            try:
+                results[rank] = fn(comm, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 — surfaced to caller
+                errors[rank] = exc
+                state.barrier.abort()
+
+        threads = [
+            threading.Thread(target=worker, args=(r,), name=f"rank-{r}")
+            for r in range(self.size)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for exc in errors:
+            if exc is not None:
+                if isinstance(exc, threading.BrokenBarrierError):
+                    continue
+                raise exc
+        return results
+
+
+# ---------------------------------------------------------------------------
+# analytic cost model
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RingAllreduceModel:
+    """Hierarchical ring-allreduce timing for an allocation."""
+
+    allocation: Allocation
+
+    def _ring_time(self, nbytes: float, n: int, bw: float, latency: float) -> float:
+        """Classic ring allreduce: reduce-scatter + allgather."""
+        if n <= 1:
+            return 0.0
+        return 2.0 * (n - 1) / n * nbytes / bw + 2.0 * (n - 1) * latency
+
+    def time(self, nbytes: float) -> float:
+        """Seconds to allreduce *nbytes* of gradients across the allocation."""
+        if nbytes < 0:
+            raise CommError(f"negative message size: {nbytes}")
+        alloc = self.allocation
+        node = alloc.node
+        gpus_per_node = min(alloc.n_gpus, node.gpus_per_node)
+        intra_latency = 1e-6
+        if not alloc.spans_nodes:
+            return self._ring_time(nbytes, alloc.n_gpus, node.intra_node_bw, intra_latency)
+        # hierarchical: intra-node reduce, inter-node ring, intra-node bcast
+        intra_reduce = self._ring_time(nbytes, gpus_per_node, node.intra_node_bw,
+                                       intra_latency) / 2.0
+        inter = self._ring_time(nbytes, alloc.n_nodes, node.inter_node_bw,
+                                node.network_latency_s)
+        intra_bcast = intra_reduce
+        return intra_reduce + inter + intra_bcast
+
+    def naive_time(self, nbytes: float) -> float:
+        """Naive all-to-all gradient exchange (each rank sends its full
+        gradient to every other) — the ablation baseline."""
+        alloc = self.allocation
+        n = alloc.n_gpus
+        if n <= 1:
+            return 0.0
+        node = alloc.node
+        bw = node.intra_node_bw if not alloc.spans_nodes else node.inter_node_bw
+        latency = 1e-6 if not alloc.spans_nodes else node.network_latency_s
+        return (n - 1) * (nbytes / bw + latency)
+
+    def bandwidth_bound(self, nbytes: float) -> float:
+        """Lower bound: each byte must cross the slowest link once each way."""
+        alloc = self.allocation
+        if alloc.n_gpus <= 1:
+            return 0.0
+        bw = alloc.node.intra_node_bw if not alloc.spans_nodes else alloc.node.inter_node_bw
+        return 2.0 * nbytes / bw

@@ -1,0 +1,133 @@
+"""DDP step timing: compute + gradient allreduce with overlap.
+
+Distributed Data Parallel replicates the model on every device; each step
+runs forward+backward on a local micro-batch, then averages gradients with
+an allreduce that modern implementations overlap with the tail of the
+backward pass (bucketed gradients).  The engine models exactly that:
+
+* ``compute_s`` — training FLOPs per local batch over the device's
+  *achieved* throughput (peak × MFU);
+* ``comm_s`` — the ring-allreduce time for one gradient copy;
+* ``exposed_comm_s`` — the part of the allreduce not hidden behind the
+  backward pass (overlap window ≈ backward ≈ 2/3 of compute);
+* memory feasibility — parameters, gradients, Adam states and an
+  activation estimate against device HBM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import SimulationError
+from repro.simulator.cluster import Allocation
+from repro.simulator.comm import RingAllreduceModel
+from repro.simulator.models import MAEConfig, SwinConfig, TransformerConfig
+
+ModelConfig = Union[TransformerConfig, MAEConfig, SwinConfig]
+
+#: Adam in mixed precision: bf16 weights+grads (2+2) plus fp32 master weights
+#: and two moments (4+4+4) = 16 bytes per parameter.
+_OPTIMIZER_BYTES_PER_PARAM = 16
+
+
+@dataclass(frozen=True)
+class StepTiming:
+    """Timing decomposition of one DDP training step."""
+
+    compute_s: float
+    comm_s: float
+    exposed_comm_s: float
+
+    @property
+    def step_s(self) -> float:
+        return self.compute_s + self.exposed_comm_s
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of the step spent in *exposed* communication."""
+        return self.exposed_comm_s / self.step_s if self.step_s > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class DDPEngine:
+    """Analytic DDP timing for (model, allocation, batch size)."""
+
+    model: ModelConfig
+    allocation: Allocation
+    batch_per_gpu: int = 32
+    mfu: float = 0.35  # achieved fraction of peak FLOPs
+    overlap_fraction: float = 0.65  # how much of the backward hides comm
+    activation_bytes_per_token: float = 64.0  # per layer, bf16 w/ checkpointing
+
+    def __post_init__(self) -> None:
+        if self.batch_per_gpu <= 0:
+            raise SimulationError("batch_per_gpu must be positive")
+        if not 0.0 < self.mfu <= 1.0:
+            raise SimulationError(f"mfu must be in (0, 1]: {self.mfu}")
+        if not 0.0 <= self.overlap_fraction <= 1.0:
+            raise SimulationError("overlap_fraction must be in [0, 1]")
+
+    # -- sizes -----------------------------------------------------------
+    @property
+    def global_batch(self) -> int:
+        return self.batch_per_gpu * self.allocation.n_gpus
+
+    @property
+    def grad_bytes(self) -> float:
+        return self.model.grad_bytes(dtype_bytes=2)
+
+    # -- timing -----------------------------------------------------------
+    def step_timing(self) -> StepTiming:
+        """Compute/communication decomposition of one DDP step."""
+        flops = self.model.train_flops_per_sample() * self.batch_per_gpu
+        achieved = self.allocation.gpu.peak_flops_bf16 * self.mfu
+        compute = flops / achieved
+        ring = RingAllreduceModel(self.allocation)
+        comm = ring.time(self.grad_bytes)
+        backward = compute * (2.0 / 3.0)
+        hidden = min(comm, backward * self.overlap_fraction)
+        return StepTiming(compute_s=compute, comm_s=comm,
+                          exposed_comm_s=comm - hidden)
+
+    def throughput_samples_per_s(self) -> float:
+        return self.global_batch / self.step_timing().step_s
+
+    def scaling_efficiency(self) -> float:
+        """Per-device memory: optimizer states plus a checkpointed-activation estimate."""
+        """Weak-scaling efficiency vs. a single device (1.0 = perfect)."""
+        single = Allocation(cluster=self.allocation.cluster, n_gpus=1, n_nodes=1)
+        solo = DDPEngine(
+            model=self.model,
+            allocation=single,
+            batch_per_gpu=self.batch_per_gpu,
+            mfu=self.mfu,
+            overlap_fraction=self.overlap_fraction,
+        )
+        ideal = solo.throughput_samples_per_s() * self.allocation.n_gpus
+        return self.throughput_samples_per_s() / ideal if ideal > 0 else 0.0
+
+    # -- memory -----------------------------------------------------------
+    def memory_required_gb(self) -> float:
+        """Per-device memory: optimizer states plus a checkpointed-activation estimate."""
+        params = self.model.param_count
+        states = params * _OPTIMIZER_BYTES_PER_PARAM
+        tokens = self.model.tokens_per_sample * self.batch_per_gpu
+        depth = getattr(self.model, "depth", None)
+        if depth is None:  # Swin: use total block count
+            depth = sum(self.model.stage_depths)  # type: ignore[union-attr]
+        hidden = getattr(self.model, "hidden_dim", None) or getattr(
+            self.model, "base_dim"
+        )
+        activations = tokens * depth * hidden * self.activation_bytes_per_token / 16.0
+        return (states + activations) / 1e9
+
+    def fits_in_memory(self) -> bool:
+        return self.memory_required_gb() <= self.allocation.gpu.memory_gb
+
+    def check_memory(self) -> None:
+        if not self.fits_in_memory():
+            raise SimulationError(
+                f"model {self.model.name} needs {self.memory_required_gb():.1f} GB "
+                f"but {self.allocation.gpu.name} has {self.allocation.gpu.memory_gb} GB"
+            )

@@ -1,0 +1,135 @@
+"""Failure and checkpoint/restart modeling for leadership-scale jobs.
+
+At Frontier's scale (the paper's 9,402 nodes), node failures during long
+training jobs are routine, and the checkpoint cadence is itself a
+performance/energy design choice that provenance data lets teams optimize.
+This module implements the classical machinery:
+
+* :class:`FailureModel` — exponential failures with a per-node MTBF; a job
+  on N nodes fails with rate N/MTBF;
+* Young's and Daly's optimal checkpoint intervals
+  (``τ_opt ≈ sqrt(2 · C · M)`` and Daly's higher-order refinement);
+* :func:`expected_runtime` — the expected walltime of a W-second workload
+  under interval τ: checkpoint overhead + expected rework + restart costs,
+  using the standard first-order model;
+* :func:`apply_failures` — inflate a
+  :class:`~repro.simulator.training.TrainingResult` by the expected
+  overhead factor, so Figure-3-style grids can be produced for unreliable
+  machines (an ablation bench sweeps the checkpoint interval).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Exponential failure model for an allocation of *n_nodes* nodes."""
+
+    node_mtbf_hours: float = 50_000.0  # per-node mean time between failures
+    checkpoint_write_s: float = 60.0   # time to write one checkpoint (C)
+    restart_s: float = 300.0           # reboot + reload time (R)
+
+    def __post_init__(self) -> None:
+        if self.node_mtbf_hours <= 0:
+            raise SimulationError("node_mtbf_hours must be positive")
+        if self.checkpoint_write_s < 0 or self.restart_s < 0:
+            raise SimulationError("overheads must be non-negative")
+
+    def job_mtbf_s(self, n_nodes: int) -> float:
+        """MTBF of the whole job: per-node MTBF divided by node count."""
+        if n_nodes <= 0:
+            raise SimulationError("n_nodes must be positive")
+        return self.node_mtbf_hours * 3600.0 / n_nodes
+
+    # -- optimal checkpoint intervals --------------------------------------
+    def young_interval_s(self, n_nodes: int) -> float:
+        """Young's first-order optimum: τ = sqrt(2·C·M)."""
+        return math.sqrt(2.0 * self.checkpoint_write_s * self.job_mtbf_s(n_nodes))
+
+    def daly_interval_s(self, n_nodes: int) -> float:
+        """Daly's higher-order optimum (valid for C < 2M):
+
+        τ = sqrt(2·C·M) · [1 + (1/3)·sqrt(C/(2M)) + (1/9)·(C/(2M))] − C
+        """
+        M = self.job_mtbf_s(n_nodes)
+        C = self.checkpoint_write_s
+        if C >= 2.0 * M:
+            # degenerate regime: checkpointing costs more than the MTBF;
+            # Daly prescribes τ = M
+            return M
+        x = C / (2.0 * M)
+        return math.sqrt(2.0 * C * M) * (1.0 + math.sqrt(x) / 3.0 + x / 9.0) - C
+
+    # -- expected runtime -----------------------------------------------------
+    def expected_runtime_s(
+        self, work_s: float, n_nodes: int, interval_s: Optional[float] = None
+    ) -> float:
+        """Expected walltime to complete *work_s* seconds of useful work.
+
+        First-order model: the job advances in segments of τ useful seconds
+        followed by a C-second checkpoint; each segment is hit by a failure
+        with probability (τ+C)/M, costing a restart R plus on average half
+        the segment as rework.
+        """
+        if work_s < 0:
+            raise SimulationError("work must be non-negative")
+        if work_s == 0:
+            return 0.0
+        M = self.job_mtbf_s(n_nodes)
+        tau = interval_s if interval_s is not None else self.daly_interval_s(n_nodes)
+        if tau <= 0:
+            raise SimulationError("checkpoint interval must be positive")
+        C, R = self.checkpoint_write_s, self.restart_s
+        segments = work_s / tau
+        per_segment = tau + C
+        p_fail = min(per_segment / M, 0.99)
+        # expected cost of failures per segment: restart + half a segment redo
+        failure_cost = p_fail * (R + per_segment / 2.0)
+        return segments * (per_segment + failure_cost)
+
+    def overhead_factor(
+        self, work_s: float, n_nodes: int, interval_s: Optional[float] = None
+    ) -> float:
+        """Expected walltime inflation vs. a failure-free, checkpoint-free
+        run (1.0 = no overhead)."""
+        if work_s <= 0:
+            return 1.0
+        return self.expected_runtime_s(work_s, n_nodes, interval_s) / work_s
+
+
+def apply_failures(
+    result,
+    model: Optional[FailureModel] = None,
+    interval_s: Optional[float] = None,
+):
+    """Inflate a TrainingResult's walltime/energy by the failure overhead.
+
+    The extra time is spent at checkpoint/restart utilization (modeled at
+    communication-phase power — I/O bound, devices far from peak).  The
+    returned result is a new object; loss is unchanged (the same useful
+    work completes).
+    """
+    from repro.simulator.power import EnergyAccount, PowerModel
+
+    model = model or FailureModel()
+    allocation = result.job.resolve_cluster().allocate(result.job.n_gpus)
+    factor = model.overhead_factor(result.wall_time_s, allocation.n_nodes,
+                                   interval_s)
+    extra_time = result.wall_time_s * (factor - 1.0)
+    power = PowerModel(allocation)
+    energy = EnergyAccount()
+    energy.merge(result.energy)
+    energy.add("checkpoint_restart", power.comm_power_w, extra_time)
+    return replace(
+        result,
+        wall_time_s=result.wall_time_s * factor,
+        energy=energy,
+        run_id=None,
+        prov_path=None,
+    )

@@ -1,0 +1,132 @@
+"""Scaling-law loss model.
+
+Training loss as a function of model size and data seen, in the
+Kaplan/Chinchilla form the paper's §3.3 cites for scaling studies::
+
+    L(N, D) = E  +  A / N^alpha  +  B / D_eff^beta
+
+``N`` is the parameter count, ``D`` the training tokens (patch tokens ×
+samples seen) and ``D_eff`` a data-constrained correction: beyond one pass
+over the unique data, repeated tokens contribute with diminishing returns
+(``D_eff = U · (D/U)^gamma`` for ``D > U``, after Muennighoff et al.'s
+"Scaling Data-Constrained Language Models" — the dataset here is only
+800 k patches, so the 2-hour runs at large GPU counts do repeat data).
+
+Architecture presets encode what the paper reports qualitatively: "the
+newer SwinT-V2 architecture is performing much better at scale, while MAE
+presents a steeper trade-off curve" — SwinT has a stronger data exponent
+and lower irreducible loss, MAE starts lower at small scale but flattens.
+All evaluation is vectorized over step arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+#: Per-architecture scaling constants (loss is a reconstruction error in
+#: arbitrary-but-consistent units; only relative shape matters).
+ARCH_PRESETS: Dict[str, Dict[str, float]] = {
+    # MAE: efficient per step and strong on small data, but its masked
+    # objective extracts less from additional/repeated data (weaker data
+    # exponent beta, lower reuse gamma, higher irreducible E) — this is what
+    # makes its trade-off curve *steeper* along the data-scaling axis.
+    "mae": dict(E=0.30, A=180.0, alpha=0.28, B=111.0, beta=0.22, gamma=0.45),
+    # SwinT-V2: flatter trade-off at scale (stronger data exponent, better
+    # reuse of repeated data) — "performing much better at scale".
+    "swint": dict(E=0.20, A=260.0, alpha=0.30, B=18700.0, beta=0.42, gamma=0.62),
+    # plain ViT (for examples/tests): between the two.
+    "vit": dict(E=0.26, A=220.0, alpha=0.29, B=780.0, beta=0.30, gamma=0.55),
+}
+
+
+@dataclass(frozen=True)
+class ScalingLawLoss:
+    """Loss model for one (architecture, model size, dataset) combination."""
+
+    architecture: str
+    param_count: float
+    unique_tokens: float  # tokens in one pass over the training set
+    noise_std: float = 0.004
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.architecture not in ARCH_PRESETS:
+            raise SimulationError(
+                f"unknown architecture {self.architecture!r}; "
+                f"presets: {sorted(ARCH_PRESETS)}"
+            )
+        if self.param_count <= 0 or self.unique_tokens <= 0:
+            raise SimulationError("param_count and unique_tokens must be positive")
+
+    @property
+    def constants(self) -> Dict[str, float]:
+        return ARCH_PRESETS[self.architecture]
+
+    def effective_tokens(self, tokens: np.ndarray) -> np.ndarray:
+        """Data-constrained correction (vectorized)."""
+        tokens = np.asarray(tokens, dtype=np.float64)
+        u = self.unique_tokens
+        gamma = self.constants["gamma"]
+        repeated = tokens > u
+        out = tokens.copy()
+        # D_eff = U * (D/U)^gamma beyond the first pass (concave, monotone)
+        out = np.where(repeated, u * (tokens / u) ** gamma, out)
+        return out
+
+    def loss_at_tokens(self, tokens: np.ndarray) -> np.ndarray:
+        """Expected loss after seeing *tokens* training tokens."""
+        c = self.constants
+        d_eff = np.maximum(self.effective_tokens(tokens), 1.0)
+        return (
+            c["E"]
+            + c["A"] / self.param_count ** c["alpha"]
+            + c["B"] / d_eff ** c["beta"]
+        )
+
+    def loss_curve(
+        self,
+        steps: np.ndarray,
+        tokens_per_step: float,
+        with_noise: bool = True,
+    ) -> np.ndarray:
+        """Loss trajectory over *steps* (1-based step counts).
+
+        Noise is multiplicative log-normal-ish jitter, seeded, with variance
+        shrinking as training progresses (batch-averaged loss stabilizes).
+        """
+        steps = np.asarray(steps, dtype=np.float64)
+        if np.any(steps < 1):
+            raise SimulationError("steps must be >= 1")
+        tokens = steps * float(tokens_per_step)
+        loss = self.loss_at_tokens(tokens)
+        if with_noise and self.noise_std > 0:
+            rng = np.random.default_rng(self.seed)
+            jitter = rng.normal(0.0, self.noise_std, size=loss.shape)
+            loss = loss * (1.0 + jitter / np.sqrt(np.maximum(steps / 100.0, 1.0)))
+        return loss
+
+    def final_loss(self, total_steps: int, tokens_per_step: float) -> float:
+        """Deterministic (noise-free) loss after *total_steps* steps."""
+        if total_steps < 1:
+            raise SimulationError("total_steps must be >= 1")
+        return float(self.loss_at_tokens(np.array([total_steps * tokens_per_step]))[0])
+
+    def compute_optimal_size(self, budget_flops: float) -> float:
+        """Chinchilla-style compute-optimal N for a FLOP budget.
+
+        With step FLOPs ≈ 6·N per token, minimizing L over N at fixed
+        C = 6·N·D gives N* ∝ C^(beta/(alpha+beta)).  Used by the analysis
+        layer's "scaling studies without training" estimator (§3.3).
+        """
+        if budget_flops <= 0:
+            raise SimulationError("budget must be positive")
+        c = self.constants
+        a, b = c["alpha"], c["beta"]
+        # dL/dN = 0 with D = C/(6N):  A·a/N^(a+1) = B·b·6^b·N^(b-1)/C^b
+        coeff = (c["A"] * a) / (c["B"] * b * 6.0**b)
+        return float(coeff ** (1.0 / (a + b)) * budget_flops ** (b / (a + b)))

@@ -1,0 +1,295 @@
+"""Transformer model zoo with analytic parameter and FLOP counting.
+
+The use case (§5) compares two baselines — a Masked Autoencoder with a ViT
+backbone and a Swin Transformer V2 — at four sizes (100 M, 200 M, 600 M,
+1.4 B parameters) on 128×128×6 MODIS patches.  No tensor framework is
+available (or needed): what the timing/energy simulation requires is the
+*parameter count* and the *training FLOPs per sample*, both of which follow
+from the architecture analytically:
+
+* a transformer block at width ``d`` costs ``12 d²`` parameters
+  (QKV + output projection = 4 d², MLP at ratio 4 = 8 d²);
+* forward FLOPs per token per block are ``24 d² + 4 d·T_att`` (matmuls plus
+  the attention-score/value products against ``T_att`` attended tokens);
+* a training step is forward + backward ≈ 3× forward FLOPs;
+* MAE encodes only the visible (1 − mask_ratio) tokens and decodes all
+  tokens with a narrow decoder — the architectural reason it is cheap per
+  step;
+* SwinT attends within ``window²`` token windows and halves token count /
+  doubles width per stage — the reason it scales well with resolution.
+
+:func:`model_zoo` solves for the (width, depth) of each size target with a
+deterministic grid search and asserts the achieved count is within 5 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SimulationError
+
+#: The four scaling-study sizes from §5.
+MODEL_SIZES: Dict[str, float] = {
+    "100M": 100e6,
+    "200M": 200e6,
+    "600M": 600e6,
+    "1.4B": 1.4e9,
+}
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Plain ViT encoder on image patches."""
+
+    name: str
+    hidden_dim: int
+    depth: int
+    image_size: int = 128
+    patch_size: int = 16
+    in_channels: int = 6
+    mlp_ratio: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.image_size % self.patch_size:
+            raise SimulationError(
+                f"patch_size {self.patch_size} does not divide image_size {self.image_size}"
+            )
+        if self.hidden_dim <= 0 or self.depth <= 0:
+            raise SimulationError("hidden_dim and depth must be positive")
+
+    # -- geometry -----------------------------------------------------------
+    @property
+    def tokens_per_sample(self) -> int:
+        side = self.image_size // self.patch_size
+        return side * side
+
+    # -- parameters -----------------------------------------------------------
+    def _block_params(self, d: int) -> float:
+        attn = 4 * d * d + 4 * d  # qkv + proj, biases
+        mlp = 2 * self.mlp_ratio * d * d + (self.mlp_ratio + 1) * d
+        norm = 4 * d
+        return attn + mlp + norm
+
+    @property
+    def param_count(self) -> float:
+        """Analytic parameter count: embeddings + blocks + head."""
+        d = self.hidden_dim
+        embed = self.patch_size**2 * self.in_channels * d + d  # patch projection
+        pos = (self.tokens_per_sample + 1) * d
+        blocks = self.depth * self._block_params(d)
+        head = d * (self.patch_size**2 * self.in_channels) + d  # reconstruction head
+        return embed + pos + blocks + head
+
+    # -- FLOPs -----------------------------------------------------------------
+    def _block_flops_per_token(self, d: int, attended_tokens: int) -> float:
+        matmuls = (8 + 4 * self.mlp_ratio) * d * d  # qkv/proj + mlp (2 FLOP/MAC)
+        attention = 4 * d * attended_tokens
+        return matmuls + attention
+
+    def forward_flops_per_sample(self) -> float:
+        t = self.tokens_per_sample
+        d = self.hidden_dim
+        embed = 2 * t * self.patch_size**2 * self.in_channels * d
+        blocks = self.depth * t * self._block_flops_per_token(d, t)
+        return embed + blocks
+
+    def train_flops_per_sample(self) -> float:
+        """Forward + backward (≈ 2× forward)."""
+        return 3.0 * self.forward_flops_per_sample()
+
+    @property
+    def architecture(self) -> str:
+        return "vit"
+
+    def grad_bytes(self, dtype_bytes: int = 2) -> float:
+        """Bytes of gradients exchanged per DDP step (one full copy)."""
+        return self.param_count * dtype_bytes
+
+
+@dataclass(frozen=True)
+class MAEConfig(TransformerConfig):
+    """Masked Autoencoder: ViT encoder on visible tokens + narrow decoder."""
+
+    mask_ratio: float = 0.75
+    decoder_dim: int = 512
+    decoder_depth: int = 8
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.mask_ratio < 1.0:
+            raise SimulationError(f"mask_ratio must be in (0,1): {self.mask_ratio}")
+
+    @property
+    def visible_tokens(self) -> int:
+        return max(1, round(self.tokens_per_sample * (1.0 - self.mask_ratio)))
+
+    @property
+    def param_count(self) -> float:
+        """Encoder parameters plus the narrow decoder and its head."""
+        encoder = super().param_count
+        dd = self.decoder_dim
+        dec_embed = self.hidden_dim * dd + dd  # encoder->decoder projection
+        dec_blocks = self.decoder_depth * self._block_params(dd)
+        dec_head = dd * (self.patch_size**2 * self.in_channels) + dd
+        return encoder + dec_embed + dec_blocks + dec_head
+
+    def forward_flops_per_sample(self) -> float:
+        """Forward FLOPs: encoder on visible tokens + narrow decoder on all tokens."""
+        t_all = self.tokens_per_sample
+        t_vis = self.visible_tokens
+        d = self.hidden_dim
+        dd = self.decoder_dim
+        embed = 2 * t_vis * self.patch_size**2 * self.in_channels * d
+        encoder = self.depth * t_vis * self._block_flops_per_token(d, t_vis)
+        decoder = self.decoder_depth * t_all * self._block_flops_per_token(dd, t_all)
+        return embed + encoder + decoder
+
+    @property
+    def architecture(self) -> str:
+        return "mae"
+
+
+@dataclass(frozen=True)
+class SwinConfig:
+    """Swin Transformer V2: hierarchical stages with windowed attention."""
+
+    name: str
+    base_dim: int
+    stage_depths: Tuple[int, int, int, int]
+    image_size: int = 128
+    patch_size: int = 4
+    in_channels: int = 6
+    window: int = 8
+    mlp_ratio: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.image_size % self.patch_size:
+            raise SimulationError("patch_size must divide image_size")
+        if len(self.stage_depths) != 4:
+            raise SimulationError("SwinConfig uses exactly 4 stages")
+
+    @property
+    def tokens_per_sample(self) -> int:
+        side = self.image_size // self.patch_size
+        return side * side
+
+    def _stage_dims(self) -> List[int]:
+        return [self.base_dim * (2**s) for s in range(4)]
+
+    def _stage_tokens(self) -> List[int]:
+        t = self.tokens_per_sample
+        return [t // (4**s) for s in range(4)]
+
+    def _block_params(self, d: int) -> float:
+        """Analytic parameter count across stages, merges, embed and head."""
+        attn = 4 * d * d + 4 * d
+        mlp = 2 * self.mlp_ratio * d * d + (self.mlp_ratio + 1) * d
+        norm = 4 * d
+        # Swin-V2: continuous relative position bias MLP (small, ~2*512*heads)
+        rpb = 2 * 512 * max(d // 32, 1)
+        return attn + mlp + norm + rpb
+
+    @property
+    def param_count(self) -> float:
+        """Forward FLOPs per sample across the four windowed-attention stages."""
+        dims = self._stage_dims()
+        embed = self.patch_size**2 * self.in_channels * dims[0] + dims[0]
+        total = embed
+        for s, (d, depth) in enumerate(zip(dims, self.stage_depths)):
+            total += depth * self._block_params(d)
+            if s < 3:  # patch merging: concat 4 tokens (4d) -> 2d projection
+                total += (4 * d) * (2 * d)
+        head = dims[-1] * (self.patch_size**2 * self.in_channels)
+        return total + head
+
+    def forward_flops_per_sample(self) -> float:
+        """Forward FLOPs per sample across the four windowed-attention stages."""
+        dims = self._stage_dims()
+        tokens = self._stage_tokens()
+        total = 2 * tokens[0] * self.patch_size**2 * self.in_channels * dims[0]
+        window_tokens = self.window * self.window
+        for s, (d, depth, t) in enumerate(zip(dims, self.stage_depths, tokens)):
+            att = min(window_tokens, t)  # windowed attention
+            per_token = (8 + 4 * self.mlp_ratio) * d * d + 4 * d * att
+            total += depth * t * per_token
+            if s < 3:
+                total += 2 * tokens[s + 1] * (4 * d) * (2 * d)  # merging projection
+        return total
+
+    def train_flops_per_sample(self) -> float:
+        return 3.0 * self.forward_flops_per_sample()
+
+    @property
+    def architecture(self) -> str:
+        return "swint"
+
+    def grad_bytes(self, dtype_bytes: int = 2) -> float:
+        return self.param_count * dtype_bytes
+
+
+# ---------------------------------------------------------------------------
+# size search
+# ---------------------------------------------------------------------------
+
+def _fit_mae(target: float, size_name: str) -> MAEConfig:
+    """Grid-search (hidden_dim, depth) for an MAE hitting *target* params."""
+    best: Tuple[float, MAEConfig] = (float("inf"), None)  # type: ignore[assignment]
+    for d in range(512, 3072 + 1, 64):
+        for depth in range(6, 49):
+            cfg = MAEConfig(name=f"mae-{size_name}", hidden_dim=d, depth=depth)
+            err = abs(cfg.param_count - target) / target
+            # prefer conventional aspect ratios (depth ~ d/64)
+            aspect_penalty = abs(depth - d / 64) / 64.0
+            score = err + 0.01 * aspect_penalty
+            if score < best[0]:
+                best = (score, cfg)
+    cfg = best[1]
+    if abs(cfg.param_count - target) / target > 0.05:
+        raise SimulationError(
+            f"could not match MAE size {size_name}: got {cfg.param_count:.3g}"
+        )
+    return cfg
+
+
+def _fit_swin(target: float, size_name: str) -> SwinConfig:
+    """Grid-search (base_dim, stage-3 depth) for a SwinT hitting *target*."""
+    best: Tuple[float, SwinConfig] = (float("inf"), None)  # type: ignore[assignment]
+    for base in range(64, 512 + 1, 16):
+        for main_depth in range(2, 61, 2):
+            cfg = SwinConfig(
+                name=f"swint-{size_name}",
+                base_dim=base,
+                stage_depths=(2, 2, main_depth, 2),
+            )
+            err = abs(cfg.param_count - target) / target
+            if err < best[0]:
+                best = (err, cfg)
+    cfg = best[1]
+    if abs(cfg.param_count - target) / target > 0.05:
+        raise SimulationError(
+            f"could not match SwinT size {size_name}: got {cfg.param_count:.3g}"
+        )
+    return cfg
+
+
+_ZOO_CACHE: Dict[Tuple[str, str], object] = {}
+
+
+def model_zoo() -> Dict[str, Dict[str, object]]:
+    """All (architecture, size) configs of the scaling study.
+
+    Returns ``{"mae": {"100M": MAEConfig, ...}, "swint": {...}}``; cached
+    because the grid search costs a few milliseconds per entry.
+    """
+    out: Dict[str, Dict[str, object]] = {"mae": {}, "swint": {}}
+    for size_name, target in MODEL_SIZES.items():
+        key_mae = ("mae", size_name)
+        if key_mae not in _ZOO_CACHE:
+            _ZOO_CACHE[key_mae] = _fit_mae(target, size_name)
+        out["mae"][size_name] = _ZOO_CACHE[key_mae]
+        key_swin = ("swint", size_name)
+        if key_swin not in _ZOO_CACHE:
+            _ZOO_CACHE[key_swin] = _fit_swin(target, size_name)
+        out["swint"][size_name] = _ZOO_CACHE[key_swin]
+    return out

@@ -1,0 +1,108 @@
+"""Power modeling and energy accounting.
+
+Instantaneous power of an allocation is the sum of its devices' power at
+their current utilization plus the host CPUs; energy is the time integral,
+accumulated per *phase* (compute / communication / idle) so benches can
+attribute consumption.  The model is linear in utilization — the standard
+first-order approximation — and whole allocated nodes draw idle power even
+when their devices are unused, matching how facilities meter jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import SimulationError
+from repro.simulator.cluster import Allocation
+
+
+@dataclass
+class PowerModel:
+    """Maps an allocation + utilization to instantaneous watts.
+
+    ``compute_util`` / ``comm_util`` are the GPU utilizations assumed during
+    the compute and communication phases of a training step; communication
+    keeps devices busy but well below peak (memory/interconnect bound).
+    """
+
+    allocation: Allocation
+    compute_util: float = 0.92
+    comm_util: float = 0.35
+    cpu_util: float = 0.25
+    node_overhead_w: float = 120.0  # NICs, fans, memory — per node
+
+    def __post_init__(self) -> None:
+        for name in ("compute_util", "comm_util", "cpu_util"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise SimulationError(f"{name} must be in [0, 1], got {value}")
+
+    def gpu_power(self, utilization: float) -> float:
+        """Total GPU watts across the allocation at a given utilization.
+
+        Active devices run at *utilization*; devices on allocated nodes that
+        the job does not use still idle.
+        """
+        alloc = self.allocation
+        active = alloc.n_gpus
+        total_slots = alloc.n_nodes * alloc.node.gpus_per_node
+        idle_devices = total_slots - active
+        return (
+            active * alloc.gpu.power_at(utilization)
+            + idle_devices * alloc.gpu.power_at(0.0)
+        )
+
+    def node_power(self, gpu_utilization: float) -> float:
+        """Whole-allocation watts: GPUs + CPUs + per-node overhead."""
+        alloc = self.allocation
+        cpus = alloc.n_nodes * alloc.node.cpu_power_at(self.cpu_util)
+        overhead = alloc.n_nodes * self.node_overhead_w
+        return self.gpu_power(gpu_utilization) + cpus + overhead
+
+    @property
+    def compute_power_w(self) -> float:
+        return self.node_power(self.compute_util)
+
+    @property
+    def comm_power_w(self) -> float:
+        return self.node_power(self.comm_util)
+
+    @property
+    def idle_power_w(self) -> float:
+        return self.node_power(0.0)
+
+
+@dataclass
+class EnergyAccount:
+    """Per-phase energy accumulator (joules)."""
+
+    joules_by_phase: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, phase: str, power_w: float, duration_s: float) -> None:
+        """Accumulate ``power × duration`` joules into *phase*."""
+        if duration_s < 0:
+            raise SimulationError(f"negative duration: {duration_s}")
+        if power_w < 0:
+            raise SimulationError(f"negative power: {power_w}")
+        self.joules_by_phase[phase] = (
+            self.joules_by_phase.get(phase, 0.0) + power_w * duration_s
+        )
+
+    @property
+    def total_joules(self) -> float:
+        return sum(self.joules_by_phase.values())
+
+    @property
+    def total_kwh(self) -> float:
+        return self.total_joules / 3.6e6
+
+    def fraction(self, phase: str) -> float:
+        total = self.total_joules
+        if total == 0:
+            return 0.0
+        return self.joules_by_phase.get(phase, 0.0) / total
+
+    def merge(self, other: "EnergyAccount") -> None:
+        for phase, joules in other.joules_by_phase.items():
+            self.joules_by_phase[phase] = self.joules_by_phase.get(phase, 0.0) + joules

@@ -1,0 +1,49 @@
+"""Explicit simulated time.
+
+All simulator components share a :class:`SimClock`; nothing reads the wall
+clock, so simulations are reproducible bit-for-bit and can cover hours of
+"training" in milliseconds of real time.  The clock is callable, so it
+plugs directly into :class:`~repro.core.experiment.RunExecution` as the
+run's time source — provenance timestamps come out in simulated time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SimClock:
+    """A monotonically advancing simulated clock (seconds)."""
+
+    __slots__ = ("_now", "epoch_offset")
+
+    def __init__(self, start: float = 0.0, epoch_offset: float = 1_700_000_000.0) -> None:
+        """``epoch_offset`` shifts simulated 0 into a plausible epoch-seconds
+        range so provenance timestamps render as real dates."""
+        self._now = float(start)
+        self.epoch_offset = float(epoch_offset)
+
+    def now(self) -> float:
+        """Current simulated time in seconds since simulation start."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by *dt* seconds; returns the new time."""
+        if dt < 0:
+            raise SimulationError(f"cannot advance clock by negative dt: {dt}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Jump to absolute simulated time *t* (must not move backwards)."""
+        if t < self._now:
+            raise SimulationError(f"cannot move clock backwards: {t} < {self._now}")
+        self._now = t
+        return self._now
+
+    def __call__(self) -> float:
+        """Epoch-seconds view (for use as a RunExecution clock)."""
+        return self.epoch_offset + self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(t={self._now:.3f}s)"

@@ -1,0 +1,362 @@
+"""Training-loop simulation with walltime caps and provenance collection.
+
+:func:`simulate_training` runs one pre-training job of the §5 scaling study:
+a model from the zoo, an allocation of GPUs, the (synthetic) MODIS dataset,
+a target epoch count and a walltime limit.  Because step time is
+deterministic per job, the loop is evaluated *analytically* — loss and
+telemetry trajectories are produced as vectorized arrays — yet everything a
+real yProv4ML-instrumented run would log is logged: parameters, per-epoch
+activities on simulated time, metric time-series (loss, throughput, power,
+cumulative energy), the dataset descriptor as an input artifact, and the
+final checkpoint as an output ModelVersion.
+
+Jobs that cannot finish their epoch target inside the walltime stop at the
+cap and are marked ``TRUNCATED`` — these are Figure 3's empty cells.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.context import Context
+from repro.core.experiment import RunExecution, RunStatus
+from repro.errors import SimulationError, WalltimeExceededError
+from repro.simulator.cluster import Allocation, ClusterSpec, frontier
+from repro.simulator.data import SyntheticMODIS
+from repro.simulator.ddp import DDPEngine, ModelConfig, StepTiming
+from repro.simulator.lossmodel import ScalingLawLoss
+from repro.simulator.models import model_zoo
+from repro.simulator.power import EnergyAccount, PowerModel
+from repro.simulator.simclock import SimClock
+
+
+@dataclass(frozen=True)
+class TrainingJob:
+    """One cell of the scaling-study grid."""
+
+    model: ModelConfig
+    n_gpus: int
+    dataset: SyntheticMODIS = field(default_factory=SyntheticMODIS)
+    epochs: int = 10
+    batch_per_gpu: int = 32
+    walltime_s: float = 7200.0  # the paper's 2-hour cap
+    cluster: Optional[ClusterSpec] = None
+    mfu: float = 0.35
+    seed: int = 0
+    log_every_steps: int = 20
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise SimulationError("epochs must be positive")
+        if self.walltime_s <= 0:
+            raise SimulationError("walltime must be positive")
+
+    def resolve_cluster(self) -> ClusterSpec:
+        return self.cluster if self.cluster is not None else frontier()
+
+    @property
+    def size_label(self) -> str:
+        """Human size label ('100M', '1.4B') derived from the zoo model name."""
+        # zoo models are named "<arch>-<size>"; fall back to the raw count
+        name = getattr(self.model, "name", "")
+        if "-" in name:
+            return name.rsplit("-", 1)[1]
+        millions = self.model.param_count / 1e6
+        if millions >= 1000:
+            return f"{millions / 1000:.1f}B"
+        return f"{millions:.0f}M"
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of one simulated job."""
+
+    job: TrainingJob
+    completed: bool
+    steps_done: int
+    steps_target: int
+    epochs_done: int
+    wall_time_s: float
+    final_loss: float
+    energy: EnergyAccount
+    step_timing: StepTiming
+    throughput_samples_s: float
+    loss_steps: np.ndarray
+    loss_values: np.ndarray
+    run_id: Optional[str] = None
+    prov_path: Optional[Path] = None
+
+    @property
+    def energy_kwh(self) -> float:
+        return self.energy.total_kwh
+
+    @property
+    def tradeoff(self) -> float:
+        """The paper's Figure 3 metric: loss × total energy (kWh)."""
+        return self.final_loss * self.energy_kwh
+
+    def carbon_g(self, intensity_g_per_kwh: float = 380.0) -> float:
+        """Estimated emissions (gCO2e) at a grid carbon intensity.
+
+        The default 380 g/kWh is a typical mixed grid; pass the facility's
+        actual intensity for site-specific accounting (the sustainability
+        framing of the paper's conclusions).
+        """
+        if intensity_g_per_kwh < 0:
+            raise SimulationError("carbon intensity must be non-negative")
+        return self.energy_kwh * intensity_g_per_kwh
+
+    @property
+    def mean_power_w(self) -> float:
+        if self.wall_time_s == 0:
+            return 0.0
+        return self.energy.total_joules / self.wall_time_s
+
+
+def job_from_zoo(
+    architecture: str,
+    size: str,
+    n_gpus: int,
+    **kwargs,
+) -> TrainingJob:
+    """Convenience: build a job from the (architecture, size) zoo."""
+    zoo = model_zoo()
+    if architecture not in zoo:
+        raise SimulationError(f"unknown architecture: {architecture!r}")
+    if size not in zoo[architecture]:
+        raise SimulationError(f"unknown size: {size!r}")
+    return TrainingJob(model=zoo[architecture][size], n_gpus=n_gpus, **kwargs)
+
+
+def simulate_training(
+    job: TrainingJob,
+    clock: Optional[SimClock] = None,
+    provenance_dir: Optional[Union[str, Path]] = None,
+    metric_format: str = "zarrlike",
+    strict_walltime: bool = False,
+) -> TrainingResult:
+    """Simulate one training job; optionally record yProv4ML provenance.
+
+    With ``strict_walltime=True`` a truncated job raises
+    :class:`~repro.errors.WalltimeExceededError` instead of returning a
+    truncated result.
+    """
+    clock = clock or SimClock()
+    cluster = job.resolve_cluster()
+    allocation = cluster.allocate(job.n_gpus)
+    engine = DDPEngine(
+        model=job.model,
+        allocation=allocation,
+        batch_per_gpu=job.batch_per_gpu,
+        mfu=job.mfu,
+    )
+    engine.check_memory()
+    timing = engine.step_timing()
+    power = PowerModel(allocation)
+
+    steps_per_epoch = max(1, -(-job.dataset.n_patches // engine.global_batch))
+    steps_target = steps_per_epoch * job.epochs
+    max_steps_by_walltime = int(job.walltime_s // timing.step_s)
+    steps_done = min(steps_target, max_steps_by_walltime)
+    completed = steps_done >= steps_target
+    if steps_done == 0:
+        raise SimulationError(
+            f"walltime {job.walltime_s}s cannot fit a single step "
+            f"({timing.step_s:.1f}s) for {job.model.name} on {job.n_gpus} GPUs"
+        )
+    if not completed and strict_walltime:
+        raise WalltimeExceededError(
+            f"{job.model.name} on {job.n_gpus} GPUs needs "
+            f"{steps_target * timing.step_s:.0f}s > walltime {job.walltime_s}s"
+        )
+    epochs_done = steps_done // steps_per_epoch
+    wall_time = steps_done * timing.step_s
+
+    # loss trajectory ------------------------------------------------------------
+    tokens_per_step = engine.global_batch * job.model.tokens_per_sample
+    loss_model = ScalingLawLoss(
+        architecture=job.model.architecture,
+        param_count=job.model.param_count,
+        unique_tokens=job.dataset.n_patches * job.model.tokens_per_sample,
+        seed=job.seed,
+    )
+    log_steps = np.arange(1, steps_done + 1, job.log_every_steps, dtype=np.int64)
+    if log_steps[-1] != steps_done:
+        log_steps = np.append(log_steps, steps_done)
+    loss_values = loss_model.loss_curve(log_steps, tokens_per_step)
+    final_loss = loss_model.final_loss(steps_done, tokens_per_step)
+
+    # energy ----------------------------------------------------------------------
+    energy = EnergyAccount()
+    compute_time = steps_done * timing.compute_s
+    comm_time = steps_done * timing.exposed_comm_s
+    energy.add("compute", power.compute_power_w, compute_time)
+    energy.add("communication", power.comm_power_w, comm_time)
+
+    throughput = engine.throughput_samples_per_s()
+
+    result = TrainingResult(
+        job=job,
+        completed=completed,
+        steps_done=steps_done,
+        steps_target=steps_target,
+        epochs_done=epochs_done,
+        wall_time_s=wall_time,
+        final_loss=final_loss,
+        energy=energy,
+        step_timing=timing,
+        throughput_samples_s=throughput,
+        loss_steps=log_steps,
+        loss_values=loss_values,
+    )
+
+    if provenance_dir is not None:
+        _record_provenance(result, clock, Path(provenance_dir), metric_format)
+    else:
+        clock.advance(wall_time)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# provenance integration
+# ---------------------------------------------------------------------------
+
+def _record_provenance(
+    result: TrainingResult,
+    clock: SimClock,
+    provenance_dir: Path,
+    metric_format: str,
+) -> None:
+    """Drive a RunExecution on simulated time, mirroring the job timeline."""
+    job = result.job
+    timing = result.step_timing
+    run_id = (
+        f"{job.model.architecture}_{job.size_label}_{job.n_gpus}gpu"
+        f"_b{job.batch_per_gpu}_e{job.epochs}_d{job.dataset.n_patches}"
+        f"_seed{job.seed}"
+    )
+    experiment = f"scaling_{job.model.architecture}"
+    run = RunExecution(
+        experiment_name=experiment,
+        run_id=run_id,
+        save_dir=provenance_dir / run_id,
+        user_namespace="https://ornl.example.org/modis-fm/",
+        username="modis-fm",
+        clock=clock,
+    )
+    run.start()
+    start_t = clock.now()
+
+    run.log_param("architecture", job.model.architecture)
+    run.log_param("model_name", job.model.name)
+    run.log_param("param_count", float(job.model.param_count))
+    run.log_param("model_size", job.size_label)
+    run.log_param("n_gpus", job.n_gpus)
+    run.log_param("batch_per_gpu", job.batch_per_gpu)
+    run.log_param("global_batch", job.batch_per_gpu * job.n_gpus)
+    run.log_param("epochs_target", job.epochs)
+    run.log_param("walltime_s", job.walltime_s)
+    run.log_param("dataset_patches", job.dataset.n_patches)
+    run.log_param("dataset_fraction", job.dataset.n_patches / 800_000)
+    run.log_param("mfu", job.mfu)
+    run.log_param("seed", job.seed)
+    run.log_param("cluster", job.resolve_cluster().name)
+
+    # dataset descriptor as an input artifact ("used" in Figure 1)
+    run.log_artifact_bytes(
+        "dataset_descriptor.json",
+        json.dumps(job.dataset.descriptor(), indent=1).encode(),
+        is_input=True,
+        context=Context.TRAINING,
+    )
+
+    # epoch activities on simulated time (run these first so context end
+    # times cover every metric timestamp)
+    steps_per_epoch = max(1, result.steps_target // job.epochs)
+    epoch_duration = steps_per_epoch * timing.step_s
+    for epoch in range(result.epochs_done):
+        run.start_epoch(Context.TRAINING, epoch)
+        clock.advance(epoch_duration)
+        run.end_epoch(Context.TRAINING)
+    if clock.now() < start_t + result.wall_time_s:
+        # partial final epoch of a truncated run (and float-rounding slack)
+        run.start_epoch(Context.TRAINING, result.epochs_done)
+        clock.advance_to(start_t + result.wall_time_s)
+        run.end_epoch(Context.TRAINING)
+
+    # metric trajectories on simulated timestamps, clamped to the run end so
+    # accumulated-advance rounding cannot push a sample past its context
+    base_epoch_seconds = clock.epoch_offset + start_t
+    end_epoch_seconds = clock()
+    times = np.minimum(
+        base_epoch_seconds + result.loss_steps.astype(np.float64) * timing.step_s,
+        end_epoch_seconds,
+    )
+    epoch_of_step = np.minimum(
+        (result.loss_steps - 1) // steps_per_epoch, job.epochs - 1
+    ).astype(np.int64)
+    run.log_metric_array(
+        "loss", result.loss_steps, result.loss_values, times,
+        context=Context.TRAINING, epochs=epoch_of_step,
+    )
+    n_log = result.loss_steps.shape[0]
+    power = PowerModel(cluster_alloc := job.resolve_cluster().allocate(job.n_gpus))
+    step_energy_j = (
+        timing.compute_s * power.compute_power_w
+        + timing.exposed_comm_s * power.comm_power_w
+    )
+    cumulative = result.loss_steps.astype(np.float64) * step_energy_j
+    run.log_metric_array(
+        "energy_joules", result.loss_steps, cumulative, times,
+        context=Context.TRAINING, epochs=epoch_of_step,
+    )
+    mean_power = step_energy_j / timing.step_s
+    run.log_metric_array(
+        "power_w",
+        result.loss_steps,
+        np.full(n_log, mean_power),
+        times,
+        context=Context.TRAINING,
+        epochs=epoch_of_step,
+    )
+    run.log_metric_array(
+        "throughput_samples_s",
+        result.loss_steps,
+        np.full(n_log, result.throughput_samples_s),
+        times,
+        context=Context.TRAINING,
+        epochs=epoch_of_step,
+    )
+
+    # validation context: one held-out evaluation at the end
+    run.log_metric("val_loss", result.final_loss * 1.02, context=Context.VALIDATION)
+
+    # summary metrics
+    run.log_metric("final_loss", result.final_loss, context=Context.TESTING)
+    run.log_metric("total_energy_kwh", result.energy_kwh, context=Context.TESTING)
+    run.log_metric("carbon_g_co2e", result.carbon_g(), context=Context.TESTING)
+    run.log_metric("tradeoff_loss_x_kwh", result.tradeoff, context=Context.TESTING)
+    run.log_metric("completed", 1.0 if result.completed else 0.0, context=Context.TESTING)
+
+    run.log_artifact_bytes(
+        "checkpoint_final.json",
+        json.dumps(
+            {
+                "model": job.model.name,
+                "steps": result.steps_done,
+                "final_loss": result.final_loss,
+            }
+        ).encode(),
+        is_model=True,
+        context=Context.TRAINING,
+    )
+
+    run.end(RunStatus.FINISHED if result.completed else RunStatus.TRUNCATED)
+    paths = run.save(metric_format=metric_format)
+    result.run_id = run.run_id
+    result.prov_path = paths["prov"]

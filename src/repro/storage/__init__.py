@@ -1,0 +1,53 @@
+"""Metric storage backends for provenance offloading.
+
+The paper's Table 1 compares a monolithic PROV-JSON file (metric samples
+inlined as JSON text) against offloading the numeric time-series into
+chunked/compressed array containers (Zarr, NetCDF).  Neither ``zarr`` nor
+``netCDF4`` is available offline, so this package implements the same storage
+*architectures* from scratch:
+
+* :mod:`repro.storage.jsonstore` — inline JSON text (the baseline);
+* :mod:`repro.storage.zarrlike` — a directory of per-chunk compressed binary
+  files with JSON array metadata (Zarr architecture);
+* :mod:`repro.storage.netcdflike` — a single self-describing binary container
+  with named variables and attributes (NetCDF architecture);
+* :mod:`repro.storage.codecs` — the compression layer (raw / zlib /
+  delta+zlib / scale-offset packing).
+
+All backends share the :class:`repro.storage.base.MetricStore` interface and
+round-trip byte-exactly (except the explicitly lossy scale-offset codec).
+"""
+
+from repro.storage.base import MetricStore, SeriesData, open_store, store_gain
+from repro.storage.codecs import (
+    Codec,
+    DeltaZlibCodec,
+    RawCodec,
+    ScaleOffsetCodec,
+    ZlibCodec,
+    get_codec,
+    register_codec,
+)
+from repro.storage.jsonstore import JsonMetricStore
+from repro.storage.zarrlike import ZarrLikeStore
+from repro.storage.netcdflike import NetCDFLikeStore
+from repro.storage.convert import convert_store, size_report
+
+__all__ = [
+    "MetricStore",
+    "SeriesData",
+    "open_store",
+    "store_gain",
+    "Codec",
+    "RawCodec",
+    "ZlibCodec",
+    "DeltaZlibCodec",
+    "ScaleOffsetCodec",
+    "get_codec",
+    "register_codec",
+    "JsonMetricStore",
+    "ZarrLikeStore",
+    "NetCDFLikeStore",
+    "convert_store",
+    "size_report",
+]

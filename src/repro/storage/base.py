@@ -1,0 +1,195 @@
+"""Common interface for metric stores.
+
+A *metric store* persists named series.  Each series holds a set of parallel
+1-D arrays (columns) of equal length — typically ``values`` (float64),
+``steps`` (int64) and ``times`` (float64 seconds) — plus a small attribute
+dict (context name, metric name, units...).
+
+Stores also expose size accounting (:meth:`MetricStore.size_bytes` and
+:meth:`MetricStore.compressed_size_bytes`), which is exactly what the
+Table 1 benchmark measures: the "Normal Size" column is bytes on disk and
+the "Compressed Size" column is the gzip of the whole store.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+import tarfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.errors import StorageError, StoreFormatError
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class SeriesData:
+    """One named series: parallel columns + attributes.
+
+    All columns must be 1-D and share the same length.
+    """
+
+    columns: Dict[str, np.ndarray]
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        lengths = {name: arr.shape for name, arr in self.columns.items()}
+        sizes = set()
+        for name, arr in self.columns.items():
+            arr = np.asarray(arr)
+            if arr.ndim != 1:
+                raise StorageError(f"column {name!r} must be 1-D, got shape {arr.shape}")
+            self.columns[name] = arr
+            sizes.add(arr.shape[0])
+        if len(sizes) > 1:
+            raise StorageError(f"columns have mismatched lengths: {lengths}")
+
+    def __len__(self) -> int:
+        for arr in self.columns.values():
+            return int(arr.shape[0])
+        return 0
+
+    def equals(self, other: "SeriesData", exact: bool = True) -> bool:
+        """Column-wise comparison; ``exact=False`` allows float tolerance."""
+        if set(self.columns) != set(other.columns):
+            return False
+        for name, arr in self.columns.items():
+            brr = other.columns[name]
+            if arr.shape != brr.shape:
+                return False
+            if exact:
+                if not np.array_equal(arr, brr, equal_nan=True):
+                    return False
+            else:
+                if not np.allclose(arr, brr, rtol=1e-3, atol=1e-6, equal_nan=True):
+                    return False
+        return True
+
+
+class MetricStore:
+    """Abstract metric store.  Concrete backends implement the I/O methods."""
+
+    #: registry name of the backend ("json", "zarrlike", "netcdflike")
+    format_name: str = ""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+
+    # -- backend API -------------------------------------------------------
+    def write_series(self, name: str, series: SeriesData) -> None:
+        """Persist *series* under *name* (replacing any existing series)."""
+        raise NotImplementedError
+
+    def read_series(self, name: str) -> SeriesData:
+        """Load the series stored under *name*."""
+        raise NotImplementedError
+
+    def list_series(self) -> List[str]:
+        """Sorted names of all stored series."""
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Ensure everything is on disk (no-op for eager backends)."""
+
+    # -- generic helpers -----------------------------------------------------
+    def write_all(self, series: Mapping[str, SeriesData]) -> None:
+        for name, data in series.items():
+            self.write_series(name, data)
+        self.flush()
+
+    def read_all(self) -> Dict[str, SeriesData]:
+        return {name: self.read_series(name) for name in self.list_series()}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.list_series()
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.list_series())
+
+    # -- size accounting -----------------------------------------------------
+    def _iter_files(self) -> Iterator[Path]:
+        if self.path.is_file():
+            yield self.path
+        elif self.path.is_dir():
+            yield from sorted(p for p in self.path.rglob("*") if p.is_file())
+
+    def size_bytes(self) -> int:
+        """Total bytes of the store on disk ("Normal Size" in Table 1)."""
+        return sum(p.stat().st_size for p in self._iter_files())
+
+    def compressed_size_bytes(self, level: int = 6) -> int:
+        """Size of the whole store gzipped ("Compressed Size" in Table 1).
+
+        A single-file store is gzipped directly; a directory store is packed
+        into an uncompressed tar first (mirroring how users would ship it),
+        then gzipped.
+        """
+        if self.path.is_file():
+            data = self.path.read_bytes()
+            return len(gzip.compress(data, compresslevel=level))
+        buf = io.BytesIO()
+        with tarfile.open(fileobj=buf, mode="w") as tar:
+            for p in self._iter_files():
+                tar.add(p, arcname=str(p.relative_to(self.path)))
+        return len(gzip.compress(buf.getvalue(), compresslevel=level))
+
+
+def store_gain(baseline: MetricStore, candidate: MetricStore) -> float:
+    """Fractional size reduction of *candidate* relative to *baseline*.
+
+    ``0.9`` means the candidate is 90 % smaller — the paper's ">90 % on
+    average" claim is this number for the zarr/nc stores vs inline JSON.
+    """
+    base = baseline.size_bytes()
+    if base == 0:
+        raise StorageError("baseline store is empty")
+    return 1.0 - candidate.size_bytes() / base
+
+
+_FORMATS: Dict[str, type] = {}
+
+
+def register_format(cls: type) -> type:
+    """Register a MetricStore subclass under its ``format_name``."""
+    _FORMATS[cls.format_name] = cls
+    return cls
+
+
+def open_store(path: PathLike, fmt: Optional[str] = None, **kwargs: Any) -> MetricStore:
+    """Open (or create) a metric store.
+
+    When *fmt* is omitted it is sniffed: an existing ``.json`` file or a file
+    starting with the NetCDF-like magic is recognised; a directory containing
+    ``.zgroup`` is a zarr-like store; otherwise the file suffix decides
+    (``.json`` / ``.nc`` / anything else → zarr-like directory).
+    """
+    from repro.storage.jsonstore import JsonMetricStore
+    from repro.storage.netcdflike import NetCDFLikeStore
+    from repro.storage.zarrlike import ZarrLikeStore
+
+    path = Path(path)
+    if fmt is None:
+        if path.is_dir() and (path / ".zgroup").exists():
+            fmt = "zarrlike"
+        elif path.is_file():
+            head = path.open("rb").read(4)
+            if head == NetCDFLikeStore.MAGIC:
+                fmt = "netcdflike"
+            else:
+                fmt = "json"
+        elif path.suffix == ".json":
+            fmt = "json"
+        elif path.suffix == ".nc":
+            fmt = "netcdflike"
+        else:
+            fmt = "zarrlike"
+    cls = _FORMATS.get(fmt)
+    if cls is None:
+        raise StoreFormatError(f"unknown store format: {fmt!r}")
+    return cls(path, **kwargs)

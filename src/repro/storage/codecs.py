@@ -1,0 +1,244 @@
+"""Compression codecs for metric arrays.
+
+A codec turns a 1-D NumPy array into bytes and back.  Codecs are registered
+by name so store metadata can reference them portably (the same pattern Zarr
+uses with numcodecs).
+
+Implemented codecs:
+
+* ``raw`` — no compression; the little-endian bytes of the array.
+* ``zlib`` — DEFLATE over the raw bytes.
+* ``delta-zlib`` — first-order delta transform, then DEFLATE.  Monotone
+  series (step counters, timestamps) become near-constant after the delta,
+  which DEFLATE then collapses; this is where most of Table 1's gain on
+  integer columns comes from.
+* ``scale-offset`` — lossy linear packing of floats into ``int16`` (the
+  classic NetCDF ``scale_factor``/``add_offset`` scheme), then DEFLATE.
+
+All transforms are vectorized; no Python-level loops over samples.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, Tuple, Type
+
+import numpy as np
+
+from repro.errors import CodecError
+
+_LE = "<"  # stores are always little-endian on disk
+
+
+def _to_le(arr: np.ndarray) -> np.ndarray:
+    """Return *arr* as a contiguous little-endian 1-D array (view if possible)."""
+    arr = np.ascontiguousarray(arr)
+    if arr.dtype.byteorder == ">":
+        arr = arr.astype(arr.dtype.newbyteorder("<"))
+    return arr
+
+
+class Codec:
+    """Base codec: subclasses implement :meth:`encode` / :meth:`decode`."""
+
+    #: registry name; subclasses must override
+    name: str = ""
+
+    def encode(self, arr: np.ndarray) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, data: bytes, dtype: np.dtype, length: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def config(self) -> Dict[str, Any]:
+        """JSON-serializable configuration (inverse of :func:`codec_from_config`)."""
+        return {"id": self.name}
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Codec) and self.config() == other.config()
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self.config().items())))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.config()})"
+
+
+class RawCodec(Codec):
+    """Identity codec — raw little-endian bytes."""
+
+    name = "raw"
+
+    def encode(self, arr: np.ndarray) -> bytes:
+        return _to_le(arr).tobytes()
+
+    def decode(self, data: bytes, dtype: np.dtype, length: int) -> np.ndarray:
+        out = np.frombuffer(data, dtype=np.dtype(dtype).newbyteorder("<"), count=length)
+        return out.astype(dtype, copy=False)
+
+
+class ZlibCodec(Codec):
+    """DEFLATE compression of the raw bytes."""
+
+    name = "zlib"
+
+    def __init__(self, level: int = 6) -> None:
+        if not 0 <= level <= 9:
+            raise CodecError(f"zlib level must be in [0, 9], got {level}")
+        self.level = level
+
+    def encode(self, arr: np.ndarray) -> bytes:
+        return zlib.compress(_to_le(arr).tobytes(), self.level)
+
+    def decode(self, data: bytes, dtype: np.dtype, length: int) -> np.ndarray:
+        """DEFLATE-decompress and reinterpret as the requested dtype."""
+        try:
+            raw = zlib.decompress(data)
+        except zlib.error as exc:
+            raise CodecError(f"zlib decompression failed: {exc}") from exc
+        out = np.frombuffer(raw, dtype=np.dtype(dtype).newbyteorder("<"), count=length)
+        return out.astype(dtype, copy=False)
+
+    def config(self) -> Dict[str, Any]:
+        return {"id": self.name, "level": self.level}
+
+
+class DeltaZlibCodec(Codec):
+    """First-order delta transform + DEFLATE, lossless for every dtype.
+
+    The delta is taken on the *raw bit pattern* (the array viewed as
+    unsigned integers of the same width, with wraparound subtraction), so
+    decoding via wrapping cumulative sum restores the exact original bytes —
+    including floats, NaNs and infinities.  For monotone series (step
+    counters, timestamps) consecutive bit patterns are close, the deltas are
+    tiny, and DEFLATE collapses them; this is where most of Table 1's gain
+    on integer/time columns comes from.
+    """
+
+    name = "delta-zlib"
+
+    _UINT_BY_ITEMSIZE = {1: np.uint8, 2: np.uint16, 4: np.uint32, 8: np.uint64}
+
+    def __init__(self, level: int = 6) -> None:
+        if not 0 <= level <= 9:
+            raise CodecError(f"zlib level must be in [0, 9], got {level}")
+        self.level = level
+
+    def _uint_dtype(self, dtype: np.dtype) -> np.dtype:
+        itemsize = np.dtype(dtype).itemsize
+        uint = self._UINT_BY_ITEMSIZE.get(itemsize)
+        if uint is None:
+            raise CodecError(f"delta-zlib does not support itemsize {itemsize}")
+        return np.dtype(uint).newbyteorder("<")
+
+    def encode(self, arr: np.ndarray) -> bytes:
+        """Invert the bit-pattern delta via wrapping cumulative sum, exactly."""
+        """Delta the raw bit pattern (uint wraparound), then DEFLATE."""
+        arr = _to_le(arr)
+        bits = arr.view(self._uint_dtype(arr.dtype))
+        if bits.size == 0:
+            delta = bits
+        else:
+            delta = np.empty_like(bits)
+            delta[0] = bits[0]
+            np.subtract(bits[1:], bits[:-1], out=delta[1:])  # uint wraparound
+        return zlib.compress(delta.tobytes(), self.level)
+
+    def decode(self, data: bytes, dtype: np.dtype, length: int) -> np.ndarray:
+        """Invert the bit-pattern delta via wrapping cumulative sum, exactly."""
+        try:
+            raw = zlib.decompress(data)
+        except zlib.error as exc:
+            raise CodecError(f"zlib decompression failed: {exc}") from exc
+        dtype = np.dtype(dtype)
+        uint = self._uint_dtype(dtype)
+        delta = np.frombuffer(raw, dtype=uint, count=length)
+        if delta.size == 0:
+            return delta.view(dtype.newbyteorder("<")).astype(dtype, copy=False)
+        bits = np.cumsum(delta, dtype=uint)  # wrapping sum undoes the delta
+        out = bits.view(dtype.newbyteorder("<"))
+        return out.astype(dtype, copy=False)
+
+    def config(self) -> Dict[str, Any]:
+        return {"id": self.name, "level": self.level}
+
+
+class ScaleOffsetCodec(Codec):
+    """Lossy linear packing of floats into int16 + DEFLATE.
+
+    ``packed = round((x - offset) / scale)`` with scale/offset chosen per
+    buffer from the data range.  NaNs are mapped to the int16 sentinel
+    ``-32768`` and restored on decode.  Maximum absolute error is
+    ``scale / 2`` (i.e. range / 2^16 per chunk).
+    """
+
+    name = "scale-offset"
+    _SENTINEL = np.int16(-32768)
+
+    def __init__(self, level: int = 6) -> None:
+        """Pack floats into int16 with per-buffer scale/offset, then DEFLATE."""
+        self.level = level
+
+    def encode(self, arr: np.ndarray) -> bytes:
+        """Unpack int16 data back to floats, restoring NaN sentinels."""
+        arr = np.asarray(arr, dtype=np.float64)
+        finite = np.isfinite(arr)
+        if not finite.any():
+            lo, hi = 0.0, 0.0
+        else:
+            lo = float(arr[finite].min())
+            hi = float(arr[finite].max())
+        scale = (hi - lo) / 65000.0 if hi > lo else 1.0
+        packed = np.full(arr.shape, self._SENTINEL, dtype=np.int16)
+        if finite.any():
+            quant = np.rint((arr[finite] - lo) / scale) - 32500
+            packed[finite] = quant.astype(np.int16)
+        header = np.array([lo, scale], dtype="<f8").tobytes()
+        return header + zlib.compress(packed.astype("<i2").tobytes(), self.level)
+
+    def decode(self, data: bytes, dtype: np.dtype, length: int) -> np.ndarray:
+        """Unpack int16 data back to floats, restoring NaN sentinels."""
+        if len(data) < 16:
+            raise CodecError("scale-offset payload too short")
+        lo, scale = np.frombuffer(data[:16], dtype="<f8")
+        packed = np.frombuffer(zlib.decompress(data[16:]), dtype="<i2", count=length)
+        out = (packed.astype(np.float64) + 32500.0) * scale + lo
+        out[packed == self._SENTINEL] = np.nan
+        return out.astype(dtype, copy=False)
+
+    def config(self) -> Dict[str, Any]:
+        return {"id": self.name, "level": self.level}
+
+
+_REGISTRY: Dict[str, Type[Codec]] = {}
+
+
+def register_codec(cls: Type[Codec]) -> Type[Codec]:
+    """Register a codec class under ``cls.name`` (usable as a decorator)."""
+    if not cls.name:
+        raise CodecError("codec class must define a non-empty name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+for _cls in (RawCodec, ZlibCodec, DeltaZlibCodec, ScaleOffsetCodec):
+    register_codec(_cls)
+
+
+def get_codec(config: Any) -> Codec:
+    """Instantiate a codec from a name string or a ``config()`` dict."""
+    if isinstance(config, Codec):
+        return config
+    if isinstance(config, str):
+        config = {"id": config}
+    if not isinstance(config, dict) or "id" not in config:
+        raise CodecError(f"invalid codec config: {config!r}")
+    name = config["id"]
+    cls = _REGISTRY.get(name)
+    if cls is None:
+        raise CodecError(f"unknown codec: {name!r}")
+    kwargs = {k: v for k, v in config.items() if k != "id"}
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise CodecError(f"bad arguments for codec {name!r}: {kwargs}") from exc

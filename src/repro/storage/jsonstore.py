@@ -1,0 +1,103 @@
+"""Inline-JSON metric store — the Table 1 baseline.
+
+Every sample is written as JSON text, exactly the way a monolithic
+PROV-JSON provenance file inlines metric time-series.  This is deliberately
+the *inefficient* representation the paper measures against: a float64 costs
+~18 text bytes plus separators instead of 8 binary bytes, and repeated
+structure (column names) is duplicated per series.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.errors import StoreFormatError
+from repro.storage.base import MetricStore, PathLike, SeriesData, register_format
+
+_VERSION = 1
+
+_DTYPE_TAGS = {
+    "f8": np.float64, "f4": np.float32,
+    "i8": np.int64, "i4": np.int32, "u8": np.uint64, "u4": np.uint32,
+    "b1": np.bool_,
+}
+
+
+def _dtype_tag(dtype: np.dtype) -> str:
+    tag = np.dtype(dtype).str.lstrip("<>=|")
+    if tag not in _DTYPE_TAGS:
+        raise StoreFormatError(f"unsupported column dtype: {dtype}")
+    return tag
+
+
+@register_format
+class JsonMetricStore(MetricStore):
+    """A single ``.json`` file holding all series as JSON arrays of numbers."""
+
+    format_name = "json"
+
+    def __init__(self, path: PathLike) -> None:
+        super().__init__(path)
+        self._cache: Dict[str, Any] = self._load() if self.path.exists() else {
+            "format": self.format_name,
+            "version": _VERSION,
+            "series": {},
+        }
+
+    def _load(self) -> Dict[str, Any]:
+        try:
+            doc = json.loads(self.path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, OSError) as exc:
+            raise StoreFormatError(f"cannot read json store {self.path}: {exc}") from exc
+        if doc.get("format") != self.format_name:
+            raise StoreFormatError(f"{self.path} is not a json metric store")
+        if doc.get("version") != _VERSION:
+            raise StoreFormatError(f"unsupported json store version: {doc.get('version')}")
+        return doc
+
+    def _save(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(self._cache, indent=1), encoding="utf-8"
+        )
+
+    # -- MetricStore API ----------------------------------------------------
+    def write_series(self, name: str, series: SeriesData) -> None:
+        cols: Dict[str, Any] = {}
+        for cname, arr in series.columns.items():
+            tag = _dtype_tag(arr.dtype)
+            if arr.dtype.kind == "f":
+                # JSON has no NaN/Inf: encode them as strings in-place.
+                values: List[Any] = [
+                    float(v) if np.isfinite(v) else repr(float(v)) for v in arr
+                ]
+            elif arr.dtype.kind == "b":
+                values = [bool(v) for v in arr]
+            else:
+                values = [int(v) for v in arr]
+            cols[cname] = {"dtype": tag, "data": values}
+        self._cache["series"][name] = {"columns": cols, "attrs": dict(series.attrs)}
+        self._save()
+
+    def read_series(self, name: str) -> SeriesData:
+        entry = self._cache["series"].get(name)
+        if entry is None:
+            raise StoreFormatError(f"series not found: {name!r}")
+        columns: Dict[str, np.ndarray] = {}
+        for cname, col in entry["columns"].items():
+            dtype = _DTYPE_TAGS[col["dtype"]]
+            raw = col["data"]
+            if np.dtype(dtype).kind == "f":
+                raw = [float(v) for v in raw]  # handles "nan"/"inf" strings
+            columns[cname] = np.asarray(raw, dtype=dtype)
+        return SeriesData(columns, dict(entry.get("attrs", {})))
+
+    def list_series(self) -> List[str]:
+        return sorted(self._cache["series"])
+
+    def flush(self) -> None:
+        self._save()

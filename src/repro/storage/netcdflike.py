@@ -1,0 +1,170 @@
+"""NetCDF-architecture single-file container (offline substitute for netCDF4).
+
+The file is a self-describing binary container::
+
+    bytes 0..3    magic  b"RNC1"
+    bytes 4..11   header length H (little-endian uint64)
+    bytes 12..12+H  JSON header: version, series -> columns -> {dtype,
+                    length, codec, offset, nbytes}, attrs
+    12+H..        concatenated variable payloads (each codec-encoded)
+
+Variable payload offsets in the header are relative to the start of the data
+section, so the header can be rewritten without touching payloads only when
+sizes are unchanged; in practice the store buffers series in memory and
+rewrites the whole file on :meth:`flush` (provenance stores are
+write-once/read-many, matching how yProv4ML emits them at ``end_run``).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import StoreFormatError
+from repro.storage.base import MetricStore, PathLike, SeriesData, register_format
+from repro.storage.codecs import Codec, DeltaZlibCodec, ZlibCodec, get_codec
+
+_VERSION = 1
+_HEADER_STRUCT = struct.Struct("<Q")
+
+
+@register_format
+class NetCDFLikeStore(MetricStore):
+    """Single-file store with named compressed variables."""
+
+    format_name = "netcdflike"
+    MAGIC = b"RNC1"
+
+    def __init__(
+        self,
+        path: PathLike,
+        codec: Any = None,
+        delta_columns: Optional[List[str]] = None,
+    ) -> None:
+        super().__init__(path)
+        self.codec: Codec = get_codec(codec) if codec is not None else ZlibCodec()
+        self.delta_columns = set(
+            delta_columns if delta_columns is not None else ("steps", "times")
+        )
+        # series buffered in memory; persisted on flush()
+        self._series: Dict[str, SeriesData] = {}
+        if self.path.exists() and self.path.stat().st_size > 0:
+            self._series = self._load_all()
+
+    # -- file I/O -------------------------------------------------------------
+    def _load_header(self) -> Dict[str, Any]:
+        file_size = self.path.stat().st_size
+        with self.path.open("rb") as fh:
+            magic = fh.read(4)
+            if magic != self.MAGIC:
+                raise StoreFormatError(f"{self.path} is not a netcdflike store")
+            length_bytes = fh.read(_HEADER_STRUCT.size)
+            if len(length_bytes) != _HEADER_STRUCT.size:
+                raise StoreFormatError(f"{self.path}: truncated header length")
+            (hlen,) = _HEADER_STRUCT.unpack(length_bytes)
+            # the length is attacker-controlled input: bound it by the file
+            if hlen > file_size - 4 - _HEADER_STRUCT.size:
+                raise StoreFormatError(
+                    f"{self.path}: header length {hlen} exceeds file size"
+                )
+            try:
+                header = json.loads(fh.read(hlen).decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise StoreFormatError(
+                    f"{self.path}: corrupt header ({exc})"
+                ) from exc
+        if not isinstance(header, dict) or header.get("version") != _VERSION:
+            raise StoreFormatError(
+                f"unsupported netcdflike version: "
+                f"{header.get('version') if isinstance(header, dict) else header!r}"
+            )
+        return header
+
+    def _load_all(self) -> Dict[str, SeriesData]:
+        header = self._load_header()
+        data_start = 4 + _HEADER_STRUCT.size + header["header_bytes"]
+        out: Dict[str, SeriesData] = {}
+        with self.path.open("rb") as fh:
+            for name, entry in header["series"].items():
+                columns: Dict[str, np.ndarray] = {}
+                for cname, var in entry["columns"].items():
+                    fh.seek(data_start + var["offset"])
+                    payload = fh.read(var["nbytes"])
+                    if len(payload) != var["nbytes"]:
+                        raise StoreFormatError(
+                            f"truncated variable {name}/{cname} in {self.path}"
+                        )
+                    codec = get_codec(var["codec"])
+                    columns[cname] = codec.decode(
+                        payload, np.dtype(var["dtype"]), int(var["length"])
+                    )
+                out[name] = SeriesData(columns, dict(entry.get("attrs", {})))
+        return out
+
+    def _column_codec(self, column: str) -> Codec:
+        if column in self.delta_columns:
+            level = getattr(self.codec, "level", 6)
+            return DeltaZlibCodec(level=level)
+        return self.codec
+
+    def flush(self) -> None:
+        """Serialize all buffered series into the container file."""
+        payloads: List[bytes] = []
+        series_meta: Dict[str, Any] = {}
+        offset = 0
+        for name in sorted(self._series):
+            series = self._series[name]
+            cols_meta: Dict[str, Any] = {}
+            for cname in sorted(series.columns):
+                arr = series.columns[cname]
+                codec = self._column_codec(cname)
+                blob = codec.encode(arr)
+                cols_meta[cname] = {
+                    "dtype": np.dtype(arr.dtype).str,
+                    "length": int(arr.shape[0]),
+                    "codec": codec.config(),
+                    "offset": offset,
+                    "nbytes": len(blob),
+                }
+                payloads.append(blob)
+                offset += len(blob)
+            series_meta[name] = {"columns": cols_meta, "attrs": dict(series.attrs)}
+
+        header = {"version": _VERSION, "series": series_meta, "header_bytes": 0}
+        # Two-pass: the header records its own encoded size so readers can
+        # locate the data section; size the JSON with the final value inlined.
+        encoded = json.dumps(header, separators=(",", ":")).encode("utf-8")
+        # replacing 0 with the real size can change the length (more digits);
+        # iterate until stable (converges in <=2 rounds).
+        while True:
+            header["header_bytes"] = len(encoded)
+            candidate = json.dumps(header, separators=(",", ":")).encode("utf-8")
+            if len(candidate) == len(encoded):
+                encoded = candidate
+                break
+            encoded = candidate
+
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("wb") as fh:
+            fh.write(self.MAGIC)
+            fh.write(_HEADER_STRUCT.pack(len(encoded)))
+            fh.write(encoded)
+            for blob in payloads:
+                fh.write(blob)
+
+    # -- MetricStore API ----------------------------------------------------
+    def write_series(self, name: str, series: SeriesData) -> None:
+        self._series[name] = series
+        self.flush()
+
+    def read_series(self, name: str) -> SeriesData:
+        if name not in self._series:
+            raise StoreFormatError(f"series not found: {name!r}")
+        return self._series[name]
+
+    def list_series(self) -> List[str]:
+        return sorted(self._series)

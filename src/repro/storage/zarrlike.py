@@ -1,0 +1,205 @@
+"""Zarr-architecture chunked array store (offline substitute for ``zarr``).
+
+Layout on disk::
+
+    store/
+      .zgroup                      {"store_format": "repro-zarrlike", ...}
+      <series>/.zattrs             series attribute dict (JSON)
+      <series>/<column>/.zarray    {"length", "chunks", "dtype", "codec"}
+      <series>/<column>/0          compressed chunk 0
+      <series>/<column>/1          compressed chunk 1 ...
+
+Series and column names are percent-encoded into single path segments, so
+arbitrary metric names (``loss/TRAINING``) are safe.  Chunking and codecs
+follow the Zarr v2 design; the default codec is ``zlib`` and callers can pick
+``delta-zlib`` for monotone columns.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import urllib.parse
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import StoreFormatError
+from repro.storage.base import MetricStore, PathLike, SeriesData, register_format
+from repro.storage.codecs import Codec, DeltaZlibCodec, ZlibCodec, get_codec
+
+_VERSION = 1
+_DEFAULT_CHUNK = 16384
+
+
+def _quote(name: str) -> str:
+    return urllib.parse.quote(name, safe="")
+
+
+def _unquote(segment: str) -> str:
+    return urllib.parse.unquote(segment)
+
+
+@register_format
+class ZarrLikeStore(MetricStore):
+    """Directory store with per-chunk compression and JSON metadata."""
+
+    format_name = "zarrlike"
+
+    def __init__(
+        self,
+        path: PathLike,
+        chunk_size: int = _DEFAULT_CHUNK,
+        codec: Any = None,
+        delta_columns: Optional[List[str]] = None,
+    ) -> None:
+        """Create/open a store at *path*.
+
+        ``codec`` is the default codec for all columns (``zlib`` level 6 when
+        omitted).  Columns named in ``delta_columns`` (default: ``steps``,
+        ``times`` — the monotone ones) use ``delta-zlib`` instead.
+        """
+        super().__init__(path)
+        if chunk_size <= 0:
+            raise StoreFormatError(f"chunk_size must be positive, got {chunk_size}")
+        self.chunk_size = int(chunk_size)
+        self.codec: Codec = get_codec(codec) if codec is not None else ZlibCodec()
+        self.delta_columns = set(
+            delta_columns if delta_columns is not None else ("steps", "times")
+        )
+        self.path.mkdir(parents=True, exist_ok=True)
+        marker = self.path / ".zgroup"
+        if marker.exists():
+            meta = json.loads(marker.read_text(encoding="utf-8"))
+            if meta.get("store_format") != "repro-zarrlike":
+                raise StoreFormatError(f"{self.path} is not a zarrlike store")
+            if meta.get("version") != _VERSION:
+                raise StoreFormatError(f"unsupported zarrlike version {meta.get('version')}")
+        else:
+            marker.write_text(
+                json.dumps({"store_format": "repro-zarrlike", "version": _VERSION}),
+                encoding="utf-8",
+            )
+
+    # -- internals -----------------------------------------------------------
+    def _series_dir(self, name: str) -> Path:
+        return self.path / _quote(name)
+
+    def _column_codec(self, column: str) -> Codec:
+        if column in self.delta_columns:
+            level = getattr(self.codec, "level", 6)
+            return DeltaZlibCodec(level=level)
+        return self.codec
+
+    def _write_column(self, cdir: Path, arr: np.ndarray, codec: Codec) -> None:
+        cdir.mkdir(parents=True, exist_ok=True)
+        n = int(arr.shape[0])
+        n_chunks = max(1, -(-n // self.chunk_size))
+        meta = {
+            "length": n,
+            "chunks": self.chunk_size,
+            "dtype": np.dtype(arr.dtype).str,
+            "codec": codec.config(),
+            "n_chunks": n_chunks,
+        }
+        (cdir / ".zarray").write_text(json.dumps(meta), encoding="utf-8")
+        for i in range(n_chunks):
+            chunk = arr[i * self.chunk_size : (i + 1) * self.chunk_size]
+            (cdir / str(i)).write_bytes(codec.encode(chunk))
+
+    def _read_column(self, cdir: Path) -> np.ndarray:
+        meta_path = cdir / ".zarray"
+        if not meta_path.exists():
+            raise StoreFormatError(f"missing column metadata: {meta_path}")
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        dtype = np.dtype(meta["dtype"])
+        codec = get_codec(meta["codec"])
+        length = int(meta["length"])
+        chunk_size = int(meta["chunks"])
+        n_chunks = int(meta["n_chunks"])
+        out = np.empty(length, dtype=dtype)
+        pos = 0
+        for i in range(n_chunks):
+            payload = (cdir / str(i)).read_bytes()
+            want = min(chunk_size, length - pos) if length else 0
+            chunk = codec.decode(payload, dtype, want)
+            out[pos : pos + chunk.shape[0]] = chunk
+            pos += chunk.shape[0]
+        if pos != length:
+            raise StoreFormatError(
+                f"column {cdir} truncated: expected {length} values, read {pos}"
+            )
+        return out
+
+    # -- MetricStore API ----------------------------------------------------
+    def write_series(self, name: str, series: SeriesData) -> None:
+        sdir = self._series_dir(name)
+        if sdir.exists():
+            shutil.rmtree(sdir)
+        sdir.mkdir(parents=True)
+        (sdir / ".zattrs").write_text(json.dumps(dict(series.attrs)), encoding="utf-8")
+        for cname, arr in series.columns.items():
+            self._write_column(sdir / _quote(cname), arr, self._column_codec(cname))
+
+    def read_series(self, name: str) -> SeriesData:
+        sdir = self._series_dir(name)
+        if not sdir.is_dir():
+            raise StoreFormatError(f"series not found: {name!r}")
+        attrs_path = sdir / ".zattrs"
+        attrs = (
+            json.loads(attrs_path.read_text(encoding="utf-8")) if attrs_path.exists() else {}
+        )
+        columns: Dict[str, np.ndarray] = {}
+        for cdir in sorted(p for p in sdir.iterdir() if p.is_dir()):
+            columns[_unquote(cdir.name)] = self._read_column(cdir)
+        return SeriesData(columns, attrs)
+
+    def list_series(self) -> List[str]:
+        if not self.path.is_dir():
+            return []
+        return sorted(
+            _unquote(p.name) for p in self.path.iterdir() if p.is_dir()
+        )
+
+    # -- partial access (the chunked layout's raison d'être) ------------------
+    def series_length(self, name: str) -> int:
+        """Sample count of a series without reading any chunk payloads."""
+        sdir = self._series_dir(name)
+        if not sdir.is_dir():
+            raise StoreFormatError(f"series not found: {name!r}")
+        for cdir in sorted(p for p in sdir.iterdir() if p.is_dir()):
+            meta = json.loads((cdir / ".zarray").read_text(encoding="utf-8"))
+            return int(meta["length"])
+        return 0
+
+    def read_column_slice(
+        self, name: str, column: str, start: int, stop: int
+    ) -> np.ndarray:
+        """Read ``[start, stop)`` of one column, touching only the chunks
+        that overlap the range (O(range) I/O, not O(series))."""
+        if start < 0 or stop < start:
+            raise StoreFormatError(f"invalid slice [{start}, {stop})")
+        cdir = self._series_dir(name) / _quote(column)
+        meta_path = cdir / ".zarray"
+        if not meta_path.exists():
+            raise StoreFormatError(f"column not found: {name}/{column}")
+        meta = json.loads(meta_path.read_text(encoding="utf-8"))
+        dtype = np.dtype(meta["dtype"])
+        codec = get_codec(meta["codec"])
+        length = int(meta["length"])
+        chunk_size = int(meta["chunks"])
+        stop = min(stop, length)
+        if start >= stop:
+            return np.empty(0, dtype=dtype)
+        first = start // chunk_size
+        last = (stop - 1) // chunk_size
+        parts: List[np.ndarray] = []
+        for i in range(first, last + 1):
+            chunk_start = i * chunk_size
+            want = min(chunk_size, length - chunk_start)
+            chunk = codec.decode((cdir / str(i)).read_bytes(), dtype, want)
+            lo = max(start - chunk_start, 0)
+            hi = min(stop - chunk_start, want)
+            parts.append(chunk[lo:hi])
+        return np.concatenate(parts) if len(parts) > 1 else parts[0]

@@ -1,0 +1,32 @@
+"""Workflow management + workflow-level provenance (yProv4WFs analogue).
+
+yProv4ML "is fully integrated with the yProv framework, allowing for higher
+level pairing in tasks run also through workflow management systems."  This
+package provides:
+
+* :mod:`repro.workflow.dag` — a minimal workflow management system: a task
+  DAG with dependency-ordered execution, retries and failure propagation;
+* :mod:`repro.workflow.provtracker` — a provenance *producer* emitting a
+  W3C PROV document for a workflow execution (tasks as activities, data as
+  entities, the WFMS as an agent);
+* :mod:`repro.workflow.pairing` — multi-level pairing: run-level yProv4ML
+  documents produced inside tasks are embedded as bundles of the
+  workflow-level document and linked to their task activity.
+"""
+
+from repro.workflow.dag import Task, TaskResult, TaskState, Workflow, WorkflowResult
+from repro.workflow.provtracker import build_workflow_document
+from repro.workflow.pairing import pair_run_documents
+from repro.workflow.wfcrate import create_workflow_crate, read_workflow_crate
+
+__all__ = [
+    "Task",
+    "TaskResult",
+    "TaskState",
+    "Workflow",
+    "WorkflowResult",
+    "build_workflow_document",
+    "pair_run_documents",
+    "create_workflow_crate",
+    "read_workflow_crate",
+]

@@ -1,0 +1,354 @@
+"""Minimal workflow management system: task DAGs with ordered execution.
+
+A :class:`Workflow` is a named DAG of :class:`Task` objects.  Each task's
+callable receives a dict of the outputs of its dependencies (keyed by task
+name) and returns a dict of named outputs.  Execution is deterministic:
+tasks run in topological order (ties broken by name), failures mark all
+transitive dependents as skipped, and per-task retries are supported.
+
+Time is injectable (``clock``) so the simulator and tests can run workflows
+on simulated time.
+"""
+
+from __future__ import annotations
+
+import enum
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set
+
+from repro.errors import CycleError, WorkflowError
+
+TaskFn = Callable[[Dict[str, Dict[str, Any]]], Optional[Dict[str, Any]]]
+
+
+class TaskState(enum.Enum):
+    PENDING = "pending"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    SKIPPED = "skipped"  # a dependency failed
+
+
+@dataclass
+class Task:
+    """One node of the workflow DAG."""
+
+    name: str
+    fn: TaskFn
+    deps: Sequence[str] = ()
+    retries: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkflowError("task name must be non-empty")
+        if self.retries < 0:
+            raise WorkflowError(f"retries must be >= 0, got {self.retries}")
+
+
+@dataclass
+class TaskResult:
+    """Execution record of one task."""
+
+    name: str
+    state: TaskState
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    attempts: int = 0
+    outputs: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[str] = None
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+
+@dataclass
+class WorkflowResult:
+    """Execution record of a whole workflow."""
+
+    workflow_name: str
+    start_time: float
+    end_time: float
+    tasks: Dict[str, TaskResult]
+
+    @property
+    def succeeded(self) -> bool:
+        return all(t.state is TaskState.SUCCEEDED for t in self.tasks.values())
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def outputs_of(self, task: str) -> Dict[str, Any]:
+        result = self.tasks.get(task)
+        if result is None:
+            raise WorkflowError(f"unknown task: {task!r}")
+        return result.outputs
+
+
+class Workflow:
+    """A named DAG of tasks."""
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise WorkflowError("workflow name must be non-empty")
+        self.name = name
+        self._tasks: Dict[str, Task] = {}
+
+    def add_task(
+        self,
+        name: str,
+        fn: TaskFn,
+        deps: Sequence[str] = (),
+        retries: int = 0,
+        description: str = "",
+    ) -> Task:
+        """Register a task; dependencies must already exist (keeps it acyclic
+        by construction, and catches typos early)."""
+        if name in self._tasks:
+            raise WorkflowError(f"duplicate task: {name!r}")
+        for dep in deps:
+            if dep not in self._tasks:
+                raise WorkflowError(f"task {name!r} depends on unknown task {dep!r}")
+        task = Task(name, fn, tuple(deps), retries, description)
+        self._tasks[name] = task
+        return task
+
+    def task(self, name: str, deps: Sequence[str] = (), retries: int = 0,
+             description: str = "") -> Callable[[TaskFn], TaskFn]:
+        """Decorator form of :meth:`add_task`."""
+
+        def decorator(fn: TaskFn) -> TaskFn:
+            self.add_task(name, fn, deps=deps, retries=retries, description=description)
+            return fn
+
+        return decorator
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    @property
+    def tasks(self) -> Dict[str, Task]:
+        return dict(self._tasks)
+
+    def topological_order(self) -> List[str]:
+        """Kahn's algorithm with deterministic (sorted) tie-breaking."""
+        indegree: Dict[str, int] = {name: len(t.deps) for name, t in self._tasks.items()}
+        dependents: Dict[str, List[str]] = {name: [] for name in self._tasks}
+        for name, task in self._tasks.items():
+            for dep in task.deps:
+                dependents[dep].append(name)
+        ready = sorted(name for name, deg in indegree.items() if deg == 0)
+        order: List[str] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            inserted = False
+            for child in dependents[current]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    ready.append(child)
+                    inserted = True
+            if inserted:
+                ready.sort()
+        if len(order) != len(self._tasks):
+            raise CycleError(f"workflow {self.name!r} contains a cycle")
+        return order
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        inputs: Optional[Mapping[str, Dict[str, Any]]] = None,
+        max_workers: int = 1,
+    ) -> WorkflowResult:
+        """Execute the DAG.
+
+        ``inputs`` optionally provides pre-seeded "outputs" for task names
+        not present in the DAG (external data sources).  With
+        ``max_workers > 1`` independent ready tasks run concurrently in a
+        thread pool (the results — states, outputs, skip propagation — are
+        identical to sequential execution; only wall-clock differs).
+        """
+        if max_workers < 1:
+            raise WorkflowError(f"max_workers must be >= 1, got {max_workers}")
+        if max_workers > 1:
+            return self._run_parallel(clock or _time.time, inputs, max_workers)
+        clock = clock or _time.time
+        order = self.topological_order()
+        results: Dict[str, TaskResult] = {}
+        available: Dict[str, Dict[str, Any]] = {
+            name: dict(outs) for name, outs in (inputs or {}).items()
+        }
+        start = clock()
+
+        for name in order:
+            task = self._tasks[name]
+            failed_dep = next(
+                (
+                    dep
+                    for dep in task.deps
+                    if results.get(dep) is not None
+                    and results[dep].state is not TaskState.SUCCEEDED
+                ),
+                None,
+            )
+            if failed_dep is not None:
+                results[name] = TaskResult(
+                    name=name,
+                    state=TaskState.SKIPPED,
+                    error=f"dependency {failed_dep!r} did not succeed",
+                )
+                continue
+
+            dep_outputs = {dep: available[dep] for dep in task.deps}
+            result = TaskResult(name=name, state=TaskState.PENDING, start_time=clock())
+            for attempt in range(task.retries + 1):
+                result.attempts = attempt + 1
+                try:
+                    outputs = task.fn(dep_outputs) or {}
+                    if not isinstance(outputs, dict):
+                        raise WorkflowError(
+                            f"task {name!r} must return a dict of outputs, "
+                            f"got {type(outputs).__name__}"
+                        )
+                    result.outputs = outputs
+                    result.state = TaskState.SUCCEEDED
+                    result.error = None
+                    break
+                except Exception as exc:  # noqa: BLE001 — task errors are data
+                    result.state = TaskState.FAILED
+                    result.error = f"{type(exc).__name__}: {exc}"
+            result.end_time = clock()
+            results[name] = result
+            if result.state is TaskState.SUCCEEDED:
+                available[name] = result.outputs
+
+        return WorkflowResult(
+            workflow_name=self.name,
+            start_time=start,
+            end_time=clock(),
+            tasks=results,
+        )
+
+    def _run_task(
+        self,
+        task: Task,
+        dep_outputs: Dict[str, Dict[str, Any]],
+        clock: Callable[[], float],
+    ) -> TaskResult:
+        """Execute one task with its retry policy (shared by both modes)."""
+        result = TaskResult(name=task.name, state=TaskState.PENDING,
+                            start_time=clock())
+        for attempt in range(task.retries + 1):
+            result.attempts = attempt + 1
+            try:
+                outputs = task.fn(dep_outputs) or {}
+                if not isinstance(outputs, dict):
+                    raise WorkflowError(
+                        f"task {task.name!r} must return a dict of outputs, "
+                        f"got {type(outputs).__name__}"
+                    )
+                result.outputs = outputs
+                result.state = TaskState.SUCCEEDED
+                result.error = None
+                break
+            except Exception as exc:  # noqa: BLE001 — task errors are data
+                result.state = TaskState.FAILED
+                result.error = f"{type(exc).__name__}: {exc}"
+        result.end_time = clock()
+        return result
+
+    def _run_parallel(
+        self,
+        clock: Callable[[], float],
+        inputs: Optional[Mapping[str, Dict[str, Any]]],
+        max_workers: int,
+    ) -> WorkflowResult:
+        """Dependency-ordered execution with a thread pool.
+
+        A task is submitted as soon as all of its dependencies succeeded;
+        tasks whose dependencies failed/skipped are marked skipped without
+        running.  ``clock`` is called from worker threads, so injected
+        clocks must be thread-safe (the monotonic counters used in tests
+        and the SimClock's float add both are, under CPython).
+        """
+        import concurrent.futures as _futures
+
+        self.topological_order()  # validates acyclicity up front
+        results: Dict[str, TaskResult] = {}
+        available: Dict[str, Dict[str, Any]] = {
+            name: dict(outs) for name, outs in (inputs or {}).items()
+        }
+        start = clock()
+        remaining = dict(self._tasks)
+        futures: Dict[_futures.Future, str] = {}
+
+        def ready(task: Task) -> bool:
+            return all(
+                dep in results and results[dep].state is TaskState.SUCCEEDED
+                for dep in task.deps
+            )
+
+        def doomed(task: Task) -> Optional[str]:
+            for dep in task.deps:
+                dep_result = results.get(dep)
+                if dep_result is not None and dep_result.state is not TaskState.SUCCEEDED:
+                    return dep
+            return None
+
+        with _futures.ThreadPoolExecutor(max_workers=max_workers) as pool:
+            while remaining or futures:
+                # mark skips and submit everything currently runnable
+                progressed = True
+                while progressed:
+                    progressed = False
+                    for name in sorted(remaining):
+                        task = remaining[name]
+                        failed_dep = doomed(task)
+                        if failed_dep is not None:
+                            results[name] = TaskResult(
+                                name=name,
+                                state=TaskState.SKIPPED,
+                                error=f"dependency {failed_dep!r} did not succeed",
+                            )
+                            del remaining[name]
+                            progressed = True
+                            break
+                        if ready(task):
+                            dep_outputs = {d: available[d] for d in task.deps}
+                            futures[pool.submit(
+                                self._run_task, task, dep_outputs, clock
+                            )] = name
+                            del remaining[name]
+                            progressed = True
+                            break
+                if not futures:
+                    if remaining:  # nothing runnable and nothing in flight
+                        raise WorkflowError(
+                            f"workflow {self.name!r} stalled with tasks "
+                            f"{sorted(remaining)}"
+                        )
+                    break
+                done, _ = _futures.wait(
+                    futures, return_when=_futures.FIRST_COMPLETED
+                )
+                for future in done:
+                    name = futures.pop(future)
+                    result = future.result()
+                    results[name] = result
+                    if result.state is TaskState.SUCCEEDED:
+                        available[name] = result.outputs
+
+        return WorkflowResult(
+            workflow_name=self.name,
+            start_time=start,
+            end_time=clock(),
+            tasks=results,
+        )

@@ -1,0 +1,123 @@
+"""Workflow-level provenance producer (yProv4WFs analogue).
+
+Maps a :class:`~repro.workflow.dag.WorkflowResult` onto W3C PROV, keeping
+the document "as generalized as possible, meaning avoiding domain-oriented
+tags" (paper §2): tasks are plain activities, the WFMS is an agent, task
+outputs become entities, and dataflow edges use ``wasInformedBy`` /
+``used`` / ``wasGeneratedBy``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.core.experiment import utc
+from repro.prov.document import ProvDocument
+from repro.prov.identifiers import Namespace
+from repro.workflow.dag import TaskState, Workflow, WorkflowResult
+
+#: workflow vocabulary namespace (kept minimal & domain-agnostic)
+YPROV4WFS = Namespace("yprov4wfs", "https://github.com/HPCI-Lab/yProv4WFs#")
+
+
+def _output_value_repr(value: Any) -> str:
+    """Compact, deterministic representation of a task output value."""
+    try:
+        return json.dumps(value, sort_keys=True, default=str)
+    except TypeError:
+        return repr(value)
+
+
+def build_workflow_document(
+    workflow: Workflow,
+    result: WorkflowResult,
+    user_namespace: str = "http://example.org/",
+    username: str = "user",
+) -> ProvDocument:
+    """Build the workflow-level PROV document for one execution."""
+    doc = ProvDocument()
+    wf = doc.add_namespace("wf", user_namespace)
+    doc.add_namespace(YPROV4WFS)
+
+    user_agent = doc.agent(
+        wf(f"agent/{username}"),
+        {"prov:type": YPROV4WFS("User"), "prov:label": username},
+    )
+    wfms_agent = doc.agent(
+        YPROV4WFS("wfms"),
+        {"prov:type": YPROV4WFS("WorkflowManagementSystem"),
+         "prov:label": "repro workflow engine"},
+    )
+    doc.acted_on_behalf_of(wfms_agent.identifier, user_agent.identifier)
+
+    wf_id = wf(f"workflow/{result.workflow_name}")
+    doc.activity(
+        wf_id,
+        start_time=utc(result.start_time),
+        end_time=utc(result.end_time),
+        attributes={
+            "prov:type": YPROV4WFS("WorkflowRun"),
+            "prov:label": result.workflow_name,
+            "yprov4wfs:succeeded": result.succeeded,
+            "yprov4wfs:n_tasks": len(result.tasks),
+        },
+    )
+    doc.was_associated_with(wf_id, wfms_agent.identifier)
+    doc.was_associated_with(wf_id, user_agent.identifier)
+
+    task_ids: Dict[str, Any] = {}
+    output_entity_ids: Dict[str, Dict[str, Any]] = {}
+
+    for name, task_result in result.tasks.items():
+        task = workflow.tasks.get(name)
+        task_id = wf(f"task/{name}")
+        task_ids[name] = task_id
+        attrs: Dict[str, Any] = {
+            "prov:type": YPROV4WFS("Task"),
+            "prov:label": name,
+            "yprov4wfs:state": task_result.state.value,
+            "yprov4wfs:attempts": task_result.attempts,
+        }
+        if task is not None and task.description:
+            attrs["yprov4wfs:description"] = task.description
+        if task_result.error:
+            attrs["yprov4wfs:error"] = task_result.error
+        doc.activity(
+            task_id,
+            start_time=utc(task_result.start_time) if task_result.start_time else None,
+            end_time=utc(task_result.end_time) if task_result.end_time else None,
+            attributes=attrs,
+        )
+        doc.was_started_by(task_id, starter=wf_id)
+        doc.was_informed_by(task_id, wf_id)
+
+        # outputs as entities
+        output_entity_ids[name] = {}
+        for key, value in task_result.outputs.items():
+            ent_id = wf(f"data/{name}/{key}")
+            doc.entity(
+                ent_id,
+                {
+                    "prov:type": YPROV4WFS("Data"),
+                    "prov:label": key,
+                    "yprov4wfs:value": _output_value_repr(value),
+                },
+            )
+            when = utc(task_result.end_time) if task_result.end_time else None
+            doc.was_generated_by(ent_id, task_id, time=when)
+            output_entity_ids[name][key] = ent_id
+
+    # dataflow: each task used its dependencies' outputs and wasInformedBy them
+    for name, task in workflow.tasks.items():
+        if name not in task_ids:
+            continue
+        for dep in task.deps:
+            if dep in task_ids:
+                doc.was_informed_by(task_ids[name], task_ids[dep])
+            for ent_id in output_entity_ids.get(dep, {}).values():
+                task_result = result.tasks[name]
+                when = utc(task_result.start_time) if task_result.start_time else None
+                doc.used(task_ids[name], ent_id, time=when)
+
+    return doc

@@ -1,0 +1,119 @@
+"""Workflow Run RO-Crate (the §2 interoperability target).
+
+Related Work cites Workflow Run RO-Crate — "an extension of the RO-Crate
+model to record the provenance of workflow executions ... based on W3C
+PROV, [aiming] to improve interoperability between different workflow
+management systems."  This module packages a workflow execution the same
+way: a crate whose root describes the workflow run (``CreateAction``-style
+metadata: name, start/end, outcome), containing the workflow-level
+PROV-JSON document and any task output files, with each task execution
+summarized in the crate metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.crate.rocrate import METADATA_FILENAME, PROV_CONFORMS_TO, ROCrate
+from repro.errors import CrateError
+from repro.prov.document import ProvDocument
+from repro.workflow.dag import TaskState, Workflow, WorkflowResult
+
+WORKFLOW_RUN_PROFILE = "https://w3id.org/ro/wfrun/process/0.1"
+
+
+def create_workflow_crate(
+    workflow: Workflow,
+    result: WorkflowResult,
+    document: ProvDocument,
+    crate_dir: Union[str, Path],
+) -> Path:
+    """Package a workflow execution as a Workflow-Run-style RO-Crate.
+
+    Writes the workflow PROV-JSON into *crate_dir*, then builds the crate:
+    the root dataset conforms to the workflow-run profile, the provenance
+    file conforms to W3C PROV, and each task appears as a ``CreateAction``
+    contextual entity with its state, attempts and timing.
+    """
+    crate_dir = Path(crate_dir)
+    crate_dir.mkdir(parents=True, exist_ok=True)
+
+    prov_path = crate_dir / "workflow_prov.json"
+    document.save(prov_path)
+
+    crate = ROCrate(
+        crate_dir,
+        name=f"workflow run {result.workflow_name}",
+        description=(
+            f"execution of workflow {result.workflow_name!r}: "
+            f"{'succeeded' if result.succeeded else 'failed'}, "
+            f"{len(result.tasks)} tasks"
+        ),
+    )
+    crate.add_file(
+        prov_path,
+        description="workflow-level W3C PROV-JSON provenance",
+        conforms_to=PROV_CONFORMS_TO,
+    )
+    # any other files already present (task outputs copied in by the caller)
+    for path in sorted(crate_dir.rglob("*")):
+        if path.is_file() and path.name not in (METADATA_FILENAME, prov_path.name):
+            crate.add_file(path)
+
+    # task executions as CreateAction contextual entities
+    for name, task_result in sorted(result.tasks.items()):
+        action: Dict[str, Any] = {
+            "@id": f"#action-{name}",
+            "@type": "CreateAction",
+            "name": name,
+            "actionStatus": {
+                TaskState.SUCCEEDED: "CompletedActionStatus",
+                TaskState.FAILED: "FailedActionStatus",
+                TaskState.SKIPPED: "PotentialActionStatus",
+                TaskState.PENDING: "PotentialActionStatus",
+            }[task_result.state],
+            "attempts": task_result.attempts,
+        }
+        if task_result.duration is not None:
+            action["duration"] = task_result.duration
+        if task_result.error:
+            action["error"] = task_result.error
+        task = workflow.tasks.get(name)
+        if task is not None and task.description:
+            action["description"] = task.description
+        crate.entities.append(action)
+
+    # declare profile conformance on the root by rewriting metadata
+    metadata = crate.metadata()
+    for entity in metadata["@graph"]:
+        if entity["@id"] == "./":
+            entity["conformsTo"] = {"@id": WORKFLOW_RUN_PROFILE}
+    out = crate_dir / METADATA_FILENAME
+    out.write_text(json.dumps(metadata, indent=2), encoding="utf-8")
+    return out
+
+
+def read_workflow_crate(crate_dir: Union[str, Path]) -> Dict[str, Any]:
+    """Load a workflow crate: the provenance document + task actions."""
+    crate_dir = Path(crate_dir)
+    meta_path = crate_dir / METADATA_FILENAME
+    if not meta_path.is_file():
+        raise CrateError(f"not a crate: {crate_dir}")
+    metadata = json.loads(meta_path.read_text(encoding="utf-8"))
+    actions = [
+        e for e in metadata.get("@graph", [])
+        if e.get("@type") == "CreateAction"
+    ]
+    root = next(
+        (e for e in metadata["@graph"] if e.get("@id") == "./"), {}
+    )
+    prov_path = crate_dir / "workflow_prov.json"
+    document = ProvDocument.load(prov_path) if prov_path.is_file() else None
+    return {
+        "name": root.get("name"),
+        "conformsTo": (root.get("conformsTo") or {}).get("@id"),
+        "actions": {a["name"]: a for a in actions},
+        "document": document,
+    }

@@ -1,0 +1,38 @@
+"""The yProv framework: provenance *consumers* and management service.
+
+The paper situates yProv4ML inside the yProv ecosystem: "the yProv service
+consists of three main components: the yProv web service front-end; a graph
+database engine back-end based on Neo4J; and the yProv command line
+interface".  This package reimplements that stack in-process:
+
+* :mod:`repro.yprov.graphdb` — an embedded property-graph database
+  (labels, properties, indexes, traversals) standing in for Neo4j;
+* :mod:`repro.yprov.service` — the provenance management service exposing
+  the REST API's verb surface (document CRUD, subgraph queries) as Python
+  calls;
+* :mod:`repro.yprov.handle` — the provenance handle system (persistent
+  identifiers resolving to stored documents);
+* :mod:`repro.yprov.explorer` — the yProv Explorer analogue (lineage,
+  diffs, statistics over stored documents);
+* :mod:`repro.yprov.cli` — the ``yprov`` command line interface.
+"""
+
+from repro.yprov.graphdb import GraphDB, Node, Edge
+from repro.yprov.service import ProvenanceService
+from repro.yprov.handle import HandleSystem
+from repro.yprov.explorer import Explorer
+from repro.yprov.rest import ProvenanceServer, serve
+from repro.yprov.render import export_html, render_svg
+
+__all__ = [
+    "GraphDB",
+    "Node",
+    "Edge",
+    "ProvenanceService",
+    "HandleSystem",
+    "Explorer",
+    "ProvenanceServer",
+    "serve",
+    "export_html",
+    "render_svg",
+]

@@ -1,0 +1,307 @@
+"""``yprov`` command-line interface.
+
+Mirrors the yProv CLI: "a set of commands for invoking the RESTful APIs".
+All commands operate on a persistent service rooted at ``--root``
+(default ``.yprov``)::
+
+    yprov push run1 prov/demo_0/prov.json     # store a document
+    yprov list                                # list stored documents
+    yprov get run1 -o out.json                # retrieve a document
+    yprov delete run1
+    yprov lineage run1 'ex:artifact/model.bin' --direction upstream
+    yprov stats run1
+    yprov validate prov/demo_0/prov.json      # offline PROV-CONSTRAINTS check
+    yprov handle mint run1
+    yprov handle resolve hdl:20.500.repro/abc -o out.json
+    yprov crate-validate prov/demo_0          # RO-Crate check
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.prov.document import ProvDocument
+from repro.prov.validation import validate_document
+from repro.yprov.explorer import Explorer
+from repro.yprov.handle import HandleSystem
+from repro.yprov.service import ProvenanceService
+
+
+def _service(args: argparse.Namespace) -> ProvenanceService:
+    return ProvenanceService(root=args.root)
+
+
+def _handles(args: argparse.Namespace, service: ProvenanceService) -> HandleSystem:
+    return HandleSystem(service, registry_path=Path(args.root) / "handles.json")
+
+
+def cmd_push(args: argparse.Namespace) -> int:
+    """Handle ``yprov push``: store a PROV-JSON document."""
+    service = _service(args)
+    text = Path(args.file).read_text(encoding="utf-8")
+    service.put_document(args.doc_id, text)
+    print(f"stored {args.doc_id}")
+    return 0
+
+
+def cmd_get(args: argparse.Namespace) -> int:
+    """Handle ``yprov get``: retrieve a stored document."""
+    service = _service(args)
+    text = service.get_document_text(args.doc_id)
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """Handle ``yprov list``: list stored document ids."""
+    service = _service(args)
+    for doc_id in service.list_documents():
+        print(doc_id)
+    return 0
+
+
+def cmd_delete(args: argparse.Namespace) -> int:
+    """Handle ``yprov delete``: remove a stored document."""
+    service = _service(args)
+    service.delete_document(args.doc_id)
+    print(f"deleted {args.doc_id}")
+    return 0
+
+
+def cmd_lineage(args: argparse.Namespace) -> int:
+    """Handle ``yprov lineage``: print the closure of an element."""
+    service = _service(args)
+    explorer = Explorer(service)
+    for qn in explorer.lineage_of(args.doc_id, args.element, direction=args.direction):
+        print(qn)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Handle ``yprov stats``: print structural statistics."""
+    service = _service(args)
+    explorer = Explorer(service)
+    for key, value in explorer.summary(args.doc_id).items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Handle ``yprov validate``: PROV-CONSTRAINTS check of a file."""
+    doc = ProvDocument.load(args.file)
+    report = validate_document(doc, require_declared=args.strict)
+    for err in report.errors:
+        print(f"ERROR: {err}")
+    for warning in report.warnings:
+        print(f"warning: {warning}")
+    print(report.summary())
+    return 0 if report.is_valid else 1
+
+
+def cmd_handle_mint(args: argparse.Namespace) -> int:
+    """Handle ``yprov handle mint``: mint a persistent identifier."""
+    service = _service(args)
+    record = _handles(args, service).mint(args.doc_id, suffix=args.suffix)
+    print(record.handle)
+    return 0
+
+
+def cmd_handle_resolve(args: argparse.Namespace) -> int:
+    """Handle ``yprov handle resolve``: fetch the document behind a handle."""
+    service = _service(args)
+    doc = _handles(args, service).resolve(args.handle)
+    text = doc.to_json()
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_handle_list(args: argparse.Namespace) -> int:
+    """Handle ``yprov handle list``: list minted handles."""
+    service = _service(args)
+    for record in _handles(args, service).list_handles():
+        print(f"{record.handle}\t{record.doc_id}\t{record.description}")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Handle ``yprov diff``: element/relation diff of two PROV-JSON files."""
+    from repro.yprov.explorer import Explorer
+
+    left = ProvDocument.load(args.left)
+    right = ProvDocument.load(args.right)
+    diff = Explorer().diff(left, right)
+    for qn in diff.only_left:
+        print(f"- {qn}")
+    for qn in diff.only_right:
+        print(f"+ {qn}")
+    for qn in diff.changed:
+        print(f"~ {qn}")
+    print(
+        f"relations: -{diff.relations_only_left} +{diff.relations_only_right}"
+    )
+    print("identical" if diff.is_identical else "different")
+    return 0 if diff.is_identical else 1
+
+
+def cmd_render(args: argparse.Namespace) -> int:
+    """Handle ``yprov render``: write a standalone HTML view of a file."""
+    from repro.yprov.render import export_html
+
+    doc = ProvDocument.load(args.file)
+    out = export_html(doc, args.output, title=Path(args.file).stem)
+    print(f"wrote {out}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Handle ``yprov serve``: run the HTTP front-end until interrupted."""
+    from repro.yprov.rest import serve
+
+    service = _service(args)
+    server = serve(service, host=args.host, port=args.port)
+    print(f"yProv service listening on {server.url} "
+          f"({len(service)} documents) — Ctrl-C to stop")
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Handle ``yprov replay``: reproduce an experiment from PROV-JSON."""
+    from repro.core.reproduce import default_replayer
+
+    replayer = default_replayer()
+    _, report = replayer.replay(args.file, args.output_dir)
+    print(report.summary())
+    for check in report.metric_checks:
+        mark = "ok " if check.matched else "DIFF"
+        print(f"  [{mark}] {check.series}: {check.original} -> {check.replayed}")
+    return 0 if report.is_faithful else 1
+
+
+def cmd_crate_validate(args: argparse.Namespace) -> int:
+    """Handle ``yprov crate-validate``: check an RO-Crate directory."""
+    from repro.crate.validate import validate_crate
+
+    report = validate_crate(args.directory)
+    for err in report.errors:
+        print(f"ERROR: {err}")
+    for warning in report.warnings:
+        print(f"warning: {warning}")
+    print(f"valid={report.is_valid} files={report.n_files}")
+    return 0 if report.is_valid else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``yprov`` argument parser."""
+    parser = argparse.ArgumentParser(prog="yprov", description=__doc__.split("\n")[0])
+    parser.add_argument("--root", default=".yprov", help="service storage directory")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("push", help="store a PROV-JSON document")
+    p.add_argument("doc_id")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_push)
+
+    p = sub.add_parser("get", help="retrieve a stored document")
+    p.add_argument("doc_id")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_get)
+
+    p = sub.add_parser("list", help="list stored documents")
+    p.set_defaults(func=cmd_list)
+
+    p = sub.add_parser("delete", help="delete a stored document")
+    p.add_argument("doc_id")
+    p.set_defaults(func=cmd_delete)
+
+    p = sub.add_parser("lineage", help="lineage closure of an element")
+    p.add_argument("doc_id")
+    p.add_argument("element")
+    p.add_argument("--direction", choices=("upstream", "downstream"), default="upstream")
+    p.set_defaults(func=cmd_lineage)
+
+    p = sub.add_parser("stats", help="structural statistics of a document")
+    p.add_argument("doc_id")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("validate", help="validate a PROV-JSON file on disk")
+    p.add_argument("file")
+    p.add_argument("--strict", action="store_true",
+                   help="treat dangling references as errors")
+    p.set_defaults(func=cmd_validate)
+
+    handle = sub.add_parser("handle", help="handle-system operations")
+    hsub = handle.add_subparsers(dest="handle_command", required=True)
+    p = hsub.add_parser("mint", help="mint a handle for a stored document")
+    p.add_argument("doc_id")
+    p.add_argument("--suffix")
+    p.set_defaults(func=cmd_handle_mint)
+    p = hsub.add_parser("resolve", help="resolve a handle to its document")
+    p.add_argument("handle")
+    p.add_argument("-o", "--output")
+    p.set_defaults(func=cmd_handle_resolve)
+    p = hsub.add_parser("list", help="list minted handles")
+    p.set_defaults(func=cmd_handle_list)
+
+    p = sub.add_parser("crate-validate", help="validate an RO-Crate directory")
+    p.add_argument("directory")
+    p.set_defaults(func=cmd_crate_validate)
+
+    p = sub.add_parser("diff", help="compare two PROV-JSON files")
+    p.add_argument("left")
+    p.add_argument("right")
+    p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser("render", help="render a PROV-JSON file as HTML/SVG")
+    p.add_argument("file")
+    p.add_argument("-o", "--output", default="prov.html")
+    p.set_defaults(func=cmd_render)
+
+    p = sub.add_parser("serve", help="run the HTTP front-end (RESTful API)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=3000)
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "replay", help="reproduce an experiment from its PROV-JSON file"
+    )
+    p.add_argument("file")
+    p.add_argument("-o", "--output-dir", default="replay")
+    p.set_defaults(func=cmd_replay)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,253 @@
+"""yProv Explorer analogue: interactive-style queries over stored provenance.
+
+The web Explorer lets users load a PROV-JSON file and inspect it.  This
+module provides the same operations programmatically, over either a
+:class:`~repro.yprov.service.ProvenanceService` or a raw document:
+
+* :meth:`Explorer.summary` — structural statistics;
+* :meth:`Explorer.lineage_of` — upstream/downstream closure of an element;
+* :meth:`Explorer.timeline` — activities ordered by start time;
+* :meth:`Explorer.search` — substring search over labels and types;
+* :meth:`Explorer.diff` — element/relation diff of two documents (the
+  "compare runs" workflow of §3.2/§3.4 at the provenance level).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
+
+from repro.errors import ServiceError
+from repro.prov.document import ProvDocument
+from repro.prov.graph import ancestors, degree_stats, descendants
+from repro.prov.model import relation_sort_key
+from repro.yprov.service import ProvenanceService
+
+
+@dataclass
+class DocumentDiff:
+    """Difference between two provenance documents."""
+
+    only_left: List[str] = field(default_factory=list)
+    only_right: List[str] = field(default_factory=list)
+    changed: List[str] = field(default_factory=list)
+    relations_only_left: int = 0
+    relations_only_right: int = 0
+
+    @property
+    def is_identical(self) -> bool:
+        """True when the two documents have no element or relation differences."""
+        return not (
+            self.only_left
+            or self.only_right
+            or self.changed
+            or self.relations_only_left
+            or self.relations_only_right
+        )
+
+
+class Explorer:
+    """Query interface over a provenance service (or loose documents)."""
+
+    def __init__(self, service: Optional[ProvenanceService] = None) -> None:
+        self.service = service
+
+    def _resolve(self, doc: Union[str, ProvDocument]) -> ProvDocument:
+        if isinstance(doc, ProvDocument):
+            return doc
+        if self.service is None:
+            raise ServiceError("no service attached; pass a ProvDocument instead of an id")
+        return self.service.get_document(doc)
+
+    # ------------------------------------------------------------------
+    def summary(self, doc: Union[str, ProvDocument]) -> Dict[str, Any]:
+        """Structural statistics plus per-prov:type entity counts."""
+        document = self._resolve(doc).flattened()
+        stats = degree_stats(document)
+        by_type: Dict[str, int] = {}
+        for ent in document.entities.values():
+            key = str(ent.prov_type) if ent.prov_type is not None else "(untyped)"
+            by_type[key] = by_type.get(key, 0) + 1
+        stats["entities_by_type"] = dict(sorted(by_type.items()))
+        return stats
+
+    def lineage_of(
+        self,
+        doc: Union[str, ProvDocument],
+        element: str,
+        direction: str = "upstream",
+        relations: Optional[List[str]] = None,
+    ) -> List[str]:
+        """Closure of *element*: what it came from / what it led to."""
+        document = self._resolve(doc)
+        if direction == "upstream":
+            found = ancestors(document, element, relations=relations)
+        elif direction == "downstream":
+            found = descendants(document, element, relations=relations)
+        else:
+            raise ServiceError(f"direction must be upstream/downstream: {direction!r}")
+        return sorted(found)
+
+    def timeline(self, doc: Union[str, ProvDocument]) -> List[Tuple[str, _dt.datetime, Optional[_dt.datetime]]]:
+        """Activities with a start time, ordered chronologically."""
+        document = self._resolve(doc).flattened()
+        rows = [
+            (qn.provjson(), act.start_time, act.end_time)
+            for qn, act in document.activities.items()
+            if act.start_time is not None
+        ]
+        rows.sort(key=lambda row: (row[1], row[0]))
+        return rows
+
+    def search(self, doc: Union[str, ProvDocument], text: str) -> List[str]:
+        """Case-insensitive substring search over ids, labels, prov:types."""
+        document = self._resolve(doc).flattened()
+        needle = text.lower()
+        hits: List[str] = []
+        for table in (document.entities, document.activities, document.agents):
+            for qn, element in table.items():
+                haystack = " ".join(
+                    filter(None, [qn.provjson(), element.label,
+                                  str(element.prov_type or "")])
+                ).lower()
+                if needle in haystack:
+                    hits.append(qn.provjson())
+        return sorted(hits)
+
+    def diff(
+        self, left: Union[str, ProvDocument], right: Union[str, ProvDocument]
+    ) -> DocumentDiff:
+        """Element-level diff (ids present/absent, attribute changes)."""
+        ldoc = self._resolve(left).flattened()
+        rdoc = self._resolve(right).flattened()
+        out = DocumentDiff()
+
+        def element_map(document: ProvDocument) -> Dict[str, Any]:
+            merged: Dict[str, Any] = {}
+            for table in (document.entities, document.activities, document.agents):
+                for qn, element in table.items():
+                    merged[qn.provjson()] = element
+            return merged
+
+        lmap = element_map(ldoc)
+        rmap = element_map(rdoc)
+        out.only_left = sorted(set(lmap) - set(rmap))
+        out.only_right = sorted(set(rmap) - set(lmap))
+        for key in sorted(set(lmap) & set(rmap)):
+            la, ra = lmap[key].attributes, rmap[key].attributes
+            if {k: str(v) for k, v in la.items()} != {k: str(v) for k, v in ra.items()}:
+                out.changed.append(key)
+
+        lrels = {relation_sort_key(r) for r in ldoc.relations}
+        rrels = {relation_sort_key(r) for r in rdoc.relations}
+        out.relations_only_left = len(lrels - rrels)
+        out.relations_only_right = len(rrels - lrels)
+        return out
+
+    def connection(
+        self, doc: Union[str, ProvDocument], source: str, target: str
+    ) -> Optional[List[Tuple[str, str]]]:
+        """How is *source* related to *target*?
+
+        Returns the shortest undirected provenance path as a list of
+        ``(relation, element)`` hops starting after *source*, or ``None``
+        when the two elements are unconnected.
+        """
+        import networkx as nx
+
+        from repro.prov.graph import to_networkx
+
+        document = self._resolve(doc)
+        graph = to_networkx(document)
+        for node in (source, target):
+            if node not in graph:
+                raise ServiceError(f"unknown element: {node}")
+        undirected = graph.to_undirected(as_view=False)
+        try:
+            path = nx.shortest_path(undirected, source, target)
+        except nx.NetworkXNoPath:
+            return None
+        hops: List[Tuple[str, str]] = []
+        for a, b in zip(path, path[1:]):
+            data = graph.get_edge_data(a, b) or graph.get_edge_data(b, a) or {}
+            relation = next(iter(data.values()))["relation"] if data else "?"
+            hops.append((relation, b))
+        return hops
+
+    def common_ancestors(
+        self, doc: Union[str, ProvDocument], a: str, b: str
+    ) -> List[str]:
+        """Elements both *a* and *b* (transitively) depend on — e.g. the
+        shared dataset behind two model versions."""
+        from repro.prov.graph import ancestors
+
+        document = self._resolve(doc)
+        return sorted(
+            ancestors(document, a) & ancestors(document, b)
+        )
+
+    def metric_series(
+        self,
+        doc: Union[str, ProvDocument],
+        metric: str,
+        context: str = "TRAINING",
+        base_dir: Optional[Any] = None,
+    ) -> Dict[str, Any]:
+        """Recover a metric's full time-series from provenance.
+
+        Handles both storage modes: inline (samples embedded in the metric
+        entity) and offloaded (the entity references a metric store file —
+        resolved relative to *base_dir*, which defaults to the directory of
+        the document when it was loaded from disk).  Returns
+        ``{"steps": [...], "values": [...], "times": [...]}``.
+        """
+        from pathlib import Path
+
+        document = self._resolve(doc).flattened()
+        target_label = metric
+        entity = None
+        for ent in document.entities.values():
+            if not str(ent.prov_type or "").endswith("Metric"):
+                continue
+            if (str(ent.label) == target_label
+                    and str(ent.get_attribute("yprov4ml:context")) == context):
+                entity = ent
+                break
+        if entity is None:
+            raise ServiceError(f"metric {metric!r} ({context}) not in document")
+
+        inline_values = entity.get_attribute("yprov4ml:values")
+        if inline_values is not None:
+            return {
+                "steps": entity.get_attribute("yprov4ml:steps"),
+                "values": inline_values,
+                "times": entity.get_attribute("yprov4ml:times"),
+            }
+
+        # offloaded: locate the store entity and open it
+        store_ref = entity.get_attribute("yprov4ml:stored_in")
+        store_entity = document.get_element(store_ref) if store_ref else None
+        if store_entity is None:
+            raise ServiceError(f"metric {metric!r} has no samples and no store")
+        rel_path = str(store_entity.get_attribute("yprov4ml:path"))
+        if base_dir is None:
+            raise ServiceError(
+                "offloaded metrics need base_dir (directory of the prov file)"
+            )
+        from repro.storage import open_store
+
+        store = open_store(Path(base_dir) / rel_path)
+        series = store.read_series(str(entity.get_attribute("yprov4ml:series")))
+        return {
+            "steps": series.columns["steps"].tolist(),
+            "values": series.columns["values"].tolist(),
+            "times": series.columns["times"].tolist(),
+        }
+
+    # service-wide -----------------------------------------------------------
+    def find_runs(self) -> List[Dict[str, Any]]:
+        """All RunExecution activities stored in the attached service."""
+        if self.service is None:
+            raise ServiceError("no service attached")
+        return self.service.find_elements(prov_type="yprov4ml:RunExecution")

@@ -1,0 +1,382 @@
+"""Embedded property-graph database (the yProv service's Neo4j substitute).
+
+Data model mirrors the property-graph model: nodes carry a set of *labels*
+plus a property map; directed edges carry a *type* plus properties.
+Features implemented because the service layer needs them:
+
+* label index (always on) and optional ``(label, property)`` value indexes;
+* uniqueness constraints on ``(label, property)``;
+* pattern matching (:meth:`GraphDB.match_nodes` /
+  :meth:`GraphDB.match_edges`) and bounded BFS traversal with edge-type
+  filters (:meth:`GraphDB.traverse`);
+* JSON persistence (:meth:`GraphDB.save` / :meth:`GraphDB.load`).
+
+All operations are in-memory dict/set manipulations — adequate for the
+document sizes the evaluation uses and benchmarked in
+``benchmarks/bench_ablation_graphdb.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple, Union
+
+from repro.errors import ConstraintViolationError, GraphDBError, NodeNotFoundError
+
+Properties = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class Node:
+    """A graph node (immutable view; mutate through the DB API)."""
+
+    id: int
+    labels: FrozenSet[str]
+    properties: Properties
+
+    def has_label(self, label: str) -> bool:
+        return label in self.labels
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed, typed edge."""
+
+    id: int
+    type: str
+    src: int
+    dst: int
+    properties: Properties
+
+
+class GraphDB:
+    """In-memory labeled property graph with indexes and constraints."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, Node] = {}
+        self._edges: Dict[int, Edge] = {}
+        self._next_node = 0
+        self._next_edge = 0
+        self._out: Dict[int, Set[int]] = {}
+        self._in: Dict[int, Set[int]] = {}
+        self._label_index: Dict[str, Set[int]] = {}
+        # (label, property) -> value -> node ids
+        self._value_indexes: Dict[Tuple[str, str], Dict[Any, Set[int]]] = {}
+        self._unique: Set[Tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------
+    # nodes
+    # ------------------------------------------------------------------
+    def create_node(self, labels: Iterable[str], properties: Optional[Properties] = None) -> Node:
+        """Create a node with *labels* and *properties*; returns the Node."""
+        labels = frozenset(labels)
+        if not labels:
+            raise GraphDBError("a node requires at least one label")
+        properties = dict(properties or {})
+        self._check_unique(labels, properties, node_id=None)
+        node = Node(self._next_node, labels, properties)
+        self._next_node += 1
+        self._nodes[node.id] = node
+        self._out[node.id] = set()
+        self._in[node.id] = set()
+        for label in labels:
+            self._label_index.setdefault(label, set()).add(node.id)
+            for (ilabel, prop), index in self._value_indexes.items():
+                if ilabel == label and prop in properties:
+                    index.setdefault(properties[prop], set()).add(node.id)
+        return node
+
+    def get_node(self, node_id: int) -> Node:
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise NodeNotFoundError(f"node {node_id} does not exist")
+        return node
+
+    def update_node(self, node_id: int, properties: Properties) -> Node:
+        """Merge *properties* into the node (None values delete keys)."""
+        node = self.get_node(node_id)
+        merged = dict(node.properties)
+        for key, value in properties.items():
+            if value is None:
+                merged.pop(key, None)
+            else:
+                merged[key] = value
+        self._check_unique(node.labels, merged, node_id=node_id)
+        self._deindex_node(node)
+        new = Node(node.id, node.labels, merged)
+        self._nodes[node_id] = new
+        self._index_node(new)
+        return new
+
+    def delete_node(self, node_id: int) -> None:
+        """Delete a node and all its incident edges."""
+        node = self.get_node(node_id)
+        for edge_id in list(self._out[node_id] | self._in[node_id]):
+            self.delete_edge(edge_id)
+        self._deindex_node(node)
+        for label in node.labels:
+            self._label_index[label].discard(node_id)
+        del self._nodes[node_id]
+        del self._out[node_id]
+        del self._in[node_id]
+
+    def _index_node(self, node: Node) -> None:
+        for (label, prop), index in self._value_indexes.items():
+            if label in node.labels and prop in node.properties:
+                index.setdefault(node.properties[prop], set()).add(node.id)
+
+    def _deindex_node(self, node: Node) -> None:
+        """Create a typed directed edge between existing nodes."""
+        for (label, prop), index in self._value_indexes.items():
+            if label in node.labels and prop in node.properties:
+                bucket = index.get(node.properties[prop])
+                if bucket is not None:
+                    bucket.discard(node.id)
+
+    # ------------------------------------------------------------------
+    # edges
+    # ------------------------------------------------------------------
+    def create_edge(
+        self, src: int, dst: int, type: str, properties: Optional[Properties] = None
+    ) -> Edge:
+        """Create a typed directed edge between existing nodes."""
+        if src not in self._nodes:
+            raise NodeNotFoundError(f"source node {src} does not exist")
+        if dst not in self._nodes:
+            raise NodeNotFoundError(f"target node {dst} does not exist")
+        if not type:
+            raise GraphDBError("edge type must be non-empty")
+        edge = Edge(self._next_edge, type, src, dst, dict(properties or {}))
+        self._next_edge += 1
+        self._edges[edge.id] = edge
+        self._out[src].add(edge.id)
+        self._in[dst].add(edge.id)
+        return edge
+
+    def get_edge(self, edge_id: int) -> Edge:
+        edge = self._edges.get(edge_id)
+        if edge is None:
+            raise GraphDBError(f"edge {edge_id} does not exist")
+        return edge
+
+    def delete_edge(self, edge_id: int) -> None:
+        edge = self.get_edge(edge_id)
+        self._out[edge.src].discard(edge_id)
+        self._in[edge.dst].discard(edge_id)
+        del self._edges[edge_id]
+
+    # ------------------------------------------------------------------
+    # indexes & constraints
+    # ------------------------------------------------------------------
+    def create_index(self, label: str, prop: str) -> None:
+        """Build a value index over ``(label, property)`` (idempotent)."""
+        key = (label, prop)
+        if key in self._value_indexes:
+            return
+        index: Dict[Any, Set[int]] = {}
+        for node_id in self._label_index.get(label, ()):
+            node = self._nodes[node_id]
+            if prop in node.properties:
+                index.setdefault(node.properties[prop], set()).add(node_id)
+        self._value_indexes[key] = index
+
+    def create_unique_constraint(self, label: str, prop: str) -> None:
+        """Enforce uniqueness of ``property`` among nodes with ``label``."""
+        self.create_index(label, prop)
+        for value, ids in self._value_indexes[(label, prop)].items():
+            if len(ids) > 1:
+                raise ConstraintViolationError(
+                    f"existing nodes violate uniqueness of {label}.{prop}={value!r}"
+                )
+        self._unique.add((label, prop))
+
+    def _check_unique(
+        self, labels: FrozenSet[str], properties: Properties, node_id: Optional[int]
+    ) -> None:
+        for label, prop in self._unique:
+            if label in labels and prop in properties:
+                existing = self._value_indexes.get((label, prop), {}).get(
+                    properties[prop], set()
+                )
+                others = existing - ({node_id} if node_id is not None else set())
+                if others:
+                    raise ConstraintViolationError(
+                        f"uniqueness violation: {label}.{prop}={properties[prop]!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def match_nodes(
+        self,
+        label: Optional[str] = None,
+        properties: Optional[Properties] = None,
+        predicate: Optional[Callable[[Node], bool]] = None,
+    ) -> List[Node]:
+        """Nodes matching a label, exact property values and/or a predicate.
+
+        Uses a value index when one covers a requested property.
+        """
+        candidates: Optional[Set[int]] = None
+        if label is not None:
+            candidates = set(self._label_index.get(label, set()))
+            if properties:
+                for prop, value in properties.items():
+                    index = self._value_indexes.get((label, prop))
+                    if index is not None:
+                        candidates &= index.get(value, set())
+        if candidates is None:
+            candidates = set(self._nodes)
+        out = []
+        for node_id in candidates:
+            node = self._nodes[node_id]
+            if properties and any(
+                node.properties.get(k) != v for k, v in properties.items()
+            ):
+                continue
+            if predicate is not None and not predicate(node):
+                continue
+            out.append(node)
+        return sorted(out, key=lambda n: n.id)
+
+    def match_edges(
+        self,
+        type: Optional[str] = None,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+    ) -> List[Edge]:
+        """Edges filtered by type and/or endpoints, sorted by id."""
+        if src is not None:
+            pool: Iterable[int] = self._out.get(src, set())
+        elif dst is not None:
+            pool = self._in.get(dst, set())
+        else:
+            pool = self._edges.keys()
+        out = []
+        for edge_id in pool:
+            edge = self._edges[edge_id]
+            if type is not None and edge.type != type:
+                continue
+            if src is not None and edge.src != src:
+                continue
+            if dst is not None and edge.dst != dst:
+                continue
+            out.append(edge)
+        return sorted(out, key=lambda e: e.id)
+
+    def out_neighbors(self, node_id: int, type: Optional[str] = None) -> List[Node]:
+        """Destination nodes of outgoing edges (optionally one type)."""
+        self.get_node(node_id)
+        return [
+            self._nodes[self._edges[e].dst]
+            for e in sorted(self._out[node_id])
+            if type is None or self._edges[e].type == type
+        ]
+
+    def in_neighbors(self, node_id: int, type: Optional[str] = None) -> List[Node]:
+        """Source nodes of incoming edges (optionally one type)."""
+        self.get_node(node_id)
+        return [
+            self._nodes[self._edges[e].src]
+            for e in sorted(self._in[node_id])
+            if type is None or self._edges[e].type == type
+        ]
+
+    def traverse(
+        self,
+        start: int,
+        direction: str = "out",
+        types: Optional[Iterable[str]] = None,
+        max_depth: Optional[int] = None,
+    ) -> List[int]:
+        """BFS closure node ids from *start* (excluding it), in visit order."""
+        self.get_node(start)
+        if direction not in ("out", "in", "both"):
+            raise GraphDBError(f"invalid direction: {direction!r}")
+        allowed = set(types) if types is not None else None
+        seen: Set[int] = {start}
+        order: List[int] = []
+        frontier = [start]
+        depth = 0
+        while frontier and (max_depth is None or depth < max_depth):
+            nxt: List[int] = []
+            for node_id in frontier:
+                edge_ids: Set[int] = set()
+                if direction in ("out", "both"):
+                    edge_ids |= self._out[node_id]
+                if direction in ("in", "both"):
+                    edge_ids |= self._in[node_id]
+                for edge_id in sorted(edge_ids):
+                    edge = self._edges[edge_id]
+                    if allowed is not None and edge.type not in allowed:
+                        continue
+                    other = edge.dst if edge.src == node_id else edge.src
+                    if other not in seen:
+                        seen.add(other)
+                        order.append(other)
+                        nxt.append(other)
+            frontier = nxt
+            depth += 1
+        return order
+
+    # ------------------------------------------------------------------
+    # stats & persistence
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def labels(self) -> Dict[str, int]:
+        return {label: len(ids) for label, ids in sorted(self._label_index.items()) if ids}
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the graph (nodes, edges, indexes, constraints) as JSON."""
+        doc = {
+            "nodes": [
+                {"id": n.id, "labels": sorted(n.labels), "properties": n.properties}
+                for n in sorted(self._nodes.values(), key=lambda n: n.id)
+            ],
+            "edges": [
+                {
+                    "id": e.id,
+                    "type": e.type,
+                    "src": e.src,
+                    "dst": e.dst,
+                    "properties": e.properties,
+                }
+                for e in sorted(self._edges.values(), key=lambda e: e.id)
+            ],
+            "indexes": sorted(f"{l}|{p}" for l, p in self._value_indexes),
+            "unique": sorted(f"{l}|{p}" for l, p in self._unique),
+        }
+        Path(path).write_text(json.dumps(doc), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "GraphDB":
+        """Rebuild a graph persisted with :meth:`save`."""
+        doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        db = cls()
+        id_map: Dict[int, int] = {}
+        for spec in doc["nodes"]:
+            node = db.create_node(spec["labels"], spec["properties"])
+            id_map[spec["id"]] = node.id
+        for spec in doc["edges"]:
+            db.create_edge(
+                id_map[spec["src"]], id_map[spec["dst"]], spec["type"], spec["properties"]
+            )
+        for key in doc.get("indexes", []):
+            label, _, prop = key.partition("|")
+            db.create_index(label, prop)
+        for key in doc.get("unique", []):
+            label, _, prop = key.partition("|")
+            db.create_unique_constraint(label, prop)
+        return db

@@ -1,0 +1,113 @@
+"""Provenance handle system.
+
+yProv pairs provenance files with persistent identifiers ("the provenance
+handle system").  A handle is ``hdl:<prefix>/<suffix>`` and resolves to a
+document stored in a :class:`~repro.yprov.service.ProvenanceService`.
+Handles survive process restarts via a JSON registry file when the system
+is constructed with a path.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import HandleError
+from repro.prov.document import ProvDocument
+from repro.yprov.service import ProvenanceService
+
+_HANDLE_RE = re.compile(r"^hdl:(?P<prefix>[A-Za-z0-9.]+)/(?P<suffix>[A-Za-z0-9_.\-]+)$")
+
+
+@dataclass(frozen=True)
+class HandleRecord:
+    """One registered handle."""
+
+    handle: str
+    doc_id: str
+    description: str = ""
+
+
+class HandleSystem:
+    """Registry of persistent identifiers over a provenance service."""
+
+    def __init__(
+        self,
+        service: ProvenanceService,
+        prefix: str = "20.500.repro",
+        registry_path: Optional[Union[str, Path]] = None,
+    ) -> None:
+        if not re.match(r"^[A-Za-z0-9.]+$", prefix):
+            raise HandleError(f"invalid handle prefix: {prefix!r}")
+        self.service = service
+        self.prefix = prefix
+        self.registry_path = Path(registry_path) if registry_path else None
+        self._records: Dict[str, HandleRecord] = {}
+        if self.registry_path is not None and self.registry_path.exists():
+            raw = json.loads(self.registry_path.read_text(encoding="utf-8"))
+            for spec in raw:
+                record = HandleRecord(**spec)
+                self._records[record.handle] = record
+
+    def _persist(self) -> None:
+        if self.registry_path is None:
+            return
+        self.registry_path.parent.mkdir(parents=True, exist_ok=True)
+        self.registry_path.write_text(
+            json.dumps(
+                [record.__dict__ for record in sorted(
+                    self._records.values(), key=lambda r: r.handle
+                )],
+                indent=1,
+            ),
+            encoding="utf-8",
+        )
+
+    def mint(
+        self,
+        doc_id: str,
+        suffix: Optional[str] = None,
+        description: str = "",
+    ) -> HandleRecord:
+        """Mint a handle for a stored document (must exist in the service)."""
+        if doc_id not in self.service:
+            raise HandleError(f"cannot mint handle: document {doc_id!r} not stored")
+        suffix = suffix or uuid.uuid4().hex[:12]
+        handle = f"hdl:{self.prefix}/{suffix}"
+        if not _HANDLE_RE.match(handle):
+            raise HandleError(f"invalid handle suffix: {suffix!r}")
+        if handle in self._records:
+            raise HandleError(f"handle already minted: {handle}")
+        record = HandleRecord(handle=handle, doc_id=doc_id, description=description)
+        self._records[handle] = record
+        self._persist()
+        return record
+
+    def resolve(self, handle: str) -> ProvDocument:
+        """Resolve a handle to its provenance document."""
+        record = self._records.get(handle)
+        if record is None:
+            raise HandleError(f"unknown handle: {handle!r}")
+        return self.service.get_document(record.doc_id)
+
+    def lookup(self, handle: str) -> HandleRecord:
+        record = self._records.get(handle)
+        if record is None:
+            raise HandleError(f"unknown handle: {handle!r}")
+        return record
+
+    def revoke(self, handle: str) -> None:
+        if handle not in self._records:
+            raise HandleError(f"unknown handle: {handle!r}")
+        del self._records[handle]
+        self._persist()
+
+    def list_handles(self) -> List[HandleRecord]:
+        return sorted(self._records.values(), key=lambda r: r.handle)
+
+    def handles_for(self, doc_id: str) -> List[HandleRecord]:
+        return [r for r in self.list_handles() if r.doc_id == doc_id]

@@ -1,0 +1,145 @@
+"""Static visual rendering of provenance graphs (the Explorer's view).
+
+The web yProvExplorer draws provenance files as interactive graphs; offline
+we render a *static* view: a spring-layout positioned SVG with the standard
+PROV iconography (ellipses for entities, rectangles for activities,
+houses/pentagons for agents) and labeled relation edges, optionally wrapped
+in a self-contained HTML page with a legend and document statistics.  No
+JavaScript or external assets — the file works from ``file://``.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import networkx as nx
+
+from repro.prov.document import ProvDocument
+from repro.prov.graph import degree_stats, to_networkx
+
+#: fill colors per element kind (PROV diagram conventions)
+_COLORS = {
+    "entity": "#fffadd",
+    "activity": "#cfe2ff",
+    "agent": "#ffd9a8",
+    "unknown": "#eeeeee",
+}
+_STROKE = "#555555"
+
+
+def _layout(graph: nx.MultiDiGraph, width: int, height: int,
+            seed: int) -> Dict[str, Tuple[float, float]]:
+    """Deterministic spring layout scaled into the viewport."""
+    if graph.number_of_nodes() == 0:
+        return {}
+    pos = nx.spring_layout(nx.Graph(graph), seed=seed, k=1.6)
+    xs = [p[0] for p in pos.values()]
+    ys = [p[1] for p in pos.values()]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+    margin = 90
+    return {
+        node: (
+            margin + (x - min_x) / span_x * (width - 2 * margin),
+            margin + (y - min_y) / span_y * (height - 2 * margin),
+        )
+        for node, (x, y) in pos.items()
+    }
+
+
+def _node_svg(node: str, kind: str, label: str, x: float, y: float) -> str:
+    color = _COLORS.get(kind, _COLORS["unknown"])
+    text = html.escape(label if len(label) <= 28 else label[:25] + "...")
+    shape: str
+    if kind == "activity":
+        shape = (f'<rect x="{x - 60:.1f}" y="{y - 16:.1f}" width="120" '
+                 f'height="32" rx="4" fill="{color}" stroke="{_STROKE}"/>')
+    elif kind == "agent":
+        points = f"{x - 50:.1f},{y + 14:.1f} {x - 50:.1f},{y - 8:.1f} " \
+                 f"{x:.1f},{y - 20:.1f} {x + 50:.1f},{y - 8:.1f} " \
+                 f"{x + 50:.1f},{y + 14:.1f}"
+        shape = f'<polygon points="{points}" fill="{color}" stroke="{_STROKE}"/>'
+    else:
+        shape = (f'<ellipse cx="{x:.1f}" cy="{y:.1f}" rx="62" ry="18" '
+                 f'fill="{color}" stroke="{_STROKE}"/>')
+    return (
+        f'<g>{shape}<text x="{x:.1f}" y="{y + 4:.1f}" text-anchor="middle" '
+        f'font-size="10" font-family="sans-serif">{text}</text>'
+        f'<title>{html.escape(node)}</title></g>'
+    )
+
+
+def render_svg(
+    document: ProvDocument,
+    width: int = 1200,
+    height: int = 900,
+    seed: int = 0,
+) -> str:
+    """Render *document* as a standalone SVG string."""
+    graph = to_networkx(document)
+    pos = _layout(graph, width, height, seed)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        '<defs><marker id="arrow" markerWidth="8" markerHeight="8" '
+        'refX="8" refY="4" orient="auto"><path d="M0,0 L8,4 L0,8 z" '
+        f'fill="{_STROKE}"/></marker></defs>',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+    ]
+    for u, v, data in graph.edges(data=True):
+        x1, y1 = pos[u]
+        x2, y2 = pos[v]
+        midx, midy = (x1 + x2) / 2, (y1 + y2) / 2
+        relation = html.escape(data.get("relation", ""))
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{_STROKE}" stroke-width="1" marker-end="url(#arrow)"/>'
+        )
+        parts.append(
+            f'<text x="{midx:.1f}" y="{midy - 3:.1f}" text-anchor="middle" '
+            f'font-size="8" font-family="sans-serif" fill="#888">{relation}</text>'
+        )
+    for node, data in graph.nodes(data=True):
+        x, y = pos[node]
+        parts.append(_node_svg(node, data.get("kind", "unknown"),
+                               data.get("label") or node, x, y))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def export_html(
+    document: ProvDocument,
+    path: Union[str, Path],
+    title: str = "provenance document",
+    seed: int = 0,
+) -> Path:
+    """Write a self-contained HTML page: stats table + legend + SVG graph."""
+    stats = degree_stats(document)
+    svg = render_svg(document, seed=seed)
+    rows = "".join(
+        f"<tr><td>{html.escape(str(k))}</td><td>{html.escape(str(v))}</td></tr>"
+        for k, v in stats.items()
+        if not isinstance(v, dict)
+    )
+    legend = "".join(
+        f'<span style="background:{color};border:1px solid {_STROKE};'
+        f'padding:2px 10px;margin-right:8px">{kind}</span>'
+        for kind, color in _COLORS.items()
+        if kind != "unknown"
+    )
+    page = f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{html.escape(title)}</title></head>
+<body style="font-family:sans-serif">
+<h1>{html.escape(title)}</h1>
+<p>{legend}</p>
+<table border="1" cellpadding="4" style="border-collapse:collapse">{rows}</table>
+{svg}
+</body></html>
+"""
+    out = Path(path)
+    out.write_text(page, encoding="utf-8")
+    return out

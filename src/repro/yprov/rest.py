@@ -1,0 +1,199 @@
+"""HTTP front-end for the provenance service (the yProv web service).
+
+The paper describes "the yProv web service front-end ... exposing a RESTful
+API".  This module puts an actual HTTP surface (standard library only, no
+web framework) over :class:`~repro.yprov.service.ProvenanceService`:
+
+======  ===============================================  =================
+Method  Path                                             Body / response
+======  ===============================================  =================
+GET     /api/v0/documents                                JSON list of ids
+PUT     /api/v0/documents/<id>                           PROV-JSON body
+GET     /api/v0/documents/<id>                           PROV-JSON
+DELETE  /api/v0/documents/<id>                           204
+GET     /api/v0/documents/<id>/stats                     JSON stats
+GET     /api/v0/documents/<id>/subgraph?element=&
+        direction=&max_depth=                            JSON list of qnames
+GET     /api/v0/elements?prov_type=&label=&doc_id=       JSON hit list
+GET     /api/v0/health                                   {"status": "ok"}
+======  ===============================================  =================
+
+Run it with :func:`serve` (returns a live ``ThreadingHTTPServer`` bound to
+an ephemeral or given port) or embed :class:`ProvHandler` elsewhere.
+Errors map to HTTP codes: unknown document → 404, invalid input → 400.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.parse
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import DocumentNotFoundError, ReproError, ServiceError
+from repro.yprov.service import ProvenanceService
+
+API_PREFIX = "/api/v0"
+
+
+def _make_handler(service: ProvenanceService):
+    """Build a request-handler class closed over *service*."""
+
+    class ProvHandler(BaseHTTPRequestHandler):
+        # silence per-request logging; tests and examples don't want it
+        def log_message(self, fmt: str, *args: Any) -> None:  # noqa: D102
+            pass
+
+        # -- helpers -------------------------------------------------------
+        def _send_json(self, payload: Any, status: int = 200) -> None:
+            body = json.dumps(payload).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_error_json(self, status: int, message: str) -> None:
+            self._send_json({"error": message}, status=status)
+
+        def _route(self) -> Tuple[str, Dict[str, str]]:
+            parsed = urllib.parse.urlparse(self.path)
+            query = {
+                k: v[0] for k, v in urllib.parse.parse_qs(parsed.query).items()
+            }
+            return parsed.path, query
+
+        def _doc_id(self, path: str) -> Optional[str]:
+            prefix = f"{API_PREFIX}/documents/"
+            if not path.startswith(prefix):
+                return None
+            rest = path[len(prefix):]
+            return urllib.parse.unquote(rest.split("/", 1)[0]) or None
+
+        # -- verbs -----------------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            path, query = self._route()
+            try:
+                if path == f"{API_PREFIX}/health":
+                    self._send_json({"status": "ok",
+                                     "documents": len(service)})
+                elif path == f"{API_PREFIX}/documents":
+                    self._send_json(service.list_documents())
+                elif path == f"{API_PREFIX}/elements":
+                    hits = service.find_elements(
+                        label=query.get("label"),
+                        prov_type=query.get("prov_type"),
+                        doc_id=query.get("doc_id"),
+                    )
+                    self._send_json(hits)
+                elif path.endswith("/stats"):
+                    doc_id = self._doc_id(path)
+                    self._send_json(service.stats(doc_id))
+                elif path.endswith("/subgraph"):
+                    doc_id = self._doc_id(path)
+                    element = query.get("element")
+                    if not element:
+                        raise ServiceError("missing 'element' query parameter")
+                    depth = query.get("max_depth")
+                    reachable = service.get_subgraph(
+                        doc_id,
+                        element,
+                        direction=query.get("direction", "both"),
+                        max_depth=int(depth) if depth else None,
+                    )
+                    self._send_json(reachable)
+                else:
+                    doc_id = self._doc_id(path)
+                    if doc_id is None:
+                        self._send_error_json(404, f"unknown path: {path}")
+                        return
+                    text = service.get_document_text(doc_id)
+                    body = text.encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", "application/json")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+            except DocumentNotFoundError as exc:
+                self._send_error_json(404, str(exc))
+            except (ServiceError, ValueError) as exc:
+                self._send_error_json(400, str(exc))
+            except ReproError as exc:
+                self._send_error_json(400, str(exc))
+
+        def do_PUT(self) -> None:  # noqa: N802
+            path, _ = self._route()
+            doc_id = self._doc_id(path)
+            if doc_id is None:
+                self._send_error_json(404, f"unknown path: {path}")
+                return
+            length = int(self.headers.get("Content-Length", 0))
+            body = self.rfile.read(length).decode("utf-8")
+            try:
+                service.put_document(doc_id, body)
+            except ReproError as exc:
+                self._send_error_json(400, str(exc))
+                return
+            self._send_json({"stored": doc_id}, status=201)
+
+        def do_DELETE(self) -> None:  # noqa: N802
+            path, _ = self._route()
+            doc_id = self._doc_id(path)
+            if doc_id is None:
+                self._send_error_json(404, f"unknown path: {path}")
+                return
+            try:
+                service.delete_document(doc_id)
+            except DocumentNotFoundError as exc:
+                self._send_error_json(404, str(exc))
+                return
+            self.send_response(204)
+            self.send_header("Content-Length", "0")
+            self.end_headers()
+
+    return ProvHandler
+
+
+class ProvenanceServer:
+    """A running HTTP front-end; use as a context manager in tests."""
+
+    def __init__(self, service: ProvenanceService, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.service = service
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(service))
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}{API_PREFIX}"
+
+    def start(self) -> "ProvenanceServer":
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="yprov-rest", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "ProvenanceServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def serve(service: ProvenanceService, host: str = "127.0.0.1",
+          port: int = 0) -> ProvenanceServer:
+    """Start the REST front-end on *port* (0 = ephemeral); returns the
+    running server (caller stops it)."""
+    return ProvenanceServer(service, host=host, port=port).start()

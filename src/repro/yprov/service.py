@@ -1,0 +1,215 @@
+"""Provenance management service (the yProv web service analogue).
+
+Stores PROV documents and answers graph queries about them.  The verb
+surface mirrors the yProv RESTful API — ``PUT/GET/DELETE /documents/<id>``
+and subgraph endpoints — as plain Python methods so the evaluation runs
+in-process.
+
+Storage strategy: the canonical PROV-JSON text of every document is kept
+verbatim (lossless retrieval), while the document's element/relation
+structure is loaded into the embedded :class:`~repro.yprov.graphdb.GraphDB`
+for lineage and subgraph queries.  An optional root directory makes the
+service persistent across instantiations.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Union
+
+from repro.errors import DocumentNotFoundError, ServiceError
+from repro.prov.document import ProvDocument
+from repro.prov.model import ProvActivity
+from repro.prov.provjson import to_provjson
+from repro.yprov.graphdb import GraphDB, Node
+
+_DOC_ID_RE = re.compile(r"^[A-Za-z0-9_.\-]+$")
+
+
+class ProvenanceService:
+    """Document store + graph query engine."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self._texts: Dict[str, str] = {}
+        self.db = GraphDB()
+        self.db.create_index("ProvElement", "key")
+        # node id lookup: (doc_id, element qualified name) -> graph node id
+        self._node_ids: Dict[str, Dict[str, int]] = {}
+        # the REST front-end serves concurrent requests; serialize mutations
+        # and graph reads (the embedded GraphDB is not thread-safe)
+        self._lock = threading.RLock()
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            for path in sorted(self.root.glob("*.provjson")):
+                self._ingest(path.stem, path.read_text(encoding="utf-8"))
+
+    # ------------------------------------------------------------------
+    # document CRUD (REST verb surface)
+    # ------------------------------------------------------------------
+    def put_document(self, doc_id: str, document: Union[ProvDocument, str]) -> str:
+        """Store (or replace) a document under *doc_id*; returns the id."""
+        if not _DOC_ID_RE.match(doc_id):
+            raise ServiceError(f"invalid document id: {doc_id!r}")
+        text = document if isinstance(document, str) else to_provjson(document)
+        # parse up-front so corrupt documents are rejected atomically
+        ProvDocument.from_json(text)
+        with self._lock:
+            if doc_id in self._texts:
+                self.delete_document(doc_id)
+            self._ingest(doc_id, text)
+            if self.root is not None:
+                (self.root / f"{doc_id}.provjson").write_text(
+                    text, encoding="utf-8"
+                )
+        return doc_id
+
+    def get_document(self, doc_id: str) -> ProvDocument:
+        """Retrieve the document (lossless round trip of what was stored)."""
+        text = self._texts.get(doc_id)
+        if text is None:
+            raise DocumentNotFoundError(f"no such document: {doc_id!r}")
+        return ProvDocument.from_json(text)
+
+    def get_document_text(self, doc_id: str) -> str:
+        text = self._texts.get(doc_id)
+        if text is None:
+            raise DocumentNotFoundError(f"no such document: {doc_id!r}")
+        return text
+
+    def delete_document(self, doc_id: str) -> None:
+        """Remove a stored document and its graph nodes (and disk copy)."""
+        with self._lock:
+            if doc_id not in self._texts:
+                raise DocumentNotFoundError(f"no such document: {doc_id!r}")
+            for node_id in list(self._node_ids.get(doc_id, {}).values()):
+                self.db.delete_node(node_id)
+            self._node_ids.pop(doc_id, None)
+            del self._texts[doc_id]
+            if self.root is not None:
+                target = self.root / f"{doc_id}.provjson"
+                if target.exists():
+                    target.unlink()
+
+    def list_documents(self) -> List[str]:
+        return sorted(self._texts)
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._texts
+
+    def __len__(self) -> int:
+        return len(self._texts)
+
+    # ------------------------------------------------------------------
+    # graph ingestion
+    # ------------------------------------------------------------------
+    def _ingest(self, doc_id: str, text: str) -> None:
+        document = ProvDocument.from_json(text).flattened()
+        self._texts[doc_id] = text
+        node_ids: Dict[str, int] = {}
+        self._node_ids[doc_id] = node_ids
+
+        for kind, table in (
+            ("entity", document.entities),
+            ("activity", document.activities),
+            ("agent", document.agents),
+        ):
+            for qn, element in table.items():
+                props: Dict[str, Any] = {
+                    "doc_id": doc_id,
+                    "key": f"{doc_id}:{qn.provjson()}",
+                    "qualified_name": qn.provjson(),
+                    "label": element.label or qn.localpart,
+                    "prov_type": str(element.prov_type) if element.prov_type else None,
+                    "attributes": json.dumps(
+                        {k: str(v) for k, v in element.attributes.items()},
+                        sort_keys=True,
+                    ),
+                }
+                if isinstance(element, ProvActivity):
+                    if element.start_time is not None:
+                        props["start_time"] = element.start_time.timestamp()
+                    if element.end_time is not None:
+                        props["end_time"] = element.end_time.timestamp()
+                node = self.db.create_node({"ProvElement", kind.capitalize()}, props)
+                node_ids[qn.provjson()] = node.id
+
+        for rel in document.relations:
+            target = rel.target
+            if target is None:
+                continue
+            src = node_ids.get(rel.source.provjson())
+            dst = node_ids.get(target.provjson())
+            if src is None or dst is None:
+                continue  # dangling references are kept in the text, not the graph
+            self.db.create_edge(src, dst, rel.kind, {"doc_id": doc_id})
+
+    # ------------------------------------------------------------------
+    # queries (the yProv subgraph endpoints)
+    # ------------------------------------------------------------------
+    def _element_node(self, doc_id: str, element: str) -> Node:
+        node_id = self._node_ids.get(doc_id, {}).get(element)
+        if node_id is None:
+            raise ServiceError(f"element {element!r} not found in document {doc_id!r}")
+        return self.db.get_node(node_id)
+
+    def get_subgraph(
+        self,
+        doc_id: str,
+        element: str,
+        direction: str = "both",
+        max_depth: Optional[int] = None,
+    ) -> List[str]:
+        """Qualified names reachable from *element* in the stored graph."""
+        with self._lock:
+            if doc_id not in self._texts:
+                raise DocumentNotFoundError(f"no such document: {doc_id!r}")
+            node = self._element_node(doc_id, element)
+            ids = self.db.traverse(node.id, direction=direction,
+                                   max_depth=max_depth)
+            return [self.db.get_node(i).properties["qualified_name"] for i in ids]
+
+    def find_elements(
+        self,
+        label: Optional[str] = None,
+        prov_type: Optional[str] = None,
+        doc_id: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Search stored elements across documents by label / prov:type."""
+        props: Dict[str, Any] = {}
+        if doc_id is not None:
+            props["doc_id"] = doc_id
+        if prov_type is not None:
+            props["prov_type"] = prov_type
+        if label is not None:
+            props["label"] = label
+        with self._lock:
+            nodes = self.db.match_nodes(label="ProvElement",
+                                        properties=props or None)
+        return [
+            {
+                "doc_id": n.properties["doc_id"],
+                "qualified_name": n.properties["qualified_name"],
+                "label": n.properties["label"],
+                "prov_type": n.properties["prov_type"],
+                "kind": next(iter(n.labels - {"ProvElement"})).lower(),
+            }
+            for n in nodes
+        ]
+
+    def stats(self, doc_id: Optional[str] = None) -> Dict[str, int]:
+        """Node/edge counts, optionally restricted to one document."""
+        with self._lock:
+            if doc_id is None:
+                return {"documents": len(self._texts),
+                        "nodes": self.db.node_count, "edges": self.db.edge_count}
+            if doc_id not in self._texts:
+                raise DocumentNotFoundError(f"no such document: {doc_id!r}")
+            node_ids = set(self._node_ids[doc_id].values())
+            edges = sum(
+                1 for e in self.db.match_edges() if e.src in node_ids
+            )
+            return {"documents": 1, "nodes": len(node_ids), "edges": edges}

@@ -1,0 +1,149 @@
+"""Tests for development tracking (§3.1)."""
+
+import pytest
+
+from repro.analysis.devtrack import DevelopmentTracker
+from repro.errors import AnalysisError
+from repro.prov.validation import validate_document
+
+
+@pytest.fixture
+def tracker():
+    return DevelopmentTracker("train.py")
+
+
+class TestSnapshots:
+    def test_chain_with_parents(self, tracker):
+        s1 = tracker.snapshot("v1", "first")
+        s2 = tracker.snapshot("v2", "second")
+        assert s1.parent is None
+        assert s2.parent == s1.id
+        assert [s.id for s in tracker.history] == [s1.id, s2.id]
+        assert tracker.head is s2
+
+    def test_identical_consecutive_content_noop(self, tracker):
+        s1 = tracker.snapshot("same")
+        s2 = tracker.snapshot("same")
+        assert s1 is s2
+        assert len(tracker.history) == 1
+
+    def test_content_hash_depends_on_parent(self, tracker):
+        s1 = tracker.snapshot("a")
+        s2 = tracker.snapshot("b")
+        s3 = tracker.snapshot("a")  # same content as s1, different parent
+        assert s3.id != s1.id
+
+    def test_short_prefix_lookup(self, tracker):
+        snap = tracker.snapshot("content")
+        assert tracker.get(snap.id[:6]) is snap
+
+    def test_unknown_snapshot(self, tracker):
+        with pytest.raises(AnalysisError):
+            tracker.get("ffffff")
+
+    def test_rollback(self, tracker):
+        s1 = tracker.snapshot("old content")
+        tracker.snapshot("new content")
+        assert tracker.rollback(s1.id) == "old content"
+
+    def test_snapshot_file(self, tracker, tmp_path):
+        path = tmp_path / "train.py"
+        path.write_text("print('hi')\n")
+        snap = tracker.snapshot_file(path, "from file")
+        assert snap.content == "print('hi')\n"
+
+    def test_empty_tracker_head(self, tracker):
+        assert tracker.head is None
+
+
+class TestDiff:
+    def test_unified_diff(self, tracker):
+        s1 = tracker.snapshot("lr = 0.1\nepochs = 5\n")
+        s2 = tracker.snapshot("lr = 0.01\nepochs = 5\n")
+        diff = tracker.diff(s1.id, s2.id)
+        assert "-lr = 0.1" in diff
+        assert "+lr = 0.01" in diff
+        assert "epochs" not in [
+            l[1:].strip() for l in diff.splitlines() if l.startswith(("+", "-"))
+            and not l.startswith(("+++", "---"))
+        ]
+
+    def test_diff_filenames_include_short_ids(self, tracker):
+        s1 = tracker.snapshot("a\n")
+        s2 = tracker.snapshot("b\n")
+        diff = tracker.diff(s1.id, s2.id)
+        assert s1.short in diff and s2.short in diff
+
+
+class TestRunLinks:
+    def test_link_and_query(self, tracker):
+        s1 = tracker.snapshot("v1")
+        tracker.link_run(s1.id, "run_a", {"loss": 0.9})
+        tracker.link_run(s1.id, "run_b", {"loss": 0.8})
+        assert len(tracker.runs_of(s1.id)) == 2
+
+    def test_best_snapshot(self, tracker):
+        s1 = tracker.snapshot("v1")
+        s2 = tracker.snapshot("v2")
+        tracker.link_run(s1.id, "r1", {"loss": 0.9})
+        tracker.link_run(s2.id, "r2", {"loss": 0.4})
+        assert tracker.best_snapshot("loss") is s2
+        assert tracker.best_snapshot("loss", lower_is_better=False) is s1
+
+    def test_best_snapshot_no_metric(self, tracker):
+        tracker.snapshot("v1")
+        with pytest.raises(AnalysisError):
+            tracker.best_snapshot("loss")
+
+
+class TestDevelopmentGraph:
+    def test_graph_validates(self, tracker):
+        s1 = tracker.snapshot("v1", "init")
+        s2 = tracker.snapshot("v2", "tweak")
+        tracker.link_run(s2.id, "run_x", {"loss": 0.5})
+        tracker.record_command("pip install foo", "ok")
+        doc = tracker.development_graph()
+        report = validate_document(doc, require_declared=True)
+        assert report.is_valid, report.errors
+
+    def test_derivation_chain_in_graph(self, tracker):
+        s1 = tracker.snapshot("v1")
+        s2 = tracker.snapshot("v2")
+        doc = tracker.development_graph()
+        derivations = doc.relations_of_kind("wasDerivedFrom")
+        pairs = {
+            (r.args["prov:generatedEntity"].localpart,
+             r.args["prov:usedEntity"].localpart)
+            for r in derivations
+        }
+        assert (f"snapshot/{s2.id}", f"snapshot/{s1.id}") in pairs
+
+    def test_run_uses_snapshot(self, tracker):
+        snap = tracker.snapshot("v1")
+        tracker.link_run(snap.id, "run_x", {"loss": 0.5})
+        doc = tracker.development_graph()
+        used = {
+            (r.args["prov:activity"].localpart, r.args["prov:entity"].localpart)
+            for r in doc.relations_of_kind("used")
+        }
+        assert ("run/run_x", f"snapshot/{snap.id}") in used
+
+    def test_commands_in_graph(self, tracker):
+        tracker.record_command("conda create -n env", "done")
+        doc = tracker.development_graph()
+        ent = doc.get_element("dev:command/0")
+        assert ent.get_attribute("prov:label") == "conda create -n env"
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tracker, tmp_path):
+        s1 = tracker.snapshot("v1", "init")
+        s2 = tracker.snapshot("v2")
+        tracker.link_run(s2.id, "r1", {"loss": 0.3})
+        tracker.record_command("ls", "files")
+        path = tmp_path / "devtrack.json"
+        tracker.save(path)
+        loaded = DevelopmentTracker.load(path)
+        assert [s.id for s in loaded.history] == [s1.id, s2.id]
+        assert loaded.best_snapshot("loss").id == s2.id
+        assert loaded.commands == [("ls", "files")]

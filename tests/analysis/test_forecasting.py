@@ -1,0 +1,139 @@
+"""Tests for KB-based forecasting (§3.3)."""
+
+import pytest
+
+from repro.analysis.forecasting import ProvenanceForecaster
+from repro.core.provgen import RunSummary
+from repro.core.registry import ExperimentRegistry
+from repro.errors import AnalysisError, InsufficientHistoryError
+
+
+class MemoryRegistry(ExperimentRegistry):
+    """Registry seeded in memory (skips disk scanning)."""
+
+    def __init__(self, summaries):
+        self._summaries = {s.run_id: s for s in summaries}
+        self.root = None
+
+    def refresh(self):  # pragma: no cover
+        return len(self._summaries)
+
+
+def run(i, param_count, n_gpus, loss, **extra):
+    params = {
+        "param_count": param_count,
+        "n_gpus": n_gpus,
+        "global_batch": 32 * n_gpus,
+        "dataset_patches": 800_000,
+        "epochs_target": 5,
+    }
+    params.update(extra)
+    return RunSummary(
+        experiment="scaling", run_id=f"r{i}", status="finished", duration_s=100.0,
+        params=params, metrics={"final_loss@TESTING": {"last": loss}},
+    )
+
+
+@pytest.fixture
+def registry():
+    rows = []
+    i = 0
+    for params in (1e8, 2e8, 6e8, 1.4e9):
+        for gpus in (8, 16, 32):
+            # synthetic ground truth: loss falls with params
+            loss = 2.0 - 0.15 * (params / 1e8) ** 0.3 + 0.001 * gpus
+            rows.append(run(i, params, gpus, loss))
+            i += 1
+    return MemoryRegistry(rows)
+
+
+class TestPrediction:
+    def test_interpolation_reasonable(self, registry):
+        forecaster = ProvenanceForecaster(registry)
+        pred = forecaster.predict(
+            {"param_count": 4e8, "n_gpus": 16, "global_batch": 512,
+             "dataset_patches": 800_000, "epochs_target": 5},
+        )
+        # ground-truth at 4e8/16gpu
+        truth = 2.0 - 0.15 * 4.0**0.3 + 0.016
+        assert pred.predicted == pytest.approx(truth, rel=0.1)
+        assert pred.n_history == 12
+
+    def test_bigger_model_predicted_better(self, registry):
+        forecaster = ProvenanceForecaster(registry)
+
+        def predict(params):
+            return forecaster.predict(
+                {"param_count": params, "n_gpus": 16, "global_batch": 512,
+                 "dataset_patches": 800_000, "epochs_target": 5}
+            ).predicted
+
+        assert predict(1.2e9) < predict(1.5e8)
+
+    def test_missing_features_rejected(self, registry):
+        forecaster = ProvenanceForecaster(registry)
+        with pytest.raises(AnalysisError):
+            forecaster.predict({"param_count": 1e8})
+
+    def test_insufficient_history(self):
+        registry = MemoryRegistry([run(0, 1e8, 8, 1.0)])
+        forecaster = ProvenanceForecaster(registry)
+        with pytest.raises(InsufficientHistoryError):
+            forecaster.predict(
+                {"param_count": 1e8, "n_gpus": 8, "global_batch": 256,
+                 "dataset_patches": 800_000, "epochs_target": 5}
+            )
+
+    def test_missing_target_metric_not_counted(self):
+        rows = [run(i, 1e8, 8, 1.0) for i in range(3)]
+        rows.append(RunSummary(experiment="scaling", run_id="nm", status="finished",
+                               duration_s=1.0, params={}, metrics={}))
+        forecaster = ProvenanceForecaster(MemoryRegistry(rows))
+        pred = forecaster.predict(
+            {"param_count": 1e8, "n_gpus": 8, "global_batch": 256,
+             "dataset_patches": 800_000, "epochs_target": 5}
+        )
+        assert pred.n_history == 3
+
+    def test_prediction_clamped_to_sane_envelope(self):
+        """Degenerate history (all same features) must not extrapolate wildly."""
+        rows = [run(i, 1e8, 8, 1.0 + 0.01 * i) for i in range(4)]
+        forecaster = ProvenanceForecaster(MemoryRegistry(rows))
+        pred = forecaster.predict(
+            {"param_count": 1e12, "n_gpus": 4096, "global_batch": 1,
+             "dataset_patches": 1, "epochs_target": 1}
+        )
+        assert 0.0 < pred.predicted < 3.0
+
+
+class TestLeaveOneOut:
+    def test_loo_error_small_on_smooth_data(self, registry):
+        forecaster = ProvenanceForecaster(registry)
+        err = forecaster.leave_one_out_error()
+        assert err < 0.05  # smooth synthetic relation -> good fit
+
+    def test_loo_requires_enough_runs(self):
+        rows = [run(i, 1e8, 8, 1.0) for i in range(3)]
+        forecaster = ProvenanceForecaster(MemoryRegistry(rows))
+        with pytest.raises(InsufficientHistoryError):
+            forecaster.leave_one_out_error()
+
+
+class TestEndToEndWithProvenance:
+    def test_forecast_from_simulated_provenance(self, tmp_path):
+        """§3.3 pipeline: simulate -> PROV files -> KB -> forecast."""
+        from repro.simulator.training import job_from_zoo, simulate_training
+
+        for size in ("100M", "200M", "600M"):
+            for gpus in (8, 16):
+                simulate_training(job_from_zoo("mae", size, gpus, epochs=1),
+                                  provenance_dir=tmp_path)
+        registry = ExperimentRegistry(tmp_path)
+        forecaster = ProvenanceForecaster(registry)
+        pred = forecaster.predict(
+            {"param_count": 1.4e9, "n_gpus": 16, "global_batch": 512,
+             "dataset_patches": 800_000, "epochs_target": 1},
+        )
+        # must predict an improvement over the smallest model's actual loss
+        small = registry.get("mae_100M_8gpu_b32_e1_d800000_seed0")
+        assert pred.predicted < small.final_metric("final_loss", "TESTING")

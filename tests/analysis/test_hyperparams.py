@@ -1,0 +1,107 @@
+"""Tests for hyperparameter analysis (§3.4)."""
+
+import pytest
+
+from repro.analysis.hyperparams import HyperparamAnalyzer
+from repro.core.provgen import RunSummary
+from repro.errors import InsufficientHistoryError
+
+from tests.analysis.test_forecasting import MemoryRegistry
+
+
+def run(i, loss, **params):
+    return RunSummary(
+        experiment="hp", run_id=f"r{i:02d}", status="finished", duration_s=1.0,
+        params=params, metrics={"final_loss@TESTING": {"last": loss}},
+    )
+
+
+@pytest.fixture
+def registry():
+    rows = []
+    i = 0
+    # loss improves with depth, is independent of seed, optimizer matters;
+    # seeds are shuffled so they do not accidentally correlate with depth
+    seeds = [3, 6, 1, 4, 7, 0, 5, 2]
+    for depth in (2, 4, 8, 16):
+        for opt in ("sgd", "adam"):
+            loss = 1.0 / depth + (0.05 if opt == "sgd" else 0.0)
+            rows.append(run(i, loss, depth=depth, optimizer=opt, seed=seeds[i]))
+            i += 1
+    return MemoryRegistry(rows)
+
+
+class TestEffects:
+    def test_depth_is_strongest_knob(self, registry):
+        analyzer = HyperparamAnalyzer(registry)
+        effects = analyzer.effects()
+        assert effects[0].param == "depth"
+        assert effects[0].spearman_rho < 0  # deeper -> lower loss
+        assert effects[0].direction == "decreases"
+
+    def test_seed_negligible(self, registry):
+        analyzer = HyperparamAnalyzer(registry)
+        effects = {e.param: e for e in analyzer.effects()}
+        assert abs(effects["seed"].spearman_rho) < abs(
+            effects["depth"].spearman_rho
+        )
+
+    def test_non_numeric_params_skipped(self, registry):
+        analyzer = HyperparamAnalyzer(registry)
+        assert "optimizer" not in {e.param for e in analyzer.effects()}
+
+    def test_insufficient_history(self):
+        analyzer = HyperparamAnalyzer(MemoryRegistry([run(0, 1.0, depth=2)]))
+        with pytest.raises(InsufficientHistoryError):
+            analyzer.effects()
+
+
+class TestGroupBy:
+    def test_grouping(self, registry):
+        analyzer = HyperparamAnalyzer(registry)
+        groups = analyzer.group_by("optimizer")
+        assert set(groups) == {"adam", "sgd"}
+        assert groups["adam"]["mean"] < groups["sgd"]["mean"]
+        assert groups["adam"]["count"] == 4
+
+    def test_group_stats_fields(self, registry):
+        analyzer = HyperparamAnalyzer(registry)
+        stats = analyzer.group_by("depth")[16]
+        assert set(stats) == {"count", "mean", "min", "max"}
+
+
+class TestBestValues:
+    def test_best_values_pick_winning_config(self, registry):
+        analyzer = HyperparamAnalyzer(registry)
+        best = analyzer.best_values(top_k=2)
+        assert best["depth"] == 16
+        assert best["optimizer"] == "adam"
+
+    def test_higher_is_better_direction(self, registry):
+        analyzer = HyperparamAnalyzer(registry)
+        worst_as_best = analyzer.best_values(lower_is_better=False, top_k=1)
+        assert worst_as_best["depth"] == 2
+
+
+class TestSuggest:
+    def test_fills_missing_knobs_from_similar_runs(self, registry):
+        analyzer = HyperparamAnalyzer(registry)
+        suggestion = analyzer.suggest({"optimizer": "adam"})
+        assert suggestion["optimizer"] == "adam"  # fixed part kept
+        assert suggestion["depth"] == 16          # best adam run donates
+
+    def test_empty_partial_config(self, registry):
+        analyzer = HyperparamAnalyzer(registry)
+        suggestion = analyzer.suggest({})
+        assert suggestion["depth"] == 16
+
+    def test_insufficient_history(self):
+        analyzer = HyperparamAnalyzer(MemoryRegistry([]))
+        with pytest.raises(InsufficientHistoryError):
+            analyzer.suggest({"optimizer": "adam"})
+
+    def test_list_valued_params_handled(self):
+        rows = [run(i, 1.0 / (i + 1), dims=[64, 128], depth=i + 1) for i in range(4)]
+        analyzer = HyperparamAnalyzer(MemoryRegistry(rows))
+        best = analyzer.best_values(top_k=1)
+        assert best["dims"] == [64, 128]

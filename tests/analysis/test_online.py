@@ -1,0 +1,127 @@
+"""Tests for online advisory tracking (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.online import OnlineAdvisor, apply_early_stop
+from repro.analysis.tradeoff import EarlyStopAdvisor
+from repro.core.context import Context
+from repro.core.experiment import RunExecution
+from repro.simulator.training import job_from_zoo, simulate_training
+
+
+@pytest.fixture
+def live_run(tmp_path, ticking_clock):
+    run = RunExecution("online", save_dir=tmp_path, clock=ticking_clock)
+    run.start()
+    return run
+
+
+class TestOnlineAdvisor:
+    def _log_trajectory(self, run, n, plateau_after=None):
+        for step in range(1, n + 1):
+            if plateau_after is not None and step > plateau_after:
+                loss = 1.0
+            else:
+                loss = 1.0 + 5.0 / np.sqrt(step)
+            run.log_metric("loss", loss, step=step)
+            run.log_metric("energy_joules", step * 3.6e3, step=step)  # 1e-3 kWh/step
+
+    def test_no_signal_before_metrics(self, live_run):
+        advisor = OnlineAdvisor()
+        assert advisor.check(live_run) is None
+        assert not advisor.should_stop(live_run)
+
+    def test_stops_on_plateau(self, live_run):
+        advisor = OnlineAdvisor(EarlyStopAdvisor(min_improvement_per_kwh=1.0,
+                                                 window=20))
+        self._log_trajectory(live_run, 400, plateau_after=100)
+        stop = advisor.check(live_run)
+        assert stop is not None
+        assert 100 < stop <= 400
+
+    def test_keeps_going_while_improving(self, live_run):
+        advisor = OnlineAdvisor(EarlyStopAdvisor(min_improvement_per_kwh=1e-6,
+                                                 window=20))
+        for step in range(1, 60):
+            live_run.log_metric("loss", 10.0 - 0.1 * step, step=step)
+            live_run.log_metric("energy_joules", step * 3.6e3, step=step)
+        assert advisor.check(live_run) is None
+
+    def test_decision_is_sticky(self, live_run):
+        advisor = OnlineAdvisor(EarlyStopAdvisor(min_improvement_per_kwh=1.0,
+                                                 window=20))
+        self._log_trajectory(live_run, 300, plateau_after=50)
+        first = advisor.check(live_run)
+        self._log_trajectory_more(live_run, 300, 400)
+        assert advisor.check(live_run) == first
+        assert advisor.decision == first
+
+    def _log_trajectory_more(self, run, start, end):
+        for step in range(start + 1, end + 1):
+            run.log_metric("loss", 1.0, step=step)
+            run.log_metric("energy_joules", step * 3.6e3, step=step)
+
+    def test_custom_metric_names(self, live_run):
+        advisor = OnlineAdvisor(
+            EarlyStopAdvisor(loss_target=0.5),
+            loss_metric="val_loss",
+            energy_metric="joules",
+            context=Context.VALIDATION,
+        )
+        for step in range(1, 20):
+            live_run.log_metric("val_loss", 1.0 / step,
+                                context=Context.VALIDATION, step=step)
+            live_run.log_metric("joules", float(step),
+                                context=Context.VALIDATION, step=step)
+        assert advisor.check(live_run) is not None
+
+
+class TestApplyEarlyStop:
+    @pytest.fixture(scope="class")
+    def full_result(self):
+        job = job_from_zoo("mae", "100M", 8, epochs=8, log_every_steps=5)
+        return simulate_training(job)
+
+    def test_truncation_saves_energy(self, full_result):
+        advisor = EarlyStopAdvisor(max_steps=full_result.steps_done // 2,
+                                   min_improvement_per_kwh=0.0)
+        stopped = apply_early_stop(full_result, advisor)
+        assert stopped.steps_done < full_result.steps_done
+        assert stopped.energy_kwh < full_result.energy_kwh
+        assert stopped.wall_time_s < full_result.wall_time_s
+        assert not stopped.completed
+        # less training -> equal or worse loss
+        assert stopped.final_loss >= full_result.final_loss
+
+    def test_trajectory_truncated(self, full_result):
+        limit = full_result.steps_done // 3
+        advisor = EarlyStopAdvisor(max_steps=limit, min_improvement_per_kwh=0.0)
+        stopped = apply_early_stop(full_result, advisor)
+        # the stop lands on the first *logged* step at/after the limit
+        assert stopped.loss_steps[-1] <= limit + full_result.job.log_every_steps
+        assert stopped.loss_steps.shape == stopped.loss_values.shape
+
+    def test_untriggered_advisor_returns_original(self, full_result):
+        advisor = EarlyStopAdvisor(min_improvement_per_kwh=float("-inf"))
+        assert apply_early_stop(full_result, advisor) is full_result
+
+    def test_tracked_identity_cleared(self, full_result):
+        advisor = EarlyStopAdvisor(max_steps=10, min_improvement_per_kwh=0.0)
+        stopped = apply_early_stop(full_result, advisor)
+        assert stopped.run_id is None and stopped.prov_path is None
+
+    def test_original_untouched(self, full_result):
+        steps_before = full_result.steps_done
+        advisor = EarlyStopAdvisor(max_steps=10, min_improvement_per_kwh=0.0)
+        apply_early_stop(full_result, advisor)
+        assert full_result.steps_done == steps_before
+
+    def test_energy_threshold_use_case(self, full_result):
+        """§3.2: 'stopped when a specific threshold of energy ... is
+        achieved'."""
+        budget = full_result.energy_kwh / 2
+        advisor = EarlyStopAdvisor(energy_budget_kwh=budget,
+                                   min_improvement_per_kwh=0.0)
+        stopped = apply_early_stop(full_result, advisor)
+        assert stopped.energy_kwh <= budget * 1.1

@@ -1,0 +1,85 @@
+"""Tests for analytical scaling-study estimation (§3.3)."""
+
+import pytest
+
+from repro.analysis.scaling import ScalingEstimator
+from repro.errors import AnalysisError
+from repro.simulator.data import SyntheticMODIS
+from repro.simulator.training import job_from_zoo, simulate_training
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    return ScalingEstimator()
+
+
+@pytest.fixture(scope="module")
+def base_job():
+    return job_from_zoo("mae", "100M", 8, epochs=2)
+
+
+class TestEstimateJob:
+    def test_agrees_with_simulation(self, estimator, base_job):
+        """The estimator must predict exactly what the simulator does."""
+        estimate = estimator.estimate_job(base_job)
+        result = simulate_training(base_job)
+        assert estimate.predicted_loss == pytest.approx(result.final_loss)
+        assert estimate.predicted_energy_kwh == pytest.approx(result.energy_kwh)
+        assert estimate.predicted_walltime_s == pytest.approx(result.wall_time_s)
+        assert estimate.fits_walltime == result.completed
+
+    def test_detects_walltime_violation(self, estimator):
+        job = job_from_zoo("mae", "1.4B", 8, epochs=100)
+        estimate = estimator.estimate_job(job)
+        assert not estimate.fits_walltime
+
+    def test_tradeoff_property(self, estimator, base_job):
+        estimate = estimator.estimate_job(base_job)
+        assert estimate.predicted_tradeoff == pytest.approx(
+            estimate.predicted_loss * estimate.predicted_energy_kwh
+        )
+
+
+class TestScalingAxes:
+    def test_scale_parameters(self, estimator, base_job):
+        estimates = estimator.scale_parameters(base_job, ["100M", "600M", "1.4B"])
+        losses = [e.predicted_loss for e in estimates]
+        assert losses == sorted(losses, reverse=True)  # bigger model, lower loss
+        energies = [e.predicted_energy_kwh for e in estimates]
+        assert energies == sorted(energies)  # bigger model, more energy
+
+    def test_scale_parameters_unknown_size(self, estimator, base_job):
+        with pytest.raises(AnalysisError):
+            estimator.scale_parameters(base_job, ["7B"])
+
+    def test_scale_data(self, estimator, base_job):
+        estimates = estimator.scale_data(base_job, [0.25, 0.5, 1.0])
+        losses = [e.predicted_loss for e in estimates]
+        assert losses == sorted(losses, reverse=True)  # more data, lower loss
+        assert estimates[0].dataset_patches == 200_000
+
+    def test_scale_devices(self, estimator, base_job):
+        estimates = estimator.scale_devices(base_job, [8, 32, 128])
+        walltimes = [e.predicted_walltime_s for e in estimates]
+        assert walltimes == sorted(walltimes, reverse=True)  # more GPUs, faster
+
+    def test_min_gpus_within_walltime(self, estimator):
+        job = job_from_zoo("mae", "1.4B", 8, epochs=50)
+        minimum = estimator.min_gpus_within_walltime(job)
+        assert minimum is not None and minimum > 8
+        # and one step below must not fit
+        below = estimator.estimate_job(
+            job_from_zoo("mae", "1.4B", minimum // 2, epochs=50)
+        )
+        assert not below.fits_walltime
+
+    def test_min_gpus_none_when_impossible(self, estimator):
+        job = job_from_zoo("swint", "1.4B", 8, epochs=5000, walltime_s=60.0)
+        assert estimator.min_gpus_within_walltime(job, candidates=[8, 16]) is None
+
+
+class TestComputeOptimal:
+    def test_monotone_in_budget(self, estimator):
+        n_small = estimator.compute_optimal_params("mae", 1e20)
+        n_big = estimator.compute_optimal_params("mae", 1e22)
+        assert n_big > n_small

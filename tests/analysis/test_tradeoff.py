@@ -1,0 +1,166 @@
+"""Tests for the trade-off grid (Figure 3) and the early-stop advisor."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tradeoff import EarlyStopAdvisor, TradeoffGrid, tradeoff_score
+from repro.errors import AnalysisError
+
+
+class TestScore:
+    def test_product(self):
+        assert tradeoff_score(0.5, 10.0) == 5.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(AnalysisError):
+            tradeoff_score(-1.0, 1.0)
+
+
+@pytest.fixture
+def grid():
+    g = TradeoffGrid("mae", sizes=["100M", "1.4B"], gpu_counts=[8, 32])
+    g.set("100M", 8, 0.1)
+    g.set("100M", 32, 0.2)
+    g.set("1.4B", 32, 0.8)
+    g.set("1.4B", 8, None)  # walltime exceeded
+    return g
+
+
+class TestGrid:
+    def test_set_get(self, grid):
+        assert grid.get("100M", 8) == 0.1
+        assert grid.get("1.4B", 8) is None
+
+    def test_outside_grid_rejected(self, grid):
+        with pytest.raises(AnalysisError):
+            grid.set("600M", 8, 0.5)
+
+    def test_best_cell(self, grid):
+        assert grid.best_cell() == ("100M", 8, 0.1)
+
+    def test_best_cell_no_data_raises(self):
+        empty = TradeoffGrid("mae", sizes=["100M"], gpu_counts=[8])
+        with pytest.raises(AnalysisError):
+            empty.best_cell()
+
+    def test_empty_cells(self, grid):
+        assert grid.empty_cells() == [("1.4B", 8)]
+
+    def test_completed_fraction(self, grid):
+        assert grid.completed_fraction() == 0.75
+
+    def test_format_has_blank_for_empty(self, grid):
+        text = grid.format()
+        lines = text.splitlines()
+        assert "mae" in lines[0]
+        row_14b = next(l for l in lines if l.startswith("1.4B"))
+        # blank cell: no number in the 8-GPU column
+        assert row_14b.count("0.8") == 1
+
+    def test_steepness_positive_when_big_models_worse(self, grid):
+        assert grid.steepness() > 0
+
+    def test_steepness_insufficient_data(self):
+        g = TradeoffGrid("x", sizes=["a"], gpu_counts=[8])
+        g.set("a", 8, 1.0)
+        with pytest.raises(AnalysisError):
+            g.steepness()
+
+    def test_from_results(self):
+        from repro.simulator.training import job_from_zoo, simulate_training
+
+        results = [
+            simulate_training(job_from_zoo("mae", size, gpus, epochs=1))
+            for size in ("100M", "200M")
+            for gpus in (8, 16)
+        ]
+        grid = TradeoffGrid.from_results("mae", results)
+        assert grid.sizes == ["100M", "200M"]
+        assert grid.gpu_counts == [8, 16]
+        assert grid.completed_fraction() == 1.0
+
+
+class TestEarlyStop:
+    def _trajectory(self, n=2000):
+        steps = np.arange(1, n + 1)
+        losses = 0.5 + 4.0 / np.sqrt(steps)
+        energy = steps * 0.002
+        return steps, losses, energy
+
+    def test_stops_when_marginal_gain_stalls(self):
+        steps, losses, energy = self._trajectory()
+        advisor = EarlyStopAdvisor(min_improvement_per_kwh=1.0, window=50)
+        stop = advisor.decide(steps, losses, energy)
+        assert stop is not None
+        assert 50 < stop < 2000
+
+    def test_tighter_threshold_stops_earlier(self):
+        steps, losses, energy = self._trajectory()
+        eager = EarlyStopAdvisor(min_improvement_per_kwh=5.0, window=50)
+        patient = EarlyStopAdvisor(min_improvement_per_kwh=0.05, window=50)
+        s_eager = eager.decide(steps, losses, energy)
+        s_patient = patient.decide(steps, losses, energy)
+        assert s_eager < (s_patient or steps[-1] + 1)
+
+    def test_keeps_going_when_improving(self):
+        steps = np.arange(1, 100)
+        losses = 10.0 - 0.1 * steps  # strong linear improvement
+        energy = steps * 1e-6
+        advisor = EarlyStopAdvisor(min_improvement_per_kwh=1.0, window=10)
+        assert advisor.decide(steps, losses, energy) is None
+
+    def test_loss_target(self):
+        steps, losses, energy = self._trajectory()
+        advisor = EarlyStopAdvisor(loss_target=1.0)
+        stop = advisor.decide(steps, losses, energy)
+        assert losses[np.searchsorted(steps, stop)] <= 1.001
+
+    def test_energy_budget(self):
+        steps, losses, energy = self._trajectory()
+        advisor = EarlyStopAdvisor(energy_budget_kwh=1.0)
+        stop = advisor.decide(steps, losses, energy)
+        assert energy[np.searchsorted(steps, stop)] >= 1.0
+
+    def test_max_steps(self):
+        steps, losses, energy = self._trajectory()
+        advisor = EarlyStopAdvisor(max_steps=500,
+                                   min_improvement_per_kwh=0.0)
+        assert advisor.decide(steps, losses, energy) == 500
+
+    def test_short_trajectory_no_decision(self):
+        advisor = EarlyStopAdvisor(window=100)
+        steps = np.arange(1, 10)
+        assert advisor.decide(steps, np.ones(9), np.ones(9)) is None
+
+    def test_mismatched_shapes_rejected(self):
+        advisor = EarlyStopAdvisor()
+        with pytest.raises(AnalysisError):
+            advisor.decide(np.arange(5), np.ones(4), np.ones(5))
+
+    def test_empty_trajectory(self):
+        advisor = EarlyStopAdvisor()
+        empty = np.array([])
+        assert advisor.decide(empty, empty, empty) is None
+
+
+class TestCSVExport:
+    def test_csv_shape(self, grid):
+        text = grid.to_csv()
+        lines = text.strip().splitlines()
+        assert lines[0] == "size,8,32"
+        assert len(lines) == 3
+
+    def test_empty_cell_is_blank(self, grid):
+        rows = {l.split(",")[0]: l for l in grid.to_csv().strip().splitlines()}
+        # blank 8-GPU cell for 1.4B, populated 32-GPU cell
+        assert rows["1.4B"].split(",")[1] == ""
+        assert rows["1.4B"].split(",")[2] == "0.8"
+
+    def test_csv_roundtrips_values(self, grid):
+        import csv
+        import io
+
+        reader = csv.DictReader(io.StringIO(grid.to_csv()))
+        parsed = {row["size"]: row for row in reader}
+        assert float(parsed["100M"]["8"]) == 0.1
+        assert parsed["1.4B"]["8"] == ""

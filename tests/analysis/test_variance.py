@@ -1,0 +1,59 @@
+"""Tests for seed-variance sweeps."""
+
+import pytest
+
+from repro.analysis.variance import seed_sweep
+from repro.errors import AnalysisError
+from repro.simulator.training import job_from_zoo
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    job = job_from_zoo("mae", "100M", 8, epochs=1)
+    return seed_sweep(job, seeds=[0, 1, 2, 3])
+
+
+class TestSweep:
+    def test_one_result_per_seed(self, sweep):
+        assert len(sweep.results) == 4
+        assert sorted({r.job.seed for r in sweep.results}) == [0, 1, 2, 3]
+
+    def test_loss_varies_with_seed_but_little(self, sweep):
+        spread = sweep.spread("final_loss")
+        assert spread.n == 4
+        assert spread.std > 0            # the noise model acts
+        assert spread.relative_std < 0.02  # ...but stays small
+        assert spread.min <= spread.mean <= spread.max
+
+    def test_deterministic_outcomes_have_zero_spread(self, sweep):
+        """Energy and walltime do not depend on the seed."""
+        assert sweep.spread("energy_kwh").std == 0.0
+        assert sweep.spread("wall_time_s").std == 0.0
+
+    def test_tradeoff_spread_tracks_loss_spread(self, sweep):
+        loss = sweep.spread("final_loss")
+        tradeoff = sweep.spread("tradeoff")
+        assert tradeoff.relative_std == pytest.approx(loss.relative_std,
+                                                      rel=1e-6)
+
+    def test_unknown_metric_raises(self, sweep):
+        with pytest.raises(AnalysisError):
+            sweep.spread("accuracy")
+
+
+class TestValidation:
+    def test_empty_seeds_rejected(self):
+        job = job_from_zoo("mae", "100M", 8, epochs=1)
+        with pytest.raises(AnalysisError):
+            seed_sweep(job, seeds=[])
+
+    def test_duplicate_seeds_rejected(self):
+        job = job_from_zoo("mae", "100M", 8, epochs=1)
+        with pytest.raises(AnalysisError):
+            seed_sweep(job, seeds=[1, 1])
+
+    def test_single_seed_zero_std(self):
+        job = job_from_zoo("mae", "100M", 8, epochs=1)
+        sweep = seed_sweep(job, seeds=[5])
+        assert sweep.spread("final_loss").std == 0.0
+        assert sweep.spread("final_loss").n == 1

@@ -1,0 +1,94 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+import repro as prov4ml
+from repro.prov.document import ProvDocument
+from repro.simulator.simclock import SimClock
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_active_run():
+    """Every test starts and ends with no globally active run."""
+    if prov4ml.has_active_run():
+        prov4ml.abort_run()
+    yield
+    if prov4ml.has_active_run():
+        prov4ml.abort_run()
+
+
+@pytest.fixture
+def sim_clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def ticking_clock():
+    """A deterministic callable clock advancing 1s per call."""
+    state = {"t": 0.0}
+
+    def clock() -> float:
+        state["t"] += 1.0
+        return state["t"]
+
+    return clock
+
+
+@pytest.fixture
+def sample_document() -> ProvDocument:
+    """A small but structurally rich PROV document."""
+    import datetime as dt
+
+    doc = ProvDocument()
+    doc.add_namespace("ex", "http://example.org/")
+    doc.entity("ex:dataset", {"prov:label": "dataset", "ex:rows": 100})
+    doc.entity("ex:model", {"prov:label": "model"})
+    doc.activity(
+        "ex:train",
+        start_time=dt.datetime(2025, 1, 1, tzinfo=dt.timezone.utc),
+        end_time=dt.datetime(2025, 1, 2, tzinfo=dt.timezone.utc),
+    )
+    doc.agent("ex:alice", {"prov:label": "alice"})
+    doc.used("ex:train", "ex:dataset",
+             time=dt.datetime(2025, 1, 1, 6, tzinfo=dt.timezone.utc))
+    doc.was_generated_by("ex:model", "ex:train",
+                         time=dt.datetime(2025, 1, 1, 20, tzinfo=dt.timezone.utc))
+    doc.was_associated_with("ex:train", "ex:alice")
+    doc.was_attributed_to("ex:model", "ex:alice")
+    doc.was_derived_from("ex:model", "ex:dataset", activity="ex:train")
+    return doc
+
+
+@pytest.fixture
+def finished_run(tmp_path: pathlib.Path, ticking_clock):
+    """A finished RunExecution with params, metrics (2 contexts), artifacts."""
+    from repro.core.context import Context
+    from repro.core.experiment import RunExecution
+
+    run = RunExecution(
+        experiment_name="fixture_exp",
+        run_id="fixture_run",
+        save_dir=tmp_path / "fixture_run",
+        clock=ticking_clock,
+        username="tester",
+    )
+    run.start()
+    run.log_param("lr", 0.001)
+    run.log_param("layers", 4)
+    (tmp_path / "input.txt").write_text("input data")
+    run.log_artifact(tmp_path / "input.txt", name="input.txt", is_input=True)
+    for epoch in range(2):
+        run.start_epoch(Context.TRAINING)
+        for step in range(3):
+            run.log_metric("loss", 1.0 / (epoch * 3 + step + 1),
+                           context=Context.TRAINING)
+        run.end_epoch(Context.TRAINING)
+        run.log_metric("val_loss", 0.9 / (epoch + 1), context=Context.VALIDATION)
+    run.log_artifact_bytes("model.bin", b"weights", is_model=True,
+                           context=Context.TRAINING)
+    run.end()
+    return run

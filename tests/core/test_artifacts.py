@@ -1,0 +1,112 @@
+"""Tests for artifact tracking."""
+
+import pytest
+
+from repro.core.artifacts import ArtifactRegistry, sha256_file
+from repro.core.context import Context
+from repro.errors import ArtifactError
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ArtifactRegistry(tmp_path / "artifacts")
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "input.txt"
+    path.write_text("hello artifacts")
+    return path
+
+
+class TestLogFile:
+    def test_copies_into_artifact_dir(self, registry, source_file):
+        artifact = registry.log_file(source_file)
+        assert artifact.path.parent == registry.artifact_dir
+        assert artifact.path.read_text() == "hello artifacts"
+
+    def test_hash_and_size(self, registry, source_file):
+        artifact = registry.log_file(source_file)
+        assert artifact.sha256 == sha256_file(source_file)
+        assert artifact.size_bytes == source_file.stat().st_size
+
+    def test_reference_without_copy(self, registry, source_file):
+        artifact = registry.log_file(source_file, copy=False)
+        assert artifact.path == source_file
+
+    def test_missing_file_rejected(self, registry, tmp_path):
+        with pytest.raises(ArtifactError):
+            registry.log_file(tmp_path / "ghost.txt")
+
+    def test_duplicate_name_rejected(self, registry, source_file):
+        registry.log_file(source_file)
+        with pytest.raises(ArtifactError):
+            registry.log_file(source_file)
+
+    def test_custom_name_with_subdir(self, registry, source_file):
+        artifact = registry.log_file(source_file, name="checkpoints/step1.txt")
+        assert artifact.path.exists()
+        assert artifact.name == "checkpoints/step1.txt"
+
+    def test_metadata_fields(self, registry, source_file):
+        artifact = registry.log_file(
+            source_file, is_input=True, context=Context.TRAINING,
+            logged_at=12.5, step=3,
+        )
+        assert artifact.is_input
+        assert artifact.context is Context.TRAINING
+        assert artifact.logged_at == 12.5
+        assert artifact.step == 3
+
+
+class TestLogBytes:
+    def test_writes_and_hashes(self, registry):
+        artifact = registry.log_bytes("model.bin", b"\x00weights\x01")
+        assert artifact.path.read_bytes() == b"\x00weights\x01"
+        assert artifact.size_bytes == 9
+
+    def test_duplicate_rejected(self, registry):
+        registry.log_bytes("x.bin", b"a")
+        with pytest.raises(ArtifactError):
+            registry.log_bytes("x.bin", b"b")
+
+
+class TestAccess:
+    def test_get_and_contains(self, registry):
+        registry.log_bytes("a.txt", b"a")
+        assert "a.txt" in registry
+        assert registry.get("a.txt").name == "a.txt"
+
+    def test_get_unknown_raises(self, registry):
+        with pytest.raises(ArtifactError):
+            registry.get("nope")
+
+    def test_inputs_outputs_models(self, registry):
+        registry.log_bytes("in.txt", b"i", is_input=True)
+        registry.log_bytes("out.txt", b"o")
+        registry.log_bytes("model.bin", b"m", is_model=True)
+        assert [a.name for a in registry.inputs] == ["in.txt"]
+        assert {a.name for a in registry.outputs} == {"out.txt", "model.bin"}
+        assert [a.name for a in registry.models] == ["model.bin"]
+
+    def test_len_and_iter(self, registry):
+        registry.log_bytes("a", b"1")
+        registry.log_bytes("b", b"2")
+        assert len(registry) == 2
+        assert {a.name for a in registry} == {"a", "b"}
+
+
+class TestVerify:
+    def test_clean_registry_verifies(self, registry):
+        registry.log_bytes("a.txt", b"data")
+        assert registry.verify() == []
+
+    def test_detects_tampering(self, registry):
+        artifact = registry.log_bytes("a.txt", b"data")
+        artifact.path.write_bytes(b"tampered")
+        assert registry.verify() == ["a.txt"]
+
+    def test_detects_deletion(self, registry):
+        artifact = registry.log_bytes("a.txt", b"data")
+        artifact.path.unlink()
+        assert registry.verify() == ["a.txt"]

@@ -1,0 +1,128 @@
+"""Tests for collector plugins."""
+
+import pytest
+
+from repro.core.collectors import (
+    CarbonCollector,
+    EnergyCollector,
+    GPUStatsCollector,
+    SystemStatsCollector,
+    TelemetryCollector,
+    collector_registry,
+)
+from repro.errors import TrackingError
+
+
+class FakeRun:
+    """Minimal run stub with a controllable clock."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def clock(self):
+        return self.t
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = collector_registry.names()
+        for expected in ("system", "gpu", "energy", "carbon", "telemetry"):
+            assert expected in names
+
+    def test_create_by_name(self):
+        collector = collector_registry.create("system", seed=1)
+        assert collector.name == "system"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TrackingError):
+            collector_registry.create("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(TrackingError):
+            @collector_registry.register("system")
+            class Dup:  # pragma: no cover - definition alone triggers
+                pass
+
+
+class TestSystemStats:
+    def test_readings_in_range(self):
+        collector = SystemStatsCollector(seed=0)
+        run = FakeRun()
+        for _ in range(50):
+            readings = collector.collect(run)
+            assert 0.0 <= readings["cpu_percent"] <= 100.0
+            assert 0.0 <= readings["memory_percent"] <= 100.0
+
+    def test_deterministic_given_seed(self):
+        run = FakeRun()
+        a = [SystemStatsCollector(seed=7).collect(run)["cpu_percent"] for _ in range(1)]
+        b = [SystemStatsCollector(seed=7).collect(run)["cpu_percent"] for _ in range(1)]
+        assert a == b
+
+
+class TestGPUStats:
+    def test_power_scales_with_gpus(self):
+        run = FakeRun()
+        one = GPUStatsCollector(seed=0, n_gpus=1).collect(run)["gpu_power_w"]
+        eight = GPUStatsCollector(seed=0, n_gpus=8).collect(run)["gpu_power_w"]
+        assert eight == pytest.approx(one * 8)
+
+    def test_utilization_bounded(self):
+        collector = GPUStatsCollector(seed=3)
+        run = FakeRun()
+        for _ in range(30):
+            util = collector.collect(run)["gpu_utilization_percent"]
+            assert 0.0 <= util <= 100.0
+
+
+class TestEnergy:
+    def test_trapezoidal_integration(self):
+        collector = EnergyCollector(nominal_power_w=100.0)
+        run = FakeRun()
+        run.t = 0.0
+        collector.collect(run)
+        run.t = 10.0
+        readings = collector.collect(run)
+        assert readings["energy_joules"] == pytest.approx(1000.0)
+        assert readings["energy_kwh"] == pytest.approx(1000.0 / 3.6e6)
+
+    def test_total_independent_of_polling_cadence(self):
+        def power(t):
+            return 100.0 + 10.0 * t  # linear ramp: trapezoid is exact
+
+        run_a, run_b = FakeRun(), FakeRun()
+        coarse = EnergyCollector(power_fn=power)
+        fine = EnergyCollector(power_fn=power)
+        for t in (0.0, 10.0):
+            run_a.t = t
+            coarse.collect(run_a)
+        for t in (0.0, 2.5, 5.0, 7.5, 10.0):
+            run_b.t = t
+            fine.collect(run_b)
+        assert coarse._joules == pytest.approx(fine._joules)
+
+
+class TestCarbon:
+    def test_scales_with_energy(self):
+        energy = EnergyCollector(nominal_power_w=3.6e6)  # 1 kWh per second
+        carbon = CarbonCollector(energy, intensity_g_per_kwh=400.0)
+        run = FakeRun()
+        run.t = 0.0
+        energy.collect(run)
+        run.t = 1.0
+        energy.collect(run)
+        assert carbon.collect(run)["carbon_g_co2e"] == pytest.approx(400.0)
+
+
+class TestTelemetry:
+    def test_update_then_collect(self):
+        collector = TelemetryCollector(prefix="sim_")
+        collector.update({"power": 250.0})
+        readings = collector.collect(FakeRun())
+        assert readings == {"sim_power": 250.0}
+
+    def test_latest_wins(self):
+        collector = TelemetryCollector()
+        collector.update({"x": 1.0})
+        collector.update({"x": 2.0})
+        assert collector.collect(FakeRun())["x"] == 2.0

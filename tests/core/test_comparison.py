@@ -1,0 +1,74 @@
+"""Tests for run comparison."""
+
+import pytest
+
+from repro.core.comparison import compare_runs
+from repro.core.provgen import RunSummary
+
+
+def summary(run_id, params, metrics):
+    return RunSummary(
+        experiment="e", run_id=run_id, status="finished", duration_s=10.0,
+        params=params,
+        metrics={k: {"last": v} for k, v in metrics.items()},
+    )
+
+
+class TestParamDiff:
+    def test_added_removed_changed(self):
+        left = summary("a", {"lr": 0.1, "depth": 4, "gone": 1}, {})
+        right = summary("b", {"lr": 0.01, "depth": 4, "new": 2}, {})
+        diff = compare_runs(left, right)
+        assert diff.params_changed == {"lr": (0.1, 0.01)}
+        assert diff.params_added == {"new": 2}
+        assert diff.params_removed == {"gone": 1}
+        assert not diff.is_identical_config
+
+    def test_identical_config(self):
+        left = summary("a", {"lr": 0.1}, {})
+        right = summary("b", {"lr": 0.1}, {})
+        assert compare_runs(left, right).is_identical_config
+
+
+class TestMetricDiff:
+    def test_deltas(self):
+        left = summary("a", {}, {"loss@TRAINING": 1.0})
+        right = summary("b", {}, {"loss@TRAINING": 0.5})
+        diff = compare_runs(left, right)
+        assert diff.metric_deltas["loss@TRAINING"] == (1.0, 0.5)
+
+    def test_improvement_direction(self):
+        left = summary("a", {}, {"loss@TRAINING": 1.0, "acc@TESTING": 0.7})
+        right = summary("b", {}, {"loss@TRAINING": 0.5, "acc@TESTING": 0.8})
+        diff = compare_runs(left, right)
+        assert diff.metric_improvement("loss@TRAINING") == pytest.approx(0.5)
+        assert diff.metric_improvement("acc@TESTING", lower_is_better=False) \
+            == pytest.approx(0.1)
+
+    def test_missing_metric_gives_none(self):
+        left = summary("a", {}, {"loss@TRAINING": 1.0})
+        right = summary("b", {}, {})
+        diff = compare_runs(left, right)
+        assert diff.metric_deltas["loss@TRAINING"] == (1.0, None)
+        assert diff.metric_improvement("loss@TRAINING") is None
+
+
+class TestLiveRuns:
+    def test_compare_run_executions(self, finished_run):
+        diff = compare_runs(finished_run, finished_run)
+        assert diff.is_identical_config
+        assert diff.metric_deltas["loss@TRAINING"][0] == \
+            diff.metric_deltas["loss@TRAINING"][1]
+
+    def test_mixed_types(self, finished_run):
+        other = summary("x", {"lr": 0.001, "layers": 4}, {"loss@TRAINING": 0.05})
+        diff = compare_runs(finished_run, other)
+        assert diff.is_identical_config
+        assert diff.metric_deltas["loss@TRAINING"][1] == 0.05
+
+    def test_format_is_readable(self):
+        left = summary("a", {"lr": 0.1}, {"loss@TRAINING": 1.0})
+        right = summary("b", {"lr": 0.2}, {"loss@TRAINING": 0.9})
+        text = compare_runs(left, right).format()
+        assert "~ param lr: 0.1 -> 0.2" in text
+        assert "metric loss@TRAINING" in text

@@ -1,0 +1,68 @@
+"""Tests for run contexts."""
+
+import pytest
+
+from repro.core.context import Context
+from repro.errors import UnknownContextError
+
+
+class TestPredefined:
+    def test_three_predefined(self):
+        assert Context.TRAINING.predefined
+        assert Context.VALIDATION.predefined
+        assert Context.TESTING.predefined
+
+    def test_epoch_structure_per_figure2(self):
+        assert Context.TRAINING.is_epoch_structured
+        assert Context.VALIDATION.is_epoch_structured
+        assert not Context.TESTING.is_epoch_structured
+
+
+class TestInterning:
+    def test_of_returns_same_object(self):
+        assert Context.of("training") is Context.TRAINING
+        assert Context.of("TRAINING") is Context.TRAINING
+
+    def test_custom_contexts_interned(self):
+        a = Context.of("preprocessing")
+        b = Context.of("PREPROCESSING")
+        assert a is b
+        assert not a.predefined
+
+    def test_of_accepts_context(self):
+        assert Context.of(Context.TESTING) is Context.TESTING
+
+    def test_custom_not_epoch_structured(self):
+        assert not Context.of("fine_tuning").is_epoch_structured
+
+    def test_direct_constructor_forbidden(self):
+        with pytest.raises(TypeError):
+            Context("SNEAKY")
+
+
+class TestValidation:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(UnknownContextError):
+            Context.of("has space")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(UnknownContextError):
+            Context.of(42)
+
+    def test_empty_rejected(self):
+        with pytest.raises(UnknownContextError):
+            Context.of("")
+
+
+class TestEquality:
+    def test_equal_to_string(self):
+        assert Context.TRAINING == "training"
+        assert Context.TRAINING == "TRAINING"
+        assert Context.TRAINING != "validation"
+
+    def test_usable_as_dict_key(self):
+        d = {Context.TRAINING: 1}
+        assert d[Context.of("training")] == 1
+
+    def test_str(self):
+        assert str(Context.TESTING) == "TESTING"

@@ -1,0 +1,203 @@
+"""Tests for the Experiment / RunExecution lifecycle."""
+
+import pytest
+
+from repro.core.context import Context
+from repro.core.experiment import Experiment, RunExecution, RunStatus
+from repro.errors import TrackingError
+
+
+@pytest.fixture
+def run(tmp_path, ticking_clock) -> RunExecution:
+    return RunExecution(
+        experiment_name="exp",
+        run_id="r1",
+        save_dir=tmp_path / "r1",
+        clock=ticking_clock,
+    )
+
+
+class TestLifecycle:
+    def test_initial_status(self, run):
+        assert run.status is RunStatus.CREATED
+        assert run.duration is None
+
+    def test_start_end(self, run):
+        run.start()
+        assert run.status is RunStatus.RUNNING
+        run.end()
+        assert run.status is RunStatus.FINISHED
+        assert run.duration is not None and run.duration > 0
+
+    def test_double_start_rejected(self, run):
+        run.start()
+        with pytest.raises(TrackingError):
+            run.start()
+
+    def test_end_without_start_rejected(self, run):
+        with pytest.raises(TrackingError):
+            run.end()
+
+    def test_end_with_invalid_status_rejected(self, run):
+        run.start()
+        with pytest.raises(TrackingError):
+            run.end(RunStatus.RUNNING)
+
+    def test_truncated_status(self, run):
+        run.start()
+        run.end(RunStatus.TRUNCATED)
+        assert run.status is RunStatus.TRUNCATED
+
+    def test_logging_requires_running(self, run):
+        with pytest.raises(TrackingError):
+            run.log_metric("loss", 1.0)
+        with pytest.raises(TrackingError):
+            run.log_param("lr", 0.1)
+
+    def test_empty_experiment_name_rejected(self, tmp_path):
+        with pytest.raises(TrackingError):
+            RunExecution(experiment_name="", save_dir=tmp_path)
+
+
+class TestContextsAndEpochs:
+    def test_contexts_created_on_use(self, run):
+        run.start()
+        run.log_metric("loss", 1.0, context=Context.TRAINING)
+        run.log_metric("acc", 0.5, context="custom_stage")
+        assert Context.TRAINING in run.contexts
+        assert Context.of("custom_stage") in run.contexts
+
+    def test_epoch_auto_increment(self, run):
+        run.start()
+        assert run.start_epoch(Context.TRAINING) == 0
+        run.end_epoch(Context.TRAINING)
+        assert run.start_epoch(Context.TRAINING) == 1
+
+    def test_nested_epoch_rejected(self, run):
+        run.start()
+        run.start_epoch(Context.TRAINING)
+        with pytest.raises(TrackingError):
+            run.start_epoch(Context.TRAINING)
+
+    def test_end_epoch_without_open_rejected(self, run):
+        run.start()
+        with pytest.raises(TrackingError):
+            run.end_epoch(Context.TRAINING)
+
+    def test_duplicate_explicit_epoch_rejected(self, run):
+        run.start()
+        run.start_epoch(Context.TRAINING, 5)
+        run.end_epoch(Context.TRAINING)
+        with pytest.raises(TrackingError):
+            run.start_epoch(Context.TRAINING, 5)
+
+    def test_epoch_duration_recorded(self, run):
+        run.start()
+        run.start_epoch(Context.TRAINING)
+        state = run.end_epoch(Context.TRAINING)
+        assert state.duration is not None and state.duration > 0
+
+    def test_metric_tagged_with_open_epoch(self, run):
+        run.start()
+        run.start_epoch(Context.TRAINING)
+        run.log_metric("loss", 1.0)
+        run.end_epoch(Context.TRAINING)
+        run.log_metric("loss", 0.9)
+        buf = run.get_metric("loss")
+        assert buf.epochs.tolist() == [0, -1]
+
+    def test_end_run_closes_open_epochs(self, run):
+        run.start()
+        run.start_epoch(Context.TRAINING)
+        run.end()
+        state = run.contexts[Context.TRAINING]
+        assert state.current_epoch is None
+        assert state.epochs[0].end_time == run.end_time
+
+    def test_independent_epochs_per_context(self, run):
+        run.start()
+        run.start_epoch(Context.TRAINING)
+        run.start_epoch(Context.VALIDATION)  # allowed: distinct contexts
+        run.end_epoch(Context.VALIDATION)
+        run.end_epoch(Context.TRAINING)
+        assert len(run.contexts[Context.TRAINING].epochs) == 1
+        assert len(run.contexts[Context.VALIDATION].epochs) == 1
+
+
+class TestMetricLogging:
+    def test_step_auto_increment(self, run):
+        run.start()
+        run.log_metric("loss", 1.0)
+        run.log_metric("loss", 0.9)
+        assert run.get_metric("loss").steps.tolist() == [0, 1]
+
+    def test_same_name_different_contexts_are_distinct(self, run):
+        run.start()
+        run.log_metric("loss", 1.0, context=Context.TRAINING)
+        run.log_metric("loss", 2.0, context=Context.VALIDATION)
+        assert run.get_metric("loss", Context.TRAINING).last_value == 1.0
+        assert run.get_metric("loss", Context.VALIDATION).last_value == 2.0
+
+    def test_log_metrics_bulk(self, run):
+        run.start()
+        run.log_metrics({"a": 1.0, "b": 2.0}, step=5)
+        assert run.get_metric("a").steps.tolist() == [5]
+
+    def test_log_metric_array(self, run):
+        import numpy as np
+
+        run.start()
+        run.log_metric_array("loss", np.arange(3), np.ones(3), np.arange(3.0))
+        assert len(run.get_metric("loss")) == 3
+
+    def test_unknown_metric_raises(self, run):
+        run.start()
+        with pytest.raises(TrackingError):
+            run.get_metric("ghost")
+
+
+class TestDevTracking:
+    def test_command_log(self, run):
+        run.start()
+        run.log_execution_command("python train.py", output="ok", exit_code=0)
+        run.log_execution_command("ls", output="a b", exit_code=0)
+        assert len(run.commands) == 2
+        assert run.commands[0].command == "python train.py"
+
+    def test_capture_output(self, run):
+        run.start()
+        run.capture_output("epoch 0\n")
+        run.capture_output("epoch 1\n")
+        assert "".join(run.captured_output) == "epoch 0\nepoch 1\n"
+
+
+class TestCollectors:
+    def test_collect_system_metrics(self, run):
+        class Fake:
+            name = "fake"
+
+            def collect(self, run):
+                return {"reading": 42.0}
+
+        run.add_collector(Fake())
+        run.start()
+        readings = run.collect_system_metrics()
+        assert readings == {"reading": 42.0}
+        assert run.get_metric("reading").last_value == 42.0
+
+
+class TestExperiment:
+    def test_new_run_indexing(self, tmp_path):
+        exp = Experiment("myexp", root_dir=tmp_path)
+        r0 = exp.new_run()
+        r1 = exp.new_run()
+        assert r0.run_index == 0 and r1.run_index == 1
+        assert len(exp) == 2
+
+    def test_run_dirs_distinct(self, tmp_path):
+        exp = Experiment("myexp", root_dir=tmp_path)
+        assert exp.new_run().save_dir != exp.new_run().save_dir
+
+    def test_empty_name_rejected(self, tmp_path):
+        with pytest.raises(TrackingError):
+            Experiment("", root_dir=tmp_path)

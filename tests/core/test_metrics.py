@@ -1,0 +1,122 @@
+"""Tests for metric buffers."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import Context
+from repro.core.metrics import MetricBuffer, MetricKey
+from repro.errors import TrackingError
+
+
+@pytest.fixture
+def buf() -> MetricBuffer:
+    return MetricBuffer(MetricKey("loss", Context.TRAINING))
+
+
+class TestMetricKey:
+    def test_series_name(self):
+        key = MetricKey("loss", Context.TRAINING)
+        assert key.series_name() == "loss@TRAINING"
+
+    def test_parse_roundtrip(self):
+        key = MetricKey("val/loss", Context.VALIDATION)
+        assert MetricKey.parse(key.series_name()) == key
+
+    def test_parse_invalid(self):
+        with pytest.raises(TrackingError):
+            MetricKey.parse("no-separator")
+
+
+class TestAppend:
+    def test_append_and_views(self, buf):
+        buf.append(0, 1.0, 10.0, epoch=0)
+        buf.append(1, 0.5, 11.0, epoch=0)
+        assert len(buf) == 2
+        assert buf.values.tolist() == [1.0, 0.5]
+        assert buf.steps.tolist() == [0, 1]
+        assert buf.times.tolist() == [10.0, 11.0]
+        assert buf.epochs.tolist() == [0, 0]
+
+    def test_default_epoch_is_minus_one(self, buf):
+        buf.append(0, 1.0, 10.0)
+        assert buf.epochs.tolist() == [-1]
+
+    def test_growth_beyond_initial_capacity(self, buf):
+        n = 1000
+        for i in range(n):
+            buf.append(i, float(i), float(i))
+        assert len(buf) == n
+        assert buf.values[-1] == float(n - 1)
+        assert np.array_equal(buf.steps, np.arange(n))
+
+    def test_last_value(self, buf):
+        buf.append(0, 3.0, 1.0)
+        buf.append(1, 2.0, 2.0)
+        assert buf.last_value == 2.0
+
+    def test_last_value_empty_raises(self, buf):
+        with pytest.raises(TrackingError):
+            _ = buf.last_value
+
+
+class TestExtend:
+    def test_bulk_extend(self, buf):
+        buf.extend(np.arange(5), np.ones(5), np.arange(5.0))
+        assert len(buf) == 5
+        assert buf.epochs.tolist() == [-1] * 5
+
+    def test_extend_with_epochs(self, buf):
+        buf.extend(np.arange(4), np.ones(4), np.arange(4.0),
+                   epochs=np.array([0, 0, 1, 1]))
+        assert buf.epoch_values(1).tolist() == [1.0, 1.0]
+
+    def test_extend_shape_mismatch(self, buf):
+        with pytest.raises(TrackingError):
+            buf.extend(np.arange(3), np.ones(4), np.arange(3.0))
+
+    def test_extend_after_append(self, buf):
+        buf.append(0, 9.0, 0.0)
+        buf.extend(np.array([1, 2]), np.array([8.0, 7.0]), np.array([1.0, 2.0]))
+        assert buf.values.tolist() == [9.0, 8.0, 7.0]
+
+    def test_large_extend_triggers_growth(self, buf):
+        n = 100_000
+        buf.extend(np.arange(n), np.zeros(n), np.zeros(n))
+        assert len(buf) == n
+
+
+class TestStats:
+    def test_stats_values(self, buf):
+        buf.extend(np.arange(4), np.array([4.0, 3.0, 2.0, 1.0]), np.arange(4.0))
+        stats = buf.stats()
+        assert stats == {"count": 4, "min": 1.0, "max": 4.0, "mean": 2.5, "last": 1.0}
+
+    def test_stats_empty(self, buf):
+        assert buf.stats() == {"count": 0}
+
+    def test_stats_with_nan(self, buf):
+        buf.extend(np.arange(3), np.array([1.0, np.nan, 3.0]), np.arange(3.0))
+        stats = buf.stats()
+        assert stats["min"] == 1.0 and stats["max"] == 3.0
+
+
+class TestSeriesRoundtrip:
+    def test_to_series_detached(self, buf):
+        buf.append(0, 1.0, 0.0)
+        series = buf.to_series()
+        buf.append(1, 2.0, 1.0)
+        assert series.columns["values"].shape[0] == 1  # snapshot, not a view
+
+    def test_roundtrip(self, buf):
+        buf.extend(np.arange(10), np.linspace(1, 0, 10), np.arange(10.0),
+                   epochs=np.repeat([0, 1], 5))
+        clone = MetricBuffer.from_series(buf.to_series())
+        assert clone.key == buf.key
+        assert np.array_equal(clone.values, buf.values)
+        assert np.array_equal(clone.epochs, buf.epochs)
+
+    def test_is_input_survives(self):
+        buf = MetricBuffer(MetricKey("x", Context.TESTING), is_input=True)
+        buf.append(0, 1.0, 0.0)
+        clone = MetricBuffer.from_series(buf.to_series())
+        assert clone.is_input

@@ -1,0 +1,109 @@
+"""Tests for the MLflow-compatible façade (§4 integration plugin)."""
+
+import pytest
+
+from repro.core import mlflow_compat as mlflow
+from repro.core.provgen import load_run_summary
+
+
+@pytest.fixture(autouse=True)
+def tracking_dir(tmp_path):
+    mlflow.set_tracking_uri(tmp_path)
+    mlflow.set_experiment("compat_test")
+    yield tmp_path
+
+
+class TestFluentAPI:
+    def test_mlflow_style_script_runs_unchanged(self, tracking_dir):
+        """A verbatim mlflow-style training script."""
+        with mlflow.start_run() as run:
+            mlflow.log_param("lr", 0.01)
+            mlflow.log_params({"epochs": 3, "batch": 32})
+            for step in range(5):
+                mlflow.log_metric("loss", 1.0 / (step + 1), step=step)
+            mlflow.log_metrics({"acc": 0.9, "f1": 0.8}, step=4)
+            mlflow.set_tag("team", "climate")
+            run_id = run.info.run_id
+
+        # the provenance file exists and carries everything
+        prov_files = list(tracking_dir.rglob("prov.json"))
+        assert len(prov_files) == 1
+        summary = load_run_summary(prov_files[0])
+        assert summary.run_id == run_id
+        assert summary.params["lr"] == 0.01
+        assert summary.params["epochs"] == 3
+        assert summary.params["tag.team"] == "climate"
+        assert summary.final_metric("loss") == pytest.approx(0.2)
+        assert summary.status == "finished"
+
+    def test_run_info_fields(self):
+        with mlflow.start_run(run_name="named_run") as run:
+            info = run.info
+            assert info.run_id == "named_run"
+            assert info.experiment_id == "compat_test"
+            assert info.status == "RUNNING"
+            assert info.artifact_uri.endswith("artifacts")
+
+    def test_active_run(self):
+        assert mlflow.active_run() is None
+        with mlflow.start_run():
+            assert mlflow.active_run() is not None
+        assert mlflow.active_run() is None
+
+    def test_exception_marks_run_failed(self, tracking_dir):
+        with pytest.raises(RuntimeError):
+            with mlflow.start_run():
+                mlflow.log_param("lr", 0.1)
+                raise RuntimeError("training exploded")
+        summary = load_run_summary(next(tracking_dir.rglob("prov.json")))
+        assert summary.status == "failed"
+
+    def test_nested_unsupported(self):
+        with mlflow.start_run():
+            with pytest.raises(NotImplementedError):
+                mlflow.start_run(nested=True)
+
+
+class TestArtifacts:
+    def test_log_artifact(self, tmp_path):
+        src = tmp_path / "plot.txt"
+        src.write_text("figure bytes")
+        with mlflow.start_run() as run:
+            mlflow.log_artifact(src)
+            mlflow.log_artifact(src, artifact_path="figures")
+            from repro.core.session import active_run
+
+            names = {a.name for a in active_run().artifacts}
+        assert "plot.txt" in names
+        assert "figures/plot.txt" in names
+
+    def test_log_text_and_dict(self):
+        with mlflow.start_run():
+            mlflow.log_text("hello", "notes.txt")
+            mlflow.log_dict({"a": 1}, "config.json")
+            from repro.core.session import active_run
+
+            run = active_run()
+            assert run.artifacts.get("notes.txt").path.read_text() == "hello"
+            assert b'"a": 1' in run.artifacts.get("config.json").path.read_bytes()
+
+    def test_get_artifact_uri(self):
+        with mlflow.start_run():
+            base = mlflow.get_artifact_uri()
+            sub = mlflow.get_artifact_uri("model")
+            assert sub.startswith(base)
+
+
+class TestTrackingUri:
+    def test_file_scheme_stripped(self, tmp_path):
+        mlflow.set_tracking_uri(f"file://{tmp_path}/store")
+        assert mlflow.get_tracking_uri() == f"{tmp_path}/store"
+
+    def test_tags_helper(self):
+        with mlflow.start_run():
+            mlflow.set_tags({"a": 1, "b": "x"})
+            from repro.core.session import active_run
+
+            params = active_run().params.as_dict()
+            assert params["tag.a"] == "1"
+            assert params["tag.b"] == "x"

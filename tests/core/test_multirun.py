@@ -1,0 +1,110 @@
+"""Tests for single-file multi-run provenance (§6 future work)."""
+
+import pytest
+
+from repro.core.context import Context
+from repro.core.experiment import Experiment
+from repro.core.multirun import (
+    build_experiment_document,
+    experiment_comparison_table,
+    format_comparison,
+)
+from repro.errors import TrackingError
+from repro.prov.document import ProvDocument
+from repro.prov.validation import validate_document
+
+
+@pytest.fixture
+def runs(tmp_path, ticking_clock):
+    exp = Experiment("multi", root_dir=tmp_path)
+    out = []
+    for i, lr in enumerate((0.1, 0.01, 0.001)):
+        run = exp.new_run(clock=ticking_clock)
+        run.start()
+        run.log_param("lr", lr)
+        run.log_metric("loss", 1.0 - 0.2 * i, context=Context.TRAINING)
+        run.log_metric("final_loss", 0.9 - 0.2 * i, context=Context.TESTING)
+        run.end()
+        out.append(run)
+    return out
+
+
+class TestDocument:
+    def test_validates(self, runs):
+        doc = build_experiment_document(runs)
+        report = validate_document(doc)
+        assert report.is_valid, report.errors
+
+    def test_one_bundle_per_run(self, runs):
+        doc = build_experiment_document(runs)
+        assert len(doc.bundles) == 3
+        for run in runs:
+            assert doc.qname(f"ex:bundle/{run.run_id}") in doc.bundles
+
+    def test_experiment_membership(self, runs):
+        doc = build_experiment_document(runs)
+        members = {
+            r.args["prov:entity"].localpart
+            for r in doc.relations_of_kind("hadMember")
+        }
+        assert members == {f"runs/{run.run_id}" for run in runs}
+
+    def test_run_chain_derivations(self, runs):
+        """Successive runs are linked (run N+1 derived from run N)."""
+        doc = build_experiment_document(runs)
+        derivations = doc.relations_of_kind("wasDerivedFrom")
+        assert len(derivations) == 2
+
+    def test_bundles_contain_run_detail(self, runs):
+        doc = build_experiment_document(runs)
+        bundle = doc.bundles[doc.qname(f"ex:bundle/{runs[0].run_id}")]
+        assert any(
+            str(a.prov_type or "").endswith("RunExecution")
+            for a in bundle.activities.values()
+        )
+
+    def test_roundtrips_through_provjson(self, runs):
+        doc = build_experiment_document(runs)
+        text = doc.to_json()
+        assert ProvDocument.from_json(text).to_json() == text
+
+    def test_empty_run_list_rejected(self):
+        with pytest.raises(TrackingError):
+            build_experiment_document([])
+
+    def test_mixed_experiments_rejected(self, runs, tmp_path, ticking_clock):
+        other = Experiment("different", root_dir=tmp_path / "other")
+        stray = other.new_run(clock=ticking_clock)
+        stray.start()
+        stray.end()
+        with pytest.raises(TrackingError):
+            build_experiment_document(runs + [stray])
+
+    def test_explicit_name_overrides(self, runs):
+        doc = build_experiment_document(runs, experiment_name="renamed")
+        assert doc.get_element("ex:experiment/renamed") is not None
+
+
+class TestComparison:
+    def test_table_from_top_level(self, runs):
+        doc = build_experiment_document(runs)
+        rows = experiment_comparison_table(doc)
+        assert len(rows) == 3
+        assert [row["param:lr"] for row in rows] == [0.1, 0.01, 0.001]
+        assert rows[2]["final:final_loss@TESTING"] == pytest.approx(0.5)
+
+    def test_table_survives_serialization(self, runs):
+        doc = build_experiment_document(runs)
+        loaded = ProvDocument.from_json(doc.to_json())
+        rows = experiment_comparison_table(loaded)
+        assert [row["param:lr"] for row in rows] == [0.1, 0.01, 0.001]
+
+    def test_format(self, runs):
+        doc = build_experiment_document(runs)
+        text = format_comparison(experiment_comparison_table(doc))
+        assert "run_id" in text.splitlines()[0]
+        assert "param:lr" in text.splitlines()[0]
+        assert len(text.splitlines()) == 5  # header + rule + 3 rows
+
+    def test_format_empty(self):
+        assert format_comparison([]) == "(no runs)"

@@ -1,0 +1,90 @@
+"""Tests for parameter logging."""
+
+import pytest
+
+from repro.core.context import Context
+from repro.core.params import ParamStore
+from repro.errors import TrackingError
+
+
+@pytest.fixture
+def store() -> ParamStore:
+    return ParamStore()
+
+
+class TestLogging:
+    def test_scalar_values(self, store):
+        store.log("lr", 0.01)
+        store.log("name", "vit")
+        store.log("layers", 12)
+        store.log("amp", True)
+        assert store.get("lr") == 0.01
+        assert len(store) == 4
+
+    def test_containers_of_scalars(self, store):
+        store.log("dims", [64, 128])
+        store.log("options", {"a": 1})
+        assert store.get("dims") == [64, 128]
+
+    def test_tuple_normalized_to_list(self, store):
+        store.log("shape", (3, 4))
+        assert store.get("shape") == [3, 4]
+
+    def test_unsupported_value_rejected(self, store):
+        with pytest.raises(TrackingError):
+            store.log("bad", object())
+
+    def test_nested_unsupported_rejected(self, store):
+        with pytest.raises(TrackingError):
+            store.log("bad", [1, object()])
+
+    def test_empty_name_rejected(self, store):
+        with pytest.raises(TrackingError):
+            store.log("", 1)
+
+
+class TestOneTimeSemantics:
+    def test_relog_same_value_ok(self, store):
+        store.log("lr", 0.01)
+        store.log("lr", 0.01)
+        assert len(store) == 1
+
+    def test_relog_different_value_rejected(self, store):
+        store.log("lr", 0.01)
+        with pytest.raises(TrackingError):
+            store.log("lr", 0.02)
+
+    def test_relog_different_direction_rejected(self, store):
+        store.log("lr", 0.01, is_input=True)
+        with pytest.raises(TrackingError):
+            store.log("lr", 0.01, is_input=False)
+
+
+class TestDirectionAndContext:
+    def test_default_is_input(self, store):
+        param = store.log("lr", 0.1)
+        assert param.is_input
+
+    def test_output_param(self, store):
+        param = store.log("total_steps", 1000, is_input=False)
+        assert not param.is_input
+
+    def test_context_attached(self, store):
+        param = store.log("mask_ratio", 0.75, context=Context.TRAINING)
+        assert param.context is Context.TRAINING
+
+
+class TestAccess:
+    def test_getitem_unknown_raises(self, store):
+        with pytest.raises(TrackingError):
+            store["nope"]
+
+    def test_get_default(self, store):
+        assert store.get("missing", 7) == 7
+
+    def test_contains_iter_items(self, store):
+        store.log("a", 1)
+        store.log("b", 2)
+        assert "a" in store
+        assert dict(store.items()) == {"a": 1, "b": 2}
+        assert store.as_dict() == {"a": 1, "b": 2}

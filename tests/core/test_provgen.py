@@ -1,0 +1,214 @@
+"""Tests for provenance generation — the Figure 1 / Figure 2 structure."""
+
+import json
+
+import pytest
+
+from repro.core.context import Context
+from repro.core.experiment import RunStatus
+from repro.core.provgen import (
+    build_prov_document,
+    load_run_summary,
+    summarize_document,
+)
+from repro.errors import TrackingError
+from repro.prov.validation import validate_document
+
+
+@pytest.fixture
+def doc(finished_run):
+    return build_prov_document(finished_run)
+
+
+class TestStructure:
+    def test_document_validates_strictly(self, doc):
+        report = validate_document(doc, require_declared=True)
+        assert report.is_valid, report.errors
+
+    def test_experiment_entity(self, doc):
+        ent = doc.get_element("ex:experiment/fixture_exp")
+        assert ent is not None
+        assert str(ent.prov_type) == "yprov4ml:Experiment"
+
+    def test_run_activity_with_times(self, doc):
+        act = doc.activities[doc.qname("ex:run/fixture_run")]
+        assert act.start_time is not None and act.end_time is not None
+        assert str(act.prov_type) == "yprov4ml:RunExecution"
+        assert act.get_attribute("yprov4ml:status") == "finished"
+
+    def test_figure2_hierarchy_contexts(self, doc):
+        """Figure 2: a run divides into contexts."""
+        for ctx in ("TRAINING", "VALIDATION"):
+            act = doc.get_element(f"ex:run/fixture_run/ctx/{ctx}")
+            assert act is not None, ctx
+            assert str(act.prov_type) == "yprov4ml:Context"
+
+    def test_figure2_hierarchy_epochs(self, doc):
+        """Figure 2: training/validation contexts divide into epochs."""
+        for epoch in (0, 1):
+            act = doc.get_element(f"ex:run/fixture_run/ctx/TRAINING/epoch/{epoch}")
+            assert act is not None
+            assert act.get_attribute("yprov4ml:duration_s") > 0
+
+    def test_contexts_started_by_run(self, doc):
+        started = {
+            (r.args["prov:activity"].provjson(), r.args.get("prov:starter").provjson())
+            for r in doc.relations_of_kind("wasStartedBy")
+            if "prov:starter" in r.args
+        }
+        assert ("ex:run/fixture_run/ctx/TRAINING", "ex:run/fixture_run") in started
+
+    def test_agents_and_delegation(self, doc):
+        assert doc.get_element("ex:agent/tester") is not None
+        assert doc.get_element("yprov4ml:library") is not None
+        delegations = doc.relations_of_kind("actedOnBehalfOf")
+        assert len(delegations) == 1
+
+    def test_run_associated_with_both_agents(self, doc):
+        assocs = doc.relations_of_kind("wasAssociatedWith")
+        agents = {r.args["prov:agent"].provjson() for r in assocs}
+        assert agents == {"ex:agent/tester", "yprov4ml:library"}
+
+
+class TestParameters:
+    def test_input_params_are_used(self, doc):
+        used_targets = {
+            r.args.get("prov:entity").provjson()
+            for r in doc.relations_of_kind("used")
+            if "prov:entity" in r.args
+        }
+        assert "ex:param/lr" in used_targets
+        assert "ex:param/layers" in used_targets
+
+    def test_param_value_recorded(self, doc):
+        ent = doc.get_element("ex:param/lr")
+        assert ent.get_attribute("yprov4ml:value") == 0.001
+        assert ent.get_attribute("yprov4ml:is_input") is True
+
+
+class TestArtifacts:
+    def test_input_artifact_used_figure1(self, doc):
+        """Figure 1: artifacts as inputs use the 'used' relationship."""
+        used_targets = {
+            r.args.get("prov:entity").provjson()
+            for r in doc.relations_of_kind("used")
+            if "prov:entity" in r.args
+        }
+        assert "ex:artifact/input.txt" in used_targets
+
+    def test_output_artifact_generated_figure1(self, doc):
+        """Figure 1: outputs use 'wasGeneratedBy'."""
+        generated = {
+            r.args["prov:entity"].provjson()
+            for r in doc.relations_of_kind("wasGeneratedBy")
+        }
+        assert "ex:artifact/model.bin" in generated
+
+    def test_model_typed_as_model_version(self, doc):
+        ent = doc.get_element("ex:artifact/model.bin")
+        assert str(ent.prov_type) == "yprov4ml:ModelVersion"
+
+    def test_model_derived_from_inputs(self, doc):
+        derivations = doc.relations_of_kind("wasDerivedFrom")
+        pairs = {
+            (r.args["prov:generatedEntity"].provjson(),
+             r.args["prov:usedEntity"].provjson())
+            for r in derivations
+        }
+        assert ("ex:artifact/model.bin", "ex:artifact/input.txt") in pairs
+
+    def test_artifact_hash_recorded(self, doc):
+        ent = doc.get_element("ex:artifact/model.bin")
+        assert len(ent.get_attribute("yprov4ml:sha256")) == 64
+
+
+class TestMetrics:
+    def test_metric_entities_per_context(self, doc):
+        assert doc.get_element("ex:metric/loss@TRAINING") is not None
+        assert doc.get_element("ex:metric/val_loss@VALIDATION") is not None
+
+    def test_metric_generated_by_its_context(self, doc):
+        generated = {
+            (r.args["prov:entity"].provjson(),
+             r.args.get("prov:activity").provjson())
+            for r in doc.relations_of_kind("wasGeneratedBy")
+            if "prov:activity" in r.args
+        }
+        assert ("ex:metric/loss@TRAINING", "ex:run/fixture_run/ctx/TRAINING") in generated
+
+    def test_inline_format_embeds_samples(self, finished_run):
+        doc = build_prov_document(finished_run, metric_format="inline")
+        ent = doc.get_element("ex:metric/loss@TRAINING")
+        assert len(ent.get_attribute("yprov4ml:values")) == 6
+
+    def test_offloaded_format_references_store(self, finished_run):
+        doc = build_prov_document(
+            finished_run, metric_format="zarrlike", metric_store_path="metrics.zarr"
+        )
+        ent = doc.get_element("ex:metric/loss@TRAINING")
+        assert ent.get_attribute("yprov4ml:series") == "loss@TRAINING"
+        store = doc.get_element("ex:metric_store")
+        assert store.get_attribute("yprov4ml:path") == "metrics.zarr"
+
+    def test_offloaded_without_path_rejected(self, finished_run):
+        with pytest.raises(TrackingError):
+            build_prov_document(finished_run, metric_format="zarrlike")
+
+    def test_metric_stats_attributes(self, doc):
+        ent = doc.get_element("ex:metric/loss@TRAINING")
+        assert ent.get_attribute("yprov4ml:count") == 6
+        assert ent.get_attribute("yprov4ml:last") == pytest.approx(1.0 / 6)
+
+
+class TestGuards:
+    def test_unstarted_run_rejected(self, tmp_path, ticking_clock):
+        from repro.core.experiment import RunExecution
+
+        run = RunExecution("exp", save_dir=tmp_path, clock=ticking_clock)
+        with pytest.raises(TrackingError):
+            build_prov_document(run)
+
+    def test_bad_format_rejected(self, finished_run):
+        with pytest.raises(TrackingError):
+            build_prov_document(finished_run, metric_format="parquet")
+
+
+class TestSaveAndSummarize:
+    def test_save_writes_prov_and_store(self, finished_run):
+        paths = finished_run.save(metric_format="zarrlike")
+        assert paths["prov"].exists()
+        assert paths["metrics"].exists()
+
+    def test_save_inline_has_no_store(self, finished_run):
+        paths = finished_run.save(metric_format="inline")
+        assert "metrics" not in paths
+
+    def test_graph_output(self, finished_run):
+        paths = finished_run.save(create_graph=True)
+        dot = paths["graph"].read_text()
+        assert dot.startswith("digraph prov")
+        assert "wasGeneratedBy" in dot
+
+    def test_summary_roundtrip(self, finished_run):
+        paths = finished_run.save()
+        summary = load_run_summary(paths["prov"])
+        assert summary.experiment == "fixture_exp"
+        assert summary.run_id == "fixture_run"
+        assert summary.status == "finished"
+        assert summary.params == {"lr": 0.001, "layers": 4}
+        assert summary.final_metric("loss", "TRAINING") == pytest.approx(1.0 / 6)
+        assert summary.contexts == ["TRAINING", "VALIDATION"]
+        assert "model.bin" in summary.artifacts
+
+    def test_summarize_rejects_non_run_document(self, sample_document):
+        with pytest.raises(TrackingError):
+            summarize_document(sample_document)
+
+    def test_offloaded_store_roundtrips_metrics(self, finished_run):
+        from repro.storage import open_store
+
+        paths = finished_run.save(metric_format="netcdflike")
+        store = open_store(paths["metrics"])
+        series = store.read_series("loss@TRAINING")
+        assert series.columns["values"].shape[0] == 6
+        assert series.attrs["context"] == "TRAINING"

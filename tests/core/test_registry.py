@@ -1,0 +1,104 @@
+"""Tests for the on-disk experiment registry (knowledge base)."""
+
+import pytest
+
+from repro.core.context import Context
+from repro.core.experiment import RunExecution, RunStatus
+from repro.core.registry import ExperimentRegistry
+from repro.errors import TrackingError
+
+
+def make_run(tmp_path, ticking_clock, run_id, experiment="exp",
+             lr=0.1, loss=0.5, status=RunStatus.FINISHED):
+    run = RunExecution(
+        experiment_name=experiment, run_id=run_id,
+        save_dir=tmp_path / run_id, clock=ticking_clock,
+    )
+    run.start()
+    run.log_param("lr", lr)
+    run.log_metric("final_loss", loss, context=Context.TESTING)
+    run.end(status)
+    run.save()
+    return run
+
+
+@pytest.fixture
+def populated(tmp_path, ticking_clock):
+    make_run(tmp_path, ticking_clock, "r1", lr=0.1, loss=0.5)
+    make_run(tmp_path, ticking_clock, "r2", lr=0.01, loss=0.3)
+    make_run(tmp_path, ticking_clock, "r3", experiment="other", lr=0.5, loss=0.9)
+    make_run(tmp_path, ticking_clock, "r4", lr=0.01, loss=0.8,
+             status=RunStatus.TRUNCATED)
+    return ExperimentRegistry(tmp_path)
+
+
+class TestScan:
+    def test_finds_all_runs(self, populated):
+        assert len(populated) == 4
+
+    def test_corrupt_files_skipped(self, tmp_path, ticking_clock):
+        make_run(tmp_path, ticking_clock, "good")
+        bad = tmp_path / "bad" / "prov.json"
+        bad.parent.mkdir()
+        bad.write_text("{not json")
+        reg = ExperimentRegistry(tmp_path)
+        assert len(reg) == 1
+
+    def test_missing_root_is_empty(self, tmp_path):
+        reg = ExperimentRegistry(tmp_path / "nowhere")
+        assert len(reg) == 0
+
+    def test_refresh_picks_up_new_runs(self, tmp_path, ticking_clock):
+        reg = ExperimentRegistry(tmp_path)
+        assert len(reg) == 0
+        make_run(tmp_path, ticking_clock, "late")
+        assert reg.refresh() == 1
+
+
+class TestQueries:
+    def test_experiments(self, populated):
+        assert populated.experiments() == ["exp", "other"]
+
+    def test_runs_of(self, populated):
+        assert [s.run_id for s in populated.runs_of("exp")] == ["r1", "r2", "r4"]
+
+    def test_find_by_param(self, populated):
+        hits = populated.find(where={"lr": 0.01})
+        assert {s.run_id for s in hits} == {"r2", "r4"}
+
+    def test_find_by_status(self, populated):
+        hits = populated.find(status="truncated")
+        assert [s.run_id for s in hits] == ["r4"]
+
+    def test_find_with_predicate(self, populated):
+        hits = populated.find(
+            predicate=lambda s: (s.final_metric("final_loss", "TESTING") or 1) < 0.4
+        )
+        assert [s.run_id for s in hits] == ["r2"]
+
+    def test_get_unknown_raises(self, populated):
+        with pytest.raises(TrackingError):
+            populated.get("ghost")
+
+    def test_best_run(self, populated):
+        best = populated.best_run("final_loss", context="TESTING", experiment="exp")
+        assert best.run_id == "r2"
+
+    def test_best_run_higher_is_better(self, populated):
+        best = populated.best_run(
+            "final_loss", context="TESTING", lower_is_better=False
+        )
+        assert best.run_id == "r3"
+
+    def test_best_run_none_when_metric_absent(self, populated):
+        assert populated.best_run("ghost_metric") is None
+
+    def test_param_values(self, populated):
+        assert sorted(populated.param_values("lr")) == [0.01, 0.1, 0.5]
+
+    def test_add_in_memory(self, populated):
+        from repro.core.provgen import RunSummary
+
+        populated.add(RunSummary(experiment="mem", run_id="m1",
+                                 status="finished", duration_s=None))
+        assert populated.get("m1").experiment == "mem"

@@ -1,0 +1,112 @@
+"""Tests for reproducibility from provenance files (§4 future work)."""
+
+import pytest
+
+from repro.core.context import Context
+from repro.core.experiment import RunExecution
+from repro.core.reproduce import (
+    ExperimentReplayer,
+    default_replayer,
+    simulation_recipe,
+)
+from repro.errors import TrackingError
+from repro.simulator import SimClock
+from repro.simulator.training import job_from_zoo, simulate_training
+
+
+@pytest.fixture(scope="module")
+def tracked_result(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("orig")
+    job = job_from_zoo("mae", "100M", 8, epochs=2, seed=7)
+    return simulate_training(job, clock=SimClock(), provenance_dir=tmp)
+
+
+class TestRegistry:
+    def test_pattern_matching(self):
+        replayer = ExperimentReplayer()
+        replayer.register("scaling_*", simulation_recipe)
+        assert replayer.recipe_for("scaling_mae") is simulation_recipe
+        with pytest.raises(TrackingError):
+            replayer.recipe_for("other_experiment")
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(TrackingError):
+            ExperimentReplayer().register("", simulation_recipe)
+
+    def test_first_matching_pattern_wins(self):
+        replayer = ExperimentReplayer()
+        a = lambda p, r: None
+        b = lambda p, r: None
+        replayer.register("scaling_mae", a)
+        replayer.register("scaling_*", b)
+        assert replayer.recipe_for("scaling_mae") is a
+        assert replayer.recipe_for("scaling_swint") is b
+
+
+class TestSimulatorReplay:
+    def test_replay_is_exact(self, tracked_result, tmp_path):
+        """Sharing the prov.json is enough to reproduce the run bit-for-bit."""
+        replayer = default_replayer()
+        run, report = replayer.replay(tracked_result.prov_path, tmp_path)
+        assert report.is_faithful, report.summary()
+        checked = {c.series for c in report.metric_checks}
+        assert "final_loss@TESTING" in checked
+        assert "loss@TRAINING" in checked
+
+    def test_replay_metrics_match_original_values(self, tracked_result, tmp_path):
+        replayer = default_replayer()
+        _, report = replayer.replay(tracked_result.prov_path, tmp_path)
+        by_series = {c.series: c for c in report.metric_checks}
+        final = by_series["final_loss@TESTING"]
+        assert final.replayed == pytest.approx(tracked_result.final_loss)
+
+    def test_unrelated_experiment_rejected(self, tmp_path, ticking_clock):
+        run = RunExecution("unknown_exp", save_dir=tmp_path / "u",
+                           clock=ticking_clock)
+        run.start()
+        run.log_metric("m", 1.0)
+        run.end()
+        paths = run.save()
+        with pytest.raises(TrackingError):
+            default_replayer().replay(paths["prov"], tmp_path / "replay")
+
+    def test_missing_parameters_rejected(self, tmp_path, ticking_clock):
+        run = RunExecution("scaling_mae", save_dir=tmp_path / "m",
+                           clock=ticking_clock)
+        run.start()
+        run.log_param("architecture", "mae")  # far from complete
+        run.log_metric("final_loss", 1.0, context=Context.TESTING)
+        run.end()
+        paths = run.save()
+        with pytest.raises(TrackingError, match="lacks parameters"):
+            default_replayer().replay(paths["prov"], tmp_path / "replay")
+
+
+class TestVerification:
+    def test_detects_divergence(self, tracked_result, tmp_path):
+        """A recipe producing different numbers must be flagged."""
+        def wrong_recipe(params, run):
+            run.log_metric("final_loss", -1.0, context=Context.TESTING)
+
+        replayer = ExperimentReplayer()
+        replayer.register("scaling_*", wrong_recipe)
+        _, report = replayer.replay(tracked_result.prov_path, tmp_path)
+        assert not report.is_faithful
+        final = next(c for c in report.metric_checks
+                     if c.series == "final_loss@TESTING")
+        assert not final.matched
+
+    def test_no_compared_metrics_is_not_faithful(self, tracked_result, tmp_path):
+        def silent_recipe(params, run):
+            pass
+
+        replayer = ExperimentReplayer()
+        replayer.register("scaling_*", silent_recipe)
+        _, report = replayer.replay(tracked_result.prov_path, tmp_path / "s")
+        assert not report.is_faithful
+        assert report.metrics_not_replayed  # everything unverifiable
+
+    def test_summary_readable(self, tracked_result, tmp_path):
+        _, report = default_replayer().replay(tracked_result.prov_path, tmp_path)
+        text = report.summary()
+        assert "replayed" in text and "matched" in text

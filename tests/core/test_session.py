@@ -1,0 +1,96 @@
+"""Tests for the module-level session API."""
+
+import pytest
+
+import repro as prov4ml
+from repro.errors import NoActiveRunError, RunAlreadyActiveError
+
+
+class TestLifecycle:
+    def test_start_and_end(self, tmp_path, ticking_clock):
+        run = prov4ml.start_run(
+            experiment_name="s", provenance_save_dir=tmp_path, clock=ticking_clock
+        )
+        assert prov4ml.has_active_run()
+        assert prov4ml.active_run() is run
+        paths = prov4ml.end_run()
+        assert not prov4ml.has_active_run()
+        assert paths["prov"].exists()
+
+    def test_nested_run_rejected(self, tmp_path, ticking_clock):
+        prov4ml.start_run(experiment_name="s", provenance_save_dir=tmp_path,
+                          clock=ticking_clock)
+        with pytest.raises(RunAlreadyActiveError):
+            prov4ml.start_run(experiment_name="t", provenance_save_dir=tmp_path)
+
+    def test_logging_without_run_rejected(self):
+        with pytest.raises(NoActiveRunError):
+            prov4ml.log_metric("loss", 1.0)
+        with pytest.raises(NoActiveRunError):
+            prov4ml.end_run()
+
+    def test_abort_clears(self, tmp_path, ticking_clock):
+        prov4ml.start_run(experiment_name="s", provenance_save_dir=tmp_path,
+                          clock=ticking_clock)
+        prov4ml.abort_run()
+        assert not prov4ml.has_active_run()
+
+    def test_sequential_runs_same_experiment(self, tmp_path, ticking_clock):
+        r1 = prov4ml.start_run(experiment_name="s", provenance_save_dir=tmp_path,
+                               clock=ticking_clock)
+        prov4ml.end_run()
+        r2 = prov4ml.start_run(experiment_name="s", provenance_save_dir=tmp_path,
+                               clock=ticking_clock)
+        prov4ml.end_run()
+        assert r1.run_index == 0 and r2.run_index == 1
+
+
+class TestDelegates:
+    def test_full_logging_surface(self, tmp_path, ticking_clock):
+        import numpy as np
+
+        prov4ml.start_run(experiment_name="s", provenance_save_dir=tmp_path,
+                          clock=ticking_clock)
+        prov4ml.log_param("lr", 0.1)
+        prov4ml.log_params({"a": 1, "b": 2})
+        prov4ml.start_epoch(prov4ml.Context.TRAINING)
+        prov4ml.log_metric("loss", 0.5)
+        prov4ml.log_metrics({"m1": 1.0, "m2": 2.0})
+        prov4ml.end_epoch(prov4ml.Context.TRAINING)
+        prov4ml.log_metric_array("bulk", np.arange(3), np.ones(3), np.arange(3.0))
+        src = tmp_path / "data.txt"
+        src.write_text("x")
+        prov4ml.log_input(src, name="data_in")
+        prov4ml.log_output(src, name="data_out")
+        prov4ml.log_model("ckpt.bin", b"state")
+        prov4ml.log_execution_command("python run.py", "done")
+        prov4ml.capture_output("line\n")
+        run = prov4ml.active_run()
+        assert len(run.params) == 3
+        assert run.artifacts.get("data_in").is_input
+        assert not run.artifacts.get("data_out").is_input
+        assert run.artifacts.get("ckpt.bin").is_model
+        paths = prov4ml.end_run(create_graph=True)
+        assert paths["graph"].exists()
+        assert paths["commands"].exists()
+        assert paths["stdout"].exists()
+
+    def test_collectors_via_start_run(self, tmp_path, ticking_clock):
+        from repro.core.collectors import SystemStatsCollector
+
+        prov4ml.start_run(
+            experiment_name="s",
+            provenance_save_dir=tmp_path,
+            clock=ticking_clock,
+            collectors=[SystemStatsCollector(seed=0)],
+        )
+        readings = prov4ml.log_system_metrics()
+        assert "cpu_percent" in readings
+        prov4ml.abort_run()
+
+    def test_end_run_rocrate(self, tmp_path, ticking_clock):
+        prov4ml.start_run(experiment_name="s", provenance_save_dir=tmp_path,
+                          clock=ticking_clock)
+        prov4ml.log_metric("loss", 1.0)
+        paths = prov4ml.end_run(create_rocrate=True)
+        assert paths["rocrate"].name == "ro-crate-metadata.json"

@@ -1,0 +1,166 @@
+"""Tests for RO-Crate packaging, validation, and the Table 2 probe."""
+
+import json
+
+import pytest
+
+from repro.crate.rocrate import METADATA_FILENAME, ROCrate, create_run_crate
+from repro.crate.standards import feature_matrix, format_feature_table
+from repro.crate.validate import validate_crate
+from repro.errors import CrateError
+
+
+@pytest.fixture
+def crate_dir(tmp_path):
+    root = tmp_path / "crate"
+    root.mkdir()
+    (root / "data.csv").write_text("a,b\n1,2\n")
+    (root / "sub").mkdir()
+    (root / "sub" / "notes.txt").write_text("notes")
+    return root
+
+
+class TestROCrate:
+    def test_add_file_and_write(self, crate_dir):
+        crate = ROCrate(crate_dir, name="test crate", author="alice")
+        crate.add_file(crate_dir / "data.csv", description="table")
+        path = crate.write()
+        assert path.name == METADATA_FILENAME
+        meta = json.loads(path.read_text())
+        assert meta["@context"].startswith("https://w3id.org/ro/crate")
+        ids = {e["@id"] for e in meta["@graph"]}
+        assert {"./", METADATA_FILENAME, "data.csv", "#alice"} <= ids
+
+    def test_file_outside_root_rejected(self, crate_dir, tmp_path):
+        outside = tmp_path / "outside.txt"
+        outside.write_text("x")
+        crate = ROCrate(crate_dir)
+        with pytest.raises(CrateError):
+            crate.add_file(outside)
+
+    def test_missing_file_rejected(self, crate_dir):
+        crate = ROCrate(crate_dir)
+        with pytest.raises(CrateError):
+            crate.add_file(crate_dir / "ghost.txt")
+
+    def test_non_directory_root_rejected(self, tmp_path):
+        with pytest.raises(CrateError):
+            ROCrate(tmp_path / "nope")
+
+    def test_add_directory_tree(self, crate_dir):
+        crate = ROCrate(crate_dir)
+        count = crate.add_directory_tree()
+        assert count == 2
+        crate.write()
+        assert validate_crate(crate_dir).is_valid
+
+    def test_entity_metadata(self, crate_dir):
+        crate = ROCrate(crate_dir)
+        entity = crate.add_file(crate_dir / "data.csv", conforms_to="http://spec/")
+        assert entity["encodingFormat"] == "text/csv"
+        assert entity["contentSize"] == (crate_dir / "data.csv").stat().st_size
+        assert entity["conformsTo"] == {"@id": "http://spec/"}
+        assert len(entity["sha256"]) == 64
+
+
+class TestValidation:
+    def _valid_crate(self, crate_dir):
+        crate = ROCrate(crate_dir, name="c")
+        crate.add_directory_tree()
+        crate.write()
+        return crate_dir
+
+    def test_valid_crate_passes(self, crate_dir):
+        report = validate_crate(self._valid_crate(crate_dir))
+        assert report.is_valid
+        assert report.n_files == 2
+        assert not report.warnings
+
+    def test_missing_metadata(self, tmp_path):
+        report = validate_crate(tmp_path)
+        assert not report.is_valid
+        assert "missing" in report.errors[0]
+
+    def test_corrupt_json(self, crate_dir):
+        (crate_dir / METADATA_FILENAME).write_text("{nope")
+        assert not validate_crate(crate_dir).is_valid
+
+    def test_file_deleted_after_packaging(self, crate_dir):
+        self._valid_crate(crate_dir)
+        (crate_dir / "data.csv").unlink()
+        report = validate_crate(crate_dir)
+        assert any("missing on disk" in e for e in report.errors)
+
+    def test_tampered_content_detected(self, crate_dir):
+        self._valid_crate(crate_dir)
+        (crate_dir / "data.csv").write_text("a,b\n9,9\n")
+        report = validate_crate(crate_dir)
+        assert any("mismatch" in e for e in report.errors)
+
+    def test_hash_check_can_be_skipped(self, crate_dir):
+        self._valid_crate(crate_dir)
+        # same size, different content
+        original = (crate_dir / "data.csv").read_text()
+        (crate_dir / "data.csv").write_text(original.replace("1", "9"))
+        assert validate_crate(crate_dir, check_hashes=False).is_valid
+
+    def test_undeclared_file_is_warning(self, crate_dir):
+        self._valid_crate(crate_dir)
+        (crate_dir / "extra.txt").write_text("late addition")
+        report = validate_crate(crate_dir)
+        assert report.is_valid
+        assert any("not declared" in w for w in report.warnings)
+
+    def test_raise_if_invalid(self, tmp_path):
+        with pytest.raises(CrateError):
+            validate_crate(tmp_path).raise_if_invalid()
+
+
+class TestRunCrate:
+    def test_create_run_crate(self, finished_run):
+        paths = finished_run.save(metric_format="zarrlike")
+        crate_path = create_run_crate(finished_run, paths["prov"])
+        report = validate_crate(finished_run.save_dir)
+        assert report.is_valid, report.errors
+        meta = json.loads(crate_path.read_text())
+        prov_entity = next(
+            e for e in meta["@graph"] if e["@id"] == "prov.json"
+        )
+        assert prov_entity["conformsTo"]["@id"] == "http://www.w3.org/ns/prov#"
+
+    def test_crate_covers_metric_store(self, finished_run):
+        paths = finished_run.save(metric_format="netcdflike")
+        create_run_crate(finished_run, paths["prov"])
+        meta = json.loads((finished_run.save_dir / METADATA_FILENAME).read_text())
+        ids = {e["@id"] for e in meta["@graph"]}
+        assert "metrics.nc" in ids
+
+
+class TestTable2:
+    def test_feature_matrix_rows(self):
+        rows = feature_matrix()
+        features = [r.feature for r in rows]
+        assert features == [
+            "Type", "Standardized By", "Serialization", "Focus",
+            "Packaging", "Domain-Agnostic", "Use of W3C PROV", "Use in yProv4ML",
+        ]
+
+    def test_probed_capabilities_hold(self):
+        rows = {r.feature: r for r in feature_matrix()}
+        assert rows["Serialization"].w3c_prov == "PROV-N, PROV-JSON, PROV-O (RDF)"
+        assert rows["Serialization"].ro_crate == "JSON-LD"
+        assert rows["Packaging"].ro_crate == "Yes"
+        assert rows["Packaging"].w3c_prov == "No"
+        assert rows["Use of W3C PROV"].ro_crate.startswith("Optional")
+
+    def test_probed_flags(self):
+        rows = {r.feature: r for r in feature_matrix()}
+        assert rows["Serialization"].probed
+        assert rows["Packaging"].probed
+        assert not rows["Type"].probed
+
+    def test_format_matches_paper_layout(self):
+        text = format_feature_table(feature_matrix())
+        assert "W3C PROV" in text.splitlines()[0]
+        assert "RO-Crate" in text.splitlines()[0]
+        assert "Tracking of provenance" in text

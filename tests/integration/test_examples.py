@@ -1,0 +1,66 @@
+"""Freshness guard: every shipped example must run end-to-end.
+
+Each example script is executed in its own temporary working directory as a
+subprocess (the way a user would run it); a non-zero exit or traceback
+fails the build, so examples cannot rot as the API evolves.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+#: script -> extra CLI args (keep the heavyweight ones quick)
+EXAMPLES = {
+    "quickstart.py": [],
+    "scaling_study.py": ["--quick"],
+    "workflow_pipeline.py": [],
+    "hyperparameter_search.py": [],
+    "development_tracking.py": [],
+    "reproduce_and_serve.py": [],
+}
+
+
+def test_every_example_is_listed():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES), (
+        "examples on disk and in the freshness guard diverged"
+    )
+
+
+@pytest.mark.parametrize("script,args", sorted(EXAMPLES.items()))
+def test_example_runs_clean(script, args, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        cwd=tmp_path,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed\n--- stdout ---\n{result.stdout[-2000:]}"
+        f"\n--- stderr ---\n{result.stderr[-2000:]}"
+    )
+    assert "Traceback" not in result.stderr
+
+
+def test_quickstart_produces_valid_provenance(tmp_path):
+    """Beyond exit codes: the quickstart's provenance must validate."""
+    subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        cwd=tmp_path, capture_output=True, text=True, timeout=300, check=True,
+    )
+    from repro.prov.document import ProvDocument
+    from repro.prov.validation import validate_document
+
+    prov_files = list(tmp_path.rglob("prov.json"))
+    assert len(prov_files) == 1
+    doc = ProvDocument.load(prov_files[0])
+    assert validate_document(doc, require_declared=True).is_valid
+    # the RO-Crate wrapper is there too
+    assert list(tmp_path.rglob("ro-crate-metadata.json"))

@@ -1,0 +1,55 @@
+"""Property-based tests for codecs (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.storage.codecs import DeltaZlibCodec, RawCodec, ScaleOffsetCodec, ZlibCodec
+
+LOSSLESS = [RawCodec(), ZlibCodec(level=1), DeltaZlibCodec()]
+
+array_strategy = st.one_of(
+    hnp.arrays(dtype=np.float64, shape=st.integers(0, 300),
+               elements=st.floats(allow_nan=True, allow_infinity=True, width=64)),
+    hnp.arrays(dtype=np.float32, shape=st.integers(0, 300),
+               elements=st.floats(allow_nan=True, allow_infinity=True, width=32)),
+    hnp.arrays(dtype=np.int64, shape=st.integers(0, 300)),
+    hnp.arrays(dtype=np.int32, shape=st.integers(0, 300)),
+)
+
+
+@pytest.mark.parametrize("codec", LOSSLESS, ids=lambda c: c.name)
+@given(arr=array_strategy)
+@settings(max_examples=60, deadline=None)
+def test_lossless_roundtrip(codec, arr):
+    """encode∘decode is the identity (bit-exact, including NaN payloads)."""
+    out = codec.decode(codec.encode(arr), arr.dtype, arr.shape[0])
+    assert out.dtype == arr.dtype
+    assert np.array_equal(
+        out.view(np.uint8 if out.dtype.itemsize == 1 else f"u{out.dtype.itemsize}"),
+        arr.view(np.uint8 if arr.dtype.itemsize == 1 else f"u{arr.dtype.itemsize}"),
+    )
+
+
+@given(arr=hnp.arrays(dtype=np.float64, shape=st.integers(1, 200),
+                      elements=st.floats(-1e6, 1e6)))
+@settings(max_examples=60, deadline=None)
+def test_scale_offset_error_bound(arr):
+    """Lossy codec error is bounded by half a quantization step."""
+    codec = ScaleOffsetCodec()
+    out = codec.decode(codec.encode(arr), np.dtype(np.float64), arr.shape[0])
+    span = float(arr.max() - arr.min())
+    bound = max(span / 65000.0, 1e-12)
+    assert np.max(np.abs(out - arr)) <= bound * 1.01
+
+
+@given(arr=hnp.arrays(dtype=np.int64, shape=st.integers(0, 500)))
+@settings(max_examples=40, deadline=None)
+def test_delta_never_larger_than_raw_for_constant_data(arr):
+    """Delta+zlib on sorted data never does worse than 2x plain zlib."""
+    arr = np.sort(arr)
+    delta = len(DeltaZlibCodec(level=1).encode(arr))
+    plain = len(ZlibCodec(level=1).encode(arr))
+    assert delta <= 2 * plain + 64

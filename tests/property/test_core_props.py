@@ -1,0 +1,111 @@
+"""Property-based tests on core data structures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.context import Context
+from repro.core.metrics import MetricBuffer, MetricKey
+
+
+samples = st.lists(
+    st.tuples(
+        st.integers(0, 10**9),                          # step
+        st.floats(allow_nan=True, allow_infinity=True),  # value
+        st.floats(0, 1e9, allow_nan=False),              # time
+        st.integers(-1, 100),                            # epoch
+    ),
+    max_size=300,
+)
+
+
+class TestMetricBufferProps:
+    @given(data=samples)
+    @settings(max_examples=50, deadline=None)
+    def test_append_preserves_order_and_content(self, data):
+        buf = MetricBuffer(MetricKey("m", Context.TRAINING))
+        for step, value, time, epoch in data:
+            buf.append(step, value, time, epoch)
+        assert len(buf) == len(data)
+        if data:
+            steps, values, times, epochs = map(np.asarray, zip(*data))
+            assert np.array_equal(buf.steps, steps.astype(np.int64))
+            assert np.array_equal(buf.times, times.astype(np.float64))
+            assert np.array_equal(buf.epochs, epochs.astype(np.int64))
+            assert np.array_equal(
+                np.nan_to_num(buf.values, nan=1.5),
+                np.nan_to_num(values.astype(np.float64), nan=1.5),
+            )
+
+    @given(data=samples)
+    @settings(max_examples=30, deadline=None)
+    def test_append_equals_extend(self, data):
+        one = MetricBuffer(MetricKey("m", Context.TRAINING))
+        for step, value, time, epoch in data:
+            one.append(step, value, time, epoch)
+        bulk = MetricBuffer(MetricKey("m", Context.TRAINING))
+        if data:
+            steps, values, times, epochs = map(np.asarray, zip(*data))
+            bulk.extend(steps, values, times, epochs)
+        assert len(one) == len(bulk)
+        assert np.array_equal(one.steps, bulk.steps)
+
+    @given(data=samples)
+    @settings(max_examples=30, deadline=None)
+    def test_series_roundtrip_identity(self, data):
+        buf = MetricBuffer(MetricKey("m", Context.VALIDATION))
+        for step, value, time, epoch in data:
+            buf.append(step, value, time, epoch)
+        clone = MetricBuffer.from_series(buf.to_series())
+        assert len(clone) == len(buf)
+        assert np.array_equal(clone.steps, buf.steps)
+        assert np.array_equal(clone.epochs, buf.epochs)
+
+    @given(data=samples.filter(lambda d: len(d) > 0))
+    @settings(max_examples=30, deadline=None)
+    def test_stats_bounds(self, data):
+        buf = MetricBuffer(MetricKey("m", Context.TRAINING))
+        finite_any = False
+        for step, value, time, epoch in data:
+            buf.append(step, value, time, epoch)
+            if np.isfinite(value) or value in (float("inf"), float("-inf")):
+                finite_any = finite_any or not np.isnan(value)
+        stats = buf.stats()
+        assert stats["count"] == len(data)
+        if finite_any and not np.all(np.isnan(buf.values)):
+            assert stats["min"] <= stats["max"]
+
+
+class TestContextProps:
+    @given(name=st.text(alphabet=st.sampled_from("abcXYZ_-123"), min_size=1)
+           .filter(lambda s: s[0].isalpha() or s[0] == "_"))
+    @settings(max_examples=50, deadline=None)
+    def test_interning_idempotent(self, name):
+        a = Context.of(name)
+        b = Context.of(name.upper())
+        c = Context.of(a)
+        assert a is b is c
+        assert a == name.upper()
+
+
+class TestParamStoreProps:
+    @given(
+        params=st.dictionaries(
+            st.text(min_size=1, max_size=10),
+            st.one_of(st.integers(), st.floats(allow_nan=False), st.text(max_size=10),
+                      st.booleans()),
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_log_all_then_read_back(self, params):
+        from repro.core.params import ParamStore
+
+        store = ParamStore()
+        for name, value in params.items():
+            store.log(name, value)
+        assert store.as_dict() == params
+        # idempotent re-log
+        for name, value in params.items():
+            store.log(name, value)
+        assert len(store) == len(params)

@@ -1,0 +1,107 @@
+"""Property-based tests for the failure/checkpoint model and PROV-O."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.faults import FailureModel
+
+
+class TestFaultProps:
+    @given(
+        mtbf=st.floats(100.0, 1e6),
+        ckpt=st.floats(1.0, 3600.0),
+        restart=st.floats(0.0, 7200.0),
+        nodes=st.integers(1, 10_000),
+        work=st.floats(60.0, 1e6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_overhead_at_least_one(self, mtbf, ckpt, restart, nodes, work):
+        model = FailureModel(node_mtbf_hours=mtbf, checkpoint_write_s=ckpt,
+                             restart_s=restart)
+        assert model.overhead_factor(work, nodes) >= 1.0
+
+    @given(
+        mtbf=st.floats(1000.0, 1e6),
+        ckpt=st.floats(1.0, 600.0),
+        nodes=st.integers(1, 5000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_daly_interval_positive_and_below_mtbf_regime(self, mtbf, ckpt, nodes):
+        model = FailureModel(node_mtbf_hours=mtbf, checkpoint_write_s=ckpt)
+        tau = model.daly_interval_s(nodes)
+        assert tau > 0
+        # Daly never prescribes more than ~1.2x Young in the valid regime
+        if ckpt < 2 * model.job_mtbf_s(nodes):
+            assert tau <= model.young_interval_s(nodes) * 1.2
+
+    @given(
+        nodes_a=st.integers(1, 5000),
+        nodes_b=st.integers(1, 5000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_overhead_monotone_in_nodes(self, nodes_a, nodes_b):
+        assume(nodes_a < nodes_b)
+        model = FailureModel(node_mtbf_hours=20_000.0)
+        work = 86_400.0
+        assert (model.overhead_factor(work, nodes_b)
+                >= model.overhead_factor(work, nodes_a) - 1e-9)
+
+    @given(work_a=st.floats(60.0, 1e6), factor=st.floats(1.5, 10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_runtime_superlinear_never_sublinear_in_work(self, work_a, factor):
+        """Twice the work costs at least twice the expected runtime."""
+        model = FailureModel(node_mtbf_hours=10_000.0)
+        a = model.expected_runtime_s(work_a, 64)
+        b = model.expected_runtime_s(work_a * factor, 64)
+        assert b >= a * factor * (1 - 1e-9)
+
+
+class TestProvOProps:
+    @given(
+        n_entities=st.integers(1, 6),
+        n_links=st.integers(0, 8),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_provo_roundtrip_preserves_structure(self, n_entities, n_links, seed):
+        from repro.prov.document import ProvDocument
+        from repro.prov.provo import from_provo, to_provo
+
+        rng = np.random.default_rng(seed)
+        doc = ProvDocument()
+        doc.add_namespace("ex", "http://example.org/")
+        names = [f"e{i}" for i in range(n_entities)]
+        for name in names:
+            doc.entity(f"ex:{name}", {"ex:idx": int(rng.integers(0, 100))})
+        doc.activity("ex:act")
+        seen = set()
+        for _ in range(n_links):
+            a, b = rng.choice(names, size=2, replace=True)
+            if a == b or (a, b) in seen:
+                continue
+            seen.add((a, b))
+            doc.was_derived_from(f"ex:{a}", f"ex:{b}")
+        loaded = from_provo(to_provo(doc))
+        assert len(loaded.entities) == len(doc.entities)
+        assert len(loaded.activities) == 1
+        assert len(loaded.relations) == len(doc.relations)
+
+
+class TestZarrSliceProps:
+    @given(
+        n=st.integers(1, 2000),
+        chunk=st.integers(1, 300),
+        bounds=st.tuples(st.integers(0, 2200), st.integers(0, 2200)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_slice_equals_numpy_slice(self, n, chunk, bounds, tmp_path_factory):
+        from repro.storage import SeriesData, ZarrLikeStore
+
+        start, stop = min(bounds), max(bounds)
+        tmp = tmp_path_factory.mktemp("zslice")
+        store = ZarrLikeStore(tmp / "s", chunk_size=chunk)
+        data = np.arange(n, dtype=np.float64) * 1.5
+        store.write_series("x", SeriesData({"values": data}))
+        out = store.read_column_slice("x", "values", start, stop)
+        assert np.array_equal(out, data[start:stop])

@@ -1,0 +1,157 @@
+"""Property-based tests for the graph database and workflow DAG."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workflow.dag import Workflow
+from repro.yprov.graphdb import GraphDB
+
+
+@st.composite
+def random_graph_ops(draw):
+    """A sequence of (create_node | create_edge | delete_node) operations."""
+    n_nodes = draw(st.integers(1, 15))
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, n_nodes - 1), st.integers(0, n_nodes - 1)),
+            max_size=30,
+        )
+    )
+    deletions = draw(st.lists(st.integers(0, n_nodes - 1), max_size=5, unique=True))
+    return n_nodes, edges, deletions
+
+
+class TestGraphDBInvariants:
+    @given(ops=random_graph_ops())
+    @settings(max_examples=50, deadline=None)
+    def test_no_dangling_edges_after_deletions(self, ops):
+        n_nodes, edges, deletions = ops
+        db = GraphDB()
+        ids = [db.create_node({"N"}, {"i": i}).id for i in range(n_nodes)]
+        for src, dst in edges:
+            db.create_edge(ids[src], ids[dst], "E")
+        for index in deletions:
+            db.delete_node(ids[index])
+        surviving = {ids[i] for i in range(n_nodes) if i not in set(deletions)}
+        assert db.node_count == len(surviving)
+        for edge in db.match_edges():
+            assert edge.src in surviving
+            assert edge.dst in surviving
+
+    @given(ops=random_graph_ops())
+    @settings(max_examples=30, deadline=None)
+    def test_traverse_never_returns_start_and_no_duplicates(self, ops):
+        n_nodes, edges, _ = ops
+        db = GraphDB()
+        ids = [db.create_node({"N"}).id for _ in range(n_nodes)]
+        for src, dst in edges:
+            db.create_edge(ids[src], ids[dst], "E")
+        order = db.traverse(ids[0], direction="both")
+        assert ids[0] not in order
+        assert len(order) == len(set(order))
+
+    @given(ops=random_graph_ops())
+    @settings(max_examples=25, deadline=None)
+    def test_save_load_preserves_structure(self, ops, tmp_path_factory):
+        n_nodes, edges, _ = ops
+        db = GraphDB()
+        ids = [db.create_node({"N"}, {"i": i}).id for i in range(n_nodes)]
+        for src, dst in edges:
+            db.create_edge(ids[src], ids[dst], "E")
+        path = tmp_path_factory.mktemp("gdb") / "g.json"
+        db.save(path)
+        loaded = GraphDB.load(path)
+        assert loaded.node_count == db.node_count
+        assert loaded.edge_count == db.edge_count
+
+
+@st.composite
+def random_dags(draw):
+    """Task names + dependency edges that are acyclic by construction
+    (dependencies only point at earlier tasks)."""
+    n = draw(st.integers(1, 12))
+    deps = []
+    for i in range(1, n):
+        deps.append(sorted(draw(st.sets(st.integers(0, i - 1), max_size=3))))
+    return n, deps
+
+
+class TestWorkflowProps:
+    @given(dag=random_dags())
+    @settings(max_examples=50, deadline=None)
+    def test_topological_order_respects_dependencies(self, dag):
+        n, deps = dag
+        wf = Workflow("w")
+        wf.add_task("t0", lambda d: {})
+        for i in range(1, n):
+            wf.add_task(
+                f"t{i}", lambda d: {}, deps=[f"t{j}" for j in deps[i - 1]]
+            )
+        order = wf.topological_order()
+        assert sorted(order) == sorted(f"t{i}" for i in range(n))
+        position = {name: k for k, name in enumerate(order)}
+        for i in range(1, n):
+            for j in deps[i - 1]:
+                assert position[f"t{j}"] < position[f"t{i}"]
+
+    @given(dag=random_dags())
+    @settings(max_examples=30, deadline=None)
+    def test_execution_succeeds_and_runs_every_task(self, dag):
+        n, deps = dag
+        wf = Workflow("w")
+        executed = []
+
+        def make_task(name):
+            def fn(d):
+                executed.append(name)
+                return {"name": name}
+
+            return fn
+
+        wf.add_task("t0", make_task("t0"))
+        for i in range(1, n):
+            wf.add_task(f"t{i}", make_task(f"t{i}"),
+                        deps=[f"t{j}" for j in deps[i - 1]])
+        state = {"t": 0.0}
+
+        def clock():
+            state["t"] += 1.0
+            return state["t"]
+
+        result = wf.run(clock=clock)
+        assert result.succeeded
+        assert sorted(executed) == sorted(f"t{i}" for i in range(n))
+
+
+class TestParallelEquivalenceProps:
+    @given(dag=random_dags(), fail_index=st.integers(-1, 11))
+    @settings(max_examples=30, deadline=None)
+    def test_parallel_equals_sequential(self, dag, fail_index):
+        """For random DAGs with a random failing task, the parallel executor
+        produces exactly the sequential executor's states and outputs."""
+        n, deps = dag
+
+        def build():
+            wf = Workflow("w")
+
+            def make(i):
+                def fn(d):
+                    if i == fail_index:
+                        raise RuntimeError("injected")
+                    return {"i": i, "deps": sorted(d)}
+
+                return fn
+
+            wf.add_task("t0", make(0))
+            for i in range(1, n):
+                wf.add_task(f"t{i}", make(i),
+                            deps=[f"t{j}" for j in deps[i - 1]])
+            return wf
+
+        sequential = build().run(max_workers=1)
+        parallel = build().run(max_workers=4)
+        assert parallel.succeeded == sequential.succeeded
+        for name, seq_task in sequential.tasks.items():
+            par_task = parallel.tasks[name]
+            assert par_task.state == seq_task.state, name
+            assert par_task.outputs == seq_task.outputs, name

@@ -1,0 +1,100 @@
+"""Property-based tests: PROV-JSON round-tripping of generated documents."""
+
+import datetime as dt
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prov.document import ProvDocument
+from repro.prov.provjson import documents_equal, from_provjson, to_provjson
+
+local_names = st.text(
+    alphabet=st.sampled_from("abcdefghij0123456789_/."), min_size=1, max_size=12
+).filter(lambda s: not s.isspace())
+
+attr_values = st.one_of(
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=20),
+    st.booleans(),
+    st.datetimes(
+        min_value=dt.datetime(1980, 1, 1), max_value=dt.datetime(2100, 1, 1)
+    ).map(lambda d: d.replace(tzinfo=dt.timezone.utc)),
+)
+
+attr_keys = local_names.map(lambda s: "ex:" + s.replace("/", "_").replace(".", "_"))
+attributes = st.dictionaries(attr_keys, attr_values, max_size=4)
+
+
+@st.composite
+def documents(draw):
+    doc = ProvDocument()
+    doc.add_namespace("ex", "http://example.org/")
+    entity_names = draw(st.lists(local_names, min_size=1, max_size=6, unique=True))
+    activity_names = draw(
+        st.lists(local_names, min_size=1, max_size=4, unique=True)
+    )
+    activity_names = [n for n in activity_names if n not in set(entity_names)]
+    agents = ["user"] if draw(st.booleans()) else []
+    agents = [a for a in agents if a not in set(entity_names) | set(activity_names)]
+
+    for name in entity_names:
+        doc.entity(f"ex:{name}", draw(attributes))
+    for name in activity_names:
+        doc.activity(f"ex:{name}", attributes=draw(attributes))
+    for name in agents:
+        doc.agent(f"ex:{name}")
+
+    if activity_names:
+        for name in draw(st.lists(st.sampled_from(entity_names), max_size=4)):
+            act = draw(st.sampled_from(activity_names))
+            if draw(st.booleans()):
+                doc.used(f"ex:{act}", f"ex:{name}")
+            else:
+                doc.was_generated_by(f"ex:{name}", f"ex:{act}")
+    if len(entity_names) >= 2:
+        pairs = draw(
+            st.lists(
+                st.tuples(st.sampled_from(entity_names), st.sampled_from(entity_names)),
+                max_size=3,
+            )
+        )
+        for a, b in pairs:
+            if a != b:
+                doc.was_derived_from(f"ex:{a}", f"ex:{b}")
+    return doc
+
+
+@given(doc=documents())
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_preserves_canonical_form(doc):
+    text = to_provjson(doc)
+    loaded = from_provjson(text)
+    assert to_provjson(loaded) == text
+
+
+@given(doc=documents())
+@settings(max_examples=30, deadline=None)
+def test_double_roundtrip_stable(doc):
+    once = from_provjson(to_provjson(doc))
+    twice = from_provjson(to_provjson(once))
+    assert documents_equal(once, twice)
+
+
+@given(doc=documents())
+@settings(max_examples=30, deadline=None)
+def test_record_counts_preserved(doc):
+    loaded = from_provjson(to_provjson(doc))
+    assert len(loaded.entities) == len(doc.entities)
+    assert len(loaded.activities) == len(doc.activities)
+    assert len(loaded.relations) == len(doc.relations)
+
+
+@given(doc=documents())
+@settings(max_examples=30, deadline=None)
+def test_provn_never_crashes_and_is_wrapped(doc):
+    from repro.prov.provn import to_provn
+
+    text = to_provn(doc)
+    assert text.startswith("document")
+    assert text.rstrip().endswith("endDocument")

@@ -1,0 +1,118 @@
+"""Robustness fuzzing: malformed inputs must raise library errors, never
+arbitrary exceptions.
+
+A provenance service ingests files from other parties; the failure contract
+is that corrupt input raises :class:`~repro.errors.ReproError` subclasses
+(so callers can catch them) — never ``KeyError``/``AttributeError``/
+``IndexError`` leaking implementation details.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.prov.provjson import from_provjson
+from repro.prov.provo import from_provo
+
+ACCEPTABLE = (ReproError,)
+
+
+class TestProvJsonFuzz:
+    @given(text=st.text(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_text(self, text):
+        try:
+            from_provjson(text)
+        except ACCEPTABLE:
+            pass  # the contract: typed library errors only
+
+    @given(payload=st.recursive(
+        st.one_of(st.none(), st.booleans(), st.integers(), st.floats(),
+                  st.text(max_size=10)),
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=8), children, max_size=4),
+        ),
+        max_leaves=20,
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_json(self, payload):
+        try:
+            from_provjson(json.dumps(payload))
+        except ACCEPTABLE:
+            pass
+
+    @given(
+        section=st.sampled_from(["entity", "activity", "used", "wasGeneratedBy"]),
+        body=st.dictionaries(
+            st.text(max_size=12),
+            st.one_of(st.text(max_size=12), st.integers(), st.none(),
+                      st.dictionaries(st.text(max_size=5),
+                                      st.text(max_size=5), max_size=2)),
+            max_size=3,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_structured_but_wrong(self, section, body):
+        doc = {"prefix": {"ex": "http://example.org/"}, section: {"ex:x": body}}
+        try:
+            from_provjson(json.dumps(doc))
+        except ACCEPTABLE:
+            pass
+
+
+class TestProvOFuzz:
+    @given(text=st.text(max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_turtle(self, text):
+        try:
+            from_provo(text)
+        except ACCEPTABLE:
+            pass
+
+
+class TestStoreFuzz:
+    @given(blob=st.binary(max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_corrupt_netcdflike_file(self, blob, tmp_path_factory):
+        from repro.storage.netcdflike import NetCDFLikeStore
+
+        tmp = tmp_path_factory.mktemp("fuzz")
+        path = tmp / "corrupt.nc"
+        path.write_bytes(b"RNC1" + blob)
+        try:
+            NetCDFLikeStore(path)
+        except ACCEPTABLE:
+            pass
+
+    @given(blob=st.binary(max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_corrupt_codec_payloads(self, blob):
+        import numpy as np
+
+        from repro.storage.codecs import DeltaZlibCodec, ZlibCodec
+
+        for codec in (ZlibCodec(), DeltaZlibCodec()):
+            try:
+                codec.decode(blob, np.dtype(np.float64), 10)
+            except ACCEPTABLE:
+                pass
+
+
+class TestServiceFuzz:
+    @given(text=st.text(max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_put_arbitrary_text_rejected_cleanly(self, text):
+        from repro.yprov.service import ProvenanceService
+
+        service = ProvenanceService()
+        try:
+            service.put_document("fuzz", text)
+        except ACCEPTABLE:
+            # rejection must be atomic: nothing half-ingested
+            assert "fuzz" not in service
+            assert service.db.node_count == 0

@@ -1,0 +1,106 @@
+"""Property-based tests for the simulator's physical invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.cluster import frontier
+from repro.simulator.comm import RingAllreduceModel
+from repro.simulator.lossmodel import ScalingLawLoss
+from repro.simulator.models import MAEConfig
+from repro.simulator.power import PowerModel
+
+
+class TestLossModelProps:
+    @given(
+        params=st.floats(1e7, 1e11),
+        tokens_a=st.floats(1e6, 1e13),
+        tokens_b=st.floats(1e6, 1e13),
+        arch=st.sampled_from(["mae", "swint", "vit"]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_loss_monotone_in_data(self, params, tokens_a, tokens_b, arch):
+        assume(tokens_a < tokens_b)
+        model = ScalingLawLoss(architecture=arch, param_count=params,
+                               unique_tokens=5e10)
+        la = model.loss_at_tokens(np.array([tokens_a]))[0]
+        lb = model.loss_at_tokens(np.array([tokens_b]))[0]
+        assert lb <= la + 1e-12
+
+    @given(
+        params_a=st.floats(1e7, 1e11),
+        params_b=st.floats(1e7, 1e11),
+        arch=st.sampled_from(["mae", "swint", "vit"]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_loss_monotone_in_params(self, params_a, params_b, arch):
+        assume(params_a < params_b)
+        tokens = np.array([1e10])
+        small = ScalingLawLoss(architecture=arch, param_count=params_a,
+                               unique_tokens=5e10)
+        big = ScalingLawLoss(architecture=arch, param_count=params_b,
+                             unique_tokens=5e10)
+        assert big.loss_at_tokens(tokens)[0] <= small.loss_at_tokens(tokens)[0] + 1e-12
+
+    @given(params=st.floats(1e7, 1e10), tokens=st.floats(1e6, 1e14))
+    @settings(max_examples=50, deadline=None)
+    def test_loss_above_irreducible(self, params, tokens):
+        model = ScalingLawLoss(architecture="mae", param_count=params,
+                               unique_tokens=1e10)
+        assert model.loss_at_tokens(np.array([tokens]))[0] > model.constants["E"]
+
+    @given(unique=st.floats(1e6, 1e12), tokens=st.floats(1e6, 1e14))
+    @settings(max_examples=50, deadline=None)
+    def test_effective_tokens_never_exceed_actual(self, unique, tokens):
+        model = ScalingLawLoss(architecture="swint", param_count=1e8,
+                               unique_tokens=unique)
+        d_eff = model.effective_tokens(np.array([tokens]))[0]
+        assert d_eff <= tokens * (1 + 1e-9)
+        assert d_eff > 0
+
+
+class TestCommProps:
+    @given(n_gpus=st.integers(1, 512), nbytes=st.floats(0, 1e10))
+    @settings(max_examples=80, deadline=None)
+    def test_allreduce_time_nonnegative_and_bounded_by_naive(self, n_gpus, nbytes):
+        model = RingAllreduceModel(frontier().allocate(n_gpus))
+        ring = model.time(nbytes)
+        naive = model.naive_time(nbytes)
+        assert ring >= 0.0
+        if n_gpus > 2 and nbytes > 1e6:
+            assert ring <= naive * 1.5  # ring never much worse than naive
+
+    @given(n_gpus=st.integers(2, 256),
+           small=st.floats(1e3, 1e6), factor=st.floats(2, 100))
+    @settings(max_examples=60, deadline=None)
+    def test_time_monotone_in_bytes(self, n_gpus, small, factor):
+        model = RingAllreduceModel(frontier().allocate(n_gpus))
+        assert model.time(small * factor) >= model.time(small)
+
+
+class TestPowerProps:
+    @given(n_gpus=st.integers(1, 256), u1=st.floats(0, 1), u2=st.floats(0, 1))
+    @settings(max_examples=60, deadline=None)
+    def test_power_monotone_in_utilization(self, n_gpus, u1, u2):
+        assume(u1 <= u2)
+        model = PowerModel(frontier().allocate(n_gpus))
+        assert model.node_power(u1) <= model.node_power(u2) + 1e-9
+
+    @given(n_gpus=st.integers(1, 256))
+    @settings(max_examples=40, deadline=None)
+    def test_idle_floor_positive(self, n_gpus):
+        model = PowerModel(frontier().allocate(n_gpus))
+        assert model.idle_power_w > 0
+
+
+class TestModelProps:
+    @given(d=st.integers(64, 2048).map(lambda x: (x // 64) * 64),
+           depth=st.integers(1, 48))
+    @settings(max_examples=50, deadline=None)
+    def test_mae_flops_and_params_positive_and_consistent(self, d, depth):
+        cfg = MAEConfig(name="m", hidden_dim=max(d, 64), depth=depth)
+        assert cfg.param_count > 0
+        assert cfg.forward_flops_per_sample() > 0
+        assert cfg.train_flops_per_sample() == 3.0 * cfg.forward_flops_per_sample()
+        # masking: encoder never sees more tokens than exist
+        assert 1 <= cfg.visible_tokens <= cfg.tokens_per_sample

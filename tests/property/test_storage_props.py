@@ -1,0 +1,65 @@
+"""Property-based tests: metric stores round-trip arbitrary series."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.storage import SeriesData, open_store
+
+column_names = st.sampled_from(["values", "steps", "times", "extra", "a@b/c"])
+
+
+@st.composite
+def series_data(draw):
+    n = draw(st.integers(0, 200))
+    names = draw(st.lists(column_names, min_size=1, max_size=3, unique=True))
+    columns = {}
+    for name in names:
+        dtype = draw(st.sampled_from([np.float64, np.int64, np.float32]))
+        if np.dtype(dtype).kind == "f":
+            elements = st.floats(allow_nan=True, allow_infinity=True,
+                                 width=np.dtype(dtype).itemsize * 8)
+        else:
+            elements = st.integers(min_value=-(2**40), max_value=2**40)
+        columns[name] = draw(hnp.arrays(dtype=dtype, shape=n, elements=elements))
+    attrs = draw(
+        st.dictionaries(
+            st.text(max_size=8),
+            st.one_of(st.integers(-100, 100), st.text(max_size=8), st.booleans()),
+            max_size=3,
+        )
+    )
+    return SeriesData(columns, attrs)
+
+
+@pytest.mark.parametrize("fmt", ["json", "zarrlike", "netcdflike"])
+@given(series=series_data())
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_store_roundtrip(fmt, series, tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("store")
+    suffix = {"json": "m.json", "zarrlike": "m.zarr", "netcdflike": "m.nc"}[fmt]
+    store = open_store(tmp / suffix, fmt=fmt)
+    store.write_series("series", series)
+    back = store.read_series("series")
+    assert back.equals(series)
+    assert back.attrs == series.attrs
+
+
+@given(series=series_data())
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_conversion_chain_lossless(series, tmp_path_factory):
+    """json -> zarr -> nc preserves every column bit-exactly."""
+    from repro.storage import convert_store
+
+    tmp = tmp_path_factory.mktemp("chain")
+    a = open_store(tmp / "a.json", fmt="json")
+    a.write_series("s", series)
+    b = open_store(tmp / "b.zarr", fmt="zarrlike")
+    convert_store(a, b)
+    c = open_store(tmp / "c.nc", fmt="netcdflike")
+    convert_store(b, c)
+    assert c.read_series("s").equals(series)

@@ -1,0 +1,149 @@
+"""Tests for ProvDocument and ProvBundle."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import DuplicateRecordError, ProvError
+from repro.prov.document import ProvDocument
+from repro.prov.identifiers import Namespace
+
+
+@pytest.fixture
+def doc() -> ProvDocument:
+    document = ProvDocument()
+    document.add_namespace("ex", "http://example.org/")
+    return document
+
+
+class TestElementConstruction:
+    def test_entity_roundtrip(self, doc):
+        ent = doc.entity("ex:e", {"prov:label": "thing"})
+        assert doc.get_element("ex:e") is ent
+
+    def test_activity_with_times(self, doc):
+        start = dt.datetime(2025, 1, 1, tzinfo=dt.timezone.utc)
+        act = doc.activity("ex:a", start_time=start)
+        assert act.start_time == start
+
+    def test_redeclare_merges_attributes(self, doc):
+        doc.entity("ex:e", {"a": 1})
+        ent = doc.entity("ex:e", {"b": 2})
+        assert ent.attributes == {"a": 1, "b": 2}
+
+    def test_redeclare_conflicting_value_accumulates(self, doc):
+        doc.entity("ex:e", {"a": 1})
+        ent = doc.entity("ex:e", {"a": 2})
+        assert ent.attributes["a"] == [1, 2]
+
+    def test_cross_kind_clash_rejected(self, doc):
+        doc.entity("ex:x")
+        with pytest.raises(DuplicateRecordError):
+            doc.activity("ex:x")
+
+    def test_redeclare_activity_fills_times(self, doc):
+        doc.activity("ex:a")
+        start = dt.datetime(2025, 1, 1, tzinfo=dt.timezone.utc)
+        act = doc.activity("ex:a", start_time=start)
+        assert act.start_time == start
+
+    def test_collection_gets_type(self, doc):
+        coll = doc.collection("ex:c")
+        assert str(coll.prov_type) == "prov:Collection"
+
+    def test_len_counts_everything(self, doc):
+        doc.entity("ex:e")
+        doc.activity("ex:a")
+        doc.used("ex:a", "ex:e")
+        assert len(doc) == 3
+
+
+class TestRelationConstruction:
+    def test_used_coerces_strings(self, doc):
+        rel = doc.used("ex:a", "ex:e")
+        assert rel.source.provjson() == "ex:a"
+        assert rel.target.provjson() == "ex:e"
+
+    def test_all_convenience_constructors(self, doc):
+        doc.entity("ex:e1")
+        doc.entity("ex:e2")
+        doc.activity("ex:a1")
+        doc.activity("ex:a2")
+        doc.agent("ex:g1")
+        doc.agent("ex:g2")
+        doc.was_generated_by("ex:e1", "ex:a1")
+        doc.used("ex:a1", "ex:e2")
+        doc.was_informed_by("ex:a1", "ex:a2")
+        doc.was_started_by("ex:a1", starter="ex:a2")
+        doc.was_ended_by("ex:a1", ender="ex:a2")
+        doc.was_invalidated_by("ex:e1", "ex:a1")
+        doc.was_derived_from("ex:e1", "ex:e2")
+        doc.was_attributed_to("ex:e1", "ex:g1")
+        doc.was_associated_with("ex:a1", "ex:g1")
+        doc.acted_on_behalf_of("ex:g1", "ex:g2")
+        doc.was_influenced_by("ex:e1", "ex:e2")
+        doc.specialization_of("ex:e1", "ex:e2")
+        doc.alternate_of("ex:e1", "ex:e2")
+        doc.had_member("ex:e1", "ex:e2")
+        assert len(doc.relations) == 14
+
+    def test_relations_of_kind(self, doc):
+        doc.used("ex:a", "ex:e")
+        doc.used("ex:a", "ex:f")
+        doc.was_generated_by("ex:g", "ex:a")
+        assert len(doc.relations_of_kind("used")) == 2
+        assert len(doc.relations_of_kind("wasGeneratedBy")) == 1
+
+    def test_relations_of_unknown_kind_raises(self, doc):
+        with pytest.raises(ProvError):
+            doc.relations_of_kind("nope")
+
+
+class TestBundles:
+    def test_bundle_shares_namespaces(self, doc):
+        bundle = doc.bundle("ex:b1")
+        bundle.entity("ex:inner")  # resolvable thanks to shared registry
+        assert "ex:b1" in {qn.provjson() for qn in doc.bundles}
+
+    def test_bundle_is_idempotent(self, doc):
+        assert doc.bundle("ex:b1") is doc.bundle("ex:b1")
+
+    def test_flattened_merges_bundles(self, doc):
+        doc.entity("ex:top")
+        bundle = doc.bundle("ex:b1")
+        bundle.entity("ex:inner")
+        flat = doc.flattened()
+        ids = {qn.provjson() for qn in flat.entities}
+        assert ids == {"ex:top", "ex:inner"}
+        assert not flat.bundles or all(len(b) == 0 for b in flat.bundles.values())
+
+    def test_update_merges_documents(self, doc):
+        other = ProvDocument()
+        other.add_namespace("ex", "http://example.org/")
+        other.entity("ex:from_other", {"k": 1})
+        other.activity("ex:act", start_time=dt.datetime(2025, 1, 1))
+        other.used("ex:act", "ex:from_other")
+        doc.entity("ex:mine")
+        doc.update(other)
+        assert doc.get_element("ex:from_other") is not None
+        assert doc.get_element("ex:mine") is not None
+        assert len(doc.relations) == 1
+        # activity times survive the merge
+        assert doc.activities[doc.qname("ex:act")].start_time is not None
+
+    def test_update_deduplicates_relations(self, doc):
+        other = ProvDocument()
+        other.add_namespace("ex", "http://example.org/")
+        other.used("ex:a", "ex:e")
+        doc.used("ex:a", "ex:e")
+        doc.update(other)
+        assert len(doc.relations) == 1
+
+
+class TestIO:
+    def test_save_and_load(self, doc, tmp_path):
+        doc.entity("ex:e", {"v": 1})
+        path = tmp_path / "doc.json"
+        doc.save(path)
+        loaded = ProvDocument.load(path)
+        assert loaded.get_element("ex:e").attributes["v"] == 1

@@ -1,0 +1,94 @@
+"""Tests for the networkx export and lineage closures."""
+
+import pytest
+
+from repro.errors import ProvError
+from repro.prov.document import ProvDocument
+from repro.prov.graph import ancestors, degree_stats, descendants, lineage, to_networkx
+
+
+class TestToNetworkx:
+    def test_nodes_and_kinds(self, sample_document):
+        graph = to_networkx(sample_document)
+        assert graph.nodes["ex:dataset"]["kind"] == "entity"
+        assert graph.nodes["ex:train"]["kind"] == "activity"
+        assert graph.nodes["ex:alice"]["kind"] == "agent"
+
+    def test_edge_relations(self, sample_document):
+        graph = to_networkx(sample_document)
+        rels = {d["relation"] for _, _, d in graph.edges(data=True)}
+        assert "used" in rels and "wasGeneratedBy" in rels
+
+    def test_edge_direction_points_back_in_time(self, sample_document):
+        graph = to_networkx(sample_document)
+        # model wasGeneratedBy train: edge model -> train
+        assert graph.has_edge("ex:model", "ex:train")
+        # train used dataset: edge train -> dataset
+        assert graph.has_edge("ex:train", "ex:dataset")
+
+    def test_dangling_reference_gets_unknown_node(self):
+        doc = ProvDocument()
+        doc.add_namespace("ex", "http://example.org/")
+        doc.used("ex:ghost_act", "ex:ghost_ent")
+        graph = to_networkx(doc)
+        assert graph.nodes["ex:ghost_act"]["kind"] == "unknown"
+
+    def test_bundles_flattened_by_default(self):
+        doc = ProvDocument()
+        doc.add_namespace("ex", "http://example.org/")
+        doc.bundle("ex:b").entity("ex:inner")
+        graph = to_networkx(doc)
+        assert "ex:inner" in graph
+
+    def test_label_defaults_to_localpart(self, sample_document):
+        graph = to_networkx(sample_document)
+        assert graph.nodes["ex:train"]["label"] == "train"
+
+
+class TestClosures:
+    def test_ancestors_of_model(self, sample_document):
+        up = ancestors(sample_document, "ex:model")
+        assert up == {"ex:train", "ex:dataset", "ex:alice"}
+
+    def test_descendants_of_dataset(self, sample_document):
+        down = descendants(sample_document, "ex:dataset")
+        assert "ex:model" in down and "ex:train" in down
+
+    def test_max_depth_limits(self, sample_document):
+        up1 = ancestors(sample_document, "ex:model", max_depth=1)
+        assert "ex:dataset" in up1  # direct via wasDerivedFrom
+        assert "ex:train" in up1
+
+    def test_relation_filter(self, sample_document):
+        only_derivation = ancestors(
+            sample_document, "ex:model", relations=["wasDerivedFrom"]
+        )
+        assert only_derivation == {"ex:dataset"}
+
+    def test_unknown_element_raises(self, sample_document):
+        with pytest.raises(ProvError):
+            ancestors(sample_document, "ex:nope")
+
+    def test_lineage_subgraph(self, sample_document):
+        sub = lineage(sample_document, "ex:train")
+        assert set(sub.nodes) == {"ex:train", "ex:dataset", "ex:model", "ex:alice"}
+
+    def test_lineage_unknown_raises(self, sample_document):
+        with pytest.raises(ProvError):
+            lineage(sample_document, "ex:missing")
+
+
+class TestStats:
+    def test_degree_stats(self, sample_document):
+        stats = degree_stats(sample_document)
+        assert stats["entities"] == 2
+        assert stats["activities"] == 1
+        assert stats["agents"] == 1
+        assert stats["edges"] == 5
+        assert stats["mean_degree"] > 0
+
+    def test_empty_document(self):
+        doc = ProvDocument()
+        stats = degree_stats(doc)
+        assert stats["nodes"] == 0
+        assert stats["mean_degree"] == 0.0

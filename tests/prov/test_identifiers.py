@@ -1,0 +1,110 @@
+"""Tests for namespaces and qualified names."""
+
+import pytest
+
+from repro.errors import InvalidQualifiedNameError, UnknownNamespaceError
+from repro.prov.identifiers import Namespace, NamespaceRegistry, QualifiedName
+
+
+class TestNamespace:
+    def test_mints_qualified_names(self):
+        ex = Namespace("ex", "http://example.org/")
+        qn = ex("thing")
+        assert isinstance(qn, QualifiedName)
+        assert qn.provjson() == "ex:thing"
+        assert qn.uri == "http://example.org/thing"
+
+    def test_rejects_bad_prefix(self):
+        with pytest.raises(InvalidQualifiedNameError):
+            Namespace("has space", "http://example.org/")
+
+    def test_rejects_prefix_starting_with_digit(self):
+        with pytest.raises(InvalidQualifiedNameError):
+            Namespace("1ex", "http://example.org/")
+
+    def test_rejects_empty_uri(self):
+        with pytest.raises(InvalidQualifiedNameError):
+            Namespace("ex", "")
+
+    def test_equality_and_hash(self):
+        a = Namespace("ex", "http://example.org/")
+        b = Namespace("ex", "http://example.org/")
+        c = Namespace("ex", "http://other.org/")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestQualifiedName:
+    def test_rejects_empty_local_part(self):
+        ex = Namespace("ex", "http://example.org/")
+        with pytest.raises(InvalidQualifiedNameError):
+            QualifiedName(ex, "")
+
+    def test_rejects_whitespace_local_part(self):
+        ex = Namespace("ex", "http://example.org/")
+        with pytest.raises(InvalidQualifiedNameError):
+            QualifiedName(ex, "a b")
+
+    def test_slashes_allowed_in_local_part(self):
+        ex = Namespace("ex", "http://example.org/")
+        qn = ex("run/1/ctx/TRAINING")
+        assert qn.provjson() == "ex:run/1/ctx/TRAINING"
+
+    def test_equality_is_by_uri(self):
+        a = Namespace("a", "http://example.org/")
+        b = Namespace("b", "http://example.org/")
+        assert a("x") == b("x")  # same expanded URI
+        assert hash(a("x")) == hash(b("x"))
+
+    def test_str_is_provjson_form(self):
+        ex = Namespace("ex", "http://example.org/")
+        assert str(ex("x")) == "ex:x"
+
+
+class TestNamespaceRegistry:
+    def test_register_and_parse(self):
+        reg = NamespaceRegistry()
+        reg.register(Namespace("ex", "http://example.org/"))
+        qn = reg.qname("ex:thing")
+        assert qn.localpart == "thing"
+        assert qn.namespace.uri == "http://example.org/"
+
+    def test_reregister_same_uri_is_noop(self):
+        reg = NamespaceRegistry()
+        ns1 = reg.register(Namespace("ex", "http://example.org/"))
+        ns2 = reg.register(Namespace("ex", "http://example.org/"))
+        assert ns1 is ns2
+
+    def test_conflicting_prefix_rejected(self):
+        reg = NamespaceRegistry()
+        reg.register(Namespace("ex", "http://example.org/"))
+        with pytest.raises(InvalidQualifiedNameError):
+            reg.register(Namespace("ex", "http://other.org/"))
+
+    def test_unknown_prefix_raises(self):
+        reg = NamespaceRegistry()
+        with pytest.raises(UnknownNamespaceError):
+            reg.qname("nope:thing")
+
+    def test_bare_name_without_default_raises(self):
+        reg = NamespaceRegistry()
+        with pytest.raises(UnknownNamespaceError):
+            reg.qname("bare")
+
+    def test_bare_name_with_default(self):
+        reg = NamespaceRegistry()
+        reg.set_default("http://default.org/")
+        qn = reg.qname("bare")
+        assert qn.uri == "http://default.org/bare"
+
+    def test_contains_iter_len(self):
+        reg = NamespaceRegistry([Namespace("a", "http://a/"), Namespace("b", "http://b/")])
+        assert "a" in reg and "c" not in reg
+        assert len(reg) == 2
+        assert {ns.prefix for ns in reg} == {"a", "b"}
+
+    def test_copy_is_independent(self):
+        reg = NamespaceRegistry([Namespace("a", "http://a/")])
+        cp = reg.copy()
+        cp.register(Namespace("b", "http://b/"))
+        assert "b" in cp and "b" not in reg

@@ -1,0 +1,120 @@
+"""Interoperability: documents authored by *other* PROV tools must load.
+
+The paper's whole point is interoperability ("making it possible for
+different provenance-producing systems to exchange structured information
+seamlessly").  This test feeds the parser a document in the style of the
+W3C PROV-JSON member submission's examples — foreign namespaces
+(dcterms/foaf), explicit relation identifiers, typed literals — none of it
+produced by this library.
+"""
+
+import json
+
+import pytest
+
+from repro.prov.provjson import from_provjson, to_provjson
+from repro.prov.validation import validate_document
+
+#: A PROV-JSON document in the style of the W3C member-submission examples.
+W3C_STYLE_DOC = {
+    "prefix": {
+        "ex": "http://www.example.com/",
+        "dcterms": "http://purl.org/dc/terms/",
+        "foaf": "http://xmlns.com/foaf/0.1/",
+        "w3": "http://www.w3.org/",
+    },
+    "entity": {
+        "ex:article": {"dcterms:title": "Crime rises in cities"},
+        "ex:dataSet1": {},
+        "ex:chart1": {},
+    },
+    "activity": {
+        "ex:compile": {
+            "prov:startTime": "2012-03-31T09:21:00Z",
+            "prov:endTime": "2012-04-01T15:21:00Z",
+        },
+        "ex:compose": {},
+    },
+    "agent": {
+        "ex:derek": {
+            "prov:type": {"$": "prov:Person", "type": "prov:QUALIFIED_NAME"},
+            "foaf:givenName": "Derek",
+            "foaf:mbox": "<mailto:derek@example.org>",
+        }
+    },
+    "wasGeneratedBy": {
+        "ex:g1": {"prov:entity": "ex:chart1", "prov:activity": "ex:compile",
+                  "prov:time": "2012-04-01T15:21:00Z"},
+    },
+    "used": {
+        "_:u1": {"prov:activity": "ex:compose", "prov:entity": "ex:dataSet1",
+                 "prov:role": {"$": "ex:dataToCompose",
+                               "type": "prov:QUALIFIED_NAME"}},
+    },
+    "wasAssociatedWith": {
+        "_:a1": {"prov:activity": "ex:compose", "prov:agent": "ex:derek"},
+    },
+    "wasAttributedTo": {
+        "_:at1": {"prov:entity": "ex:chart1", "prov:agent": "ex:derek"},
+    },
+    "wasDerivedFrom": {
+        "_:d1": {"prov:generatedEntity": "ex:chart1",
+                 "prov:usedEntity": "ex:dataSet1"},
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    return from_provjson(json.dumps(W3C_STYLE_DOC))
+
+
+class TestForeignDocument:
+    def test_all_records_loaded(self, loaded):
+        assert len(loaded.entities) == 3
+        assert len(loaded.activities) == 2
+        assert len(loaded.agents) == 1
+        assert len(loaded.relations) == 5
+
+    def test_foreign_attributes_preserved(self, loaded):
+        article = loaded.get_element("ex:article")
+        assert article.attributes["dcterms:title"] == "Crime rises in cities"
+        derek = loaded.get_element("ex:derek")
+        assert derek.attributes["foaf:givenName"] == "Derek"
+
+    def test_typed_literal_prov_type(self, loaded):
+        derek = loaded.get_element("ex:derek")
+        assert str(derek.prov_type) == "prov:Person"
+
+    def test_explicit_relation_identifier(self, loaded):
+        gen = loaded.relations_of_kind("wasGeneratedBy")[0]
+        assert gen.identifier.provjson() == "ex:g1"
+
+    def test_relation_role_attribute(self, loaded):
+        used = loaded.relations_of_kind("used")[0]
+        assert str(used.attributes["prov:role"]) == "ex:dataToCompose"
+
+    def test_activity_interval_parsed(self, loaded):
+        compile_act = loaded.activities[loaded.qname("ex:compile")]
+        assert compile_act.start_time.year == 2012
+        assert compile_act.end_time > compile_act.start_time
+
+    def test_validates(self, loaded):
+        report = validate_document(loaded, require_declared=True)
+        assert report.is_valid, report.errors
+
+    def test_reserializes_stably(self, loaded):
+        text = to_provjson(loaded)
+        again = from_provjson(text)
+        assert to_provjson(again) == text
+
+    def test_queryable_through_the_stack(self, loaded):
+        """The foreign document works in our service/Explorer unchanged."""
+        from repro.yprov.explorer import Explorer
+        from repro.yprov.service import ProvenanceService
+
+        service = ProvenanceService()
+        service.put_document("w3c_example", loaded)
+        explorer = Explorer(service)
+        up = explorer.lineage_of("w3c_example", "ex:chart1", "upstream")
+        assert "ex:dataSet1" in up and "ex:derek" in up

@@ -1,0 +1,133 @@
+"""Tests for typed literals and attribute value conversion."""
+
+import datetime as dt
+import math
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.prov.identifiers import Namespace
+from repro.prov.literals import (
+    XSD,
+    Literal,
+    format_datetime,
+    infer_datatype,
+    parse_datetime,
+    value_from_json,
+    value_to_json,
+)
+
+
+class TestDatetime:
+    def test_naive_is_utc(self):
+        text = format_datetime(dt.datetime(2025, 6, 1, 12, 30))
+        assert text == "2025-06-01T12:30:00Z"
+
+    def test_roundtrip(self):
+        now = dt.datetime(2025, 6, 1, 12, 30, 15, tzinfo=dt.timezone.utc)
+        assert parse_datetime(format_datetime(now)) == now
+
+    def test_parse_z_suffix(self):
+        parsed = parse_datetime("2025-01-01T00:00:00Z")
+        assert parsed.tzinfo is not None
+
+    def test_parse_invalid(self):
+        with pytest.raises(SerializationError):
+            parse_datetime("not a date")
+
+
+class TestValueToJson:
+    def test_scalars_pass_through(self):
+        assert value_to_json(5) == 5
+        assert value_to_json(1.5) == 1.5
+        assert value_to_json("x") == "x"
+        assert value_to_json(True) is True
+
+    def test_nan_becomes_typed_string(self):
+        out = value_to_json(float("nan"))
+        assert out["type"] == XSD.DOUBLE
+        assert out["$"] == "nan"
+
+    def test_inf_becomes_typed_string(self):
+        out = value_to_json(float("inf"))
+        assert out["$"] == "inf"
+
+    def test_datetime_becomes_typed(self):
+        out = value_to_json(dt.datetime(2025, 1, 1, tzinfo=dt.timezone.utc))
+        assert out == {"$": "2025-01-01T00:00:00Z", "type": XSD.DATETIME}
+
+    def test_qualified_name_typed(self):
+        ex = Namespace("ex", "http://example.org/")
+        out = value_to_json(ex("thing"))
+        assert out == {"$": "ex:thing", "type": XSD.QNAME}
+
+    def test_literal_with_lang(self):
+        out = value_to_json(Literal("ciao", XSD.STRING, "it"))
+        assert out == {"$": "ciao", "type": XSD.STRING, "lang": "it"}
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(SerializationError):
+            value_to_json(object())
+
+
+class TestValueFromJson:
+    def test_plain_scalars(self):
+        assert value_from_json(3) == 3
+        assert value_from_json("x") == "x"
+
+    def test_nan_restored(self):
+        out = value_from_json({"$": "nan", "type": XSD.DOUBLE})
+        assert math.isnan(out)
+
+    def test_negative_inf_restored(self):
+        out = value_from_json({"$": "-inf", "type": XSD.DOUBLE})
+        assert out == float("-inf")
+
+    def test_datetime_restored(self):
+        out = value_from_json({"$": "2025-01-01T00:00:00Z", "type": XSD.DATETIME})
+        assert isinstance(out, dt.datetime)
+
+    def test_int_string_restored(self):
+        assert value_from_json({"$": "42", "type": XSD.INT}) == 42
+
+    def test_bool_string_restored(self):
+        assert value_from_json({"$": "true", "type": XSD.BOOLEAN}) is True
+        assert value_from_json({"$": "false", "type": XSD.BOOLEAN}) is False
+
+    def test_qname_with_registry(self):
+        from repro.prov.identifiers import NamespaceRegistry
+
+        reg = NamespaceRegistry([Namespace("ex", "http://example.org/")])
+        out = value_from_json({"$": "ex:thing", "type": XSD.QNAME}, reg)
+        assert out.provjson() == "ex:thing"
+
+    def test_unknown_typed_value_becomes_literal(self):
+        out = value_from_json({"$": "payload", "type": "ex:Custom"})
+        assert isinstance(out, Literal)
+        assert out.datatype == "ex:Custom"
+
+    def test_roundtrip_all_scalar_kinds(self):
+        for value in (1, 2.5, "s", True, float("nan"),
+                      dt.datetime(2024, 3, 1, tzinfo=dt.timezone.utc)):
+            back = value_from_json(value_to_json(value))
+            if isinstance(value, float) and math.isnan(value):
+                assert math.isnan(back)
+            else:
+                assert back == value
+
+
+class TestInferDatatype:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (True, XSD.BOOLEAN),
+            (3, XSD.INT),
+            (2.5, XSD.DOUBLE),
+            ("x", XSD.STRING),
+        ],
+    )
+    def test_scalars(self, value, expected):
+        assert infer_datatype(value) == expected
+
+    def test_datetime(self):
+        assert infer_datatype(dt.datetime(2025, 1, 1)) == XSD.DATETIME

@@ -1,0 +1,123 @@
+"""Tests for PROV-DM record types."""
+
+import pytest
+
+from repro.errors import ProvError
+from repro.prov.identifiers import Namespace
+from repro.prov.model import (
+    PROV_REL_ARGS,
+    PROV_REL_ENDPOINTS,
+    ProvActivity,
+    ProvAgent,
+    ProvEntity,
+    ProvRelation,
+    iter_identifier_args,
+    relation_sort_key,
+)
+
+EX = Namespace("ex", "http://example.org/")
+
+
+class TestElements:
+    def test_entity_requires_qualified_name(self):
+        with pytest.raises(ProvError):
+            ProvEntity("not-a-qname")
+
+    def test_kinds(self):
+        assert ProvEntity(EX("e")).kind == "entity"
+        assert ProvActivity(EX("a")).kind == "activity"
+        assert ProvAgent(EX("g")).kind == "agent"
+
+    def test_repeated_attribute_accumulates(self):
+        ent = ProvEntity(EX("e"))
+        ent.add_attribute("prov:type", "a")
+        ent.add_attribute("prov:type", "b")
+        assert ent.attributes["prov:type"] == ["a", "b"]
+        assert ent.prov_type == "a"  # first value
+
+    def test_label_property(self):
+        ent = ProvEntity(EX("e"), {"prov:label": "nice"})
+        assert ent.label == "nice"
+        assert ProvEntity(EX("f")).label is None
+
+    def test_equality(self):
+        a = ProvEntity(EX("e"), {"k": 1})
+        b = ProvEntity(EX("e"), {"k": 1})
+        c = ProvEntity(EX("e"), {"k": 2})
+        assert a == b
+        assert a != c
+
+    def test_activity_times_in_equality(self):
+        import datetime as dt
+
+        t = dt.datetime(2025, 1, 1)
+        assert ProvActivity(EX("a"), t) != ProvActivity(EX("a"))
+        assert ProvActivity(EX("a"), t) == ProvActivity(EX("a"), t)
+
+
+class TestRelations:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProvError):
+            ProvRelation("wasFooedBy", {"prov:entity": EX("e")})
+
+    def test_invalid_argument_rejected(self):
+        with pytest.raises(ProvError):
+            ProvRelation("used", {"prov:activity": EX("a"), "prov:nonsense": EX("x")})
+
+    def test_missing_required_argument_rejected(self):
+        # "used" requires prov:activity
+        with pytest.raises(ProvError):
+            ProvRelation("used", {"prov:entity": EX("e")})
+
+    def test_source_and_target(self):
+        rel = ProvRelation("used", {"prov:activity": EX("a"), "prov:entity": EX("e")})
+        assert rel.source == EX("a")
+        assert rel.target == EX("e")
+
+    def test_target_may_be_absent(self):
+        rel = ProvRelation("wasGeneratedBy", {"prov:entity": EX("e")})
+        assert rel.target is None
+
+    def test_none_arguments_dropped(self):
+        rel = ProvRelation(
+            "used", {"prov:activity": EX("a"), "prov:entity": None, "prov:time": None}
+        )
+        assert "prov:entity" not in rel.args
+
+    def test_every_relation_kind_constructible(self):
+        for kind, args in PROV_REL_ARGS.items():
+            built = ProvRelation(kind, {args[0]: EX("x"), args[1]: EX("y")})
+            assert built.kind == kind
+
+    def test_endpoints_cover_all_kinds(self):
+        assert set(PROV_REL_ENDPOINTS) == set(PROV_REL_ARGS)
+
+    def test_endpoint_args_are_declared_args(self):
+        for kind, (src, dst) in PROV_REL_ENDPOINTS.items():
+            assert src in PROV_REL_ARGS[kind]
+            assert dst in PROV_REL_ARGS[kind]
+
+    def test_sort_key_is_stable(self):
+        a = ProvRelation("used", {"prov:activity": EX("a"), "prov:entity": EX("e")})
+        b = ProvRelation("used", {"prov:activity": EX("a"), "prov:entity": EX("e")})
+        assert relation_sort_key(a) == relation_sort_key(b)
+
+    def test_iter_identifier_args_skips_times(self):
+        import datetime as dt
+
+        rel = ProvRelation(
+            "used",
+            {
+                "prov:activity": EX("a"),
+                "prov:entity": EX("e"),
+                "prov:time": dt.datetime(2025, 1, 1),
+            },
+        )
+        names = {name for name, _ in iter_identifier_args(rel)}
+        assert names == {"prov:activity", "prov:entity"}
+
+    def test_relation_equality_and_hash(self):
+        a = ProvRelation("used", {"prov:activity": EX("a"), "prov:entity": EX("e")})
+        b = ProvRelation("used", {"prov:activity": EX("a"), "prov:entity": EX("e")})
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,158 @@
+"""Tests for PROV-JSON serialization."""
+
+import datetime as dt
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.prov.document import ProvDocument
+from repro.prov.provjson import documents_equal, from_provjson, to_provjson
+
+
+class TestSerialization:
+    def test_prefix_section(self, sample_document):
+        raw = json.loads(to_provjson(sample_document))
+        assert raw["prefix"]["ex"] == "http://example.org/"
+        assert raw["prefix"]["prov"].startswith("http://www.w3.org/ns/prov")
+
+    def test_elements_sections(self, sample_document):
+        raw = json.loads(to_provjson(sample_document))
+        assert "ex:dataset" in raw["entity"]
+        assert "ex:train" in raw["activity"]
+        assert "ex:alice" in raw["agent"]
+
+    def test_activity_times_serialized(self, sample_document):
+        raw = json.loads(to_provjson(sample_document))
+        act = raw["activity"]["ex:train"]
+        assert act["prov:startTime"] == "2025-01-01T00:00:00Z"
+        assert act["prov:endTime"] == "2025-01-02T00:00:00Z"
+
+    def test_relations_have_generated_keys(self, sample_document):
+        raw = json.loads(to_provjson(sample_document))
+        (key,) = raw["used"].keys()
+        assert key.startswith("_:used")
+
+    def test_relation_body(self, sample_document):
+        raw = json.loads(to_provjson(sample_document))
+        body = list(raw["used"].values())[0]
+        assert body["prov:activity"] == "ex:train"
+        assert body["prov:entity"] == "ex:dataset"
+        assert body["prov:time"] == "2025-01-01T06:00:00Z"
+
+    def test_deterministic(self, sample_document):
+        assert to_provjson(sample_document) == to_provjson(sample_document)
+
+    def test_compact_mode(self, sample_document):
+        compact = to_provjson(sample_document, indent=None)
+        assert "\n" not in compact
+
+
+class TestRoundtrip:
+    def test_full_roundtrip(self, sample_document):
+        text = to_provjson(sample_document)
+        loaded = from_provjson(text)
+        assert to_provjson(loaded) == text
+
+    def test_documents_equal(self, sample_document):
+        clone = from_provjson(to_provjson(sample_document))
+        assert documents_equal(sample_document, clone)
+
+    def test_attribute_types_survive(self):
+        doc = ProvDocument()
+        doc.add_namespace("ex", "http://example.org/")
+        doc.entity("ex:e", {
+            "ex:int": 42,
+            "ex:float": 1.5,
+            "ex:bool": True,
+            "ex:str": "text",
+            "ex:list": [1, 2, 3],
+        })
+        loaded = from_provjson(to_provjson(doc))
+        attrs = loaded.get_element("ex:e").attributes
+        assert attrs["ex:int"] == 42
+        assert attrs["ex:float"] == 1.5
+        assert attrs["ex:bool"] is True
+        assert attrs["ex:str"] == "text"
+        assert attrs["ex:list"] == [1, 2, 3]
+
+    def test_nan_attribute_survives(self):
+        import math
+
+        doc = ProvDocument()
+        doc.add_namespace("ex", "http://example.org/")
+        doc.entity("ex:e", {"ex:v": float("nan")})
+        loaded = from_provjson(to_provjson(doc))
+        assert math.isnan(loaded.get_element("ex:e").attributes["ex:v"])
+
+    def test_qualified_name_attribute_survives(self):
+        doc = ProvDocument()
+        ex = doc.add_namespace("ex", "http://example.org/")
+        doc.entity("ex:e", {"prov:type": ex("CustomType")})
+        loaded = from_provjson(to_provjson(doc))
+        assert str(loaded.get_element("ex:e").prov_type) == "ex:CustomType"
+
+    def test_bundles_roundtrip(self):
+        doc = ProvDocument()
+        doc.add_namespace("ex", "http://example.org/")
+        doc.entity("ex:top")
+        bundle = doc.bundle("ex:b")
+        bundle.entity("ex:inner", {"k": 7})
+        bundle.activity("ex:act")
+        bundle.used("ex:act", "ex:inner")
+        loaded = from_provjson(to_provjson(doc))
+        assert documents_equal(doc, loaded)
+        inner = loaded.bundles[loaded.qname("ex:b")]
+        assert inner.get_element("ex:inner").attributes["k"] == 7
+
+    def test_relation_with_identifier_roundtrip(self):
+        doc = ProvDocument()
+        doc.add_namespace("ex", "http://example.org/")
+        doc._add_relation(
+            "used",
+            {"prov:activity": "ex:a", "prov:entity": "ex:e"},
+            identifier="ex:u1",
+        )
+        raw = json.loads(to_provjson(doc))
+        assert "ex:u1" in raw["used"]
+        loaded = from_provjson(to_provjson(doc))
+        assert loaded.relations[0].identifier.provjson() == "ex:u1"
+
+    def test_relation_extra_attributes_roundtrip(self):
+        doc = ProvDocument()
+        doc.add_namespace("ex", "http://example.org/")
+        doc.used("ex:a", "ex:e", attributes={"ex:role": "trainer"})
+        loaded = from_provjson(to_provjson(doc))
+        assert loaded.relations[0].attributes["ex:role"] == "trainer"
+
+
+class TestParsingErrors:
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError):
+            from_provjson("not json")
+
+    def test_non_object_top_level(self):
+        with pytest.raises(SerializationError):
+            from_provjson("[1, 2]")
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(SerializationError):
+            from_provjson('{"prefix": {}, "wasFooedBy": {}}')
+
+    def test_malformed_relation_rejected(self):
+        text = json.dumps({
+            "prefix": {"ex": "http://example.org/"},
+            "used": {"_:u1": "not-a-dict"},
+        })
+        with pytest.raises(SerializationError):
+            from_provjson(text)
+
+    def test_unknown_prefix_in_body_rejected(self):
+        text = json.dumps({
+            "prefix": {"ex": "http://example.org/"},
+            "entity": {"zz:e": {}},
+        })
+        from repro.errors import UnknownNamespaceError
+
+        with pytest.raises(UnknownNamespaceError):
+            from_provjson(text)

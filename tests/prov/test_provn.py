@@ -1,0 +1,73 @@
+"""Tests for the PROV-N writer."""
+
+import datetime as dt
+
+from repro.prov.document import ProvDocument
+from repro.prov.provn import to_provn
+
+
+def test_document_wrapper(sample_document):
+    text = to_provn(sample_document)
+    assert text.startswith("document")
+    assert text.rstrip().endswith("endDocument")
+
+
+def test_prefix_lines(sample_document):
+    text = to_provn(sample_document)
+    assert "prefix ex <http://example.org/>" in text
+
+
+def test_entity_with_attributes(sample_document):
+    text = to_provn(sample_document)
+    assert 'entity(ex:dataset, [ex:rows="100" %% xsd:int, prov:label="dataset"])' in text
+
+
+def test_activity_with_times(sample_document):
+    text = to_provn(sample_document)
+    assert "activity(ex:train, 2025-01-01T00:00:00Z, 2025-01-02T00:00:00Z)" in text
+
+
+def test_relations_rendered(sample_document):
+    text = to_provn(sample_document)
+    assert "used(ex:train, ex:dataset, 2025-01-01T06:00:00Z)" in text
+    assert "wasAssociatedWith(ex:train, ex:alice)" in text
+    assert "wasDerivedFrom(ex:model, ex:dataset, ex:train)" in text
+
+
+def test_optional_placeholders_trimmed():
+    doc = ProvDocument()
+    doc.add_namespace("ex", "http://example.org/")
+    doc.was_generated_by("ex:e")  # no activity, no time
+    text = to_provn(doc)
+    assert "wasGeneratedBy(ex:e)" in text
+
+
+def test_placeholder_kept_when_later_arg_present():
+    doc = ProvDocument()
+    doc.add_namespace("ex", "http://example.org/")
+    doc.was_generated_by("ex:e", time=dt.datetime(2025, 1, 1, tzinfo=dt.timezone.utc))
+    text = to_provn(doc)
+    assert "wasGeneratedBy(ex:e, -, 2025-01-01T00:00:00Z)" in text
+
+
+def test_string_escaping():
+    doc = ProvDocument()
+    doc.add_namespace("ex", "http://example.org/")
+    doc.entity("ex:e", {"ex:msg": 'say "hi"'})
+    text = to_provn(doc)
+    assert '\\"hi\\"' in text
+
+
+def test_bundles_rendered():
+    doc = ProvDocument()
+    doc.add_namespace("ex", "http://example.org/")
+    bundle = doc.bundle("ex:b")
+    bundle.entity("ex:inner")
+    text = to_provn(doc)
+    assert "bundle ex:b" in text
+    assert "endBundle" in text
+    assert "entity(ex:inner)" in text
+
+
+def test_deterministic(sample_document):
+    assert to_provn(sample_document) == to_provn(sample_document)

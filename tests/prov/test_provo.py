@@ -1,0 +1,122 @@
+"""Tests for PROV-O (RDF/Turtle) serialization."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.prov.document import ProvDocument
+from repro.prov.provo import from_provo, to_provo
+from repro.prov.validation import validate_document
+
+
+class TestWriter:
+    def test_prefixes(self, sample_document):
+        ttl = to_provo(sample_document)
+        assert "@prefix prov: <http://www.w3.org/ns/prov#> ." in ttl
+        assert "@prefix ex: <http://example.org/> ." in ttl
+
+    def test_element_typing(self, sample_document):
+        ttl = to_provo(sample_document)
+        assert "ex:dataset a prov:Entity" in ttl
+        assert "ex:train a prov:Activity" in ttl
+        assert "ex:alice a prov:Agent" in ttl
+
+    def test_activity_times(self, sample_document):
+        ttl = to_provo(sample_document)
+        assert 'prov:startedAtTime "2025-01-01T00:00:00Z"^^xsd:dateTime' in ttl
+
+    def test_label_uses_rdfs(self, sample_document):
+        ttl = to_provo(sample_document)
+        assert 'rdfs:label "alice"' in ttl
+
+    def test_direct_properties(self, sample_document):
+        ttl = to_provo(sample_document)
+        assert "ex:train prov:used ex:dataset ." in ttl
+        assert "ex:model prov:wasGeneratedBy ex:train ." in ttl
+        assert "ex:model prov:wasAttributedTo ex:alice ." in ttl
+
+    def test_qualified_usage_with_time(self, sample_document):
+        ttl = to_provo(sample_document)
+        assert "prov:qualifiedUsage" in ttl
+        assert "a prov:Usage" in ttl
+        assert 'prov:atTime "2025-01-01T06:00:00Z"^^xsd:dateTime' in ttl
+
+    def test_qualified_derivation_activity(self, sample_document):
+        ttl = to_provo(sample_document)
+        assert "prov:qualifiedDerivation" in ttl
+        assert "prov:hadActivity ex:train" in ttl
+
+    def test_unqualified_relation_stays_direct(self):
+        doc = ProvDocument()
+        doc.add_namespace("ex", "http://example.org/")
+        doc.specialization_of("ex:a", "ex:b")
+        ttl = to_provo(doc)
+        assert "ex:a prov:specializationOf ex:b ." in ttl
+        assert "qualified" not in ttl
+
+    def test_string_escaping(self):
+        doc = ProvDocument()
+        doc.add_namespace("ex", "http://example.org/")
+        doc.entity("ex:e", {"ex:note": 'line1\n"quoted"'})
+        ttl = to_provo(doc)
+        assert '\\n' in ttl and '\\"quoted\\"' in ttl
+
+    def test_deterministic(self, sample_document):
+        assert to_provo(sample_document) == to_provo(sample_document)
+
+
+class TestRoundtrip:
+    def test_elements_survive(self, sample_document):
+        loaded = from_provo(to_provo(sample_document))
+        assert len(loaded.entities) == 2
+        assert len(loaded.activities) == 1
+        assert len(loaded.agents) == 1
+        assert loaded.get_element("ex:dataset").attributes["ex:rows"] == 100
+        assert loaded.get_element("ex:alice").label == "alice"
+
+    def test_relations_survive(self, sample_document):
+        loaded = from_provo(to_provo(sample_document))
+        kinds = sorted(r.kind for r in loaded.relations)
+        assert kinds == sorted(r.kind for r in sample_document.relations)
+
+    def test_times_survive(self, sample_document):
+        loaded = from_provo(to_provo(sample_document))
+        act = loaded.activities[loaded.qname("ex:train")]
+        assert act.start_time == dt.datetime(2025, 1, 1, tzinfo=dt.timezone.utc)
+        used = loaded.relations_of_kind("used")[0]
+        assert used.args["prov:time"] == dt.datetime(
+            2025, 1, 1, 6, tzinfo=dt.timezone.utc
+        )
+
+    def test_roundtrip_validates(self, sample_document):
+        loaded = from_provo(to_provo(sample_document))
+        assert validate_document(loaded, require_declared=True).is_valid
+
+    def test_generated_run_document_roundtrips(self, finished_run):
+        from repro.core.provgen import build_prov_document
+
+        doc = build_prov_document(finished_run)
+        loaded = from_provo(to_provo(doc))
+        # element counts preserved (flattened view)
+        flat = doc.flattened()
+        assert len(loaded.entities) == len(flat.entities)
+        assert len(loaded.activities) == len(flat.activities)
+        assert len(loaded.agents) == len(flat.agents)
+
+    def test_numeric_attribute_types(self):
+        doc = ProvDocument()
+        doc.add_namespace("ex", "http://example.org/")
+        doc.entity("ex:e", {"ex:i": 7, "ex:f": 1.5, "ex:b": True, "ex:s": "x"})
+        loaded = from_provo(to_provo(doc))
+        attrs = loaded.get_element("ex:e").attributes
+        assert attrs["ex:i"] == 7
+        assert attrs["ex:f"] == 1.5
+        assert attrs["ex:b"] is True
+        assert attrs["ex:s"] == "x"
+
+
+class TestParserErrors:
+    def test_malformed_statement(self):
+        with pytest.raises(SerializationError):
+            from_provo("@prefix ex: <http://e/> .\njusttoken .")

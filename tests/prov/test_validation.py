@@ -1,0 +1,138 @@
+"""Tests for the PROV-CONSTRAINTS subset checker."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.prov.document import ProvDocument
+from repro.prov.validation import validate_document
+
+
+def utc(*args) -> dt.datetime:
+    return dt.datetime(*args, tzinfo=dt.timezone.utc)
+
+
+@pytest.fixture
+def doc() -> ProvDocument:
+    document = ProvDocument()
+    document.add_namespace("ex", "http://example.org/")
+    return document
+
+
+class TestReferentialIntegrity:
+    def test_valid_document(self, sample_document):
+        report = validate_document(sample_document, require_declared=True)
+        assert report.is_valid
+        assert not report.warnings
+
+    def test_dangling_reference_is_warning_by_default(self, doc):
+        doc.used("ex:a", "ex:e")
+        report = validate_document(doc)
+        assert report.is_valid
+        assert len(report.warnings) == 2
+
+    def test_dangling_reference_strict_mode(self, doc):
+        doc.used("ex:a", "ex:e")
+        report = validate_document(doc, require_declared=True)
+        assert not report.is_valid
+
+    def test_raise_if_invalid(self, doc):
+        doc.used("ex:a", "ex:e")
+        report = validate_document(doc, require_declared=True)
+        with pytest.raises(ValidationError):
+            report.raise_if_invalid()
+
+
+class TestTyping:
+    def test_used_wrong_direction(self, doc):
+        doc.entity("ex:e")
+        doc.activity("ex:a")
+        # swap: entity in the activity slot
+        doc.used("ex:e", "ex:a")
+        report = validate_document(doc)
+        assert not report.is_valid
+        assert any("must be a" in e for e in report.errors)
+
+    def test_attribution_to_non_agent(self, doc):
+        doc.entity("ex:e")
+        doc.entity("ex:not_agent")
+        doc.was_attributed_to("ex:e", "ex:not_agent")
+        report = validate_document(doc)
+        assert not report.is_valid
+
+
+class TestEventOrdering:
+    def test_activity_end_before_start(self, doc):
+        doc.activity("ex:a", start_time=utc(2025, 1, 2), end_time=utc(2025, 1, 1))
+        report = validate_document(doc)
+        assert any("precedes startTime" in e for e in report.errors)
+
+    def test_usage_before_activity_start(self, doc):
+        doc.entity("ex:e")
+        doc.activity("ex:a", start_time=utc(2025, 1, 2), end_time=utc(2025, 1, 3))
+        doc.used("ex:a", "ex:e", time=utc(2025, 1, 1))
+        report = validate_document(doc)
+        assert any("precedes start" in e for e in report.errors)
+
+    def test_generation_after_activity_end(self, doc):
+        doc.entity("ex:e")
+        doc.activity("ex:a", start_time=utc(2025, 1, 1), end_time=utc(2025, 1, 2))
+        doc.was_generated_by("ex:e", "ex:a", time=utc(2025, 1, 5))
+        report = validate_document(doc)
+        assert any("follows end" in e for e in report.errors)
+
+    def test_usage_inside_interval_ok(self, doc):
+        doc.entity("ex:e")
+        doc.activity("ex:a", start_time=utc(2025, 1, 1), end_time=utc(2025, 1, 3))
+        doc.used("ex:a", "ex:e", time=utc(2025, 1, 2))
+        assert validate_document(doc, require_declared=True).is_valid
+
+
+class TestDerivation:
+    def test_self_derivation_rejected(self, doc):
+        doc.entity("ex:e")
+        doc.was_derived_from("ex:e", "ex:e")
+        report = validate_document(doc)
+        assert any("derived from itself" in e for e in report.errors)
+
+    def test_derivation_cycle_detected(self, doc):
+        for name in ("ex:a", "ex:b", "ex:c"):
+            doc.entity(name)
+        doc.was_derived_from("ex:a", "ex:b")
+        doc.was_derived_from("ex:b", "ex:c")
+        doc.was_derived_from("ex:c", "ex:a")
+        report = validate_document(doc)
+        assert any("cycle" in e for e in report.errors)
+
+    def test_derivation_chain_ok(self, doc):
+        for name in ("ex:a", "ex:b", "ex:c"):
+            doc.entity(name)
+        doc.was_derived_from("ex:a", "ex:b")
+        doc.was_derived_from("ex:b", "ex:c")
+        assert validate_document(doc, require_declared=True).is_valid
+
+
+class TestGenerationUniqueness:
+    def test_duplicate_generation_warns(self, doc):
+        doc.entity("ex:e")
+        doc.activity("ex:a")
+        doc.was_generated_by("ex:e", "ex:a")
+        doc.was_generated_by("ex:e", "ex:a")
+        report = validate_document(doc)
+        assert report.is_valid
+        assert any("duplicate generation" in w for w in report.warnings)
+
+
+class TestReport:
+    def test_summary_format(self, sample_document):
+        report = validate_document(sample_document)
+        assert "valid=True" in report.summary()
+
+    def test_bundles_validated_when_flattened(self, doc):
+        bundle = doc.bundle("ex:b")
+        bundle.entity("ex:e")
+        bundle.entity("ex:f")
+        bundle.was_derived_from("ex:e", "ex:e")
+        report = validate_document(doc, flatten=True)
+        assert not report.is_valid

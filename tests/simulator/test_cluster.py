@@ -1,0 +1,68 @@
+"""Tests for cluster topology and allocation."""
+
+import pytest
+
+from repro.errors import ClusterConfigError
+from repro.simulator.cluster import frontier, small_cluster
+
+
+class TestFrontierPreset:
+    def test_paper_inventory(self):
+        """§5: 9,402 nodes, 8 GCDs per node, 64-core EPYC."""
+        cluster = frontier()
+        assert cluster.n_nodes == 9402
+        assert cluster.node.gpus_per_node == 8
+        assert cluster.node.cpu_cores == 64
+        assert cluster.total_gpus == 9402 * 8
+
+    def test_device_power_envelope(self):
+        gpu = frontier().node.gpu
+        assert gpu.power_at(0.0) == gpu.idle_power_w
+        assert gpu.power_at(1.0) == gpu.peak_power_w
+        assert gpu.idle_power_w < gpu.power_at(0.5) < gpu.peak_power_w
+
+    def test_power_clipped_to_valid_range(self):
+        gpu = frontier().node.gpu
+        assert gpu.power_at(-1.0) == gpu.idle_power_w
+        assert gpu.power_at(2.0) == gpu.peak_power_w
+
+    def test_cpu_power(self):
+        node = frontier().node
+        assert node.cpu_power_at(0.0) == node.cpu_idle_power_w
+        assert node.cpu_power_at(1.0) == node.cpu_peak_power_w
+
+
+class TestAllocation:
+    @pytest.mark.parametrize("n_gpus,expected_nodes", [
+        (1, 1), (8, 1), (9, 2), (16, 2), (128, 16),
+    ])
+    def test_dense_packing(self, n_gpus, expected_nodes):
+        alloc = frontier().allocate(n_gpus)
+        assert alloc.n_nodes == expected_nodes
+        assert alloc.n_gpus == n_gpus
+
+    def test_paper_gpu_counts_all_whole_nodes(self):
+        """The study's {8,16,32,64,128} all pack nodes exactly."""
+        for n in (8, 16, 32, 64, 128):
+            alloc = frontier().allocate(n)
+            assert alloc.n_nodes * 8 == n
+
+    def test_spans_nodes(self):
+        assert not frontier().allocate(8).spans_nodes
+        assert frontier().allocate(16).spans_nodes
+
+    def test_gpus_on_last_node(self):
+        assert frontier().allocate(12).gpus_on_last_node == 4
+        assert frontier().allocate(16).gpus_on_last_node == 8
+
+    def test_zero_gpus_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            frontier().allocate(0)
+
+    def test_oversubscription_rejected(self):
+        with pytest.raises(ClusterConfigError):
+            small_cluster(n_nodes=1, gpus_per_node=4).allocate(5)
+
+    def test_describe(self):
+        text = frontier().allocate(16).describe()
+        assert "16" in text and "frontier" in text

@@ -1,0 +1,180 @@
+"""Tests for the communicators: functional SPMD and analytic cost model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommError
+from repro.simulator.cluster import frontier
+from repro.simulator.comm import RingAllreduceModel, ThreadComm
+
+
+class TestThreadCommCollectives:
+    def test_bcast(self):
+        def fn(comm):
+            value = {"k": 7} if comm.rank == 0 else None
+            return comm.bcast(value, root=0)
+
+        results = ThreadComm(4).run(fn)
+        assert all(r == {"k": 7} for r in results)
+
+    def test_gather(self):
+        def fn(comm):
+            return comm.gather(comm.rank ** 2, root=0)
+
+        results = ThreadComm(4).run(fn)
+        assert results[0] == [0, 1, 4, 9]
+        assert all(r is None for r in results[1:])
+
+    def test_allgather(self):
+        def fn(comm):
+            return comm.allgather(comm.rank)
+
+        results = ThreadComm(3).run(fn)
+        assert all(r == [0, 1, 2] for r in results)
+
+    def test_scatter(self):
+        def fn(comm):
+            values = [i * 10 for i in range(comm.size)] if comm.rank == 0 else None
+            return comm.scatter(values, root=0)
+
+        results = ThreadComm(4).run(fn)
+        assert results == [0, 10, 20, 30]
+
+    def test_scatter_wrong_length(self):
+        def fn(comm):
+            values = [1] if comm.rank == 0 else None
+            return comm.scatter(values, root=0)
+
+        with pytest.raises(CommError):
+            ThreadComm(2).run(fn)
+
+    def test_allreduce_sum_arrays(self):
+        def fn(comm):
+            grad = np.full(8, float(comm.rank))
+            return comm.allreduce(grad, op="sum")
+
+        results = ThreadComm(4).run(fn)
+        for r in results:
+            assert np.array_equal(r, np.full(8, 6.0))  # 0+1+2+3
+
+    def test_allreduce_mean_is_ddp_gradient_average(self):
+        def fn(comm):
+            grad = np.arange(4, dtype=np.float64) * (comm.rank + 1)
+            return comm.allreduce(grad, op="mean")
+
+        results = ThreadComm(4).run(fn)
+        expected = np.arange(4, dtype=np.float64) * 2.5
+        for r in results:
+            assert np.allclose(r, expected)
+
+    def test_allreduce_scalar(self):
+        def fn(comm):
+            return comm.allreduce(comm.rank + 1, op="max")
+
+        assert ThreadComm(3).run(fn) == [3, 3, 3]
+
+    def test_allreduce_shape_mismatch(self):
+        def fn(comm):
+            return comm.allreduce(np.zeros(comm.rank + 1))
+
+        with pytest.raises(CommError):
+            ThreadComm(2).run(fn)
+
+    def test_allreduce_bad_op(self):
+        def fn(comm):
+            return comm.allreduce(1.0, op="median")
+
+        with pytest.raises(CommError):
+            ThreadComm(2).run(fn)
+
+    def test_sequential_collectives_do_not_interfere(self):
+        def fn(comm):
+            a = comm.allreduce(comm.rank, op="sum")
+            b = comm.allreduce(comm.rank * 2, op="sum")
+            comm.barrier()
+            return (a, b)
+
+        results = ThreadComm(3).run(fn)
+        assert all(r == (3, 6) for r in results)
+
+
+class TestThreadCommP2P:
+    def test_send_recv(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("payload", dest=1, tag=5)
+                return None
+            return comm.recv(source=0, tag=5)
+
+        results = ThreadComm(2).run(fn)
+        assert results[1] == "payload"
+
+    def test_invalid_ranks(self):
+        def fn(comm):
+            comm.send("x", dest=99)
+
+        with pytest.raises(CommError):
+            ThreadComm(2).run(fn)
+
+    def test_recv_timeout(self):
+        def fn(comm):
+            if comm.rank == 1:
+                return comm.recv(source=0, tag=9, timeout=0.05)
+            return None
+
+        with pytest.raises(CommError):
+            ThreadComm(2).run(fn)
+
+
+class TestThreadCommErrors:
+    def test_exception_propagates_without_deadlock(self):
+        def fn(comm):
+            if comm.rank == 1:
+                raise ValueError("rank 1 exploded")
+            comm.barrier()  # would deadlock if the barrier were not aborted
+
+        with pytest.raises(ValueError, match="rank 1 exploded"):
+            ThreadComm(3).run(fn)
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(CommError):
+            ThreadComm(0)
+
+
+class TestRingModel:
+    def test_single_gpu_is_free(self):
+        model = RingAllreduceModel(frontier().allocate(1))
+        assert model.time(1e9) == 0.0
+
+    def test_time_increases_with_bytes(self):
+        model = RingAllreduceModel(frontier().allocate(16))
+        assert model.time(2e9) > model.time(1e9)
+
+    def test_inter_node_slower_than_intra(self):
+        intra = RingAllreduceModel(frontier().allocate(8)).time(1e9)
+        inter = RingAllreduceModel(frontier().allocate(16)).time(1e9)
+        assert inter > intra
+
+    def test_ring_beats_naive_at_scale(self):
+        """The ablation claim: ring allreduce scales, all-to-all does not."""
+        model = RingAllreduceModel(frontier().allocate(128))
+        nbytes = 2.8e9  # 1.4B params in bf16
+        assert model.time(nbytes) < model.naive_time(nbytes) / 5
+
+    def test_ring_approaches_bandwidth_bound(self):
+        model = RingAllreduceModel(frontier().allocate(64))
+        nbytes = 1e9
+        bound = model.bandwidth_bound(nbytes)
+        assert model.time(nbytes) >= bound * 0.5  # same order
+        assert model.time(nbytes) < bound * 10
+
+    def test_negative_bytes_rejected(self):
+        model = RingAllreduceModel(frontier().allocate(8))
+        with pytest.raises(CommError):
+            model.time(-1)
+
+    def test_weak_dependence_on_node_count_at_fixed_bytes(self):
+        """Ring time is ~bandwidth-bound: doubling nodes shouldn't double it."""
+        t16 = RingAllreduceModel(frontier().allocate(16)).time(1e9)
+        t128 = RingAllreduceModel(frontier().allocate(128)).time(1e9)
+        assert t128 < 2 * t16

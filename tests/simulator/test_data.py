@@ -1,0 +1,93 @@
+"""Tests for the synthetic MODIS dataset."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.data import SyntheticMODIS
+
+
+@pytest.fixture
+def dataset():
+    return SyntheticMODIS()
+
+
+class TestGeometry:
+    def test_paper_defaults(self, dataset):
+        """§5: ~800,000 patches of 128x128 with 6 channels."""
+        assert dataset.n_patches == 800_000
+        assert dataset.patch_size == 128
+        assert dataset.channels == 6
+
+    def test_bytes_per_sample(self, dataset):
+        assert dataset.bytes_per_sample == 128 * 128 * 6 * 4
+
+    def test_total_bytes(self, dataset):
+        assert dataset.total_bytes == dataset.n_patches * dataset.bytes_per_sample
+
+    def test_sharding(self, dataset):
+        assert dataset.n_shards == -(-800_000 // 4096)
+        assert dataset.shard_of(0) == 0
+        assert dataset.shard_of(4096) == 1
+
+    def test_shard_out_of_range(self, dataset):
+        with pytest.raises(SimulationError):
+            dataset.shard_of(800_000)
+
+
+class TestSubset:
+    def test_fraction(self, dataset):
+        half = dataset.subset(0.5)
+        assert half.n_patches == 400_000
+        assert half.patch_size == dataset.patch_size
+
+    def test_invalid_fraction(self, dataset):
+        with pytest.raises(SimulationError):
+            dataset.subset(0.0)
+        with pytest.raises(SimulationError):
+            dataset.subset(1.5)
+
+    def test_tiny_fraction_keeps_one_patch(self, dataset):
+        assert dataset.subset(1e-9).n_patches == 1
+
+
+class TestDescriptor:
+    def test_descriptor_fields(self, dataset):
+        desc = dataset.descriptor()
+        assert desc["n_patches"] == 800_000
+        assert desc["years"] == [2000, 2023]
+
+    def test_fingerprint_stable(self, dataset):
+        assert dataset.fingerprint() == SyntheticMODIS().fingerprint()
+
+    def test_fingerprint_changes_with_content(self, dataset):
+        assert dataset.fingerprint() != dataset.subset(0.5).fingerprint()
+
+
+class TestSampling:
+    def test_shapes_and_dtype(self, dataset):
+        rng = np.random.default_rng(0)
+        batch = dataset.sample_batch(rng, 4)
+        assert batch.shape == (4, 6, 128, 128)
+        assert batch.dtype == np.float32
+
+    def test_deterministic_given_seed(self, dataset):
+        a = dataset.sample_batch(np.random.default_rng(7), 2)
+        b = dataset.sample_batch(np.random.default_rng(7), 2)
+        assert np.array_equal(a, b)
+
+    def test_patches_are_smooth(self, dataset):
+        """Box filtering must leave neighbouring pixels correlated."""
+        batch = dataset.sample_batch(np.random.default_rng(0), 2)
+        x = batch[0, 0]
+        horizontal_diff = np.abs(np.diff(x, axis=1)).mean()
+        assert horizontal_diff < x.std()  # much smoother than white noise
+
+    def test_normalized_scale(self, dataset):
+        batch = dataset.sample_batch(np.random.default_rng(0), 3)
+        stds = batch.std(axis=(2, 3))
+        assert np.all(stds > 0.5) and np.all(stds < 2.0)
+
+    def test_bad_batch_rejected(self, dataset):
+        with pytest.raises(SimulationError):
+            dataset.sample_batch(np.random.default_rng(0), 0)

@@ -1,0 +1,106 @@
+"""Tests for the DDP timing engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.cluster import frontier
+from repro.simulator.ddp import DDPEngine
+from repro.simulator.models import model_zoo
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return model_zoo()
+
+
+def engine(zoo, arch="mae", size="100M", n_gpus=8, **kwargs):
+    return DDPEngine(
+        model=zoo[arch][size],
+        allocation=frontier().allocate(n_gpus),
+        **kwargs,
+    )
+
+
+class TestConstruction:
+    def test_invalid_batch(self, zoo):
+        with pytest.raises(SimulationError):
+            engine(zoo, batch_per_gpu=0)
+
+    def test_invalid_mfu(self, zoo):
+        with pytest.raises(SimulationError):
+            engine(zoo, mfu=0.0)
+        with pytest.raises(SimulationError):
+            engine(zoo, mfu=1.5)
+
+    def test_global_batch(self, zoo):
+        e = engine(zoo, n_gpus=16, batch_per_gpu=32)
+        assert e.global_batch == 512
+
+
+class TestStepTiming:
+    def test_components_positive(self, zoo):
+        t = engine(zoo).step_timing()
+        assert t.compute_s > 0
+        assert t.comm_s > 0
+        assert 0 <= t.exposed_comm_s <= t.comm_s
+        assert t.step_s == pytest.approx(t.compute_s + t.exposed_comm_s)
+
+    def test_larger_model_slower_step(self, zoo):
+        small = engine(zoo, size="100M").step_timing().step_s
+        big = engine(zoo, size="1.4B").step_timing().step_s
+        assert big > small
+
+    def test_overlap_hides_communication(self, zoo):
+        hidden = engine(zoo, size="1.4B", overlap_fraction=0.65).step_timing()
+        exposed = engine(zoo, size="1.4B", overlap_fraction=0.0).step_timing()
+        assert hidden.exposed_comm_s < exposed.exposed_comm_s
+        assert exposed.exposed_comm_s == pytest.approx(exposed.comm_s)
+
+    def test_comm_fraction_grows_with_gpu_count(self, zoo):
+        """More nodes -> more exposed communication relative to compute."""
+        f8 = engine(zoo, size="1.4B", n_gpus=8).step_timing().comm_fraction
+        f128 = engine(zoo, size="1.4B", n_gpus=128).step_timing().comm_fraction
+        assert f128 >= f8
+
+    def test_higher_mfu_faster_compute(self, zoo):
+        slow = engine(zoo, mfu=0.2).step_timing().compute_s
+        fast = engine(zoo, mfu=0.5).step_timing().compute_s
+        assert fast < slow
+
+
+class TestThroughputAndScaling:
+    def test_throughput_increases_with_gpus(self, zoo):
+        t8 = engine(zoo, n_gpus=8).throughput_samples_per_s()
+        t64 = engine(zoo, n_gpus=64).throughput_samples_per_s()
+        assert t64 > t8
+
+    def test_scaling_efficiency_below_one(self, zoo):
+        eff = engine(zoo, size="1.4B", n_gpus=128).scaling_efficiency()
+        assert 0.0 < eff <= 1.0
+
+    def test_efficiency_degrades_with_scale(self, zoo):
+        e8 = engine(zoo, size="1.4B", n_gpus=8).scaling_efficiency()
+        e128 = engine(zoo, size="1.4B", n_gpus=128).scaling_efficiency()
+        assert e128 <= e8
+
+    def test_single_gpu_efficiency_is_one(self, zoo):
+        assert engine(zoo, n_gpus=1).scaling_efficiency() == pytest.approx(1.0)
+
+
+class TestMemory:
+    def test_all_paper_configs_fit(self, zoo):
+        """Every (size, gpu-count) cell of the §5 grid must fit in 64 GB HBM."""
+        for arch in ("mae", "swint"):
+            for size in ("100M", "200M", "600M", "1.4B"):
+                e = engine(zoo, arch=arch, size=size)
+                assert e.fits_in_memory(), (arch, size, e.memory_required_gb())
+
+    def test_memory_grows_with_model(self, zoo):
+        small = engine(zoo, size="100M").memory_required_gb()
+        big = engine(zoo, size="1.4B").memory_required_gb()
+        assert big > small
+
+    def test_check_memory_raises_when_oversized(self, zoo):
+        e = engine(zoo, size="1.4B", batch_per_gpu=100_000)
+        with pytest.raises(SimulationError):
+            e.check_memory()

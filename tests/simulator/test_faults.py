@@ -1,0 +1,112 @@
+"""Tests for the failure / checkpoint-restart model."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.faults import FailureModel, apply_failures
+from repro.simulator.training import job_from_zoo, simulate_training
+
+
+@pytest.fixture
+def model():
+    return FailureModel(node_mtbf_hours=10_000.0, checkpoint_write_s=60.0,
+                        restart_s=300.0)
+
+
+class TestConstruction:
+    def test_invalid_inputs(self):
+        with pytest.raises(SimulationError):
+            FailureModel(node_mtbf_hours=0)
+        with pytest.raises(SimulationError):
+            FailureModel(checkpoint_write_s=-1)
+
+
+class TestMTBF:
+    def test_job_mtbf_scales_inversely_with_nodes(self, model):
+        assert model.job_mtbf_s(100) == pytest.approx(model.job_mtbf_s(1) / 100)
+
+    def test_invalid_nodes(self, model):
+        with pytest.raises(SimulationError):
+            model.job_mtbf_s(0)
+
+
+class TestOptimalIntervals:
+    def test_young_formula(self, model):
+        M = model.job_mtbf_s(64)
+        assert model.young_interval_s(64) == pytest.approx(math.sqrt(2 * 60.0 * M))
+
+    def test_daly_refines_young(self, model):
+        """Daly's correction is small when C << M and below Young's value."""
+        young = model.young_interval_s(64)
+        daly = model.daly_interval_s(64)
+        assert abs(daly - young) / young < 0.1
+        assert daly < young  # the -C term dominates the tiny corrections
+
+    def test_more_nodes_checkpoint_more_often(self, model):
+        assert model.daly_interval_s(1000) < model.daly_interval_s(10)
+
+    def test_degenerate_regime(self):
+        broken = FailureModel(node_mtbf_hours=0.01, checkpoint_write_s=3600.0)
+        assert broken.daly_interval_s(100) == broken.job_mtbf_s(100)
+
+
+class TestExpectedRuntime:
+    def test_zero_work(self, model):
+        assert model.expected_runtime_s(0.0, 64) == 0.0
+
+    def test_overhead_above_one(self, model):
+        assert model.overhead_factor(7200.0, 64) > 1.0
+
+    def test_reliable_machine_negligible_overhead(self):
+        reliable = FailureModel(node_mtbf_hours=1e9, checkpoint_write_s=1.0)
+        assert reliable.overhead_factor(7200.0, 16) < 1.01
+
+    def test_optimal_interval_beats_extremes(self, model):
+        """Daly's τ must beat both checkpoint-mad and checkpoint-never."""
+        work, nodes = 24 * 3600.0, 128
+        optimal = model.expected_runtime_s(work, nodes)
+        too_often = model.expected_runtime_s(work, nodes, interval_s=120.0)
+        too_rare = model.expected_runtime_s(work, nodes,
+                                            interval_s=model.job_mtbf_s(nodes) * 5)
+        assert optimal < too_often
+        assert optimal < too_rare
+
+    def test_overhead_grows_with_scale(self, model):
+        work = 7200.0
+        assert model.overhead_factor(work, 1000) > model.overhead_factor(work, 10)
+
+    def test_invalid_interval(self, model):
+        with pytest.raises(SimulationError):
+            model.expected_runtime_s(100.0, 8, interval_s=0.0)
+
+    def test_negative_work(self, model):
+        with pytest.raises(SimulationError):
+            model.expected_runtime_s(-1.0, 8)
+
+
+class TestApplyFailures:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return simulate_training(job_from_zoo("mae", "100M", 16, epochs=2))
+
+    def test_walltime_and_energy_inflate(self, result, model):
+        failed = apply_failures(result, model)
+        assert failed.wall_time_s > result.wall_time_s
+        assert failed.energy.total_joules > result.energy.total_joules
+        assert "checkpoint_restart" in failed.energy.joules_by_phase
+
+    def test_loss_unchanged(self, result, model):
+        failed = apply_failures(result, model)
+        assert failed.final_loss == result.final_loss
+        assert failed.steps_done == result.steps_done
+
+    def test_original_untouched(self, result, model):
+        before = result.wall_time_s
+        apply_failures(result, model)
+        assert result.wall_time_s == before
+
+    def test_identity_cleared(self, result, model):
+        failed = apply_failures(result, model)
+        assert failed.run_id is None and failed.prov_path is None

@@ -1,0 +1,117 @@
+"""Tests for the fine-tuning stage (§5's second phase)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.finetune import (
+    FinetuneJob,
+    finetune_from_pretraining,
+    finetune_step_timing,
+    simulate_finetuning,
+)
+from repro.simulator.models import model_zoo
+from repro.simulator.training import job_from_zoo, simulate_training
+
+
+@pytest.fixture(scope="module")
+def model():
+    return model_zoo()["mae"]["100M"]
+
+
+def make_job(model, **kwargs):
+    defaults = dict(n_gpus=8, pretrain_loss=1.2)
+    defaults.update(kwargs)
+    return FinetuneJob(model=model, **defaults)
+
+
+class TestJob:
+    def test_invalid_inputs(self, model):
+        with pytest.raises(SimulationError):
+            make_job(model, pretrain_loss=0.0)
+        with pytest.raises(SimulationError):
+            make_job(model, labeled_samples=0)
+
+    def test_head_params_tiny(self, model):
+        job = make_job(model)
+        assert job.head_params < model.param_count / 50
+
+
+class TestTiming:
+    def test_cheaper_than_pretraining_step(self, model):
+        """Frozen backbone: fine-tune step ≈ forward-only + head."""
+        from repro.simulator.cluster import frontier
+        from repro.simulator.ddp import DDPEngine
+
+        ft = finetune_step_timing(make_job(model, batch_per_gpu=32))
+        pre = DDPEngine(model=model, allocation=frontier().allocate(8),
+                        batch_per_gpu=32).step_timing()
+        assert ft.compute_s < pre.compute_s / 2  # ~1/3: no full backward
+
+    def test_comm_nearly_free(self, model):
+        """Only head gradients sync: comm time is negligible even at 128."""
+        timing = finetune_step_timing(make_job(model, n_gpus=128))
+        assert timing.comm_s < 1e-3
+        assert timing.exposed_comm_s <= timing.comm_s
+
+
+class TestSimulation:
+    def test_complete_run(self, model):
+        result = simulate_finetuning(make_job(model, epochs=2))
+        assert result.completed
+        assert result.final_loss > 0
+        assert result.energy_kwh > 0
+
+    def test_deterministic(self, model):
+        a = simulate_finetuning(make_job(model))
+        b = simulate_finetuning(make_job(model))
+        assert a.final_loss == b.final_loss
+
+    def test_better_checkpoint_better_downstream(self, model):
+        """Transfer: lower pre-training loss -> lower fine-tuned loss."""
+        good = simulate_finetuning(make_job(model, pretrain_loss=0.6))
+        bad = simulate_finetuning(make_job(model, pretrain_loss=1.8))
+        assert good.final_loss < bad.final_loss
+
+    def test_more_epochs_converge_lower(self, model):
+        short = simulate_finetuning(make_job(model, epochs=1))
+        long = simulate_finetuning(make_job(model, epochs=10))
+        assert long.final_loss < short.final_loss
+
+    def test_walltime_truncation(self, model):
+        result = simulate_finetuning(
+            make_job(model, epochs=200, labeled_samples=2_000_000,
+                     walltime_s=10.0)
+        )
+        assert not result.completed
+        assert result.wall_time_s <= 10.0
+
+    def test_clock_advanced(self, model):
+        from repro.simulator.simclock import SimClock
+
+        clock = SimClock()
+        result = simulate_finetuning(make_job(model), clock=clock)
+        assert clock.now() == pytest.approx(result.wall_time_s)
+
+
+class TestChaining:
+    def test_two_stage_pipeline(self):
+        """§5: pre-training then fine-tuning, chained on one clock."""
+        from repro.simulator.simclock import SimClock
+
+        clock = SimClock()
+        pretrain = simulate_training(
+            job_from_zoo("mae", "100M", 8, epochs=2), clock=clock
+        )
+        t_mid = clock.now()
+        finetuned = finetune_from_pretraining(pretrain, clock=clock)
+        assert clock.now() > t_mid
+        assert finetuned.job.pretrain_loss == pretrain.final_loss
+        # fine-tuning is far cheaper than pre-training
+        assert finetuned.energy_kwh < pretrain.energy_kwh / 5
+
+    def test_bigger_pretrained_model_transfers_better(self):
+        small_pre = simulate_training(job_from_zoo("mae", "100M", 8, epochs=2))
+        big_pre = simulate_training(job_from_zoo("mae", "600M", 8, epochs=2))
+        small_ft = finetune_from_pretraining(small_pre)
+        big_ft = finetune_from_pretraining(big_pre)
+        assert big_ft.final_loss < small_ft.final_loss

@@ -1,0 +1,153 @@
+"""Tests for the scaling-law loss model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.lossmodel import ARCH_PRESETS, ScalingLawLoss
+
+
+def make(arch="mae", params=1e8, unique=5e9, **kwargs):
+    return ScalingLawLoss(architecture=arch, param_count=params,
+                          unique_tokens=unique, **kwargs)
+
+
+class TestConstruction:
+    def test_unknown_architecture(self):
+        with pytest.raises(SimulationError):
+            make(arch="mamba")
+
+    def test_invalid_sizes(self):
+        with pytest.raises(SimulationError):
+            make(params=0)
+        with pytest.raises(SimulationError):
+            make(unique=-1)
+
+    def test_presets_complete(self):
+        for arch, constants in ARCH_PRESETS.items():
+            assert set(constants) == {"E", "A", "alpha", "B", "beta", "gamma"}
+
+
+class TestScalingBehaviour:
+    def test_loss_decreases_with_model_size(self):
+        tokens = np.array([1e9])
+        small = make(params=1e8).loss_at_tokens(tokens)[0]
+        big = make(params=1e9).loss_at_tokens(tokens)[0]
+        assert big < small
+
+    def test_loss_decreases_with_data(self):
+        model = make()
+        losses = model.loss_at_tokens(np.array([1e8, 1e9, 1e10]))
+        assert losses[0] > losses[1] > losses[2]
+
+    def test_loss_bounded_below_by_irreducible(self):
+        model = make(params=1e12, unique=1e15)
+        loss = model.loss_at_tokens(np.array([1e14]))[0]
+        assert loss > ARCH_PRESETS["mae"]["E"]
+
+    def test_effective_tokens_identity_below_one_pass(self):
+        model = make(unique=1e9)
+        tokens = np.array([1e8, 5e8, 1e9])
+        assert np.array_equal(model.effective_tokens(tokens), tokens)
+
+    def test_effective_tokens_diminishing_beyond_one_pass(self):
+        model = make(unique=1e9)
+        d_eff = model.effective_tokens(np.array([4e9]))[0]
+        assert 1e9 < d_eff < 4e9
+
+    def test_effective_tokens_monotone_and_continuous(self):
+        model = make(unique=1e9)
+        tokens = np.linspace(1e8, 1e10, 200)
+        d_eff = model.effective_tokens(tokens)
+        assert np.all(np.diff(d_eff) > 0)
+        # continuity at the one-pass boundary
+        below = model.effective_tokens(np.array([1e9 * 0.9999]))[0]
+        above = model.effective_tokens(np.array([1e9 * 1.0001]))[0]
+        assert abs(above - below) / below < 1e-3
+
+    def test_data_constrained_hurts_loss(self):
+        """Same tokens seen, smaller unique set -> worse loss."""
+        tokens = np.array([1e10])
+        rich = make(unique=1e10).loss_at_tokens(tokens)[0]
+        poor = make(unique=1e9).loss_at_tokens(tokens)[0]
+        assert poor > rich
+
+
+class TestArchitecturePresets:
+    def test_swint_better_at_scale(self):
+        """§5: 'SwinT-V2 ... performing much better at scale' — at the MODIS
+        data scale (~5e10 unique tokens) and beyond, SwinT's stronger data
+        exponent wins."""
+        tokens = np.array([1e11])
+        unique = 5e10  # one pass over 800k patches x 64 tokens
+        mae = make(arch="mae", params=1.4e9, unique=unique).loss_at_tokens(tokens)[0]
+        swin = make(arch="swint", params=1.4e9, unique=unique).loss_at_tokens(tokens)[0]
+        assert swin < mae
+
+    def test_swint_stronger_data_exponent(self):
+        assert ARCH_PRESETS["swint"]["beta"] > ARCH_PRESETS["mae"]["beta"]
+        assert ARCH_PRESETS["swint"]["gamma"] > ARCH_PRESETS["mae"]["gamma"]
+
+
+class TestCurves:
+    def test_noise_free_curve_monotone(self):
+        model = make()
+        steps = np.arange(1, 1000)
+        losses = model.loss_curve(steps, tokens_per_step=1e6, with_noise=False)
+        assert np.all(np.diff(losses) <= 0)
+
+    def test_noise_deterministic_by_seed(self):
+        steps = np.arange(1, 100)
+        a = make(seed=5).loss_curve(steps, 1e6)
+        b = make(seed=5).loss_curve(steps, 1e6)
+        c = make(seed=6).loss_curve(steps, 1e6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_noise_shrinks_with_steps(self):
+        model = make(noise_std=0.05, seed=1)
+        steps = np.arange(1, 100_000)
+        noisy = model.loss_curve(steps, 1e6)
+        clean = model.loss_curve(steps, 1e6, with_noise=False)
+        rel = np.abs(noisy / clean - 1.0)
+        assert rel[:100].mean() > rel[-100:].mean()
+
+    def test_steps_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            make().loss_curve(np.array([0]), 1e6)
+
+    def test_final_loss_matches_curve(self):
+        model = make()
+        steps = np.array([500])
+        curve = model.loss_curve(steps, 1e6, with_noise=False)[0]
+        assert model.final_loss(500, 1e6) == pytest.approx(curve)
+
+    def test_final_loss_invalid_steps(self):
+        with pytest.raises(SimulationError):
+            make().final_loss(0, 1e6)
+
+
+class TestComputeOptimal:
+    def test_optimal_size_grows_with_budget(self):
+        model = make()
+        n1 = model.compute_optimal_size(1e20)
+        n2 = model.compute_optimal_size(1e22)
+        assert n2 > n1
+
+    def test_optimal_is_a_minimum(self):
+        """Loss at N* under fixed compute beats nearby N."""
+        model = make(unique=1e18)  # effectively unconstrained data
+        budget = 1e21
+        n_star = model.compute_optimal_size(budget)
+
+        def loss_at(n):
+            d = budget / (6.0 * n)
+            probe = make(params=n, unique=1e18)
+            return probe.loss_at_tokens(np.array([d]))[0]
+
+        assert loss_at(n_star) <= loss_at(n_star * 2) + 1e-12
+        assert loss_at(n_star) <= loss_at(n_star / 2) + 1e-12
+
+    def test_invalid_budget(self):
+        with pytest.raises(SimulationError):
+            make().compute_optimal_size(0)

@@ -1,0 +1,136 @@
+"""Tests for the transformer model zoo."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.models import (
+    MAEConfig,
+    MODEL_SIZES,
+    SwinConfig,
+    TransformerConfig,
+    model_zoo,
+)
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return model_zoo()
+
+
+class TestTransformerConfig:
+    def test_tokens_per_sample(self):
+        cfg = TransformerConfig("vit", hidden_dim=768, depth=12)
+        assert cfg.tokens_per_sample == (128 // 16) ** 2 == 64
+
+    def test_param_count_dominated_by_blocks(self):
+        cfg = TransformerConfig("vit", hidden_dim=1024, depth=24)
+        blocks = 24 * 12 * 1024 * 1024
+        assert cfg.param_count == pytest.approx(blocks, rel=0.05)
+
+    def test_params_scale_quadratically_in_width(self):
+        small = TransformerConfig("s", hidden_dim=512, depth=12).param_count
+        big = TransformerConfig("b", hidden_dim=1024, depth=12).param_count
+        assert big / small == pytest.approx(4.0, rel=0.15)
+
+    def test_flops_scale_linearly_in_depth(self):
+        shallow = TransformerConfig("s", hidden_dim=768, depth=6)
+        deep = TransformerConfig("d", hidden_dim=768, depth=12)
+        ratio = deep.forward_flops_per_sample() / shallow.forward_flops_per_sample()
+        assert ratio == pytest.approx(2.0, rel=0.1)
+
+    def test_train_flops_are_3x_forward(self):
+        cfg = TransformerConfig("vit", hidden_dim=768, depth=12)
+        assert cfg.train_flops_per_sample() == 3.0 * cfg.forward_flops_per_sample()
+
+    def test_grad_bytes(self):
+        cfg = TransformerConfig("vit", hidden_dim=768, depth=12)
+        assert cfg.grad_bytes() == cfg.param_count * 2
+
+    def test_bad_patch_size_rejected(self):
+        with pytest.raises(SimulationError):
+            TransformerConfig("bad", hidden_dim=768, depth=12, patch_size=17)
+
+    def test_bad_dims_rejected(self):
+        with pytest.raises(SimulationError):
+            TransformerConfig("bad", hidden_dim=0, depth=12)
+
+
+class TestMAEConfig:
+    def test_visible_tokens(self):
+        cfg = MAEConfig("mae", hidden_dim=768, depth=12, mask_ratio=0.75)
+        assert cfg.visible_tokens == 16  # 25% of 64
+
+    def test_masking_reduces_flops(self):
+        mae = MAEConfig("mae", hidden_dim=1024, depth=24)
+        vit = TransformerConfig("vit", hidden_dim=1024, depth=24)
+        assert mae.forward_flops_per_sample() < vit.forward_flops_per_sample()
+
+    def test_decoder_params_included(self):
+        mae = MAEConfig("mae", hidden_dim=1024, depth=24)
+        vit = TransformerConfig("vit", hidden_dim=1024, depth=24)
+        assert mae.param_count > vit.param_count
+
+    def test_bad_mask_ratio_rejected(self):
+        with pytest.raises(SimulationError):
+            MAEConfig("mae", hidden_dim=768, depth=12, mask_ratio=1.5)
+
+    def test_architecture_tag(self):
+        assert MAEConfig("m", hidden_dim=768, depth=12).architecture == "mae"
+
+
+class TestSwinConfig:
+    def test_hierarchical_dims(self):
+        cfg = SwinConfig("swin", base_dim=96, stage_depths=(2, 2, 6, 2))
+        assert cfg._stage_dims() == [96, 192, 384, 768]
+
+    def test_token_reduction_per_stage(self):
+        cfg = SwinConfig("swin", base_dim=96, stage_depths=(2, 2, 6, 2))
+        tokens = cfg._stage_tokens()
+        assert tokens[0] == (128 // 4) ** 2
+        assert tokens[1] == tokens[0] // 4
+
+    def test_windowed_attention_cheaper_than_global(self):
+        # same total compute structure but attention is bounded by window²
+        cfg = SwinConfig("swin", base_dim=96, stage_depths=(2, 2, 6, 2), window=8)
+        wide = SwinConfig("swin", base_dim=96, stage_depths=(2, 2, 6, 2), window=32)
+        assert cfg.forward_flops_per_sample() < wide.forward_flops_per_sample()
+
+    def test_wrong_stage_count_rejected(self):
+        with pytest.raises(SimulationError):
+            SwinConfig("swin", base_dim=96, stage_depths=(2, 2, 6))
+
+    def test_architecture_tag(self):
+        cfg = SwinConfig("s", base_dim=96, stage_depths=(2, 2, 6, 2))
+        assert cfg.architecture == "swint"
+
+
+class TestZoo:
+    def test_all_sizes_present(self, zoo):
+        for arch in ("mae", "swint"):
+            assert set(zoo[arch]) == set(MODEL_SIZES)
+
+    @pytest.mark.parametrize("arch", ["mae", "swint"])
+    @pytest.mark.parametrize("size", list(MODEL_SIZES))
+    def test_param_targets_within_5_percent(self, zoo, arch, size):
+        cfg = zoo[arch][size]
+        target = MODEL_SIZES[size]
+        assert abs(cfg.param_count - target) / target <= 0.05
+
+    def test_sizes_strictly_increasing(self, zoo):
+        for arch in ("mae", "swint"):
+            params = [zoo[arch][s].param_count for s in ("100M", "200M", "600M", "1.4B")]
+            assert params == sorted(params)
+            flops = [zoo[arch][s].forward_flops_per_sample()
+                     for s in ("100M", "200M", "600M", "1.4B")]
+            assert flops == sorted(flops)
+
+    def test_zoo_cached(self):
+        assert model_zoo()["mae"]["100M"] is model_zoo()["mae"]["100M"]
+
+    def test_mae_cheaper_per_param_than_swint(self, zoo):
+        """MAE was chosen for masked-training efficiency; at equal params its
+        per-sample compute is far below SwinT's (which sees 16x the tokens)."""
+        for size in MODEL_SIZES:
+            mae = zoo["mae"][size]
+            swin = zoo["swint"][size]
+            assert mae.forward_flops_per_sample() < swin.forward_flops_per_sample()

@@ -1,0 +1,77 @@
+"""Tests for power modeling and energy accounting."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.cluster import frontier
+from repro.simulator.power import EnergyAccount, PowerModel
+
+
+@pytest.fixture
+def model():
+    return PowerModel(frontier().allocate(8))
+
+
+class TestPowerModel:
+    def test_compute_exceeds_comm_exceeds_idle(self, model):
+        assert model.compute_power_w > model.comm_power_w > model.idle_power_w
+
+    def test_power_scales_with_allocation(self):
+        p8 = PowerModel(frontier().allocate(8)).compute_power_w
+        p16 = PowerModel(frontier().allocate(16)).compute_power_w
+        assert p16 == pytest.approx(2 * p8)
+
+    def test_partial_node_charges_idle_devices(self):
+        # 4 GPUs on one node: the other 4 GCDs idle but still draw power
+        partial = PowerModel(frontier().allocate(4))
+        full = PowerModel(frontier().allocate(8))
+        assert partial.compute_power_w > full.compute_power_w / 2
+        assert partial.compute_power_w < full.compute_power_w
+
+    def test_invalid_utilization_rejected(self):
+        with pytest.raises(SimulationError):
+            PowerModel(frontier().allocate(8), compute_util=1.5)
+
+    def test_gpu_power_monotone_in_utilization(self, model):
+        assert model.gpu_power(0.9) > model.gpu_power(0.5) > model.gpu_power(0.1)
+
+    def test_node_power_includes_cpu_and_overhead(self, model):
+        gpus_only = model.gpu_power(model.compute_util)
+        assert model.compute_power_w > gpus_only
+
+
+class TestEnergyAccount:
+    def test_accumulation(self):
+        account = EnergyAccount()
+        account.add("compute", 100.0, 10.0)
+        account.add("compute", 100.0, 5.0)
+        account.add("comm", 50.0, 2.0)
+        assert account.joules_by_phase["compute"] == pytest.approx(1500.0)
+        assert account.total_joules == pytest.approx(1600.0)
+        assert account.total_kwh == pytest.approx(1600.0 / 3.6e6)
+
+    def test_fraction(self):
+        account = EnergyAccount()
+        account.add("a", 100.0, 3.0)
+        account.add("b", 100.0, 1.0)
+        assert account.fraction("a") == pytest.approx(0.75)
+        assert account.fraction("missing") == 0.0
+
+    def test_empty_fraction(self):
+        assert EnergyAccount().fraction("x") == 0.0
+
+    def test_negative_inputs_rejected(self):
+        account = EnergyAccount()
+        with pytest.raises(SimulationError):
+            account.add("x", -1.0, 1.0)
+        with pytest.raises(SimulationError):
+            account.add("x", 1.0, -1.0)
+
+    def test_merge(self):
+        a = EnergyAccount()
+        a.add("compute", 10.0, 1.0)
+        b = EnergyAccount()
+        b.add("compute", 10.0, 2.0)
+        b.add("comm", 5.0, 1.0)
+        a.merge(b)
+        assert a.joules_by_phase == {"compute": 30.0, "comm": 5.0}

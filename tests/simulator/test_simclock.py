@@ -1,0 +1,50 @@
+"""Tests for the simulated clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulator.simclock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now() == 2.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SimulationError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now() == 10.0
+
+    def test_advance_to_backwards_rejected(self):
+        clock = SimClock(start=5.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(1.0)
+
+    def test_callable_returns_epoch_seconds(self):
+        clock = SimClock(epoch_offset=1_000.0)
+        clock.advance(5.0)
+        assert clock() == 1_005.0
+
+    def test_zero_advance_allowed(self):
+        clock = SimClock()
+        clock.advance(0.0)
+        assert clock.now() == 0.0
+
+    def test_usable_as_run_clock(self, tmp_path):
+        from repro.core.experiment import RunExecution
+
+        clock = SimClock()
+        run = RunExecution("exp", save_dir=tmp_path, clock=clock)
+        run.start()
+        clock.advance(100.0)
+        run.end()
+        assert run.duration == pytest.approx(100.0)

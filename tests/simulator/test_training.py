@@ -1,0 +1,194 @@
+"""Tests for the training-loop simulator and its provenance integration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, WalltimeExceededError
+from repro.simulator.data import SyntheticMODIS
+from repro.simulator.simclock import SimClock
+from repro.simulator.training import TrainingJob, job_from_zoo, simulate_training
+
+
+def small_job(**kwargs):
+    defaults = dict(epochs=2, batch_per_gpu=32)
+    defaults.update(kwargs)
+    return job_from_zoo("mae", "100M", kwargs.pop("n_gpus", 8), **{
+        k: v for k, v in defaults.items() if k != "n_gpus"
+    })
+
+
+class TestJob:
+    def test_from_zoo_validation(self):
+        with pytest.raises(SimulationError):
+            job_from_zoo("mamba", "100M", 8)
+        with pytest.raises(SimulationError):
+            job_from_zoo("mae", "7B", 8)
+
+    def test_invalid_epochs_walltime(self):
+        from repro.simulator.models import model_zoo
+
+        model = model_zoo()["mae"]["100M"]
+        with pytest.raises(SimulationError):
+            TrainingJob(model=model, n_gpus=8, epochs=0)
+        with pytest.raises(SimulationError):
+            TrainingJob(model=model, n_gpus=8, walltime_s=0)
+
+    def test_size_label_from_zoo_name(self):
+        assert job_from_zoo("mae", "1.4B", 8).size_label == "1.4B"
+
+
+class TestSimulation:
+    def test_complete_run(self):
+        result = simulate_training(small_job())
+        assert result.completed
+        assert result.steps_done == result.steps_target
+        assert result.epochs_done == 2
+        assert result.final_loss > 0
+        assert result.energy_kwh > 0
+        assert result.tradeoff == pytest.approx(result.final_loss * result.energy_kwh)
+
+    def test_walltime_truncation(self):
+        job = job_from_zoo("mae", "1.4B", 8, epochs=100)
+        result = simulate_training(job)
+        assert not result.completed
+        assert result.steps_done < result.steps_target
+        assert result.wall_time_s <= job.walltime_s
+
+    def test_strict_walltime_raises(self):
+        job = job_from_zoo("mae", "1.4B", 8, epochs=100)
+        with pytest.raises(WalltimeExceededError):
+            simulate_training(job, strict_walltime=True)
+
+    def test_deterministic(self):
+        a = simulate_training(small_job())
+        b = simulate_training(small_job())
+        assert a.final_loss == b.final_loss
+        assert a.energy.total_joules == b.energy.total_joules
+        assert np.array_equal(a.loss_values, b.loss_values)
+
+    def test_loss_trajectory_sampled(self):
+        result = simulate_training(small_job())
+        assert result.loss_steps[0] == 1
+        assert result.loss_steps[-1] == result.steps_done
+        assert result.loss_values.shape == result.loss_steps.shape
+
+    def test_more_gpus_less_walltime(self):
+        slow = simulate_training(small_job(n_gpus=8))
+        fast = simulate_training(job_from_zoo("mae", "100M", 64, epochs=2))
+        assert fast.wall_time_s < slow.wall_time_s
+
+    def test_energy_by_phase(self):
+        result = simulate_training(small_job())
+        phases = result.energy.joules_by_phase
+        assert phases["compute"] > 0
+        assert phases["communication"] >= 0
+
+    def test_clock_advanced_by_simulation(self):
+        clock = SimClock()
+        result = simulate_training(small_job(), clock=clock)
+        assert clock.now() == pytest.approx(result.wall_time_s)
+
+    def test_smaller_dataset_fewer_steps(self):
+        full = simulate_training(small_job())
+        small_data = simulate_training(
+            job_from_zoo("mae", "100M", 8, epochs=2,
+                         dataset=SyntheticMODIS().subset(0.25))
+        )
+        assert small_data.steps_done < full.steps_done
+
+
+class TestProvenanceIntegration:
+    def test_provenance_written_and_valid(self, tmp_path):
+        from repro.prov.document import ProvDocument
+        from repro.prov.validation import validate_document
+
+        result = simulate_training(small_job(), provenance_dir=tmp_path)
+        assert result.prov_path is not None and result.prov_path.exists()
+        doc = ProvDocument.load(result.prov_path)
+        report = validate_document(doc, require_declared=True)
+        assert report.is_valid, report.errors
+
+    def test_summary_recovers_job_parameters(self, tmp_path):
+        from repro.core.provgen import load_run_summary
+
+        result = simulate_training(small_job(), provenance_dir=tmp_path)
+        summary = load_run_summary(result.prov_path)
+        assert summary.params["architecture"] == "mae"
+        assert summary.params["n_gpus"] == 8
+        assert summary.params["model_size"] == "100M"
+        assert summary.status == "finished"
+        assert summary.final_metric("final_loss", "TESTING") == pytest.approx(
+            result.final_loss
+        )
+
+    def test_truncated_run_marked(self, tmp_path):
+        from repro.core.provgen import load_run_summary
+
+        job = job_from_zoo("mae", "1.4B", 8, epochs=100)
+        result = simulate_training(job, provenance_dir=tmp_path)
+        summary = load_run_summary(result.prov_path)
+        assert summary.status == "truncated"
+        assert summary.final_metric("completed", "TESTING") == 0.0
+
+    def test_metrics_offloaded_to_store(self, tmp_path):
+        from repro.storage import open_store
+
+        result = simulate_training(small_job(), provenance_dir=tmp_path)
+        store = open_store(result.prov_path.parent / "metrics.zarr")
+        series = store.read_series("loss@TRAINING")
+        assert np.allclose(series.columns["values"], result.loss_values)
+
+    def test_epoch_activities_on_simulated_time(self, tmp_path):
+        from repro.prov.document import ProvDocument
+
+        result = simulate_training(small_job(), provenance_dir=tmp_path)
+        doc = ProvDocument.load(result.prov_path)
+        epoch_acts = [
+            a for qn, a in doc.activities.items()
+            if "/epoch/" in qn.localpart
+        ]
+        assert len(epoch_acts) == 2
+        for act in epoch_acts:
+            assert act.end_time > act.start_time
+
+    def test_dataset_logged_as_input(self, tmp_path):
+        from repro.prov.document import ProvDocument
+
+        result = simulate_training(small_job(), provenance_dir=tmp_path)
+        doc = ProvDocument.load(result.prov_path)
+        used = {
+            r.args["prov:entity"].provjson()
+            for r in doc.relations_of_kind("used")
+            if "prov:entity" in r.args
+        }
+        assert "ex:artifact/dataset_descriptor.json" in used
+
+    def test_checkpoint_logged_as_model(self, tmp_path):
+        from repro.prov.document import ProvDocument
+
+        result = simulate_training(small_job(), provenance_dir=tmp_path)
+        doc = ProvDocument.load(result.prov_path)
+        ent = doc.get_element("ex:artifact/checkpoint_final.json")
+        assert str(ent.prov_type) == "yprov4ml:ModelVersion"
+
+
+class TestCarbonAccounting:
+    def test_scales_with_intensity(self):
+        result = simulate_training(small_job())
+        assert result.carbon_g(0.0) == 0.0
+        assert result.carbon_g(760.0) == pytest.approx(2 * result.carbon_g(380.0))
+        assert result.carbon_g() == pytest.approx(result.energy_kwh * 380.0)
+
+    def test_negative_intensity_rejected(self):
+        result = simulate_training(small_job())
+        with pytest.raises(SimulationError):
+            result.carbon_g(-1.0)
+
+    def test_recorded_in_provenance(self, tmp_path):
+        from repro.core.provgen import load_run_summary
+
+        result = simulate_training(small_job(), provenance_dir=tmp_path)
+        summary = load_run_summary(result.prov_path)
+        assert summary.final_metric("carbon_g_co2e", "TESTING") == pytest.approx(
+            result.carbon_g()
+        )

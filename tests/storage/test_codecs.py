@@ -1,0 +1,166 @@
+"""Tests for the compression codec layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CodecError
+from repro.storage.codecs import (
+    DeltaZlibCodec,
+    RawCodec,
+    ScaleOffsetCodec,
+    ZlibCodec,
+    get_codec,
+    register_codec,
+)
+
+LOSSLESS = [RawCodec(), ZlibCodec(), ZlibCodec(level=1), DeltaZlibCodec()]
+DTYPES = [np.float64, np.float32, np.int64, np.int32]
+
+
+@pytest.mark.parametrize("codec", LOSSLESS, ids=lambda c: repr(c))
+@pytest.mark.parametrize("dtype", DTYPES, ids=str)
+class TestLosslessRoundtrip:
+    def test_random_data(self, codec, dtype):
+        rng = np.random.default_rng(0)
+        arr = (rng.normal(0, 100, 257)).astype(dtype)
+        out = codec.decode(codec.encode(arr), np.dtype(dtype), arr.shape[0])
+        assert np.array_equal(out, arr)
+        assert out.dtype == arr.dtype
+
+    def test_empty(self, codec, dtype):
+        arr = np.empty(0, dtype=dtype)
+        out = codec.decode(codec.encode(arr), np.dtype(dtype), 0)
+        assert out.shape == (0,)
+
+    def test_single_element(self, codec, dtype):
+        arr = np.array([42], dtype=dtype)
+        out = codec.decode(codec.encode(arr), np.dtype(dtype), 1)
+        assert np.array_equal(out, arr)
+
+
+class TestZlib:
+    def test_compresses_redundant_data(self):
+        arr = np.zeros(10000)
+        assert len(ZlibCodec().encode(arr)) < arr.nbytes / 100
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(CodecError):
+            ZlibCodec(level=10)
+
+    def test_corrupt_payload_raises(self):
+        with pytest.raises(CodecError):
+            ZlibCodec().decode(b"garbage", np.dtype(np.float64), 4)
+
+
+class TestDeltaZlib:
+    def test_monotone_series_compress_better_than_plain_zlib(self):
+        steps = np.arange(100_000, dtype=np.int64)
+        plain = len(ZlibCodec().encode(steps))
+        delta = len(DeltaZlibCodec().encode(steps))
+        assert delta < plain / 10
+
+    def test_float_timestamps_roundtrip(self):
+        rng = np.random.default_rng(1)
+        times = np.cumsum(rng.uniform(0.01, 0.02, 50_000))
+        codec = DeltaZlibCodec()
+        out = codec.decode(codec.encode(times), np.dtype(np.float64), times.shape[0])
+        # cumsum of stored exact diffs may differ by float rounding only
+        assert np.allclose(out, times, rtol=0, atol=1e-9)
+
+    def test_integer_exact(self):
+        arr = np.array([5, 3, 8, 8, -2], dtype=np.int64)
+        codec = DeltaZlibCodec()
+        out = codec.decode(codec.encode(arr), np.dtype(np.int64), 5)
+        assert np.array_equal(out, arr)
+
+
+class TestScaleOffset:
+    def test_lossy_within_bound(self):
+        rng = np.random.default_rng(2)
+        arr = rng.uniform(-5, 5, 10_000)
+        codec = ScaleOffsetCodec()
+        out = codec.decode(codec.encode(arr), np.dtype(np.float64), arr.shape[0])
+        max_err = 10.0 / 65000.0  # range / levels
+        assert np.max(np.abs(out - arr)) <= max_err
+
+    def test_nan_preserved(self):
+        arr = np.array([1.0, np.nan, 3.0])
+        codec = ScaleOffsetCodec()
+        out = codec.decode(codec.encode(arr), np.dtype(np.float64), 3)
+        assert np.isnan(out[1]) and not np.isnan(out[0])
+
+    def test_constant_array(self):
+        arr = np.full(100, 7.5)
+        codec = ScaleOffsetCodec()
+        out = codec.decode(codec.encode(arr), np.dtype(np.float64), 100)
+        assert np.allclose(out, 7.5)
+
+    def test_all_nan(self):
+        arr = np.full(10, np.nan)
+        codec = ScaleOffsetCodec()
+        out = codec.decode(codec.encode(arr), np.dtype(np.float64), 10)
+        assert np.all(np.isnan(out))
+
+    def test_short_payload_rejected(self):
+        with pytest.raises(CodecError):
+            ScaleOffsetCodec().decode(b"short", np.dtype(np.float64), 1)
+
+
+class TestRegistry:
+    def test_get_by_name(self):
+        assert isinstance(get_codec("raw"), RawCodec)
+
+    def test_get_by_config_with_args(self):
+        codec = get_codec({"id": "zlib", "level": 9})
+        assert codec.level == 9
+
+    def test_config_roundtrip(self):
+        for codec in LOSSLESS:
+            assert get_codec(codec.config()) == codec
+
+    def test_codec_instance_passthrough(self):
+        codec = ZlibCodec(3)
+        assert get_codec(codec) is codec
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(CodecError):
+            get_codec("lz77")
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(CodecError):
+            get_codec({"no_id": True})
+
+    def test_bad_kwargs_rejected(self):
+        with pytest.raises(CodecError):
+            get_codec({"id": "raw", "level": 3})
+
+    def test_custom_registration(self):
+        class ReverseCodec(RawCodec):
+            name = "reverse-test"
+
+            def encode(self, arr):
+                return super().encode(arr[::-1])
+
+            def decode(self, data, dtype, length):
+                return super().decode(data, dtype, length)[::-1]
+
+        register_codec(ReverseCodec)
+        codec = get_codec("reverse-test")
+        arr = np.arange(5.0)
+        out = codec.decode(codec.encode(arr), np.dtype(np.float64), 5)
+        assert np.array_equal(out, arr)
+
+    def test_nameless_registration_rejected(self):
+        class NoName(RawCodec):
+            name = ""
+
+        with pytest.raises(CodecError):
+            register_codec(NoName)
+
+
+class TestEndianness:
+    def test_big_endian_input_normalized(self):
+        arr = np.arange(10, dtype=">f8")
+        codec = ZlibCodec()
+        out = codec.decode(codec.encode(arr), np.dtype("<f8"), 10)
+        assert np.array_equal(out, arr.astype("<f8"))

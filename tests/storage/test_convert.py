@@ -1,0 +1,102 @@
+"""Tests for store conversion and the Table 1 size report."""
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    JsonMetricStore,
+    NetCDFLikeStore,
+    SeriesData,
+    ZarrLikeStore,
+    convert_store,
+    size_report,
+)
+from repro.storage.convert import format_size_table, gains_vs_baseline
+
+
+@pytest.fixture
+def json_store(tmp_path):
+    store = JsonMetricStore(tmp_path / "m.json")
+    rng = np.random.default_rng(0)
+    for name in ("loss@TRAINING", "power@TRAINING"):
+        n = 2000
+        store.write_series(
+            name,
+            SeriesData(
+                {
+                    "values": rng.normal(size=n),
+                    "steps": np.arange(n, dtype=np.int64),
+                    "times": np.cumsum(rng.uniform(0.1, 0.2, n)),
+                },
+                attrs={"metric": name.split("@")[0]},
+            ),
+        )
+    return store
+
+
+class TestConvert:
+    def test_convert_preserves_everything(self, json_store, tmp_path):
+        target = ZarrLikeStore(tmp_path / "m.zarr")
+        count = convert_store(json_store, target)
+        assert count == 2
+        for name in json_store.list_series():
+            assert target.read_series(name).equals(json_store.read_series(name))
+
+    def test_convert_to_netcdf(self, json_store, tmp_path):
+        target = NetCDFLikeStore(tmp_path / "m.nc")
+        convert_store(json_store, target)
+        assert target.list_series() == json_store.list_series()
+
+    def test_chain_conversion_lossless(self, json_store, tmp_path):
+        """json -> zarr -> nc -> json returns bit-identical columns."""
+        zarr = ZarrLikeStore(tmp_path / "a.zarr")
+        convert_store(json_store, zarr)
+        nc = NetCDFLikeStore(tmp_path / "b.nc")
+        convert_store(zarr, nc)
+        back = JsonMetricStore(tmp_path / "c.json")
+        convert_store(nc, back)
+        for name in json_store.list_series():
+            assert back.read_series(name).equals(json_store.read_series(name))
+
+
+class TestSizeReport:
+    def test_table1_shape(self, json_store, tmp_path):
+        """The qualitative Table 1 result: JSON >> zarr ~ nc."""
+        zarr = ZarrLikeStore(tmp_path / "m.zarr")
+        convert_store(json_store, zarr)
+        nc = NetCDFLikeStore(tmp_path / "m.nc")
+        convert_store(json_store, nc)
+        rows = size_report([
+            ("Original_file.json", json_store),
+            ("Converted_to.zarr", zarr),
+            ("Converted_to.nc", nc),
+        ])
+        sizes = {row.label: row.normal_bytes for row in rows}
+        assert sizes["Original_file.json"] > 3 * sizes["Converted_to.zarr"]
+        assert sizes["Original_file.json"] > 3 * sizes["Converted_to.nc"]
+        # compressing the compressed stores barely helps (paper: 2.74->2.14,
+        # 2.35->2.30); the zarr-like directory pays tar block padding, so
+        # only its upper bound is meaningful at this small scale
+        for row in rows[1:]:
+            # tar headers can add a few % for the many-small-files zarr dir
+            assert row.compressed_bytes <= row.normal_bytes * 1.1 + 10240
+        nc_row = rows[2]
+        assert nc_row.compressed_bytes > nc_row.normal_bytes * 0.5
+
+    def test_gains_vs_baseline(self, json_store, tmp_path):
+        zarr = ZarrLikeStore(tmp_path / "m.zarr")
+        convert_store(json_store, zarr)
+        rows = size_report([("json", json_store), ("zarr", zarr)])
+        gains = gains_vs_baseline(rows)
+        assert 0.5 < gains["zarr"] < 1.0
+
+    def test_format_table(self, json_store):
+        rows = size_report([("Original_file.json", json_store)])
+        text = format_size_table(rows)
+        assert "Normal Size" in text and "Compressed Size" in text
+        assert "Original_file.json" in text
+        assert "MB" in text
+
+    def test_mb_properties(self, json_store):
+        (row,) = size_report([("j", json_store)])
+        assert row.normal_mb == pytest.approx(row.normal_bytes / 1e6)

@@ -1,0 +1,87 @@
+"""Tests for chunk-aligned partial reads of the Zarr-like store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreFormatError
+from repro.storage import SeriesData, ZarrLikeStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = ZarrLikeStore(tmp_path / "s", chunk_size=100)
+    n = 1234
+    store.write_series(
+        "loss",
+        SeriesData({
+            "values": np.arange(n, dtype=np.float64) * 0.5,
+            "steps": np.arange(n, dtype=np.int64),
+        }),
+    )
+    return store
+
+
+class TestSeriesLength:
+    def test_length_without_payload_read(self, store):
+        assert store.series_length("loss") == 1234
+
+    def test_unknown_series(self, store):
+        with pytest.raises(StoreFormatError):
+            store.series_length("ghost")
+
+
+class TestSlices:
+    @pytest.mark.parametrize("start,stop", [
+        (0, 10),        # inside the first chunk
+        (95, 105),      # spanning a chunk boundary
+        (100, 200),     # exactly one chunk
+        (0, 1234),      # everything
+        (1200, 1234),   # the ragged tail chunk
+        (250, 251),     # single element
+    ])
+    def test_slice_matches_full_read(self, store, start, stop):
+        expected = np.arange(1234, dtype=np.float64)[start:stop] * 0.5
+        out = store.read_column_slice("loss", "values", start, stop)
+        assert np.array_equal(out, expected)
+
+    def test_slice_clipped_to_length(self, store):
+        out = store.read_column_slice("loss", "values", 1230, 99999)
+        assert out.shape == (4,)
+
+    def test_empty_slice(self, store):
+        out = store.read_column_slice("loss", "values", 50, 50)
+        assert out.shape == (0,)
+        out = store.read_column_slice("loss", "values", 5000, 6000)
+        assert out.shape == (0,)
+
+    def test_delta_encoded_column_sliceable(self, store):
+        """steps uses delta-zlib; per-chunk decode must still be exact."""
+        out = store.read_column_slice("loss", "steps", 95, 105)
+        assert out.tolist() == list(range(95, 105))
+
+    def test_invalid_slice_rejected(self, store):
+        with pytest.raises(StoreFormatError):
+            store.read_column_slice("loss", "values", -1, 10)
+        with pytest.raises(StoreFormatError):
+            store.read_column_slice("loss", "values", 10, 5)
+
+    def test_unknown_column_rejected(self, store):
+        with pytest.raises(StoreFormatError):
+            store.read_column_slice("loss", "ghost", 0, 10)
+
+    def test_io_is_proportional_to_range(self, store, monkeypatch):
+        """A tiny slice must touch only the chunks it overlaps."""
+        from pathlib import Path
+
+        reads = []
+        original = Path.read_bytes
+
+        def counting(self):
+            reads.append(self.name)
+            return original(self)
+
+        monkeypatch.setattr(Path, "read_bytes", counting)
+        store.read_column_slice("loss", "values", 95, 105)
+        # chunks 0 and 1 only (boundary at 100)
+        chunk_reads = [r for r in reads if r.isdigit()]
+        assert sorted(chunk_reads) == ["0", "1"]

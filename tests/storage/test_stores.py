@@ -1,0 +1,236 @@
+"""Tests for the three metric-store backends (shared behaviour + specifics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError, StoreFormatError
+from repro.storage import (
+    JsonMetricStore,
+    NetCDFLikeStore,
+    SeriesData,
+    ZarrLikeStore,
+    open_store,
+    store_gain,
+)
+
+BACKENDS = ["json", "zarrlike", "netcdflike"]
+
+
+def make_store(fmt, tmp_path, **kwargs):
+    paths = {
+        "json": tmp_path / "m.json",
+        "zarrlike": tmp_path / "m.zarr",
+        "netcdflike": tmp_path / "m.nc",
+    }
+    return open_store(paths[fmt], fmt=fmt, **kwargs)
+
+
+@pytest.fixture
+def series():
+    rng = np.random.default_rng(0)
+    n = 1000
+    return SeriesData(
+        {
+            "values": rng.normal(size=n),
+            "steps": np.arange(n, dtype=np.int64),
+            "times": np.cumsum(rng.uniform(0.1, 0.2, n)),
+        },
+        attrs={"metric": "loss", "context": "TRAINING", "is_input": False},
+    )
+
+
+class TestSeriesData:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(StorageError):
+            SeriesData({"a": np.zeros(3), "b": np.zeros(4)})
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(StorageError):
+            SeriesData({"a": np.zeros((2, 2))})
+
+    def test_len(self, series):
+        assert len(series) == 1000
+        assert len(SeriesData({})) == 0
+
+    def test_equals_exact_and_tolerant(self, series):
+        clone = SeriesData({k: v.copy() for k, v in series.columns.items()})
+        assert series.equals(clone)
+        clone.columns["values"] = clone.columns["values"] + 1e-8
+        assert not series.equals(clone, exact=True)
+        assert series.equals(clone, exact=False)
+
+    def test_equals_different_columns(self, series):
+        other = SeriesData({"values": series.columns["values"].copy()})
+        assert not series.equals(other)
+
+
+@pytest.mark.parametrize("fmt", BACKENDS)
+class TestBackendContract:
+    def test_write_read_roundtrip(self, fmt, tmp_path, series):
+        store = make_store(fmt, tmp_path)
+        store.write_series("loss@TRAINING", series)
+        back = store.read_series("loss@TRAINING")
+        assert back.equals(series)
+        assert back.attrs["metric"] == "loss"
+
+    def test_multiple_series(self, fmt, tmp_path, series):
+        store = make_store(fmt, tmp_path)
+        store.write_series("a", series)
+        store.write_series("b", series)
+        assert store.list_series() == ["a", "b"]
+        assert "a" in store and "c" not in store
+
+    def test_overwrite_series(self, fmt, tmp_path, series):
+        store = make_store(fmt, tmp_path)
+        store.write_series("x", series)
+        smaller = SeriesData({"values": np.arange(3.0)})
+        store.write_series("x", smaller)
+        assert len(store.read_series("x")) == 3
+
+    def test_missing_series_raises(self, fmt, tmp_path):
+        store = make_store(fmt, tmp_path)
+        with pytest.raises(StoreFormatError):
+            store.read_series("ghost")
+
+    def test_reopen_persists(self, fmt, tmp_path, series):
+        store = make_store(fmt, tmp_path)
+        store.write_series("loss", series)
+        store.flush()
+        reopened = open_store(store.path)
+        assert reopened.format_name == fmt
+        assert reopened.read_series("loss").equals(series)
+
+    def test_special_characters_in_names(self, fmt, tmp_path, series):
+        store = make_store(fmt, tmp_path)
+        name = "loss/rate@TRAINING"
+        store.write_series(name, series)
+        assert store.list_series() == [name]
+        assert store.read_series(name).equals(series)
+
+    def test_nan_values_survive(self, fmt, tmp_path):
+        store = make_store(fmt, tmp_path)
+        data = SeriesData({"values": np.array([1.0, np.nan, np.inf, -np.inf])})
+        store.write_series("weird", data)
+        back = store.read_series("weird")
+        assert back.equals(data)
+
+    def test_empty_series(self, fmt, tmp_path):
+        store = make_store(fmt, tmp_path)
+        data = SeriesData({"values": np.empty(0)})
+        store.write_series("empty", data)
+        assert len(store.read_series("empty")) == 0
+
+    def test_size_accounting_positive(self, fmt, tmp_path, series):
+        store = make_store(fmt, tmp_path)
+        store.write_series("loss", series)
+        store.flush()
+        assert store.size_bytes() > 0
+        assert store.compressed_size_bytes() > 0
+
+    def test_write_all_read_all(self, fmt, tmp_path, series):
+        store = make_store(fmt, tmp_path)
+        store.write_all({"a": series, "b": series})
+        everything = store.read_all()
+        assert set(everything) == {"a", "b"}
+
+
+class TestZarrLikeSpecific:
+    def test_chunking_layout(self, tmp_path, series):
+        store = ZarrLikeStore(tmp_path / "z", chunk_size=100)
+        store.write_series("loss", series)
+        col_dir = next((tmp_path / "z").glob("loss/values"))
+        chunks = [p for p in col_dir.iterdir() if p.name != ".zarray"]
+        assert len(chunks) == 10  # 1000 samples / 100 per chunk
+
+    def test_bad_chunk_size(self, tmp_path):
+        with pytest.raises(StoreFormatError):
+            ZarrLikeStore(tmp_path / "z", chunk_size=0)
+
+    def test_delta_codec_applied_to_monotone_columns(self, tmp_path, series):
+        import json
+
+        store = ZarrLikeStore(tmp_path / "z")
+        store.write_series("loss", series)
+        meta = json.loads((tmp_path / "z" / "loss" / "steps" / ".zarray").read_text())
+        assert meta["codec"]["id"] == "delta-zlib"
+        meta = json.loads((tmp_path / "z" / "loss" / "values" / ".zarray").read_text())
+        assert meta["codec"]["id"] == "zlib"
+
+    def test_foreign_directory_rejected(self, tmp_path):
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / ".zgroup").write_text('{"store_format": "other"}')
+        with pytest.raises(StoreFormatError):
+            ZarrLikeStore(bad)
+
+    def test_truncated_chunk_detected(self, tmp_path, series):
+        store = ZarrLikeStore(tmp_path / "z", chunk_size=100)
+        store.write_series("loss", series)
+        import json
+
+        meta_path = tmp_path / "z" / "loss" / "values" / ".zarray"
+        meta = json.loads(meta_path.read_text())
+        meta["length"] = 2000  # lie about the length
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(Exception):
+            store.read_series("loss")
+
+
+class TestNetCDFLikeSpecific:
+    def test_single_file(self, tmp_path, series):
+        store = NetCDFLikeStore(tmp_path / "m.nc")
+        store.write_series("loss", series)
+        assert (tmp_path / "m.nc").is_file()
+
+    def test_magic_bytes(self, tmp_path, series):
+        store = NetCDFLikeStore(tmp_path / "m.nc")
+        store.write_series("loss", series)
+        assert (tmp_path / "m.nc").open("rb").read(4) == b"RNC1"
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        bad = tmp_path / "bad.nc"
+        bad.write_bytes(b"XXXXsomething")
+        with pytest.raises(StoreFormatError):
+            NetCDFLikeStore(bad)._load_header()
+
+    def test_empty_file_treated_as_new(self, tmp_path):
+        path = tmp_path / "new.nc"
+        path.touch()
+        store = NetCDFLikeStore(path)
+        assert store.list_series() == []
+
+
+class TestOpenStoreSniffing:
+    def test_sniff_by_content(self, tmp_path, series):
+        for fmt in BACKENDS:
+            store = make_store(fmt, tmp_path / fmt, )
+            store.write_series("s", series)
+            store.flush()
+            assert open_store(store.path).format_name == fmt
+
+    def test_sniff_new_path_by_suffix(self, tmp_path):
+        assert open_store(tmp_path / "x.json").format_name == "json"
+        assert open_store(tmp_path / "x.nc").format_name == "netcdflike"
+        assert open_store(tmp_path / "x.whatever").format_name == "zarrlike"
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(StoreFormatError):
+            open_store(tmp_path / "x", fmt="hdf5")
+
+
+class TestGain:
+    def test_store_gain_matches_sizes(self, tmp_path, series):
+        json_store = make_store("json", tmp_path)
+        json_store.write_series("loss", series)
+        zarr_store = make_store("zarrlike", tmp_path)
+        zarr_store.write_series("loss", series)
+        gain = store_gain(json_store, zarr_store)
+        assert 0.0 < gain < 1.0
+        expected = 1 - zarr_store.size_bytes() / json_store.size_bytes()
+        assert gain == pytest.approx(expected)
+
+    def test_empty_baseline_rejected(self, tmp_path):
+        a = make_store("json", tmp_path / "a")
+        b = make_store("json", tmp_path / "b")
+        with pytest.raises(StorageError):
+            store_gain(a, b)

@@ -1,0 +1,155 @@
+"""Tests for the workflow DAG and executor."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.workflow.dag import TaskState, Workflow
+
+
+@pytest.fixture
+def clock():
+    state = {"t": 0.0}
+
+    def tick():
+        state["t"] += 1.0
+        return state["t"]
+
+    return tick
+
+
+class TestConstruction:
+    def test_add_task_and_len(self):
+        wf = Workflow("w")
+        wf.add_task("a", lambda deps: {})
+        assert len(wf) == 1 and "a" in wf
+
+    def test_duplicate_task_rejected(self):
+        wf = Workflow("w")
+        wf.add_task("a", lambda deps: {})
+        with pytest.raises(WorkflowError):
+            wf.add_task("a", lambda deps: {})
+
+    def test_unknown_dependency_rejected(self):
+        wf = Workflow("w")
+        with pytest.raises(WorkflowError):
+            wf.add_task("b", lambda deps: {}, deps=["ghost"])
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(WorkflowError):
+            Workflow("")
+        wf = Workflow("w")
+        with pytest.raises(WorkflowError):
+            wf.add_task("", lambda deps: {})
+
+    def test_negative_retries_rejected(self):
+        wf = Workflow("w")
+        with pytest.raises(WorkflowError):
+            wf.add_task("a", lambda deps: {}, retries=-1)
+
+    def test_decorator_form(self):
+        wf = Workflow("w")
+
+        @wf.task("a")
+        def a(deps):
+            return {"x": 1}
+
+        assert "a" in wf
+
+
+class TestTopologicalOrder:
+    def test_diamond(self):
+        wf = Workflow("w")
+        wf.add_task("a", lambda d: {})
+        wf.add_task("b", lambda d: {}, deps=["a"])
+        wf.add_task("c", lambda d: {}, deps=["a"])
+        wf.add_task("d", lambda d: {}, deps=["b", "c"])
+        order = wf.topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_deterministic_tie_breaking(self):
+        wf = Workflow("w")
+        for name in ("z", "m", "a"):
+            wf.add_task(name, lambda d: {})
+        assert wf.topological_order() == ["a", "m", "z"]
+
+
+class TestExecution:
+    def test_dataflow(self, clock):
+        wf = Workflow("w")
+        wf.add_task("gen", lambda d: {"n": 21})
+        wf.add_task("double", lambda d: {"n": d["gen"]["n"] * 2}, deps=["gen"])
+        result = wf.run(clock=clock)
+        assert result.succeeded
+        assert result.outputs_of("double") == {"n": 42}
+        assert result.duration > 0
+
+    def test_task_timing_recorded(self, clock):
+        wf = Workflow("w")
+        wf.add_task("a", lambda d: {})
+        result = wf.run(clock=clock)
+        task = result.tasks["a"]
+        assert task.duration is not None and task.duration > 0
+
+    def test_failure_marks_dependents_skipped(self, clock):
+        wf = Workflow("w")
+        wf.add_task("bad", lambda d: 1 / 0)
+        wf.add_task("child", lambda d: {}, deps=["bad"])
+        wf.add_task("grandchild", lambda d: {}, deps=["child"])
+        wf.add_task("independent", lambda d: {"ok": True})
+        result = wf.run(clock=clock)
+        assert not result.succeeded
+        assert result.tasks["bad"].state is TaskState.FAILED
+        assert "ZeroDivisionError" in result.tasks["bad"].error
+        assert result.tasks["child"].state is TaskState.SKIPPED
+        assert result.tasks["grandchild"].state is TaskState.SKIPPED
+        assert result.tasks["independent"].state is TaskState.SUCCEEDED
+
+    def test_retries(self, clock):
+        attempts = {"n": 0}
+
+        def flaky(deps):
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise RuntimeError("transient")
+            return {"done": True}
+
+        wf = Workflow("w")
+        wf.add_task("flaky", flaky, retries=3)
+        result = wf.run(clock=clock)
+        assert result.succeeded
+        assert result.tasks["flaky"].attempts == 3
+
+    def test_retries_exhausted(self, clock):
+        wf = Workflow("w")
+        wf.add_task("always_bad", lambda d: 1 / 0, retries=2)
+        result = wf.run(clock=clock)
+        assert result.tasks["always_bad"].state is TaskState.FAILED
+        assert result.tasks["always_bad"].attempts == 3
+
+    def test_non_dict_return_fails_task(self, clock):
+        wf = Workflow("w")
+        wf.add_task("bad", lambda d: [1, 2])
+        result = wf.run(clock=clock)
+        assert result.tasks["bad"].state is TaskState.FAILED
+
+    def test_none_return_means_empty_outputs(self, clock):
+        wf = Workflow("w")
+        wf.add_task("quiet", lambda d: None)
+        result = wf.run(clock=clock)
+        assert result.outputs_of("quiet") == {}
+
+    def test_external_inputs(self, clock):
+        wf = Workflow("w")
+        # "source" is not a task; pre-seeded via inputs (but deps must be
+        # declared tasks, so model it as a task reading nothing)
+        wf.add_task("use", lambda d: {"v": 1})
+        result = wf.run(clock=clock, inputs={"external": {"path": "/data"}})
+        assert result.succeeded
+
+    def test_outputs_of_unknown_task(self, clock):
+        wf = Workflow("w")
+        wf.add_task("a", lambda d: {})
+        result = wf.run(clock=clock)
+        with pytest.raises(WorkflowError):
+            result.outputs_of("ghost")

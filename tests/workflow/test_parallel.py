@@ -1,0 +1,155 @@
+"""Tests for the parallel workflow executor."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.workflow.dag import TaskState, Workflow
+
+
+def build_diamond(sleep_s=0.0, fail=None):
+    """a -> (b, c) -> d with optional real sleeps / failure injection."""
+    wf = Workflow("diamond")
+
+    def make(name):
+        def fn(deps):
+            if sleep_s:
+                time.sleep(sleep_s)
+            if name == fail:
+                raise RuntimeError(f"{name} failed")
+            return {"name": name, "inputs": sorted(deps)}
+
+        return fn
+
+    wf.add_task("a", make("a"))
+    wf.add_task("b", make("b"), deps=["a"])
+    wf.add_task("c", make("c"), deps=["a"])
+    wf.add_task("d", make("d"), deps=["b", "c"])
+    return wf
+
+
+class TestEquivalence:
+    def test_same_results_as_sequential(self):
+        sequential = build_diamond().run(max_workers=1)
+        parallel = build_diamond().run(max_workers=4)
+        assert parallel.succeeded == sequential.succeeded
+        for name in "abcd":
+            assert parallel.tasks[name].state == sequential.tasks[name].state
+            assert parallel.tasks[name].outputs == sequential.tasks[name].outputs
+
+    def test_failure_propagation_matches(self):
+        sequential = build_diamond(fail="b").run(max_workers=1)
+        parallel = build_diamond(fail="b").run(max_workers=4)
+        for name in "abcd":
+            assert parallel.tasks[name].state == sequential.tasks[name].state
+        assert parallel.tasks["b"].state is TaskState.FAILED
+        assert parallel.tasks["c"].state is TaskState.SUCCEEDED
+        assert parallel.tasks["d"].state is TaskState.SKIPPED
+
+    def test_dependencies_respected(self):
+        """A task never starts before its dependencies finish."""
+        events = []
+        lock = threading.Lock()
+        wf = Workflow("ordered")
+
+        def make(name):
+            def fn(deps):
+                with lock:
+                    events.append(("start", name))
+                time.sleep(0.01)
+                with lock:
+                    events.append(("end", name))
+                return {}
+
+            return fn
+
+        wf.add_task("first", make("first"))
+        wf.add_task("second", make("second"), deps=["first"])
+        wf.run(max_workers=4)
+        assert events.index(("end", "first")) < events.index(("start", "second"))
+
+
+class TestActualConcurrency:
+    def test_independent_tasks_overlap(self):
+        """With 2 workers, two 100ms siblings finish in well under 200ms."""
+        wf = Workflow("wide")
+        wf.add_task("root", lambda d: {})
+        for i in range(2):
+            wf.add_task(f"slow{i}", lambda d: time.sleep(0.15) or {},
+                        deps=["root"])
+        t0 = time.perf_counter()
+        result = wf.run(max_workers=2)
+        elapsed = time.perf_counter() - t0
+        assert result.succeeded
+        assert elapsed < 0.27  # sequential would be >= 0.30
+
+    def test_worker_limit_enforced(self):
+        """With 1 extra worker the peak concurrency is bounded."""
+        active = []
+        peak = [0]
+        lock = threading.Lock()
+        wf = Workflow("bounded")
+        wf.add_task("root", lambda d: {})
+
+        def tracked(deps):
+            with lock:
+                active.append(1)
+                peak[0] = max(peak[0], len(active))
+            time.sleep(0.03)
+            with lock:
+                active.pop()
+            return {}
+
+        for i in range(6):
+            wf.add_task(f"t{i}", tracked, deps=["root"])
+        wf.run(max_workers=2)
+        assert peak[0] <= 2
+
+
+class TestEdgeCases:
+    def test_invalid_worker_count(self):
+        wf = build_diamond()
+        with pytest.raises(WorkflowError):
+            wf.run(max_workers=0)
+
+    def test_retries_in_parallel_mode(self):
+        attempts = {"n": 0}
+
+        def flaky(deps):
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise RuntimeError("transient")
+            return {}
+
+        wf = Workflow("retry")
+        wf.add_task("flaky", flaky, retries=3)
+        result = wf.run(max_workers=4)
+        assert result.succeeded
+        assert result.tasks["flaky"].attempts == 3
+
+    def test_large_fanout(self):
+        wf = Workflow("fan")
+        wf.add_task("root", lambda d: {"v": 1})
+        for i in range(40):
+            wf.add_task(f"leaf{i}", lambda d: {"v": d["root"]["v"] + 1},
+                        deps=["root"])
+        result = wf.run(max_workers=8)
+        assert result.succeeded
+        assert len(result.tasks) == 41
+
+    def test_simulated_clock_in_parallel_mode(self):
+        """SimClock plugs in (timestamps monotone per task, not globally)."""
+        from repro.simulator.simclock import SimClock
+
+        clock = SimClock()
+
+        def tick_clock():
+            return clock.advance(1.0)
+
+        wf = build_diamond()
+        result = wf.run(clock=tick_clock, max_workers=3)
+        assert result.succeeded
+        for task in result.tasks.values():
+            assert task.duration is not None and task.duration > 0

@@ -1,0 +1,77 @@
+"""Tests for Workflow Run RO-Crates."""
+
+import pytest
+
+from repro.crate.validate import validate_crate
+from repro.errors import CrateError
+from repro.workflow.dag import Workflow
+from repro.workflow.provtracker import build_workflow_document
+from repro.workflow.wfcrate import (
+    WORKFLOW_RUN_PROFILE,
+    create_workflow_crate,
+    read_workflow_crate,
+)
+
+
+@pytest.fixture
+def executed(ticking_clock):
+    wf = Workflow("crate_pipeline")
+    wf.add_task("prep", lambda d: {"rows": 5}, description="prep step")
+    wf.add_task("train", lambda d: {"loss": 0.4}, deps=["prep"])
+    wf.add_task("flaky", lambda d: 1 / 0)
+    result = wf.run(clock=ticking_clock)
+    doc = build_workflow_document(wf, result)
+    return wf, result, doc
+
+
+class TestCreate:
+    def test_crate_validates(self, executed, tmp_path):
+        wf, result, doc = executed
+        create_workflow_crate(wf, result, doc, tmp_path / "crate")
+        report = validate_crate(tmp_path / "crate")
+        assert report.is_valid, report.errors
+
+    def test_profile_conformance(self, executed, tmp_path):
+        wf, result, doc = executed
+        create_workflow_crate(wf, result, doc, tmp_path / "crate")
+        loaded = read_workflow_crate(tmp_path / "crate")
+        assert loaded["conformsTo"] == WORKFLOW_RUN_PROFILE
+
+    def test_provenance_file_included(self, executed, tmp_path):
+        wf, result, doc = executed
+        create_workflow_crate(wf, result, doc, tmp_path / "crate")
+        loaded = read_workflow_crate(tmp_path / "crate")
+        assert loaded["document"] is not None
+        assert loaded["document"].get_element("wf:workflow/crate_pipeline") is not None
+
+    def test_task_actions(self, executed, tmp_path):
+        wf, result, doc = executed
+        create_workflow_crate(wf, result, doc, tmp_path / "crate")
+        actions = read_workflow_crate(tmp_path / "crate")["actions"]
+        assert actions["prep"]["actionStatus"] == "CompletedActionStatus"
+        assert actions["prep"]["description"] == "prep step"
+        assert actions["flaky"]["actionStatus"] == "FailedActionStatus"
+        assert "ZeroDivisionError" in actions["flaky"]["error"]
+        assert actions["train"]["attempts"] == 1
+
+    def test_extra_output_files_packaged(self, executed, tmp_path):
+        wf, result, doc = executed
+        crate_dir = tmp_path / "crate"
+        crate_dir.mkdir()
+        (crate_dir / "model_output.bin").write_bytes(b"weights")
+        create_workflow_crate(wf, result, doc, crate_dir)
+        report = validate_crate(crate_dir)
+        assert report.is_valid
+        assert report.n_files == 2  # prov + model output
+
+
+class TestRead:
+    def test_missing_crate_rejected(self, tmp_path):
+        with pytest.raises(CrateError):
+            read_workflow_crate(tmp_path)
+
+    def test_name_recovered(self, executed, tmp_path):
+        wf, result, doc = executed
+        create_workflow_crate(wf, result, doc, tmp_path / "crate")
+        loaded = read_workflow_crate(tmp_path / "crate")
+        assert "crate_pipeline" in loaded["name"]

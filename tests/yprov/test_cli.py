@@ -1,0 +1,103 @@
+"""Tests for the yprov CLI."""
+
+import json
+
+import pytest
+
+from repro.yprov.cli import main
+
+
+@pytest.fixture
+def prov_file(finished_run):
+    return finished_run.save()["prov"]
+
+
+@pytest.fixture
+def root(tmp_path):
+    return str(tmp_path / "service")
+
+
+def run_cli(*args) -> int:
+    return main(list(args))
+
+
+class TestDocumentCommands:
+    def test_push_list_get_delete(self, root, prov_file, tmp_path, capsys):
+        assert run_cli("--root", root, "push", "r1", str(prov_file)) == 0
+        assert run_cli("--root", root, "list") == 0
+        out = capsys.readouterr().out
+        assert "r1" in out
+
+        out_file = tmp_path / "out.json"
+        assert run_cli("--root", root, "get", "r1", "-o", str(out_file)) == 0
+        assert json.loads(out_file.read_text())["prefix"]
+
+        assert run_cli("--root", root, "delete", "r1") == 0
+        assert run_cli("--root", root, "get", "r1") == 2  # ReproError -> exit 2
+
+    def test_get_prints_to_stdout(self, root, prov_file, capsys):
+        run_cli("--root", root, "push", "r1", str(prov_file))
+        assert run_cli("--root", root, "get", "r1") == 0
+        assert '"prefix"' in capsys.readouterr().out
+
+    def test_stats(self, root, prov_file, capsys):
+        run_cli("--root", root, "push", "r1", str(prov_file))
+        assert run_cli("--root", root, "stats", "r1") == 0
+        assert "entities:" in capsys.readouterr().out
+
+    def test_lineage(self, root, prov_file, capsys):
+        run_cli("--root", root, "push", "r1", str(prov_file))
+        assert run_cli(
+            "--root", root, "lineage", "r1", "ex:artifact/model.bin",
+            "--direction", "upstream",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ex:run/fixture_run" in out
+
+
+class TestValidateCommand:
+    def test_valid_file(self, prov_file, capsys):
+        assert run_cli("validate", str(prov_file), "--strict") == 0
+        assert "valid=True" in capsys.readouterr().out
+
+    def test_invalid_file_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({
+            "prefix": {"ex": "http://example.org/"},
+            "used": {"_:u1": {"prov:activity": "ex:a", "prov:entity": "ex:e"}},
+        }))
+        assert run_cli("validate", str(bad), "--strict") == 1
+        assert "ERROR" in capsys.readouterr().out
+
+
+class TestHandleCommands:
+    def test_mint_list_resolve(self, root, prov_file, tmp_path, capsys):
+        run_cli("--root", root, "push", "r1", str(prov_file))
+        capsys.readouterr()  # drop the push confirmation
+        assert run_cli("--root", root, "handle", "mint", "r1", "--suffix", "abc") == 0
+        handle = capsys.readouterr().out.strip()
+        assert handle == "hdl:20.500.repro/abc"
+
+        assert run_cli("--root", root, "handle", "list") == 0
+        assert "r1" in capsys.readouterr().out
+
+        out_file = tmp_path / "resolved.json"
+        assert run_cli("--root", root, "handle", "resolve", handle,
+                       "-o", str(out_file)) == 0
+        assert out_file.exists()
+
+
+class TestCrateCommand:
+    def test_crate_validate(self, finished_run, capsys):
+        paths = finished_run.save(create_rocrate=True)
+        assert run_cli("crate-validate", str(finished_run.save_dir)) == 0
+        assert "valid=True" in capsys.readouterr().out
+
+    def test_crate_validate_failure(self, tmp_path, capsys):
+        assert run_cli("crate-validate", str(tmp_path)) == 1
+
+
+class TestErrors:
+    def test_unknown_document_is_error_exit(self, root, capsys):
+        assert run_cli("--root", root, "get", "ghost") == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,70 @@
+"""Tests for the replay CLI command (serve is covered via test_rest)."""
+
+import pytest
+
+from repro.simulator import SimClock
+from repro.simulator.training import job_from_zoo, simulate_training
+from repro.yprov.cli import main
+
+
+@pytest.fixture(scope="module")
+def sim_prov(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("sim")
+    job = job_from_zoo("mae", "100M", 8, epochs=1, seed=4)
+    result = simulate_training(job, clock=SimClock(), provenance_dir=tmp)
+    return result.prov_path
+
+
+class TestReplayCommand:
+    def test_faithful_replay_exit_zero(self, sim_prov, tmp_path, capsys):
+        rc = main(["replay", str(sim_prov), "-o", str(tmp_path / "out")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "matched" in out
+        assert "[ok ]" in out
+        assert "DIFF" not in out
+
+    def test_unknown_experiment_exit_two(self, finished_run, tmp_path, capsys):
+        paths = finished_run.save()
+        rc = main(["replay", str(paths["prov"]), "-o", str(tmp_path / "out")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_subcommand_registered(self):
+        from repro.yprov.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--port", "8123"])
+        assert args.port == 8123
+        args = parser.parse_args(["replay", "x.json"])
+        assert args.output_dir == "replay"
+
+
+class TestDiffAndRenderCommands:
+    def test_diff_identical(self, finished_run, capsys):
+        paths = finished_run.save()
+        rc = main(["diff", str(paths["prov"]), str(paths["prov"])])
+        assert rc == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_different(self, finished_run, tmp_path, capsys):
+        paths = finished_run.save()
+        import json
+
+        doc = json.loads(paths["prov"].read_text())
+        doc["entity"]["ex:extra_thing"] = {}
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps(doc))
+        rc = main(["diff", str(paths["prov"]), str(other)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "+ ex:extra_thing" in out
+        assert "different" in out
+
+    def test_render(self, finished_run, tmp_path, capsys):
+        paths = finished_run.save()
+        out_file = tmp_path / "view.html"
+        rc = main(["render", str(paths["prov"]), "-o", str(out_file)])
+        assert rc == 0
+        text = out_file.read_text()
+        assert "<svg" in text and "fixture_run" in text

@@ -1,0 +1,112 @@
+"""Tests for the Explorer (consumer-side queries)."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.prov.document import ProvDocument
+from repro.yprov.explorer import Explorer
+from repro.yprov.service import ProvenanceService
+
+
+@pytest.fixture
+def service(sample_document):
+    svc = ProvenanceService()
+    svc.put_document("d1", sample_document)
+    return svc
+
+
+@pytest.fixture
+def explorer(service):
+    return Explorer(service)
+
+
+class TestSummary:
+    def test_counts(self, explorer):
+        stats = explorer.summary("d1")
+        assert stats["entities"] == 2
+        assert stats["activities"] == 1
+        assert stats["agents"] == 1
+
+    def test_entities_by_type(self, explorer, sample_document):
+        stats = explorer.summary(sample_document)
+        assert stats["entities_by_type"] == {"(untyped)": 2}
+
+    def test_document_passthrough_without_service(self, sample_document):
+        stats = Explorer().summary(sample_document)
+        assert stats["nodes"] == 4
+
+    def test_id_without_service_raises(self):
+        with pytest.raises(ServiceError):
+            Explorer().summary("d1")
+
+
+class TestLineage:
+    def test_upstream(self, explorer):
+        up = explorer.lineage_of("d1", "ex:model", direction="upstream")
+        assert up == ["ex:alice", "ex:dataset", "ex:train"]
+
+    def test_downstream(self, explorer):
+        down = explorer.lineage_of("d1", "ex:dataset", direction="downstream")
+        assert "ex:model" in down
+
+    def test_relation_filter(self, explorer):
+        up = explorer.lineage_of("d1", "ex:model", relations=["wasDerivedFrom"])
+        assert up == ["ex:dataset"]
+
+    def test_bad_direction(self, explorer):
+        with pytest.raises(ServiceError):
+            explorer.lineage_of("d1", "ex:model", direction="sideways")
+
+
+class TestTimelineAndSearch:
+    def test_timeline_ordering(self, explorer, sample_document):
+        import datetime as dt
+
+        doc = sample_document
+        doc.activity("ex:later", start_time=dt.datetime(2025, 2, 1,
+                                                        tzinfo=dt.timezone.utc))
+        rows = Explorer().timeline(doc)
+        assert [r[0] for r in rows] == ["ex:train", "ex:later"]
+
+    def test_search_by_substring(self, explorer):
+        assert explorer.search("d1", "model") == ["ex:model"]
+        assert explorer.search("d1", "ALICE") == ["ex:alice"]
+
+    def test_search_no_hits(self, explorer):
+        assert explorer.search("d1", "zzz") == []
+
+
+class TestDiff:
+    def test_identical(self, explorer, sample_document):
+        diff = Explorer().diff(sample_document, sample_document)
+        assert diff.is_identical
+
+    def test_element_changes(self, sample_document):
+        other = ProvDocument.from_json(sample_document.to_json())
+        other.entity("ex:extra")
+        other.get_element("ex:dataset").attributes["ex:rows"] = 999
+        diff = Explorer().diff(sample_document, other)
+        assert diff.only_right == ["ex:extra"]
+        assert diff.changed == ["ex:dataset"]
+        assert not diff.is_identical
+
+    def test_relation_changes(self, sample_document):
+        other = ProvDocument.from_json(sample_document.to_json())
+        other.used("ex:train", "ex:model")
+        diff = Explorer().diff(sample_document, other)
+        assert diff.relations_only_right == 1
+        assert diff.relations_only_left == 0
+
+
+class TestRunDiscovery:
+    def test_find_runs(self, finished_run):
+        svc = ProvenanceService()
+        paths = finished_run.save()
+        svc.put_document("run1", paths["prov"].read_text())
+        runs = Explorer(svc).find_runs()
+        assert len(runs) == 1
+        assert runs[0]["label"] == "fixture_run"
+
+    def test_find_runs_requires_service(self):
+        with pytest.raises(ServiceError):
+            Explorer().find_runs()

@@ -1,0 +1,88 @@
+"""Tests for the Explorer's path, common-ancestor and metric-series queries."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.yprov.explorer import Explorer
+
+
+class TestConnection:
+    def test_direct_relation(self, sample_document):
+        hops = Explorer().connection(sample_document, "ex:model", "ex:train")
+        assert hops == [("wasGeneratedBy", "ex:train")]
+
+    def test_multi_hop(self, sample_document):
+        hops = Explorer().connection(sample_document, "ex:alice", "ex:dataset")
+        assert hops is not None
+        assert hops[-1][1] == "ex:dataset"
+        assert len(hops) >= 2
+
+    def test_disconnected_returns_none(self, sample_document):
+        sample_document.entity("ex:island")
+        hops = Explorer().connection(sample_document, "ex:island", "ex:model")
+        assert hops is None
+
+    def test_unknown_element(self, sample_document):
+        with pytest.raises(ServiceError):
+            Explorer().connection(sample_document, "ex:ghost", "ex:model")
+
+
+class TestCommonAncestors:
+    def test_shared_dataset(self, finished_run):
+        """Two outputs of the run share its inputs upstream."""
+        from repro.core.provgen import build_prov_document
+
+        doc = build_prov_document(finished_run)
+        shared = Explorer().common_ancestors(
+            doc, "ex:artifact/model.bin", "ex:metric/loss@TRAINING"
+        )
+        assert "ex:run/fixture_run" in shared
+
+    def test_no_shared_history(self, sample_document):
+        sample_document.entity("ex:island")
+        shared = Explorer().common_ancestors(sample_document, "ex:island",
+                                             "ex:model")
+        assert shared == []
+
+
+class TestMetricSeries:
+    def test_inline_metrics(self, finished_run):
+        from repro.core.provgen import build_prov_document
+
+        doc = build_prov_document(finished_run, metric_format="inline")
+        series = Explorer().metric_series(doc, "loss", "TRAINING")
+        assert len(series["values"]) == 6
+        assert series["steps"][0] == 0
+
+    def test_offloaded_metrics(self, finished_run):
+        paths = finished_run.save(metric_format="zarrlike")
+        from repro.prov.document import ProvDocument
+
+        doc = ProvDocument.load(paths["prov"])
+        series = Explorer().metric_series(
+            doc, "loss", "TRAINING", base_dir=paths["prov"].parent
+        )
+        assert len(series["values"]) == 6
+        assert series["values"][-1] == pytest.approx(1.0 / 6)
+
+    def test_offloaded_without_base_dir_rejected(self, finished_run):
+        paths = finished_run.save(metric_format="netcdflike")
+        from repro.prov.document import ProvDocument
+
+        doc = ProvDocument.load(paths["prov"])
+        with pytest.raises(ServiceError):
+            Explorer().metric_series(doc, "loss", "TRAINING")
+
+    def test_unknown_metric_rejected(self, finished_run):
+        from repro.core.provgen import build_prov_document
+
+        doc = build_prov_document(finished_run, metric_format="inline")
+        with pytest.raises(ServiceError):
+            Explorer().metric_series(doc, "ghost", "TRAINING")
+
+    def test_context_disambiguates(self, finished_run):
+        from repro.core.provgen import build_prov_document
+
+        doc = build_prov_document(finished_run, metric_format="inline")
+        val = Explorer().metric_series(doc, "val_loss", "VALIDATION")
+        assert len(val["values"]) == 2

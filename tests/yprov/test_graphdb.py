@@ -1,0 +1,201 @@
+"""Tests for the embedded property-graph database."""
+
+import pytest
+
+from repro.errors import ConstraintViolationError, GraphDBError, NodeNotFoundError
+from repro.yprov.graphdb import GraphDB
+
+
+@pytest.fixture
+def db() -> GraphDB:
+    return GraphDB()
+
+
+@pytest.fixture
+def chain(db):
+    """a -> b -> c via NEXT edges."""
+    a = db.create_node({"Item"}, {"name": "a"})
+    b = db.create_node({"Item"}, {"name": "b"})
+    c = db.create_node({"Item"}, {"name": "c"})
+    db.create_edge(a.id, b.id, "NEXT")
+    db.create_edge(b.id, c.id, "NEXT")
+    return a, b, c
+
+
+class TestNodes:
+    def test_create_and_get(self, db):
+        node = db.create_node({"Person"}, {"name": "alice"})
+        assert db.get_node(node.id).properties["name"] == "alice"
+
+    def test_label_required(self, db):
+        with pytest.raises(GraphDBError):
+            db.create_node(set())
+
+    def test_get_missing_raises(self, db):
+        with pytest.raises(NodeNotFoundError):
+            db.get_node(99)
+
+    def test_update_merges_and_deletes(self, db):
+        node = db.create_node({"P"}, {"a": 1, "b": 2})
+        updated = db.update_node(node.id, {"a": 10, "b": None, "c": 3})
+        assert updated.properties == {"a": 10, "c": 3}
+
+    def test_delete_removes_incident_edges(self, db, chain):
+        a, b, c = chain
+        db.delete_node(b.id)
+        assert db.edge_count == 0
+        assert db.node_count == 2
+
+    def test_multiple_labels(self, db):
+        node = db.create_node({"A", "B"})
+        assert node.has_label("A") and node.has_label("B")
+        assert db.match_nodes(label="A") == db.match_nodes(label="B")
+
+
+class TestEdges:
+    def test_create_requires_existing_nodes(self, db):
+        node = db.create_node({"P"})
+        with pytest.raises(NodeNotFoundError):
+            db.create_edge(node.id, 42, "KNOWS")
+
+    def test_empty_type_rejected(self, db):
+        a = db.create_node({"P"})
+        b = db.create_node({"P"})
+        with pytest.raises(GraphDBError):
+            db.create_edge(a.id, b.id, "")
+
+    def test_match_edges_by_type_src_dst(self, db, chain):
+        a, b, c = chain
+        assert len(db.match_edges(type="NEXT")) == 2
+        assert len(db.match_edges(src=a.id)) == 1
+        assert len(db.match_edges(dst=c.id)) == 1
+        assert db.match_edges(type="OTHER") == []
+
+    def test_delete_edge(self, db, chain):
+        a, b, _ = chain
+        (edge,) = db.match_edges(src=a.id)
+        db.delete_edge(edge.id)
+        assert db.match_edges(src=a.id) == []
+
+    def test_neighbors(self, db, chain):
+        a, b, c = chain
+        assert [n.id for n in db.out_neighbors(a.id)] == [b.id]
+        assert [n.id for n in db.in_neighbors(c.id)] == [b.id]
+        assert db.out_neighbors(a.id, type="OTHER") == []
+
+
+class TestMatching:
+    def test_match_by_label(self, db):
+        db.create_node({"A"})
+        db.create_node({"B"})
+        assert len(db.match_nodes(label="A")) == 1
+
+    def test_match_by_properties(self, db):
+        db.create_node({"P"}, {"x": 1})
+        db.create_node({"P"}, {"x": 2})
+        hits = db.match_nodes(label="P", properties={"x": 2})
+        assert len(hits) == 1 and hits[0].properties["x"] == 2
+
+    def test_match_with_predicate(self, db):
+        for i in range(5):
+            db.create_node({"N"}, {"i": i})
+        hits = db.match_nodes(predicate=lambda n: n.properties["i"] % 2 == 0)
+        assert len(hits) == 3
+
+    def test_match_uses_value_index(self, db):
+        db.create_index("P", "key")
+        for i in range(100):
+            db.create_node({"P"}, {"key": f"k{i}"})
+        hits = db.match_nodes(label="P", properties={"key": "k42"})
+        assert len(hits) == 1
+
+    def test_index_built_over_existing_nodes(self, db):
+        for i in range(10):
+            db.create_node({"P"}, {"key": i})
+        db.create_index("P", "key")
+        assert len(db.match_nodes(label="P", properties={"key": 7})) == 1
+
+    def test_index_tracks_updates(self, db):
+        db.create_index("P", "key")
+        node = db.create_node({"P"}, {"key": "old"})
+        db.update_node(node.id, {"key": "new"})
+        assert db.match_nodes(label="P", properties={"key": "old"}) == []
+        assert len(db.match_nodes(label="P", properties={"key": "new"})) == 1
+
+
+class TestConstraints:
+    def test_unique_enforced_on_create(self, db):
+        db.create_unique_constraint("P", "email")
+        db.create_node({"P"}, {"email": "a@x"})
+        with pytest.raises(ConstraintViolationError):
+            db.create_node({"P"}, {"email": "a@x"})
+
+    def test_unique_enforced_on_update(self, db):
+        db.create_unique_constraint("P", "email")
+        db.create_node({"P"}, {"email": "a@x"})
+        other = db.create_node({"P"}, {"email": "b@x"})
+        with pytest.raises(ConstraintViolationError):
+            db.update_node(other.id, {"email": "a@x"})
+
+    def test_update_keeping_own_value_ok(self, db):
+        db.create_unique_constraint("P", "email")
+        node = db.create_node({"P"}, {"email": "a@x"})
+        db.update_node(node.id, {"email": "a@x", "extra": 1})
+
+    def test_existing_violations_rejected(self, db):
+        db.create_node({"P"}, {"email": "dup"})
+        db.create_node({"P"}, {"email": "dup"})
+        with pytest.raises(ConstraintViolationError):
+            db.create_unique_constraint("P", "email")
+
+
+class TestTraversal:
+    def test_out_traversal(self, db, chain):
+        a, b, c = chain
+        assert db.traverse(a.id, direction="out") == [b.id, c.id]
+
+    def test_in_traversal(self, db, chain):
+        a, b, c = chain
+        assert db.traverse(c.id, direction="in") == [b.id, a.id]
+
+    def test_both(self, db, chain):
+        a, b, c = chain
+        assert set(db.traverse(b.id, direction="both")) == {a.id, c.id}
+
+    def test_max_depth(self, db, chain):
+        a, _, _ = chain
+        assert db.traverse(a.id, max_depth=1) == [chain[1].id]
+
+    def test_type_filter(self, db, chain):
+        a, b, _ = chain
+        extra = db.create_node({"Item"})
+        db.create_edge(a.id, extra.id, "OTHER")
+        assert db.traverse(a.id, types=["OTHER"]) == [extra.id]
+
+    def test_cycle_terminates(self, db):
+        a = db.create_node({"N"})
+        b = db.create_node({"N"})
+        db.create_edge(a.id, b.id, "E")
+        db.create_edge(b.id, a.id, "E")
+        assert db.traverse(a.id) == [b.id]
+
+    def test_invalid_direction(self, db, chain):
+        with pytest.raises(GraphDBError):
+            db.traverse(chain[0].id, direction="sideways")
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, db, chain, tmp_path):
+        db.create_index("Item", "name")
+        db.create_unique_constraint("Item", "name")
+        path = tmp_path / "graph.json"
+        db.save(path)
+        loaded = GraphDB.load(path)
+        assert loaded.node_count == db.node_count
+        assert loaded.edge_count == db.edge_count
+        assert len(loaded.match_nodes(label="Item", properties={"name": "b"})) == 1
+        with pytest.raises(ConstraintViolationError):
+            loaded.create_node({"Item"}, {"name": "a"})
+
+    def test_labels_summary(self, db, chain):
+        assert db.labels() == {"Item": 3}

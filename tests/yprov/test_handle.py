@@ -1,0 +1,94 @@
+"""Tests for the provenance handle system."""
+
+import pytest
+
+from repro.errors import HandleError
+from repro.yprov.handle import HandleSystem
+from repro.yprov.service import ProvenanceService
+
+
+@pytest.fixture
+def service(sample_document):
+    svc = ProvenanceService()
+    svc.put_document("d1", sample_document)
+    return svc
+
+
+@pytest.fixture
+def handles(service):
+    return HandleSystem(service)
+
+
+class TestMinting:
+    def test_mint_and_resolve(self, handles, sample_document):
+        record = handles.mint("d1", suffix="abc")
+        assert record.handle == "hdl:20.500.repro/abc"
+        doc = handles.resolve(record.handle)
+        assert doc.get_element("ex:model") is not None
+
+    def test_auto_suffix(self, handles):
+        record = handles.mint("d1")
+        assert record.handle.startswith("hdl:20.500.repro/")
+
+    def test_mint_unknown_document_rejected(self, handles):
+        with pytest.raises(HandleError):
+            handles.mint("ghost")
+
+    def test_duplicate_handle_rejected(self, handles):
+        handles.mint("d1", suffix="abc")
+        with pytest.raises(HandleError):
+            handles.mint("d1", suffix="abc")
+
+    def test_invalid_suffix_rejected(self, handles):
+        with pytest.raises(HandleError):
+            handles.mint("d1", suffix="bad suffix")
+
+    def test_invalid_prefix_rejected(self, service):
+        with pytest.raises(HandleError):
+            HandleSystem(service, prefix="bad prefix")
+
+
+class TestResolution:
+    def test_unknown_handle_raises(self, handles):
+        with pytest.raises(HandleError):
+            handles.resolve("hdl:20.500.repro/ghost")
+
+    def test_lookup_record(self, handles):
+        record = handles.mint("d1", suffix="x", description="test run")
+        assert handles.lookup(record.handle).description == "test run"
+
+    def test_revoke(self, handles):
+        record = handles.mint("d1", suffix="x")
+        handles.revoke(record.handle)
+        with pytest.raises(HandleError):
+            handles.resolve(record.handle)
+
+    def test_revoke_unknown_raises(self, handles):
+        with pytest.raises(HandleError):
+            handles.revoke("hdl:20.500.repro/ghost")
+
+    def test_list_and_filter(self, handles):
+        handles.mint("d1", suffix="b")
+        handles.mint("d1", suffix="a")
+        assert [r.handle for r in handles.list_handles()] == [
+            "hdl:20.500.repro/a", "hdl:20.500.repro/b",
+        ]
+        assert len(handles.handles_for("d1")) == 2
+        assert handles.handles_for("other") == []
+
+
+class TestPersistence:
+    def test_registry_file_roundtrip(self, service, tmp_path):
+        path = tmp_path / "handles.json"
+        first = HandleSystem(service, registry_path=path)
+        first.mint("d1", suffix="persist")
+        second = HandleSystem(service, registry_path=path)
+        assert second.lookup("hdl:20.500.repro/persist").doc_id == "d1"
+
+    def test_revoke_persisted(self, service, tmp_path):
+        path = tmp_path / "handles.json"
+        first = HandleSystem(service, registry_path=path)
+        record = first.mint("d1", suffix="gone")
+        first.revoke(record.handle)
+        second = HandleSystem(service, registry_path=path)
+        assert second.list_handles() == []

