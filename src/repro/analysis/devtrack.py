@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.atomicio import atomic_write_text
 from repro.errors import AnalysisError
 from repro.prov.document import ProvDocument
 from repro.prov.identifiers import Namespace
@@ -217,7 +218,7 @@ class DevelopmentTracker:
             ],
             "commands": self.commands,
         }
-        Path(path).write_text(json.dumps(doc, indent=1), encoding="utf-8")
+        atomic_write_text(Path(path), json.dumps(doc, indent=1))
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "DevelopmentTracker":

@@ -1,0 +1,91 @@
+"""Atomic, durable file writes — the crash-consistency primitive.
+
+Every *final* file the library persists (PROV-JSON documents, metric-store
+metadata and payloads, handle registries, RO-Crate metadata) goes through
+:func:`atomic_write_bytes`: the data is written to a temporary file in the
+same directory, flushed and (optionally) fsynced, then moved over the
+destination with :func:`os.replace`.  ``os.replace`` is atomic on POSIX and
+Windows, so a reader — or a process restarted after a crash — observes
+either the complete old file or the complete new file, never a torn mix.
+
+A best-effort fsync of the parent directory makes the rename itself durable
+on POSIX filesystems; platforms that refuse to open directories (Windows)
+silently skip that step.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Union
+
+PathLike = Union[str, Path]
+
+
+def fsync_dir(path: PathLike) -> bool:
+    """Best-effort fsync of a directory; returns whether it succeeded.
+
+    Needed on POSIX so a rename survives power loss; harmless elsewhere.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return False
+    try:
+        os.fsync(fd)
+        return True
+    except OSError:
+        return False
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: PathLike, data: bytes, fsync: bool = True) -> Path:
+    """Write *data* to *path* atomically (temp file → fsync → ``os.replace``).
+
+    With ``fsync=False`` the rename is still atomic (no torn files) but
+    durability is left to the OS writeback — appropriate for bulk payloads
+    whose integrity is separately protected by checksums.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(prefix=f".{path.name}.", suffix=".tmp",
+                               dir=path.parent)
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            if fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        fsync_dir(path.parent)
+    return path
+
+
+def atomic_write_text(
+    path: PathLike, text: str, encoding: str = "utf-8", fsync: bool = True
+) -> Path:
+    """Text counterpart of :func:`atomic_write_bytes`."""
+    return atomic_write_bytes(path, text.encode(encoding), fsync=fsync)
+
+
+def atomic_write_json(
+    path: PathLike,
+    obj: Any,
+    indent: Union[int, None] = None,
+    sort_keys: bool = False,
+    fsync: bool = True,
+) -> Path:
+    """Serialize *obj* as JSON and write it atomically."""
+    return atomic_write_text(
+        path, json.dumps(obj, indent=indent, sort_keys=sort_keys), fsync=fsync
+    )

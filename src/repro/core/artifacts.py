@@ -142,6 +142,18 @@ class ArtifactRegistry:
         self._artifacts[name] = artifact
         return artifact
 
+    def restore(self, artifact: Artifact) -> Artifact:
+        """Re-register an :class:`Artifact` from persisted metadata.
+
+        Used by journal recovery (:mod:`repro.core.recover`): the bytes were
+        hashed when originally logged, so the record is trusted as-is and no
+        file access happens here.
+        """
+        if artifact.name in self._artifacts:
+            raise ArtifactError(f"artifact already logged: {artifact.name!r}")
+        self._artifacts[artifact.name] = artifact
+        return artifact
+
     # -- access -----------------------------------------------------------
     def get(self, name: str) -> Artifact:
         try:

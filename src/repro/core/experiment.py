@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.artifacts import Artifact, ArtifactRegistry, PathLike
 from repro.core.context import Context
+from repro.core.journal import RunJournal, journal_path_for, to_jsonable
 from repro.core.metrics import MetricBuffer, MetricKey
 from repro.core.params import LoggedParam, ParamStore
 from repro.errors import TrackingError
@@ -96,6 +97,10 @@ class RunExecution:
         username: str = "user",
         clock: Optional[Callable[[], float]] = None,
         rank: Optional[int] = None,
+        journal: Union[bool, RunJournal, None] = True,
+        journal_flush_every: int = 1,
+        journal_fsync: bool = True,
+        resumed_from: Optional[str] = None,
     ) -> None:
         if not experiment_name:
             raise TrackingError("experiment_name must be non-empty")
@@ -106,9 +111,22 @@ class RunExecution:
         self.username = username
         self.clock: Callable[[], float] = clock or _time.time
         self.rank = rank
+        self.resumed_from = resumed_from
+        self.aborted = False
 
         self.save_dir = Path(save_dir) if save_dir is not None else Path("prov") / self.run_id
         self.save_dir.mkdir(parents=True, exist_ok=True)
+
+        # write-ahead journal (crash safety): created lazily at start() so a
+        # never-started run leaves no stray file behind
+        if isinstance(journal, RunJournal):
+            self.journal: Optional[RunJournal] = journal
+            self._journal_pending = False
+        else:
+            self.journal = None
+            self._journal_pending = bool(journal)
+        self._journal_flush_every = journal_flush_every
+        self._journal_fsync = journal_fsync
 
         self.params = ParamStore()
         self.metrics: Dict[MetricKey, MetricBuffer] = {}
@@ -123,13 +141,40 @@ class RunExecution:
         self._collectors: List[Any] = []
 
     # ------------------------------------------------------------------
+    # write-ahead journal
+    # ------------------------------------------------------------------
+    def _journal_event(self, kind: str, **payload: Any) -> None:
+        """Append one event to the journal (no-op when journaling is off)."""
+        if self.journal is not None and not self.journal.closed:
+            self.journal.append(kind, payload)
+
+    # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "RunExecution":
+        """Mark the run as running and open its write-ahead journal."""
         if self.status is not RunStatus.CREATED:
             raise TrackingError(f"run {self.run_id} already started")
         self.start_time = self.clock()
         self.status = RunStatus.RUNNING
+        if self._journal_pending:
+            self.journal = RunJournal(
+                journal_path_for(self.save_dir),
+                flush_every=self._journal_flush_every,
+                fsync=self._journal_fsync,
+            )
+            self._journal_pending = False
+        self._journal_event(
+            "start_run",
+            t=self.start_time,
+            run_id=self.run_id,
+            experiment=self.experiment_name,
+            run_index=self.run_index,
+            user_namespace=self.user_namespace,
+            username=self.username,
+            rank=self.rank,
+            resumed_from=self.resumed_from,
+        )
         return self
 
     def end(self, status: RunStatus = RunStatus.FINISHED) -> None:
@@ -148,6 +193,7 @@ class RunExecution:
                 state.current_epoch = None
             state.touch(self.end_time)
         self.status = status
+        self._journal_event("end_run", t=self.end_time, status=status.value)
 
     def _require_running(self) -> None:
         if self.status is not RunStatus.RUNNING:
@@ -164,10 +210,19 @@ class RunExecution:
     # ------------------------------------------------------------------
     # contexts & epochs
     # ------------------------------------------------------------------
-    def _context_state(self, context: Union[Context, str]) -> ContextState:
+    def _context_state(
+        self, context: Union[Context, str], now: Optional[float] = None
+    ) -> ContextState:
+        """Fetch/create the context state, touching it at *now*.
+
+        Every logging call reads the clock exactly once and threads the
+        timestamp through here, so a journal replay with the recorded
+        timestamps reconstructs bit-identical context intervals.
+        """
         ctx = Context.of(context)
         state = self.contexts.get(ctx)
-        now = self.clock()
+        if now is None:
+            now = self.clock()
         if state is None:
             state = ContextState(context=ctx, first_used=now, last_used=now)
             self.contexts[ctx] = state
@@ -178,7 +233,8 @@ class RunExecution:
     def start_epoch(self, context: Union[Context, str], epoch: Optional[int] = None) -> int:
         """Open an epoch in *context*; returns its index (auto-incremented)."""
         self._require_running()
-        state = self._context_state(context)
+        now = self.clock()
+        state = self._context_state(context, now)
         if state.current_epoch is not None:
             raise TrackingError(
                 f"epoch {state.current_epoch} still open in context {state.context}"
@@ -187,20 +243,22 @@ class RunExecution:
             epoch = max(state.epochs) + 1 if state.epochs else 0
         if epoch in state.epochs:
             raise TrackingError(f"epoch {epoch} already recorded in {state.context}")
-        state.epochs[epoch] = EpochState(index=epoch, start_time=self.clock())
+        state.epochs[epoch] = EpochState(index=epoch, start_time=now)
         state.current_epoch = epoch
+        self._journal_event("start_epoch", t=now, c=state.context.name, e=epoch)
         return epoch
 
     def end_epoch(self, context: Union[Context, str]) -> EpochState:
-        """Record a one-time parameter (input by default), optionally scoped to a context."""
         """Close the open epoch in *context*."""
         self._require_running()
-        state = self._context_state(context)
+        now = self.clock()
+        state = self._context_state(context, now)
         if state.current_epoch is None:
             raise TrackingError(f"no open epoch in context {state.context}")
         epoch = state.epochs[state.current_epoch]
-        epoch.end_time = self.clock()
+        epoch.end_time = now
         state.current_epoch = None
+        self._journal_event("end_epoch", t=now, c=state.context.name, e=epoch.index)
         return epoch
 
     # ------------------------------------------------------------------
@@ -215,10 +273,20 @@ class RunExecution:
     ) -> LoggedParam:
         """Record a one-time parameter (input by default), optionally scoped to a context."""
         self._require_running()
+        now = self.clock()
         ctx = Context.of(context) if context is not None else None
         if ctx is not None:
-            self._context_state(ctx)
-        return self.params.log(name, value, is_input=is_input, context=ctx)
+            self._context_state(ctx, now)
+        param = self.params.log(name, value, is_input=is_input, context=ctx)
+        self._journal_event(
+            "param",
+            t=now,
+            n=name,
+            v=to_jsonable(value),
+            i=is_input,
+            c=ctx.name if ctx is not None else None,
+        )
+        return param
 
     def log_metric(
         self,
@@ -234,7 +302,8 @@ class RunExecution:
         epoch (if any).
         """
         self._require_running()
-        state = self._context_state(context)
+        now = self.clock()
+        state = self._context_state(context, now)
         key = MetricKey(name, state.context)
         buffer = self.metrics.get(key)
         if buffer is None:
@@ -243,7 +312,17 @@ class RunExecution:
         if step is None:
             step = len(buffer)
         epoch = state.current_epoch if state.current_epoch is not None else -1
-        buffer.append(int(step), float(value), self.clock(), epoch)
+        buffer.append(int(step), float(value), now, epoch)
+        self._journal_event(
+            "metric",
+            t=now,
+            n=name,
+            c=state.context.name,
+            s=int(step),
+            v=float(value),
+            e=epoch,
+            i=is_input,
+        )
 
     def log_metrics(
         self,
@@ -267,21 +346,37 @@ class RunExecution:
     ) -> None:
         """Bulk-append a pre-computed series (simulator fast path)."""
         self._require_running()
-        state = self._context_state(context)
+        now = self.clock()
+        state = self._context_state(context, now)
         key = MetricKey(name, state.context)
         buffer = self.metrics.get(key)
         if buffer is None:
             buffer = MetricBuffer(key, is_input=is_input)
             self.metrics[key] = buffer
         buffer.extend(steps, values, times, epochs)
-        # samples belong to this context, so its interval must cover them
-        if len(buffer):
-            state.touch(float(np.max(np.asarray(times, dtype=np.float64))))
+        # samples belong to this context, so its interval must cover them —
+        # on both ends: the simulator fast path backfills series whose
+        # (simulated) timestamps can predate the context's first wall-clock use
+        times_arr = np.asarray(times, dtype=np.float64)
+        if times_arr.size:
+            state.first_used = min(state.first_used, float(np.min(times_arr)))
+            state.touch(float(np.max(times_arr)))
+        self._journal_event(
+            "metric_array",
+            t=now,
+            n=name,
+            c=state.context.name,
+            steps=to_jsonable(np.asarray(steps)),
+            values=to_jsonable(np.asarray(values)),
+            times=to_jsonable(np.asarray(times)),
+            epochs=to_jsonable(np.asarray(epochs)) if epochs is not None else None,
+            i=is_input,
+        )
 
     def get_metric(
         self, name: str, context: Union[Context, str] = Context.TRAINING
     ) -> MetricBuffer:
-        """Register a file artifact (copied into the run directory by default)."""
+        """Fetch the buffer of a logged metric series."""
         key = MetricKey(name, Context.of(context))
         try:
             return self.metrics[key]
@@ -298,21 +393,24 @@ class RunExecution:
         step: Optional[int] = None,
         copy: bool = True,
     ) -> Artifact:
-        """Write *data* into the artifact directory and register it."""
+        """Register a file artifact (copied into the run directory by default)."""
         self._require_running()
+        now = self.clock()
         ctx = Context.of(context) if context is not None else None
         if ctx is not None:
-            self._context_state(ctx)
-        return self.artifacts.log_file(
+            self._context_state(ctx, now)
+        artifact = self.artifacts.log_file(
             path,
             name=name,
             is_input=is_input,
             is_model=is_model,
             context=ctx,
-            logged_at=self.clock(),
+            logged_at=now,
             step=step,
             copy=copy,
         )
+        self._journal_artifact(artifact)
+        return artifact
 
     def log_artifact_bytes(
         self,
@@ -325,17 +423,35 @@ class RunExecution:
     ) -> Artifact:
         """Write *data* into the artifact directory and register it."""
         self._require_running()
+        now = self.clock()
         ctx = Context.of(context) if context is not None else None
         if ctx is not None:
-            self._context_state(ctx)
-        return self.artifacts.log_bytes(
+            self._context_state(ctx, now)
+        artifact = self.artifacts.log_bytes(
             name,
             data,
             is_input=is_input,
             is_model=is_model,
             context=ctx,
-            logged_at=self.clock(),
+            logged_at=now,
             step=step,
+        )
+        self._journal_artifact(artifact)
+        return artifact
+
+    def _journal_artifact(self, artifact: Artifact) -> None:
+        """Journal an artifact registration (metadata only; bytes are on disk)."""
+        self._journal_event(
+            "artifact",
+            t=artifact.logged_at,
+            n=artifact.name,
+            path=str(artifact.path),
+            sha256=artifact.sha256,
+            size=artifact.size_bytes,
+            i=artifact.is_input,
+            m=artifact.is_model,
+            c=artifact.context.name if artifact.context is not None else None,
+            s=artifact.step,
         )
 
     # ------------------------------------------------------------------
@@ -348,12 +464,20 @@ class RunExecution:
         self._require_running()
         record = CommandRecord(self.clock(), command, output, exit_code)
         self.commands.append(record)
+        self._journal_event(
+            "command",
+            t=record.time,
+            command=command,
+            output=output,
+            exit_code=exit_code,
+        )
         return record
 
     def capture_output(self, text: str) -> None:
         """Append a fragment of the training script's stdout/stderr."""
         self._require_running()
         self.captured_output.append(text)
+        self._journal_event("output", t=self.clock(), text=text)
 
     # ------------------------------------------------------------------
     # collector plugins
@@ -399,13 +523,18 @@ class RunExecution:
         """
         from repro.core.provgen import save_run
 
-        return save_run(
+        paths = save_run(
             self,
             metric_format=metric_format,
             create_graph=create_graph,
             create_rocrate=create_rocrate,
             validate=validate,
         )
+        # the provenance document is the compacted form of the journal; only
+        # after it is durably on disk may the write-ahead log go away
+        if self.journal is not None:
+            self.journal.compact()
+        return paths
 
     def __repr__(self) -> str:
         return (
@@ -437,6 +566,9 @@ class Experiment:
         run_id: Optional[str] = None,
         clock: Optional[Callable[[], float]] = None,
         rank: Optional[int] = None,
+        journal: Union[bool, RunJournal, None] = True,
+        journal_flush_every: int = 1,
+        resumed_from: Optional[str] = None,
     ) -> RunExecution:
         """Create (but do not start) the next run of this experiment."""
         index = len(self.runs)
@@ -449,6 +581,9 @@ class Experiment:
             username=self.username,
             clock=clock,
             rank=rank,
+            journal=journal,
+            journal_flush_every=journal_flush_every,
+            resumed_from=resumed_from,
         )
         self.runs.append(run)
         return run

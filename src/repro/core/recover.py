@@ -1,0 +1,265 @@
+"""Run recovery: replay a dead run's write-ahead journal into PROV-JSON.
+
+A run killed after its first journal flush (SIGKILL at the walltime cap, a
+node failure, an OOM) leaves ``journal.wal`` in its save directory but no
+``prov.json``.  :func:`recover_run` replays the journal through the very
+same :class:`~repro.core.experiment.RunExecution` logging code paths —
+driven by a clock that returns the journaled timestamps — so the recovered
+document is bit-identical to what a clean ``end_run`` would have produced
+for the flushed prefix of events, except that the run activity is marked
+with ``repro:aborted`` and a ``failed`` status when no ``end_run`` event
+made it to disk.
+
+Exposed via the CLI as ``yprov recover <run-dir-or-journal>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.core.artifacts import Artifact
+from repro.core.context import Context
+from repro.core.experiment import RunExecution, RunStatus
+from repro.core.journal import JOURNAL_NAME, journal_path_for, read_journal
+from repro.errors import RecoveryError, TrackingError
+
+PathLike = Union[str, Path]
+
+
+class _ReplayClock:
+    """Callable clock fed from journaled timestamps (bit-exact replay)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.value = float(start)
+
+    def __call__(self) -> float:
+        return self.value
+
+
+@dataclass
+class RecoveryReport:
+    """What a journal replay found (and could not apply)."""
+
+    journal_path: Path
+    n_records: int = 0
+    bad_records: int = 0
+    applied: int = 0
+    skipped: List[str] = field(default_factory=list)
+    missing_artifacts: List[str] = field(default_factory=list)
+    aborted: bool = False
+
+    @property
+    def is_clean(self) -> bool:
+        """True when every journal record verified and replayed."""
+        return self.bad_records == 0 and not self.skipped
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        state = "aborted run" if self.aborted else "cleanly ended run"
+        return (
+            f"{state}: {self.applied}/{self.n_records} events replayed, "
+            f"{self.bad_records} corrupt record(s), "
+            f"{len(self.skipped)} skipped, "
+            f"{len(self.missing_artifacts)} missing artifact file(s)"
+        )
+
+
+def _resolve_journal(path: PathLike) -> Path:
+    path = Path(path)
+    if path.is_dir():
+        path = journal_path_for(path)
+    if not path.is_file():
+        raise RecoveryError(f"no journal found at {path}")
+    return path
+
+
+def replay_journal(path: PathLike) -> Tuple[RunExecution, RecoveryReport]:
+    """Rebuild a :class:`RunExecution` from its journal.
+
+    *path* is the journal file or the run directory containing it.  Records
+    that fail checksum verification or cannot be applied are skipped and
+    reported; the intact prefix of the run always survives.  If the journal
+    holds no ``end_run`` event the run is sealed at the last journaled
+    timestamp with status ``failed`` and its ``aborted`` flag set.
+    """
+    journal_path = _resolve_journal(path)
+    scan = read_journal(journal_path)
+    report = RecoveryReport(
+        journal_path=journal_path,
+        n_records=len(scan.records),
+        bad_records=scan.bad_records,
+        skipped=list(scan.issues),
+    )
+    records = scan.records
+    start_idx = next(
+        (i for i, r in enumerate(records) if r["k"] == "start_run"), None
+    )
+    if start_idx is None:
+        raise RecoveryError(
+            f"journal {journal_path} holds no start_run event; nothing to recover"
+        )
+    head = records[start_idx]
+    clock = _ReplayClock(float(head.get("t", 0.0)))
+    run = RunExecution(
+        experiment_name=str(head.get("experiment", "recovered")),
+        run_id=str(head.get("run_id")) if head.get("run_id") else None,
+        run_index=int(head.get("run_index", 0)),
+        save_dir=journal_path.parent,
+        user_namespace=str(head.get("user_namespace", "http://example.org/")),
+        username=str(head.get("username", "user")),
+        clock=clock,
+        rank=head.get("rank"),
+        journal=False,  # never journal the replay of a journal
+        resumed_from=head.get("resumed_from"),
+    )
+    run.start()
+    report.applied += 1
+
+    ended = False
+    for record in records[start_idx + 1:]:
+        kind = record["k"]
+        if "t" in record and record["t"] is not None:
+            clock.value = float(record["t"])
+        try:
+            if kind == "start_run":
+                raise TrackingError("second start_run event in one journal")
+            elif kind == "end_run":
+                run.end(RunStatus(str(record.get("status", "failed"))))
+                ended = True
+            else:
+                _apply_event(run, kind, record, report)
+        except (TrackingError, ValueError, KeyError, TypeError) as exc:
+            report.skipped.append(f"{kind}: {type(exc).__name__}: {exc}")
+            continue
+        report.applied += 1
+
+    if not ended:
+        run.aborted = True
+        report.aborted = True
+        run.end(RunStatus.FAILED)
+    return run, report
+
+
+def _apply_event(
+    run: RunExecution, kind: str, rec: Dict[str, Any], report: RecoveryReport
+) -> None:
+    """Dispatch one journaled event through the normal logging API."""
+    ctx = rec.get("c")
+    if kind == "param":
+        run.log_param(rec["n"], rec["v"], is_input=bool(rec.get("i", True)),
+                      context=ctx)
+    elif kind == "metric":
+        run.log_metric(rec["n"], float(rec["v"]), context=ctx or Context.TRAINING,
+                       step=int(rec["s"]), is_input=bool(rec.get("i", False)))
+    elif kind == "metric_array":
+        epochs = rec.get("epochs")
+        run.log_metric_array(
+            rec["n"],
+            np.asarray(rec["steps"], dtype=np.int64),
+            np.asarray(rec["values"], dtype=np.float64),
+            np.asarray(rec["times"], dtype=np.float64),
+            context=ctx or Context.TRAINING,
+            epochs=np.asarray(epochs, dtype=np.int64) if epochs is not None else None,
+            is_input=bool(rec.get("i", False)),
+        )
+    elif kind == "start_epoch":
+        run.start_epoch(ctx, rec["e"])
+    elif kind == "end_epoch":
+        run.end_epoch(ctx)
+    elif kind == "artifact":
+        _restore_artifact(run, rec, report)
+    elif kind == "command":
+        run.log_execution_command(
+            rec.get("command", ""), rec.get("output", ""),
+            int(rec.get("exit_code", 0)),
+        )
+    elif kind == "output":
+        run.capture_output(rec.get("text", ""))
+    else:
+        raise TrackingError(f"unknown journal event kind: {kind!r}")
+
+
+def _restore_artifact(
+    run: RunExecution, rec: Dict[str, Any], report: RecoveryReport
+) -> None:
+    """Re-register an artifact from its journaled metadata.
+
+    The artifact bytes were written to disk *before* the journal record, so
+    the file normally exists; when it does not (lost filesystem, partial
+    copy) the metadata is restored anyway and the loss reported.
+    """
+    ctx = Context.of(rec["c"]) if rec.get("c") else None
+    if ctx is not None:
+        run._context_state(ctx, float(rec["t"]))
+    path = Path(rec["path"])
+    if not path.is_file():
+        report.missing_artifacts.append(str(path))
+    run.artifacts.restore(
+        Artifact(
+            name=rec["n"],
+            path=path,
+            sha256=str(rec.get("sha256", "")),
+            size_bytes=int(rec.get("size", 0)),
+            is_input=bool(rec.get("i", False)),
+            is_model=bool(rec.get("m", False)),
+            context=ctx,
+            logged_at=float(rec["t"]),
+            step=rec.get("s"),
+        )
+    )
+
+
+def recover_run(
+    path: PathLike,
+    metric_format: str = "zarrlike",
+    validate: bool = True,
+    force: bool = False,
+) -> Tuple[Dict[str, Path], RecoveryReport]:
+    """Replay a dead run's journal and persist its (partial) provenance.
+
+    Returns the written paths (as :meth:`RunExecution.save` does) plus the
+    recovery report.  Refuses to overwrite an existing ``prov.json`` unless
+    *force* is set.  The journal itself is left untouched for forensics.
+    """
+    journal_path = _resolve_journal(path)
+    prov_path = journal_path.parent / "prov.json"
+    if prov_path.exists() and not force:
+        raise RecoveryError(
+            f"{prov_path} already exists; this run does not need recovery "
+            f"(use force=True to rebuild it from the journal)"
+        )
+    run, report = replay_journal(journal_path)
+    paths = run.save(metric_format=metric_format, validate=validate)
+    return paths, report
+
+
+def find_dead_runs(root: PathLike) -> List[Path]:
+    """Run directories under *root* with a journal but no final provenance."""
+    root = Path(root)
+    dead: List[Path] = []
+    if not root.exists():
+        return dead
+    for journal in sorted(root.rglob(JOURNAL_NAME)):
+        if not (journal.parent / "prov.json").exists():
+            dead.append(journal.parent)
+    return dead
+
+
+def recover_all(
+    root: PathLike,
+    metric_format: str = "zarrlike",
+    validate: bool = True,
+) -> Dict[str, Tuple[Dict[str, Path], RecoveryReport]]:
+    """Recover every dead run under *root*; returns results keyed by run dir."""
+    results: Dict[str, Tuple[Dict[str, Path], RecoveryReport]] = {}
+    for run_dir in find_dead_runs(root):
+        results[str(run_dir)] = recover_run(
+            run_dir, metric_format=metric_format, validate=validate
+        )
+    return results

@@ -42,8 +42,18 @@ def start_run(
     clock: Optional[Callable[[], float]] = None,
     collectors: Optional[list] = None,
     rank: Optional[int] = None,
+    journal: bool = True,
+    journal_flush_every: int = 1,
+    resumed_from: Optional[str] = None,
 ) -> RunExecution:
     """Open a new active run under *experiment_name*.
+
+    With ``journal=True`` (the default) every logging call is appended to a
+    write-ahead journal in the run directory and flushed every
+    ``journal_flush_every`` records, so a crashed/killed run can be
+    recovered with ``yprov recover`` (see :mod:`repro.core.recover`).
+    ``resumed_from`` names the run this one continues after a failure; the
+    provenance links the two segments via ``wasInformedBy``.
 
     Raises :class:`~repro.errors.RunAlreadyActiveError` when a run is
     already open (nested runs are not part of the paper's model).
@@ -64,7 +74,14 @@ def start_run(
                 username=username,
             )
             _experiments[str(key)] = experiment
-        run = experiment.new_run(run_id=run_id, clock=clock, rank=rank)
+        run = experiment.new_run(
+            run_id=run_id,
+            clock=clock,
+            rank=rank,
+            journal=journal,
+            journal_flush_every=journal_flush_every,
+            resumed_from=resumed_from,
+        )
         for collector in collectors or ():
             run.add_collector(collector)
         run.start()
@@ -105,9 +122,15 @@ def end_run(
 
 
 def abort_run() -> None:
-    """Drop the active run without saving (for error paths and tests)."""
+    """Drop the active run without saving (for error paths and tests).
+
+    The run's write-ahead journal is flushed and closed but *not* deleted,
+    so an aborted run remains recoverable with ``yprov recover``.
+    """
     global _active_run
     with _lock:
+        if _active_run is not None and _active_run.journal is not None:
+            _active_run.journal.close()
         _active_run = None
 
 

@@ -124,9 +124,15 @@ class ROCrate:
         return {"@context": RO_CRATE_CONTEXT, "@graph": graph}
 
     def write(self) -> Path:
-        """Write ``ro-crate-metadata.json`` into the root; returns its path."""
+        """Write ``ro-crate-metadata.json`` into the root; returns its path.
+
+        The write is atomic: a crash mid-write cannot leave a torn
+        descriptor that would invalidate the whole crate.
+        """
+        from repro.atomicio import atomic_write_text
+
         out = self.root_dir / METADATA_FILENAME
-        out.write_text(json.dumps(self.metadata(), indent=2), encoding="utf-8")
+        atomic_write_text(out, json.dumps(self.metadata(), indent=2))
         return out
 
 
@@ -151,9 +157,12 @@ def create_run_crate(run: Any, prov_path: Path) -> Path:
     for artifact in run.artifacts:
         if artifact.path.resolve().is_relative_to(run.save_dir.resolve()):
             crate.add_file(artifact.path, description=f"artifact {artifact.name}")
-    # metric store and dev-tracking side files
+    from repro.core.journal import JOURNAL_NAME
+
+    # metric store and dev-tracking side files; the write-ahead journal is
+    # transient (compacted away on a clean save) and never part of the crate
     for extra in sorted(run.save_dir.rglob("*")):
-        if not extra.is_file() or extra.name == METADATA_FILENAME:
+        if not extra.is_file() or extra.name in (METADATA_FILENAME, JOURNAL_NAME):
             continue
         rel = str(extra.resolve().relative_to(run.save_dir.resolve()))
         if rel not in crate._file_ids:

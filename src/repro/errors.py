@@ -129,3 +129,15 @@ class AnalysisError(ReproError):
 
 class InsufficientHistoryError(AnalysisError):
     """A knowledge-base query had too few matching runs to estimate from."""
+
+
+class JournalError(TrackingError):
+    """The write-ahead journal could not be written or parsed."""
+
+
+class RecoveryError(TrackingError):
+    """A dead run's journal could not be replayed into provenance."""
+
+
+class ChecksumError(StoreFormatError):
+    """A persisted chunk failed its integrity checksum (torn/corrupt write)."""

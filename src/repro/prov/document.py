@@ -451,10 +451,14 @@ class ProvDocument(ProvBundle):
         return from_provjson(text)
 
     def save(self, path: Any, indent: Optional[int] = 2) -> None:
-        """Write PROV-JSON to *path* (str or Path)."""
-        import pathlib
+        """Write PROV-JSON to *path* atomically (temp file + rename).
 
-        pathlib.Path(path).write_text(self.to_json(indent=indent), encoding="utf-8")
+        A crash mid-save can never leave a torn provenance file: readers
+        observe either the previous complete document or the new one.
+        """
+        from repro.atomicio import atomic_write_text
+
+        atomic_write_text(path, self.to_json(indent=indent))
 
     @classmethod
     def load(cls, path: Any) -> "ProvDocument":

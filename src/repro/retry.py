@@ -1,0 +1,88 @@
+"""Seeded exponential backoff with jitter, shared by every retry path.
+
+Immediate re-execution after a failure is the worst possible retry policy
+on a busy shared service: all failed clients hammer the resource again in
+lock-step.  The classical fix is exponential backoff with jitter.  Because
+this library promises bit-reproducible runs, the jitter is *seeded*: the
+same schedule is produced on every execution, so retried workflows remain
+deterministic and the schedule itself can be asserted in tests.
+"""
+
+from __future__ import annotations
+
+import random
+import time as _time
+import zlib
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple, Type
+
+from repro.errors import ReproError
+
+
+def seed_from_name(name: str) -> int:
+    """Stable small seed derived from a task/document name (crc32)."""
+    return zlib.crc32(name.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class ExponentialBackoff:
+    """Delay schedule ``base · factor^i``, capped, with seeded jitter.
+
+    ``jitter`` is the fractional spread: each delay is multiplied by a
+    deterministic draw from ``[1, 1 + jitter]`` (so jitter never makes a
+    retry *earlier* than the un-jittered schedule).
+    """
+
+    base_s: float = 0.1
+    factor: float = 2.0
+    max_s: float = 60.0
+    jitter: float = 0.5
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.base_s < 0:
+            raise ReproError(f"base_s must be non-negative, got {self.base_s}")
+        if self.factor < 1.0:
+            raise ReproError(f"factor must be >= 1, got {self.factor}")
+        if self.jitter < 0:
+            raise ReproError(f"jitter must be non-negative, got {self.jitter}")
+
+    def delays(self, attempts: int) -> List[float]:
+        """The first *attempts* delays of the schedule (deterministic)."""
+        rng = random.Random(self.seed)
+        out: List[float] = []
+        for i in range(attempts):
+            delay = min(self.base_s * self.factor**i, self.max_s)
+            if self.jitter:
+                delay *= 1.0 + self.jitter * rng.random()
+            out.append(delay)
+        return out
+
+
+def retry_call(
+    fn: Callable[[], object],
+    retries: int = 3,
+    backoff: Optional[ExponentialBackoff] = None,
+    exceptions: Tuple[Type[BaseException], ...] = (OSError,),
+    sleep: Optional[Callable[[float], None]] = None,
+):
+    """Call *fn*, retrying up to *retries* times on *exceptions*.
+
+    Sleeps the backoff schedule between attempts (``time.sleep`` by
+    default; injectable for tests and simulated time).  The final failure
+    is re-raised unchanged.
+    """
+    if retries < 0:
+        raise ReproError(f"retries must be >= 0, got {retries}")
+    backoff = backoff or ExponentialBackoff()
+    sleep = sleep if sleep is not None else _time.sleep
+    schedule = backoff.delays(retries)
+    for attempt in range(retries + 1):
+        try:
+            return fn()
+        except exceptions:
+            if attempt >= retries:
+                raise
+            if schedule[attempt] > 0:
+                sleep(schedule[attempt])
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -21,8 +21,10 @@ This module implements the classical machinery:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
-from typing import Optional
+import random
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from repro.errors import SimulationError
 
@@ -113,7 +115,8 @@ def apply_failures(
     The extra time is spent at checkpoint/restart utilization (modeled at
     communication-phase power — I/O bound, devices far from peak).  The
     returned result is a new object; loss is unchanged (the same useful
-    work completes).
+    work completes), and the run's provenance identity (``run_id``,
+    ``prov_path``) is preserved so lineage survives the adjustment.
     """
     from repro.simulator.power import EnergyAccount, PowerModel
 
@@ -130,6 +133,322 @@ def apply_failures(
         result,
         wall_time_s=result.wall_time_s * factor,
         energy=energy,
-        run_id=None,
-        prov_path=None,
     )
+
+
+# ---------------------------------------------------------------------------
+# event-level fault injection
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One concrete sampled failure during a job."""
+
+    #: seconds into the segment at which the failure struck
+    at_s: float
+    #: useful work safely checkpointed before the failure
+    saved_s: float
+    #: useful work in flight that must be redone
+    lost_s: float
+    #: restart cost paid after the failure (R)
+    downtime_s: float
+
+
+@dataclass
+class SampledRun:
+    """Event-level trajectory of one job under sampled failures."""
+
+    work_s: float
+    interval_s: float
+    walltime_s: float = 0.0
+    events: List[FailureEvent] = field(default_factory=list)
+    #: useful seconds completed per segment (failures split segments;
+    #: the last entry is the segment that reached the finish line)
+    segment_work_s: List[float] = field(default_factory=list)
+
+    @property
+    def n_failures(self) -> int:
+        """Number of failures the job survived."""
+        return len(self.events)
+
+    @property
+    def overhead_factor(self) -> float:
+        """Sampled walltime inflation vs. failure-free, checkpoint-free."""
+        if self.work_s <= 0:
+            return 1.0
+        return self.walltime_s / self.work_s
+
+
+class FaultInjector:
+    """Seeded sampler of concrete failure events from a :class:`FailureModel`.
+
+    Where :meth:`FailureModel.expected_runtime_s` gives the *analytic*
+    first-order expectation, the injector plays out actual exponential
+    failure draws against the checkpoint cadence — producing the event
+    timeline needed to kill a simulated training loop mid-epoch and drive
+    checkpoint/restart resume with provenance lineage.
+    """
+
+    def __init__(self, model: FailureModel, n_nodes: int, seed: int = 0) -> None:
+        self.model = model
+        self.n_nodes = int(n_nodes)
+        self.seed = int(seed)
+        self.rng = random.Random(seed)
+        self.job_mtbf_s = model.job_mtbf_s(n_nodes)
+
+    def draw_failure_time(self) -> float:
+        """Next time-to-failure draw, Exp(job MTBF)."""
+        return self.rng.expovariate(1.0 / self.job_mtbf_s)
+
+    def sample_run(
+        self, work_s: float, interval_s: Optional[float] = None,
+        max_failures: int = 100_000,
+    ) -> SampledRun:
+        """Play out one job of *work_s* useful seconds under failures.
+
+        The job advances in chunks of ``τ`` useful seconds each sealed by a
+        ``C``-second checkpoint.  A failure strikes at the sampled time;
+        progress rolls back to the last completed checkpoint, a restart
+        ``R`` is paid, and the loop resumes.  Deterministic per
+        (seed, model, n_nodes).  ``max_failures`` bounds pathological
+        regimes where the MTBF is far below the checkpoint cadence and the
+        job would thrash forever.
+        """
+        if work_s < 0:
+            raise SimulationError("work must be non-negative")
+        tau = (
+            interval_s if interval_s is not None
+            else self.model.daly_interval_s(self.n_nodes)
+        )
+        if tau <= 0:
+            raise SimulationError("checkpoint interval must be positive")
+        C, R = self.model.checkpoint_write_s, self.model.restart_s
+        run = SampledRun(work_s=work_s, interval_s=tau)
+        remaining = float(work_s)
+        while remaining > 0:
+            failure_at = self.draw_failure_time()
+            # walltime to finish the remaining work from here: every full τ
+            # of useful work costs an extra C; the final partial chunk does
+            # not need a checkpoint after it.
+            full_chunks_before_end = int(math.ceil(remaining / tau)) - 1
+            finish_time = remaining + full_chunks_before_end * C
+            if failure_at >= finish_time:
+                run.walltime_s += finish_time
+                run.segment_work_s.append(remaining)
+                remaining = 0.0
+                break
+            if len(run.events) >= max_failures:
+                raise SimulationError(
+                    f"job did not finish within {max_failures} failures "
+                    f"(MTBF {self.job_mtbf_s:.0f}s vs segment {tau + C:.0f}s)"
+                )
+            completed_chunks = int(failure_at // (tau + C))
+            saved = min(completed_chunks * tau, remaining)
+            # useful seconds actually executed before the failure: the rest
+            # of failure_at was spent writing checkpoints
+            useful_at_failure = min(remaining, failure_at - completed_chunks * C)
+            run.events.append(
+                FailureEvent(
+                    at_s=failure_at,
+                    saved_s=saved,
+                    lost_s=max(0.0, useful_at_failure - saved),
+                    downtime_s=R,
+                )
+            )
+            run.segment_work_s.append(saved)
+            run.walltime_s += failure_at + R
+            remaining -= saved
+        return run
+
+    def sample_expected_runtime(
+        self, work_s: float, interval_s: Optional[float] = None,
+        n_samples: int = 100,
+    ) -> float:
+        """Monte-Carlo mean walltime over *n_samples* sampled jobs."""
+        if n_samples <= 0:
+            raise SimulationError("n_samples must be positive")
+        total = 0.0
+        for _ in range(n_samples):
+            total += self.sample_run(work_s, interval_s).walltime_s
+        return total / n_samples
+
+
+def validate_analytics(
+    model: FailureModel,
+    work_s: float,
+    n_nodes: int,
+    interval_s: Optional[float] = None,
+    n_samples: int = 200,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Compare the analytic expected runtime against sampled simulation.
+
+    Returns the analytic and sampled estimates plus their relative
+    difference.  The first-order analytic model charges each segment a
+    probabilistic half-segment of rework, so on reliable machines the two
+    agree closely; the gap widens as (τ+C)/MTBF grows.
+    """
+    injector = FaultInjector(model, n_nodes, seed=seed)
+    analytic = model.expected_runtime_s(work_s, n_nodes, interval_s)
+    sampled = injector.sample_expected_runtime(
+        work_s, interval_s, n_samples=n_samples
+    )
+    rel = abs(sampled - analytic) / analytic if analytic > 0 else 0.0
+    return {
+        "analytic_s": analytic,
+        "sampled_s": sampled,
+        "relative_difference": rel,
+        "n_samples": float(n_samples),
+    }
+
+
+# ---------------------------------------------------------------------------
+# fault-injected training with provenance lineage
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SegmentRecord:
+    """Provenance record of one checkpoint/restart segment."""
+
+    run_id: str
+    killed: bool
+    useful_work_s: float
+    walltime_s: float
+    resumed_from: Optional[str] = None
+    prov_path: Optional[Path] = None
+
+
+@dataclass
+class FaultySimulationResult:
+    """A training job played out under sampled failures."""
+
+    result: "object"  # the clean TrainingResult the segments add up to
+    sampled: SampledRun
+    segments: List[SegmentRecord] = field(default_factory=list)
+
+    @property
+    def n_failures(self) -> int:
+        """Failures survived across the whole job."""
+        return self.sampled.n_failures
+
+    @property
+    def total_walltime_s(self) -> float:
+        """Sampled walltime including checkpoints, rework and restarts."""
+        return self.sampled.walltime_s
+
+
+def simulate_training_with_faults(
+    job,
+    model: Optional[FailureModel] = None,
+    interval_s: Optional[float] = None,
+    seed: int = 0,
+    clock=None,
+    provenance_dir: Optional[Union[str, Path]] = None,
+    metric_format: str = "zarrlike",
+) -> FaultySimulationResult:
+    """Run one scaling-study job under event-level fault injection.
+
+    The clean job defines the useful work; the injector samples concrete
+    failures against the checkpoint cadence, splitting execution into
+    segments.  Each killed segment's provenance run is terminated mid-epoch
+    (status ``failed``, ``repro:aborted``) and the restarted segment is
+    linked to it via ``wasInformedBy`` (``resumed_from``), so the recovery
+    lineage of the whole job is queryable from the PROV documents.
+    """
+    from repro.simulator.simclock import SimClock
+    from repro.simulator.training import simulate_training
+
+    model = model or FailureModel()
+    clock = clock or SimClock()
+    clean = simulate_training(job, clock=clock, provenance_dir=None)
+    allocation = job.resolve_cluster().allocate(job.n_gpus)
+    injector = FaultInjector(model, allocation.n_nodes, seed=seed)
+    sampled = injector.sample_run(clean.wall_time_s, interval_s)
+    out = FaultySimulationResult(result=clean, sampled=sampled)
+
+    base_id = (
+        f"{job.model.architecture}_{job.size_label}_{job.n_gpus}gpu"
+        f"_seed{job.seed}_faulty{seed}"
+    )
+    experiment = f"faulty_{job.model.architecture}"
+    prev_run_id: Optional[str] = None
+    n_segments = len(sampled.segment_work_s)
+    for k, seg_work in enumerate(sampled.segment_work_s):
+        killed = k < sampled.n_failures
+        if killed:
+            event = sampled.events[k]
+            seg_wall = event.at_s + event.downtime_s
+        else:
+            seg_wall = sampled.walltime_s - sum(
+                e.at_s + e.downtime_s for e in sampled.events
+            )
+        run_id = f"{base_id}_seg{k}"
+        record = SegmentRecord(
+            run_id=run_id,
+            killed=killed,
+            useful_work_s=seg_work,
+            walltime_s=seg_wall,
+            resumed_from=prev_run_id,
+        )
+        if provenance_dir is not None:
+            record.prov_path = _record_segment(
+                run_id=run_id,
+                experiment=experiment,
+                job=job,
+                segment_index=k,
+                n_segments=n_segments,
+                record=record,
+                interval_s=sampled.interval_s,
+                clock=clock,
+                provenance_dir=Path(provenance_dir),
+                metric_format=metric_format,
+            )
+        out.segments.append(record)
+        prev_run_id = run_id
+    return out
+
+
+def _record_segment(
+    run_id: str,
+    experiment: str,
+    job,
+    segment_index: int,
+    n_segments: int,
+    record: SegmentRecord,
+    interval_s: float,
+    clock,
+    provenance_dir: Path,
+    metric_format: str,
+) -> Path:
+    """Write one segment's provenance run (killed segments die mid-epoch)."""
+    from repro.core.context import Context
+    from repro.core.experiment import RunExecution, RunStatus
+
+    run = RunExecution(
+        experiment_name=experiment,
+        run_id=run_id,
+        save_dir=provenance_dir / run_id,
+        user_namespace="https://ornl.example.org/modis-fm/",
+        username="modis-fm",
+        clock=clock,
+        resumed_from=record.resumed_from,
+    )
+    run.start()
+    run.log_param("model_name", job.model.name)
+    run.log_param("n_gpus", job.n_gpus)
+    run.log_param("segment_index", segment_index)
+    run.log_param("n_segments", n_segments)
+    run.log_param("checkpoint_interval_s", interval_s)
+    run.log_metric("useful_work_s", record.useful_work_s, context=Context.TRAINING)
+    run.start_epoch(Context.TRAINING, segment_index)
+    clock.advance(max(record.walltime_s, 0.0))
+    if record.killed:
+        # the failure strikes inside the open epoch: no end_epoch — end()
+        # seals it at the failure time and the run is marked aborted
+        run.aborted = True
+        run.end(RunStatus.FAILED)
+    else:
+        run.end_epoch(Context.TRAINING)
+        run.end(RunStatus.FINISHED)
+    paths = run.save(metric_format=metric_format)
+    return paths["prov"]

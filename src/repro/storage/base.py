@@ -103,8 +103,26 @@ class MetricStore:
             self.write_series(name, data)
         self.flush()
 
-    def read_all(self) -> Dict[str, SeriesData]:
-        return {name: self.read_series(name) for name in self.list_series()}
+    def read_all(self, errors: str = "raise") -> Dict[str, SeriesData]:
+        """Load every stored series.
+
+        ``errors="raise"`` (default) propagates the first read failure;
+        ``errors="skip"`` degrades gracefully — corrupt/unreadable series are
+        dropped from the result and collected in :attr:`last_read_issues`, so
+        one torn chunk cannot take down the rest of the run's metrics.
+        """
+        if errors not in ("raise", "skip"):
+            raise StorageError(f"errors must be 'raise' or 'skip', got {errors!r}")
+        self.last_read_issues: List[str] = []
+        out: Dict[str, SeriesData] = {}
+        for name in self.list_series():
+            try:
+                out[name] = self.read_series(name)
+            except (StoreFormatError, OSError) as exc:
+                if errors == "raise":
+                    raise
+                self.last_read_issues.append(f"{name}: {type(exc).__name__}: {exc}")
+        return out
 
     def __contains__(self, name: str) -> bool:
         return name in self.list_series()

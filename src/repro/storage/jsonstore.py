@@ -15,6 +15,7 @@ from typing import Any, Dict, List
 
 import numpy as np
 
+from repro.atomicio import atomic_write_text
 from repro.errors import StoreFormatError
 from repro.storage.base import MetricStore, PathLike, SeriesData, register_format
 
@@ -61,9 +62,8 @@ class JsonMetricStore(MetricStore):
 
     def _save(self) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text(
-            json.dumps(self._cache, indent=1), encoding="utf-8"
-        )
+        # Atomic replace: a crash mid-save leaves the previous complete file.
+        atomic_write_text(self.path, json.dumps(self._cache, indent=1))
 
     # -- MetricStore API ----------------------------------------------------
     def write_series(self, name: str, series: SeriesData) -> None:

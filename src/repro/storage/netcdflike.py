@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.atomicio import atomic_write_bytes
 from repro.errors import StoreFormatError
 from repro.storage.base import MetricStore, PathLike, SeriesData, register_format
 from repro.storage.codecs import Codec, DeltaZlibCodec, ZlibCodec, get_codec
@@ -149,12 +150,12 @@ class NetCDFLikeStore(MetricStore):
             encoded = candidate
 
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("wb") as fh:
-            fh.write(self.MAGIC)
-            fh.write(_HEADER_STRUCT.pack(len(encoded)))
-            fh.write(encoded)
-            for blob in payloads:
-                fh.write(blob)
+        # Assemble the whole container in memory, then swap it in atomically:
+        # readers never observe a half-written file even if flush() is killed.
+        blob = b"".join(
+            [self.MAGIC, _HEADER_STRUCT.pack(len(encoded)), encoded, *payloads]
+        )
+        atomic_write_bytes(self.path, blob)
 
     # -- MetricStore API ----------------------------------------------------
     def write_series(self, name: str, series: SeriesData) -> None:

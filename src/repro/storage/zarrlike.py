@@ -20,12 +20,14 @@ from __future__ import annotations
 import json
 import shutil
 import urllib.parse
+import zlib
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.errors import StoreFormatError
+from repro.atomicio import atomic_write_bytes, atomic_write_text
+from repro.errors import ChecksumError, StoreFormatError
 from repro.storage.base import MetricStore, PathLike, SeriesData, register_format
 from repro.storage.codecs import Codec, DeltaZlibCodec, ZlibCodec, get_codec
 
@@ -77,9 +79,9 @@ class ZarrLikeStore(MetricStore):
             if meta.get("version") != _VERSION:
                 raise StoreFormatError(f"unsupported zarrlike version {meta.get('version')}")
         else:
-            marker.write_text(
+            atomic_write_text(
+                marker,
                 json.dumps({"store_format": "repro-zarrlike", "version": _VERSION}),
-                encoding="utf-8",
             )
 
     # -- internals -----------------------------------------------------------
@@ -96,17 +98,39 @@ class ZarrLikeStore(MetricStore):
         cdir.mkdir(parents=True, exist_ok=True)
         n = int(arr.shape[0])
         n_chunks = max(1, -(-n // self.chunk_size))
+        checksums: List[int] = []
+        for i in range(n_chunks):
+            chunk = arr[i * self.chunk_size : (i + 1) * self.chunk_size]
+            payload = codec.encode(chunk)
+            checksums.append(zlib.crc32(payload))
+            # Chunk integrity is guarded by the checksum in .zarray, so a
+            # per-chunk fsync would only cost write latency.
+            atomic_write_bytes(cdir / str(i), payload, fsync=False)
         meta = {
             "length": n,
             "chunks": self.chunk_size,
             "dtype": np.dtype(arr.dtype).str,
             "codec": codec.config(),
             "n_chunks": n_chunks,
+            "checksums": checksums,
         }
-        (cdir / ".zarray").write_text(json.dumps(meta), encoding="utf-8")
-        for i in range(n_chunks):
-            chunk = arr[i * self.chunk_size : (i + 1) * self.chunk_size]
-            (cdir / str(i)).write_bytes(codec.encode(chunk))
+        # Metadata written (durably) last: it references only complete chunks.
+        atomic_write_text(cdir / ".zarray", json.dumps(meta))
+
+    def _chunk_payload(self, cdir: Path, meta: Dict[str, Any], i: int) -> bytes:
+        """Read chunk *i*'s bytes and verify its recorded crc32 (if present)."""
+        chunk_path = cdir / str(i)
+        try:
+            payload = chunk_path.read_bytes()
+        except OSError as exc:
+            raise StoreFormatError(f"missing chunk: {chunk_path}") from exc
+        checksums = meta.get("checksums")
+        if checksums is not None and i < len(checksums):
+            if zlib.crc32(payload) != int(checksums[i]):
+                raise ChecksumError(
+                    f"chunk {chunk_path} failed its crc32 check (torn/corrupt write)"
+                )
+        return payload
 
     def _read_column(self, cdir: Path) -> np.ndarray:
         meta_path = cdir / ".zarray"
@@ -121,7 +145,7 @@ class ZarrLikeStore(MetricStore):
         out = np.empty(length, dtype=dtype)
         pos = 0
         for i in range(n_chunks):
-            payload = (cdir / str(i)).read_bytes()
+            payload = self._chunk_payload(cdir, meta, i)
             want = min(chunk_size, length - pos) if length else 0
             chunk = codec.decode(payload, dtype, want)
             out[pos : pos + chunk.shape[0]] = chunk
@@ -138,7 +162,7 @@ class ZarrLikeStore(MetricStore):
         if sdir.exists():
             shutil.rmtree(sdir)
         sdir.mkdir(parents=True)
-        (sdir / ".zattrs").write_text(json.dumps(dict(series.attrs)), encoding="utf-8")
+        atomic_write_text(sdir / ".zattrs", json.dumps(dict(series.attrs)))
         for cname, arr in series.columns.items():
             self._write_column(sdir / _quote(cname), arr, self._column_codec(cname))
 
@@ -198,8 +222,33 @@ class ZarrLikeStore(MetricStore):
         for i in range(first, last + 1):
             chunk_start = i * chunk_size
             want = min(chunk_size, length - chunk_start)
-            chunk = codec.decode((cdir / str(i)).read_bytes(), dtype, want)
+            chunk = codec.decode(self._chunk_payload(cdir, meta, i), dtype, want)
             lo = max(start - chunk_start, 0)
             hi = min(stop - chunk_start, want)
             parts.append(chunk[lo:hi])
         return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+    def verify_integrity(self) -> List[str]:
+        """Check every chunk's crc32 against its column metadata.
+
+        Returns human-readable issue strings (empty list = store intact);
+        never raises, so it is safe to run on a damaged store.
+        """
+        issues: List[str] = []
+        for series in self.list_series():
+            sdir = self._series_dir(series)
+            for cdir in sorted(p for p in sdir.iterdir() if p.is_dir()):
+                meta_path = cdir / ".zarray"
+                try:
+                    meta = json.loads(meta_path.read_text(encoding="utf-8"))
+                except (OSError, ValueError) as exc:
+                    issues.append(f"{series}/{_unquote(cdir.name)}: bad metadata ({exc})")
+                    continue
+                for i in range(int(meta.get("n_chunks", 0))):
+                    try:
+                        self._chunk_payload(cdir, meta, i)
+                    except StoreFormatError as exc:
+                        issues.append(
+                            f"{series}/{_unquote(cdir.name)}/{i}: {exc}"
+                        )
+        return issues

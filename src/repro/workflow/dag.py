@@ -18,8 +18,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set
 
 from repro.errors import CycleError, WorkflowError
+from repro.retry import ExponentialBackoff, seed_from_name
 
 TaskFn = Callable[[Dict[str, Dict[str, Any]]], Optional[Dict[str, Any]]]
+SleepFn = Callable[[float], None]
 
 
 class TaskState(enum.Enum):
@@ -38,12 +40,35 @@ class Task:
     deps: Sequence[str] = ()
     retries: int = 0
     description: str = ""
+    #: base delay before the first retry; 0 (default) retries immediately,
+    #: preserving the pre-backoff behaviour
+    retry_backoff_s: float = 0.0
+    backoff_factor: float = 2.0
+    #: fractional jitter spread; the draw is seeded from the task name so
+    #: the schedule is deterministic and assertable in tests
+    backoff_jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.name:
             raise WorkflowError("task name must be non-empty")
         if self.retries < 0:
             raise WorkflowError(f"retries must be >= 0, got {self.retries}")
+        if self.retry_backoff_s < 0:
+            raise WorkflowError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+
+    def backoff_schedule(self) -> List[float]:
+        """The deterministic delay (seconds) before each retry."""
+        if self.retries == 0 or self.retry_backoff_s == 0:
+            return [0.0] * self.retries
+        backoff = ExponentialBackoff(
+            base_s=self.retry_backoff_s,
+            factor=self.backoff_factor,
+            jitter=self.backoff_jitter,
+            seed=seed_from_name(self.name),
+        )
+        return backoff.delays(self.retries)
 
 
 @dataclass
@@ -57,6 +82,8 @@ class TaskResult:
     attempts: int = 0
     outputs: Dict[str, Any] = field(default_factory=dict)
     error: Optional[str] = None
+    #: delays actually slept between failed attempts (empty without retries)
+    backoff_delays: List[float] = field(default_factory=list)
 
     @property
     def duration(self) -> Optional[float]:
@@ -105,6 +132,9 @@ class Workflow:
         deps: Sequence[str] = (),
         retries: int = 0,
         description: str = "",
+        retry_backoff_s: float = 0.0,
+        backoff_factor: float = 2.0,
+        backoff_jitter: float = 0.0,
     ) -> Task:
         """Register a task; dependencies must already exist (keeps it acyclic
         by construction, and catches typos early)."""
@@ -113,16 +143,23 @@ class Workflow:
         for dep in deps:
             if dep not in self._tasks:
                 raise WorkflowError(f"task {name!r} depends on unknown task {dep!r}")
-        task = Task(name, fn, tuple(deps), retries, description)
+        task = Task(name, fn, tuple(deps), retries, description,
+                    retry_backoff_s, backoff_factor, backoff_jitter)
         self._tasks[name] = task
         return task
 
     def task(self, name: str, deps: Sequence[str] = (), retries: int = 0,
-             description: str = "") -> Callable[[TaskFn], TaskFn]:
+             description: str = "", retry_backoff_s: float = 0.0,
+             backoff_factor: float = 2.0,
+             backoff_jitter: float = 0.0) -> Callable[[TaskFn], TaskFn]:
         """Decorator form of :meth:`add_task`."""
 
         def decorator(fn: TaskFn) -> TaskFn:
-            self.add_task(name, fn, deps=deps, retries=retries, description=description)
+            self.add_task(name, fn, deps=deps, retries=retries,
+                          description=description,
+                          retry_backoff_s=retry_backoff_s,
+                          backoff_factor=backoff_factor,
+                          backoff_jitter=backoff_jitter)
             return fn
 
         return decorator
@@ -167,6 +204,7 @@ class Workflow:
         clock: Optional[Callable[[], float]] = None,
         inputs: Optional[Mapping[str, Dict[str, Any]]] = None,
         max_workers: int = 1,
+        sleep: Optional[SleepFn] = None,
     ) -> WorkflowResult:
         """Execute the DAG.
 
@@ -175,11 +213,15 @@ class Workflow:
         ``max_workers > 1`` independent ready tasks run concurrently in a
         thread pool (the results — states, outputs, skip propagation — are
         identical to sequential execution; only wall-clock differs).
+        ``sleep`` is the function used for retry backoff waits
+        (``time.sleep`` by default; injectable for tests/simulated time).
         """
         if max_workers < 1:
             raise WorkflowError(f"max_workers must be >= 1, got {max_workers}")
+        sleep = sleep if sleep is not None else _time.sleep
         if max_workers > 1:
-            return self._run_parallel(clock or _time.time, inputs, max_workers)
+            return self._run_parallel(clock or _time.time, inputs, max_workers,
+                                      sleep)
         clock = clock or _time.time
         order = self.topological_order()
         results: Dict[str, TaskResult] = {}
@@ -208,24 +250,7 @@ class Workflow:
                 continue
 
             dep_outputs = {dep: available[dep] for dep in task.deps}
-            result = TaskResult(name=name, state=TaskState.PENDING, start_time=clock())
-            for attempt in range(task.retries + 1):
-                result.attempts = attempt + 1
-                try:
-                    outputs = task.fn(dep_outputs) or {}
-                    if not isinstance(outputs, dict):
-                        raise WorkflowError(
-                            f"task {name!r} must return a dict of outputs, "
-                            f"got {type(outputs).__name__}"
-                        )
-                    result.outputs = outputs
-                    result.state = TaskState.SUCCEEDED
-                    result.error = None
-                    break
-                except Exception as exc:  # noqa: BLE001 — task errors are data
-                    result.state = TaskState.FAILED
-                    result.error = f"{type(exc).__name__}: {exc}"
-            result.end_time = clock()
+            result = self._run_task(task, dep_outputs, clock, sleep)
             results[name] = result
             if result.state is TaskState.SUCCEEDED:
                 available[name] = result.outputs
@@ -242,10 +267,17 @@ class Workflow:
         task: Task,
         dep_outputs: Dict[str, Dict[str, Any]],
         clock: Callable[[], float],
+        sleep: SleepFn,
     ) -> TaskResult:
-        """Execute one task with its retry policy (shared by both modes)."""
+        """Execute one task with its retry policy (shared by both modes).
+
+        Between failed attempts the task's seeded exponential-backoff
+        schedule is slept (no-op when ``retry_backoff_s`` is 0); the delays
+        actually waited are recorded on the result for observability.
+        """
         result = TaskResult(name=task.name, state=TaskState.PENDING,
                             start_time=clock())
+        schedule = task.backoff_schedule()
         for attempt in range(task.retries + 1):
             result.attempts = attempt + 1
             try:
@@ -262,6 +294,11 @@ class Workflow:
             except Exception as exc:  # noqa: BLE001 — task errors are data
                 result.state = TaskState.FAILED
                 result.error = f"{type(exc).__name__}: {exc}"
+                if attempt < task.retries:
+                    delay = schedule[attempt]
+                    result.backoff_delays.append(delay)
+                    if delay > 0:
+                        sleep(delay)
         result.end_time = clock()
         return result
 
@@ -270,6 +307,7 @@ class Workflow:
         clock: Callable[[], float],
         inputs: Optional[Mapping[str, Dict[str, Any]]],
         max_workers: int,
+        sleep: SleepFn,
     ) -> WorkflowResult:
         """Dependency-ordered execution with a thread pool.
 
@@ -324,7 +362,7 @@ class Workflow:
                         if ready(task):
                             dep_outputs = {d: available[d] for d in task.deps}
                             futures[pool.submit(
-                                self._run_task, task, dep_outputs, clock
+                                self._run_task, task, dep_outputs, clock, sleep
                             )] = name
                             del remaining[name]
                             progressed = True

@@ -16,6 +16,7 @@ import json
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from repro.atomicio import atomic_write_text
 from repro.crate.rocrate import METADATA_FILENAME, PROV_CONFORMS_TO, ROCrate
 from repro.errors import CrateError
 from repro.prov.document import ProvDocument
@@ -91,7 +92,7 @@ def create_workflow_crate(
         if entity["@id"] == "./":
             entity["conformsTo"] = {"@id": WORKFLOW_RUN_PROFILE}
     out = crate_dir / METADATA_FILENAME
-    out.write_text(json.dumps(metadata, indent=2), encoding="utf-8")
+    atomic_write_text(out, json.dumps(metadata, indent=2))
     return out
 
 

@@ -14,6 +14,7 @@ All commands operate on a persistent service rooted at ``--root``
     yprov handle mint run1
     yprov handle resolve hdl:20.500.repro/abc -o out.json
     yprov crate-validate prov/demo_0          # RO-Crate check
+    yprov recover prov/demo_0                 # rebuild prov.json from journal.wal
 """
 
 from __future__ import annotations
@@ -198,6 +199,39 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0 if report.is_faithful else 1
 
 
+def cmd_recover(args: argparse.Namespace) -> int:
+    """Handle ``yprov recover``: rebuild PROV-JSON from a dead run's journal."""
+    from repro.core.recover import find_dead_runs, recover_run
+
+    path = Path(args.path)
+    if args.scan:
+        dead = find_dead_runs(path)
+        if not dead:
+            print(f"no dead runs under {path}")
+            return 0
+        rc = 0
+        for run_dir in dead:
+            try:
+                paths, report = recover_run(
+                    run_dir, metric_format=args.metric_format,
+                    validate=not args.no_validate, force=args.force,
+                )
+                print(f"{run_dir}: {report.summary()}")
+                print(f"  -> {paths['prov']}")
+            except ReproError as exc:
+                print(f"{run_dir}: error: {exc}", file=sys.stderr)
+                rc = 2
+        return rc
+    paths, report = recover_run(
+        path, metric_format=args.metric_format,
+        validate=not args.no_validate, force=args.force,
+    )
+    print(report.summary())
+    for kind, written in sorted(paths.items()):
+        print(f"{kind}: {written}")
+    return 0
+
+
 def cmd_crate_validate(args: argparse.Namespace) -> int:
     """Handle ``yprov crate-validate``: check an RO-Crate directory."""
     from repro.crate.validate import validate_crate
@@ -262,6 +296,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_handle_resolve)
     p = hsub.add_parser("list", help="list minted handles")
     p.set_defaults(func=cmd_handle_list)
+
+    p = sub.add_parser(
+        "recover",
+        help="rebuild provenance from a crashed run's write-ahead journal",
+    )
+    p.add_argument("path", help="run directory, journal file, or (with --scan) a root")
+    p.add_argument("--scan", action="store_true",
+                   help="recover every dead run found under PATH")
+    p.add_argument("--metric-format", default="zarrlike",
+                   choices=("inline", "zarrlike", "netcdflike"))
+    p.add_argument("--force", action="store_true",
+                   help="rebuild even if prov.json already exists")
+    p.add_argument("--no-validate", action="store_true",
+                   help="skip PROV-CONSTRAINTS validation of the recovered document")
+    p.set_defaults(func=cmd_recover)
 
     p = sub.add_parser("crate-validate", help="validate an RO-Crate directory")
     p.add_argument("directory")

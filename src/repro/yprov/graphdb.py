@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple, Union
 
+from repro.atomicio import atomic_write_text
 from repro.errors import ConstraintViolationError, GraphDBError, NodeNotFoundError
 
 Properties = Dict[str, Any]
@@ -358,7 +359,7 @@ class GraphDB:
             "indexes": sorted(f"{l}|{p}" for l, p in self._value_indexes),
             "unique": sorted(f"{l}|{p}" for l, p in self._unique),
         }
-        Path(path).write_text(json.dumps(doc), encoding="utf-8")
+        atomic_write_text(Path(path), json.dumps(doc))
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "GraphDB":

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.atomicio import atomic_write_text
 from repro.errors import HandleError
 from repro.prov.document import ProvDocument
 from repro.yprov.service import ProvenanceService
@@ -57,14 +58,15 @@ class HandleSystem:
         if self.registry_path is None:
             return
         self.registry_path.parent.mkdir(parents=True, exist_ok=True)
-        self.registry_path.write_text(
+        # Atomic: a crash mid-persist must not wipe the handle registry.
+        atomic_write_text(
+            self.registry_path,
             json.dumps(
                 [record.__dict__ for record in sorted(
                     self._records.values(), key=lambda r: r.handle
                 )],
                 indent=1,
             ),
-            encoding="utf-8",
         )
 
     def mint(

@@ -20,20 +20,35 @@ import threading
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Union
 
+from repro.atomicio import atomic_write_text
 from repro.errors import DocumentNotFoundError, ServiceError
 from repro.prov.document import ProvDocument
 from repro.prov.model import ProvActivity
 from repro.prov.provjson import to_provjson
+from repro.retry import ExponentialBackoff, retry_call, seed_from_name
 from repro.yprov.graphdb import GraphDB, Node
 
 _DOC_ID_RE = re.compile(r"^[A-Za-z0-9_.\-]+$")
 
 
 class ProvenanceService:
-    """Document store + graph query engine."""
+    """Document store + graph query engine.
 
-    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+    Persistent document writes are atomic (temp file + rename) and retried
+    with seeded exponential backoff, so a flaky shared filesystem cannot
+    leave a torn ``.provjson`` behind or drop a document on one transient
+    ``OSError``.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        write_retries: int = 3,
+        sleep: Optional[Any] = None,
+    ) -> None:
         self.root = Path(root) if root is not None else None
+        self.write_retries = int(write_retries)
+        self._sleep = sleep  # injectable for tests; None = time.sleep
         self._texts: Dict[str, str] = {}
         self.db = GraphDB()
         self.db.create_index("ProvElement", "key")
@@ -62,10 +77,22 @@ class ProvenanceService:
                 self.delete_document(doc_id)
             self._ingest(doc_id, text)
             if self.root is not None:
-                (self.root / f"{doc_id}.provjson").write_text(
-                    text, encoding="utf-8"
-                )
+                self._write_document_file(doc_id, text)
         return doc_id
+
+    def _write_document_file(self, doc_id: str, text: str) -> None:
+        """Durably persist one document (atomic write, retried on OSError)."""
+        target = self.root / f"{doc_id}.provjson"
+        backoff = ExponentialBackoff(
+            base_s=0.05, max_s=2.0, jitter=0.5, seed=seed_from_name(doc_id)
+        )
+        retry_call(
+            lambda: atomic_write_text(target, text),
+            retries=self.write_retries,
+            backoff=backoff,
+            exceptions=(OSError,),
+            sleep=self._sleep,
+        )
 
     def get_document(self, doc_id: str) -> ProvDocument:
         """Retrieve the document (lossless round trip of what was stored)."""

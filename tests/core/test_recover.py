@@ -1,0 +1,158 @@
+"""Tests for journal replay and dead-run recovery."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import RunExecution, RunStatus
+from repro.core.journal import journal_path_for
+from repro.core.provgen import build_prov_document, summarize_document
+from repro.core.recover import (
+    find_dead_runs,
+    recover_all,
+    recover_run,
+    replay_journal,
+)
+from repro.errors import RecoveryError
+from repro.prov.document import ProvDocument
+from repro.prov.validation import validate_document
+
+
+class Ticker:
+    """Deterministic strictly-increasing clock."""
+
+    def __init__(self, start=1000.0):
+        self.t = start
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+def _full_run(tmp_path, end=True):
+    run = RunExecution("exp", run_id="r1", save_dir=tmp_path / "r1",
+                       clock=Ticker())
+    run.start()
+    run.log_param("lr", 1e-3)
+    run.log_param("layers", [64, 32], context="training")
+    run.start_epoch("training", 0)
+    run.log_metric("loss", 0.9, context="training", step=0)
+    run.log_metric("loss", 0.7, context="training", step=1)
+    run.end_epoch("training")
+    run.log_metric_array(
+        "acc",
+        np.array([0, 1], dtype=np.int64),
+        np.array([0.1, 0.2]),
+        np.array([1010.0, 1011.0]),
+        context="validation",
+    )
+    run.log_artifact_bytes("model.bin", b"\x00\x01\x02", is_model=True,
+                           context="training", step=1)
+    run.log_execution_command("python train.py", "done", 0)
+    run.capture_output("epoch 0 ok\n")
+    if end:
+        run.end(RunStatus.FINISHED)
+    return run
+
+
+class TestReplay:
+    def test_clean_run_replays_to_identical_prov(self, tmp_path):
+        """Journal replay is bit-exact: same PROV-JSON as the live run."""
+        run = _full_run(tmp_path)
+        original = build_prov_document(run).to_json(indent=2)
+        replayed, report = replay_journal(tmp_path / "r1")
+        assert build_prov_document(replayed).to_json(indent=2) == original
+        assert report.is_clean
+        assert not report.aborted
+
+    def test_killed_run_is_marked_aborted(self, tmp_path):
+        run = _full_run(tmp_path, end=False)
+        del run  # abandoned mid-run: journal stays, no end_run record
+        replayed, report = replay_journal(tmp_path / "r1")
+        assert report.aborted
+        assert replayed.aborted
+        assert replayed.status is RunStatus.FAILED
+        # every flushed event made it into the replayed run
+        assert replayed.params.get("lr") == 1e-3
+        assert "model.bin" in replayed.artifacts
+
+    def test_corrupt_tail_recovers_prefix(self, tmp_path):
+        _full_run(tmp_path, end=False)
+        journal = journal_path_for(tmp_path / "r1")
+        data = journal.read_bytes()
+        journal.write_bytes(data[:-10])  # torn final record
+        replayed, report = replay_journal(tmp_path / "r1")
+        assert report.bad_records == 1
+        assert report.aborted
+
+    def test_no_start_run_raises(self, tmp_path):
+        run_dir = tmp_path / "r1"
+        run_dir.mkdir()
+        journal_path_for(run_dir).write_bytes(b"")
+        with pytest.raises(RecoveryError):
+            replay_journal(run_dir)
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(RecoveryError):
+            replay_journal(tmp_path)
+
+    def test_missing_artifact_file_reported_not_fatal(self, tmp_path):
+        _full_run(tmp_path, end=False)
+        (tmp_path / "r1" / "artifacts" / "model.bin").unlink()
+        replayed, report = replay_journal(tmp_path / "r1")
+        assert report.missing_artifacts
+        assert "model.bin" in replayed.artifacts  # metadata restored anyway
+
+
+class TestRecoverRun:
+    def test_recovered_document_validates(self, tmp_path):
+        _full_run(tmp_path, end=False)
+        paths, report = recover_run(tmp_path / "r1")
+        doc = ProvDocument.load(paths["prov"])
+        assert validate_document(doc, require_declared=True).is_valid
+        summary = summarize_document(doc)
+        assert summary.aborted
+        assert summary.status == "failed"
+
+    def test_journal_kept_for_forensics(self, tmp_path):
+        _full_run(tmp_path, end=False)
+        recover_run(tmp_path / "r1")
+        assert journal_path_for(tmp_path / "r1").exists()
+
+    def test_refuses_to_clobber_existing_prov(self, tmp_path):
+        run = _full_run(tmp_path)
+        run.save()  # clean save: prov.json written, journal compacted
+        # fabricate a stale journal next to the final document
+        _full_run(tmp_path / "other", end=False)
+        journal = journal_path_for(tmp_path / "other" / "r1")
+        (tmp_path / "r1" / "journal.wal").write_bytes(journal.read_bytes())
+        with pytest.raises(RecoveryError):
+            recover_run(tmp_path / "r1")
+        recover_run(tmp_path / "r1", force=True)  # explicit override works
+
+    def test_clean_end_then_crash_before_save(self, tmp_path):
+        """end() succeeded but save() never ran: recovery is not aborted."""
+        _full_run(tmp_path, end=True)
+        paths, report = recover_run(tmp_path / "r1")
+        assert not report.aborted
+        doc = ProvDocument.load(paths["prov"])
+        assert summarize_document(doc).status == "finished"
+        act = json.loads(paths["prov"].read_text())["activity"]
+        run_act = next(v for k, v in act.items() if k.endswith("run/r1"))
+        assert "repro:aborted" not in run_act
+
+
+class TestScan:
+    def test_find_and_recover_all(self, tmp_path):
+        _full_run(tmp_path / "a", end=False)
+        run = _full_run(tmp_path / "b", end=True)
+        run.save()  # healthy: journal compacted, prov.json present
+        dead = find_dead_runs(tmp_path)
+        assert dead == [tmp_path / "a" / "r1"]
+        results = recover_all(tmp_path)
+        assert set(results) == {str(tmp_path / "a" / "r1")}
+        assert (tmp_path / "a" / "r1" / "prov.json").exists()
+
+    def test_empty_root(self, tmp_path):
+        assert find_dead_runs(tmp_path / "missing") == []

@@ -1,0 +1,33 @@
+"""Child process for the crash-recovery integration test.
+
+Starts a journaled run, logs a steady stream of events, prints a READY
+marker once the first batch is durably journaled, then loops slowly until
+the parent SIGKILLs it. Never calls end_run/save — the journal is the only
+surviving record.
+
+Usage: python _crash_child.py <save_dir>
+"""
+
+import sys
+import time
+
+from repro.core.experiment import RunExecution
+
+
+def main() -> None:
+    save_dir = sys.argv[1]
+    run = RunExecution("crash_test", run_id="victim", save_dir=save_dir)
+    run.start()
+    run.log_param("lr", 0.001)
+    run.log_param("batch_size", 32)
+    run.start_epoch("training", 0)
+    for step in range(5):
+        run.log_metric("loss", 1.0 / (step + 1), context="training", step=step)
+    # everything above is flushed (flush_every=1); tell the parent to shoot
+    print("READY", flush=True)
+    while True:
+        time.sleep(0.1)
+
+
+if __name__ == "__main__":
+    main()

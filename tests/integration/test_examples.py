@@ -7,6 +7,7 @@ fails the build, so examples cannot rot as the API evolves.
 
 from __future__ import annotations
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -14,6 +15,17 @@ import sys
 import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+SRC_DIR = EXAMPLES_DIR.parent / "src"
+
+
+def _env_with_src() -> dict:
+    """Subprocess environment with ``src/`` importable (editable-install free)."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        f"{SRC_DIR}{os.pathsep}{existing}" if existing else str(SRC_DIR)
+    )
+    return env
 
 #: script -> extra CLI args (keep the heavyweight ones quick)
 EXAMPLES = {
@@ -38,6 +50,7 @@ def test_example_runs_clean(script, args, tmp_path):
     result = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / script), *args],
         cwd=tmp_path,
+        env=_env_with_src(),
         capture_output=True,
         text=True,
         timeout=300,
@@ -53,7 +66,8 @@ def test_quickstart_produces_valid_provenance(tmp_path):
     """Beyond exit codes: the quickstart's provenance must validate."""
     subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
-        cwd=tmp_path, capture_output=True, text=True, timeout=300, check=True,
+        cwd=tmp_path, env=_env_with_src(), capture_output=True, text=True,
+        timeout=300, check=True,
     )
     from repro.prov.document import ProvDocument
     from repro.prov.validation import validate_document

@@ -1,10 +1,11 @@
 """Property-based tests for the failure/checkpoint model and PROV-O."""
 
 import numpy as np
+import pytest
 from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
-from repro.simulator.faults import FailureModel
+from repro.simulator.faults import FailureModel, FaultInjector
 
 
 class TestFaultProps:
@@ -55,6 +56,60 @@ class TestFaultProps:
         a = model.expected_runtime_s(work_a, 64)
         b = model.expected_runtime_s(work_a * factor, 64)
         assert b >= a * factor * (1 - 1e-9)
+
+    @given(
+        work_a=st.floats(60.0, 1e6),
+        work_b=st.floats(60.0, 1e6),
+        interval=st.floats(60.0, 86_400.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_runtime_monotone_in_work(self, work_a, work_b, interval):
+        """More useful work never takes less expected walltime, at any τ."""
+        assume(work_a < work_b)
+        model = FailureModel(node_mtbf_hours=20_000.0)
+        assert (model.expected_runtime_s(work_b, 64, interval_s=interval)
+                >= model.expected_runtime_s(work_a, 64, interval_s=interval)
+                - 1e-9)
+
+    @given(
+        mtbf=st.floats(10.0, 1e6),
+        ckpt=st.floats(1.0, 3600.0),
+        nodes=st.integers(1, 10_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_daly_interval_at_most_job_mtbf(self, mtbf, ckpt, nodes):
+        """Checkpointing less often than the MTBF guarantees losing work:
+        Daly's optimum never exceeds the job MTBF."""
+        model = FailureModel(node_mtbf_hours=mtbf, checkpoint_write_s=ckpt)
+        assert model.daly_interval_s(nodes) <= model.job_mtbf_s(nodes) * (1 + 1e-9)
+
+
+class TestInjectorProps:
+    @given(
+        mtbf=st.floats(0.5, 100.0),
+        work=st.floats(600.0, 200_000.0),
+        seed=st.integers(0, 2**31),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_sampled_run_conserves_work(self, mtbf, work, seed):
+        """Segments always add up to exactly the requested useful work, and
+        sampled walltime can never beat the failure-free ideal."""
+        model = FailureModel(node_mtbf_hours=mtbf, checkpoint_write_s=30.0,
+                             restart_s=60.0)
+        injector = FaultInjector(model, n_nodes=16, seed=seed)
+        run = injector.sample_run(work)
+        assert sum(run.segment_work_s) == pytest.approx(work)
+        assert run.walltime_s >= work - 1e-6
+        assert len(run.segment_work_s) == run.n_failures + 1
+
+    @given(seed=st.integers(0, 2**31))
+    @settings(max_examples=30, deadline=None)
+    def test_sampling_is_deterministic_per_seed(self, seed):
+        model = FailureModel(node_mtbf_hours=2.0)
+        a = FaultInjector(model, n_nodes=64, seed=seed).sample_run(50_000.0)
+        b = FaultInjector(model, n_nodes=64, seed=seed).sample_run(50_000.0)
+        assert a.walltime_s == b.walltime_s
+        assert a.events == b.events
 
 
 class TestProvOProps:

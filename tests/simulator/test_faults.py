@@ -1,11 +1,18 @@
 """Tests for the failure / checkpoint-restart model."""
 
+import json
 import math
 
 import pytest
 
 from repro.errors import SimulationError
-from repro.simulator.faults import FailureModel, apply_failures
+from repro.simulator.faults import (
+    FailureModel,
+    FaultInjector,
+    apply_failures,
+    simulate_training_with_faults,
+    validate_analytics,
+)
 from repro.simulator.training import job_from_zoo, simulate_training
 
 
@@ -107,6 +114,134 @@ class TestApplyFailures:
         apply_failures(result, model)
         assert result.wall_time_s == before
 
-    def test_identity_cleared(self, result, model):
+    def test_identity_preserved(self, result, model):
+        """The adjusted result keeps its provenance identity — overhead
+        accounting must not sever the lineage back to the recorded run."""
         failed = apply_failures(result, model)
-        assert failed.run_id is None and failed.prov_path is None
+        assert failed.run_id == result.run_id
+        assert failed.prov_path == result.prov_path
+
+
+class TestFaultInjector:
+    @pytest.fixture
+    def flaky(self):
+        # job MTBF of ~180 s on one node: failures are routine
+        return FailureModel(node_mtbf_hours=0.05, checkpoint_write_s=10.0,
+                            restart_s=30.0)
+
+    def test_reliable_machine_no_failures(self, model):
+        injector = FaultInjector(model, n_nodes=1, seed=0)
+        run = injector.sample_run(3600.0, interval_s=600.0)
+        assert run.n_failures == 0
+        # walltime = work + checkpoints after each full τ except the last
+        assert run.walltime_s == pytest.approx(3600.0 + 5 * 60.0)
+
+    def test_failures_cost_rework_and_restarts(self, flaky):
+        injector = FaultInjector(flaky, n_nodes=1, seed=42)
+        run = injector.sample_run(3600.0, interval_s=60.0)
+        assert run.n_failures > 0
+        assert run.walltime_s > 3600.0
+        for event in run.events:
+            assert event.saved_s >= 0
+            assert event.lost_s >= 0
+            assert event.downtime_s == 30.0
+
+    def test_thrash_guard(self):
+        hopeless = FailureModel(node_mtbf_hours=0.0001,
+                                checkpoint_write_s=3600.0)
+        injector = FaultInjector(hopeless, n_nodes=1000, seed=0)
+        with pytest.raises(SimulationError):
+            injector.sample_run(86_400.0, interval_s=7200.0,
+                                max_failures=50)
+
+    def test_invalid_inputs(self, model):
+        injector = FaultInjector(model, n_nodes=4, seed=0)
+        with pytest.raises(SimulationError):
+            injector.sample_run(-1.0)
+        with pytest.raises(SimulationError):
+            injector.sample_run(100.0, interval_s=0.0)
+        with pytest.raises(SimulationError):
+            injector.sample_expected_runtime(100.0, n_samples=0)
+
+    def test_analytics_agree_with_sampling(self):
+        """Daly/Young analytics hold up against event-level simulation."""
+        model = FailureModel(node_mtbf_hours=10.0, checkpoint_write_s=30.0,
+                             restart_s=120.0)
+        report = validate_analytics(model, work_s=24 * 3600.0, n_nodes=64,
+                                    n_samples=300, seed=1)
+        assert report["relative_difference"] < 0.15
+
+    def test_analytic_optimum_near_sampled_optimum(self):
+        """The sampled walltime at Daly's τ beats a checkpoint-mad cadence.
+
+        (Checkpointing *rarer* than the MTBF is not merely slower in the
+        sampled model — with no checkpoint ever completed, the job cannot
+        finish at all, which the thrash guard turns into an error.)
+        """
+        model = FailureModel(node_mtbf_hours=10.0, checkpoint_write_s=30.0,
+                             restart_s=120.0)
+        work = 24 * 3600.0
+        daly = model.daly_interval_s(64)
+        at_daly = FaultInjector(model, n_nodes=64, seed=7).\
+            sample_expected_runtime(work, daly, n_samples=150)
+        too_often = FaultInjector(model, n_nodes=64, seed=7).\
+            sample_expected_runtime(work, 60.0, n_samples=150)
+        assert at_daly < too_often
+
+
+class TestFaultySimulation:
+    @pytest.fixture
+    def flaky(self):
+        return FailureModel(node_mtbf_hours=0.05, checkpoint_write_s=10.0,
+                            restart_s=30.0)
+
+    def test_segments_chain_via_resumed_from(self, flaky, tmp_path):
+        job = job_from_zoo("mae", "600M", 8, epochs=4, walltime_s=200_000)
+        result = simulate_training_with_faults(
+            job, model=flaky, seed=3, interval_s=60.0,
+            provenance_dir=tmp_path,
+        )
+        assert result.n_failures > 0
+        assert len(result.segments) == result.n_failures + 1
+        assert result.segments[0].resumed_from is None
+        for prev, seg in zip(result.segments, result.segments[1:]):
+            assert seg.resumed_from == prev.run_id
+        assert all(s.killed for s in result.segments[:-1])
+        assert not result.segments[-1].killed
+        assert result.total_walltime_s > result.result.wall_time_s
+
+    def test_killed_segment_prov_marked_aborted(self, flaky, tmp_path):
+        from repro.prov.document import ProvDocument
+        from repro.prov.validation import validate_document
+
+        job = job_from_zoo("mae", "600M", 8, epochs=4, walltime_s=200_000)
+        result = simulate_training_with_faults(
+            job, model=flaky, seed=3, interval_s=60.0,
+            provenance_dir=tmp_path,
+        )
+        first = result.segments[0]
+        doc = json.loads(first.prov_path.read_text())
+        run_act = next(
+            v for k, v in doc["activity"].items()
+            if k.endswith(f"run/{first.run_id}")
+        )
+        assert run_act["repro:aborted"] is True
+        # the restarted segment declares wasInformedBy on its predecessor
+        second = json.loads(result.segments[1].prov_path.read_text())
+        informants = {
+            rel["prov:informant"]
+            for rel in second.get("wasInformedBy", {}).values()
+        }
+        assert any(first.run_id in qn for qn in informants)
+        for seg in result.segments:
+            report = validate_document(
+                ProvDocument.load(seg.prov_path), require_declared=True
+            )
+            assert report.is_valid, (seg.run_id, report.errors)
+
+    def test_no_failures_single_segment(self, model, tmp_path):
+        job = job_from_zoo("mae", "100M", 16, epochs=2)
+        result = simulate_training_with_faults(job, model=model, seed=0)
+        assert result.n_failures == 0
+        assert len(result.segments) == 1
+        assert result.segments[0].prov_path is None  # no provenance_dir

@@ -1,0 +1,161 @@
+"""Tests for torn-write safety: atomic writes, chunk checksums, degradation."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.atomicio import atomic_write_bytes, atomic_write_json, atomic_write_text
+from repro.errors import ChecksumError, StorageError, StoreFormatError
+from repro.storage import SeriesData, ZarrLikeStore
+from repro.storage.jsonstore import JsonMetricStore
+from repro.storage.netcdflike import NetCDFLikeStore
+
+
+class TestAtomicWrite:
+    def test_bytes_roundtrip(self, tmp_path):
+        target = tmp_path / "out.bin"
+        atomic_write_bytes(target, b"\x00\x01\x02")
+        assert target.read_bytes() == b"\x00\x01\x02"
+
+    def test_replaces_existing(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        atomic_write_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_litter_on_success(self, tmp_path):
+        atomic_write_text(tmp_path / "a.txt", "x")
+        assert [p.name for p in tmp_path.iterdir()] == ["a.txt"]
+
+    def test_failure_leaves_previous_file(self, tmp_path, monkeypatch):
+        """If the replace step fails, the old content must survive."""
+        target = tmp_path / "a.json"
+        target.write_text("original")
+        real_replace = os.replace
+
+        def boom(src, dst):
+            raise OSError("disk detached")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "half-written")
+        monkeypatch.setattr(os, "replace", real_replace)
+        assert target.read_text() == "original"
+        # and the temp file was cleaned up
+        assert [p.name for p in tmp_path.iterdir()] == ["a.json"]
+
+    def test_json_helper(self, tmp_path):
+        atomic_write_json(tmp_path / "o.json", {"a": [1, 2]}, indent=1)
+        assert json.loads((tmp_path / "o.json").read_text()) == {"a": [1, 2]}
+
+
+def _store_with_data(tmp_path, n=1000, chunk=100):
+    store = ZarrLikeStore(tmp_path / "store", chunk_size=chunk)
+    store.write_series("loss", SeriesData(
+        {"values": np.linspace(1.0, 0.0, n),
+         "steps": np.arange(n, dtype=np.int64)},
+        {"metric": "loss"},
+    ))
+    return store
+
+
+class TestZarrChecksums:
+    def test_metadata_records_per_chunk_crc(self, tmp_path):
+        store = _store_with_data(tmp_path)
+        cdir = store._series_dir("loss") / "values"
+        meta = json.loads((cdir / ".zarray").read_text())
+        assert len(meta["checksums"]) == meta["n_chunks"] == 10
+
+    def test_corrupt_chunk_detected_on_full_read(self, tmp_path):
+        store = _store_with_data(tmp_path)
+        chunk = store._series_dir("loss") / "values" / "3"
+        data = bytearray(chunk.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        chunk.write_bytes(bytes(data))
+        with pytest.raises(ChecksumError):
+            store.read_series("loss")
+
+    def test_corrupt_chunk_detected_on_slice_read(self, tmp_path):
+        store = _store_with_data(tmp_path)
+        chunk = store._series_dir("loss") / "values" / "3"
+        chunk.write_bytes(b"garbage")
+        with pytest.raises(ChecksumError):
+            store.read_column_slice("loss", "values", 300, 400)
+
+    def test_untouched_chunks_still_readable(self, tmp_path):
+        """Corruption in one chunk must not block slices of other chunks."""
+        store = _store_with_data(tmp_path)
+        chunk = store._series_dir("loss") / "values" / "3"
+        chunk.write_bytes(b"garbage")
+        out = store.read_column_slice("loss", "values", 0, 100)
+        assert out.shape == (100,)
+
+    def test_checksum_error_is_store_format_error(self):
+        assert issubclass(ChecksumError, StoreFormatError)
+
+    def test_verify_integrity_reports_damage(self, tmp_path):
+        store = _store_with_data(tmp_path)
+        assert store.verify_integrity() == []
+        chunk = store._series_dir("loss") / "values" / "7"
+        chunk.write_bytes(b"zzz")
+        issues = store.verify_integrity()
+        assert len(issues) == 1
+        assert "values/7" in issues[0]
+
+    def test_missing_chunk_reported(self, tmp_path):
+        store = _store_with_data(tmp_path)
+        (store._series_dir("loss") / "values" / "0").unlink()
+        assert any("missing chunk" in s for s in store.verify_integrity())
+
+    def test_legacy_metadata_without_checksums_still_reads(self, tmp_path):
+        """Stores written before checksumming must remain readable."""
+        store = _store_with_data(tmp_path, n=50, chunk=25)
+        cdir = store._series_dir("loss") / "values"
+        meta = json.loads((cdir / ".zarray").read_text())
+        del meta["checksums"]
+        (cdir / ".zarray").write_text(json.dumps(meta))
+        out = store.read_series("loss")
+        assert out.columns["values"].shape == (50,)
+
+
+class TestReadAllDegradation:
+    def test_skip_mode_drops_only_corrupt_series(self, tmp_path):
+        store = _store_with_data(tmp_path)
+        store.write_series("acc", SeriesData(
+            {"values": np.ones(10)}, {"metric": "acc"}))
+        (store._series_dir("loss") / "values" / "0").write_bytes(b"bad")
+        with pytest.raises(StoreFormatError):
+            store.read_all()  # default raises
+        out = store.read_all(errors="skip")
+        assert set(out) == {"acc"}
+        assert len(store.last_read_issues) == 1
+        assert "loss" in store.last_read_issues[0]
+
+    def test_skip_mode_clean_store_no_issues(self, tmp_path):
+        store = _store_with_data(tmp_path)
+        out = store.read_all(errors="skip")
+        assert set(out) == {"loss"}
+        assert store.last_read_issues == []
+
+    def test_invalid_mode_rejected(self, tmp_path):
+        store = _store_with_data(tmp_path)
+        with pytest.raises(StorageError):
+            store.read_all(errors="ignore")
+
+
+class TestSingleFileStoresAtomic:
+    def test_netcdf_flush_leaves_no_partial_file(self, tmp_path):
+        store = NetCDFLikeStore(tmp_path / "m.nc")
+        store.write_series("x", SeriesData({"values": np.arange(5.0)}))
+        # reopen: the container parses and round-trips
+        again = NetCDFLikeStore(tmp_path / "m.nc")
+        assert np.array_equal(
+            again.read_series("x").columns["values"], np.arange(5.0))
+        assert [p.name for p in tmp_path.iterdir()] == ["m.nc"]
+
+    def test_json_store_no_temp_litter(self, tmp_path):
+        store = JsonMetricStore(tmp_path / "m.json")
+        store.write_series("x", SeriesData({"values": np.arange(3.0)}))
+        assert [p.name for p in tmp_path.iterdir()] == ["m.json"]

@@ -1,0 +1,159 @@
+"""Tests for seeded exponential backoff: the shared retry utility and the
+workflow executor's retry schedule."""
+
+import pytest
+
+from repro.errors import ReproError, WorkflowError
+from repro.retry import ExponentialBackoff, retry_call, seed_from_name
+from repro.workflow.dag import Task, TaskState, Workflow
+
+
+class TestExponentialBackoff:
+    def test_unjittered_schedule_is_geometric(self):
+        backoff = ExponentialBackoff(base_s=1.0, factor=2.0, jitter=0.0,
+                                     max_s=60.0)
+        assert backoff.delays(4) == [1.0, 2.0, 4.0, 8.0]
+
+    def test_cap_applies(self):
+        backoff = ExponentialBackoff(base_s=1.0, factor=10.0, jitter=0.0,
+                                     max_s=50.0)
+        assert backoff.delays(3) == [1.0, 10.0, 50.0]
+
+    def test_jitter_never_shrinks_delay(self):
+        backoff = ExponentialBackoff(base_s=1.0, factor=2.0, jitter=0.5,
+                                     seed=123)
+        plain = ExponentialBackoff(base_s=1.0, factor=2.0, jitter=0.0)
+        for jittered, base in zip(backoff.delays(6), plain.delays(6)):
+            assert base <= jittered <= base * 1.5
+
+    def test_seeded_schedule_is_deterministic(self):
+        a = ExponentialBackoff(jitter=0.5, seed=42).delays(5)
+        b = ExponentialBackoff(jitter=0.5, seed=42).delays(5)
+        c = ExponentialBackoff(jitter=0.5, seed=43).delays(5)
+        assert a == b
+        assert a != c
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ReproError):
+            ExponentialBackoff(base_s=-1.0)
+        with pytest.raises(ReproError):
+            ExponentialBackoff(factor=0.5)
+        with pytest.raises(ReproError):
+            ExponentialBackoff(jitter=-0.1)
+
+    def test_seed_from_name_is_stable(self):
+        assert seed_from_name("etl") == seed_from_name("etl")
+        assert seed_from_name("etl") != seed_from_name("train")
+
+
+class TestRetryCall:
+    def test_retries_then_succeeds(self):
+        calls = {"n": 0}
+        slept = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        backoff = ExponentialBackoff(base_s=1.0, jitter=0.0)
+        assert retry_call(flaky, retries=3, backoff=backoff,
+                          sleep=slept.append) == "ok"
+        assert calls["n"] == 3
+        assert slept == [1.0, 2.0]
+
+    def test_final_failure_reraised(self):
+        def broken():
+            raise OSError("down")
+
+        with pytest.raises(OSError):
+            retry_call(broken, retries=2, sleep=lambda _: None)
+
+    def test_unlisted_exception_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def typo():
+            calls["n"] += 1
+            raise ValueError("bug, not flake")
+
+        with pytest.raises(ValueError):
+            retry_call(typo, retries=5, sleep=lambda _: None)
+        assert calls["n"] == 1
+
+
+class TestTaskBackoff:
+    def test_task_schedule_matches_seeded_backoff(self):
+        """The executor's retry delays are exactly the task's deterministic
+        schedule: base·factor^i with jitter seeded from the task name."""
+        task = Task("etl", lambda deps: {}, retries=3, retry_backoff_s=0.5,
+                    backoff_factor=2.0, backoff_jitter=0.25)
+        expected = ExponentialBackoff(
+            base_s=0.5, factor=2.0, jitter=0.25, seed=seed_from_name("etl")
+        ).delays(3)
+        assert task.backoff_schedule() == expected
+
+    def test_zero_base_means_immediate_retries(self):
+        task = Task("t", lambda deps: {}, retries=2)
+        assert task.backoff_schedule() == [0.0, 0.0]
+
+    def test_executor_sleeps_the_schedule(self):
+        attempts = {"n": 0}
+
+        def flaky(deps):
+            attempts["n"] += 1
+            if attempts["n"] < 3:
+                raise RuntimeError("transient")
+            return {"ok": True}
+
+        wf = Workflow("retrying")
+        wf.add_task("flaky", flaky, retries=3, retry_backoff_s=1.0,
+                    backoff_jitter=0.5)
+        slept = []
+        ticks = iter(range(100))
+        result = wf.run(clock=lambda: float(next(ticks)),
+                        sleep=slept.append)
+        task_result = result.tasks["flaky"]
+        assert task_result.state is TaskState.SUCCEEDED
+        assert task_result.attempts == 3
+        expected = ExponentialBackoff(
+            base_s=1.0, factor=2.0, jitter=0.5, seed=seed_from_name("flaky")
+        ).delays(3)
+        assert slept == expected[:2]  # two failures -> two waits
+        assert task_result.backoff_delays == expected[:2]
+
+    def test_parallel_executor_same_schedule(self):
+        attempts = {"n": 0}
+
+        def flaky(deps):
+            attempts["n"] += 1
+            if attempts["n"] < 2:
+                raise RuntimeError("transient")
+            return {}
+
+        wf = Workflow("retrying-parallel")
+        wf.add_task("flaky", flaky, retries=2, retry_backoff_s=0.25,
+                    backoff_jitter=0.5)
+        slept = []
+        result = wf.run(max_workers=2, sleep=slept.append)
+        expected = ExponentialBackoff(
+            base_s=0.25, factor=2.0, jitter=0.5, seed=seed_from_name("flaky")
+        ).delays(2)
+        assert result.tasks["flaky"].state is TaskState.SUCCEEDED
+        assert slept == expected[:1]
+
+    def test_no_sleep_without_backoff_configured(self):
+        def always_fails(deps):
+            raise RuntimeError("boom")
+
+        wf = Workflow("plain")
+        wf.add_task("broken", always_fails, retries=2)
+        slept = []
+        result = wf.run(sleep=slept.append)
+        assert result.tasks["broken"].state is TaskState.FAILED
+        assert slept == []  # zero-delay schedule never calls sleep
+        assert result.tasks["broken"].backoff_delays == [0.0, 0.0]
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(WorkflowError):
+            Task("t", lambda deps: {}, retry_backoff_s=-1.0)

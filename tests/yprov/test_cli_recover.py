@@ -1,0 +1,70 @@
+"""Tests for the `yprov recover` command."""
+
+import json
+
+import pytest
+
+from repro.core.experiment import RunExecution, RunStatus
+from repro.yprov.cli import main
+
+
+def run_cli(*args) -> int:
+    return main(list(args))
+
+
+def _dead_run(root, run_id="dead0"):
+    """Start a journaled run, log some events, and abandon it un-ended."""
+    run = RunExecution("crashy", run_id=run_id, save_dir=root / run_id)
+    run.start()
+    run.log_param("lr", 0.01)
+    run.log_metric("loss", 1.5, context="training", step=0)
+    return root / run_id
+
+
+class TestRecoverCommand:
+    def test_recover_dead_run(self, tmp_path, capsys):
+        run_dir = _dead_run(tmp_path)
+        assert run_cli("recover", str(run_dir)) == 0
+        out = capsys.readouterr().out
+        assert "aborted" in out
+        prov = json.loads((run_dir / "prov.json").read_text())
+        assert any(k.endswith("run/dead0") for k in prov["activity"])
+
+    def test_refuses_to_clobber_without_force(self, tmp_path, capsys):
+        run_dir = _dead_run(tmp_path)
+        assert run_cli("recover", str(run_dir)) == 0
+        assert run_cli("recover", str(run_dir)) == 2
+        assert "force" in capsys.readouterr().err.lower()
+        assert run_cli("recover", str(run_dir), "--force") == 0
+
+    def test_missing_journal_is_an_error(self, tmp_path, capsys):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        assert run_cli("recover", str(empty)) == 2
+
+    def test_scan_recovers_only_dead_runs(self, tmp_path, capsys):
+        _dead_run(tmp_path, "dead0")
+        _dead_run(tmp_path, "dead1")
+        # a run that ended cleanly and saved must be left alone
+        clean = RunExecution("ok", run_id="clean0", save_dir=tmp_path / "clean0")
+        clean.start()
+        clean.log_param("lr", 0.1)
+        clean.end(RunStatus.FINISHED)
+        clean.save()
+
+        assert run_cli("recover", str(tmp_path), "--scan") == 0
+        out = capsys.readouterr().out
+        assert "dead0" in out
+        assert "dead1" in out
+        assert (tmp_path / "dead0" / "prov.json").exists()
+        assert (tmp_path / "dead1" / "prov.json").exists()
+
+    def test_scan_with_nothing_to_do(self, tmp_path, capsys):
+        assert run_cli("recover", str(tmp_path), "--scan") == 0
+        assert "no dead runs" in capsys.readouterr().out.lower()
+
+    @pytest.mark.parametrize("fmt", ["inline", "zarrlike", "netcdflike"])
+    def test_metric_format_choice(self, tmp_path, fmt):
+        run_dir = _dead_run(tmp_path, f"dead_{fmt}")
+        assert run_cli("recover", str(run_dir), "--metric-format", fmt) == 0
+        assert (run_dir / "prov.json").exists()
