@@ -1,0 +1,125 @@
+"""Transport overhead — end-of-run publishing must be nearly free.
+
+ISSUE 2's acceptance bar: with a *healthy* service, publishing a training
+run's ``prov.json`` through the resilient client
+(:mod:`repro.yprov.client`) adds **< 5% walltime** to a simulated training
+run.  Three claims are priced here:
+
+* end-of-run publish (the paper's deployment shape: one document per run,
+  pushed when the run closes) vs the run's own training + save walltime;
+* the per-call client overhead against a live local server, for context;
+* the failure path: when the service is *down*, a spooled publish must
+  cost no more than a bounded connect-refused + spool write — capture
+  must never stall training on a dead service.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.context import Context
+from repro.core.experiment import RunExecution
+from repro.yprov.client import ProvenanceClient
+from repro.yprov.rest import ProvenanceServer
+from repro.yprov.service import ProvenanceService
+from repro.yprov.spool import Spool
+
+
+def _simulated_training_run(save_dir, n_steps: int = 150):
+    """A small but real training run: matmul steps + logging, then save."""
+    state = {"t": 0.0}
+
+    def clock():
+        state["t"] += 1e-3
+        return state["t"]
+
+    rng = np.random.default_rng(0)
+    weight = rng.normal(size=(192, 192))
+    x = rng.normal(size=(64, 192))
+    run = RunExecution("transport_bench", save_dir=save_dir, clock=clock,
+                       journal=False)
+    run.start()
+    run.log_param("lr", 1e-3)
+    run.start_epoch(Context.TRAINING)
+    for step in range(n_steps):
+        y = x @ weight
+        grad = x.T @ y
+        weight -= 1e-4 * grad
+        run.log_metric("loss", float((y ** 2).mean()),
+                       context=Context.TRAINING, step=step)
+    run.end_epoch(Context.TRAINING)
+    run.end()
+    run.save()
+    return run
+
+
+@pytest.fixture(scope="module")
+def live_server():
+    service = ProvenanceService()
+    with ProvenanceServer(service) as srv:
+        yield srv, service
+
+
+def test_end_of_run_publish_overhead_under_5pct(tmp_path_factory, live_server,
+                                                capsys):
+    """The acceptance criterion: publish walltime < 5% of run walltime."""
+    srv, _ = live_server
+    rounds = 5
+    run_times, publish_times = [], []
+    for i in range(rounds):
+        tmp = tmp_path_factory.mktemp(f"pub{i}")
+        t0 = time.perf_counter()
+        run = _simulated_training_run(tmp, n_steps=400)
+        run_walltime = time.perf_counter() - t0
+        client = ProvenanceClient(srv.url, timeout_s=5, retries=2)
+        t0 = time.perf_counter()
+        result = run.publish(client, doc_id=f"bench_run_{i}")
+        publish_walltime = time.perf_counter() - t0
+        assert result.acked
+        run_times.append(run_walltime)
+        publish_times.append(publish_walltime)
+    ratio = float(np.median(publish_times) / np.median(run_times))
+    with capsys.disabled():
+        print(f"\n[transport] run {np.median(run_times) * 1e3:.0f} ms, "
+              f"publish {np.median(publish_times) * 1e3:.1f} ms "
+              f"-> {ratio:.2%} end-of-run overhead")
+    assert ratio < 0.05, f"publish overhead {ratio:.2%} >= 5%"
+
+
+def test_publish_per_call_cost(benchmark, tmp_path, live_server):
+    """Per-document publish cost against a healthy local server."""
+    srv, service = live_server
+    run = _simulated_training_run(tmp_path, n_steps=20)
+    text = (run.save_dir / "prov.json").read_text(encoding="utf-8")
+    client = ProvenanceClient(srv.url, timeout_s=5, retries=1)
+    counter = [0]
+
+    def publish():
+        counter[0] += 1
+        client.publish(f"percall_{counter[0]}", text)
+
+    benchmark(publish)
+
+
+def test_unreachable_service_publish_is_bounded(tmp_path, capsys):
+    """A dead service must cost ~a refused connect + a spool write, and
+    must never block for the full request timeout (nothing is listening,
+    the connect fails fast)."""
+    spool = Spool(tmp_path / "spool")
+    client = ProvenanceClient("http://127.0.0.1:9/api/v0", timeout_s=0.5,
+                              retries=0, spool=spool)
+    run = _simulated_training_run(tmp_path / "run", n_steps=20)
+    text = (run.save_dir / "prov.json").read_text(encoding="utf-8")
+    costs = []
+    for i in range(5):
+        t0 = time.perf_counter()
+        result = client.publish(f"down_{i}", text)
+        costs.append(time.perf_counter() - t0)
+        assert result.spooled
+    with capsys.disabled():
+        print(f"\n[transport] spooled publish (service down): "
+              f"{np.median(costs) * 1e3:.1f} ms median")
+    assert np.median(costs) < 0.25

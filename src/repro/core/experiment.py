@@ -138,6 +138,7 @@ class RunExecution:
         self.status = RunStatus.CREATED
         self.start_time: Optional[float] = None
         self.end_time: Optional[float] = None
+        self.last_publish: Optional[Any] = None
         self._collectors: List[Any] = []
 
     # ------------------------------------------------------------------
@@ -536,6 +537,29 @@ class RunExecution:
             self.journal.compact()
         return paths
 
+    def publish(self, client, doc_id: Optional[str] = None):
+        """Publish the saved ``prov.json`` to a provenance service.
+
+        *client* is a :class:`~repro.yprov.client.ProvenanceClient` (or
+        anything with its ``publish(doc_id, text)`` signature).  Delivery
+        is at-least-once: with a spool configured on the client, a
+        transport failure parks the document locally instead of raising,
+        and a later drain delivers it — training is never stalled and the
+        document is never lost.  Returns the client's
+        :class:`~repro.yprov.client.PublishResult`, also kept on
+        :attr:`last_publish`.
+        """
+        prov_path = self.save_dir / "prov.json"
+        if not prov_path.exists():
+            raise TrackingError(
+                f"run {self.run_id} has no saved prov.json; call save() first"
+            )
+        result = client.publish(
+            doc_id or self.run_id, prov_path.read_text(encoding="utf-8")
+        )
+        self.last_publish = result
+        return result
+
     def __repr__(self) -> str:
         return (
             f"RunExecution({self.run_id!r}, status={self.status.value}, "
@@ -587,6 +611,18 @@ class Experiment:
         )
         self.runs.append(run)
         return run
+
+    def publish_all(self, client) -> List[Any]:
+        """Publish every saved run of this experiment (at-least-once each).
+
+        Runs that were never saved are skipped; the returned list holds one
+        :class:`~repro.yprov.client.PublishResult` per published run.
+        """
+        results = []
+        for run in self.runs:
+            if (run.save_dir / "prov.json").exists():
+                results.append(run.publish(client))
+        return results
 
     def __len__(self) -> int:
         return len(self.runs)

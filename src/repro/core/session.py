@@ -106,8 +106,22 @@ def end_run(
     create_graph: bool = False,
     create_rocrate: bool = False,
     status: RunStatus = RunStatus.FINISHED,
+    publish_to: Optional[Any] = None,
+    publish_spool_dir: Optional[Union[str, Path]] = None,
 ) -> Dict[str, Path]:
-    """Close the active run and persist its provenance; returns written paths."""
+    """Close the active run and persist its provenance; returns written paths.
+
+    With ``publish_to`` set — a base URL string like
+    ``"http://host:3000/api/v0"`` or a pre-built
+    :class:`~repro.yprov.client.ProvenanceClient` — the saved ``prov.json``
+    is also published to the provenance service with at-least-once
+    semantics: when the service is down or flaky the document is parked in
+    a durable local spool (``publish_spool_dir``, default
+    ``<save_dir>/.yprov-spool`` next to the run directories) and delivered
+    later by ``yprov spool drain``.  End-of-run publishing therefore never
+    raises on a transport failure and never loses the document.  The
+    outcome is recorded on the run as ``run.last_publish``.
+    """
     global _active_run
     with _lock:
         run = active_run()
@@ -117,8 +131,23 @@ def end_run(
             create_graph=create_graph,
             create_rocrate=create_rocrate,
         )
+        if publish_to is not None:
+            run.publish(_publisher(run, publish_to, publish_spool_dir))
         _active_run = None
         return paths
+
+
+def _publisher(run: RunExecution, publish_to: Any,
+               spool_dir: Optional[Union[str, Path]]):
+    """Coerce *publish_to* into a spool-backed ProvenanceClient."""
+    if isinstance(publish_to, str):
+        from repro.yprov.client import ProvenanceClient
+        from repro.yprov.spool import Spool
+
+        spool = Spool(spool_dir if spool_dir is not None
+                      else run.save_dir.parent / ".yprov-spool")
+        return ProvenanceClient(publish_to, spool=spool)
+    return publish_to
 
 
 def abort_run() -> None:

@@ -95,6 +95,38 @@ class HandleError(ServiceError):
     """Handle-system resolution failure."""
 
 
+class TransportError(ServiceError):
+    """Client-side transport failure talking to the provenance service.
+
+    ``status`` carries the HTTP status when the failure was an HTTP error
+    response (``None`` for network-level failures); ``retry_after_s``
+    carries a server-requested backoff (parsed from ``Retry-After``) that
+    the retry machinery honors as a lower bound on the next delay.
+    """
+
+    def __init__(self, message: str, status=None, retry_after_s=None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after_s = retry_after_s
+
+
+class CircuitOpenError(ServiceError):
+    """The client's circuit breaker is open; the call was refused locally.
+
+    Deliberately *not* a :class:`TransportError`: retry loops retry
+    transport failures, but an open breaker means "stop calling", so it
+    must escape them immediately.
+    """
+
+    def __init__(self, message: str, retry_in_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_in_s = retry_in_s
+
+
+class SpoolError(ServiceError):
+    """Store-and-forward spool failure (full spool, corrupt entry, ...)."""
+
+
 class WorkflowError(ReproError):
     """Workflow DAG construction or execution failure."""
 

@@ -69,8 +69,12 @@ def retry_call(
     """Call *fn*, retrying up to *retries* times on *exceptions*.
 
     Sleeps the backoff schedule between attempts (``time.sleep`` by
-    default; injectable for tests and simulated time).  The final failure
-    is re-raised unchanged.
+    default; injectable for tests and simulated time).  If a caught
+    exception carries a ``retry_after_s`` attribute (e.g. a
+    :class:`~repro.errors.TransportError` built from an HTTP 429 with a
+    ``Retry-After`` header), that value is honored as a *lower bound* on
+    the next delay — the server's request wins over the local schedule.
+    The final failure is re-raised unchanged.
     """
     if retries < 0:
         raise ReproError(f"retries must be >= 0, got {retries}")
@@ -80,9 +84,13 @@ def retry_call(
     for attempt in range(retries + 1):
         try:
             return fn()
-        except exceptions:
+        except exceptions as exc:
             if attempt >= retries:
                 raise
-            if schedule[attempt] > 0:
-                sleep(schedule[attempt])
+            delay = schedule[attempt]
+            retry_after = getattr(exc, "retry_after_s", None)
+            if retry_after is not None:
+                delay = max(delay, float(retry_after))
+            if delay > 0:
+                sleep(delay)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -14,15 +14,24 @@ interface".  This package reimplements that stack in-process:
   identifiers resolving to stored documents);
 * :mod:`repro.yprov.explorer` — the yProv Explorer analogue (lineage,
   diffs, statistics over stored documents);
-* :mod:`repro.yprov.cli` — the ``yprov`` command line interface.
+* :mod:`repro.yprov.cli` — the ``yprov`` command line interface;
+* :mod:`repro.yprov.client` — the resilient HTTP client (timeouts,
+  seeded retries, circuit breaker, ``Retry-After``);
+* :mod:`repro.yprov.spool` — the durable store-and-forward queue backing
+  at-least-once publishing;
+* :mod:`repro.yprov.chaosproxy` — a seeded fault-injection TCP proxy used
+  to prove the transport never loses a document.
 """
 
 from repro.yprov.graphdb import GraphDB, Node, Edge
 from repro.yprov.service import ProvenanceService
 from repro.yprov.handle import HandleSystem
 from repro.yprov.explorer import Explorer
-from repro.yprov.rest import ProvenanceServer, serve
+from repro.yprov.rest import ProvenanceServer, ServerLimits, serve
 from repro.yprov.render import export_html, render_svg
+from repro.yprov.client import CircuitBreaker, ProvenanceClient, PublishResult
+from repro.yprov.spool import Spool, DrainReport
+from repro.yprov.chaosproxy import ChaosConfig, ChaosProxy
 
 __all__ = [
     "GraphDB",
@@ -32,7 +41,15 @@ __all__ = [
     "HandleSystem",
     "Explorer",
     "ProvenanceServer",
+    "ServerLimits",
     "serve",
     "export_html",
     "render_svg",
+    "CircuitBreaker",
+    "ProvenanceClient",
+    "PublishResult",
+    "Spool",
+    "DrainReport",
+    "ChaosConfig",
+    "ChaosProxy",
 ]

@@ -1,0 +1,323 @@
+"""Seeded TCP fault-injection proxy for the provenance service path.
+
+Sits between a :class:`~repro.yprov.client.ProvenanceClient` and the REST
+front-end and injects, per connection, the failure modes a job on a large
+machine actually sees on the way to a shared service:
+
+========== ==========================================================
+fault      behaviour
+========== ==========================================================
+latency    hold the connection for ``latency_s`` before proxying
+reset      close the client socket with ``SO_LINGER 0`` (TCP RST)
+http_503   answer ``503 Service Unavailable`` + ``Retry-After``
+           without contacting the upstream at all
+truncate   proxy the request, then relay only half of the upstream's
+           response bytes and reset — a torn response
+blackhole  accept, swallow the request, never answer (the client's
+           timeout fires); the socket is closed after ``blackhole_s``
+========== ==========================================================
+
+The schedule is **seeded**: connection *i* draws its fault from
+``random.Random(seed)`` in arrival order, so a test re-running with the
+same seed and a sequential client sees the identical fault sequence.
+Fault counts are tallied in :attr:`ChaosProxy.fault_counts` so a suite
+can assert that every mode actually fired.
+
+Used by ``tests/integration/test_chaos_transport.py`` to prove the
+client + spool never lose an acknowledged-or-spooled document under any
+injected schedule.  Standard library only.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import struct
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+
+FAULT_KINDS = ("none", "latency", "reset", "http_503", "truncate", "blackhole")
+
+_RESPONSE_503 = (
+    b"HTTP/1.1 503 Service Unavailable\r\n"
+    b"Content-Type: application/json\r\n"
+    b"Retry-After: %s\r\n"
+    b"Content-Length: %d\r\n"
+    b"Connection: close\r\n"
+    b"\r\n%s"
+)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-connection fault probabilities (the rest of the mass is clean).
+
+    Rates must sum to at most 1; ``latency_s`` also applies a small
+    deterministic service delay to *clean* connections when
+    ``base_latency_s`` is set, modelling a slow-but-healthy network.
+    """
+
+    latency_rate: float = 0.0
+    reset_rate: float = 0.0
+    http_503_rate: float = 0.0
+    truncate_rate: float = 0.0
+    blackhole_rate: float = 0.0
+    latency_s: float = 0.2
+    blackhole_s: float = 30.0
+    retry_after_s: float = 0.05
+    base_latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = (self.latency_rate + self.reset_rate + self.http_503_rate
+                 + self.truncate_rate + self.blackhole_rate)
+        if total > 1.0 + 1e-9:
+            raise ReproError(f"fault rates sum to {total:.3f} > 1")
+        for name in ("latency_rate", "reset_rate", "http_503_rate",
+                     "truncate_rate", "blackhole_rate"):
+            if getattr(self, name) < 0:
+                raise ReproError(f"{name} must be >= 0")
+
+    def draw(self, rng: random.Random) -> str:
+        """One seeded fault decision."""
+        x = rng.random()
+        for name, rate in (
+            ("latency", self.latency_rate),
+            ("reset", self.reset_rate),
+            ("http_503", self.http_503_rate),
+            ("truncate", self.truncate_rate),
+            ("blackhole", self.blackhole_rate),
+        ):
+            if x < rate:
+                return name
+            x -= rate
+        return "none"
+
+
+def blackhole_config(blackhole_s: float = 30.0) -> ChaosConfig:
+    """A schedule where *every* connection is swallowed (total outage)."""
+    return ChaosConfig(blackhole_rate=1.0, blackhole_s=blackhole_s)
+
+
+@dataclass
+class _Stats:
+    fault_counts: Dict[str, int] = field(
+        default_factory=lambda: {kind: 0 for kind in FAULT_KINDS}
+    )
+    connections: int = 0
+
+
+class ChaosProxy:
+    """A live TCP proxy injecting a seeded fault schedule; context manager.
+
+    ::
+
+        with ChaosProxy("127.0.0.1", server.port, config, seed=7) as proxy:
+            client = ProvenanceClient(proxy.url, timeout_s=0.5, ...)
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        config: Optional[ChaosConfig] = None,
+        seed: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        api_prefix: str = "/api/v0",
+    ) -> None:
+        self.upstream = (upstream_host, int(upstream_port))
+        self.config = config or ChaosConfig()
+        self.api_prefix = api_prefix
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+        self._stats = _Stats()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        # closing a socket does not wake a thread blocked in accept() on
+        # Linux, so the accept loop polls with a short timeout instead
+        self._listener.settimeout(0.1)
+        self._accept_thread: Optional[threading.Thread] = None
+        self._workers: List[threading.Thread] = []
+        self._closing = threading.Event()
+        self.schedule: List[str] = []  # fault drawn per connection, in order
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def port(self) -> int:
+        return self._listener.getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        host = self._listener.getsockname()[0]
+        return f"http://{host}:{self.port}{self.api_prefix}"
+
+    @property
+    def fault_counts(self) -> Dict[str, int]:
+        return dict(self._stats.fault_counts)
+
+    @property
+    def connections(self) -> int:
+        return self._stats.connections
+
+    def start(self) -> "ChaosProxy":
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-proxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, close the listener, and join worker threads."""
+        if self._closing.is_set():
+            return
+        self._closing.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        for worker in self._workers:
+            worker.join(timeout=1)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- connection handling ---------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                client_sock, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed
+            with self._rng_lock:
+                fault = self.config.draw(self._rng)
+                self.schedule.append(fault)
+                self._stats.connections += 1
+                self._stats.fault_counts[fault] += 1
+            worker = threading.Thread(
+                target=self._handle, args=(client_sock, fault),
+                name=f"chaos-proxy-{fault}", daemon=True,
+            )
+            worker.start()
+            self._workers.append(worker)
+
+    def _handle(self, client_sock: socket.socket, fault: str) -> None:
+        try:
+            if fault == "reset":
+                _reset(client_sock)
+            elif fault == "http_503":
+                self._serve_503(client_sock)
+            elif fault == "blackhole":
+                self._blackhole(client_sock)
+            else:
+                delay = (self.config.latency_s if fault == "latency"
+                         else self.config.base_latency_s)
+                if delay > 0:
+                    self._closing.wait(delay)
+                self._proxy(client_sock, truncate=(fault == "truncate"))
+        except OSError:
+            pass
+        finally:
+            try:
+                client_sock.close()
+            except OSError:
+                pass
+
+    def _serve_503(self, client_sock: socket.socket) -> None:
+        client_sock.settimeout(2.0)
+        _drain_request(client_sock)
+        body = b'{"error": "injected overload"}'
+        retry_after = f"{self.config.retry_after_s:g}".encode("ascii")
+        client_sock.sendall(_RESPONSE_503 % (retry_after, len(body), body))
+
+    def _blackhole(self, client_sock: socket.socket) -> None:
+        client_sock.settimeout(2.0)
+        _drain_request(client_sock)
+        # hold the connection silently; the client's timeout is the exit
+        self._closing.wait(self.config.blackhole_s)
+
+    def _proxy(self, client_sock: socket.socket, truncate: bool) -> None:
+        """Forward one HTTP exchange; optionally tear the response."""
+        upstream = socket.create_connection(self.upstream, timeout=10.0)
+        try:
+            client_sock.settimeout(10.0)
+            upstream.settimeout(10.0)
+            request = _drain_request(client_sock)
+            if not request:
+                return
+            upstream.sendall(request)
+            response = _read_until_close(upstream)
+            if truncate and len(response) > 1:
+                client_sock.sendall(response[: len(response) // 2])
+                _reset(client_sock)
+            else:
+                client_sock.sendall(response)
+        finally:
+            try:
+                upstream.close()
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# socket helpers
+# ----------------------------------------------------------------------
+def _reset(sock: socket.socket) -> None:
+    """Close with SO_LINGER 0 so the peer sees a TCP RST, not FIN."""
+    try:
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    except OSError:
+        pass
+    sock.close()
+
+
+def _drain_request(sock: socket.socket) -> bytes:
+    """Read one full HTTP request (headers + Content-Length body)."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return data
+        data += chunk
+    head, _, body = data.partition(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            try:
+                length = int(value.strip())
+            except ValueError:
+                length = 0
+    while len(body) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        body += chunk
+    return head + b"\r\n\r\n" + body
+
+
+def _read_until_close(sock: socket.socket) -> bytes:
+    """Read the upstream's entire response (it sends Connection: close)."""
+    out = b""
+    while True:
+        try:
+            chunk = sock.recv(65536)
+        except socket.timeout:
+            break
+        if not chunk:
+            break
+        out += chunk
+    return out

@@ -15,6 +15,14 @@ All commands operate on a persistent service rooted at ``--root``
     yprov handle resolve hdl:20.500.repro/abc -o out.json
     yprov crate-validate prov/demo_0          # RO-Crate check
     yprov recover prov/demo_0                 # rebuild prov.json from journal.wal
+
+Transport commands talk to a *remote* service over HTTP with the resilient
+client (timeouts, retries, circuit breaker, durable spool)::
+
+    yprov publish run1 prov/demo_0/prov.json --url http://host:3000/api/v0
+    yprov spool list                          # documents parked offline
+    yprov spool drain --url http://host:3000/api/v0
+    yprov spool purge
 """
 
 from __future__ import annotations
@@ -232,6 +240,79 @@ def cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _client(args: argparse.Namespace):
+    """A spool-backed resilient client for the transport commands."""
+    from repro.yprov.client import ProvenanceClient
+    from repro.yprov.spool import Spool
+
+    return ProvenanceClient(
+        args.url,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        spool=Spool(args.spool_dir),
+    )
+
+
+def _spool(args: argparse.Namespace):
+    from repro.yprov.spool import Spool
+
+    return Spool(args.spool_dir)
+
+
+def cmd_publish(args: argparse.Namespace) -> int:
+    """Handle ``yprov publish``: send a document to a remote service.
+
+    At-least-once: when the service is unreachable the document is parked
+    in the spool (exit code 3 signals "spooled, not yet delivered").
+    """
+    client = _client(args)
+    text = Path(args.file).read_text(encoding="utf-8")
+    result = client.publish(args.doc_id, text)
+    if result.acked:
+        print(f"published {args.doc_id} to {args.url}")
+        return 0
+    print(f"service unreachable; spooled {args.doc_id} to {args.spool_dir}")
+    return 3
+
+
+def cmd_spool_list(args: argparse.Namespace) -> int:
+    """Handle ``yprov spool list``: show parked documents, oldest first."""
+    for entry in _spool(args).entries():
+        print(f"{entry.seq}\t{entry.doc_id}")
+    return 0
+
+
+def cmd_spool_stats(args: argparse.Namespace) -> int:
+    """Handle ``yprov spool stats``: queue depth and damage counters."""
+    for key, value in _spool(args).stats().items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def cmd_spool_drain(args: argparse.Namespace) -> int:
+    """Handle ``yprov spool drain``: replay parked documents to a service.
+
+    Idempotent — the service dedups on document id, so re-draining after
+    a partial pass never creates duplicates.  Exit code 3 means the
+    service is still unreachable and documents remain parked.
+    """
+    client = _client(args)
+    report = client.drain_spool()
+    for doc_id in report.delivered:
+        print(f"delivered {doc_id}")
+    for doc_id in report.rejected:
+        print(f"rejected {doc_id} (quarantined)")
+    print(report.summary())
+    return 0 if report.complete else 3
+
+
+def cmd_spool_purge(args: argparse.Namespace) -> int:
+    """Handle ``yprov spool purge``: drop every parked document."""
+    removed = _spool(args).purge()
+    print(f"purged {removed} spooled document(s)")
+    return 0
+
+
 def cmd_crate_validate(args: argparse.Namespace) -> int:
     """Handle ``yprov crate-validate``: check an RO-Crate directory."""
     from repro.crate.validate import validate_crate
@@ -311,6 +392,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-validate", action="store_true",
                    help="skip PROV-CONSTRAINTS validation of the recovered document")
     p.set_defaults(func=cmd_recover)
+
+    def add_transport_args(p: argparse.ArgumentParser,
+                           need_url: bool = True) -> None:
+        if need_url:
+            p.add_argument("--url", required=True,
+                           help="service base URL, e.g. http://host:3000/api/v0")
+        p.add_argument("--spool-dir", default=".yprov-spool",
+                       help="local store-and-forward directory")
+        p.add_argument("--timeout", type=float, default=5.0,
+                       help="per-request timeout in seconds")
+        p.add_argument("--retries", type=int, default=3,
+                       help="transport retries per request")
+
+    p = sub.add_parser(
+        "publish", help="publish a PROV-JSON file to a remote service (HTTP)"
+    )
+    p.add_argument("doc_id")
+    p.add_argument("file")
+    add_transport_args(p)
+    p.set_defaults(func=cmd_publish)
+
+    spool = sub.add_parser("spool", help="store-and-forward queue operations")
+    ssub = spool.add_subparsers(dest="spool_command", required=True)
+    p = ssub.add_parser("list", help="list documents parked in the spool")
+    add_transport_args(p, need_url=False)
+    p.set_defaults(func=cmd_spool_list)
+    p = ssub.add_parser("stats", help="spool depth and damage counters")
+    add_transport_args(p, need_url=False)
+    p.set_defaults(func=cmd_spool_stats)
+    p = ssub.add_parser(
+        "drain", help="replay parked documents to a service (idempotent)"
+    )
+    add_transport_args(p)
+    p.set_defaults(func=cmd_spool_drain)
+    p = ssub.add_parser("purge", help="drop every parked document")
+    add_transport_args(p, need_url=False)
+    p.set_defaults(func=cmd_spool_purge)
 
     p = sub.add_parser("crate-validate", help="validate an RO-Crate directory")
     p.add_argument("directory")

@@ -1,0 +1,409 @@
+"""Resilient HTTP client for the yProv provenance service.
+
+The paper centralizes PROV documents in a provenance management service
+behind a RESTful API; on a Frontier-class machine the network and that
+service are the least reliable parts of the system.  This client covers
+the full ``/api/v0`` surface of :mod:`repro.yprov.rest` with, on every
+call:
+
+* a **per-request timeout** — a hung service can never stall training;
+* **seeded exponential-backoff retries** (:mod:`repro.retry`) on
+  transport-level failures (connection refused/reset, timeouts, torn
+  responses, 5xx) — transient blips are absorbed;
+* ``Retry-After`` honoring — when the server sheds load with ``429``/
+  ``503`` the requested delay bounds the next retry from below;
+* a three-state **circuit breaker** — after enough consecutive failures
+  the client stops hammering the dying service ("open"), periodically
+  lets one probe through ("half-open"), and resumes only once a probe
+  succeeds ("closed").  The breaker clock is injectable, so state
+  transitions are unit-testable without sleeping.
+
+:meth:`ProvenanceClient.publish` adds the durability layer: a document
+that cannot be delivered (transport failure or open breaker) is journaled
+to a local :class:`~repro.yprov.spool.Spool` instead of being dropped,
+and :meth:`ProvenanceClient.drain_spool` replays it when the service
+recovers — at-least-once delivery, made effectively exactly-once by the
+server's dedup on document id.
+
+Everything is standard library: ``http.client`` underneath, no third-party
+HTTP stack.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time as _time
+import urllib.parse
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import (
+    CircuitOpenError,
+    DocumentNotFoundError,
+    ServiceError,
+    SpoolError,
+    TransportError,
+)
+from repro.prov.document import ProvDocument
+from repro.prov.provjson import to_provjson
+from repro.retry import ExponentialBackoff, retry_call, seed_from_name
+from repro.yprov.spool import DrainReport, Spool
+
+__all__ = ["CircuitBreaker", "ProvenanceClient", "PublishResult"]
+
+
+class CircuitBreaker:
+    """Classic three-state circuit breaker (closed → open → half-open).
+
+    *closed*: calls flow; consecutive failures are counted.
+    *open*: after ``failure_threshold`` consecutive failures, calls are
+    refused locally (:class:`~repro.errors.CircuitOpenError`) for
+    ``reset_timeout_s``.
+    *half-open*: after the cool-down one probe call is admitted; success
+    closes the breaker, failure re-opens it for another full cool-down.
+
+    ``clock`` is injectable (monotonic seconds) so tests drive transitions
+    deterministically.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ServiceError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s < 0:
+            raise ServiceError(
+                f"reset_timeout_s must be >= 0, got {reset_timeout_s}"
+            )
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self._clock = clock or _time.monotonic
+        self._state = self.CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+
+    @property
+    def state(self) -> str:
+        """Current state, accounting for cool-down expiry."""
+        if self._state == self.OPEN and self._cooled_down():
+            return self.HALF_OPEN
+        return self._state
+
+    def _cooled_down(self) -> bool:
+        return self._clock() - self._opened_at >= self.reset_timeout_s
+
+    def retry_in(self) -> float:
+        """Seconds until the breaker will admit a probe (0 when it would)."""
+        if self._state != self.OPEN:
+            return 0.0
+        return max(0.0, self.reset_timeout_s - (self._clock() - self._opened_at))
+
+    def before_call(self) -> None:
+        """Gate one call; raises :class:`CircuitOpenError` when refused."""
+        if self._state == self.OPEN:
+            if not self._cooled_down():
+                raise CircuitOpenError(
+                    f"circuit breaker open; retry in {self.retry_in():.1f}s",
+                    retry_in_s=self.retry_in(),
+                )
+            # cool-down elapsed: admit exactly one probe at a time
+            if self._probe_in_flight:
+                raise CircuitOpenError(
+                    "circuit breaker half-open; probe already in flight",
+                    retry_in_s=self.retry_in(),
+                )
+            self._probe_in_flight = True
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._probe_in_flight = False
+        self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        """Count a failure; open at the threshold, re-open a failed probe."""
+        if self._state == self.OPEN:
+            # a failed half-open probe re-opens for a fresh cool-down
+            self._opened_at = self._clock()
+            self._probe_in_flight = False
+            return
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._state = self.OPEN
+            self._opened_at = self._clock()
+            self._probe_in_flight = False
+
+
+@dataclass(frozen=True)
+class PublishResult:
+    """Outcome of one :meth:`ProvenanceClient.publish` call."""
+
+    doc_id: str
+    acked: bool
+    spooled: bool
+
+    @property
+    def safe(self) -> bool:
+        """The document is durably either at the service or in the spool."""
+        return self.acked or self.spooled
+
+
+class ProvenanceClient:
+    """HTTP client for the ``/api/v0`` provenance service surface.
+
+    ``base_url`` is the service root including the API prefix, e.g.
+    ``http://127.0.0.1:3000/api/v0`` (what
+    :attr:`~repro.yprov.rest.ProvenanceServer.url` returns).  ``transport``
+    is injectable for tests: a callable ``(method, url, body, timeout_s) ->
+    (status, headers_dict, body_bytes)`` that raises ``OSError`` or
+    ``http.client.HTTPException`` on transport failure.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 5.0,
+        retries: int = 3,
+        backoff: Optional[ExponentialBackoff] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        spool: Optional[Union[Spool, str]] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+        transport: Optional[Callable[..., Tuple[int, Dict[str, str], bytes]]] = None,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+        self.retries = int(retries)
+        self.backoff = backoff or ExponentialBackoff(
+            base_s=0.05, max_s=5.0, jitter=0.5, seed=seed_from_name(self.base_url)
+        )
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.spool = Spool(spool) if isinstance(spool, str) else spool
+        self._sleep = sleep
+        self._transport = transport or _urllib_transport
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+    def _send_once(
+        self, method: str, path: str, body: Optional[bytes]
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One attempt: breaker gate → transport → error mapping."""
+        self.breaker.before_call()
+        try:
+            status, headers, payload = self._transport(
+                method, f"{self.base_url}{path}", body, self.timeout_s
+            )
+        except (OSError, http.client.HTTPException) as exc:
+            self.breaker.record_failure()
+            raise TransportError(
+                f"{method} {path} failed: {exc.__class__.__name__}: {exc}"
+            ) from exc
+        if status == 429 or status >= 500:
+            # overload / server fault: retryable, honoring Retry-After
+            self.breaker.record_failure()
+            raise TransportError(
+                f"{method} {path} -> HTTP {status}: "
+                f"{_error_message(payload)}",
+                status=status,
+                retry_after_s=_parse_retry_after(headers),
+            )
+        self.breaker.record_success()
+        if status >= 400:
+            raise _map_client_error(status, method, path, payload)
+        return status, headers, payload
+
+    def _request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[int, bytes]:
+        status, _, payload = retry_call(
+            lambda: self._send_once(method, path, body),
+            retries=self.retries,
+            backoff=self.backoff,
+            exceptions=(TransportError,),
+            sleep=self._sleep,
+        )
+        return status, payload
+
+    def _get_json(self, path: str) -> Any:
+        _, payload = self._request("GET", path)
+        return json.loads(payload.decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    # /api/v0 surface
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """``GET /health`` — the service's own view of its state."""
+        return self._get_json("/health")
+
+    def list_documents(self) -> List[str]:
+        """``GET /documents``."""
+        return self._get_json("/documents")
+
+    def get_document_text(self, doc_id: str) -> str:
+        """``GET /documents/<id>`` — verbatim PROV-JSON text."""
+        _, payload = self._request("GET", f"/documents/{_quote(doc_id)}")
+        return payload.decode("utf-8")
+
+    def get_document(self, doc_id: str) -> ProvDocument:
+        """``GET /documents/<id>`` parsed into a :class:`ProvDocument`."""
+        return ProvDocument.from_json(self.get_document_text(doc_id))
+
+    def put_document(
+        self, doc_id: str, document: Union[ProvDocument, str]
+    ) -> str:
+        """``PUT /documents/<id>`` — store/replace; returns the id."""
+        text = document if isinstance(document, str) else to_provjson(document)
+        self._request(
+            "PUT", f"/documents/{_quote(doc_id)}", text.encode("utf-8")
+        )
+        return doc_id
+
+    def delete_document(self, doc_id: str) -> None:
+        """``DELETE /documents/<id>``."""
+        self._request("DELETE", f"/documents/{_quote(doc_id)}")
+
+    def stats(self, doc_id: str) -> Dict[str, int]:
+        """``GET /documents/<id>/stats``."""
+        return self._get_json(f"/documents/{_quote(doc_id)}/stats")
+
+    def get_subgraph(
+        self,
+        doc_id: str,
+        element: str,
+        direction: str = "both",
+        max_depth: Optional[int] = None,
+    ) -> List[str]:
+        """``GET /documents/<id>/subgraph?element=&direction=&max_depth=``."""
+        query = {"element": element, "direction": direction}
+        if max_depth is not None:
+            query["max_depth"] = str(max_depth)
+        return self._get_json(
+            f"/documents/{_quote(doc_id)}/subgraph?"
+            + urllib.parse.urlencode(query)
+        )
+
+    def find_elements(
+        self,
+        label: Optional[str] = None,
+        prov_type: Optional[str] = None,
+        doc_id: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """``GET /elements?prov_type=&label=&doc_id=``."""
+        query = {
+            k: v
+            for k, v in (
+                ("label", label), ("prov_type", prov_type), ("doc_id", doc_id)
+            )
+            if v is not None
+        }
+        suffix = f"?{urllib.parse.urlencode(query)}" if query else ""
+        return self._get_json(f"/elements{suffix}")
+
+    # ------------------------------------------------------------------
+    # at-least-once publishing
+    # ------------------------------------------------------------------
+    def publish(
+        self, doc_id: str, document: Union[ProvDocument, str]
+    ) -> PublishResult:
+        """Deliver *document* to the service, or durably spool it.
+
+        Never loses an accepted document: on transport failure or an open
+        breaker the document goes to the spool (when one is configured)
+        and the call returns ``spooled=True`` instead of raising.  Only
+        when there is no spool — or the spool itself refuses — does the
+        failure propagate.  Non-transport rejections (invalid document,
+        bad id) always propagate: spooling them would just fail again.
+        """
+        text = document if isinstance(document, str) else to_provjson(document)
+        try:
+            self.put_document(doc_id, text)
+            return PublishResult(doc_id=doc_id, acked=True, spooled=False)
+        except (TransportError, CircuitOpenError):
+            if self.spool is None:
+                raise
+            self.spool.enqueue(doc_id, text)  # SpoolError (e.g. full) propagates
+            return PublishResult(doc_id=doc_id, acked=False, spooled=True)
+
+    def drain_spool(self, stop_on_transport_error: bool = True) -> DrainReport:
+        """Replay spooled documents through this client (FIFO, idempotent)."""
+        if self.spool is None:
+            raise SpoolError("client has no spool configured")
+        return self.spool.drain(
+            self, stop_on_transport_error=stop_on_transport_error
+        )
+
+
+# ----------------------------------------------------------------------
+# default transport + helpers
+# ----------------------------------------------------------------------
+def _urllib_transport(
+    method: str, url: str, body: Optional[bytes], timeout_s: float
+) -> Tuple[int, Dict[str, str], bytes]:
+    """One HTTP exchange over ``http.client`` with a hard socket timeout.
+
+    Returns ``(status, headers, body)`` for *every* HTTP status — error
+    mapping is the caller's job — and raises ``OSError`` /
+    ``http.client.HTTPException`` for network-level failures (refused,
+    reset, timeout, torn response).
+    """
+    parts = urllib.parse.urlsplit(url)
+    if parts.scheme != "http":
+        raise ServiceError(f"unsupported URL scheme: {url!r}")
+    conn = http.client.HTTPConnection(
+        parts.hostname or "127.0.0.1", parts.port or 80, timeout=timeout_s
+    )
+    try:
+        path = parts.path + (f"?{parts.query}" if parts.query else "")
+        headers = {"Connection": "close"}
+        if body is not None:
+            headers["Content-Type"] = "application/json"
+        conn.request(method, path, body=body, headers=headers)
+        resp = conn.getresponse()
+        payload = resp.read()  # IncompleteRead on torn responses
+        return resp.status, {k.lower(): v for k, v in resp.getheaders()}, payload
+    except socket.timeout as exc:
+        raise TimeoutError(f"request timed out after {timeout_s}s") from exc
+    finally:
+        conn.close()
+
+
+def _parse_retry_after(headers: Dict[str, str]) -> Optional[float]:
+    raw = headers.get("retry-after")
+    if raw is None:
+        return None
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return None  # HTTP-date form: ignore rather than guess
+
+
+def _error_message(payload: bytes) -> str:
+    try:
+        parsed = json.loads(payload.decode("utf-8"))
+        return str(parsed.get("error", parsed))
+    except (ValueError, UnicodeDecodeError, AttributeError):
+        return payload[:200].decode("utf-8", errors="replace")
+
+
+def _map_client_error(
+    status: int, method: str, path: str, payload: bytes
+) -> ServiceError:
+    message = f"{method} {path} -> HTTP {status}: {_error_message(payload)}"
+    if status == 404:
+        return DocumentNotFoundError(message)
+    return ServiceError(message)
+
+
+def _quote(doc_id: str) -> str:
+    return urllib.parse.quote(doc_id, safe="")

@@ -17,7 +17,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.atomicio import atomic_write_text
-from repro.errors import HandleError
+from repro.errors import DocumentNotFoundError, HandleError
 from repro.prov.document import ProvDocument
 from repro.yprov.service import ProvenanceService
 
@@ -90,11 +90,23 @@ class HandleSystem:
         return record
 
     def resolve(self, handle: str) -> ProvDocument:
-        """Resolve a handle to its provenance document."""
+        """Resolve a handle to its provenance document.
+
+        A handle whose document was deleted from the service is a *handle*
+        failure from the caller's point of view, so the underlying
+        :class:`~repro.errors.DocumentNotFoundError` is wrapped in a
+        :class:`~repro.errors.HandleError` naming the handle.
+        """
         record = self._records.get(handle)
         if record is None:
             raise HandleError(f"unknown handle: {handle!r}")
-        return self.service.get_document(record.doc_id)
+        try:
+            return self.service.get_document(record.doc_id)
+        except DocumentNotFoundError as exc:
+            raise HandleError(
+                f"handle {handle!r} points at document {record.doc_id!r}, "
+                f"which is no longer stored in the service"
+            ) from exc
 
     def lookup(self, handle: str) -> HandleRecord:
         record = self._records.get(handle)

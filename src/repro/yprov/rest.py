@@ -15,19 +15,41 @@ GET     /api/v0/documents/<id>/stats                     JSON stats
 GET     /api/v0/documents/<id>/subgraph?element=&
         direction=&max_depth=                            JSON list of qnames
 GET     /api/v0/elements?prov_type=&label=&doc_id=       JSON hit list
-GET     /api/v0/health                                   {"status": "ok"}
+GET     /api/v0/health                                   JSON health report
 ======  ===============================================  =================
 
 Run it with :func:`serve` (returns a live ``ThreadingHTTPServer`` bound to
 an ephemeral or given port) or embed :class:`ProvHandler` elsewhere.
-Errors map to HTTP codes: unknown document → 404, invalid input → 400.
+Errors map to HTTP codes: unknown document → 404, invalid input → 400,
+oversized body → 413.
+
+**Backpressure.**  A shared service on a large machine must shed load
+rather than queue unboundedly when thousands of ranks publish at once.
+:class:`ServerLimits` bounds the server on three axes:
+
+* *concurrency* — at most ``max_inflight`` requests execute at a time;
+  excess requests are answered immediately with ``429 Too Many Requests``
+  and a ``Retry-After`` header (clients honor it — see
+  :mod:`repro.yprov.client`);
+* *request size* — ``PUT`` bodies larger than ``max_body_bytes`` get
+  ``413 Payload Too Large`` without the body ever being read;
+* *time* — each request's socket gets a ``request_deadline_s`` timeout, so
+  a stalled peer cannot pin a handler thread forever (the connection is
+  dropped when the deadline fires).
+
+``GET /health`` is exempt from the concurrency gate and reports the real
+state — document count, in-flight requests, rejection counters and a
+``degraded`` flag — so monitoring keeps working exactly when the service
+is saturated.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import urllib.parse
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
@@ -37,8 +59,64 @@ from repro.yprov.service import ProvenanceService
 API_PREFIX = "/api/v0"
 
 
-def _make_handler(service: ProvenanceService):
-    """Build a request-handler class closed over *service*."""
+@dataclass(frozen=True)
+class ServerLimits:
+    """Overload-protection knobs for :class:`ProvenanceServer`."""
+
+    max_inflight: int = 16
+    max_body_bytes: int = 32 * 1024 * 1024
+    request_deadline_s: float = 30.0
+    retry_after_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ServiceError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.max_body_bytes < 1:
+            raise ServiceError(
+                f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
+            )
+
+
+class _ServerState:
+    """Shared saturation state: the in-flight gate and its counters."""
+
+    def __init__(self, limits: ServerLimits) -> None:
+        self.limits = limits
+        self.slots = threading.Semaphore(limits.max_inflight)
+        self.lock = threading.Lock()
+        self.in_flight = 0
+        self.rejected_total = 0
+        self.served_total = 0
+
+    def try_acquire(self) -> bool:
+        if not self.slots.acquire(blocking=False):
+            with self.lock:
+                self.rejected_total += 1
+            return False
+        with self.lock:
+            self.in_flight += 1
+        return True
+
+    def release(self) -> None:
+        with self.lock:
+            self.in_flight -= 1
+            self.served_total += 1
+        self.slots.release()
+
+    def snapshot(self) -> Dict[str, int]:
+        with self.lock:
+            return {
+                "in_flight": self.in_flight,
+                "rejected_total": self.rejected_total,
+                "served_total": self.served_total,
+            }
+
+
+def _make_handler(service: ProvenanceService, state: _ServerState):
+    """Build a request-handler class closed over *service* and *state*."""
+    limits = state.limits
 
     class ProvHandler(BaseHTTPRequestHandler):
         # silence per-request logging; tests and examples don't want it
@@ -46,16 +124,30 @@ def _make_handler(service: ProvenanceService):
             pass
 
         # -- helpers -------------------------------------------------------
-        def _send_json(self, payload: Any, status: int = 200) -> None:
+        def _send_json(self, payload: Any, status: int = 200,
+                       extra_headers: Optional[Dict[str, str]] = None) -> None:
             body = json.dumps(payload).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (extra_headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
-        def _send_error_json(self, status: int, message: str) -> None:
-            self._send_json({"error": message}, status=status)
+        def _send_error_json(self, status: int, message: str,
+                             extra_headers: Optional[Dict[str, str]] = None,
+                             ) -> None:
+            self._send_json({"error": message}, status=status,
+                            extra_headers=extra_headers)
+
+        def _send_429(self) -> None:
+            self._send_error_json(
+                429,
+                f"server saturated ({limits.max_inflight} requests in "
+                f"flight); retry later",
+                extra_headers={"Retry-After": f"{limits.retry_after_s:g}"},
+            )
 
         def _route(self) -> Tuple[str, Dict[str, str]]:
             parsed = urllib.parse.urlparse(self.path)
@@ -71,14 +163,53 @@ def _make_handler(service: ProvenanceService):
             rest = path[len(prefix):]
             return urllib.parse.unquote(rest.split("/", 1)[0]) or None
 
+        def _guarded(self, handler) -> None:
+            """Run one request body under the concurrency gate + deadline."""
+            if not state.try_acquire():
+                self._send_429()
+                return
+            try:
+                # per-request deadline: a stalled peer can't pin this thread
+                self.connection.settimeout(limits.request_deadline_s)
+                handler()
+            except socket.timeout:
+                # deadline fired mid-request: best-effort 503, then drop
+                self.close_connection = True
+                try:
+                    self._send_error_json(
+                        503, "request deadline exceeded",
+                        extra_headers={
+                            "Retry-After": f"{limits.retry_after_s:g}"
+                        },
+                    )
+                except OSError:
+                    pass
+            finally:
+                state.release()
+
+        def _health(self) -> None:
+            snap = state.snapshot()
+            degraded = snap["in_flight"] >= limits.max_inflight
+            self._send_json({
+                "status": "degraded" if degraded else "ok",
+                "documents": len(service),
+                "max_inflight": limits.max_inflight,
+                **snap,
+            })
+
         # -- verbs -----------------------------------------------------------
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
+            path, _ = self._route()
+            if path == f"{API_PREFIX}/health":
+                # never gated: monitoring must work while saturated
+                self._health()
+                return
+            self._guarded(self._do_get)
+
+        def _do_get(self) -> None:
             path, query = self._route()
             try:
-                if path == f"{API_PREFIX}/health":
-                    self._send_json({"status": "ok",
-                                     "documents": len(service)})
-                elif path == f"{API_PREFIX}/documents":
+                if path == f"{API_PREFIX}/documents":
                     self._send_json(service.list_documents())
                 elif path == f"{API_PREFIX}/elements":
                     hits = service.find_elements(
@@ -123,13 +254,43 @@ def _make_handler(service: ProvenanceService):
                 self._send_error_json(400, str(exc))
 
         def do_PUT(self) -> None:  # noqa: N802
+            self._guarded(self._do_put)
+
+        def _do_put(self) -> None:
             path, _ = self._route()
             doc_id = self._doc_id(path)
             if doc_id is None:
                 self._send_error_json(404, f"unknown path: {path}")
                 return
-            length = int(self.headers.get("Content-Length", 0))
-            body = self.rfile.read(length).decode("utf-8")
+            raw_length = self.headers.get("Content-Length", "0")
+            try:
+                length = int(raw_length)
+            except (TypeError, ValueError):
+                self.close_connection = True  # body length unknown: can't reuse
+                self._send_error_json(
+                    400, f"invalid Content-Length: {raw_length!r}"
+                )
+                return
+            if length < 0:
+                self.close_connection = True
+                self._send_error_json(
+                    400, f"invalid Content-Length: {raw_length!r}"
+                )
+                return
+            if length > limits.max_body_bytes:
+                # refuse before reading; the unread body forces a close
+                self.close_connection = True
+                self._send_error_json(
+                    413,
+                    f"request body of {length} bytes exceeds limit of "
+                    f"{limits.max_body_bytes}",
+                )
+                return
+            try:
+                body = self.rfile.read(length).decode("utf-8")
+            except UnicodeDecodeError as exc:
+                self._send_error_json(400, f"request body is not UTF-8: {exc}")
+                return
             try:
                 service.put_document(doc_id, body)
             except ReproError as exc:
@@ -138,6 +299,9 @@ def _make_handler(service: ProvenanceService):
             self._send_json({"stored": doc_id}, status=201)
 
         def do_DELETE(self) -> None:  # noqa: N802
+            self._guarded(self._do_delete)
+
+        def _do_delete(self) -> None:
             path, _ = self._route()
             doc_id = self._doc_id(path)
             if doc_id is None:
@@ -156,13 +320,24 @@ def _make_handler(service: ProvenanceService):
 
 
 class ProvenanceServer:
-    """A running HTTP front-end; use as a context manager in tests."""
+    """A running HTTP front-end; use as a context manager in tests.
+
+    ``stop()`` is idempotent and safe on a server that was never started
+    (``with ProvenanceServer(...) as srv`` always tears down cleanly even
+    if the body raises before ``start()`` finished).
+    """
 
     def __init__(self, service: ProvenanceService, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0,
+                 limits: Optional[ServerLimits] = None) -> None:
         self.service = service
-        self._httpd = ThreadingHTTPServer((host, port), _make_handler(service))
+        self.limits = limits or ServerLimits()
+        self._state = _ServerState(self.limits)
+        self._httpd = ThreadingHTTPServer(
+            (host, port), _make_handler(service, self._state)
+        )
         self._thread: Optional[threading.Thread] = None
+        self._closed = False
 
     @property
     def port(self) -> int:
@@ -173,17 +348,36 @@ class ProvenanceServer:
         host, port = self._httpd.server_address[:2]
         return f"http://{host}:{port}{API_PREFIX}"
 
+    @property
+    def in_flight(self) -> int:
+        return self._state.snapshot()["in_flight"]
+
+    @property
+    def rejected_total(self) -> int:
+        return self._state.snapshot()["rejected_total"]
+
     def start(self) -> "ProvenanceServer":
-        self._thread = threading.Thread(target=self._httpd.serve_forever,
-                                        name="yprov-rest", daemon=True)
-        self._thread.start()
+        """Start serving on a background thread (no-op if already running)."""
+        if self._closed:
+            raise ServiceError("server already stopped; create a new one")
+        if self._thread is None:
+            self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                            name="yprov-rest", daemon=True)
+            self._thread.start()
         return self
 
     def stop(self) -> None:
-        self._httpd.shutdown()
-        self._httpd.server_close()
+        """Shut down and release the port; idempotent, safe if never started."""
+        if self._closed:
+            return
+        self._closed = True
         if self._thread is not None:
+            # shutdown() blocks on serve_forever's loop, so only call it
+            # when the loop was actually started
+            self._httpd.shutdown()
             self._thread.join(timeout=5)
+            self._thread = None
+        self._httpd.server_close()
 
     def __enter__(self) -> "ProvenanceServer":
         return self.start()
@@ -193,7 +387,9 @@ class ProvenanceServer:
 
 
 def serve(service: ProvenanceService, host: str = "127.0.0.1",
-          port: int = 0) -> ProvenanceServer:
+          port: int = 0, limits: Optional[ServerLimits] = None,
+          ) -> ProvenanceServer:
     """Start the REST front-end on *port* (0 = ephemeral); returns the
     running server (caller stops it)."""
-    return ProvenanceServer(service, host=host, port=port).start()
+    return ProvenanceServer(service, host=host, port=port,
+                            limits=limits).start()

@@ -66,13 +66,22 @@ class ProvenanceService:
     # document CRUD (REST verb surface)
     # ------------------------------------------------------------------
     def put_document(self, doc_id: str, document: Union[ProvDocument, str]) -> str:
-        """Store (or replace) a document under *doc_id*; returns the id."""
+        """Store (or replace) a document under *doc_id*; returns the id.
+
+        Idempotent on identical content: re-``PUT``-ing the bytes already
+        stored under *doc_id* is acknowledged without re-ingesting or
+        rewriting.  This is what makes the client's at-least-once delivery
+        (retry + spool replay, :mod:`repro.yprov.spool`) effectively
+        exactly-once — a duplicate ack is free and leaves one copy.
+        """
         if not _DOC_ID_RE.match(doc_id):
             raise ServiceError(f"invalid document id: {doc_id!r}")
         text = document if isinstance(document, str) else to_provjson(document)
         # parse up-front so corrupt documents are rejected atomically
         ProvDocument.from_json(text)
         with self._lock:
+            if self._texts.get(doc_id) == text:
+                return doc_id  # dedup: identical re-delivery is an ack
             if doc_id in self._texts:
                 self.delete_document(doc_id)
             self._ingest(doc_id, text)

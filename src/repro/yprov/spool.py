@@ -1,0 +1,250 @@
+"""Durable store-and-forward queue for provenance documents.
+
+When the provenance service is unreachable — network partition, service
+restart, circuit breaker open — documents handed to
+:meth:`~repro.yprov.client.ProvenanceClient.publish` must not be dropped
+and must not stall the training job.  The :class:`Spool` journals them to
+a local directory instead: one crc-checked JSON file per document, written
+atomically (:mod:`repro.atomicio`), named by a monotonically increasing
+sequence number so the queue is FIFO across process restarts.
+
+On recovery, :meth:`Spool.drain` replays the queue oldest-first against a
+healthy service.  Replay is idempotent: the server deduplicates on
+document id (an identical re-``PUT`` is an ack, not a second copy), and an
+acknowledged entry is deleted before the next one is attempted, so a crash
+mid-drain re-sends at most the one in-flight document.  Together this
+gives at-least-once delivery that is effectively exactly-once.
+
+The spool is bounded.  ``eviction="reject"`` (default) refuses new
+documents once full — the caller finds out immediately; ``"drop-oldest"``
+makes room by discarding the oldest entry — appropriate when the newest
+provenance matters most.  Entries that fail their crc on read (torn by a
+crash or corrupted on disk) are quarantined to ``<root>/corrupt/``, never
+silently replayed.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.atomicio import atomic_write_json
+from repro.errors import SpoolError, TransportError
+
+_ENTRY_SUFFIX = ".spool.json"
+_EVICTION_POLICIES = ("reject", "drop-oldest")
+
+
+@dataclass(frozen=True)
+class SpoolEntry:
+    """One queued document (metadata only; the text lives in the file)."""
+
+    seq: int
+    doc_id: str
+    path: Path
+
+
+@dataclass
+class DrainReport:
+    """Outcome of one :meth:`Spool.drain` pass."""
+
+    delivered: List[str]
+    rejected: List[str]
+    remaining: int
+
+    @property
+    def complete(self) -> bool:
+        return self.remaining == 0
+
+    def summary(self) -> str:
+        return (
+            f"delivered={len(self.delivered)} rejected={len(self.rejected)} "
+            f"remaining={self.remaining}"
+        )
+
+
+class Spool:
+    """Bounded, durable FIFO queue of (doc_id, PROV-JSON text) pairs."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_entries: int = 1024,
+        eviction: str = "reject",
+        fsync: bool = True,
+    ) -> None:
+        if max_entries < 1:
+            raise SpoolError(f"max_entries must be >= 1, got {max_entries}")
+        if eviction not in _EVICTION_POLICIES:
+            raise SpoolError(
+                f"unknown eviction policy {eviction!r}; "
+                f"choose from {_EVICTION_POLICIES}"
+            )
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_entries = int(max_entries)
+        self.eviction = eviction
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self.evicted_total = 0
+        self.corrupt_total = 0
+
+    # ------------------------------------------------------------------
+    # enqueue / inspect
+    # ------------------------------------------------------------------
+    def enqueue(self, doc_id: str, text: str) -> SpoolEntry:
+        """Durably append one document; returns its queue entry.
+
+        Raises :class:`~repro.errors.SpoolError` when the spool is full
+        and the policy is ``"reject"``.
+        """
+        if not doc_id:
+            raise SpoolError("doc_id must be non-empty")
+        with self._lock:
+            entries = self._scan()
+            if len(entries) >= self.max_entries:
+                if self.eviction == "reject":
+                    raise SpoolError(
+                        f"spool full ({len(entries)}/{self.max_entries} "
+                        f"entries) at {self.root}"
+                    )
+                # drop-oldest: make room for the newcomer
+                oldest = entries[0]
+                oldest.path.unlink(missing_ok=True)
+                self.evicted_total += 1
+                entries = entries[1:]
+            seq = entries[-1].seq + 1 if entries else 0
+            path = self.root / f"{seq:012d}{_ENTRY_SUFFIX}"
+            payload = {
+                "seq": seq,
+                "doc_id": doc_id,
+                "text": text,
+                "crc32": zlib.crc32(text.encode("utf-8")),
+            }
+            atomic_write_json(path, payload, fsync=self.fsync)
+            return SpoolEntry(seq=seq, doc_id=doc_id, path=path)
+
+    def entries(self) -> List[SpoolEntry]:
+        """Queued entries oldest-first (corrupt files are quarantined)."""
+        with self._lock:
+            return self._scan()
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def doc_ids(self) -> List[str]:
+        """Document ids currently queued, oldest-first (may repeat)."""
+        return [e.doc_id for e in self.entries()]
+
+    def load(self, entry: SpoolEntry) -> str:
+        """The PROV-JSON text of *entry*, crc-verified."""
+        payload = self._read_payload(entry.path)
+        if payload is None:
+            raise SpoolError(f"spool entry corrupt: {entry.path}")
+        return payload["text"]
+
+    def purge(self) -> int:
+        """Delete every queued entry; returns how many were removed."""
+        with self._lock:
+            entries = self._scan()
+            for entry in entries:
+                entry.path.unlink(missing_ok=True)
+            return len(entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Queue depth, capacity, and lifetime eviction/corruption counts."""
+        return {
+            "queued": len(self),
+            "max_entries": self.max_entries,
+            "evicted_total": self.evicted_total,
+            "corrupt_total": self.corrupt_total,
+        }
+
+    # ------------------------------------------------------------------
+    # drain
+    # ------------------------------------------------------------------
+    def drain(self, client, stop_on_transport_error: bool = True) -> DrainReport:
+        """Replay queued documents oldest-first through *client*.
+
+        *client* needs a ``put_document(doc_id, text)`` method (a
+        :class:`~repro.yprov.client.ProvenanceClient` or a bare
+        :class:`~repro.yprov.service.ProvenanceService`).  Each entry is
+        deleted only after the service acknowledges it, so a crash between
+        ack and delete re-sends one document — harmless, because the
+        server dedups on doc id.  A transport failure stops the pass (the
+        service is still unhealthy); the remaining entries stay queued.
+        A non-transport rejection (e.g. the service rules the document
+        invalid) quarantines that entry to ``<root>/rejected/`` and the
+        pass continues — one poison document must not wedge the queue.
+        """
+        delivered: List[str] = []
+        rejected: List[str] = []
+        for entry in self.entries():
+            payload = self._read_payload(entry.path)
+            if payload is None:
+                continue  # already quarantined by _read_payload
+            try:
+                client.put_document(entry.doc_id, payload["text"])
+            except TransportError:
+                if stop_on_transport_error:
+                    break
+                continue
+            except Exception:
+                self._quarantine(entry.path, "rejected")
+                rejected.append(entry.doc_id)
+                continue
+            entry.path.unlink(missing_ok=True)
+            delivered.append(entry.doc_id)
+        return DrainReport(
+            delivered=delivered, rejected=rejected, remaining=len(self)
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _scan(self) -> List[SpoolEntry]:
+        out: List[SpoolEntry] = []
+        for path in sorted(self.root.glob(f"*{_ENTRY_SUFFIX}")):
+            payload = self._read_payload(path)
+            if payload is None:
+                continue
+            out.append(
+                SpoolEntry(seq=payload["seq"], doc_id=payload["doc_id"],
+                           path=path)
+            )
+        return out
+
+    def _read_payload(self, path: Path) -> Optional[dict]:
+        """Parse + crc-check one entry file; quarantine and skip on damage."""
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            text = payload["text"]
+            doc_id = payload["doc_id"]
+            seq = payload["seq"]
+            crc = payload["crc32"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self._quarantine(path, "corrupt")
+            return None
+        if (
+            not isinstance(doc_id, str)
+            or not isinstance(text, str)
+            or not isinstance(seq, int)
+            or zlib.crc32(text.encode("utf-8")) != crc
+        ):
+            self._quarantine(path, "corrupt")
+            return None
+        return payload
+
+    def _quarantine(self, path: Path, bucket: str) -> None:
+        dest_dir = self.root / bucket
+        try:
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            path.rename(dest_dir / path.name)
+        except OSError:
+            path.unlink(missing_ok=True)
+        if bucket == "corrupt":
+            self.corrupt_total += 1

@@ -1,0 +1,198 @@
+"""Chaos suite: the transport never loses an acknowledged-or-spooled doc.
+
+A :class:`~repro.yprov.chaosproxy.ChaosProxy` sits between the resilient
+client and a real :class:`~repro.yprov.rest.ProvenanceServer` and injects
+a seeded schedule of network faults — latency, TCP resets, injected 503s,
+torn responses, full blackholes.  The invariant under *every* schedule:
+
+1. every document handed to ``ProvenanceClient.publish()`` reports
+   ``safe`` — acknowledged by the service or parked in the spool;
+2. a subsequent ``drain()`` against the healthy service (no proxy) leaves
+   the service holding exactly the expected document set — zero losses,
+   zero duplicates — with bytes identical to what was published.
+
+The seed matrix is extended by the ``CHAOS_SEED`` environment variable so
+CI can fan out extra seeds without editing the test.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.yprov.chaosproxy import ChaosConfig, ChaosProxy, blackhole_config
+from repro.yprov.client import CircuitBreaker, ProvenanceClient
+from repro.yprov.rest import ProvenanceServer, ServerLimits
+from repro.yprov.service import ProvenanceService
+from repro.yprov.spool import Spool
+from repro.retry import ExponentialBackoff
+
+N_DOCS = 8
+
+_SEEDS = [0, 1]
+if os.environ.get("CHAOS_SEED"):
+    _SEEDS.append(int(os.environ["CHAOS_SEED"]))
+
+# every fault mode is live at once; rates leave ~25% clean connections
+_MIXED = ChaosConfig(
+    latency_rate=0.15,
+    reset_rate=0.15,
+    http_503_rate=0.15,
+    truncate_rate=0.15,
+    blackhole_rate=0.15,
+    latency_s=0.05,
+    blackhole_s=30.0,  # far beyond the client timeout: timeout must fire
+    retry_after_s=0.01,
+)
+
+
+def _doc_text(i: int) -> str:
+    return json.dumps({
+        "prefix": {"ex": "http://example.org/"},
+        "entity": {f"ex:artifact{i}": {"prov:label": f"artifact {i}"}},
+    })
+
+
+def _publish_all(client):
+    """Publish N_DOCS documents; every result must be acked or spooled."""
+    expected = {}
+    for i in range(N_DOCS):
+        doc_id = f"doc{i}"
+        text = _doc_text(i)
+        expected[doc_id] = text
+        result = client.publish(doc_id, text)
+        assert result.safe, f"{doc_id} neither acked nor spooled"
+    return expected
+
+
+def _assert_exact_delivery(service, server, spool, expected):
+    """Drain through the healthy path; the service must hold exactly
+    *expected*, byte-identical, and the spool must be empty."""
+    healthy = ProvenanceClient(server.url, timeout_s=5.0, retries=3,
+                               spool=spool)
+    report = healthy.drain_spool()
+    assert report.complete, f"drain left documents behind: {report.summary()}"
+    assert report.rejected == []
+    assert sorted(service.list_documents()) == sorted(expected)
+    for doc_id, text in expected.items():
+        assert service.get_document_text(doc_id) == text
+    assert len(spool) == 0
+
+
+@pytest.fixture()
+def stack(tmp_path):
+    """A live service + REST server; yields (service, server, spool)."""
+    service = ProvenanceService()
+    limits = ServerLimits(max_inflight=8, request_deadline_s=5.0)
+    with ProvenanceServer(service, limits=limits) as server:
+        yield service, server, Spool(tmp_path / "spool")
+
+
+@pytest.mark.parametrize("seed", _SEEDS)
+def test_mixed_fault_schedule_loses_nothing(stack, seed):
+    service, server, spool = stack
+    with ChaosProxy("127.0.0.1", server.port, _MIXED, seed=seed) as proxy:
+        client = ProvenanceClient(
+            proxy.url,
+            timeout_s=0.5,
+            retries=2,
+            backoff=ExponentialBackoff(base_s=0.01, max_s=0.1, jitter=0.5,
+                                       seed=seed),
+            breaker=CircuitBreaker(failure_threshold=4, reset_timeout_s=0.2),
+            spool=spool,
+        )
+        expected = _publish_all(client)
+        assert proxy.connections > 0
+    _assert_exact_delivery(service, server, spool, expected)
+
+
+def test_full_blackhole_spools_everything(stack):
+    """Total outage: nothing is acked, everything is parked, nothing lost."""
+    service, server, spool = stack
+    with ChaosProxy("127.0.0.1", server.port, blackhole_config(30.0),
+                    seed=0) as proxy:
+        client = ProvenanceClient(
+            proxy.url,
+            timeout_s=0.3,
+            retries=0,
+            breaker=CircuitBreaker(failure_threshold=2, reset_timeout_s=60),
+            spool=spool,
+        )
+        expected = _publish_all(client)
+        assert proxy.fault_counts["blackhole"] >= 1
+    assert len(service) == 0          # the outage was total
+    assert len(spool) == N_DOCS       # ... and the spool has every document
+    _assert_exact_delivery(service, server, spool, expected)
+
+
+def test_reset_storm_then_recovery(stack):
+    """Every connection reset mid-flight, then the network heals."""
+    service, server, spool = stack
+    cfg = ChaosConfig(reset_rate=1.0)
+    with ChaosProxy("127.0.0.1", server.port, cfg, seed=0) as proxy:
+        client = ProvenanceClient(
+            proxy.url, timeout_s=0.5, retries=1,
+            breaker=CircuitBreaker(failure_threshold=3, reset_timeout_s=60),
+            spool=spool,
+        )
+        expected = _publish_all(client)
+    _assert_exact_delivery(service, server, spool, expected)
+
+
+def test_torn_responses_do_not_duplicate(stack):
+    """Truncated responses mean the PUT may have landed: the retry/drain
+    path must still leave exactly one copy (server dedup on doc id)."""
+    service, server, spool = stack
+    cfg = ChaosConfig(truncate_rate=1.0)
+    with ChaosProxy("127.0.0.1", server.port, cfg, seed=5) as proxy:
+        client = ProvenanceClient(
+            proxy.url, timeout_s=1.0, retries=2,
+            backoff=ExponentialBackoff(base_s=0.01, max_s=0.05, seed=5),
+            breaker=CircuitBreaker(failure_threshold=100),
+            spool=spool,
+        )
+        expected = _publish_all(client)
+        assert proxy.fault_counts["truncate"] > 0
+    _assert_exact_delivery(service, server, spool, expected)
+
+
+def test_latency_only_schedule_acks_inline(stack):
+    """Pure latency below the timeout: everything is acked, spool unused."""
+    service, server, spool = stack
+    cfg = ChaosConfig(latency_rate=1.0, latency_s=0.05)
+    with ChaosProxy("127.0.0.1", server.port, cfg, seed=0) as proxy:
+        client = ProvenanceClient(
+            proxy.url, timeout_s=5.0, retries=1, spool=spool,
+        )
+        for i in range(4):
+            result = client.publish(f"doc{i}", _doc_text(i))
+            assert result.acked and not result.spooled
+        assert proxy.fault_counts["latency"] == 4
+    assert len(spool) == 0
+    assert len(service) == 4
+
+
+def test_end_of_run_publish_survives_outage(stack, tmp_path):
+    """The Experiment/Session wiring: a training run's prov.json reaches
+    the service even when the service is down at end_run time."""
+    import repro as prov4ml
+
+    service, server, spool = stack
+    down_client = ProvenanceClient(
+        "http://127.0.0.1:1/api/v0", timeout_s=0.2, retries=0, spool=spool,
+    )
+    run = prov4ml.start_run(
+        experiment_name="chaos_run",
+        provenance_save_dir=tmp_path / "prov",
+        run_id="chaos_run_0",
+    )
+    prov4ml.log_param("lr", 0.1)
+    prov4ml.log_metric("loss", 0.5)
+    prov4ml.end_run(publish_to=down_client)
+    assert run.last_publish.spooled and not run.last_publish.acked
+
+    healthy = ProvenanceClient(server.url, timeout_s=5, retries=2, spool=spool)
+    report = healthy.drain_spool()
+    assert report.complete and report.delivered == ["chaos_run_0"]
+    stored = service.get_document("chaos_run_0")
+    assert stored.get_element("ex:run/chaos_run_0") is not None

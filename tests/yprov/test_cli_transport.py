@@ -1,0 +1,91 @@
+"""Tests for the transport CLI commands: publish and the spool family."""
+
+import pytest
+
+from repro.yprov.cli import main
+from repro.yprov.rest import ProvenanceServer
+from repro.yprov.service import ProvenanceService
+from repro.yprov.spool import Spool
+
+
+@pytest.fixture()
+def prov_file(finished_run):
+    return str(finished_run.save()["prov"])
+
+
+@pytest.fixture()
+def live():
+    service = ProvenanceService()
+    with ProvenanceServer(service) as srv:
+        yield srv, service
+
+
+DOWN_URL = "http://127.0.0.1:9/api/v0"
+
+
+def _transport_args(url, spool_dir):
+    return ["--url", url, "--spool-dir", str(spool_dir),
+            "--timeout", "0.5", "--retries", "0"]
+
+
+class TestPublishCommand:
+    def test_publish_to_live_service(self, prov_file, live, tmp_path, capsys):
+        srv, service = live
+        rc = main(["publish", "run1", prov_file,
+                   *_transport_args(srv.url, tmp_path / "spool")])
+        assert rc == 0
+        assert "published run1" in capsys.readouterr().out
+        assert "run1" in service
+
+    def test_publish_to_dead_service_spools_exit_3(self, prov_file, tmp_path,
+                                                   capsys):
+        rc = main(["publish", "run1", prov_file,
+                   *_transport_args(DOWN_URL, tmp_path / "spool")])
+        assert rc == 3
+        assert "spooled run1" in capsys.readouterr().out
+        assert Spool(tmp_path / "spool").doc_ids() == ["run1"]
+
+
+class TestSpoolCommands:
+    def test_list_and_stats(self, prov_file, tmp_path, capsys):
+        main(["publish", "a", prov_file,
+              *_transport_args(DOWN_URL, tmp_path / "spool")])
+        main(["publish", "b", prov_file,
+              *_transport_args(DOWN_URL, tmp_path / "spool")])
+        rc = main(["spool", "list", "--spool-dir", str(tmp_path / "spool")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.splitlines()[-2:] == ["0\ta", "1\tb"]
+        rc = main(["spool", "stats", "--spool-dir", str(tmp_path / "spool")])
+        assert rc == 0
+        assert "queued: 2" in capsys.readouterr().out
+
+    def test_drain_delivers_then_empty(self, prov_file, live, tmp_path,
+                                       capsys):
+        srv, service = live
+        main(["publish", "parked", prov_file,
+              *_transport_args(DOWN_URL, tmp_path / "spool")])
+        rc = main(["spool", "drain",
+                   *_transport_args(srv.url, tmp_path / "spool")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "delivered parked" in out
+        assert "parked" in service
+        assert len(Spool(tmp_path / "spool")) == 0
+
+    def test_drain_against_dead_service_exit_3(self, prov_file, tmp_path,
+                                               capsys):
+        main(["publish", "stuck", prov_file,
+              *_transport_args(DOWN_URL, tmp_path / "spool")])
+        rc = main(["spool", "drain",
+                   *_transport_args(DOWN_URL, tmp_path / "spool")])
+        assert rc == 3
+        assert "remaining=1" in capsys.readouterr().out
+
+    def test_purge(self, prov_file, tmp_path, capsys):
+        main(["publish", "x", prov_file,
+              *_transport_args(DOWN_URL, tmp_path / "spool")])
+        rc = main(["spool", "purge", "--spool-dir", str(tmp_path / "spool")])
+        assert rc == 0
+        assert "purged 1" in capsys.readouterr().out
+        assert len(Spool(tmp_path / "spool")) == 0

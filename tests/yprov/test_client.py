@@ -1,0 +1,275 @@
+"""Tests for the resilient provenance client (breaker, retries, spool)."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.errors import (
+    CircuitOpenError,
+    DocumentNotFoundError,
+    ServiceError,
+    SpoolError,
+    TransportError,
+)
+from repro.prov.provjson import to_provjson
+from repro.retry import ExponentialBackoff
+from repro.yprov.client import CircuitBreaker, ProvenanceClient
+from repro.yprov.rest import ProvenanceServer
+from repro.yprov.service import ProvenanceService
+from repro.yprov.spool import Spool
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class StubTransport:
+    """Scripted transport: a list of responses or exceptions to raise."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.calls = []
+
+    def __call__(self, method, url, body, timeout_s):
+        self.calls.append((method, url, body))
+        step = self.script.pop(0) if self.script else (200, {}, b"{}")
+        if isinstance(step, Exception):
+            raise step
+        return step
+
+
+def _client(script, **kwargs):
+    transport = StubTransport(script)
+    kwargs.setdefault("retries", 3)
+    kwargs.setdefault("backoff", ExponentialBackoff(base_s=0.0, jitter=0.0))
+    kwargs.setdefault("sleep", lambda s: None)
+    kwargs.setdefault("breaker", CircuitBreaker(failure_threshold=100))
+    client = ProvenanceClient("http://stub/api/v0", transport=transport, **kwargs)
+    return client, transport
+
+
+class TestCircuitBreaker:
+    def test_closed_until_threshold_then_open(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=10,
+                                 clock=clock)
+        assert breaker.state == "closed"
+        for _ in range(2):
+            breaker.before_call()
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError) as exc:
+            breaker.before_call()
+        assert exc.value.retry_in_s == pytest.approx(10.0)
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=5,
+                                 clock=clock)
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(5.0)
+        assert breaker.state == "half_open"
+        breaker.before_call()  # the admitted probe
+        breaker.record_success()
+        assert breaker.state == "closed"
+        breaker.before_call()  # flows freely again
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=5,
+                                 clock=clock)
+        breaker.before_call()
+        breaker.record_failure()
+        clock.advance(5.0)
+        breaker.before_call()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+        clock.advance(4.9)
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()
+        clock.advance(0.1)
+        breaker.before_call()  # next probe admitted
+
+    def test_half_open_admits_single_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=1,
+                                 clock=clock)
+        breaker.before_call()
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.before_call()
+        with pytest.raises(CircuitOpenError):
+            breaker.before_call()  # a second concurrent probe is refused
+
+    def test_success_resets_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+
+class TestRetries:
+    def test_retries_5xx_then_succeeds(self):
+        client, transport = _client([
+            (503, {}, b'{"error": "busy"}'),
+            (500, {}, b"oops"),
+            (200, {}, b'["d1"]'),
+        ])
+        assert client.list_documents() == ["d1"]
+        assert len(transport.calls) == 3
+
+    def test_retries_network_errors(self):
+        client, transport = _client([
+            ConnectionRefusedError("refused"),
+            http.client.IncompleteRead(b"torn"),
+            (200, {}, b"[]"),
+        ])
+        assert client.list_documents() == []
+        assert len(transport.calls) == 3
+
+    def test_exhausted_retries_raise_transport_error(self):
+        client, _ = _client([ConnectionRefusedError("down")] * 10, retries=2)
+        with pytest.raises(TransportError):
+            client.list_documents()
+
+    def test_honors_retry_after_as_lower_bound(self):
+        sleeps = []
+        client, _ = _client(
+            [
+                (429, {"retry-after": "1.5"}, b'{"error": "slow down"}'),
+                (200, {}, b"[]"),
+            ],
+            sleep=sleeps.append,
+            backoff=ExponentialBackoff(base_s=0.01, jitter=0.0),
+        )
+        assert client.list_documents() == []
+        assert sleeps == [1.5]
+
+    def test_404_maps_and_does_not_retry(self):
+        client, transport = _client([(404, {}, b'{"error": "no such doc"}')])
+        with pytest.raises(DocumentNotFoundError):
+            client.get_document_text("ghost")
+        assert len(transport.calls) == 1
+
+    def test_400_maps_and_does_not_retry(self):
+        client, transport = _client([(400, {}, b'{"error": "bad"}')])
+        with pytest.raises(ServiceError):
+            client.put_document("x", "{}")
+        assert len(transport.calls) == 1
+
+    def test_breaker_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=60,
+                                 clock=FakeClock())
+        client, transport = _client(
+            [ConnectionRefusedError("down")] * 10,
+            retries=5, breaker=breaker,
+        )
+        with pytest.raises(CircuitOpenError):
+            client.list_documents()
+        # the breaker interrupted the retry loop at the threshold
+        assert len(transport.calls) == 3
+
+
+class TestPublish:
+    DOC = '{"prefix": {"ex": "http://example.org/"}, "entity": {"ex:e": {}}}'
+
+    def test_publish_acked_on_healthy_service(self):
+        client, _ = _client([(201, {}, b'{"stored": "d"}')])
+        result = client.publish("d", self.DOC)
+        assert result.acked and not result.spooled and result.safe
+
+    def test_publish_spools_on_transport_failure(self, tmp_path):
+        spool = Spool(tmp_path / "spool")
+        client, _ = _client([ConnectionRefusedError("down")] * 10,
+                            retries=1, spool=spool)
+        result = client.publish("d", self.DOC)
+        assert result.spooled and not result.acked and result.safe
+        assert spool.doc_ids() == ["d"]
+
+    def test_publish_spools_on_open_breaker(self, tmp_path):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=60,
+                                 clock=clock)
+        spool = Spool(tmp_path / "spool")
+        client, transport = _client([ConnectionRefusedError("down")] * 10,
+                                    retries=0, breaker=breaker, spool=spool)
+        client.publish("a", self.DOC)
+        client.publish("b", self.DOC)  # breaker now open: no network call
+        assert len(transport.calls) == 1
+        assert spool.doc_ids() == ["a", "b"]
+
+    def test_publish_without_spool_raises(self):
+        client, _ = _client([ConnectionRefusedError("down")] * 10, retries=0)
+        with pytest.raises(TransportError):
+            client.publish("d", self.DOC)
+
+    def test_publish_full_spool_raises(self, tmp_path):
+        spool = Spool(tmp_path / "spool", max_entries=1)
+        client, _ = _client([ConnectionRefusedError("down")] * 10,
+                            retries=0, spool=spool)
+        client.publish("a", self.DOC)
+        with pytest.raises(SpoolError):
+            client.publish("b", self.DOC)
+
+    def test_invalid_document_rejection_propagates(self, tmp_path):
+        """A 400 is not a transport failure: spooling it would never help."""
+        spool = Spool(tmp_path / "spool")
+        client, _ = _client([(400, {}, b'{"error": "invalid"}')], spool=spool)
+        with pytest.raises(ServiceError):
+            client.publish("d", "not json")
+        assert len(spool) == 0
+
+
+class TestAgainstLiveServer:
+    """Full-surface round trip over real HTTP."""
+
+    @pytest.fixture()
+    def live(self, sample_document):
+        service = ProvenanceService()
+        service.put_document("seeded", sample_document)
+        with ProvenanceServer(service) as srv:
+            yield ProvenanceClient(srv.url, timeout_s=5, retries=1), service
+
+    def test_full_surface(self, live, sample_document):
+        client, service = live
+        assert client.health()["status"] == "ok"
+        assert client.list_documents() == ["seeded"]
+        text = to_provjson(sample_document)
+        assert client.get_document_text("seeded") == text
+        assert client.get_document("seeded").get_element("ex:model") is not None
+        stats = client.stats("seeded")
+        assert stats["nodes"] == 4 and stats["edges"] == 5
+        reachable = client.get_subgraph("seeded", "ex:model", direction="out")
+        assert set(reachable) == {"ex:train", "ex:dataset", "ex:alice"}
+        hits = client.find_elements(label="alice")
+        assert len(hits) == 1 and hits[0]["kind"] == "agent"
+        client.put_document("copy", text)
+        assert "copy" in service
+        client.delete_document("copy")
+        assert "copy" not in service
+        with pytest.raises(DocumentNotFoundError):
+            client.get_document_text("ghost")
+
+    def test_put_dedup_is_idempotent(self, live, sample_document):
+        client, service = live
+        text = to_provjson(sample_document)
+        before = service.db.node_count
+        client.put_document("seeded", text)  # identical bytes: pure ack
+        assert service.db.node_count == before
+        assert json.loads(client.get_document_text("seeded")) == json.loads(text)

@@ -39,6 +39,13 @@ class TestMinting:
         with pytest.raises(HandleError):
             handles.mint("d1", suffix="abc")
 
+    def test_resolve_deleted_document_raises_handle_error(self, handles, service):
+        """A dangling handle must not leak DocumentNotFoundError."""
+        record = handles.mint("d1", suffix="dangling")
+        service.delete_document("d1")
+        with pytest.raises(HandleError, match="hdl:20.500.repro/dangling"):
+            handles.resolve(record.handle)
+
     def test_invalid_suffix_rejected(self, handles):
         with pytest.raises(HandleError):
             handles.mint("d1", suffix="bad suffix")

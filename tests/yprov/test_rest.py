@@ -35,7 +35,10 @@ class TestDocuments:
     def test_health(self, server):
         status, body = _get(f"{server.url}/health")
         assert status == 200
-        assert body == {"status": "ok", "documents": 1}
+        assert body["status"] == "ok"
+        assert body["documents"] == 1
+        assert body["in_flight"] == 0
+        assert body["rejected_total"] == 0
 
     def test_list(self, server):
         status, body = _get(f"{server.url}/documents")

@@ -1,0 +1,199 @@
+"""Tests for REST front-end hardening: error mapping and backpressure."""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.prov.provjson import to_provjson
+from repro.yprov.rest import ProvenanceServer, ServerLimits
+from repro.yprov.service import ProvenanceService
+
+
+def _raw_request(port, method, path, body=b"", headers=None):
+    """One HTTP exchange with full control over the headers."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=5)
+    try:
+        conn.putrequest(method, path)
+        for name, value in (headers or {}).items():
+            conn.putheader(name, value)
+        if "Content-Length" not in (headers or {}):
+            conn.putheader("Content-Length", str(len(body)))
+        conn.endheaders()
+        if body:
+            conn.send(body)
+        resp = conn.getresponse()
+        return resp.status, dict(resp.getheaders()), resp.read()
+    finally:
+        conn.close()
+
+
+@pytest.fixture()
+def server(sample_document):
+    service = ProvenanceService()
+    service.put_document("seeded", sample_document)
+    with ProvenanceServer(service) as srv:
+        yield srv
+
+
+class TestPutHardening:
+    def test_malformed_content_length_is_400(self, server):
+        status, _, body = _raw_request(
+            server.port, "PUT", "/api/v0/documents/x",
+            headers={"Content-Length": "banana"},
+        )
+        assert status == 400
+        assert "Content-Length" in json.loads(body)["error"]
+
+    def test_negative_content_length_is_400(self, server):
+        status, _, body = _raw_request(
+            server.port, "PUT", "/api/v0/documents/x",
+            headers={"Content-Length": "-5"},
+        )
+        assert status == 400
+
+    def test_non_utf8_body_is_400(self, server):
+        status, _, body = _raw_request(
+            server.port, "PUT", "/api/v0/documents/x", body=b"\xff\xfe\x00\x01"
+        )
+        assert status == 400
+        assert "UTF-8" in json.loads(body)["error"]
+
+    def test_oversized_body_is_413(self, sample_document):
+        service = ProvenanceService()
+        limits = ServerLimits(max_body_bytes=64)
+        with ProvenanceServer(service, limits=limits) as srv:
+            payload = to_provjson(sample_document).encode()
+            assert len(payload) > 64
+            status, _, body = _raw_request(
+                srv.port, "PUT", "/api/v0/documents/big", body=payload
+            )
+            assert status == 413
+            assert "exceeds" in json.loads(body)["error"]
+            assert len(service) == 0
+
+    def test_valid_put_still_works(self, server, sample_document):
+        payload = to_provjson(sample_document).encode()
+        status, _, body = _raw_request(
+            server.port, "PUT", "/api/v0/documents/ok", body=payload
+        )
+        assert status == 201
+        assert json.loads(body) == {"stored": "ok"}
+
+
+class _GatedService(ProvenanceService):
+    """list_documents blocks until released — simulates a slow query."""
+
+    def __init__(self):
+        super().__init__()
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+
+    def list_documents(self):
+        self.entered.set()
+        self.gate.wait(timeout=10)
+        return super().list_documents()
+
+
+class TestBackpressure:
+    def test_saturated_server_sheds_with_429_retry_after(self):
+        service = _GatedService()
+        limits = ServerLimits(max_inflight=1, retry_after_s=0.25)
+        with ProvenanceServer(service, limits=limits) as srv:
+            slow = threading.Thread(
+                target=_raw_request, args=(srv.port, "GET", "/api/v0/documents")
+            )
+            slow.start()
+            try:
+                assert service.entered.wait(timeout=5)
+                # the single slot is held: the next request must be shed
+                status, headers, body = _raw_request(
+                    srv.port, "GET", "/api/v0/documents"
+                )
+                assert status == 429
+                assert headers["Retry-After"] == "0.25"
+                assert "saturated" in json.loads(body)["error"]
+                assert srv.rejected_total == 1
+            finally:
+                service.gate.set()
+                slow.join(timeout=5)
+            # capacity freed: requests flow again
+            status, _, _ = _raw_request(srv.port, "GET", "/api/v0/documents")
+            assert status == 200
+
+    def test_health_reports_degraded_while_saturated(self):
+        service = _GatedService()
+        limits = ServerLimits(max_inflight=1)
+        with ProvenanceServer(service, limits=limits) as srv:
+            slow = threading.Thread(
+                target=_raw_request, args=(srv.port, "GET", "/api/v0/documents")
+            )
+            slow.start()
+            try:
+                assert service.entered.wait(timeout=5)
+                # health is exempt from the gate and tells the truth
+                status, _, body = _raw_request(srv.port, "GET", "/api/v0/health")
+                assert status == 200
+                health = json.loads(body)
+                assert health["status"] == "degraded"
+                assert health["in_flight"] == 1
+            finally:
+                service.gate.set()
+                slow.join(timeout=5)
+            status, _, body = _raw_request(srv.port, "GET", "/api/v0/health")
+            assert json.loads(body)["status"] == "ok"
+
+    def test_health_counts_served_and_rejected(self, server):
+        for _ in range(3):
+            _raw_request(server.port, "GET", "/api/v0/documents")
+        _, _, body = _raw_request(server.port, "GET", "/api/v0/health")
+        health = json.loads(body)
+        assert health["served_total"] == 3
+        assert health["rejected_total"] == 0
+
+    def test_request_deadline_drops_stalled_peer(self, sample_document):
+        """A peer that never sends its promised body can't pin a thread."""
+        service = ProvenanceService()
+        limits = ServerLimits(max_inflight=2, request_deadline_s=0.3)
+        with ProvenanceServer(service, limits=limits) as srv:
+            conn = http.client.HTTPConnection("127.0.0.1", srv.port, timeout=5)
+            try:
+                conn.putrequest("PUT", "/api/v0/documents/stall")
+                conn.putheader("Content-Length", "1000")
+                conn.endheaders()  # ... and never send the body
+                deadline = time.time() + 5
+                resp = conn.getresponse()
+                assert resp.status == 503
+                assert time.time() < deadline
+            finally:
+                conn.close()
+            # the slot was released: the server still serves
+            status, _, _ = _raw_request(srv.port, "GET", "/api/v0/documents")
+            assert status == 200
+
+
+class TestLifecycle:
+    def test_stop_is_idempotent(self):
+        srv = ProvenanceServer(ProvenanceService()).start()
+        srv.stop()
+        srv.stop()  # second stop must be a no-op, not a re-shutdown
+
+    def test_stop_without_start(self):
+        srv = ProvenanceServer(ProvenanceService())
+        srv.stop()  # never started: must not hang or raise
+
+    def test_context_manager_after_manual_stop(self):
+        srv = ProvenanceServer(ProvenanceService())
+        with srv:
+            srv.stop()
+        # __exit__ calls stop() again on an already-stopped server
+
+    def test_limits_validation(self):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError):
+            ServerLimits(max_inflight=0)
+        with pytest.raises(ServiceError):
+            ServerLimits(max_body_bytes=0)

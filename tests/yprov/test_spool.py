@@ -1,0 +1,167 @@
+"""Tests for the durable store-and-forward spool."""
+
+import json
+
+import pytest
+
+from repro.errors import ServiceError, SpoolError, TransportError
+from repro.yprov.service import ProvenanceService
+from repro.yprov.spool import Spool
+
+DOC = '{"prefix": {"ex": "http://example.org/"}, "entity": {"ex:e%d": {}}}'
+
+
+def _doc(i: int) -> str:
+    return DOC % i
+
+
+class RecordingClient:
+    """put_document stub that can fail on a schedule."""
+
+    def __init__(self, failures=()):
+        self.failures = list(failures)  # indices of calls that fail
+        self.puts = []
+
+    def put_document(self, doc_id, text):
+        call_index = len(self.puts)
+        self.puts.append((doc_id, text))
+        if call_index in self.failures:
+            raise TransportError("injected")
+        return doc_id
+
+
+class TestQueue:
+    def test_fifo_order(self, tmp_path):
+        spool = Spool(tmp_path)
+        for i in range(5):
+            spool.enqueue(f"doc{i}", _doc(i))
+        assert spool.doc_ids() == [f"doc{i}" for i in range(5)]
+
+    def test_order_survives_reopen(self, tmp_path):
+        first = Spool(tmp_path)
+        for i in range(3):
+            first.enqueue(f"doc{i}", _doc(i))
+        second = Spool(tmp_path)
+        assert second.doc_ids() == ["doc0", "doc1", "doc2"]
+
+    def test_load_round_trips_text(self, tmp_path):
+        spool = Spool(tmp_path)
+        entry = spool.enqueue("d", _doc(0))
+        assert spool.load(entry) == _doc(0)
+
+    def test_reject_policy_raises_when_full(self, tmp_path):
+        spool = Spool(tmp_path, max_entries=2, eviction="reject")
+        spool.enqueue("a", _doc(0))
+        spool.enqueue("b", _doc(1))
+        with pytest.raises(SpoolError, match="full"):
+            spool.enqueue("c", _doc(2))
+        assert spool.doc_ids() == ["a", "b"]
+
+    def test_drop_oldest_policy_evicts(self, tmp_path):
+        spool = Spool(tmp_path, max_entries=2, eviction="drop-oldest")
+        spool.enqueue("a", _doc(0))
+        spool.enqueue("b", _doc(1))
+        spool.enqueue("c", _doc(2))
+        assert spool.doc_ids() == ["b", "c"]
+        assert spool.evicted_total == 1
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        with pytest.raises(SpoolError):
+            Spool(tmp_path, eviction="lifo")
+
+    def test_purge(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.enqueue("a", _doc(0))
+        spool.enqueue("b", _doc(1))
+        assert spool.purge() == 2
+        assert len(spool) == 0
+
+
+class TestCorruption:
+    def test_torn_entry_quarantined(self, tmp_path):
+        spool = Spool(tmp_path)
+        entry = spool.enqueue("a", _doc(0))
+        spool.enqueue("b", _doc(1))
+        entry.path.write_text(entry.path.read_text()[: 10])  # torn JSON
+        assert spool.doc_ids() == ["b"]
+        assert spool.corrupt_total == 1
+        assert (tmp_path / "corrupt" / entry.path.name).exists()
+
+    def test_crc_mismatch_quarantined(self, tmp_path):
+        spool = Spool(tmp_path)
+        entry = spool.enqueue("a", _doc(0))
+        payload = json.loads(entry.path.read_text())
+        payload["text"] = payload["text"].replace("ex:e0", "ex:EV")
+        entry.path.write_text(json.dumps(payload))  # bit-flip, stale crc
+        assert spool.doc_ids() == []
+        assert spool.corrupt_total == 1
+
+    def test_corrupt_entry_never_drained(self, tmp_path):
+        spool = Spool(tmp_path)
+        entry = spool.enqueue("a", _doc(0))
+        entry.path.write_text("garbage")
+        client = RecordingClient()
+        report = spool.drain(client)
+        assert client.puts == []
+        assert report.complete
+
+
+class TestDrain:
+    def test_drain_delivers_fifo_and_clears(self, tmp_path):
+        spool = Spool(tmp_path)
+        for i in range(4):
+            spool.enqueue(f"doc{i}", _doc(i))
+        client = RecordingClient()
+        report = spool.drain(client)
+        assert [d for d, _ in client.puts] == [f"doc{i}" for i in range(4)]
+        assert report.delivered == [f"doc{i}" for i in range(4)]
+        assert report.complete and len(spool) == 0
+
+    def test_transport_failure_stops_pass_and_preserves_queue(self, tmp_path):
+        spool = Spool(tmp_path)
+        for i in range(3):
+            spool.enqueue(f"doc{i}", _doc(i))
+        client = RecordingClient(failures=[1])  # doc1 delivery fails
+        report = spool.drain(client)
+        assert report.delivered == ["doc0"]
+        assert report.remaining == 2
+        assert spool.doc_ids() == ["doc1", "doc2"]
+        # service recovered: a second pass finishes the job, no re-sends
+        report = spool.drain(RecordingClient())
+        assert report.delivered == ["doc1", "doc2"]
+        assert len(spool) == 0
+
+    def test_acked_entry_never_resent(self, tmp_path):
+        spool = Spool(tmp_path)
+        spool.enqueue("a", _doc(0))
+        client = RecordingClient()
+        spool.drain(client)
+        spool.drain(client)  # nothing left: no duplicate delivery
+        assert [d for d, _ in client.puts] == ["a"]
+
+    def test_poison_document_quarantined_and_pass_continues(self, tmp_path):
+        class RejectingClient(RecordingClient):
+            def put_document(self, doc_id, text):
+                super().put_document(doc_id, text)
+                if doc_id == "bad":
+                    raise ServiceError("invalid document")
+                return doc_id
+
+        spool = Spool(tmp_path)
+        spool.enqueue("bad", "not prov json")
+        spool.enqueue("good", _doc(1))
+        report = spool.drain(RejectingClient())
+        assert report.rejected == ["bad"]
+        assert report.delivered == ["good"]
+        assert report.complete
+        assert (tmp_path / "rejected").exists()
+
+    def test_drain_against_real_service_dedups(self, tmp_path):
+        """End to end: drain into ProvenanceService, duplicates collapse."""
+        service = ProvenanceService()
+        spool = Spool(tmp_path)
+        spool.enqueue("doc", _doc(0))
+        spool.enqueue("doc", _doc(0))  # the same doc spooled twice
+        report = spool.drain(service)
+        assert report.delivered == ["doc", "doc"]
+        assert service.list_documents() == ["doc"]
