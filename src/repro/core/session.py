@@ -131,9 +131,12 @@ def end_run(
             create_graph=create_graph,
             create_rocrate=create_rocrate,
         )
+        # the run is finished and persisted: clear the session *before*
+        # publishing, so a publish failure (full spool, service rejection)
+        # propagates without wedging the next start_run()
+        _active_run = None
         if publish_to is not None:
             run.publish(_publisher(run, publish_to, publish_spool_dir))
-        _active_run = None
         return paths
 
 

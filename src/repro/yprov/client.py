@@ -182,6 +182,16 @@ class ProvenanceClient:
         transport: Optional[Callable[..., Tuple[int, Dict[str, str], bytes]]] = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
+        if transport is None:
+            # fail fast on a base_url the default transport can never reach
+            # (e.g. https://) instead of erroring on every publish
+            scheme = urllib.parse.urlsplit(self.base_url).scheme
+            if scheme != "http":
+                raise ServiceError(
+                    f"unsupported URL scheme {scheme!r} in base_url "
+                    f"{base_url!r}; the built-in transport speaks plain "
+                    f"http only (pass a custom transport= otherwise)"
+                )
         self.timeout_s = float(timeout_s)
         self.retries = int(retries)
         self.backoff = backoff or ExponentialBackoff(
@@ -209,6 +219,13 @@ class ProvenanceClient:
             raise TransportError(
                 f"{method} {path} failed: {exc.__class__.__name__}: {exc}"
             ) from exc
+        except BaseException:
+            # any other transport exception still counts as a failed call;
+            # recording it keeps the breaker consistent (in particular it
+            # clears a half-open probe, which would otherwise wedge the
+            # breaker into refusing every future call)
+            self.breaker.record_failure()
+            raise
         if status == 429 or status >= 500:
             # overload / server fault: retryable, honoring Retry-After
             self.breaker.record_failure()

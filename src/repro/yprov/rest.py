@@ -123,6 +123,13 @@ def _make_handler(service: ProvenanceService, state: _ServerState):
         def log_message(self, fmt: str, *args: Any) -> None:  # noqa: D102
             pass
 
+        def send_response(self, code: int, message: Optional[str] = None,
+                          ) -> None:
+            # once a status line is on the wire, no second response may be
+            # written to this connection (see _guarded's deadline path)
+            self._response_begun = True
+            super().send_response(code, message)
+
         # -- helpers -------------------------------------------------------
         def _send_json(self, payload: Any, status: int = 200,
                        extra_headers: Optional[Dict[str, str]] = None) -> None:
@@ -171,19 +178,23 @@ def _make_handler(service: ProvenanceService, state: _ServerState):
             try:
                 # per-request deadline: a stalled peer can't pin this thread
                 self.connection.settimeout(limits.request_deadline_s)
+                self._response_begun = False
                 handler()
             except socket.timeout:
-                # deadline fired mid-request: best-effort 503, then drop
+                # deadline fired mid-request: best-effort 503 — but only if
+                # no response has started, else the stream would carry two
+                # interleaved responses; a plain drop is cleanly retryable
                 self.close_connection = True
-                try:
-                    self._send_error_json(
-                        503, "request deadline exceeded",
-                        extra_headers={
-                            "Retry-After": f"{limits.retry_after_s:g}"
-                        },
-                    )
-                except OSError:
-                    pass
+                if not self._response_begun:
+                    try:
+                        self._send_error_json(
+                            503, "request deadline exceeded",
+                            extra_headers={
+                                "Retry-After": f"{limits.retry_after_s:g}"
+                            },
+                        )
+                    except OSError:
+                        pass
             finally:
                 state.release()
 

@@ -33,7 +33,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.atomicio import atomic_write_json
-from repro.errors import SpoolError, TransportError
+from repro.errors import CircuitOpenError, SpoolError, TransportError
 
 _ENTRY_SUFFIX = ".spool.json"
 _EVICTION_POLICIES = ("reject", "drop-oldest")
@@ -175,11 +175,13 @@ class Spool:
         :class:`~repro.yprov.service.ProvenanceService`).  Each entry is
         deleted only after the service acknowledges it, so a crash between
         ack and delete re-sends one document — harmless, because the
-        server dedups on doc id.  A transport failure stops the pass (the
-        service is still unhealthy); the remaining entries stay queued.
-        A non-transport rejection (e.g. the service rules the document
-        invalid) quarantines that entry to ``<root>/rejected/`` and the
-        pass continues — one poison document must not wedge the queue.
+        server dedups on doc id.  A transport failure — including the
+        client's own circuit breaker refusing the call — stops the pass
+        (the service is still unhealthy); the remaining entries stay
+        queued.  A non-transport rejection (e.g. the service rules the
+        document invalid) quarantines that entry to ``<root>/rejected/``
+        and the pass continues — one poison document must not wedge the
+        queue.
         """
         delivered: List[str] = []
         rejected: List[str] = []
@@ -189,7 +191,9 @@ class Spool:
                 continue  # already quarantined by _read_payload
             try:
                 client.put_document(entry.doc_id, payload["text"])
-            except TransportError:
+            except (TransportError, CircuitOpenError):
+                # the service (or the path to it) is unhealthy, not the
+                # document: keep it queued for the next pass
                 if stop_on_transport_error:
                     break
                 continue

@@ -3,7 +3,7 @@
 import pytest
 
 import repro as prov4ml
-from repro.errors import NoActiveRunError, RunAlreadyActiveError
+from repro.errors import NoActiveRunError, RunAlreadyActiveError, SpoolError
 
 
 class TestLifecycle:
@@ -34,6 +34,25 @@ class TestLifecycle:
                           clock=ticking_clock)
         prov4ml.abort_run()
         assert not prov4ml.has_active_run()
+
+    def test_publish_failure_does_not_wedge_session(self, tmp_path,
+                                                    ticking_clock):
+        # the run is saved before publishing; a non-transport publish
+        # failure (e.g. full spool, service 400) must propagate *after*
+        # the session state is cleared, so the next start_run works
+        class FailingPublisher:
+            def publish(self, doc_id, text):
+                raise SpoolError("spool full")
+
+        prov4ml.start_run(experiment_name="s", provenance_save_dir=tmp_path,
+                          clock=ticking_clock)
+        with pytest.raises(SpoolError):
+            prov4ml.end_run(publish_to=FailingPublisher())
+        assert not prov4ml.has_active_run()
+        # a fresh run opens fine: the finished run did not stay "active"
+        prov4ml.start_run(experiment_name="s", provenance_save_dir=tmp_path,
+                          clock=ticking_clock)
+        prov4ml.end_run()
 
     def test_sequential_runs_same_experiment(self, tmp_path, ticking_clock):
         r1 = prov4ml.start_run(experiment_name="s", provenance_save_dir=tmp_path,

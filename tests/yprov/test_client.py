@@ -185,6 +185,55 @@ class TestRetries:
         # the breaker interrupted the retry loop at the threshold
         assert len(transport.calls) == 3
 
+    def test_unexpected_transport_exception_does_not_wedge_probe(self):
+        # an exception outside the mapped transport set (here a RuntimeError
+        # from an injected transport) during the half-open probe must not
+        # leave the probe flag stuck, or the breaker refuses calls forever
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=5,
+                                 clock=clock)
+        client, _ = _client(
+            [ConnectionRefusedError("down"), RuntimeError("boom"),
+             (200, {}, b"[]")],
+            retries=0, breaker=breaker,
+        )
+        with pytest.raises(TransportError):
+            client.list_documents()  # opens the breaker
+        clock.advance(5.0)
+        with pytest.raises(RuntimeError):
+            client.list_documents()  # half-open probe dies unexpectedly
+        assert breaker.state == "open"  # re-opened, not wedged half-open
+        clock.advance(5.0)
+        assert client.list_documents() == []  # next probe is admitted
+        assert breaker.state == "closed"
+
+    def test_drain_with_open_breaker_keeps_documents_queued(self, tmp_path):
+        # CircuitOpenError during drain is "service still unhealthy":
+        # the pass stops and nothing is quarantined to rejected/
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout_s=60,
+                                 clock=clock)
+        spool = Spool(tmp_path / "spool")
+        client, _ = _client([ConnectionRefusedError("down")] * 10,
+                            retries=0, breaker=breaker, spool=spool)
+        client.publish("a", TestPublish.DOC)  # fails, spools, opens breaker
+        client.publish("b", TestPublish.DOC)
+        report = client.drain_spool()
+        assert report.delivered == [] and report.rejected == []
+        assert spool.doc_ids() == ["a", "b"]
+        assert not (tmp_path / "spool" / "rejected").exists()
+
+
+class TestConstruction:
+    def test_non_http_scheme_fails_fast(self):
+        with pytest.raises(ServiceError, match="scheme"):
+            ProvenanceClient("https://host:3000/api/v0")
+
+    def test_any_scheme_allowed_with_custom_transport(self):
+        transport = StubTransport([(200, {}, b"[]")])
+        client = ProvenanceClient("https://host/api/v0", transport=transport)
+        assert client.list_documents() == []
+
 
 class TestPublish:
     DOC = '{"prefix": {"ex": "http://example.org/"}, "entity": {"ex:e": {}}}'

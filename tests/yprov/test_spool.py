@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from repro.errors import ServiceError, SpoolError, TransportError
+from repro.errors import (
+    CircuitOpenError,
+    ServiceError,
+    SpoolError,
+    TransportError,
+)
 from repro.yprov.service import ProvenanceService
 from repro.yprov.spool import Spool
 
@@ -130,6 +135,29 @@ class TestDrain:
         report = spool.drain(RecordingClient())
         assert report.delivered == ["doc1", "doc2"]
         assert len(spool) == 0
+
+    def test_open_breaker_preserves_queue(self, tmp_path):
+        # CircuitOpenError is transient (the client's breaker refused the
+        # call locally) — it must never quarantine documents to rejected/
+        class BreakerOpenClient(RecordingClient):
+            def put_document(self, doc_id, text):
+                super().put_document(doc_id, text)
+                raise CircuitOpenError("breaker open", retry_in_s=1.0)
+
+        spool = Spool(tmp_path)
+        for i in range(3):
+            spool.enqueue(f"doc{i}", _doc(i))
+        report = spool.drain(BreakerOpenClient())
+        assert report.delivered == [] and report.rejected == []
+        assert report.remaining == 3
+        assert not (tmp_path / "rejected").exists()
+        # same with continue-on-transport: every entry stays queued
+        report = spool.drain(BreakerOpenClient(), stop_on_transport_error=False)
+        assert report.rejected == [] and report.remaining == 3
+        # breaker closed again: everything is still there to deliver
+        report = spool.drain(RecordingClient())
+        assert report.delivered == ["doc0", "doc1", "doc2"]
+        assert report.complete
 
     def test_acked_entry_never_resent(self, tmp_path):
         spool = Spool(tmp_path)
