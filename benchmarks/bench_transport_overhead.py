@@ -48,7 +48,7 @@ def _simulated_training_run(save_dir, n_steps: int = 150):
         y = x @ weight
         grad = x.T @ y
         weight -= 1e-4 * grad
-        run.log_metric("loss", float((y ** 2).mean()),
+        run.log_metric("loss", float(np.mean(np.square(y), dtype=np.float64)),
                        context=Context.TRAINING, step=step)
     run.end_epoch(Context.TRAINING)
     run.end()

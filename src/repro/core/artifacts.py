@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
+from repro.atomicio import atomic_write_bytes
 from repro.core.context import Context
 from repro.errors import ArtifactError
 
@@ -127,7 +128,7 @@ class ArtifactRegistry:
             raise ArtifactError(f"artifact already logged: {name!r}")
         dest = self.artifact_dir / name
         dest.parent.mkdir(parents=True, exist_ok=True)
-        dest.write_bytes(data)
+        atomic_write_bytes(dest, data)
         artifact = Artifact(
             name=name,
             path=dest,

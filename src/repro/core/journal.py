@@ -124,7 +124,7 @@ class RunJournal:
         self.flush_every = int(flush_every)
         self.fsync = bool(fsync)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh = self.path.open("ab")
+        self._fh = self.path.open("ab")  # lint: disable=SL201 -- the append-only WAL is itself the crash-safety primitive; atomic rewrite would defeat it
         self._unflushed = 0
         self._appended = 0
 

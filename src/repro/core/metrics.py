@@ -146,7 +146,10 @@ class MetricBuffer:
         if self._n == 0:
             return {"count": 0}
         values = self.values
-        with np.errstate(invalid="ignore"):  # all-NaN / mixed-inf slices
+        # invalid: all-NaN / mixed-inf slices; over: a diverged series can
+        # overflow the float64 running sum inside nanmean — the stats then
+        # report inf rather than warning (or erroring under -W error).
+        with np.errstate(invalid="ignore", over="ignore"):
             return {
                 "count": int(self._n),
                 "min": float(np.nanmin(values)),

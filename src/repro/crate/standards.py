@@ -18,6 +18,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List
 
+from repro.atomicio import atomic_write_text
+
 
 @dataclass(frozen=True)
 class FeatureRow:
@@ -53,7 +55,7 @@ def _probe_crate_packaging() -> bool:
 
     with tempfile.TemporaryDirectory() as tmp:
         root = Path(tmp)
-        (root / "data.txt").write_text("payload", encoding="utf-8")
+        atomic_write_text(root / "data.txt", "payload")
         crate = ROCrate(root, name="probe")
         crate.add_file(root / "data.txt")
         crate.write()

@@ -173,3 +173,7 @@ class RecoveryError(TrackingError):
 
 class ChecksumError(StoreFormatError):
     """A persisted chunk failed its integrity checksum (torn/corrupt write)."""
+
+
+class LintError(ReproError):
+    """Static-analysis engine failure (bad rule, bad baseline, bad target)."""

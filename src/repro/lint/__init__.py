@@ -1,0 +1,49 @@
+"""``repro.lint`` — rule-based static analysis for provenance and the codebase.
+
+Two rule families share one engine (registry, severities, suppression,
+baselines, reporters):
+
+* ``PL1xx`` (:mod:`repro.lint.provrules`) lints *provenance*: PROV-JSON
+  graphs, the offloaded metric stores they point at, and run-directory
+  lifecycle state (journals, spools);
+* ``SL2xx`` (:mod:`repro.lint.selfrules`) lints *this codebase* against
+  its own conventions (atomic persistence, simulator determinism,
+  exception ownership) via a stdlib-``ast`` pass.
+
+CLI entry point: ``yprov lint <run_dir>`` / ``yprov lint --self``.
+"""
+
+from repro.lint.engine import (
+    DEFAULT_REGISTRY,
+    Baseline,
+    Finding,
+    LintReport,
+    Rule,
+    RuleRegistry,
+    Severity,
+    apply_baseline,
+)
+from repro.lint.provrules import RunDirContext, lint_run_dir
+from repro.lint.report import FORMATS, render, render_json, render_sarif, render_text
+from repro.lint.selfrules import ModuleContext, default_source_root, lint_source
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "Baseline",
+    "FORMATS",
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "RuleRegistry",
+    "RunDirContext",
+    "Severity",
+    "apply_baseline",
+    "default_source_root",
+    "lint_run_dir",
+    "lint_source",
+    "render",
+    "render_json",
+    "render_sarif",
+    "render_text",
+]

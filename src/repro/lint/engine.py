@@ -1,0 +1,348 @@
+"""Rule engine shared by both analyzer families of :mod:`repro.lint`.
+
+The engine is deliberately small: a *rule* is a named, severity-tagged
+check function registered in a :class:`RuleRegistry`; running a family of
+rules over a target yields :class:`Finding` records collected into a
+:class:`LintReport`.  Everything else — what a rule looks at (a provenance
+run directory, a Python module) — lives with the rule families
+(:mod:`repro.lint.provrules`, :mod:`repro.lint.selfrules`).
+
+Rule-ID namespaces:
+
+* ``PL1xx`` — provenance lint: PROV-JSON graphs, offloaded metric stores,
+  run-directory state (family ``"prov"``);
+* ``SL2xx`` — self-lint: AST checks of this codebase's own invariants
+  (family ``"self"``).
+
+Findings can be silenced two ways, both counted in the report:
+
+* **inline suppression** (self-lint only): a ``# lint: disable=SL201``
+  comment on the flagged line, optionally with a justification after the
+  rule list;
+* **baselines** (both families): a JSON file of finding fingerprints
+  (:class:`Baseline`) that grandfathers known findings so CI only fails
+  on *new* ones.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.atomicio import atomic_write_json
+from repro.errors import LintError
+
+PathLike = Union[str, Path]
+
+
+@functools.total_ordering
+class Severity(enum.Enum):
+    """How bad a finding is; orders ``info < warning < error``."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return ("info", "warning", "error").index(self.value)
+
+    def __lt__(self, other: "Severity") -> bool:
+        if not isinstance(other, Severity):
+            return NotImplemented
+        return self.rank < other.rank
+
+    @classmethod
+    def of(cls, value: Union[str, "Severity"]) -> "Severity":
+        """Coerce a name like ``"error"`` (or an instance) to a Severity."""
+        if isinstance(value, Severity):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise LintError(
+                f"unknown severity {value!r}; choose from "
+                f"{[s.value for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``path`` is the file (self-lint) or run-directory-relative resource
+    (provenance lint) the finding anchors to; ``element`` narrows it to a
+    PROV qualified name, a metric series, a chunk, or a source construct.
+    ``line`` is 1-based and only meaningful for source findings.
+    """
+
+    rule_id: str
+    severity: Severity
+    message: str
+    path: str = ""
+    line: Optional[int] = None
+    element: Optional[str] = None
+
+    def location(self) -> str:
+        """Human-readable ``path:line [element]`` anchor for this finding."""
+        loc = self.path or "<target>"
+        if self.line is not None:
+            loc += f":{self.line}"
+        if self.element:
+            loc += f" [{self.element}]"
+        return loc
+
+    def fingerprint(self) -> str:
+        """Stable identity used by baselines.
+
+        Line numbers are deliberately excluded so unrelated edits that
+        shift a finding up or down the file do not invalidate a baseline.
+        """
+        key = "\x1f".join(
+            (self.rule_id, self.path, self.element or "", self.message)
+        )
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+
+#: A rule check: takes a family-specific context, yields findings.
+CheckFn = Callable[..., Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered check with its identity and default severity."""
+
+    rule_id: str
+    name: str
+    severity: Severity
+    family: str
+    description: str
+    check: CheckFn
+
+    def finding(
+        self,
+        message: str,
+        path: str = "",
+        line: Optional[int] = None,
+        element: Optional[str] = None,
+        severity: Optional[Severity] = None,
+    ) -> Finding:
+        """Convenience constructor stamping this rule's id/severity."""
+        return Finding(
+            rule_id=self.rule_id,
+            severity=severity if severity is not None else self.severity,
+            message=message,
+            path=path,
+            line=line,
+            element=element,
+        )
+
+
+_FAMILIES = ("prov", "self")
+
+
+class RuleRegistry:
+    """Ordered collection of rules, addressable by id and family."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, Rule] = {}
+
+    def rule(
+        self,
+        rule_id: str,
+        name: str,
+        severity: Union[str, Severity],
+        family: str,
+        description: str,
+    ) -> Callable[[CheckFn], CheckFn]:
+        """Decorator registering *check* under *rule_id*."""
+        if family not in _FAMILIES:
+            raise LintError(f"unknown rule family {family!r} for {rule_id}")
+        if rule_id in self._rules:
+            raise LintError(f"duplicate rule id: {rule_id}")
+        sev = Severity.of(severity)
+
+        def register(check: CheckFn) -> CheckFn:
+            self._rules[rule_id] = Rule(
+                rule_id=rule_id,
+                name=name,
+                severity=sev,
+                family=family,
+                description=description,
+                check=check,
+            )
+            return check
+
+        return register
+
+    def get(self, rule_id: str) -> Rule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise LintError(f"unknown rule id: {rule_id!r}") from None
+
+    def ids(self) -> List[str]:
+        return sorted(self._rules)
+
+    def family(self, family: str) -> List[Rule]:
+        """Rules of one family, in id order."""
+        return [self._rules[rid] for rid in self.ids()
+                if self._rules[rid].family == family]
+
+    def select(
+        self,
+        family: str,
+        select: Optional[Sequence[str]] = None,
+        ignore: Optional[Sequence[str]] = None,
+    ) -> List[Rule]:
+        """Family rules filtered by explicit selection / ignore lists."""
+        for rid in list(select or ()) + list(ignore or ()):
+            self.get(rid)  # raise on unknown ids rather than silently no-op
+        rules = self.family(family)
+        if select:
+            rules = [r for r in rules if r.rule_id in set(select)]
+        if ignore:
+            rules = [r for r in rules if r.rule_id not in set(ignore)]
+        return rules
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules[rid] for rid in self.ids())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+#: The registry both built-in rule families register into.
+DEFAULT_REGISTRY = RuleRegistry()
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint pass: surviving findings plus accounting."""
+
+    findings: List[Finding] = field(default_factory=list)
+    checked_rules: List[str] = field(default_factory=list)
+    target: str = ""
+    suppressed: int = 0
+    baselined: int = 0
+
+    def counts(self) -> Dict[str, int]:
+        out = {s.value: 0 for s in Severity}
+        for f in self.findings:
+            out[f.severity.value] += 1
+        return out
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        return max((f.severity for f in self.findings), default=None)
+
+    def exit_code(self, fail_on: Union[str, Severity] = Severity.ERROR) -> int:
+        """0 when no finding reaches *fail_on*; 1 otherwise."""
+        threshold = Severity.of(fail_on)
+        worst = self.max_severity
+        return 1 if worst is not None and worst >= threshold else 0
+
+    def sorted_findings(self) -> List[Finding]:
+        """Deterministic order: severity desc, then rule id, then location."""
+        return sorted(
+            self.findings,
+            key=lambda f: (-f.severity.rank, f.rule_id, f.path,
+                           f.line or 0, f.element or "", f.message),
+        )
+
+    def summary(self) -> str:
+        """One-line tally of findings by severity plus silenced counts."""
+        c = self.counts()
+        return (
+            f"{len(self.findings)} finding(s): {c['error']} error(s), "
+            f"{c['warning']} warning(s), {c['info']} info "
+            f"({self.suppressed} suppressed, {self.baselined} baselined)"
+        )
+
+
+class Baseline:
+    """A set of grandfathered finding fingerprints.
+
+    The file format keeps a human-readable digest next to each fingerprint
+    so reviewers can see *what* was baselined without re-running the lint::
+
+        {"version": 1,
+         "fingerprints": {"ab12...": {"rule_id": "PL101", "path": "...",
+                                      "message": "..."}}}
+    """
+
+    VERSION = 1
+
+    def __init__(self, fingerprints: Optional[Dict[str, Dict[str, str]]] = None) -> None:
+        self.fingerprints: Dict[str, Dict[str, str]] = dict(fingerprints or {})
+
+    @classmethod
+    def load(cls, path: PathLike) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise LintError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("version") != cls.VERSION:
+            raise LintError(f"unsupported baseline format in {path}")
+        fps = doc.get("fingerprints", {})
+        if not isinstance(fps, dict):
+            raise LintError(f"malformed baseline fingerprints in {path}")
+        return cls(fps)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Build a baseline grandfathering every given finding."""
+        base = cls()
+        for f in findings:
+            base.fingerprints[f.fingerprint()] = {
+                "rule_id": f.rule_id,
+                "path": f.path,
+                "message": f.message,
+            }
+        return base
+
+    def save(self, path: PathLike) -> Path:
+        """Persist atomically (the engine follows the repo's own SL201 rule)."""
+        doc = {
+            "version": self.VERSION,
+            "fingerprints": {fp: self.fingerprints[fp]
+                             for fp in sorted(self.fingerprints)},
+        }
+        return atomic_write_json(Path(path), doc, indent=1)
+
+    def filter(self, findings: Iterable[Finding]) -> Tuple[List[Finding], int]:
+        """Split findings into (new, n_baselined)."""
+        fresh: List[Finding] = []
+        known = 0
+        for f in findings:
+            if f.fingerprint() in self.fingerprints:
+                known += 1
+            else:
+                fresh.append(f)
+        return fresh, known
+
+    def __len__(self) -> int:
+        return len(self.fingerprints)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint() in self.fingerprints
+
+
+def apply_baseline(report: LintReport, baseline: Optional[Baseline]) -> LintReport:
+    """Drop baselined findings from *report* (in place) and return it."""
+    if baseline is not None:
+        report.findings, known = baseline.filter(report.findings)
+        report.baselined += known
+    return report

@@ -1,0 +1,141 @@
+"""Renderers for :class:`~repro.lint.engine.LintReport`.
+
+Three formats:
+
+* **text** — one human-readable line per finding plus a summary, for
+  terminals;
+* **json** — a stable machine-readable document, for scripting;
+* **sarif** — SARIF 2.1.0, the interchange format code-scanning UIs
+  (GitHub, VS Code) ingest, carrying rule metadata and stable
+  fingerprints so re-runs update rather than duplicate alerts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Union
+
+from repro import __version__ as _LIB_VERSION
+from repro.errors import LintError
+from repro.lint.engine import Finding, LintReport, RuleRegistry, Severity
+
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+FORMATS = ("text", "json", "sarif")
+
+
+def render_text(report: LintReport) -> str:
+    """One human-readable line per finding, severity-sorted, plus a summary."""
+    lines: List[str] = []
+    for f in report.sorted_findings():
+        lines.append(f"{f.severity.value:<7} {f.rule_id}  {f.location()}: {f.message}")
+    lines.append(report.summary())
+    return "\n".join(lines) + "\n"
+
+
+def _finding_dict(finding: Finding) -> Dict[str, Any]:
+    return {
+        "rule_id": finding.rule_id,
+        "severity": finding.severity.value,
+        "message": finding.message,
+        "path": finding.path,
+        "line": finding.line,
+        "element": finding.element,
+        "fingerprint": finding.fingerprint(),
+    }
+
+
+def render_json(report: LintReport, indent: Optional[int] = 1) -> str:
+    """Stable machine-readable JSON document for scripting."""
+    doc = {
+        "tool": {"name": "repro.lint", "version": _LIB_VERSION},
+        "target": report.target,
+        "checked_rules": list(report.checked_rules),
+        "counts": report.counts(),
+        "suppressed": report.suppressed,
+        "baselined": report.baselined,
+        "findings": [_finding_dict(f) for f in report.sorted_findings()],
+    }
+    return json.dumps(doc, indent=indent) + "\n"
+
+
+def render_sarif(report: LintReport, registry: Optional[RuleRegistry] = None) -> str:
+    """SARIF 2.1.0 with rule metadata for every checked rule."""
+    rules_meta: List[Dict[str, Any]] = []
+    if registry is not None:
+        for rule_id in report.checked_rules:
+            if rule_id not in registry:
+                continue
+            rule = registry.get(rule_id)
+            rules_meta.append(
+                {
+                    "id": rule.rule_id,
+                    "name": rule.name,
+                    "shortDescription": {"text": rule.description},
+                    "defaultConfiguration": {
+                        "level": _SARIF_LEVELS[rule.severity]
+                    },
+                }
+            )
+    results: List[Dict[str, Any]] = []
+    for f in report.sorted_findings():
+        location: Dict[str, Any] = {
+            "physicalLocation": {
+                "artifactLocation": {"uri": f.path or report.target},
+            }
+        }
+        if f.line is not None:
+            location["physicalLocation"]["region"] = {"startLine": f.line}
+        if f.element:
+            location["logicalLocations"] = [{"name": f.element}]
+        results.append(
+            {
+                "ruleId": f.rule_id,
+                "level": _SARIF_LEVELS[f.severity],
+                "message": {"text": f.message},
+                "locations": [location],
+                "partialFingerprints": {"reproLint/v1": f.fingerprint()},
+            }
+        )
+    doc = {
+        "$schema": SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "version": _LIB_VERSION,
+                        "informationUri": "https://github.com/HPCI-Lab/yProvML",
+                        "rules": rules_meta,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=1) + "\n"
+
+
+def render(
+    report: LintReport,
+    fmt: str = "text",
+    registry: Optional[RuleRegistry] = None,
+) -> str:
+    """Render *report* in one of :data:`FORMATS`."""
+    if fmt == "text":
+        return render_text(report)
+    if fmt == "json":
+        return render_json(report)
+    if fmt == "sarif":
+        return render_sarif(report, registry=registry)
+    raise LintError(f"unknown report format {fmt!r}; choose from {FORMATS}")

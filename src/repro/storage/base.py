@@ -152,7 +152,7 @@ class MetricStore:
             data = self.path.read_bytes()
             return len(gzip.compress(data, compresslevel=level))
         buf = io.BytesIO()
-        with tarfile.open(fileobj=buf, mode="w") as tar:
+        with tarfile.open(fileobj=buf, mode="w") as tar:  # lint: disable=SL201 -- writes to an in-memory buffer, nothing touches disk
             for p in self._iter_files():
                 tar.add(p, arcname=str(p.relative_to(self.path)))
         return len(gzip.compress(buf.getvalue(), compresslevel=level))
@@ -196,7 +196,8 @@ def open_store(path: PathLike, fmt: Optional[str] = None, **kwargs: Any) -> Metr
         if path.is_dir() and (path / ".zgroup").exists():
             fmt = "zarrlike"
         elif path.is_file():
-            head = path.open("rb").read(4)
+            with path.open("rb") as fh:
+                head = fh.read(4)
             if head == NetCDFLikeStore.MAGIC:
                 fmt = "netcdflike"
             else:

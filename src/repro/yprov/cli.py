@@ -23,6 +23,17 @@ client (timeouts, retries, circuit breaker, durable spool)::
     yprov spool list                          # documents parked offline
     yprov spool drain --url http://host:3000/api/v0
     yprov spool purge
+
+Static analysis (:mod:`repro.lint`) over run directories and the codebase::
+
+    yprov lint prov/demo_0                    # provenance lint (PL1xx rules)
+    yprov lint --self                         # codebase self-lint (SL2xx rules)
+    yprov lint prov/demo_0 --format sarif -o lint.sarif
+    yprov lint prov/demo_0 --baseline lint-baseline.json --update-baseline
+
+Lint exit codes: 0 = clean, 1 = findings at/above ``--fail-on``
+(default ``error``), 2 = the linter itself failed (bad target, bad
+baseline, unknown rule id).
 """
 
 from __future__ import annotations
@@ -32,6 +43,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.atomicio import atomic_write_text
 from repro.errors import ReproError
 from repro.prov.document import ProvDocument
 from repro.prov.validation import validate_document
@@ -62,7 +74,7 @@ def cmd_get(args: argparse.Namespace) -> int:
     service = _service(args)
     text = service.get_document_text(args.doc_id)
     if args.output:
-        Path(args.output).write_text(text, encoding="utf-8")
+        atomic_write_text(Path(args.output), text)
         print(f"wrote {args.output}")
     else:
         print(text)
@@ -129,7 +141,7 @@ def cmd_handle_resolve(args: argparse.Namespace) -> int:
     doc = _handles(args, service).resolve(args.handle)
     text = doc.to_json()
     if args.output:
-        Path(args.output).write_text(text, encoding="utf-8")
+        atomic_write_text(Path(args.output), text)
         print(f"wrote {args.output}")
     else:
         print(text)
@@ -313,6 +325,78 @@ def cmd_spool_purge(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_ids(text: Optional[str]) -> Optional[List[str]]:
+    if not text:
+        return None
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Handle ``yprov lint``: static analysis of run dirs and/or the codebase.
+
+    Exit codes: 0 clean, 1 findings at/above ``--fail-on``, 2 linter failure.
+    """
+    from repro.errors import LintError
+    from repro.lint import (
+        DEFAULT_REGISTRY,
+        Baseline,
+        LintReport,
+        apply_baseline,
+        lint_run_dir,
+        lint_source,
+        render,
+    )
+
+    select = _split_ids(args.select)
+    ignore = _split_ids(args.ignore)
+    if not args.targets and not args.self:
+        raise LintError("nothing to lint: pass run directories and/or --self")
+    if args.update_baseline and not args.baseline:
+        raise LintError("--update-baseline requires --baseline PATH")
+
+    service_root = Path(args.root) if Path(args.root).is_dir() else None
+    reports: List[LintReport] = []
+    for target in args.targets:
+        reports.append(
+            lint_run_dir(
+                target,
+                select=select,
+                ignore=ignore,
+                spool_dir=args.spool_dir,
+                service_root=service_root,
+            )
+        )
+    if args.self:
+        reports.append(
+            lint_source(args.source_root, select=select, ignore=ignore)
+        )
+
+    merged = LintReport(target="; ".join(r.target for r in reports))
+    for report in reports:
+        merged.findings.extend(report.findings)
+        merged.suppressed += report.suppressed
+        for rule_id in report.checked_rules:
+            if rule_id not in merged.checked_rules:
+                merged.checked_rules.append(rule_id)
+
+    if args.update_baseline:
+        Baseline.from_findings(merged.findings).save(args.baseline)
+        print(f"baseline updated: {args.baseline} "
+              f"({len(merged.findings)} finding(s) grandfathered)")
+        return 0
+    if args.baseline:
+        apply_baseline(merged, Baseline.load(args.baseline))
+
+    text = render(merged, fmt=args.format, registry=DEFAULT_REGISTRY)
+    if args.output:
+        atomic_write_text(Path(args.output), text)
+        print(f"wrote {args.output}")
+        print(merged.summary())
+    else:
+        print(text, end="")
+    return merged.exit_code(fail_on=args.fail_on)
+
+
 def cmd_crate_validate(args: argparse.Namespace) -> int:
     """Handle ``yprov crate-validate``: check an RO-Crate directory."""
     from repro.crate.validate import validate_crate
@@ -429,6 +513,32 @@ def build_parser() -> argparse.ArgumentParser:
     p = ssub.add_parser("purge", help="drop every parked document")
     add_transport_args(p, need_url=False)
     p.set_defaults(func=cmd_spool_purge)
+
+    p = sub.add_parser(
+        "lint",
+        help="static analysis: provenance run directories and/or the codebase",
+    )
+    p.add_argument("targets", nargs="*",
+                   help="run directories to lint with the PL1xx rules")
+    p.add_argument("--self", action="store_true",
+                   help="also lint the repro source tree with the SL2xx rules")
+    p.add_argument("--source-root",
+                   help="source tree for --self (default: the installed repro package)")
+    p.add_argument("--format", choices=("text", "json", "sarif"), default="text",
+                   help="report format")
+    p.add_argument("-o", "--output", help="write the report to a file")
+    p.add_argument("--baseline",
+                   help="baseline file of grandfathered finding fingerprints")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite --baseline from the current findings and exit 0")
+    p.add_argument("--select", help="comma-separated rule ids to run exclusively")
+    p.add_argument("--ignore", help="comma-separated rule ids to skip")
+    p.add_argument("--spool-dir",
+                   help="also check this store-and-forward spool for stranded entries")
+    p.add_argument("--fail-on", choices=("error", "warning", "info"),
+                   default="error",
+                   help="lowest severity that makes the exit code non-zero")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("crate-validate", help="validate an RO-Crate directory")
     p.add_argument("directory")

@@ -16,6 +16,7 @@ from typing import Dict, Optional, Tuple, Union
 
 import networkx as nx
 
+from repro.atomicio import atomic_write_text
 from repro.prov.document import ProvDocument
 from repro.prov.graph import degree_stats, to_networkx
 
@@ -141,5 +142,5 @@ def export_html(
 </body></html>
 """
     out = Path(path)
-    out.write_text(page, encoding="utf-8")
+    atomic_write_text(out, page)
     return out

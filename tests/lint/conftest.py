@@ -1,0 +1,55 @@
+"""Shared fixtures for the :mod:`repro.lint` test suite."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import RunExecution, RunStatus
+
+#: Checked-in known-bad PROV-JSON corpus (see fixtures/make_fixtures.py).
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+class Ticker:
+    """Deterministic strictly-increasing clock."""
+
+    def __init__(self, start=1000.0):
+        self.t = start
+
+    def __call__(self):
+        self.t += 1.0
+        return self.t
+
+
+def build_run(save_dir, metric_format="zarrlike", end=True, save=True):
+    """A small but complete run saved with offloaded metrics."""
+    run = RunExecution("lintexp", run_id="r1", save_dir=save_dir,
+                       clock=Ticker())
+    run.start()
+    run.log_param("lr", 1e-3)
+    run.start_epoch("training", 0)
+    run.log_metric("loss", 0.9, context="training", step=0)
+    run.log_metric("loss", 0.7, context="training", step=1)
+    run.end_epoch("training")
+    run.log_metric_array(
+        "acc",
+        np.array([0, 1], dtype=np.int64),
+        np.array([0.1, 0.2]),
+        np.array([1010.0, 1011.0]),
+        context="validation",
+    )
+    run.log_artifact_bytes("model.bin", b"\x00\x01\x02", is_model=True,
+                           context="training", step=1)
+    if end:
+        run.end(RunStatus.FINISHED)
+    if save:
+        run.save(metric_format=metric_format)
+    return run
+
+
+@pytest.fixture
+def saved_run(tmp_path):
+    """A clean, finished run directory with a zarr-like metric store."""
+    build_run(tmp_path / "r1")
+    return tmp_path / "r1"

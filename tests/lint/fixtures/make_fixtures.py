@@ -1,0 +1,148 @@
+"""Regenerate the known-bad golden corpus for the PL1xx graph rules.
+
+Each fixture directory is a minimal run directory whose ``prov.json``
+violates exactly one provenance rule (named by its directory prefix).
+Disk-dependent rules (PL106-PL111: missing chunks, corrupt stores,
+journals, spools) are exercised from temporary directories built by the
+tests instead — their breakage cannot be represented as a checked-in file.
+
+Run from the repository root to refresh the corpus::
+
+    PYTHONPATH=src python tests/lint/fixtures/make_fixtures.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.prov.document import ProvDocument
+
+HERE = Path(__file__).resolve().parent
+
+RUN = "ex:run/r1"
+CTX = "ex:run/r1/ctx/TRAINING"
+
+
+def base_doc() -> ProvDocument:
+    """A minimal healthy skeleton: run activity + training context."""
+    doc = ProvDocument()
+    doc.add_namespace("ex", "http://example.org/exp#")
+    doc.add_namespace("yprov4ml", "https://github.com/HPCI-Lab/yProvML#")
+    doc.activity(RUN, attributes={
+        "prov:type": "yprov4ml:RunExecution",
+        "prov:label": "r1",
+        "yprov4ml:status": "FINISHED",
+        "yprov4ml:metric_format": "inline",
+    })
+    doc.activity(CTX, attributes={
+        "prov:type": "yprov4ml:Context",
+        "prov:label": "TRAINING",
+    })
+    doc.was_informed_by(CTX, RUN)
+    return doc
+
+
+def write(name: str, doc: ProvDocument | None, raw: str | None = None) -> None:
+    """Write one fixture directory (``doc`` as prov.json, or ``raw`` text)."""
+    target = HERE / name
+    target.mkdir(parents=True, exist_ok=True)
+    if doc is not None:
+        doc.save(target / "prov.json")
+    elif raw is not None:
+        (target / "prov.json").write_text(raw, encoding="utf-8")
+
+
+def main() -> None:
+    """Build every graph-rule fixture."""
+    # PL100a: a run directory with no provenance at all (placeholder file
+    # only, so git can track the otherwise-empty directory)
+    empty = HERE / "pl100_missing"
+    empty.mkdir(parents=True, exist_ok=True)
+    (empty / ".gitkeep").write_text("")
+
+    # PL100b: prov.json that is not PROV-JSON
+    write("pl100_unparseable", None, raw="this is not JSON {]")
+
+    # PL100c: valid PROV-JSON but no RunExecution activity (the two
+    # entities relate to each other so PL101 stays quiet)
+    doc = ProvDocument()
+    doc.add_namespace("ex", "http://example.org/exp#")
+    doc.entity("ex:left", {"prov:label": "no run here"})
+    doc.entity("ex:right", {"prov:label": "still no run"})
+    doc.was_derived_from("ex:left", "ex:right")
+    write("pl100_no_run", doc)
+
+    # PL101: an entity participating in no relation
+    doc = base_doc()
+    doc.entity("ex:orphan", {"prov:label": "unconnected"})
+    write("pl101_orphan", doc)
+
+    # PL102: a non-input Artifact with no wasGeneratedBy
+    doc = base_doc()
+    doc.entity("ex:artifact/model.bin", {
+        "prov:type": "yprov4ml:Artifact",
+        "prov:label": "model.bin",
+        "yprov4ml:is_input": False,
+    })
+    doc.had_member(RUN, "ex:artifact/model.bin")  # connected, so PL101 stays quiet
+    write("pl102_no_generation", doc)
+
+    # PL103a: a Metric with no yprov4ml:context attribute
+    doc = base_doc()
+    doc.entity("ex:metric/loss@TRAINING", {
+        "prov:type": "yprov4ml:Metric",
+        "prov:label": "loss",
+    })
+    doc.was_generated_by("ex:metric/loss@TRAINING", CTX)
+    write("pl103_no_context", doc)
+
+    # PL103b: a Metric anchored to the run instead of its Context activity
+    doc = base_doc()
+    doc.entity("ex:metric/loss@TRAINING", {
+        "prov:type": "yprov4ml:Metric",
+        "prov:label": "loss",
+        "yprov4ml:context": "TRAINING",
+    })
+    doc.was_generated_by("ex:metric/loss@TRAINING", RUN)
+    write("pl103_bad_anchor", doc)
+
+    # PL104: a wasDerivedFrom cycle
+    doc = base_doc()
+    for name in ("a", "b"):
+        doc.entity(f"ex:artifact/{name}", {
+            "prov:type": "yprov4ml:Artifact",
+            "prov:label": name,
+            "yprov4ml:is_input": True,
+        })
+        doc.used(RUN, f"ex:artifact/{name}")
+    doc.was_derived_from("ex:artifact/a", "ex:artifact/b")
+    doc.was_derived_from("ex:artifact/b", "ex:artifact/a")
+    write("pl104_cycle", doc)
+
+    # PL105a: a MetricStore whose path does not exist on disk
+    doc = base_doc()
+    doc.entity("ex:metric_store", {
+        "prov:type": "yprov4ml:MetricStore",
+        "yprov4ml:format": "zarrlike",
+        "yprov4ml:path": "metrics.zarr",
+    })
+    doc.was_generated_by("ex:metric_store", RUN)
+    write("pl105_dangling_path", doc)
+
+    # PL105b: a Metric stored_in an undeclared entity
+    doc = base_doc()
+    doc.entity("ex:metric/loss@TRAINING", {
+        "prov:type": "yprov4ml:Metric",
+        "prov:label": "loss",
+        "yprov4ml:context": "TRAINING",
+        "yprov4ml:series": "loss@TRAINING",
+        "yprov4ml:stored_in": "ex:ghost_store",
+    })
+    doc.was_generated_by("ex:metric/loss@TRAINING", CTX)
+    write("pl105_ghost_store", doc)
+
+    print(f"fixtures written under {HERE}")
+
+
+if __name__ == "__main__":
+    main()

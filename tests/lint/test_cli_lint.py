@@ -1,0 +1,138 @@
+"""End-to-end tests for ``yprov lint`` (exit codes, formats, baselines)."""
+
+import json
+
+import pytest
+
+from repro.yprov.cli import main
+
+from .conftest import FIXTURES
+
+
+def run_cli(*args):
+    return main(list(args))
+
+
+def drop_generation(run_dir):
+    """The ISSUE's acceptance mutation: remove one metric wasGeneratedBy."""
+    prov = run_dir / "prov.json"
+    doc = json.loads(prov.read_text(encoding="utf-8"))
+    gen = doc["wasGeneratedBy"]
+    victim = next(k for k, v in gen.items()
+                  if str(v.get("prov:entity", "")).startswith("ex:metric/"))
+    del gen[victim]
+    prov.write_text(json.dumps(doc), encoding="utf-8")
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self, saved_run, capsys):
+        assert run_cli("lint", str(saved_run)) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_deleted_chunk_exits_one(self, saved_run, capsys):
+        (saved_run / "metrics.zarr" / "loss%40TRAINING" / "values" / "0").unlink()
+        assert run_cli("lint", str(saved_run)) == 1
+        assert "PL107" in capsys.readouterr().out
+
+    def test_dropped_generation_exits_one(self, saved_run, capsys):
+        drop_generation(saved_run)
+        assert run_cli("lint", str(saved_run)) == 1
+        assert "PL102" in capsys.readouterr().out
+
+    def test_fail_on_threshold(self, saved_run, capsys):
+        extra = saved_run / "extra.zarr"
+        extra.mkdir()
+        (extra / ".zgroup").write_text("{}", encoding="utf-8")
+        # PL109 is a warning: below the default error threshold...
+        assert run_cli("lint", str(saved_run)) == 0
+        # ...but fails a stricter gate.
+        assert run_cli("lint", "--fail-on", "warning", str(saved_run)) == 1
+
+    def test_usage_errors_exit_two(self, saved_run, tmp_path, capsys):
+        assert run_cli("lint") == 2  # nothing to lint
+        assert run_cli("lint", str(tmp_path / "missing")) == 2
+        assert run_cli("lint", "--update-baseline", str(saved_run)) == 2
+
+    def test_self_lint_is_green(self, capsys):
+        """Satellite 3's bar: the codebase passes its own lint, no baseline."""
+        assert run_cli("lint", "--self") == 0
+
+
+class TestFormats:
+    def test_json_format(self, saved_run, capsys):
+        drop_generation(saved_run)
+        assert run_cli("lint", "--format", "json", str(saved_run)) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"]["name"] == "repro.lint"
+        assert doc["counts"]["error"] == 1
+        assert doc["findings"][0]["rule_id"] == "PL102"
+        assert doc["findings"][0]["fingerprint"]
+
+    def test_sarif_format(self, saved_run, capsys):
+        drop_generation(saved_run)
+        assert run_cli("lint", "--format", "sarif", str(saved_run)) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rule_ids == {f"PL{n}" for n in range(100, 112)}
+        result = run["results"][0]
+        assert result["ruleId"] == "PL102" and result["level"] == "error"
+        assert result["partialFingerprints"]["reproLint/v1"]
+
+    def test_output_file(self, saved_run, tmp_path, capsys):
+        out = tmp_path / "report.sarif"
+        assert run_cli("lint", "--format", "sarif", "-o", str(out),
+                       str(saved_run)) == 0
+        assert json.loads(out.read_text(encoding="utf-8"))["version"] == "2.1.0"
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_multiple_targets_merge(self, saved_run, capsys):
+        fixture = FIXTURES / "pl101_orphan"
+        assert run_cli("lint", "--format", "json", str(saved_run),
+                       str(fixture)) == 0  # PL101 is only a warning
+        doc = json.loads(capsys.readouterr().out)
+        assert str(saved_run) in doc["target"] and str(fixture) in doc["target"]
+        assert doc["counts"]["warning"] == 1
+
+
+class TestSelection:
+    def test_select_narrows_checked_rules(self, saved_run, capsys):
+        drop_generation(saved_run)
+        assert run_cli("lint", "--select", "PL101", "--format", "json",
+                       str(saved_run)) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["checked_rules"] == ["PL101"]
+
+    def test_ignore_mutes_a_rule(self, saved_run, capsys):
+        drop_generation(saved_run)
+        assert run_cli("lint", "--ignore", "PL102", str(saved_run)) == 0
+
+    def test_unknown_rule_id_exits_two(self, saved_run, capsys):
+        assert run_cli("lint", "--select", "PL999", str(saved_run)) == 2
+
+
+class TestBaseline:
+    def test_round_trip_reports_zero_new_findings(self, saved_run, tmp_path,
+                                                  capsys):
+        """Satellite 4's bar: --update-baseline then re-run finds nothing new."""
+        drop_generation(saved_run)
+        bl = tmp_path / "bl.json"
+        assert run_cli("lint", str(saved_run)) == 1
+        assert run_cli("lint", "--baseline", str(bl), "--update-baseline",
+                       str(saved_run)) == 0
+        assert "1 finding(s) grandfathered" in capsys.readouterr().out
+        assert run_cli("lint", "--baseline", str(bl), str(saved_run)) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out and "1 baselined" in out
+
+    def test_new_breakage_still_fails_through_baseline(self, saved_run,
+                                                       tmp_path, capsys):
+        drop_generation(saved_run)
+        bl = tmp_path / "bl.json"
+        assert run_cli("lint", "--baseline", str(bl), "--update-baseline",
+                       str(saved_run)) == 0
+        (saved_run / "metrics.zarr" / "loss%40TRAINING" / "values" / "0").unlink()
+        assert run_cli("lint", "--baseline", str(bl), str(saved_run)) == 1
+        assert "PL107" in capsys.readouterr().out

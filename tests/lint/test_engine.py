@@ -1,0 +1,143 @@
+"""Tests for the shared lint rule engine (severities, registry, baselines)."""
+
+import json
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import (
+    DEFAULT_REGISTRY,
+    Baseline,
+    Finding,
+    LintReport,
+    RuleRegistry,
+    Severity,
+    apply_baseline,
+)
+
+
+def make_finding(rule_id="PL101", severity=Severity.WARNING, message="m",
+                 path="prov.json", line=None, element=None):
+    return Finding(rule_id=rule_id, severity=severity, message=message,
+                   path=path, line=line, element=element)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert max([Severity.WARNING, Severity.ERROR]) is Severity.ERROR
+
+    def test_of_accepts_names_and_instances(self):
+        assert Severity.of("error") is Severity.ERROR
+        assert Severity.of(Severity.INFO) is Severity.INFO
+
+    def test_of_rejects_unknown(self):
+        with pytest.raises(LintError, match="unknown severity"):
+            Severity.of("catastrophic")
+
+
+class TestFinding:
+    def test_location_combines_path_line_element(self):
+        f = make_finding(path="a.py", line=3, element="foo")
+        assert f.location() == "a.py:3 [foo]"
+
+    def test_fingerprint_is_stable_and_ignores_line(self):
+        a = make_finding(line=3)
+        b = make_finding(line=99)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_distinguishes_rule_and_message(self):
+        assert (make_finding(message="x").fingerprint()
+                != make_finding(message="y").fingerprint())
+        assert (make_finding(rule_id="PL101").fingerprint()
+                != make_finding(rule_id="PL102").fingerprint())
+
+
+class TestRegistry:
+    def test_default_registry_has_both_families(self):
+        prov = [r.rule_id for r in DEFAULT_REGISTRY.family("prov")]
+        self_ = [r.rule_id for r in DEFAULT_REGISTRY.family("self")]
+        assert prov == [f"PL{n}" for n in range(100, 112)]
+        assert self_ == [f"SL{n}" for n in range(201, 206)]
+
+    def test_duplicate_id_rejected(self):
+        reg = RuleRegistry()
+
+        @reg.rule("PL999", "x", "error", "prov", "d")
+        def check(rule, ctx):
+            """Test rule."""
+            return []
+
+        with pytest.raises(LintError, match="duplicate rule id"):
+            reg.rule("PL999", "y", "error", "prov", "d")(check)
+
+    def test_unknown_family_rejected(self):
+        reg = RuleRegistry()
+        with pytest.raises(LintError, match="unknown rule family"):
+            reg.rule("XX001", "x", "error", "nope", "d")
+
+    def test_select_unknown_id_raises_instead_of_noop(self):
+        with pytest.raises(LintError, match="unknown rule id"):
+            DEFAULT_REGISTRY.select("prov", select=["PL999"])
+        with pytest.raises(LintError, match="unknown rule id"):
+            DEFAULT_REGISTRY.select("prov", ignore=["PL999"])
+
+    def test_select_and_ignore_filter(self):
+        only = DEFAULT_REGISTRY.select("prov", select=["PL101", "PL102"])
+        assert [r.rule_id for r in only] == ["PL101", "PL102"]
+        rest = DEFAULT_REGISTRY.select("prov", ignore=["PL101"])
+        assert "PL101" not in [r.rule_id for r in rest]
+
+
+class TestLintReport:
+    def test_exit_code_thresholds(self):
+        rep = LintReport(findings=[make_finding(severity=Severity.WARNING)])
+        assert rep.exit_code(fail_on="error") == 0
+        assert rep.exit_code(fail_on="warning") == 1
+        assert rep.exit_code(fail_on="info") == 1
+        assert LintReport().exit_code(fail_on="info") == 0
+
+    def test_sorted_findings_severity_first(self):
+        warn = make_finding(severity=Severity.WARNING)
+        err = make_finding(rule_id="PL102", severity=Severity.ERROR)
+        rep = LintReport(findings=[warn, err])
+        assert rep.sorted_findings()[0] is err
+
+    def test_counts_and_summary(self):
+        rep = LintReport(findings=[make_finding(severity=Severity.ERROR)],
+                         suppressed=2, baselined=1)
+        assert rep.counts()["error"] == 1
+        assert "2 suppressed, 1 baselined" in rep.summary()
+
+
+class TestBaseline:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "nope.json")) == 0
+
+    def test_corrupt_file_raises(self, tmp_path):
+        bad = tmp_path / "bl.json"
+        bad.write_text("not json", encoding="utf-8")
+        with pytest.raises(LintError, match="cannot read baseline"):
+            Baseline.load(bad)
+
+    def test_wrong_version_raises(self, tmp_path):
+        bad = tmp_path / "bl.json"
+        bad.write_text(json.dumps({"version": 99}), encoding="utf-8")
+        with pytest.raises(LintError, match="unsupported baseline format"):
+            Baseline.load(bad)
+
+    def test_round_trip_and_filter(self, tmp_path):
+        known = make_finding(message="old")
+        fresh = make_finding(message="new")
+        base = Baseline.from_findings([known])
+        base.save(tmp_path / "bl.json")
+        loaded = Baseline.load(tmp_path / "bl.json")
+        assert known in loaded and fresh not in loaded
+        survivors, n = loaded.filter([known, fresh])
+        assert survivors == [fresh] and n == 1
+
+    def test_apply_baseline_updates_report(self):
+        known = make_finding(message="old")
+        rep = LintReport(findings=[known, make_finding(message="new")])
+        apply_baseline(rep, Baseline.from_findings([known]))
+        assert len(rep.findings) == 1 and rep.baselined == 1

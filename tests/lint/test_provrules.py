@@ -1,0 +1,212 @@
+"""Golden-corpus and mutation tests for the provenance rules (PL1xx)."""
+
+import json
+import shutil
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import Severity, lint_run_dir
+
+from .conftest import FIXTURES, build_run
+
+
+def fired(report):
+    """The set of rule ids that produced findings."""
+    return {f.rule_id for f in report.findings}
+
+
+def only(report, rule_id):
+    """All findings for one rule, asserting it actually fired."""
+    found = [f for f in report.findings if f.rule_id == rule_id]
+    assert found, f"{rule_id} did not fire; got {fired(report)}"
+    return found
+
+
+#: (fixture directory, rule id, severity, expected element or None).
+CORPUS = [
+    ("pl100_missing", "PL100", Severity.ERROR, None),
+    ("pl100_unparseable", "PL100", Severity.ERROR, None),
+    ("pl100_no_run", "PL100", Severity.ERROR, None),
+    ("pl101_orphan", "PL101", Severity.WARNING, "ex:orphan"),
+    ("pl102_no_generation", "PL102", Severity.ERROR, "ex:artifact/model.bin"),
+    ("pl103_no_context", "PL103", Severity.ERROR, "ex:metric/loss@TRAINING"),
+    ("pl103_bad_anchor", "PL103", Severity.ERROR, "ex:metric/loss@TRAINING"),
+    ("pl104_cycle", "PL104", Severity.ERROR, "ex:artifact/a"),
+    ("pl105_dangling_path", "PL105", Severity.ERROR, "ex:metric_store"),
+    ("pl105_ghost_store", "PL105", Severity.ERROR, "ex:metric/loss@TRAINING"),
+]
+
+
+class TestGoldenCorpus:
+    @pytest.mark.parametrize("name,rule_id,severity,element", CORPUS,
+                             ids=[row[0] for row in CORPUS])
+    def test_fixture_fires_exactly_its_rule(self, name, rule_id, severity,
+                                            element):
+        """Each checked-in fixture fires its target rule and nothing else."""
+        report = lint_run_dir(FIXTURES / name)
+        assert fired(report) == {rule_id}
+        finding = only(report, rule_id)[0]
+        assert finding.severity is severity
+        assert finding.path, "findings must carry a location"
+        if element is not None:
+            assert finding.element == element
+
+    def test_every_graph_rule_is_covered(self):
+        """The corpus exercises every pure-document rule."""
+        assert {row[1] for row in CORPUS} == {
+            "PL100", "PL101", "PL102", "PL103", "PL104", "PL105",
+        }
+
+
+class TestCleanRun:
+    def test_clean_run_is_green(self, saved_run):
+        report = lint_run_dir(saved_run)
+        assert report.findings == []
+        assert report.exit_code(fail_on="info") == 0
+        assert report.checked_rules == [f"PL{n}" for n in range(100, 112)]
+
+    def test_missing_run_dir_raises(self, tmp_path):
+        with pytest.raises(LintError, match="run directory does not exist"):
+            lint_run_dir(tmp_path / "nope")
+
+    def test_select_and_ignore(self, saved_run):
+        report = lint_run_dir(saved_run, select=["PL101"])
+        assert report.checked_rules == ["PL101"]
+        report = lint_run_dir(saved_run, ignore=["PL101"])
+        assert "PL101" not in report.checked_rules
+
+
+class TestStoreMutations:
+    """Disk-level breakage of a real saved run flips specific rules."""
+
+    def test_pl106_deleted_series(self, saved_run):
+        shutil.rmtree(saved_run / "metrics.zarr" / "loss%40TRAINING")
+        finding = only(lint_run_dir(saved_run), "PL106")[0]
+        assert "loss@TRAINING" in finding.message
+        assert finding.element == "ex:metric/loss@TRAINING"
+
+    def test_pl107_corrupt_chunk(self, saved_run):
+        chunk = saved_run / "metrics.zarr" / "loss%40TRAINING" / "values" / "0"
+        data = bytearray(chunk.read_bytes())
+        data[0] ^= 0xFF
+        chunk.write_bytes(bytes(data))
+        finding = only(lint_run_dir(saved_run), "PL107")[0]
+        assert finding.severity is Severity.ERROR
+        assert finding.path == "metrics.zarr"
+
+    def test_pl107_missing_chunk(self, saved_run):
+        """The ISSUE's acceptance mutation: delete one Zarr chunk."""
+        (saved_run / "metrics.zarr" / "loss%40TRAINING" / "values" / "0").unlink()
+        report = lint_run_dir(saved_run)
+        assert "PL107" in fired(report)
+        assert report.exit_code() == 1
+
+    def test_pl108_count_mismatch(self, saved_run):
+        doc = json.loads((saved_run / "prov.json").read_text(encoding="utf-8"))
+        doc["entity"]["ex:metric/loss@TRAINING"]["yprov4ml:count"] = 7
+        (saved_run / "prov.json").write_text(json.dumps(doc), encoding="utf-8")
+        finding = only(lint_run_dir(saved_run), "PL108")[0]
+        assert "2 samples" in finding.message and "count=7" in finding.message
+
+    def test_pl108_missing_epoch_column(self, saved_run):
+        shutil.rmtree(saved_run / "metrics.zarr" / "loss%40TRAINING" / "epochs")
+        finding = only(lint_run_dir(saved_run), "PL108")[0]
+        assert "no epoch attachment" in finding.message
+
+    def test_pl108_dtype_drift(self, saved_run):
+        zarray = (saved_run / "metrics.zarr" / "loss%40TRAINING" / "values"
+                  / ".zarray")
+        meta = json.loads(zarray.read_text(encoding="utf-8"))
+        meta["dtype"] = "<i8"  # same itemsize: the chunk still decodes
+        zarray.write_text(json.dumps(meta), encoding="utf-8")
+        finding = only(lint_run_dir(saved_run), "PL108")[0]
+        assert "expected floating point" in finding.message
+
+    def test_pl109_extra_store_dir(self, saved_run):
+        extra = saved_run / "extra.zarr"
+        extra.mkdir()
+        (extra / ".zgroup").write_text("{}", encoding="utf-8")
+        finding = only(lint_run_dir(saved_run), "PL109")[0]
+        assert finding.severity is Severity.WARNING
+        assert finding.path == "extra.zarr"
+
+    def test_pl109_unclaimed_series(self, saved_run):
+        store = saved_run / "metrics.zarr"
+        shutil.copytree(store / "loss%40TRAINING", store / "ghost%40TRAINING")
+        finding = only(lint_run_dir(saved_run), "PL109")[0]
+        assert finding.element == "ghost@TRAINING"
+
+    def test_netcdflike_store_is_also_checked(self, tmp_path):
+        """PL107's fallback path: formats without a chunk verifier get a
+        full-read check."""
+        build_run(tmp_path / "r1", metric_format="netcdflike")
+        report = lint_run_dir(tmp_path / "r1")
+        assert report.findings == []
+        nc = next((tmp_path / "r1").glob("*.nc"))
+        nc.write_bytes(b"RNC1" + b"\x00" * 8)  # header ok, body truncated
+        assert "PL107" in fired(lint_run_dir(tmp_path / "r1"))
+
+
+class TestRunDirRules:
+    def test_pl110_dead_run_journal(self, tmp_path):
+        run = build_run(tmp_path / "r1", end=False, save=False)
+        del run  # abandoned mid-run: journal survives, no prov.json
+        report = lint_run_dir(tmp_path / "r1")
+        finding = only(report, "PL110")[0]
+        assert finding.severity is Severity.ERROR
+        assert "yprov recover" in finding.message
+        # PL100 defers to PL110's more actionable finding
+        assert "PL100" not in fired(report)
+
+    def test_pl110_failed_compaction_is_warning(self, saved_run):
+        (saved_run / "journal.wal").write_text("", encoding="utf-8")
+        finding = only(lint_run_dir(saved_run), "PL110")[0]
+        assert finding.severity is Severity.WARNING
+        assert "compaction" in finding.message
+
+    def test_pl111_stranded_and_corrupt_spool(self, saved_run, tmp_path):
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        service = tmp_path / "service"
+        service.mkdir()
+        entry = {"seq": 1, "doc_id": "d1", "text": "{}", "crc32": 0}
+        (spool / "000001.spool.json").write_text(json.dumps(entry),
+                                                 encoding="utf-8")
+        (spool / "000002.spool.json").write_text("garbage", encoding="utf-8")
+        (service / "d1.provjson").write_text("{}", encoding="utf-8")
+        report = lint_run_dir(saved_run, spool_dir=spool, service_root=service)
+        findings = only(report, "PL111")
+        messages = " | ".join(f.message for f in findings)
+        assert "already published" in messages
+        assert "unreadable" in messages
+
+    def test_pl111_pending_spool_is_quiet(self, saved_run, tmp_path):
+        """An entry not yet published is normal store-and-forward state."""
+        spool = tmp_path / "spool"
+        spool.mkdir()
+        entry = {"seq": 1, "doc_id": "pending", "text": "{}", "crc32": 0}
+        (spool / "000001.spool.json").write_text(json.dumps(entry),
+                                                 encoding="utf-8")
+        report = lint_run_dir(saved_run, spool_dir=spool,
+                              service_root=tmp_path / "service")
+        assert "PL111" not in fired(report)
+
+
+class TestAcceptanceMutations:
+    """The ISSUE's seeded-mutation bar: each flips the exit code to 1."""
+
+    def test_dropped_was_generated_by(self, saved_run):
+        doc = json.loads((saved_run / "prov.json").read_text(encoding="utf-8"))
+        gen = doc["wasGeneratedBy"]
+        victim = next(k for k, v in gen.items()
+                      if str(v.get("prov:entity", "")).startswith("ex:metric/"))
+        del gen[victim]
+        (saved_run / "prov.json").write_text(json.dumps(doc), encoding="utf-8")
+        report = lint_run_dir(saved_run)
+        assert "PL102" in fired(report)
+        assert report.exit_code() == 1
+
+    def test_deleted_zarr_chunk(self, saved_run):
+        (saved_run / "metrics.zarr" / "acc%40VALIDATION" / "values" / "0").unlink()
+        assert lint_run_dir(saved_run).exit_code() == 1

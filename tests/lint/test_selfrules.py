@@ -1,0 +1,219 @@
+"""Tests for the codebase self-lint rules (SL2xx)."""
+
+import textwrap
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import Severity, default_source_root, lint_source
+
+
+def tree(tmp_path, files):
+    """Write a throwaway source tree: {relative path: source text}."""
+    for rel, source in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return tmp_path
+
+
+def findings_for(report, rule_id):
+    return [f for f in report.findings if f.rule_id == rule_id]
+
+
+class TestSL201Persistence:
+    def test_raw_writes_fire(self, tmp_path):
+        root = tree(tmp_path, {"mod.py": """
+            import os, shutil
+            from pathlib import Path
+
+            def bad(p: Path):
+                open(p, "w")
+                p.open("wb")
+                p.write_text("x")
+                p.write_bytes(b"x")
+                os.replace("a", "b")
+                shutil.move("a", "b")
+        """})
+        found = findings_for(lint_source(root), "SL201")
+        assert len(found) == 6
+        assert all(f.severity is Severity.ERROR for f in found)
+        assert found[0].path == "mod.py" and found[0].line == 6
+
+    def test_reads_and_atomicio_are_exempt(self, tmp_path):
+        root = tree(tmp_path, {
+            "mod.py": """
+                def ok(p):
+                    with open(p) as fh:
+                        return fh.read()
+            """,
+            "atomicio.py": """
+                import os
+
+                def atomic(p, tmp):
+                    with open(tmp, "w") as fh:
+                        fh.write("x")
+                    os.replace(tmp, p)
+            """,
+        })
+        assert findings_for(lint_source(root), "SL201") == []
+
+
+class TestSL202SimulatorDeterminism:
+    def test_wall_clock_and_unseeded_rng_fire(self, tmp_path):
+        root = tree(tmp_path, {"simulator/engine.py": """
+            import random
+            import time
+            from datetime import datetime
+
+            import numpy as np
+
+            def bad():
+                t = time.time()
+                d = datetime.now()
+                rng = np.random.default_rng()
+                x = np.random.normal()
+                y = random.random()
+                return t, d, rng, x, y
+        """})
+        found = findings_for(lint_source(root), "SL202")
+        assert len(found) == 5
+
+    def test_only_simulator_paths_are_checked(self, tmp_path):
+        root = tree(tmp_path, {"core/clockuser.py": """
+            import time
+
+            def fine():
+                return time.time()
+        """})
+        assert findings_for(lint_source(root), "SL202") == []
+
+    def test_seeded_rng_is_fine(self, tmp_path):
+        root = tree(tmp_path, {"simulator/engine.py": """
+            import random
+
+            import numpy as np
+
+            def ok(seed):
+                return np.random.default_rng(seed), random.Random(seed)
+        """})
+        assert findings_for(lint_source(root), "SL202") == []
+
+
+class TestSL203BareExcept:
+    def test_bare_except_fires(self, tmp_path):
+        root = tree(tmp_path, {"mod.py": """
+            def bad():
+                try:
+                    return 1
+                except:
+                    return 0
+        """})
+        found = findings_for(lint_source(root), "SL203")
+        assert len(found) == 1 and found[0].severity is Severity.WARNING
+
+    def test_typed_except_is_fine(self, tmp_path):
+        root = tree(tmp_path, {"mod.py": """
+            def ok():
+                try:
+                    return 1
+                except ValueError:
+                    return 0
+        """})
+        assert findings_for(lint_source(root), "SL203") == []
+
+
+class TestSL204ExceptionOwnership:
+    def test_foreign_raise_fires(self, tmp_path):
+        root = tree(tmp_path, {"storage/zarrlike.py": """
+            from repro.errors import JournalError
+
+            def bad():
+                raise JournalError("not my vocabulary")
+        """})
+        found = findings_for(lint_source(root), "SL204")
+        assert len(found) == 1
+        assert found[0].element == "JournalError"
+        assert "core/journal.py" in found[0].message
+
+    def test_owner_module_may_raise(self, tmp_path):
+        root = tree(tmp_path, {"core/journal.py": """
+            from repro.errors import JournalError
+
+            def ok():
+                raise JournalError("mine")
+        """})
+        assert findings_for(lint_source(root), "SL204") == []
+
+    def test_unknown_exceptions_ignored(self, tmp_path):
+        root = tree(tmp_path, {"mod.py": """
+            def ok():
+                raise ValueError("stdlib is everyone's")
+        """})
+        assert findings_for(lint_source(root), "SL204") == []
+
+
+class TestSL205LeakedHandles:
+    def test_inline_consumption_fires(self, tmp_path):
+        root = tree(tmp_path, {"mod.py": """
+            def bad(p):
+                return open(p).read()
+        """})
+        found = findings_for(lint_source(root), "SL205")
+        assert len(found) == 1 and "never closed" in found[0].message
+
+    def test_held_handles_are_fine(self, tmp_path):
+        root = tree(tmp_path, {"mod.py": """
+            def ok(p):
+                with open(p) as fh:
+                    data = fh.read()
+                held = open(p)
+                held.close()
+                return data
+        """})
+        assert findings_for(lint_source(root), "SL205") == []
+
+
+class TestSuppressions:
+    def test_inline_suppression_counts(self, tmp_path):
+        root = tree(tmp_path, {"mod.py": """
+            def noisy(p):
+                open(p, "w")  # lint: disable=SL201 -- exercised by a test
+        """})
+        report = lint_source(root)
+        assert findings_for(report, "SL201") == []
+        assert report.suppressed == 1
+
+    def test_suppression_is_rule_specific(self, tmp_path):
+        root = tree(tmp_path, {"mod.py": """
+            def noisy(p):
+                open(p, "w")  # lint: disable=SL205 -- wrong rule listed
+        """})
+        report = lint_source(root)
+        assert len(findings_for(report, "SL201")) == 1
+
+
+class TestRunner:
+    def test_missing_root_raises(self, tmp_path):
+        with pytest.raises(LintError, match="source root does not exist"):
+            lint_source(tmp_path / "nope")
+
+    def test_syntax_error_raises_lint_error(self, tmp_path):
+        root = tree(tmp_path, {"broken.py": "def nope(:\n"})
+        with pytest.raises(LintError):
+            lint_source(root)
+
+    def test_select_limits_rules(self, tmp_path):
+        root = tree(tmp_path, {"mod.py": """
+            def bad(p):
+                open(p, "w")
+        """})
+        report = lint_source(root, select=["SL203"])
+        assert report.checked_rules == ["SL203"]
+        assert report.findings == []
+
+    def test_real_package_is_green(self):
+        """The shipped source tree passes its own lint (satellite 3's bar)."""
+        report = lint_source(default_source_root())
+        assert report.findings == []
+        assert report.suppressed >= 2  # the two justified WAL/tar suppressions
