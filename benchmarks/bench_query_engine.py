@@ -1,0 +1,124 @@
+"""PROVQL query engine: index-aware plans vs naive full scans.
+
+The planner routes attribute-equality predicates through GraphDB value
+indexes when one covers the field.  On a ~10k-element document the
+indexed seed lookup must beat a forced full scan by a wide margin
+(asserted >= 5x below), and the EXPLAIN output must show the
+``SeedIndexLookup`` plan so users can see *why* a query is fast.
+
+The result cache is a separate axis: a repeated query must come back
+from the cache without re-executing.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.prov.document import ProvDocument
+from repro.query import ServiceBackend, execute, parse
+from repro.yprov.service import ProvenanceService
+
+N_ENTITIES = 10_000
+SHARDS = 500  # ex:shard takes one of 500 values -> selective predicate
+INDEXED_QUERY = "MATCH entity WHERE attr.'ex:shard' = 'shard-7' RETURN id"
+
+
+def make_large_document(n_entities: int = N_ENTITIES) -> ProvDocument:
+    """~n_entities entities with attributes plus a generating activity."""
+    doc = ProvDocument()
+    doc.add_namespace("ex", "http://example.org/")
+    doc.activity("ex:produce")
+    for i in range(n_entities):
+        doc.entity(
+            f"ex:item_{i}",
+            {"ex:shard": f"shard-{i % SHARDS}", "ex:seq": i},
+        )
+        if i % 100 == 0:
+            doc.was_generated_by(f"ex:item_{i}", "ex:produce")
+    return doc
+
+
+@pytest.fixture(scope="module")
+def service():
+    svc = ProvenanceService()
+    svc.put_document("big", make_large_document())
+    svc.create_attribute_index("ex:shard")
+    return svc
+
+
+def _time(fn, repeats: int = 5) -> float:
+    """Best-of-N wall time of *fn* in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_explain_shows_index_lookup(service):
+    result = service.query("big", "EXPLAIN " + INDEXED_QUERY)
+    assert result.plan[0] == (
+        "SeedIndexLookup kind=entity field=attr.ex:shard value='shard-7'"
+    )
+
+
+def test_indexed_plan_beats_full_scan(service, capsys):
+    """Acceptance gate: indexed seed lookup >= 5x faster than forced scan."""
+    backend = ServiceBackend(service, doc_id="big")
+    query = parse(INDEXED_QUERY)
+
+    indexed = execute(query, backend)
+    scanned = execute(query, backend, force_scan=True)
+    assert indexed.rows == scanned.rows  # same answer either way
+    assert len(indexed.rows) == N_ENTITIES // SHARDS
+    assert indexed.stats["index_used"] and not scanned.stats["index_used"]
+
+    t_indexed = _time(lambda: execute(query, backend))
+    t_scanned = _time(lambda: execute(query, backend, force_scan=True))
+    speedup = t_scanned / t_indexed
+    with capsys.disabled():
+        print(
+            f"\n[bench_query_engine] {N_ENTITIES} elements: "
+            f"indexed={t_indexed * 1e3:.2f}ms scan={t_scanned * 1e3:.2f}ms "
+            f"speedup={speedup:.1f}x"
+        )
+    assert speedup >= 5.0, f"indexed plan only {speedup:.1f}x faster than scan"
+
+
+def test_indexed_query_latency(benchmark, service):
+    backend = ServiceBackend(service, doc_id="big")
+    query = parse(INDEXED_QUERY)
+    rows = benchmark(lambda: execute(query, backend).rows)
+    assert len(rows) == N_ENTITIES // SHARDS
+
+
+def test_full_scan_latency(benchmark, service):
+    backend = ServiceBackend(service, doc_id="big")
+    query = parse(INDEXED_QUERY)
+    rows = benchmark(lambda: execute(query, backend, force_scan=True).rows)
+    assert len(rows) == N_ENTITIES // SHARDS
+
+
+def test_traversal_query_latency(benchmark, service):
+    query = parse(
+        "MATCH element WHERE id = 'ex:produce' TRAVERSE downstream RETURN id"
+    )
+    backend = ServiceBackend(service, doc_id="big")
+    rows = benchmark(lambda: execute(query, backend).rows)
+    assert len(rows) == N_ENTITIES // 100
+
+
+def test_cache_hit_is_instant(service, capsys):
+    service.query_cache.clear()
+    t_cold = _time(lambda: service.query("big", INDEXED_QUERY), repeats=1)
+    t_warm = _time(lambda: service.query("big", INDEXED_QUERY))
+    assert service.query("big", INDEXED_QUERY).stats["cache_hit"]
+    with capsys.disabled():
+        print(
+            f"\n[bench_query_engine] cache: cold={t_cold * 1e3:.2f}ms "
+            f"warm={t_warm * 1e3:.2f}ms"
+        )
+    assert t_warm <= t_cold

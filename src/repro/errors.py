@@ -177,3 +177,15 @@ class ChecksumError(StoreFormatError):
 
 class LintError(ReproError):
     """Static-analysis engine failure (bad rule, bad baseline, bad target)."""
+
+
+class QueryError(ReproError):
+    """Base class for the PROVQL query engine (:mod:`repro.query`)."""
+
+
+class QuerySyntaxError(QueryError):
+    """A PROVQL query failed to tokenize or parse."""
+
+
+class PlanError(QueryError):
+    """A parsed PROVQL query could not be planned or executed."""

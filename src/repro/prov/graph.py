@@ -145,9 +145,12 @@ def _closure(
     return seen
 
 
-def degree_stats(document: ProvDocument) -> Dict[str, float]:
-    """Simple structural statistics used by the Explorer's summary view."""
-    graph = to_networkx(document)
+def degree_stats(document: ProvDocument, flatten: bool = True) -> Dict[str, float]:
+    """Simple structural statistics used by the Explorer's summary view.
+
+    Pass ``flatten=False`` when *document* is already a flattened view.
+    """
+    graph = to_networkx(document, flatten=flatten)
     n = graph.number_of_nodes()
     m = graph.number_of_edges()
     kinds: Dict[str, int] = {}

@@ -1,0 +1,49 @@
+"""PROVQL: a small declarative query language over PROV documents.
+
+The subsystem is a classic three-stage engine:
+
+* :mod:`repro.query.parser` — hand-written tokenizer + recursive-descent
+  parser producing the typed AST in :mod:`repro.query.ast`;
+* :mod:`repro.query.planner` — logical planner that picks index lookups
+  over scans and pushes seed predicates below traversals;
+* :mod:`repro.query.executor` — runs a plan on either execution backend
+  (:mod:`repro.query.backends`): an in-memory
+  :class:`~repro.prov.document.ProvDocument` or a
+  :class:`~repro.yprov.service.ProvenanceService` graph.
+
+:mod:`repro.query.cache` provides the LRU result cache the service layers
+on top.  A quick taste::
+
+    from repro.query import DocumentBackend, execute
+
+    result = execute(
+        "MATCH entity WHERE attr.yprov4ml:context = 'TRAINING' "
+        "TRAVERSE upstream VIA wasDerivedFrom DEPTH 2 RETURN id, label",
+        DocumentBackend(document),
+    )
+    for row in result.rows:
+        print(row["id"], row["label"])
+"""
+
+from repro.query.ast import Query, quote_literal, render
+from repro.query.backends import DocumentBackend, QueryBackend, ServiceBackend
+from repro.query.cache import GLOBAL_DOC_ID, QueryCache
+from repro.query.executor import QueryResult, execute
+from repro.query.parser import parse
+from repro.query.planner import Plan, plan
+
+__all__ = [
+    "DocumentBackend",
+    "GLOBAL_DOC_ID",
+    "Plan",
+    "Query",
+    "QueryBackend",
+    "QueryCache",
+    "QueryResult",
+    "ServiceBackend",
+    "execute",
+    "parse",
+    "plan",
+    "quote_literal",
+    "render",
+]

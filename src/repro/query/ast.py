@@ -1,0 +1,210 @@
+"""Typed abstract syntax tree for PROVQL queries.
+
+A parsed query is a tree of small frozen dataclasses: one
+:class:`MatchClause` (the seed set), an optional ``WHERE`` expression over
+the seeds, an optional :class:`TraverseClause` (lineage closure) with its
+own optional post-``WHERE``, and one :class:`ReturnClause` (projections
+plus ``LIMIT``/``OFFSET``).  Boolean expressions are
+:class:`Comparison` leaves combined by n-ary :class:`And`/:class:`Or`
+nodes (flattened, so equal queries compare equal regardless of how the
+source text grouped them).
+
+:func:`render` turns any AST back into *canonical* PROVQL text — uppercase
+keywords, single spaces, single-quoted strings — which is what the result
+cache keys on and what the parse → render → parse property tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+#: Literal values a comparison may test against.
+LiteralValue = Union[str, int, float, bool, None]
+
+#: Element kinds a MATCH clause may name (``element`` = any kind).
+MATCH_KINDS = ("entity", "activity", "agent", "element")
+
+#: Traversal directions (PROV edges point back in time, so *upstream*
+#: follows edges forward: the things an element came from).
+DIRECTIONS = ("upstream", "downstream", "both")
+
+#: Simple (non-attribute) field names usable in WHERE and RETURN.
+SIMPLE_FIELDS = ("id", "label", "type", "kind", "doc")
+
+#: Comparison operators.  ``~`` is case-insensitive substring containment.
+OPERATORS = ("=", "!=", "<=", ">=", "<", ">", "~")
+
+
+@dataclass(frozen=True)
+class Field:
+    """A value accessor: a simple field or an ``attr.<name>`` lookup."""
+
+    name: str
+    attr: Optional[str] = None
+
+    def key(self) -> str:
+        """The projection key this field produces in a result row."""
+        return f"attr.{self.attr}" if self.name == "attr" else self.name
+
+    def render(self) -> str:
+        """Canonical PROVQL spelling of the field."""
+        if self.name == "attr":
+            return f"attr.{_quote(self.attr or '')}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One predicate leaf: ``<field> <op> <literal>``."""
+
+    field: Field
+    op: str
+    value: LiteralValue
+
+    def render(self) -> str:
+        """Canonical PROVQL spelling of the comparison."""
+        return f"{self.field.render()} {self.op} {render_literal(self.value)}"
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction of two or more sub-expressions (flattened)."""
+
+    items: Tuple["Expr", ...]
+
+    def render(self) -> str:
+        """Canonical spelling; Or children are parenthesized."""
+        parts = [
+            f"({item.render()})" if isinstance(item, Or) else item.render()
+            for item in self.items
+        ]
+        return " AND ".join(parts)
+
+
+@dataclass(frozen=True)
+class Or:
+    """Disjunction of two or more sub-expressions (flattened)."""
+
+    items: Tuple["Expr", ...]
+
+    def render(self) -> str:
+        """Canonical spelling (OR binds loosest, so no parens needed)."""
+        return " OR ".join(item.render() for item in self.items)
+
+
+Expr = Union[Comparison, And, Or]
+
+
+@dataclass(frozen=True)
+class MatchClause:
+    """``MATCH <kind>`` — the seed element set."""
+
+    kind: str = "element"
+
+
+@dataclass(frozen=True)
+class TraverseClause:
+    """``TRAVERSE <direction> [VIA rel,...] [DEPTH n]`` — lineage closure.
+
+    The working set becomes every element reachable from any seed within
+    ``depth`` hops over the ``via`` relation kinds (all kinds when empty),
+    *excluding* the seeds themselves — the same contract as
+    :meth:`repro.yprov.graphdb.GraphDB.traverse`.
+    """
+
+    direction: str
+    via: Tuple[str, ...] = ()
+    depth: Optional[int] = None
+
+    def render(self) -> str:
+        """Canonical PROVQL spelling of the traverse clause."""
+        out = f"TRAVERSE {self.direction}"
+        if self.via:
+            out += " VIA " + ", ".join(self.via)
+        if self.depth is not None:
+            out += f" DEPTH {self.depth}"
+        return out
+
+
+@dataclass(frozen=True)
+class ReturnClause:
+    """``RETURN <projections> [LIMIT n] [OFFSET n]``.
+
+    An empty ``projections`` tuple means ``RETURN *`` (the standard fields
+    ``kind, id, label, type``).
+    """
+
+    projections: Tuple[Field, ...] = ()
+    limit: Optional[int] = None
+    offset: int = 0
+
+    def render(self) -> str:
+        """Canonical PROVQL spelling of the return clause."""
+        fields = ", ".join(f.render() for f in self.projections) or "*"
+        out = f"RETURN {fields}"
+        if self.limit is not None:
+            out += f" LIMIT {self.limit}"
+        if self.offset:
+            out += f" OFFSET {self.offset}"
+        return out
+
+
+@dataclass(frozen=True)
+class Query:
+    """A full PROVQL query."""
+
+    match: MatchClause = field(default_factory=MatchClause)
+    where: Optional[Expr] = None
+    traverse: Optional[TraverseClause] = None
+    where_post: Optional[Expr] = None
+    returns: ReturnClause = field(default_factory=ReturnClause)
+    explain: bool = False
+
+    def render(self) -> str:
+        """Canonical text of the whole query (see :func:`render`)."""
+        parts = []
+        if self.explain:
+            parts.append("EXPLAIN")
+        parts.append(f"MATCH {self.match.kind}")
+        if self.where is not None:
+            parts.append(f"WHERE {self.where.render()}")
+        if self.traverse is not None:
+            parts.append(self.traverse.render())
+            if self.where_post is not None:
+                parts.append(f"WHERE {self.where_post.render()}")
+        parts.append(self.returns.render())
+        return " ".join(parts)
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace("'", "\\'")
+    return f"'{escaped}'"
+
+
+def render_literal(value: LiteralValue) -> str:
+    """Canonical PROVQL spelling of a literal value."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, int):
+        return str(value)
+    return _quote(value)
+
+
+def render(query: Query) -> str:
+    """Render *query* to canonical PROVQL text.
+
+    Canonical text is stable: ``parse(render(q)) == q`` for any well-formed
+    AST, and two queries that differ only in whitespace, keyword case or
+    redundant parentheses render identically — the result cache keys on it.
+    """
+    return query.render()
+
+
+def quote_literal(text: str) -> str:
+    """Quote *text* as a PROVQL string literal (for building query text)."""
+    return _quote(text)

@@ -1,0 +1,315 @@
+"""Execution backends for the PROVQL engine.
+
+A backend produces *rows* — plain dicts with a fixed shape::
+
+    {"kind": "entity", "id": "ex:model", "label": "model",
+     "type": "yprov4ml:Model" or None, "doc": "run-1" or None,
+     "attrs": {"yprov4ml:context": "TRAINING", ...}}
+
+All field values are strings (or ``None`` for absent ``type``/``doc``);
+attribute values are stringified exactly like
+:meth:`repro.yprov.service.ProvenanceService._ingest` does, which is what
+makes the two backends differentially testable: the same query over the
+same document must return identical rows from both.
+
+* :class:`DocumentBackend` — runs over an in-memory
+  :class:`~repro.prov.document.ProvDocument`, building tiny hash indexes
+  on ``id``/``label``/``type`` and an adjacency list from the declared
+  relations.
+* :class:`ServiceBackend` — runs over a
+  :class:`~repro.yprov.service.ProvenanceService`'s embedded
+  :class:`~repro.yprov.graphdb.GraphDB`, using its ``(label, property)``
+  value indexes for lookups and its BFS for traversals.  All graph access
+  happens under the service lock.
+
+Relations whose endpoints are not both declared in the document (dangling
+references) are excluded from traversal by *both* backends — the service
+never ingests them into the graph, and the document backend mirrors that.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import PlanError
+from repro.prov.document import ProvDocument
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service imports us)
+    from repro.yprov.graphdb import Node
+    from repro.yprov.service import ProvenanceService
+
+#: One result row (pre-projection).
+Row = Dict[str, Any]
+
+#: PROVQL traversal direction -> GraphDB BFS direction.  PROV edges point
+#: "back in time" (entity -> generating activity), so *upstream* follows
+#: edges forward.
+_DIRECTION_MAP = {"upstream": "out", "downstream": "in", "both": "both"}
+
+
+class QueryBackend:
+    """Interface the executor drives; see module docstring for row shape."""
+
+    #: Short name surfaced in result stats.
+    name = "abstract"
+
+    def indexed_fields(self) -> FrozenSet[str]:
+        """Projection keys answerable via equality index lookup."""
+        raise NotImplementedError
+
+    def scan(self, kind: str) -> List[Row]:
+        """All rows of *kind* (``element`` = every kind)."""
+        raise NotImplementedError
+
+    def lookup(self, kind: str, field_key: str, value: str) -> List[Row]:
+        """Rows of *kind* whose *field_key* equals *value*, via an index."""
+        raise NotImplementedError
+
+    def traverse(
+        self,
+        seeds: List[Row],
+        direction: str,
+        via: Tuple[str, ...],
+        depth: Optional[int],
+    ) -> List[Row]:
+        """BFS closure rows reachable from *seeds* (excluding the seeds)."""
+        raise NotImplementedError
+
+
+def _element_row(kind: str, qn: Any, element: Any, doc_id: Optional[str]) -> Row:
+    """Build a row from a document element, mirroring service ingestion."""
+    return {
+        "kind": kind,
+        "id": qn.provjson(),
+        "label": element.label or qn.localpart,
+        "type": str(element.prov_type) if element.prov_type else None,
+        "doc": doc_id,
+        "attrs": {k: str(v) for k, v in element.attributes.items()},
+    }
+
+
+class DocumentBackend(QueryBackend):
+    """Query backend over an in-memory :class:`ProvDocument`.
+
+    Pass ``flatten=False`` when the caller already holds a flattened
+    document (e.g. the Explorer's flatten cache) to avoid re-merging
+    bundles.  *doc_id* fills each row's ``doc`` field so results can be
+    compared byte-for-byte against the service backend.
+    """
+
+    name = "document"
+
+    def __init__(
+        self,
+        document: ProvDocument,
+        doc_id: Optional[str] = None,
+        flatten: bool = True,
+    ) -> None:
+        flat = document.flattened() if flatten else document
+        self._rows: List[Row] = []
+        self._by_id: Dict[str, Row] = {}
+        self._by_field: Dict[str, Dict[str, List[Row]]] = {
+            "id": {},
+            "label": {},
+            "type": {},
+        }
+        for kind, table in (
+            ("entity", flat.entities),
+            ("activity", flat.activities),
+            ("agent", flat.agents),
+        ):
+            for qn, element in table.items():
+                row = _element_row(kind, qn, element, doc_id)
+                self._rows.append(row)
+                self._by_id[row["id"]] = row
+                for key in ("id", "label", "type"):
+                    if row[key] is not None:
+                        self._by_field[key].setdefault(row[key], []).append(row)
+        # adjacency over declared endpoints only (same contract as the
+        # service graph: dangling references stay in the text, not the walk)
+        self._out: Dict[str, List[Tuple[str, str]]] = {}
+        self._in: Dict[str, List[Tuple[str, str]]] = {}
+        for rel in flat.relations:
+            target = rel.target
+            if target is None:
+                continue
+            src, dst = rel.source.provjson(), target.provjson()
+            if src not in self._by_id or dst not in self._by_id:
+                continue
+            self._out.setdefault(src, []).append((dst, rel.kind))
+            self._in.setdefault(dst, []).append((src, rel.kind))
+
+    def indexed_fields(self) -> FrozenSet[str]:
+        """``id``/``label``/``type`` hash maps built at construction."""
+        return frozenset(self._by_field)
+
+    def scan(self, kind: str) -> List[Row]:
+        """All rows, linearly filtered by kind."""
+        if kind == "element":
+            return list(self._rows)
+        return [row for row in self._rows if row["kind"] == kind]
+
+    def lookup(self, kind: str, field_key: str, value: str) -> List[Row]:
+        """Hash-map equality lookup, then kind filter."""
+        rows = self._by_field[field_key].get(value, [])
+        if kind == "element":
+            return list(rows)
+        return [row for row in rows if row["kind"] == kind]
+
+    def traverse(
+        self,
+        seeds: List[Row],
+        direction: str,
+        via: Tuple[str, ...],
+        depth: Optional[int],
+    ) -> List[Row]:
+        """Multi-source BFS over the declared-relation adjacency lists."""
+        if direction not in _DIRECTION_MAP:
+            raise PlanError(f"invalid traversal direction: {direction!r}")
+        allowed = set(via) if via else None
+        seen = {row["id"] for row in seeds}
+        frontier = [row["id"] for row in seeds]
+        order: List[str] = []
+        level = 0
+        while frontier and (depth is None or level < depth):
+            nxt: List[str] = []
+            for node in frontier:
+                neighbors: List[Tuple[str, str]] = []
+                if direction in ("upstream", "both"):
+                    neighbors.extend(self._out.get(node, ()))
+                if direction in ("downstream", "both"):
+                    neighbors.extend(self._in.get(node, ()))
+                for other, rel_kind in neighbors:
+                    if allowed is not None and rel_kind not in allowed:
+                        continue
+                    if other not in seen:
+                        seen.add(other)
+                        order.append(other)
+                        nxt.append(other)
+            frontier = nxt
+            level += 1
+        return [self._by_id[node] for node in order]
+
+
+#: Simple field key -> graph node property (ServiceBackend).
+_FIELD_PROPS = {
+    "id": "qualified_name",
+    "label": "label",
+    "type": "prov_type",
+    "doc": "doc_id",
+}
+
+#: Prefix under which element attributes are stored as flat node
+#: properties (so ``(ProvElement, a:<name>)`` value indexes can serve
+#: ``attr.<name>`` equality lookups).
+ATTR_PROP_PREFIX = "a:"
+
+
+def attr_prop(name: str) -> str:
+    """Graph property name storing attribute *name* (``a:<name>``)."""
+    return ATTR_PROP_PREFIX + name
+
+
+def _field_prop(field_key: str) -> str:
+    """Map a projection key to its graph node property name."""
+    if field_key.startswith("attr."):
+        return attr_prop(field_key[len("attr."):])
+    prop = _FIELD_PROPS.get(field_key)
+    if prop is None:
+        raise PlanError(f"field {field_key!r} has no graph property mapping")
+    return prop
+
+
+class ServiceBackend(QueryBackend):
+    """Query backend over a :class:`ProvenanceService`'s graph database.
+
+    *doc_id* restricts every operation to one document; ``None`` queries
+    the whole service (used by :meth:`Explorer.find_runs`).  Every graph
+    access takes the service lock, so queries are safe against concurrent
+    ``put_document``/``delete_document`` from the REST front-end.
+    """
+
+    name = "service"
+
+    def __init__(
+        self, service: "ProvenanceService", doc_id: Optional[str] = None
+    ) -> None:
+        self._service = service
+        self._db = service.db
+        self._doc_id = doc_id
+
+    def _row(self, node: "Node") -> Row:
+        props = node.properties
+        return {
+            "kind": next(iter(node.labels - {"ProvElement"})).lower(),
+            "id": props["qualified_name"],
+            "label": props["label"],
+            "type": props["prov_type"],
+            "doc": props["doc_id"],
+            "attrs": {
+                key[len(ATTR_PROP_PREFIX):]: value
+                for key, value in props.items()
+                if key.startswith(ATTR_PROP_PREFIX)
+            },
+        }
+
+    def indexed_fields(self) -> FrozenSet[str]:
+        """Fields covered by a ``(ProvElement, property)`` value index."""
+        fields = set()
+        with self._service._lock:
+            for label, prop in self._db.indexes():
+                if label != "ProvElement":
+                    continue
+                if prop.startswith(ATTR_PROP_PREFIX):
+                    fields.add("attr." + prop[len(ATTR_PROP_PREFIX):])
+                else:
+                    for field_key, field_prop in _FIELD_PROPS.items():
+                        if field_prop == prop:
+                            fields.add(field_key)
+        return frozenset(fields)
+
+    def _match(self, kind: str, props: Dict[str, Any]) -> List[Row]:
+        if self._doc_id is not None:
+            props = dict(props, doc_id=self._doc_id)
+        with self._service._lock:
+            nodes = self._db.match_nodes(
+                label="ProvElement", properties=props or None
+            )
+            rows = [
+                self._row(node)
+                for node in nodes
+                if kind == "element" or node.has_label(kind.capitalize())
+            ]
+        return rows
+
+    def scan(self, kind: str) -> List[Row]:
+        """All ProvElement nodes (doc-restricted), kind filter in Python."""
+        return self._match(kind, {})
+
+    def lookup(self, kind: str, field_key: str, value: str) -> List[Row]:
+        """Equality match served by the GraphDB value indexes."""
+        return self._match(kind, {_field_prop(field_key): value})
+
+    def traverse(
+        self,
+        seeds: List[Row],
+        direction: str,
+        via: Tuple[str, ...],
+        depth: Optional[int],
+    ) -> List[Row]:
+        """Multi-source BFS via :meth:`GraphDB.traverse_many`."""
+        if direction not in _DIRECTION_MAP:
+            raise PlanError(f"invalid traversal direction: {direction!r}")
+        with self._service._lock:
+            node_ids = []
+            for row in seeds:
+                node_id = self._service._node_ids.get(row["doc"], {}).get(row["id"])
+                if node_id is not None:
+                    node_ids.append(node_id)
+            reached = self._db.traverse_many(
+                node_ids,
+                direction=_DIRECTION_MAP[direction],
+                types=via or None,
+                max_depth=depth,
+            )
+            return [self._row(self._db.get_node(i)) for i in reached]

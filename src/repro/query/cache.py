@@ -1,0 +1,85 @@
+"""LRU result cache for PROVQL queries.
+
+Keys are ``(doc_id, content_hash, canonical_query)`` tuples — the
+canonical query text comes from :func:`repro.query.ast.render`, so two
+queries that differ only in whitespace, keyword case or redundant
+parentheses share an entry.  The content hash makes staleness structurally
+impossible (a replaced document produces different keys), while
+:meth:`QueryCache.invalidate` eagerly drops a document's entries on
+``put_document``/``delete_document`` so dead entries don't occupy LRU
+slots.  Service-wide queries use the reserved doc id ``"*"`` and are
+dropped on *every* invalidation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+#: Reserved doc id for cross-document (service-wide) query entries.
+GLOBAL_DOC_ID = "*"
+
+CacheKey = Tuple[str, str, Hashable]
+
+
+class QueryCache:
+    """Bounded LRU mapping of cache keys to query results.
+
+    The cache stores whatever value the caller hands it (the service
+    stores :class:`~repro.query.executor.QueryResult` objects and copies
+    them on both put and get, so cached rows are never aliased by
+    callers).
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> Optional[Any]:
+        """The cached value for *key* (marked most-recent), else ``None``."""
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: CacheKey, value: Any) -> None:
+        """Insert/refresh *key*, evicting the least-recent entry if full."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, doc_id: str) -> int:
+        """Drop entries for *doc_id* (and all service-wide entries)."""
+        stale = [
+            key
+            for key in self._entries
+            if key[0] == doc_id or key[0] == GLOBAL_DOC_ID
+        ]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def clear(self) -> None:
+        """Drop everything (counters survive)."""
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters for observability endpoints."""
+        return {
+            "entries": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+        }

@@ -1,0 +1,166 @@
+"""PROVQL executor: run a :class:`~repro.query.planner.Plan` on a backend.
+
+Comparison semantics (shared by both backends, because rows store every
+field as a string or ``None``):
+
+* ``~`` — case-insensitive substring containment; ``False`` when the row
+  value is missing.
+* ``=`` / ``!=`` — ``NULL`` tests presence; ``TRUE``/``FALSE`` compare
+  against Python's ``str(bool)`` spelling (how attributes were
+  stringified at ingest); numeric literals coerce the row value with
+  ``float(...)`` (no match when unparseable); strings compare exactly.
+* ``<`` / ``<=`` / ``>`` / ``>=`` — numeric when the literal is a number
+  and the row value parses as one; lexicographic for string literals;
+  always ``False`` against ``NULL``/boolean literals or missing values.
+
+``EXPLAIN`` queries return the plan without touching the graph (zero
+rows, ``stats["explained"] = True``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.query.ast import And, Comparison, Expr, Field, Or, Query
+from repro.query.backends import QueryBackend, Row
+from repro.query.parser import parse
+from repro.query.planner import Plan, plan
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the plan that produced them and execution counters."""
+
+    rows: List[Dict[str, Any]]
+    plan: List[str]
+    stats: Dict[str, Any] = dc_field(default_factory=dict)
+
+    def copy(self) -> "QueryResult":
+        """Independent copy (cache hits must not alias cached rows)."""
+        return QueryResult(
+            rows=[dict(row) for row in self.rows],
+            plan=list(self.plan),
+            stats=dict(self.stats),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (REST response body / CLI output)."""
+        return {"rows": self.rows, "plan": self.plan, "stats": self.stats}
+
+
+def field_value(row: Row, field: Field) -> Optional[str]:
+    """Extract a field's value from a row (``None`` when absent)."""
+    if field.name == "attr":
+        return row["attrs"].get(field.attr)
+    return row[field.name]
+
+
+def _equals(value: Optional[str], literal: Any) -> bool:
+    if literal is None:
+        return value is None
+    if value is None:
+        return False
+    if isinstance(literal, bool):
+        return value == str(literal)
+    if isinstance(literal, (int, float)):
+        try:
+            return float(value) == float(literal)
+        except ValueError:
+            return False
+    return value == literal
+
+
+def _ordered(value: Optional[str], op: str, literal: Any) -> bool:
+    if value is None or literal is None or isinstance(literal, bool):
+        return False
+    if isinstance(literal, (int, float)):
+        try:
+            left: Any = float(value)
+        except ValueError:
+            return False
+        right: Any = float(literal)
+    else:
+        left, right = value, literal
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right
+
+
+def eval_comparison(row: Row, comp: Comparison) -> bool:
+    """Evaluate one comparison against a row (see module docstring)."""
+    value = field_value(row, comp.field)
+    if comp.op == "~":
+        if value is None:
+            return False
+        return str(comp.value).lower() in value.lower()
+    if comp.op == "=":
+        return _equals(value, comp.value)
+    if comp.op == "!=":
+        return not _equals(value, comp.value)
+    return _ordered(value, comp.op, comp.value)
+
+
+def eval_expr(row: Row, expr: Expr) -> bool:
+    """Evaluate a boolean expression tree against a row."""
+    if isinstance(expr, Comparison):
+        return eval_comparison(row, expr)
+    if isinstance(expr, And):
+        return all(eval_expr(row, item) for item in expr.items)
+    if isinstance(expr, Or):
+        return any(eval_expr(row, item) for item in expr.items)
+    raise TypeError(f"not a PROVQL expression: {expr!r}")
+
+
+def _project(rows: List[Row], the_plan: Plan) -> List[Dict[str, Any]]:
+    fields = the_plan.projections()
+    return [{f.key(): field_value(row, f) for f in fields} for row in rows]
+
+
+def execute(
+    query: Union[str, Query],
+    backend: QueryBackend,
+    force_scan: bool = False,
+) -> QueryResult:
+    """Parse (if needed), plan and run *query* against *backend*.
+
+    ``force_scan=True`` disables index selection so scan and indexed
+    executions can be compared (same rows, different plan).
+    """
+    parsed = parse(query) if isinstance(query, str) else query
+    the_plan = plan(parsed, backend.indexed_fields(), force_scan=force_scan)
+    stats: Dict[str, Any] = {
+        "backend": backend.name,
+        "index_used": the_plan.uses_index,
+        "cache_hit": False,
+    }
+    if parsed.explain:
+        stats["explained"] = True
+        return QueryResult(rows=[], plan=the_plan.lines(), stats=stats)
+
+    if the_plan.seed_index is not None:
+        fld, value = the_plan.seed_index
+        rows = backend.lookup(the_plan.seed_kind, fld.key(), value)
+    else:
+        rows = backend.scan(the_plan.seed_kind)
+    if the_plan.seed_filter is not None:
+        rows = [row for row in rows if eval_expr(row, the_plan.seed_filter)]
+    stats["seed_rows"] = len(rows)
+
+    if the_plan.traverse is not None:
+        t = the_plan.traverse
+        rows = backend.traverse(rows, t.direction, t.via, t.depth)
+        if the_plan.post_filter is not None:
+            rows = [row for row in rows if eval_expr(row, the_plan.post_filter)]
+        stats["traversed_rows"] = len(rows)
+
+    rows.sort(key=lambda row: (row["doc"] or "", row["id"]))
+    start = the_plan.returns.offset
+    stop = None if the_plan.returns.limit is None else start + the_plan.returns.limit
+    rows = rows[start:stop]
+    stats["returned_rows"] = len(rows)
+    return QueryResult(rows=_project(rows, the_plan), plan=the_plan.lines(), stats=stats)

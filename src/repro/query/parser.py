@@ -1,0 +1,354 @@
+"""Hand-written tokenizer and recursive-descent parser for PROVQL.
+
+Grammar (keywords case-insensitive; ``[...]`` optional, ``*`` repetition)::
+
+    query      := [EXPLAIN] match [where] [traverse [where]] return
+    match      := MATCH (ENTITY | ACTIVITY | AGENT | ELEMENT)
+    traverse   := TRAVERSE (UPSTREAM | DOWNSTREAM | BOTH)
+                  [VIA relation (',' relation)*] [DEPTH int]
+    where      := WHERE or_expr
+    or_expr    := and_expr (OR and_expr)*
+    and_expr   := primary (AND primary)*
+    primary    := '(' or_expr ')' | comparison
+    comparison := field op literal
+    field      := 'id' | 'label' | 'type' | 'kind' | 'doc'
+                | 'attr' '.' (name | string)
+    op         := '=' | '!=' | '<' | '<=' | '>' | '>=' | '~'
+    literal    := string | number | TRUE | FALSE | NULL
+    return     := RETURN ('*' | field (',' field)*) [LIMIT int] [OFFSET int]
+
+Strings use single or double quotes with backslash escapes.  Bare names
+(relation kinds, attribute names) may contain letters, digits, ``_``,
+``:`` and ``-`` — enough for qualified names like
+``yprov4ml:RunExecution`` without quoting; attribute names with other
+characters can be quoted (``attr.'weird name'``).  Relation kinds in
+``VIA`` are validated against the PROV-DM vocabulary so typos fail at
+parse time.
+
+All failures raise :class:`repro.errors.QuerySyntaxError` with the
+offending position.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import QuerySyntaxError
+from repro.prov.model import PROV_REL_ARGS
+from repro.query.ast import (
+    And,
+    Comparison,
+    DIRECTIONS,
+    Expr,
+    Field,
+    LiteralValue,
+    MATCH_KINDS,
+    MatchClause,
+    Or,
+    Query,
+    ReturnClause,
+    SIMPLE_FIELDS,
+    TraverseClause,
+)
+
+_KEYWORDS = frozenset(
+    {
+        "EXPLAIN", "MATCH", "WHERE", "TRAVERSE", "VIA", "DEPTH",
+        "RETURN", "LIMIT", "OFFSET", "AND", "OR", "TRUE", "FALSE", "NULL",
+    }
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:\\.|[^'\\])*'|"(?:\\.|[^"\\])*")
+  | (?P<number>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)
+  | (?P<op>!=|<=|>=|[=<>~])
+  | (?P<punct>[(),.*])
+  | (?P<word>[A-Za-z_][A-Za-z0-9_:\-]*)
+    """,
+    re.VERBOSE,
+)
+
+_ESCAPE_RE = re.compile(r"\\(.)")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: its category, decoded value, and source offset."""
+
+    kind: str  # "string" | "number" | "op" | "punct" | "word" | "end"
+    value: object
+    pos: int
+
+    @property
+    def text(self) -> str:
+        """Display form used in error messages."""
+        return "end of query" if self.kind == "end" else repr(self.value)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split *text* into :class:`Token` objects (ending with an ``end``)."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise QuerySyntaxError(
+                f"unexpected character {text[pos]!r} at position {pos}"
+            )
+        if match.lastgroup == "string":
+            raw = match.group()[1:-1]
+            tokens.append(Token("string", _ESCAPE_RE.sub(r"\1", raw), pos))
+        elif match.lastgroup == "number":
+            raw = match.group()
+            value: object = (
+                float(raw) if any(c in raw for c in ".eE") else int(raw)
+            )
+            tokens.append(Token("number", value, pos))
+        elif match.lastgroup == "op":
+            tokens.append(Token("op", match.group(), pos))
+        elif match.lastgroup == "punct":
+            tokens.append(Token("punct", match.group(), pos))
+        elif match.lastgroup == "word":
+            tokens.append(Token("word", match.group(), pos))
+        pos = match.end()
+    tokens.append(Token("end", "", pos))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over a token stream."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- stream helpers ----------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "end":
+            self._index += 1
+        return token
+
+    def _error(self, message: str, token: Optional[Token] = None) -> QuerySyntaxError:
+        token = token or self._peek()
+        return QuerySyntaxError(f"{message}, got {token.text} at position {token.pos}")
+
+    def _is_keyword(self, token: Token, *names: str) -> bool:
+        return token.kind == "word" and token.value.upper() in names  # type: ignore[union-attr]
+
+    def _expect_keyword(self, *names: str) -> str:
+        token = self._next()
+        if not self._is_keyword(token, *names):
+            raise self._error(f"expected {' or '.join(names)}", token)
+        return str(token.value).upper()
+
+    def _expect_punct(self, char: str) -> None:
+        token = self._next()
+        if token.kind != "punct" or token.value != char:
+            raise self._error(f"expected {char!r}", token)
+
+    def _expect_int(self, what: str) -> int:
+        token = self._next()
+        if token.kind != "number" or not isinstance(token.value, int) or token.value < 0:
+            raise self._error(f"expected a non-negative integer for {what}", token)
+        return token.value
+
+    # -- grammar -----------------------------------------------------------
+    def parse_query(self) -> Query:
+        """``query := [EXPLAIN] match [where] [traverse [where]] return``."""
+        explain = False
+        if self._is_keyword(self._peek(), "EXPLAIN"):
+            self._next()
+            explain = True
+        self._expect_keyword("MATCH")
+        kind_word = self._next()
+        if kind_word.kind != "word" or str(kind_word.value).lower() not in MATCH_KINDS:
+            raise self._error(
+                f"expected one of {', '.join(MATCH_KINDS)} after MATCH", kind_word
+            )
+        match = MatchClause(kind=str(kind_word.value).lower())
+
+        where: Optional[Expr] = None
+        if self._is_keyword(self._peek(), "WHERE"):
+            self._next()
+            where = self.parse_expr()
+
+        traverse: Optional[TraverseClause] = None
+        where_post: Optional[Expr] = None
+        if self._is_keyword(self._peek(), "TRAVERSE"):
+            traverse = self.parse_traverse()
+            if self._is_keyword(self._peek(), "WHERE"):
+                self._next()
+                where_post = self.parse_expr()
+
+        returns = self.parse_return()
+        tail = self._peek()
+        if tail.kind != "end":
+            raise self._error("expected end of query", tail)
+        return Query(
+            match=match,
+            where=where,
+            traverse=traverse,
+            where_post=where_post,
+            returns=returns,
+            explain=explain,
+        )
+
+    def parse_traverse(self) -> TraverseClause:
+        """``TRAVERSE direction [VIA rel,...] [DEPTH n]``."""
+        self._expect_keyword("TRAVERSE")
+        token = self._next()
+        if token.kind != "word" or str(token.value).lower() not in DIRECTIONS:
+            raise self._error(
+                f"expected one of {', '.join(DIRECTIONS)} after TRAVERSE", token
+            )
+        direction = str(token.value).lower()
+        via: Tuple[str, ...] = ()
+        if self._is_keyword(self._peek(), "VIA"):
+            self._next()
+            names: List[str] = []
+            while True:
+                rel = self._next()
+                if rel.kind != "word":
+                    raise self._error("expected a relation kind after VIA", rel)
+                name = str(rel.value)
+                if name not in PROV_REL_ARGS:
+                    raise QuerySyntaxError(
+                        f"unknown relation kind {name!r} at position {rel.pos} "
+                        f"(expected one of {', '.join(sorted(PROV_REL_ARGS))})"
+                    )
+                names.append(name)
+                if self._peek().kind == "punct" and self._peek().value == ",":
+                    self._next()
+                    continue
+                break
+            via = tuple(names)
+        depth: Optional[int] = None
+        if self._is_keyword(self._peek(), "DEPTH"):
+            self._next()
+            depth = self._expect_int("DEPTH")
+        return TraverseClause(direction=direction, via=via, depth=depth)
+
+    def parse_return(self) -> ReturnClause:
+        """``RETURN ('*' | field,...) [LIMIT n] [OFFSET n]``."""
+        self._expect_keyword("RETURN")
+        projections: Tuple[Field, ...] = ()
+        if self._peek().kind == "punct" and self._peek().value == "*":
+            self._next()
+        else:
+            fields: List[Field] = [self.parse_field()]
+            while self._peek().kind == "punct" and self._peek().value == ",":
+                self._next()
+                fields.append(self.parse_field())
+            projections = tuple(fields)
+        limit: Optional[int] = None
+        offset = 0
+        if self._is_keyword(self._peek(), "LIMIT"):
+            self._next()
+            limit = self._expect_int("LIMIT")
+        if self._is_keyword(self._peek(), "OFFSET"):
+            self._next()
+            offset = self._expect_int("OFFSET")
+        return ReturnClause(projections=projections, limit=limit, offset=offset)
+
+    def parse_expr(self) -> Expr:
+        """``or_expr := and_expr (OR and_expr)*`` (n-ary, flattened)."""
+        items = [self.parse_and()]
+        while self._is_keyword(self._peek(), "OR"):
+            self._next()
+            items.append(self.parse_and())
+        if len(items) == 1:
+            return items[0]
+        flat: List[Expr] = []
+        for item in items:
+            flat.extend(item.items if isinstance(item, Or) else [item])
+        return Or(tuple(flat))
+
+    def parse_and(self) -> Expr:
+        """``and_expr := primary (AND primary)*`` (n-ary, flattened)."""
+        items = [self.parse_primary()]
+        while self._is_keyword(self._peek(), "AND"):
+            self._next()
+            items.append(self.parse_primary())
+        if len(items) == 1:
+            return items[0]
+        flat: List[Expr] = []
+        for item in items:
+            flat.extend(item.items if isinstance(item, And) else [item])
+        return And(tuple(flat))
+
+    def parse_primary(self) -> Expr:
+        """``primary := '(' or_expr ')' | comparison``."""
+        if self._peek().kind == "punct" and self._peek().value == "(":
+            self._next()
+            inner = self.parse_expr()
+            self._expect_punct(")")
+            return inner
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Comparison:
+        """``comparison := field op literal``."""
+        field = self.parse_field()
+        token = self._next()
+        if token.kind != "op":
+            raise self._error("expected a comparison operator", token)
+        op = str(token.value)
+        value = self.parse_literal()
+        if op == "~" and not isinstance(value, str):
+            raise QuerySyntaxError(
+                f"the ~ operator requires a string literal at position {token.pos}"
+            )
+        return Comparison(field=field, op=op, value=value)
+
+    def parse_field(self) -> Field:
+        """``field := simple-name | attr '.' (name | string)``."""
+        token = self._next()
+        if token.kind != "word":
+            raise self._error("expected a field name", token)
+        name = str(token.value).lower()
+        if name in SIMPLE_FIELDS:
+            return Field(name=name)
+        if name == "attr":
+            self._expect_punct(".")
+            attr = self._next()
+            if attr.kind == "string":
+                return Field(name="attr", attr=str(attr.value))
+            if attr.kind == "word":
+                return Field(name="attr", attr=str(attr.value))
+            raise self._error("expected an attribute name after attr.", attr)
+        raise self._error(
+            f"expected a field ({', '.join(SIMPLE_FIELDS)}, attr.<name>)", token
+        )
+
+    def parse_literal(self) -> LiteralValue:
+        """``literal := string | number | TRUE | FALSE | NULL``."""
+        token = self._next()
+        if token.kind == "string":
+            return str(token.value)
+        if token.kind == "number":
+            return token.value  # type: ignore[return-value]
+        if self._is_keyword(token, "TRUE"):
+            return True
+        if self._is_keyword(token, "FALSE"):
+            return False
+        if self._is_keyword(token, "NULL"):
+            return None
+        raise self._error("expected a literal value", token)
+
+
+def parse(text: str) -> Query:
+    """Parse PROVQL *text* into a :class:`~repro.query.ast.Query` AST.
+
+    Raises :class:`~repro.errors.QuerySyntaxError` on any lexical or
+    grammatical problem, with the source position of the offending token.
+    """
+    if not text or not text.strip():
+        raise QuerySyntaxError("empty query")
+    return _Parser(tokenize(text)).parse_query()

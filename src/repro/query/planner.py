@@ -1,0 +1,160 @@
+"""Logical planner: turn a PROVQL AST into an executable :class:`Plan`.
+
+The planner makes one optimization decision — how to produce the *seed*
+set — and records everything else as a fixed step sequence:
+
+1. **Seed**: an index lookup when the seed ``WHERE`` contains a top-level
+   equality conjunct on a field the backend has a value index for
+   (``SeedIndexLookup``); otherwise a full scan of the matched kind
+   (``SeedScan``).  The indexed conjunct is removed from the residual
+   filter, so it is never re-evaluated.
+2. **Filter** (seed): the residual seed predicate, pushed *below* the
+   traversal — seeds are filtered before any graph walk starts.
+3. **Traverse**: bounded BFS closure of the seeds (optional).
+4. **Filter** (post): the post-traversal predicate (optional).
+5. **Sort / Slice / Project**: deterministic ``(doc, id)`` ordering,
+   ``OFFSET``/``LIMIT``, then projection.
+
+Only equality against a *string* literal is pushed into an index: the
+graph stores element fields and attributes as strings, so a numeric
+equality like ``attr.rows = 100`` must go through the executor's coercing
+comparison (``float("100") == 100.0``), which an exact-value index lookup
+cannot answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.query.ast import (
+    And,
+    Comparison,
+    Expr,
+    Field,
+    Query,
+    ReturnClause,
+    TraverseClause,
+    render_literal,
+)
+
+#: Projection used for ``RETURN *``.
+STAR_FIELDS: Tuple[Field, ...] = (
+    Field("kind"),
+    Field("id"),
+    Field("label"),
+    Field("type"),
+)
+
+
+@dataclass(frozen=True)
+class Plan:
+    """An executable query plan (see module docstring for step order)."""
+
+    seed_kind: str
+    seed_index: Optional[Tuple[Field, str]]
+    seed_filter: Optional[Expr]
+    traverse: Optional[TraverseClause]
+    post_filter: Optional[Expr]
+    returns: ReturnClause
+
+    @property
+    def uses_index(self) -> bool:
+        """True when the seed set comes from an index lookup, not a scan."""
+        return self.seed_index is not None
+
+    def projections(self) -> Tuple[Field, ...]:
+        """The effective projection list (``*`` expanded)."""
+        return self.returns.projections or STAR_FIELDS
+
+    def lines(self) -> List[str]:
+        """Human-readable plan steps (what ``EXPLAIN`` shows)."""
+        out: List[str] = []
+        if self.seed_index is not None:
+            fld, value = self.seed_index
+            out.append(
+                f"SeedIndexLookup kind={self.seed_kind} "
+                f"field={fld.key()} value={render_literal(value)}"
+            )
+        else:
+            out.append(f"SeedScan kind={self.seed_kind}")
+        if self.seed_filter is not None:
+            out.append(f"Filter {self.seed_filter.render()}")
+        if self.traverse is not None:
+            t = self.traverse
+            line = f"Traverse direction={t.direction}"
+            if t.via:
+                line += " via=" + ",".join(t.via)
+            if t.depth is not None:
+                line += f" depth={t.depth}"
+            out.append(line)
+        if self.post_filter is not None:
+            out.append(f"Filter {self.post_filter.render()}")
+        out.append("Sort doc, id")
+        if self.returns.limit is not None or self.returns.offset:
+            line = "Slice"
+            if self.returns.limit is not None:
+                line += f" limit={self.returns.limit}"
+            if self.returns.offset:
+                line += f" offset={self.returns.offset}"
+            out.append(line)
+        out.append("Project " + ", ".join(f.key() for f in self.projections()))
+        return out
+
+    def render(self) -> str:
+        """The plan as one newline-joined string."""
+        return "\n".join(self.lines())
+
+
+def _conjuncts(expr: Optional[Expr]) -> List[Expr]:
+    """Top-level AND-ed terms of *expr* (a lone term is one conjunct)."""
+    if expr is None:
+        return []
+    if isinstance(expr, And):
+        return list(expr.items)
+    return [expr]
+
+
+def _recombine(terms: List[Expr]) -> Optional[Expr]:
+    """Rebuild a filter expression from leftover conjuncts."""
+    if not terms:
+        return None
+    if len(terms) == 1:
+        return terms[0]
+    return And(tuple(terms))
+
+
+def plan(
+    query: Query,
+    indexed_fields: FrozenSet[str],
+    force_scan: bool = False,
+) -> Plan:
+    """Plan *query* against a backend advertising *indexed_fields*.
+
+    *indexed_fields* holds projection keys (``id``, ``label``, ``type``,
+    ``doc``, ``attr.<name>``) the backend can answer equality lookups for
+    without a scan.  ``force_scan=True`` disables index selection — used
+    by the benchmark to measure the scan/index gap, and by tests to prove
+    plans differ while results do not.
+    """
+    seed_index: Optional[Tuple[Field, str]] = None
+    residual = _conjuncts(query.where)
+    if not force_scan:
+        for term in residual:
+            if (
+                isinstance(term, Comparison)
+                and term.op == "="
+                and isinstance(term.value, str)
+                and term.field.key() in indexed_fields
+            ):
+                seed_index = (term.field, term.value)
+                residual = [t for t in residual if t is not term]
+                break
+    return Plan(
+        seed_kind=query.match.kind,
+        seed_index=seed_index,
+        seed_filter=_recombine(residual),
+        traverse=query.traverse,
+        post_filter=query.where_post,
+        returns=query.returns,
+    )

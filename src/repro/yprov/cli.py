@@ -9,6 +9,7 @@ All commands operate on a persistent service rooted at ``--root``
     yprov get run1 -o out.json                # retrieve a document
     yprov delete run1
     yprov lineage run1 'ex:artifact/model.bin' --direction upstream
+    yprov query run1 "MATCH entity WHERE label ~ 'model' RETURN *" --explain
     yprov stats run1
     yprov validate prov/demo_0/prov.json      # offline PROV-CONSTRAINTS check
     yprov handle mint run1
@@ -103,6 +104,36 @@ def cmd_lineage(args: argparse.Namespace) -> int:
     explorer = Explorer(service)
     for qn in explorer.lineage_of(args.doc_id, args.element, direction=args.direction):
         print(qn)
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """Handle ``yprov query``: run a PROVQL query against a document."""
+    import json as _json
+
+    query_text = args.query
+    if args.explain and not query_text.lstrip().lower().startswith("explain"):
+        query_text = "EXPLAIN " + query_text
+    if args.url:
+        from repro.yprov.client import ProvenanceClient
+
+        result = ProvenanceClient(args.url).query(args.doc_id, query_text)
+    else:
+        result = _service(args).query(args.doc_id, query_text).to_dict()
+    if args.format == "json":
+        print(_json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    if result["stats"].get("explained"):
+        for line in result["plan"]:
+            print(line)
+        return 0
+    rows = result["rows"]
+    if rows:
+        columns = list(rows[0].keys())
+        print("\t".join(columns))
+        for row in rows:
+            print("\t".join("" if row[c] is None else str(row[c]) for c in columns))
+    print(f"({len(rows)} rows)")
     return 0
 
 
@@ -438,6 +469,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("element")
     p.add_argument("--direction", choices=("upstream", "downstream"), default="upstream")
     p.set_defaults(func=cmd_lineage)
+
+    p = sub.add_parser("query", help="run a PROVQL query against a document")
+    p.add_argument("doc_id")
+    p.add_argument(
+        "query",
+        help="PROVQL text, e.g. \"MATCH entity WHERE label ~ 'model' RETURN *\"",
+    )
+    p.add_argument("--explain", action="store_true",
+                   help="show the query plan instead of executing")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format (default: text)")
+    p.add_argument("--url",
+                   help="query a remote service at this base URL instead of --root")
+    p.set_defaults(func=cmd_query)
 
     p = sub.add_parser("stats", help="structural statistics of a document")
     p.add_argument("doc_id")

@@ -327,6 +327,22 @@ class ProvenanceClient:
         suffix = f"?{urllib.parse.urlencode(query)}" if query else ""
         return self._get_json(f"/elements{suffix}")
 
+    def query(self, doc_id: str, query_text: str) -> Dict[str, Any]:
+        """``POST /documents/<id>/query`` — run a PROVQL query.
+
+        Returns the decoded response: ``{"rows": [...], "plan": [...],
+        "stats": {...}}``.  Syntax/plan errors surface as
+        :class:`~repro.errors.ServiceError` (HTTP 400 from the server);
+        an unknown document raises
+        :class:`~repro.errors.DocumentNotFoundError`.
+        """
+        _, payload = self._request(
+            "POST",
+            f"/documents/{_quote(doc_id)}/query",
+            query_text.encode("utf-8"),
+        )
+        return json.loads(payload.decode("utf-8"))
+
     # ------------------------------------------------------------------
     # at-least-once publishing
     # ------------------------------------------------------------------

@@ -10,18 +10,37 @@ module provides the same operations programmatically, over either a
 * :meth:`Explorer.search` — substring search over labels and types;
 * :meth:`Explorer.diff` — element/relation diff of two documents (the
   "compare runs" workflow of §3.2/§3.4 at the provenance level).
+
+``search``/``lineage_of``/``find_runs`` compile to PROVQL
+(:mod:`repro.query`) rather than hand-rolled loops, so service-backed
+calls go through the planner (index lookups over scans) and the
+service's result cache.  Flattened document views are cached per
+resolved document and invalidated when the service returns different
+text for the same id.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 from repro.errors import ServiceError
 from repro.prov.document import ProvDocument
-from repro.prov.graph import ancestors, degree_stats, descendants
+from repro.prov.graph import degree_stats
 from repro.prov.model import relation_sort_key
+from repro.query import DocumentBackend, execute
+from repro.query.ast import (
+    Comparison,
+    Field,
+    MatchClause,
+    Or,
+    Query,
+    ReturnClause,
+    TraverseClause,
+)
+from repro.query.executor import QueryResult
 from repro.yprov.service import ProvenanceService
 
 
@@ -52,6 +71,13 @@ class Explorer:
 
     def __init__(self, service: Optional[ProvenanceService] = None) -> None:
         self.service = service
+        # flatten caches: service documents keyed by id and invalidated
+        # when a re-resolve returns different text; raw documents keyed
+        # weakly by identity (no strong reference kept)
+        self._flat_by_id: Dict[str, Tuple[str, ProvDocument]] = {}
+        self._flat_by_doc: "weakref.WeakKeyDictionary[ProvDocument, ProvDocument]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     def _resolve(self, doc: Union[str, ProvDocument]) -> ProvDocument:
         if isinstance(doc, ProvDocument):
@@ -60,11 +86,39 @@ class Explorer:
             raise ServiceError("no service attached; pass a ProvDocument instead of an id")
         return self.service.get_document(doc)
 
+    def _flattened(self, doc: Union[str, ProvDocument]) -> ProvDocument:
+        """Flattened view of *doc*, cached per resolved document."""
+        if isinstance(doc, ProvDocument):
+            flat = self._flat_by_doc.get(doc)
+            if flat is None:
+                flat = doc.flattened()
+                self._flat_by_doc[doc] = flat
+            return flat
+        if self.service is None:
+            raise ServiceError("no service attached; pass a ProvDocument instead of an id")
+        text = self.service.get_document_text(doc)
+        cached = self._flat_by_id.get(doc)
+        if cached is not None and cached[0] == text:
+            return cached[1]
+        flat = ProvDocument.from_json(text).flattened()
+        self._flat_by_id[doc] = (text, flat)
+        return flat
+
+    def _provql(self, doc: Union[str, ProvDocument], query: Query) -> QueryResult:
+        """Run a compiled PROVQL query against the service or a raw doc."""
+        if isinstance(doc, str):
+            if self.service is None:
+                raise ServiceError(
+                    "no service attached; pass a ProvDocument instead of an id"
+                )
+            return self.service.query(doc, query)
+        return execute(query, DocumentBackend(self._flattened(doc), flatten=False))
+
     # ------------------------------------------------------------------
     def summary(self, doc: Union[str, ProvDocument]) -> Dict[str, Any]:
         """Structural statistics plus per-prov:type entity counts."""
-        document = self._resolve(doc).flattened()
-        stats = degree_stats(document)
+        document = self._flattened(doc)
+        stats = degree_stats(document, flatten=False)
         by_type: Dict[str, int] = {}
         for ent in document.entities.values():
             key = str(ent.prov_type) if ent.prov_type is not None else "(untyped)"
@@ -79,19 +133,27 @@ class Explorer:
         direction: str = "upstream",
         relations: Optional[List[str]] = None,
     ) -> List[str]:
-        """Closure of *element*: what it came from / what it led to."""
-        document = self._resolve(doc)
-        if direction == "upstream":
-            found = ancestors(document, element, relations=relations)
-        elif direction == "downstream":
-            found = descendants(document, element, relations=relations)
-        else:
+        """Closure of *element*: what it came from / what it led to.
+
+        Compiles to a PROVQL ``MATCH ... TRAVERSE`` plan; only relations
+        with both endpoints declared in the document participate.
+        """
+        if direction not in ("upstream", "downstream"):
             raise ServiceError(f"direction must be upstream/downstream: {direction!r}")
-        return sorted(found)
+        query = Query(
+            match=MatchClause("element"),
+            where=Comparison(Field("id"), "=", element),
+            traverse=TraverseClause(direction=direction, via=tuple(relations or ())),
+            returns=ReturnClause(projections=(Field("id"),)),
+        )
+        result = self._provql(doc, query)
+        if result.stats.get("seed_rows") == 0:
+            raise ServiceError(f"unknown element: {element}")
+        return [row["id"] for row in result.rows]
 
     def timeline(self, doc: Union[str, ProvDocument]) -> List[Tuple[str, _dt.datetime, Optional[_dt.datetime]]]:
         """Activities with a start time, ordered chronologically."""
-        document = self._resolve(doc).flattened()
+        document = self._flattened(doc)
         rows = [
             (qn.provjson(), act.start_time, act.end_time)
             for qn, act in document.activities.items()
@@ -101,26 +163,31 @@ class Explorer:
         return rows
 
     def search(self, doc: Union[str, ProvDocument], text: str) -> List[str]:
-        """Case-insensitive substring search over ids, labels, prov:types."""
-        document = self._resolve(doc).flattened()
-        needle = text.lower()
-        hits: List[str] = []
-        for table in (document.entities, document.activities, document.agents):
-            for qn, element in table.items():
-                haystack = " ".join(
-                    filter(None, [qn.provjson(), element.label,
-                                  str(element.prov_type or "")])
-                ).lower()
-                if needle in haystack:
-                    hits.append(qn.provjson())
-        return sorted(hits)
+        """Case-insensitive substring search over ids, labels, prov:types.
+
+        Compiles to ``MATCH element WHERE id ~ ... OR label ~ ... OR
+        type ~ ...``, so service-backed searches share the query
+        planner and result cache.
+        """
+        query = Query(
+            match=MatchClause("element"),
+            where=Or(
+                (
+                    Comparison(Field("id"), "~", text),
+                    Comparison(Field("label"), "~", text),
+                    Comparison(Field("type"), "~", text),
+                )
+            ),
+            returns=ReturnClause(projections=(Field("id"),)),
+        )
+        return [row["id"] for row in self._provql(doc, query).rows]
 
     def diff(
         self, left: Union[str, ProvDocument], right: Union[str, ProvDocument]
     ) -> DocumentDiff:
         """Element-level diff (ids present/absent, attribute changes)."""
-        ldoc = self._resolve(left).flattened()
-        rdoc = self._resolve(right).flattened()
+        ldoc = self._flattened(left)
+        rdoc = self._flattened(right)
         out = DocumentDiff()
 
         def element_map(document: ProvDocument) -> Dict[str, Any]:
@@ -204,7 +271,7 @@ class Explorer:
         """
         from pathlib import Path
 
-        document = self._resolve(doc).flattened()
+        document = self._flattened(doc)
         target_label = metric
         entity = None
         for ent in document.entities.values():
@@ -247,7 +314,33 @@ class Explorer:
 
     # service-wide -----------------------------------------------------------
     def find_runs(self) -> List[Dict[str, Any]]:
-        """All RunExecution activities stored in the attached service."""
+        """All RunExecution activities stored in the attached service.
+
+        Compiles to a service-wide PROVQL query so the ``prov_type``
+        value index serves the lookup.
+        """
         if self.service is None:
             raise ServiceError("no service attached")
-        return self.service.find_elements(prov_type="yprov4ml:RunExecution")
+        query = Query(
+            match=MatchClause("element"),
+            where=Comparison(Field("type"), "=", "yprov4ml:RunExecution"),
+            returns=ReturnClause(
+                projections=(
+                    Field("doc"),
+                    Field("id"),
+                    Field("label"),
+                    Field("type"),
+                    Field("kind"),
+                )
+            ),
+        )
+        return [
+            {
+                "doc_id": row["doc"],
+                "qualified_name": row["id"],
+                "label": row["label"],
+                "prov_type": row["type"],
+                "kind": row["kind"],
+            }
+            for row in self.service.query(None, query).rows
+        ]

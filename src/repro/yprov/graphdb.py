@@ -129,7 +129,7 @@ class GraphDB:
                 index.setdefault(node.properties[prop], set()).add(node.id)
 
     def _deindex_node(self, node: Node) -> None:
-        """Create a typed directed edge between existing nodes."""
+        """Remove a node's entries from every covering value index."""
         for (label, prop), index in self._value_indexes.items():
             if label in node.labels and prop in node.properties:
                 bucket = index.get(node.properties[prop])
@@ -182,6 +182,14 @@ class GraphDB:
             if prop in node.properties:
                 index.setdefault(node.properties[prop], set()).add(node_id)
         self._value_indexes[key] = index
+
+    def has_index(self, label: str, prop: str) -> bool:
+        """True when a value index exists over ``(label, property)``."""
+        return (label, prop) in self._value_indexes
+
+    def indexes(self) -> List[Tuple[str, str]]:
+        """All ``(label, property)`` pairs with a value index, sorted."""
+        return sorted(self._value_indexes)
 
     def create_unique_constraint(self, label: str, prop: str) -> None:
         """Enforce uniqueness of ``property`` among nodes with ``label``."""
@@ -322,6 +330,52 @@ class GraphDB:
             depth += 1
         return order
 
+    def traverse_many(
+        self,
+        starts: Iterable[int],
+        direction: str = "out",
+        types: Optional[Iterable[str]] = None,
+        max_depth: Optional[int] = None,
+    ) -> List[int]:
+        """Multi-source BFS closure (excluding the start set), visit order.
+
+        Semantically the union of :meth:`traverse` from each start, but a
+        single BFS: each reachable node appears once, at its minimum depth
+        from *any* start, and start nodes are excluded even when reachable
+        from one another.  The query engine uses this to expand a whole
+        seed set in one pass.
+        """
+        if direction not in ("out", "in", "both"):
+            raise GraphDBError(f"invalid direction: {direction!r}")
+        start_list = list(starts)
+        for node_id in start_list:
+            self.get_node(node_id)
+        allowed = set(types) if types is not None else None
+        seen: Set[int] = set(start_list)
+        order: List[int] = []
+        frontier = list(dict.fromkeys(start_list))
+        depth = 0
+        while frontier and (max_depth is None or depth < max_depth):
+            nxt: List[int] = []
+            for node_id in frontier:
+                edge_ids: Set[int] = set()
+                if direction in ("out", "both"):
+                    edge_ids |= self._out[node_id]
+                if direction in ("in", "both"):
+                    edge_ids |= self._in[node_id]
+                for edge_id in sorted(edge_ids):
+                    edge = self._edges[edge_id]
+                    if allowed is not None and edge.type not in allowed:
+                        continue
+                    other = edge.dst if edge.src == node_id else edge.src
+                    if other not in seen:
+                        seen.add(other)
+                        order.append(other)
+                        nxt.append(other)
+            frontier = nxt
+            depth += 1
+        return order
+
     # ------------------------------------------------------------------
     # stats & persistence
     # ------------------------------------------------------------------
@@ -359,7 +413,9 @@ class GraphDB:
             "indexes": sorted(f"{l}|{p}" for l, p in self._value_indexes),
             "unique": sorted(f"{l}|{p}" for l, p in self._unique),
         }
-        atomic_write_text(Path(path), json.dumps(doc))
+        # sort_keys makes the bytes a function of graph content alone, so
+        # semantically equal graphs persist identically (diffable backups)
+        atomic_write_text(Path(path), json.dumps(doc, sort_keys=True))
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "GraphDB":

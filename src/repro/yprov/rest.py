@@ -14,6 +14,9 @@ DELETE  /api/v0/documents/<id>                           204
 GET     /api/v0/documents/<id>/stats                     JSON stats
 GET     /api/v0/documents/<id>/subgraph?element=&
         direction=&max_depth=                            JSON list of qnames
+POST    /api/v0/documents/<id>/query                     PROVQL text (or
+                                                         ``{"query": ...}``)
+                                                         → rows/plan/stats
 GET     /api/v0/elements?prov_type=&label=&doc_id=       JSON hit list
 GET     /api/v0/health                                   JSON health report
 ======  ===============================================  =================
@@ -53,7 +56,7 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
-from repro.errors import DocumentNotFoundError, ReproError, ServiceError
+from repro.errors import DocumentNotFoundError, QueryError, ReproError, ServiceError
 from repro.yprov.service import ProvenanceService
 
 API_PREFIX = "/api/v0"
@@ -264,6 +267,42 @@ def _make_handler(service: ProvenanceService, state: _ServerState):
             except ReproError as exc:
                 self._send_error_json(400, str(exc))
 
+        def _read_body(self) -> Optional[str]:
+            """Read the request body under the size limit.
+
+            Returns the decoded text, or ``None`` when an error response
+            (400/413) has already been sent.
+            """
+            raw_length = self.headers.get("Content-Length", "0")
+            try:
+                length = int(raw_length)
+            except (TypeError, ValueError):
+                self.close_connection = True  # body length unknown: can't reuse
+                self._send_error_json(
+                    400, f"invalid Content-Length: {raw_length!r}"
+                )
+                return None
+            if length < 0:
+                self.close_connection = True
+                self._send_error_json(
+                    400, f"invalid Content-Length: {raw_length!r}"
+                )
+                return None
+            if length > limits.max_body_bytes:
+                # refuse before reading; the unread body forces a close
+                self.close_connection = True
+                self._send_error_json(
+                    413,
+                    f"request body of {length} bytes exceeds limit of "
+                    f"{limits.max_body_bytes}",
+                )
+                return None
+            try:
+                return self.rfile.read(length).decode("utf-8")
+            except UnicodeDecodeError as exc:
+                self._send_error_json(400, f"request body is not UTF-8: {exc}")
+                return None
+
         def do_PUT(self) -> None:  # noqa: N802
             self._guarded(self._do_put)
 
@@ -273,34 +312,8 @@ def _make_handler(service: ProvenanceService, state: _ServerState):
             if doc_id is None:
                 self._send_error_json(404, f"unknown path: {path}")
                 return
-            raw_length = self.headers.get("Content-Length", "0")
-            try:
-                length = int(raw_length)
-            except (TypeError, ValueError):
-                self.close_connection = True  # body length unknown: can't reuse
-                self._send_error_json(
-                    400, f"invalid Content-Length: {raw_length!r}"
-                )
-                return
-            if length < 0:
-                self.close_connection = True
-                self._send_error_json(
-                    400, f"invalid Content-Length: {raw_length!r}"
-                )
-                return
-            if length > limits.max_body_bytes:
-                # refuse before reading; the unread body forces a close
-                self.close_connection = True
-                self._send_error_json(
-                    413,
-                    f"request body of {length} bytes exceeds limit of "
-                    f"{limits.max_body_bytes}",
-                )
-                return
-            try:
-                body = self.rfile.read(length).decode("utf-8")
-            except UnicodeDecodeError as exc:
-                self._send_error_json(400, f"request body is not UTF-8: {exc}")
+            body = self._read_body()
+            if body is None:
                 return
             try:
                 service.put_document(doc_id, body)
@@ -308,6 +321,46 @@ def _make_handler(service: ProvenanceService, state: _ServerState):
                 self._send_error_json(400, str(exc))
                 return
             self._send_json({"stored": doc_id}, status=201)
+
+        def do_POST(self) -> None:  # noqa: N802
+            self._guarded(self._do_post)
+
+        def _do_post(self) -> None:
+            path, _ = self._route()
+            doc_id = self._doc_id(path)
+            if doc_id is None or not path.endswith("/query"):
+                self._send_error_json(404, f"unknown path: {path}")
+                return
+            body = self._read_body()
+            if body is None:
+                return
+            # accept raw PROVQL text or a JSON envelope {"query": "..."}
+            query_text = body
+            stripped = body.lstrip()
+            if stripped.startswith("{"):
+                try:
+                    envelope = json.loads(stripped)
+                except json.JSONDecodeError as exc:
+                    self._send_error_json(400, f"invalid JSON body: {exc}")
+                    return
+                query_text = envelope.get("query") if isinstance(envelope, dict) else None
+                if not isinstance(query_text, str):
+                    self._send_error_json(
+                        400, 'JSON body must carry a "query" string'
+                    )
+                    return
+            try:
+                result = service.query(doc_id, query_text)
+            except DocumentNotFoundError as exc:
+                self._send_error_json(404, str(exc))
+                return
+            except QueryError as exc:
+                self._send_error_json(400, str(exc))
+                return
+            except ReproError as exc:
+                self._send_error_json(400, str(exc))
+                return
+            self._send_json(result.to_dict())
 
         def do_DELETE(self) -> None:  # noqa: N802
             self._guarded(self._do_delete)

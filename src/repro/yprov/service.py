@@ -14,6 +14,7 @@ service persistent across instantiations.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import re
 import threading
@@ -25,10 +26,20 @@ from repro.errors import DocumentNotFoundError, ServiceError
 from repro.prov.document import ProvDocument
 from repro.prov.model import ProvActivity
 from repro.prov.provjson import to_provjson
+from repro.query import Query as ProvqlQuery
+from repro.query.backends import ServiceBackend, attr_prop
+from repro.query.cache import GLOBAL_DOC_ID, QueryCache
+from repro.query.executor import QueryResult, execute
+from repro.query.parser import parse as parse_provql
 from repro.retry import ExponentialBackoff, retry_call, seed_from_name
 from repro.yprov.graphdb import GraphDB, Node
 
 _DOC_ID_RE = re.compile(r"^[A-Za-z0-9_.\-]+$")
+
+#: ``(ProvElement, property)`` value indexes the service maintains so the
+#: PROVQL planner can serve equality predicates on these fields without a
+#: scan (``doc_id`` also accelerates per-document scans via intersection).
+_DEFAULT_INDEXES = ("key", "doc_id", "qualified_name", "label", "prov_type")
 
 
 class ProvenanceService:
@@ -51,9 +62,14 @@ class ProvenanceService:
         self._sleep = sleep  # injectable for tests; None = time.sleep
         self._texts: Dict[str, str] = {}
         self.db = GraphDB()
-        self.db.create_index("ProvElement", "key")
+        for prop in _DEFAULT_INDEXES:
+            self.db.create_index("ProvElement", prop)
         # node id lookup: (doc_id, element qualified name) -> graph node id
         self._node_ids: Dict[str, Dict[str, int]] = {}
+        # sha256 of each document's text; part of every query-cache key,
+        # so a replaced document can never serve a stale cached result
+        self._hashes: Dict[str, str] = {}
+        self.query_cache = QueryCache(maxsize=128)
         # the REST front-end serves concurrent requests; serialize mutations
         # and graph reads (the embedded GraphDB is not thread-safe)
         self._lock = threading.RLock()
@@ -85,6 +101,7 @@ class ProvenanceService:
             if doc_id in self._texts:
                 self.delete_document(doc_id)
             self._ingest(doc_id, text)
+            self.query_cache.invalidate(doc_id)
             if self.root is not None:
                 self._write_document_file(doc_id, text)
         return doc_id
@@ -125,6 +142,8 @@ class ProvenanceService:
                 self.db.delete_node(node_id)
             self._node_ids.pop(doc_id, None)
             del self._texts[doc_id]
+            self._hashes.pop(doc_id, None)
+            self.query_cache.invalidate(doc_id)
             if self.root is not None:
                 target = self.root / f"{doc_id}.provjson"
                 if target.exists():
@@ -145,6 +164,7 @@ class ProvenanceService:
     def _ingest(self, doc_id: str, text: str) -> None:
         document = ProvDocument.from_json(text).flattened()
         self._texts[doc_id] = text
+        self._hashes[doc_id] = hashlib.sha256(text.encode("utf-8")).hexdigest()
         node_ids: Dict[str, int] = {}
         self._node_ids[doc_id] = node_ids
 
@@ -154,17 +174,19 @@ class ProvenanceService:
             ("agent", document.agents),
         ):
             for qn, element in table.items():
+                attributes = {k: str(v) for k, v in element.attributes.items()}
                 props: Dict[str, Any] = {
                     "doc_id": doc_id,
                     "key": f"{doc_id}:{qn.provjson()}",
                     "qualified_name": qn.provjson(),
                     "label": element.label or qn.localpart,
                     "prov_type": str(element.prov_type) if element.prov_type else None,
-                    "attributes": json.dumps(
-                        {k: str(v) for k, v in element.attributes.items()},
-                        sort_keys=True,
-                    ),
+                    "attributes": json.dumps(attributes, sort_keys=True),
                 }
+                # attributes also stored flat (``a:<name>``) so value
+                # indexes can serve PROVQL ``attr.<name>`` lookups
+                for name, value in attributes.items():
+                    props[attr_prop(name)] = value
                 if isinstance(element, ProvActivity):
                     if element.start_time is not None:
                         props["start_time"] = element.start_time.timestamp()
@@ -235,6 +257,66 @@ class ProvenanceService:
             }
             for n in nodes
         ]
+
+    # ------------------------------------------------------------------
+    # PROVQL (repro.query)
+    # ------------------------------------------------------------------
+    def create_attribute_index(self, name: str) -> None:
+        """Build a value index over element attribute *name* (idempotent).
+
+        Afterwards the PROVQL planner serves ``attr.<name> = '...'``
+        predicates with an index lookup instead of a scan.
+        """
+        with self._lock:
+            self.db.create_index("ProvElement", attr_prop(name))
+
+    def _content_hash(self, doc_id: Optional[str]) -> str:
+        if doc_id is not None:
+            return self._hashes[doc_id]
+        # service-wide queries: hash over the per-document hashes, so any
+        # put/delete anywhere changes every global cache key
+        combined = hashlib.sha256()
+        for key in sorted(self._hashes):
+            combined.update(f"{key}={self._hashes[key]}\n".encode("utf-8"))
+        return combined.hexdigest()
+
+    def query(
+        self,
+        doc_id: Optional[str],
+        query: Union[str, ProvqlQuery],
+        force_scan: bool = False,
+    ) -> QueryResult:
+        """Run a PROVQL query against one document (or all, ``None``).
+
+        Results are served from an LRU cache keyed by
+        ``(doc id, content hash, canonical query text)`` and invalidated
+        on :meth:`put_document`/:meth:`delete_document`; cache hits return
+        an independent copy with ``stats["cache_hit"] = True``.
+        ``force_scan=True`` bypasses both the planner's index selection
+        and the cache (benchmark/diagnostic path).
+        """
+        parsed = parse_provql(query) if isinstance(query, str) else query
+        canonical = parsed.render()
+        with self._lock:
+            if doc_id is not None and doc_id not in self._texts:
+                raise DocumentNotFoundError(f"no such document: {doc_id!r}")
+            cache_key = (
+                doc_id if doc_id is not None else GLOBAL_DOC_ID,
+                self._content_hash(doc_id),
+                canonical,
+            )
+            if not force_scan:
+                cached = self.query_cache.get(cache_key)
+                if cached is not None:
+                    hit = cached.copy()
+                    hit.stats["cache_hit"] = True
+                    return hit
+            result = execute(
+                parsed, ServiceBackend(self, doc_id), force_scan=force_scan
+            )
+            if not force_scan:
+                self.query_cache.put(cache_key, result.copy())
+            return result
 
     def stats(self, doc_id: Optional[str] = None) -> Dict[str, int]:
         """Node/edge counts, optionally restricted to one document."""

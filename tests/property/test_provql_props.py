@@ -1,0 +1,124 @@
+"""Property tests for PROVQL: parse → render → parse is the identity.
+
+Random well-formed :class:`~repro.query.ast.Query` ASTs are rendered to
+canonical text and re-parsed; the result must equal the original AST.
+This pins the canonical form the query cache keys on: any two equal ASTs
+render identically, and rendering never loses information.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prov.model import PROV_REL_ARGS
+from repro.query.ast import (
+    And,
+    Comparison,
+    DIRECTIONS,
+    Field,
+    MATCH_KINDS,
+    MatchClause,
+    OPERATORS,
+    Or,
+    Query,
+    ReturnClause,
+    SIMPLE_FIELDS,
+    TraverseClause,
+)
+from repro.query.parser import parse
+
+# Attribute names and string literals are always rendered quoted, so any
+# text round-trips; exercise escapes (quotes, backslashes) explicitly.
+_text = st.text(
+    alphabet=string.ascii_letters + string.digits + " :'\"\\-_.",
+    max_size=12,
+)
+
+_fields = st.one_of(
+    st.sampled_from([Field(name) for name in SIMPLE_FIELDS]),
+    st.builds(Field, st.just("attr"), _text),
+)
+
+_literals = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10 ** 9), max_value=10 ** 9),
+    st.floats(allow_nan=False, allow_infinity=False),
+    _text,
+)
+
+
+@st.composite
+def _comparisons(draw):
+    op = draw(st.sampled_from(OPERATORS))
+    # ``~`` is substring containment and only accepts string literals
+    value = draw(_text if op == "~" else _literals)
+    return Comparison(field=draw(_fields), op=op, value=value)
+
+
+def _nary(node, inner):
+    """Flattened n-ary node: children are leaves or the *other* connective."""
+    return st.builds(node, st.tuples(inner, inner).map(tuple)) | st.builds(
+        node, st.lists(inner, min_size=2, max_size=4).map(tuple)
+    )
+
+
+_exprs = st.recursive(
+    _comparisons(),
+    lambda children: st.one_of(
+        _nary(And, st.one_of(_comparisons(), children.filter(lambda e: isinstance(e, Or)))),
+        _nary(Or, st.one_of(_comparisons(), children.filter(lambda e: isinstance(e, And)))),
+    ),
+    max_leaves=8,
+)
+
+_traverses = st.builds(
+    TraverseClause,
+    direction=st.sampled_from(DIRECTIONS),
+    via=st.lists(
+        st.sampled_from(sorted(PROV_REL_ARGS)), max_size=3, unique=True
+    ).map(tuple),
+    depth=st.none() | st.integers(min_value=0, max_value=20),
+)
+
+_returns = st.builds(
+    ReturnClause,
+    projections=st.lists(_fields, max_size=4).map(tuple),
+    limit=st.none() | st.integers(min_value=0, max_value=1000),
+    offset=st.integers(min_value=0, max_value=1000),
+)
+
+
+@st.composite
+def _queries(draw):
+    traverse = draw(st.none() | _traverses)
+    return Query(
+        match=MatchClause(kind=draw(st.sampled_from(MATCH_KINDS))),
+        where=draw(st.none() | _exprs),
+        traverse=traverse,
+        # a post-WHERE only exists (and only renders) after a TRAVERSE
+        where_post=draw(st.none() | _exprs) if traverse is not None else None,
+        returns=draw(_returns),
+        explain=draw(st.booleans()),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(_queries())
+def test_parse_render_parse_round_trip(query):
+    assert parse(query.render()) == query
+
+
+@settings(max_examples=200, deadline=None)
+@given(_queries())
+def test_canonical_text_is_a_fixed_point(query):
+    canonical = query.render()
+    assert parse(canonical).render() == canonical
+
+
+@settings(max_examples=100, deadline=None)
+@given(_exprs)
+def test_expressions_round_trip_inside_where(expr):
+    query = Query(where=expr)
+    assert parse(query.render()).where == expr

@@ -1,0 +1,127 @@
+"""Query result cache tests: LRU behavior and service-level invalidation."""
+
+import pytest
+
+from repro.prov.document import ProvDocument
+from repro.query.cache import GLOBAL_DOC_ID, QueryCache
+from repro.yprov.service import ProvenanceService
+
+
+def _doc(*entities: str) -> ProvDocument:
+    doc = ProvDocument()
+    doc.add_namespace("ex", "http://example.org/")
+    for name in entities:
+        doc.entity(f"ex:{name}")
+    return doc
+
+
+class TestQueryCacheUnit:
+    def test_get_put_and_counters(self):
+        cache = QueryCache(maxsize=4)
+        key = ("d1", "hash", "MATCH element RETURN *")
+        assert cache.get(key) is None
+        cache.put(key, "value")
+        assert cache.get(key) == "value"
+        assert cache.stats() == {"entries": 1, "maxsize": 4, "hits": 1, "misses": 1}
+
+    def test_lru_eviction_order(self):
+        cache = QueryCache(maxsize=2)
+        cache.put(("a", "h", "q"), 1)
+        cache.put(("b", "h", "q"), 2)
+        assert cache.get(("a", "h", "q")) == 1  # refresh a; b is now LRU
+        cache.put(("c", "h", "q"), 3)
+        assert cache.get(("b", "h", "q")) is None
+        assert cache.get(("a", "h", "q")) == 1
+        assert cache.get(("c", "h", "q")) == 3
+
+    def test_invalidate_targets_doc_and_global(self):
+        cache = QueryCache()
+        cache.put(("d1", "h", "q1"), 1)
+        cache.put(("d1", "h", "q2"), 2)
+        cache.put(("d2", "h", "q1"), 3)
+        cache.put((GLOBAL_DOC_ID, "h", "q1"), 4)
+        assert cache.invalidate("d1") == 3  # both d1 entries + the global one
+        assert cache.get(("d2", "h", "q1")) == 3
+
+    def test_clear(self):
+        cache = QueryCache()
+        cache.put(("d", "h", "q"), 1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_rejects_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            QueryCache(maxsize=0)
+
+
+class TestServiceCaching:
+    QUERY = "MATCH element RETURN id"
+
+    def test_hit_on_repeat(self):
+        service = ProvenanceService()
+        service.put_document("d1", _doc("a", "b"))
+        first = service.query("d1", self.QUERY)
+        second = service.query("d1", self.QUERY)
+        assert not first.stats["cache_hit"]
+        assert second.stats["cache_hit"]
+        assert second.rows == first.rows
+
+    def test_equivalent_spellings_share_entry(self):
+        service = ProvenanceService()
+        service.put_document("d1", _doc("a"))
+        service.query("d1", "MATCH element RETURN id")
+        hit = service.query("d1", "match ELEMENT return id")
+        assert hit.stats["cache_hit"]
+
+    def test_put_invalidates(self):
+        service = ProvenanceService()
+        service.put_document("d1", _doc("a"))
+        assert len(service.query("d1", self.QUERY).rows) == 1
+        service.put_document("d1", _doc("a", "b"))
+        refreshed = service.query("d1", self.QUERY)
+        assert not refreshed.stats["cache_hit"]
+        assert len(refreshed.rows) == 2
+
+    def test_delete_then_repub_does_not_serve_stale(self):
+        service = ProvenanceService()
+        service.put_document("d1", _doc("a"))
+        service.query("d1", self.QUERY)
+        service.delete_document("d1")
+        service.put_document("d1", _doc("b"))
+        rows = service.query("d1", self.QUERY).rows
+        assert rows == [{"id": "ex:b"}]
+
+    def test_global_queries_see_new_documents(self):
+        service = ProvenanceService()
+        service.put_document("d1", _doc("a"))
+        assert len(service.query(None, self.QUERY).rows) == 1
+        service.put_document("d2", _doc("b"))
+        fresh = service.query(None, self.QUERY)
+        assert not fresh.stats["cache_hit"]
+        assert len(fresh.rows) == 2
+
+    def test_cached_rows_are_not_aliased(self):
+        service = ProvenanceService()
+        service.put_document("d1", _doc("a"))
+        first = service.query("d1", self.QUERY)
+        first.rows[0]["id"] = "mutated"
+        second = service.query("d1", self.QUERY)
+        assert second.rows == [{"id": "ex:a"}]
+
+    def test_force_scan_bypasses_cache(self):
+        service = ProvenanceService()
+        service.put_document("d1", _doc("a"))
+        service.query("d1", self.QUERY)
+        scanned = service.query("d1", self.QUERY, force_scan=True)
+        assert not scanned.stats["cache_hit"]
+        assert not scanned.stats["index_used"]
+
+    def test_identical_re_put_keeps_cache_valid(self):
+        # dedup path: same bytes re-PUT is an ack, content hash unchanged
+        service = ProvenanceService()
+        doc = _doc("a")
+        service.put_document("d1", doc)
+        service.query("d1", self.QUERY)
+        service.put_document("d1", doc)
+        rows = service.query("d1", self.QUERY).rows
+        assert rows == [{"id": "ex:a"}]

@@ -1,0 +1,191 @@
+"""Differential tests: both backends must return identical rows.
+
+Every PROVQL query in the corpus runs against the same document through
+the in-memory :class:`DocumentBackend` and through a
+:class:`ProvenanceService` (GraphDB-backed), and the projected rows must
+match exactly — same values, same order.  This is what licenses the
+planner to route Explorer calls through either path.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import PlanError, QuerySyntaxError
+from repro.prov.document import ProvDocument
+from repro.query import DocumentBackend, ServiceBackend, execute
+from repro.yprov.service import ProvenanceService
+
+DOC_ID = "diff-doc"
+
+
+def _document() -> ProvDocument:
+    doc = ProvDocument()
+    doc.add_namespace("ex", "http://example.org/")
+    doc.add_namespace("yprov4ml", "http://example.org/yprov4ml#")
+    doc.entity("ex:dataset", {"ex:rows": 100, "ex:split": "train"})
+    doc.entity("ex:model", {"prov:type": "yprov4ml:Model", "ex:epochs": 3})
+    doc.entity(
+        "ex:metric_loss",
+        {"prov:type": "yprov4ml:Metric", "yprov4ml:context": "TRAINING"},
+    )
+    doc.entity("ex:checkpoint", {"prov:type": "yprov4ml:Model"})
+    doc.activity(
+        "ex:train",
+        start_time=dt.datetime(2025, 1, 1),
+        end_time=dt.datetime(2025, 1, 2),
+        attributes={"prov:type": "yprov4ml:RunExecution"},
+    )
+    doc.activity("ex:evaluate")
+    doc.agent("ex:alice", {"prov:type": "prov:Person"})
+    doc.agent("ex:cluster")
+    doc.used("ex:train", "ex:dataset")
+    doc.was_generated_by("ex:model", "ex:train")
+    doc.was_generated_by("ex:metric_loss", "ex:train")
+    doc.was_generated_by("ex:checkpoint", "ex:train")
+    doc.was_derived_from("ex:model", "ex:dataset")
+    doc.was_derived_from("ex:checkpoint", "ex:model")
+    doc.was_associated_with("ex:train", "ex:alice")
+    doc.was_associated_with("ex:train", "ex:cluster")
+    doc.was_attributed_to("ex:model", "ex:alice")
+    doc.was_informed_by("ex:evaluate", "ex:train")
+    # dangling reference: kept in the text, excluded from traversal by
+    # both backends
+    doc.used("ex:evaluate", "ex:elsewhere")
+    return doc
+
+
+@pytest.fixture(scope="module")
+def backends():
+    doc = _document()
+    service = ProvenanceService()
+    service.put_document(DOC_ID, doc)
+    return (
+        DocumentBackend(doc, doc_id=DOC_ID),
+        ServiceBackend(service, doc_id=DOC_ID),
+    )
+
+
+CORPUS = [
+    "MATCH element RETURN *",
+    "MATCH entity RETURN *",
+    "MATCH activity RETURN id, label, type",
+    "MATCH agent RETURN id",
+    "MATCH element WHERE id = 'ex:model' RETURN *",
+    "MATCH element WHERE id = 'ex:nothere' RETURN *",
+    "MATCH entity WHERE type = 'yprov4ml:Model' RETURN id, type",
+    "MATCH entity WHERE type != 'yprov4ml:Model' RETURN id",
+    "MATCH entity WHERE type = NULL RETURN id",
+    "MATCH element WHERE label ~ 'MODEL' RETURN id",
+    "MATCH element WHERE label ~ 'e' AND kind != 'agent' RETURN id, kind",
+    "MATCH entity WHERE attr.'ex:rows' = 100 RETURN id, attr.'ex:rows'",
+    "MATCH entity WHERE attr.'ex:rows' = '100' RETURN id",
+    "MATCH entity WHERE attr.'ex:rows' > 50 RETURN id",
+    "MATCH entity WHERE attr.'ex:rows' < 50 RETURN id",
+    "MATCH entity WHERE attr.'ex:split' = 'train' OR attr.'ex:epochs' = 3 RETURN id",
+    "MATCH entity WHERE attr.'yprov4ml:context' = 'TRAINING' RETURN id, label",
+    "MATCH element WHERE doc = 'diff-doc' RETURN id LIMIT 3",
+    "MATCH element WHERE id = 'ex:model' TRAVERSE upstream RETURN *",
+    "MATCH element WHERE id = 'ex:dataset' TRAVERSE downstream RETURN id, kind",
+    "MATCH element WHERE id = 'ex:checkpoint' TRAVERSE upstream VIA wasDerivedFrom RETURN id",
+    "MATCH element WHERE id = 'ex:checkpoint' TRAVERSE upstream VIA wasDerivedFrom DEPTH 1 RETURN id",
+    "MATCH element WHERE id = 'ex:model' TRAVERSE both DEPTH 1 RETURN id",
+    "MATCH element WHERE id = 'ex:model' TRAVERSE both RETURN id",
+    "MATCH element WHERE id = 'ex:train' TRAVERSE downstream WHERE kind = 'entity' RETURN id, kind",
+    "MATCH activity WHERE type = 'yprov4ml:RunExecution' TRAVERSE upstream VIA used RETURN id",
+    # the dangling ex:elsewhere reference must not appear downstream
+    "MATCH element WHERE id = 'ex:evaluate' TRAVERSE upstream RETURN id",
+    "MATCH element RETURN id LIMIT 4 OFFSET 2",
+    "MATCH element RETURN id OFFSET 100",
+    "EXPLAIN MATCH entity WHERE type = 'yprov4ml:Model' RETURN id",
+]
+
+
+@pytest.mark.parametrize("query", CORPUS)
+def test_backends_agree(backends, query):
+    doc_backend, svc_backend = backends
+    doc_result = execute(query, doc_backend)
+    svc_result = execute(query, svc_backend)
+    assert doc_result.rows == svc_result.rows
+
+
+@pytest.mark.parametrize("query", CORPUS)
+def test_force_scan_changes_plan_not_rows(backends, query):
+    _, svc_backend = backends
+    indexed = execute(query, svc_backend)
+    scanned = execute(query, svc_backend, force_scan=True)
+    assert indexed.rows == scanned.rows
+    assert not scanned.stats["index_used"]
+
+
+class TestSemantics:
+    def test_rows_sorted_by_id(self, backends):
+        doc_backend, _ = backends
+        rows = execute("MATCH element RETURN id", doc_backend).rows
+        ids = [row["id"] for row in rows]
+        assert ids == sorted(ids)
+
+    def test_star_projection_fields(self, backends):
+        doc_backend, _ = backends
+        rows = execute("MATCH agent RETURN *", doc_backend).rows
+        assert list(rows[0]) == ["kind", "id", "label", "type"]
+
+    def test_traverse_excludes_seeds(self, backends):
+        doc_backend, _ = backends
+        rows = execute(
+            "MATCH element WHERE id = 'ex:model' TRAVERSE upstream RETURN id",
+            doc_backend,
+        ).rows
+        assert {"id": "ex:model"} not in rows
+
+    def test_traverse_from_all_seeds_is_empty(self, backends):
+        # every reachable node is already a seed, and seeds are excluded
+        doc_backend, _ = backends
+        assert execute(
+            "MATCH element TRAVERSE both RETURN id", doc_backend
+        ).rows == []
+
+    def test_explain_returns_plan_only(self, backends):
+        _, svc_backend = backends
+        result = execute(
+            "EXPLAIN MATCH entity WHERE type = 'yprov4ml:Model' RETURN id",
+            svc_backend,
+        )
+        assert result.rows == []
+        assert result.stats["explained"]
+        assert result.plan[0].startswith("SeedIndexLookup")
+
+    def test_index_used_stat(self, backends):
+        _, svc_backend = backends
+        result = execute(
+            "MATCH entity WHERE type = 'yprov4ml:Model' RETURN id", svc_backend
+        )
+        assert result.stats["index_used"]
+        assert result.stats["backend"] == "service"
+
+    def test_bool_and_null_comparisons(self):
+        doc = ProvDocument()
+        doc.add_namespace("ex", "http://example.org/")
+        doc.entity("ex:a", {"ex:flag": True})
+        doc.entity("ex:b", {"ex:flag": False})
+        doc.entity("ex:c")
+        backend = DocumentBackend(doc)
+        assert [r["id"] for r in execute(
+            "MATCH entity WHERE attr.'ex:flag' = TRUE RETURN id", backend
+        ).rows] == ["ex:a"]
+        assert [r["id"] for r in execute(
+            "MATCH entity WHERE attr.'ex:flag' = NULL RETURN id", backend
+        ).rows] == ["ex:c"]
+        assert [r["id"] for r in execute(
+            "MATCH entity WHERE attr.'ex:flag' != NULL RETURN id", backend
+        ).rows] == ["ex:a", "ex:b"]
+
+    def test_string_query_parse_error_propagates(self, backends):
+        doc_backend, _ = backends
+        with pytest.raises(QuerySyntaxError):
+            execute("MATCH nothing RETURN *", doc_backend)
+
+    def test_document_backend_without_doc_id(self):
+        backend = DocumentBackend(_document())
+        rows = execute("MATCH element WHERE id = 'ex:model' RETURN doc, id", backend).rows
+        assert rows == [{"doc": None, "id": "ex:model"}]

@@ -1,0 +1,186 @@
+"""PROVQL tokenizer and parser tests: grammar, canonical form, errors."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query.ast import (
+    And,
+    Comparison,
+    Field,
+    MatchClause,
+    Or,
+    Query,
+    ReturnClause,
+    TraverseClause,
+    render_literal,
+)
+from repro.query.parser import parse, tokenize
+
+
+class TestTokenizer:
+    def test_words_operators_and_punctuation(self):
+        kinds = [t.kind for t in tokenize("MATCH entity WHERE id = 'x'")]
+        assert kinds == ["word", "word", "word", "word", "op", "string", "end"]
+
+    def test_qualified_names_are_single_words(self):
+        tokens = tokenize("yprov4ml:RunExecution wasGeneratedBy")
+        assert [t.value for t in tokens[:2]] == [
+            "yprov4ml:RunExecution", "wasGeneratedBy",
+        ]
+
+    def test_string_escapes(self):
+        tokens = tokenize("'it\\'s' \"d\\\\q\"")
+        assert tokens[0].value == "it's"
+        assert tokens[1].value == "d\\q"
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("42 -7 3.5 1e3")[:-1]]
+        assert values == [42, -7, 3.5, 1000.0]
+        assert isinstance(values[0], int)
+        assert isinstance(values[2], float)
+
+    def test_attr_dot_splits(self):
+        kinds = [t.kind for t in tokenize("attr.rows")]
+        assert kinds == ["word", "punct", "word", "end"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(QuerySyntaxError, match="position 6"):
+            tokenize("MATCH ¡entity")
+
+
+class TestParse:
+    def test_minimal(self):
+        q = parse("MATCH element RETURN *")
+        assert q == Query()
+
+    def test_full_query(self):
+        q = parse(
+            "EXPLAIN MATCH entity WHERE attr.rows = 100 "
+            "TRAVERSE upstream VIA used, wasGeneratedBy DEPTH 3 "
+            "WHERE kind != 'agent' RETURN id, label LIMIT 5 OFFSET 2"
+        )
+        assert q.explain
+        assert q.match == MatchClause("entity")
+        assert q.where == Comparison(Field("attr", "rows"), "=", 100)
+        assert q.traverse == TraverseClause(
+            "upstream", via=("used", "wasGeneratedBy"), depth=3
+        )
+        assert q.where_post == Comparison(Field("kind"), "!=", "agent")
+        assert q.returns == ReturnClause(
+            projections=(Field("id"), Field("label")), limit=5, offset=2
+        )
+
+    def test_keywords_case_insensitive(self):
+        assert parse("match ENTITY return *") == parse("MATCH entity RETURN *")
+
+    def test_precedence_and_binds_tighter(self):
+        q = parse("MATCH element WHERE id = 'a' OR id = 'b' AND kind = 'c' RETURN *")
+        assert isinstance(q.where, Or)
+        assert isinstance(q.where.items[1], And)
+
+    def test_parens_override_precedence(self):
+        q = parse("MATCH element WHERE (id = 'a' OR id = 'b') AND kind = 'c' RETURN *")
+        assert isinstance(q.where, And)
+        assert isinstance(q.where.items[0], Or)
+
+    def test_and_flattening(self):
+        grouped = parse("MATCH element WHERE (id = 'a' AND id = 'b') AND id = 'c' RETURN *")
+        flat = parse("MATCH element WHERE id = 'a' AND id = 'b' AND id = 'c' RETURN *")
+        assert grouped == flat
+        assert len(grouped.where.items) == 3
+
+    def test_literals(self):
+        q = parse(
+            "MATCH element WHERE attr.a = TRUE AND attr.b = FALSE "
+            "AND attr.c = NULL AND attr.d = 1.5 RETURN *"
+        )
+        values = [c.value for c in q.where.items]
+        assert values == [True, False, None, 1.5]
+
+    def test_quoted_attribute_name(self):
+        q = parse("MATCH element WHERE attr.'weird name' = 'x' RETURN *")
+        assert q.where.field == Field("attr", "weird name")
+
+    def test_via_rejects_unknown_relation(self):
+        with pytest.raises(QuerySyntaxError, match="unknown relation kind"):
+            parse("MATCH element TRAVERSE upstream VIA wasMadeBy RETURN *")
+
+    def test_tilde_requires_string(self):
+        with pytest.raises(QuerySyntaxError, match="string literal"):
+            parse("MATCH element WHERE label ~ 3 RETURN *")
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "   ",
+            "MATCH RETURN *",
+            "MATCH widget RETURN *",
+            "MATCH element",
+            "MATCH element RETURN",
+            "MATCH element RETURN * LIMIT -1",
+            "MATCH element RETURN * LIMIT 1.5",
+            "MATCH element TRAVERSE sideways RETURN *",
+            "MATCH element WHERE id RETURN *",
+            "MATCH element WHERE id = RETURN *",
+            "MATCH element WHERE size = 3 RETURN *",
+            "MATCH element RETURN * trailing",
+            "MATCH element WHERE (id = 'a' RETURN *",
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(QuerySyntaxError):
+            parse(text)
+
+    def test_errors_carry_position(self):
+        with pytest.raises(QuerySyntaxError, match="position"):
+            parse("MATCH element WHERE id = RETURN *")
+
+
+class TestCanonicalRender:
+    @pytest.mark.parametrize(
+        "messy, canonical",
+        [
+            ("match element return *", "MATCH element RETURN *"),
+            (
+                "MATCH entity WHERE label~'M' RETURN id,label LIMIT 2 OFFSET 0",
+                "MATCH entity WHERE label ~ 'M' RETURN id, label LIMIT 2",
+            ),
+            (
+                "MATCH element WHERE ((id = 'a')) AND (label = 'b') RETURN *",
+                "MATCH element WHERE id = 'a' AND label = 'b' RETURN *",
+            ),
+            (
+                "MATCH element WHERE (id = 'a' OR id = 'b') AND kind = 'c' RETURN *",
+                "MATCH element WHERE (id = 'a' OR id = 'b') AND kind = 'c' RETURN *",
+            ),
+            (
+                "explain match agent traverse both via used depth 2 return doc",
+                "EXPLAIN MATCH agent TRAVERSE both VIA used DEPTH 2 RETURN doc",
+            ),
+            (
+                'MATCH element WHERE attr.x = "it\'s" RETURN *',
+                "MATCH element WHERE attr.'x' = 'it\\'s' RETURN *",
+            ),
+        ],
+    )
+    def test_canonicalization(self, messy, canonical):
+        assert parse(messy).render() == canonical
+        # the canonical form is a fixed point
+        assert parse(canonical).render() == canonical
+
+    def test_render_parse_round_trip(self):
+        q = parse(
+            "MATCH entity WHERE attr.rows >= 10 AND (label ~ 'm' OR type != NULL) "
+            "TRAVERSE downstream VIA wasDerivedFrom DEPTH 4 WHERE kind = 'entity' "
+            "RETURN kind, id, attr.rows LIMIT 7 OFFSET 1"
+        )
+        assert parse(q.render()) == q
+
+    def test_render_literal_spellings(self):
+        assert render_literal(None) == "NULL"
+        assert render_literal(True) == "TRUE"
+        assert render_literal(False) == "FALSE"
+        assert render_literal(3) == "3"
+        assert render_literal(2.5) == "2.5"
+        assert render_literal("a'b") == "'a\\'b'"

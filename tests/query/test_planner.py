@@ -1,0 +1,106 @@
+"""Planner tests: index selection, predicate pushdown, plan rendering."""
+
+import pytest
+
+from repro.query.ast import And, Comparison, Field, Or
+from repro.query.parser import parse
+from repro.query.planner import STAR_FIELDS, plan
+
+INDEXED = frozenset({"id", "label", "type", "doc", "attr.rows"})
+
+
+def _plan(text, indexed=INDEXED, force_scan=False):
+    return plan(parse(text), indexed, force_scan=force_scan)
+
+
+class TestIndexSelection:
+    def test_equality_on_indexed_field_uses_index(self):
+        p = _plan("MATCH entity WHERE type = 'ex:Model' RETURN *")
+        assert p.uses_index
+        assert p.seed_index == (Field("type"), "ex:Model")
+        assert p.seed_filter is None
+        assert p.lines()[0].startswith("SeedIndexLookup")
+
+    def test_indexed_attribute(self):
+        p = _plan("MATCH entity WHERE attr.rows = '100' RETURN *")
+        assert p.seed_index == (Field("attr", "rows"), "100")
+
+    def test_unindexed_field_scans(self):
+        p = _plan("MATCH entity WHERE attr.other = 'x' RETURN *")
+        assert not p.uses_index
+        assert p.lines()[0] == "SeedScan kind=entity"
+        assert p.seed_filter == Comparison(Field("attr", "other"), "=", "x")
+
+    def test_numeric_equality_never_uses_index(self):
+        # rows are stored as strings; an exact-value index can't answer
+        # the coercing comparison float("100") == 100
+        p = _plan("MATCH entity WHERE attr.rows = 100 RETURN *")
+        assert not p.uses_index
+
+    def test_non_equality_operators_scan(self):
+        for op in ("!=", "<", "<=", ">", ">=", "~"):
+            p = _plan(f"MATCH entity WHERE label {op} 'x' RETURN *")
+            assert not p.uses_index, op
+
+    def test_or_blocks_pushdown(self):
+        p = _plan("MATCH element WHERE id = 'a' OR label = 'b' RETURN *")
+        assert not p.uses_index
+        assert isinstance(p.seed_filter, Or)
+
+    def test_residual_conjuncts_survive(self):
+        p = _plan(
+            "MATCH element WHERE label = 'm' AND attr.other = 'x' "
+            "AND kind != 'agent' RETURN *"
+        )
+        assert p.seed_index == (Field("label"), "m")
+        assert isinstance(p.seed_filter, And)
+        assert len(p.seed_filter.items) == 2
+
+    def test_first_indexed_conjunct_wins(self):
+        p = _plan("MATCH element WHERE id = 'a' AND label = 'b' RETURN *")
+        assert p.seed_index == (Field("id"), "a")
+        assert p.seed_filter == Comparison(Field("label"), "=", "b")
+
+    def test_force_scan_disables_index(self):
+        p = _plan("MATCH entity WHERE type = 'ex:Model' RETURN *", force_scan=True)
+        assert not p.uses_index
+        assert p.seed_filter == Comparison(Field("type"), "=", "ex:Model")
+
+
+class TestPlanShape:
+    def test_pushdown_below_traversal(self):
+        p = _plan(
+            "MATCH entity WHERE type = 'ex:Model' "
+            "TRAVERSE upstream VIA used DEPTH 2 WHERE kind = 'activity' "
+            "RETURN id LIMIT 3 OFFSET 1"
+        )
+        lines = p.lines()
+        assert lines == [
+            "SeedIndexLookup kind=entity field=type value='ex:Model'",
+            "Traverse direction=upstream via=used depth=2",
+            "Filter kind = 'activity'",
+            "Sort doc, id",
+            "Slice limit=3 offset=1",
+            "Project id",
+        ]
+        # the seed predicate is applied before the traversal starts
+        assert lines.index("Traverse direction=upstream via=used depth=2") < (
+            lines.index("Filter kind = 'activity'")
+        )
+
+    def test_star_projection(self):
+        p = _plan("MATCH element RETURN *")
+        assert p.projections() == STAR_FIELDS
+        assert p.lines()[-1] == "Project kind, id, label, type"
+
+    def test_no_slice_line_without_limit_offset(self):
+        assert not any("Slice" in line for line in _plan("MATCH element RETURN *").lines())
+
+    def test_render_joins_lines(self):
+        p = _plan("MATCH element RETURN id")
+        assert p.render() == "\n".join(p.lines())
+
+
+def test_empty_index_set_always_scans():
+    p = _plan("MATCH element WHERE id = 'a' RETURN *", indexed=frozenset())
+    assert not p.uses_index

@@ -1,0 +1,100 @@
+"""Tests for the ``yprov query`` CLI command."""
+
+import json
+
+import pytest
+
+from repro.yprov.cli import main
+from repro.yprov.rest import ProvenanceServer
+from repro.yprov.service import ProvenanceService
+
+
+@pytest.fixture
+def prov_file(finished_run):
+    return finished_run.save()["prov"]
+
+
+@pytest.fixture
+def root(tmp_path, prov_file):
+    root = str(tmp_path / "service")
+    assert main(["--root", root, "push", "r1", str(prov_file)]) == 0
+    return root
+
+
+def run_cli(*args) -> int:
+    return main(list(args))
+
+
+class TestQueryCommand:
+    def test_text_output(self, root, capsys):
+        assert run_cli(
+            "--root", root, "query", "r1",
+            "MATCH activity WHERE type = 'yprov4ml:RunExecution' RETURN id, label",
+        ) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0] == "id\tlabel"
+        assert "fixture_run" in lines[1]
+        assert lines[-1] == "(1 rows)"
+
+    def test_empty_result(self, root, capsys):
+        assert run_cli(
+            "--root", root, "query", "r1",
+            "MATCH entity WHERE id = 'ex:ghost' RETURN *",
+        ) == 0
+        assert capsys.readouterr().out.strip() == "(0 rows)"
+
+    def test_json_output(self, root, capsys):
+        assert run_cli(
+            "--root", root, "query", "r1", "MATCH agent RETURN id, kind",
+            "--format", "json",
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"rows", "plan", "stats"}
+        assert all(row["kind"] == "agent" for row in payload["rows"])
+
+    def test_explain_flag_prints_plan(self, root, capsys):
+        assert run_cli(
+            "--root", root, "query", "r1",
+            "MATCH activity WHERE type = 'yprov4ml:RunExecution' RETURN id",
+            "--explain",
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("SeedIndexLookup")
+        assert "Project id" in out
+
+    def test_explain_flag_is_idempotent(self, root, capsys):
+        assert run_cli(
+            "--root", root, "query", "r1",
+            "EXPLAIN MATCH element RETURN *", "--explain",
+        ) == 0
+        assert capsys.readouterr().out.startswith("SeedScan")
+
+    def test_none_rendered_as_empty_cell(self, root, capsys):
+        assert run_cli(
+            "--root", root, "query", "r1",
+            "MATCH agent RETURN id, attr.'ex:absent' LIMIT 1",
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        # the projected attribute does not exist, so the cell is empty
+        assert lines[1].endswith("\t")
+
+    def test_syntax_error_exits_nonzero(self, root, capsys):
+        assert run_cli("--root", root, "query", "r1", "MATCH oops RETURN *") == 2
+        assert "error" in capsys.readouterr().err.lower()
+
+    def test_unknown_document_exits_nonzero(self, root):
+        assert run_cli(
+            "--root", root, "query", "ghost", "MATCH element RETURN *"
+        ) == 2
+
+    def test_url_mode_queries_over_http(self, sample_document, capsys):
+        service = ProvenanceService()
+        service.put_document("d1", sample_document)
+        with ProvenanceServer(service) as srv:
+            assert run_cli(
+                "query", "d1", "MATCH entity RETURN id",
+                "--url", srv.url, "--format", "json",
+            ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"] == [{"id": "ex:dataset"}, {"id": "ex:model"}]

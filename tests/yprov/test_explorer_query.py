@@ -1,0 +1,125 @@
+"""Explorer PROVQL integration: compiled queries and flatten caching."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.prov.document import ProvDocument
+from repro.yprov.explorer import Explorer
+from repro.yprov.service import ProvenanceService
+
+
+@pytest.fixture()
+def service(sample_document):
+    svc = ProvenanceService()
+    svc.put_document("run1", sample_document)
+    return svc
+
+
+class TestCompiledQueries:
+    def test_search_document_and_service_agree(self, service, sample_document):
+        direct = Explorer().search(sample_document, "model")
+        via_service = Explorer(service).search("run1", "model")
+        assert direct == via_service == ["ex:model"]
+
+    def test_search_matches_ids_labels_and_types(self, sample_document):
+        explorer = Explorer()
+        assert explorer.search(sample_document, "ALICE") == ["ex:alice"]
+        assert explorer.search(sample_document, "ex:") == [
+            "ex:alice", "ex:dataset", "ex:model", "ex:train",
+        ]
+        assert explorer.search(sample_document, "zzz") == []
+
+    def test_lineage_document_and_service_agree(self, service, sample_document):
+        expected = ["ex:alice", "ex:dataset", "ex:train"]
+        assert Explorer().lineage_of(sample_document, "ex:model") == expected
+        assert Explorer(service).lineage_of("run1", "ex:model") == expected
+
+    def test_lineage_relation_filter(self, service):
+        explorer = Explorer(service)
+        derived = explorer.lineage_of(
+            "run1", "ex:model", relations=["wasDerivedFrom"]
+        )
+        assert derived == ["ex:dataset"]
+
+    def test_lineage_unknown_element(self, service):
+        with pytest.raises(ServiceError, match="unknown element"):
+            Explorer(service).lineage_of("run1", "ex:ghost")
+
+    def test_lineage_bad_direction(self, service):
+        with pytest.raises(ServiceError, match="direction"):
+            Explorer(service).lineage_of("run1", "ex:model", direction="sideways")
+
+    def test_service_search_hits_query_cache(self, service):
+        explorer = Explorer(service)
+        explorer.search("run1", "model")
+        hits_before = service.query_cache.stats()["hits"]
+        explorer.search("run1", "model")
+        assert service.query_cache.stats()["hits"] == hits_before + 1
+
+    def test_find_runs_shape(self, service, finished_run):
+        paths = finished_run.save()
+        service.put_document("run2", paths["prov"].read_text())
+        runs = Explorer(service).find_runs()
+        assert len(runs) == 1
+        run = runs[0]
+        assert run["doc_id"] == "run2"
+        assert run["prov_type"] == "yprov4ml:RunExecution"
+        assert run["kind"] == "activity"
+        assert set(run) == {"doc_id", "qualified_name", "label", "prov_type", "kind"}
+
+    def test_find_runs_requires_service(self):
+        with pytest.raises(ServiceError, match="no service"):
+            Explorer().find_runs()
+
+
+class TestFlattenCaching:
+    @pytest.fixture()
+    def flatten_calls(self, monkeypatch):
+        calls = {"n": 0}
+        original = ProvDocument.flattened
+
+        def counting(doc):
+            calls["n"] += 1
+            return original(doc)
+
+        monkeypatch.setattr(ProvDocument, "flattened", counting)
+        return calls
+
+    def test_raw_document_flattened_once(self, sample_document, flatten_calls):
+        explorer = Explorer()
+        explorer.summary(sample_document)
+        explorer.timeline(sample_document)
+        explorer.diff(sample_document, sample_document)
+        assert flatten_calls["n"] == 1
+
+    def test_service_document_flattened_once_until_republished(
+        self, sample_document, flatten_calls
+    ):
+        service = ProvenanceService()
+        service.put_document("d", sample_document)  # ingest flattens once
+        assert flatten_calls["n"] == 1
+        explorer = Explorer(service)
+        explorer.summary("d")
+        explorer.timeline("d")
+        explorer.summary("d")
+        assert flatten_calls["n"] == 2  # one flatten serves every call
+
+        changed = ProvDocument()
+        changed.add_namespace("ex", "http://example.org/")
+        changed.entity("ex:other")
+        service.put_document("d", changed)  # ingest flattens the new doc
+        assert explorer.summary("d")["entities"] == 1  # re-resolve: new text
+        assert flatten_calls["n"] == 4
+
+    def test_distinct_documents_cached_independently(
+        self, sample_document, flatten_calls
+    ):
+        other = ProvDocument()
+        other.add_namespace("ex", "http://example.org/")
+        other.entity("ex:solo")
+        explorer = Explorer()
+        explorer.summary(sample_document)
+        explorer.summary(other)
+        explorer.summary(sample_document)
+        explorer.summary(other)
+        assert flatten_calls["n"] == 2

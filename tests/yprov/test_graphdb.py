@@ -199,3 +199,138 @@ class TestPersistence:
 
     def test_labels_summary(self, db, chain):
         assert db.labels() == {"Item": 3}
+
+
+class TestTraversalBounds:
+    """direction="both" interacting with max_depth (satellite coverage)."""
+
+    @pytest.fixture
+    def star(self, db):
+        """left <- center -> right, plus right -> far."""
+        center = db.create_node({"N"}, {"name": "center"})
+        left = db.create_node({"N"}, {"name": "left"})
+        right = db.create_node({"N"}, {"name": "right"})
+        far = db.create_node({"N"}, {"name": "far"})
+        db.create_edge(center.id, left.id, "E")
+        db.create_edge(center.id, right.id, "E")
+        db.create_edge(right.id, far.id, "E")
+        return center, left, right, far
+
+    def test_both_ignores_edge_orientation(self, db, star):
+        center, left, right, far = star
+        assert set(db.traverse(left.id, direction="both")) == {
+            center.id, right.id, far.id,
+        }
+
+    def test_both_with_depth_one(self, db, star):
+        center, left, right, far = star
+        assert db.traverse(left.id, direction="both", max_depth=1) == [center.id]
+
+    def test_both_with_depth_two(self, db, star):
+        center, left, right, far = star
+        assert set(db.traverse(left.id, direction="both", max_depth=2)) == {
+            center.id, right.id,
+        }
+
+    def test_depth_zero_is_empty(self, db, chain):
+        assert db.traverse(chain[0].id, max_depth=0) == []
+        assert db.traverse(chain[0].id, direction="both", max_depth=0) == []
+
+    def test_depth_larger_than_graph_is_full_closure(self, db, chain):
+        a, b, c = chain
+        assert db.traverse(a.id, max_depth=99) == [b.id, c.id]
+
+    def test_both_does_not_return_start_on_cycle(self, db):
+        a = db.create_node({"N"})
+        b = db.create_node({"N"})
+        db.create_edge(a.id, b.id, "E")
+        db.create_edge(b.id, a.id, "E")
+        assert db.traverse(a.id, direction="both") == [b.id]
+
+
+class TestTraverseMany:
+    def test_union_of_single_source_closures(self, db, chain):
+        a, b, c = chain
+        d = db.create_node({"Item"}, {"name": "d"})
+        db.create_edge(c.id, d.id, "NEXT")
+        # from {a, c}: a reaches b, c, d; c reaches d; starts are excluded
+        assert set(db.traverse_many([a.id, c.id])) == {b.id, d.id}
+
+    def test_excludes_starts_reachable_from_each_other(self, db, chain):
+        a, b, c = chain
+        assert db.traverse_many([a.id, b.id]) == [c.id]
+
+    def test_nodes_appear_once_at_minimum_depth(self, db, chain):
+        a, b, c = chain
+        assert db.traverse_many([a.id, b.id], max_depth=1) == [c.id]
+
+    def test_empty_starts(self, db, chain):
+        assert db.traverse_many([]) == []
+
+    def test_duplicate_starts_are_deduplicated(self, db, chain):
+        a, b, c = chain
+        assert db.traverse_many([a.id, a.id]) == [b.id, c.id]
+
+    def test_validates_direction_and_starts(self, db, chain):
+        with pytest.raises(GraphDBError):
+            db.traverse_many([chain[0].id], direction="sideways")
+        with pytest.raises(NodeNotFoundError):
+            db.traverse_many([9999])
+
+    def test_type_filter(self, db, chain):
+        a, _, _ = chain
+        extra = db.create_node({"Item"})
+        db.create_edge(a.id, extra.id, "OTHER")
+        assert db.traverse_many([a.id], types=["OTHER"]) == [extra.id]
+
+
+class TestMatchCombination:
+    """Predicate + un-indexed property filters compose (satellite coverage)."""
+
+    def test_predicate_with_unindexed_property(self, db):
+        db.create_index("Item", "name")
+        db.create_node({"Item"}, {"name": "a", "size": 1})
+        db.create_node({"Item"}, {"name": "a", "size": 2})
+        db.create_node({"Item"}, {"name": "b", "size": 2})
+        # "name" is indexed, "size" is not; the predicate narrows further
+        found = db.match_nodes(
+            label="Item",
+            properties={"name": "a", "size": 2},
+            predicate=lambda n: n.properties["size"] > 1,
+        )
+        assert [n.properties for n in found] == [{"name": "a", "size": 2}]
+
+    def test_predicate_alone_scans_all(self, db, chain):
+        found = db.match_nodes(predicate=lambda n: n.properties["name"] in "ac")
+        assert sorted(n.properties["name"] for n in found) == ["a", "c"]
+
+    def test_predicate_rejecting_everything(self, db, chain):
+        assert db.match_nodes(label="Item", predicate=lambda n: False) == []
+
+
+class TestIndexIntrospection:
+    def test_has_index_and_listing(self, db):
+        assert not db.has_index("Item", "name")
+        db.create_index("Item", "name")
+        db.create_index("Item", "age")
+        assert db.has_index("Item", "name")
+        assert db.indexes() == [("Item", "age"), ("Item", "name")]
+
+
+class TestSaveByteStability:
+    def test_save_load_save_is_byte_identical(self, db, chain, tmp_path):
+        db.create_index("Item", "name")
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        db.save(first)
+        GraphDB.load(first).save(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_property_insertion_order_does_not_change_bytes(self, tmp_path):
+        one, two = GraphDB(), GraphDB()
+        one.create_node({"N"}, {"alpha": 1, "beta": 2})
+        two.create_node({"N"}, {"beta": 2, "alpha": 1})
+        p1, p2 = tmp_path / "one.json", tmp_path / "two.json"
+        one.save(p1)
+        two.save(p2)
+        assert p1.read_bytes() == p2.read_bytes()

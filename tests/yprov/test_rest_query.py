@@ -1,0 +1,117 @@
+"""Tests for the PROVQL endpoint: POST /api/v0/documents/<id>/query."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import DocumentNotFoundError, ServiceError
+from repro.yprov.client import ProvenanceClient
+from repro.yprov.rest import ProvenanceServer, ServerLimits
+from repro.yprov.service import ProvenanceService
+
+
+@pytest.fixture()
+def server(sample_document):
+    service = ProvenanceService()
+    service.put_document("seeded", sample_document)
+    with ProvenanceServer(service) as srv:
+        yield srv
+
+
+def _post(url, body: bytes):
+    req = urllib.request.Request(url, data=body, method="POST")
+    with urllib.request.urlopen(req, timeout=5) as resp:
+        return resp.status, json.loads(resp.read().decode())
+
+
+class TestQueryEndpoint:
+    def test_raw_provql_body(self, server):
+        status, body = _post(
+            f"{server.url}/documents/seeded/query",
+            b"MATCH entity RETURN id",
+        )
+        assert status == 200
+        assert body["rows"] == [{"id": "ex:dataset"}, {"id": "ex:model"}]
+        assert body["stats"]["returned_rows"] == 2
+        assert isinstance(body["plan"], list)
+
+    def test_json_envelope_body(self, server):
+        payload = json.dumps({"query": "MATCH agent RETURN id, label"}).encode()
+        status, body = _post(f"{server.url}/documents/seeded/query", payload)
+        assert status == 200
+        assert body["rows"] == [{"id": "ex:alice", "label": "alice"}]
+
+    def test_explain(self, server):
+        status, body = _post(
+            f"{server.url}/documents/seeded/query",
+            b"EXPLAIN MATCH entity WHERE label = 'model' RETURN id",
+        )
+        assert status == 200
+        assert body["rows"] == []
+        assert body["stats"]["explained"]
+        assert body["plan"][0].startswith("SeedIndexLookup")
+
+    def test_traversal_over_http(self, server):
+        status, body = _post(
+            f"{server.url}/documents/seeded/query",
+            b"MATCH element WHERE id = 'ex:model' TRAVERSE upstream RETURN id",
+        )
+        assert status == 200
+        ids = [row["id"] for row in body["rows"]]
+        assert ids == ["ex:alice", "ex:dataset", "ex:train"]
+
+    def test_unknown_document_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _post(f"{server.url}/documents/ghost/query", b"MATCH element RETURN *")
+        assert exc.value.code == 404
+
+    def test_syntax_error_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _post(f"{server.url}/documents/seeded/query", b"MATCH gremlin RETURN *")
+        assert exc.value.code == 400
+        detail = json.loads(exc.value.read().decode())
+        assert "gremlin" in detail["error"]
+
+    def test_bad_envelope_is_400(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _post(
+                f"{server.url}/documents/seeded/query",
+                json.dumps({"q": "MATCH element RETURN *"}).encode(),
+            )
+        assert exc.value.code == 400
+
+    def test_post_to_non_query_path_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _post(f"{server.url}/documents/seeded", b"MATCH element RETURN *")
+        assert exc.value.code == 404
+
+    def test_oversized_body_is_413(self, sample_document):
+        service = ProvenanceService()
+        service.put_document("seeded", sample_document)
+        with ProvenanceServer(service, limits=ServerLimits(max_body_bytes=64)) as srv:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                _post(
+                    f"{srv.url}/documents/seeded/query",
+                    b"MATCH element WHERE label = '" + b"x" * 200 + b"' RETURN *",
+                )
+            assert exc.value.code == 413
+
+
+class TestClientQuery:
+    def test_round_trip(self, server):
+        client = ProvenanceClient(server.url)
+        result = client.query("seeded", "MATCH entity WHERE label ~ 'MOD' RETURN id")
+        assert result["rows"] == [{"id": "ex:model"}]
+        assert result["stats"]["backend"] == "service"
+
+    def test_unknown_document(self, server):
+        client = ProvenanceClient(server.url)
+        with pytest.raises(DocumentNotFoundError):
+            client.query("ghost", "MATCH element RETURN *")
+
+    def test_syntax_error_maps_to_service_error(self, server):
+        client = ProvenanceClient(server.url)
+        with pytest.raises(ServiceError):
+            client.query("seeded", "MATCH element WHERE RETURN *")
