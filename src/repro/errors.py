@@ -135,6 +135,20 @@ class CycleError(WorkflowError):
     """The task graph contains a cycle."""
 
 
+class WorkflowJournalError(WorkflowError):
+    """The workflow write-ahead journal could not be written or parsed."""
+
+
+class TaskCancelledError(WorkflowError):
+    """Cooperative cancellation: the supervisor asked this attempt to stop.
+
+    Raised *inside* a task function by :meth:`TaskContext.check_cancelled`
+    / :meth:`TaskContext.sleep` once the attempt's deadline has passed (or
+    the run is shutting down), so a well-behaved long task unwinds instead
+    of running to completion after its result can no longer be used.
+    """
+
+
 class SimulationError(ReproError):
     """Base class for distributed-training-simulator failures."""
 

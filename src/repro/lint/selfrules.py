@@ -81,6 +81,8 @@ _EXCEPTION_OWNERS: Dict[str, Tuple[str, ...]] = {
     # workflow DAGs
     "WorkflowError": ("workflow/",),
     "CycleError": ("workflow/",),
+    "WorkflowJournalError": ("workflow/",),
+    "TaskCancelledError": ("workflow/",),
     # simulator
     "SimulationError": ("simulator/",),
     "ClusterConfigError": ("simulator/",),

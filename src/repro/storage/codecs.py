@@ -189,6 +189,8 @@ class ScaleOffsetCodec(Codec):
             lo = float(arr[finite].min())
             hi = float(arr[finite].max())
         scale = (hi - lo) / 65000.0 if hi > lo else 1.0
+        if scale == 0.0:  # subnormal range: the division underflowed to zero
+            scale = 1.0
         packed = np.full(arr.shape, self._SENTINEL, dtype=np.int16)
         if finite.any():
             quant = np.rint((arr[finite] - lo) / scale) - 32500

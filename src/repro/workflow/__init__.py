@@ -4,8 +4,15 @@ yProv4ML "is fully integrated with the yProv framework, allowing for higher
 level pairing in tasks run also through workflow management systems."  This
 package provides:
 
-* :mod:`repro.workflow.dag` — a minimal workflow management system: a task
-  DAG with dependency-ordered execution, retries and failure propagation;
+* :mod:`repro.workflow.dag` — the workflow management system: a task DAG
+  with dependency-ordered execution, retries, deadlines and failure
+  propagation, plus durable journaled runs and crash resume;
+* :mod:`repro.workflow.journal` — the crc-checked write-ahead journal a
+  journaled run appends to (and resume/status read back);
+* :mod:`repro.workflow.supervisor` — per-attempt deadline enforcement,
+  heartbeats and cooperative cancellation;
+* :mod:`repro.workflow.chaos` — seeded fault injection (simulated kills,
+  torn journal tails) driving the crash-safety test suites;
 * :mod:`repro.workflow.provtracker` — a provenance *producer* emitting a
   W3C PROV document for a workflow execution (tasks as activities, data as
   entities, the WFMS as an agent);
@@ -15,18 +22,30 @@ package provides:
 """
 
 from repro.workflow.dag import Task, TaskResult, TaskState, Workflow, WorkflowResult
+from repro.workflow.journal import (
+    WorkflowHistory,
+    WorkflowJournal,
+    load_history,
+    workflow_journal_path,
+)
 from repro.workflow.provtracker import build_workflow_document
 from repro.workflow.pairing import pair_run_documents
+from repro.workflow.supervisor import TaskContext
 from repro.workflow.wfcrate import create_workflow_crate, read_workflow_crate
 
 __all__ = [
     "Task",
+    "TaskContext",
     "TaskResult",
     "TaskState",
     "Workflow",
+    "WorkflowHistory",
+    "WorkflowJournal",
     "WorkflowResult",
     "build_workflow_document",
+    "load_history",
     "pair_run_documents",
     "create_workflow_crate",
     "read_workflow_crate",
+    "workflow_journal_path",
 ]

@@ -1,0 +1,156 @@
+"""Seeded chaos harness for the workflow runtime.
+
+Deterministic fault injection at the exact boundaries that matter for
+crash-safety proofs:
+
+* :class:`CrashAfterRecords` — an in-process "kill": raises
+  :class:`SimulatedCrash` from the journal's post-flush hook, leaving the
+  on-disk journal byte-identical to a SIGKILL at that record boundary
+  (the journal marks itself dead, so no further records leak out);
+* :func:`sigkill_after_records` — the real thing, for subprocess tests
+  and the CI smoke job: ``SIGKILL`` the current process at the boundary;
+* :func:`truncate_journal_tail` / :func:`corrupt_journal_tail` — simulate
+  torn and bit-rotted tail records, the residue of dying mid-write;
+* :class:`ChaosPlan` — a seeded plan mapping one integer seed to a
+  reproducible set of injection points, so a CI seed matrix covers the
+  space without flaking.
+
+``SimulatedCrash`` derives from :class:`BaseException` on purpose: task
+functions (and the executor's own retry machinery) catch ``Exception``
+broadly, and a simulated kill — like a real one — must not be catchable
+by application code.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+from pathlib import Path
+from typing import Callable, List, Optional, Union
+
+PathLike = Union[str, Path]
+
+#: Environment variable the CLI honors to install a SIGKILL chaos hook:
+#: ``REPRO_WF_KILL_AFTER=<n>`` kills the process after the n-th journal
+#: record is durably on disk.  Testing/CI hook — never set it in production.
+KILL_AFTER_ENV = "REPRO_WF_KILL_AFTER"
+
+
+class SimulatedCrash(BaseException):
+    """An injected process death (uncatchable by task code, like SIGKILL)."""
+
+
+class CrashAfterRecords:
+    """Journal hook: simulate a kill once *n* records are durably on disk.
+
+    ``n=0`` crashes on the very first record (the ``wf_start``);
+    ``n=k`` lets k records land and dies flushing record k+1's boundary.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"crash point must be >= 0, got {n}")
+        self.n = int(n)
+
+    def __call__(self, kind: str, index: int) -> None:
+        if index >= self.n:
+            raise SimulatedCrash(
+                f"simulated kill after journal record {index} ({kind})"
+            )
+
+
+def sigkill_after_records(n: int) -> Callable[[str, int], None]:
+    """A journal hook that really SIGKILLs the process at the boundary."""
+
+    def hook(kind: str, index: int) -> None:
+        if index >= n:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    return hook
+
+
+def hook_from_env() -> Optional[Callable[[str, int], None]]:
+    """The SIGKILL hook requested via ``REPRO_WF_KILL_AFTER``, if any."""
+    raw = os.environ.get(KILL_AFTER_ENV)
+    if not raw:
+        return None
+    return sigkill_after_records(int(raw))
+
+
+# ---------------------------------------------------------------------------
+# journal tail damage
+# ---------------------------------------------------------------------------
+
+def truncate_journal_tail(path: PathLike, nbytes: int) -> int:
+    """Cut *nbytes* off the end of a journal file (a torn final write).
+
+    Returns the resulting file size.  Truncating more bytes than the file
+    holds leaves an empty file, exactly like dying before the first flush.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    new_size = max(0, size - int(nbytes))
+    with path.open("rb+") as fh:  # lint: disable=SL201 -- chaos harness deliberately tears the file in place
+        fh.truncate(new_size)
+    return new_size
+
+
+def corrupt_journal_tail(path: PathLike, seed: int = 0) -> int:
+    """Flip one seeded bit inside the last record of a journal.
+
+    Returns the corrupted byte offset (-1 when the file is empty).  The
+    crc catches the flip on the next read; every earlier record stays
+    loadable.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    if not data:
+        return -1
+    # find the start of the last non-empty line
+    body = data.rstrip(b"\n")
+    last_nl = body.rfind(b"\n")
+    lo = last_nl + 1
+    rng = random.Random(seed)
+    offset = rng.randrange(lo, len(body)) if len(body) > lo else lo
+    with path.open("rb+") as fh:  # lint: disable=SL201 -- chaos harness deliberately flips bits in place
+        fh.seek(offset)
+        byte = fh.read(1)
+        fh.seek(offset)
+        fh.write(bytes([byte[0] ^ 0x40]))
+    return offset
+
+
+# ---------------------------------------------------------------------------
+# seeded plans
+# ---------------------------------------------------------------------------
+
+class ChaosPlan:
+    """Map one integer seed to a reproducible set of injection decisions."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed)
+        self._rng = random.Random(self.seed)
+
+    def kill_point(self, total_records: int) -> int:
+        """A record boundary to die at, in ``[1, total_records - 1]``.
+
+        Never 0 (dying before ``wf_start`` leaves nothing to resume) and
+        never past the last record (that run already completed).
+        """
+        if total_records < 2:
+            return 1
+        return self._rng.randrange(1, total_records)
+
+    def kill_points(self, total_records: int, k: int) -> List[int]:
+        """*k* distinct seeded kill points for a multi-crash scenario."""
+        upper = max(total_records, 2)
+        population = list(range(1, upper))
+        self._rng.shuffle(population)
+        return sorted(population[:k])
+
+    def tail_damage(self, file_size: int) -> int:
+        """A seeded number of bytes to tear off a journal tail."""
+        if file_size <= 1:
+            return 0
+        return self._rng.randrange(1, file_size)

@@ -1,27 +1,52 @@
-"""Minimal workflow management system: task DAGs with ordered execution.
+"""Workflow management system: task DAGs with durable, resumable execution.
 
 A :class:`Workflow` is a named DAG of :class:`Task` objects.  Each task's
 callable receives a dict of the outputs of its dependencies (keyed by task
-name) and returns a dict of named outputs.  Execution is deterministic:
-tasks run in topological order (ties broken by name), failures mark all
-transitive dependents as skipped, and per-task retries are supported.
+name) — and, if it accepts a second positional argument, a
+:class:`~repro.workflow.supervisor.TaskContext` for heartbeats and
+cooperative cancellation — and returns a dict of named outputs.  Execution
+is deterministic: tasks run in topological order (ties broken by name),
+failures mark all transitive dependents as skipped, and per-task retries
+and deadlines are supported.
+
+Fault tolerance (see :mod:`repro.workflow.journal`): pass ``state_dir`` to
+:meth:`Workflow.run` and every task start/attempt/success/failure/skip is
+journaled durably before execution proceeds.  After a crash,
+:meth:`Workflow.resume` replays completed tasks bit-identically from the
+journal — no SUCCEEDED task re-executes — and runs only what is left, so
+the resumed run's final :class:`WorkflowResult` (states, outputs, attempt
+counts) equals the uninterrupted run's.  A task that crashed the process
+``quarantine_after`` times resumes as QUARANTINED instead of wedging the
+run forever.
 
 Time is injectable (``clock``) so the simulator and tests can run workflows
-on simulated time.
+on simulated time; deadline enforcement honors the injected clock too.
 """
 
 from __future__ import annotations
 
+import copy
 import enum
+import os
 import time as _time
+import uuid
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Union
 
 from repro.errors import CycleError, WorkflowError
 from repro.retry import ExponentialBackoff, seed_from_name
+from repro.workflow.journal import (
+    WorkflowHistory,
+    WorkflowJournal,
+    canonical_outputs,
+    load_history,
+    workflow_journal_path,
+)
+from repro.workflow.supervisor import supervise_attempt
 
-TaskFn = Callable[[Dict[str, Dict[str, Any]]], Optional[Dict[str, Any]]]
+TaskFn = Callable[..., Optional[Dict[str, Any]]]
 SleepFn = Callable[[float], None]
+PathLike = Union[str, "os.PathLike[str]"]
 
 
 class TaskState(enum.Enum):
@@ -29,6 +54,15 @@ class TaskState(enum.Enum):
     SUCCEEDED = "succeeded"
     FAILED = "failed"
     SKIPPED = "skipped"  # a dependency failed
+    TIMED_OUT = "timed_out"  # exceeded its timeout_s deadline
+    QUARANTINED = "quarantined"  # crashed the process too many times
+
+
+#: Terminal states a dependency must reach for its dependents to run.
+_TERMINAL_STATES = frozenset(
+    (TaskState.SUCCEEDED, TaskState.FAILED, TaskState.SKIPPED,
+     TaskState.TIMED_OUT, TaskState.QUARANTINED)
+)
 
 
 @dataclass
@@ -47,6 +81,10 @@ class Task:
     #: fractional jitter spread; the draw is seeded from the task name so
     #: the schedule is deterministic and assertable in tests
     backoff_jitter: float = 0.0
+    #: deadline per attempt, measured on the run's (injectable) clock; a
+    #: task past its deadline is cancelled and reported TIMED_OUT
+    #: (terminal — timeouts are not retried)
+    timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -56,6 +94,10 @@ class Task:
         if self.retry_backoff_s < 0:
             raise WorkflowError(
                 f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise WorkflowError(
+                f"timeout_s must be > 0, got {self.timeout_s}"
             )
 
     def backoff_schedule(self) -> List[float]:
@@ -69,6 +111,14 @@ class Task:
             seed=seed_from_name(self.name),
         )
         return backoff.delays(self.retries)
+
+    def spec(self) -> Dict[str, Any]:
+        """The journalable description of this task (for ``wf_start``)."""
+        return {
+            "deps": list(self.deps),
+            "retries": self.retries,
+            "timeout_s": self.timeout_s,
+        }
 
 
 @dataclass
@@ -84,12 +134,43 @@ class TaskResult:
     error: Optional[str] = None
     #: delays actually slept between failed attempts (empty without retries)
     backoff_delays: List[float] = field(default_factory=list)
+    #: True when this result was replayed from the journal on resume
+    #: rather than produced by executing the task
+    replayed: bool = False
 
     @property
     def duration(self) -> Optional[float]:
         if self.start_time is None or self.end_time is None:
             return None
         return self.end_time - self.start_time
+
+    def journal_payload(self) -> Dict[str, Any]:
+        """The replayable ``task_result`` record for this result."""
+        return {
+            "task": self.name,
+            "state": self.state.value,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "attempts": self.attempts,
+            "outputs": self.outputs,
+            "error": self.error,
+            "backoff_delays": list(self.backoff_delays),
+        }
+
+    @classmethod
+    def from_journal_payload(cls, payload: Mapping[str, Any]) -> "TaskResult":
+        """Rebuild a terminal result bit-identically from its record."""
+        return cls(
+            name=str(payload["task"]),
+            state=TaskState(payload["state"]),
+            start_time=payload.get("start_time"),
+            end_time=payload.get("end_time"),
+            attempts=int(payload.get("attempts", 0)),
+            outputs=dict(payload.get("outputs") or {}),
+            error=payload.get("error"),
+            backoff_delays=list(payload.get("backoff_delays") or []),
+            replayed=True,
+        )
 
 
 @dataclass
@@ -100,10 +181,16 @@ class WorkflowResult:
     start_time: float
     end_time: float
     tasks: Dict[str, TaskResult]
+    #: how many journal segments (1 + number of resumes) produced this
+    segments: int = 1
 
     @property
     def succeeded(self) -> bool:
         return all(t.state is TaskState.SUCCEEDED for t in self.tasks.values())
+
+    @property
+    def resumed(self) -> bool:
+        return self.segments > 1
 
     @property
     def duration(self) -> float:
@@ -114,6 +201,52 @@ class WorkflowResult:
         if result is None:
             raise WorkflowError(f"unknown task: {task!r}")
         return result.outputs
+
+    def to_comparable(self) -> Dict[str, Dict[str, Any]]:
+        """The resume-invariant view: states, outputs, attempt counts.
+
+        A resumed run must produce exactly this dict for the uninterrupted
+        run's (wall-clock timings legitimately differ).
+        """
+        return {
+            name: {
+                "state": r.state.value,
+                "outputs": r.outputs,
+                "attempts": r.attempts,
+            }
+            for name, r in sorted(self.tasks.items())
+        }
+
+
+@dataclass
+class _Runtime:
+    """Per-execution plumbing shared by the sequential and parallel paths."""
+
+    clock: Callable[[], float]
+    sleep: SleepFn
+    journal: Optional[WorkflowJournal] = None
+    heartbeat_interval_s: Optional[float] = None
+    #: tasks whose terminal results replay from the journal (resume)
+    preloaded: Dict[str, TaskResult] = field(default_factory=dict)
+    #: next global attempt number per task (continues across resumes)
+    next_attempt: Dict[str, int] = field(default_factory=dict)
+
+    def attempt_number(self, task: str) -> int:
+        number = self.next_attempt.get(task, 1)
+        self.next_attempt[task] = number + 1
+        return number
+
+    def record(self, kind: str, payload: Dict[str, Any]) -> None:
+        if self.journal is not None:
+            self.journal.append(kind, payload)
+
+    def finish_task(self, result: TaskResult) -> TaskResult:
+        """Canonicalize outputs (journaled runs) and journal the terminal."""
+        if self.journal is not None:
+            if result.state is TaskState.SUCCEEDED:
+                result.outputs = canonical_outputs(result.outputs)
+            self.record("task_result", result.journal_payload())
+        return result
 
 
 class Workflow:
@@ -135,6 +268,7 @@ class Workflow:
         retry_backoff_s: float = 0.0,
         backoff_factor: float = 2.0,
         backoff_jitter: float = 0.0,
+        timeout_s: Optional[float] = None,
     ) -> Task:
         """Register a task; dependencies must already exist (keeps it acyclic
         by construction, and catches typos early)."""
@@ -144,14 +278,16 @@ class Workflow:
             if dep not in self._tasks:
                 raise WorkflowError(f"task {name!r} depends on unknown task {dep!r}")
         task = Task(name, fn, tuple(deps), retries, description,
-                    retry_backoff_s, backoff_factor, backoff_jitter)
+                    retry_backoff_s, backoff_factor, backoff_jitter,
+                    timeout_s)
         self._tasks[name] = task
         return task
 
     def task(self, name: str, deps: Sequence[str] = (), retries: int = 0,
              description: str = "", retry_backoff_s: float = 0.0,
              backoff_factor: float = 2.0,
-             backoff_jitter: float = 0.0) -> Callable[[TaskFn], TaskFn]:
+             backoff_jitter: float = 0.0,
+             timeout_s: Optional[float] = None) -> Callable[[TaskFn], TaskFn]:
         """Decorator form of :meth:`add_task`."""
 
         def decorator(fn: TaskFn) -> TaskFn:
@@ -159,7 +295,8 @@ class Workflow:
                           description=description,
                           retry_backoff_s=retry_backoff_s,
                           backoff_factor=backoff_factor,
-                          backoff_jitter=backoff_jitter)
+                          backoff_jitter=backoff_jitter,
+                          timeout_s=timeout_s)
             return fn
 
         return decorator
@@ -205,6 +342,11 @@ class Workflow:
         inputs: Optional[Mapping[str, Dict[str, Any]]] = None,
         max_workers: int = 1,
         sleep: Optional[SleepFn] = None,
+        state_dir: Optional[PathLike] = None,
+        quarantine_after: int = 3,
+        heartbeat_interval_s: Optional[float] = None,
+        fsync: bool = True,
+        on_record: Optional[Callable[[str, int], None]] = None,
     ) -> WorkflowResult:
         """Execute the DAG.
 
@@ -215,23 +357,219 @@ class Workflow:
         identical to sequential execution; only wall-clock differs).
         ``sleep`` is the function used for retry backoff waits
         (``time.sleep`` by default; injectable for tests/simulated time).
+
+        With ``state_dir`` the run is journaled durably (see
+        :mod:`repro.workflow.journal`): task outputs must then be
+        JSON-representable (they are canonicalized through JSON so a
+        resumed run replays them bit-identically).  ``on_record`` is the
+        chaos harness's record-boundary hook; ``heartbeat_interval_s``
+        makes the supervisor journal liveness proof for long tasks.
+        A state directory holding a previous run is refused — resume it
+        (or point at a fresh directory) instead of silently overwriting
+        its journal.
         """
         if max_workers < 1:
             raise WorkflowError(f"max_workers must be >= 1, got {max_workers}")
-        sleep = sleep if sleep is not None else _time.sleep
-        if max_workers > 1:
-            return self._run_parallel(clock or _time.time, inputs, max_workers,
-                                      sleep)
         clock = clock or _time.time
+        journal: Optional[WorkflowJournal] = None
+        if state_dir is not None:
+            journal_path = workflow_journal_path(state_dir)
+            if journal_path.exists() and journal_path.stat().st_size > 0:
+                history = load_history(state_dir)
+                if history.started:
+                    verb = "interrupted" if history.interrupted else "completed"
+                    raise WorkflowError(
+                        f"state dir {os.fspath(state_dir)!r} already holds "
+                        f"an {verb} run of {history.workflow_name!r}; "
+                        "resume it or use a fresh directory"
+                    )
+            journal = WorkflowJournal(journal_path, fsync=fsync,
+                                      on_record=on_record)
+            journal.append("wf_start", {
+                "workflow": self.name,
+                "run_id": uuid.uuid4().hex,
+                "pid": os.getpid(),
+                "t": clock(),
+                "tasks": {name: t.spec() for name, t in self._tasks.items()},
+            })
+        try:
+            return self._execute(
+                clock=clock, inputs=inputs, max_workers=max_workers,
+                sleep=sleep, journal=journal,
+                quarantine_after=quarantine_after,
+                heartbeat_interval_s=heartbeat_interval_s,
+                history=None,
+            )
+        finally:
+            if journal is not None:
+                journal.close()
+
+    def resume(
+        self,
+        state_dir: PathLike,
+        clock: Optional[Callable[[], float]] = None,
+        inputs: Optional[Mapping[str, Dict[str, Any]]] = None,
+        max_workers: int = 1,
+        sleep: Optional[SleepFn] = None,
+        quarantine_after: int = 3,
+        heartbeat_interval_s: Optional[float] = None,
+        fsync: bool = True,
+        on_record: Optional[Callable[[str, int], None]] = None,
+    ) -> WorkflowResult:
+        """Resume an interrupted journaled run from its state directory.
+
+        Tasks whose terminal results reached the journal are **not
+        re-executed** — their cached outputs replay bit-identically.  A
+        task whose attempts crashed the process ``quarantine_after`` or
+        more times is quarantined instead of re-run.  Resuming a run that
+        already completed is a no-op that returns the recorded result
+        (idempotent: resuming twice yields identical results).
+        """
+        clock = clock or _time.time
+        journal_path = workflow_journal_path(state_dir)
+        history: Optional[WorkflowHistory] = None
+        if journal_path.exists():
+            history = load_history(state_dir)
+        if history is not None and history.started:
+            if history.workflow_name != self.name:
+                raise WorkflowError(
+                    f"state dir {os.fspath(state_dir)!r} belongs to workflow "
+                    f"{history.workflow_name!r}, not {self.name!r}"
+                )
+            if history.ended:
+                return self._replay_completed(history)
+        else:
+            history = None  # journal missing/empty: nothing usable, run fresh
+
+        journal = WorkflowJournal(journal_path, fsync=fsync,
+                                  on_record=on_record)
+        if history is None:
+            journal.append("wf_start", {
+                "workflow": self.name,
+                "run_id": uuid.uuid4().hex,
+                "pid": os.getpid(),
+                "t": clock(),
+                "tasks": {name: t.spec() for name, t in self._tasks.items()},
+            })
+        else:
+            journal.append("wf_resume", {"pid": os.getpid(), "t": clock()})
+        try:
+            return self._execute(
+                clock=clock, inputs=inputs, max_workers=max_workers,
+                sleep=sleep, journal=journal,
+                quarantine_after=quarantine_after,
+                heartbeat_interval_s=heartbeat_interval_s,
+                history=history,
+            )
+        finally:
+            journal.close()
+
+    def _replay_completed(self, history: WorkflowHistory) -> WorkflowResult:
+        """Rebuild the result of an already-completed run (resume no-op)."""
+        tasks = {
+            name: TaskResult.from_journal_payload(payload)
+            for name, payload in history.terminal.items()
+        }
+        end = history.end_payload or {}
+        return WorkflowResult(
+            workflow_name=self.name,
+            start_time=float(end.get("start_time",
+                                     history.started_at or 0.0)),
+            end_time=float(end.get("t", 0.0)),
+            tasks=tasks,
+            segments=history.segments,
+        )
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        clock: Callable[[], float],
+        inputs: Optional[Mapping[str, Dict[str, Any]]],
+        max_workers: int,
+        sleep: Optional[SleepFn],
+        journal: Optional[WorkflowJournal],
+        quarantine_after: int,
+        heartbeat_interval_s: Optional[float],
+        history: Optional[WorkflowHistory],
+    ) -> WorkflowResult:
+        if max_workers < 1:
+            raise WorkflowError(f"max_workers must be >= 1, got {max_workers}")
+        if quarantine_after < 1:
+            raise WorkflowError(
+                f"quarantine_after must be >= 1, got {quarantine_after}"
+            )
+        runtime = _Runtime(
+            clock=clock,
+            sleep=sleep if sleep is not None else _time.sleep,
+            journal=journal,
+            heartbeat_interval_s=heartbeat_interval_s,
+        )
+        segments = 1
+        run_start = clock()
+        if history is not None:
+            segments = history.segments + 1
+            run_start = history.started_at if history.started_at is not None \
+                else run_start
+            for name, payload in history.terminal.items():
+                if name in self._tasks:
+                    runtime.preloaded[name] = \
+                        TaskResult.from_journal_payload(payload)
+            for name in self._tasks:
+                runtime.next_attempt[name] = history.next_attempt_number(name)
+            # poison-task quarantine: a task that crashed the process too
+            # many times must not wedge the run forever
+            for name, crashes in sorted(history.crash_counts().items()):
+                if name in runtime.preloaded or name not in self._tasks:
+                    continue
+                if crashes >= quarantine_after:
+                    now = clock()
+                    result = TaskResult(
+                        name=name,
+                        state=TaskState.QUARANTINED,
+                        start_time=now,
+                        end_time=now,
+                        attempts=0,
+                        error=(
+                            f"task crashed the process {crashes} time(s) "
+                            f"(quarantine_after={quarantine_after}); "
+                            "quarantined instead of re-running"
+                        ),
+                    )
+                    runtime.preloaded[name] = runtime.finish_task(result)
+
+        if max_workers > 1:
+            result = self._run_parallel(runtime, inputs, max_workers,
+                                        run_start, segments)
+        else:
+            result = self._run_sequential(runtime, inputs, run_start, segments)
+        runtime.record("wf_end", {
+            "t": result.end_time,
+            "start_time": result.start_time,
+            "succeeded": result.succeeded,
+        })
+        return result
+
+    def _run_sequential(
+        self,
+        runtime: _Runtime,
+        inputs: Optional[Mapping[str, Dict[str, Any]]],
+        run_start: float,
+        segments: int,
+    ) -> WorkflowResult:
         order = self.topological_order()
         results: Dict[str, TaskResult] = {}
         available: Dict[str, Dict[str, Any]] = {
             name: dict(outs) for name, outs in (inputs or {}).items()
         }
-        start = clock()
 
         for name in order:
             task = self._tasks[name]
+            preloaded = runtime.preloaded.get(name)
+            if preloaded is not None:
+                results[name] = preloaded
+                if preloaded.state is TaskState.SUCCEEDED:
+                    available[name] = preloaded.outputs
+                continue
             failed_dep = next(
                 (
                     dep
@@ -242,72 +580,119 @@ class Workflow:
                 None,
             )
             if failed_dep is not None:
-                results[name] = TaskResult(
-                    name=name,
-                    state=TaskState.SKIPPED,
-                    error=f"dependency {failed_dep!r} did not succeed",
-                )
+                results[name] = self._skip_task(runtime, name, failed_dep)
                 continue
 
-            dep_outputs = {dep: available[dep] for dep in task.deps}
-            result = self._run_task(task, dep_outputs, clock, sleep)
+            dep_outputs = self._dep_outputs(task, available)
+            result = self._run_task(task, dep_outputs, runtime)
             results[name] = result
             if result.state is TaskState.SUCCEEDED:
                 available[name] = result.outputs
 
         return WorkflowResult(
             workflow_name=self.name,
-            start_time=start,
-            end_time=clock(),
+            start_time=run_start,
+            end_time=runtime.clock(),
             tasks=results,
+            segments=segments,
         )
+
+    @staticmethod
+    def _dep_outputs(
+        task: Task, available: Dict[str, Dict[str, Any]]
+    ) -> Dict[str, Dict[str, Any]]:
+        """Deep-copied dependency outputs for one consumer.
+
+        Every consumer gets its own copy: a task mutating its view of a
+        dependency's outputs must not corrupt what sibling tasks see
+        (which was nondeterministic in parallel mode).
+        """
+        return {dep: copy.deepcopy(available[dep]) for dep in task.deps}
+
+    def _skip_task(
+        self, runtime: _Runtime, name: str, failed_dep: str
+    ) -> TaskResult:
+        """A SKIPPED terminal result, stamped and journaled."""
+        now = runtime.clock()
+        return runtime.finish_task(TaskResult(
+            name=name,
+            state=TaskState.SKIPPED,
+            start_time=now,
+            end_time=now,
+            error=f"dependency {failed_dep!r} did not succeed",
+        ))
 
     def _run_task(
         self,
         task: Task,
         dep_outputs: Dict[str, Dict[str, Any]],
-        clock: Callable[[], float],
-        sleep: SleepFn,
+        runtime: _Runtime,
     ) -> TaskResult:
         """Execute one task with its retry policy (shared by both modes).
 
-        Between failed attempts the task's seeded exponential-backoff
-        schedule is slept (no-op when ``retry_backoff_s`` is 0); the delays
-        actually waited are recorded on the result for observability.
+        Each attempt is journaled (``attempt_start`` / ``attempt_end``)
+        and supervised: deadline enforcement on the injected clock,
+        heartbeats on the configured cadence.  Between failed attempts the
+        task's seeded exponential-backoff schedule is slept (no-op when
+        ``retry_backoff_s`` is 0); the delays actually waited are recorded
+        on the result for observability.  A timed-out attempt is terminal:
+        deadlines bound the *total* time a task may hold the run hostage,
+        so timeouts are not retried.
         """
+        clock = runtime.clock
         result = TaskResult(name=task.name, state=TaskState.PENDING,
                             start_time=clock())
         schedule = task.backoff_schedule()
         for attempt in range(task.retries + 1):
             result.attempts = attempt + 1
-            try:
-                outputs = task.fn(dep_outputs) or {}
-                if not isinstance(outputs, dict):
-                    raise WorkflowError(
-                        f"task {task.name!r} must return a dict of outputs, "
-                        f"got {type(outputs).__name__}"
-                    )
-                result.outputs = outputs
+            number = runtime.attempt_number(task.name)
+            runtime.record("attempt_start", {
+                "task": task.name, "attempt": number, "t": clock(),
+            })
+
+            def beat(task_name: str = task.name, n: int = number) -> None:
+                runtime.record("heartbeat", {
+                    "task": task_name, "attempt": n, "t": clock(),
+                })
+
+            outcome = supervise_attempt(
+                task.fn, dep_outputs,
+                task_name=task.name, attempt=number,
+                clock=clock, sleep=runtime.sleep,
+                timeout_s=task.timeout_s,
+                heartbeat_interval_s=runtime.heartbeat_interval_s
+                if runtime.journal is not None else None,
+                on_heartbeat=beat if runtime.journal is not None else None,
+            )
+            runtime.record("attempt_end", {
+                "task": task.name, "attempt": number, "t": clock(),
+                "outcome": outcome.outcome, "error": outcome.error,
+            })
+            if outcome.succeeded:
+                result.outputs = outcome.outputs or {}
                 result.state = TaskState.SUCCEEDED
                 result.error = None
                 break
-            except Exception as exc:  # noqa: BLE001 — task errors are data
-                result.state = TaskState.FAILED
-                result.error = f"{type(exc).__name__}: {exc}"
-                if attempt < task.retries:
-                    delay = schedule[attempt]
-                    result.backoff_delays.append(delay)
-                    if delay > 0:
-                        sleep(delay)
+            result.error = outcome.error
+            if outcome.timed_out:
+                result.state = TaskState.TIMED_OUT
+                break
+            result.state = TaskState.FAILED
+            if attempt < task.retries:
+                delay = schedule[attempt]
+                result.backoff_delays.append(delay)
+                if delay > 0:
+                    runtime.sleep(delay)
         result.end_time = clock()
-        return result
+        return runtime.finish_task(result)
 
     def _run_parallel(
         self,
-        clock: Callable[[], float],
+        runtime: _Runtime,
         inputs: Optional[Mapping[str, Dict[str, Any]]],
         max_workers: int,
-        sleep: SleepFn,
+        run_start: float,
+        segments: int,
     ) -> WorkflowResult:
         """Dependency-ordered execution with a thread pool.
 
@@ -324,8 +709,13 @@ class Workflow:
         available: Dict[str, Dict[str, Any]] = {
             name: dict(outs) for name, outs in (inputs or {}).items()
         }
-        start = clock()
         remaining = dict(self._tasks)
+        for name, preloaded in runtime.preloaded.items():
+            if name in remaining:
+                results[name] = preloaded
+                if preloaded.state is TaskState.SUCCEEDED:
+                    available[name] = preloaded.outputs
+                del remaining[name]
         futures: Dict[_futures.Future, str] = {}
 
         def ready(task: Task) -> bool:
@@ -351,18 +741,16 @@ class Workflow:
                         task = remaining[name]
                         failed_dep = doomed(task)
                         if failed_dep is not None:
-                            results[name] = TaskResult(
-                                name=name,
-                                state=TaskState.SKIPPED,
-                                error=f"dependency {failed_dep!r} did not succeed",
+                            results[name] = self._skip_task(
+                                runtime, name, failed_dep
                             )
                             del remaining[name]
                             progressed = True
                             break
                         if ready(task):
-                            dep_outputs = {d: available[d] for d in task.deps}
+                            dep_outputs = self._dep_outputs(task, available)
                             futures[pool.submit(
-                                self._run_task, task, dep_outputs, clock, sleep
+                                self._run_task, task, dep_outputs, runtime
                             )] = name
                             del remaining[name]
                             progressed = True
@@ -386,7 +774,8 @@ class Workflow:
 
         return WorkflowResult(
             workflow_name=self.name,
-            start_time=start,
-            end_time=clock(),
+            start_time=run_start,
+            end_time=runtime.clock(),
             tasks=results,
+            segments=segments,
         )

@@ -1,0 +1,58 @@
+"""Load workflow definitions from ordinary Python files.
+
+The ``yprov wf`` commands (and the CI crash-smoke job) need to rebuild the
+*same* DAG in a fresh process that never saw the original run — resume is
+only meaningful if the workflow's shape can be reconstructed from source.
+The contract is one zero-argument factory::
+
+    # pipeline.py
+    def build_workflow():
+        from repro.workflow import Workflow
+        wf = Workflow("my_pipeline")
+        ...
+        return wf
+
+``load_workflow_file`` imports the file and calls the factory; every
+failure mode (missing file, import error surface, wrong return type) is a
+:class:`~repro.errors.WorkflowError` so the CLI reports it uniformly.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+from typing import Union
+
+from repro.errors import WorkflowError
+from repro.workflow.dag import Workflow
+
+PathLike = Union[str, Path]
+
+#: Name of the factory function a workflow definition file must export.
+FACTORY_NAME = "build_workflow"
+
+
+def load_workflow_file(path: PathLike) -> Workflow:
+    """Import *path* and return the Workflow its ``build_workflow()`` makes."""
+    file_path = Path(path)
+    if not file_path.is_file():
+        raise WorkflowError(f"workflow file not found: {file_path}")
+    spec = importlib.util.spec_from_file_location(
+        "repro_wf_definition", file_path
+    )
+    if spec is None or spec.loader is None:
+        raise WorkflowError(f"cannot import workflow file: {file_path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    factory = getattr(module, FACTORY_NAME, None)
+    if not callable(factory):
+        raise WorkflowError(
+            f"{file_path} does not define a {FACTORY_NAME}() factory"
+        )
+    workflow = factory()
+    if not isinstance(workflow, Workflow):
+        raise WorkflowError(
+            f"{FACTORY_NAME}() in {file_path} returned "
+            f"{type(workflow).__name__}, expected a Workflow"
+        )
+    return workflow

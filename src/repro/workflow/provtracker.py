@@ -5,6 +5,14 @@ the document "as generalized as possible, meaning avoiding domain-oriented
 tags" (paper §2): tasks are plain activities, the WFMS is an agent, task
 outputs become entities, and dataflow edges use ``wasInformedBy`` /
 ``used`` / ``wasGeneratedBy``.
+
+**Recovery provenance**: when the run was journaled (pass its
+:class:`~repro.workflow.journal.WorkflowHistory`), every execution
+*attempt* becomes its own Activity (``wf:task/<name>/attempt/<k>``) linked
+``wasInformedBy`` to its predecessor — including across resume boundaries
+— with ``repro:resumed`` marking attempts in resumed segments and
+``repro:quarantined`` marking poisoned tasks, so lineage queries (PROVQL)
+can answer "which outputs came from a retried or resumed task".
 """
 
 from __future__ import annotations
@@ -13,9 +21,11 @@ import json
 from typing import Any, Dict, Optional
 
 from repro.core.experiment import utc
+from repro.core.provgen import REPRO_NS
 from repro.prov.document import ProvDocument
 from repro.prov.identifiers import Namespace
 from repro.workflow.dag import TaskState, Workflow, WorkflowResult
+from repro.workflow.journal import WorkflowHistory
 
 #: workflow vocabulary namespace (kept minimal & domain-agnostic)
 YPROV4WFS = Namespace("yprov4wfs", "https://github.com/HPCI-Lab/yProv4WFs#")
@@ -34,11 +44,20 @@ def build_workflow_document(
     result: WorkflowResult,
     user_namespace: str = "http://example.org/",
     username: str = "user",
+    history: Optional[WorkflowHistory] = None,
 ) -> ProvDocument:
-    """Build the workflow-level PROV document for one execution."""
+    """Build the workflow-level PROV document for one execution.
+
+    When *history* (the parsed journal of a journaled run) is given, the
+    document additionally carries recovery provenance: one Activity per
+    execution attempt, chained ``wasInformedBy`` across retries and resume
+    boundaries, with ``repro:resumed`` / ``repro:quarantined`` markers.
+    """
     doc = ProvDocument()
     wf = doc.add_namespace("wf", user_namespace)
     doc.add_namespace(YPROV4WFS)
+    if history is not None:
+        doc.add_namespace(REPRO_NS)
 
     user_agent = doc.agent(
         wf(f"agent/{username}"),
@@ -61,6 +80,14 @@ def build_workflow_document(
             "prov:label": result.workflow_name,
             "yprov4wfs:succeeded": result.succeeded,
             "yprov4wfs:n_tasks": len(result.tasks),
+            **(
+                {
+                    "yprov4wfs:segments": history.segments,
+                    "repro:resumed": history.resumed,
+                }
+                if history is not None
+                else {}
+            ),
         },
     )
     doc.was_associated_with(wf_id, wfms_agent.identifier)
@@ -83,6 +110,11 @@ def build_workflow_document(
             attrs["yprov4wfs:description"] = task.description
         if task_result.error:
             attrs["yprov4wfs:error"] = task_result.error
+        if history is not None:
+            if task_result.state is TaskState.QUARANTINED:
+                attrs["repro:quarantined"] = True
+            if task_result.replayed:
+                attrs["repro:replayed"] = True
         doc.activity(
             task_id,
             start_time=utc(task_result.start_time) if task_result.start_time else None,
@@ -120,4 +152,52 @@ def build_workflow_document(
                 when = utc(task_result.start_time) if task_result.start_time else None
                 doc.used(task_ids[name], ent_id, time=when)
 
+    if history is not None:
+        _add_attempt_lineage(doc, wf, history, task_ids)
+
     return doc
+
+
+def _add_attempt_lineage(
+    doc: ProvDocument,
+    wf: Namespace,
+    history: WorkflowHistory,
+    task_ids: Dict[str, Any],
+) -> None:
+    """Emit one Activity per journaled execution attempt, chained in order.
+
+    Consecutive attempts of the same task are linked ``wasInformedBy`` —
+    attempt *k* was informed by attempt *k-1* — and the chain runs straight
+    across resume boundaries, so a PROVQL ``TRAVERSE upstream VIA
+    wasInformedBy`` from the final attempt walks the task's whole retry /
+    crash / resume history.
+    """
+    for task_name in sorted(history.attempts):
+        prev_id = None
+        for attempt in history.attempts[task_name]:
+            attempt_id = wf(f"task/{task_name}/attempt/{attempt.number}")
+            attrs: Dict[str, Any] = {
+                "prov:type": YPROV4WFS("TaskAttempt"),
+                "prov:label": f"{task_name} attempt {attempt.number}",
+                "yprov4wfs:task": task_name,
+                "yprov4wfs:attempt": attempt.number,
+                "yprov4wfs:segment": attempt.segment,
+                "yprov4wfs:outcome": attempt.outcome or "interrupted",
+            }
+            if attempt.error:
+                attrs["yprov4wfs:error"] = attempt.error
+            if attempt.segment > 0:
+                # this attempt ran in a resumed segment, after >=1 crash
+                attrs["repro:resumed"] = True
+            doc.activity(
+                attempt_id,
+                start_time=utc(attempt.start_time),
+                end_time=utc(attempt.end_time) if attempt.end_time else None,
+                attributes=attrs,
+            )
+            task_id = task_ids.get(task_name)
+            if task_id is not None:
+                doc.was_started_by(attempt_id, starter=task_id)
+            if prev_id is not None:
+                doc.was_informed_by(attempt_id, prev_id)
+            prev_id = attempt_id

@@ -1,0 +1,268 @@
+"""Task supervision: deadlines, heartbeats, cooperative cancellation.
+
+The DAG executor calls :func:`supervise_attempt` for every attempt of a
+task that has a ``timeout_s`` (or whose run wants heartbeats).  The task
+function runs in a watched worker thread while the supervisor loop watches
+the run's *injected* clock:
+
+* when the deadline passes, the attempt's :class:`CancelToken` is set and
+  the attempt is reported ``timed_out`` — a cooperative task unwinds via
+  :class:`TaskContext`, a non-cooperative one is abandoned (daemon thread)
+  so a hung task can never wedge the whole DAG;
+* on a cadence (``heartbeat_interval_s``) the supervisor emits heartbeat
+  records so ``yprov wf status`` can distinguish *running* from *hung*;
+* the deadline is a contract on the injected clock: an attempt whose
+  elapsed time exceeds ``timeout_s`` is ``timed_out`` even if its result
+  arrived first, which keeps outcomes deterministic under simulated time.
+
+Task functions may opt into supervision by accepting a second positional
+argument::
+
+    def train(deps, ctx):
+        for step in range(steps):
+            ctx.check_cancelled()     # raises TaskCancelledError after timeout
+            ctx.heartbeat()           # journaled proof of life
+            ...
+
+Plain single-argument tasks keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+import time as _time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import TaskCancelledError
+
+ClockFn = Callable[[], float]
+SleepFn = Callable[[float], None]
+
+#: Real-time wait between supervisor checks of the (possibly simulated)
+#: clock.  Small enough that simulated-time tests converge in milliseconds.
+_POLL_WAIT_S = 0.002
+
+#: Largest slice :meth:`TaskContext.sleep` sleeps between cancel checks.
+_SLEEP_SLICE_S = 0.05
+
+
+class CancelToken:
+    """Thread-safe cooperative cancellation flag."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent)."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+
+class TaskContext:
+    """The supervised task's view of its own execution.
+
+    Passed as the second positional argument to task functions that accept
+    one.  Everything here is safe to call from the task's worker thread.
+    """
+
+    def __init__(
+        self,
+        task_name: str,
+        attempt: int,
+        token: CancelToken,
+        clock: ClockFn,
+        sleep: SleepFn,
+        deadline: Optional[float] = None,
+        on_heartbeat: Optional[Callable[[], None]] = None,
+    ) -> None:
+        self.task_name = task_name
+        self.attempt = attempt
+        self._token = token
+        self._clock = clock
+        self._sleep = sleep
+        self.deadline = deadline
+        self._on_heartbeat = on_heartbeat
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the supervisor asked this attempt to stop."""
+        return self._token.cancelled
+
+    def check_cancelled(self) -> None:
+        """Raise :class:`TaskCancelledError` if cancellation was requested."""
+        if self._token.cancelled:
+            raise TaskCancelledError(
+                f"task {self.task_name!r} attempt {self.attempt} was cancelled"
+            )
+
+    def remaining(self) -> Optional[float]:
+        """Seconds until the deadline (``None`` without a timeout)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - self._clock()
+
+    def heartbeat(self) -> None:
+        """Record a journaled proof of life for this attempt."""
+        if self._on_heartbeat is not None:
+            self._on_heartbeat()
+
+    def sleep(self, seconds: float) -> None:
+        """Sleep in cancel-checked slices; raises on cancellation.
+
+        Uses the run's injected sleep function, so simulated-time tests
+        advance their fake clock while staying responsive to the
+        supervisor's cancel signal.
+        """
+        remaining = float(seconds)
+        while remaining > 0:
+            self.check_cancelled()
+            slice_s = min(remaining, _SLEEP_SLICE_S)
+            self._sleep(slice_s)
+            remaining -= slice_s
+        self.check_cancelled()
+
+
+def wants_context(fn: Callable[..., Any]) -> bool:
+    """Whether a task function accepts the ``(deps, ctx)`` calling form."""
+    try:
+        params = [
+            p for p in inspect.signature(fn).parameters.values()
+            if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)
+        ]
+    except (TypeError, ValueError):  # builtins / odd callables: assume legacy
+        return False
+    if any(
+        p.kind == p.VAR_POSITIONAL
+        for p in inspect.signature(fn).parameters.values()
+    ):
+        return True
+    return len(params) >= 2
+
+
+@dataclass
+class AttemptOutcome:
+    """What one supervised attempt produced."""
+
+    outcome: str  # "succeeded" | "failed" | "timed_out"
+    outputs: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome == "succeeded"
+
+    @property
+    def timed_out(self) -> bool:
+        return self.outcome == "timed_out"
+
+
+def _call_task(
+    fn: Callable[..., Any],
+    deps: Dict[str, Dict[str, Any]],
+    ctx: Optional[TaskContext],
+) -> AttemptOutcome:
+    """Run the task callable once and classify the result."""
+    try:
+        if ctx is not None and wants_context(fn):
+            outputs = fn(deps, ctx)
+        else:
+            outputs = fn(deps)
+        outputs = outputs or {}
+        if not isinstance(outputs, dict):
+            raise TypeError(
+                f"task must return a dict of outputs, got "
+                f"{type(outputs).__name__}"
+            )
+        return AttemptOutcome("succeeded", outputs=outputs)
+    except TaskCancelledError as exc:
+        return AttemptOutcome("timed_out", error=f"{type(exc).__name__}: {exc}")
+    except Exception as exc:  # noqa: BLE001 — task errors are data
+        return AttemptOutcome("failed", error=f"{type(exc).__name__}: {exc}")
+
+
+def supervise_attempt(
+    fn: Callable[..., Any],
+    deps: Dict[str, Dict[str, Any]],
+    *,
+    task_name: str,
+    attempt: int,
+    clock: ClockFn,
+    sleep: SleepFn,
+    timeout_s: Optional[float] = None,
+    heartbeat_interval_s: Optional[float] = None,
+    on_heartbeat: Optional[Callable[[], None]] = None,
+    poll_wait_s: float = _POLL_WAIT_S,
+) -> AttemptOutcome:
+    """Run one attempt under supervision.
+
+    Without a timeout or heartbeat cadence the callable runs inline (the
+    legacy fast path).  Otherwise it runs in a watched worker thread while
+    this function polls the injected clock, emitting heartbeats and
+    enforcing the deadline.  A timed-out non-cooperative task is abandoned
+    (its daemon thread may briefly linger; its result, if any, is
+    discarded).
+    """
+    start = clock()
+    deadline = start + timeout_s if timeout_s is not None else None
+    token = CancelToken()
+    ctx = TaskContext(
+        task_name, attempt, token, clock, sleep,
+        deadline=deadline, on_heartbeat=on_heartbeat,
+    )
+
+    if deadline is None and heartbeat_interval_s is None:
+        return _call_task(fn, deps, ctx)
+
+    box: Dict[str, AttemptOutcome] = {}
+    done = threading.Event()
+
+    def worker() -> None:
+        box["outcome"] = _call_task(fn, deps, ctx)
+        done.set()
+
+    thread = threading.Thread(
+        target=worker, name=f"wf-task-{task_name}-{attempt}", daemon=True
+    )
+    thread.start()
+
+    next_beat = (
+        start + heartbeat_interval_s if heartbeat_interval_s is not None
+        else None
+    )
+    while not done.is_set():
+        now = clock()
+        if deadline is not None and now >= deadline:
+            token.cancel()
+            # give a cooperative task one poll to unwind; then abandon it
+            done.wait(poll_wait_s)
+            break
+        if next_beat is not None and now >= next_beat and on_heartbeat is not None:
+            on_heartbeat()
+            next_beat = now + heartbeat_interval_s
+        done.wait(poll_wait_s)
+
+    timed_out = deadline is not None and clock() >= deadline
+    if done.is_set() and not timed_out:
+        return box["outcome"]
+    if done.is_set() and timed_out:
+        # the deadline contract wins even over a completed result — this
+        # keeps outcomes deterministic when a simulated clock jumps
+        outcome = box["outcome"]
+        error = outcome.error or (
+            f"task exceeded its {timeout_s}s deadline"
+        )
+        return AttemptOutcome("timed_out", error=error)
+    return AttemptOutcome(
+        "timed_out",
+        error=f"task exceeded its {timeout_s}s deadline and was abandoned",
+    )
+
+
+# re-exported for tests that want a real-clock default
+wall_clock: ClockFn = _time.time
+wall_sleep: SleepFn = _time.sleep

@@ -35,6 +35,12 @@ Static analysis (:mod:`repro.lint`) over run directories and the codebase::
 Lint exit codes: 0 = clean, 1 = findings at/above ``--fail-on``
 (default ``error``), 2 = the linter itself failed (bad target, bad
 baseline, unknown rule id).
+
+Durable workflow orchestration (:mod:`repro.workflow`)::
+
+    yprov wf run pipeline.py --state-dir wfstate      # journaled execution
+    yprov wf status --state-dir wfstate               # live / hung / dead?
+    yprov wf resume pipeline.py --state-dir wfstate   # continue after a crash
 """
 
 from __future__ import annotations
@@ -428,6 +434,100 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return merged.exit_code(fail_on=args.fail_on)
 
 
+def _finish_wf_run(args: argparse.Namespace, workflow, result) -> int:
+    """Shared tail of ``wf run`` / ``wf resume``: report, persist, exit code."""
+    import json as _json
+
+    from repro.workflow.journal import load_history
+    from repro.workflow.provtracker import build_workflow_document
+
+    history = load_history(args.state_dir)
+    doc = build_workflow_document(workflow, result, history=history)
+    prov_path = Path(args.state_dir) / "prov.json"
+    atomic_write_text(prov_path, doc.to_json())
+
+    if args.output:
+        atomic_write_text(
+            Path(args.output),
+            _json.dumps(result.to_comparable(), indent=2, sort_keys=True) + "\n",
+        )
+    for name in sorted(result.tasks):
+        task_result = result.tasks[name]
+        marker = " (replayed)" if task_result.replayed else ""
+        print(f"{name}: {task_result.state.value}{marker}")
+    print(
+        f"workflow {result.workflow_name}: "
+        f"{'succeeded' if result.succeeded else 'failed'} "
+        f"(segments={result.segments})"
+    )
+    return 0 if result.succeeded else 1
+
+
+def cmd_wf_run(args: argparse.Namespace) -> int:
+    """Handle ``yprov wf run``: journaled execution of a workflow file."""
+    from repro.workflow.chaos import hook_from_env
+    from repro.workflow.loader import load_workflow_file
+
+    workflow = load_workflow_file(args.file)
+    result = workflow.run(
+        state_dir=args.state_dir,
+        max_workers=args.max_workers,
+        quarantine_after=args.quarantine_after,
+        heartbeat_interval_s=args.heartbeat_interval,
+        on_record=hook_from_env(),
+    )
+    return _finish_wf_run(args, workflow, result)
+
+
+def cmd_wf_resume(args: argparse.Namespace) -> int:
+    """Handle ``yprov wf resume``: continue an interrupted journaled run."""
+    from repro.workflow.chaos import hook_from_env
+    from repro.workflow.loader import load_workflow_file
+
+    workflow = load_workflow_file(args.file)
+    result = workflow.resume(
+        args.state_dir,
+        max_workers=args.max_workers,
+        quarantine_after=args.quarantine_after,
+        heartbeat_interval_s=args.heartbeat_interval,
+        on_record=hook_from_env(),
+    )
+    return _finish_wf_run(args, workflow, result)
+
+
+def cmd_wf_status(args: argparse.Namespace) -> int:
+    """Handle ``yprov wf status``: liveness report for a journaled run.
+
+    Exit codes: 0 the run completed, 1 it is interrupted (resumable),
+    2 the state directory holds no readable journal.
+    """
+    import json as _json
+
+    from repro.workflow.journal import load_history
+
+    history = load_history(args.state_dir)
+    statuses = history.task_statuses(
+        heartbeat_timeout_s=args.heartbeat_timeout
+    )
+    if args.format == "json":
+        print(_json.dumps({
+            "workflow": history.workflow_name,
+            "run_id": history.run_id,
+            "run": history.run_status(),
+            "segments": history.segments,
+            "tasks": statuses,
+            "bad_records": history.bad_records,
+        }, indent=2, sort_keys=True))
+    else:
+        print(f"workflow: {history.workflow_name}")
+        print(f"run: {history.run_status()} (segments={history.segments})")
+        if history.bad_records:
+            print(f"bad records skipped: {history.bad_records}")
+        for name in sorted(statuses):
+            print(f"{name}: {statuses[name]}")
+    return 0 if history.ended else 1
+
+
 def cmd_crate_validate(args: argparse.Namespace) -> int:
     """Handle ``yprov crate-validate``: check an RO-Crate directory."""
     from repro.crate.validate import validate_crate
@@ -584,6 +684,44 @@ def build_parser() -> argparse.ArgumentParser:
                    default="error",
                    help="lowest severity that makes the exit code non-zero")
     p.set_defaults(func=cmd_lint)
+
+    wf = sub.add_parser(
+        "wf", help="durable workflow orchestration (run / resume / status)"
+    )
+    wsub = wf.add_subparsers(dest="wf_command", required=True)
+
+    def add_wf_exec_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("file",
+                       help="python file defining a build_workflow() factory")
+        p.add_argument("--state-dir", required=True,
+                       help="journal directory for this run")
+        p.add_argument("--max-workers", type=int, default=1,
+                       help="parallel task slots (default: sequential)")
+        p.add_argument("--quarantine-after", type=int, default=3,
+                       help="process crashes inside one task before it is "
+                            "quarantined on resume (default: 3)")
+        p.add_argument("--heartbeat-interval", type=float, default=None,
+                       help="supervisor heartbeat cadence in seconds")
+        p.add_argument("-o", "--output",
+                       help="write comparable task outcomes as JSON (CI diffing)")
+
+    p = wsub.add_parser("run", help="execute a workflow with a durable journal")
+    add_wf_exec_args(p)
+    p.set_defaults(func=cmd_wf_run)
+    p = wsub.add_parser(
+        "resume",
+        help="resume an interrupted run (completed tasks replay, not re-run)",
+    )
+    add_wf_exec_args(p)
+    p.set_defaults(func=cmd_wf_resume)
+    p = wsub.add_parser("status", help="liveness report for a journaled run")
+    p.add_argument("--state-dir", required=True,
+                   help="journal directory to inspect")
+    p.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                   help="seconds without a heartbeat before 'hung' (default 30)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format (default: text)")
+    p.set_defaults(func=cmd_wf_status)
 
     p = sub.add_parser("crate-validate", help="validate an RO-Crate directory")
     p.add_argument("directory")

@@ -32,6 +32,7 @@ EXAMPLES = {
     "quickstart.py": [],
     "scaling_study.py": ["--quick"],
     "workflow_pipeline.py": [],
+    "wf_demo.py": [],
     "hyperparameter_search.py": [],
     "development_tracking.py": [],
     "reproduce_and_serve.py": [],

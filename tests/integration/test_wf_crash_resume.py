@@ -1,0 +1,167 @@
+"""End-to-end crash/resume test for the durable workflow orchestrator.
+
+The acceptance bar from the ISSUE: SIGKILL a `yprov wf run` at seeded
+journal-record boundaries, observe the dead run via `yprov wf status`,
+`yprov wf resume` it in a fresh process, and get outputs bit-identical to
+an uninterrupted baseline — with no completed task re-executed.
+
+Unlike tests/workflow/test_resume.py (in-process chaos), this drives the
+real CLI in real subprocesses, so the kill is a genuine process death:
+no atexit, no finally, no flush.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+
+import pytest
+
+HERE = pathlib.Path(__file__).resolve().parent
+REPO = HERE.parents[1]
+SRC_DIR = REPO / "src"
+WF_DEMO = REPO / "examples" / "wf_demo.py"
+
+# Seeded kill points: early (only ingest flushed), middle, late (all but
+# the trailing bookkeeping flushed). The CI wf-crash-smoke job runs the
+# same matrix; divergence at any point is a resume-correctness bug.
+KILL_POINTS = [3, 7, 12]
+
+DEMO_TASKS = {"ingest", "clean", "features", "train", "report"}
+
+
+def _env(extra=None):
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        f"{SRC_DIR}{os.pathsep}{existing}" if existing else str(SRC_DIR)
+    )
+    env.pop("REPRO_WF_KILL_AFTER", None)
+    env.pop("REPRO_WF_DEMO_LOG", None)
+    if extra:
+        env.update(extra)
+    return env
+
+
+def _yprov(*args, extra_env=None):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.yprov.cli", *args],
+        capture_output=True, text=True, env=_env(extra_env), timeout=120,
+    )
+
+
+def _read_log(path):
+    if not path.exists():
+        return []
+    return path.read_text(encoding="utf-8").split()
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """One uninterrupted run: the comparable outputs every kill must match."""
+    tmp = tmp_path_factory.mktemp("wfbase")
+    out = tmp / "base.json"
+    log = tmp / "base.log"
+    proc = _yprov("wf", "run", str(WF_DEMO),
+                  "--state-dir", str(tmp / "state"), "-o", str(out),
+                  extra_env={"REPRO_WF_DEMO_LOG": str(log)})
+    assert proc.returncode == 0, proc.stderr
+    assert sorted(_read_log(log)) == sorted(DEMO_TASKS)
+    return json.loads(out.read_text())
+
+
+@pytest.mark.skipif(sys.platform == "win32", reason="POSIX signals required")
+class TestKillResumeMatrix:
+    @pytest.mark.parametrize("kill_at", KILL_POINTS)
+    def test_sigkilled_run_resumes_to_baseline(self, tmp_path, baseline,
+                                               kill_at):
+        state = tmp_path / "state"
+        log = tmp_path / "demo.log"
+
+        # 1. run until the chaos hook SIGKILLs the process mid-journal
+        proc = _yprov("wf", "run", str(WF_DEMO),
+                      "--state-dir", str(state), "-o", str(tmp_path / "x"),
+                      extra_env={"REPRO_WF_KILL_AFTER": str(kill_at),
+                                 "REPRO_WF_DEMO_LOG": str(log)})
+        assert proc.returncode == -signal.SIGKILL, \
+            f"expected SIGKILL at record {kill_at}: {proc.stderr}"
+        executed_before_kill = _read_log(log)
+        assert (state / "workflow.wal").exists()
+
+        # 2. the dead run is visible to `wf status` from another process
+        status = _yprov("wf", "status", "--state-dir", str(state))
+        assert status.returncode == 1  # interrupted
+        assert "interrupted" in status.stdout
+        assert "dead" in status.stdout or "pending" in status.stdout
+
+        # 3. resume in a fresh process; outputs must equal the baseline
+        out = tmp_path / "resumed.json"
+        resumed = _yprov("wf", "resume", str(WF_DEMO),
+                         "--state-dir", str(state), "-o", str(out),
+                         extra_env={"REPRO_WF_DEMO_LOG": str(log)})
+        assert resumed.returncode == 0, resumed.stderr
+        assert json.loads(out.read_text()) == baseline
+
+        # 4. every task executed at least once overall, and any task that
+        #    ran to completion before the kill was replayed, not re-run
+        executed = _read_log(log)
+        assert set(executed) == DEMO_TASKS
+        replayed = {
+            line.split(":")[0].strip()
+            for line in resumed.stdout.splitlines() if "(replayed)" in line
+        }
+        for task in replayed:
+            assert executed.count(task) == 1, \
+                f"replayed task {task!r} executed twice"
+        executed_after = executed[len(executed_before_kill):]
+        assert not replayed & set(executed_after)
+
+        # 5. status now reports the run complete
+        status = _yprov("wf", "status", "--state-dir", str(state))
+        assert status.returncode == 0
+        assert "complete" in status.stdout
+
+    def test_status_json_format_on_dead_run(self, tmp_path):
+        state = tmp_path / "state"
+        proc = _yprov("wf", "run", str(WF_DEMO),
+                      "--state-dir", str(state), "-o", str(tmp_path / "x"),
+                      extra_env={"REPRO_WF_KILL_AFTER": "7"})
+        assert proc.returncode == -signal.SIGKILL
+        status = _yprov("wf", "status", "--state-dir", str(state),
+                        "--format", "json")
+        assert status.returncode == 1
+        payload = json.loads(status.stdout)
+        assert payload["run"] == "interrupted"
+        assert set(payload["tasks"]) == DEMO_TASKS
+
+    def test_resume_writes_provenance_with_attempt_lineage(self, tmp_path,
+                                                           baseline):
+        state = tmp_path / "state"
+        proc = _yprov("wf", "run", str(WF_DEMO),
+                      "--state-dir", str(state), "-o", str(tmp_path / "x"),
+                      extra_env={"REPRO_WF_KILL_AFTER": "7"})
+        assert proc.returncode == -signal.SIGKILL
+        resumed = _yprov("wf", "resume", str(WF_DEMO),
+                         "--state-dir", str(state),
+                         "-o", str(tmp_path / "resumed.json"))
+        assert resumed.returncode == 0, resumed.stderr
+        prov_path = state / "prov.json"
+        assert prov_path.exists()
+
+        from repro.prov.document import ProvDocument
+        from repro.query import DocumentBackend, execute
+
+        doc = ProvDocument.from_json(prov_path.read_text())
+        backend = DocumentBackend(doc)
+        rows = execute(
+            "MATCH activity WHERE attr.repro:resumed = true RETURN id",
+            backend).rows
+        assert "wf:workflow/demo_pipeline" in {row["id"] for row in rows}
+        attempts = execute(
+            "MATCH activity WHERE attr.prov:type = "
+            "'yprov4wfs:TaskAttempt' RETURN id", backend).rows
+        assert len(attempts) >= len(DEMO_TASKS)

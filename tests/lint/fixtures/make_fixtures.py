@@ -16,6 +16,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.prov.document import ProvDocument
+from repro.workflow.journal import WorkflowJournal, workflow_journal_path
 
 HERE = Path(__file__).resolve().parent
 
@@ -140,6 +141,30 @@ def main() -> None:
     })
     doc.was_generated_by("ex:metric/loss@TRAINING", CTX)
     write("pl105_ghost_store", doc)
+
+    # PL112: a workflow state directory whose journal's last segment never
+    # reached wf_end — the run was interrupted mid-attempt and never resumed.
+    # Fixed timestamps / pid / run_id keep the checked-in bytes stable.
+    target = HERE / "pl112_interrupted_wf"
+    target.mkdir(parents=True, exist_ok=True)
+    wal = workflow_journal_path(target)
+    if wal.exists():
+        wal.unlink()
+    with WorkflowJournal(wal, fsync=False) as journal:
+        journal.append("wf_start", {
+            "workflow": "demo_pipeline", "run_id": "fixture", "pid": 4242,
+            "t": 0.0,
+            "tasks": {"a": {"deps": [], "retries": 0, "timeout_s": None},
+                      "b": {"deps": ["a"], "retries": 0, "timeout_s": None}},
+        })
+        journal.append("attempt_start", {"task": "a", "attempt": 1, "t": 1.0})
+        journal.append("attempt_end", {"task": "a", "attempt": 1, "t": 2.0,
+                                       "outcome": "succeeded"})
+        journal.append("task_result", {"task": "a", "state": "succeeded",
+                                       "start_time": 1.0, "end_time": 2.0,
+                                       "attempts": 1, "outputs": {"x": 1}})
+        journal.append("attempt_start", {"task": "b", "attempt": 1, "t": 3.0})
+        # no attempt_end for b and no wf_end: the process died right here
 
     print(f"fixtures written under {HERE}")
 

@@ -76,7 +76,7 @@ class TestFormats:
         assert doc["version"] == "2.1.0"
         run = doc["runs"][0]
         rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
-        assert rule_ids == {f"PL{n}" for n in range(100, 112)}
+        assert rule_ids == {f"PL{n}" for n in range(100, 113)}
         result = run["results"][0]
         assert result["ruleId"] == "PL102" and result["level"] == "error"
         assert result["partialFingerprints"]["reproLint/v1"]

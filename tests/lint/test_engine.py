@@ -57,7 +57,7 @@ class TestRegistry:
     def test_default_registry_has_both_families(self):
         prov = [r.rule_id for r in DEFAULT_REGISTRY.family("prov")]
         self_ = [r.rule_id for r in DEFAULT_REGISTRY.family("self")]
-        assert prov == [f"PL{n}" for n in range(100, 112)]
+        assert prov == [f"PL{n}" for n in range(100, 113)]
         assert self_ == [f"SL{n}" for n in range(201, 206)]
 
     def test_duplicate_id_rejected(self):

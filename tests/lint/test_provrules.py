@@ -35,6 +35,7 @@ CORPUS = [
     ("pl104_cycle", "PL104", Severity.ERROR, "ex:artifact/a"),
     ("pl105_dangling_path", "PL105", Severity.ERROR, "ex:metric_store"),
     ("pl105_ghost_store", "PL105", Severity.ERROR, "ex:metric/loss@TRAINING"),
+    ("pl112_interrupted_wf", "PL112", Severity.ERROR, "demo_pipeline"),
 ]
 
 
@@ -53,9 +54,9 @@ class TestGoldenCorpus:
             assert finding.element == element
 
     def test_every_graph_rule_is_covered(self):
-        """The corpus exercises every pure-document rule."""
+        """The corpus exercises every deterministically-representable rule."""
         assert {row[1] for row in CORPUS} == {
-            "PL100", "PL101", "PL102", "PL103", "PL104", "PL105",
+            "PL100", "PL101", "PL102", "PL103", "PL104", "PL105", "PL112",
         }
 
 
@@ -64,7 +65,7 @@ class TestCleanRun:
         report = lint_run_dir(saved_run)
         assert report.findings == []
         assert report.exit_code(fail_on="info") == 0
-        assert report.checked_rules == [f"PL{n}" for n in range(100, 112)]
+        assert report.checked_rules == [f"PL{n}" for n in range(100, 113)]
 
     def test_missing_run_dir_raises(self, tmp_path):
         with pytest.raises(LintError, match="run directory does not exist"):
@@ -180,6 +181,45 @@ class TestRunDirRules:
         messages = " | ".join(f.message for f in findings)
         assert "already published" in messages
         assert "unreadable" in messages
+
+    def test_pl112_completed_workflow_is_quiet(self, tmp_path):
+        """A journaled run that reached wf_end raises no finding."""
+        from repro.workflow.dag import Workflow
+
+        wf = Workflow("ok")
+        wf.add_task("a", lambda deps: {"x": 1})
+        wf.run(state_dir=tmp_path / "wfstate", fsync=False)
+        report = lint_run_dir(tmp_path / "wfstate")
+        assert "PL112" not in fired(report)
+        assert "PL100" not in fired(report)  # the wal counts as evidence
+
+    def test_pl112_resumed_to_completion_is_quiet(self, tmp_path):
+        """Interrupted fires; resuming to completion clears the finding."""
+        from repro.workflow.chaos import CrashAfterRecords, SimulatedCrash
+        from repro.workflow.dag import Workflow
+
+        def build():
+            wf = Workflow("ok")
+            wf.add_task("a", lambda deps: {"x": 1})
+            wf.add_task("b", lambda deps: {"y": 2}, deps=["a"])
+            return wf
+
+        state = tmp_path / "wfstate"
+        with pytest.raises(SimulatedCrash):
+            build().run(state_dir=state, fsync=False,
+                        on_record=CrashAfterRecords(5))
+        finding = only(lint_run_dir(state), "PL112")[0]
+        assert "yprov wf resume" in finding.message
+        build().resume(state, fsync=False)
+        assert "PL112" not in fired(lint_run_dir(state))
+
+    def test_pl112_empty_journal_is_warning(self, tmp_path):
+        state = tmp_path / "wfstate"
+        state.mkdir()
+        (state / "workflow.wal").write_text("", encoding="utf-8")
+        finding = only(lint_run_dir(state), "PL112")[0]
+        assert finding.severity is Severity.WARNING
+        assert "no wf_start" in finding.message
 
     def test_pl111_pending_spool_is_quiet(self, saved_run, tmp_path):
         """An entry not yet published is normal store-and-forward state."""

@@ -153,3 +153,58 @@ class TestExecution:
         result = wf.run(clock=clock)
         with pytest.raises(WorkflowError):
             result.outputs_of("ghost")
+
+
+class TestDepOutputIsolation:
+    """Regression: consumers used to share one mutable outputs dict — a
+    task mutating its view of a dependency's outputs corrupted what
+    sibling tasks saw (nondeterministically, in parallel mode)."""
+
+    def build(self):
+        wf = Workflow("isolation")
+        wf.add_task("src", lambda deps: {"items": [1, 2, 3], "meta": {"k": 0}})
+
+        def mutator(deps):
+            deps["src"]["items"].append(999)  # vandalise our private copy
+            deps["src"]["meta"]["k"] = -1
+            return {"stolen": deps["src"]["items"]}
+
+        def reader(deps):
+            return {"seen": list(deps["src"]["items"]),
+                    "k": deps["src"]["meta"]["k"]}
+
+        wf.add_task("mutator", mutator, deps=["src"])
+        # reader sorts after mutator, so sequentially it runs second —
+        # exactly the ordering that exposed the aliasing
+        wf.add_task("reader", reader, deps=["src"])
+        return wf
+
+    @pytest.mark.parametrize("max_workers", [1, 3],
+                             ids=["sequential", "parallel"])
+    def test_sibling_consumers_see_pristine_outputs(self, clock,
+                                                    max_workers):
+        result = self.build().run(clock=clock, max_workers=max_workers)
+        assert result.succeeded
+        assert result.outputs_of("reader") == {"seen": [1, 2, 3], "k": 0}
+        # and the producer's own recorded outputs stay untouched
+        assert result.outputs_of("src")["items"] == [1, 2, 3]
+        assert result.outputs_of("src")["meta"] == {"k": 0}
+
+
+class TestSkippedTimestamps:
+    """Regression: SKIPPED results used to carry no timings, breaking
+    duration accounting downstream."""
+
+    @pytest.mark.parametrize("max_workers", [1, 3],
+                             ids=["sequential", "parallel"])
+    def test_skipped_results_are_stamped(self, clock, max_workers):
+        wf = Workflow("skips")
+        wf.add_task("bad", lambda deps: 1 / 0)
+        wf.add_task("child", lambda deps: {}, deps=["bad"])
+        wf.add_task("grandchild", lambda deps: {}, deps=["child"])
+        result = wf.run(clock=clock, max_workers=max_workers)
+        for name in ("child", "grandchild"):
+            r = result.tasks[name]
+            assert r.state is TaskState.SKIPPED
+            assert r.start_time is not None and r.end_time is not None
+            assert r.duration == 0.0  # skipping takes no simulated time

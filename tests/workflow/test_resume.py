@@ -1,0 +1,279 @@
+"""Crash/resume tests: the resumed run must equal the uninterrupted one.
+
+The chaos harness kills the run (in-process, byte-faithful to SIGKILL) at
+*every* journal record boundary; resume must then reproduce exactly the
+uninterrupted run's comparable result — states, outputs (bit-identical),
+attempt counts — with no SUCCEEDED task re-executed.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.workflow.chaos import ChaosPlan, CrashAfterRecords, SimulatedCrash
+from repro.workflow.dag import TaskState, Workflow
+from repro.workflow.journal import load_history
+from repro.workflow.provtracker import build_workflow_document
+
+
+def build_pipeline(executions=None):
+    """A five-task DAG with digest-chained outputs and one retrying task.
+
+    *executions* (a list) records every actual task-body execution, so
+    tests can prove completed tasks replay instead of re-running.
+    """
+    wf = Workflow("pipeline")
+    flaky_state = {"calls": 0}
+
+    def make(name, outputs):
+        def fn(deps):
+            if executions is not None:
+                executions.append(name)
+            return dict(outputs)
+
+        return fn
+
+    wf.add_task("a", make("a", {"x": 1, "blob": {"nested": [1, 2, 3]}}))
+
+    def flaky(deps):
+        if executions is not None:
+            executions.append("flaky")
+        flaky_state["calls"] += 1
+        if flaky_state["calls"] == 1:
+            raise RuntimeError("transient")
+        return {"v": deps["a"]["x"] * 2}
+
+    wf.add_task("flaky", flaky, deps=["a"], retries=2)
+    wf.add_task("b", make("b", {"y": [1.5, "s"]}), deps=["a"])
+    wf.add_task("c", make("c", {"z": True}), deps=["flaky", "b"])
+    wf.add_task("d", make("d", {"w": None}), deps=["c"])
+    return wf
+
+
+def baseline(max_workers=1):
+    return build_pipeline().run(max_workers=max_workers).to_comparable()
+
+
+def count_records(tmp_path, max_workers=1):
+    """How many journal records an uninterrupted run writes."""
+    state = tmp_path / "probe"
+    build_pipeline().run(state_dir=state, fsync=False,
+                         max_workers=max_workers)
+    return load_history(state).n_records
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize("max_workers", [1, 3],
+                             ids=["sequential", "parallel"])
+    def test_resume_equals_uninterrupted_at_every_boundary(self, tmp_path,
+                                                           max_workers):
+        expected = baseline(max_workers)
+        total = count_records(tmp_path, max_workers)
+        assert total >= 10
+        for kill_at in range(1, total):
+            state = tmp_path / f"kill{max_workers}_{kill_at}"
+            try:
+                build_pipeline().run(
+                    state_dir=state, fsync=False, max_workers=max_workers,
+                    on_record=CrashAfterRecords(kill_at),
+                )
+            except SimulatedCrash:
+                pass
+            resumed = build_pipeline().resume(state, fsync=False,
+                                              max_workers=max_workers)
+            assert resumed.to_comparable() == expected, \
+                f"divergence after kill at record {kill_at}"
+            # resuming again is a no-op with the identical result
+            again = build_pipeline().resume(state, fsync=False,
+                                            max_workers=max_workers)
+            assert again.to_comparable() == expected
+
+    def test_seeded_plan_is_reproducible(self, tmp_path):
+        total = count_records(tmp_path)
+        points = ChaosPlan(42).kill_points(total, 4)
+        assert points == ChaosPlan(42).kill_points(total, 4)
+        assert all(1 <= p < total for p in points)
+
+
+class TestReplaySemantics:
+    def crash_then_resume(self, tmp_path, kill_at=8):
+        executions = []
+        try:
+            build_pipeline(executions).run(
+                state_dir=tmp_path, fsync=False,
+                on_record=CrashAfterRecords(kill_at),
+            )
+        except SimulatedCrash:
+            pass
+        before = list(executions)
+        done_before_crash = set(load_history(tmp_path).terminal)
+        resumed = build_pipeline(executions).resume(tmp_path, fsync=False)
+        return before, executions, done_before_crash, resumed
+
+    def test_completed_tasks_are_not_reexecuted(self, tmp_path):
+        before, after, done, resumed = self.crash_then_resume(tmp_path)
+        assert resumed.succeeded
+        assert done, "the kill point leaves completed tasks behind"
+        resumed_executions = after[len(before):]
+        # no task whose terminal record survived the kill ever re-ran
+        assert not set(resumed_executions) & done
+
+    def test_replayed_results_are_flagged_and_bit_identical(self, tmp_path):
+        _, _, _, resumed = self.crash_then_resume(tmp_path)
+        uninterrupted = build_pipeline().run()
+        replayed = [n for n, r in resumed.tasks.items() if r.replayed]
+        assert replayed, "the crash point leaves completed tasks to replay"
+        for name in resumed.tasks:
+            live = json.dumps(uninterrupted.tasks[name].outputs,
+                              sort_keys=True)
+            res = json.dumps(resumed.tasks[name].outputs, sort_keys=True)
+            assert live == res, f"outputs of {name} drifted"
+
+    def test_resumed_result_reports_segments(self, tmp_path):
+        _, _, _, resumed = self.crash_then_resume(tmp_path)
+        assert resumed.segments == 2 and resumed.resumed
+
+    def test_resume_of_completed_run_is_noop(self, tmp_path):
+        executions = []
+        first = build_pipeline(executions).run(state_dir=tmp_path,
+                                               fsync=False)
+        n = len(executions)
+        again = build_pipeline(executions).resume(tmp_path, fsync=False)
+        assert len(executions) == n  # nothing re-ran
+        assert again.to_comparable() == first.to_comparable()
+        assert all(r.replayed for r in again.tasks.values())
+
+
+class TestGuards:
+    def test_run_refuses_existing_state_dir(self, tmp_path):
+        build_pipeline().run(state_dir=tmp_path, fsync=False)
+        with pytest.raises(WorkflowError, match="resume it or use a fresh"):
+            build_pipeline().run(state_dir=tmp_path, fsync=False)
+
+    def test_resume_refuses_foreign_workflow(self, tmp_path):
+        build_pipeline().run(state_dir=tmp_path, fsync=False)
+        other = Workflow("other")
+        other.add_task("a", lambda deps: {})
+        with pytest.raises(WorkflowError, match="belongs to workflow"):
+            other.resume(tmp_path, fsync=False)
+
+    def test_resume_without_journal_runs_fresh(self, tmp_path):
+        result = build_pipeline().resume(tmp_path / "fresh", fsync=False)
+        assert result.succeeded and result.segments == 1
+        assert not any(r.replayed for r in result.tasks.values())
+
+    def test_non_json_outputs_are_canonicalized(self, tmp_path):
+        """Exotic output values are coerced through canonical JSON, so the
+        live result can never drift from what a resume would replay."""
+        wf = Workflow("exotic")
+        wf.add_task("a", lambda deps: {"t": (1, 2), "obj": object()})
+        result = wf.run(state_dir=tmp_path, fsync=False)
+        assert result.tasks["a"].state is TaskState.SUCCEEDED
+        assert result.tasks["a"].outputs["t"] == [1, 2]  # tuple -> list
+        assert isinstance(result.tasks["a"].outputs["obj"], str)
+        # and the journaled terminal record replays the same values
+        h = load_history(tmp_path)
+        assert h.terminal["a"]["outputs"] == result.tasks["a"].outputs
+
+
+class TestRecoveryProvenance:
+    """ISSUE acceptance: the resumed-run PROV document carries one Activity
+    per attempt, linked wasInformedBy across the resume boundary, and the
+    lineage is answerable via PROVQL."""
+
+    def crash_and_resume(self, tmp_path):
+        try:
+            build_pipeline().run(state_dir=tmp_path, fsync=False,
+                                 on_record=CrashAfterRecords(8))
+        except SimulatedCrash:
+            pass
+        wf = build_pipeline()
+        result = wf.resume(tmp_path, fsync=False)
+        history = load_history(tmp_path)
+        return build_workflow_document(wf, result, history=history), history
+
+    def test_one_activity_per_attempt(self, tmp_path):
+        doc, history = self.crash_and_resume(tmp_path)
+        from repro.query import DocumentBackend, execute
+
+        backend = DocumentBackend(doc)
+        for task, attempts in history.attempts.items():
+            rows = execute(
+                f"MATCH activity WHERE attr.yprov4wfs:task = '{task}' "
+                "RETURN id", backend).rows
+            assert len(rows) == len(attempts)
+
+    def test_attempt_chain_crosses_resume_boundary(self, tmp_path):
+        doc, history = self.crash_and_resume(tmp_path)
+        from repro.query import DocumentBackend, execute
+
+        backend = DocumentBackend(doc)
+        # find a task with attempts in more than one segment
+        task = next(
+            name for name, recs in history.attempts.items()
+            if len({r.segment for r in recs}) > 1
+        )
+        last = history.attempts[task][-1].number
+        rows = execute(
+            f"MATCH activity WHERE id = 'wf:task/{task}/attempt/{last}' "
+            "TRAVERSE upstream VIA wasInformedBy DEPTH 10 RETURN id",
+            backend).rows
+        upstream = {row["id"] for row in rows}
+        # every earlier attempt of the task is reachable upstream
+        for record in history.attempts[task][:-1]:
+            assert f"wf:task/{task}/attempt/{record.number}" in upstream
+
+    def test_resumed_marker_is_queryable(self, tmp_path):
+        doc, history = self.crash_and_resume(tmp_path)
+        from repro.query import DocumentBackend, execute
+
+        backend = DocumentBackend(doc)
+        rows = execute(
+            "MATCH activity WHERE attr.repro:resumed = true RETURN id",
+            backend).rows
+        marked = {row["id"] for row in rows}
+        assert "wf:workflow/pipeline" in marked
+        # attempts that ran in the resumed segment carry the marker too
+        resumed_attempts = {
+            f"wf:task/{t}/attempt/{r.number}"
+            for t, recs in history.attempts.items()
+            for r in recs if r.segment > 0
+        }
+        assert resumed_attempts and resumed_attempts <= marked
+
+    def test_quarantined_marker_is_queryable(self, tmp_path):
+        wf = Workflow("q")
+        wf.add_task("a", lambda deps: {"x": 1})
+
+        def die(deps):
+            raise SimulatedCrash("boom")
+
+        wf.add_task("b", die, deps=["a"])
+        for attempt in range(3):
+            runner = Workflow("q")
+            runner.add_task("a", lambda deps: {"x": 1})
+            runner.add_task("b", die, deps=["a"])
+            with pytest.raises(SimulatedCrash):
+                if attempt == 0:
+                    runner.run(state_dir=tmp_path, fsync=False)
+                else:
+                    runner.resume(tmp_path, fsync=False)
+        final = Workflow("q")
+        final.add_task("a", lambda deps: {"x": 1})
+        final.add_task("b", lambda deps: {"y": 2}, deps=["a"])
+        result = final.resume(tmp_path, fsync=False, quarantine_after=3)
+        doc = build_workflow_document(final, result,
+                                      history=load_history(tmp_path))
+        from repro.query import DocumentBackend, execute
+
+        rows = execute(
+            "MATCH activity WHERE attr.repro:quarantined = true RETURN id",
+            DocumentBackend(doc)).rows
+        assert {row["id"] for row in rows} == {"wf:task/b"}
+
+    def test_document_validates(self, tmp_path):
+        doc, _ = self.crash_and_resume(tmp_path)
+        from repro.prov.validation import validate_document
+
+        assert validate_document(doc).is_valid

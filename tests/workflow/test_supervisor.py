@@ -1,0 +1,328 @@
+"""Supervisor tests: deadlines, heartbeats, cancellation, quarantine.
+
+All timing runs on an injected fake clock — the supervisor's deadline is a
+contract on that clock, so these tests are deterministic and take
+milliseconds of wall time regardless of the simulated durations.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import TaskCancelledError, WorkflowError
+from repro.workflow.chaos import SimulatedCrash
+from repro.workflow.dag import TaskState, Workflow
+from repro.workflow.journal import load_history
+from repro.workflow.supervisor import (
+    AttemptOutcome,
+    CancelToken,
+    TaskContext,
+    supervise_attempt,
+    wants_context,
+)
+
+
+class FakeClock:
+    """Thread-safe simulated clock; ``sleep(dt)`` advances it."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            return self.t
+
+    def sleep(self, seconds: float) -> None:
+        with self._lock:
+            self.t += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestWantsContext:
+    def test_single_arg_is_legacy(self):
+        assert not wants_context(lambda deps: {})
+
+    def test_two_args_opts_in(self):
+        assert wants_context(lambda deps, ctx: {})
+
+    def test_varargs_opts_in(self):
+        assert wants_context(lambda *args: {})
+
+    def test_builtin_is_legacy(self):
+        assert not wants_context(dict)
+
+
+class TestTaskContext:
+    def test_check_cancelled_raises_after_cancel(self, clock):
+        token = CancelToken()
+        ctx = TaskContext("t", 1, token, clock, clock.sleep)
+        ctx.check_cancelled()  # fine before cancellation
+        token.cancel()
+        assert ctx.cancelled
+        with pytest.raises(TaskCancelledError, match="attempt 1"):
+            ctx.check_cancelled()
+
+    def test_remaining_tracks_deadline(self, clock):
+        ctx = TaskContext("t", 1, CancelToken(), clock, clock.sleep,
+                          deadline=5.0)
+        assert ctx.remaining() == 5.0
+        clock.sleep(2.0)
+        assert ctx.remaining() == 3.0
+
+    def test_remaining_none_without_deadline(self, clock):
+        ctx = TaskContext("t", 1, CancelToken(), clock, clock.sleep)
+        assert ctx.remaining() is None
+
+    def test_sleep_is_cancel_responsive(self, clock):
+        token = CancelToken()
+        ctx = TaskContext("t", 1, token, clock, clock.sleep)
+        token.cancel()
+        with pytest.raises(TaskCancelledError):
+            ctx.sleep(100.0)
+        assert clock() < 1.0  # unwound on the first slice, not after 100s
+
+
+class TestSuperviseAttempt:
+    def test_inline_fast_path_without_deadline(self, clock):
+        outcome = supervise_attempt(
+            lambda deps: {"x": deps["a"]["v"]}, {"a": {"v": 7}},
+            task_name="t", attempt=1, clock=clock, sleep=clock.sleep,
+        )
+        assert outcome.succeeded and outcome.outputs == {"x": 7}
+
+    def test_failure_is_classified(self, clock):
+        def boom(deps):
+            raise RuntimeError("nope")
+
+        outcome = supervise_attempt(
+            boom, {}, task_name="t", attempt=1,
+            clock=clock, sleep=clock.sleep,
+        )
+        assert outcome.outcome == "failed" and "nope" in outcome.error
+
+    def test_non_dict_return_is_failure(self, clock):
+        outcome = supervise_attempt(
+            lambda deps: [1, 2], {}, task_name="t", attempt=1,
+            clock=clock, sleep=clock.sleep,
+        )
+        assert outcome.outcome == "failed"
+        assert "must return a dict" in outcome.error
+
+    def test_cooperative_timeout(self, clock):
+        """A task checking its token is cancelled at the deadline."""
+        import time as _time
+
+        def slow(deps, ctx):
+            while True:  # would run forever without cancellation
+                ctx.check_cancelled()
+                clock.sleep(1.0)    # advance simulated time
+                _time.sleep(0.001)  # yield real time to the supervisor
+
+        outcome = supervise_attempt(
+            slow, {}, task_name="t", attempt=1,
+            clock=clock, sleep=clock.sleep, timeout_s=5.0,
+        )
+        assert outcome.timed_out
+        assert "cancelled" in outcome.error
+
+    def test_post_hoc_deadline_beats_completed_result(self, clock):
+        """The deadline contract wins even if the result arrived."""
+
+        def sneaky(deps):
+            clock.sleep(10.0)  # jumps the clock past the deadline
+            return {"x": 1}
+
+        outcome = supervise_attempt(
+            sneaky, {}, task_name="t", attempt=1,
+            clock=clock, sleep=clock.sleep, timeout_s=5.0,
+        )
+        assert outcome.timed_out
+        assert outcome.outputs is None
+
+    def test_in_deadline_result_is_kept(self, clock):
+        def quick(deps):
+            clock.sleep(1.0)
+            return {"x": 1}
+
+        outcome = supervise_attempt(
+            quick, {}, task_name="t", attempt=1,
+            clock=clock, sleep=clock.sleep, timeout_s=5.0,
+        )
+        assert outcome.succeeded and outcome.outputs == {"x": 1}
+
+    def test_non_cooperative_task_is_abandoned(self, clock):
+        """A task ignoring its token cannot wedge the supervisor."""
+        release = threading.Event()
+
+        def stubborn(deps):
+            release.wait(30.0)
+            return {}
+
+        clock.t = 0.0
+
+        def ticking_clock():
+            clock.sleep(1.0)  # every poll advances simulated time
+            return clock()
+
+        outcome = supervise_attempt(
+            stubborn, {}, task_name="t", attempt=1,
+            clock=ticking_clock, sleep=clock.sleep, timeout_s=5.0,
+        )
+        release.set()  # let the daemon thread unwind
+        assert outcome.timed_out
+        assert "abandoned" in outcome.error
+
+
+class TestWorkflowTimeouts:
+    """The acceptance bar: timeout -> TIMED_OUT, dependents SKIPPED,
+    enforced on the injected clock, in both execution modes."""
+
+    def build(self):
+        wf = Workflow("deadline")
+
+        def hang(deps, ctx):
+            ctx.sleep(100.0)
+            return {}
+
+        wf.add_task("a", lambda deps: {"x": 1})
+        wf.add_task("hang", hang, deps=["a"], timeout_s=5.0)
+        wf.add_task("after", lambda deps: {"y": 2}, deps=["hang"])
+        wf.add_task("free", lambda deps: {"z": 3}, deps=["a"])
+        return wf
+
+    @pytest.mark.parametrize("max_workers", [1, 3],
+                             ids=["sequential", "parallel"])
+    def test_timeout_marks_task_and_skips_dependents(self, clock,
+                                                     max_workers):
+        result = self.build().run(clock=clock, sleep=clock.sleep,
+                                  max_workers=max_workers)
+        assert result.tasks["hang"].state is TaskState.TIMED_OUT
+        assert "deadline" in result.tasks["hang"].error \
+            or "cancelled" in result.tasks["hang"].error
+        assert result.tasks["after"].state is TaskState.SKIPPED
+        assert result.tasks["free"].state is TaskState.SUCCEEDED
+        assert not result.succeeded
+
+    def test_timeouts_are_not_retried(self, clock):
+        wf = Workflow("noretry")
+        calls = []
+
+        def hang(deps, ctx):
+            calls.append(1)
+            ctx.sleep(100.0)
+            return {}
+
+        wf.add_task("hang", hang, timeout_s=5.0, retries=3)
+        result = wf.run(clock=clock, sleep=clock.sleep)
+        assert result.tasks["hang"].state is TaskState.TIMED_OUT
+        assert result.tasks["hang"].attempts == 1
+        assert len(calls) == 1
+
+    def test_bad_timeout_rejected(self):
+        wf = Workflow("w")
+        with pytest.raises(WorkflowError, match="timeout_s"):
+            wf.add_task("a", lambda deps: {}, timeout_s=0)
+
+
+class TestHeartbeats:
+    def test_supervisor_emits_heartbeats_on_cadence(self, clock, tmp_path):
+        import time as _time
+
+        wf = Workflow("hb")
+
+        def slow(deps, ctx):
+            for _ in range(5):
+                clock.sleep(1.0)    # advance simulated time
+                _time.sleep(0.005)  # yield real time to the supervisor
+            return {}
+
+        wf.add_task("slow", slow, timeout_s=60.0)
+        wf.run(clock=clock, sleep=clock.sleep, state_dir=tmp_path,
+               heartbeat_interval_s=1.0, fsync=False)
+        h = load_history(tmp_path)
+        beats = h.attempts["slow"][0].heartbeats
+        assert len(beats) >= 2  # ~5 simulated seconds at a 1s cadence
+
+    def test_task_emitted_heartbeats_are_journaled(self, clock, tmp_path):
+        wf = Workflow("hb2")
+
+        def beater(deps, ctx):
+            for _ in range(4):
+                ctx.heartbeat()
+            return {}
+
+        wf.add_task("beater", beater, timeout_s=60.0)
+        wf.run(clock=clock, sleep=clock.sleep, state_dir=tmp_path,
+               fsync=False)
+        h = load_history(tmp_path)
+        assert len(h.attempts["beater"][0].heartbeats) == 4
+
+    def test_no_journal_means_no_heartbeat_plumbing(self, clock):
+        """Unjournaled runs never pay for heartbeats."""
+        wf = Workflow("plain")
+        seen = {}
+
+        def task(deps, ctx):
+            seen["ctx"] = ctx
+            ctx.heartbeat()  # harmless no-op without a journal
+            return {}
+
+        wf.add_task("t", task, timeout_s=60.0)
+        result = wf.run(clock=clock, sleep=clock.sleep)
+        assert result.succeeded and seen["ctx"] is not None
+
+
+class TestQuarantine:
+    def build(self, crash):
+        wf = Workflow("poison")
+        wf.add_task("a", lambda deps: {"x": 1})
+
+        def b(deps):
+            if crash:
+                raise SimulatedCrash("power loss mid-attempt")
+            return {"y": 2}
+
+        wf.add_task("b", b, deps=["a"])
+        wf.add_task("c", lambda deps: {"z": 3}, deps=["b"])
+        return wf
+
+    def crash_times(self, state_dir, n):
+        with pytest.raises(SimulatedCrash):
+            self.build(True).run(state_dir=state_dir, fsync=False)
+        for _ in range(n - 1):
+            with pytest.raises(SimulatedCrash):
+                self.build(True).resume(state_dir, fsync=False)
+
+    def test_poison_task_is_quarantined(self, tmp_path):
+        self.crash_times(tmp_path, 3)
+        result = self.build(False).resume(tmp_path, fsync=False,
+                                          quarantine_after=3)
+        assert result.tasks["b"].state is TaskState.QUARANTINED
+        assert "3 time(s)" in result.tasks["b"].error
+        assert result.tasks["c"].state is TaskState.SKIPPED
+        assert result.tasks["a"].replayed  # a's cached result survived
+
+    def test_below_threshold_reruns(self, tmp_path):
+        self.crash_times(tmp_path, 2)
+        result = self.build(False).resume(tmp_path, fsync=False,
+                                          quarantine_after=3)
+        assert result.succeeded
+        assert result.tasks["b"].state is TaskState.SUCCEEDED
+
+    def test_quarantine_is_journaled_and_queryable(self, tmp_path):
+        self.crash_times(tmp_path, 3)
+        self.build(False).resume(tmp_path, fsync=False, quarantine_after=3)
+        h = load_history(tmp_path)
+        assert h.terminal["b"]["state"] == "quarantined"
+        assert h.task_statuses()["b"] == "quarantined"
+
+    def test_quarantine_after_validated(self, tmp_path):
+        self.crash_times(tmp_path, 1)
+        with pytest.raises(WorkflowError, match="quarantine_after"):
+            self.build(False).resume(tmp_path, fsync=False,
+                                     quarantine_after=0)
