@@ -127,6 +127,38 @@ class SpoolError(ServiceError):
     """Store-and-forward spool failure (full spool, corrupt entry, ...)."""
 
 
+class ClusterError(ServiceError):
+    """Replicated shard cluster failure (router, membership, rebalancing)."""
+
+
+class QuorumError(ClusterError):
+    """A write could not reach its quorum of replica acknowledgements.
+
+    The document is **not** acked: callers must treat it exactly like a
+    transport failure (retry, or park it in the spool).  ``acked`` carries
+    how many replicas did acknowledge, ``needed`` the quorum that was
+    required.
+    """
+
+    def __init__(self, message: str, acked: int = 0, needed: int = 0) -> None:
+        super().__init__(message)
+        self.acked = acked
+        self.needed = needed
+
+
+class PartialResultError(ClusterError):
+    """A scatter-gather query lost coverage of part of the key space.
+
+    Raised instead of returning silently incomplete rows: every replica of
+    at least one shard range failed, so the merged answer would be missing
+    documents.  ``failed_shards`` names the unreachable shard ids.
+    """
+
+    def __init__(self, message: str, failed_shards=()) -> None:
+        super().__init__(message)
+        self.failed_shards = tuple(failed_shards)
+
+
 class WorkflowError(ReproError):
     """Workflow DAG construction or execution failure."""
 

@@ -8,9 +8,13 @@ baselines, reporters):
   lifecycle state (journals, spools);
 * ``SL2xx`` (:mod:`repro.lint.selfrules`) lints *this codebase* against
   its own conventions (atomic persistence, simulator determinism,
-  exception ownership) via a stdlib-``ast`` pass.
+  exception ownership) via a stdlib-``ast`` pass;
+* ``PL11x`` family ``cluster`` (:mod:`repro.lint.clusterrules`) lints a
+  sharded deployment's ``cluster.json`` manifest for under-replicated
+  documents.
 
-CLI entry point: ``yprov lint <run_dir>`` / ``yprov lint --self``.
+CLI entry point: ``yprov lint <run_dir>`` / ``yprov lint --self`` /
+``yprov lint --cluster cluster.json``.
 """
 
 from repro.lint.engine import (
@@ -23,6 +27,7 @@ from repro.lint.engine import (
     Severity,
     apply_baseline,
 )
+from repro.lint.clusterrules import ClusterManifestContext, lint_cluster_manifest
 from repro.lint.provrules import RunDirContext, lint_run_dir
 from repro.lint.report import FORMATS, render, render_json, render_sarif, render_text
 from repro.lint.selfrules import ModuleContext, default_source_root, lint_source
@@ -30,6 +35,7 @@ from repro.lint.selfrules import ModuleContext, default_source_root, lint_source
 __all__ = [
     "DEFAULT_REGISTRY",
     "Baseline",
+    "ClusterManifestContext",
     "FORMATS",
     "Finding",
     "LintReport",
@@ -40,6 +46,7 @@ __all__ = [
     "Severity",
     "apply_baseline",
     "default_source_root",
+    "lint_cluster_manifest",
     "lint_run_dir",
     "lint_source",
     "render",

@@ -1,0 +1,152 @@
+"""Cluster lint rules (``PL11x``, family ``cluster``): manifest audits.
+
+A sharded yProv deployment leaves an on-disk footprint the linter can
+audit without a live router: the ``cluster.json`` manifest
+(:func:`repro.yprov.cluster.local.write_manifest`) names every shard and
+its document directory.  Replication is the cluster's durability story —
+a document below its target copy count is one shard loss away from being
+gone — so under-replication is exactly the kind of silent rot a lint
+pass should surface before chaos does.
+
+The family runs offline over directories (like the ``prov`` family) and
+never needs the cluster to be up; a dead shard's directory still counts
+its copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ClusterError, LintError
+from repro.lint.engine import (
+    DEFAULT_REGISTRY,
+    Finding,
+    LintReport,
+    Rule,
+    RuleRegistry,
+    Severity,
+)
+from repro.yprov.cluster.local import read_manifest
+
+#: Stored-document suffix (mirrors :mod:`repro.yprov.service`; read-only).
+_DOC_SUFFIX = ".provjson"
+
+_R = DEFAULT_REGISTRY
+
+
+@dataclass
+class ClusterManifestContext:
+    """Manifest plus each shard's on-disk document inventory.
+
+    An unreadable manifest leaves ``error`` set; the rule reports it and
+    does nothing else — linting a broken deployment must describe the
+    breakage, not crash on it.
+    """
+
+    manifest_path: Path
+    replication: int = 0
+    #: ``(shard id, root path or None)`` in manifest order.
+    shards: List[Tuple[str, Optional[Path]]] = field(default_factory=list)
+    error: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.manifest_path = Path(self.manifest_path)
+        try:
+            payload: Dict[str, Any] = read_manifest(self.manifest_path)
+        except ClusterError as exc:
+            self.error = str(exc)
+            return
+        self.replication = int(payload.get("replication", 0) or 0)
+        for shard in payload.get("shards", []):
+            shard_id = str(shard.get("id", "?"))
+            root = shard.get("root")
+            self.shards.append(
+                (shard_id, Path(root) if root else None)
+            )
+
+    def holders(self) -> Dict[str, Set[str]]:
+        """``{doc id: shards holding a copy}`` from the shard directories."""
+        held: Dict[str, Set[str]] = {}
+        for shard_id, root in self.shards:
+            if root is None or not root.is_dir():
+                continue
+            for doc_path in sorted(root.glob(f"*{_DOC_SUFFIX}")):
+                held.setdefault(doc_path.stem, set()).add(shard_id)
+        return held
+
+
+@_R.rule(
+    "PL113", "under-replicated-document", "error", "cluster",
+    "A document holds fewer on-disk copies than the cluster's replication "
+    "target: one shard loss from data loss.",
+)
+def check_under_replicated(
+    rule: Rule, ctx: ClusterManifestContext
+) -> Iterable[Finding]:
+    """PL113: every document must hold ``replication + 1`` copies."""
+    if ctx.error is not None:
+        yield rule.finding(
+            f"cluster manifest is unreadable: {ctx.error}",
+            path=ctx.manifest_path.name,
+        )
+        return
+    needed = ctx.replication + 1
+    auditable = 0
+    for shard_id, root in ctx.shards:
+        if root is None:
+            yield rule.finding(
+                f"shard {shard_id!r} has no root directory in the manifest; "
+                "its copies cannot be audited",
+                path=ctx.manifest_path.name,
+                element=shard_id,
+                severity=Severity.WARNING,
+            )
+        elif not root.is_dir():
+            yield rule.finding(
+                f"shard {shard_id!r} root {root} does not exist; every copy "
+                "it held is missing from this audit",
+                path=ctx.manifest_path.name,
+                element=shard_id,
+                severity=Severity.WARNING,
+            )
+        else:
+            auditable += 1
+    if auditable == 0:
+        return
+    for doc_id, holding in sorted(ctx.holders().items()):
+        if len(holding) < needed:
+            yield rule.finding(
+                f"document {doc_id!r} holds {len(holding)} of {needed} "
+                f"copies (on {sorted(holding)}); repair before the next "
+                "shard failure makes it permanent",
+                path=ctx.manifest_path.name,
+                element=doc_id,
+            )
+
+
+# ---------------------------------------------------------------------------
+# runner
+# ---------------------------------------------------------------------------
+
+def lint_cluster_manifest(
+    manifest_path: Any,
+    registry: RuleRegistry = DEFAULT_REGISTRY,
+    select: Optional[List[str]] = None,
+    ignore: Optional[List[str]] = None,
+) -> LintReport:
+    """Run the cluster rule family over one ``cluster.json`` manifest."""
+    manifest_path = Path(manifest_path)
+    if not manifest_path.is_file():
+        raise LintError(f"cluster manifest does not exist: {manifest_path}")
+    ctx = ClusterManifestContext(manifest_path=manifest_path)
+    rules = registry.select("cluster", select=select, ignore=ignore)
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(rule, ctx))
+    return LintReport(
+        findings=findings,
+        checked_rules=[r.rule_id for r in rules],
+        target=str(manifest_path),
+    )

@@ -143,7 +143,7 @@ class Rule:
         )
 
 
-_FAMILIES = ("prov", "self")
+_FAMILIES = ("prov", "self", "cluster")
 
 
 class RuleRegistry:

@@ -74,6 +74,10 @@ _EXCEPTION_OWNERS: Dict[str, Tuple[str, ...]] = {
     "TransportError": ("yprov/client.py",),
     "CircuitOpenError": ("yprov/client.py",),
     "SpoolError": ("yprov/spool.py", "yprov/client.py"),
+    # shard cluster (router tier)
+    "ClusterError": ("yprov/cluster/",),
+    "QuorumError": ("yprov/cluster/",),
+    "PartialResultError": ("yprov/cluster/",),
     # PROVQL query engine
     "QueryError": ("query/",),
     "QuerySyntaxError": ("query/",),

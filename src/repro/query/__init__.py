@@ -29,12 +29,14 @@ from repro.query.ast import Query, quote_literal, render
 from repro.query.backends import DocumentBackend, QueryBackend, ServiceBackend
 from repro.query.cache import GLOBAL_DOC_ID, QueryCache
 from repro.query.executor import QueryResult, execute
+from repro.query.merge import MergeSpec, merge_results, merge_rows, shard_query
 from repro.query.parser import parse
 from repro.query.planner import Plan, plan
 
 __all__ = [
     "DocumentBackend",
     "GLOBAL_DOC_ID",
+    "MergeSpec",
     "Plan",
     "Query",
     "QueryBackend",
@@ -42,8 +44,11 @@ __all__ = [
     "QueryResult",
     "ServiceBackend",
     "execute",
+    "merge_results",
+    "merge_rows",
     "parse",
     "plan",
     "quote_literal",
     "render",
+    "shard_query",
 ]

@@ -1,0 +1,143 @@
+"""Mergeable partial results: scatter-gather support for PROVQL.
+
+A PROVQL plan has a fixed shape — Seed / Filter / Traverse / Sort / Slice
+/ Project — and provenance edges never cross document boundaries, so a
+query over many documents decomposes cleanly: each shard runs the *same*
+plan over the documents it holds, and a coordinator merges the partial
+row sets.  Three things make the merge exact rather than approximate:
+
+* **Sort keys travel.**  The shard-side query always projects ``doc``,
+  ``id`` and ``kind`` in addition to whatever the caller asked for, so
+  the coordinator can re-establish the global ``(doc, id)`` order and
+  de-duplicate rows that replicas returned twice.  The caller's original
+  projection is re-applied after the merge — the wire carries a superset,
+  the answer is byte-identical to a single-node execution.
+* **The slice is pushed down as a bound.**  A shard cannot apply
+  ``OFFSET`` (it does not know how many rows other shards sort earlier),
+  but it can cap its partial result at ``offset + limit`` rows: the
+  global top-k is always contained in the union of per-shard top-k.
+* **Replicas de-duplicate for free.**  Replicated documents yield
+  byte-identical rows on every holder (rows are pure functions of the
+  document text), so dropping duplicate ``(doc, kind, id)`` keys merges
+  an R-way replicated cluster without any replica bookkeeping.
+
+:func:`shard_query` performs the rewrite, :func:`merge_results` performs
+the gather.  The router (:mod:`repro.yprov.cluster.router`) drives both;
+they live here so the contract is testable without any networking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.query.ast import Field, Query, ReturnClause
+from repro.query.executor import QueryResult
+from repro.query.planner import STAR_FIELDS
+
+#: Fields every shard-side query must project so the coordinator can
+#: sort and de-duplicate (the global order is ``(doc, id)``; ``kind``
+#: disambiguates an entity and an activity sharing a qualified name).
+MERGE_KEY_FIELDS: Tuple[Field, ...] = (
+    Field("doc"), Field("kind"), Field("id"),
+)
+
+#: Shard-result stats counters summed by :func:`merge_results`.
+_SUMMED_STATS = ("seed_rows", "traversed_rows")
+
+
+@dataclass(frozen=True)
+class MergeSpec:
+    """Everything needed to turn partial shard results into the answer."""
+
+    #: Projection keys of the *original* query, in caller order.
+    final_keys: Tuple[str, ...]
+    offset: int
+    limit: Optional[int]
+
+
+def shard_query(query: Query) -> Tuple[Query, MergeSpec]:
+    """Rewrite *query* for per-shard execution.
+
+    Returns the shard-side query (merge keys added to the projection,
+    ``OFFSET`` folded into a row bound, ``EXPLAIN`` stripped) and the
+    :class:`MergeSpec` that :func:`merge_results` needs to finish the job.
+    """
+    requested = query.returns.projections or STAR_FIELDS
+    projections = list(requested)
+    present = {f.key() for f in projections}
+    for extra in MERGE_KEY_FIELDS:
+        if extra.key() not in present:
+            projections.append(extra)
+    bound = (
+        None if query.returns.limit is None
+        else query.returns.offset + query.returns.limit
+    )
+    rewritten = Query(
+        match=query.match,
+        where=query.where,
+        traverse=query.traverse,
+        where_post=query.where_post,
+        returns=ReturnClause(
+            projections=tuple(projections), limit=bound, offset=0
+        ),
+        explain=False,
+    )
+    spec = MergeSpec(
+        final_keys=tuple(f.key() for f in requested),
+        offset=query.returns.offset,
+        limit=query.returns.limit,
+    )
+    return rewritten, spec
+
+
+def _merge_key(row: Dict[str, Any]) -> Tuple[str, str, str]:
+    return (row.get("doc") or "", str(row.get("kind")), str(row.get("id")))
+
+
+def merge_rows(
+    spec: MergeSpec, row_lists: Iterable[List[Dict[str, Any]]]
+) -> List[Dict[str, Any]]:
+    """De-duplicate, globally sort, slice and re-project partial rows."""
+    unique: Dict[Tuple[str, str, str], Dict[str, Any]] = {}
+    for rows in row_lists:
+        for row in rows:
+            unique.setdefault(_merge_key(row), row)
+    merged = sorted(
+        unique.values(), key=lambda row: (row.get("doc") or "", row["id"])
+    )
+    stop = None if spec.limit is None else spec.offset + spec.limit
+    merged = merged[spec.offset:stop]
+    return [{key: row.get(key) for key in spec.final_keys} for row in merged]
+
+
+def merge_results(
+    spec: MergeSpec,
+    shard_results: List[QueryResult],
+    extra_stats: Optional[Dict[str, Any]] = None,
+) -> QueryResult:
+    """Gather per-shard :class:`QueryResult`\\ s into one global result.
+
+    The merged plan shows the scatter-gather step above one representative
+    shard plan (all shards run the identical rewritten query; only index
+    availability could differ, and shards are configured uniformly).
+    """
+    rows = merge_rows(spec, [result.rows for result in shard_results])
+    plan: List[str] = [
+        f"ScatterGather shards={len(shard_results)} "
+        f"merge=sort(doc, id) dedup=(doc, kind, id)"
+    ]
+    if shard_results:
+        plan.extend(f"  {line}" for line in shard_results[0].plan)
+    stats: Dict[str, Any] = {
+        "backend": "cluster",
+        "shards": len(shard_results),
+        "cache_hit": False,
+        "returned_rows": len(rows),
+    }
+    for counter in _SUMMED_STATS:
+        values = [r.stats.get(counter) for r in shard_results]
+        if any(v is not None for v in values):
+            stats[counter] = sum(v or 0 for v in values)
+    stats.update(extra_stats or {})
+    return QueryResult(rows=rows, plan=plan, stats=stats)

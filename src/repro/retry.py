@@ -58,6 +58,25 @@ class ExponentialBackoff:
             out.append(delay)
         return out
 
+    def jitter_factors(self, attempts: int) -> List[float]:
+        """Deterministic multipliers in ``[1, 1 + jitter]`` for server floors.
+
+        When a server answers ``Retry-After: n`` it hands every rejected
+        client the *same* floor, so honoring it verbatim reconvenes the
+        whole herd on the recovering server n seconds later.  These factors
+        spread the floor multiplicatively — each client (distinct seed)
+        retries at ``n * factor`` — while never retrying *earlier* than the
+        server asked.  Drawn from a stream independent of :meth:`delays`
+        so adding a floor cannot shift the base schedule.
+        """
+        rng = random.Random(
+            None if self.seed is None else self.seed ^ 0x5BD1E995
+        )
+        return [
+            1.0 + (self.jitter * rng.random() if self.jitter else 0.0)
+            for _ in range(attempts)
+        ]
+
 
 def retry_call(
     fn: Callable[[], object],
@@ -73,7 +92,10 @@ def retry_call(
     exception carries a ``retry_after_s`` attribute (e.g. a
     :class:`~repro.errors.TransportError` built from an HTTP 429 with a
     ``Retry-After`` header), that value is honored as a *lower bound* on
-    the next delay — the server's request wins over the local schedule.
+    the next delay — the server's request wins over the local schedule —
+    multiplied by a seeded jitter factor (:meth:`ExponentialBackoff.
+    jitter_factors`) so a fleet of rejected clients does not thundering-
+    herd the recovering server at exactly the requested instant.
     The final failure is re-raised unchanged.
     """
     if retries < 0:
@@ -81,6 +103,7 @@ def retry_call(
     backoff = backoff or ExponentialBackoff()
     sleep = sleep if sleep is not None else _time.sleep
     schedule = backoff.delays(retries)
+    floor_factors = backoff.jitter_factors(retries)
     for attempt in range(retries + 1):
         try:
             return fn()
@@ -90,7 +113,7 @@ def retry_call(
             delay = schedule[attempt]
             retry_after = getattr(exc, "retry_after_s", None)
             if retry_after is not None:
-                delay = max(delay, float(retry_after))
+                delay = max(delay, float(retry_after) * floor_factors[attempt])
             if delay > 0:
                 sleep(delay)
     raise AssertionError("unreachable")  # pragma: no cover

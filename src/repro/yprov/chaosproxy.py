@@ -15,6 +15,14 @@ truncate   proxy the request, then relay only half of the upstream's
            response bytes and reset — a torn response
 blackhole  accept, swallow the request, never answer (the client's
            timeout fires); the socket is closed after ``blackhole_s``
+accept_hang  accept the connection but never read a byte of it — a
+           half-open connection.  Unlike ``blackhole`` the request is
+           not even consumed, so the peer's *send* path may also stall
+           on a large body.  This is the signature of a dying (not
+           dead) shard: TCP connects fine, the process is wedged.  A
+           failure detector that probes with plain TCP connects calls
+           this shard healthy; one that demands an HTTP ``/health``
+           answer within a deadline correctly marks it suspect.
 ========== ==========================================================
 
 The schedule is **seeded**: connection *i* draws its fault from
@@ -39,7 +47,8 @@ from typing import Dict, List, Optional
 
 from repro.errors import ReproError
 
-FAULT_KINDS = ("none", "latency", "reset", "http_503", "truncate", "blackhole")
+FAULT_KINDS = ("none", "latency", "reset", "http_503", "truncate",
+               "blackhole", "accept_hang")
 
 _RESPONSE_503 = (
     b"HTTP/1.1 503 Service Unavailable\r\n"
@@ -65,18 +74,21 @@ class ChaosConfig:
     http_503_rate: float = 0.0
     truncate_rate: float = 0.0
     blackhole_rate: float = 0.0
+    accept_hang_rate: float = 0.0
     latency_s: float = 0.2
     blackhole_s: float = 30.0
+    accept_hang_s: float = 30.0
     retry_after_s: float = 0.05
     base_latency_s: float = 0.0
 
     def __post_init__(self) -> None:
         total = (self.latency_rate + self.reset_rate + self.http_503_rate
-                 + self.truncate_rate + self.blackhole_rate)
+                 + self.truncate_rate + self.blackhole_rate
+                 + self.accept_hang_rate)
         if total > 1.0 + 1e-9:
             raise ReproError(f"fault rates sum to {total:.3f} > 1")
         for name in ("latency_rate", "reset_rate", "http_503_rate",
-                     "truncate_rate", "blackhole_rate"):
+                     "truncate_rate", "blackhole_rate", "accept_hang_rate"):
             if getattr(self, name) < 0:
                 raise ReproError(f"{name} must be >= 0")
 
@@ -89,6 +101,7 @@ class ChaosConfig:
             ("http_503", self.http_503_rate),
             ("truncate", self.truncate_rate),
             ("blackhole", self.blackhole_rate),
+            ("accept_hang", self.accept_hang_rate),
         ):
             if x < rate:
                 return name
@@ -99,6 +112,11 @@ class ChaosConfig:
 def blackhole_config(blackhole_s: float = 30.0) -> ChaosConfig:
     """A schedule where *every* connection is swallowed (total outage)."""
     return ChaosConfig(blackhole_rate=1.0, blackhole_s=blackhole_s)
+
+
+def accept_hang_config(accept_hang_s: float = 30.0) -> ChaosConfig:
+    """A schedule where *every* connection is accepted, then left half-open."""
+    return ChaosConfig(accept_hang_rate=1.0, accept_hang_s=accept_hang_s)
 
 
 @dataclass
@@ -164,6 +182,16 @@ class ChaosProxy:
     def connections(self) -> int:
         return self._stats.connections
 
+    def set_config(self, config: ChaosConfig) -> None:
+        """Swap the fault schedule for subsequent connections (thread-safe).
+
+        Lets a test change a live proxy's behaviour mid-run — e.g. flip a
+        healthy shard's proxy to :func:`blackhole_config` to simulate that
+        shard dying while a scatter-gather query is in flight.
+        """
+        with self._rng_lock:
+            self.config = config
+
     def start(self) -> "ChaosProxy":
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="chaos-proxy-accept", daemon=True
@@ -220,6 +248,9 @@ class ChaosProxy:
                 self._serve_503(client_sock)
             elif fault == "blackhole":
                 self._blackhole(client_sock)
+            elif fault == "accept_hang":
+                # half-open: accepted, never read, never answered
+                self._closing.wait(self.config.accept_hang_s)
             else:
                 delay = (self.config.latency_s if fault == "latency"
                          else self.config.base_latency_s)

@@ -24,6 +24,14 @@ client (timeouts, retries, circuit breaker, durable spool)::
     yprov spool list                          # documents parked offline
     yprov spool drain --url http://host:3000/api/v0
     yprov spool purge
+    yprov status --url http://host:3000/api/v0   # role, liveness, lag
+
+A replicated shard cluster (:mod:`repro.yprov.cluster`) serves the same
+API through a router::
+
+    yprov --root .yprov-cluster cluster serve --shards 3 --replication 1
+    yprov query - "MATCH entity RETURN *" --url http://host:3000/api/v0
+    yprov lint --cluster .yprov-cluster/cluster.json   # replication audit
 
 Static analysis (:mod:`repro.lint`) over run directories and the codebase::
 
@@ -114,18 +122,23 @@ def cmd_lineage(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    """Handle ``yprov query``: run a PROVQL query against a document."""
+    """Handle ``yprov query``: run a PROVQL query against a document.
+
+    ``doc_id`` of ``-`` queries across *every* stored document — against
+    a cluster router this scatter-gathers over all shards.
+    """
     import json as _json
 
+    doc_id = None if args.doc_id == "-" else args.doc_id
     query_text = args.query
     if args.explain and not query_text.lstrip().lower().startswith("explain"):
         query_text = "EXPLAIN " + query_text
     if args.url:
         from repro.yprov.client import ProvenanceClient
 
-        result = ProvenanceClient(args.url).query(args.doc_id, query_text)
+        result = ProvenanceClient(args.url).query(doc_id, query_text)
     else:
-        result = _service(args).query(args.doc_id, query_text).to_dict()
+        result = _service(args).query(doc_id, query_text).to_dict()
     if args.format == "json":
         print(_json.dumps(result, indent=2, sort_keys=True))
         return 0
@@ -228,9 +241,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.yprov.rest import serve
 
     service = _service(args)
-    server = serve(service, host=args.host, port=args.port)
+    server = serve(service, host=args.host, port=args.port,
+                   shard_id=args.shard_id)
     print(f"yProv service listening on {server.url} "
-          f"({len(service)} documents) — Ctrl-C to stop")
+          f"({len(service)} documents) — Ctrl-C to stop", flush=True)
     try:
         import time
 
@@ -240,6 +254,73 @@ def cmd_serve(args: argparse.Namespace) -> int:
         pass
     finally:
         server.stop()
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Handle ``yprov status``: one node's ``/health`` view.
+
+    Works against any node — a single service, a cluster shard or the
+    router (whose report adds per-shard liveness and replication lag).
+    """
+    import json as _json
+
+    from repro.yprov.client import ProvenanceClient
+
+    health = ProvenanceClient(
+        args.url, timeout_s=args.timeout, retries=args.retries
+    ).health()
+    if args.format == "json":
+        print(_json.dumps(health, indent=2, sort_keys=True))
+        return 0
+    role = health.get("role", "?")
+    shard = health.get("shard_id")
+    identity = f"{role}" + (f" [{shard}]" if shard else "")
+    print(f"{identity}: {health.get('status', '?')} "
+          f"({health.get('documents', '?')} documents, "
+          f"{health.get('in_flight', '?')} in flight, "
+          f"replication lag {health.get('replication_lag', '?')})")
+    for shard_id, state in sorted(health.get("shards", {}).items()):
+        print(f"  {shard_id}: {state}")
+    for tenant, counters in sorted(health.get("tenants", {}).items()):
+        print(f"  tenant {tenant}: {counters['in_flight']} in flight, "
+              f"{counters['rejected_total']} rejected")
+    return 0 if health.get("status") == "ok" else 1
+
+
+def cmd_cluster_serve(args: argparse.Namespace) -> int:
+    """Handle ``yprov cluster serve``: router + N shards in one process.
+
+    Shards persist under ``--root/<shard-id>/`` and the membership
+    manifest is written to ``--root/cluster.json`` (auditable offline
+    with ``yprov lint --cluster``).
+    """
+    from repro.yprov.cluster import LocalCluster
+
+    cluster = LocalCluster(
+        n_shards=args.shards,
+        replication=args.replication,
+        root=args.root,
+        host=args.host,
+        router_port=args.port,
+        heartbeat_interval_s=args.heartbeat_interval,
+    )
+    try:
+        states = cluster.router.detector.states()
+        print(f"yProv cluster router listening on {cluster.url} "
+              f"({args.shards} shards, replication={args.replication}) "
+              f"— Ctrl-C to stop", flush=True)
+        for info in cluster.router.shard_infos():
+            print(f"  {info.shard_id}: {info.url} "
+                  f"[{states.get(info.shard_id, '?')}]", flush=True)
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        cluster.stop()
     return 0
 
 
@@ -379,6 +460,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         Baseline,
         LintReport,
         apply_baseline,
+        lint_cluster_manifest,
         lint_run_dir,
         lint_source,
         render,
@@ -386,8 +468,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     select = _split_ids(args.select)
     ignore = _split_ids(args.ignore)
-    if not args.targets and not args.self:
-        raise LintError("nothing to lint: pass run directories and/or --self")
+    if not args.targets and not args.self and not args.cluster:
+        raise LintError(
+            "nothing to lint: pass run directories, --self and/or --cluster"
+        )
     if args.update_baseline and not args.baseline:
         raise LintError("--update-baseline requires --baseline PATH")
 
@@ -406,6 +490,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if args.self:
         reports.append(
             lint_source(args.source_root, select=select, ignore=ignore)
+        )
+    if args.cluster:
+        reports.append(
+            lint_cluster_manifest(args.cluster, select=select, ignore=ignore)
         )
 
     merged = LintReport(target="; ".join(r.target for r in reports))
@@ -571,7 +659,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_lineage)
 
     p = sub.add_parser("query", help="run a PROVQL query against a document")
-    p.add_argument("doc_id")
+    p.add_argument("doc_id",
+                   help="document id, or '-' to query across every document")
     p.add_argument(
         "query",
         help="PROVQL text, e.g. \"MATCH entity WHERE label ~ 'model' RETURN *\"",
@@ -667,6 +756,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run directories to lint with the PL1xx rules")
     p.add_argument("--self", action="store_true",
                    help="also lint the repro source tree with the SL2xx rules")
+    p.add_argument("--cluster", metavar="MANIFEST",
+                   help="audit a cluster.json manifest for under-replicated "
+                        "documents (PL113)")
     p.add_argument("--source-root",
                    help="source tree for --self (default: the installed repro package)")
     p.add_argument("--format", choices=("text", "json", "sarif"), default="text",
@@ -740,7 +832,40 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("serve", help="run the HTTP front-end (RESTful API)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=3000)
+    p.add_argument("--shard-id", default=None,
+                   help="report this shard identity on /health (cluster member)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "status", help="print a node's /health report (service, shard or router)"
+    )
+    p.add_argument("--url", required=True,
+                   help="node base URL, e.g. http://host:3000/api/v0")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="per-request timeout in seconds")
+    p.add_argument("--retries", type=int, default=1,
+                   help="transport retries (default 1)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format (default: text)")
+    p.set_defaults(func=cmd_status)
+
+    cluster = sub.add_parser(
+        "cluster", help="replicated shard cluster operations"
+    )
+    csub = cluster.add_subparsers(dest="cluster_command", required=True)
+    p = csub.add_parser(
+        "serve", help="run a router + N shard nodes in one process"
+    )
+    p.add_argument("--shards", type=int, default=3,
+                   help="number of shard nodes (default 3)")
+    p.add_argument("--replication", type=int, default=1,
+                   help="replica copies beyond the primary (default 1)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=3000,
+                   help="router port (shards take ephemeral ports)")
+    p.add_argument("--heartbeat-interval", type=float, default=1.0,
+                   help="failure-detector probe cadence in seconds")
+    p.set_defaults(func=cmd_cluster_serve)
 
     p = sub.add_parser(
         "replay", help="reproduce an experiment from its PROV-JSON file"

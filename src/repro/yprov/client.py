@@ -327,19 +327,23 @@ class ProvenanceClient:
         suffix = f"?{urllib.parse.urlencode(query)}" if query else ""
         return self._get_json(f"/elements{suffix}")
 
-    def query(self, doc_id: str, query_text: str) -> Dict[str, Any]:
+    def query(self, doc_id: Optional[str], query_text: str) -> Dict[str, Any]:
         """``POST /documents/<id>/query`` — run a PROVQL query.
 
-        Returns the decoded response: ``{"rows": [...], "plan": [...],
-        "stats": {...}}``.  Syntax/plan errors surface as
+        ``doc_id=None`` posts to ``/query`` instead: the query runs across
+        every document the service (or, on a router, the whole cluster)
+        holds.  Returns the decoded response: ``{"rows": [...], "plan":
+        [...], "stats": {...}}``.  Syntax/plan errors surface as
         :class:`~repro.errors.ServiceError` (HTTP 400 from the server);
         an unknown document raises
         :class:`~repro.errors.DocumentNotFoundError`.
         """
+        path = (
+            "/query" if doc_id is None
+            else f"/documents/{_quote(doc_id)}/query"
+        )
         _, payload = self._request(
-            "POST",
-            f"/documents/{_quote(doc_id)}/query",
-            query_text.encode("utf-8"),
+            "POST", path, query_text.encode("utf-8")
         )
         return json.loads(payload.decode("utf-8"))
 

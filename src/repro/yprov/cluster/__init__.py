@@ -1,0 +1,49 @@
+"""Replicated shard cluster for the provenance service.
+
+One :class:`~repro.yprov.service.ProvenanceService` behind one HTTP
+server is a single point of failure and caps out far below campaign
+scale.  This package grows it into a cluster without changing the API
+surface clients see:
+
+* :mod:`repro.yprov.cluster.ring` — consistent-hash document placement
+  with virtual nodes; adding or removing a shard moves ~K/N keys, not K;
+* :mod:`repro.yprov.cluster.membership` — heartbeat failure detection
+  over the shards' ``/health`` endpoints (alive → suspect → dead state
+  machine, passive demotion on request failures, replica promotion);
+* :mod:`repro.yprov.cluster.router` — the coordinator: quorum-replicated
+  writes, replica-failover reads, scatter-gather PROVQL
+  (:mod:`repro.query.merge`), rebalancing, and repair of
+  under-replicated documents;
+* :mod:`repro.yprov.cluster.local` — spin up router + N shards in one
+  process (tests, the CLI quickstart) and the on-disk ``cluster.json``
+  manifest the PL113 lint rule audits.
+
+The router duck-types the :class:`ProvenanceService` verb surface, so
+:mod:`repro.yprov.rest` serves it unchanged — a client cannot tell a
+router from a single node except by ``GET /health``'s ``role`` field.
+"""
+
+from repro.yprov.cluster.local import LocalCluster, write_manifest
+from repro.yprov.cluster.membership import (
+    ALIVE,
+    DEAD,
+    SUSPECT,
+    FailureDetector,
+    Heartbeater,
+)
+from repro.yprov.cluster.ring import HashRing
+from repro.yprov.cluster.router import ClusterRouter, RouterConfig, ShardInfo
+
+__all__ = [
+    "ALIVE",
+    "ClusterRouter",
+    "DEAD",
+    "FailureDetector",
+    "HashRing",
+    "Heartbeater",
+    "LocalCluster",
+    "RouterConfig",
+    "SUSPECT",
+    "ShardInfo",
+    "write_manifest",
+]

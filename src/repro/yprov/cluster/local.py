@@ -1,0 +1,245 @@
+"""A whole cluster in one process: router + N shards + manifest.
+
+:class:`LocalCluster` wires together everything the package provides so
+tests, the CLI quickstart (``yprov cluster serve``) and the chaos
+integration suite get a real cluster — real HTTP servers on real ports,
+a real router with failure detection — without any deployment:
+
+* N shard nodes: one :class:`~repro.yprov.service.ProvenanceService`
+  each (optionally persistent under ``<root>/<shard-id>/``) behind a
+  :class:`~repro.yprov.rest.ProvenanceServer` with ``role=shard``;
+* one :class:`~repro.yprov.cluster.router.ClusterRouter` over them,
+  served by a second REST front-end with ``role=router`` whose
+  ``/health`` carries the router's replication lag and shard states;
+* an optional proxy layer between router and shards
+  (``proxy_factory`` — the chaos tests interpose
+  :class:`~repro.yprov.chaosproxy.ChaosProxy` here);
+* the on-disk ``cluster.json`` manifest (:func:`write_manifest`), which
+  ``repro.lint``'s PL113 rule audits for under-replicated documents.
+
+The heartbeat thread is *not* started by default: tests drive failure
+detection deterministically with ``cluster.heartbeater.tick()``.  Pass
+``heartbeat_interval_s`` to run it for real (the CLI does).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.parse
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.atomicio import atomic_write_json
+from repro.errors import ClusterError
+from repro.yprov.cluster.membership import Heartbeater
+from repro.yprov.cluster.router import ClusterRouter, RouterConfig, ShardInfo
+from repro.yprov.rest import ProvenanceServer, ServerLimits, TenantQuotas, serve
+from repro.yprov.service import ProvenanceService
+
+__all__ = ["LocalCluster", "write_manifest", "read_manifest"]
+
+#: Manifest schema version (bump on incompatible layout changes).
+MANIFEST_VERSION = 1
+
+
+def write_manifest(
+    path: Union[str, Path],
+    replication: int,
+    shards: List[Dict[str, Any]],
+) -> Path:
+    """Atomically write the ``cluster.json`` manifest.
+
+    *shards* entries are ``{"id": ..., "url": ..., "root": ...}``
+    (``root`` may be ``None`` for in-memory shards).  The manifest is
+    what offline tooling — ``repro.lint``'s PL113 under-replication
+    audit, the post-chaos durability audit — uses to find every shard's
+    document directory without a live router.
+    """
+    payload = {
+        "version": MANIFEST_VERSION,
+        "replication": int(replication),
+        "shards": [
+            {
+                "id": str(shard["id"]),
+                "url": shard.get("url"),
+                "root": (
+                    None if shard.get("root") is None else str(shard["root"])
+                ),
+            }
+            for shard in shards
+        ],
+    }
+    return atomic_write_json(path, payload, indent=2, sort_keys=True)
+
+
+def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and structurally validate a ``cluster.json`` manifest."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ClusterError(f"unreadable cluster manifest {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "shards" not in payload:
+        raise ClusterError(f"malformed cluster manifest {path}")
+    if not isinstance(payload["shards"], list):
+        raise ClusterError(f"malformed cluster manifest {path}: bad shards")
+    return payload
+
+
+class LocalCluster:
+    """Router + N in-process shards; context manager tears it all down.
+
+    ``proxy_factory(shard_id, host, port) -> proxy`` (anything with
+    ``url`` and ``stop()``) interposes a proxy between the router and
+    that shard; the router then dials the proxy.  Built proxies are kept
+    in :attr:`proxies` so chaos tests can flip their fault schedules
+    mid-run.
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 3,
+        replication: int = 1,
+        root: Optional[Union[str, Path]] = None,
+        router_config: Optional[RouterConfig] = None,
+        shard_limits: Optional[ServerLimits] = None,
+        router_limits: Optional[ServerLimits] = None,
+        quotas: Optional[TenantQuotas] = None,
+        heartbeat_interval_s: Optional[float] = None,
+        host: str = "127.0.0.1",
+        router_port: int = 0,
+        proxy_factory: Optional[Callable[[str, str, int], Any]] = None,
+        client_factory: Optional[Callable[..., Any]] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ClusterError(f"n_shards must be >= 1, got {n_shards}")
+        self.root = Path(root) if root is not None else None
+        config = router_config or RouterConfig(replication=replication)
+        self.services: Dict[str, ProvenanceService] = {}
+        self.shard_servers: Dict[str, ProvenanceServer] = {}
+        self.proxies: Dict[str, Any] = {}
+        self.router: Optional[ClusterRouter] = None
+        self.router_server: Optional[ProvenanceServer] = None
+        self.heartbeater: Optional[Heartbeater] = None
+        infos: List[ShardInfo] = []
+        try:
+            for i in range(n_shards):
+                shard_id = f"shard-{i}"
+                shard_root = (
+                    None if self.root is None else self.root / shard_id
+                )
+                service = ProvenanceService(root=shard_root)
+                server = serve(
+                    service, host=host, limits=shard_limits,
+                    node_role="shard", shard_id=shard_id,
+                )
+                self.services[shard_id] = service
+                self.shard_servers[shard_id] = server
+                url = server.url
+                if proxy_factory is not None:
+                    proxy = proxy_factory(shard_id, host, server.port)
+                    self.proxies[shard_id] = proxy
+                    url = proxy.url
+                infos.append(ShardInfo(shard_id=shard_id, url=url))
+            self.router = ClusterRouter(
+                infos, config=config, client_factory=client_factory
+            )
+            self.heartbeater = Heartbeater(
+                self.router.detector,
+                interval_s=heartbeat_interval_s or 1.0,
+                on_change=self.router.on_membership_change,
+            )
+            if heartbeat_interval_s is not None:
+                self.heartbeater.start()
+            self.router_server = serve(
+                self.router,  # duck-types the ProvenanceService verbs
+                host=host,
+                port=router_port,
+                limits=router_limits,
+                node_role="router",
+                health_extra=self.router.cluster_health,
+                quotas=quotas,
+            )
+            if self.root is not None:
+                self.write_manifest()
+        except BaseException:
+            self.stop()
+            raise
+
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        """The router's ``/api/v0`` base URL — what clients should dial."""
+        if self.router_server is None:
+            raise ClusterError("cluster is not running")
+        return self.router_server.url
+
+    @property
+    def manifest_path(self) -> Optional[Path]:
+        return None if self.root is None else self.root / "cluster.json"
+
+    def write_manifest(self) -> Optional[Path]:
+        """(Re)write ``cluster.json`` reflecting current membership."""
+        if self.root is None or self.router is None:
+            return None
+        shards = []
+        for info in self.router.shard_infos():
+            shard_root = (
+                self.root / info.shard_id
+                if info.shard_id in self.services
+                and self.services[info.shard_id].root is not None
+                else None
+            )
+            shards.append(
+                {"id": info.shard_id, "url": info.url, "root": shard_root}
+            )
+        return write_manifest(
+            self.manifest_path, self.router.config.replication, shards
+        )
+
+    # ------------------------------------------------------------------
+    # chaos hooks
+    # ------------------------------------------------------------------
+    def kill_shard(self, shard_id: str) -> None:
+        """Stop a shard's HTTP server abruptly (router keeps dialing it)."""
+        if shard_id not in self.shard_servers:
+            raise ClusterError(f"unknown shard: {shard_id!r}")
+        self.shard_servers[shard_id].stop()
+
+    def restart_shard(self, shard_id: str) -> None:
+        """Bring a killed shard back on its old port from its disk root.
+
+        A fresh :class:`ProvenanceService` re-ingests the shard's
+        persisted documents (in-memory shards come back empty — exactly
+        like a real crash).
+        """
+        if shard_id not in self.shard_servers:
+            raise ClusterError(f"unknown shard: {shard_id!r}")
+        old = self.shard_servers[shard_id]
+        parts = urllib.parse.urlsplit(old.url)
+        host, port = parts.hostname or "127.0.0.1", old.port
+        old.stop()
+        shard_root = None if self.root is None else self.root / shard_id
+        service = ProvenanceService(root=shard_root)
+        self.services[shard_id] = service
+        self.shard_servers[shard_id] = serve(
+            service, host=host, port=port,
+            node_role="shard", shard_id=shard_id,
+        )
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Tear down router, proxies and shards; idempotent."""
+        if self.heartbeater is not None:
+            self.heartbeater.stop()
+        if self.router_server is not None:
+            self.router_server.stop()
+        for proxy in self.proxies.values():
+            proxy.stop()
+        for server in self.shard_servers.values():
+            server.stop()
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -1,0 +1,218 @@
+"""Failure detection for the shard cluster: alive → suspect → dead.
+
+The router must not treat one lost packet as a dead shard (that would
+thrash replica promotion) nor keep routing writes at a crashed one (that
+would burn the write quorum's latency budget on guaranteed timeouts).
+The classic answer is a consecutive-failure state machine per shard:
+
+* **ALIVE** — last probe/request succeeded; failures reset to zero.
+* **SUSPECT** — ``suspect_after`` consecutive failures.  Reads skip
+  suspects when an alive replica exists; writes still try them (they may
+  just be slow, and a write that lands keeps replication full).
+* **DEAD** — ``dead_after`` consecutive failures.  The shard is skipped
+  entirely and its keys are served by replicas until it heals.  One
+  success from any path returns it straight to ALIVE.
+
+Evidence arrives on two paths and both feed the same counters:
+
+* **Active probing** — :class:`Heartbeater` runs :meth:`FailureDetector.
+  probe_all` on an interval from a daemon thread; each probe is an HTTP
+  ``GET /health`` with a short hard deadline and *zero retries*.  Probing
+  the HTTP layer (not just TCP connect) is what distinguishes a half-open
+  hung socket — the chaos proxy's ``accept_hang`` fault — from a healthy
+  shard: the connection succeeds, the response never comes, the deadline
+  fires, and the failure is recorded.
+* **Passive observation** — the router reports the outcome of every real
+  request via :meth:`record_success` / :meth:`record_failure`, so a shard
+  that dies between heartbeats is demoted by the very traffic it fails.
+
+The probe function and detector are injectable everywhere they are used,
+so tests drive state transitions without sockets or sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.errors import ClusterError
+
+__all__ = [
+    "ALIVE",
+    "DEAD",
+    "SUSPECT",
+    "FailureDetector",
+    "Heartbeater",
+]
+
+ALIVE = "alive"
+SUSPECT = "suspect"
+DEAD = "dead"
+
+#: Probe callback: ``probe(shard_id) -> bool`` (True = healthy).  It must
+#: not raise — transport errors are a False, not an exception.
+
+
+class FailureDetector:
+    """Per-shard consecutive-failure counters with threshold states.
+
+    ``probe`` is optional; without it :meth:`probe_all` is an error and
+    the detector runs purely on passive evidence (unit tests, or a router
+    embedded where something else supplies health signals).
+    """
+
+    def __init__(
+        self,
+        shard_ids: Iterable[str],
+        suspect_after: int = 2,
+        dead_after: int = 4,
+        probe: Optional[Callable[[str], bool]] = None,
+    ) -> None:
+        if suspect_after < 1:
+            raise ClusterError(f"suspect_after must be >= 1, got {suspect_after}")
+        if dead_after < suspect_after:
+            raise ClusterError(
+                f"dead_after ({dead_after}) must be >= suspect_after "
+                f"({suspect_after})"
+            )
+        self.suspect_after = int(suspect_after)
+        self.dead_after = int(dead_after)
+        self._probe = probe
+        self._lock = threading.Lock()
+        self._failures: Dict[str, int] = {shard: 0 for shard in shard_ids}
+        if not self._failures:
+            raise ClusterError("failure detector needs at least one shard")
+
+    # -- evidence --------------------------------------------------------
+    def record_success(self, shard_id: str) -> None:
+        """One successful probe or request: straight back to ALIVE."""
+        with self._lock:
+            self._check_known(shard_id)
+            self._failures[shard_id] = 0
+
+    def record_failure(self, shard_id: str) -> str:
+        """One failed probe or request; returns the resulting state."""
+        with self._lock:
+            self._check_known(shard_id)
+            self._failures[shard_id] += 1
+            return self._state_locked(shard_id)
+
+    def probe_all(self) -> Dict[str, str]:
+        """Probe every shard once; returns the post-probe state map."""
+        if self._probe is None:
+            raise ClusterError("failure detector has no probe configured")
+        for shard_id in self.shard_ids():
+            if self._probe(shard_id):
+                self.record_success(shard_id)
+            else:
+                self.record_failure(shard_id)
+        return self.states()
+
+    # -- state -----------------------------------------------------------
+    def state(self, shard_id: str) -> str:
+        with self._lock:
+            self._check_known(shard_id)
+            return self._state_locked(shard_id)
+
+    def states(self) -> Dict[str, str]:
+        with self._lock:
+            return {s: self._state_locked(s) for s in self._failures}
+
+    def shard_ids(self) -> List[str]:
+        with self._lock:
+            return sorted(self._failures)
+
+    def alive(self) -> List[str]:
+        """Shards not DEAD (SUSPECT still counts for writes), sorted."""
+        return [s for s, st in sorted(self.states().items()) if st != DEAD]
+
+    def healthy(self) -> List[str]:
+        """Strictly ALIVE shards (preferred read targets), sorted."""
+        return [s for s, st in sorted(self.states().items()) if st == ALIVE]
+
+    def add_shard(self, shard_id: str) -> None:
+        with self._lock:
+            if shard_id in self._failures:
+                raise ClusterError(f"shard already tracked: {shard_id!r}")
+            self._failures[shard_id] = 0
+
+    def remove_shard(self, shard_id: str) -> None:
+        with self._lock:
+            self._check_known(shard_id)
+            del self._failures[shard_id]
+
+    def _state_locked(self, shard_id: str) -> str:
+        failures = self._failures[shard_id]
+        if failures >= self.dead_after:
+            return DEAD
+        if failures >= self.suspect_after:
+            return SUSPECT
+        return ALIVE
+
+    def _check_known(self, shard_id: str) -> None:
+        if shard_id not in self._failures:
+            raise ClusterError(f"unknown shard: {shard_id!r}")
+
+
+class Heartbeater:
+    """Background thread driving :meth:`FailureDetector.probe_all`.
+
+    A plain daemon thread on an ``Event``-based timer: ``stop()`` wakes
+    the wait immediately, so shutdown never blocks for ``interval_s``.
+    ``on_change`` (optional) is called with the new state map whenever a
+    probe round changes any shard's state — the router hooks replication
+    repair onto it.
+    """
+
+    def __init__(
+        self,
+        detector: FailureDetector,
+        interval_s: float = 1.0,
+        on_change: Optional[Callable[[Dict[str, str]], None]] = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ClusterError(f"interval_s must be > 0, got {interval_s}")
+        self.detector = detector
+        self.interval_s = float(interval_s)
+        self.on_change = on_change
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "Heartbeater":
+        """Launch the probe thread; returns self for chaining."""
+        if self._thread is not None:
+            raise ClusterError("heartbeater already started")
+        self._thread = threading.Thread(
+            target=self._run, name="yprov-heartbeat", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def tick(self) -> Dict[str, str]:
+        """One synchronous probe round (tests drive this directly).
+
+        The before/after comparison brackets the probe itself, so state
+        changes that arrived *passively* since the last round (the router
+        demoting a shard on request failures) still trigger ``on_change``
+        when the probe confirms the new state.
+        """
+        before = self.detector.states()
+        states = self.detector.probe_all()
+        if states != before and self.on_change is not None:
+            self.on_change(states)
+        return states
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.tick()
+            except ClusterError:
+                # a probe round must never kill the heartbeat thread;
+                # the next tick retries with fresh state
+                continue

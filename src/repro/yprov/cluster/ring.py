@@ -1,0 +1,130 @@
+"""Consistent-hash ring: document placement with bounded key movement.
+
+Documents are placed on shards by hashing both onto one circle: each
+shard contributes ``vnodes`` points (virtual nodes smooth the load across
+heterogeneous hash gaps), and a document belongs to the first shard point
+clockwise from its own hash.  The properties the cluster relies on:
+
+* **Determinism** — placement is a pure function of (shard ids, document
+  id); every router instance computes the same owner with no coordination
+  and no persisted placement table.
+* **Bounded movement** — adding a shard to an N-shard ring reassigns only
+  the keys that now fall in the new shard's arcs: ~K/(N+1) of K keys in
+  expectation, not K.  Removing a shard moves *exactly* the keys it
+  owned (everyone else's first point is untouched).  The property test in
+  ``tests/property/test_ring_props.py`` pins both.
+* **Replica placement** — a document's preference list is the ring walk
+  from its hash: the first ``n`` *distinct* shards encountered.  Replicas
+  are therefore spread deterministically, and when a shard dies the next
+  shard on the walk is the natural promotion target.
+
+Hashing is ``sha256`` (stable across processes and Python versions —
+``hash()`` is salted and useless here).  Standard library only.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import ClusterError
+
+#: Virtual nodes per shard.  128 keeps the max/min arc ratio low enough
+#: that a 3-shard ring stays within ~±20% of even load.
+DEFAULT_VNODES = 128
+
+
+def _point(data: str) -> int:
+    """A stable 64-bit position on the ring."""
+    digest = hashlib.sha256(data.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over named shards with virtual nodes."""
+
+    def __init__(self, shards: Iterable[str] = (), vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ClusterError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._points: List[Tuple[int, str]] = []  # sorted (position, shard)
+        self._keys: List[int] = []  # positions only, for bisect
+        self._shards: Dict[str, bool] = {}
+        for shard in shards:
+            self.add(shard)
+
+    # -- membership ------------------------------------------------------
+    def add(self, shard_id: str) -> None:
+        """Add a shard's virtual nodes (error if already present)."""
+        if not shard_id:
+            raise ClusterError("shard id must be non-empty")
+        if shard_id in self._shards:
+            raise ClusterError(f"shard already on the ring: {shard_id!r}")
+        self._shards[shard_id] = True
+        for i in range(self.vnodes):
+            pos = _point(f"{shard_id}#{i}")
+            index = bisect.bisect_left(self._points, (pos, shard_id))
+            self._points.insert(index, (pos, shard_id))
+            self._keys.insert(index, pos)
+
+    def remove(self, shard_id: str) -> None:
+        """Remove a shard's virtual nodes (error if absent)."""
+        if shard_id not in self._shards:
+            raise ClusterError(f"shard not on the ring: {shard_id!r}")
+        del self._shards[shard_id]
+        self._points = [p for p in self._points if p[1] != shard_id]
+        self._keys = [pos for pos, _ in self._points]
+
+    @property
+    def shards(self) -> List[str]:
+        """Shard ids on the ring, sorted."""
+        return sorted(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._shards
+
+    # -- placement -------------------------------------------------------
+    def primary(self, key: str) -> str:
+        """The shard owning *key* (first ring point clockwise)."""
+        return self.preference(key, 1)[0]
+
+    def preference(self, key: str, n: int) -> List[str]:
+        """The first *n* distinct shards on the ring walk from *key*.
+
+        This is the key's replica placement: index 0 is the primary, the
+        rest are replicas in promotion order.  Asking for more shards
+        than the ring holds is an error — the caller must choose its
+        replication factor to fit the cluster.
+        """
+        if not self._shards:
+            raise ClusterError("ring has no shards")
+        if n < 1:
+            raise ClusterError(f"preference list size must be >= 1, got {n}")
+        if n > len(self._shards):
+            raise ClusterError(
+                f"cannot place {n} replicas on {len(self._shards)} shard(s)"
+            )
+        start = bisect.bisect_right(self._keys, _point(key))
+        chosen: List[str] = []
+        seen = set()
+        total = len(self._points)
+        for step in range(total):
+            _, shard = self._points[(start + step) % total]
+            if shard not in seen:
+                seen.add(shard)
+                chosen.append(shard)
+                if len(chosen) == n:
+                    break
+        return chosen
+
+    def walk(self, key: str) -> List[str]:
+        """Every shard in ring order from *key* (full promotion order)."""
+        return self.preference(key, len(self._shards))
+
+    def placement(self, keys: Iterable[str]) -> Dict[str, str]:
+        """``{key: primary shard}`` for many keys (tests, rebalancing)."""
+        return {key: self.primary(key) for key in keys}

@@ -1,0 +1,618 @@
+"""The cluster coordinator: quorum writes, failover reads, scatter-gather.
+
+A :class:`ClusterRouter` fronts N shard nodes (each an ordinary
+:class:`~repro.yprov.service.ProvenanceService` behind
+:mod:`repro.yprov.rest`) and exposes the *same* verb surface as a single
+service, so :func:`repro.yprov.rest.serve` can put the identical REST API
+over it with ``node_role="router"``.  Clients cannot tell the difference
+except by ``GET /health``.
+
+Placement and replication
+    A document lives on the first ``replication + 1`` distinct shards of
+    its :class:`~repro.yprov.cluster.ring.HashRing` walk.  Writes are
+    **sloppy quorum**: the router walks the full preference order,
+    skipping shards the failure detector calls DEAD, until ``n_copies``
+    acks land — a preferred shard that is down is substituted by the next
+    shard on the walk (a handoff copy) and queued for repair.  The write
+    is acked to the caller once a majority of ``n_copies`` acks arrive
+    (``R=1`` → 2 of 2), so **an acked write always has quorum live
+    copies** and survives any single shard loss.  Short of quorum the
+    router raises :class:`~repro.errors.QuorumError`, which the client
+    treats as a transport failure (retry, then spool) — never a silent
+    loss.
+
+Reads
+    Document reads walk the same preference order, failing over past
+    dead or erroring shards to the first copy that answers.  A shard that
+    answers "not found" is skipped too: handoff copies can live beyond
+    the preferred members.
+
+Scatter-gather PROVQL
+    Service-wide queries are rewritten by
+    :func:`repro.query.merge.shard_query`, fanned out to every non-dead
+    shard, and merged exactly (dedup / global sort / slice / re-project)
+    by :func:`repro.query.merge.merge_results`.  Coverage is checked
+    before merging: if ``n_copies`` or more ring shards failed to answer,
+    some document may have had *every* copy on the silent shards, and the
+    router raises :class:`~repro.errors.PartialResultError` rather than
+    return a silently truncated answer.  Document-scoped queries do not
+    scatter — one shard holds the whole document, so they route like
+    reads.
+
+Failure evidence flows both ways: the heartbeat
+(:class:`~repro.yprov.cluster.membership.Heartbeater`, wired by the
+caller) probes ``/health`` actively, and every real request reports its
+outcome passively.  When a shard returns to ALIVE the router replays the
+pending repair queue, restoring full replication; the queue's length is
+the ``replication_lag`` the router's own ``/health`` reports.
+
+The router is shared by the REST handler's worker threads: the repair
+queue and membership changes are lock-protected, per-shard clients open
+one connection per request (no shared sockets).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import (
+    CircuitOpenError,
+    ClusterError,
+    DocumentNotFoundError,
+    PartialResultError,
+    QuorumError,
+    TransportError,
+)
+from repro.query import QueryResult, merge_results, parse, shard_query
+from repro.query.ast import Query as ProvqlQuery
+from repro.yprov.client import CircuitBreaker, ProvenanceClient
+from repro.yprov.cluster.membership import DEAD, FailureDetector
+from repro.yprov.cluster.ring import DEFAULT_VNODES, HashRing
+
+__all__ = ["ClusterRouter", "RouterConfig", "ShardInfo"]
+
+#: Errors that mean "this shard did not serve the request" (as opposed to
+#: "the request itself is bad"): the router fails over and feeds the
+#: failure detector.
+_SHARD_DOWN = (TransportError, CircuitOpenError)
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One shard node: a stable id and its ``/api/v0`` base URL."""
+
+    shard_id: str
+    url: str
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Knobs for :class:`ClusterRouter`.
+
+    ``replication`` is the number of copies *beyond* the primary, so the
+    cluster stores ``replication + 1`` copies and the write quorum is a
+    majority of those (``replication=1`` → 2 copies, quorum 2: both must
+    ack, and either alone can serve reads after a failure).
+    """
+
+    replication: int = 1
+    vnodes: int = DEFAULT_VNODES
+    suspect_after: int = 2
+    dead_after: int = 4
+    request_timeout_s: float = 5.0
+    probe_timeout_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.replication < 0:
+            raise ClusterError(
+                f"replication must be >= 0, got {self.replication}"
+            )
+
+    @property
+    def n_copies(self) -> int:
+        return self.replication + 1
+
+    @property
+    def write_quorum(self) -> int:
+        return self.n_copies // 2 + 1
+
+
+def _default_client_factory(url: str, timeout_s: float) -> ProvenanceClient:
+    # retries=0: failover is the router's job, and retrying into a dying
+    # shard would only blur the failure detector's signal.  The breaker's
+    # zero cool-down keeps it from refusing a healed shard for 30s after
+    # the detector already promoted it back to ALIVE.
+    return ProvenanceClient(
+        url,
+        timeout_s=timeout_s,
+        retries=0,
+        breaker=CircuitBreaker(failure_threshold=3, reset_timeout_s=0.0),
+    )
+
+
+class ClusterRouter:
+    """Coordinator over N shards; duck-types the ProvenanceService verbs.
+
+    ``client_factory(url, timeout_s) -> ProvenanceClient`` is injectable
+    for tests (fake transports, chaos proxies).
+    """
+
+    def __init__(
+        self,
+        shards: List[ShardInfo],
+        config: Optional[RouterConfig] = None,
+        client_factory: Optional[
+            Callable[[str, float], ProvenanceClient]
+        ] = None,
+    ) -> None:
+        if not shards:
+            raise ClusterError("router needs at least one shard")
+        self.config = config or RouterConfig()
+        if self.config.n_copies > len(shards):
+            raise ClusterError(
+                f"replication={self.config.replication} needs at least "
+                f"{self.config.n_copies} shards, got {len(shards)}"
+            )
+        self._factory = client_factory or _default_client_factory
+        self._lock = threading.Lock()
+        self._shards: Dict[str, ShardInfo] = {}
+        self._clients: Dict[str, ProvenanceClient] = {}
+        self._probes: Dict[str, ProvenanceClient] = {}
+        self.ring = HashRing(vnodes=self.config.vnodes)
+        for info in shards:
+            if info.shard_id in self._shards:
+                raise ClusterError(f"duplicate shard id: {info.shard_id!r}")
+            self._register(info)
+        self.detector = FailureDetector(
+            [s.shard_id for s in shards],
+            suspect_after=self.config.suspect_after,
+            dead_after=self.config.dead_after,
+            probe=self._probe,
+        )
+        # pending (doc_id, shard_id) re-replications, in discovery order
+        self._repairs: List[Tuple[str, str]] = []
+
+    def _register(self, info: ShardInfo) -> None:
+        self._shards[info.shard_id] = info
+        self._clients[info.shard_id] = self._factory(
+            info.url, self.config.request_timeout_s
+        )
+        self._probes[info.shard_id] = self._factory(
+            info.url, self.config.probe_timeout_s
+        )
+        self.ring.add(info.shard_id)
+
+    # ------------------------------------------------------------------
+    # failure evidence
+    # ------------------------------------------------------------------
+    def _probe(self, shard_id: str) -> bool:
+        """One active health probe; used by the failure detector."""
+        try:
+            payload = self._probes[shard_id].health()
+        except _SHARD_DOWN:
+            return False
+        return isinstance(payload, dict) and "status" in payload
+
+    def _call(self, shard_id: str, fn: Callable[[ProvenanceClient], Any]) -> Any:
+        """Run one request against a shard, feeding the detector."""
+        client = self._clients[shard_id]
+        try:
+            result = fn(client)
+        except _SHARD_DOWN:
+            self.detector.record_failure(shard_id)
+            raise
+        self.detector.record_success(shard_id)
+        return result
+
+    def _ordered_targets(self, key: str) -> List[str]:
+        """Full ring walk for *key* with DEAD shards pushed to the end.
+
+        Dead shards stay as a last resort: when every copy-holder looks
+        dead the router still tries them rather than fail without asking.
+        """
+        walk = self.ring.walk(key)
+        states = self.detector.states()
+        return (
+            [s for s in walk if states.get(s) != DEAD]
+            + [s for s in walk if states.get(s) == DEAD]
+        )
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def put_document(self, doc_id: str, document: str) -> str:
+        """Replicate *document* to ``n_copies`` shards; ack on quorum.
+
+        Walks the preference order skipping DEAD shards (sloppy quorum:
+        a down preferred member is substituted by the next shard and
+        queued for repair).  Raises :class:`QuorumError` when fewer than
+        a majority of copies ack — the document is then *not* considered
+        stored, and the client's retry/spool machinery takes over.
+        Non-transport rejections (invalid document, bad id) propagate
+        immediately: every shard would refuse them identically.
+        """
+        cfg = self.config
+        walk = self.ring.walk(doc_id)
+        preferred = set(walk[: cfg.n_copies])
+        states = self.detector.states()
+        acked: List[str] = []
+        for shard_id in walk:
+            if len(acked) >= cfg.n_copies:
+                break
+            if states.get(shard_id) == DEAD:
+                if shard_id in preferred:
+                    self._enqueue_repair(doc_id, shard_id)
+                continue
+            try:
+                self._call(shard_id, lambda c: c.put_document(doc_id, document))
+            except _SHARD_DOWN:
+                if shard_id in preferred:
+                    self._enqueue_repair(doc_id, shard_id)
+                continue
+            acked.append(shard_id)
+        if len(acked) < cfg.write_quorum:
+            raise QuorumError(
+                f"write of {doc_id!r} reached {len(acked)} of "
+                f"{cfg.n_copies} copies (quorum {cfg.write_quorum}); "
+                f"acks from {acked}",
+                acked=len(acked),
+                needed=cfg.write_quorum,
+            )
+        return doc_id
+
+    def delete_document(self, doc_id: str) -> None:
+        """Delete every copy (preferred and handoff) of *doc_id*.
+
+        A shard that cannot be reached makes the delete fail with
+        :class:`ClusterError` — a half-deleted document would resurrect
+        through scatter-gather when the unreachable shard heals, so the
+        caller must retry until every live copy is gone.
+        """
+        deleted = 0
+        unreachable: List[str] = []
+        for shard_id in self._ordered_targets(doc_id):
+            try:
+                self._call(shard_id, lambda c: c.delete_document(doc_id))
+                deleted += 1
+            except DocumentNotFoundError:
+                continue
+            except _SHARD_DOWN:
+                unreachable.append(shard_id)
+        if unreachable:
+            raise ClusterError(
+                f"delete of {doc_id!r} could not reach shard(s) "
+                f"{unreachable}; retry until all copies are gone"
+            )
+        if deleted == 0:
+            raise DocumentNotFoundError(f"no such document: {doc_id!r}")
+        self._drop_repairs(doc_id)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def _read_from_copy(
+        self, doc_id: str, fn: Callable[[ProvenanceClient], Any]
+    ) -> Any:
+        """Run *fn* against the first copy-holder that answers."""
+        not_found = 0
+        errors: List[str] = []
+        for shard_id in self._ordered_targets(doc_id):
+            try:
+                return self._call(shard_id, fn)
+            except DocumentNotFoundError:
+                not_found += 1
+            except _SHARD_DOWN as exc:
+                errors.append(f"{shard_id}: {exc}")
+        if errors and (not_found == 0 or len(errors) >= self.config.n_copies):
+            # with n_copies shards unreachable every copy may be behind
+            # the failures, so "not found" cannot be trusted
+            raise ClusterError(
+                f"no shard could serve {doc_id!r}: " + "; ".join(errors)
+            )
+        raise DocumentNotFoundError(f"no such document: {doc_id!r}")
+
+    def get_document_text(self, doc_id: str) -> str:
+        return self._read_from_copy(
+            doc_id, lambda c: c.get_document_text(doc_id)
+        )
+
+    def get_subgraph(
+        self,
+        doc_id: str,
+        element: str,
+        direction: str = "both",
+        max_depth: Optional[int] = None,
+    ) -> List[str]:
+        """Traverse from *element* on whichever copy of *doc_id* answers."""
+        return self._read_from_copy(
+            doc_id,
+            lambda c: c.get_subgraph(
+                doc_id, element, direction=direction, max_depth=max_depth
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # scatter-gather
+    # ------------------------------------------------------------------
+    def _scatter(
+        self, fn: Callable[[ProvenanceClient], Any]
+    ) -> Tuple[Dict[str, Any], List[str]]:
+        """Run *fn* on every non-dead shard; returns (answers, failed).
+
+        DEAD shards are counted as failed without being contacted —
+        their keys are covered (or not) exactly like a shard that
+        stopped answering mid-fan-out.
+        """
+        answers: Dict[str, Any] = {}
+        failed: List[str] = []
+        states = self.detector.states()
+        for shard_id in self.ring.shards:
+            if states.get(shard_id) == DEAD:
+                failed.append(shard_id)
+                continue
+            try:
+                answers[shard_id] = self._call(shard_id, fn)
+            except _SHARD_DOWN:
+                failed.append(shard_id)
+        return answers, failed
+
+    def _check_coverage(self, failed: List[str]) -> None:
+        """Fail loudly when the silent shards could hide whole documents.
+
+        Every acked document has ``n_copies`` copies (repairs restore the
+        invariant after handoff), so as long as *fewer* than ``n_copies``
+        shards are silent, at least one copy of everything answered.  At
+        ``n_copies`` silent shards a document may have lived entirely on
+        them — a merged answer could silently miss rows, which is worse
+        than an error.
+        """
+        if len(failed) >= self.config.n_copies:
+            raise PartialResultError(
+                f"{len(failed)} of {len(self.ring)} shards unavailable "
+                f"({sorted(failed)}); with {self.config.n_copies} copies "
+                f"per document the surviving shards may not cover every "
+                f"document",
+                failed_shards=sorted(failed),
+            )
+
+    def query(
+        self,
+        doc_id: Optional[str],
+        query: Union[str, ProvqlQuery],
+        force_scan: bool = False,
+    ) -> QueryResult:
+        """Run PROVQL: routed when document-scoped, scattered when global.
+
+        A document-scoped query goes to one copy-holder (edges never
+        cross documents, so its answer is already complete).  A
+        service-wide query (``doc_id=None``) is rewritten by
+        :func:`~repro.query.merge.shard_query`, fanned out to every
+        non-dead shard, coverage-checked and merged — the result is
+        byte-identical to a single node holding all documents.
+        """
+        parsed = parse(query) if isinstance(query, str) else query
+        if doc_id is not None:
+            payload = self._read_from_copy(
+                doc_id, lambda c: c.query(doc_id, parsed.render())
+            )
+            return QueryResult(
+                rows=payload["rows"], plan=payload["plan"],
+                stats=payload["stats"],
+            )
+        rewritten, spec = shard_query(parsed)
+        text = rewritten.render()
+        answers, failed = self._scatter(lambda c: c.query(None, text))
+        self._check_coverage(failed)
+        partials = [
+            QueryResult(rows=p["rows"], plan=p["plan"], stats=p["stats"])
+            for _, p in sorted(answers.items())
+        ]
+        extra: Dict[str, Any] = {}
+        if failed:
+            extra["failed_shards"] = sorted(failed)
+        return merge_results(spec, partials, extra_stats=extra)
+
+    def list_documents(self) -> List[str]:
+        """Sorted union of every shard's documents (coverage-checked)."""
+        answers, failed = self._scatter(lambda c: c.list_documents())
+        self._check_coverage(failed)
+        return sorted({doc for docs in answers.values() for doc in docs})
+
+    def find_elements(
+        self,
+        label: Optional[str] = None,
+        prov_type: Optional[str] = None,
+        doc_id: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Scattered element search, de-duplicated across replicas."""
+        if doc_id is not None:
+            return self._read_from_copy(
+                doc_id,
+                lambda c: c.find_elements(
+                    label=label, prov_type=prov_type, doc_id=doc_id
+                ),
+            )
+        answers, failed = self._scatter(
+            lambda c: c.find_elements(label=label, prov_type=prov_type)
+        )
+        self._check_coverage(failed)
+        unique: Dict[Tuple[Tuple[str, Any], ...], Dict[str, Any]] = {}
+        for hits in answers.values():
+            for hit in hits:
+                unique.setdefault(tuple(sorted(hit.items())), hit)
+        return sorted(
+            unique.values(),
+            key=lambda h: (str(h.get("doc_id") or ""), str(h.get("id") or "")),
+        )
+
+    def stats(self, doc_id: Optional[str] = None) -> Dict[str, int]:
+        """Document-scoped stats route; cluster stats aggregate.
+
+        Cluster-wide ``nodes``/``edges`` are *physical* totals (each
+        replica counts), ``documents`` is the logical union.
+        """
+        if doc_id is not None:
+            return self._read_from_copy(doc_id, lambda c: c.stats(doc_id))
+        answers, failed = self._scatter(lambda c: c.stats(None))
+        self._check_coverage(failed)
+        return {
+            "documents": len(self.list_documents()),
+            "nodes": sum(s.get("nodes", 0) for s in answers.values()),
+            "edges": sum(s.get("edges", 0) for s in answers.values()),
+            "shards": len(self.ring),
+        }
+
+    def __len__(self) -> int:
+        """Best-effort logical document count (never raises).
+
+        ``GET /health`` calls this; health must keep answering while the
+        cluster is degraded, so silent shards reduce the count instead of
+        erroring.
+        """
+        answers, _ = self._scatter(lambda c: c.list_documents())
+        return len({doc for docs in answers.values() for doc in docs})
+
+    # ------------------------------------------------------------------
+    # repair & rebalancing
+    # ------------------------------------------------------------------
+    def _enqueue_repair(self, doc_id: str, shard_id: str) -> None:
+        with self._lock:
+            if (doc_id, shard_id) not in self._repairs:
+                self._repairs.append((doc_id, shard_id))
+
+    def _drop_repairs(self, doc_id: str) -> None:
+        with self._lock:
+            self._repairs = [r for r in self._repairs if r[0] != doc_id]
+
+    @property
+    def replication_lag(self) -> int:
+        """Documents currently short of a preferred copy."""
+        with self._lock:
+            return len(self._repairs)
+
+    def pending_repairs(self) -> List[Tuple[str, str]]:
+        with self._lock:
+            return list(self._repairs)
+
+    def run_repairs(self) -> int:
+        """Replay the repair queue; returns the number of copies restored.
+
+        Each pending ``(doc, shard)`` is re-read from any live copy and
+        written to the target.  Targets that are still DEAD stay queued;
+        so does anything that fails mid-repair.
+        """
+        repaired = 0
+        states = self.detector.states()
+        for doc_id, shard_id in self.pending_repairs():
+            if shard_id not in self._shards or states.get(shard_id) == DEAD:
+                continue
+            try:
+                text = self.get_document_text(doc_id)
+                self._call(
+                    shard_id, lambda c: c.put_document(doc_id, text)
+                )
+            except DocumentNotFoundError:
+                # every copy vanished (deleted concurrently): nothing to
+                # repair any more
+                pass
+            except (ClusterError, TransportError, CircuitOpenError):
+                continue
+            with self._lock:
+                if (doc_id, shard_id) in self._repairs:
+                    self._repairs.remove((doc_id, shard_id))
+                    repaired += 1
+        return repaired
+
+    def on_membership_change(self, states: Dict[str, str]) -> None:
+        """Heartbeat hook: a shard changing state replays the repairs."""
+        if any(state != DEAD for state in states.values()):
+            self.run_repairs()
+
+    def add_shard(self, info: ShardInfo, rebalance: bool = True) -> Dict[str, int]:
+        """Grow the ring by one shard; moves ~K/(N+1) documents."""
+        with self._lock:
+            if info.shard_id in self._shards:
+                raise ClusterError(f"duplicate shard id: {info.shard_id!r}")
+            self._register(info)
+        self.detector.add_shard(info.shard_id)
+        return self.rebalance() if rebalance else {"copied": 0, "dropped": 0}
+
+    def remove_shard(self, shard_id: str, rebalance: bool = True) -> Dict[str, int]:
+        """Shrink the ring; the departed shard's keys move to successors."""
+        with self._lock:
+            if shard_id not in self._shards:
+                raise ClusterError(f"unknown shard: {shard_id!r}")
+            if len(self._shards) <= self.config.n_copies:
+                raise ClusterError(
+                    f"cannot drop below {self.config.n_copies} shards "
+                    f"(replication={self.config.replication})"
+                )
+            del self._shards[shard_id]
+            del self._clients[shard_id]
+            del self._probes[shard_id]
+            self.ring.remove(shard_id)
+            self._repairs = [r for r in self._repairs if r[1] != shard_id]
+        self.detector.remove_shard(shard_id)
+        return self.rebalance() if rebalance else {"copied": 0, "dropped": 0}
+
+    def rebalance(self) -> Dict[str, int]:
+        """Re-establish ring placement after membership changed.
+
+        For every document: copy it to preferred shards missing it, then
+        drop copies from shards outside the preference list.  Movement is
+        bounded by the ring's consistency property — only documents whose
+        preference list actually changed move.  Unreachable shards leave
+        their work in the repair queue rather than fail the whole pass.
+        """
+        copied = 0
+        dropped = 0
+        answers, failed = self._scatter(lambda c: c.list_documents())
+        self._check_coverage(failed)
+        holders: Dict[str, set] = {}
+        for shard_id, docs in answers.items():
+            for doc in docs:
+                holders.setdefault(doc, set()).add(shard_id)
+        for doc_id, holding in sorted(holders.items()):
+            preferred = self.ring.preference(doc_id, self.config.n_copies)
+            text: Optional[str] = None
+            for shard_id in preferred:
+                if shard_id in holding:
+                    continue
+                if text is None:
+                    text = self.get_document_text(doc_id)
+                try:
+                    self._call(
+                        shard_id, lambda c: c.put_document(doc_id, text)
+                    )
+                    copied += 1
+                except _SHARD_DOWN:
+                    self._enqueue_repair(doc_id, shard_id)
+            for shard_id in sorted(holding - set(preferred)):
+                if shard_id not in answers:
+                    continue  # unreachable: its stale copy waits for heal
+                try:
+                    self._call(
+                        shard_id, lambda c: c.delete_document(doc_id)
+                    )
+                    dropped += 1
+                except (DocumentNotFoundError, TransportError,
+                        CircuitOpenError):
+                    continue
+        return {"copied": copied, "dropped": dropped}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def shard_infos(self) -> List[ShardInfo]:
+        with self._lock:
+            return [self._shards[s] for s in sorted(self._shards)]
+
+    def cluster_health(self) -> Dict[str, Any]:
+        """Router-side health payload merged into ``GET /health``."""
+        return {
+            "replication_lag": self.replication_lag,
+            "replication": self.config.replication,
+            "shards": self.detector.states(),
+        }

@@ -17,6 +17,8 @@ GET     /api/v0/documents/<id>/subgraph?element=&
 POST    /api/v0/documents/<id>/query                     PROVQL text (or
                                                          ``{"query": ...}``)
                                                          → rows/plan/stats
+POST    /api/v0/query                                    PROVQL across every
+                                                         stored document
 GET     /api/v0/elements?prov_type=&label=&doc_id=       JSON hit list
 GET     /api/v0/health                                   JSON health report
 ======  ===============================================  =================
@@ -43,33 +45,57 @@ rather than queue unboundedly when thousands of ranks publish at once.
 ``GET /health`` is exempt from the concurrency gate and reports the real
 state — document count, in-flight requests, rejection counters and a
 ``degraded`` flag — so monitoring keeps working exactly when the service
-is saturated.
+is saturated.  The same endpoint identifies the node to the cluster
+layer: ``role`` (``shard`` or ``router``), ``shard_id`` and
+``replication_lag`` let the router's failure detector and ``yprov
+status`` read one URL instead of two (see
+:mod:`repro.yprov.cluster.membership`).
+
+**Multi-tenancy.**  When :class:`TenantQuotas` is configured (the router
+tier always does), each request's ``X-Tenant`` header is charged against
+a per-tenant in-flight allowance *inside* the global gate, so one noisy
+tenant saturating its own quota gets ``429`` while other tenants keep
+flowing through the remaining global capacity.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
 import threading
 import urllib.parse
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import DocumentNotFoundError, QueryError, ReproError, ServiceError
 from repro.yprov.service import ProvenanceService
 
 API_PREFIX = "/api/v0"
 
+#: Request header naming the tenant charged for the request.
+TENANT_HEADER = "X-Tenant"
+
+#: Tenant bucket for requests that carry no ``X-Tenant`` header.
+DEFAULT_TENANT = "default"
+
 
 @dataclass(frozen=True)
 class ServerLimits:
-    """Overload-protection knobs for :class:`ProvenanceServer`."""
+    """Overload-protection knobs for :class:`ProvenanceServer`.
+
+    ``retry_after_jitter`` spreads the ``Retry-After`` value each
+    rejection advertises over ``[retry_after_s, retry_after_s * (1 +
+    jitter)]`` (seeded, deterministic sequence) so the shed herd does not
+    reconvene in lock-step; ``0`` (the default) keeps the header exact.
+    """
 
     max_inflight: int = 16
     max_body_bytes: int = 32 * 1024 * 1024
     request_deadline_s: float = 30.0
     retry_after_s: float = 1.0
+    retry_after_jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
@@ -80,6 +106,79 @@ class ServerLimits:
             raise ServiceError(
                 f"max_body_bytes must be >= 1, got {self.max_body_bytes}"
             )
+        if self.retry_after_jitter < 0:
+            raise ServiceError(
+                f"retry_after_jitter must be >= 0, got "
+                f"{self.retry_after_jitter}"
+            )
+
+
+class TenantQuotas:
+    """Per-tenant admission control for a shared front-end.
+
+    Each tenant may hold at most ``max_inflight_per_tenant`` requests at
+    a time; excess requests are shed with ``429`` exactly like the global
+    gate, but scoped to the offender.  At most ``max_tenants`` distinct
+    tenants are tracked — idle tenants are evicted to make room, and when
+    every tracked tenant is busy a brand-new tenant is refused rather
+    than allowed to grow the table without bound.
+    """
+
+    def __init__(
+        self,
+        max_inflight_per_tenant: int = 8,
+        max_tenants: int = 1024,
+    ) -> None:
+        if max_inflight_per_tenant < 1:
+            raise ServiceError(
+                f"max_inflight_per_tenant must be >= 1, got "
+                f"{max_inflight_per_tenant}"
+            )
+        if max_tenants < 1:
+            raise ServiceError(f"max_tenants must be >= 1, got {max_tenants}")
+        self.max_inflight_per_tenant = int(max_inflight_per_tenant)
+        self.max_tenants = int(max_tenants)
+        self._lock = threading.Lock()
+        self._in_flight: Dict[str, int] = {}
+        self._rejected: Dict[str, int] = {}
+
+    def try_acquire(self, tenant: str) -> bool:
+        """Charge one request to *tenant*; False = over quota (send 429)."""
+        with self._lock:
+            current = self._in_flight.get(tenant)
+            if current is None:
+                if len(self._in_flight) >= self.max_tenants:
+                    for known, busy in list(self._in_flight.items()):
+                        if busy == 0:
+                            del self._in_flight[known]
+                            break
+                if len(self._in_flight) >= self.max_tenants:
+                    self._rejected[tenant] = self._rejected.get(tenant, 0) + 1
+                    return False
+                current = 0
+            if current >= self.max_inflight_per_tenant:
+                self._rejected[tenant] = self._rejected.get(tenant, 0) + 1
+                return False
+            self._in_flight[tenant] = current + 1
+            return True
+
+    def release(self, tenant: str) -> None:
+        with self._lock:
+            count = self._in_flight.get(tenant, 0)
+            if count > 0:
+                self._in_flight[tenant] = count - 1
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant in-flight and rejection counters (health payload)."""
+        with self._lock:
+            tenants = set(self._in_flight) | set(self._rejected)
+            return {
+                tenant: {
+                    "in_flight": self._in_flight.get(tenant, 0),
+                    "rejected_total": self._rejected.get(tenant, 0),
+                }
+                for tenant in sorted(tenants)
+            }
 
 
 class _ServerState:
@@ -92,6 +191,17 @@ class _ServerState:
         self.in_flight = 0
         self.rejected_total = 0
         self.served_total = 0
+        # seeded so the advertised Retry-After sequence is reproducible
+        self._jitter_rng = random.Random(limits.max_inflight)
+
+    def retry_after(self) -> str:
+        """The ``Retry-After`` value for one rejection, jittered if asked."""
+        value = self.limits.retry_after_s
+        if self.limits.retry_after_jitter:
+            with self.lock:
+                value *= 1.0 + (self.limits.retry_after_jitter
+                                * self._jitter_rng.random())
+        return f"{value:g}"
 
     def try_acquire(self) -> bool:
         if not self.slots.acquire(blocking=False):
@@ -117,8 +227,21 @@ class _ServerState:
             }
 
 
-def _make_handler(service: ProvenanceService, state: _ServerState):
-    """Build a request-handler class closed over *service* and *state*."""
+def _make_handler(
+    service: Any,
+    state: _ServerState,
+    node_role: str = "shard",
+    shard_id: Optional[str] = None,
+    health_extra: Optional[Callable[[], Dict[str, Any]]] = None,
+    quotas: Optional[TenantQuotas] = None,
+):
+    """Build a request-handler class closed over *service* and *state*.
+
+    *service* is anything exposing the :class:`ProvenanceService` verb
+    surface — the single-node service or a
+    :class:`~repro.yprov.cluster.router.ClusterRouter` (which is how the
+    router tier serves the identical REST API).
+    """
     limits = state.limits
 
     class ProvHandler(BaseHTTPRequestHandler):
@@ -151,12 +274,14 @@ def _make_handler(service: ProvenanceService, state: _ServerState):
             self._send_json({"error": message}, status=status,
                             extra_headers=extra_headers)
 
-        def _send_429(self) -> None:
+        def _send_429(self, message: Optional[str] = None) -> None:
             self._send_error_json(
                 429,
-                f"server saturated ({limits.max_inflight} requests in "
-                f"flight); retry later",
-                extra_headers={"Retry-After": f"{limits.retry_after_s:g}"},
+                message or (
+                    f"server saturated ({limits.max_inflight} requests in "
+                    f"flight); retry later"
+                ),
+                extra_headers={"Retry-After": state.retry_after()},
             )
 
         def _route(self) -> Tuple[str, Dict[str, str]]:
@@ -178,6 +303,17 @@ def _make_handler(service: ProvenanceService, state: _ServerState):
             if not state.try_acquire():
                 self._send_429()
                 return
+            tenant: Optional[str] = None
+            if quotas is not None:
+                tenant = self.headers.get(TENANT_HEADER) or DEFAULT_TENANT
+                if not quotas.try_acquire(tenant):
+                    state.release()
+                    self._send_429(
+                        f"tenant {tenant!r} over quota "
+                        f"({quotas.max_inflight_per_tenant} requests in "
+                        f"flight); retry later"
+                    )
+                    return
             try:
                 # per-request deadline: a stalled peer can't pin this thread
                 self.connection.settimeout(limits.request_deadline_s)
@@ -199,17 +335,30 @@ def _make_handler(service: ProvenanceService, state: _ServerState):
                     except OSError:
                         pass
             finally:
+                if tenant is not None:
+                    quotas.release(tenant)
                 state.release()
 
         def _health(self) -> None:
             snap = state.snapshot()
             degraded = snap["in_flight"] >= limits.max_inflight
-            self._send_json({
+            payload: Dict[str, Any] = {
                 "status": "degraded" if degraded else "ok",
+                "role": node_role,
+                "shard_id": shard_id,
+                "replication_lag": 0,
                 "documents": len(service),
                 "max_inflight": limits.max_inflight,
                 **snap,
-            })
+            }
+            if quotas is not None:
+                payload["tenants"] = quotas.snapshot()
+            if health_extra is not None:
+                try:
+                    payload.update(health_extra())
+                except ReproError as exc:
+                    payload["health_extra_error"] = str(exc)
+            self._send_json(payload)
 
         # -- verbs -----------------------------------------------------------
         def do_GET(self) -> None:  # noqa: N802 (http.server API)
@@ -327,10 +476,13 @@ def _make_handler(service: ProvenanceService, state: _ServerState):
 
         def _do_post(self) -> None:
             path, _ = self._route()
-            doc_id = self._doc_id(path)
-            if doc_id is None or not path.endswith("/query"):
-                self._send_error_json(404, f"unknown path: {path}")
-                return
+            if path == f"{API_PREFIX}/query":
+                doc_id = None  # service-wide query across every document
+            else:
+                doc_id = self._doc_id(path)
+                if doc_id is None or not path.endswith("/query"):
+                    self._send_error_json(404, f"unknown path: {path}")
+                    return
             body = self._read_body()
             if body is None:
                 return
@@ -393,12 +545,22 @@ class ProvenanceServer:
 
     def __init__(self, service: ProvenanceService, host: str = "127.0.0.1",
                  port: int = 0,
-                 limits: Optional[ServerLimits] = None) -> None:
+                 limits: Optional[ServerLimits] = None,
+                 node_role: str = "shard",
+                 shard_id: Optional[str] = None,
+                 health_extra: Optional[Callable[[], Dict[str, Any]]] = None,
+                 quotas: Optional[TenantQuotas] = None) -> None:
         self.service = service
         self.limits = limits or ServerLimits()
+        self.node_role = node_role
+        self.shard_id = shard_id
+        self.quotas = quotas
         self._state = _ServerState(self.limits)
         self._httpd = ThreadingHTTPServer(
-            (host, port), _make_handler(service, self._state)
+            (host, port),
+            _make_handler(service, self._state, node_role=node_role,
+                          shard_id=shard_id, health_extra=health_extra,
+                          quotas=quotas),
         )
         self._thread: Optional[threading.Thread] = None
         self._closed = False
@@ -452,8 +614,13 @@ class ProvenanceServer:
 
 def serve(service: ProvenanceService, host: str = "127.0.0.1",
           port: int = 0, limits: Optional[ServerLimits] = None,
+          node_role: str = "shard", shard_id: Optional[str] = None,
+          health_extra: Optional[Callable[[], Dict[str, Any]]] = None,
+          quotas: Optional[TenantQuotas] = None,
           ) -> ProvenanceServer:
     """Start the REST front-end on *port* (0 = ephemeral); returns the
     running server (caller stops it)."""
-    return ProvenanceServer(service, host=host, port=port,
-                            limits=limits).start()
+    return ProvenanceServer(service, host=host, port=port, limits=limits,
+                            node_role=node_role, shard_id=shard_id,
+                            health_extra=health_extra,
+                            quotas=quotas).start()

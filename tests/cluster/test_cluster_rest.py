@@ -1,0 +1,139 @@
+"""The REST surface over a cluster: role reporting, tenants, quotas.
+
+The router duck-types the single-node service, so every endpoint the
+clients already use must behave identically against a
+:class:`~repro.yprov.cluster.local.LocalCluster` — plus the cluster-only
+extras: ``/health`` role/lag/shard-state reporting, the service-wide
+``POST /api/v0/query`` endpoint, and per-tenant admission control.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.yprov.client import ProvenanceClient
+from repro.yprov.cluster import LocalCluster
+from repro.yprov.rest import TenantQuotas
+
+
+def _doc_text(i: int) -> str:
+    return json.dumps({
+        "prefix": {"ex": "http://example.org/"},
+        "entity": {f"ex:artifact{i}": {"prov:label": f"artifact {i}"}},
+    })
+
+
+@pytest.fixture()
+def cluster():
+    with LocalCluster(n_shards=3, replication=1) as c:
+        yield c
+
+
+class TestHealthIdentity:
+    def test_router_health_reports_role_lag_and_shard_states(self, cluster):
+        health = ProvenanceClient(cluster.url).health()
+        assert health["role"] == "router"
+        assert health["replication_lag"] == 0
+        assert health["shards"] == {
+            "shard-0": "alive", "shard-1": "alive", "shard-2": "alive",
+        }
+        assert health["replication"] == 1
+
+    def test_shard_health_reports_role_and_shard_id(self, cluster):
+        for shard_id, server in cluster.shard_servers.items():
+            health = ProvenanceClient(server.url).health()
+            assert health["role"] == "shard"
+            assert health["shard_id"] == shard_id
+            assert health["replication_lag"] == 0
+
+    def test_router_health_shows_lag_while_a_repair_is_pending(self, cluster):
+        doc_id = "lagging-doc"
+        victim = cluster.router.ring.primary(doc_id)
+        cluster.kill_shard(victim)
+        for _ in range(cluster.router.config.dead_after):
+            cluster.router.detector.record_failure(victim)
+        ProvenanceClient(cluster.url, retries=1).put_document(
+            doc_id, _doc_text(0)
+        )
+        health = ProvenanceClient(cluster.url).health()
+        assert health["replication_lag"] == 1
+        assert health["shards"][victim] == "dead"
+
+
+class TestClusterApi:
+    def test_full_crud_round_trip_through_the_router(self, cluster):
+        client = ProvenanceClient(cluster.url, retries=1)
+        client.put_document("d1", _doc_text(1))
+        assert client.list_documents() == ["d1"]
+        assert json.loads(client.get_document_text("d1")) == json.loads(
+            _doc_text(1)
+        )
+        assert client.stats("d1")["documents"] == 1
+        client.delete_document("d1")
+        assert client.list_documents() == []
+
+    def test_service_wide_query_endpoint(self, cluster):
+        client = ProvenanceClient(cluster.url, retries=1)
+        for i in range(4):
+            client.put_document(f"d{i}", _doc_text(i))
+        result = client.query(None, "MATCH entity RETURN id, doc")
+        assert len(result["rows"]) == 4
+        assert result["stats"]["backend"] == "cluster"
+        assert result["plan"][0].startswith("ScatterGather")
+
+    def test_doc_scoped_query_endpoint(self, cluster):
+        client = ProvenanceClient(cluster.url, retries=1)
+        client.put_document("d1", _doc_text(1))
+        result = client.query("d1", "MATCH entity RETURN label")
+        assert result["rows"] == [{"label": "artifact 1"}]
+
+    def test_find_elements_through_the_router(self, cluster):
+        client = ProvenanceClient(cluster.url, retries=1)
+        client.put_document("d2", _doc_text(2))
+        hits = client.find_elements(label="artifact 2")
+        assert len(hits) == 1
+
+
+class TestTenantQuotas:
+    def test_over_quota_tenant_gets_429_while_others_flow(self):
+        quotas = TenantQuotas(max_inflight_per_tenant=1)
+        with LocalCluster(n_shards=2, replication=1, quotas=quotas) as c:
+            # hold tenant A's single slot by simulating an in-flight request
+            assert quotas.try_acquire("team-a")
+            req = urllib.request.Request(
+                f"{c.url}/documents", headers={"X-Tenant": "team-a"}
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=5)
+            assert err.value.code == 429
+            assert err.value.headers["Retry-After"] is not None
+            # a different tenant is untouched by A's saturation
+            other = urllib.request.Request(
+                f"{c.url}/documents", headers={"X-Tenant": "team-b"}
+            )
+            with urllib.request.urlopen(other, timeout=5) as resp:
+                assert resp.status == 200
+            quotas.release("team-a")
+
+    def test_untagged_requests_share_the_default_tenant(self):
+        quotas = TenantQuotas(max_inflight_per_tenant=1)
+        with LocalCluster(n_shards=2, replication=1, quotas=quotas) as c:
+            assert quotas.try_acquire("default")
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(f"{c.url}/documents", timeout=5)
+            assert err.value.code == 429
+            quotas.release("default")
+
+    def test_health_reports_per_tenant_counters(self):
+        quotas = TenantQuotas(max_inflight_per_tenant=1)
+        with LocalCluster(n_shards=2, replication=1, quotas=quotas) as c:
+            req = urllib.request.Request(
+                f"{c.url}/documents", headers={"X-Tenant": "team-a"}
+            )
+            with urllib.request.urlopen(req, timeout=5) as resp:
+                assert resp.status == 200
+            health = ProvenanceClient(c.url).health()
+            assert health["tenants"]["team-a"]["rejected_total"] == 0
+            assert health["tenants"]["team-a"]["in_flight"] == 0

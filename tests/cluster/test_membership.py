@@ -1,0 +1,128 @@
+"""Unit tests for failure detection (alive → suspect → dead)."""
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.yprov.cluster.membership import (
+    ALIVE,
+    DEAD,
+    SUSPECT,
+    FailureDetector,
+    Heartbeater,
+)
+
+
+def _detector(**kwargs):
+    kwargs.setdefault("suspect_after", 2)
+    kwargs.setdefault("dead_after", 4)
+    return FailureDetector(["s0", "s1"], **kwargs)
+
+
+class TestStateMachine:
+    def test_starts_alive(self):
+        det = _detector()
+        assert det.states() == {"s0": ALIVE, "s1": ALIVE}
+
+    def test_thresholds(self):
+        det = _detector()
+        assert det.record_failure("s0") == ALIVE       # 1 failure
+        assert det.record_failure("s0") == SUSPECT     # 2 = suspect_after
+        assert det.record_failure("s0") == SUSPECT
+        assert det.record_failure("s0") == DEAD        # 4 = dead_after
+        assert det.state("s1") == ALIVE                # independent counters
+
+    def test_one_success_resets_to_alive(self):
+        det = _detector()
+        for _ in range(10):
+            det.record_failure("s0")
+        assert det.state("s0") == DEAD
+        det.record_success("s0")
+        assert det.state("s0") == ALIVE
+
+    def test_alive_and_healthy_views(self):
+        det = _detector()
+        for _ in range(2):
+            det.record_failure("s0")
+        assert det.state("s0") == SUSPECT
+        # suspects still accept writes (alive) but are not preferred reads
+        assert det.alive() == ["s0", "s1"]
+        assert det.healthy() == ["s1"]
+        for _ in range(2):
+            det.record_failure("s0")
+        assert det.alive() == ["s1"]
+
+    def test_add_remove_shard(self):
+        det = _detector()
+        det.add_shard("s2")
+        assert det.state("s2") == ALIVE
+        det.remove_shard("s2")
+        with pytest.raises(ClusterError):
+            det.state("s2")
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ClusterError):
+            FailureDetector(["s0"], suspect_after=0)
+        with pytest.raises(ClusterError):
+            FailureDetector(["s0"], suspect_after=3, dead_after=2)
+        with pytest.raises(ClusterError):
+            FailureDetector([])
+        with pytest.raises(ClusterError):
+            _detector().record_failure("nope")
+
+
+class TestProbing:
+    def test_probe_all_feeds_the_counters(self):
+        health = {"s0": True, "s1": False}
+        det = _detector(probe=lambda s: health[s])
+        for _ in range(4):
+            det.probe_all()
+        assert det.states() == {"s0": ALIVE, "s1": DEAD}
+        health["s1"] = True
+        det.probe_all()
+        assert det.state("s1") == ALIVE
+
+    def test_probe_without_probe_fn_is_an_error(self):
+        with pytest.raises(ClusterError):
+            _detector().probe_all()
+
+
+class TestHeartbeater:
+    def test_tick_reports_changes_once(self):
+        health = {"s0": True, "s1": True}
+        det = _detector(probe=lambda s: health[s])
+        changes = []
+        beat = Heartbeater(det, interval_s=0.01, on_change=changes.append)
+        beat.tick()
+        assert changes == []  # nothing changed: everyone stayed alive
+        health["s1"] = False
+        for _ in range(4):
+            beat.tick()
+        # two transitions observed: alive->suspect, then suspect->dead
+        assert changes[-1]["s1"] == DEAD
+        assert len(changes) == 2
+
+    def test_background_thread_probes_and_stops(self):
+        det = _detector(probe=lambda s: True)
+        det.record_failure("s0")
+        beat = Heartbeater(det, interval_s=0.01).start()
+        try:
+            for _ in range(100):
+                if det.state("s0") == ALIVE:
+                    break
+                import time
+
+                time.sleep(0.01)
+            assert det.state("s0") == ALIVE
+        finally:
+            beat.stop()
+        with pytest.raises(ClusterError):
+            Heartbeater(det, interval_s=0)
+
+    def test_double_start_rejected(self):
+        det = _detector(probe=lambda s: True)
+        beat = Heartbeater(det, interval_s=5.0).start()
+        try:
+            with pytest.raises(ClusterError):
+                beat.start()
+        finally:
+            beat.stop()

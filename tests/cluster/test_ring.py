@@ -1,0 +1,102 @@
+"""Unit tests for the consistent-hash ring."""
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.yprov.cluster.ring import DEFAULT_VNODES, HashRing
+
+
+KEYS = [f"doc-{i}" for i in range(200)]
+
+
+class TestPlacement:
+    def test_placement_is_deterministic_across_instances(self):
+        a = HashRing(["s0", "s1", "s2"])
+        b = HashRing(["s2", "s0", "s1"])  # insertion order must not matter
+        assert a.placement(KEYS) == b.placement(KEYS)
+
+    def test_every_key_lands_on_a_member(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        assert set(ring.placement(KEYS).values()) <= {"s0", "s1", "s2"}
+
+    def test_load_is_roughly_even(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        counts = {"s0": 0, "s1": 0, "s2": 0}
+        for key in KEYS:
+            counts[ring.primary(key)] += 1
+        # 200 keys over 3 shards with 128 vnodes: no shard starves
+        assert min(counts.values()) >= len(KEYS) // 10
+
+    def test_preference_list_is_distinct_and_starts_at_primary(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        for key in KEYS[:50]:
+            pref = ring.preference(key, 3)
+            assert len(pref) == len(set(pref)) == 3
+            assert pref[0] == ring.primary(key)
+
+    def test_walk_covers_every_shard(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        assert sorted(ring.walk("doc-1")) == ["s0", "s1", "s2"]
+
+
+class TestMembership:
+    def test_add_remove_roundtrip_restores_placement(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        before = ring.placement(KEYS)
+        ring.add("s3")
+        ring.remove("s3")
+        assert ring.placement(KEYS) == before
+
+    def test_add_moves_only_keys_claimed_by_the_new_shard(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        before = ring.placement(KEYS)
+        ring.add("s3")
+        after = ring.placement(KEYS)
+        for key in KEYS:
+            if after[key] != before[key]:
+                assert after[key] == "s3"
+
+    def test_remove_moves_only_the_departed_shards_keys(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        before = ring.placement(KEYS)
+        ring.remove("s1")
+        after = ring.placement(KEYS)
+        for key in KEYS:
+            if before[key] != "s1":
+                assert after[key] == before[key]
+
+    def test_membership_queries(self):
+        ring = HashRing(["s0"])
+        assert "s0" in ring and "s1" not in ring
+        assert len(ring) == 1
+        ring.add("s1")
+        assert ring.shards == ["s0", "s1"]
+
+
+class TestErrors:
+    def test_empty_ring_cannot_place(self):
+        with pytest.raises(ClusterError):
+            HashRing().primary("doc")
+
+    def test_duplicate_and_unknown_shards_rejected(self):
+        ring = HashRing(["s0"])
+        with pytest.raises(ClusterError):
+            ring.add("s0")
+        with pytest.raises(ClusterError):
+            ring.remove("s9")
+
+    def test_oversized_preference_rejected(self):
+        ring = HashRing(["s0", "s1"])
+        with pytest.raises(ClusterError):
+            ring.preference("doc", 3)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ClusterError):
+            HashRing(vnodes=0)
+        with pytest.raises(ClusterError):
+            HashRing([""])
+        with pytest.raises(ClusterError):
+            HashRing(["s0"]).preference("doc", 0)
+
+    def test_default_vnodes(self):
+        assert HashRing().vnodes == DEFAULT_VNODES

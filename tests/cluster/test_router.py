@@ -1,0 +1,287 @@
+"""Router tests: quorum writes, failover reads, repair, scatter-gather.
+
+These run a real :class:`~repro.yprov.cluster.local.LocalCluster` — real
+HTTP servers on ephemeral ports — because the router's whole job is
+coordinating network calls.  Failure detection is driven deterministically
+through ``cluster.heartbeater.tick()`` (the background thread stays off).
+"""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    ClusterError,
+    DocumentNotFoundError,
+    PartialResultError,
+    QuorumError,
+    ServiceError,
+)
+from repro.yprov.client import ProvenanceClient
+from repro.yprov.cluster import DEAD, LocalCluster
+from repro.yprov.service import ProvenanceService
+
+N_DOCS = 10
+
+
+def _doc_text(i: int) -> str:
+    return json.dumps({
+        "prefix": {"ex": "http://example.org/"},
+        "entity": {
+            f"ex:artifact{i}": {"prov:label": f"artifact {i}"},
+            f"ex:model{i}": {"prov:label": f"model {i}"},
+        },
+        "activity": {f"ex:train{i}": {"prov:label": f"train {i}"}},
+        "wasGeneratedBy": {
+            f"_:g{i}": {"prov:entity": f"ex:model{i}",
+                        "prov:activity": f"ex:train{i}"},
+        },
+    })
+
+
+@pytest.fixture()
+def cluster():
+    with LocalCluster(n_shards=3, replication=1) as c:
+        yield c
+
+
+def _load(router, n=N_DOCS):
+    for i in range(n):
+        router.put_document(f"doc-{i}", _doc_text(i))
+
+
+def _mark_dead(cluster, *shard_ids):
+    for shard_id in shard_ids:
+        for _ in range(cluster.router.config.dead_after):
+            cluster.router.detector.record_failure(shard_id)
+
+
+class TestReplicatedWrites:
+    def test_every_document_lands_on_n_copies_shards(self, cluster):
+        _load(cluster.router)
+        for i in range(N_DOCS):
+            holders = [
+                sid for sid, svc in cluster.services.items()
+                if f"doc-{i}" in svc.list_documents()
+            ]
+            assert len(holders) == cluster.router.config.n_copies
+
+    def test_copies_follow_the_ring_preference(self, cluster):
+        _load(cluster.router)
+        for i in range(N_DOCS):
+            doc_id = f"doc-{i}"
+            preferred = cluster.router.ring.preference(doc_id, 2)
+            for shard_id in preferred:
+                assert doc_id in cluster.services[shard_id].list_documents()
+
+    def test_write_skips_dead_shard_and_queues_repair(self, cluster):
+        doc_id = "handoff-doc"
+        victim = cluster.router.ring.primary(doc_id)
+        cluster.kill_shard(victim)
+        _mark_dead(cluster, victim)
+        cluster.router.put_document(doc_id, _doc_text(0))
+        # the write still reached n_copies *live* shards (sloppy quorum)
+        holders = [
+            sid for sid, svc in cluster.services.items()
+            if sid != victim and doc_id in svc.list_documents()
+        ]
+        assert len(holders) == 2
+        assert (doc_id, victim) in cluster.router.pending_repairs()
+        assert cluster.router.replication_lag == 1
+
+    def test_repair_restores_the_preferred_copy(self, cluster):
+        doc_id = "healed-doc"
+        victim = cluster.router.ring.primary(doc_id)
+        cluster.kill_shard(victim)
+        _mark_dead(cluster, victim)
+        cluster.router.put_document(doc_id, _doc_text(1))
+        cluster.restart_shard(victim)
+        cluster.heartbeater.tick()  # detector sees it alive -> repairs run
+        assert cluster.router.replication_lag == 0
+        assert doc_id in cluster.services[victim].list_documents()
+
+    def test_quorum_failure_raises_not_acks(self, cluster):
+        cluster.kill_shard("shard-0")
+        cluster.kill_shard("shard-1")
+        _mark_dead(cluster, "shard-0", "shard-1")
+        with pytest.raises(QuorumError) as err:
+            cluster.router.put_document("lost-doc", _doc_text(2))
+        assert err.value.acked == 1
+        assert err.value.needed == 2
+
+    def test_invalid_document_propagates_immediately(self, cluster):
+        with pytest.raises(ServiceError):
+            cluster.router.put_document("bad", "this is not json")
+
+
+class TestReadsAndDeletes:
+    def test_read_fails_over_to_the_replica(self, cluster):
+        _load(cluster.router, 4)
+        cluster.kill_shard("shard-0")
+        _mark_dead(cluster, "shard-0")
+        for i in range(4):
+            text = cluster.router.get_document_text(f"doc-{i}")
+            assert json.loads(text) == json.loads(_doc_text(i))
+
+    def test_missing_document_raises_not_found(self, cluster):
+        with pytest.raises(DocumentNotFoundError):
+            cluster.router.get_document_text("nope")
+
+    def test_not_found_is_untrusted_when_copies_may_hide(self, cluster):
+        cluster.kill_shard("shard-0")
+        cluster.kill_shard("shard-1")
+        _mark_dead(cluster, "shard-0", "shard-1")
+        # 2 = n_copies shards unreachable: both copies may be behind them
+        with pytest.raises(ClusterError):
+            cluster.router.get_document_text("nope")
+
+    def test_delete_removes_every_copy(self, cluster):
+        _load(cluster.router, 3)
+        cluster.router.delete_document("doc-0")
+        for svc in cluster.services.values():
+            assert "doc-0" not in svc.list_documents()
+        with pytest.raises(DocumentNotFoundError):
+            cluster.router.delete_document("doc-0")
+
+    def test_doc_scoped_reads_route(self, cluster):
+        _load(cluster.router, 2)
+        sub = cluster.router.get_subgraph("doc-0", "ex:model0",
+                                          direction="both")
+        assert "ex:train0" in sub
+        stats = cluster.router.stats("doc-0")
+        assert stats["documents"] == 1
+
+
+class TestScatterGather:
+    DIFFERENTIAL_QUERIES = [
+        "MATCH entity RETURN *",
+        "MATCH entity RETURN id, label",
+        "MATCH entity WHERE label ~ 'model' RETURN id, label, doc",
+        "MATCH entity RETURN id LIMIT 5",
+        "MATCH entity RETURN id, doc LIMIT 4 OFFSET 3",
+        "MATCH activity RETURN id, label",
+        "MATCH entity WHERE label ~ 'model' "
+        "TRAVERSE upstream VIA wasGeneratedBy RETURN kind, id",
+        "MATCH entity WHERE label = 'no such label' RETURN *",
+    ]
+
+    def _single_node(self):
+        service = ProvenanceService()
+        for i in range(N_DOCS):
+            service.put_document(f"doc-{i}", _doc_text(i))
+        return service
+
+    def test_cluster_rows_equal_single_node_rows(self, cluster):
+        """The differential invariant: scatter-gather is byte-identical."""
+        _load(cluster.router)
+        single = self._single_node()
+        for query in self.DIFFERENTIAL_QUERIES:
+            expected = single.query(None, query).rows
+            got = cluster.router.query(None, query).rows
+            assert got == expected, f"diverged on: {query}"
+
+    def test_rows_survive_one_shard_loss(self, cluster):
+        _load(cluster.router)
+        single = self._single_node()
+        cluster.kill_shard("shard-1")
+        _mark_dead(cluster, "shard-1")
+        for query in self.DIFFERENTIAL_QUERIES:
+            expected = single.query(None, query).rows
+            result = cluster.router.query(None, query)
+            assert result.rows == expected, f"diverged on: {query}"
+            assert result.stats["failed_shards"] == ["shard-1"]
+
+    def test_two_shard_loss_is_a_loud_partial_result(self, cluster):
+        _load(cluster.router)
+        cluster.kill_shard("shard-0")
+        cluster.kill_shard("shard-2")
+        _mark_dead(cluster, "shard-0", "shard-2")
+        with pytest.raises(PartialResultError) as err:
+            cluster.router.query(None, "MATCH entity RETURN id")
+        assert err.value.failed_shards == ("shard-0", "shard-2")
+
+    def test_doc_scoped_query_routes_without_scatter(self, cluster):
+        _load(cluster.router, 3)
+        result = cluster.router.query("doc-1", "MATCH entity RETURN id, label")
+        assert {"id": "ex:model1", "label": "model 1"} in result.rows
+        assert result.stats.get("backend") != "cluster"
+
+    def test_list_documents_is_the_deduped_union(self, cluster):
+        _load(cluster.router, 5)
+        assert cluster.router.list_documents() == [
+            f"doc-{i}" for i in range(5)
+        ]
+
+    def test_find_elements_dedups_replicas(self, cluster):
+        _load(cluster.router, 4)
+        single = self._single_node()
+        expected = single.find_elements(label="model 2")
+        assert cluster.router.find_elements(label="model 2") == expected
+
+
+class TestRebalancing:
+    def test_add_shard_restores_placement_and_moves_bounded_keys(self, cluster):
+        _load(cluster.router)
+        before = {
+            f"doc-{i}": set(cluster.router.ring.preference(f"doc-{i}", 2))
+            for i in range(N_DOCS)
+        }
+        service = ProvenanceService()
+        from repro.yprov.rest import serve
+
+        server = serve(service, node_role="shard", shard_id="shard-3")
+        try:
+            from repro.yprov.cluster import ShardInfo
+
+            report = cluster.router.add_shard(
+                ShardInfo(shard_id="shard-3", url=server.url)
+            )
+            moved = 0
+            for i in range(N_DOCS):
+                doc_id = f"doc-{i}"
+                preferred = set(cluster.router.ring.preference(doc_id, 2))
+                if preferred != before[doc_id]:
+                    moved += 1
+                # every preferred shard now holds a copy
+                for shard_id in preferred:
+                    holder = (
+                        cluster.services[shard_id]
+                        if shard_id in cluster.services else service
+                    )
+                    assert doc_id in holder.list_documents()
+            assert report["copied"] >= 1
+            assert moved < N_DOCS  # bounded movement: not everything moved
+            # reads and queries still exact after the move
+            got = cluster.router.query(None, "MATCH entity RETURN id, doc")
+            assert len(got.rows) == 2 * N_DOCS  # 2 entities per document
+        finally:
+            server.stop()
+
+    def test_remove_shard_moves_its_keys_to_survivors(self, cluster):
+        _load(cluster.router)
+        # need 4 shards to remove one while keeping n_copies=2 headroom
+        from repro.yprov.rest import serve
+        from repro.yprov.cluster import ShardInfo
+
+        service = ProvenanceService()
+        server = serve(service, node_role="shard", shard_id="shard-3")
+        try:
+            cluster.router.add_shard(ShardInfo("shard-3", server.url))
+            cluster.router.remove_shard("shard-0")
+            assert "shard-0" not in cluster.router.ring
+            for i in range(N_DOCS):
+                doc_id = f"doc-{i}"
+                for shard_id in cluster.router.ring.preference(doc_id, 2):
+                    holder = (
+                        cluster.services[shard_id]
+                        if shard_id in cluster.services else service
+                    )
+                    assert doc_id in holder.list_documents()
+        finally:
+            server.stop()
+
+    def test_cannot_shrink_below_replication(self, cluster):
+        # 3 shards -> 2 is fine (exactly n_copies); 2 -> 1 must refuse
+        cluster.router.remove_shard("shard-0")
+        with pytest.raises(ClusterError):
+            cluster.router.remove_shard("shard-1")

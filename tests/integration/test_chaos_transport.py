@@ -20,7 +20,13 @@ import os
 
 import pytest
 
-from repro.yprov.chaosproxy import ChaosConfig, ChaosProxy, blackhole_config
+from repro.errors import TransportError
+from repro.yprov.chaosproxy import (
+    ChaosConfig,
+    ChaosProxy,
+    accept_hang_config,
+    blackhole_config,
+)
 from repro.yprov.client import CircuitBreaker, ProvenanceClient
 from repro.yprov.rest import ProvenanceServer, ServerLimits
 from repro.yprov.service import ProvenanceService
@@ -123,6 +129,48 @@ def test_full_blackhole_spools_everything(stack):
     assert len(service) == 0          # the outage was total
     assert len(spool) == N_DOCS       # ... and the spool has every document
     _assert_exact_delivery(service, server, spool, expected)
+
+
+def test_accept_hang_spools_on_timeout(stack):
+    """Half-open sockets: TCP connect succeeds but no byte is ever read.
+
+    This is the nastiest failure mode for naive health checks — a plain
+    TCP connect looks healthy.  The client's hard deadline must fire, the
+    document must park in the spool, and nothing may be lost.
+    """
+    service, server, spool = stack
+    with ChaosProxy("127.0.0.1", server.port, accept_hang_config(30.0),
+                    seed=0) as proxy:
+        client = ProvenanceClient(
+            proxy.url,
+            timeout_s=0.3,
+            retries=0,
+            breaker=CircuitBreaker(failure_threshold=2, reset_timeout_s=60),
+            spool=spool,
+        )
+        expected = _publish_all(client)
+        assert proxy.fault_counts["accept_hang"] >= 1
+    assert len(service) == 0          # no request ever reached the service
+    assert len(spool) == N_DOCS
+    _assert_exact_delivery(service, server, spool, expected)
+
+
+def test_accept_hang_fails_http_health_probe(stack):
+    """An HTTP-layer /health probe with a deadline sees through the hang.
+
+    The cluster's failure detector probes ``GET /health`` rather than bare
+    TCP precisely because accept-then-hang passes a connect check.
+    """
+    service, server, spool = stack
+    with ChaosProxy("127.0.0.1", server.port, accept_hang_config(30.0),
+                    seed=0) as proxy:
+        probe = ProvenanceClient(proxy.url, timeout_s=0.3, retries=0)
+        with pytest.raises(TransportError):
+            probe.health()
+        # the same probe against the healthy endpoint succeeds
+        assert ProvenanceClient(server.url, timeout_s=0.3).health()[
+            "status"
+        ] == "ok"
 
 
 def test_reset_storm_then_recovery(stack):

@@ -1,0 +1,192 @@
+"""Cluster chaos: kill a shard mid-query and mid-write, lose nothing.
+
+A :class:`~repro.yprov.cluster.local.LocalCluster` runs with a
+:class:`~repro.yprov.chaosproxy.ChaosProxy` interposed between the router
+and every shard.  Mid-run, one shard's proxy is flipped to a total
+blackhole (the shard "dies" from the router's point of view: connections
+hang past every deadline) while queries and writes are in flight.  The
+invariants, matching the acceptance criteria in DESIGN.md:
+
+1. **Scatter-gather under loss** — once the failure detector has demoted
+   the victim, every differential query returns rows byte-identical to a
+   healthy single-node service holding the same documents.  Before the
+   demotion settles, a query may raise a clean, typed error — never a
+   silently short answer (coverage accounting forbids it).
+2. **Acked-write durability** — every ``put_document`` that returned
+   (did not raise) is readable after the chaos ends, byte-identical,
+   and holds ``n_copies`` live copies after repair.  A write that raised
+   :class:`~repro.errors.QuorumError` may exist or not — but must never
+   be *partially* resurrected into an inconsistent answer.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import (
+    ClusterError,
+    PartialResultError,
+    QuorumError,
+    TransportError,
+)
+from repro.yprov.chaosproxy import ChaosConfig, ChaosProxy, blackhole_config
+from repro.yprov.cluster import DEAD, LocalCluster
+from repro.yprov.cluster.router import RouterConfig
+from repro.yprov.service import ProvenanceService
+
+N_DOCS = 8
+
+_QUERIES = [
+    "MATCH entity RETURN id, label",
+    "MATCH entity WHERE label ~ 'artifact' RETURN id, doc",
+    "MATCH entity RETURN id LIMIT 5",
+]
+
+
+def _doc_text(i: int) -> str:
+    return json.dumps({
+        "prefix": {"ex": "http://example.org/"},
+        "entity": {
+            f"ex:artifact{i}": {"prov:label": f"artifact {i}"},
+        },
+    })
+
+
+def _passthrough_proxy(shard_id, host, port):
+    return ChaosProxy(host, port, ChaosConfig(), seed=0).start()
+
+
+@pytest.fixture()
+def cluster():
+    config = RouterConfig(
+        replication=1,
+        request_timeout_s=1.0,
+        probe_timeout_s=0.3,
+        suspect_after=1,
+        dead_after=2,
+    )
+    with LocalCluster(
+        n_shards=3,
+        replication=1,
+        router_config=config,
+        proxy_factory=_passthrough_proxy,
+    ) as c:
+        yield c
+
+
+def _single_node(n=N_DOCS):
+    service = ProvenanceService()
+    for i in range(n):
+        service.put_document(f"doc-{i}", _doc_text(i))
+    return service
+
+
+def _settle(cluster, victim):
+    """Drive heartbeats until the detector declares *victim* DEAD."""
+    for _ in range(10):
+        states = cluster.heartbeater.tick()
+        if states[victim] == DEAD:
+            return states
+    raise AssertionError(f"{victim} never went dead: {states}")
+
+
+class TestKillMidQuery:
+    def test_queries_stay_exact_or_fail_loudly(self, cluster):
+        for i in range(N_DOCS):
+            cluster.router.put_document(f"doc-{i}", _doc_text(i))
+        single = _single_node()
+        expected = {q: single.query(None, q).rows for q in _QUERIES}
+
+        victim = "shard-1"
+        results = []
+
+        def hammer():
+            # queries racing the kill below: each one must be exact or a
+            # clean typed error — never a silently short row set
+            for _ in range(6):
+                for query in _QUERIES:
+                    try:
+                        results.append(
+                            (query, cluster.router.query(None, query).rows)
+                        )
+                    except (PartialResultError, ClusterError,
+                            TransportError):
+                        results.append((query, None))
+
+        thread = threading.Thread(target=hammer)
+        thread.start()
+        cluster.proxies[victim].set_config(blackhole_config(30.0))
+        thread.join(timeout=120)
+        assert not thread.is_alive()
+
+        exact = 0
+        for query, rows in results:
+            if rows is not None:
+                assert rows == expected[query], f"short answer on: {query}"
+                exact += 1
+        assert exact > 0  # chaos may error some queries, never all
+
+        # once the detector settles, every query is exact via replicas
+        _settle(cluster, victim)
+        for query in _QUERIES:
+            result = cluster.router.query(None, query)
+            assert result.rows == expected[query]
+            assert result.stats["failed_shards"] == [victim]
+
+    def test_doc_reads_fail_over_after_settle(self, cluster):
+        for i in range(N_DOCS):
+            cluster.router.put_document(f"doc-{i}", _doc_text(i))
+        victim = "shard-0"
+        cluster.proxies[victim].set_config(blackhole_config(30.0))
+        _settle(cluster, victim)
+        for i in range(N_DOCS):
+            text = cluster.router.get_document_text(f"doc-{i}")
+            assert json.loads(text) == json.loads(_doc_text(i))
+
+
+class TestKillMidWrite:
+    def test_no_acked_write_is_ever_lost(self, cluster):
+        victim = "shard-2"
+        acked = {}
+        errored = []
+
+        def writer(offset):
+            for i in range(offset, N_DOCS * 2, 2):
+                doc_id, text = f"w-{i}", _doc_text(i)
+                try:
+                    cluster.router.put_document(doc_id, text)
+                    acked[doc_id] = text
+                except (QuorumError, ClusterError, TransportError):
+                    errored.append(doc_id)
+
+        threads = [threading.Thread(target=writer, args=(k,))
+                   for k in (0, 1)]
+        for t in threads:
+            t.start()
+        cluster.proxies[victim].set_config(blackhole_config(30.0))
+        for t in threads:
+            t.join(timeout=120)
+            assert not t.is_alive()
+        assert acked  # the two surviving shards keep the quorum reachable
+
+        # post-chaos audit: every acked doc is readable and byte-identical
+        _settle(cluster, victim)
+        for doc_id, text in acked.items():
+            assert json.loads(cluster.router.get_document_text(doc_id)) \
+                == json.loads(text), f"acked doc lost: {doc_id}"
+
+        # ... and after the shard heals, repair restores full replication
+        cluster.proxies[victim].set_config(ChaosConfig())
+        for _ in range(10):
+            cluster.heartbeater.tick()
+            if cluster.router.replication_lag == 0:
+                break
+        assert cluster.router.replication_lag == 0
+        n_copies = cluster.router.config.n_copies
+        for doc_id in acked:
+            holders = [
+                sid for sid, svc in cluster.services.items()
+                if doc_id in svc.list_documents()
+            ]
+            assert len(holders) >= n_copies, f"under-replicated: {doc_id}"

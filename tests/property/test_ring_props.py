@@ -1,0 +1,114 @@
+"""Property tests for consistent-hash placement: bounded key movement.
+
+The whole point of consistent hashing over ``hash(key) % N`` is that
+membership changes move few keys.  These properties pin the exact
+guarantees the rebalancer relies on:
+
+* adding a shard only moves keys *onto* the new shard — no key changes
+  primary between two surviving shards;
+* removing a shard only moves the departed shard's keys — every other
+  key keeps its primary;
+* the number of keys moved by one addition is statistically ~K/(N+1),
+  asserted with generous slack (the ring is 128-vnode-smoothed but still
+  random).
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.yprov.cluster.ring import HashRing
+
+_shard_ids = st.lists(
+    st.text(alphabet=string.ascii_lowercase + string.digits, min_size=1,
+            max_size=8),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+
+_keys = st.lists(
+    st.text(alphabet=string.ascii_letters + string.digits + "-_/.", min_size=1,
+            max_size=16),
+    min_size=1,
+    max_size=80,
+    unique=True,
+)
+
+
+def _primaries(ring, keys):
+    return {key: ring.primary(key) for key in keys}
+
+
+@settings(max_examples=50, deadline=None)
+@given(shards=_shard_ids, keys=_keys, new=st.text(
+    alphabet=string.ascii_uppercase, min_size=1, max_size=8))
+def test_adding_a_shard_only_moves_keys_onto_it(shards, keys, new):
+    ring = HashRing(shards)
+    before = _primaries(ring, keys)
+    ring.add(new)
+    after = _primaries(ring, keys)
+    for key in keys:
+        if after[key] != before[key]:
+            # a moved key can only have been claimed by the newcomer
+            assert after[key] == new, key
+
+
+@settings(max_examples=50, deadline=None)
+@given(shards=_shard_ids, keys=_keys)
+def test_removing_a_shard_only_moves_its_own_keys(shards, keys):
+    if len(shards) < 2:
+        return  # removing the only shard empties the ring
+    ring = HashRing(shards)
+    before = _primaries(ring, keys)
+    departed = sorted(shards)[0]
+    ring.remove(departed)
+    after = _primaries(ring, keys)
+    for key in keys:
+        if before[key] != departed:
+            assert after[key] == before[key], key
+        else:
+            assert after[key] != departed, key
+
+
+@settings(max_examples=20, deadline=None)
+@given(n_shards=st.integers(min_value=2, max_value=8),
+       seed=st.integers(min_value=0, max_value=999))
+def test_addition_moves_roughly_one_nth_of_the_keys(n_shards, seed):
+    """Statistical bound: one addition moves ~K/(N+1) keys, not ~K."""
+    n_keys = 400
+    keys = [f"key-{seed}-{i}" for i in range(n_keys)]
+    ring = HashRing([f"s{i}" for i in range(n_shards)])
+    before = _primaries(ring, keys)
+    ring.add("newcomer")
+    after = _primaries(ring, keys)
+    moved = sum(1 for key in keys if after[key] != before[key])
+    expected = n_keys / (n_shards + 1)
+    # 3x slack absorbs hash variance across the vnode-smoothed ring while
+    # still being far below the ~n_keys a modulo scheme would move
+    assert moved <= 3 * expected, (moved, expected)
+
+
+@settings(max_examples=30, deadline=None)
+@given(shards=_shard_ids, keys=_keys)
+def test_add_then_remove_is_the_identity_placement(shards, keys):
+    ring = HashRing(shards)
+    before = _primaries(ring, keys)
+    ring.add("TRANSIENT")
+    ring.remove("TRANSIENT")
+    assert _primaries(ring, keys) == before
+
+
+@settings(max_examples=30, deadline=None)
+@given(shards=_shard_ids, keys=_keys, n=st.integers(min_value=1, max_value=3))
+def test_preference_lists_are_distinct_prefixes(shards, keys, n):
+    """preference(k, n) is n distinct members led by primary(k)."""
+    ring = HashRing(shards)
+    depth = min(n, len(shards))
+    for key in keys:
+        pref = ring.preference(key, depth)
+        assert len(pref) == depth
+        assert len(set(pref)) == depth
+        assert pref[0] == ring.primary(key)
+        assert set(pref) <= set(ring.shards)

@@ -1,0 +1,123 @@
+"""Unit tests for mergeable partial results (scatter-gather support)."""
+
+from repro.query import parse
+from repro.query.executor import QueryResult
+from repro.query.merge import MergeSpec, merge_results, merge_rows, shard_query
+from repro.query.planner import STAR_FIELDS
+
+
+def _row(doc, id_, kind="entity", **extra):
+    row = {"doc": doc, "kind": kind, "id": id_}
+    row.update(extra)
+    return row
+
+
+class TestShardQuery:
+    def test_merge_keys_are_added_to_the_projection(self):
+        rewritten, spec = shard_query(parse("MATCH entity RETURN label"))
+        keys = [f.key() for f in rewritten.returns.projections]
+        assert keys == ["label", "doc", "kind", "id"]
+        assert spec.final_keys == ("label",)
+
+    def test_existing_merge_keys_are_not_duplicated(self):
+        rewritten, _ = shard_query(parse("MATCH entity RETURN id, doc"))
+        keys = [f.key() for f in rewritten.returns.projections]
+        assert keys == ["id", "doc", "kind"]
+
+    def test_star_projection_expands_with_doc(self):
+        rewritten, spec = shard_query(parse("MATCH entity RETURN *"))
+        keys = [f.key() for f in rewritten.returns.projections]
+        assert keys == [f.key() for f in STAR_FIELDS] + ["doc"]
+        assert spec.final_keys == tuple(f.key() for f in STAR_FIELDS)
+
+    def test_offset_folds_into_the_shard_bound(self):
+        rewritten, spec = shard_query(
+            parse("MATCH entity RETURN id LIMIT 2 OFFSET 3")
+        )
+        # a shard must return its top offset+limit rows; the router slices
+        assert rewritten.returns.limit == 5
+        assert rewritten.returns.offset == 0
+        assert spec.offset == 3 and spec.limit == 2
+
+    def test_unlimited_query_stays_unlimited(self):
+        rewritten, spec = shard_query(parse("MATCH entity RETURN id"))
+        assert rewritten.returns.limit is None
+        assert spec.limit is None and spec.offset == 0
+
+    def test_explain_is_stripped_shard_side(self):
+        rewritten, _ = shard_query(parse("EXPLAIN MATCH entity RETURN id"))
+        assert rewritten.explain is False
+
+    def test_rewritten_query_renders_and_reparses(self):
+        rewritten, _ = shard_query(
+            parse("MATCH entity WHERE label ~ 'model' RETURN label LIMIT 4")
+        )
+        assert parse(rewritten.render()) == rewritten
+
+
+class TestMergeRows:
+    def test_replica_duplicates_collapse(self):
+        spec = MergeSpec(final_keys=("id",), offset=0, limit=None)
+        a = [_row("d1", "e1"), _row("d2", "e1")]
+        b = [_row("d1", "e1")]  # replica of d1 answered too
+        assert merge_rows(spec, [a, b]) == [{"id": "e1"}, {"id": "e1"}]
+
+    def test_global_sort_is_doc_then_id(self):
+        spec = MergeSpec(final_keys=("doc", "id"), offset=0, limit=None)
+        merged = merge_rows(
+            spec,
+            [[_row("d2", "e1")], [_row("d1", "e2"), _row("d1", "e1")]],
+        )
+        assert merged == [
+            {"doc": "d1", "id": "e1"},
+            {"doc": "d1", "id": "e2"},
+            {"doc": "d2", "id": "e1"},
+        ]
+
+    def test_offset_and_limit_apply_after_the_merge(self):
+        spec = MergeSpec(final_keys=("id",), offset=1, limit=2)
+        merged = merge_rows(
+            spec,
+            [[_row("d1", "e1"), _row("d3", "e3")], [_row("d2", "e2")]],
+        )
+        assert merged == [{"id": "e2"}, {"id": "e3"}]
+
+    def test_final_projection_drops_transport_keys(self):
+        spec = MergeSpec(final_keys=("label",), offset=0, limit=None)
+        merged = merge_rows(spec, [[_row("d1", "e1", label="model")]])
+        assert merged == [{"label": "model"}]
+
+    def test_same_id_different_kind_is_not_a_duplicate(self):
+        spec = MergeSpec(final_keys=("kind", "id"), offset=0, limit=None)
+        merged = merge_rows(
+            spec,
+            [[_row("d1", "x", kind="entity")], [_row("d1", "x", kind="activity")]],
+        )
+        assert len(merged) == 2
+
+
+class TestMergeResults:
+    def test_plan_and_stats(self):
+        spec = MergeSpec(final_keys=("id",), offset=0, limit=None)
+        partials = [
+            QueryResult(rows=[_row("d1", "e1")], plan=["Seed entity"],
+                        stats={"seed_rows": 3, "traversed_rows": 1}),
+            QueryResult(rows=[_row("d2", "e2")], plan=["Seed entity"],
+                        stats={"seed_rows": 2}),
+        ]
+        result = merge_results(spec, partials, extra_stats={"failed_shards": []})
+        assert result.rows == [{"id": "e1"}, {"id": "e2"}]
+        assert result.plan[0].startswith("ScatterGather shards=2")
+        assert "  Seed entity" in result.plan
+        assert result.stats["backend"] == "cluster"
+        assert result.stats["shards"] == 2
+        assert result.stats["seed_rows"] == 5
+        assert result.stats["traversed_rows"] == 1
+        assert result.stats["returned_rows"] == 2
+        assert result.stats["failed_shards"] == []
+
+    def test_empty_cluster_result(self):
+        spec = MergeSpec(final_keys=("id",), offset=0, limit=None)
+        result = merge_results(spec, [])
+        assert result.rows == []
+        assert result.stats["shards"] == 0

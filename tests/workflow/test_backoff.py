@@ -46,6 +46,55 @@ class TestExponentialBackoff:
         assert seed_from_name("etl") != seed_from_name("train")
 
 
+class TestJitterFactors:
+    """Multipliers applied to server-supplied Retry-After floors."""
+
+    def test_factors_stay_within_the_jitter_band(self):
+        backoff = ExponentialBackoff(jitter=0.5, seed=7)
+        for factor in backoff.jitter_factors(20):
+            assert 1.0 <= factor <= 1.5
+
+    def test_zero_jitter_means_verbatim_floors(self):
+        backoff = ExponentialBackoff(jitter=0.0, seed=7)
+        assert backoff.jitter_factors(5) == [1.0] * 5
+
+    def test_factors_are_deterministic_per_seed(self):
+        a = ExponentialBackoff(jitter=0.5, seed=11).jitter_factors(6)
+        b = ExponentialBackoff(jitter=0.5, seed=11).jitter_factors(6)
+        c = ExponentialBackoff(jitter=0.5, seed=12).jitter_factors(6)
+        assert a == b
+        assert a != c  # distinct clients spread out, not reconverge
+
+    def test_factor_stream_is_independent_of_delays(self):
+        # consuming delays() must not shift the floor factors (and vice
+        # versa) — otherwise adding a Retry-After would change the base
+        # schedule of later attempts
+        backoff = ExponentialBackoff(jitter=0.5, seed=21)
+        factors_first = backoff.jitter_factors(4)
+        backoff.delays(10)
+        assert backoff.jitter_factors(4) == factors_first
+
+    def test_retry_after_floor_is_jittered_not_verbatim(self):
+        class Throttled(OSError):
+            retry_after_s = 10.0
+
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise Throttled("429")
+            return "ok"
+
+        backoff = ExponentialBackoff(base_s=0.001, jitter=0.5, seed=5)
+        slept = []
+        assert retry_call(flaky, retries=2, backoff=backoff,
+                          sleep=slept.append) == "ok"
+        expected = 10.0 * backoff.jitter_factors(2)[0]
+        assert slept == [expected]
+        assert expected >= 10.0  # never earlier than the server asked
+
+
 class TestRetryCall:
     def test_retries_then_succeeds(self):
         calls = {"n": 0}
