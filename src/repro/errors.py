@@ -159,6 +159,16 @@ class PartialResultError(ClusterError):
         self.failed_shards = tuple(failed_shards)
 
 
+class ShardDepartedError(ClusterError):
+    """A shard left the cluster while a request still referenced it.
+
+    Raised by the router's request path when a ring walk taken before a
+    membership change reaches a shard that has since been removed.  The
+    router treats it exactly like an unreachable shard: fail over to the
+    next copy.
+    """
+
+
 class WorkflowError(ReproError):
     """Workflow DAG construction or execution failure."""
 

@@ -32,12 +32,13 @@ Scatter-gather PROVQL
     :func:`repro.query.merge.shard_query`, fanned out to every non-dead
     shard, and merged exactly (dedup / global sort / slice / re-project)
     by :func:`repro.query.merge.merge_results`.  Coverage is checked
-    before merging: if ``n_copies`` or more ring shards failed to answer,
-    some document may have had *every* copy on the silent shards, and the
-    router raises :class:`~repro.errors.PartialResultError` rather than
-    return a silently truncated answer.  Document-scoped queries do not
-    scatter — one shard holds the whole document, so they route like
-    reads.
+    before merging: if as many ring shards failed to answer as the copies
+    every acked document is guaranteed to hold (``n_copies`` normally,
+    only ``write_quorum`` while repairs are pending), some document may
+    have had *every* copy on the silent shards, and the router raises
+    :class:`~repro.errors.PartialResultError` rather than return a
+    silently truncated answer.  Document-scoped queries do not scatter —
+    one shard holds the whole document, so they route like reads.
 
 Failure evidence flows both ways: the heartbeat
 (:class:`~repro.yprov.cluster.membership.Heartbeater`, wired by the
@@ -48,7 +49,11 @@ the ``replication_lag`` the router's own ``/health`` reports.
 
 The router is shared by the REST handler's worker threads: the repair
 queue and membership changes are lock-protected, per-shard clients open
-one connection per request (no shared sockets).
+one connection per request (no shared sockets).  The request path itself
+is lock-free — it reads the ring, clients and detector without the lock
+and instead *tolerates* transitions: membership changes are ordered so a
+racing request sees at worst a shard that "left mid-request", which is
+handled exactly like an unreachable shard (fail over, next copy).
 """
 
 from __future__ import annotations
@@ -63,6 +68,7 @@ from repro.errors import (
     DocumentNotFoundError,
     PartialResultError,
     QuorumError,
+    ShardDepartedError,
     TransportError,
 )
 from repro.query import QueryResult, merge_results, parse, shard_query
@@ -76,7 +82,7 @@ __all__ = ["ClusterRouter", "RouterConfig", "ShardInfo"]
 #: Errors that mean "this shard did not serve the request" (as opposed to
 #: "the request itself is bad"): the router fails over and feeds the
 #: failure detector.
-_SHARD_DOWN = (TransportError, CircuitOpenError)
+_SHARD_DOWN = (TransportError, CircuitOpenError, ShardDepartedError)
 
 
 @dataclass(frozen=True)
@@ -189,21 +195,40 @@ class ClusterRouter:
     # ------------------------------------------------------------------
     def _probe(self, shard_id: str) -> bool:
         """One active health probe; used by the failure detector."""
+        client = self._probes.get(shard_id)
+        if client is None:
+            return False  # shard removed while a probe round was running
         try:
-            payload = self._probes[shard_id].health()
+            payload = client.health()
         except _SHARD_DOWN:
             return False
         return isinstance(payload, dict) and "status" in payload
 
+    def _record(self, shard_id: str, ok: bool) -> None:
+        """Feed the detector, tolerating membership transitions."""
+        try:
+            if ok:
+                self.detector.record_success(shard_id)
+            else:
+                self.detector.record_failure(shard_id)
+        except ClusterError:
+            pass  # shard joined/left between the ring walk and now
+
     def _call(self, shard_id: str, fn: Callable[[ProvenanceClient], Any]) -> Any:
         """Run one request against a shard, feeding the detector."""
-        client = self._clients[shard_id]
+        client = self._clients.get(shard_id)
+        if client is None:
+            # the shard left the cluster after this request walked the
+            # ring: indistinguishable from a down shard — fail over
+            raise ShardDepartedError(
+                f"shard {shard_id!r} left the cluster mid-request"
+            )
         try:
             result = fn(client)
         except _SHARD_DOWN:
-            self.detector.record_failure(shard_id)
+            self._record(shard_id, ok=False)
             raise
-        self.detector.record_success(shard_id)
+        self._record(shard_id, ok=True)
         return result
 
     def _ordered_targets(self, key: str) -> List[str]:
@@ -305,9 +330,11 @@ class ClusterRouter:
                 not_found += 1
             except _SHARD_DOWN as exc:
                 errors.append(f"{shard_id}: {exc}")
-        if errors and (not_found == 0 or len(errors) >= self.config.n_copies):
-            # with n_copies shards unreachable every copy may be behind
-            # the failures, so "not found" cannot be trusted
+        if errors and (
+            not_found == 0 or len(errors) >= self._guaranteed_copies()
+        ):
+            # with every guaranteed copy possibly behind the unreachable
+            # shards, "not found" cannot be trusted
             raise ClusterError(
                 f"no shard could serve {doc_id!r}: " + "; ".join(errors)
             )
@@ -358,22 +385,36 @@ class ClusterRouter:
                 failed.append(shard_id)
         return answers, failed
 
+    def _guaranteed_copies(self) -> int:
+        """Copies every acked document is sure to hold *right now*.
+
+        With an empty repair queue every document holds ``n_copies``
+        copies: writes walk the ring until that many acks land (queuing
+        repairs for any shortfall) and :meth:`run_repairs` restores the
+        invariant afterwards.  While repairs are pending, a document may
+        hold only the ``write_quorum`` copies its ack required — so only
+        quorum copies can be assumed when deciding whether silent shards
+        could hide data.
+        """
+        cfg = self.config
+        return cfg.n_copies if self.replication_lag == 0 else cfg.write_quorum
+
     def _check_coverage(self, failed: List[str]) -> None:
         """Fail loudly when the silent shards could hide whole documents.
 
-        Every acked document has ``n_copies`` copies (repairs restore the
-        invariant after handoff), so as long as *fewer* than ``n_copies``
-        shards are silent, at least one copy of everything answered.  At
-        ``n_copies`` silent shards a document may have lived entirely on
-        them — a merged answer could silently miss rows, which is worse
-        than an error.
+        As long as *fewer* shards are silent than the copies every acked
+        document is guaranteed to hold (see :meth:`_guaranteed_copies`),
+        at least one copy of everything answered.  At that threshold a
+        document may have lived entirely on the silent shards — a merged
+        answer could silently miss rows, which is worse than an error.
         """
-        if len(failed) >= self.config.n_copies:
+        guaranteed = self._guaranteed_copies()
+        if len(failed) >= guaranteed:
             raise PartialResultError(
                 f"{len(failed)} of {len(self.ring)} shards unavailable "
-                f"({sorted(failed)}); with {self.config.n_copies} copies "
-                f"per document the surviving shards may not cover every "
-                f"document",
+                f"({sorted(failed)}); with only {guaranteed} copies "
+                f"guaranteed per document the surviving shards may not "
+                f"cover every document",
                 failed_shards=sorted(failed),
             )
 
@@ -531,16 +572,26 @@ class ClusterRouter:
             self.run_repairs()
 
     def add_shard(self, info: ShardInfo, rebalance: bool = True) -> Dict[str, int]:
-        """Grow the ring by one shard; moves ~K/(N+1) documents."""
+        """Grow the ring by one shard; moves ~K/(N+1) documents.
+
+        The failure detector and clients learn the shard *before* it
+        enters the ring: a request thread that walks the ring into the
+        newcomer must find its counters and client already in place.
+        """
         with self._lock:
             if info.shard_id in self._shards:
                 raise ClusterError(f"duplicate shard id: {info.shard_id!r}")
+            self.detector.add_shard(info.shard_id)
             self._register(info)
-        self.detector.add_shard(info.shard_id)
         return self.rebalance() if rebalance else {"copied": 0, "dropped": 0}
 
     def remove_shard(self, shard_id: str, rebalance: bool = True) -> Dict[str, int]:
-        """Shrink the ring; the departed shard's keys move to successors."""
+        """Shrink the ring; the departed shard's keys move to successors.
+
+        Teardown mirrors :meth:`add_shard` in reverse — ring first, then
+        detector and clients — so a request holding an older ring walk
+        degrades into :meth:`_call`'s fail-over path instead of a crash.
+        """
         with self._lock:
             if shard_id not in self._shards:
                 raise ClusterError(f"unknown shard: {shard_id!r}")
@@ -549,22 +600,27 @@ class ClusterRouter:
                     f"cannot drop below {self.config.n_copies} shards "
                     f"(replication={self.config.replication})"
                 )
+            self.ring.remove(shard_id)
+            self.detector.remove_shard(shard_id)
             del self._shards[shard_id]
             del self._clients[shard_id]
             del self._probes[shard_id]
-            self.ring.remove(shard_id)
             self._repairs = [r for r in self._repairs if r[1] != shard_id]
-        self.detector.remove_shard(shard_id)
         return self.rebalance() if rebalance else {"copied": 0, "dropped": 0}
 
     def rebalance(self) -> Dict[str, int]:
         """Re-establish ring placement after membership changed.
 
         For every document: copy it to preferred shards missing it, then
-        drop copies from shards outside the preference list.  Movement is
+        drop copies from shards outside the preference list — but only
+        once every preferred shard is confirmed to hold the document.  If
+        any preferred copy could not be placed this pass (shard
+        unreachable, repair queued), the extra copies stay: dropping them
+        could leave an acked document below ``write_quorum`` copies, where
+        one more shard loss loses it.  :meth:`run_repairs` converges
+        placement and the next rebalance finishes the drop.  Movement is
         bounded by the ring's consistency property — only documents whose
-        preference list actually changed move.  Unreachable shards leave
-        their work in the repair queue rather than fail the whole pass.
+        preference list actually changed move.
         """
         copied = 0
         dropped = 0
@@ -577,18 +633,22 @@ class ClusterRouter:
         for doc_id, holding in sorted(holders.items()):
             preferred = self.ring.preference(doc_id, self.config.n_copies)
             text: Optional[str] = None
+            fully_placed = True
             for shard_id in preferred:
                 if shard_id in holding:
                     continue
-                if text is None:
-                    text = self.get_document_text(doc_id)
                 try:
+                    if text is None:
+                        text = self.get_document_text(doc_id)
                     self._call(
                         shard_id, lambda c: c.put_document(doc_id, text)
                     )
                     copied += 1
-                except _SHARD_DOWN:
+                except (ClusterError,) + _SHARD_DOWN:
                     self._enqueue_repair(doc_id, shard_id)
+                    fully_placed = False
+            if not fully_placed:
+                continue  # keep extra copies until repairs converge
             for shard_id in sorted(holding - set(preferred)):
                 if shard_id not in answers:
                     continue  # unreachable: its stale copy waits for heal

@@ -80,6 +80,11 @@ TENANT_HEADER = "X-Tenant"
 #: Tenant bucket for requests that carry no ``X-Tenant`` header.
 DEFAULT_TENANT = "default"
 
+#: Aggregate bucket for rejection counters once ``max_tenants`` distinct
+#: tenant names are already tracked — bounds memory (and the ``/health``
+#: payload) against adversarial or high-cardinality tenant headers.
+OVERFLOW_TENANT = "(other)"
+
 
 @dataclass(frozen=True)
 class ServerLimits:
@@ -121,7 +126,11 @@ class TenantQuotas:
     gate, but scoped to the offender.  At most ``max_tenants`` distinct
     tenants are tracked — idle tenants are evicted to make room, and when
     every tracked tenant is busy a brand-new tenant is refused rather
-    than allowed to grow the table without bound.
+    than allowed to grow the table without bound.  Rejection counters are
+    bounded the same way: past ``max_tenants`` distinct names they
+    aggregate into the :data:`OVERFLOW_TENANT` bucket, so an attacker
+    cycling through tenant names cannot grow memory or the ``/health``
+    payload.
     """
 
     def __init__(
@@ -153,14 +162,26 @@ class TenantQuotas:
                             del self._in_flight[known]
                             break
                 if len(self._in_flight) >= self.max_tenants:
-                    self._rejected[tenant] = self._rejected.get(tenant, 0) + 1
+                    self._charge_rejection(tenant)
                     return False
                 current = 0
             if current >= self.max_inflight_per_tenant:
-                self._rejected[tenant] = self._rejected.get(tenant, 0) + 1
+                self._charge_rejection(tenant)
                 return False
             self._in_flight[tenant] = current + 1
             return True
+
+    def _charge_rejection(self, tenant: str) -> None:
+        """Count one rejection; callers hold the lock.
+
+        The counter table is capped at ``max_tenants`` named entries:
+        beyond that, rejections for never-before-seen tenants fold into
+        the :data:`OVERFLOW_TENANT` bucket instead of growing the dict.
+        """
+        if (tenant not in self._rejected
+                and len(self._rejected) >= self.max_tenants):
+            tenant = OVERFLOW_TENANT
+        self._rejected[tenant] = self._rejected.get(tenant, 0) + 1
 
     def release(self, tenant: str) -> None:
         with self._lock:

@@ -15,7 +15,7 @@ import pytest
 
 from repro.yprov.client import ProvenanceClient
 from repro.yprov.cluster import LocalCluster
-from repro.yprov.rest import TenantQuotas
+from repro.yprov.rest import OVERFLOW_TENANT, TenantQuotas
 
 
 def _doc_text(i: int) -> str:
@@ -137,3 +137,25 @@ class TestTenantQuotas:
             health = ProvenanceClient(c.url).health()
             assert health["tenants"]["team-a"]["rejected_total"] == 0
             assert health["tenants"]["team-a"]["in_flight"] == 0
+
+    def test_rejection_counters_are_bounded_under_name_churn(self):
+        """Adversarial high-cardinality tenant names must not grow memory."""
+        quotas = TenantQuotas(max_inflight_per_tenant=1, max_tenants=2)
+        assert quotas.try_acquire("team-a")
+        assert quotas.try_acquire("team-b")
+        # 1000 distinct never-seen tenants all get refused (table is full)
+        for i in range(1000):
+            assert not quotas.try_acquire(f"attacker-{i}")
+        snap = quotas.snapshot()
+        # at most max_tenants named reject entries plus the overflow
+        # bucket, on top of the two tracked in-flight tenants
+        assert len(snap) <= 2 * quotas.max_tenants + 1
+        named_rejects = sum(
+            counters["rejected_total"]
+            for tenant, counters in snap.items()
+            if tenant.startswith("attacker-")
+        )
+        assert named_rejects == quotas.max_tenants
+        assert snap[OVERFLOW_TENANT]["rejected_total"] == 1000 - named_rejects
+        quotas.release("team-a")
+        quotas.release("team-b")
