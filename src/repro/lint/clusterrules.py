@@ -10,11 +10,15 @@ pass should surface before chaos does.
 
 The family runs offline over directories (like the ``prov`` family) and
 never needs the cluster to be up; a dead shard's directory still counts
-its copies.
+its copies.  Two rules audit the replica invariants the self-healing
+machinery maintains online: PL113 (enough copies) and PL114 (copies
+agree on content) — a clean pair after an anti-entropy sweep is the
+offline proof that the sweep converged.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
@@ -62,9 +66,14 @@ class ClusterManifestContext:
         for shard in payload.get("shards", []):
             shard_id = str(shard.get("id", "?"))
             root = shard.get("root")
-            self.shards.append(
-                (shard_id, Path(root) if root else None)
-            )
+            root_path: Optional[Path] = None
+            if root:
+                root_path = Path(root)
+                if not root_path.is_absolute():
+                    # relative roots resolve against the manifest, so a
+                    # manifest + shard dirs can be checked in as a fixture
+                    root_path = self.manifest_path.parent / root_path
+            self.shards.append((shard_id, root_path))
 
     def holders(self) -> Dict[str, Set[str]]:
         """``{doc id: shards holding a copy}`` from the shard directories."""
@@ -75,6 +84,26 @@ class ClusterManifestContext:
             for doc_path in sorted(root.glob(f"*{_DOC_SUFFIX}")):
                 held.setdefault(doc_path.stem, set()).add(shard_id)
         return held
+
+    def copy_hashes(self) -> Dict[str, Dict[str, str]]:
+        """``{doc id: {shard id: sha256 of the stored bytes}}``.
+
+        Unreadable copies are skipped here — a vanished file is PL113's
+        under-replication story, not a divergence.
+        """
+        hashes: Dict[str, Dict[str, str]] = {}
+        for shard_id, root in self.shards:
+            if root is None or not root.is_dir():
+                continue
+            for doc_path in sorted(root.glob(f"*{_DOC_SUFFIX}")):
+                try:
+                    digest = hashlib.sha256(
+                        doc_path.read_bytes()
+                    ).hexdigest()
+                except OSError:
+                    continue
+                hashes.setdefault(doc_path.stem, {})[shard_id] = digest
+        return hashes
 
 
 @_R.rule(
@@ -124,6 +153,46 @@ def check_under_replicated(
                 path=ctx.manifest_path.name,
                 element=doc_id,
             )
+
+
+@_R.rule(
+    "PL114", "diverged-replica", "error", "cluster",
+    "Replica copies of a document disagree on content: reads may answer "
+    "differently depending on which shard serves them.",
+)
+def check_diverged_replica(
+    rule: Rule, ctx: ClusterManifestContext
+) -> Iterable[Finding]:
+    """PL114: every replica of a document must hold identical bytes.
+
+    Divergence means a write landed on some copies but not others (a
+    lost repair, an out-of-band restore, bit rot that still parses) —
+    the cluster will serve different answers for the same document until
+    an anti-entropy sweep converges the copies on the majority winner.
+    An unreadable manifest is PL113's finding; this rule stays silent on
+    it rather than double-reporting.
+    """
+    if ctx.error is not None:
+        return
+    for doc_id, by_shard in sorted(ctx.copy_hashes().items()):
+        if len(set(by_shard.values())) < 2:
+            continue
+        groups: Dict[str, List[str]] = {}
+        for shard_id, digest in sorted(by_shard.items()):
+            groups.setdefault(digest, []).append(shard_id)
+        detail = "; ".join(
+            f"{'+'.join(shards)}={digest[:12]}"
+            for digest, shards in sorted(
+                groups.items(), key=lambda kv: (-len(kv[1]), kv[1])
+            )
+        )
+        yield rule.finding(
+            f"document {doc_id!r} has diverged replica content "
+            f"({detail}); an anti-entropy sweep converges the copies on "
+            "the majority winner",
+            path=ctx.manifest_path.name,
+            element=doc_id,
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -304,6 +304,8 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
         host=args.host,
         router_port=args.port,
         heartbeat_interval_s=args.heartbeat_interval,
+        sweep_interval_s=args.sweep_interval,
+        scrub_interval_s=args.scrub_interval,
     )
     try:
         states = cluster.router.detector.states()
@@ -322,6 +324,139 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
     finally:
         cluster.stop()
     return 0
+
+
+def cmd_cluster_route(args: argparse.Namespace) -> int:
+    """Handle ``yprov cluster route``: a standalone router process.
+
+    Fronts already-running shard nodes (``--shard id=url``, repeatable)
+    with a durable repair journal under ``--state-dir`` — kill this
+    process at any point and a restart over the same state dir replays
+    the pending repairs.  The chaos driver uses exactly that property.
+    """
+    from repro.yprov.cluster import (
+        AntiEntropy,
+        ClusterRouter,
+        Heartbeater,
+        RouterConfig,
+        ShardInfo,
+    )
+    from repro.yprov.rest import serve
+
+    shards = []
+    for spec in args.shard:
+        shard_id, sep, url = spec.partition("=")
+        if not sep or not shard_id or not url:
+            print(f"error: --shard must be id=url, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        shards.append(ShardInfo(shard_id=shard_id, url=url))
+    config = RouterConfig(
+        replication=args.replication, read_repair=args.read_repair
+    )
+    router = ClusterRouter(shards, config=config, state_dir=args.state_dir)
+    heartbeater = Heartbeater(
+        router.detector,
+        interval_s=args.heartbeat_interval,
+        on_change=router.on_membership_change,
+    ).start()
+    sweeper = AntiEntropy(
+        router,
+        buckets=config.digest_buckets,
+        interval_s=args.sweep_interval or 30.0,
+    )
+    if args.sweep_interval is not None:
+        sweeper.start()
+    server = serve(
+        router, host=args.host, port=args.port,
+        node_role="router", health_extra=router.cluster_health,
+    )
+    replayed = router.replication_lag
+    print(f"yProv cluster router listening on {server.url} "
+          f"({len(shards)} shards, replication={args.replication}, "
+          f"{replayed} repairs replayed) — Ctrl-C to stop", flush=True)
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        heartbeater.stop()
+        server.stop()
+        router.close()
+    return 0
+
+
+def cmd_cluster_repairs(args: argparse.Namespace) -> int:
+    """Handle ``yprov cluster repairs``: show (and drain) the queue."""
+    from repro.yprov.client import ProvenanceClient
+
+    client = ProvenanceClient(args.url, timeout_s=args.timeout, retries=1)
+    payload = client.cluster_repairs()
+    pending = payload.get("pending", [])
+    print(f"{len(pending)} pending repair(s)")
+    for doc_id, shard_id in pending:
+        print(f"  {doc_id} -> {shard_id}")
+    if args.run:
+        drained = client.run_repairs()
+        print(f"repaired {drained.get('repaired', 0)} cop(ies)")
+    return 0
+
+
+def cmd_cluster_sweep(args: argparse.Namespace) -> int:
+    """Handle ``yprov cluster sweep``: one anti-entropy pass, now.
+
+    Exit 0 when the sweep found nothing to repair, 1 when it enqueued
+    (and drained) repairs — rerun until 0 to confirm convergence.
+    """
+    import json as _json
+
+    from repro.yprov.client import ProvenanceClient
+
+    report = ProvenanceClient(
+        args.url, timeout_s=args.timeout, retries=1
+    ).sweep()
+    if args.format == "json":
+        print(_json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"sweep: {report.get('docs_checked', 0)} document(s) in "
+              f"{report.get('changed_buckets', 0)} changed bucket(s); "
+              f"{report.get('missing', 0)} missing, "
+              f"{report.get('divergent', 0)} divergent, "
+              f"{report.get('repaired', 0)} repaired")
+        for shard_id in report.get("failed_shards", []):
+            print(f"  unreachable: {shard_id}")
+    return 0 if report.get("clean") else 1
+
+
+def cmd_cluster_scrub(args: argparse.Namespace) -> int:
+    """Handle ``yprov cluster scrub``: bit-rot pass across the cluster.
+
+    Exit 0 when every copy verified, 1 when corrupt/missing copies were
+    found (they are quarantined and re-replicated in the same call).
+    """
+    import json as _json
+
+    from repro.yprov.client import ProvenanceClient
+
+    report = ProvenanceClient(
+        args.url, timeout_s=args.timeout, retries=1
+    ).scrub()
+    if args.format == "json":
+        print(_json.dumps(report, indent=2, sort_keys=True))
+        return 0 if not report.get("repairs_enqueued") else 1
+    for shard_id, shard_report in sorted(report.get("shards", {}).items()):
+        quarantined = shard_report.get("quarantined", [])
+        missing = shard_report.get("missing", [])
+        print(f"  {shard_id}: {shard_report.get('checked', 0)} checked, "
+              f"{len(quarantined)} quarantined, {len(missing)} missing")
+    print(f"scrub: {report.get('repairs_enqueued', 0)} repair(s) enqueued, "
+          f"{report.get('repaired', 0)} restored")
+    for shard_id in report.get("failed_shards", []):
+        print(f"  unreachable: {shard_id}")
+    return 0 if not report.get("repairs_enqueued") else 1
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -865,7 +1000,69 @@ def build_parser() -> argparse.ArgumentParser:
                    help="router port (shards take ephemeral ports)")
     p.add_argument("--heartbeat-interval", type=float, default=1.0,
                    help="failure-detector probe cadence in seconds")
+    p.add_argument("--sweep-interval", type=float, default=None,
+                   help="anti-entropy sweep cadence in seconds "
+                        "(default: on demand only)")
+    p.add_argument("--scrub-interval", type=float, default=None,
+                   help="per-shard bit-rot scrub cadence in seconds "
+                        "(default: on demand only)")
     p.set_defaults(func=cmd_cluster_serve)
+
+    p = csub.add_parser(
+        "route", help="run a standalone router over existing shard nodes"
+    )
+    p.add_argument("--shard", action="append", required=True,
+                   metavar="ID=URL",
+                   help="shard node as id=url (repeat per shard)")
+    p.add_argument("--state-dir", default=None,
+                   help="router state directory (durable repair journal)")
+    p.add_argument("--replication", type=int, default=1,
+                   help="replica copies beyond the primary (default 1)")
+    p.add_argument("--read-repair", choices=("off", "missing", "verify"),
+                   default="missing",
+                   help="read-repair mode (default: missing)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="router port (default: ephemeral)")
+    p.add_argument("--heartbeat-interval", type=float, default=1.0,
+                   help="failure-detector probe cadence in seconds")
+    p.add_argument("--sweep-interval", type=float, default=None,
+                   help="anti-entropy sweep cadence in seconds "
+                        "(default: on demand only)")
+    p.set_defaults(func=cmd_cluster_route)
+
+    p = csub.add_parser(
+        "repairs", help="show the router's pending repair queue"
+    )
+    p.add_argument("--url", required=True,
+                   help="router base URL, e.g. http://host:3000/api/v0")
+    p.add_argument("--run", action="store_true",
+                   help="drain the queue after listing it")
+    p.add_argument("--timeout", type=float, default=30.0,
+                   help="per-request timeout in seconds")
+    p.set_defaults(func=cmd_cluster_repairs)
+
+    p = csub.add_parser(
+        "sweep", help="run one anti-entropy sweep (digest compare + repair)"
+    )
+    p.add_argument("--url", required=True,
+                   help="router base URL, e.g. http://host:3000/api/v0")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="per-request timeout in seconds")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format (default: text)")
+    p.set_defaults(func=cmd_cluster_sweep)
+
+    p = csub.add_parser(
+        "scrub", help="re-verify stored checksums on every shard (bit rot)"
+    )
+    p.add_argument("--url", required=True,
+                   help="router base URL, e.g. http://host:3000/api/v0")
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="per-request timeout in seconds")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="output format (default: text)")
+    p.set_defaults(func=cmd_cluster_scrub)
 
     p = sub.add_parser(
         "replay", help="reproduce an experiment from its PROV-JSON file"

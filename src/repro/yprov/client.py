@@ -348,6 +348,53 @@ class ProvenanceClient:
         return json.loads(payload.decode("utf-8"))
 
     # ------------------------------------------------------------------
+    # self-healing surface (anti-entropy, scrub, repairs)
+    # ------------------------------------------------------------------
+    def digest(
+        self,
+        buckets: Optional[int] = None,
+        bucket: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """``GET /digest`` — bucketed content digests for anti-entropy.
+
+        Without ``bucket`` returns one roll-up hash per non-empty bucket;
+        with it, the full ``doc_id → sha256`` map of that bucket.  The
+        node on the other end must agree on ``buckets`` for the roll-ups
+        to be comparable.
+        """
+        query = {}
+        if buckets is not None:
+            query["buckets"] = str(buckets)
+        if bucket is not None:
+            query["bucket"] = str(bucket)
+        suffix = f"?{urllib.parse.urlencode(query)}" if query else ""
+        return self._get_json(f"/digest{suffix}")
+
+    def document_digest(self, doc_id: str) -> Dict[str, Any]:
+        """``GET /documents/<id>/digest`` — one document's content hash."""
+        return self._get_json(f"/documents/{_quote(doc_id)}/digest")
+
+    def scrub(self) -> Dict[str, Any]:
+        """``POST /scrub`` — bit-rot pass: a shard re-verifies its stored
+        checksums (quarantining corrupt copies); a router fans out."""
+        _, payload = self._request("POST", "/scrub")
+        return json.loads(payload.decode("utf-8"))
+
+    def cluster_repairs(self) -> Dict[str, Any]:
+        """``GET /cluster/repairs`` — the router's pending repair queue."""
+        return self._get_json("/cluster/repairs")
+
+    def run_repairs(self) -> Dict[str, Any]:
+        """``POST /cluster/repairs:run`` — drain the repair queue now."""
+        _, payload = self._request("POST", "/cluster/repairs:run")
+        return json.loads(payload.decode("utf-8"))
+
+    def sweep(self) -> Dict[str, Any]:
+        """``POST /cluster/sweep`` — run one anti-entropy sweep now."""
+        _, payload = self._request("POST", "/cluster/sweep")
+        return json.loads(payload.decode("utf-8"))
+
+    # ------------------------------------------------------------------
     # at-least-once publishing
     # ------------------------------------------------------------------
     def publish(

@@ -16,13 +16,21 @@ surface clients see:
   under-replicated documents;
 * :mod:`repro.yprov.cluster.local` — spin up router + N shards in one
   process (tests, the CLI quickstart) and the on-disk ``cluster.json``
-  manifest the PL113 lint rule audits.
+  manifest the PL113 lint rule audits;
+* :mod:`repro.yprov.cluster.repairlog` — the durable repair journal: a
+  crc-checked WAL of the router's pending re-replications, replayed on
+  construction so acked-but-under-replicated documents survive a router
+  SIGKILL;
+* :mod:`repro.yprov.cluster.antientropy` — self-healing: the bucketed
+  digest-comparison sweeper that converges replicas which drifted apart
+  behind the router's back, and the shard-side bit-rot scrubber.
 
 The router duck-types the :class:`ProvenanceService` verb surface, so
 :mod:`repro.yprov.rest` serves it unchanged — a client cannot tell a
 router from a single node except by ``GET /health``'s ``role`` field.
 """
 
+from repro.yprov.cluster.antientropy import AntiEntropy, Scrubber, sweep_once
 from repro.yprov.cluster.local import LocalCluster, write_manifest
 from repro.yprov.cluster.membership import (
     ALIVE,
@@ -31,19 +39,24 @@ from repro.yprov.cluster.membership import (
     FailureDetector,
     Heartbeater,
 )
+from repro.yprov.cluster.repairlog import RepairLog
 from repro.yprov.cluster.ring import HashRing
 from repro.yprov.cluster.router import ClusterRouter, RouterConfig, ShardInfo
 
 __all__ = [
     "ALIVE",
+    "AntiEntropy",
     "ClusterRouter",
     "DEAD",
     "FailureDetector",
     "HashRing",
     "Heartbeater",
     "LocalCluster",
+    "RepairLog",
     "RouterConfig",
     "SUSPECT",
+    "Scrubber",
     "ShardInfo",
+    "sweep_once",
     "write_manifest",
 ]

@@ -1,0 +1,344 @@
+"""Anti-entropy: background convergence of replicas that drifted apart.
+
+Quorum writes and the repair queue handle the failures the router
+*witnesses*.  Everything else — a replica wiped by an operator, bytes
+rotted on disk, a repair the journal lost to corruption, a shard
+restored from an old backup — leaves replicas silently disagreeing with
+no event to hook.  Anti-entropy is the classic answer (Dynamo-style):
+periodically *compare* what the replicas actually hold and repair the
+differences, so convergence is a property the cluster re-establishes
+continuously rather than one it merely never intends to violate.
+
+The protocol is a two-phase bucketed digest comparison, so a sweep over
+an unchanged cluster costs O(buckets), not O(documents):
+
+1. **Roll-up phase** — every reachable shard answers ``GET /api/v0/
+   digest?buckets=N`` with one hash per non-empty bucket (documents are
+   assigned to buckets by ``crc32(doc_id) % N``, identically on every
+   node).  Buckets whose per-shard roll-ups match the memo of the last
+   clean sweep are skipped outright.
+2. **Expansion phase** — changed buckets are expanded to full
+   ``doc_id → sha256`` maps and compared per document against the ring's
+   preference placement: a live preferred shard *missing* a document, or
+   any holder whose hash disagrees with the majority (ties broken by the
+   earliest holder in the ring walk), is queued on the router's durable
+   repair journal.  Draining the queue copies from the winner replica,
+   never a stale loser.
+
+:class:`AntiEntropy` wraps the sweep in a daemon thread (same shape as
+the membership :class:`~repro.yprov.cluster.membership.Heartbeater`) and
+feeds ``last_sweep`` / ``divergences_found`` into the router's
+``/health`` payload.  :class:`Scrubber` is the shard-side counterpart:
+a slow loop re-running :meth:`~repro.yprov.service.ProvenanceService.
+scrub` so bit rot is *found* locally; the router's sweep then restores
+the quarantined copies from healthy replicas.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ClusterError, ReproError
+from repro.yprov.cluster.membership import DEAD
+
+__all__ = ["AntiEntropy", "Scrubber", "SweepReport", "sweep_once"]
+
+#: Default anti-entropy bucket count (must match on every node).
+DEFAULT_BUCKETS = 64
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one anti-entropy sweep, for /health and CI artifacts."""
+
+    buckets: int
+    changed_buckets: int = 0
+    docs_checked: int = 0
+    missing: int = 0
+    divergent: int = 0
+    repairs_enqueued: int = 0
+    failed_shards: List[str] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        """True when the sweep found nothing to repair."""
+        return self.missing == 0 and self.divergent == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (health payloads, sweep-stats artifacts)."""
+        return {
+            "buckets": self.buckets,
+            "changed_buckets": self.changed_buckets,
+            "docs_checked": self.docs_checked,
+            "missing": self.missing,
+            "divergent": self.divergent,
+            "repairs_enqueued": self.repairs_enqueued,
+            "failed_shards": list(self.failed_shards),
+            "duration_s": self.duration_s,
+            "clean": self.clean,
+        }
+
+
+def sweep_once(
+    router: Any,
+    buckets: int = DEFAULT_BUCKETS,
+    memo: Optional[Dict[int, Dict[str, str]]] = None,
+) -> SweepReport:
+    """One anti-entropy pass over *router*'s shards; enqueues repairs.
+
+    *memo* (bucket → per-shard roll-up of the last clean examination) is
+    mutated in place: buckets whose roll-ups are unchanged since they
+    were last seen clean are skipped, buckets with problems stay
+    un-memoized so they are re-expanded every sweep until they converge.
+    Unreachable shards are reported, never guessed about — their copies
+    are examined on the next sweep that can see them.
+    """
+    if buckets < 1:
+        raise ClusterError(f"buckets must be >= 1, got {buckets}")
+    start = time.monotonic()
+    report = SweepReport(buckets=buckets)
+    # phase 1: per-shard bucket roll-ups
+    rollups: Dict[str, Dict[str, str]] = {}
+    states = router.detector.states()
+    for shard_id in list(router.ring.shards):
+        if states.get(shard_id) == DEAD:
+            report.failed_shards.append(shard_id)
+            continue
+        try:
+            payload = router._call(
+                shard_id, lambda c: c.digest(buckets=buckets)
+            )
+        except ReproError:
+            report.failed_shards.append(shard_id)
+            continue
+        if payload.get("buckets") != buckets:
+            # a node configured with a different bucket count produces
+            # incomparable roll-ups; treat it as unreachable this sweep
+            report.failed_shards.append(shard_id)
+            continue
+        rollups[shard_id] = dict(payload.get("digests", {}))
+    report.failed_shards.sort()
+    if not rollups:
+        report.duration_s = time.monotonic() - start
+        return report
+
+    # which buckets need expansion?
+    touched = sorted(
+        {int(b) for per_shard in rollups.values() for b in per_shard}
+    )
+    to_expand: List[int] = []
+    current: Dict[int, Dict[str, str]] = {}
+    for bucket in touched:
+        mapping = {
+            shard_id: per_shard[str(bucket)]
+            for shard_id, per_shard in rollups.items()
+            if str(bucket) in per_shard
+        }
+        current[bucket] = mapping
+        if memo is not None and memo.get(bucket) == mapping:
+            continue  # unchanged since last clean look
+        to_expand.append(bucket)
+    report.changed_buckets = len(to_expand)
+
+    # phase 2: expand changed buckets to doc → hash and compare
+    n_copies = router.config.n_copies
+    for bucket in to_expand:
+        holders: Dict[str, Dict[str, str]] = {}
+        expansion_failed = False
+        for shard_id in current[bucket]:
+            try:
+                payload = router._call(
+                    shard_id,
+                    lambda c: c.digest(buckets=buckets, bucket=bucket),
+                )
+            except ReproError:
+                if shard_id not in report.failed_shards:
+                    report.failed_shards.append(shard_id)
+                expansion_failed = True
+                continue
+            for doc_id, digest in payload.get("documents", {}).items():
+                holders.setdefault(doc_id, {})[shard_id] = digest
+        bucket_clean = True
+        for doc_id, copies in sorted(holders.items()):
+            report.docs_checked += 1
+            walk = router.ring.walk(doc_id)
+            preferred = walk[:n_copies]
+            for shard_id in preferred:
+                if (
+                    shard_id in copies
+                    or states.get(shard_id) == DEAD
+                    or shard_id in report.failed_shards
+                ):
+                    continue
+                report.missing += 1
+                report.repairs_enqueued += 1
+                bucket_clean = False
+                router._enqueue_repair(doc_id, shard_id)
+            if len(set(copies.values())) > 1:
+                winner = router._majority_digest(copies, walk)
+                report.divergent += 1
+                for shard_id, digest in sorted(copies.items()):
+                    if digest == winner:
+                        continue
+                    report.repairs_enqueued += 1
+                    bucket_clean = False
+                    router._enqueue_repair(doc_id, shard_id)
+        if (
+            memo is not None
+            and bucket_clean
+            and not expansion_failed
+            and not report.failed_shards
+        ):
+            memo[bucket] = current[bucket]
+        elif memo is not None:
+            memo.pop(bucket, None)
+    # buckets that disappeared entirely (last doc deleted) must not pin
+    # stale memo entries forever
+    if memo is not None:
+        for bucket in [b for b in memo if b not in current]:
+            del memo[bucket]
+    report.failed_shards.sort()
+    report.duration_s = time.monotonic() - start
+    return report
+
+
+class AntiEntropy:
+    """Background sweeper: periodic digest comparison + repair drain.
+
+    Construction registers the sweeper on the router (``router.
+    anti_entropy``), which is how ``/health`` learns ``last_sweep`` and
+    ``divergences_found`` and how ``POST /cluster/sweep`` finds the memo
+    to reuse.  ``start()`` launches the daemon thread; tests (and the
+    one-shot REST verb) call :meth:`sweep` directly instead.
+    """
+
+    def __init__(
+        self,
+        router: Any,
+        buckets: int = DEFAULT_BUCKETS,
+        interval_s: float = 30.0,
+    ) -> None:
+        if buckets < 1:
+            raise ClusterError(f"buckets must be >= 1, got {buckets}")
+        if interval_s <= 0:
+            raise ClusterError(f"interval_s must be > 0, got {interval_s}")
+        self.router = router
+        self.buckets = int(buckets)
+        self.interval_s = float(interval_s)
+        self._memo: Dict[int, Dict[str, str]] = {}
+        self._lock = threading.Lock()
+        self._sweep_gate = threading.Lock()
+        self._sweeps = 0
+        self._divergences_total = 0
+        self._last_sweep: Optional[Dict[str, Any]] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        router.anti_entropy = self
+
+    def sweep(self) -> Dict[str, Any]:
+        """One sweep + repair drain; returns the JSON-ready report.
+
+        Serialized: concurrent callers (daemon thread vs REST verb) run
+        one after the other rather than double-enqueueing repairs.
+        """
+        with self._sweep_gate:
+            report = sweep_once(
+                self.router, buckets=self.buckets, memo=self._memo
+            )
+            payload = report.to_dict()
+            payload["repaired"] = self.router.run_repairs()
+        with self._lock:
+            self._sweeps += 1
+            self._divergences_total += report.missing + report.divergent
+            self._last_sweep = payload
+        return payload
+
+    def status(self) -> Dict[str, Any]:
+        """Health-payload fragment: sweep counters and the last report."""
+        with self._lock:
+            return {
+                "sweeps": self._sweeps,
+                "divergences_found": self._divergences_total,
+                "last_sweep": self._last_sweep,
+            }
+
+    def start(self) -> "AntiEntropy":
+        """Launch the sweep thread; returns self for chaining."""
+        if self._thread is not None:
+            raise ClusterError("anti-entropy sweeper already started")
+        self._thread = threading.Thread(
+            target=self._run, name="yprov-antientropy", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the sweep thread (immediate, never waits a full interval)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.sweep()
+            except ReproError:
+                # a degraded cluster must not kill the sweeper; the next
+                # interval retries with fresh membership
+                continue
+
+
+class Scrubber:
+    """Slow background bit-rot pass over one shard's stored documents.
+
+    Each tick calls the service's :meth:`~repro.yprov.service.
+    ProvenanceService.scrub`, which re-hashes every stored copy against
+    its checksum sidecar and quarantines (never serves) anything that
+    disagrees.  The cluster's anti-entropy sweep then notices the
+    quarantined copy is missing and restores a verified one from a
+    healthy replica — local detection, global repair.
+    """
+
+    def __init__(self, service: Any, interval_s: float = 60.0) -> None:
+        if interval_s <= 0:
+            raise ClusterError(f"interval_s must be > 0, got {interval_s}")
+        self.service = service
+        self.interval_s = float(interval_s)
+        self.last_report: Optional[Dict[str, Any]] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def tick(self) -> Dict[str, Any]:
+        """One synchronous scrub pass (tests drive this directly)."""
+        self.last_report = self.service.scrub()
+        return self.last_report
+
+    def start(self) -> "Scrubber":
+        """Launch the scrub thread; returns self for chaining."""
+        if self._thread is not None:
+            raise ClusterError("scrubber already started")
+        self._thread = threading.Thread(
+            target=self._run, name="yprov-scrubber", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the scrub thread without waiting out the interval."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.tick()
+            except ReproError:
+                # scrubbing must never kill the thread; next tick retries
+                continue

@@ -19,7 +19,16 @@ a real router with failure detection — without any deployment:
 
 The heartbeat thread is *not* started by default: tests drive failure
 detection deterministically with ``cluster.heartbeater.tick()``.  Pass
-``heartbeat_interval_s`` to run it for real (the CLI does).
+``heartbeat_interval_s`` to run it for real (the CLI does).  The same
+pattern covers self-healing: an
+:class:`~repro.yprov.cluster.antientropy.AntiEntropy` sweeper is always
+attached (so ``POST /cluster/sweep`` and ``/health`` work), but its
+thread only runs when ``sweep_interval_s`` is set; per-shard bit-rot
+:class:`~repro.yprov.cluster.antientropy.Scrubber` threads run when
+``scrub_interval_s`` is set.  With a persistent ``root`` the router
+journals its repair queue under ``<root>/router/`` and replays it on
+construction — restart the cluster over the same root and pending
+repairs survive.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.atomicio import atomic_write_json
 from repro.errors import ClusterError
+from repro.yprov.cluster.antientropy import AntiEntropy, Scrubber
 from repro.yprov.cluster.membership import Heartbeater
 from repro.yprov.cluster.router import ClusterRouter, RouterConfig, ShardInfo
 from repro.yprov.rest import ProvenanceServer, ServerLimits, TenantQuotas, serve
@@ -105,6 +115,8 @@ class LocalCluster:
         router_limits: Optional[ServerLimits] = None,
         quotas: Optional[TenantQuotas] = None,
         heartbeat_interval_s: Optional[float] = None,
+        sweep_interval_s: Optional[float] = None,
+        scrub_interval_s: Optional[float] = None,
         host: str = "127.0.0.1",
         router_port: int = 0,
         proxy_factory: Optional[Callable[[str, str, int], Any]] = None,
@@ -120,6 +132,8 @@ class LocalCluster:
         self.router: Optional[ClusterRouter] = None
         self.router_server: Optional[ProvenanceServer] = None
         self.heartbeater: Optional[Heartbeater] = None
+        self.anti_entropy: Optional[AntiEntropy] = None
+        self.scrubbers: Dict[str, Scrubber] = {}
         infos: List[ShardInfo] = []
         try:
             for i in range(n_shards):
@@ -141,7 +155,12 @@ class LocalCluster:
                     url = proxy.url
                 infos.append(ShardInfo(shard_id=shard_id, url=url))
             self.router = ClusterRouter(
-                infos, config=config, client_factory=client_factory
+                infos,
+                config=config,
+                client_factory=client_factory,
+                state_dir=(
+                    None if self.root is None else self.root / "router"
+                ),
             )
             self.heartbeater = Heartbeater(
                 self.router.detector,
@@ -150,6 +169,18 @@ class LocalCluster:
             )
             if heartbeat_interval_s is not None:
                 self.heartbeater.start()
+            self.anti_entropy = AntiEntropy(
+                self.router,
+                buckets=config.digest_buckets,
+                interval_s=sweep_interval_s or 30.0,
+            )
+            if sweep_interval_s is not None:
+                self.anti_entropy.start()
+            if scrub_interval_s is not None:
+                for shard_id, service in self.services.items():
+                    self.scrubbers[shard_id] = Scrubber(
+                        service, interval_s=scrub_interval_s
+                    ).start()
             self.router_server = serve(
                 self.router,  # duck-types the ProvenanceService verbs
                 host=host,
@@ -178,13 +209,18 @@ class LocalCluster:
         return None if self.root is None else self.root / "cluster.json"
 
     def write_manifest(self) -> Optional[Path]:
-        """(Re)write ``cluster.json`` reflecting current membership."""
+        """(Re)write ``cluster.json`` reflecting current membership.
+
+        Shard roots are written *relative to the manifest* (they sit
+        next to it under ``self.root``), so the audit works from any
+        working directory and survives the root moving.
+        """
         if self.root is None or self.router is None:
             return None
         shards = []
         for info in self.router.shard_infos():
             shard_root = (
-                self.root / info.shard_id
+                info.shard_id
                 if info.shard_id in self.services
                 and self.services[info.shard_id].root is not None
                 else None
@@ -228,11 +264,15 @@ class LocalCluster:
 
     # ------------------------------------------------------------------
     def stop(self) -> None:
-        """Tear down router, proxies and shards; idempotent."""
+        """Tear down router, daemons, proxies and shards; idempotent."""
         if self.heartbeater is not None:
             self.heartbeater.stop()
+        for scrubber in self.scrubbers.values():
+            scrubber.stop()
         if self.router_server is not None:
             self.router_server.stop()
+        if self.router is not None:
+            self.router.close()  # stops the sweeper, closes the journal
         for proxy in self.proxies.values():
             proxy.stop()
         for server in self.shard_servers.values():

@@ -47,6 +47,23 @@ outcome passively.  When a shard returns to ALIVE the router replays the
 pending repair queue, restoring full replication; the queue's length is
 the ``replication_lag`` the router's own ``/health`` reports.
 
+Self-healing
+    With a ``state_dir`` the repair queue is durable: every transition is
+    journaled to a crc-checked ``repairs.wal``
+    (:mod:`repro.yprov.cluster.repairlog`) *before* the triggering write
+    is acked, and replayed on construction — a router SIGKILL no longer
+    strands acked documents below full replication.  Reads perform
+    **read repair**: a live preferred shard answering "not found" while
+    another copy serves the document is queued (optionally fixed inline)
+    for re-replication.  Repairs copy from the *winner* replica — the
+    majority content digest among live holders, ties broken by the
+    earliest holder in the ring walk — so a stale copy is never
+    propagated over a fresher one.  :meth:`sweep` runs one anti-entropy
+    pass (bucketed digest comparison across replicas, see
+    :mod:`repro.yprov.cluster.antientropy`) and :meth:`scrub` fans a
+    bit-rot scrub out to every shard, re-queueing whatever the shards
+    quarantined.
+
 The router is shared by the REST handler's worker threads: the repair
 queue and membership changes are lock-protected, per-shard clients open
 one connection per request (no shared sockets).  The request path itself
@@ -59,7 +76,9 @@ handled exactly like an unreachable shard (fail over, next copy).
 from __future__ import annotations
 
 import threading
+from collections import Counter
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.errors import (
@@ -75,6 +94,7 @@ from repro.query import QueryResult, merge_results, parse, shard_query
 from repro.query.ast import Query as ProvqlQuery
 from repro.yprov.client import CircuitBreaker, ProvenanceClient
 from repro.yprov.cluster.membership import DEAD, FailureDetector
+from repro.yprov.cluster.repairlog import REPAIR_LOG_NAME, RepairLog
 from repro.yprov.cluster.ring import DEFAULT_VNODES, HashRing
 
 __all__ = ["ClusterRouter", "RouterConfig", "ShardInfo"]
@@ -101,6 +121,18 @@ class RouterConfig:
     cluster stores ``replication + 1`` copies and the write quorum is a
     majority of those (``replication=1`` → 2 copies, quorum 2: both must
     ack, and either alone can serve reads after a failure).
+
+    ``read_repair`` selects how much divergence a read is allowed to
+    notice: ``"off"`` (never), ``"missing"`` (a live preferred shard
+    answering "not found" is queued for repair — the default, free of
+    extra RPCs), or ``"verify"`` (additionally compare content digests
+    across live preferred holders on every read and queue any copy that
+    disagrees with the majority).  ``read_repair_inline`` fixes the
+    lagging copy on the read path itself instead of waiting for the next
+    repair drain.  ``digest_buckets`` is the anti-entropy bucket count —
+    it must match on every node, since bucket membership is computed
+    from the doc id alone.  ``journal_fsync`` controls whether the
+    repair journal fsyncs each append (leave on outside tests).
     """
 
     replication: int = 1
@@ -109,11 +141,24 @@ class RouterConfig:
     dead_after: int = 4
     request_timeout_s: float = 5.0
     probe_timeout_s: float = 1.0
+    read_repair: str = "missing"
+    read_repair_inline: bool = False
+    digest_buckets: int = 64
+    journal_fsync: bool = True
 
     def __post_init__(self) -> None:
         if self.replication < 0:
             raise ClusterError(
                 f"replication must be >= 0, got {self.replication}"
+            )
+        if self.read_repair not in ("off", "missing", "verify"):
+            raise ClusterError(
+                f"read_repair must be 'off', 'missing' or 'verify', "
+                f"got {self.read_repair!r}"
+            )
+        if self.digest_buckets < 1:
+            raise ClusterError(
+                f"digest_buckets must be >= 1, got {self.digest_buckets}"
             )
 
     @property
@@ -152,6 +197,7 @@ class ClusterRouter:
         client_factory: Optional[
             Callable[[str, float], ProvenanceClient]
         ] = None,
+        state_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         if not shards:
             raise ClusterError("router needs at least one shard")
@@ -177,8 +223,29 @@ class ClusterRouter:
             dead_after=self.config.dead_after,
             probe=self._probe,
         )
-        # pending (doc_id, shard_id) re-replications, in discovery order
+        # pending (doc_id, shard_id) re-replications: an ordered list for
+        # fair draining plus a mirror set for O(1) dedup under the lock
         self._repairs: List[Tuple[str, str]] = []
+        self._repair_set: set = set()
+        #: attached anti-entropy sweeper, if any (set by AntiEntropy)
+        self.anti_entropy: Optional[Any] = None
+        self.repair_log: Optional[RepairLog] = None
+        if state_dir is not None:
+            self.repair_log = RepairLog(
+                Path(state_dir) / REPAIR_LOG_NAME,
+                fsync=self.config.journal_fsync,
+            )
+            stale_shards = set()
+            for doc_id, shard_id in self.repair_log.pending():
+                if shard_id not in self._shards:
+                    stale_shards.add(shard_id)
+                    continue
+                self._repairs.append((doc_id, shard_id))
+                self._repair_set.add((doc_id, shard_id))
+            for shard_id in sorted(stale_shards):
+                # a predecessor's journal may owe copies to shards that
+                # have since left the cluster — void them for good
+                self.repair_log.record_drop_shard(shard_id)
 
     def _register(self, info: ShardInfo) -> None:
         self._shards[info.shard_id] = info
@@ -320,16 +387,32 @@ class ClusterRouter:
     def _read_from_copy(
         self, doc_id: str, fn: Callable[[ProvenanceClient], Any]
     ) -> Any:
-        """Run *fn* against the first copy-holder that answers."""
+        """Run *fn* against the first copy-holder that answers.
+
+        A live *preferred* shard answering "not found" while a later
+        copy serves the document is a lagging replica — the read-repair
+        hook queues (or inline-fixes) it, per ``config.read_repair``.
+        """
         not_found = 0
+        lagging: List[str] = []
         errors: List[str] = []
+        preferred = set(self.ring.preference(doc_id, self.config.n_copies))
         for shard_id in self._ordered_targets(doc_id):
             try:
-                return self._call(shard_id, fn)
+                result = self._call(shard_id, fn)
             except DocumentNotFoundError:
                 not_found += 1
+                if shard_id in preferred:
+                    lagging.append(shard_id)
+                continue
             except _SHARD_DOWN as exc:
                 errors.append(f"{shard_id}: {exc}")
+                continue
+            if self.config.read_repair != "off" and (
+                lagging or self.config.read_repair == "verify"
+            ):
+                self._read_repair(doc_id, shard_id, lagging)
+            return result
         if errors and (
             not_found == 0 or len(errors) >= self._guaranteed_copies()
         ):
@@ -339,6 +422,113 @@ class ClusterRouter:
                 f"no shard could serve {doc_id!r}: " + "; ".join(errors)
             )
         raise DocumentNotFoundError(f"no such document: {doc_id!r}")
+
+    def _read_repair(
+        self, doc_id: str, served_by: str, lagging: List[str]
+    ) -> None:
+        """Queue (and optionally inline-fix) replicas a read found behind.
+
+        In ``"verify"`` mode the preferred live holders' content digests
+        are also compared: any copy disagreeing with the majority digest
+        joins the repair queue, so a *stale* (not just missing) replica
+        is caught the first time the document is read.  Best-effort by
+        design — a failure here degrades to the anti-entropy sweep, it
+        never fails the read that triggered it.
+        """
+        divergent: List[str] = []
+        if self.config.read_repair == "verify":
+            digests: Dict[str, str] = {}
+            states = self.detector.states()
+            walk = self.ring.preference(doc_id, self.config.n_copies)
+            for shard_id in walk:
+                if shard_id in lagging or states.get(shard_id) == DEAD:
+                    continue
+                try:
+                    payload = self._call(
+                        shard_id, lambda c: c.document_digest(doc_id)
+                    )
+                except DocumentNotFoundError:
+                    if shard_id not in lagging:
+                        lagging = lagging + [shard_id]
+                    continue
+                except _SHARD_DOWN:
+                    continue
+                digests[shard_id] = str(payload.get("sha256", ""))
+            if len(set(digests.values())) > 1:
+                winner = self._majority_digest(digests, walk)
+                divergent = [
+                    s for s, d in digests.items() if d != winner
+                ]
+        for shard_id in lagging + divergent:
+            self._enqueue_repair(doc_id, shard_id)
+        if self.config.read_repair_inline and (lagging or divergent):
+            try:
+                text = self._winner_text(doc_id)
+            except (DocumentNotFoundError, ClusterError) + _SHARD_DOWN:
+                return
+            for shard_id in lagging + divergent:
+                try:
+                    self._call(
+                        shard_id, lambda c: c.put_document(doc_id, text)
+                    )
+                except (ClusterError,) + _SHARD_DOWN:
+                    continue
+                self._settle_repair(doc_id, shard_id)
+
+    @staticmethod
+    def _majority_digest(
+        digests: Dict[str, str], walk: List[str]
+    ) -> str:
+        """The winning content digest: majority vote, ties broken by the
+        earliest holder in the ring walk (deterministic on every node)."""
+        counts = Counter(digests.values())
+        best = max(counts.values())
+        for shard_id in walk:
+            digest = digests.get(shard_id)
+            if digest is not None and counts[digest] == best:
+                return digest
+        return next(iter(digests.values()))  # unreachable safety net
+
+    def _winner_text(self, doc_id: str) -> str:
+        """Fetch *doc_id* from the winner replica, never a stale loser.
+
+        Collects content digests from every live holder (walk order),
+        picks the majority digest — earliest holder breaks ties — and
+        reads the full text from that shard.  Falls back to plain
+        first-copy-that-answers when no digests could be collected
+        (all holders down mid-walk, or a test double without the verb).
+        """
+        digests: Dict[str, str] = {}
+        walk = self._ordered_targets(doc_id)
+        states = self.detector.states()
+        for shard_id in walk:
+            if states.get(shard_id) == DEAD:
+                continue
+            try:
+                payload = self._call(
+                    shard_id, lambda c: c.document_digest(doc_id)
+                )
+            except DocumentNotFoundError:
+                continue
+            except _SHARD_DOWN:
+                continue
+            except AttributeError:
+                digests.clear()
+                break
+            digests[shard_id] = str(payload.get("sha256", ""))
+        if not digests:
+            return self.get_document_text(doc_id)
+        winner = self._majority_digest(digests, walk)
+        for shard_id in walk:
+            if digests.get(shard_id) != winner:
+                continue
+            try:
+                return self._call(
+                    shard_id, lambda c: c.get_document_text(doc_id)
+                )
+            except (DocumentNotFoundError,) + _SHARD_DOWN:
+                continue
+        return self.get_document_text(doc_id)
 
     def get_document_text(self, doc_id: str) -> str:
         return self._read_from_copy(
@@ -519,13 +709,44 @@ class ClusterRouter:
     # repair & rebalancing
     # ------------------------------------------------------------------
     def _enqueue_repair(self, doc_id: str, shard_id: str) -> None:
+        """Durably queue one owed copy (journal first, then memory).
+
+        The journal append happens *before* the pair becomes visible in
+        memory — and, on the write path, before the triggering write is
+        acked — so a router SIGKILL can strand at most repairs that were
+        never promised.  The mirror set makes the dedup check O(1); the
+        list keeps drain order fair (first discovered, first repaired).
+        """
+        pair = (doc_id, shard_id)
         with self._lock:
-            if (doc_id, shard_id) not in self._repairs:
-                self._repairs.append((doc_id, shard_id))
+            if pair in self._repair_set:
+                return
+            if self.repair_log is not None:
+                self.repair_log.record_enqueue(doc_id, shard_id)
+            self._repairs.append(pair)
+            self._repair_set.add(pair)
+
+    def _settle_repair(self, doc_id: str, shard_id: str) -> bool:
+        """Mark one pending pair done (journaled); False if already gone."""
+        pair = (doc_id, shard_id)
+        with self._lock:
+            if pair not in self._repair_set:
+                return False
+            if self.repair_log is not None:
+                self.repair_log.record_done(doc_id, shard_id)
+            self._repairs.remove(pair)
+            self._repair_set.discard(pair)
+            return True
 
     def _drop_repairs(self, doc_id: str) -> None:
         with self._lock:
-            self._repairs = [r for r in self._repairs if r[0] != doc_id]
+            survivors = [r for r in self._repairs if r[0] != doc_id]
+            if len(survivors) == len(self._repairs):
+                return
+            if self.repair_log is not None:
+                self.repair_log.record_drop_doc(doc_id)
+            self._repairs = survivors
+            self._repair_set = set(survivors)
 
     @property
     def replication_lag(self) -> int:
@@ -540,9 +761,14 @@ class ClusterRouter:
     def run_repairs(self) -> int:
         """Replay the repair queue; returns the number of copies restored.
 
-        Each pending ``(doc, shard)`` is re-read from any live copy and
-        written to the target.  Targets that are still DEAD stay queued;
-        so does anything that fails mid-repair.
+        Each pending ``(doc, shard)`` is re-read from the *winner*
+        replica (majority content digest among live holders — never a
+        stale copy) and written to the target, then settled in the
+        journal.  Targets that are still DEAD stay queued; so does
+        anything that fails mid-repair.  Re-running a settled pair is a
+        no-op: the put is idempotent on the shard and the settle checks
+        membership first, so repair application is safe to repeat across
+        membership flaps.
         """
         repaired = 0
         states = self.detector.states()
@@ -550,7 +776,7 @@ class ClusterRouter:
             if shard_id not in self._shards or states.get(shard_id) == DEAD:
                 continue
             try:
-                text = self.get_document_text(doc_id)
+                text = self._winner_text(doc_id)
                 self._call(
                     shard_id, lambda c: c.put_document(doc_id, text)
                 )
@@ -560,10 +786,8 @@ class ClusterRouter:
                 pass
             except (ClusterError, TransportError, CircuitOpenError):
                 continue
-            with self._lock:
-                if (doc_id, shard_id) in self._repairs:
-                    self._repairs.remove((doc_id, shard_id))
-                    repaired += 1
+            if self._settle_repair(doc_id, shard_id):
+                repaired += 1
         return repaired
 
     def on_membership_change(self, states: Dict[str, str]) -> None:
@@ -605,7 +829,12 @@ class ClusterRouter:
             del self._shards[shard_id]
             del self._clients[shard_id]
             del self._probes[shard_id]
-            self._repairs = [r for r in self._repairs if r[1] != shard_id]
+            survivors = [r for r in self._repairs if r[1] != shard_id]
+            if len(survivors) != len(self._repairs):
+                if self.repair_log is not None:
+                    self.repair_log.record_drop_shard(shard_id)
+                self._repairs = survivors
+                self._repair_set = set(survivors)
         return self.rebalance() if rebalance else {"copied": 0, "dropped": 0}
 
     def rebalance(self) -> Dict[str, int]:
@@ -663,6 +892,60 @@ class ClusterRouter:
         return {"copied": copied, "dropped": dropped}
 
     # ------------------------------------------------------------------
+    # self-healing verbs
+    # ------------------------------------------------------------------
+    def sweep(self) -> Dict[str, Any]:
+        """Run one anti-entropy sweep now; returns the sweep report.
+
+        Uses the attached :class:`~repro.yprov.cluster.antientropy.
+        AntiEntropy` sweeper when one is wired (CLI/LocalCluster do
+        that), creating a thread-less one on first use otherwise — the
+        one-shot ``POST /api/v0/cluster/sweep`` verb works on any
+        router.
+        """
+        from repro.yprov.cluster.antientropy import AntiEntropy
+
+        sweeper = self.anti_entropy
+        if sweeper is None:
+            sweeper = AntiEntropy(
+                self, buckets=self.config.digest_buckets
+            )
+        return sweeper.sweep()
+
+    def scrub(self) -> Dict[str, Any]:
+        """Fan a bit-rot scrub out to every reachable shard.
+
+        Every copy a shard quarantined or found missing is re-queued as
+        a repair against that same shard, then the queue is drained —
+        so a corrupt copy is replaced by a verified one from a healthy
+        replica in the same call.
+        """
+        answers, failed = self._scatter(lambda c: c.scrub())
+        report: Dict[str, Any] = {
+            "shards": {},
+            "failed_shards": sorted(failed),
+            "repairs_enqueued": 0,
+        }
+        for shard_id, shard_report in sorted(answers.items()):
+            report["shards"][shard_id] = shard_report
+            losses = list(shard_report.get("quarantined", ())) + list(
+                shard_report.get("missing", ())
+            )
+            for doc_id in losses:
+                self._enqueue_repair(doc_id, shard_id)
+                report["repairs_enqueued"] += 1
+        report["repaired"] = self.run_repairs()
+        return report
+
+    def close(self) -> None:
+        """Release the repair journal (and stop an attached sweeper)."""
+        sweeper = self.anti_entropy
+        if sweeper is not None and hasattr(sweeper, "stop"):
+            sweeper.stop()
+        if self.repair_log is not None:
+            self.repair_log.close()
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     def shard_infos(self) -> List[ShardInfo]:
@@ -671,8 +954,19 @@ class ClusterRouter:
 
     def cluster_health(self) -> Dict[str, Any]:
         """Router-side health payload merged into ``GET /health``."""
-        return {
+        payload: Dict[str, Any] = {
             "replication_lag": self.replication_lag,
             "replication": self.config.replication,
             "shards": self.detector.states(),
         }
+        log = self.repair_log
+        if log is not None:
+            payload["repair_journal"] = {
+                "path": str(log.path),
+                "pending": len(log),
+                "bad_records": log.bad_records,
+            }
+        sweeper = self.anti_entropy
+        if sweeper is not None:
+            payload["anti_entropy"] = sweeper.status()
+        return payload

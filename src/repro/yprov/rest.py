@@ -21,7 +21,19 @@ POST    /api/v0/query                                    PROVQL across every
                                                          stored document
 GET     /api/v0/elements?prov_type=&label=&doc_id=       JSON hit list
 GET     /api/v0/health                                   JSON health report
+GET     /api/v0/digest?buckets=&bucket=                  bucketed doc digests
+GET     /api/v0/documents/<id>/digest                    one doc's sha256
+POST    /api/v0/scrub                                    bit-rot scrub report
+GET     /api/v0/cluster/repairs                          pending repair queue
+POST    /api/v0/cluster/repairs:run                      drain repair queue
+POST    /api/v0/cluster/sweep                            anti-entropy sweep
 ======  ===============================================  =================
+
+The digest/scrub endpoints exist on any node (they serve the cluster's
+anti-entropy and scrubbing machinery but are honest single-node
+introspection too); the ``/cluster/*`` endpoints answer only where the
+served object actually has a repair queue — a router — and 404 on a
+plain shard, so tooling can probe a URL and learn its role.
 
 Run it with :func:`serve` (returns a live ``ThreadingHTTPServer`` bound to
 an ephemeral or given port) or embed :class:`ProvHandler` elsewhere.
@@ -374,6 +386,9 @@ def _make_handler(
             }
             if quotas is not None:
                 payload["tenants"] = quotas.snapshot()
+            quarantined = getattr(service, "quarantined_total", None)
+            if quarantined is not None:
+                payload["quarantined_total"] = quarantined
             if health_extra is not None:
                 try:
                     payload.update(health_extra())
@@ -395,6 +410,31 @@ def _make_handler(
             try:
                 if path == f"{API_PREFIX}/documents":
                     self._send_json(service.list_documents())
+                elif path == f"{API_PREFIX}/digest":
+                    if not hasattr(service, "digests"):
+                        self._send_error_json(
+                            404, "this node serves no digest surface"
+                        )
+                        return
+                    bucket = query.get("bucket")
+                    kwargs: Dict[str, Any] = {}
+                    if query.get("buckets"):
+                        kwargs["buckets"] = int(query["buckets"])
+                    if bucket is not None:
+                        kwargs["bucket"] = int(bucket)
+                    self._send_json(service.digests(**kwargs))
+                elif path == f"{API_PREFIX}/cluster/repairs":
+                    if not hasattr(service, "pending_repairs"):
+                        self._send_error_json(
+                            404, "this node has no repair queue (not a router)"
+                        )
+                        return
+                    self._send_json({
+                        "pending": [
+                            list(pair) for pair in service.pending_repairs()
+                        ],
+                        "replication_lag": service.replication_lag,
+                    })
                 elif path == f"{API_PREFIX}/elements":
                     hits = service.find_elements(
                         label=query.get("label"),
@@ -405,6 +445,12 @@ def _make_handler(
                 elif path.endswith("/stats"):
                     doc_id = self._doc_id(path)
                     self._send_json(service.stats(doc_id))
+                elif path.endswith("/digest"):
+                    doc_id = self._doc_id(path)
+                    if doc_id is None or not hasattr(service, "document_digest"):
+                        self._send_error_json(404, f"unknown path: {path}")
+                        return
+                    self._send_json(service.document_digest(doc_id))
                 elif path.endswith("/subgraph"):
                     doc_id = self._doc_id(path)
                     element = query.get("element")
@@ -497,6 +543,11 @@ def _make_handler(
 
         def _do_post(self) -> None:
             path, _ = self._route()
+            if path in (f"{API_PREFIX}/scrub",
+                        f"{API_PREFIX}/cluster/repairs:run",
+                        f"{API_PREFIX}/cluster/sweep"):
+                self._do_maintenance_post(path)
+                return
             if path == f"{API_PREFIX}/query":
                 doc_id = None  # service-wide query across every document
             else:
@@ -534,6 +585,34 @@ def _make_handler(
                 self._send_error_json(400, str(exc))
                 return
             self._send_json(result.to_dict())
+
+        def _do_maintenance_post(self, path: str) -> None:
+            """Body-less maintenance verbs: scrub, repair drain, sweep.
+
+            Each maps onto a method of the served object when it has one
+            (a shard scrubs itself; a router fans scrub out, drains its
+            repair queue, runs an anti-entropy sweep) and 404s when the
+            node has no such role.
+            """
+            verb = {
+                f"{API_PREFIX}/scrub": "scrub",
+                f"{API_PREFIX}/cluster/repairs:run": "run_repairs",
+                f"{API_PREFIX}/cluster/sweep": "sweep",
+            }[path]
+            method = getattr(service, verb, None)
+            if method is None:
+                self._send_error_json(
+                    404, f"this node does not serve {verb!r}"
+                )
+                return
+            try:
+                result = method()
+            except ReproError as exc:
+                self._send_error_json(400, str(exc))
+                return
+            if verb == "run_repairs":
+                result = {"repaired": result}
+            self._send_json(result)
 
         def do_DELETE(self) -> None:  # noqa: N802
             self._guarded(self._do_delete)

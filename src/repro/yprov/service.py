@@ -10,19 +10,35 @@ verbatim (lossless retrieval), while the document's element/relation
 structure is loaded into the embedded :class:`~repro.yprov.graphdb.GraphDB`
 for lineage and subgraph queries.  An optional root directory makes the
 service persistent across instantiations.
+
+Bit-rot defence: every persisted document gets a checksum sidecar
+(``<id>.provjson.sum`` holding the text's sha256).  The sidecar is
+verified when a restarted service re-ingests its root and by
+:meth:`ProvenanceService.scrub` (the cluster's background scrubber); a
+copy whose bytes no longer match is **quarantined** — moved into
+``<root>/quarantine/`` and evicted from the in-memory store — instead of
+ever being served.  In a cluster the router then sees a missing copy and
+restores a verified one from a healthy replica (read repair or the
+anti-entropy sweep); single-node deployments keep the quarantined bytes
+for forensics.  The same sha256 hashes back the replica-comparison
+surface: :meth:`ProvenanceService.digests` rolls them up into buckets so
+an anti-entropy sweep over N documents costs O(buckets) on the wire, and
+:meth:`ProvenanceService.document_digest` answers for one document.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import re
 import threading
+import zlib
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Union
 
 from repro.atomicio import atomic_write_text
-from repro.errors import DocumentNotFoundError, ServiceError
+from repro.errors import DocumentNotFoundError, ProvError, ServiceError
 from repro.prov.document import ProvDocument
 from repro.prov.model import ProvActivity
 from repro.prov.provjson import to_provjson
@@ -40,6 +56,25 @@ _DOC_ID_RE = re.compile(r"^[A-Za-z0-9_.\-]+$")
 #: PROVQL planner can serve equality predicates on these fields without a
 #: scan (``doc_id`` also accelerates per-document scans via intersection).
 _DEFAULT_INDEXES = ("key", "doc_id", "qualified_name", "label", "prov_type")
+
+#: Checksum sidecar suffix for persisted documents (sha256 of the text).
+SUM_SUFFIX = ".provjson.sum"
+
+#: Subdirectory corrupt copies are moved into, never deleted.
+QUARANTINE_DIR = "quarantine"
+
+#: Default bucket count for :meth:`ProvenanceService.digests` roll-ups.
+DEFAULT_DIGEST_BUCKETS = 64
+
+
+def bucket_of(doc_id: str, buckets: int) -> int:
+    """The digest bucket a document belongs to (stable across processes).
+
+    Every shard must assign identical buckets or replica digests could
+    never be compared, so this is a pure function of the id: crc32 mod
+    bucket count.
+    """
+    return zlib.crc32(doc_id.encode("utf-8")) % buckets
 
 
 class ProvenanceService:
@@ -73,10 +108,45 @@ class ProvenanceService:
         # the REST front-end serves concurrent requests; serialize mutations
         # and graph reads (the embedded GraphDB is not thread-safe)
         self._lock = threading.RLock()
+        self._quarantined_total = 0
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
+            self._quarantined_total = len(
+                list((self.root / QUARANTINE_DIR).glob("*.provjson*"))
+            )
             for path in sorted(self.root.glob("*.provjson")):
-                self._ingest(path.stem, path.read_text(encoding="utf-8"))
+                self._ingest_from_disk(path)
+
+    def _ingest_from_disk(self, path: Path) -> None:
+        """Re-ingest one persisted document, verifying its checksum.
+
+        A copy whose bytes fail the sidecar check or no longer parse is
+        quarantined, not served: after a restart the corrupt bytes look
+        exactly like bit rot that happened while the process was down,
+        and serving them would silently poison readers.  A document with
+        no sidecar (written before checksums existed) is verified by
+        parse alone and given one.
+        """
+        doc_id = path.stem
+        raw = path.read_bytes()
+        text = None
+        sidecar = path.parent / f"{doc_id}{SUM_SUFFIX}"
+        expected = None
+        if sidecar.is_file():
+            expected = sidecar.read_text(encoding="utf-8").strip() or None
+        digest = hashlib.sha256(raw).hexdigest()
+        if expected is not None and digest != expected:
+            self._quarantine_files(doc_id)
+            return
+        try:
+            text = raw.decode("utf-8")
+            ProvDocument.from_json(text)
+        except (UnicodeDecodeError, ValueError, ProvError):
+            self._quarantine_files(doc_id)
+            return
+        self._ingest(doc_id, text)
+        if expected is None:
+            atomic_write_text(sidecar, digest + "\n")
 
     # ------------------------------------------------------------------
     # document CRUD (REST verb surface)
@@ -107,18 +177,53 @@ class ProvenanceService:
         return doc_id
 
     def _write_document_file(self, doc_id: str, text: str) -> None:
-        """Durably persist one document (atomic write, retried on OSError)."""
+        """Durably persist one document (atomic write, retried on OSError).
+
+        The checksum sidecar is written after the document: a crash
+        between the two leaves a mismatch that quarantines the copy at
+        the next restart — degrading to a repairable missing replica,
+        never to silently serving unverified bytes.
+        """
         target = self.root / f"{doc_id}.provjson"
+        sidecar = self.root / f"{doc_id}{SUM_SUFFIX}"
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
         backoff = ExponentialBackoff(
             base_s=0.05, max_s=2.0, jitter=0.5, seed=seed_from_name(doc_id)
         )
+
+        def _write_both() -> None:
+            atomic_write_text(target, text)
+            atomic_write_text(sidecar, digest + "\n")
+
         retry_call(
-            lambda: atomic_write_text(target, text),
+            _write_both,
             retries=self.write_retries,
             backoff=backoff,
             exceptions=(OSError,),
             sleep=self._sleep,
         )
+
+    def _quarantine_files(self, doc_id: str) -> None:
+        """Move a corrupt on-disk copy (and sidecar) into ``quarantine/``.
+
+        The bytes are preserved for forensics, never deleted; a numeric
+        suffix keeps repeat quarantines of the same id from colliding.
+        Callers then treat the document as missing on this node, so the
+        cluster restores a verified copy from a healthy replica.
+        """
+        qdir = self.root / QUARANTINE_DIR
+        qdir.mkdir(parents=True, exist_ok=True)
+        for name in (f"{doc_id}.provjson", f"{doc_id}{SUM_SUFFIX}"):
+            source = self.root / name
+            if not source.is_file():
+                continue
+            target = qdir / name
+            attempt = 0
+            while target.exists():
+                attempt += 1
+                target = qdir / f"{name}.{attempt}"
+            os.replace(source, target)  # lint: disable=SL201 -- quarantine renames already-persisted corrupt bytes; no new data is written
+        self._quarantined_total += 1
 
     def get_document(self, doc_id: str) -> ProvDocument:
         """Retrieve the document (lossless round trip of what was stored)."""
@@ -133,21 +238,33 @@ class ProvenanceService:
             raise DocumentNotFoundError(f"no such document: {doc_id!r}")
         return text
 
-    def delete_document(self, doc_id: str) -> None:
-        """Remove a stored document and its graph nodes (and disk copy)."""
+    def _evict(self, doc_id: str) -> None:
+        """Drop a document from the in-memory store (graph, text, cache).
+
+        The on-disk copy is untouched — deletion removes it, quarantine
+        has already moved it.
+        """
         with self._lock:
             if doc_id not in self._texts:
-                raise DocumentNotFoundError(f"no such document: {doc_id!r}")
+                return
             for node_id in list(self._node_ids.get(doc_id, {}).values()):
                 self.db.delete_node(node_id)
             self._node_ids.pop(doc_id, None)
             del self._texts[doc_id]
             self._hashes.pop(doc_id, None)
             self.query_cache.invalidate(doc_id)
+
+    def delete_document(self, doc_id: str) -> None:
+        """Remove a stored document and its graph nodes (and disk copy)."""
+        with self._lock:
+            if doc_id not in self._texts:
+                raise DocumentNotFoundError(f"no such document: {doc_id!r}")
+            self._evict(doc_id)
             if self.root is not None:
-                target = self.root / f"{doc_id}.provjson"
-                if target.exists():
-                    target.unlink()
+                for name in (f"{doc_id}.provjson", f"{doc_id}{SUM_SUFFIX}"):
+                    target = self.root / name
+                    if target.exists():
+                        target.unlink()
 
     def list_documents(self) -> List[str]:
         return sorted(self._texts)
@@ -257,6 +374,117 @@ class ProvenanceService:
             }
             for n in nodes
         ]
+
+    # ------------------------------------------------------------------
+    # integrity: digests & scrubbing
+    # ------------------------------------------------------------------
+    def document_digest(self, doc_id: str) -> Dict[str, str]:
+        """The sha256 of one stored document's canonical text.
+
+        The cluster's read-repair and repair paths compare these across
+        replicas — a digest exchange costs bytes, a text exchange costs
+        the document.
+        """
+        with self._lock:
+            digest = self._hashes.get(doc_id)
+        if digest is None:
+            raise DocumentNotFoundError(f"no such document: {doc_id!r}")
+        return {"doc_id": doc_id, "sha256": digest}
+
+    def digests(
+        self,
+        buckets: int = DEFAULT_DIGEST_BUCKETS,
+        bucket: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Bucketed document-digest roll-up (the anti-entropy surface).
+
+        With ``bucket=None`` returns one rolled-up sha256 per non-empty
+        bucket (``{"buckets": N, "digests": {"<i>": hex}}``): a replica
+        comparison over the whole shard costs O(buckets) on the wire.
+        With a bucket index returns that bucket's full ``{doc id:
+        sha256}`` map, fetched only for buckets whose roll-ups disagree.
+        Bucket assignment is :func:`bucket_of` — identical on every
+        shard, or digests could never be compared.
+        """
+        if buckets < 1:
+            raise ServiceError(f"buckets must be >= 1, got {buckets}")
+        if bucket is not None and not 0 <= bucket < buckets:
+            raise ServiceError(
+                f"bucket must be in [0, {buckets}), got {bucket}"
+            )
+        with self._lock:
+            if bucket is not None:
+                documents = {
+                    doc_id: digest
+                    for doc_id, digest in sorted(self._hashes.items())
+                    if bucket_of(doc_id, buckets) == bucket
+                }
+                return {
+                    "buckets": buckets, "bucket": bucket,
+                    "documents": documents,
+                }
+            rollups: Dict[int, "hashlib._Hash"] = {}
+            for doc_id, digest in sorted(self._hashes.items()):
+                index = bucket_of(doc_id, buckets)
+                if index not in rollups:
+                    rollups[index] = hashlib.sha256()
+                rollups[index].update(f"{doc_id}={digest}\n".encode("utf-8"))
+            return {
+                "buckets": buckets,
+                "digests": {
+                    str(i): h.hexdigest() for i, h in sorted(rollups.items())
+                },
+            }
+
+    @property
+    def quarantined_total(self) -> int:
+        """Copies quarantined over this root's lifetime (health counter)."""
+        return self._quarantined_total
+
+    def scrub(self) -> Dict[str, Any]:
+        """One bit-rot scrub pass over every persisted document.
+
+        Re-reads each document's bytes from disk and verifies them
+        against the checksum sidecar (and the in-memory hash).  A copy
+        that fails is quarantined and evicted — readers get a clean
+        not-found, never the corrupt bytes — and a copy whose file
+        vanished out-of-band is evicted too; in a cluster the router's
+        repair machinery then restores a verified copy from a healthy
+        replica.  A missing sidecar on a healthy file is backfilled.
+        In-memory services have nothing on disk to rot: no-op report.
+        """
+        report: Dict[str, Any] = {
+            "checked": 0, "quarantined": [], "missing": [],
+            "sidecars_added": 0,
+        }
+        if self.root is None:
+            return report
+        with self._lock:
+            for doc_id in sorted(self._texts):
+                report["checked"] += 1
+                path = self.root / f"{doc_id}.provjson"
+                sidecar = self.root / f"{doc_id}{SUM_SUFFIX}"
+                if not path.is_file():
+                    self._evict(doc_id)
+                    report["missing"].append(doc_id)
+                    continue
+                raw = path.read_bytes()
+                digest = hashlib.sha256(raw).hexdigest()
+                expected = None
+                if sidecar.is_file():
+                    expected = (
+                        sidecar.read_text(encoding="utf-8").strip() or None
+                    )
+                in_memory = self._hashes.get(doc_id)
+                if digest != (expected or in_memory):
+                    self._quarantine_files(doc_id)
+                    self._evict(doc_id)
+                    report["quarantined"].append(doc_id)
+                    continue
+                if expected is None:
+                    atomic_write_text(sidecar, digest + "\n")
+                    report["sidecars_added"] += 1
+        return report
 
     # ------------------------------------------------------------------
     # PROVQL (repro.query)

@@ -1,0 +1,227 @@
+"""Anti-entropy and scrubber tests: divergence detection, convergence.
+
+Like the router suite these run a real :class:`LocalCluster` (real HTTP,
+ephemeral ports) with background threads off — sweeps and scrubs are
+driven synchronously so every assertion is deterministic.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.yprov.client import ProvenanceClient
+from repro.yprov.cluster import LocalCluster
+from repro.yprov.cluster.antientropy import AntiEntropy, Scrubber, sweep_once
+
+N_DOCS = 8
+
+
+def _doc_text(i, salt=""):
+    return json.dumps({
+        "prefix": {"ex": "http://example.org/"},
+        "entity": {f"ex:artifact{i}{salt}": {"prov:label": f"artifact {i}"}},
+    })
+
+
+@pytest.fixture()
+def cluster(tmp_path):
+    with LocalCluster(n_shards=3, replication=1, root=tmp_path) as c:
+        yield c
+
+
+def _load(router, n=N_DOCS):
+    for i in range(n):
+        router.put_document(f"doc-{i}", _doc_text(i))
+
+
+def _shard_client(cluster, shard_id):
+    return ProvenanceClient(
+        cluster.shard_servers[shard_id].url, retries=0
+    )
+
+
+class TestSweep:
+    def test_healthy_cluster_sweeps_clean(self, cluster):
+        _load(cluster.router)
+        report = cluster.anti_entropy.sweep()
+        assert report["clean"]
+        assert report["docs_checked"] == N_DOCS
+        assert report["repairs_enqueued"] == 0
+
+    def test_memo_skips_unchanged_buckets(self, cluster):
+        _load(cluster.router)
+        first = cluster.anti_entropy.sweep()
+        assert first["changed_buckets"] > 0
+        second = cluster.anti_entropy.sweep()
+        assert second["changed_buckets"] == 0
+        assert second["docs_checked"] == 0
+
+    def test_new_write_reexamines_only_its_bucket(self, cluster):
+        _load(cluster.router)
+        cluster.anti_entropy.sweep()
+        cluster.router.put_document("late-doc", _doc_text(99))
+        report = cluster.anti_entropy.sweep()
+        assert 1 <= report["changed_buckets"] <= 2
+        assert report["docs_checked"] < N_DOCS + 1
+
+    def test_missing_copy_detected_and_restored(self, cluster):
+        _load(cluster.router)
+        doc_id = "doc-0"
+        victim = cluster.router.ring.preference(doc_id, 2)[1]
+        # lose one replica copy behind the router's back
+        cluster.services[victim].delete_document(doc_id)
+        report = cluster.anti_entropy.sweep()
+        assert report["missing"] == 1
+        assert report["repaired"] == 1
+        assert doc_id in cluster.services[victim].list_documents()
+        assert cluster.anti_entropy.sweep()["clean"]
+
+    def test_divergent_copy_converges_on_majority(self, tmp_path):
+        with LocalCluster(n_shards=3, replication=2, root=tmp_path) as c:
+            c.router.put_document("doc-x", _doc_text(1))
+            # 3 copies; rewrite one out-of-band with different valid bytes
+            loser = c.router.ring.preference("doc-x", 3)[2]
+            c.services[loser].put_document("doc-x", _doc_text(1, "stale"))
+            report = c.anti_entropy.sweep()
+            assert report["divergent"] == 1
+            assert report["repaired"] == 1
+            majority = c.services[
+                c.router.ring.preference("doc-x", 3)[0]
+            ].get_document_text("doc-x")
+            assert c.services[loser].get_document_text("doc-x") == majority
+            assert c.anti_entropy.sweep()["clean"]
+
+    def test_two_way_tie_breaks_to_earliest_holder(self, cluster):
+        _load(cluster.router, 2)
+        doc_id = "doc-1"
+        first, second = cluster.router.ring.preference(doc_id, 2)
+        good = cluster.services[first].get_document_text(doc_id)
+        cluster.services[second].put_document(doc_id, _doc_text(1, "fork"))
+        report = cluster.anti_entropy.sweep()
+        assert report["divergent"] == 1
+        # with one copy each, the earliest holder in the walk wins —
+        # deterministically, on every node that runs the comparison
+        assert cluster.services[second].get_document_text(doc_id) == good
+
+    def test_dead_shard_reported_not_guessed_about(self, cluster):
+        _load(cluster.router)
+        cluster.anti_entropy.sweep()
+        cluster.kill_shard("shard-1")
+        for _ in range(cluster.router.config.dead_after):
+            cluster.router.detector.record_failure("shard-1")
+        report = cluster.anti_entropy.sweep()
+        assert report["failed_shards"] == ["shard-1"]
+        # nothing was enqueued against the dead shard: repairs wait for
+        # it to heal (the write path already queued real handoffs)
+        assert all(
+            shard != "shard-1"
+            for _, shard in cluster.router.pending_repairs()
+        )
+
+    def test_sweep_counters_reach_health(self, cluster):
+        _load(cluster.router)
+        cluster.services[
+            cluster.router.ring.preference("doc-0", 2)[1]
+        ].delete_document("doc-0")
+        cluster.anti_entropy.sweep()
+        health = ProvenanceClient(cluster.url, retries=0).health()
+        ae = health["anti_entropy"]
+        assert ae["sweeps"] == 1
+        assert ae["divergences_found"] == 1
+        assert ae["last_sweep"]["missing"] == 1
+
+    def test_deleted_document_unpins_its_memo(self, cluster):
+        _load(cluster.router, 2)
+        cluster.anti_entropy.sweep()
+        cluster.router.delete_document("doc-0")
+        report = cluster.anti_entropy.sweep()
+        assert report["clean"]
+        # and the memo does not resurrect the deleted doc later
+        assert cluster.anti_entropy.sweep()["changed_buckets"] == 0
+
+    def test_bad_bucket_count_rejected(self, cluster):
+        with pytest.raises(ClusterError):
+            sweep_once(cluster.router, buckets=0)
+
+    def test_router_sweep_verb_without_attached_sweeper(self, cluster):
+        _load(cluster.router, 2)
+        cluster.router.anti_entropy = None  # simulate a bare router
+        report = cluster.router.sweep()
+        assert report["docs_checked"] == 2
+
+
+class TestScrub:
+    def test_scrubber_tick_quarantines_bit_rot(self, cluster):
+        _load(cluster.router, 4)
+        shard_id, service = next(iter(cluster.services.items()))
+        doc_id = service.list_documents()[0]
+        stored = cluster.root / shard_id / f"{doc_id}.provjson"
+        raw = stored.read_bytes()
+        stored.write_bytes(raw[:5] + b"\xff\xfe" + raw[7:])
+        scrubber = Scrubber(service, interval_s=60.0)
+        report = scrubber.tick()
+        assert report["quarantined"] == [doc_id]
+        assert doc_id not in service.list_documents()
+        assert (cluster.root / shard_id / "quarantine").is_dir()
+
+    def test_cluster_scrub_restores_quarantined_copy(self, cluster):
+        _load(cluster.router, 4)
+        doc_id = "doc-2"
+        victim = cluster.router.ring.preference(doc_id, 2)[1]
+        stored = cluster.root / victim / f"{doc_id}.provjson"
+        raw = stored.read_bytes()
+        stored.write_bytes(raw[:-3] + b"junk")
+        report = cluster.router.scrub()
+        assert report["shards"][victim]["quarantined"] == [doc_id]
+        assert report["repairs_enqueued"] == 1
+        assert report["repaired"] == 1
+        assert doc_id in cluster.services[victim].list_documents()
+        # restored copy matches the healthy replica byte for byte
+        other = cluster.router.ring.preference(doc_id, 2)[0]
+        assert (
+            cluster.services[victim].get_document_text(doc_id)
+            == cluster.services[other].get_document_text(doc_id)
+        )
+
+    def test_reads_never_serve_the_corrupt_copy(self, cluster):
+        _load(cluster.router, 4)
+        doc_id = "doc-3"
+        good = cluster.router.get_document_text(doc_id)
+        victim = cluster.router.ring.preference(doc_id, 2)[0]
+        stored = cluster.root / victim / f"{doc_id}.provjson"
+        stored.write_bytes(b'{"evil": "bytes"}')
+        # the in-memory copy still serves; a shard restart re-ingests
+        # from disk and must quarantine rather than load the bad bytes
+        cluster.restart_shard(victim)
+        assert cluster.router.get_document_text(doc_id) == good
+        assert cluster.services[victim].quarantined_total == 1
+
+
+class TestDaemons:
+    def test_anti_entropy_thread_lifecycle(self, cluster):
+        sweeper = cluster.anti_entropy
+        sweeper.interval_s = 0.05
+        sweeper.start()
+        with pytest.raises(ClusterError):
+            sweeper.start()
+        sweeper.stop()
+        sweeper.stop()  # idempotent
+
+    def test_scrubber_thread_lifecycle(self, cluster):
+        shard_id = next(iter(cluster.services))
+        scrubber = Scrubber(cluster.services[shard_id], interval_s=0.05)
+        scrubber.start()
+        with pytest.raises(ClusterError):
+            scrubber.start()
+        scrubber.stop()
+        scrubber.stop()
+
+    def test_interval_validation(self, cluster):
+        with pytest.raises(ClusterError):
+            AntiEntropy(cluster.router, interval_s=0)
+        with pytest.raises(ClusterError):
+            AntiEntropy(cluster.router, buckets=0)
+        with pytest.raises(ClusterError):
+            Scrubber(object(), interval_s=-1)

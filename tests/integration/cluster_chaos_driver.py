@@ -15,7 +15,16 @@ script then:
    flight — acked writes must still reach a live quorum;
 4. audits: every acked document is readable byte-identical through the
    router, and after the second victim heals the cluster manifest passes
-   ``repro.lint`` PL113 (no under-replicated documents).
+   ``repro.lint`` PL113 (no under-replicated documents);
+5. phase C — swaps the in-process router for a ``yprov cluster route``
+   *subprocess* with a durable repair journal, SIGKILLs it mid-write,
+   restarts it on the same port and state dir, and audits that every
+   write the dead router acked is still readable byte-identical;
+6. phase D — SIGKILLs a shard so hinted-handoff repairs queue (journaled
+   before each ack), SIGKILLs the router with those repairs pending,
+   restarts shard and router, and audits that the journal replayed the
+   exact pending set; one anti-entropy sweep then restores every copy
+   and ``yprov lint --cluster`` (PL113 + PL114) passes clean.
 
 Exit 0 = all invariants held.  Any violation prints the failure and
 exits 1; CI uploads the shard roots (journals included) as artifacts.
@@ -35,8 +44,10 @@ from repro.errors import (
     ClusterError,
     PartialResultError,
     QuorumError,
+    ReproError,
     TransportError,
 )
+from repro.yprov.client import ProvenanceClient
 from repro.yprov.cluster import (
     ClusterRouter,
     DEAD,
@@ -109,6 +120,53 @@ class Shard:
                 self.proc.kill()
 
 
+class RouterProc:
+    """A ``yprov cluster route`` subprocess with a durable state dir."""
+
+    def __init__(self, state_dir, shards):
+        self.state_dir = Path(state_dir)
+        self.shards = shards
+        self.url = None
+        self.port = 0  # ephemeral on first boot, pinned on restart
+        self.proc = None
+        self.replayed = 0
+
+    def start(self):
+        cmd = [sys.executable, "-m", "repro.yprov.cli", "cluster", "route",
+               "--state-dir", str(self.state_dir),
+               "--replication", "1", "--port", str(self.port),
+               "--heartbeat-interval", "0.2"]
+        for shard in self.shards:
+            cmd += ["--shard", f"{shard.shard_id}={shard.url}"]
+        self.proc = subprocess.Popen(
+            cmd, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        line = self.proc.stdout.readline()
+        match = _URL_RE.search(line)
+        if not match:
+            raise RuntimeError(f"router failed to announce a URL: {line!r}")
+        self.url = match.group(0)
+        self.port = int(self.url.split(":")[2].split("/")[0])
+        replayed = re.search(r"(\d+) repairs replayed", line)
+        self.replayed = int(replayed.group(1)) if replayed else 0
+        log(f"router listening on {self.url} (pid {self.proc.pid}, "
+            f"{self.replayed} repairs replayed)")
+        return self
+
+    def sigkill(self):
+        log(f"SIGKILL -> router (pid {self.proc.pid})")
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=30)
+
+    def stop(self):
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+
+
 def settle(beat, detector, shard_id, state, timeout_s=30.0):
     """Wait until *shard_id* reaches *state* (heartbeater runs in back)."""
     deadline = time.monotonic() + timeout_s
@@ -150,6 +208,7 @@ def main():
                        on_change=router.on_membership_change).start()
 
     acked = {}
+    router_proc = None
     try:
         # -- load + healthy baseline ------------------------------------
         for i in range(N_DOCS):
@@ -253,11 +312,111 @@ def main():
         print(lint.stdout, end="", flush=True)
         assert lint.returncode == 0, \
             f"PL113 found under-replicated documents:\n{lint.stdout}"
-        log("PASS: zero acked-doc loss, exact scatter-gather, full "
-            "replication restored")
+        log("phases A/B passed: zero acked-doc loss, exact scatter-gather, "
+            "full replication restored")
+
+        # -- phase C: SIGKILL *the router* mid-write --------------------
+        # The in-process router retires; a `yprov cluster route`
+        # subprocess with a durable repair journal fronts the same shards.
+        beat.stop()
+        router.close()
+        router_proc = RouterProc(workdir / "router", shards).start()
+
+        kill_errors = []
+
+        def router_writer(offset):
+            client = ProvenanceClient(router_proc.url, timeout_s=2.0,
+                                      retries=0)
+            for i in range(offset, N_DOCS * 2, 2):
+                doc_id = f"r-{i}"
+                try:
+                    client.put_document(doc_id, doc_text(200 + i))
+                    acked[doc_id] = doc_text(200 + i)
+                except (ReproError, OSError):
+                    kill_errors.append(doc_id)
+
+        threads = [threading.Thread(target=router_writer, args=(k,))
+                   for k in (0, 1)]
+        for t in threads:
+            t.start()
+        time.sleep(0.1)
+        router_proc.sigkill()
+        for t in threads:
+            t.join(timeout=300)
+            assert not t.is_alive(), "router writer wedged"
+        log(f"phase C: {len(kill_errors)} writes errored at the kill; "
+            f"{len(acked)} total acked so far")
+
+        router_proc.start()  # same port, same state dir
+        client = ProvenanceClient(router_proc.url, timeout_s=5.0, retries=2)
+        for doc_id, text in sorted(acked.items()):
+            got = client.get_document_text(doc_id)
+            assert json.loads(got) == json.loads(text), \
+                f"doc acked by the dead router lost: {doc_id}"
+        log(f"phase C: all {len(acked)} acked documents readable through "
+            f"the restarted router")
+
+        # -- phase D: SIGKILL the router mid-repair ---------------------
+        # Kill a shard so hinted handoff queues journaled repairs, then
+        # kill the router while they are still pending.
+        victim_d = by_id["shard-0"]
+        victim_d.sigkill()
+        for i in range(N_DOCS):
+            doc_id = f"h-{i}"
+            try:
+                client.put_document(doc_id, doc_text(300 + i))
+            except ReproError:
+                continue  # quorum unreachable for this placement: not acked
+            acked[doc_id] = doc_text(300 + i)
+        pending = client.cluster_repairs()["pending"]
+        assert pending, "no hinted-handoff repairs queued against the victim"
+        assert all(shard == victim_d.shard_id for _, shard in pending), \
+            f"repairs queued against live shards: {pending}"
+        log(f"phase D: {len(pending)} journaled repair(s) pending; "
+            f"killing the router now")
+        router_proc.sigkill()
+
+        victim_d.start()
+        router_proc.start()
+        assert router_proc.replayed == len(pending), \
+            f"journal replayed {router_proc.replayed} repairs, " \
+            f"expected {len(pending)}"
+        replayed = client.cluster_repairs()["pending"]
+        assert sorted(map(tuple, replayed)) == sorted(map(tuple, pending)), \
+            f"replayed set diverged: {replayed} != {pending}"
+        log(f"phase D: restarted router replayed all "
+            f"{router_proc.replayed} pending repairs from the journal")
+
+        # one sweep restores every copy (and drains the replayed queue) ...
+        sweep = subprocess.run(
+            [sys.executable, "-m", "repro.yprov.cli", "cluster", "sweep",
+             "--url", router_proc.url],
+            capture_output=True, text=True,
+        )
+        print(sweep.stdout, end="", flush=True)
+        assert client.cluster_repairs()["pending"] == [], \
+            "repair queue not drained by the sweep"
+        for doc_id, text in sorted(acked.items()):
+            got = client.get_document_text(doc_id)
+            assert json.loads(got) == json.loads(text), \
+                f"acked document lost after router chaos: {doc_id}"
+
+        # ... after which the offline audit must come up clean
+        lint = subprocess.run(
+            [sys.executable, "-m", "repro.yprov.cli", "lint",
+             "--cluster", str(manifest)],
+            capture_output=True, text=True,
+        )
+        print(lint.stdout, end="", flush=True)
+        assert lint.returncode == 0, \
+            f"PL113/PL114 dirty after the sweep:\n{lint.stdout}"
+        log("PASS: router SIGKILL chaos — zero acked-doc loss, journal "
+            "replay exact, cluster lint clean after one sweep")
         return 0
     finally:
         beat.stop()
+        if router_proc is not None:
+            router_proc.stop()
         for shard in shards:
             shard.stop()
 

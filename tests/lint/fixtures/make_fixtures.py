@@ -13,6 +13,7 @@ Run from the repository root to refresh the corpus::
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 from repro.prov.document import ProvDocument
@@ -165,6 +166,40 @@ def main() -> None:
                                        "attempts": 1, "outputs": {"x": 1}})
         journal.append("attempt_start", {"task": "b", "attempt": 1, "t": 3.0})
         # no attempt_end for b and no wf_end: the process died right here
+
+    # PL113 / PL114: two-shard cluster manifests with relative roots (the
+    # cluster rules resolve them against the manifest, so the whole
+    # deployment footprint can be checked in).  Replica copies are plain
+    # bytes to the rules — tiny JSON stubs keep the fixtures readable.
+    good = json.dumps({"doc": "same bytes everywhere"}) + "\n"
+    stale = json.dumps({"doc": "older write, never repaired"}) + "\n"
+
+    # PL113: doc-solo holds 1 of 2 copies
+    target = HERE / "pl113_under_replicated"
+    for shard in ("shard-0", "shard-1"):
+        (target / shard).mkdir(parents=True, exist_ok=True)
+    (target / "shard-0" / "doc-solo.provjson").write_text(good)
+    (target / "shard-0" / "doc-fine.provjson").write_text(good)
+    (target / "shard-1" / "doc-fine.provjson").write_text(good)
+    (target / "cluster.json").write_text(json.dumps({
+        "version": 1, "replication": 1,
+        "shards": [{"id": "shard-0", "url": None, "root": "shard-0"},
+                   {"id": "shard-1", "url": None, "root": "shard-1"}],
+    }, indent=2, sort_keys=True) + "\n")
+
+    # PL114: doc-split's two copies disagree on content
+    target = HERE / "pl114_diverged"
+    for shard in ("shard-0", "shard-1"):
+        (target / shard).mkdir(parents=True, exist_ok=True)
+    (target / "shard-0" / "doc-split.provjson").write_text(good)
+    (target / "shard-1" / "doc-split.provjson").write_text(stale)
+    (target / "shard-0" / "doc-fine.provjson").write_text(good)
+    (target / "shard-1" / "doc-fine.provjson").write_text(good)
+    (target / "cluster.json").write_text(json.dumps({
+        "version": 1, "replication": 1,
+        "shards": [{"id": "shard-0", "url": None, "root": "shard-0"},
+                   {"id": "shard-1", "url": None, "root": "shard-1"}],
+    }, indent=2, sort_keys=True) + "\n")
 
     print(f"fixtures written under {HERE}")
 

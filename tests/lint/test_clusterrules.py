@@ -1,0 +1,145 @@
+"""Golden-corpus and unit tests for the cluster rules (PL113/PL114)."""
+
+import json
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint.clusterrules import (
+    ClusterManifestContext,
+    lint_cluster_manifest,
+)
+
+from .conftest import FIXTURES
+
+
+def fired(report):
+    """The set of rule ids that produced findings."""
+    return {f.rule_id for f in report.findings}
+
+
+def write_manifest(path, shards, replication=1):
+    """A minimal cluster.json with relative shard roots."""
+    path.write_text(json.dumps({
+        "version": 1, "replication": replication,
+        "shards": [{"id": s, "url": None, "root": s} for s in shards],
+    }))
+    return path
+
+
+class TestGoldenCorpus:
+    def test_pl113_fixture_fires_exactly_pl113(self):
+        report = lint_cluster_manifest(
+            FIXTURES / "pl113_under_replicated" / "cluster.json"
+        )
+        assert fired(report) == {"PL113"}
+        (finding,) = report.findings
+        assert finding.element == "doc-solo"
+
+    def test_pl114_fixture_fires_exactly_pl114(self):
+        report = lint_cluster_manifest(
+            FIXTURES / "pl114_diverged" / "cluster.json"
+        )
+        assert fired(report) == {"PL114"}
+        (finding,) = report.findings
+        assert finding.element == "doc-split"
+        assert "diverged" in finding.message
+
+    def test_relative_roots_resolve_against_manifest(self):
+        """The fixture manifests use relative roots — proving resolution."""
+        ctx = ClusterManifestContext(
+            FIXTURES / "pl114_diverged" / "cluster.json"
+        )
+        assert ctx.error is None
+        for _, root in ctx.shards:
+            assert root is not None and root.is_absolute()
+            assert root.parent == FIXTURES / "pl114_diverged"
+
+    def test_local_cluster_manifest_audits_from_any_cwd(self, tmp_path):
+        """A runtime manifest's roots must not depend on the linter's CWD."""
+        from repro.yprov.cluster import LocalCluster
+
+        with LocalCluster(n_shards=2, replication=1,
+                          root=tmp_path / "c") as cluster:
+            cluster.router.put_document("d1", json.dumps({
+                "prefix": {"ex": "http://example.org/"},
+                "entity": {"ex:a": {"prov:label": "a"}},
+            }))
+        ctx = ClusterManifestContext(tmp_path / "c" / "cluster.json")
+        assert ctx.error is None
+        for _, root in ctx.shards:
+            assert root.is_absolute() and root.is_dir()
+            assert root.parent == tmp_path / "c"
+        report = lint_cluster_manifest(tmp_path / "c" / "cluster.json")
+        assert report.findings == []
+
+
+class TestPl114:
+    def test_healthy_cluster_is_clean(self, tmp_path):
+        for shard in ("shard-0", "shard-1"):
+            (tmp_path / shard).mkdir()
+            (tmp_path / shard / "d1.provjson").write_text("{}")
+        report = lint_cluster_manifest(
+            write_manifest(tmp_path / "cluster.json", ["shard-0", "shard-1"])
+        )
+        assert report.findings == []
+
+    def test_all_divergent_documents_reported(self, tmp_path):
+        for i, shard in enumerate(("shard-0", "shard-1")):
+            (tmp_path / shard).mkdir()
+            for doc in ("a", "b"):
+                (tmp_path / shard / f"{doc}.provjson").write_text(
+                    f"copy on shard {i}"
+                )
+        report = lint_cluster_manifest(
+            write_manifest(tmp_path / "cluster.json", ["shard-0", "shard-1"])
+        )
+        assert fired(report) == {"PL114"}
+        assert sorted(f.element for f in report.findings) == ["a", "b"]
+
+    def test_majority_listed_first_in_message(self, tmp_path):
+        for i, shard in enumerate(("shard-0", "shard-1", "shard-2")):
+            (tmp_path / shard).mkdir()
+            text = "minority" if i == 2 else "majority"
+            (tmp_path / shard / "d.provjson").write_text(text)
+        report = lint_cluster_manifest(
+            write_manifest(
+                tmp_path / "cluster.json",
+                ["shard-0", "shard-1", "shard-2"], replication=2,
+            )
+        )
+        (finding,) = [f for f in report.findings if f.rule_id == "PL114"]
+        assert finding.message.index("shard-0+shard-1") < \
+            finding.message.index("shard-2")
+
+    def test_single_copy_cannot_diverge(self, tmp_path):
+        """One copy is PL113's problem, never PL114's."""
+        (tmp_path / "shard-0").mkdir()
+        (tmp_path / "shard-1").mkdir()
+        (tmp_path / "shard-0" / "d.provjson").write_text("{}")
+        report = lint_cluster_manifest(
+            write_manifest(tmp_path / "cluster.json", ["shard-0", "shard-1"])
+        )
+        assert fired(report) == {"PL113"}
+
+    def test_unreadable_manifest_reported_once(self, tmp_path):
+        manifest = tmp_path / "cluster.json"
+        manifest.write_text("not json {]")
+        report = lint_cluster_manifest(manifest)
+        assert fired(report) == {"PL113"}  # PL114 stays silent
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(LintError):
+            lint_cluster_manifest(tmp_path / "nope.json")
+
+    def test_select_pl114_only(self, tmp_path):
+        (tmp_path / "shard-0").mkdir()
+        (tmp_path / "shard-1").mkdir()
+        (tmp_path / "shard-0" / "d.provjson").write_text("one")
+        (tmp_path / "shard-1" / "d.provjson").write_text("two")
+        (tmp_path / "shard-0" / "solo.provjson").write_text("{}")
+        report = lint_cluster_manifest(
+            write_manifest(tmp_path / "cluster.json", ["shard-0", "shard-1"]),
+            select=["PL114"],
+        )
+        assert fired(report) == {"PL114"}
