@@ -1,0 +1,113 @@
+"""Batch ingest throughput — the batch wire format must beat single PUTs.
+
+ISSUE 9's acceptance bar: against a live segments-backed server, the
+pipelined :class:`~repro.yprov.ingest.BatchClient` must sustain **>= 10x**
+the docs/sec of one-document-per-PUT publishing, while holding client
+memory bounded (``peak_buffered`` never exceeds the documented
+``batch_size * (max_in_flight * 2) + batch_size`` envelope, no matter how
+many documents stream through).
+
+Two effects are being priced: the per-request HTTP round trip amortised
+over ``batch_size`` records, and the server syncing its WAL once per
+frame instead of once per document.
+
+The speedup floor is env-tunable for slow CI runners via
+``REPRO_BENCH_BATCH_FLOOR`` (default 10).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.yprov.client import ProvenanceClient
+from repro.yprov.ingest import BatchClient
+from repro.yprov.rest import ProvenanceServer
+from repro.yprov.service import ProvenanceService
+
+SINGLE_DOCS = 60
+BATCH_DOCS = 2400
+BATCH_SIZE = 64
+MAX_IN_FLIGHT = 4
+ROUNDS = 3  # best-of, to shake scheduler noise out of throughput rates
+SPEEDUP_FLOOR = float(os.environ.get("REPRO_BENCH_BATCH_FLOOR", "10"))
+
+
+def _doc(doc_id: str) -> str:
+    return json.dumps({
+        "prefix": {"ex": "http://example.org/"},
+        "entity": {f"ex:{doc_id}": {"prov:label": f"artifact {doc_id}"}},
+    })
+
+
+@pytest.fixture(scope="module")
+def seg_server(tmp_path_factory):
+    root = tmp_path_factory.mktemp("bench-ingest")
+    service = ProvenanceService(root=root, storage="segments")
+    with ProvenanceServer(service) as srv:
+        yield srv, service
+
+
+def _single_put_rate(url: str, round_no: int) -> float:
+    client = ProvenanceClient(url, timeout_s=10, retries=0)
+    t0 = time.perf_counter()
+    for i in range(SINGLE_DOCS):
+        doc_id = f"single-{round_no}-{i:05d}"
+        result = client.publish(doc_id, _doc(doc_id))
+        assert result.acked
+    return SINGLE_DOCS / (time.perf_counter() - t0)
+
+
+def _batched_rate(url: str, round_no: int):
+    t0 = time.perf_counter()
+    with BatchClient(url, batch_size=BATCH_SIZE,
+                     max_in_flight=MAX_IN_FLIGHT, retries=0,
+                     timeout_s=30) as bc:
+        for i in range(BATCH_DOCS):
+            doc_id = f"batched-{round_no}-{i:05d}"
+            bc.publish(doc_id, _doc(doc_id))
+    elapsed = time.perf_counter() - t0
+    assert bc.report.acked == BATCH_DOCS
+    assert bc.report.rejected == [] and bc.report.spooled == 0
+    return BATCH_DOCS / elapsed, bc.report
+
+
+def test_batch_ingest_speedup_and_bounded_memory(seg_server, capsys):
+    srv, service = seg_server
+    single_rate = max(_single_put_rate(srv.url, r) for r in range(ROUNDS))
+    batched = [_batched_rate(srv.url, r) for r in range(ROUNDS)]
+    batch_rate = max(rate for rate, _ in batched)
+    speedup = batch_rate / single_rate
+
+    with capsys.disabled():
+        peaks = [report.peak_buffered for _, report in batched]
+        print(f"\n[batch-ingest] single PUT {single_rate:.0f} docs/s, "
+              f"batched {batch_rate:.0f} docs/s -> {speedup:.1f}x "
+              f"(peak_buffered {max(peaks)})")
+
+    # every document landed, through either path
+    assert len(service) == (SINGLE_DOCS + BATCH_DOCS) * ROUNDS
+    # bounded client memory: queue slots + in-worker batches + pending
+    bound = BATCH_SIZE * (MAX_IN_FLIGHT * 2) + BATCH_SIZE
+    assert all(report.peak_buffered <= bound for _, report in batched)
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batch ingest speedup {speedup:.1f}x below the "
+        f"{SPEEDUP_FLOOR:.0f}x floor"
+    )
+
+
+def test_batched_corpus_reads_back_and_compacts(seg_server):
+    """The speed path is not a correctness discount: spot-read the corpus
+    published above, compact it, and read again over the segment."""
+    srv, service = seg_server
+    for i in (0, BATCH_DOCS // 2, BATCH_DOCS - 1):
+        doc_id = f"batched-0-{i:05d}"
+        assert service.get_document_text(doc_id) == _doc(doc_id)
+    report = service.compact()
+    assert report["documents"] == (SINGLE_DOCS + BATCH_DOCS) * ROUNDS
+    for i in (0, BATCH_DOCS - 1):
+        doc_id = f"batched-{ROUNDS - 1}-{i:05d}"
+        assert service.get_document_text(doc_id) == _doc(doc_id)

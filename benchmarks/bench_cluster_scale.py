@@ -1,0 +1,165 @@
+"""Cluster ingest scaling — batch throughput must grow with shard count.
+
+ISSUE 9's scaling claim: aggregate batch-ingest docs/sec over a sharded
+deployment grows near-linearly from 1 to 4 to 8 shards.  Each shard is a
+real ``yprov serve`` subprocess with a segments-backed root; the driver
+hash-partitions the document stream (the cluster router's placement
+shape) and runs one pipelined :class:`~repro.yprov.ingest.BatchClient`
+per shard from its own thread.
+
+Near-linear is a *hardware* claim, so the floors are CPU-aware: a shard
+can only scale onto a core that exists.  While ``k <= cores`` the
+default floor is 60% of linear (``0.6 * k``); once the shard count
+oversubscribes the cores, every extra shard process is pure
+context-switch overhead and the only honest assertion left is that
+sharding does not collapse throughput under the scheduler.  CI pins
+explicit floors via ``REPRO_BENCH_SCALE_FLOOR_4`` /
+``REPRO_BENCH_SCALE_FLOOR_8`` and uploads the JSON written to
+``REPRO_BENCH_SCALE_JSON``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import threading
+import time
+import zlib
+
+import pytest
+
+from repro.yprov.ingest import BatchClient
+
+SRC_DIR = pathlib.Path(__file__).resolve().parents[1] / "src"
+_URL_RE = re.compile(r"https?://\S+/api/v0")
+
+SHARD_COUNTS = (1, 4, 8)
+DOCS_PER_SHARD = 600  # weak scaling: work grows with the cluster
+BATCH_SIZE = 50
+
+
+def _floor(k: int) -> float:
+    explicit = os.environ.get(f"REPRO_BENCH_SCALE_FLOOR_{k}")
+    if explicit is not None:
+        return float(explicit)
+    cores = os.cpu_count() or 1
+    if k <= cores:
+        return 0.6 * k
+    # oversubscribed: k shard processes share `cores` cores, so the
+    # scheduler tax caps what can be asserted
+    return max(0.3, 0.45 * cores) if cores > 1 else 0.3
+
+
+def _doc(doc_id: str) -> str:
+    return json.dumps({
+        "prefix": {"ex": "http://example.org/"},
+        "entity": {f"ex:{doc_id}": {"prov:label": f"artifact {doc_id}"}},
+    })
+
+
+def _env():
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        f"{SRC_DIR}{os.pathsep}{existing}" if existing else str(SRC_DIR)
+    )
+    return env
+
+
+def _start_shard(root):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.yprov.cli", "--root", str(root),
+         "serve", "--port", "0", "--storage", "segments"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=_env(),
+    )
+    line = proc.stdout.readline()
+    match = _URL_RE.search(line)
+    assert match, f"shard failed to announce a URL: {line!r}"
+    return proc, match.group(0)
+
+
+def _ingest_rate(urls, n_docs):
+    """Aggregate docs/sec: hash-partitioned stream, one client per shard."""
+    partitions = [[] for _ in urls]
+    for i in range(n_docs):
+        doc_id = f"doc-{i:06d}"
+        shard = zlib.crc32(doc_id.encode()) % len(urls)
+        partitions[shard].append(doc_id)
+
+    reports, errors = [None] * len(urls), []
+
+    def pump(idx):
+        try:
+            with BatchClient(urls[idx], batch_size=BATCH_SIZE,
+                             max_in_flight=2, retries=0,
+                             timeout_s=60) as bc:
+                for doc_id in partitions[idx]:
+                    bc.publish(doc_id, _doc(doc_id))
+            reports[idx] = bc.report
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append((idx, exc))
+
+    threads = [threading.Thread(target=pump, args=(i,))
+               for i in range(len(urls))]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    assert not errors, f"shard clients failed: {errors}"
+    acked = sum(r.acked for r in reports)
+    assert acked == n_docs, f"acked {acked} of {n_docs}"
+    return n_docs / elapsed
+
+
+def test_batch_ingest_scales_with_shards(tmp_path, capsys):
+    rates = {}
+    for k in SHARD_COUNTS:
+        shards = []
+        try:
+            for i in range(k):
+                shards.append(_start_shard(tmp_path / f"scale{k}-shard{i}"))
+            urls = [url for _, url in shards]
+            rates[k] = _ingest_rate(urls, DOCS_PER_SHARD * k)
+        finally:
+            for proc, _ in shards:
+                proc.terminate()
+            for proc, _ in shards:
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+
+    speedups = {k: rates[k] / rates[1] for k in SHARD_COUNTS}
+    with capsys.disabled():
+        line = ", ".join(
+            f"{k} shard(s) {rates[k]:.0f} docs/s ({speedups[k]:.2f}x)"
+            for k in SHARD_COUNTS
+        )
+        print(f"\n[cluster-scale] {line}")
+
+    artifact = os.environ.get("REPRO_BENCH_SCALE_JSON")
+    if artifact:
+        pathlib.Path(artifact).write_text(json.dumps({
+            "docs_per_shard": DOCS_PER_SHARD,
+            "batch_size": BATCH_SIZE,
+            "cores": os.cpu_count(),
+            "docs_per_sec": rates,
+            "speedup_vs_1_shard": speedups,
+            "floors": {k: _floor(k) for k in SHARD_COUNTS if k > 1},
+        }, indent=2, sort_keys=True))
+
+    for k in SHARD_COUNTS:
+        if k == 1:
+            continue
+        floor = _floor(k)
+        assert speedups[k] >= floor, (
+            f"{k}-shard speedup {speedups[k]:.2f}x below the "
+            f"{floor:.2f}x floor"
+        )

@@ -146,6 +146,12 @@ class MetricBuffer:
         if self._n == 0:
             return {"count": 0}
         values = self.values
+        if bool(np.all(np.isnan(values))):
+            # nanmin/nanmax would emit an All-NaN RuntimeWarning (a
+            # warnings-module warning errstate can't silence)
+            nan = float("nan")
+            return {"count": int(self._n), "min": nan, "max": nan,
+                    "mean": nan, "last": nan}
         # invalid: all-NaN / mixed-inf slices; over: a diverged series can
         # overflow the float64 running sum inside nanmean — the stats then
         # report inf rather than warning (or erroring under -W error).

@@ -127,6 +127,14 @@ class SpoolError(ServiceError):
     """Store-and-forward spool failure (full spool, corrupt entry, ...)."""
 
 
+class SegmentError(ServiceError):
+    """Segment-store failure (corrupt segment, bad footer, compaction)."""
+
+
+class IngestError(ServiceError):
+    """Batch ingest failure (corrupt batch frame, malformed batch record)."""
+
+
 class ClusterError(ServiceError):
     """Replicated shard cluster failure (router, membership, rebalancing)."""
 

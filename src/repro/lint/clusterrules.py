@@ -10,10 +10,14 @@ pass should surface before chaos does.
 
 The family runs offline over directories (like the ``prov`` family) and
 never needs the cluster to be up; a dead shard's directory still counts
-its copies.  Two rules audit the replica invariants the self-healing
-machinery maintains online: PL113 (enough copies) and PL114 (copies
-agree on content) — a clean pair after an anti-entropy sweep is the
-offline proof that the sweep converged.
+its copies.  PL113 (enough copies) and PL114 (copies agree on content)
+audit the replica invariants the self-healing machinery maintains
+online — a clean pair after an anti-entropy sweep is the offline proof
+that the sweep converged.  Both see through either storage backend: a
+shard's copies may be flat ``.provjson`` files or a WAL + segment store
+(:mod:`repro.yprov.segments`), hashed identically.  PL115 audits the
+segment stores themselves: sealed WALs left uncompacted and segment
+footer indexes that disagree with the records they index.
 """
 
 from __future__ import annotations
@@ -33,6 +37,7 @@ from repro.lint.engine import (
     Severity,
 )
 from repro.yprov.cluster.local import read_manifest
+from repro.yprov.segments import STORE_DIR, scan_store
 
 #: Stored-document suffix (mirrors :mod:`repro.yprov.service`; read-only).
 _DOC_SUFFIX = ".provjson"
@@ -78,18 +83,19 @@ class ClusterManifestContext:
     def holders(self) -> Dict[str, Set[str]]:
         """``{doc id: shards holding a copy}`` from the shard directories."""
         held: Dict[str, Set[str]] = {}
-        for shard_id, root in self.shards:
-            if root is None or not root.is_dir():
-                continue
-            for doc_path in sorted(root.glob(f"*{_DOC_SUFFIX}")):
-                held.setdefault(doc_path.stem, set()).add(shard_id)
+        for doc_id, by_shard in self.copy_hashes().items():
+            held[doc_id] = set(by_shard)
         return held
 
     def copy_hashes(self) -> Dict[str, Dict[str, str]]:
-        """``{doc id: {shard id: sha256 of the stored bytes}}``.
+        """``{doc id: {shard id: sha256 of the stored text bytes}}``.
 
-        Unreadable copies are skipped here — a vanished file is PL113's
-        under-replication story, not a divergence.
+        A shard's copies come from its flat ``.provjson`` files *and*,
+        when it carries a ``store/`` directory, its WAL + segment store —
+        both hash the document text bytes, so copies are comparable
+        across storage backends.  Unreadable copies are skipped here — a
+        vanished file is PL113's under-replication story, not a
+        divergence.
         """
         hashes: Dict[str, Dict[str, str]] = {}
         for shard_id, root in self.shards:
@@ -103,6 +109,13 @@ class ClusterManifestContext:
                 except OSError:
                     continue
                 hashes.setdefault(doc_path.stem, {})[shard_id] = digest
+            store_dir = root / STORE_DIR
+            if store_dir.is_dir():
+                scan = scan_store(store_dir)
+                for doc_id, digest in sorted(scan.inventory().items()):
+                    hashes.setdefault(doc_id, {})[shard_id] = digest
+                if scan.segment is not None:
+                    scan.segment.close()
         return hashes
 
 
@@ -193,6 +206,82 @@ def check_diverged_replica(
             path=ctx.manifest_path.name,
             element=doc_id,
         )
+
+
+@_R.rule(
+    "PL115", "stale-segment-store", "error", "cluster",
+    "A shard's segment store is unhealthy: sealed WALs sit uncompacted, "
+    "or a segment's footer index disagrees with its records.",
+)
+def check_segment_store(
+    rule: Rule, ctx: ClusterManifestContext
+) -> Iterable[Finding]:
+    """PL115: shard segment stores must be compacted and self-consistent.
+
+    Two distinct rots, one rule.  *Uncompacted sealed WALs* (warning):
+    every sealed WAL is replayed record-by-record on open, so a shard
+    that seals but never compacts slowly turns restart into the full-WAL
+    replay compaction exists to eliminate.  *Index disagreement*
+    (error): the segment footer is the read path — reads and value
+    lookups trust its offsets and hashes without replaying — so a footer
+    that disagrees with the records it indexes means reads can return
+    wrong or missing documents while the file still "opens fine".
+    Corrupt or superseded leftover files are reported too: a crash
+    leaves them legitimately, but the next store open should have
+    cleaned them up.
+    """
+    if ctx.error is not None:
+        return
+    for shard_id, root in ctx.shards:
+        if root is None:
+            continue
+        store_dir = root / STORE_DIR
+        if not store_dir.is_dir():
+            continue
+        scan = scan_store(store_dir)
+        try:
+            if scan.segment is not None:
+                for issue in scan.segment.verify():
+                    yield rule.finding(
+                        f"shard {shard_id!r} segment "
+                        f"{scan.segment.path.name}: footer index disagrees "
+                        f"with records: {issue}",
+                        path=ctx.manifest_path.name,
+                        element=shard_id,
+                    )
+            for path in scan.corrupt_segments:
+                yield rule.finding(
+                    f"shard {shard_id!r} carries corrupt segment "
+                    f"{path.name}; the store quarantines it on next open, "
+                    "but its documents are served from WALs until then",
+                    path=ctx.manifest_path.name,
+                    element=shard_id,
+                )
+            for path in scan.superseded_wals + scan.superseded_segments:
+                yield rule.finding(
+                    f"shard {shard_id!r} carries superseded store file "
+                    f"{path.name} (interrupted compaction cleanup); the "
+                    "next store open removes it",
+                    path=ctx.manifest_path.name,
+                    element=shard_id,
+                    severity=Severity.WARNING,
+                )
+            # the newest WAL is the active one — only the sealed rest
+            # (every live WAL before it) is compaction-eligible
+            sealed = scan.live_wals[:-1] if scan.live_wals else []
+            if sealed:
+                yield rule.finding(
+                    f"shard {shard_id!r} has {len(sealed)} sealed WAL(s) "
+                    f"eligible for compaction ({sealed[0].name} …); every "
+                    "restart replays them record-by-record until "
+                    "'yprov compact' folds them into a segment",
+                    path=ctx.manifest_path.name,
+                    element=shard_id,
+                    severity=Severity.WARNING,
+                )
+        finally:
+            if scan.segment is not None:
+                scan.segment.close()
 
 
 # ---------------------------------------------------------------------------

@@ -74,6 +74,8 @@ _EXCEPTION_OWNERS: Dict[str, Tuple[str, ...]] = {
     "TransportError": ("yprov/client.py",),
     "CircuitOpenError": ("yprov/client.py",),
     "SpoolError": ("yprov/spool.py", "yprov/client.py"),
+    "SegmentError": ("yprov/segments.py",),
+    "IngestError": ("yprov/ingest.py",),
     # shard cluster (router tier)
     "ClusterError": ("yprov/cluster/",),
     "QuorumError": ("yprov/cluster/",),

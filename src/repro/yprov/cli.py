@@ -68,7 +68,9 @@ from repro.yprov.service import ProvenanceService
 
 
 def _service(args: argparse.Namespace) -> ProvenanceService:
-    return ProvenanceService(root=args.root)
+    return ProvenanceService(
+        root=args.root, storage=getattr(args, "storage", "auto")
+    )
 
 
 def _handles(args: argparse.Namespace, service: ProvenanceService) -> HandleSystem:
@@ -529,7 +531,15 @@ def cmd_publish(args: argparse.Namespace) -> int:
 
     At-least-once: when the service is unreachable the document is parked
     in the spool (exit code 3 signals "spooled, not yet delivered").
+
+    With ``--batch``, FILE may also be a directory: every ``*.json`` /
+    ``*.provjson`` file in it is published as ``<doc_id>/<stem>`` through
+    the pipelined batch client — one framed request per ``--batch-size``
+    documents, ``--max-in-flight`` batches on the wire at once, with the
+    same acked-or-spooled guarantee per record.
     """
+    if args.batch:
+        return _publish_batch(args)
     client = _client(args)
     text = Path(args.file).read_text(encoding="utf-8")
     result = client.publish(args.doc_id, text)
@@ -538,6 +548,50 @@ def cmd_publish(args: argparse.Namespace) -> int:
         return 0
     print(f"service unreachable; spooled {args.doc_id} to {args.spool_dir}")
     return 3
+
+
+def _publish_batch(args: argparse.Namespace) -> int:
+    """Pipelined multi-document publish behind ``yprov publish --batch``."""
+    from repro.errors import IngestError
+    from repro.yprov.ingest import BatchClient
+    from repro.yprov.spool import Spool
+
+    path = Path(args.file)
+    if path.is_dir():
+        files = sorted(
+            p for p in path.iterdir()
+            if p.suffix in (".json", ".provjson") and p.is_file()
+        )
+        if not files:
+            print(f"no .json/.provjson files in {path}", file=sys.stderr)
+            return 2
+        # "-" keeps the derived ids inside the service's doc-id alphabet
+        # ("/" is not in it)
+        records = [(f"{args.doc_id}-{p.stem}", p) for p in files]
+    else:
+        records = [(args.doc_id, path)]
+    batch = BatchClient(
+        args.url,
+        batch_size=args.batch_size,
+        max_in_flight=args.max_in_flight,
+        spool=Spool(args.spool_dir),
+        timeout_s=args.timeout,
+        retries=args.retries,
+    )
+    try:
+        for doc_id, file_path in records:
+            batch.publish(doc_id, file_path.read_text(encoding="utf-8"))
+        report = batch.close()
+    except IngestError as exc:
+        batch.close()
+        print(f"batch publish failed: {exc}", file=sys.stderr)
+        return 2
+    for doc_id, error in report.rejected:
+        print(f"rejected {doc_id}: {error}", file=sys.stderr)
+    print(report.summary())
+    if report.rejected:
+        return 1
+    return 3 if report.spooled else 0
 
 
 def cmd_spool_list(args: argparse.Namespace) -> int:
@@ -562,13 +616,49 @@ def cmd_spool_drain(args: argparse.Namespace) -> int:
     service is still unreachable and documents remain parked.
     """
     client = _client(args)
-    report = client.drain_spool()
+    report = client.drain_spool(batch_size=args.batch_size)
     for doc_id in report.delivered:
         print(f"delivered {doc_id}")
     for doc_id in report.rejected:
         print(f"rejected {doc_id} (quarantined)")
     print(report.summary())
     return 0 if report.complete else 3
+
+
+def cmd_compact(args: argparse.Namespace) -> int:
+    """Handle ``yprov compact``: fold sealed WALs into an immutable segment.
+
+    Offline against ``--root`` (the store is opened, compacted and
+    closed), or online against a running node with ``--url`` (the server
+    compacts under its own lock while continuing to serve).  Prints the
+    compaction report; ``skipped`` means there was nothing to fold or the
+    node stores documents as flat files.
+    """
+    import json as _json
+
+    if args.url:
+        from repro.yprov.client import ProvenanceClient
+
+        report = ProvenanceClient(
+            args.url, timeout_s=args.timeout, retries=args.retries
+        ).compact()
+    else:
+        # open the store directly: offline compaction needs no document
+        # parsing, only the WAL/segment merge
+        from repro.yprov.segments import STORE_DIR, SegmentStore
+
+        store_dir = Path(args.root) / STORE_DIR
+        if not store_dir.is_dir() and args.storage != "segments":
+            report = {"skipped": True,
+                      "reason": f"no segment store at {store_dir}"}
+        else:
+            store = SegmentStore(store_dir)
+            try:
+                report = store.compact()
+            finally:
+                store.close()
+    print(_json.dumps(report, indent=2, sort_keys=True))
+    return 0 if not report.get("skipped") else 1
 
 
 def cmd_spool_purge(args: argparse.Namespace) -> int:
@@ -861,8 +951,16 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "publish", help="publish a PROV-JSON file to a remote service (HTTP)"
     )
-    p.add_argument("doc_id")
-    p.add_argument("file")
+    p.add_argument("doc_id",
+                   help="document id (with --batch on a directory: id prefix)")
+    p.add_argument("file",
+                   help="PROV-JSON file, or (with --batch) a directory of them")
+    p.add_argument("--batch", action="store_true",
+                   help="pipelined batch ingest via POST /documents:batch")
+    p.add_argument("--batch-size", type=int, default=64,
+                   help="documents per batch frame (default 64)")
+    p.add_argument("--max-in-flight", type=int, default=4,
+                   help="batches concurrently on the wire (default 4)")
     add_transport_args(p)
     p.set_defaults(func=cmd_publish)
 
@@ -878,6 +976,9 @@ def build_parser() -> argparse.ArgumentParser:
         "drain", help="replay parked documents to a service (idempotent)"
     )
     add_transport_args(p)
+    p.add_argument("--batch-size", type=int, default=64,
+                   help="documents per round-trip when the server supports "
+                        "batch ingest; 1 forces per-document PUTs")
     p.set_defaults(func=cmd_spool_drain)
     p = ssub.add_parser("purge", help="drop every parked document")
     add_transport_args(p, need_url=False)
@@ -969,7 +1070,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port", type=int, default=3000)
     p.add_argument("--shard-id", default=None,
                    help="report this shard identity on /health (cluster member)")
+    p.add_argument("--storage", choices=("auto", "files", "segments"),
+                   default="auto",
+                   help="document store backend: flat files, WAL+segments, "
+                        "or auto-detect from --root (default)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "compact",
+        help="fold sealed WALs into an immutable, indexed segment",
+    )
+    p.add_argument("--url",
+                   help="compact a running node instead of --root, e.g. "
+                        "http://host:3000/api/v0")
+    p.add_argument("--storage", choices=("auto", "files", "segments"),
+                   default="auto",
+                   help="backend of --root when compacting offline")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="per-request timeout in seconds (with --url)")
+    p.add_argument("--retries", type=int, default=3,
+                   help="transport retries per request (with --url)")
+    p.set_defaults(func=cmd_compact)
 
     p = sub.add_parser(
         "status", help="print a node's /health report (service, shard or router)"

@@ -290,6 +290,52 @@ class ProvenanceClient:
         """``DELETE /documents/<id>``."""
         self._request("DELETE", f"/documents/{_quote(doc_id)}")
 
+    def put_documents_batch(
+        self, records: List[Tuple[str, str]]
+    ) -> List[Dict[str, Any]]:
+        """``POST /documents:batch`` — one framed batch, per-record results.
+
+        ``records`` is ``[(doc_id, provjson_text), ...]``; the return
+        value is the server's result list in the same order, each entry
+        ``{"id": ..., "status": "stored"|"rejected"|"unavailable", ...}``.
+        The whole frame travels as one request, so a batch of N documents
+        costs one round-trip instead of N.
+        """
+        from repro.yprov.ingest import encode_batch  # avoid import cycle
+
+        _, payload = self._request(
+            "POST", "/documents:batch", encode_batch(records)
+        )
+        decoded = json.loads(payload.decode("utf-8"))
+        results = decoded.get("results")
+        if not isinstance(results, list):
+            raise ServiceError(
+                f"malformed batch response: {decoded!r:.200}"
+            )
+        return results
+
+    def supports_batch(self) -> bool:
+        """Whether the service advertises the batch ingest capability.
+
+        Probes ``/health`` once and caches the answer; unreachable or
+        pre-batch servers simply report ``False`` so callers fall back to
+        per-document PUTs.
+        """
+        cached = getattr(self, "_supports_batch", None)
+        if cached is not None:
+            return cached
+        try:
+            capabilities = self.health().get("capabilities", [])
+        except (TransportError, CircuitOpenError, ServiceError):
+            return False  # don't cache: the server may come back newer
+        self._supports_batch = "batch" in capabilities
+        return self._supports_batch
+
+    def compact(self) -> Dict[str, Any]:
+        """``POST /compact`` — fold sealed WALs into an immutable segment."""
+        _, payload = self._request("POST", "/compact")
+        return json.loads(payload.decode("utf-8"))
+
     def stats(self, doc_id: str) -> Dict[str, int]:
         """``GET /documents/<id>/stats``."""
         return self._get_json(f"/documents/{_quote(doc_id)}/stats")
@@ -419,10 +465,28 @@ class ProvenanceClient:
             self.spool.enqueue(doc_id, text)  # SpoolError (e.g. full) propagates
             return PublishResult(doc_id=doc_id, acked=False, spooled=True)
 
-    def drain_spool(self, stop_on_transport_error: bool = True) -> DrainReport:
-        """Replay spooled documents through this client (FIFO, idempotent)."""
+    def drain_spool(
+        self,
+        stop_on_transport_error: bool = True,
+        batch_size: int = 64,
+    ) -> DrainReport:
+        """Replay spooled documents through this client (FIFO, idempotent).
+
+        When the server advertises the ``batch`` capability on
+        ``/health`` the spool drains ``batch_size`` documents per
+        round-trip through ``POST /documents:batch``; otherwise it falls
+        back to one ``PUT`` per document.  Both paths keep the same
+        exactly-once story — entries are deleted only after the server
+        acks them, and replays dedup on document id.
+        """
         if self.spool is None:
             raise SpoolError("client has no spool configured")
+        if batch_size > 1 and self.supports_batch():
+            return self.spool.drain_batched(
+                self,
+                batch_size=batch_size,
+                stop_on_transport_error=stop_on_transport_error,
+            )
         return self.spool.drain(
             self, stop_on_transport_error=stop_on_transport_error
         )

@@ -87,6 +87,7 @@ from repro.errors import (
     DocumentNotFoundError,
     PartialResultError,
     QuorumError,
+    ReproError,
     ShardDepartedError,
     TransportError,
 )
@@ -353,6 +354,43 @@ class ClusterRouter:
                 needed=cfg.write_quorum,
             )
         return doc_id
+
+    def put_documents_batch(
+        self, records: List[Tuple[str, str]]
+    ) -> List[Dict[str, Any]]:
+        """Route one ingest batch record-by-record, per-record outcomes.
+
+        The batch arrives as one frame but its documents hash to
+        different shards, so the router fans each record through
+        :meth:`put_document` and reports one status per record in input
+        order.  A quorum or cluster failure maps to ``"unavailable"`` —
+        the document itself is fine, so the client keeps it (re-spools it)
+        rather than quarantining; any other rejection is ``"rejected"``
+        because every shard would refuse the record identically.
+        """
+        results: List[Dict[str, Any]] = []
+        for record in records:
+            try:
+                doc_id, text = record
+            except (TypeError, ValueError):
+                results.append({
+                    "id": None, "status": "rejected",
+                    "error": f"malformed batch record: {record!r:.100}",
+                })
+                continue
+            try:
+                self.put_document(doc_id, text)
+            except (QuorumError, ClusterError) as exc:
+                results.append({
+                    "id": doc_id, "status": "unavailable", "error": str(exc),
+                })
+            except ReproError as exc:
+                results.append({
+                    "id": doc_id, "status": "rejected", "error": str(exc),
+                })
+            else:
+                results.append({"id": doc_id, "status": "stored"})
+        return results
 
     def delete_document(self, doc_id: str) -> None:
         """Delete every copy (preferred and handoff) of *doc_id*.

@@ -81,7 +81,13 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.errors import DocumentNotFoundError, QueryError, ReproError, ServiceError
+from repro.errors import (
+    DocumentNotFoundError,
+    IngestError,
+    QueryError,
+    ReproError,
+    ServiceError,
+)
 from repro.yprov.service import ProvenanceService
 
 API_PREFIX = "/api/v0"
@@ -375,6 +381,12 @@ def _make_handler(
         def _health(self) -> None:
             snap = state.snapshot()
             degraded = snap["in_flight"] >= limits.max_inflight
+            capabilities = [
+                verb for verb, method in (
+                    ("batch", "put_documents_batch"),
+                    ("compact", "compact"),
+                ) if hasattr(service, method)
+            ]
             payload: Dict[str, Any] = {
                 "status": "degraded" if degraded else "ok",
                 "role": node_role,
@@ -382,6 +394,9 @@ def _make_handler(
                 "replication_lag": 0,
                 "documents": len(service),
                 "max_inflight": limits.max_inflight,
+                # what the served object can do — clients probe this to
+                # pick the batch ingest path over per-document PUTs
+                "capabilities": capabilities,
                 **snap,
             }
             if quotas is not None:
@@ -489,6 +504,23 @@ def _make_handler(
             Returns the decoded text, or ``None`` when an error response
             (400/413) has already been sent.
             """
+            raw = self._read_body_bytes()
+            if raw is None:
+                return None
+            try:
+                return raw.decode("utf-8")
+            except UnicodeDecodeError as exc:
+                self._send_error_json(400, f"request body is not UTF-8: {exc}")
+                return None
+
+        def _read_body_bytes(self) -> Optional[bytes]:
+            """Read the raw request body under the size limit.
+
+            The batch endpoint consumes this directly: a batch frame is
+            crc-checked record-by-record by the codec, so it must reach
+            the decoder as raw bytes — decoding a damaged frame as UTF-8
+            would turn a detectable corruption into a confusing 400.
+            """
             raw_length = self.headers.get("Content-Length", "0")
             try:
                 length = int(raw_length)
@@ -513,11 +545,7 @@ def _make_handler(
                     f"{limits.max_body_bytes}",
                 )
                 return None
-            try:
-                return self.rfile.read(length).decode("utf-8")
-            except UnicodeDecodeError as exc:
-                self._send_error_json(400, f"request body is not UTF-8: {exc}")
-                return None
+            return self.rfile.read(length)
 
         def do_PUT(self) -> None:  # noqa: N802
             self._guarded(self._do_put)
@@ -543,7 +571,11 @@ def _make_handler(
 
         def _do_post(self) -> None:
             path, _ = self._route()
+            if path == f"{API_PREFIX}/documents:batch":
+                self._do_batch()
+                return
             if path in (f"{API_PREFIX}/scrub",
+                        f"{API_PREFIX}/compact",
                         f"{API_PREFIX}/cluster/repairs:run",
                         f"{API_PREFIX}/cluster/sweep"):
                 self._do_maintenance_post(path)
@@ -596,6 +628,7 @@ def _make_handler(
             """
             verb = {
                 f"{API_PREFIX}/scrub": "scrub",
+                f"{API_PREFIX}/compact": "compact",
                 f"{API_PREFIX}/cluster/repairs:run": "run_repairs",
                 f"{API_PREFIX}/cluster/sweep": "sweep",
             }[path]
@@ -613,6 +646,43 @@ def _make_handler(
             if verb == "run_repairs":
                 result = {"repaired": result}
             self._send_json(result)
+
+        def _do_batch(self) -> None:
+            """``POST /documents:batch`` — binary batch frame ingest.
+
+            The body is the :mod:`repro.yprov.ingest` wire format; the
+            response carries one status per record (stored / rejected /
+            unavailable) in input order, so a pipelined client re-spools
+            exactly the records that did not land.  A frame that fails
+            its record-level crc checks is rejected whole with 400 —
+            nothing from a damaged frame is ever applied.
+            """
+            from repro.yprov.ingest import decode_batch
+
+            if not hasattr(service, "put_documents_batch"):
+                self._send_error_json(
+                    404, "this node does not serve batch ingest"
+                )
+                return
+            raw = self._read_body_bytes()
+            if raw is None:
+                return
+            try:
+                records = decode_batch(raw)
+            except IngestError as exc:
+                self._send_error_json(400, str(exc))
+                return
+            try:
+                results = service.put_documents_batch(records)
+            except ReproError as exc:
+                self._send_error_json(400, str(exc))
+                return
+            stored = sum(1 for r in results if r.get("status") == "stored")
+            self._send_json({
+                "results": results,
+                "stored": stored,
+                "failed": len(results) - stored,
+            })
 
         def do_DELETE(self) -> None:  # noqa: N802
             self._guarded(self._do_delete)

@@ -1,0 +1,40 @@
+"""Child process for the segment-compaction chaos tests.
+
+Populates a segment store with documents spread over several sealed
+WALs (plus one delete, so tombstone folding is exercised), prints READY,
+then calls ``compact()``.  With ``REPRO_SEG_KILL_AT`` armed in the
+environment the process SIGKILLs itself inside the compaction at the
+requested stage; the parent asserts the store recovers losslessly.
+
+Usage: python _segment_chaos_child.py <store_dir>
+"""
+
+import sys
+from pathlib import Path
+
+from repro.yprov.segments import SegmentStore
+
+N_DOCS = 10
+DELETED = "d3"
+
+
+def doc_text(n):
+    return '{"doc": %d, "pad": "%s"}' % (n, "x" * 64)
+
+
+def main() -> None:
+    store = SegmentStore(Path(sys.argv[1]))
+    for n in range(N_DOCS):
+        store.put(f"d{n}", doc_text(n))
+        if n % 3 == 2:
+            store.seal()
+    store.delete(DELETED)
+    store.seal()
+    print("READY", flush=True)
+    store.compact()  # REPRO_SEG_KILL_AT fires in here (if armed)
+    store.close()
+    print("SURVIVED", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -201,6 +201,64 @@ def main() -> None:
                    {"id": "shard-1", "url": None, "root": "shard-1"}],
     }, indent=2, sort_keys=True) + "\n")
 
+    # PL115a: a segment-store shard whose sealed WALs were never compacted.
+    # Built with the real SegmentStore so the WAL bytes are the genuine
+    # wire format; seq numbering and texts are fixed, so the checked-in
+    # bytes are stable across regenerations.
+    import shutil
+
+    from repro.yprov.segments import STORE_DIR, SegmentStore
+
+    prov_text = good  # replica content doubles as stored document text
+
+    target = HERE / "pl115_uncompacted"
+    store_dir = target / "shard-0" / STORE_DIR
+    if store_dir.exists():
+        shutil.rmtree(store_dir)
+    store = SegmentStore(store_dir, fsync=False)
+    for n in range(3):
+        store.put(f"doc-{n}", prov_text, sync=False)
+        store.seal()  # sealed, compaction-eligible, never compacted
+    store.put("doc-live", prov_text, sync=False)  # active WAL, exempt
+    store.close()
+    (target / "cluster.json").write_text(json.dumps({
+        "version": 1, "replication": 0,
+        "shards": [{"id": "shard-0", "url": None, "root": "shard-0"}],
+    }, indent=2, sort_keys=True) + "\n")
+
+    # PL115b: a segment whose footer index disagrees with its records.
+    # A genuine compaction builds the segment, then the footer is
+    # re-written with one document's content hash corrupted — the record
+    # bytes, record crcs and footer crc all still verify, so only the
+    # index-vs-records cross-check (Segment.verify) can catch it.
+    from repro.core.journal import decode_record, encode_record
+    from repro.yprov.segments import TRAILER_LEN
+
+    target = HERE / "pl115_bad_footer"
+    store_dir = target / "shard-0" / STORE_DIR
+    if store_dir.exists():
+        shutil.rmtree(store_dir)
+    store = SegmentStore(store_dir, fsync=False)
+    for n in range(2):
+        store.put(f"doc-{n}", prov_text, sync=False)
+    store.compact()
+    store.close()
+    seg_path = sorted(store_dir.glob("seg-*.seg"))[-1]
+    blob = seg_path.read_bytes()
+    footer_offset = int(blob[-TRAILER_LEN:].split()[0][1:], 16)
+    footer = decode_record(blob[footer_offset:-TRAILER_LEN])
+    sha = footer["docs"]["doc-0"][2]
+    footer["docs"]["doc-0"][2] = sha[:-4] + ("beef" if sha[-4:] != "beef"
+                                             else "dead")
+    doctored = blob[:footer_offset] + encode_record(footer)
+    seg_path.write_bytes(
+        doctored + b"@%016x yprov-seg-v1\n" % footer_offset
+    )
+    (target / "cluster.json").write_text(json.dumps({
+        "version": 1, "replication": 0,
+        "shards": [{"id": "shard-0", "url": None, "root": "shard-0"}],
+    }, indent=2, sort_keys=True) + "\n")
+
     print(f"fixtures written under {HERE}")
 
 

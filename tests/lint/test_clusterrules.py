@@ -143,3 +143,86 @@ class TestPl114:
             select=["PL114"],
         )
         assert fired(report) == {"PL114"}
+
+
+class TestPl115:
+    def test_uncompacted_fixture_fires_exactly_pl115(self):
+        report = lint_cluster_manifest(
+            FIXTURES / "pl115_uncompacted" / "cluster.json"
+        )
+        assert fired(report) == {"PL115"}
+        (finding,) = report.findings
+        assert finding.severity.value == "warning"
+        assert "sealed WAL" in finding.message
+
+    def test_bad_footer_fixture_fires_exactly_pl115(self):
+        report = lint_cluster_manifest(
+            FIXTURES / "pl115_bad_footer" / "cluster.json"
+        )
+        assert fired(report) == {"PL115"}
+        (finding,) = report.findings
+        assert finding.severity.value == "error"
+        assert "footer index disagrees" in finding.message
+
+    def test_healthy_compacted_store_is_clean(self, tmp_path):
+        from repro.yprov.segments import SegmentStore
+
+        store = SegmentStore(tmp_path / "shard-0" / "store", fsync=False)
+        for n in range(3):
+            store.put(f"doc-{n}", "{}", sync=False)
+        store.compact()
+        store.close()
+        report = lint_cluster_manifest(
+            write_manifest(tmp_path / "cluster.json", ["shard-0"],
+                           replication=0)
+        )
+        assert report.findings == []
+
+    def test_active_wal_alone_is_not_flagged(self, tmp_path):
+        """Only *sealed* WALs are compaction debt; the active one is not."""
+        from repro.yprov.segments import SegmentStore
+
+        store = SegmentStore(tmp_path / "shard-0" / "store", fsync=False)
+        store.put("doc-0", "{}", sync=False)
+        store.close()
+        report = lint_cluster_manifest(
+            write_manifest(tmp_path / "cluster.json", ["shard-0"],
+                           replication=0)
+        )
+        assert report.findings == []
+
+    def test_pl113_sees_copies_inside_segment_stores(self, tmp_path):
+        """Replication audits count store-resident copies like flat files."""
+        from repro.yprov.segments import SegmentStore
+
+        text = '{"doc": "same"}'
+        (tmp_path / "shard-0").mkdir()
+        (tmp_path / "shard-0" / "both.provjson").write_text(text)
+        store = SegmentStore(tmp_path / "shard-1" / "store", fsync=False)
+        store.put("both", text, sync=False)
+        store.put("solo", text, sync=False)
+        store.compact()
+        store.close()
+        report = lint_cluster_manifest(
+            write_manifest(tmp_path / "cluster.json",
+                           ["shard-0", "shard-1"]),
+            select=["PL113", "PL114"],
+        )
+        assert fired(report) == {"PL113"}
+        assert [f.element for f in report.findings] == ["solo"]
+
+    def test_pl114_sees_divergence_across_backends(self, tmp_path):
+        from repro.yprov.segments import SegmentStore
+
+        (tmp_path / "shard-0").mkdir()
+        (tmp_path / "shard-0" / "d.provjson").write_text('{"v": 1}')
+        store = SegmentStore(tmp_path / "shard-1" / "store", fsync=False)
+        store.put("d", '{"v": 2}', sync=False)
+        store.compact()
+        store.close()
+        report = lint_cluster_manifest(
+            write_manifest(tmp_path / "cluster.json",
+                           ["shard-0", "shard-1"]),
+            select=["PL114"],
+        )
+        assert fired(report) == {"PL114"}

@@ -96,20 +96,21 @@ class TestFlattenCaching:
         self, sample_document, flatten_calls
     ):
         service = ProvenanceService()
-        service.put_document("d", sample_document)  # ingest flattens once
-        assert flatten_calls["n"] == 1
+        # ingest skips flattening entirely for bundle-free documents
+        service.put_document("d", sample_document)
+        assert flatten_calls["n"] == 0
         explorer = Explorer(service)
         explorer.summary("d")
         explorer.timeline("d")
         explorer.summary("d")
-        assert flatten_calls["n"] == 2  # one flatten serves every call
+        assert flatten_calls["n"] == 1  # one flatten serves every call
 
         changed = ProvDocument()
         changed.add_namespace("ex", "http://example.org/")
         changed.entity("ex:other")
-        service.put_document("d", changed)  # ingest flattens the new doc
+        service.put_document("d", changed)
         assert explorer.summary("d")["entities"] == 1  # re-resolve: new text
-        assert flatten_calls["n"] == 4
+        assert flatten_calls["n"] == 2
 
     def test_distinct_documents_cached_independently(
         self, sample_document, flatten_calls

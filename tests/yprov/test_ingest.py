@@ -1,0 +1,202 @@
+"""Unit tests for the pipelined batch client (:mod:`repro.yprov.ingest`).
+
+The HTTP layer is faked: a scripted ``client_factory`` returns stubs
+whose ``put_documents_batch`` answers (or fails) per test, so every
+branch of the acked-or-spooled contract is driven deterministically.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import IngestError, ServiceError, TransportError
+from repro.yprov.ingest import BatchClient
+from repro.yprov.spool import Spool
+
+
+class FakeBatchServer:
+    """Thread-safe scripted server double shared by all workers."""
+
+    def __init__(self, script=None):
+        self._lock = threading.Lock()
+        self.batches = []
+        # script: callable(batch) -> results, or raises; default: all stored
+        self._script = script or (lambda batch: [
+            {"id": doc_id, "status": "stored"} for doc_id, _ in batch
+        ])
+
+    def client(self):
+        outer = self
+
+        class _Client:
+            def put_documents_batch(self, batch):
+                with outer._lock:
+                    outer.batches.append(list(batch))
+                return outer._script(batch)
+
+        return _Client()
+
+
+def publish_n(batch_client, n, prefix="doc"):
+    for i in range(n):
+        batch_client.publish(f"{prefix}-{i:04d}", f"text-{i}")
+
+
+class TestHappyPath:
+    def test_all_acked(self):
+        server = FakeBatchServer()
+        with BatchClient("http://x", batch_size=10, max_in_flight=2,
+                         client_factory=server.client) as bc:
+            publish_n(bc, 25)
+        assert bc.report.acked == 25
+        assert bc.report.spooled == 0 and bc.report.rejected == []
+        # 25 docs at batch_size 10 -> 2 full batches + 1 flush remainder
+        assert sorted(len(b) for b in server.batches) == [5, 10, 10]
+
+    def test_flush_ships_partial_batch(self):
+        server = FakeBatchServer()
+        bc = BatchClient("http://x", batch_size=100,
+                         client_factory=server.client)
+        try:
+            publish_n(bc, 3)
+            report = bc.flush()
+            assert report.acked == 3
+        finally:
+            bc.close()
+
+    def test_close_is_idempotent(self):
+        server = FakeBatchServer()
+        bc = BatchClient("http://x", client_factory=server.client)
+        bc.publish("a", "t")
+        first = bc.close()
+        assert bc.close() is first
+        with pytest.raises(IngestError):
+            bc.publish("b", "t")
+
+    def test_bounded_client_memory(self):
+        server = FakeBatchServer()
+        batch_size, max_in_flight = 8, 2
+        with BatchClient("http://x", batch_size=batch_size,
+                         max_in_flight=max_in_flight,
+                         client_factory=server.client) as bc:
+            publish_n(bc, 500)
+        assert bc.report.acked == 500
+        # queue slots + one batch per worker + the pending buffer
+        bound = batch_size * (max_in_flight * 2) + batch_size
+        assert bc.report.peak_buffered <= bound
+
+
+class TestFailurePaths:
+    def test_transport_failure_spools_whole_batch(self, tmp_path):
+        def script(batch):
+            raise TransportError("connection refused")
+
+        server = FakeBatchServer(script)
+        spool = Spool(tmp_path / "spool")
+        with BatchClient("http://x", batch_size=5, spool=spool,
+                         client_factory=server.client) as bc:
+            publish_n(bc, 12)
+        assert bc.report.acked == 0
+        assert bc.report.spooled == 12
+        assert len(spool) == 12
+
+    def test_partial_failure_respools_only_failed_records(self, tmp_path):
+        def script(batch):
+            results = []
+            for doc_id, _ in batch:
+                status = ("unavailable" if doc_id.endswith(("1", "3"))
+                          else "stored")
+                results.append({"id": doc_id, "status": status})
+            return results
+
+        server = FakeBatchServer(script)
+        spool = Spool(tmp_path / "spool")
+        with BatchClient("http://x", batch_size=10, spool=spool,
+                         client_factory=server.client) as bc:
+            publish_n(bc, 10)
+        assert bc.report.acked == 8
+        assert bc.report.spooled == 2
+        assert sorted(spool.doc_ids()) == ["doc-0001", "doc-0003"]
+
+    def test_hard_rejection_reported_not_spooled(self, tmp_path):
+        def script(batch):
+            return [
+                {"id": doc_id, "status": "rejected", "error": "bad document"}
+                if doc_id == "doc-0002"
+                else {"id": doc_id, "status": "stored"}
+                for doc_id, _ in batch
+            ]
+
+        server = FakeBatchServer(script)
+        spool = Spool(tmp_path / "spool")
+        with BatchClient("http://x", batch_size=5, spool=spool,
+                         client_factory=server.client) as bc:
+            publish_n(bc, 5)
+        assert bc.report.acked == 4
+        assert bc.report.rejected == [("doc-0002", "bad document")]
+        assert len(spool) == 0
+
+    def test_torn_response_respools_unreported_tail(self, tmp_path):
+        def script(batch):
+            # the server dies after reporting the first two records
+            return [{"id": doc_id, "status": "stored"}
+                    for doc_id, _ in batch[:2]]
+
+        server = FakeBatchServer(script)
+        spool = Spool(tmp_path / "spool")
+        with BatchClient("http://x", batch_size=5, spool=spool,
+                         client_factory=server.client) as bc:
+            publish_n(bc, 5)
+        assert bc.report.acked == 2
+        assert bc.report.spooled == 3  # nothing silently dropped
+        assert len(spool) == 3
+
+    def test_whole_frame_rejection_rejects_every_record(self):
+        def script(batch):
+            raise ServiceError("request body exceeds limit")
+
+        server = FakeBatchServer(script)
+        with BatchClient("http://x", batch_size=4,
+                         client_factory=server.client) as bc:
+            publish_n(bc, 4)
+        assert bc.report.acked == 0
+        assert len(bc.report.rejected) == 4
+
+    def test_undeliverable_without_spool_raises_on_flush(self):
+        def script(batch):
+            raise TransportError("dead")
+
+        server = FakeBatchServer(script)
+        bc = BatchClient("http://x", batch_size=2,
+                         client_factory=server.client)
+        publish_n(bc, 2)
+        with pytest.raises(IngestError, match="undeliverable"):
+            bc.flush()
+        bc.close()
+
+    def test_spool_full_surfaces_on_flush(self, tmp_path):
+        def script(batch):
+            raise TransportError("dead")
+
+        server = FakeBatchServer(script)
+        spool = Spool(tmp_path / "spool", max_entries=1)
+        bc = BatchClient("http://x", batch_size=3, spool=spool,
+                         client_factory=server.client)
+        publish_n(bc, 3)
+        with pytest.raises(IngestError, match="SpoolError"):
+            bc.flush()
+        bc.close()
+
+
+class TestValidation:
+    def test_invalid_doc_id_refused_at_publish(self):
+        server = FakeBatchServer()
+        with BatchClient("http://x", client_factory=server.client) as bc:
+            with pytest.raises(IngestError):
+                bc.publish("", "text")
+
+    def test_bad_sizing_refused(self):
+        with pytest.raises(IngestError):
+            BatchClient("http://x", batch_size=0)
+        with pytest.raises(IngestError):
+            BatchClient("http://x", max_in_flight=0)

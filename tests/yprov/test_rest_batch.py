@@ -1,0 +1,109 @@
+"""HTTP tests for ``POST /documents:batch`` and ``POST /compact``."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.yprov.ingest import encode_batch
+from repro.yprov.rest import ProvenanceServer, ServerLimits
+from repro.yprov.service import ProvenanceService
+
+
+def doc(label):
+    return json.dumps({
+        "prefix": {"ex": "http://example.org/"},
+        "entity": {f"ex:{label}": {"prov:label": label}},
+    })
+
+
+def _post(url, data):
+    req = urllib.request.Request(url, data=data, method="POST")
+    with urllib.request.urlopen(req, timeout=5) as resp:
+        return resp.status, json.loads(resp.read().decode())
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, json.loads(resp.read().decode())
+
+
+@pytest.fixture()
+def seg_server(tmp_path):
+    service = ProvenanceService(root=tmp_path / "svc", storage="segments")
+    with ProvenanceServer(service) as srv:
+        yield srv
+
+
+class TestBatchEndpoint:
+    def test_batch_stores_and_reports_per_record(self, seg_server):
+        frame = encode_batch([
+            ("d1", doc("a")), ("bad id!", doc("b")), ("d2", doc("c")),
+        ])
+        status, body = _post(f"{seg_server.url}/documents:batch", frame)
+        assert status == 200
+        assert body["stored"] == 2 and body["failed"] == 1
+        assert [r["status"] for r in body["results"]] == [
+            "stored", "rejected", "stored",
+        ]
+        _, listing = _get(f"{seg_server.url}/documents")
+        assert listing == ["d1", "d2"]
+
+    def test_corrupt_frame_is_400_and_nothing_applied(self, seg_server):
+        frame = bytearray(encode_batch([("d1", doc("a")), ("d2", doc("b"))]))
+        frame[len(frame) // 2] ^= 0x01
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _post(f"{seg_server.url}/documents:batch", bytes(frame))
+        assert exc.value.code == 400
+        _, listing = _get(f"{seg_server.url}/documents")
+        assert listing == []
+
+    def test_non_batch_body_is_400(self, seg_server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _post(f"{seg_server.url}/documents:batch", b'{"not": "a frame"}')
+        assert exc.value.code == 400
+
+    def test_oversized_frame_is_413(self, tmp_path):
+        service = ProvenanceService(root=tmp_path / "svc",
+                                    storage="segments")
+        limits = ServerLimits(max_body_bytes=256)
+        with ProvenanceServer(service, limits=limits) as srv:
+            frame = encode_batch([("big", "x" * 1024)])
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                _post(f"{srv.url}/documents:batch", frame)
+            assert exc.value.code == 413
+
+    def test_works_against_files_backend(self, tmp_path):
+        service = ProvenanceService(root=tmp_path / "svc")
+        with ProvenanceServer(service) as srv:
+            status, body = _post(
+                f"{srv.url}/documents:batch",
+                encode_batch([("d1", doc("a"))]),
+            )
+            assert status == 200 and body["stored"] == 1
+
+
+class TestCapabilities:
+    def test_health_advertises_batch_and_compact(self, seg_server):
+        _, health = _get(f"{seg_server.url}/health")
+        assert "batch" in health["capabilities"]
+        assert "compact" in health["capabilities"]
+
+
+class TestCompactEndpoint:
+    def test_compact_over_http(self, seg_server):
+        frame = encode_batch([(f"d{n}", doc(f"l{n}")) for n in range(4)])
+        _post(f"{seg_server.url}/documents:batch", frame)
+        status, report = _post(f"{seg_server.url}/compact", b"")
+        assert status == 200
+        assert report["documents"] == 4 and not report["skipped"]
+        # reads unchanged after compaction
+        _, listing = _get(f"{seg_server.url}/documents")
+        assert listing == [f"d{n}" for n in range(4)]
+
+    def test_compact_files_backend_reports_skipped(self, tmp_path):
+        service = ProvenanceService(root=tmp_path / "svc")
+        with ProvenanceServer(service) as srv:
+            status, report = _post(f"{srv.url}/compact", b"")
+            assert status == 200 and report["skipped"]
