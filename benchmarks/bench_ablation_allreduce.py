@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from benchmarks.envelope import emit
 from repro.simulator.cluster import frontier
 from repro.simulator.comm import RingAllreduceModel, ThreadComm
 from repro.simulator.ddp import DDPEngine
@@ -52,6 +53,10 @@ def test_advantage_grows_with_scale(benchmark):
         return out
 
     values = benchmark(ratios)
+    emit("ablation_allreduce",
+         params={"grad_bytes": GRAD_BYTES, "gpu_counts": [16, 32, 64, 128]},
+         metrics={"naive_over_ring_ratio": dict(zip((16, 32, 64, 128),
+                                                    values))})
     assert values == sorted(values)
     assert values[-1] > 5 * values[0]  # the gap widens decisively at scale
 
@@ -103,6 +108,12 @@ def test_overlap_ablation(benchmark, zoo, capsys):
 
     with_overlap, without = benchmark(steps)
     saving = 1 - with_overlap.step_s / without.step_s
+    emit("ablation_allreduce",
+         metrics={"overlap_step_saving": saving,
+                  "exposed_comm_ms_with_overlap":
+                      with_overlap.exposed_comm_s * 1e3,
+                  "exposed_comm_ms_without":
+                      without.exposed_comm_s * 1e3})
     with capsys.disabled():
         print(f"\n[ablation:allreduce] overlap saves {saving:.1%} of step time "
               f"(exposed comm {with_overlap.exposed_comm_s * 1e3:.1f} -> "

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from benchmarks.envelope import emit
 from repro.simulator.faults import FailureModel, apply_failures
 from repro.simulator.training import job_from_zoo, simulate_training
 
@@ -38,6 +39,12 @@ def test_overhead_u_shaped(benchmark, capsys):
 
     factors = benchmark(sweep)
     best_idx = int(np.argmin(factors))
+    emit("ablation_checkpointing",
+         params={"n_nodes": N_NODES, "work_s": WORK_S,
+                 "node_mtbf_hours": MODEL.node_mtbf_hours},
+         metrics={"daly_interval_s": daly,
+                  "sweep_best_interval_s": float(intervals[best_idx]),
+                  "sweep_best_overhead_factor": float(factors[best_idx])})
     with capsys.disabled():
         print(f"\n[ablation:checkpoint] daly tau = {daly:.0f}s; sweep minimum "
               f"at {intervals[best_idx]:.0f}s "
@@ -84,6 +91,9 @@ def test_training_result_inflation(benchmark, capsys):
     failed = benchmark.pedantic(inflate, rounds=1, iterations=1)
     time_factor = failed.wall_time_s / result.wall_time_s
     energy_factor = failed.energy.total_joules / result.energy.total_joules
+    emit("ablation_checkpointing",
+         metrics={"walltime_inflation": time_factor,
+                  "energy_inflation": energy_factor})
     with capsys.disabled():
         print(f"\n[ablation:checkpoint] 600M/128GPU job: walltime x{time_factor:.3f}, "
               f"energy x{energy_factor:.3f} under failures")

@@ -16,6 +16,7 @@ import shutil
 import numpy as np
 import pytest
 
+from benchmarks.envelope import emit
 from repro.storage import SeriesData, ZarrLikeStore
 
 N = 300_000
@@ -68,6 +69,9 @@ def test_size_by_chunk(benchmark, tmp_path, capsys):
         return out
 
     result = benchmark.pedantic(sizes, rounds=1, iterations=1)
+    emit("ablation_chunking",
+         params={"n_samples": N, "chunk_sizes": CHUNK_SIZES},
+         metrics={"bytes_by_chunk_size": result})
     with capsys.disabled():
         print("\n[ablation:chunking] on-disk bytes by chunk size")
         for chunk_size, size in result.items():

@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from benchmarks.envelope import emit
 from repro.storage.codecs import DeltaZlibCodec, RawCodec, ScaleOffsetCodec, ZlibCodec
 
 N = 200_000
@@ -71,6 +72,9 @@ def test_delta_wins_on_monotone_columns(benchmark, capsys):
         return out
 
     result = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    emit("ablation_codecs",
+         params={"n_samples": N},
+         metrics={"compression_ratio": result})
     with capsys.disabled():
         print("\n[ablation:codecs] compression ratio (higher = better)")
         for column, by_codec in result.items():
@@ -110,6 +114,10 @@ def test_lossy_packing_tradeoff(benchmark, capsys):
     lossy_ratio, lossless_ratio, rel_err = benchmark.pedantic(
         measure, rounds=1, iterations=1
     )
+    emit("ablation_codecs",
+         metrics={"scale_offset_ratio": lossy_ratio,
+                  "zlib_ratio": lossless_ratio,
+                  "scale_offset_max_rel_err": rel_err})
     with capsys.disabled():
         print(f"\n[ablation:codecs] lossy {lossy_ratio:.1f}x vs "
               f"lossless {lossless_ratio:.1f}x, max rel err {rel_err:.2e}")

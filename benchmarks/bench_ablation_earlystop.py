@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import pytest
 
+from benchmarks.envelope import emit
 from repro.analysis.online import apply_early_stop
 from repro.analysis.tradeoff import EarlyStopAdvisor
 from repro.simulator.training import job_from_zoo, simulate_training
@@ -50,6 +51,12 @@ def test_energy_saved_vs_loss_penalty(benchmark, long_run, advisor, capsys):
                                  rounds=1, iterations=1)
     energy_saving = 1 - stopped.energy_kwh / long_run.energy_kwh
     loss_penalty = stopped.final_loss / long_run.final_loss - 1
+    emit("ablation_earlystop",
+         params=JOB_KWARGS,
+         metrics={"energy_saving": energy_saving,
+                  "loss_penalty": loss_penalty,
+                  "tradeoff_full": long_run.tradeoff,
+                  "tradeoff_stopped": stopped.tradeoff})
     with capsys.disabled():
         print(f"\n[ablation:earlystop] stop at step {stopped.steps_done}/"
               f"{long_run.steps_done}: energy -{energy_saving:.1%}, "

@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from benchmarks.envelope import emit
 from repro.simulator.faults import FailureModel, FaultInjector, validate_analytics
 
 N_NODES = 64
@@ -66,6 +67,10 @@ def test_u_shape_survives_sampling(benchmark, capsys):
 
     walltimes = benchmark(sweep)
     best_idx = int(np.argmin(walltimes))
+    emit("ablation_faultinjection",
+         params={"n_nodes": N_NODES, "work_s": WORK_S},
+         metrics={"sampled_best_interval_s": float(intervals[best_idx]),
+                  "daly_interval_s": daly})
     with capsys.disabled():
         print(f"\n[ablation:faultinjection] sampled optimum at "
               f"τ={intervals[best_idx]:.0f}s vs Daly {daly:.0f}s")

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import pytest
 
+from benchmarks.envelope import emit
 from repro.core.context import Context
 from repro.core.experiment import RunExecution
 from repro.core.provgen import build_prov_document
@@ -77,6 +78,11 @@ def test_lineage_query_latency(benchmark, tmp_path, capsys):
             prov_type="yprov4ml:RunExecution")
     )
     reachable = benchmark(service.get_subgraph, "big", run_qn, "both")
+    emit("ablation_graphdb",
+         params={"n_epochs": 100, "n_metrics": 10},
+         metrics={"nodes": stats["nodes"], "edges": stats["edges"],
+                  "closure_size": len(reachable),
+                  "traversal_mean_s": benchmark.stats.stats.mean})
     with capsys.disabled():
         print(f"\n[ablation:graphdb] {stats['nodes']} nodes / "
               f"{stats['edges']} edges; closure size {len(reachable)}")

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from benchmarks.envelope import emit
 from repro.core.context import Context
 from repro.core.experiment import RunExecution
 
@@ -88,6 +89,10 @@ def test_log_metric_vs_training_step(benchmark, running_run, capsys):
         number=2000,
     ) / 2000
     ratio = log_only / bare
+    emit("ablation_overhead",
+         metrics={"log_metric_us": log_only * 1e6,
+                  "tiny_step_us": bare * 1e6,
+                  "per_step_overhead": ratio})
     with capsys.disabled():
         print(f"\n[ablation:overhead] log_metric {log_only * 1e6:.2f} µs vs "
               f"tiny step {bare * 1e6:.1f} µs -> {ratio:.2%} overhead")
@@ -138,6 +143,9 @@ def test_journal_tax_per_event(benchmark, tmp_path, capsys):
         lambda: durable.log_metric("loss", 0.5, context=Context.TRAINING),
         number=200,
     ) / 200
+    emit("ablation_overhead",
+         metrics={"journal_buffered_us": buffered_cost * 1e6,
+                  "journal_fsync_us": durable_cost * 1e6})
     with capsys.disabled():
         print(f"\n[ablation:overhead] journaled log_metric: buffered "
               f"{buffered_cost * 1e6:.2f} µs, fsync-per-event "

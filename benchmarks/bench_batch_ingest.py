@@ -23,6 +23,7 @@ import time
 
 import pytest
 
+from benchmarks.envelope import emit
 from repro.yprov.client import ProvenanceClient
 from repro.yprov.ingest import BatchClient
 from repro.yprov.rest import ProvenanceServer
@@ -82,6 +83,13 @@ def test_batch_ingest_speedup_and_bounded_memory(seg_server, capsys):
     batch_rate = max(rate for rate, _ in batched)
     speedup = batch_rate / single_rate
 
+    emit("batch_ingest",
+         params={"batch_size": BATCH_SIZE, "max_in_flight": MAX_IN_FLIGHT,
+                 "batch_docs": BATCH_DOCS, "rounds": ROUNDS},
+         metrics={"single_put_docs_per_sec": single_rate,
+                  "batched_docs_per_sec": batch_rate,
+                  "speedup": speedup,
+                  "peak_buffered": max(r.peak_buffered for _, r in batched)})
     with capsys.disabled():
         peaks = [report.peak_buffered for _, report in batched]
         print(f"\n[batch-ingest] single PUT {single_rate:.0f} docs/s, "

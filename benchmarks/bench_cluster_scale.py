@@ -32,6 +32,7 @@ import zlib
 
 import pytest
 
+from benchmarks.envelope import artifact_path, emit
 from repro.yprov.ingest import BatchClient
 
 SRC_DIR = pathlib.Path(__file__).resolve().parents[1] / "src"
@@ -144,16 +145,17 @@ def test_batch_ingest_scales_with_shards(tmp_path, capsys):
         )
         print(f"\n[cluster-scale] {line}")
 
-    artifact = os.environ.get("REPRO_BENCH_SCALE_JSON")
-    if artifact:
-        pathlib.Path(artifact).write_text(json.dumps({
-            "docs_per_shard": DOCS_PER_SHARD,
-            "batch_size": BATCH_SIZE,
-            "cores": os.cpu_count(),
-            "docs_per_sec": rates,
-            "speedup_vs_1_shard": speedups,
-            "floors": {k: _floor(k) for k in SHARD_COUNTS if k > 1},
-        }, indent=2, sort_keys=True))
+    # legacy env var pins an explicit artifact path; otherwise the common
+    # envelope machinery decides (REPRO_BENCH_JSON_DIR or no write)
+    explicit = os.environ.get("REPRO_BENCH_SCALE_JSON")
+    emit("cluster_scale",
+         params={"docs_per_shard": DOCS_PER_SHARD,
+                 "batch_size": BATCH_SIZE,
+                 "shard_counts": list(SHARD_COUNTS)},
+         metrics={"docs_per_sec": rates,
+                  "speedup_vs_1_shard": speedups,
+                  "floors": {k: _floor(k) for k in SHARD_COUNTS if k > 1}},
+         path=explicit or artifact_path("cluster_scale"))
 
     for k in SHARD_COUNTS:
         if k == 1:

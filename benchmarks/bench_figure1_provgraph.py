@@ -13,6 +13,7 @@ from __future__ import annotations
 import networkx as nx
 import pytest
 
+from benchmarks.envelope import emit
 from repro.core.context import Context
 from repro.core.experiment import RunExecution
 from repro.core.provgen import build_prov_document
@@ -57,6 +58,10 @@ def figure1_run(tmp_path_factory):
 def test_figure1_generation_valid(benchmark, figure1_run):
     """Time PROV-document generation; the result must validate strictly."""
     doc = benchmark(build_prov_document, figure1_run)
+    emit("figure1_provgraph",
+         metrics={"provgen_mean_s": benchmark.stats.stats.mean,
+                  "activities": len(doc.activities),
+                  "entities": len(doc.entities)})
     assert validate_document(doc, require_declared=True).is_valid
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import pytest
 
+from benchmarks.envelope import emit
 from repro.core.context import Context
 from repro.core.experiment import Experiment
 from repro.core.provgen import build_prov_document
@@ -120,6 +121,10 @@ def test_figure2_hierarchy_in_provenance(benchmark, experiment, capsys):
     assert len(run_activities) == 1
     assert len(context_activities) == 4
     assert len(epoch_activities) == 4  # 2 TRAINING + 2 VALIDATION
+    emit("figure2_datamodel",
+         metrics={"provgen_mean_s": benchmark.stats.stats.mean,
+                  "contexts": len(context_activities),
+                  "epochs": len(epoch_activities)})
 
     with capsys.disabled():
         print("\n[figure2] recovered data model:")

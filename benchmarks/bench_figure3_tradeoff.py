@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import pytest
 
+from benchmarks.envelope import emit
 from repro.analysis.tradeoff import TradeoffGrid
 from repro.simulator import SimClock
 from repro.simulator.data import SyntheticMODIS
@@ -167,6 +168,10 @@ def test_figure3_mae_steeper_than_swint(benchmark, capsys):
         lambda: {"mae": slope("mae"), "swint": slope("swint")},
         rounds=1, iterations=1,
     )
+    emit("figure3_tradeoff",
+         params={"sizes": SIZES, "gpu_counts": GPU_COUNTS,
+                 "walltime_s": WALLTIME_S},
+         metrics={"tradeoff_log_slope": slopes})
     with capsys.disabled():
         print(f"\n[figure3] trade-off log-slope vs dataset scale: "
               f"mae={slopes['mae']:.3f} swint={slopes['swint']:.3f}")

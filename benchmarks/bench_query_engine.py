@@ -16,6 +16,7 @@ import time
 
 import pytest
 
+from benchmarks.envelope import emit
 from repro.prov.document import ProvDocument
 from repro.query import ServiceBackend, execute, parse
 from repro.yprov.service import ProvenanceService
@@ -79,6 +80,11 @@ def test_indexed_plan_beats_full_scan(service, capsys):
     t_indexed = _time(lambda: execute(query, backend))
     t_scanned = _time(lambda: execute(query, backend, force_scan=True))
     speedup = t_scanned / t_indexed
+    emit("query_engine",
+         params={"n_entities": N_ENTITIES, "shards": SHARDS},
+         metrics={"indexed_ms": t_indexed * 1e3,
+                  "scan_ms": t_scanned * 1e3,
+                  "index_speedup": speedup})
     with capsys.disabled():
         print(
             f"\n[bench_query_engine] {N_ENTITIES} elements: "

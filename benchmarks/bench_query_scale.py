@@ -1,0 +1,217 @@
+"""Query-side p99 under sustained concurrent batch writes, 1 vs 4 shards.
+
+ROADMAP item 1's leftover gate: ingest scaling (``bench_cluster_scale``)
+proved the write path shards; this bench prices the *read* path while the
+write path is busy.  Each shard is a real ``yprov serve`` subprocess; a
+fixed pool of background writers streams batch publishes at it
+continuously while the foreground thread runs PROVQL queries against
+seeded documents and records per-query latency.
+
+The aggregate write pressure is held constant across configurations (the
+same writer pool, spread over however many shards exist), so going from
+1 to 4 shards divides the per-shard write load by 4.  The claims gated
+here:
+
+* queries stay **correct** under write load — every probe query returns
+  exactly the seeded rows, mid-ingest;
+* query p99 stays **interactive** under write load
+  (``REPRO_BENCH_QUERY_P99_CEILING_MS``, default 500 ms);
+* sharding **helps the tail**: 4-shard p99 must not exceed
+  ``REPRO_BENCH_QUERY_P99_RATIO`` (default 2.0) x the 1-shard p99 —
+  spreading writers over shards must never make reads collapse.
+
+The JSON artifact (common envelope, ``BENCH_query_scale.json``) records
+p50/p99 per shard count plus the background write throughput achieved
+while the queries ran, so the perf trajectory tracks both sides.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from benchmarks.envelope import emit
+from repro.yprov.client import ProvenanceClient
+from repro.yprov.ingest import BatchClient
+
+SRC_DIR = pathlib.Path(__file__).resolve().parents[1] / "src"
+_URL_RE = re.compile(r"https?://\S+/api/v0")
+
+SHARD_COUNTS = (1, 4)
+N_WRITERS = 4           # constant aggregate write pressure
+SEED_ENTITIES = 400     # rows the probe query must return, exactly
+N_QUERIES = 150
+BATCH_SIZE = 50
+PROBE_QUERY = "MATCH entity WHERE attr.'ex:kind' = 'probe' RETURN id"
+
+P99_CEILING_MS = float(
+    os.environ.get("REPRO_BENCH_QUERY_P99_CEILING_MS", "500"))
+P99_RATIO = float(os.environ.get("REPRO_BENCH_QUERY_P99_RATIO", "2.0"))
+
+
+def _seed_doc() -> str:
+    entities = {
+        f"ex:probe_{i}": {"ex:kind": "probe", "ex:seq": i}
+        for i in range(SEED_ENTITIES)
+    }
+    return json.dumps({"prefix": {"ex": "http://example.org/"},
+                       "entity": entities})
+
+
+def _noise_doc(doc_id: str) -> str:
+    return json.dumps({
+        "prefix": {"ex": "http://example.org/"},
+        "entity": {f"ex:{doc_id}": {"prov:label": f"noise {doc_id}",
+                                    "ex:kind": "noise"}},
+    })
+
+
+def _env():
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        f"{SRC_DIR}{os.pathsep}{existing}" if existing else str(SRC_DIR)
+    )
+    return env
+
+
+def _start_shard(root):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.yprov.cli", "--root", str(root),
+         "serve", "--port", "0", "--storage", "segments"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=_env(),
+    )
+    line = proc.stdout.readline()
+    match = _URL_RE.search(line)
+    assert match, f"shard failed to announce a URL: {line!r}"
+    return proc, match.group(0)
+
+
+class _WritePool:
+    """N_WRITERS background threads streaming batch publishes round-robin
+    over the shard URLs until stopped; counts total acked documents."""
+
+    def __init__(self, urls):
+        self.urls = urls
+        self.stop = threading.Event()
+        self.acked = [0] * N_WRITERS
+        self.errors = []
+        self.threads = [
+            threading.Thread(target=self._pump, args=(i,), daemon=True)
+            for i in range(N_WRITERS)
+        ]
+
+    def _pump(self, idx):
+        url = self.urls[idx % len(self.urls)]
+        seq = 0
+        try:
+            while not self.stop.is_set():
+                with BatchClient(url, batch_size=BATCH_SIZE,
+                                 max_in_flight=2, retries=0,
+                                 timeout_s=60) as bc:
+                    for _ in range(BATCH_SIZE * 4):
+                        doc_id = f"noise-{idx}-{seq:07d}"
+                        bc.publish(doc_id, _noise_doc(doc_id))
+                        seq += 1
+                        if self.stop.is_set():
+                            break
+                self.acked[idx] += bc.report.acked
+        except Exception as exc:  # noqa: BLE001 - surfaced by the test
+            self.errors.append((idx, exc))
+
+    def __enter__(self):
+        for t in self.threads:
+            t.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop.set()
+        for t in self.threads:
+            t.join(timeout=120)
+
+
+def _percentile(samples, q):
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))]
+
+
+def _measure(urls):
+    """(p50_ms, p99_ms, write_docs_per_sec) with writers running."""
+    clients = [ProvenanceClient(url, timeout_s=30, retries=1)
+               for url in urls]
+    for i, client in enumerate(clients):
+        assert client.publish(f"seed-{i}", _seed_doc()).acked
+    with _WritePool(urls) as pool:
+        time.sleep(0.5)  # let the write pressure establish itself
+        latencies = []
+        t0 = time.perf_counter()
+        for n in range(N_QUERIES):
+            i = n % len(clients)
+            t1 = time.perf_counter()
+            result = clients[i].query(f"seed-{i}", PROBE_QUERY)
+            latencies.append(time.perf_counter() - t1)
+            assert len(result["rows"]) == SEED_ENTITIES
+        elapsed = time.perf_counter() - t0
+    assert not pool.errors, f"background writers failed: {pool.errors}"
+    written = sum(pool.acked)
+    assert written > 0, "no write pressure was applied"
+    return (
+        _percentile(latencies, 0.50) * 1e3,
+        _percentile(latencies, 0.99) * 1e3,
+        written / elapsed,
+    )
+
+
+def test_query_p99_under_concurrent_writes(tmp_path, capsys):
+    results = {}
+    for k in SHARD_COUNTS:
+        shards = []
+        try:
+            for i in range(k):
+                shards.append(_start_shard(tmp_path / f"q{k}-shard{i}"))
+            urls = [url for _, url in shards]
+            results[k] = _measure(urls)
+        finally:
+            for proc, _ in shards:
+                proc.terminate()
+            for proc, _ in shards:
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+
+    with capsys.disabled():
+        for k, (p50, p99, write_rate) in results.items():
+            print(f"\n[query-scale] {k} shard(s): p50 {p50:.1f} ms, "
+                  f"p99 {p99:.1f} ms under {write_rate:.0f} docs/s of writes")
+
+    emit("query_scale",
+         params={"shard_counts": list(SHARD_COUNTS),
+                 "n_writers": N_WRITERS, "n_queries": N_QUERIES,
+                 "seed_entities": SEED_ENTITIES,
+                 "p99_ceiling_ms": P99_CEILING_MS,
+                 "p99_ratio": P99_RATIO},
+         metrics={"query_ms": {
+             k: {"p50": p50, "p99": p99, "write_docs_per_sec": rate}
+             for k, (p50, p99, rate) in results.items()
+         }})
+
+    for k, (_, p99, _) in results.items():
+        assert p99 <= P99_CEILING_MS, (
+            f"{k}-shard p99 {p99:.1f} ms above the "
+            f"{P99_CEILING_MS:.0f} ms interactive ceiling"
+        )
+    ratio = results[4][1] / results[1][1]
+    assert ratio <= P99_RATIO, (
+        f"4-shard p99 is {ratio:.2f}x the 1-shard p99 "
+        f"(allowed {P99_RATIO:.2f}x): sharding made the read tail worse"
+    )

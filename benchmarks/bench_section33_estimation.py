@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import pytest
 
+from benchmarks.envelope import emit
 from repro.analysis.forecasting import ProvenanceForecaster
 from repro.analysis.scaling import ScalingEstimator
 from repro.core.registry import ExperimentRegistry
@@ -107,6 +108,8 @@ def test_leave_one_out_accuracy(benchmark, knowledge_base, capsys):
     forecaster = ProvenanceForecaster(knowledge_base)
     error = benchmark.pedantic(forecaster.leave_one_out_error,
                                rounds=1, iterations=1)
+    emit("section33_estimation",
+         metrics={"leave_one_out_error": error})
     with capsys.disabled():
         print(f"\n[section3.3] leave-one-out mean relative error: {error:.1%}")
     assert error < 0.15

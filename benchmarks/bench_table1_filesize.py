@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import pytest
 
+from benchmarks.envelope import emit
 from repro.storage import open_store
 from repro.storage.base import MetricStore
 from repro.storage.convert import format_size_table, size_report
@@ -65,6 +66,10 @@ def _rows(stores):
 def test_table1_sizes(benchmark, saved_runs, capsys):
     """Regenerate and print Table 1; assert the orderings the paper shows."""
     rows = benchmark.pedantic(_rows, args=(saved_runs,), rounds=1, iterations=1)
+    emit("table1_filesize",
+         metrics={row.label: {"normal_bytes": row.normal_bytes,
+                              "compressed_bytes": row.compressed_bytes}
+                  for row in rows})
     with capsys.disabled():
         print("\n[table1] (paper: 39.82/8.65, 2.74/2.14, 2.35/2.30 MB)")
         print(format_size_table(rows))

@@ -20,6 +20,7 @@ import time
 import numpy as np
 import pytest
 
+from benchmarks.envelope import emit
 from repro.core.context import Context
 from repro.core.experiment import RunExecution
 from repro.yprov.client import ProvenanceClient
@@ -82,6 +83,12 @@ def test_end_of_run_publish_overhead_under_5pct(tmp_path_factory, live_server,
         run_times.append(run_walltime)
         publish_times.append(publish_walltime)
     ratio = float(np.median(publish_times) / np.median(run_times))
+    emit("transport_overhead",
+         params={"rounds": rounds, "n_steps": 400},
+         metrics={"run_ms_median": float(np.median(run_times)) * 1e3,
+                  "publish_ms_median":
+                      float(np.median(publish_times)) * 1e3,
+                  "publish_overhead_ratio": ratio})
     with capsys.disabled():
         print(f"\n[transport] run {np.median(run_times) * 1e3:.0f} ms, "
               f"publish {np.median(publish_times) * 1e3:.1f} ms "
@@ -119,6 +126,9 @@ def test_unreachable_service_publish_is_bounded(tmp_path, capsys):
         result = client.publish(f"down_{i}", text)
         costs.append(time.perf_counter() - t0)
         assert result.spooled
+    emit("transport_overhead",
+         metrics={"spooled_publish_ms_median":
+                      float(np.median(costs)) * 1e3})
     with capsys.disabled():
         print(f"\n[transport] spooled publish (service down): "
               f"{np.median(costs) * 1e3:.1f} ms median")

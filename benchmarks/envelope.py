@@ -1,0 +1,106 @@
+"""Common JSON envelope for benchmark artifacts (``BENCH_*.json``).
+
+Every ``bench_*.py`` module reports its headline numbers through
+:func:`emit`, which wraps them in one machine-comparable envelope::
+
+    {"schema_version": 1,
+     "bench": "query_engine",
+     "host": {"cpu_count": 8, "platform": "...", "python": "3.11.9"},
+     "params": {"n_entities": 10000, ...},
+     "metrics": {"indexed_ms": 0.41, "speedup": 19.2, ...}}
+
+so the perf trajectory across PRs can be diffed by a script instead of by
+eye.  Artifacts are written only when ``REPRO_BENCH_JSON_DIR`` is set
+(CI sets it and uploads the directory); local runs just get the dict
+back.  Multiple tests in one module may call :func:`emit` with the same
+bench name — params and metrics merge into one file, so the envelope
+accretes as the module's tests run in any order or subset.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+__all__ = ["SCHEMA_VERSION", "ENV_DIR", "envelope", "artifact_path", "emit"]
+
+#: Bumped when the envelope layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Environment variable naming the directory artifacts are written into.
+ENV_DIR = "REPRO_BENCH_JSON_DIR"
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars/arrays and paths for ``json.dumps(default=)``."""
+    if hasattr(value, "tolist"):  # numpy scalar or array
+        return value.tolist()
+    if isinstance(value, Path):
+        return str(value)
+    return str(value)
+
+
+def envelope(
+    bench: str,
+    params: Optional[Mapping[str, Any]] = None,
+    metrics: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The envelope dict for one bench, without touching the filesystem."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": bench,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "params": dict(params or {}),
+        "metrics": dict(metrics or {}),
+    }
+
+
+def artifact_path(bench: str,
+                  out_dir: Optional[Union[str, Path]] = None) -> Optional[Path]:
+    """Where *bench*'s artifact lands, or None when emission is off."""
+    target = out_dir if out_dir is not None else os.environ.get(ENV_DIR)
+    if not target:
+        return None
+    return Path(target) / f"BENCH_{bench}.json"
+
+
+def emit(
+    bench: str,
+    params: Optional[Mapping[str, Any]] = None,
+    metrics: Optional[Mapping[str, Any]] = None,
+    path: Optional[Union[str, Path]] = None,
+) -> Dict[str, Any]:
+    """Merge *params*/*metrics* into ``BENCH_<bench>.json`` and return it.
+
+    When an artifact for *bench* already exists (an earlier test of the
+    same module emitted), its params and metrics are merged under the new
+    values rather than overwritten wholesale.  *path* forces a specific
+    output file regardless of ``REPRO_BENCH_JSON_DIR``.
+    """
+    target = Path(path) if path is not None else artifact_path(bench)
+    doc = envelope(bench, params, metrics)
+    if target is None:
+        return doc
+    if target.is_file():
+        try:
+            prior = json.loads(target.read_text(encoding="utf-8"))
+        except ValueError:
+            prior = None
+        if (isinstance(prior, dict)
+                and prior.get("schema_version") == SCHEMA_VERSION
+                and prior.get("bench") == bench):
+            doc["params"] = {**prior.get("params", {}), **doc["params"]}
+            doc["metrics"] = {**prior.get("metrics", {}), **doc["metrics"]}
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(doc, indent=2, sort_keys=True, default=_jsonable) + "\n",
+        encoding="utf-8",
+    )
+    return doc

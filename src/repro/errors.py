@@ -199,6 +199,41 @@ class TaskCancelledError(WorkflowError):
     """
 
 
+class FleetError(ReproError):
+    """Base class for the job fleet (queue, scheduler, workers)."""
+
+
+class JobNotFoundError(FleetError):
+    """The referenced job id is not present in the fleet queue."""
+
+
+class QueueFullError(FleetError):
+    """Admission control refused a submission (queue or tenant cap hit).
+
+    Maps to HTTP 429 on the REST surface; ``retry_after_s`` carries the
+    suggested backoff the server advertises via ``Retry-After``.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class LeaseExpiredError(FleetError):
+    """A worker acted on a lease it no longer holds.
+
+    Raised on ``renew``/``complete``/``fail`` when the lease expired and
+    was reclaimed (possibly re-leased to another worker).  The holder must
+    abandon the attempt: its result can no longer be accepted, which is
+    the fencing that prevents a suspected-then-revived worker from
+    double-reporting a job.
+    """
+
+
+class JobStateError(FleetError):
+    """An operation is invalid for the job's current lifecycle state."""
+
+
 class SimulationError(ReproError):
     """Base class for distributed-training-simulator failures."""
 

@@ -1,0 +1,52 @@
+"""Fault-tolerant job fleet: durable queue, fair-share scheduler, workers.
+
+The fleet is the platform's answer to ROADMAP item 4 (the MORF
+direction): many tenants submit workflow jobs concurrently, and the
+system must survive a SIGKILL of any participant with zero acked-job
+loss.  It is deliberately *composed* from robustness machinery the
+repository already trusts:
+
+- :mod:`repro.fleet.queue` journals every job transition to a
+  crc-checked WAL (the :mod:`repro.core.journal` wire format) with
+  fsync-before-ack, so a submission the caller saw acknowledged is
+  durable by construction.
+- :mod:`repro.fleet.scheduler` dispatches fairly across tenants
+  (deficit round-robin over configurable weights) and bounds the queue
+  with admission control mirroring the REST tier's ``TenantQuotas``.
+- :mod:`repro.fleet.worker` executes each job through the durable
+  workflow engine (:meth:`repro.workflow.dag.Workflow.resume`) under a
+  heartbeat-renewed lease, so a crashed worker's successor *resumes*
+  the job's journal instead of re-executing completed tasks.
+- :mod:`repro.fleet.provenance` turns every attempt into PROV
+  activities so PROVQL can answer "which jobs burned the most retries
+  and why".
+- :mod:`repro.fleet.manager` binds the pieces into the object the REST
+  tier serves.
+"""
+
+from repro.fleet.manager import FleetManager
+from repro.fleet.queue import (
+    FLEET_QUEUE_NAME,
+    FleetQueue,
+    Job,
+    JobLease,
+    JobState,
+    replay_queue,
+)
+from repro.fleet.scheduler import AdmissionControl, FairShareScheduler
+from repro.fleet.worker import FleetWorker, JobContext, RemoteQueue
+
+__all__ = [
+    "AdmissionControl",
+    "FLEET_QUEUE_NAME",
+    "FairShareScheduler",
+    "FleetManager",
+    "FleetQueue",
+    "FleetWorker",
+    "Job",
+    "JobContext",
+    "JobLease",
+    "JobState",
+    "RemoteQueue",
+    "replay_queue",
+]

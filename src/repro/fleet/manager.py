@@ -1,0 +1,215 @@
+"""FleetManager: the object the REST tier serves for ``/api/v0/jobs``.
+
+Binds the durable queue, the fair-share scheduler, the admission policy
+and the provenance publisher into one duck-typed verb surface — exactly
+the pattern the REST handler already uses for the single-node service
+vs. the cluster router.  The manager also owns the fleet's on-disk
+layout::
+
+    <root>/queue.wal     the job-queue WAL (crc-checked, fsync-per-record)
+    <root>/jobs/<id>/    one workflow state dir per job (the workers'
+                         journals; preserved for dead-lettered jobs so
+                         their last attempt is inspectable)
+
+Purging a settled job removes its state dir too, so the PL116 lint's
+orphan check stays quiet on a well-run fleet.
+"""
+
+from __future__ import annotations
+
+import shutil
+import time as _time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+from repro.errors import FleetError
+from repro.fleet.provenance import JobProvenancePublisher
+from repro.fleet.queue import FleetQueue, JobState
+from repro.fleet.scheduler import AdmissionControl, FairShareScheduler
+from repro.retry import ExponentialBackoff
+from repro.workflow.journal import workflow_journal_path
+
+__all__ = ["FleetManager", "JOBS_DIR_NAME"]
+
+#: Subdirectory of the fleet root holding per-job workflow state dirs.
+JOBS_DIR_NAME = "jobs"
+
+
+def _brief(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The list-view projection of a job status payload."""
+    return {
+        "job_id": payload["job_id"],
+        "tenant": payload["tenant"],
+        "state": payload["state"],
+        "attempts": payload["attempts"],
+        "crashes": payload["crashes"],
+        "failures": payload["failures"],
+        "submitted_at": payload["submitted_at"],
+        "worker": payload["worker"],
+        "error": payload["error"],
+        "dead_reason": payload["dead_reason"],
+    }
+
+
+class FleetManager:
+    """Durable job fleet behind one state directory.
+
+    *service* (optional) is anything with ``put_document(doc_id, doc)``
+    — each durable queue transition then publishes the job's PROV
+    document there, so the fleet's retry history is PROVQL-queryable on
+    the same node that schedules it.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        service: Optional[Any] = None,
+        *,
+        lease_duration_s: float = 30.0,
+        max_attempts: int = 3,
+        tenant_weights: Optional[Mapping[str, float]] = None,
+        max_active_total: int = 1024,
+        max_active_per_tenant: int = 64,
+        retry_after_s: float = 1.0,
+        retry_backoff: Optional[ExponentialBackoff] = None,
+        clock: Callable[[], float] = _time.time,
+        fsync: bool = True,
+    ) -> None:
+        self.root = Path(root)
+        self.state_root = self.root / JOBS_DIR_NAME
+        self.state_root.mkdir(parents=True, exist_ok=True)
+        self.publisher: Optional[JobProvenancePublisher] = None
+        if service is not None:
+            self.publisher = JobProvenancePublisher(
+                lambda doc_id, doc: service.put_document(doc_id, doc))
+        self.queue = FleetQueue(
+            self.root,
+            lease_duration_s=lease_duration_s,
+            max_attempts=max_attempts,
+            scheduler=FairShareScheduler(weights=tenant_weights),
+            admission=AdmissionControl(
+                max_active_total=max_active_total,
+                max_active_per_tenant=max_active_per_tenant,
+                retry_after_s=retry_after_s,
+            ),
+            retry_backoff=retry_backoff,
+            clock=clock,
+            fsync=fsync,
+            on_event=(self.publisher.on_event
+                      if self.publisher is not None else None),
+        )
+
+    # -- submission / inspection (REST: POST /jobs, GET /jobs[...]) ----
+    def submit_job(
+        self,
+        spec: Mapping[str, Any],
+        tenant: str = "default",
+        max_attempts: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Durably accept one job; the returned payload is the 201 body."""
+        job = self.queue.submit(spec, tenant=tenant, max_attempts=max_attempts)
+        return job.status_payload()
+
+    def get_job(self, job_id: str) -> Dict[str, Any]:
+        """Full status of one job (the ``GET /jobs/<id>`` body)."""
+        return self.queue.get(job_id).status_payload()
+
+    def list_jobs(
+        self,
+        state: Optional[str] = None,
+        tenant: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Brief status rows, optionally filtered by state and tenant."""
+        job_state: Optional[JobState] = None
+        if state:
+            try:
+                job_state = JobState(state)
+            except ValueError:
+                raise FleetError(
+                    f"unknown job state {state!r}; one of: "
+                    f"{', '.join(s.value for s in JobState)}") from None
+        return [
+            _brief(job.status_payload())
+            for job in self.queue.jobs(state=job_state, tenant=tenant)
+        ]
+
+    # -- worker protocol (REST: POST /jobs:lease, /jobs/<id>:verb) -----
+    def lease_job(self, worker_id: str) -> Optional[Dict[str, Any]]:
+        """Grant the fair-share pick to *worker_id* (None = nothing ready)."""
+        lease = self.queue.lease(str(worker_id))
+        return lease.to_payload() if lease is not None else None
+
+    def renew_job(self, job_id: str, worker_id: str,
+                  attempt: int) -> Dict[str, Any]:
+        """Heartbeat-extend a held lease."""
+        expires = self.queue.renew(job_id, str(worker_id), int(attempt))
+        return {"job_id": job_id, "expires": expires}
+
+    def complete_job(self, job_id: str, worker_id: str, attempt: int,
+                     result: Optional[Mapping[str, Any]] = None,
+                     ) -> Dict[str, Any]:
+        """Report success for a held lease."""
+        job = self.queue.complete(job_id, str(worker_id), int(attempt),
+                                  result=result)
+        return job.status_payload()
+
+    def fail_job(self, job_id: str, worker_id: str, attempt: int,
+                 error: str) -> Dict[str, Any]:
+        """Report a clean failure (retry with backoff or dead-letter)."""
+        job = self.queue.fail(job_id, str(worker_id), int(attempt),
+                              str(error))
+        return job.status_payload()
+
+    # -- DLQ management (REST: POST /jobs/<id>:requeue, DELETE) --------
+    def requeue_job(self, job_id: str) -> Dict[str, Any]:
+        """Return a dead-lettered job to the pending queue.
+
+        The dead attempts' workflow journal is archived (renamed in
+        place), not resumed: a dead-lettered run has typically reached a
+        terminal failed/quarantined state that a resume would replay
+        straight back into.  Requeue means *fresh attempts* — counters
+        reset and the workflow starts over — while the archived journal
+        stays in the job's state dir for post-mortem inspection.
+        """
+        job = self.queue.requeue(job_id)
+        wal = workflow_journal_path(self.state_root / job_id)
+        if wal.is_file():
+            n = 1
+            while (archived := wal.with_name(
+                    f"{wal.name}.dead-{n}")).exists():
+                n += 1
+            wal.rename(archived)
+        return job.status_payload()
+
+    def purge_job(self, job_id: str) -> Dict[str, Any]:
+        """Drop a settled job and its workflow state dir."""
+        job = self.queue.purge(job_id)
+        state_dir = self.state_root / job_id
+        if state_dir.is_dir():
+            shutil.rmtree(state_dir, ignore_errors=True)
+        return job.status_payload()
+
+    def reclaim_expired(self) -> List[str]:
+        """Reclaim expired leases now (the lease path also does this)."""
+        return self.queue.reclaim_expired()
+
+    # -- observability -------------------------------------------------
+    def fleet_stats(self) -> Dict[str, Any]:
+        """Queue counters plus provenance-publishing health."""
+        stats = self.queue.stats()
+        stats["state_root"] = str(self.state_root)
+        stats["tenant_weights"] = self.queue.scheduler.weights()
+        if self.publisher is not None:
+            stats["prov_published"] = self.publisher.published
+            stats["prov_dropped"] = self.publisher.dropped
+        return stats
+
+    def close(self) -> None:
+        """Close the queue WAL; further transitions raise."""
+        self.queue.close()
+
+    def __enter__(self) -> "FleetManager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

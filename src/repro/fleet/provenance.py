@@ -1,0 +1,178 @@
+"""Fleet-level provenance: every job attempt becomes a PROV activity.
+
+The scheduler is the one participant that observes every attempt of
+every job — leases granted, leases that expired with a dead worker,
+clean failures, dead-lettering — so it is the scheduler that narrates
+them as PROV.  Each job gets one document (``fleet-job-<id>``) rebuilt
+from the queue's folded state on every durable transition:
+
+- ``fleet:job/<id>`` — the job itself, a Activity carrying tenant,
+  state, attempt/crash/failure counters, and the
+  ``repro:dead_lettered`` marker once quarantined.
+- ``fleet:job/<id>/attempt/<k>`` — one Activity per attempt, chained
+  ``wasInformedBy`` to its predecessor, so a PROVQL ``TRAVERSE
+  upstream VIA wasInformedBy`` from the last attempt walks the job's
+  whole retry history — which is how the service answers "which jobs
+  burned the most retries and why".
+- ``fleet:worker/<id>`` — the worker agent each attempt
+  ``wasAssociatedWith``.
+
+Publishing is strictly best-effort: a provenance hiccup must never
+fail a queue transition, so errors are counted (``dropped``) rather
+than raised.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.experiment import utc
+from repro.core.provgen import REPRO_NS
+from repro.fleet.queue import Job, JobState
+from repro.prov.document import ProvDocument
+from repro.prov.identifiers import Namespace
+
+__all__ = [
+    "FLEET_NS",
+    "JobProvenancePublisher",
+    "build_job_document",
+    "job_document_id",
+]
+
+#: fleet vocabulary namespace (domain-agnostic, mirrors the workflow layer)
+FLEET_NS = Namespace("fleet", "https://github.com/HPCI-Lab/yProv#fleet/")
+
+
+def job_document_id(job_id: str) -> str:
+    """The service document id holding a job's fleet provenance."""
+    return f"fleet-job-{job_id}"
+
+
+def build_job_document(job: Job) -> ProvDocument:
+    """Map one job's folded queue state onto W3C PROV."""
+    doc = ProvDocument()
+    doc.add_namespace(FLEET_NS)
+    doc.add_namespace(REPRO_NS)
+
+    job_attrs: Dict[str, Any] = {
+        "prov:type": FLEET_NS("Job"),
+        "prov:label": job.job_id,
+        "fleet:tenant": job.tenant,
+        "fleet:state": job.state.value,
+        "fleet:attempts": job.attempts,
+        "fleet:crashes": job.crashes,
+        "fleet:failures": job.failures,
+        "fleet:max_attempts": job.max_attempts,
+    }
+    if job.error:
+        job_attrs["fleet:error"] = job.error
+    if job.state is JobState.DEAD_LETTERED:
+        job_attrs["repro:dead_lettered"] = True
+        if job.dead_reason:
+            job_attrs["fleet:dead_reason"] = job.dead_reason
+    job_id = FLEET_NS(f"job/{job.job_id}")
+    doc.activity(
+        job_id,
+        start_time=utc(job.submitted_at) if job.submitted_at else None,
+        end_time=utc(job.ended_at) if job.ended_at else None,
+        attributes=job_attrs,
+    )
+
+    spec_id = FLEET_NS(f"job/{job.job_id}/spec")
+    doc.entity(spec_id, {
+        "prov:type": FLEET_NS("JobSpec"),
+        "prov:label": f"{job.job_id} spec",
+    })
+    doc.used(job_id, spec_id)
+
+    tenant_id = FLEET_NS(f"tenant/{job.tenant}")
+    doc.agent(tenant_id, {
+        "prov:type": FLEET_NS("Tenant"),
+        "prov:label": job.tenant,
+    })
+    doc.was_associated_with(job_id, tenant_id)
+
+    workers: Dict[str, Any] = {}
+    prev_id = None
+    attempt_no = 0
+    for entry in job.history:
+        number = entry.get("attempt")
+        if number is None:
+            continue  # requeue markers are not attempts
+        attempt_no = int(number)
+        attempt_id = FLEET_NS(f"job/{job.job_id}/attempt/{attempt_no}")
+        outcome = entry.get("outcome") or "running"
+        attrs: Dict[str, Any] = {
+            "prov:type": FLEET_NS("JobAttempt"),
+            "prov:label": f"{job.job_id} attempt {attempt_no}",
+            "fleet:attempt": attempt_no,
+            "fleet:outcome": outcome,
+        }
+        if entry.get("error"):
+            attrs["fleet:error"] = entry["error"]
+        if outcome == "expired":
+            attrs["repro:crashed"] = True
+        leased_at = entry.get("leased_at")
+        ended_at = entry.get("ended_at")
+        doc.activity(
+            attempt_id,
+            start_time=utc(leased_at) if leased_at else None,
+            end_time=utc(ended_at) if ended_at else None,
+            attributes=attrs,
+        )
+        doc.was_started_by(attempt_id, starter=job_id)
+        worker = entry.get("worker")
+        if worker:
+            worker_id = workers.get(worker)
+            if worker_id is None:
+                worker_id = FLEET_NS(f"worker/{worker}")
+                doc.agent(worker_id, {
+                    "prov:type": FLEET_NS("Worker"),
+                    "prov:label": worker,
+                })
+                workers[worker] = worker_id
+            doc.was_associated_with(attempt_id, worker_id)
+        if prev_id is not None:
+            doc.was_informed_by(attempt_id, prev_id)
+        prev_id = attempt_id
+
+    if job.state is JobState.DONE and prev_id is not None:
+        result_id = FLEET_NS(f"job/{job.job_id}/result")
+        doc.entity(result_id, {
+            "prov:type": FLEET_NS("JobResult"),
+            "prov:label": f"{job.job_id} result",
+        })
+        doc.was_generated_by(
+            result_id, prev_id,
+            time=utc(job.ended_at) if job.ended_at else None)
+    return doc
+
+
+class JobProvenancePublisher:
+    """Publishes each job's document on every durable queue transition.
+
+    *publish* is ``(doc_id, document) -> None`` — typically a closure
+    over :meth:`ProvenanceService.put_document`.  Failures are swallowed
+    and counted in :attr:`dropped`: provenance must never take the
+    scheduler down with it.
+    """
+
+    #: queue events that change what the document would say
+    _EVENTS = frozenset(
+        {"submit", "lease", "complete", "fail", "expire",
+         "dead_letter", "requeue"})
+
+    def __init__(self, publish: Callable[[str, ProvDocument], None]) -> None:
+        self.publish = publish
+        self.published = 0
+        self.dropped = 0
+
+    def on_event(self, kind: str, job: Job) -> None:
+        """Queue ``on_event`` hook: rebuild and publish the job document."""
+        if kind not in self._EVENTS:
+            return
+        try:
+            self.publish(job_document_id(job.job_id), build_job_document(job))
+            self.published += 1
+        except Exception:
+            self.dropped += 1

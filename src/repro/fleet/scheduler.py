@@ -1,0 +1,170 @@
+"""Fair-share dispatch and bounded admission for the job fleet.
+
+Two small, deterministic policies live here:
+
+- :class:`FairShareScheduler` — classic deficit round-robin (DRR) over
+  per-tenant weights.  Each scheduling round credits every tenant with
+  ready work ``quantum * weight`` of deficit; a tenant is picked when
+  its deficit covers one job.  Over a saturated queue the completed-job
+  share therefore converges to the weight ratio (2:1 weights → 2:1
+  throughput), while an idle tenant's deficit is zeroed so it cannot
+  hoard credit and burst-starve the others later.
+- :class:`AdmissionControl` — bounded-queue admission mirroring the
+  REST tier's ``TenantQuotas``: a global cap on active (pending+leased)
+  jobs plus a per-tenant cap, raising
+  :class:`~repro.errors.QueueFullError` with a suggested retry delay.
+  The REST surface maps that to ``429`` + ``Retry-After``, which is
+  what keeps a misbehaving submitter from growing the queue (and the
+  WAL) without bound.
+
+Both are plain in-memory policies: the durable truth lives in the
+queue's WAL, so neither needs to survive a crash — a restarted
+scheduler simply starts a fresh round over the replayed ready set.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional
+
+from repro.errors import FleetError, QueueFullError
+
+__all__ = ["AdmissionControl", "FairShareScheduler"]
+
+
+class FairShareScheduler:
+    """Deficit round-robin over per-tenant weights (deterministic)."""
+
+    def __init__(
+        self,
+        weights: Optional[Mapping[str, float]] = None,
+        default_weight: float = 1.0,
+        quantum: float = 1.0,
+    ) -> None:
+        if default_weight <= 0:
+            raise FleetError(
+                f"default_weight must be positive, got {default_weight}")
+        if quantum <= 0:
+            raise FleetError(f"quantum must be positive, got {quantum}")
+        self.default_weight = float(default_weight)
+        self.quantum = float(quantum)
+        self._weights: Dict[str, float] = {}
+        self._deficits: Dict[str, float] = {}
+        self._order: List[str] = []
+        self._cursor = 0
+        #: True when the cursor just arrived at a tenant (credit it once)
+        self._fresh_visit = True
+        for tenant, weight in (weights or {}).items():
+            self.set_weight(tenant, weight)
+
+    def set_weight(self, tenant: str, weight: float) -> None:
+        """Set a tenant's fair-share weight (must be positive)."""
+        if weight <= 0:
+            raise FleetError(
+                f"weight for tenant {tenant!r} must be positive, got {weight}")
+        self._weights[str(tenant)] = float(weight)
+        self._ensure(str(tenant))
+
+    def weight(self, tenant: str) -> float:
+        """The tenant's weight (``default_weight`` when unconfigured)."""
+        return self._weights.get(tenant, self.default_weight)
+
+    def weights(self) -> Dict[str, float]:
+        """A copy of the explicitly configured weights."""
+        return dict(self._weights)
+
+    def _ensure(self, tenant: str) -> None:
+        if tenant not in self._deficits:
+            self._deficits[tenant] = 0.0
+            self._order.append(tenant)
+
+    def pick(self, ready: Mapping[str, int]) -> Optional[str]:
+        """Choose the tenant whose turn it is among those with ready jobs.
+
+        *ready* maps tenant → number of ready jobs; tenants with zero
+        are treated as idle (their deficit resets, per standard DRR).
+        Returns ``None`` when nothing is ready.
+
+        Classic DRR serves a tenant's whole deficit as a burst before
+        moving on, so the cursor *stays* on a tenant while its remaining
+        deficit covers another job; the deficit is credited
+        (``quantum * weight``) only when the cursor first arrives.  Over
+        a saturated queue the pick counts therefore converge to the
+        weight ratio exactly.  One job costs 1.0 deficit, so the loop
+        terminates within ``ceil(1 / (quantum * min_weight)) + 1`` full
+        cycles.
+        """
+        candidates = {t for t, n in ready.items() if n > 0}
+        # sorted so first-seen registration order (and thus the whole
+        # pick sequence) is deterministic across interpreter runs
+        for tenant in sorted(candidates):
+            self._ensure(tenant)
+        if not candidates:
+            self._deficits = {t: 0.0 for t in self._deficits}
+            self._fresh_visit = True
+            return None
+        for tenant in self._order:
+            if tenant not in candidates:
+                self._deficits[tenant] = 0.0
+        cost = 1.0
+        min_weight = min(self.weight(t) for t in candidates)
+        max_cycles = int(math.ceil(cost / (self.quantum * min_weight))) + 1
+        for _ in range((max_cycles + 1) * len(self._order)):
+            tenant = self._order[self._cursor % len(self._order)]
+            if tenant in candidates:
+                if self._fresh_visit:
+                    self._deficits[tenant] += self.quantum * self.weight(tenant)
+                    self._fresh_visit = False
+                if self._deficits[tenant] >= cost:
+                    # cursor stays put: the burst continues next call
+                    self._deficits[tenant] -= cost
+                    return tenant
+            self._cursor = (self._cursor + 1) % len(self._order)
+            self._fresh_visit = True
+        raise FleetError("deficit round-robin failed to converge")  # pragma: no cover
+
+    def __repr__(self) -> str:
+        return (f"FairShareScheduler(weights={self._weights!r}, "
+                f"default={self.default_weight})")
+
+
+class AdmissionControl:
+    """Bounded-queue admission: global and per-tenant caps on active jobs.
+
+    ``check`` raises :class:`~repro.errors.QueueFullError` carrying
+    ``retry_after_s`` when a cap is hit; the queue calls it *before*
+    journaling, so overflow never consumes durable state.
+    """
+
+    def __init__(
+        self,
+        max_active_total: int = 1024,
+        max_active_per_tenant: int = 64,
+        retry_after_s: float = 1.0,
+    ) -> None:
+        if max_active_total < 1:
+            raise FleetError(
+                f"max_active_total must be >= 1, got {max_active_total}")
+        if max_active_per_tenant < 1:
+            raise FleetError("max_active_per_tenant must be >= 1, got "
+                             f"{max_active_per_tenant}")
+        self.max_active_total = int(max_active_total)
+        self.max_active_per_tenant = int(max_active_per_tenant)
+        self.retry_after_s = float(retry_after_s)
+
+    def check(self, tenant: str, active_tenant: int, active_total: int) -> None:
+        """Admit or refuse one submission given the current active counts."""
+        if active_total >= self.max_active_total:
+            raise QueueFullError(
+                f"queue full: {active_total} active jobs "
+                f"(cap {self.max_active_total})",
+                retry_after_s=self.retry_after_s)
+        if active_tenant >= self.max_active_per_tenant:
+            raise QueueFullError(
+                f"tenant {tenant!r} at capacity: {active_tenant} active jobs "
+                f"(cap {self.max_active_per_tenant})",
+                retry_after_s=self.retry_after_s)
+
+    def __repr__(self) -> str:
+        return (f"AdmissionControl(total={self.max_active_total}, "
+                f"per_tenant={self.max_active_per_tenant})")

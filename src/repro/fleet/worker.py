@@ -1,0 +1,305 @@
+"""Lease-based fleet worker: runs jobs through the durable workflow engine.
+
+A worker's contract with the queue is a *lease*: it may run a job only
+while it holds the current lease, renewed by a background heartbeat at
+a third of the lease duration.  Everything else follows from crashes:
+
+- A worker that dies silently stops renewing; the queue reclaims the
+  expired lease and offers the job to a successor.
+- The successor runs the job with :meth:`Workflow.resume
+  <repro.workflow.dag.Workflow.resume>` over the *same* per-job state
+  directory, so tasks whose results reached the workflow journal are
+  replayed, never re-executed.
+- A worker that was merely *suspected* dead (network partition, long
+  GC pause) finds its renew/complete fenced out with
+  :class:`~repro.errors.LeaseExpiredError` and abandons the attempt —
+  it cannot double-report a job another worker now owns.  Job code can
+  call :meth:`JobContext.check_lease` before committing non-resumable
+  side effects to get the same fencing mid-run.
+
+The worker talks to anything that quacks like a queue
+(``lease``/``renew``/``complete``/``fail``): the in-process
+:class:`~repro.fleet.queue.FleetQueue` in tests, or
+:class:`RemoteQueue` — a thin adapter over the resilient
+``ProvenanceClient`` job verbs — when the scheduler runs in another
+process.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time as _time
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Optional, Union
+
+from repro.errors import (
+    FleetError,
+    JobNotFoundError,
+    JobStateError,
+    LeaseExpiredError,
+    ReproError,
+)
+from repro.fleet.queue import JobLease
+from repro.workflow.loader import load_workflow_file
+
+__all__ = ["FleetWorker", "JobContext", "RemoteQueue", "workflow_runner"]
+
+#: A runner executes one leased job and returns its JSON-able result.
+Runner = Callable[[JobLease, "JobContext"], Optional[Mapping[str, Any]]]
+
+
+class JobContext:
+    """What a runner sees while executing one leased attempt."""
+
+    def __init__(self, lease: JobLease,
+                 clock: Callable[[], float] = _time.time) -> None:
+        self.lease = lease
+        self.clock = clock
+        self._lost = threading.Event()
+
+    @property
+    def lease_lost(self) -> bool:
+        """True once the lease was fenced out (renewal failed terminally)."""
+        return self._lost.is_set()
+
+    def mark_lost(self) -> None:
+        """Record that the lease is gone (called by the renewal thread)."""
+        self._lost.set()
+
+    def check_lease(self) -> None:
+        """Raise :class:`~repro.errors.LeaseExpiredError` if the lease is gone.
+
+        Job code should call this immediately before committing a
+        non-resumable side effect: a worker that was suspected dead and
+        then revived learns here — not after the damage — that another
+        worker now owns the job.
+        """
+        if self._lost.is_set():
+            raise LeaseExpiredError(
+                f"job {self.lease.job_id!r}: lease lost "
+                f"(worker {self.lease.worker!r}, attempt {self.lease.attempt})")
+
+
+class RemoteQueue:
+    """Queue facade over the ``ProvenanceClient`` job verbs.
+
+    Lets :class:`FleetWorker` run against a scheduler in another process:
+    the client maps the coded REST errors back to the same typed fleet
+    exceptions the in-process queue raises, so the worker cannot tell
+    the difference.
+    """
+
+    def __init__(self, client: Any) -> None:
+        self.client = client
+
+    def lease(self, worker_id: str,
+              now: Optional[float] = None) -> Optional[JobLease]:
+        """Request the next fair-share job; ``None`` when nothing is ready."""
+        payload = self.client.lease_job(worker_id)
+        if not payload:
+            return None
+        return JobLease.from_payload(payload)
+
+    def renew(self, job_id: str, worker_id: str, attempt: int,
+              now: Optional[float] = None) -> float:
+        """Extend the held lease; returns the new expiry timestamp."""
+        payload = self.client.renew_job(job_id, worker_id, attempt)
+        return float(payload.get("expires") or 0.0)
+
+    def complete(self, job_id: str, worker_id: str, attempt: int,
+                 result: Optional[Mapping[str, Any]] = None,
+                 now: Optional[float] = None) -> None:
+        """Report success for the held lease."""
+        self.client.complete_job(job_id, worker_id, attempt, result=result)
+
+    def fail(self, job_id: str, worker_id: str, attempt: int, error: str,
+             now: Optional[float] = None) -> None:
+        """Report a clean failure for the held lease."""
+        self.client.fail_job(job_id, worker_id, attempt, error)
+
+
+def workflow_runner(
+    state_root: Union[str, Path],
+    clock: Optional[Callable[[], float]] = None,
+    sleep: Optional[Callable[[float], None]] = None,
+    heartbeat_interval_s: Optional[float] = 1.0,
+) -> Runner:
+    """The default runner: execute the job's workflow file durably.
+
+    The job spec names a workflow definition file (``workflow_file``, a
+    module exposing ``build_workflow()``) plus optional ``inputs``,
+    ``max_workers`` and ``quarantine_after``.  Each job owns the state
+    directory ``<state_root>/<job_id>``; the runner always *resumes* it,
+    which runs fresh on a first attempt and replays completed tasks on
+    any retry — a crashed predecessor's work is never re-executed.
+    """
+    root = Path(state_root)
+
+    def run(lease: JobLease, ctx: JobContext) -> Dict[str, Any]:
+        """Execute one leased attempt of a workflow job."""
+        spec = lease.spec
+        wf_file = spec.get("workflow_file")
+        if not wf_file:
+            raise FleetError(
+                f"job {lease.job_id!r}: spec has no 'workflow_file'")
+        workflow = load_workflow_file(wf_file)
+        state_dir = root / lease.job_id
+        result = workflow.resume(
+            state_dir,
+            clock=clock,
+            sleep=sleep,
+            inputs=spec.get("inputs") or None,
+            max_workers=int(spec.get("max_workers") or 1),
+            quarantine_after=int(spec.get("quarantine_after") or 3),
+            heartbeat_interval_s=heartbeat_interval_s,
+        )
+        payload = {
+            "succeeded": result.succeeded,
+            "segments": result.segments,
+            "tasks": result.to_comparable(),
+            # tasks whose results were replayed from a prior attempt's
+            # journal rather than executed by this attempt
+            "replayed_tasks": sorted(
+                name for name, r in result.tasks.items() if r.replayed),
+        }
+        if not result.succeeded:
+            bad = sorted(
+                name for name, r in result.tasks.items()
+                if r.state.value != "succeeded"
+            )
+            raise FleetError(
+                f"workflow {workflow.name!r} finished with "
+                f"non-succeeded tasks: {', '.join(bad)}")
+        return payload
+
+    return run
+
+
+class FleetWorker:
+    """Pulls leases from a queue and executes one job at a time."""
+
+    def __init__(
+        self,
+        queue: Any,
+        worker_id: Optional[str] = None,
+        runner: Optional[Runner] = None,
+        state_root: Optional[Union[str, Path]] = None,
+        poll_interval_s: float = 0.5,
+        renew_fraction: float = 1.0 / 3.0,
+        clock: Callable[[], float] = _time.time,
+        sleep: Callable[[float], None] = _time.sleep,
+    ) -> None:
+        if runner is None:
+            if state_root is None:
+                raise FleetError(
+                    "FleetWorker needs either a runner or a state_root "
+                    "for the default workflow runner")
+            runner = workflow_runner(state_root)
+        self.queue = queue
+        self.worker_id = worker_id or f"worker-{os.getpid()}"
+        self.runner = runner
+        self.poll_interval_s = float(poll_interval_s)
+        self.renew_fraction = float(renew_fraction)
+        self.clock = clock
+        self.sleep = sleep
+        #: terminal outcomes this worker reported (observability/tests)
+        self.completed = 0
+        self.failed = 0
+        self.abandoned = 0
+
+    # ------------------------------------------------------------------
+    def run_once(self) -> bool:
+        """Lease and fully process one job; False when nothing was ready."""
+        lease = self.queue.lease(self.worker_id)
+        if lease is None:
+            return False
+        self._execute(lease)
+        return True
+
+    def run_forever(self, stop: threading.Event) -> None:
+        """Process jobs until *stop* is set; transient errors are retried.
+
+        A queue that is temporarily unreachable (scheduler restarting)
+        must not kill the worker — the lease call's transport errors are
+        swallowed and retried after the poll interval.
+        """
+        while not stop.is_set():
+            try:
+                busy = self.run_once()
+            except ReproError:
+                busy = False
+            if not busy and not stop.is_set():
+                self.sleep(self.poll_interval_s)
+
+    # ------------------------------------------------------------------
+    def _execute(self, lease: JobLease) -> None:
+        ctx = JobContext(lease, clock=self.clock)
+        stop_renewal = threading.Event()
+        renewer: Optional[threading.Thread] = None
+        if lease.lease_duration_s > 0:
+            renewer = threading.Thread(
+                target=self._renew_loop, args=(lease, ctx, stop_renewal),
+                name=f"{self.worker_id}-renew", daemon=True)
+            renewer.start()
+        try:
+            try:
+                result = self.runner(lease, ctx)
+            except LeaseExpiredError:
+                self.abandoned += 1
+                return
+            except Exception as exc:  # job code may raise anything
+                self._report_fail(lease, ctx, f"{type(exc).__name__}: {exc}")
+                return
+            self._report_complete(lease, ctx, result)
+        finally:
+            stop_renewal.set()
+            if renewer is not None:
+                renewer.join(timeout=5.0)
+
+    def _renew_loop(self, lease: JobLease, ctx: JobContext,
+                    stop: threading.Event) -> None:
+        interval = max(0.05, lease.lease_duration_s * self.renew_fraction)
+        while not stop.wait(interval):
+            try:
+                self.queue.renew(lease.job_id, lease.worker, lease.attempt)
+            except (LeaseExpiredError, JobNotFoundError, JobStateError):
+                ctx.mark_lost()
+                return
+            except ReproError:
+                # transient (scheduler restarting): keep trying until the
+                # lease actually expires — the queue is the arbiter
+                continue
+
+    def _report_complete(self, lease: JobLease, ctx: JobContext,
+                         result: Optional[Mapping[str, Any]]) -> None:
+        if ctx.lease_lost:
+            self.abandoned += 1
+            return
+        try:
+            self.queue.complete(lease.job_id, lease.worker, lease.attempt,
+                                result=result)
+            self.completed += 1
+        except (LeaseExpiredError, JobNotFoundError, JobStateError):
+            self.abandoned += 1
+        except ReproError:
+            # unreachable scheduler: the lease will expire and a
+            # successor will resume the journal — nothing re-executes
+            self.abandoned += 1
+
+    def _report_fail(self, lease: JobLease, ctx: JobContext,
+                     error: str) -> None:
+        if ctx.lease_lost:
+            self.abandoned += 1
+            return
+        try:
+            self.queue.fail(lease.job_id, lease.worker, lease.attempt, error)
+            self.failed += 1
+        except (LeaseExpiredError, JobNotFoundError, JobStateError):
+            self.abandoned += 1
+        except ReproError:
+            self.abandoned += 1
+
+    def __repr__(self) -> str:
+        return (f"FleetWorker({self.worker_id!r}, completed={self.completed}, "
+                f"failed={self.failed}, abandoned={self.abandoned})")

@@ -11,10 +11,13 @@ baselines, reporters):
   exception ownership) via a stdlib-``ast`` pass;
 * ``PL11x`` family ``cluster`` (:mod:`repro.lint.clusterrules`) lints a
   sharded deployment's ``cluster.json`` manifest for under-replicated
-  documents.
+  documents;
+* ``PL11x`` family ``fleet`` (:mod:`repro.lint.fleetrules`) lints a job
+  fleet's state root for stuck leases, orphaned job state directories
+  and stale dead-letter entries.
 
 CLI entry point: ``yprov lint <run_dir>`` / ``yprov lint --self`` /
-``yprov lint --cluster cluster.json``.
+``yprov lint --cluster cluster.json`` / ``yprov lint --fleet DIR``.
 """
 
 from repro.lint.engine import (
@@ -28,6 +31,7 @@ from repro.lint.engine import (
     apply_baseline,
 )
 from repro.lint.clusterrules import ClusterManifestContext, lint_cluster_manifest
+from repro.lint.fleetrules import FleetRootContext, lint_fleet_root
 from repro.lint.provrules import RunDirContext, lint_run_dir
 from repro.lint.report import FORMATS, render, render_json, render_sarif, render_text
 from repro.lint.selfrules import ModuleContext, default_source_root, lint_source
@@ -38,6 +42,7 @@ __all__ = [
     "ClusterManifestContext",
     "FORMATS",
     "Finding",
+    "FleetRootContext",
     "LintReport",
     "ModuleContext",
     "Rule",
@@ -47,6 +52,7 @@ __all__ = [
     "apply_baseline",
     "default_source_root",
     "lint_cluster_manifest",
+    "lint_fleet_root",
     "lint_run_dir",
     "lint_source",
     "render",

@@ -10,7 +10,8 @@ run directory, a Python module) — lives with the rule families
 Rule-ID namespaces:
 
 * ``PL1xx`` — provenance lint: PROV-JSON graphs, offloaded metric stores,
-  run-directory state (family ``"prov"``);
+  run-directory state (family ``"prov"``); the ``PL113+`` tail audits
+  deployment footprints (families ``"cluster"`` and ``"fleet"``);
 * ``SL2xx`` — self-lint: AST checks of this codebase's own invariants
   (family ``"self"``).
 
@@ -143,7 +144,7 @@ class Rule:
         )
 
 
-_FAMILIES = ("prov", "self", "cluster")
+_FAMILIES = ("prov", "self", "cluster", "fleet")
 
 
 class RuleRegistry:

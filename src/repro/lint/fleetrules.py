@@ -1,0 +1,236 @@
+"""Fleet lint rules (``PL11x``, family ``fleet``): job-fleet root audits.
+
+A fleet deployment leaves an on-disk footprint the linter can audit
+without a live scheduler: the crc-checked ``queue.wal`` (every durable
+job transition) and one workflow state directory per job under
+``jobs/``.  Three kinds of operational rot hide there:
+
+* **expired-unreclaimed leases** (PL116) — a job is journaled as leased
+  but its lease expired long ago and no one reclaimed it: the fleet has
+  stopped polling (dead scheduler, no workers), so the job is stuck in
+  limbo that neither retries nor dead-letters it;
+* **orphaned job state dirs** (PL117) — a ``jobs/<id>`` workflow
+  directory with no corresponding queue record: a purge that crashed
+  between the WAL append and the directory removal, or a WAL that was
+  reset underneath live state — either way disk the fleet will never
+  reclaim;
+* **stale dead-letter entries** (PL118) — a quarantined job nobody has
+  requeued or purged past the triage threshold: the DLQ is an inbox,
+  not a graveyard, and unbounded quarantine hides real poison-job bugs.
+
+The family runs offline over a fleet root (like the ``cluster`` family
+runs over a manifest) and never needs the scheduler to be up: the WAL
+fold is the same :func:`~repro.fleet.queue.replay_queue` a restarted
+scheduler uses, so the linter sees exactly the state a restart would.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, List, Optional
+
+from repro.errors import LintError
+from repro.fleet.manager import JOBS_DIR_NAME
+from repro.fleet.queue import FLEET_QUEUE_NAME, JobState, replay_queue
+from repro.lint.engine import (
+    DEFAULT_REGISTRY,
+    Finding,
+    LintReport,
+    Rule,
+    RuleRegistry,
+    Severity,
+)
+
+__all__ = ["FleetRootContext", "lint_fleet_root"]
+
+_R = DEFAULT_REGISTRY
+
+#: Default triage deadline for dead-lettered jobs (one hour).
+DEFAULT_DLQ_STALE_AFTER_S = 3600.0
+
+#: Grace period after lease expiry before PL116 calls the fleet stalled —
+#: a healthy scheduler reclaims on the next worker poll, well within this.
+DEFAULT_LEASE_GRACE_S = 60.0
+
+
+@dataclass
+class FleetRootContext:
+    """One fleet root's folded WAL state plus its ``jobs/`` inventory.
+
+    A missing or unreadable WAL leaves ``error`` set; the first rule
+    reports it and the rest stay silent — auditing a broken fleet must
+    describe the breakage, not crash on it.  ``now`` is injectable so
+    checked-in fixtures with fixed timestamps lint deterministically.
+    """
+
+    root: Path
+    now: Optional[float] = None
+    dlq_stale_after_s: float = DEFAULT_DLQ_STALE_AFTER_S
+    lease_grace_s: float = DEFAULT_LEASE_GRACE_S
+    error: Optional[str] = None
+    bad_records: int = 0
+    jobs: dict = field(default_factory=dict)
+    #: job-id-named directories found under ``jobs/``
+    state_dirs: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        if self.now is None:
+            self.now = _time.time()
+        wal = self.root / FLEET_QUEUE_NAME
+        if not wal.is_file():
+            self.error = f"no {FLEET_QUEUE_NAME} under {self.root}"
+        else:
+            try:
+                state, self.bad_records = replay_queue(wal)
+            except OSError as exc:
+                self.error = f"unreadable {FLEET_QUEUE_NAME}: {exc}"
+            else:
+                self.jobs = state.jobs
+        state_root = self.root / JOBS_DIR_NAME
+        if state_root.is_dir():
+            self.state_dirs = sorted(
+                p.name for p in state_root.iterdir() if p.is_dir())
+
+
+@_R.rule(
+    "PL116", "expired-unreclaimed-lease", "warning", "fleet",
+    "A leased job's lease expired past the grace period and was never "
+    "reclaimed: nothing is polling this fleet, so the job is stuck.",
+)
+def check_expired_unreclaimed(
+    rule: Rule, ctx: FleetRootContext
+) -> Iterable[Finding]:
+    """PL116: expired leases must be reclaimed within the grace period.
+
+    Reclaim happens on every worker lease poll, so an expired lease that
+    outlives the grace period means the whole control loop is down —
+    the job will neither finish, retry, nor dead-letter until something
+    polls again.  Torn WAL tails are reported here too: they are the
+    scheduler-killed-mid-append signature, harmless once (the next
+    startup compacts them away) but worth an operator's glance.
+    """
+    if ctx.error is not None:
+        yield rule.finding(
+            f"fleet root is unreadable: {ctx.error}",
+            path=str(ctx.root),
+            severity=Severity.ERROR,
+        )
+        return
+    if ctx.bad_records:
+        yield rule.finding(
+            f"{FLEET_QUEUE_NAME} carries {ctx.bad_records} torn record(s) "
+            "(scheduler killed mid-append); the next scheduler startup "
+            "compacts them away",
+            path=FLEET_QUEUE_NAME,
+        )
+    for job_id, job in sorted(ctx.jobs.items()):
+        if job.state is not JobState.LEASED:
+            continue
+        overdue = ctx.now - job.lease_expires
+        if overdue > ctx.lease_grace_s:
+            yield rule.finding(
+                f"job {job_id!r} lease (worker {job.worker!r}, attempt "
+                f"{job.attempts}) expired {overdue:.0f}s ago and was never "
+                "reclaimed; no scheduler or worker is polling this fleet",
+                path=FLEET_QUEUE_NAME,
+                element=job_id,
+            )
+
+
+@_R.rule(
+    "PL117", "orphaned-job-state-dir", "warning", "fleet",
+    "A jobs/<id> workflow state directory has no corresponding queue "
+    "record: disk the fleet will never reclaim.",
+)
+def check_orphaned_state_dirs(
+    rule: Rule, ctx: FleetRootContext
+) -> Iterable[Finding]:
+    """PL117: every ``jobs/<id>`` directory must match a queue record.
+
+    The manager removes a job's state dir when the job is purged; a
+    directory that outlives its queue record means the purge crashed
+    between the WAL append and the removal, or the WAL was reset under
+    live state.  Either way the workflow journal inside will never be
+    resumed or cleaned up.
+    """
+    if ctx.error is not None:
+        return
+    for name in ctx.state_dirs:
+        if name not in ctx.jobs:
+            yield rule.finding(
+                f"state directory {JOBS_DIR_NAME}/{name} has no queue "
+                "record; its workflow journal will never be resumed — "
+                "remove it or restore the matching WAL",
+                path=f"{JOBS_DIR_NAME}/{name}",
+                element=name,
+            )
+
+
+@_R.rule(
+    "PL118", "stale-dead-letter", "error", "fleet",
+    "A dead-lettered job has sat in quarantine past the triage deadline: "
+    "requeue it after fixing the cause, or purge it.",
+)
+def check_stale_dead_letters(
+    rule: Rule, ctx: FleetRootContext
+) -> Iterable[Finding]:
+    """PL118: the DLQ is an inbox, not a graveyard.
+
+    Every quarantined job encodes a real failure (a poison spec, a
+    crash-looping task); leaving it past the threshold means nobody is
+    triaging those failures.  ``yprov jobs retry`` requeues a fixed job,
+    ``yprov jobs purge`` retires an abandoned one.
+    """
+    if ctx.error is not None:
+        return
+    for job_id, job in sorted(ctx.jobs.items()):
+        if job.state is not JobState.DEAD_LETTERED:
+            continue
+        quarantined_at = job.dead_at if job.dead_at is not None else 0.0
+        age = ctx.now - quarantined_at
+        if age > ctx.dlq_stale_after_s:
+            reason = f" ({job.dead_reason})" if job.dead_reason else ""
+            yield rule.finding(
+                f"job {job_id!r} has been dead-lettered for {age:.0f}s"
+                f"{reason}; requeue it with 'yprov jobs retry' or drop it "
+                "with 'yprov jobs purge'",
+                path=FLEET_QUEUE_NAME,
+                element=job_id,
+            )
+
+
+# ---------------------------------------------------------------------------
+# runner
+# ---------------------------------------------------------------------------
+
+def lint_fleet_root(
+    root: Any,
+    registry: RuleRegistry = DEFAULT_REGISTRY,
+    select: Optional[List[str]] = None,
+    ignore: Optional[List[str]] = None,
+    now: Optional[float] = None,
+    dlq_stale_after_s: float = DEFAULT_DLQ_STALE_AFTER_S,
+    lease_grace_s: float = DEFAULT_LEASE_GRACE_S,
+) -> LintReport:
+    """Run the fleet rule family over one fleet state directory."""
+    root = Path(root)
+    if not root.is_dir():
+        raise LintError(f"fleet root does not exist: {root}")
+    ctx = FleetRootContext(
+        root=root,
+        now=now,
+        dlq_stale_after_s=dlq_stale_after_s,
+        lease_grace_s=lease_grace_s,
+    )
+    rules = registry.select("fleet", select=select, ignore=ignore)
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(rule, ctx))
+    return LintReport(
+        findings=findings,
+        checked_rules=[r.rule_id for r in rules],
+        target=str(root),
+    )

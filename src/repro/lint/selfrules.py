@@ -84,6 +84,12 @@ _EXCEPTION_OWNERS: Dict[str, Tuple[str, ...]] = {
     "QueryError": ("query/",),
     "QuerySyntaxError": ("query/",),
     "PlanError": ("query/",),
+    # job fleet (the client re-raises fleet errors from coded REST replies)
+    "FleetError": ("fleet/", "yprov/client.py"),
+    "JobNotFoundError": ("fleet/", "yprov/client.py"),
+    "QueueFullError": ("fleet/", "yprov/client.py"),
+    "LeaseExpiredError": ("fleet/", "yprov/client.py"),
+    "JobStateError": ("fleet/", "yprov/client.py"),
     # workflow DAGs
     "WorkflowError": ("workflow/",),
     "CycleError": ("workflow/",),

@@ -58,6 +58,17 @@ class ExponentialBackoff:
             out.append(delay)
         return out
 
+    def delay_for(self, attempt: int) -> float:
+        """The delay after failed attempt *attempt* (1-indexed).
+
+        Convenience for schedulers that price one retry at a time (the
+        fleet queue prices each requeue as it journals it) — equivalent
+        to ``delays(attempt)[-1]`` and just as deterministic.
+        """
+        if attempt < 1:
+            raise ReproError(f"attempt must be >= 1, got {attempt}")
+        return self.delays(attempt)[-1]
+
     def jitter_factors(self, attempts: int) -> List[float]:
         """Deterministic multipliers in ``[1, 1 + jitter]`` for server floors.
 

@@ -37,6 +37,7 @@ Static analysis (:mod:`repro.lint`) over run directories and the codebase::
 
     yprov lint prov/demo_0                    # provenance lint (PL1xx rules)
     yprov lint --self                         # codebase self-lint (SL2xx rules)
+    yprov lint --fleet .yprov/fleet           # fleet audit (PL116-PL118)
     yprov lint prov/demo_0 --format sarif -o lint.sarif
     yprov lint prov/demo_0 --baseline lint-baseline.json --update-baseline
 
@@ -49,6 +50,19 @@ Durable workflow orchestration (:mod:`repro.workflow`)::
     yprov wf run pipeline.py --state-dir wfstate      # journaled execution
     yprov wf status --state-dir wfstate               # live / hung / dead?
     yprov wf resume pipeline.py --state-dir wfstate   # continue after a crash
+
+A fault-tolerant job fleet (:mod:`repro.fleet`) runs workflow jobs over
+lease-based workers, with fair-share scheduling and a dead-letter
+queue.  The scheduler and the workers share only the fleet root (the
+workflow journals) and the REST API::
+
+    yprov fleet serve --fleet-root .fleet --weight team-a=2 --weight team-b=1
+    yprov fleet work --url http://host:3000/api/v0 --fleet-root .fleet
+    yprov jobs submit --workflow pipeline.py --url http://host:3000/api/v0
+    yprov jobs status job-abc123 --url http://host:3000/api/v0
+    yprov jobs list --state pending --url http://host:3000/api/v0
+    yprov jobs dlq --url http://host:3000/api/v0     # quarantined jobs
+    yprov jobs retry job-abc123 --url http://host:3000/api/v0
 """
 
 from __future__ import annotations
@@ -461,6 +475,227 @@ def cmd_cluster_scrub(args: argparse.Namespace) -> int:
     return 0 if not report.get("repairs_enqueued") else 1
 
 
+def cmd_fleet_serve(args: argparse.Namespace) -> int:
+    """Handle ``yprov fleet serve``: scheduler + REST API (+ workers).
+
+    The durable truth is ``--fleet-root/queue.wal``: kill this process
+    at any point and a restart over the same root replays every acked
+    job.  The replay count is printed on startup so an operator (or the
+    chaos driver) can compare it against the journal on disk.
+    """
+    import threading
+    import time
+
+    from repro.fleet import FleetManager, FleetWorker
+    from repro.yprov.rest import serve
+
+    weights = {}
+    for spec in args.weight or []:
+        tenant, sep, raw = spec.partition("=")
+        try:
+            weights[tenant] = float(raw)
+        except ValueError:
+            sep = ""
+        if not sep or not tenant:
+            print(f"error: --weight must be tenant=weight, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+    service = _service(args)
+    fleet_root = Path(args.fleet_root
+                      if args.fleet_root else Path(args.root) / "fleet")
+    manager = FleetManager(
+        fleet_root,
+        service,
+        lease_duration_s=args.lease_duration,
+        max_attempts=args.max_attempts,
+        tenant_weights=weights or None,
+        max_active_total=args.max_active,
+        max_active_per_tenant=args.max_active_per_tenant,
+        retry_after_s=args.retry_after,
+    )
+    server = serve(service, host=args.host, port=args.port, fleet=manager)
+    stats = manager.fleet_stats()
+    print(f"yProv fleet scheduler listening on {server.url} "
+          f"— Ctrl-C to stop", flush=True)
+    print(f"fleet: {stats['replayed_records']} record(s) replayed, "
+          f"{stats['jobs']} job(s), state root {stats['state_root']}",
+          flush=True)
+    stop = threading.Event()
+    threads = []
+    for i in range(args.workers):
+        worker = FleetWorker(
+            manager.queue,
+            worker_id=f"inproc-{i}",
+            state_root=manager.state_root,
+        )
+        thread = threading.Thread(
+            target=worker.run_forever, args=(stop,),
+            name=f"fleet-worker-{i}", daemon=True)
+        thread.start()
+        threads.append(thread)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        server.stop()
+        manager.close()
+    return 0
+
+
+def cmd_fleet_work(args: argparse.Namespace) -> int:
+    """Handle ``yprov fleet work``: one worker process polling a scheduler.
+
+    The worker must see the *same* fleet root as the scheduler (shared
+    filesystem): that is where the per-job workflow journals live, and
+    resuming them is what makes a crashed predecessor's completed tasks
+    replay instead of re-execute.
+    """
+    import threading
+
+    from repro.fleet import FleetWorker, RemoteQueue
+    from repro.yprov.client import ProvenanceClient
+    from repro.fleet.manager import JOBS_DIR_NAME
+
+    client = ProvenanceClient(
+        args.url, timeout_s=args.timeout, retries=args.retries)
+    state_root = Path(args.fleet_root) / JOBS_DIR_NAME
+    worker = FleetWorker(
+        RemoteQueue(client),
+        worker_id=args.worker_id,
+        state_root=state_root,
+        poll_interval_s=args.poll_interval,
+    )
+    print(f"fleet worker {worker.worker_id} polling {args.url} "
+          f"(state root {state_root}) — Ctrl-C to stop", flush=True)
+    try:
+        worker.run_forever(threading.Event())
+    except KeyboardInterrupt:
+        pass
+    print(f"worker {worker.worker_id}: {worker.completed} completed, "
+          f"{worker.failed} failed, {worker.abandoned} abandoned")
+    return 0
+
+
+def _jobs_client(args: argparse.Namespace):
+    """The resilient client every ``yprov jobs`` verb talks through."""
+    from repro.yprov.client import ProvenanceClient
+
+    return ProvenanceClient(
+        args.url, timeout_s=args.timeout, retries=args.retries)
+
+
+def _print_job_row(row: dict) -> None:
+    """One brief, grep-friendly line per job."""
+    extra = ""
+    if row.get("dead_reason"):
+        extra = f"  dead: {row['dead_reason']}"
+    elif row.get("error"):
+        extra = f"  error: {row['error']}"
+    print(f"{row['job_id']}  {row['state']:<13} tenant={row['tenant']} "
+          f"attempts={row['attempts']} crashes={row['crashes']} "
+          f"failures={row['failures']}{extra}")
+
+
+def cmd_jobs_submit(args: argparse.Namespace) -> int:
+    """Handle ``yprov jobs submit``: durably enqueue one job.
+
+    Prints the acked job id alone on stdout — from that moment the job
+    survives a SIGKILL of any fleet participant.
+    """
+    import json as _json
+
+    if bool(args.spec) == bool(args.workflow):
+        print("error: exactly one of SPEC or --workflow is required",
+              file=sys.stderr)
+        return 2
+    if args.workflow:
+        spec = {"workflow_file": str(Path(args.workflow).resolve())}
+    elif args.spec == "-":
+        spec = _json.loads(sys.stdin.read())
+    else:
+        spec = _json.loads(Path(args.spec).read_text(encoding="utf-8"))
+    if not isinstance(spec, dict):
+        print("error: the job spec must be a JSON object", file=sys.stderr)
+        return 2
+    payload = _jobs_client(args).submit_job(
+        spec, tenant=args.tenant, max_attempts=args.max_attempts)
+    print(payload["job_id"])
+    return 0
+
+
+def cmd_jobs_status(args: argparse.Namespace) -> int:
+    """Handle ``yprov jobs status``: one job's full state and history."""
+    import json as _json
+
+    payload = _jobs_client(args).get_job(args.job_id)
+    if args.format == "json":
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    _print_job_row(payload)
+    for entry in payload.get("history", []):
+        if "attempt" in entry:
+            outcome = entry.get("outcome") or "running"
+            worker = entry.get("worker") or "?"
+            line = f"  attempt {entry['attempt']}: {outcome} on {worker}"
+            if entry.get("error"):
+                line += f" — {entry['error']}"
+            print(line)
+        else:
+            print("  requeued from the dead-letter queue")
+    return 0
+
+
+def cmd_jobs_list(args: argparse.Namespace) -> int:
+    """Handle ``yprov jobs list``: brief rows, filterable by state/tenant."""
+    import json as _json
+
+    rows = _jobs_client(args).list_jobs(state=args.state, tenant=args.tenant)
+    if args.format == "json":
+        print(_json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    for row in rows:
+        _print_job_row(row)
+    print(f"({len(rows)} job(s))")
+    return 0
+
+
+def cmd_jobs_retry(args: argparse.Namespace) -> int:
+    """Handle ``yprov jobs retry``: return a dead-lettered job to pending."""
+    payload = _jobs_client(args).requeue_job(args.job_id)
+    print(f"requeued {payload['job_id']} (state {payload['state']})")
+    return 0
+
+
+def cmd_jobs_dlq(args: argparse.Namespace) -> int:
+    """Handle ``yprov jobs dlq``: the quarantine view.
+
+    Exit 0 when the DLQ is empty, 1 when jobs are quarantined — so a CI
+    step can gate on "no poison jobs left behind".
+    """
+    import json as _json
+
+    rows = _jobs_client(args).list_jobs(state="dead_lettered")
+    if args.format == "json":
+        print(_json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        for row in rows:
+            _print_job_row(row)
+        print(f"({len(rows)} dead-lettered job(s))")
+    return 1 if rows else 0
+
+
+def cmd_jobs_purge(args: argparse.Namespace) -> int:
+    """Handle ``yprov jobs purge``: drop a settled job and its state dir."""
+    _jobs_client(args).purge_job(args.job_id)
+    print(f"purged {args.job_id}")
+    return 0
+
+
 def cmd_replay(args: argparse.Namespace) -> int:
     """Handle ``yprov replay``: reproduce an experiment from PROV-JSON."""
     from repro.core.reproduce import default_replayer
@@ -686,6 +921,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
         LintReport,
         apply_baseline,
         lint_cluster_manifest,
+        lint_fleet_root,
         lint_run_dir,
         lint_source,
         render,
@@ -693,9 +929,11 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
     select = _split_ids(args.select)
     ignore = _split_ids(args.ignore)
-    if not args.targets and not args.self and not args.cluster:
+    if (not args.targets and not args.self and not args.cluster
+            and not args.fleet):
         raise LintError(
-            "nothing to lint: pass run directories, --self and/or --cluster"
+            "nothing to lint: pass run directories, --self, --cluster "
+            "and/or --fleet"
         )
     if args.update_baseline and not args.baseline:
         raise LintError("--update-baseline requires --baseline PATH")
@@ -719,6 +957,15 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if args.cluster:
         reports.append(
             lint_cluster_manifest(args.cluster, select=select, ignore=ignore)
+        )
+    if args.fleet:
+        reports.append(
+            lint_fleet_root(
+                args.fleet,
+                select=select,
+                ignore=ignore,
+                dlq_stale_after_s=args.dlq_stale_after,
+            )
         )
 
     merged = LintReport(target="; ".join(r.target for r in reports))
@@ -995,6 +1242,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cluster", metavar="MANIFEST",
                    help="audit a cluster.json manifest for under-replicated "
                         "documents (PL113)")
+    p.add_argument("--fleet", metavar="DIR",
+                   help="audit a job-fleet state root for stuck leases, "
+                        "orphaned job dirs and stale DLQ entries (PL116-118)")
+    p.add_argument("--dlq-stale-after", type=float, default=3600.0,
+                   help="seconds before a dead-lettered job counts as stale "
+                        "for PL118 (default 3600)")
     p.add_argument("--source-root",
                    help="source tree for --self (default: the installed repro package)")
     p.add_argument("--format", choices=("text", "json", "sarif"), default="text",
@@ -1184,6 +1437,115 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=("text", "json"), default="text",
                    help="output format (default: text)")
     p.set_defaults(func=cmd_cluster_scrub)
+
+    fleet = sub.add_parser(
+        "fleet", help="fault-tolerant job fleet (scheduler and workers)"
+    )
+    fsub = fleet.add_subparsers(dest="fleet_command", required=True)
+    p = fsub.add_parser(
+        "serve", help="run the durable job scheduler behind the REST API"
+    )
+    p.add_argument("--fleet-root", default=None,
+                   help="fleet state directory: queue WAL + per-job workflow "
+                        "journals (default: --root/fleet)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (default: ephemeral)")
+    p.add_argument("--lease-duration", type=float, default=30.0,
+                   help="job lease duration in seconds (default 30)")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="attempts before a job is dead-lettered (default 3)")
+    p.add_argument("--weight", action="append", metavar="TENANT=WEIGHT",
+                   help="fair-share weight for a tenant (repeatable)")
+    p.add_argument("--max-active", type=int, default=1024,
+                   help="global cap on pending+leased jobs (default 1024)")
+    p.add_argument("--max-active-per-tenant", type=int, default=64,
+                   help="per-tenant cap on pending+leased jobs (default 64)")
+    p.add_argument("--retry-after", type=float, default=1.0,
+                   help="Retry-After hint on 429 overflow (default 1s)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="in-process worker threads (default 0: workers run "
+                        "as separate 'yprov fleet work' processes)")
+    p.add_argument("--storage", choices=("auto", "files", "segments"),
+                   default="auto",
+                   help="provenance store backend under --root")
+    p.set_defaults(func=cmd_fleet_serve)
+
+    p = fsub.add_parser(
+        "work", help="run one worker process against a fleet scheduler"
+    )
+    p.add_argument("--url", required=True,
+                   help="scheduler base URL, e.g. http://host:3000/api/v0")
+    p.add_argument("--fleet-root", required=True,
+                   help="the scheduler's fleet root (shared filesystem); "
+                        "workflow journals live under <fleet-root>/jobs")
+    p.add_argument("--worker-id", default=None,
+                   help="stable worker identity (default: worker-<pid>)")
+    p.add_argument("--poll-interval", type=float, default=0.5,
+                   help="idle poll interval in seconds (default 0.5)")
+    p.add_argument("--timeout", type=float, default=10.0,
+                   help="per-request timeout in seconds")
+    p.add_argument("--retries", type=int, default=3,
+                   help="transport retries per request")
+    p.set_defaults(func=cmd_fleet_work)
+
+    jobs = sub.add_parser(
+        "jobs", help="submit and manage fleet jobs over the REST API"
+    )
+    jsub = jobs.add_subparsers(dest="jobs_command", required=True)
+
+    def add_jobs_client_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--url", required=True,
+                       help="scheduler base URL, e.g. http://host:3000/api/v0")
+        p.add_argument("--timeout", type=float, default=10.0,
+                       help="per-request timeout in seconds")
+        p.add_argument("--retries", type=int, default=3,
+                       help="transport retries per request")
+
+    p = jsub.add_parser("submit", help="durably enqueue one job")
+    p.add_argument("spec", nargs="?",
+                   help="job spec JSON file ('-' for stdin)")
+    p.add_argument("--workflow", metavar="FILE",
+                   help="shortcut: submit this workflow definition file")
+    p.add_argument("--tenant", default="default",
+                   help="tenant the job is billed to (default: 'default')")
+    p.add_argument("--max-attempts", type=int, default=None,
+                   help="override the fleet's dead-letter threshold")
+    add_jobs_client_args(p)
+    p.set_defaults(func=cmd_jobs_submit)
+
+    p = jsub.add_parser("status", help="one job's state and attempt history")
+    p.add_argument("job_id")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    add_jobs_client_args(p)
+    p.set_defaults(func=cmd_jobs_status)
+
+    p = jsub.add_parser("list", help="list jobs (filter by state/tenant)")
+    p.add_argument("--state", default=None,
+                   help="pending | leased | done | dead_lettered")
+    p.add_argument("--tenant", default=None)
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    add_jobs_client_args(p)
+    p.set_defaults(func=cmd_jobs_list)
+
+    p = jsub.add_parser(
+        "retry", help="requeue a dead-lettered job for fresh attempts"
+    )
+    p.add_argument("job_id")
+    add_jobs_client_args(p)
+    p.set_defaults(func=cmd_jobs_retry)
+
+    p = jsub.add_parser(
+        "dlq", help="list quarantined jobs (exit 1 when any exist)"
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    add_jobs_client_args(p)
+    p.set_defaults(func=cmd_jobs_dlq)
+
+    p = jsub.add_parser("purge", help="drop a settled job and its state dir")
+    p.add_argument("job_id")
+    add_jobs_client_args(p)
+    p.set_defaults(func=cmd_jobs_purge)
 
     p = sub.add_parser(
         "replay", help="reproduce an experiment from its PROV-JSON file"

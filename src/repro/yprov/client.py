@@ -42,6 +42,12 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 from repro.errors import (
     CircuitOpenError,
     DocumentNotFoundError,
+    FleetError,
+    JobNotFoundError,
+    JobStateError,
+    LeaseExpiredError,
+    QueueFullError,
+    ReproError,
     ServiceError,
     SpoolError,
     TransportError,
@@ -441,6 +447,125 @@ class ProvenanceClient:
         return json.loads(payload.decode("utf-8"))
 
     # ------------------------------------------------------------------
+    # job fleet surface (/jobs...)
+    # ------------------------------------------------------------------
+    def _job_request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Any:
+        """One fleet call: JSON in/out, 429 mapped to ``QueueFullError``.
+
+        The generic retry machinery treats 429 as a retryable overload
+        (honoring ``Retry-After``); when the fleet is *still* full after
+        the retries, the surviving :class:`TransportError` becomes the
+        typed :class:`~repro.errors.QueueFullError` the in-process queue
+        would have raised — callers are queue-implementation agnostic.
+        """
+        encoded = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        try:
+            status, payload = self._request(method, path, encoded)
+        except TransportError as exc:
+            if exc.status == 429:
+                raise QueueFullError(
+                    str(exc), retry_after_s=exc.retry_after_s or 1.0
+                ) from exc
+            raise
+        if status == 204 or not payload:
+            return None
+        return json.loads(payload.decode("utf-8"))
+
+    def submit_job(
+        self,
+        spec: Dict[str, Any],
+        tenant: str = "default",
+        max_attempts: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """``POST /jobs`` — durably submit one job; returns its status.
+
+        The 201 ack means the scheduler fsynced the submit record: the
+        job survives a SIGKILL of any fleet participant from here on.
+        Overflow raises :class:`~repro.errors.QueueFullError` (after the
+        transport retries honored ``Retry-After``).
+        """
+        body: Dict[str, Any] = {"spec": dict(spec), "tenant": tenant}
+        if max_attempts is not None:
+            body["max_attempts"] = int(max_attempts)
+        return self._job_request("POST", "/jobs", body)
+
+    def get_job(self, job_id: str) -> Dict[str, Any]:
+        """``GET /jobs/<id>`` — full status of one job."""
+        return self._job_request("GET", f"/jobs/{_quote(job_id)}")
+
+    def list_jobs(
+        self,
+        state: Optional[str] = None,
+        tenant: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """``GET /jobs?state=&tenant=`` — brief status rows."""
+        query = {
+            k: v for k, v in (("state", state), ("tenant", tenant))
+            if v is not None
+        }
+        suffix = f"?{urllib.parse.urlencode(query)}" if query else ""
+        return self._job_request("GET", f"/jobs{suffix}")
+
+    def lease_job(self, worker_id: str) -> Optional[Dict[str, Any]]:
+        """``POST /jobs:lease`` — fair-share pick; ``None`` when idle."""
+        decoded = self._job_request(
+            "POST", "/jobs:lease", {"worker": worker_id}
+        )
+        return decoded.get("lease") if isinstance(decoded, dict) else None
+
+    def renew_job(
+        self, job_id: str, worker_id: str, attempt: int
+    ) -> Dict[str, Any]:
+        """``POST /jobs/<id>:renew`` — heartbeat-extend a held lease."""
+        return self._job_request(
+            "POST", f"/jobs/{_quote(job_id)}:renew",
+            {"worker": worker_id, "attempt": int(attempt)},
+        )
+
+    def complete_job(
+        self,
+        job_id: str,
+        worker_id: str,
+        attempt: int,
+        result: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """``POST /jobs/<id>:complete`` — report success for a lease."""
+        body: Dict[str, Any] = {"worker": worker_id, "attempt": int(attempt)}
+        if result is not None:
+            body["result"] = dict(result)
+        return self._job_request(
+            "POST", f"/jobs/{_quote(job_id)}:complete", body
+        )
+
+    def fail_job(
+        self, job_id: str, worker_id: str, attempt: int, error: str
+    ) -> Dict[str, Any]:
+        """``POST /jobs/<id>:fail`` — report a clean failure for a lease."""
+        return self._job_request(
+            "POST", f"/jobs/{_quote(job_id)}:fail",
+            {"worker": worker_id, "attempt": int(attempt),
+             "error": str(error)},
+        )
+
+    def requeue_job(self, job_id: str) -> Dict[str, Any]:
+        """``POST /jobs/<id>:requeue`` — return a DLQ'd job to pending."""
+        return self._job_request(
+            "POST", f"/jobs/{_quote(job_id)}:requeue", {}
+        )
+
+    def purge_job(self, job_id: str) -> None:
+        """``DELETE /jobs/<id>`` — drop a settled job and its state dir."""
+        self._job_request("DELETE", f"/jobs/{_quote(job_id)}")
+
+    def fleet_stats(self) -> Dict[str, Any]:
+        """``GET /jobs:stats`` — queue counters and provenance health."""
+        return self._job_request("GET", "/jobs:stats")
+
+    # ------------------------------------------------------------------
     # at-least-once publishing
     # ------------------------------------------------------------------
     def publish(
@@ -544,10 +669,36 @@ def _error_message(payload: bytes) -> str:
         return payload[:200].decode("utf-8", errors="replace")
 
 
+#: REST ``code`` field (fleet error protocol) -> typed client exception.
+_FLEET_ERROR_CODES = {
+    "job_not_found": JobNotFoundError,
+    "lease_expired": LeaseExpiredError,
+    "job_state": JobStateError,
+    "fleet": FleetError,
+}
+
+
+def _error_code(payload: bytes) -> Optional[str]:
+    """The machine-readable ``code`` of a JSON error body, if any."""
+    try:
+        parsed = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if isinstance(parsed, dict) and isinstance(parsed.get("code"), str):
+        return parsed["code"]
+    return None
+
+
 def _map_client_error(
     status: int, method: str, path: str, payload: bytes
-) -> ServiceError:
+) -> ReproError:
     message = f"{method} {path} -> HTTP {status}: {_error_message(payload)}"
+    code = _error_code(payload)
+    if code in _FLEET_ERROR_CODES:
+        # fleet replies carry a code so the typed exception survives the
+        # wire: workers fence on LeaseExpiredError whether the queue is
+        # in-process or behind this client
+        return _FLEET_ERROR_CODES[code](message)
     if status == 404:
         return DocumentNotFoundError(message)
     return ServiceError(message)

@@ -27,13 +27,29 @@ POST    /api/v0/scrub                                    bit-rot scrub report
 GET     /api/v0/cluster/repairs                          pending repair queue
 POST    /api/v0/cluster/repairs:run                      drain repair queue
 POST    /api/v0/cluster/sweep                            anti-entropy sweep
+POST    /api/v0/jobs                                     submit a fleet job
+GET     /api/v0/jobs?state=&tenant=                      list fleet jobs
+GET     /api/v0/jobs/<id>                                one job's status
+GET     /api/v0/jobs:stats                               fleet counters
+POST    /api/v0/jobs:lease                               worker: lease a job
+POST    /api/v0/jobs/<id>:renew                          worker: heartbeat
+POST    /api/v0/jobs/<id>:complete                       worker: report done
+POST    /api/v0/jobs/<id>:fail                           worker: report fail
+POST    /api/v0/jobs/<id>:requeue                        DLQ → pending
+DELETE  /api/v0/jobs/<id>                                purge settled job
 ======  ===============================================  =================
 
 The digest/scrub endpoints exist on any node (they serve the cluster's
 anti-entropy and scrubbing machinery but are honest single-node
 introspection too); the ``/cluster/*`` endpoints answer only where the
 served object actually has a repair queue — a router — and 404 on a
-plain shard, so tooling can probe a URL and learn its role.
+plain shard, so tooling can probe a URL and learn its role.  The
+``/jobs`` endpoints answer only when a fleet manager
+(:class:`~repro.fleet.manager.FleetManager`) was passed to
+:func:`serve`; fleet errors come back as JSON with a machine-readable
+``code`` (``job_not_found`` → 404, ``lease_expired``/``job_state`` →
+409, ``queue_full`` → 429 + ``Retry-After``) so the client can raise
+the same typed exceptions the in-process queue does.
 
 Run it with :func:`serve` (returns a live ``ThreadingHTTPServer`` bound to
 an ephemeral or given port) or embed :class:`ProvHandler` elsewhere.
@@ -83,8 +99,13 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import (
     DocumentNotFoundError,
+    FleetError,
     IngestError,
+    JobNotFoundError,
+    JobStateError,
+    LeaseExpiredError,
     QueryError,
+    QueueFullError,
     ReproError,
     ServiceError,
 )
@@ -273,13 +294,16 @@ def _make_handler(
     shard_id: Optional[str] = None,
     health_extra: Optional[Callable[[], Dict[str, Any]]] = None,
     quotas: Optional[TenantQuotas] = None,
+    fleet: Optional[Any] = None,
 ):
     """Build a request-handler class closed over *service* and *state*.
 
     *service* is anything exposing the :class:`ProvenanceService` verb
     surface — the single-node service or a
     :class:`~repro.yprov.cluster.router.ClusterRouter` (which is how the
-    router tier serves the identical REST API).
+    router tier serves the identical REST API).  *fleet* is anything
+    exposing the :class:`~repro.fleet.manager.FleetManager` verb surface;
+    without one the ``/jobs`` endpoints answer 404.
     """
     limits = state.limits
 
@@ -337,6 +361,62 @@ def _make_handler(
             rest = path[len(prefix):]
             return urllib.parse.unquote(rest.split("/", 1)[0]) or None
 
+        def _job_id(self, path: str, suffix: str = "") -> Optional[str]:
+            """The job id in ``/api/v0/jobs/<id><suffix>``, or ``None``."""
+            prefix = f"{API_PREFIX}/jobs/"
+            if not path.startswith(prefix):
+                return None
+            rest = path[len(prefix):]
+            if suffix:
+                if not rest.endswith(suffix):
+                    return None
+                rest = rest[: -len(suffix)]
+            if "/" in rest or ":" in rest:
+                return None
+            return urllib.parse.unquote(rest) or None
+
+        def _send_fleet_error(self, exc: ReproError) -> None:
+            """Map a typed fleet error to status + machine-readable code.
+
+            The ``code`` field is what lets the client re-raise the same
+            exception type on its side of the wire.
+            """
+            if isinstance(exc, JobNotFoundError):
+                self._send_json({"error": str(exc), "code": "job_not_found"},
+                                status=404)
+            elif isinstance(exc, QueueFullError):
+                self._send_json(
+                    {"error": str(exc), "code": "queue_full"}, status=429,
+                    extra_headers={"Retry-After": f"{exc.retry_after_s:g}"})
+            elif isinstance(exc, LeaseExpiredError):
+                self._send_json({"error": str(exc), "code": "lease_expired"},
+                                status=409)
+            elif isinstance(exc, JobStateError):
+                self._send_json({"error": str(exc), "code": "job_state"},
+                                status=409)
+            elif isinstance(exc, FleetError):
+                self._send_json({"error": str(exc), "code": "fleet"},
+                                status=400)
+            else:
+                self._send_error_json(400, str(exc))
+
+        def _read_json_body(self) -> Optional[Dict[str, Any]]:
+            """The request body as a JSON object ({} when empty)."""
+            body = self._read_body()
+            if body is None:
+                return None
+            if not body.strip():
+                return {}
+            try:
+                payload = json.loads(body)
+            except json.JSONDecodeError as exc:
+                self._send_error_json(400, f"invalid JSON body: {exc}")
+                return None
+            if not isinstance(payload, dict):
+                self._send_error_json(400, "JSON body must be an object")
+                return None
+            return payload
+
         def _guarded(self, handler) -> None:
             """Run one request body under the concurrency gate + deadline."""
             if not state.try_acquire():
@@ -387,6 +467,8 @@ def _make_handler(
                     ("compact", "compact"),
                 ) if hasattr(service, method)
             ]
+            if fleet is not None:
+                capabilities.append("jobs")
             payload: Dict[str, Any] = {
                 "status": "degraded" if degraded else "ok",
                 "role": node_role,
@@ -401,6 +483,11 @@ def _make_handler(
             }
             if quotas is not None:
                 payload["tenants"] = quotas.snapshot()
+            if fleet is not None:
+                try:
+                    payload["fleet"] = fleet.fleet_stats()
+                except ReproError as exc:
+                    payload["fleet_error"] = str(exc)
             quarantined = getattr(service, "quarantined_total", None)
             if quarantined is not None:
                 payload["quarantined_total"] = quarantined
@@ -422,6 +509,11 @@ def _make_handler(
 
         def _do_get(self) -> None:
             path, query = self._route()
+            if (path == f"{API_PREFIX}/jobs"
+                    or path == f"{API_PREFIX}/jobs:stats"
+                    or path.startswith(f"{API_PREFIX}/jobs/")):
+                self._do_jobs_get(path, query)
+                return
             try:
                 if path == f"{API_PREFIX}/documents":
                     self._send_json(service.list_documents())
@@ -498,6 +590,103 @@ def _make_handler(
             except ReproError as exc:
                 self._send_error_json(400, str(exc))
 
+        def _do_jobs_get(self, path: str, query: Dict[str, str]) -> None:
+            """``GET /jobs``, ``GET /jobs/<id>``, ``GET /jobs:stats``."""
+            if fleet is None:
+                self._send_error_json(404, "this node serves no job fleet")
+                return
+            try:
+                if path == f"{API_PREFIX}/jobs":
+                    self._send_json(fleet.list_jobs(
+                        state=query.get("state"),
+                        tenant=query.get("tenant")))
+                elif path == f"{API_PREFIX}/jobs:stats":
+                    self._send_json(fleet.fleet_stats())
+                else:
+                    job_id = self._job_id(path)
+                    if job_id is None:
+                        self._send_error_json(404, f"unknown path: {path}")
+                        return
+                    self._send_json(fleet.get_job(job_id))
+            except ReproError as exc:
+                self._send_fleet_error(exc)
+
+        def _do_jobs_post(self, path: str) -> None:
+            """The fleet's POST verbs: submit, lease, renew/complete/fail,
+            requeue.
+
+            Submission is durable before the 201: the manager's queue
+            fsyncs the ``submit`` record before returning, so an acked
+            job survives a SIGKILL of this process.  Overflow maps to
+            429 + ``Retry-After`` via :class:`~repro.errors.QueueFullError`.
+            """
+            if fleet is None:
+                self._send_error_json(404, "this node serves no job fleet")
+                return
+            body = self._read_json_body()
+            if body is None:
+                return
+            try:
+                if path == f"{API_PREFIX}/jobs":
+                    # the body may name the tenant explicitly (clients whose
+                    # transport cannot set headers); the X-Tenant header is
+                    # the fallback, matching the quota surface
+                    tenant = str(
+                        body.get("tenant")
+                        or self.headers.get(TENANT_HEADER)
+                        or DEFAULT_TENANT)
+                    spec = body.get("spec") if "spec" in body else body
+                    if not isinstance(spec, dict):
+                        self._send_error_json(400, '"spec" must be an object')
+                        return
+                    max_attempts = body.get("max_attempts")
+                    payload = fleet.submit_job(
+                        spec, tenant=tenant,
+                        max_attempts=(int(max_attempts)
+                                      if max_attempts is not None else None))
+                    self._send_json(payload, status=201)
+                    return
+                if path == f"{API_PREFIX}/jobs:lease":
+                    worker = body.get("worker")
+                    if not worker:
+                        self._send_error_json(400, '"worker" is required')
+                        return
+                    lease = fleet.lease_job(str(worker))
+                    self._send_json({"lease": lease})
+                    return
+                for suffix, verb in ((":renew", "renew_job"),
+                                     (":complete", "complete_job"),
+                                     (":fail", "fail_job"),
+                                     (":requeue", "requeue_job")):
+                    job_id = self._job_id(path, suffix=suffix)
+                    if job_id is None:
+                        continue
+                    if verb == "requeue_job":
+                        self._send_json(fleet.requeue_job(job_id))
+                        return
+                    worker = body.get("worker")
+                    attempt = body.get("attempt")
+                    if not worker or attempt is None:
+                        self._send_error_json(
+                            400, '"worker" and "attempt" are required')
+                        return
+                    if verb == "renew_job":
+                        result = fleet.renew_job(job_id, str(worker),
+                                                 int(attempt))
+                    elif verb == "complete_job":
+                        result = fleet.complete_job(
+                            job_id, str(worker), int(attempt),
+                            result=body.get("result"))
+                    else:
+                        result = fleet.fail_job(
+                            job_id, str(worker), int(attempt),
+                            str(body.get("error") or "unspecified failure"))
+                    self._send_json(result)
+                    return
+                self._send_error_json(404, f"unknown path: {path}")
+            except ReproError as exc:
+                self._send_fleet_error(exc)
+
         def _read_body(self) -> Optional[str]:
             """Read the request body under the size limit.
 
@@ -573,6 +762,11 @@ def _make_handler(
             path, _ = self._route()
             if path == f"{API_PREFIX}/documents:batch":
                 self._do_batch()
+                return
+            if (path == f"{API_PREFIX}/jobs"
+                    or path == f"{API_PREFIX}/jobs:lease"
+                    or path.startswith(f"{API_PREFIX}/jobs/")):
+                self._do_jobs_post(path)
                 return
             if path in (f"{API_PREFIX}/scrub",
                         f"{API_PREFIX}/compact",
@@ -689,6 +883,23 @@ def _make_handler(
 
         def _do_delete(self) -> None:
             path, _ = self._route()
+            if path.startswith(f"{API_PREFIX}/jobs/"):
+                if fleet is None:
+                    self._send_error_json(404, "this node serves no job fleet")
+                    return
+                job_id = self._job_id(path)
+                if job_id is None:
+                    self._send_error_json(404, f"unknown path: {path}")
+                    return
+                try:
+                    fleet.purge_job(job_id)
+                except ReproError as exc:
+                    self._send_fleet_error(exc)
+                    return
+                self.send_response(204)
+                self.send_header("Content-Length", "0")
+                self.end_headers()
+                return
             doc_id = self._doc_id(path)
             if doc_id is None:
                 self._send_error_json(404, f"unknown path: {path}")
@@ -719,18 +930,20 @@ class ProvenanceServer:
                  node_role: str = "shard",
                  shard_id: Optional[str] = None,
                  health_extra: Optional[Callable[[], Dict[str, Any]]] = None,
-                 quotas: Optional[TenantQuotas] = None) -> None:
+                 quotas: Optional[TenantQuotas] = None,
+                 fleet: Optional[Any] = None) -> None:
         self.service = service
         self.limits = limits or ServerLimits()
         self.node_role = node_role
         self.shard_id = shard_id
         self.quotas = quotas
+        self.fleet = fleet
         self._state = _ServerState(self.limits)
         self._httpd = ThreadingHTTPServer(
             (host, port),
             _make_handler(service, self._state, node_role=node_role,
                           shard_id=shard_id, health_extra=health_extra,
-                          quotas=quotas),
+                          quotas=quotas, fleet=fleet),
         )
         self._thread: Optional[threading.Thread] = None
         self._closed = False
@@ -787,10 +1000,11 @@ def serve(service: ProvenanceService, host: str = "127.0.0.1",
           node_role: str = "shard", shard_id: Optional[str] = None,
           health_extra: Optional[Callable[[], Dict[str, Any]]] = None,
           quotas: Optional[TenantQuotas] = None,
+          fleet: Optional[Any] = None,
           ) -> ProvenanceServer:
     """Start the REST front-end on *port* (0 = ephemeral); returns the
     running server (caller stops it)."""
     return ProvenanceServer(service, host=host, port=port, limits=limits,
                             node_role=node_role, shard_id=shard_id,
                             health_extra=health_extra,
-                            quotas=quotas).start()
+                            quotas=quotas, fleet=fleet).start()

@@ -1,0 +1,47 @@
+"""Shared fixtures for the fleet test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+
+class ManualClock:
+    """A settable clock: tests advance time, nothing ever sleeps."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, delta: float) -> float:
+        self.now += float(delta)
+        return self.now
+
+
+@pytest.fixture
+def manual_clock() -> ManualClock:
+    return ManualClock()
+
+
+@pytest.fixture
+def trivial_workflow_file(tmp_path):
+    """A one-task workflow definition file jobs can point at."""
+    path = tmp_path / "trivial_wf.py"
+    path.write_text(
+        '"""Trivial fleet-test workflow."""\n'
+        "from repro.workflow.dag import Workflow\n"
+        "\n"
+        "\n"
+        "def build_workflow():\n"
+        '    """Build a one-task workflow."""\n'
+        '    wf = Workflow("fleet-trivial")\n'
+        "\n"
+        '    @wf.task("hello")\n'
+        "    def hello(inputs):\n"
+        '        """Produce a greeting."""\n'
+        '        return {"greeting": "hi"}\n'
+        "    return wf\n",
+        encoding="utf-8",
+    )
+    return path

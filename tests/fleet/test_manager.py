@@ -1,0 +1,183 @@
+"""FleetManager: verb surface, state-dir lifecycle, and PROV publishing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FleetError, JobStateError
+from repro.fleet.manager import JOBS_DIR_NAME, FleetManager
+from repro.fleet.provenance import (
+    FLEET_NS,
+    JobProvenancePublisher,
+    build_job_document,
+    job_document_id,
+)
+from repro.yprov.service import ProvenanceService
+
+
+def make_manager(tmp_path, clock, service=None, **kwargs):
+    kwargs.setdefault("lease_duration_s", 10.0)
+    kwargs.setdefault("max_attempts", 2)
+    kwargs.setdefault("fsync", False)
+    return FleetManager(tmp_path / "fleet", service, clock=clock, **kwargs)
+
+
+class TestVerbSurface:
+    def test_submit_list_filter_roundtrip(self, tmp_path, manual_clock):
+        with make_manager(tmp_path, manual_clock) as mgr:
+            a = mgr.submit_job({"n": 1}, tenant="alpha")
+            mgr.submit_job({"n": 2}, tenant="beta")
+            rows = mgr.list_jobs()
+            assert len(rows) == 2
+            alpha_rows = mgr.list_jobs(tenant="alpha")
+            assert [r["job_id"] for r in alpha_rows] == [a["job_id"]]
+            assert alpha_rows[0]["state"] == "pending"
+            assert mgr.list_jobs(state="done") == []
+
+    def test_unknown_state_filter_rejected(self, tmp_path, manual_clock):
+        with make_manager(tmp_path, manual_clock) as mgr:
+            with pytest.raises(FleetError) as excinfo:
+                mgr.list_jobs(state="sideways")
+            # the message enumerates the valid states for the caller
+            assert "pending" in str(excinfo.value)
+
+    def test_lease_complete_over_manager(self, tmp_path, manual_clock):
+        with make_manager(tmp_path, manual_clock) as mgr:
+            sub = mgr.submit_job({})
+            lease = mgr.lease_job("w1")
+            assert lease["job_id"] == sub["job_id"]
+            renewed = mgr.renew_job(lease["job_id"], "w1", lease["attempt"])
+            assert renewed["expires"] > 0
+            done = mgr.complete_job(lease["job_id"], "w1", lease["attempt"],
+                                    result={"ok": True})
+            assert done["state"] == "done"
+            assert mgr.lease_job("w1") is None
+
+    def test_requeue_requires_dead_letter(self, tmp_path, manual_clock):
+        with make_manager(tmp_path, manual_clock) as mgr:
+            sub = mgr.submit_job({})
+            with pytest.raises(JobStateError):
+                mgr.requeue_job(sub["job_id"])
+
+    def test_requeue_archives_the_dead_workflow_journal(self, tmp_path,
+                                                        manual_clock):
+        """Fresh attempts must not resume into the dead run's terminal
+        state; the old journal is kept, renamed, for post-mortems."""
+        with make_manager(tmp_path, manual_clock, max_attempts=1) as mgr:
+            sub = mgr.submit_job({})
+            job_id = sub["job_id"]
+            state_dir = mgr.state_root / job_id
+            state_dir.mkdir(parents=True)
+            wal = state_dir / "workflow.wal"
+            wal.write_text("dead attempt journal", encoding="utf-8")
+            lease = mgr.lease_job("w1")
+            mgr.fail_job(job_id, "w1", lease["attempt"], "boom")
+            mgr.requeue_job(job_id)
+            assert not wal.exists()
+            archived = state_dir / "workflow.wal.dead-1"
+            assert archived.read_text() == "dead attempt journal"
+            # a second dead-letter/requeue cycle picks the next slot
+            wal.write_text("second dead journal", encoding="utf-8")
+            lease = mgr.lease_job("w1")
+            mgr.fail_job(job_id, "w1", lease["attempt"], "boom again")
+            mgr.requeue_job(job_id)
+            assert (state_dir / "workflow.wal.dead-2").is_file()
+
+
+class TestStateDirLifecycle:
+    def test_purge_removes_workflow_state_dir(self, tmp_path, manual_clock):
+        with make_manager(tmp_path, manual_clock) as mgr:
+            sub = mgr.submit_job({})
+            job_id = sub["job_id"]
+            lease = mgr.lease_job("w1")
+            state_dir = mgr.state_root / job_id
+            state_dir.mkdir(parents=True)
+            (state_dir / "journal.wal").write_text("x", encoding="utf-8")
+            mgr.complete_job(job_id, "w1", lease["attempt"])
+            mgr.purge_job(job_id)
+            assert not state_dir.exists()
+            assert mgr.state_root.is_dir()  # only the job dir goes
+
+    def test_state_root_layout(self, tmp_path, manual_clock):
+        with make_manager(tmp_path, manual_clock) as mgr:
+            assert mgr.state_root == tmp_path / "fleet" / JOBS_DIR_NAME
+            assert mgr.state_root.is_dir()
+
+
+class TestProvenancePublishing:
+    def test_attempt_chain_reaches_service(self, tmp_path, manual_clock):
+        service = ProvenanceService()
+        with make_manager(tmp_path, manual_clock, service=service) as mgr:
+            sub = mgr.submit_job({}, tenant="team-a")
+            job_id = sub["job_id"]
+            lease = mgr.lease_job("w1")
+            mgr.fail_job(job_id, "w1", lease["attempt"], "transient")
+            manual_clock.advance(120.0)
+            lease2 = mgr.lease_job("w2")
+            mgr.complete_job(job_id, "w2", lease2["attempt"])
+
+            doc = service.get_document(job_document_id(job_id))
+            names = {str(qn) for qn in doc.activities}
+            assert f"fleet:job/{job_id}" in names
+            assert f"fleet:job/{job_id}/attempt/1" in names
+            assert f"fleet:job/{job_id}/attempt/2" in names
+            informs = doc.relations_of_kind("wasInformedBy")
+            chain = {(str(r.args["prov:informed"]),
+                      str(r.args["prov:informant"])) for r in informs}
+            assert (f"fleet:job/{job_id}/attempt/2",
+                    f"fleet:job/{job_id}/attempt/1") in chain
+            agents = {str(qn) for qn in doc.agents}
+            assert "fleet:worker/w1" in agents
+            assert "fleet:worker/w2" in agents
+            assert "fleet:tenant/team-a" in agents
+
+    def test_dead_letter_marker_in_document(self, tmp_path, manual_clock):
+        service = ProvenanceService()
+        with make_manager(tmp_path, manual_clock, service=service,
+                          max_attempts=1) as mgr:
+            sub = mgr.submit_job({})
+            job_id = sub["job_id"]
+            lease = mgr.lease_job("w1")
+            dead = mgr.fail_job(job_id, "w1", lease["attempt"], "boom")
+            assert dead["state"] == "dead_lettered"
+            doc = service.get_document(job_document_id(job_id))
+            job_act = doc.activities[doc.qname(FLEET_NS(f"job/{job_id}"))]
+            assert job_act.attributes["repro:dead_lettered"] is True
+            assert job_act.attributes["fleet:state"] == "dead_lettered"
+
+    def test_publisher_failures_counted_not_raised(self, tmp_path,
+                                                   manual_clock):
+        publisher = JobProvenancePublisher(
+            lambda doc_id, doc: (_ for _ in ()).throw(RuntimeError("down")))
+        with make_manager(tmp_path, manual_clock) as mgr:
+            mgr.queue.on_event = publisher.on_event
+            mgr.submit_job({})  # must not raise despite the sink being down
+            assert publisher.dropped == 1
+            assert publisher.published == 0
+
+    def test_fleet_stats_shape(self, tmp_path, manual_clock):
+        service = ProvenanceService()
+        with make_manager(tmp_path, manual_clock, service=service,
+                          tenant_weights={"vip": 2.0}) as mgr:
+            mgr.submit_job({})
+            stats = mgr.fleet_stats()
+            assert stats["jobs"] == 1
+            assert stats["by_state"]["pending"] == 1
+            assert stats["tenant_weights"] == {"vip": 2.0}
+            assert stats["state_root"] == str(mgr.state_root)
+            assert stats["prov_published"] >= 1
+            assert stats["prov_dropped"] == 0
+
+    def test_build_document_skips_requeue_markers(self, tmp_path,
+                                                  manual_clock):
+        with make_manager(tmp_path, manual_clock, max_attempts=1) as mgr:
+            sub = mgr.submit_job({})
+            job_id = sub["job_id"]
+            lease = mgr.lease_job("w1")
+            mgr.fail_job(job_id, "w1", lease["attempt"], "boom")
+            mgr.requeue_job(job_id)  # adds a non-attempt history marker
+            doc = build_job_document(mgr.queue.get(job_id))
+            names = {str(qn) for qn in doc.activities}
+            assert f"fleet:job/{job_id}/attempt/1" in names
+            # no phantom attempt for the requeue marker
+            assert f"fleet:job/{job_id}/attempt/2" not in names

@@ -1,0 +1,351 @@
+"""FleetQueue: durability, lease fencing, retries, DLQ, compaction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.journal import read_journal
+from repro.errors import (
+    FleetError,
+    JobNotFoundError,
+    JobStateError,
+    LeaseExpiredError,
+    QueueFullError,
+)
+from repro.fleet.queue import (
+    FLEET_QUEUE_NAME,
+    FleetQueue,
+    JobState,
+    replay_queue,
+)
+from repro.fleet.scheduler import AdmissionControl
+
+
+def make_queue(tmp_path, clock, **kwargs):
+    kwargs.setdefault("lease_duration_s", 10.0)
+    kwargs.setdefault("max_attempts", 3)
+    return FleetQueue(tmp_path / "fleet", clock=clock, fsync=False, **kwargs)
+
+
+def snapshot_states(queue):
+    """Comparable view of the whole queue (independent of identity)."""
+    return {j.job_id: j.snapshot_payload() for j in queue.jobs()}
+
+
+class TestSubmitAndDurability:
+    def test_submit_is_pending_and_survives_restart(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            job = q.submit({"x": 1}, tenant="alpha")
+            assert job.state is JobState.PENDING
+            assert job.tenant == "alpha"
+        with make_queue(tmp_path, manual_clock) as q2:
+            again = q2.get(job.job_id)
+            assert again.state is JobState.PENDING
+            assert again.spec == {"x": 1}
+            assert q2.replayed_records == 1
+
+    def test_submit_rejects_duplicate_id(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            q.submit({}, job_id="job-dup")
+            with pytest.raises(JobStateError):
+                q.submit({}, job_id="job-dup")
+
+    def test_submit_rejects_non_mapping_spec(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            with pytest.raises(FleetError):
+                q.submit([1, 2, 3])
+
+    def test_closed_queue_refuses_appends(self, tmp_path, manual_clock):
+        q = make_queue(tmp_path, manual_clock)
+        q.close()
+        q.close()  # idempotent
+        with pytest.raises(FleetError):
+            q.submit({})
+
+    def test_admission_full_journals_nothing(self, tmp_path, manual_clock):
+        q = make_queue(
+            tmp_path, manual_clock,
+            admission=AdmissionControl(max_active_total=1,
+                                       max_active_per_tenant=1,
+                                       retry_after_s=2.5))
+        with q:
+            q.submit({})
+            with pytest.raises(QueueFullError) as excinfo:
+                q.submit({})
+            assert excinfo.value.retry_after_s == 2.5
+            assert q.stats()["journal_records"] == 1
+
+    def test_per_tenant_cap_leaves_other_tenants_admitted(
+            self, tmp_path, manual_clock):
+        q = make_queue(
+            tmp_path, manual_clock,
+            admission=AdmissionControl(max_active_total=10,
+                                       max_active_per_tenant=1))
+        with q:
+            q.submit({}, tenant="alpha")
+            with pytest.raises(QueueFullError):
+                q.submit({}, tenant="alpha")
+            q.submit({}, tenant="beta")  # different tenant still admitted
+
+
+class TestLeaseLifecycle:
+    def test_lease_complete_roundtrip(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            job = q.submit({"w": 1})
+            lease = q.lease("w1")
+            assert lease is not None
+            assert lease.job_id == job.job_id
+            assert lease.attempt == 1
+            assert q.get(job.job_id).state is JobState.LEASED
+            done = q.complete(job.job_id, "w1", 1, result={"ok": True})
+            assert done.state is JobState.DONE
+            assert done.result == {"ok": True}
+            assert done.worker is None
+
+    def test_lease_is_fifo_within_tenant(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            first = q.submit({})
+            q.submit({})
+            lease = q.lease("w1")
+            assert lease.job_id == first.job_id
+
+    def test_lease_none_when_empty(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            assert q.lease("w1") is None
+
+    def test_renew_extends_expiry(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            job = q.submit({})
+            lease = q.lease("w1")
+            manual_clock.advance(5.0)
+            new_expiry = q.renew(job.job_id, "w1", 1)
+            assert new_expiry > lease.expires
+
+    def test_failed_job_backs_off_then_retries(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            job = q.submit({})
+            q.lease("w1")
+            failed = q.fail(job.job_id, "w1", 1, "boom")
+            assert failed.state is JobState.PENDING
+            assert failed.failures == 1
+            assert failed.error == "boom"
+            assert failed.not_before > manual_clock()
+            assert q.lease("w2") is None  # still backing off
+            manual_clock.advance(120.0)
+            lease = q.lease("w2")
+            assert lease is not None and lease.attempt == 2
+
+    def test_retry_delay_is_deterministic_per_job(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            assert (q._retry_delay("job-a", 1)
+                    == q._retry_delay("job-a", 1))
+            assert q._retry_delay("job-a", 2) > 0
+
+
+class TestFencing:
+    def test_stale_worker_is_fenced_on_all_verbs(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            job = q.submit({})
+            q.lease("w1")
+            # the lease expires; a successor takes over
+            manual_clock.advance(11.0)
+            q.reclaim_expired()
+            manual_clock.advance(120.0)
+            lease2 = q.lease("w2")
+            assert lease2 is not None and lease2.worker == "w2"
+            for verb in (
+                lambda: q.renew(job.job_id, "w1", 1),
+                lambda: q.complete(job.job_id, "w1", 1),
+                lambda: q.fail(job.job_id, "w1", 1, "late"),
+            ):
+                with pytest.raises(LeaseExpiredError):
+                    verb()
+            # the real holder is unaffected
+            q.complete(job.job_id, "w2", 2)
+
+    def test_wrong_attempt_is_fenced(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            job = q.submit({})
+            q.lease("w1")
+            with pytest.raises(LeaseExpiredError):
+                q.complete(job.job_id, "w1", 2)
+
+    def test_unknown_job_raises_not_found(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            with pytest.raises(JobNotFoundError):
+                q.get("job-missing")
+            with pytest.raises(JobNotFoundError):
+                q.renew("job-missing", "w1", 1)
+
+
+class TestExpiryAndDeadLetter:
+    def test_expired_lease_counts_as_crash(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            job = q.submit({})
+            q.lease("w1")
+            manual_clock.advance(11.0)
+            touched = q.reclaim_expired()
+            assert touched == [job.job_id]
+            state = q.get(job.job_id)
+            assert state.state is JobState.PENDING
+            assert state.crashes == 1
+
+    def test_poison_job_dead_letters_after_max_attempts(
+            self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock, max_attempts=2) as q:
+            job = q.submit({})
+            for _ in range(2):
+                manual_clock.advance(200.0)
+                assert q.lease("w1") is not None
+                manual_clock.advance(11.0)
+                q.reclaim_expired()
+            dead = q.get(job.job_id)
+            assert dead.state is JobState.DEAD_LETTERED
+            assert dead.crashes == 2
+            assert "leases expired" in dead.dead_reason
+            assert q.dead_letters()[0].job_id == job.job_id
+
+    def test_clean_failures_dead_letter_too(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock, max_attempts=2) as q:
+            job = q.submit({})
+            q.lease("w1")
+            q.fail(job.job_id, "w1", 1, "bad input")
+            manual_clock.advance(200.0)
+            q.lease("w1")
+            final = q.fail(job.job_id, "w1", 2, "bad input")
+            assert final.state is JobState.DEAD_LETTERED
+            assert "bad input" in final.dead_reason
+
+    def test_dead_lettered_job_is_not_leased(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock, max_attempts=1) as q:
+            q.submit({})
+            q.lease("w1")
+            manual_clock.advance(11.0)
+            q.reclaim_expired()
+            manual_clock.advance(500.0)
+            assert q.lease("w2") is None
+
+
+class TestRequeueAndPurge:
+    def make_dead(self, q, clock):
+        job = q.submit({})
+        q.lease("w1")
+        q.fail(job.job_id, "w1", 1, "x")
+        clock.advance(300.0)
+        q.lease("w1")
+        q.fail(job.job_id, "w1", 2, "x")
+        clock.advance(300.0)
+        q.lease("w1")
+        return q.fail(job.job_id, "w1", 3, "x")
+
+    def test_requeue_resets_counters(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            dead = self.make_dead(q, manual_clock)
+            assert dead.state is JobState.DEAD_LETTERED
+            back = q.requeue(dead.job_id)
+            assert back.state is JobState.PENDING
+            assert back.attempts == 0 and back.failures == 0
+            assert back.dead_reason is None and back.not_before == 0.0
+            lease = q.lease("w2")
+            assert lease is not None and lease.attempt == 1
+
+    def test_requeue_non_dlq_rejected(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            job = q.submit({})
+            with pytest.raises(JobStateError):
+                q.requeue(job.job_id)
+
+    def test_purge_only_settled_jobs(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            pending = q.submit({})
+            with pytest.raises(JobStateError):
+                q.purge(pending.job_id)
+            lease = q.lease("w1")
+            q.complete(pending.job_id, "w1", lease.attempt)
+            q.purge(pending.job_id)
+            with pytest.raises(JobNotFoundError):
+                q.get(pending.job_id)
+
+    def test_purge_survives_restart(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            job = q.submit({})
+            q.lease("w1")
+            q.complete(job.job_id, "w1", 1)
+            q.purge(job.job_id)
+        with make_queue(tmp_path, manual_clock) as q2:
+            assert q2.jobs() == []
+
+
+class TestReplayAndCompaction:
+    def test_replay_matches_live_state(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            q.submit({"n": 1}, tenant="alpha")
+            q.submit({"n": 2}, tenant="beta")
+            lease1 = q.lease("w1")
+            q.complete(lease1.job_id, "w1", lease1.attempt, result={"r": 1})
+            lease2 = q.lease("w1")
+            q.fail(lease2.job_id, "w1", lease2.attempt, "nope")
+            live = snapshot_states(q)
+            live_records = q.stats()["journal_records"]
+        with make_queue(tmp_path, manual_clock) as q2:
+            assert snapshot_states(q2) == live
+            assert q2.replayed_records == live_records
+            # independent count straight off the journal file
+            raw = read_journal(tmp_path / "fleet" / FLEET_QUEUE_NAME)
+            assert len(raw.records) == live_records
+
+    def test_torn_tail_is_skipped_not_fatal(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            job = q.submit({})
+        path = tmp_path / "fleet" / FLEET_QUEUE_NAME
+        with path.open("ab") as fh:
+            fh.write(b'{"k": "complete", "job": "job-x", "crc":')  # torn
+        state, bad = replay_queue(path)
+        assert bad == 1
+        assert job.job_id in state.jobs
+        with make_queue(tmp_path, manual_clock) as q2:
+            assert q2.bad_records == 1
+            assert q2.get(job.job_id).state is JobState.PENDING
+            # startup compaction rewrote the file clean
+            assert replay_queue(path)[1] == 0
+
+    def test_compaction_preserves_state_and_fifo(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            first = q.submit({}, tenant="t")
+            second = q.submit({}, tenant="t")
+            q.lease("w1")
+            q.fail(first.job_id, "w1", 1, "retry me")  # bumped to back
+            before = snapshot_states(q)
+            q.compact()
+            assert snapshot_states(q) == before
+        with make_queue(tmp_path, manual_clock) as q2:
+            assert snapshot_states(q2) == before
+            manual_clock.advance(300.0)
+            # FIFO order across compaction: second now precedes the
+            # failed first (which was pushed to the back of the queue)
+            lease = q2.lease("w9")
+            assert lease.job_id == second.job_id
+
+    def test_wal_self_compacts_when_settled_dominates(
+            self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            for _ in range(200):
+                job = q.submit({})
+                q.lease("w1")
+                q.complete(job.job_id, "w1", 1)
+                q.purge(job.job_id)
+            keeper = q.submit({})
+            # 801 raw appends, but the journal was rewritten along the way
+            assert q.stats()["journal_records"] < 600
+        state, bad = replay_queue(tmp_path / "fleet" / FLEET_QUEUE_NAME)
+        assert bad == 0
+        assert set(state.jobs) == {keeper.job_id}
+
+    def test_stats_shape(self, tmp_path, manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            q.submit({}, tenant="alpha")
+            stats = q.stats()
+            assert stats["jobs"] == 1
+            assert stats["by_state"]["pending"] == 1
+            assert stats["active_by_tenant"] == {"alpha": 1}
+            assert stats["bad_records"] == 0

@@ -1,0 +1,184 @@
+"""The `/api/v0/jobs` REST surface end to end: client verbs, typed
+errors reconstructed from `code` payloads, 429 + Retry-After on
+overflow, and fleet health reporting."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.parse
+
+import pytest
+
+from repro.errors import (
+    JobNotFoundError,
+    JobStateError,
+    LeaseExpiredError,
+    QueueFullError,
+)
+from repro.fleet.manager import FleetManager
+from repro.yprov.client import ProvenanceClient
+from repro.yprov.rest import ProvenanceServer
+from repro.yprov.service import ProvenanceService
+
+
+@pytest.fixture()
+def fleet_server(tmp_path):
+    service = ProvenanceService()
+    manager = FleetManager(
+        tmp_path / "fleet", service, fsync=False,
+        max_active_total=100, max_active_per_tenant=3, retry_after_s=0.25)
+    with ProvenanceServer(service, fleet=manager) as srv:
+        yield srv, manager
+    manager.close()
+
+
+@pytest.fixture()
+def client(fleet_server):
+    srv, _ = fleet_server
+    return ProvenanceClient(srv.url, retries=0)
+
+
+def _raw(srv, method, path, body=None):
+    """One raw HTTP exchange, bypassing the client's error mapping."""
+    host, port = srv._httpd.server_address[:2]
+    conn = http.client.HTTPConnection(host, port, timeout=5)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        conn.request(method, urllib.parse.urlsplit(srv.url).path + path,
+                     body=payload,
+                     headers={"Content-Type": "application/json"})
+        resp = conn.getresponse()
+        data = resp.read()
+        return resp.status, dict(resp.getheaders()), data
+    finally:
+        conn.close()
+
+
+class TestJobLifecycleOverHTTP:
+    def test_submit_lease_complete(self, client):
+        sub = client.submit_job({"workflow_file": "/tmp/x.py"},
+                                tenant="team-a")
+        assert sub["state"] == "pending"
+        lease = client.lease_job("w1")
+        assert lease["job_id"] == sub["job_id"]
+        assert lease["tenant"] == "team-a"
+        renewed = client.renew_job(lease["job_id"], "w1", lease["attempt"])
+        assert renewed["expires"] > 0
+        done = client.complete_job(lease["job_id"], "w1", lease["attempt"],
+                                   result={"ok": 1})
+        assert done["state"] == "done"
+        assert client.get_job(sub["job_id"])["result"] == {"ok": 1}
+        assert client.lease_job("w1") is None
+
+    def test_fail_then_list_filters(self, client):
+        sub = client.submit_job({})
+        lease = client.lease_job("w1")
+        failed = client.fail_job(lease["job_id"], "w1", lease["attempt"],
+                                 error="boom")
+        assert failed["state"] == "pending"
+        assert failed["failures"] == 1
+        rows = client.list_jobs(state="pending")
+        assert [r["job_id"] for r in rows] == [sub["job_id"]]
+        assert client.list_jobs(state="done") == []
+        assert client.list_jobs(tenant="nobody") == []
+
+    def test_purge_returns_204(self, client):
+        sub = client.submit_job({})
+        lease = client.lease_job("w1")
+        client.complete_job(lease["job_id"], "w1", lease["attempt"])
+        assert client.purge_job(sub["job_id"]) is None
+        with pytest.raises(JobNotFoundError):
+            client.get_job(sub["job_id"])
+
+    def test_fleet_stats_endpoint(self, client):
+        client.submit_job({})
+        stats = client.fleet_stats()
+        assert stats["jobs"] == 1
+        assert stats["by_state"]["pending"] == 1
+
+
+class TestTypedErrorsAcrossTheWire:
+    def test_unknown_job_is_job_not_found(self, client):
+        with pytest.raises(JobNotFoundError):
+            client.get_job("no-such-job")
+
+    def test_stale_worker_is_lease_expired(self, client):
+        client.submit_job({})
+        lease = client.lease_job("w1")
+        with pytest.raises(LeaseExpiredError):
+            client.complete_job(lease["job_id"], "w-imposter",
+                                lease["attempt"])
+
+    def test_requeue_of_pending_is_job_state(self, client):
+        sub = client.submit_job({})
+        with pytest.raises(JobStateError):
+            client.requeue_job(sub["job_id"])
+
+    def test_overflow_is_queue_full_with_retry_after(self, client):
+        for _ in range(3):
+            client.submit_job({}, tenant="greedy")
+        with pytest.raises(QueueFullError) as excinfo:
+            client.submit_job({}, tenant="greedy")
+        assert excinfo.value.retry_after_s == 0.25
+        # another tenant is unaffected by greedy's cap
+        assert client.submit_job({}, tenant="polite")["state"] == "pending"
+
+
+class TestWireFormat:
+    def test_429_carries_retry_after_header(self, fleet_server, client):
+        srv, _ = fleet_server
+        for _ in range(3):
+            client.submit_job({}, tenant="greedy")
+        status, headers, body = _raw(
+            srv, "POST", "/jobs", {"spec": {}, "tenant": "greedy"})
+        assert status == 429
+        assert headers["Retry-After"] == "0.25"
+        assert json.loads(body)["code"] == "queue_full"
+
+    def test_error_bodies_carry_machine_codes(self, fleet_server):
+        srv, _ = fleet_server
+        status, _, body = _raw(srv, "GET", "/jobs/nope")
+        assert status == 404
+        assert json.loads(body)["code"] == "job_not_found"
+        status, _, body = _raw(
+            srv, "POST", "/jobs/nope:renew",
+            {"worker": "w1", "attempt": 1})
+        assert status == 404
+        status, _, body = _raw(srv, "GET", "/jobs?state=sideways")
+        assert status == 400
+        assert json.loads(body)["code"] == "fleet"
+
+    def test_tenant_header_fallback(self, fleet_server):
+        srv, _ = fleet_server
+        host, port = srv._httpd.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=5)
+        try:
+            conn.request(
+                "POST", urllib.parse.urlsplit(srv.url).path + "/jobs",
+                body=json.dumps({"spec": {}}).encode(),
+                headers={"Content-Type": "application/json",
+                         "X-Tenant": "from-header"})
+            resp = conn.getresponse()
+            assert resp.status == 201
+            assert json.loads(resp.read())["tenant"] == "from-header"
+        finally:
+            conn.close()
+
+    def test_health_advertises_jobs_capability(self, fleet_server):
+        srv, _ = fleet_server
+        status, _, body = _raw(srv, "GET", "/health")
+        assert status == 200
+        payload = json.loads(body)
+        assert "jobs" in payload["capabilities"]
+        assert payload["fleet"]["jobs"] == 0
+
+
+class TestServerWithoutFleet:
+    def test_jobs_endpoints_absent_without_manager(self):
+        service = ProvenanceService()
+        with ProvenanceServer(service) as srv:
+            status, _, body = _raw(srv, "GET", "/jobs")
+            assert status == 404
+            status, _, payload = _raw(srv, "GET", "/health")
+            assert "jobs" not in json.loads(payload)["capabilities"]

@@ -1,0 +1,91 @@
+"""FairShareScheduler and AdmissionControl policy tests."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import FleetError, QueueFullError
+from repro.fleet.scheduler import AdmissionControl, FairShareScheduler
+
+
+class TestFairShare:
+    def test_converges_to_weight_ratio_under_saturation(self):
+        sched = FairShareScheduler(weights={"a": 2.0, "b": 1.0})
+        picks = Counter(
+            sched.pick({"a": 100, "b": 100}) for _ in range(300))
+        assert picks["a"] == 200
+        assert picks["b"] == 100
+
+    def test_three_tenants_with_fractional_weights(self):
+        sched = FairShareScheduler(weights={"a": 3.0, "b": 1.5, "c": 1.5})
+        picks = Counter(
+            sched.pick({"a": 999, "b": 999, "c": 999}) for _ in range(600))
+        assert picks["a"] == 300
+        assert picks["b"] == 150
+        assert picks["c"] == 150
+
+    def test_unconfigured_tenant_gets_default_weight(self):
+        sched = FairShareScheduler(weights={"vip": 2.0})
+        picks = Counter(
+            sched.pick({"vip": 999, "anon": 999}) for _ in range(300))
+        assert picks["vip"] == 200
+        assert picks["anon"] == 100
+
+    def test_sole_ready_tenant_always_picked(self):
+        sched = FairShareScheduler(weights={"a": 2.0, "b": 1.0})
+        for _ in range(10):
+            assert sched.pick({"b": 5}) == "b"
+
+    def test_idle_tenant_cannot_hoard_deficit(self):
+        sched = FairShareScheduler(weights={"a": 1.0, "b": 1.0})
+        # b idles while a drains 50 picks...
+        for _ in range(50):
+            assert sched.pick({"a": 100}) == "a"
+        # ...then b shows up: it must share fairly, not burst-starve a
+        picks = Counter(sched.pick({"a": 100, "b": 100}) for _ in range(100))
+        assert abs(picks["a"] - picks["b"]) <= 2
+
+    def test_empty_ready_set_returns_none(self):
+        sched = FairShareScheduler()
+        assert sched.pick({}) is None
+        assert sched.pick({"a": 0}) is None
+
+    def test_invalid_weights_rejected(self):
+        sched = FairShareScheduler()
+        with pytest.raises(FleetError):
+            sched.set_weight("a", 0.0)
+        with pytest.raises(FleetError):
+            FairShareScheduler(weights={"a": -1.0})
+        with pytest.raises(FleetError):
+            FairShareScheduler(default_weight=0)
+        with pytest.raises(FleetError):
+            FairShareScheduler(quantum=-1.0)
+
+    def test_weights_view_is_a_copy(self):
+        sched = FairShareScheduler(weights={"a": 2.0})
+        view = sched.weights()
+        view["a"] = 99.0
+        assert sched.weight("a") == 2.0
+
+
+class TestAdmission:
+    def test_global_cap(self):
+        adm = AdmissionControl(max_active_total=2, max_active_per_tenant=10,
+                               retry_after_s=3.0)
+        adm.check("t", active_tenant=1, active_total=1)
+        with pytest.raises(QueueFullError) as excinfo:
+            adm.check("t", active_tenant=1, active_total=2)
+        assert excinfo.value.retry_after_s == 3.0
+
+    def test_per_tenant_cap(self):
+        adm = AdmissionControl(max_active_total=100, max_active_per_tenant=1)
+        with pytest.raises(QueueFullError):
+            adm.check("t", active_tenant=1, active_total=1)
+
+    def test_invalid_caps_rejected(self):
+        with pytest.raises(FleetError):
+            AdmissionControl(max_active_total=0)
+        with pytest.raises(FleetError):
+            AdmissionControl(max_active_per_tenant=0)

@@ -1,0 +1,256 @@
+"""FleetWorker: execution, crash-resume, fencing, and flapping workers."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import FleetError, LeaseExpiredError, TransportError
+from repro.fleet.queue import FleetQueue, JobState
+from repro.fleet.worker import FleetWorker, JobContext, workflow_runner
+from repro.workflow.loader import load_workflow_file
+
+
+def make_queue(tmp_path, clock, **kwargs):
+    kwargs.setdefault("lease_duration_s", 10.0)
+    kwargs.setdefault("max_attempts", 3)
+    return FleetQueue(tmp_path / "fleet", clock=clock, fsync=False, **kwargs)
+
+
+class SimulatedPowerLoss(BaseException):
+    """Raised from the journal chaos hook to 'kill' a run mid-flight.
+
+    A ``BaseException`` so neither the workflow's per-task retry
+    machinery nor generic ``except Exception`` cleanup can swallow it —
+    exactly like a real SIGKILL, nothing downstream of the kill runs.
+    """
+
+
+# The log directory is baked into the module text: task functions only
+# see their declared deps' outputs, so a file path cannot ride in via
+# workflow inputs for a dependency-less task.
+RESUME_WF_TEMPLATE = '''
+"""Two-task workflow used to prove crash-resume semantics."""
+from pathlib import Path
+
+from repro.workflow.dag import Workflow
+
+LOG_DIR = Path({log_dir!r})
+
+
+def build_workflow():
+    """Each task appends to an execution log so re-runs are countable."""
+    wf = Workflow("fleet-resume")
+
+    @wf.task("first")
+    def first(inputs):
+        """Record one execution of the first task."""
+        with (LOG_DIR / "first.log").open("a") as fh:
+            fh.write("ran\\n")
+        return {{"ok": 1}}
+
+    @wf.task("second", deps=("first",))
+    def second(inputs):
+        """Record one execution of the second task."""
+        with (LOG_DIR / "second.log").open("a") as fh:
+            fh.write("ran\\n")
+        return {{"ok": 2}}
+    return wf
+'''
+
+
+class TestWorkflowRunner:
+    def test_runs_trivial_workflow_to_done(self, tmp_path, manual_clock,
+                                           trivial_workflow_file):
+        with make_queue(tmp_path, manual_clock) as q:
+            job = q.submit({"workflow_file": str(trivial_workflow_file)})
+            worker = FleetWorker(q, worker_id="w1",
+                                 state_root=tmp_path / "jobs",
+                                 clock=manual_clock)
+            assert worker.run_once() is True
+            assert worker.completed == 1
+            done = q.get(job.job_id)
+            assert done.state is JobState.DONE
+            assert done.result["succeeded"] is True
+            assert done.result["tasks"]["hello"]["outputs"] == {"greeting": "hi"}
+
+    def test_spec_without_workflow_file_fails_cleanly(self, tmp_path,
+                                                      manual_clock):
+        with make_queue(tmp_path, manual_clock) as q:
+            job = q.submit({"not_a": "workflow"})
+            worker = FleetWorker(q, worker_id="w1",
+                                 state_root=tmp_path / "jobs",
+                                 clock=manual_clock)
+            worker.run_once()
+            assert worker.failed == 1
+            failed = q.get(job.job_id)
+            assert failed.state is JobState.PENDING
+            assert "workflow_file" in failed.error
+
+    def test_successor_resumes_never_reexecutes(self, tmp_path, manual_clock):
+        """The acceptance property at unit scale: a crashed attempt's
+        journaled tasks replay on the successor, they do not run again."""
+        wf_file = tmp_path / "resume_wf.py"
+        log_dir = tmp_path / "logs"
+        log_dir.mkdir()
+        wf_file.write_text(RESUME_WF_TEMPLATE.format(log_dir=str(log_dir)),
+                           encoding="utf-8")
+        state_root = tmp_path / "jobs"
+        spec = {"workflow_file": str(wf_file)}
+
+        def crashing_runner(lease, ctx):
+            """Attempt 1 'loses power' right after task `first` journals."""
+            workflow = load_workflow_file(spec["workflow_file"])
+
+            def kill_after_first_task(kind, index):
+                if kind == "task_result":
+                    raise SimulatedPowerLoss()
+
+            workflow.resume(
+                state_root / lease.job_id,
+                fsync=False,
+                on_record=kill_after_first_task,
+            )
+            raise AssertionError("unreachable: the hook kills the run")
+
+        with make_queue(tmp_path, manual_clock) as q:
+            job = q.submit(spec)
+            crasher = FleetWorker(q, worker_id="w-crash",
+                                  runner=crashing_runner, clock=manual_clock,
+                                  renew_fraction=10.0)
+            with pytest.raises(SimulatedPowerLoss):
+                crasher.run_once()
+            # the worker died mid-job: its lease expires and is reclaimed
+            manual_clock.advance(11.0)
+            q.reclaim_expired()
+            crashed = q.get(job.job_id)
+            assert crashed.state is JobState.PENDING
+            assert crashed.crashes == 1
+            # the first task's terminal record reached the journal
+            assert (log_dir / "first.log").read_text() == "ran\n"
+
+            manual_clock.advance(300.0)
+            successor = FleetWorker(q, worker_id="w-new",
+                                    state_root=state_root, clock=manual_clock)
+            assert successor.run_once() is True
+            assert successor.completed == 1
+            done = q.get(job.job_id)
+            assert done.state is JobState.DONE
+            assert done.attempts == 2
+            # the crashed attempt's completed task replayed, not re-ran
+            assert (log_dir / "first.log").read_text() == "ran\n"
+            assert (log_dir / "second.log").read_text() == "ran\n"
+            assert done.result["replayed_tasks"] == ["first"]
+
+
+class TestFencingAndFlapping:
+    def test_flapping_worker_never_double_commits(self, tmp_path,
+                                                  manual_clock):
+        """A worker suspected dead, superseded, then revived must fence
+        out *before* committing a non-resumable side effect."""
+        commits = []
+
+        with make_queue(tmp_path, manual_clock) as q:
+
+            def stalled_runner(lease, ctx):
+                """Worker 1 stalls (GC pause / partition) mid-attempt."""
+                # its lease expires while it is stalled...
+                manual_clock.advance(11.0)
+                q.reclaim_expired()
+                manual_clock.advance(300.0)
+                # ...and a successor runs the job to completion
+                lease2 = q.lease("w2")
+                assert lease2 is not None
+                assert lease2.job_id == lease.job_id
+                commits.append("w2")
+                q.complete(lease2.job_id, "w2", lease2.attempt)
+                # worker 1 revives: its next heartbeat discovers the fence
+                # (this is one synchronous iteration of the renew loop)
+                try:
+                    q.renew(lease.job_id, lease.worker, lease.attempt)
+                except LeaseExpiredError:
+                    ctx.mark_lost()
+                # the pre-side-effect gate fires before any damage
+                ctx.check_lease()
+                commits.append("w1")  # must never run
+                return {}
+
+            job = q.submit({})
+            flapper = FleetWorker(q, worker_id="w1", runner=stalled_runner,
+                                  clock=manual_clock, renew_fraction=10.0)
+            flapper.run_once()
+            assert commits == ["w2"]
+            assert flapper.abandoned == 1
+            assert flapper.completed == 0
+            done = q.get(job.job_id)
+            assert done.state is JobState.DONE
+            assert done.attempts == 2
+
+    def test_revived_worker_completion_report_is_fenced(self, tmp_path,
+                                                        manual_clock):
+        """Even a runner that never checks its lease cannot double-report:
+        the queue fences the stale completion at the journal boundary."""
+        with make_queue(tmp_path, manual_clock) as q:
+
+            def oblivious_runner(lease, ctx):
+                manual_clock.advance(11.0)
+                q.reclaim_expired()
+                manual_clock.advance(300.0)
+                lease2 = q.lease("w2")
+                q.complete(lease2.job_id, "w2", lease2.attempt,
+                           result={"by": "w2"})
+                return {"by": "w1"}
+
+            job = q.submit({})
+            worker = FleetWorker(q, worker_id="w1", runner=oblivious_runner,
+                                 clock=manual_clock, renew_fraction=10.0)
+            worker.run_once()
+            assert worker.abandoned == 1
+            assert q.get(job.job_id).result == {"by": "w2"}
+
+    def test_job_context_check_lease_raises_after_loss(self):
+        ctx = JobContext(lease=_lease_stub())
+        ctx.check_lease()  # held: no-op
+        ctx.mark_lost()
+        assert ctx.lease_lost
+        with pytest.raises(LeaseExpiredError):
+            ctx.check_lease()
+
+
+class TestRunForever:
+    def test_transient_queue_errors_do_not_kill_the_worker(self, tmp_path,
+                                                           manual_clock):
+        calls = {"n": 0}
+
+        class FlakyQueue:
+            """Queue facade that is unreachable on its first two polls."""
+
+            def lease(self, worker_id, now=None):
+                calls["n"] += 1
+                if calls["n"] < 3:
+                    raise TransportError("connection refused")
+                return None
+
+        stop = threading.Event()
+
+        def counting_sleep(seconds):
+            if calls["n"] >= 4:
+                stop.set()
+
+        worker = FleetWorker(FlakyQueue(), worker_id="w1",
+                             runner=lambda lease, ctx: {},
+                             sleep=counting_sleep)
+        worker.run_forever(stop)
+        assert calls["n"] >= 4
+
+    def test_worker_requires_runner_or_state_root(self):
+        with pytest.raises(FleetError):
+            FleetWorker(queue=None)
+
+
+def _lease_stub():
+    from repro.fleet.queue import JobLease
+
+    return JobLease(job_id="job-x", tenant="t", spec={}, worker="w1",
+                    attempt=1, expires=100.0, lease_duration_s=10.0)

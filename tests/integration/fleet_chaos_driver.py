@@ -1,0 +1,402 @@
+"""SIGKILL chaos driver for the job fleet (CI ``fleet-chaos`` job).
+
+Real processes, real sockets, real ``kill -9``: one ``yprov fleet
+serve`` scheduler subprocess (durable ``queue.wal``) and ``yprov fleet
+work`` worker subprocesses sharing its fleet root.  The kill matrix:
+
+1. **worker mid-task** — a worker is SIGKILLed while the second task of
+   a two-task workflow is executing.  Its lease expires, a successor
+   reclaims the job, and the crashed attempt's *completed* first task
+   must replay from the workflow journal — the per-task execution log
+   proves it ran exactly once across both attempts.
+2. **scheduler mid-lease** — the scheduler is SIGKILLed with jobs
+   pending and leased.  A restart over the same fleet root must replay
+   exactly the records an independent WAL read finds, every acked job
+   must still be listed, and the surviving worker must then drive all
+   of them to ``done`` — zero acked-job loss.
+3. **poison job** — a job whose task SIGKILLs its own worker is retried
+   ``max_attempts`` times and must land in the dead-letter queue
+   (``yprov jobs dlq`` exits 1), stay inspectable, and — after the
+   workflow file is fixed — be requeued with ``yprov jobs retry`` and
+   complete cleanly (``yprov jobs dlq`` exits 0).
+4. **audit** — every submitted job is terminal, the resumed job's PROV
+   document chains its attempts ``wasInformedBy``, and
+   ``yprov lint --fleet`` over the quiesced fleet root is clean.
+
+Exit 0 = all invariants held.  Any violation prints the failure and
+exits 1; CI uploads the fleet root (queue + workflow journals) as
+artifacts.
+"""
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.fleet.queue import FLEET_QUEUE_NAME, replay_queue
+from repro.yprov.client import ProvenanceClient
+
+_URL_RE = re.compile(r"https?://\S+/api/v0")
+_FLEET_RE = re.compile(r"fleet: (\d+) record\(s\) replayed, (\d+) job\(s\)")
+
+LEASE_S = 2.0
+MAX_ATTEMPTS = 3
+
+RESUME_WF = '''
+"""Two-task workflow: proves crash-resume across worker processes."""
+import time
+from pathlib import Path
+
+from repro.workflow.dag import Workflow
+
+LOG_DIR = Path({log_dir!r})
+GATE = Path({gate!r})
+
+
+def build_workflow():
+    """Task `second` spins while the gate file exists (kill window)."""
+    wf = Workflow("chaos-resume")
+
+    @wf.task("first")
+    def first(inputs):
+        """Record one execution, then finish immediately."""
+        with (LOG_DIR / "first.log").open("a") as fh:
+            fh.write("ran\\n")
+        return {{"ok": 1}}
+
+    @wf.task("second", deps=("first",))
+    def second(inputs):
+        """Record one execution, then hold until the gate lifts."""
+        with (LOG_DIR / "second.log").open("a") as fh:
+            fh.write("ran\\n")
+        while GATE.exists():
+            time.sleep(0.05)
+        return {{"ok": 2}}
+    return wf
+'''
+
+QUICK_WF = '''
+"""Single fast task; the scheduler-kill fleet runs many of these."""
+from repro.workflow.dag import Workflow
+
+
+def build_workflow():
+    """One trivial task."""
+    wf = Workflow("chaos-quick")
+
+    @wf.task("only")
+    def only(inputs):
+        """Return instantly."""
+        return {{"done": True}}
+    return wf
+'''
+
+POISON_WF = '''
+"""A task that SIGKILLs its own worker while the poison flag exists."""
+import os
+import signal
+from pathlib import Path
+
+from repro.workflow.dag import Workflow
+
+POISON = Path({poison!r})
+
+
+def build_workflow():
+    """Suicidal while poisoned; trivially successful once cured."""
+    wf = Workflow("chaos-poison")
+
+    @wf.task("boom")
+    def boom(inputs):
+        """Kill the hosting worker process, or succeed if cured."""
+        if POISON.exists():
+            os.kill(os.getpid(), signal.SIGKILL)
+        return {{"cured": True}}
+    return wf
+'''
+
+
+def log(msg):
+    print(f"[driver] {msg}", flush=True)
+
+
+class Scheduler:
+    """The ``yprov fleet serve`` subprocess over a persistent fleet root."""
+
+    def __init__(self, prov_root, fleet_root):
+        self.prov_root = Path(prov_root)
+        self.fleet_root = Path(fleet_root)
+        self.url = None
+        self.port = 0  # ephemeral on first boot, pinned on restart
+        self.proc = None
+        self.replayed = 0
+        self.jobs = 0
+
+    def start(self):
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.yprov.cli",
+             "--root", str(self.prov_root), "fleet", "serve",
+             "--fleet-root", str(self.fleet_root),
+             "--port", str(self.port),
+             "--lease-duration", str(LEASE_S),
+             "--max-attempts", str(MAX_ATTEMPTS)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        line = self.proc.stdout.readline()
+        match = _URL_RE.search(line)
+        if not match:
+            raise RuntimeError(f"scheduler announced no URL: {line!r}")
+        self.url = match.group(0)
+        self.port = int(self.url.split(":")[2].split("/")[0])
+        line = self.proc.stdout.readline()
+        match = _FLEET_RE.search(line)
+        if not match:
+            raise RuntimeError(f"scheduler announced no fleet line: {line!r}")
+        self.replayed = int(match.group(1))
+        self.jobs = int(match.group(2))
+        log(f"scheduler on {self.url} (pid {self.proc.pid}): "
+            f"{self.replayed} record(s) replayed, {self.jobs} job(s)")
+        return self
+
+    def sigkill(self):
+        log(f"SIGKILL -> scheduler (pid {self.proc.pid})")
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=30)
+
+    def stop(self):
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+
+
+class Worker:
+    """One ``yprov fleet work`` subprocess."""
+
+    def __init__(self, worker_id, url, fleet_root):
+        self.worker_id = worker_id
+        self.url = url
+        self.fleet_root = Path(fleet_root)
+        self.proc = None
+
+    def start(self):
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.yprov.cli", "fleet", "work",
+             "--url", self.url, "--fleet-root", str(self.fleet_root),
+             "--worker-id", self.worker_id, "--poll-interval", "0.1",
+             "--retries", "0"],
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        log(f"worker {self.worker_id} started (pid {self.proc.pid})")
+        return self
+
+    def sigkill(self):
+        log(f"SIGKILL -> worker {self.worker_id} (pid {self.proc.pid})")
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=30)
+
+    def stop(self):
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+
+
+def wait_for(predicate, what, timeout_s=60.0, interval_s=0.1):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(interval_s)
+    raise AssertionError(f"timed out waiting for {what}")
+
+
+def job_state(client, job_id):
+    try:
+        return client.get_job(job_id)["state"]
+    except ReproError:
+        return None  # scheduler restarting mid-poll
+
+
+def yprov(*argv):
+    """Run one ``yprov`` CLI invocation, capturing output."""
+    return subprocess.run(
+        [sys.executable, "-m", "repro.yprov.cli", *argv],
+        capture_output=True, text=True,
+    )
+
+
+def main():
+    workdir = Path(sys.argv[1] if len(sys.argv) > 1
+                   else tempfile.mkdtemp(prefix="fleet-chaos-"))
+    workdir.mkdir(parents=True, exist_ok=True)
+    log(f"workdir: {workdir}")
+    fleet_root = workdir / "fleet"
+    log_dir = workdir / "logs"
+    log_dir.mkdir(exist_ok=True)
+    gate = workdir / "gate.flag"
+    poison = workdir / "poison.flag"
+
+    resume_wf = workdir / "resume_wf.py"
+    resume_wf.write_text(
+        RESUME_WF.format(log_dir=str(log_dir), gate=str(gate)),
+        encoding="utf-8")
+    quick_wf = workdir / "quick_wf.py"
+    quick_wf.write_text(QUICK_WF.format(), encoding="utf-8")
+    poison_wf = workdir / "poison_wf.py"
+    poison_wf.write_text(POISON_WF.format(poison=str(poison)),
+                         encoding="utf-8")
+
+    scheduler = Scheduler(workdir / "prov", fleet_root).start()
+    assert scheduler.replayed == 0 and scheduler.jobs == 0
+    client = ProvenanceClient(scheduler.url, timeout_s=5.0, retries=2)
+    workers = []
+    acked = []
+    try:
+        # -- phase A: SIGKILL a worker mid-task -------------------------
+        gate.touch()
+        sub = client.submit_job({"workflow_file": str(resume_wf)},
+                                tenant="team-a")
+        acked.append(sub["job_id"])
+        resume_job = sub["job_id"]
+        w1 = Worker("w-victim", scheduler.url, fleet_root).start()
+        workers.append(w1)
+        # `first` has journaled its result; `second` is now executing
+        wait_for(lambda: (log_dir / "second.log").exists(),
+                 "task `second` to start executing")
+        w1.sigkill()
+        gate.unlink()  # the successor's re-run of `second` finishes fast
+
+        w2 = Worker("w-successor", scheduler.url, fleet_root).start()
+        workers.append(w2)
+        wait_for(lambda: job_state(client, resume_job) == "done",
+                 "crashed job to finish on the successor")
+        done = client.get_job(resume_job)
+        assert done["attempts"] == 2, done
+        assert done["crashes"] == 1, done
+        first_runs = (log_dir / "first.log").read_text().count("ran")
+        second_runs = (log_dir / "second.log").read_text().count("ran")
+        assert first_runs == 1, \
+            f"completed task `first` re-executed: {first_runs} runs"
+        assert second_runs == 2, \
+            f"interrupted task `second` should re-run once: {second_runs}"
+        assert done["result"]["replayed_tasks"] == ["first"], done["result"]
+        log("phase A: completed task replayed (1 run), interrupted task "
+            "re-ran; job done in 2 attempts")
+
+        # -- phase B: SIGKILL the scheduler mid-lease -------------------
+        for i in range(6):
+            sub = client.submit_job({"workflow_file": str(quick_wf)},
+                                    tenant=f"team-{i % 2}")
+            acked.append(sub["job_id"])
+        time.sleep(0.3)  # let w2 lease some of them
+        scheduler.sigkill()
+
+        # independent ground truth: fold the WAL ourselves
+        state, bad = replay_queue(fleet_root / FLEET_QUEUE_NAME)
+        log(f"phase B: independent WAL read: {state.records} record(s), "
+            f"{bad} torn, {len(state.jobs)} job(s)")
+
+        scheduler.start()  # same port, same fleet root
+        assert scheduler.replayed == state.records, \
+            f"scheduler replayed {scheduler.replayed} records, " \
+            f"independent read found {state.records}"
+        assert scheduler.jobs == len(state.jobs)
+        listed = {row["job_id"] for row in client.list_jobs()}
+        missing = [j for j in acked if j not in listed]
+        assert not missing, f"acked jobs lost across restart: {missing}"
+        wait_for(lambda: all(job_state(client, j) == "done" for j in acked),
+                 "all acked jobs to finish after the restart", timeout_s=90.0)
+        log(f"phase B: replay count exact ({scheduler.replayed}), all "
+            f"{len(acked)} acked jobs present and driven to done")
+
+        # -- phase C: poison job -> DLQ -> retry ------------------------
+        for worker in workers:
+            worker.stop()
+        workers.clear()
+        poison.touch()
+        sub = client.submit_job({"workflow_file": str(poison_wf)},
+                                tenant="team-a")
+        acked.append(sub["job_id"])
+        poison_job = sub["job_id"]
+
+        def crash_out_the_attempts():
+            if job_state(client, poison_job) == "dead_lettered":
+                return True
+            if not workers or workers[-1].proc.poll() is not None:
+                replacement = Worker(f"w-fodder-{len(workers)}",
+                                     scheduler.url, fleet_root).start()
+                workers.append(replacement)
+            return False
+
+        wait_for(crash_out_the_attempts,
+                 "poison job to be dead-lettered", timeout_s=120.0,
+                 interval_s=0.2)
+        dead = client.get_job(poison_job)
+        assert dead["crashes"] == MAX_ATTEMPTS, dead
+        assert "expired" in dead["dead_reason"], dead
+        log(f"phase C: poison job dead-lettered after {dead['attempts']} "
+            f"attempts ({len(workers)} workers crashed)")
+
+        dlq = yprov("jobs", "dlq", "--url", scheduler.url)
+        assert dlq.returncode == 1, dlq.stdout + dlq.stderr
+        assert poison_job in dlq.stdout, dlq.stdout
+        for worker in workers:
+            worker.stop()
+        workers.clear()
+
+        poison.unlink()  # "fix the bug", then requeue via the CLI
+        retry = yprov("jobs", "retry", "--url", scheduler.url, poison_job)
+        assert retry.returncode == 0, retry.stdout + retry.stderr
+        w3 = Worker("w-final", scheduler.url, fleet_root).start()
+        workers.append(w3)
+        wait_for(lambda: job_state(client, poison_job) == "done",
+                 "requeued poison job to complete")
+        assert client.get_job(poison_job)["result"]["tasks"]["boom"][
+            "outputs"] == {"cured": True}
+        dlq = yprov("jobs", "dlq", "--url", scheduler.url)
+        assert dlq.returncode == 0, dlq.stdout + dlq.stderr
+        log("phase C: cured job requeued via `yprov jobs retry` and "
+            "completed; DLQ empty")
+
+        # -- final audit ------------------------------------------------
+        for job_id in acked:
+            assert job_state(client, job_id) == "done", job_id
+        doc = client.get_document_text(f"fleet-job-{resume_job}")
+        assert f"job/{resume_job}/attempt/2" in doc, \
+            "resumed job's PROV document lost its attempt chain"
+        assert "wasInformedBy" in doc
+        stats = client.fleet_stats()
+        assert stats["by_state"].get("done", 0) == len(acked), stats
+        log(f"audit: {len(acked)} jobs terminal, PROV attempt chain "
+            f"present, fleet stats consistent")
+
+        lint = yprov("lint", "--fleet", str(fleet_root))
+        print(lint.stdout, end="", flush=True)
+        assert lint.returncode == 0, \
+            f"PL116 dirty on a quiesced fleet:\n{lint.stdout}{lint.stderr}"
+        log("PASS: fleet SIGKILL chaos — resume-not-reexecute, exact WAL "
+            "replay, zero acked-job loss, DLQ round-trip, lint clean")
+        return 0
+    finally:
+        for worker in workers:
+            worker.stop()
+        scheduler.stop()
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except AssertionError as exc:
+        log(f"FAIL: {exc}")
+        sys.exit(1)

@@ -259,6 +259,71 @@ def main() -> None:
         "shards": [{"id": "shard-0", "url": None, "root": "shard-0"}],
     }, indent=2, sort_keys=True) + "\n")
 
+    # PL116-PL118: fleet roots built with the real FleetQueue so the WAL
+    # bytes are the genuine wire format.  A fixed clock and explicit job
+    # ids keep the checked-in bytes stable across regenerations; the
+    # fleet lint tests pass a matching fixed `now`.
+    from repro.fleet.queue import FleetQueue
+
+    class _FixedClock:
+        """Deterministic fixture clock starting at t=1000."""
+
+        def __init__(self):
+            self.now = 1000.0
+
+        def __call__(self):
+            return self.now
+
+    # PL116: a leased job whose lease expired long ago, never reclaimed
+    target = HERE / "pl116_stuck_lease"
+    if target.exists():
+        shutil.rmtree(target)
+    clock = _FixedClock()
+    with FleetQueue(target, clock=clock, fsync=False,
+                    lease_duration_s=10.0) as queue:
+        queue.submit({"n": 1}, tenant="t", job_id="job-stuck")
+        queue.lease("w-vanished")
+        # the fleet dies here: nothing ever reclaims the expired lease
+
+    # PL117: a jobs/<id> state dir with no queue record
+    target = HERE / "pl117_orphan_dir"
+    if target.exists():
+        shutil.rmtree(target)
+    clock = _FixedClock()
+    with FleetQueue(target, clock=clock, fsync=False) as queue:
+        queue.submit({"n": 1}, tenant="t", job_id="job-live")
+    live_dir = target / "jobs" / "job-live"
+    live_dir.mkdir(parents=True)
+    (live_dir / ".gitkeep").write_text("", encoding="utf-8")
+    orphan = target / "jobs" / "job-ghost"
+    orphan.mkdir(parents=True)
+    (orphan / "workflow.wal").write_text("", encoding="utf-8")
+
+    # PL118: a dead-lettered job nobody triaged
+    target = HERE / "pl118_stale_dlq"
+    if target.exists():
+        shutil.rmtree(target)
+    clock = _FixedClock()
+    with FleetQueue(target, clock=clock, fsync=False, lease_duration_s=10.0,
+                    max_attempts=1) as queue:
+        queue.submit({"n": 1}, tenant="t", job_id="job-poison")
+        lease = queue.lease("w1")
+        queue.fail(lease.job_id, "w1", lease.attempt, "boom")
+
+    # healthy fleet: one done job with its state dir still present
+    target = HERE / "fleet_clean"
+    if target.exists():
+        shutil.rmtree(target)
+    clock = _FixedClock()
+    with FleetQueue(target, clock=clock, fsync=False,
+                    lease_duration_s=10.0) as queue:
+        queue.submit({"n": 1}, tenant="t", job_id="job-fine")
+        lease = queue.lease("w1")
+        queue.complete(lease.job_id, "w1", lease.attempt, result={"ok": 1})
+    fine_dir = target / "jobs" / "job-fine"
+    fine_dir.mkdir(parents=True)
+    (fine_dir / ".gitkeep").write_text("", encoding="utf-8")
+
     print(f"fixtures written under {HERE}")
 
 

@@ -1,0 +1,128 @@
+"""Golden-corpus and unit tests for the fleet rules (PL116-PL118)."""
+
+import pytest
+
+from repro.errors import LintError
+from repro.fleet.queue import FleetQueue
+from repro.lint.fleetrules import FleetRootContext, lint_fleet_root
+
+from .conftest import FIXTURES
+
+#: The fixture WALs were written with a clock fixed at t=1000; linting
+#: them "one day later" makes every expiry/staleness window decisive.
+FIXTURE_NOW = 1000.0 + 86400.0
+
+
+def fired(report):
+    """The set of rule ids that produced findings."""
+    return {f.rule_id for f in report.findings}
+
+
+class TestGoldenCorpus:
+    def test_pl116_fixture_fires_exactly_pl116(self):
+        report = lint_fleet_root(FIXTURES / "pl116_stuck_lease",
+                                 now=FIXTURE_NOW)
+        assert fired(report) == {"PL116"}
+        (finding,) = report.findings
+        assert finding.element == "job-stuck"
+        assert "never" in finding.message
+        assert "w-vanished" in finding.message
+
+    def test_pl117_fixture_fires_exactly_pl117(self):
+        report = lint_fleet_root(FIXTURES / "pl117_orphan_dir",
+                                 now=FIXTURE_NOW)
+        assert fired(report) == {"PL117"}
+        (finding,) = report.findings
+        assert finding.element == "job-ghost"
+        assert "no queue record" in finding.message
+
+    def test_pl118_fixture_fires_exactly_pl118(self):
+        report = lint_fleet_root(FIXTURES / "pl118_stale_dlq",
+                                 now=FIXTURE_NOW)
+        assert fired(report) == {"PL118"}
+        (finding,) = report.findings
+        assert finding.element == "job-poison"
+        assert "yprov jobs retry" in finding.message
+        assert report.findings[0].severity.value == "error"
+
+    def test_clean_fleet_fixture_is_clean(self):
+        report = lint_fleet_root(FIXTURES / "fleet_clean", now=FIXTURE_NOW)
+        assert report.findings == []
+        assert set(report.checked_rules) == {"PL116", "PL117", "PL118"}
+
+
+class TestThresholds:
+    def test_fresh_expiry_is_within_grace(self, tmp_path):
+        clock = {"now": 1000.0}
+        with FleetQueue(tmp_path, clock=lambda: clock["now"], fsync=False,
+                        lease_duration_s=10.0) as q:
+            q.submit({}, tenant="t", job_id="job-a")
+            q.lease("w1")
+        # 30s after expiry: inside the default 60s grace — healthy fleets
+        # reclaim on the next poll, so no finding yet
+        report = lint_fleet_root(tmp_path, now=1040.0)
+        assert fired(report) == set()
+        # 5 minutes after expiry: the control loop is clearly down
+        report = lint_fleet_root(tmp_path, now=1310.0)
+        assert fired(report) == {"PL116"}
+
+    def test_dlq_staleness_threshold_is_tunable(self, tmp_path):
+        clock = {"now": 1000.0}
+        with FleetQueue(tmp_path, clock=lambda: clock["now"], fsync=False,
+                        max_attempts=1) as q:
+            q.submit({}, tenant="t", job_id="job-p")
+            lease = q.lease("w1")
+            q.fail(lease.job_id, "w1", lease.attempt, "boom")
+        report = lint_fleet_root(tmp_path, now=1500.0)  # default 3600s
+        assert fired(report) == set()
+        report = lint_fleet_root(tmp_path, now=1500.0, dlq_stale_after_s=60.0)
+        assert fired(report) == {"PL118"}
+
+    def test_requeued_job_clears_pl118(self, tmp_path):
+        clock = {"now": 1000.0}
+        with FleetQueue(tmp_path, clock=lambda: clock["now"], fsync=False,
+                        max_attempts=1) as q:
+            q.submit({}, tenant="t", job_id="job-p")
+            lease = q.lease("w1")
+            q.fail(lease.job_id, "w1", lease.attempt, "boom")
+            q.requeue("job-p")
+        report = lint_fleet_root(tmp_path, now=1000.0 + 7200.0)
+        assert fired(report) == set()
+
+
+class TestBrokenRoots:
+    def test_missing_root_raises(self, tmp_path):
+        with pytest.raises(LintError):
+            lint_fleet_root(tmp_path / "nope")
+
+    def test_rootless_dir_reports_unreadable(self, tmp_path):
+        report = lint_fleet_root(tmp_path)
+        assert fired(report) == {"PL116"}
+        (finding,) = report.findings
+        assert "unreadable" in finding.message
+        assert finding.severity.value == "error"
+
+    def test_torn_tail_is_reported_once(self, tmp_path):
+        clock = {"now": 1000.0}
+        with FleetQueue(tmp_path, clock=lambda: clock["now"],
+                        fsync=False) as q:
+            q.submit({}, tenant="t", job_id="job-a")
+        with q.path.open("ab") as fh:
+            fh.write(b'{"k": "complete", "job": "job-a", "crc":')
+        report = lint_fleet_root(tmp_path, now=1001.0)
+        assert fired(report) == {"PL116"}
+        (finding,) = report.findings
+        assert "torn" in finding.message
+        assert finding.severity.value == "warning"
+
+    def test_context_inventories_state_dirs(self, tmp_path):
+        clock = {"now": 1000.0}
+        with FleetQueue(tmp_path, clock=lambda: clock["now"],
+                        fsync=False) as q:
+            q.submit({}, tenant="t", job_id="job-a")
+        (tmp_path / "jobs" / "job-a").mkdir(parents=True)
+        (tmp_path / "jobs" / "job-gone").mkdir()
+        ctx = FleetRootContext(root=tmp_path, now=1001.0)
+        assert ctx.error is None
+        assert ctx.state_dirs == ["job-a", "job-gone"]
+        assert set(ctx.jobs) == {"job-a"}
